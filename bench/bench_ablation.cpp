@@ -1,0 +1,72 @@
+// Ablation bench for the ISOP+ design choices called out in DESIGN.md §5
+// (beyond the paper's own H vs H_GD study):
+//
+//   full           — ISOP+ as shipped
+//   no-hyperband   — naive random pick of the local-stage seeds
+//   no-adaptive    — fixed constraint weights (Alg. 2 off)
+//   no-smooth      — raw clip objective g(.) during the search
+//   gray-code      — Gray instead of plain binary encoding
+//   no-gd          — global stage only (the paper's "H")
+//   oracle         — EM model in the loop instead of the ML surrogate
+//                    (what surrogate error costs / buys)
+//
+// Flags: --trials N --samples N --epochs N --budget N --seed N --task NAME
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/string_utils.hpp"
+#include "core/simulator_surrogate.hpp"
+
+int main(int argc, char** argv) {
+  using namespace isop;
+  const CliArgs args(argc, argv);
+  bench::BenchContext ctx(bench::BenchConfig::fromArgs(args));
+  const core::Task task = core::taskByName(args.getString("task", "T3"));
+  const em::ParameterSpace space = em::spaceS1();
+
+  struct Ablation {
+    std::string name;
+    std::function<void(core::IsopConfig&)> tweak;
+    bool useOracle = false;
+  };
+  const std::vector<Ablation> ablations{
+      {"full", [](core::IsopConfig&) {}, false},
+      {"no-hyperband", [](core::IsopConfig& c) { c.useHyperband = false; }, false},
+      {"no-adaptive", [](core::IsopConfig& c) { c.adaptiveWeights.enabled = false; },
+       false},
+      {"no-smooth", [](core::IsopConfig& c) { c.useSmoothObjective = false; }, false},
+      {"gray-code", [](core::IsopConfig& c) { c.coding = hpo::BitCoding::Gray; }, false},
+      {"no-gd", [](core::IsopConfig& c) { c.useGradientStage = false; }, false},
+      {"oracle", [](core::IsopConfig&) {}, true},
+  };
+
+  std::printf("Ablation study on %s/S1, %zu trials each\n", task.name.c_str(),
+              ctx.config().trials);
+  auto cnn = ctx.cnnSurrogate();
+  auto oracle = std::make_shared<core::SimulatorSurrogate>(ctx.simulator());
+
+  bench::TablePrinter printer(
+      {"Ablation", "Succ", "Runtime(s)", "Samples", "dZ mean", "L mean", "NEXT mean",
+       "FoM", "FoM sd"});
+  printer.printHeader();
+  for (const auto& ablation : ablations) {
+    core::MethodSpec spec;
+    spec.name = ablation.name;
+    spec.kind = core::MethodSpec::Kind::Isop;
+    spec.isop = ctx.isopConfig();
+    ablation.tweak(spec.isop);
+    std::shared_ptr<const ml::Surrogate> surrogate =
+        ablation.useOracle ? std::static_pointer_cast<const ml::Surrogate>(oracle) : cnn;
+    const core::TrialRunner runner(ctx.simulator(), surrogate, space, task);
+    const auto stats = runner.run(spec, ctx.config().trials, ctx.config().seed);
+    printer.printRow({stats.method,
+                      std::to_string(stats.successes) + "/" + std::to_string(stats.trials),
+                      strings::fixed(stats.avgRuntime, 2),
+                      strings::fixed(stats.avgSamples, 0),
+                      strings::fixed(stats.dzMean, 3), strings::fixed(stats.lMean, 3),
+                      strings::fixed(stats.nextMean, 3), strings::fixed(stats.fomMean, 3),
+                      strings::fixed(stats.fomStdev, 3)});
+  }
+  printer.printRule();
+  return 0;
+}

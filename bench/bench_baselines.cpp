@@ -1,0 +1,63 @@
+// Extended baseline roster (beyond the paper's Table IV/V pair): random
+// search, genetic algorithm, simulated annealing, TPE Bayesian optimization
+// and ISOP+ on one task/space at matched sample budgets — the quickest way
+// to see where each metaheuristic family lands on this problem class.
+//
+// Flags: --task NAME --space NAME --trials N --eval-budget N --seed N
+//        plus the shared --samples/--epochs/--budget/--paper-scale
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/string_utils.hpp"
+
+int main(int argc, char** argv) {
+  using namespace isop;
+  const CliArgs args(argc, argv);
+  bench::BenchContext ctx(bench::BenchConfig::fromArgs(args));
+  const core::Task task = core::taskByName(args.getString("task", "T1"));
+  const em::ParameterSpace space = em::spaceByName(args.getString("space", "S1"));
+  const auto budget =
+      static_cast<std::size_t>(args.getInt("eval-budget", 16800));
+
+  std::printf("Extended baselines on %s/%s: %zu-sample budgets, %zu trials\n",
+              task.name.c_str(), args.getString("space", "S1").c_str(), budget,
+              ctx.config().trials);
+
+  const core::TrialRunner runner(ctx.simulator(), ctx.cnnSurrogate(), space, task);
+
+  std::vector<core::MethodSpec> roster;
+  auto add = [&](const char* name, core::MethodSpec::Kind kind) {
+    core::MethodSpec spec;
+    spec.name = name;
+    spec.kind = kind;
+    spec.evalBudget = budget;
+    roster.push_back(spec);
+  };
+  add("Random", core::MethodSpec::Kind::RandomSearch);
+  add("GA", core::MethodSpec::Kind::Genetic);
+  add("SA", core::MethodSpec::Kind::SimulatedAnnealing);
+  add("BO(TPE)", core::MethodSpec::Kind::Tpe);
+  {
+    core::MethodSpec isop;
+    isop.name = "ISOP+";
+    isop.kind = core::MethodSpec::Kind::Isop;
+    isop.isop = ctx.isopConfig();
+    roster.push_back(isop);
+  }
+
+  bench::TablePrinter printer({"Method", "Succ", "Runtime(s)", "Samples", "dZ mean",
+                               "L mean", "NEXT mean", "FoM", "FoM sd"});
+  printer.printHeader();
+  for (const auto& method : roster) {
+    const auto stats = runner.run(method, ctx.config().trials, ctx.config().seed);
+    printer.printRow(
+        {stats.method,
+         std::to_string(stats.successes) + "/" + std::to_string(stats.trials),
+         strings::fixed(stats.avgRuntime, 2), strings::fixed(stats.avgSamples, 0),
+         strings::fixed(stats.dzMean, 3), strings::fixed(stats.lMean, 3),
+         strings::fixed(stats.nextMean, 3), strings::fixed(stats.fomMean, 3),
+         strings::fixed(stats.fomStdev, 3)});
+  }
+  printer.printRule();
+  return 0;
+}

@@ -1,0 +1,332 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+
+#include "common/logging.hpp"
+#include "common/string_utils.hpp"
+#include "ml/ensemble.hpp"
+
+namespace isop::bench {
+
+using strings::fixed;
+
+BenchConfig BenchConfig::fromArgs(const CliArgs& args) {
+  BenchConfig cfg;
+  if (args.getBool("paper-scale", false)) {
+    cfg.trials = 10;
+    cfg.datasetSamples = 90000;
+    cfg.trainEpochs = 120;
+    cfg.harmonicaBudget = 4000;
+  }
+  cfg.trials = static_cast<std::size_t>(args.getInt("trials", static_cast<long long>(cfg.trials)));
+  cfg.datasetSamples = static_cast<std::size_t>(
+      args.getInt("samples", static_cast<long long>(cfg.datasetSamples)));
+  cfg.trainEpochs = static_cast<std::size_t>(
+      args.getInt("epochs", static_cast<long long>(cfg.trainEpochs)));
+  cfg.spaceName = args.getString("space", cfg.spaceName);
+  cfg.seed = static_cast<std::uint64_t>(args.getInt("seed", static_cast<long long>(cfg.seed)));
+  cfg.harmonicaBudget = static_cast<std::size_t>(
+      args.getInt("budget", static_cast<long long>(cfg.harmonicaBudget)));
+  if (args.getBool("quiet", false)) log::setLevel(log::Level::Warn);
+  return cfg;
+}
+
+namespace {
+
+/// MLP for Z and L, XGBoost for NEXT — the DATE-version "MLP_XGB" surrogate.
+class MlpXgbSurrogate final : public ml::Surrogate {
+ public:
+  MlpXgbSurrogate(std::shared_ptr<const ml::MlpRegressor> mlp,
+                  std::unique_ptr<ml::SingleOutputModel> nextModel)
+      : mlp_(std::move(mlp)), next_(std::move(nextModel)) {}
+
+  std::size_t inputDim() const override { return em::kNumParams; }
+  std::size_t outputDim() const override { return em::kNumMetrics; }
+
+  void predict(std::span<const double> x, std::span<double> out) const override {
+    countQuery();
+    mlp_->resetQueryCount();  // avoid double counting through the inner MLP
+    std::array<double, em::kNumMetrics> tmp{};
+    mlp_->predict(x, tmp);
+    out[0] = tmp[0];
+    out[1] = tmp[1];
+    out[2] = next_->predictOne(x);
+  }
+  // No inputGradient: XGBoost is not differentiable, which is exactly why
+  // the paper cannot evaluate "H_GD + MLP_XGB" (Section IV-C).
+
+ private:
+  std::shared_ptr<const ml::MlpRegressor> mlp_;
+  std::unique_ptr<ml::SingleOutputModel> next_;
+};
+
+}  // namespace
+
+BenchContext::BenchContext(BenchConfig config) : config_(std::move(config)) {}
+
+std::shared_ptr<const ml::Surrogate> BenchContext::cnnSurrogate() {
+  if (!cnn_) {
+    data::GenerationConfig gen;
+    gen.samples = config_.datasetSamples;
+    gen.spaceName = config_.spaceName;
+    ml::nn::TrainConfig train;
+    train.epochs = config_.trainEpochs;
+    train.learningRate = 3e-3;
+    train.lrDecay = 0.98;
+    cnn_ = data::getOrTrainCnnSurrogate(simulator_, gen, train);
+  }
+  return cnn_;
+}
+
+std::shared_ptr<const ml::Surrogate> BenchContext::mlpSurrogate() {
+  if (!mlp_) {
+    data::GenerationConfig gen;
+    gen.samples = config_.datasetSamples;
+    gen.spaceName = config_.spaceName;
+    ml::nn::TrainConfig train;
+    train.epochs = config_.trainEpochs;
+    train.learningRate = 3e-3;
+    train.lrDecay = 0.98;
+    mlp_ = data::getOrTrainMlpSurrogate(simulator_, gen, train);
+  }
+  return mlp_;
+}
+
+std::shared_ptr<const ml::Surrogate> BenchContext::mlpXgbSurrogate() {
+  if (!mlpXgb_) {
+    data::GenerationConfig gen;
+    gen.samples = config_.datasetSamples;
+    gen.spaceName = config_.spaceName;
+    ml::nn::TrainConfig train;
+    train.epochs = config_.trainEpochs;
+    train.learningRate = 3e-3;
+    train.lrDecay = 0.98;
+    auto mlpPart = data::getOrTrainMlpSurrogate(simulator_, gen, train);
+    // XGBoost on NEXT retrains in seconds (trees are not serialized).
+    log::info("training XGBoost NEXT model for the MLP_XGB surrogate");
+    ml::Dataset ds = data::getOrGenerateDataset(simulator_, em::spaceByName(gen.spaceName), gen);
+    Rng rng(gen.seed ^ 0x5ca1ab1eULL);
+    ds.shuffle(rng);
+    auto [trainSet, testSet] = ds.split(0.8);
+    (void)testSet;
+    auto xgb = std::make_unique<ml::TransformedTargetModel>(
+        std::make_unique<ml::XgboostRegressor>(),
+        ml::OutputTransform::logMagnitude(-1.0, 1e-4));
+    auto target = trainSet.targetColumn(static_cast<std::size_t>(em::Metric::Next));
+    xgb->fit(trainSet.x, target);
+    mlpXgb_ = std::make_shared<MlpXgbSurrogate>(mlpPart, std::move(xgb));
+  }
+  return mlpXgb_;
+}
+
+core::IsopConfig BenchContext::isopConfig() const {
+  core::IsopConfig cfg;
+  // Four restriction rounds matter on the multi-objective tasks: the fourth
+  // round is what pins the crosstalk-relevant bits (Dt and the dielectric
+  // heights) before the local stage (see the T4/S2 study in EXPERIMENTS.md).
+  cfg.harmonica.iterations = 4;
+  cfg.harmonica.samplesPerIter = config_.harmonicaBudget;
+  cfg.harmonica.topMonomials = 5;
+  cfg.hyperband.maxResource = 27;
+  cfg.refine.epochs = 100;
+  cfg.localSeeds = 6;
+  cfg.candNum = 3;
+  return cfg;
+}
+
+std::vector<core::MethodSpec> BenchContext::tableIvVRoster(std::size_t isopQueries) {
+  // The paper's absolute sample budgets (Table IV): SA-1 ~16.8k (runtime-
+  // matched), SA-2 ~20k, BO-1 ~3k, BO-2 ~450. The surrogate is cheap enough
+  // here that the baselines simply get those budgets outright; ISOP+ runs
+  // with *fewer* samples at the default scale (printed in its row), which
+  // only strengthens its side of the comparison.
+  (void)isopQueries;
+  std::vector<core::MethodSpec> roster;
+  core::MethodSpec sa1;
+  sa1.name = "SA-1";
+  sa1.kind = core::MethodSpec::Kind::SimulatedAnnealing;
+  sa1.evalBudget = 16800;
+  roster.push_back(sa1);
+
+  core::MethodSpec sa2 = sa1;
+  sa2.name = "SA-2";
+  sa2.evalBudget = 20000;
+  roster.push_back(sa2);
+
+  core::MethodSpec bo1;
+  bo1.name = "BO-1";
+  bo1.kind = core::MethodSpec::Kind::Tpe;
+  bo1.evalBudget = 3000;
+  roster.push_back(bo1);
+
+  core::MethodSpec bo2 = bo1;
+  bo2.name = "BO-2";
+  bo2.evalBudget = 450;
+  roster.push_back(bo2);
+
+  core::MethodSpec isop;
+  isop.name = "ISOP+";
+  isop.kind = core::MethodSpec::Kind::Isop;
+  isop.isop = isopConfig();
+  roster.push_back(isop);
+  return roster;
+}
+
+std::size_t estimateIsopQueries(const BenchContext& ctx,
+                                std::shared_ptr<const ml::Surrogate> surrogate,
+                                const em::ParameterSpace& space, const core::Task& task,
+                                const core::IsopConfig& cfg) {
+  core::IsopConfig pilot = cfg;
+  pilot.seed = ctx.config().seed + 9999;
+  const core::IsopOptimizer optimizer(ctx.simulator(), std::move(surrogate), space, task,
+                                      pilot);
+  return optimizer.run().surrogateQueries;
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers, std::vector<int> widths)
+    : headers_(std::move(headers)), widths_(std::move(widths)) {
+  if (widths_.empty()) {
+    widths_.reserve(headers_.size());
+    for (const auto& h : headers_) {
+      widths_.push_back(static_cast<int>(std::max<std::size_t>(h.size() + 2, 9)));
+    }
+  }
+}
+
+void TablePrinter::printHeader() const {
+  printRule();
+  std::string line;
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    line += strings::padLeft(headers_[i], static_cast<std::size_t>(widths_[i]));
+  }
+  std::puts(line.c_str());
+  printRule();
+}
+
+void TablePrinter::printRow(const std::vector<std::string>& cells) const {
+  std::string line;
+  for (std::size_t i = 0; i < cells.size() && i < widths_.size(); ++i) {
+    line += strings::padLeft(cells[i], static_cast<std::size_t>(widths_[i]));
+  }
+  std::puts(line.c_str());
+}
+
+void TablePrinter::printRule() const {
+  std::size_t total = 0;
+  for (int w : widths_) total += static_cast<std::size_t>(w);
+  std::puts(std::string(total, '-').c_str());
+}
+
+std::vector<std::string> statsRow(const core::TrialStats& stats, bool hasNext,
+                                  double isopFom) {
+  std::vector<std::string> row;
+  row.push_back(stats.method);
+  row.push_back(std::to_string(stats.successes) + "/" + std::to_string(stats.trials));
+  row.push_back(fixed(stats.avgRuntime, 2));
+  row.push_back(fixed(stats.avgSamples, 0));
+  row.push_back(fixed(stats.dzMean, 3));
+  row.push_back(fixed(stats.dzStdev, 3));
+  row.push_back(fixed(stats.lMean, 3));
+  row.push_back(fixed(stats.lStdev, 3));
+  if (hasNext) {
+    row.push_back(fixed(stats.nextMean, 3));
+    row.push_back(fixed(stats.nextStdev, 3));
+  }
+  row.push_back(fixed(stats.fomMean, 3));
+  if (stats.method == "ISOP+") {
+    row.push_back("-");
+  } else {
+    row.push_back(fixed(core::fomImprovementPercent(stats.fomMean, isopFom), 1));
+  }
+  return row;
+}
+
+void runComparisonBench(BenchContext& ctx, std::span<const ComparisonCase> cases,
+                        bool hasNext) {
+  auto surrogate = ctx.cnnSurrogate();
+
+  std::vector<std::string> headers{"Method", "Succ", "Runtime(s)", "Samples",
+                                   "dZ mean",  "dZ sd", "L mean",     "L sd"};
+  if (hasNext) {
+    headers.push_back("NEXT mean");
+    headers.push_back("NEXT sd");
+  }
+  headers.push_back("FoM");
+  headers.push_back("Impv%");
+
+  for (const auto& comparison : cases) {
+    std::printf("\n=== %s ===\n", comparison.label.c_str());
+    const core::TrialRunner runner(ctx.simulator(), surrogate, comparison.space,
+                                   comparison.task);
+    auto roster = ctx.tableIvVRoster(0);
+
+    std::vector<core::TrialStats> allStats;
+    double isopFom = 0.0;
+    for (const auto& method : roster) {
+      core::TrialStats stats = runner.run(method, ctx.config().trials, ctx.config().seed);
+      if (method.name == "ISOP+") isopFom = stats.fomMean;
+      allStats.push_back(std::move(stats));
+    }
+
+    TablePrinter printer(headers);
+    printer.printHeader();
+    for (const auto& stats : allStats) {
+      printer.printRow(statsRow(stats, hasNext, isopFom));
+    }
+    printer.printRule();
+  }
+}
+
+void runVariantBench(BenchContext& ctx, std::span<const ComparisonCase> cases,
+                     bool hasNext) {
+  struct Variant {
+    std::string name;
+    std::shared_ptr<const ml::Surrogate> surrogate;
+    bool gradientStage;
+  };
+  const std::vector<Variant> variants{
+      {"H+MLP_XGB", ctx.mlpXgbSurrogate(), false},
+      {"H+1D-CNN", ctx.cnnSurrogate(), false},
+      // "H_GD+MLP_XGB" is not evaluable: XGBoost is not differentiable
+      // (Section IV-C of the paper makes the same observation).
+      {"H_GD+1D-CNN", ctx.cnnSurrogate(), true},
+  };
+
+  std::vector<std::string> headers{"Variant", "Succ", "Runtime(s)", "Samples",
+                                   "dZ mean", "dZ sd", "L mean", "L sd"};
+  if (hasNext) {
+    headers.push_back("NEXT mean");
+    headers.push_back("NEXT sd");
+  }
+  headers.push_back("FoM");
+  headers.push_back("Impv%");
+
+  for (const auto& comparison : cases) {
+    std::printf("\n=== %s ===\n", comparison.label.c_str());
+    std::vector<core::TrialStats> allStats;
+    double isopFom = 0.0;
+    for (const auto& variant : variants) {
+      const core::TrialRunner runner(ctx.simulator(), variant.surrogate,
+                                     comparison.space, comparison.task);
+      core::MethodSpec spec;
+      spec.name = variant.name;
+      spec.kind = core::MethodSpec::Kind::Isop;
+      spec.isop = ctx.isopConfig();
+      spec.isop.useGradientStage = variant.gradientStage;
+      core::TrialStats stats = runner.run(spec, ctx.config().trials, ctx.config().seed);
+      if (variant.gradientStage) isopFom = stats.fomMean;  // H_GD+1D-CNN anchor
+      allStats.push_back(std::move(stats));
+    }
+    TablePrinter printer(headers);
+    printer.printHeader();
+    for (auto& stats : allStats) {
+      const bool isAnchor = stats.method == "H_GD+1D-CNN";
+      auto row = statsRow(stats, hasNext, isopFom);
+      if (isAnchor) row.back() = "-";
+      printer.printRow(row);
+    }
+    printer.printRule();
+  }
+}
+
+}  // namespace isop::bench

@@ -1,0 +1,113 @@
+// Shared infrastructure for the table/figure reproduction benches: flag
+// parsing, surrogate construction (cached), the Table IV/V/VII/VIII method
+// roster, and fixed-width table printing.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "core/trial_runner.hpp"
+#include "data/cache.hpp"
+
+namespace isop::bench {
+
+/// Settings shared by all benches, derived from command-line flags:
+///   --trials N        repeat count per method (default 3; paper: 10)
+///   --samples N       surrogate training-set size (default 30000; paper: 90000)
+///   --epochs N        surrogate training epochs (default 80)
+///   --space NAME      dataset space (default "envelope")
+///   --seed N          base RNG seed (default 100)
+///   --budget N        ISOP+ Harmonica samples per iteration (default 2000)
+///   --paper-scale     shorthand for trials=10, samples=90000, budget=4000
+///   --quiet           suppress info logging
+struct BenchConfig {
+  std::size_t trials = 3;
+  std::size_t datasetSamples = 30000;
+  std::size_t trainEpochs = 80;
+  std::string spaceName = "envelope";
+  std::uint64_t seed = 100;
+  std::size_t harmonicaBudget = 2000;
+
+  static BenchConfig fromArgs(const CliArgs& args);
+};
+
+/// Lazily-built shared context: the EM simulator and the cached surrogates.
+class BenchContext {
+ public:
+  explicit BenchContext(BenchConfig config);
+
+  const BenchConfig& config() const { return config_; }
+  const em::EmSimulator& simulator() const { return simulator_; }
+
+  /// ISOP+'s surrogate (1D-CNN trained on the configured dataset).
+  std::shared_ptr<const ml::Surrogate> cnnSurrogate();
+
+  /// The DATE-version surrogate: MLP for Z and L, XGBoost for NEXT.
+  /// Not differentiable (so no gradient stage), exactly as in the paper.
+  std::shared_ptr<const ml::Surrogate> mlpXgbSurrogate();
+
+  /// Plain MLP surrogate (differentiable baseline).
+  std::shared_ptr<const ml::Surrogate> mlpSurrogate();
+
+  /// The default ISOP+ configuration at this bench scale.
+  core::IsopConfig isopConfig() const;
+
+  /// Standard method roster for the Table IV/V comparisons. SA-1/SA-2 and
+  /// BO-1/BO-2 budgets keep the paper's ratios to ISOP+'s samples seen.
+  std::vector<core::MethodSpec> tableIvVRoster(std::size_t isopQueriesEstimate);
+
+ private:
+  BenchConfig config_;
+  em::EmSimulator simulator_;
+  std::shared_ptr<const ml::Surrogate> cnn_;
+  std::shared_ptr<const ml::Surrogate> mlp_;
+  std::shared_ptr<const ml::Surrogate> mlpXgb_;
+};
+
+/// Runs one ISOP+ trial to measure its typical surrogate-query count, used
+/// to set the runtime/sample-matched baseline budgets like the paper does.
+std::size_t estimateIsopQueries(const BenchContext& ctx,
+                                std::shared_ptr<const ml::Surrogate> surrogate,
+                                const em::ParameterSpace& space, const core::Task& task,
+                                const core::IsopConfig& cfg);
+
+/// Fixed-width table printer.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers,
+                        std::vector<int> widths = {});
+
+  void printHeader() const;
+  void printRow(const std::vector<std::string>& cells) const;
+  void printRule() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<int> widths_;
+};
+
+/// Formats a TrialStats as the paper's Table IV/V row cells (without the
+/// NEXT columns when hasNext is false).
+std::vector<std::string> statsRow(const core::TrialStats& stats, bool hasNext,
+                                  double isopFom);
+
+/// One (task, space) cell of a Table IV/V-style comparison.
+struct ComparisonCase {
+  std::string label;  ///< e.g. "T1/S1"
+  core::Task task;
+  em::ParameterSpace space;
+};
+
+/// Runs the full SA/BO/ISOP+ roster over the given cases and prints one
+/// paper-style block per case. `hasNext` adds the NEXT columns (Table V).
+void runComparisonBench(BenchContext& ctx, std::span<const ComparisonCase> cases,
+                        bool hasNext);
+
+/// Runs the Table VII/VIII ISOP-variant comparison (H+MLP_XGB, H+1D-CNN,
+/// H_GD+1D-CNN) over the given cases and prints one block per case.
+void runVariantBench(BenchContext& ctx, std::span<const ComparisonCase> cases,
+                     bool hasNext);
+
+}  // namespace isop::bench

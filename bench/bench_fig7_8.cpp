@@ -1,0 +1,94 @@
+// Reproduces Figs. 7 and 8 of the ISOP+ paper: bar-chart summaries of the
+// Table VII/VIII variant study — FoM per task (Fig. 7) and runtime per task
+// (Fig. 8) for H+MLP_XGB, H+1D-CNN and H_GD+1D-CNN.
+//
+// Prints the two series as aligned rows (one per variant, one column per
+// task/space cell) plus ASCII bars, and emits fig7_fom.csv / fig8_runtime.csv.
+// Expected shape: H_GD+1D-CNN lowest FoM and lowest runtime on every cell.
+//
+// Flags: --trials N --samples N --epochs N --budget N --seed N --paper-scale
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/csv.hpp"
+
+int main(int argc, char** argv) {
+  using namespace isop;
+  const CliArgs args(argc, argv);
+  bench::BenchContext ctx(bench::BenchConfig::fromArgs(args));
+
+  struct Variant {
+    std::string name;
+    std::shared_ptr<const ml::Surrogate> surrogate;
+    bool gradient;
+  };
+  const std::vector<Variant> variants{
+      {"H+MLP_XGB", ctx.mlpXgbSurrogate(), false},
+      {"H+1D-CNN", ctx.cnnSurrogate(), false},
+      {"H_GD+1D-CNN", ctx.cnnSurrogate(), true},
+  };
+  const std::vector<bench::ComparisonCase> cases{
+      {"T1/S1", core::taskT1(), em::spaceS1()},
+      {"T2/S1", core::taskT2(), em::spaceS1()},
+      {"T3/S1", core::taskT3(), em::spaceS1()},
+      {"T4/S1", core::taskT4(), em::spaceS1()},
+  };
+
+  std::printf("Figs. 7/8 reproduction: FoM and runtime summaries over %zu trials\n",
+              ctx.config().trials);
+
+  // fom[variant][case], runtime[variant][case]
+  std::vector<std::vector<double>> fom(variants.size()), runtime(variants.size());
+  for (std::size_t v = 0; v < variants.size(); ++v) {
+    for (const auto& c : cases) {
+      const core::TrialRunner runner(ctx.simulator(), variants[v].surrogate, c.space,
+                                     c.task);
+      core::MethodSpec spec;
+      spec.name = variants[v].name;
+      spec.kind = core::MethodSpec::Kind::Isop;
+      spec.isop = ctx.isopConfig();
+      spec.isop.useGradientStage = variants[v].gradient;
+      const auto stats = runner.run(spec, ctx.config().trials, ctx.config().seed);
+      fom[v].push_back(stats.fomMean);
+      runtime[v].push_back(stats.avgRuntime);
+      std::printf("  %-12s %-6s fom=%.3f runtime=%.1fs\n", variants[v].name.c_str(),
+                  c.label.c_str(), stats.fomMean, stats.avgRuntime);
+    }
+  }
+
+  auto printSeries = [&](const char* title, const std::vector<std::vector<double>>& data,
+                         double barScale) {
+    std::printf("\n%s\n%-14s", title, "");
+    for (const auto& c : cases) std::printf("%10s", c.label.c_str());
+    std::printf("\n");
+    for (std::size_t v = 0; v < variants.size(); ++v) {
+      std::printf("%-14s", variants[v].name.c_str());
+      for (double x : data[v]) std::printf("%10.3f", x);
+      std::printf("   |");
+      double mean = 0.0;
+      for (double x : data[v]) mean += x;
+      mean /= static_cast<double>(data[v].size());
+      std::string bar(static_cast<std::size_t>(mean * barScale), '#');
+      std::printf("%s\n", bar.c_str());
+    }
+  };
+  printSeries("Fig. 7 — FoM by variant (lower is better):", fom, 40.0);
+  printSeries("Fig. 8 — runtime (s) by variant (lower is better):", runtime, 0.3);
+
+  auto emit = [&](const char* path, const std::vector<std::vector<double>>& data) {
+    csv::Table table;
+    table.header = {"variant_index"};
+    for (const auto& c : cases) table.header.push_back(c.label);
+    for (std::size_t v = 0; v < variants.size(); ++v) {
+      std::vector<double> row{static_cast<double>(v)};
+      row.insert(row.end(), data[v].begin(), data[v].end());
+      table.rows.push_back(std::move(row));
+    }
+    csv::write(path, table);
+  };
+  emit("fig7_fom.csv", fom);
+  emit("fig8_runtime.csv", runtime);
+  std::printf("\nSeries written to fig7_fom.csv / fig8_runtime.csv "
+              "(variant order: H+MLP_XGB, H+1D-CNN, H_GD+1D-CNN)\n");
+  return 0;
+}

@@ -1,0 +1,145 @@
+// Google-benchmark micro-benchmarks for the hot kernels of the pipeline:
+// the closed-form EM evaluation (the M(x) this repo substitutes for the
+// paper's ~15 s/design commercial solver), surrogate inference and input
+// gradients, codec round-trips, parity design-matrix construction and the
+// Lasso PSR subroutine.
+#include <benchmark/benchmark.h>
+
+#include "core/simulator_surrogate.hpp"
+#include "em/simulator.hpp"
+#include "hpo/binary_codec.hpp"
+#include "hpo/lasso.hpp"
+#include "hpo/parity_features.hpp"
+#include "ml/neural_regressor.hpp"
+
+namespace {
+
+using namespace isop;
+
+em::StackupParams sampleDesign(std::uint64_t seed) {
+  Rng rng(seed);
+  return em::spaceS1().sample(rng);
+}
+
+void BM_EmSimulate(benchmark::State& state) {
+  em::EmSimulator sim;
+  const auto design = sampleDesign(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.evaluateUncounted(design));
+  }
+}
+BENCHMARK(BM_EmSimulate);
+
+void BM_SpaceSample(benchmark::State& state) {
+  const auto space = em::spaceS1();
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(space.sample(rng));
+  }
+}
+BENCHMARK(BM_SpaceSample);
+
+void BM_CodecEncodeDecode(benchmark::State& state) {
+  const hpo::BinaryCodec codec(em::spaceS1());
+  const auto design = sampleDesign(3);
+  for (auto _ : state) {
+    auto bits = codec.encode(design);
+    benchmark::DoNotOptimize(codec.decode(bits));
+  }
+}
+BENCHMARK(BM_CodecEncodeDecode);
+
+/// Small trained MLP surrogate shared by the inference benchmarks.
+const ml::MlpRegressor& trainedMlp() {
+  static const auto model = [] {
+    em::EmSimulator sim;
+    Rng rng(4);
+    const auto space = em::designerEnvelope();
+    ml::Dataset ds{Matrix(2000, em::kNumParams), Matrix(2000, em::kNumMetrics)};
+    for (std::size_t i = 0; i < 2000; ++i) {
+      const auto p = space.sample(rng);
+      const auto m = sim.evaluateUncounted(p);
+      for (std::size_t j = 0; j < em::kNumParams; ++j) ds.x(i, j) = p.values[j];
+      ds.y(i, 0) = m.z;
+      ds.y(i, 1) = m.l;
+      ds.y(i, 2) = m.next;
+    }
+    auto mlp = std::make_unique<ml::MlpRegressor>();
+    mlp->setOutputTransforms(ml::metricLogTransforms());
+    ml::nn::TrainConfig cfg;
+    cfg.epochs = 3;
+    mlp->fit(ds, cfg);
+    return mlp;
+  }();
+  return *model;
+}
+
+void BM_SurrogatePredict(benchmark::State& state) {
+  const auto& model = trainedMlp();
+  const auto design = sampleDesign(5);
+  std::array<double, em::kNumMetrics> out{};
+  for (auto _ : state) {
+    model.predict(design.asVector(), out);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_SurrogatePredict);
+
+void BM_SurrogateInputGradient(benchmark::State& state) {
+  const auto& model = trainedMlp();
+  const auto design = sampleDesign(6);
+  std::vector<double> grad(em::kNumParams);
+  for (auto _ : state) {
+    model.inputGradient(design.asVector(), 0, grad);
+    benchmark::DoNotOptimize(grad);
+  }
+}
+BENCHMARK(BM_SurrogateInputGradient);
+
+void BM_OracleFiniteDifferenceGradient(benchmark::State& state) {
+  em::EmSimulator sim;
+  const core::SimulatorSurrogate oracle(sim);
+  const auto design = sampleDesign(7);
+  std::vector<double> grad(em::kNumParams);
+  for (auto _ : state) {
+    oracle.inputGradient(design.asVector(), 0, grad);
+    benchmark::DoNotOptimize(grad);
+  }
+}
+BENCHMARK(BM_OracleFiniteDifferenceGradient);
+
+void BM_ParityDesignMatrix(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(8);
+  std::vector<hpo::BitVector> samples(n);
+  for (auto& s : samples) {
+    s.resize(73);
+    for (auto& b : s) b = static_cast<std::uint8_t>(rng.below(2));
+  }
+  std::vector<std::size_t> positions(73);
+  for (std::size_t i = 0; i < positions.size(); ++i) positions[i] = i;
+  const auto monomials = hpo::enumerateMonomials(positions, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hpo::parityDesignMatrix(samples, monomials));
+  }
+}
+BENCHMARK(BM_ParityDesignMatrix)->Arg(100)->Arg(400);
+
+void BM_LassoFit(benchmark::State& state) {
+  Rng rng(9);
+  const std::size_t n = 200, d = 500;
+  Matrix x(n, d);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) x(i, j) = rng.uniform(-1.0, 1.0);
+    y[i] = 2.0 * x(i, 3) - x(i, 77) + 0.1 * rng.normal();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hpo::lassoFit(x, y, {.lambda = 0.05, .maxIters = 50}));
+  }
+}
+BENCHMARK(BM_LassoFit);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,29 @@
+// Reproduces Table V of the ISOP+ paper: the harder multi-objective tasks —
+// T3 adds a near-end crosstalk constraint (|NEXT| <= 0.05 mV) on top of
+// T1's impedance band, and T4 folds crosstalk into the figure of merit
+// (FoM = |L| + 2|NEXT|). The paper's headline here is that SA and BO start
+// failing to find feasible designs (success < 10/10) while ISOP+ stays at
+// 10/10 with better FoM.
+//
+// Flags: --trials N --samples N --epochs N --budget N --seed N --paper-scale
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace isop;
+  const CliArgs args(argc, argv);
+  bench::BenchContext ctx(bench::BenchConfig::fromArgs(args));
+
+  std::printf("Table V reproduction: T3/T4 x S1/S2, %zu trials per method\n",
+              ctx.config().trials);
+
+  const std::vector<bench::ComparisonCase> cases{
+      {"T3/S1", core::taskT3(), em::spaceS1()},
+      {"T3/S2", core::taskT3(), em::spaceS2()},
+      {"T4/S1", core::taskT4(), em::spaceS1()},
+      {"T4/S2", core::taskT4(), em::spaceS2()},
+  };
+  bench::runComparisonBench(ctx, cases, /*hasNext=*/true);
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Reproduces Table VII of the ISOP+ paper: the comparative analysis between
+// the DATE-version ISOP and the journal-version ISOP+ on T1/T2.
+//
+//   H + MLP_XGB  — Harmonica-only optimizer with the MLP(Z,L) + XGBoost(NEXT)
+//                  surrogate (the original ISOP, DATE 2023);
+//   H + 1D-CNN   — Harmonica-only optimizer with the upgraded surrogate;
+//   H_GD + 1D-CNN— the full ISOP+ (adds the Adam gradient-descent stage).
+//
+// "H_GD + MLP_XGB" is structurally impossible (XGBoost is not
+// differentiable), exactly as the paper notes.
+//
+// Flags: --trials N --samples N --epochs N --budget N --seed N --paper-scale
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace isop;
+  const CliArgs args(argc, argv);
+  bench::BenchContext ctx(bench::BenchConfig::fromArgs(args));
+
+  std::printf("Table VII reproduction: ISOP variants on T1/T2, %zu trials each\n",
+              ctx.config().trials);
+
+  const std::vector<bench::ComparisonCase> cases{
+      {"T1/S1", core::taskT1(), em::spaceS1()},
+      {"T1/S2", core::taskT1(), em::spaceS2()},
+      {"T2/S1", core::taskT2(), em::spaceS1()},
+      {"T2/S2", core::taskT2(), em::spaceS2()},
+  };
+  bench::runVariantBench(ctx, cases, /*hasNext=*/false);
+  return 0;
+}

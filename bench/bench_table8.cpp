@@ -1,0 +1,26 @@
+// Reproduces Table VIII of the ISOP+ paper: the ISOP-variant comparison
+// (H+MLP_XGB / H+1D-CNN / H_GD+1D-CNN) on the crosstalk-aware tasks T3 and
+// T4, where the gradient-descent local stage buys the largest FoM gains.
+//
+// Flags: --trials N --samples N --epochs N --budget N --seed N --paper-scale
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace isop;
+  const CliArgs args(argc, argv);
+  bench::BenchContext ctx(bench::BenchConfig::fromArgs(args));
+
+  std::printf("Table VIII reproduction: ISOP variants on T3/T4, %zu trials each\n",
+              ctx.config().trials);
+
+  const std::vector<bench::ComparisonCase> cases{
+      {"T3/S1", core::taskT3(), em::spaceS1()},
+      {"T3/S2", core::taskT3(), em::spaceS2()},
+      {"T4/S1", core::taskT4(), em::spaceS1()},
+      {"T4/S2", core::taskT4(), em::spaceS2()},
+  };
+  bench::runVariantBench(ctx, cases, /*hasNext=*/true);
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Domain example: designing a whole board's signal layers in one shot.
+//
+// A server-class HDI board mixes layer types: a surface microstrip breakout
+// layer, inner stripline layers for DDR (85 ohm) and SerDes (100 ohm, with
+// a crosstalk ceiling), and a low-crosstalk clock layer. BoardDesigner runs
+// the ISOP+ pipeline per layer and prints the board report.
+//
+//   $ ./board_design [--seed 7]
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "core/board.hpp"
+
+int main(int argc, char** argv) {
+  using namespace isop;
+  const CliArgs args(argc, argv);
+
+  std::vector<core::LayerSpec> layers;
+
+  {  // L1: surface microstrip breakout — relaxed impedance, minimize loss.
+    core::LayerSpec l;
+    l.name = "L1 microstrip breakout";
+    l.simulator.layerType = em::LayerType::Microstrip;
+    l.space = em::spaceS1();
+    l.task = core::taskT1();
+    l.task.spec.outputConstraints[0].target = 120.0;
+    l.task.spec.outputConstraints[0].tolerance = 3.0;
+    layers.push_back(std::move(l));
+  }
+  {  // L3: DDR data — the paper's T1 (85 ohm, min loss).
+    core::LayerSpec l;
+    l.name = "L3 DDR data (stripline)";
+    l.space = em::spaceS1();
+    l.task = core::taskT1();
+    layers.push_back(std::move(l));
+  }
+  {  // L5: SerDes — 100 ohm with a crosstalk ceiling (T2 + NEXT constraint).
+    core::LayerSpec l;
+    l.name = "L5 SerDes (stripline)";
+    l.space = em::spaceS2();
+    l.task = core::taskT2();
+    l.task.spec.outputConstraints.push_back({em::Metric::Next, 0.0, 0.2, "NEXT"});
+    layers.push_back(std::move(l));
+  }
+  {  // L7: clock — crosstalk folded into the objective (the paper's T4).
+    core::LayerSpec l;
+    l.name = "L7 clock (stripline)";
+    l.space = em::spaceS1();
+    l.task = core::taskT4();
+    layers.push_back(std::move(l));
+  }
+
+  core::IsopConfig base;
+  base.harmonica.iterations = 3;
+  base.harmonica.samplesPerIter = 300;
+  base.seed = static_cast<std::uint64_t>(args.getInt("seed", 7));
+  const core::BoardDesigner designer(base);
+  const core::BoardResult board = designer.design(layers);
+
+  std::printf("\nBoard report: %zu/%zu layers feasible, %.2fs optimizer time\n\n",
+              board.feasibleLayers, board.layers.size(), board.totalAlgoSeconds);
+  for (const auto& layer : board.layers) {
+    const auto& best = layer.optimization.best();
+    std::printf("%-26s %-10s Z=%7.2f  L=%7.3f dB/in  NEXT=%7.3f mV  FoM=%.3f\n",
+                layer.name.c_str(), layer.feasible ? "[ok]" : "[CHECK]", best.metrics.z,
+                best.metrics.l, best.metrics.next, best.fom);
+    std::printf("    %s\n", best.params.toString().c_str());
+  }
+  return board.allFeasible() ? 0 : 1;
+}

@@ -1,0 +1,69 @@
+// Domain example: the frequency-domain channel report for an optimized
+// stack-up — RLGC line parameters, the |S21|/|S11| sweep of a routed length,
+// and the SI summary figures. Demonstrates the consistency contract between
+// the frequency-domain model and the scalar L the optimizer uses (the 16 GHz
+// matched-line slope *is* the task metric).
+//
+//   $ ./channel_report [--length 8] [--target 85]
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "core/isop.hpp"
+#include "core/simulator_surrogate.hpp"
+#include "em/frequency_sweep.hpp"
+
+int main(int argc, char** argv) {
+  using namespace isop;
+  const CliArgs args(argc, argv);
+  const double lengthInches = args.getDouble("length", 8.0);
+
+  // First, design the layer with ISOP+.
+  em::EmSimulator simulator;
+  core::Task task = core::taskT1();
+  task.spec.outputConstraints[0].target = args.getDouble("target", 85.0);
+  auto surrogate = std::make_shared<core::SimulatorSurrogate>(simulator);
+  core::IsopConfig cfg;
+  cfg.harmonica.samplesPerIter = 300;
+  cfg.seed = 5;
+  const core::IsopOptimizer optimizer(simulator, surrogate, em::spaceS1(), task, cfg);
+  const auto result = optimizer.run();
+  const em::StackupParams design = result.best().params;
+  std::printf("optimized layer: %s\n", design.toString().c_str());
+  std::printf("scalar metrics:  Z=%.2f ohm  L=%.3f dB/in  NEXT=%.3f mV\n\n",
+              result.best().metrics.z, result.best().metrics.l,
+              result.best().metrics.next);
+
+  // RLGC at a few frequencies.
+  std::printf("odd-mode RLGC per line:\n  %-8s %-12s %-12s %-12s %-12s\n", "f (GHz)",
+              "R (ohm/m)", "L (nH/m)", "G (mS/m)", "C (pF/m)");
+  for (double f : {4.0, 8.0, 16.0, 32.0}) {
+    const auto rlgc = em::deriveRlgc(design, f * 1e9);
+    std::printf("  %-8.0f %-12.2f %-12.1f %-12.3f %-12.1f\n", f, rlgc.r, rlgc.l * 1e9,
+                rlgc.g * 1e3, rlgc.c * 1e12);
+  }
+
+  // The sweep for the routed length.
+  em::SweepConfig sweep;
+  sweep.lengthInches = lengthInches;
+  sweep.startHz = 1e9;
+  sweep.stopHz = 40e9;
+  sweep.points = 14;
+  std::printf("\n|S21| / |S11| of %.0f inches (matched):\n", lengthInches);
+  for (const auto& s : em::frequencySweep(design, sweep)) {
+    std::string bar(static_cast<std::size_t>(std::max(0.0, 30.0 + s.s21Db())), '#');
+    std::printf("  %5.1f GHz  S21 %7.2f dB  S11 %7.1f dB  %s\n", s.frequencyHz / 1e9,
+                s.s21Db(), s.s11Db(), bar.c_str());
+  }
+
+  // Touchstone export for downstream SI tools.
+  const std::string s2p = args.getString("s2p", "channel.s2p");
+  em::writeTouchstone(s2p, em::frequencySweep(design, sweep), 85.0 / 2.0);
+  std::printf("\nTouchstone written to %s\n", s2p.c_str());
+
+  const auto summary = em::summarizeChannel(design, sweep);
+  std::printf("\nsummary: loss@16GHz %.3f dB/in (task metric %.3f), worst RL %.1f dB, "
+              "-3 dB bandwidth %.1f GHz over %.0f\"\n",
+              summary.lossAt16GHzDbPerInch, result.best().metrics.l,
+              summary.worstReturnLossDb, summary.bandwidth3DbGHz, lengthInches);
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Domain example: constrained board-space design (the Table IX scenario).
+//
+// A board team needs a 90-ohm differential layer but the routing channel
+// limits the pair's base width to 2*Wt + St <= 18 mil, and manufacturing
+// wants the pair distance tied to the dielectric heights (Dt <= 5*Hc,
+// Dt <= 5*Hp). Instead of manually shrinking each parameter range, the
+// constraints are declared on the objective and ISOP+ trades the parameters
+// off against each other inside the widened S1' space.
+//
+//   $ ./custom_constraints [--seed 2]
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "core/isop.hpp"
+#include "core/simulator_surrogate.hpp"
+
+int main(int argc, char** argv) {
+  using namespace isop;
+  const CliArgs args(argc, argv);
+
+  em::EmSimulator simulator;
+
+  core::Task task;
+  task.name = "board-channel";
+  task.spec.fom = {{em::Metric::L, 1.0}};
+  task.spec.outputConstraints = {{em::Metric::Z, 90.0, 1.5, "Z"}};
+
+  // Declare the three expert inequalities (Eq. 11 clip penalties).
+  core::InputConstraint channel;
+  channel.name = "2*Wt+St<=18";
+  channel.coefficients[static_cast<std::size_t>(em::Param::Wt)] = 2.0;
+  channel.coefficients[static_cast<std::size_t>(em::Param::St)] = 1.0;
+  channel.bound = 18.0;
+  task.spec.inputConstraints.push_back(channel);
+  for (auto ic : core::tableIxInputConstraints()) {
+    if (ic.name != "2*Wt+St<=20") task.spec.inputConstraints.push_back(ic);
+  }
+
+  auto surrogate = std::make_shared<core::SimulatorSurrogate>(simulator);
+  core::IsopConfig config;
+  config.harmonica.iterations = 3;
+  config.harmonica.samplesPerIter = 300;
+  config.seed = static_cast<std::uint64_t>(args.getInt("seed", 2));
+
+  const core::IsopOptimizer optimizer(simulator, surrogate, em::spaceS1Prime(), task,
+                                      config);
+  const core::IsopResult result = optimizer.run();
+  const auto& best = result.best();
+
+  std::printf("Constrained design for Z = 90 +/- 1.5 ohm in S1'\n");
+  std::printf("  result: %s  Z=%.2f  L=%.3f dB/in  NEXT=%.3f mV\n",
+              best.feasible ? "FEASIBLE" : "infeasible", best.metrics.z, best.metrics.l,
+              best.metrics.next);
+  std::printf("  design: %s\n\n", best.params.toString().c_str());
+
+  core::Objective checker(task.spec);
+  const double wt = best.params[em::Param::Wt];
+  const double st = best.params[em::Param::St];
+  const double dt = best.params[em::Param::Dt];
+  std::printf("constraint check:\n");
+  std::printf("  2*Wt+St = %.1f (<= 18: %s)\n", 2.0 * wt + st,
+              checker.icPenalty(0, best.params) <= 1e-9 ? "ok" : "VIOLATED");
+  std::printf("  Dt/Hc   = %.2f (<= 5: %s)\n", dt / best.params[em::Param::Hc],
+              checker.icPenalty(1, best.params) <= 1e-9 ? "ok" : "VIOLATED");
+  std::printf("  Dt/Hp   = %.2f (<= 5: %s)\n", dt / best.params[em::Param::Hp],
+              checker.icPenalty(2, best.params) <= 1e-9 ? "ok" : "VIOLATED");
+  return best.feasible ? 0 : 1;
+}

@@ -1,0 +1,126 @@
+// isop_cli — command-line driver for the full ISOP+ flow.
+//
+// Usage:
+//   isop_cli [--task T1|T2|T3|T4] [--space S1|S2|S1p] [--layer stripline|microstrip]
+//            [--target Z] [--tolerance T] [--surrogate oracle|cnn|mlp]
+//            [--candidates N] [--budget N] [--seed N] [--table-ix-constraints]
+//
+// With --surrogate oracle (default) the EM model itself drives the search —
+// instant, no training. --surrogate cnn|mlp loads (or trains and caches)
+// the ML surrogate like the benchmark harnesses do.
+#include <cmath>
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "core/analysis.hpp"
+#include "core/isop.hpp"
+#include "core/simulator_surrogate.hpp"
+#include "core/report.hpp"
+#include "data/cache.hpp"
+
+int main(int argc, char** argv) {
+  using namespace isop;
+  const CliArgs args(argc, argv);
+
+  if (args.has("help")) {
+    std::puts("isop_cli — inverse PCB stack-up optimization (ISOP+)\n"
+              "  --task T1|T2|T3|T4          task preset (default T1)\n"
+              "  --space S1|S2|S1p           search space (default S1)\n"
+              "  --layer stripline|microstrip layer physics (default stripline)\n"
+              "  --target Z --tolerance T    override the impedance band\n"
+              "  --surrogate oracle|cnn|mlp  performance model in the loop\n"
+              "  --candidates N              designs to roll out (default 3)\n"
+              "  --budget N                  Harmonica samples/iteration (default 400)\n"
+              "  --table-ix-constraints      add the expert input constraints\n"
+              "  --json [PATH]               export the result as JSON\n"
+              "  --analyze                   fab-yield + sensitivity report\n"
+              "  --seed N");
+    return 0;
+  }
+
+  em::SimulatorConfig simCfg;
+  const std::string layer = args.getString("layer", "stripline");
+  if (layer == "microstrip") simCfg.layerType = em::LayerType::Microstrip;
+  else if (layer != "stripline") {
+    std::fprintf(stderr, "unknown --layer '%s'\n", layer.c_str());
+    return 2;
+  }
+  em::EmSimulator simulator(simCfg);
+
+  core::Task task = core::taskByName(args.getString("task", "T1"));
+  if (args.has("target")) {
+    task.spec.outputConstraints[0].target = args.getDouble("target", 85.0);
+  }
+  if (args.has("tolerance")) {
+    task.spec.outputConstraints[0].tolerance = args.getDouble("tolerance", 1.0);
+  }
+  if (args.getBool("table-ix-constraints", false)) {
+    task.spec.inputConstraints = core::tableIxInputConstraints();
+  }
+  const em::ParameterSpace space = em::spaceByName(args.getString("space", "S1"));
+
+  std::shared_ptr<const ml::Surrogate> surrogate;
+  const std::string kind = args.getString("surrogate", "oracle");
+  if (kind == "oracle") {
+    surrogate = std::make_shared<core::SimulatorSurrogate>(simulator);
+  } else if (kind == "cnn" || kind == "mlp") {
+    data::GenerationConfig gen;
+    ml::nn::TrainConfig train;
+    train.epochs = 80;
+    train.learningRate = 3e-3;
+    train.lrDecay = 0.98;
+    surrogate = kind == "cnn"
+                    ? std::shared_ptr<const ml::Surrogate>(
+                          data::getOrTrainCnnSurrogate(simulator, gen, train))
+                    : std::shared_ptr<const ml::Surrogate>(
+                          data::getOrTrainMlpSurrogate(simulator, gen, train));
+  } else {
+    std::fprintf(stderr, "unknown --surrogate '%s'\n", kind.c_str());
+    return 2;
+  }
+
+  core::IsopConfig cfg;
+  cfg.harmonica.samplesPerIter =
+      static_cast<std::size_t>(args.getInt("budget", 400));
+  cfg.candNum = static_cast<std::size_t>(args.getInt("candidates", 3));
+  cfg.seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
+
+  const core::IsopOptimizer optimizer(simulator, surrogate, space, task, cfg);
+  const core::IsopResult result = optimizer.run();
+
+  if (args.has("json")) {
+    const std::string path = args.getString("json", "isop_result.json");
+    core::writeJsonFile(path, core::toJson(result));
+    std::printf("result written to %s\n", path.c_str());
+  }
+  std::printf("task %s on %s (%s): %zu surrogate samples, %zu EM validations, "
+              "%.2fs algo time\n",
+              task.name.c_str(), args.getString("space", "S1").c_str(), layer.c_str(),
+              result.surrogateQueries, result.simulatorCalls, result.algoSeconds);
+  int rank = 1;
+  for (const auto& c : result.candidates) {
+    std::printf("#%d %s Z=%.2f L=%.3f NEXT=%.3f FoM=%.3f g=%.3f\n", rank++,
+                c.feasible ? "[feasible]" : "[violates]", c.metrics.z, c.metrics.l,
+                c.metrics.next, c.fom, c.g);
+    std::printf("   %s\n", c.params.toString().c_str());
+  }
+
+  if (args.getBool("analyze", false)) {
+    const auto& best = result.best();
+    core::Objective objective(task.spec);
+    const auto yield = core::yieldAnalysis(simulator, objective, best.params);
+    std::printf("\nfab-tolerance yield (5%% dims, 2%% materials, 3-sigma): "
+                "%.1f%% of %zu perturbed builds pass; worst dZ=%.2f, worst L=%.3f\n",
+                100.0 * yield.yield, yield.samples, yield.worstDz, yield.worstL);
+    const auto rows = core::sensitivityAnalysis(simulator, space, best.params);
+    std::printf("largest per-grid-step sensitivities (dZ ohm / dL dB/in):\n");
+    for (const auto& row : rows) {
+      if (std::abs(row.dZ) > 0.2 || std::abs(row.dL) > 0.003) {
+        std::printf("  %-8s dZ=%+7.3f  dL=%+8.4f  dNEXT=%+8.4f\n",
+                    std::string(em::paramNames()[row.param]).c_str(), row.dZ, row.dL,
+                    row.dNext);
+      }
+    }
+  }
+  return result.best().feasible ? 0 : 1;
+}

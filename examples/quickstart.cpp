@@ -1,0 +1,59 @@
+// Quickstart: run a full inverse stack-up optimization in ~a second.
+//
+// This example uses the EM model directly as the performance predictor (the
+// "oracle" surrogate), which is instant and needs no training. The
+// production flow — training a 1D-CNN surrogate on a sampled dataset —
+// is shown in examples/surrogate_training.cpp and used by the bench/
+// binaries.
+//
+//   $ ./quickstart [--target 85] [--tolerance 1] [--seed 1]
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "core/isop.hpp"
+#include "core/simulator_surrogate.hpp"
+
+int main(int argc, char** argv) {
+  using namespace isop;
+  const CliArgs args(argc, argv);
+
+  // 1. The performance model M(x): differential impedance, insertion loss
+  //    at 16 GHz, and near-end crosstalk for a differential stripline.
+  em::EmSimulator simulator;
+
+  // 2. The design task: minimize |L| subject to Z within target +/- tol.
+  core::Task task = core::taskT1();
+  task.spec.outputConstraints[0].target = args.getDouble("target", 85.0);
+  task.spec.outputConstraints[0].tolerance = args.getDouble("tolerance", 1.0);
+
+  // 3. The search space: the paper's S1 (7.1e19 discrete designs, 73 bits).
+  const em::ParameterSpace space = em::spaceS1();
+
+  // 4. The performance predictor used during search. Here: the EM model
+  //    itself behind the Surrogate interface, with finite-difference
+  //    gradients for the local stage.
+  auto surrogate = std::make_shared<core::SimulatorSurrogate>(simulator);
+
+  // 5. Run the three-stage ISOP+ pipeline.
+  core::IsopConfig config;
+  config.harmonica.iterations = 3;
+  config.harmonica.samplesPerIter = 300;
+  config.seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
+  const core::IsopOptimizer optimizer(simulator, surrogate, space, task, config);
+  const core::IsopResult result = optimizer.run();
+
+  std::printf("ISOP+ quickstart — target Z = %.1f +/- %.1f ohm, minimize |L|\n\n",
+              task.spec.outputConstraints[0].target,
+              task.spec.outputConstraints[0].tolerance);
+  std::printf("searched %zu surrogate samples, %zu EM validations, %.2fs algo time\n\n",
+              result.surrogateQueries, result.simulatorCalls, result.algoSeconds);
+
+  int rank = 1;
+  for (const auto& candidate : result.candidates) {
+    std::printf("#%d %s  Z=%.2f ohm  L=%.3f dB/in  NEXT=%.3f mV  FoM=%.3f\n", rank++,
+                candidate.feasible ? "[feasible]" : "[violates]", candidate.metrics.z,
+                candidate.metrics.l, candidate.metrics.next, candidate.fom);
+    std::printf("   %s\n", candidate.params.toString().c_str());
+  }
+  return result.best().feasible ? 0 : 1;
+}

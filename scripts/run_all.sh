@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# Builds, tests, and reproduces every paper table/figure, capturing the
+# authoritative logs at the repo root (the same artifacts EXPERIMENTS.md
+# references). First run trains and caches the surrogates (several minutes).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  echo "=== $(basename "$b") ==="
+  "$b"
+done 2>&1 | tee bench_output.txt

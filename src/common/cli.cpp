@@ -1,0 +1,61 @@
+#include "common/cli.hpp"
+
+#include "common/string_utils.hpp"
+
+namespace isop {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!strings::startsWith(arg, "--")) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string body = arg.substr(2);
+    auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      flags_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // `--name value` when the next token is not itself a flag; else boolean.
+    if (i + 1 < argc && !strings::startsWith(argv[i + 1], "--")) {
+      flags_[body] = argv[++i];
+    } else {
+      flags_[body] = "";
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& name) const { return flags_.count(name) > 0; }
+
+std::string CliArgs::getString(const std::string& name, const std::string& fallback) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end() || it->second.empty()) return fallback;
+  return it->second;
+}
+
+long long CliArgs::getInt(const std::string& name, long long fallback) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  auto v = strings::toInt(it->second);
+  return v ? *v : fallback;
+}
+
+double CliArgs::getDouble(const std::string& name, double fallback) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  auto v = strings::toDouble(it->second);
+  return v ? *v : fallback;
+}
+
+bool CliArgs::getBool(const std::string& name, bool fallback) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  if (it->second.empty() || it->second == "1" || it->second == "true" || it->second == "yes") {
+    return true;
+  }
+  return false;
+}
+
+}  // namespace isop

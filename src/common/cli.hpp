@@ -1,0 +1,36 @@
+// Minimal command-line flag parser for the benchmark harnesses and examples.
+// Supports `--name value`, `--name=value`, and boolean `--flag` forms.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace isop {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  /// True if --name was present (with or without a value).
+  bool has(const std::string& name) const;
+
+  std::string getString(const std::string& name, const std::string& fallback) const;
+  long long getInt(const std::string& name, long long fallback) const;
+  double getDouble(const std::string& name, double fallback) const;
+  bool getBool(const std::string& name, bool fallback) const;
+
+  /// Non-flag positional arguments, in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Program name (argv[0]).
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace isop

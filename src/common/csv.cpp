@@ -1,0 +1,63 @@
+#include "common/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/string_utils.hpp"
+
+namespace isop::csv {
+
+std::size_t Table::columnIndex(const std::string& name) const {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return i;
+  }
+  throw std::runtime_error("csv: no column named '" + name + "'");
+}
+
+Table read(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("csv: cannot open '" + path + "' for reading");
+  Table table;
+  std::string line;
+  if (!std::getline(in, line)) throw std::runtime_error("csv: '" + path + "' is empty");
+  table.header = strings::split(line, ',');
+  while (std::getline(in, line)) {
+    if (strings::trim(line).empty()) continue;
+    auto cells = strings::split(line, ',');
+    if (cells.size() != table.header.size()) {
+      throw std::runtime_error("csv: row width mismatch in '" + path + "'");
+    }
+    std::vector<double> row;
+    row.reserve(cells.size());
+    for (const auto& cell : cells) {
+      auto v = strings::toDouble(cell);
+      if (!v) throw std::runtime_error("csv: non-numeric cell '" + cell + "' in '" + path + "'");
+      row.push_back(*v);
+    }
+    table.rows.push_back(std::move(row));
+  }
+  return table;
+}
+
+void write(const std::string& path, const Table& table) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("csv: cannot open '" + path + "' for writing");
+  for (std::size_t i = 0; i < table.header.size(); ++i) {
+    if (i) out << ',';
+    out << table.header[i];
+  }
+  out << '\n';
+  std::ostringstream row;
+  for (const auto& r : table.rows) {
+    row.str({});
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      if (i) row << ',';
+      row << r[i];
+    }
+    out << row.str() << '\n';
+  }
+  if (!out) throw std::runtime_error("csv: write failed for '" + path + "'");
+}
+
+}  // namespace isop::csv

@@ -1,0 +1,27 @@
+// Tiny CSV reader/writer used for dataset caching and for emitting the
+// figure-reproduction series (Fig. 5 curves, Fig. 6 scatter data).
+//
+// Deliberately minimal: numeric tables with a single header row, comma
+// separated, no quoting (none of our data contains commas or quotes).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace isop::csv {
+
+struct Table {
+  std::vector<std::string> header;
+  std::vector<std::vector<double>> rows;
+
+  std::size_t columnIndex(const std::string& name) const;  // throws if absent
+};
+
+/// Reads a numeric CSV. Throws std::runtime_error on I/O failure or any
+/// non-numeric cell.
+Table read(const std::string& path);
+
+/// Writes a numeric CSV. Throws std::runtime_error on I/O failure.
+void write(const std::string& path, const Table& table);
+
+}  // namespace isop::csv

@@ -1,0 +1,152 @@
+#include "common/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace isop::json {
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+Value Value::null() { return Value(); }
+
+Value Value::boolean(bool v) {
+  Value out;
+  out.kind_ = Kind::Bool;
+  out.bool_ = v;
+  return out;
+}
+
+Value Value::number(double v) {
+  Value out;
+  out.kind_ = Kind::Number;
+  out.number_ = v;
+  return out;
+}
+
+Value Value::integer(long long v) {
+  Value out;
+  out.kind_ = Kind::Integer;
+  out.integer_ = v;
+  return out;
+}
+
+Value Value::string(std::string v) {
+  Value out;
+  out.kind_ = Kind::String;
+  out.string_ = std::move(v);
+  return out;
+}
+
+Value Value::array() {
+  Value out;
+  out.kind_ = Kind::Array;
+  return out;
+}
+
+Value Value::object() {
+  Value out;
+  out.kind_ = Kind::Object;
+  return out;
+}
+
+Value& Value::push(Value v) {
+  if (kind_ != Kind::Array) throw std::logic_error("json: push on non-array");
+  children_.emplace_back(std::string(), std::move(v));
+  return *this;
+}
+
+Value& Value::set(const std::string& key, Value v) {
+  if (kind_ != Kind::Object) throw std::logic_error("json: set on non-object");
+  for (auto& [k, existing] : children_) {
+    if (k == key) {
+      existing = std::move(v);
+      return *this;
+    }
+  }
+  children_.emplace_back(key, std::move(v));
+  return *this;
+}
+
+std::string Value::dump(int indent) const {
+  std::string out;
+  dumpTo(out, indent, 0);
+  return out;
+}
+
+void Value::dumpTo(std::string& out, int indent, int depth) const {
+  const std::string pad =
+      indent > 0 ? "\n" + std::string(static_cast<std::size_t>(indent * (depth + 1)), ' ')
+                 : "";
+  const std::string closePad =
+      indent > 0 ? "\n" + std::string(static_cast<std::size_t>(indent * depth), ' ') : "";
+  switch (kind_) {
+    case Kind::Null: out += "null"; break;
+    case Kind::Bool: out += bool_ ? "true" : "false"; break;
+    case Kind::Integer: out += std::to_string(integer_); break;
+    case Kind::Number: {
+      if (!std::isfinite(number_)) {
+        out += "null";  // JSON has no inf/nan
+        break;
+      }
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.12g", number_);
+      out += buf;
+      break;
+    }
+    case Kind::String:
+      out += '"';
+      out += escape(string_);
+      out += '"';
+      break;
+    case Kind::Array: {
+      out += '[';
+      for (std::size_t i = 0; i < children_.size(); ++i) {
+        if (i) out += ',';
+        out += pad;
+        children_[i].second.dumpTo(out, indent, depth + 1);
+      }
+      if (!children_.empty()) out += closePad;
+      out += ']';
+      break;
+    }
+    case Kind::Object: {
+      out += '{';
+      for (std::size_t i = 0; i < children_.size(); ++i) {
+        if (i) out += ',';
+        out += pad;
+        out += '"';
+        out += escape(children_[i].first);
+        out += "\":";
+        if (indent > 0) out += ' ';
+        children_[i].second.dumpTo(out, indent, depth + 1);
+      }
+      if (!children_.empty()) out += closePad;
+      out += '}';
+      break;
+    }
+  }
+}
+
+}  // namespace isop::json

@@ -1,0 +1,58 @@
+// Minimal JSON writer for result export (isop_cli --json, report files).
+// Write-only by design — the library never needs to parse JSON — with
+// correct string escaping and locale-independent number formatting.
+#pragma once
+
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace isop::json {
+
+class Value;
+
+/// A JSON value under construction. Build with the static factories, then
+/// serialize with dump().
+class Value {
+ public:
+  Value() : kind_(Kind::Null) {}
+
+  static Value null();
+  static Value boolean(bool v);
+  static Value number(double v);
+  static Value integer(long long v);
+  static Value string(std::string v);
+  static Value array();
+  static Value object();
+
+  /// Array append. Requires an array value.
+  Value& push(Value v);
+
+  /// Object insert/overwrite. Requires an object value.
+  Value& set(const std::string& key, Value v);
+
+  bool isArray() const { return kind_ == Kind::Array; }
+  bool isObject() const { return kind_ == Kind::Object; }
+  std::size_t size() const { return children_.size(); }
+
+  /// Serializes; `indent` > 0 pretty-prints with that many spaces per level.
+  std::string dump(int indent = 0) const;
+
+ private:
+  enum class Kind { Null, Bool, Number, Integer, String, Array, Object };
+
+  void dumpTo(std::string& out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  long long integer_ = 0;
+  std::string string_;
+  std::vector<std::pair<std::string, Value>> children_;  // array: empty keys
+};
+
+/// Escapes a string for embedding in JSON (without surrounding quotes).
+std::string escape(std::string_view s);
+
+}  // namespace isop::json

@@ -1,0 +1,33 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace isop::log {
+
+namespace {
+std::atomic<Level> g_level{Level::Info};
+std::mutex g_mutex;
+
+const char* levelName(Level level) {
+  switch (level) {
+    case Level::Debug: return "DEBUG";
+    case Level::Info: return "INFO ";
+    case Level::Warn: return "WARN ";
+    case Level::Error: return "ERROR";
+    default: return "?????";
+  }
+}
+}  // namespace
+
+void setLevel(Level level) { g_level.store(level); }
+Level level() { return g_level.load(); }
+
+void message(Level lvl, const std::string& text) {
+  if (lvl < level()) return;
+  std::lock_guard lock(g_mutex);
+  std::fprintf(stderr, "[%s] %s\n", levelName(lvl), text.c_str());
+}
+
+}  // namespace isop::log

@@ -1,0 +1,44 @@
+// Lightweight leveled logging to stderr. The optimizers log per-iteration
+// search-space reductions at Debug level; benches default to Info.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace isop::log {
+
+enum class Level { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Sets the global threshold; messages below it are dropped.
+void setLevel(Level level);
+Level level();
+
+void message(Level level, const std::string& text);
+
+namespace detail {
+template <typename... Args>
+std::string concat(const Args&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void debug(const Args&... args) {
+  if (level() <= Level::Debug) message(Level::Debug, detail::concat(args...));
+}
+template <typename... Args>
+void info(const Args&... args) {
+  if (level() <= Level::Info) message(Level::Info, detail::concat(args...));
+}
+template <typename... Args>
+void warn(const Args&... args) {
+  if (level() <= Level::Warn) message(Level::Warn, detail::concat(args...));
+}
+template <typename... Args>
+void error(const Args&... args) {
+  if (level() <= Level::Error) message(Level::Error, detail::concat(args...));
+}
+
+}  // namespace isop::log

@@ -1,0 +1,125 @@
+#include "common/matrix.hpp"
+
+#include <cmath>
+
+namespace isop {
+
+void Matrix::add(const Matrix& other) {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Matrix::scale(double s) {
+  for (double& v : data_) v *= s;
+}
+
+namespace linalg {
+
+void matmul(const Matrix& a, const Matrix& b, Matrix& out) {
+  assert(a.cols() == b.rows());
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  out.resize(m, n, 0.0);
+  // ikj loop order: streams through b and out rows contiguously.
+  for (std::size_t i = 0; i < m; ++i) {
+    double* outRow = out.data() + i * n;
+    const double* aRow = a.data() + i * k;
+    for (std::size_t p = 0; p < k; ++p) {
+      const double av = aRow[p];
+      if (av == 0.0) continue;
+      const double* bRow = b.data() + p * n;
+      for (std::size_t j = 0; j < n; ++j) outRow[j] += av * bRow[j];
+    }
+  }
+}
+
+void matmulTransA(const Matrix& a, const Matrix& b, Matrix& out) {
+  assert(a.rows() == b.rows());
+  const std::size_t m = a.cols(), k = a.rows(), n = b.cols();
+  out.resize(m, n, 0.0);
+  for (std::size_t p = 0; p < k; ++p) {
+    const double* aRow = a.data() + p * m;
+    const double* bRow = b.data() + p * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const double av = aRow[i];
+      if (av == 0.0) continue;
+      double* outRow = out.data() + i * n;
+      for (std::size_t j = 0; j < n; ++j) outRow[j] += av * bRow[j];
+    }
+  }
+}
+
+void matmulTransB(const Matrix& a, const Matrix& b, Matrix& out) {
+  assert(a.cols() == b.cols());
+  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+  out.resize(m, n, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* aRow = a.data() + i * k;
+    double* outRow = out.data() + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double* bRow = b.data() + j * k;
+      double acc = 0.0;
+      for (std::size_t p = 0; p < k; ++p) acc += aRow[p] * bRow[p];
+      outRow[j] = acc;
+    }
+  }
+}
+
+void matvec(const Matrix& a, std::span<const double> x, std::span<double> y) {
+  assert(x.size() == a.cols() && y.size() == a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* row = a.data() + i * a.cols();
+    double acc = 0.0;
+    for (std::size_t j = 0; j < a.cols(); ++j) acc += row[j] * x[j];
+    y[i] = acc;
+  }
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  assert(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+double norm2(std::span<const double> x) { return std::sqrt(dot(x, x)); }
+
+bool choleskySolve(const Matrix& a, std::span<const double> b,
+                   std::span<double> x, double ridge) {
+  assert(a.rows() == a.cols());
+  const std::size_t n = a.rows();
+  assert(b.size() == n && x.size() == n);
+  Matrix l(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = a(i, j) + (i == j ? ridge : 0.0);
+      for (std::size_t p = 0; p < j; ++p) sum -= l(i, p) * l(j, p);
+      if (i == j) {
+        if (sum <= 0.0) return false;
+        l(i, i) = std::sqrt(sum);
+      } else {
+        l(i, j) = sum / l(j, j);
+      }
+    }
+  }
+  // Forward solve L z = b (z stored in x).
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (std::size_t p = 0; p < i; ++p) sum -= l(i, p) * x[p];
+    x[i] = sum / l(i, i);
+  }
+  // Back solve L^T x = z.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double sum = x[ii];
+    for (std::size_t p = ii + 1; p < n; ++p) sum -= l(p, ii) * x[p];
+    x[ii] = sum / l(ii, ii);
+  }
+  return true;
+}
+
+}  // namespace linalg
+}  // namespace isop

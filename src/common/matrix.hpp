@@ -1,0 +1,104 @@
+// Minimal dense linear-algebra kernels used by the ML library and the HPO
+// sparse-recovery (Lasso) solver. Row-major storage, double precision.
+//
+// This intentionally is not a full BLAS: the surrogate networks are small
+// (tens of thousands of parameters) and the profiling hot spots are the
+// matmul kernels below, which are blocked/unrolled enough for that scale.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+namespace isop {
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+  Matrix(std::size_t rows, std::size_t cols, std::vector<double> data)
+      : rows_(rows), cols_(cols), data_(std::move(data)) {
+    assert(data_.size() == rows_ * cols_);
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  std::span<double> row(std::size_t r) {
+    assert(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<const double> row(std::size_t r) const {
+    assert(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  std::vector<double>& storage() { return data_; }
+  const std::vector<double>& storage() const { return data_; }
+
+  void fill(double v) { data_.assign(data_.size(), v); }
+  void resize(std::size_t rows, std::size_t cols, double fill = 0.0) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, fill);
+  }
+
+  /// this += other (element-wise). Shapes must match.
+  void add(const Matrix& other);
+  /// this *= s (element-wise).
+  void scale(double s);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+namespace linalg {
+
+/// out = a * b. out is resized to (a.rows, b.cols).
+void matmul(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// out = a^T * b. out is resized to (a.cols, b.cols).
+void matmulTransA(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// out = a * b^T. out is resized to (a.rows, b.rows).
+void matmulTransB(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// y = A * x for a vector x (x.size() == A.cols()).
+void matvec(const Matrix& a, std::span<const double> x, std::span<double> y);
+
+/// Dot product.
+double dot(std::span<const double> a, std::span<const double> b);
+
+/// y += alpha * x.
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+
+/// Euclidean norm.
+double norm2(std::span<const double> x);
+
+/// Solves (A + ridge*I) x = b for symmetric positive-definite A via Cholesky.
+/// Returns false if A is not SPD even after the ridge is applied.
+bool choleskySolve(const Matrix& a, std::span<const double> b,
+                   std::span<double> x, double ridge = 0.0);
+
+}  // namespace linalg
+
+}  // namespace isop

@@ -1,0 +1,86 @@
+#include "common/rng.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace isop {
+
+Rng::Rng(std::uint64_t seed, std::uint64_t stream) : state_(0), inc_((stream << 1u) | 1u) {
+  (*this)();
+  state_ += seed;
+  (*this)();
+}
+
+Rng::result_type Rng::operator()() {
+  std::uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  auto xorshifted = static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+  auto rot = static_cast<std::uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+double Rng::uniform() {
+  // 53 random bits -> double in [0,1).
+  std::uint64_t hi = (*this)();
+  std::uint64_t lo = (*this)();
+  std::uint64_t bits = ((hi << 32) | lo) >> 11;
+  return static_cast<double>(bits) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+std::uint64_t Rng::below(std::uint64_t n) {
+  assert(n > 0);
+  if (n == 1) return 0;
+  // Lemire's method on 64-bit draws.
+  std::uint64_t x = ((static_cast<std::uint64_t>((*this)()) << 32) | (*this)());
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  auto l = static_cast<std::uint64_t>(m);
+  if (l < n) {
+    std::uint64_t t = (0 - n) % n;
+    while (l < t) {
+      x = ((static_cast<std::uint64_t>((*this)()) << 32) | (*this)());
+      m = static_cast<__uint128_t>(x) * n;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::range(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  return lo + static_cast<std::int64_t>(below(static_cast<std::uint64_t>(hi - lo) + 1));
+}
+
+double Rng::normal() {
+  // Box–Muller; regenerate if u1 underflows to 0.
+  double u1 = uniform();
+  while (u1 <= 0.0) u1 = uniform();
+  double u2 = uniform();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+bool Rng::bernoulli(double p) { return uniform() < p; }
+
+std::vector<std::size_t> Rng::sampleIndices(std::size_t n, std::size_t k) {
+  if (k > n) k = n;
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  for (std::size_t i = 0; i < k; ++i) {
+    std::size_t j = i + static_cast<std::size_t>(below(n - i));
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+Rng Rng::split() {
+  std::uint64_t s = (static_cast<std::uint64_t>((*this)()) << 32) | (*this)();
+  std::uint64_t t = (static_cast<std::uint64_t>((*this)()) << 32) | (*this)();
+  return Rng(s, t);
+}
+
+}  // namespace isop

@@ -1,0 +1,47 @@
+// Summary statistics used by the trial runner and the benchmark tables
+// (mean / sample standard deviation / min / quantiles), plus streaming
+// accumulation so long trials don't need to retain every sample.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace isop::stats {
+
+double mean(std::span<const double> xs);
+
+/// Sample (n-1) standard deviation; 0 for fewer than two samples.
+double stdev(std::span<const double> xs);
+
+double minValue(std::span<const double> xs);
+double maxValue(std::span<const double> xs);
+
+/// Linear-interpolated quantile, q in [0, 1]. xs need not be sorted.
+double quantile(std::span<const double> xs, double q);
+
+/// Pearson correlation coefficient; 0 if either side is constant.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// R^2 of predictions vs. ground truth (1 - SS_res / SS_tot).
+double r2(std::span<const double> truth, std::span<const double> pred);
+
+/// Welford streaming mean/variance accumulator.
+class Accumulator {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double stdev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace isop::stats

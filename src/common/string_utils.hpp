@@ -1,0 +1,35 @@
+// Small string helpers shared by the CSV reader, CLI parser and report
+// formatters.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace isop::strings {
+
+/// Splits on a single delimiter; keeps empty fields.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Trims ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+/// Parses a double; nullopt on any trailing garbage or empty input.
+std::optional<double> toDouble(std::string_view s);
+
+/// Parses a signed integer; nullopt on any trailing garbage or empty input.
+std::optional<long long> toInt(std::string_view s);
+
+bool startsWith(std::string_view s, std::string_view prefix);
+
+/// printf-style double formatting with fixed decimals (used by the table
+/// printers so output matches the paper's layout).
+std::string fixed(double v, int decimals);
+
+/// Left-pads to `width` with spaces.
+std::string padLeft(std::string_view s, std::size_t width);
+/// Right-pads to `width` with spaces.
+std::string padRight(std::string_view s, std::size_t width);
+
+}  // namespace isop::strings

@@ -1,0 +1,49 @@
+// Fixed-size worker pool used for parallel batch evaluation (the paper's
+// Harmonica stage evaluates q candidate configurations in parallel) and for
+// data-parallel ML training.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace isop {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t threadCount() const { return workers_.size(); }
+
+  /// Enqueues a task; the future resolves when it completes.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Runs fn(i) for i in [0, n), partitioned into contiguous chunks across
+  /// the pool, and blocks until all complete. Exceptions from fn propagate
+  /// (first one wins).
+  void parallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Process-wide shared pool (lazily constructed).
+  static ThreadPool& global();
+
+ private:
+  void workerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace isop

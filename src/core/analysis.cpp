@@ -1,0 +1,94 @@
+#include "core/analysis.hpp"
+
+#include <cmath>
+
+#include "common/stats.hpp"
+
+namespace isop::core {
+
+namespace {
+bool isDimension(std::size_t param) {
+  using em::Param;
+  switch (static_cast<Param>(param)) {
+    case Param::Wt:
+    case Param::St:
+    case Param::Dt:
+    case Param::Et:
+    case Param::Ht:
+    case Param::Hc:
+    case Param::Hp:
+      return true;
+    default:
+      return false;
+  }
+}
+}  // namespace
+
+YieldReport yieldAnalysis(const em::EmSimulator& simulator, const Objective& objective,
+                          const em::StackupParams& design,
+                          const ToleranceModel& tolerances, std::size_t samples,
+                          std::uint64_t seed) {
+  YieldReport report;
+  report.samples = samples;
+  report.nominal = simulator.evaluateUncounted(design);
+
+  double zTarget = 0.0;
+  bool hasZ = false;
+  for (const auto& oc : objective.spec().outputConstraints) {
+    if (oc.metric == em::Metric::Z) {
+      zTarget = oc.target;
+      hasZ = true;
+    }
+  }
+
+  Rng rng(seed);
+  stats::Accumulator fom;
+  report.worstL = report.nominal.l;
+  report.worstNext = report.nominal.next;
+  for (std::size_t i = 0; i < samples; ++i) {
+    em::StackupParams perturbed = design;
+    for (std::size_t j = 0; j < em::kNumParams; ++j) {
+      if (j == static_cast<std::size_t>(em::Param::Rt)) {
+        perturbed.values[j] += (tolerances.roughnessAbs / 3.0) * rng.normal();
+      } else {
+        const double rel =
+            isDimension(j) ? tolerances.dimensionRel : tolerances.materialRel;
+        perturbed.values[j] *= 1.0 + (rel / 3.0) * rng.normal();
+      }
+    }
+    const em::PerformanceMetrics m = simulator.evaluateUncounted(perturbed);
+    if (objective.feasible(m, perturbed)) ++report.passed;
+    if (hasZ) report.worstDz = std::max(report.worstDz, std::abs(m.z - zTarget));
+    report.worstL = std::min(report.worstL, m.l);
+    report.worstNext = std::min(report.worstNext, m.next);
+    fom.add(objective.fomValue(m));
+  }
+  report.yield = samples ? static_cast<double>(report.passed) /
+                               static_cast<double>(samples)
+                         : 0.0;
+  report.fomMean = fom.mean();
+  report.fomStdev = fom.stdev();
+  return report;
+}
+
+std::array<SensitivityRow, em::kNumParams> sensitivityAnalysis(
+    const em::EmSimulator& simulator, const em::ParameterSpace& space,
+    const em::StackupParams& design) {
+  std::array<SensitivityRow, em::kNumParams> rows{};
+  for (std::size_t j = 0; j < em::kNumParams; ++j) {
+    rows[j].param = j;
+    const double h = space.range(j).step;
+    em::StackupParams up = design, down = design;
+    up.values[j] += h;
+    down.values[j] -= h;
+    const auto mUp = simulator.evaluateUncounted(up);
+    const auto mDown = simulator.evaluateUncounted(down);
+    // Per +1 grid step (half the central difference span).
+    rows[j].dZ = (mUp.z - mDown.z) / 2.0;
+    rows[j].dL = (mUp.l - mDown.l) / 2.0;
+    rows[j].dNext = (mUp.next - mDown.next) / 2.0;
+  }
+  return rows;
+}
+
+}  // namespace isop::core

@@ -1,0 +1,70 @@
+// Post-optimization design analysis: manufacturing-yield estimation and
+// parameter sensitivities.
+//
+// The paper's output is a single optimized stack-up; the first questions a
+// signal-integrity engineer asks of it are "does it survive fab tolerances?"
+// and "which knobs is it sensitive to?". Both are cheap against the
+// closed-form EM model and round out the inverse-design flow:
+//
+//   * yieldAnalysis — Monte-Carlo perturbation of the physical dimensions
+//     and material properties within given relative tolerances, EM-evaluated
+//     and checked against the task's constraints; reports the pass fraction
+//     and worst-case metrics.
+//   * sensitivityAnalysis — central-difference d(metric)/d(parameter) at the
+//     design, scaled per grid step so entries are comparable across the
+//     wildly different parameter units.
+#pragma once
+
+#include <array>
+
+#include "core/objective.hpp"
+#include "em/parameter_space.hpp"
+#include "em/simulator.hpp"
+
+namespace isop::core {
+
+struct ToleranceModel {
+  /// Relative 3-sigma tolerance applied to the physical dimensions
+  /// (W, S, D, E, H*): fab etch/lamination control.
+  double dimensionRel = 0.05;
+  /// Relative 3-sigma tolerance on material properties (sigma, Dk, Df):
+  /// laminate batch variation. Roughness is perturbed additively.
+  double materialRel = 0.02;
+  /// Additive 3-sigma perturbation on the roughness knob Rt (dB scale).
+  double roughnessAbs = 1.0;
+};
+
+struct YieldReport {
+  std::size_t samples = 0;
+  std::size_t passed = 0;
+  double yield = 0.0;  ///< passed / samples
+  em::PerformanceMetrics nominal{};
+  /// Worst observed excursions over the Monte-Carlo set.
+  double worstDz = 0.0;       ///< max |Z - Ztarget| (0 if no Z constraint)
+  double worstL = 0.0;        ///< most negative L
+  double worstNext = 0.0;     ///< most negative NEXT
+  double fomMean = 0.0;
+  double fomStdev = 0.0;
+};
+
+/// Monte-Carlo yield of `design` under the tolerance model, judged by the
+/// task's constraints through the EM model (uncounted evaluations).
+YieldReport yieldAnalysis(const em::EmSimulator& simulator, const Objective& objective,
+                          const em::StackupParams& design,
+                          const ToleranceModel& tolerances = {},
+                          std::size_t samples = 2000, std::uint64_t seed = 1234);
+
+struct SensitivityRow {
+  std::size_t param = 0;   ///< canonical parameter index
+  double dZ = 0.0;         ///< per +1 grid step of the given space
+  double dL = 0.0;
+  double dNext = 0.0;
+};
+
+/// Central-difference metric sensitivities at `design`, one grid step of
+/// `space` per parameter (the natural "one fab increment" unit).
+std::array<SensitivityRow, em::kNumParams> sensitivityAnalysis(
+    const em::EmSimulator& simulator, const em::ParameterSpace& space,
+    const em::StackupParams& design);
+
+}  // namespace isop::core

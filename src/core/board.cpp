@@ -1,0 +1,46 @@
+#include "core/board.hpp"
+
+#include "common/logging.hpp"
+#include "core/simulator_surrogate.hpp"
+
+namespace isop::core {
+
+BoardDesigner::BoardDesigner(IsopConfig baseConfig, SurrogateFactory factory)
+    : baseConfig_(std::move(baseConfig)), factory_(std::move(factory)) {
+  if (!factory_) {
+    factory_ = [](const LayerSpec&, const em::EmSimulator& simulator) {
+      return std::make_shared<SimulatorSurrogate>(simulator);
+    };
+  }
+}
+
+BoardResult BoardDesigner::design(std::span<const LayerSpec> layers) const {
+  BoardResult board;
+  board.layers.reserve(layers.size());
+  std::size_t index = 0;
+  for (const LayerSpec& layer : layers) {
+    const em::EmSimulator simulator(layer.simulator);
+    auto surrogate = factory_(layer, simulator);
+
+    IsopConfig cfg = baseConfig_;
+    cfg.seed = baseConfig_.seed + index;
+    const IsopOptimizer optimizer(simulator, surrogate, layer.space, layer.task, cfg);
+
+    LayerResult result;
+    result.name = layer.name;
+    result.optimization = optimizer.run();
+    const IsopCandidate& best = result.optimization.best();
+    result.feasible = best.feasible;
+    result.fom = best.fom;
+    if (result.feasible) ++board.feasibleLayers;
+    board.totalAlgoSeconds += result.optimization.algoSeconds;
+    board.totalModeledSeconds += result.optimization.modeledSeconds;
+    log::info("board: layer '", layer.name, "' ", result.feasible ? "ok" : "INFEASIBLE",
+              " fom=", result.fom);
+    board.layers.push_back(std::move(result));
+    ++index;
+  }
+  return board;
+}
+
+}  // namespace isop::core

@@ -1,0 +1,65 @@
+// Multi-layer board orchestration.
+//
+// The paper frames stack-up design as choosing "the best combination of
+// design parameters for each layer in a PCB's stack-up": a modern HDI board
+// carries many signal layers (DDR singles, SerDes differentials, surface
+// breakout) each with its own impedance target, constraints and physics.
+// BoardDesigner runs the ISOP+ pipeline per layer — each layer gets its own
+// simulator configuration (stripline or microstrip, Table II-style task,
+// search space) — and aggregates the results into a board report.
+//
+// Layers are electromagnetically independent in this model (each has its
+// own reference planes), matching the per-layer treatment in the paper.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/isop.hpp"
+
+namespace isop::core {
+
+struct LayerSpec {
+  std::string name;                 ///< e.g. "L3 DDR5 data"
+  em::SimulatorConfig simulator{};  ///< layer physics
+  em::ParameterSpace space;         ///< per-layer search space
+  Task task;                        ///< targets and constraints
+};
+
+struct LayerResult {
+  std::string name;
+  IsopResult optimization;
+  bool feasible = false;
+  double fom = 0.0;
+};
+
+struct BoardResult {
+  std::vector<LayerResult> layers;
+  std::size_t feasibleLayers = 0;
+  double totalAlgoSeconds = 0.0;
+  double totalModeledSeconds = 0.0;
+
+  bool allFeasible() const { return feasibleLayers == layers.size(); }
+};
+
+class BoardDesigner {
+ public:
+  /// Builds the search-time performance model for a layer. The default
+  /// factory wraps the layer's own simulator as an oracle surrogate
+  /// (instant, training-free); production flows can inject trained models.
+  using SurrogateFactory = std::function<std::shared_ptr<const ml::Surrogate>(
+      const LayerSpec& layer, const em::EmSimulator& simulator)>;
+
+  explicit BoardDesigner(IsopConfig baseConfig = {}, SurrogateFactory factory = {});
+
+  /// Optimizes every layer; layer i uses seed baseConfig.seed + i.
+  BoardResult design(std::span<const LayerSpec> layers) const;
+
+ private:
+  IsopConfig baseConfig_;
+  SurrogateFactory factory_;
+};
+
+}  // namespace isop::core

@@ -1,0 +1,314 @@
+#include "core/isop.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <stdexcept>
+
+#include "common/logging.hpp"
+#include "common/timer.hpp"
+
+namespace isop::core {
+
+IsopOptimizer::IsopOptimizer(const em::EmSimulator& simulator,
+                             std::shared_ptr<const ml::Surrogate> surrogate,
+                             em::ParameterSpace space, Task task, IsopConfig config)
+    : simulator_(&simulator),
+      surrogate_(std::move(surrogate)),
+      space_(std::move(space)),
+      task_(std::move(task)),
+      config_(std::move(config)) {
+  if (!surrogate_) throw std::invalid_argument("IsopOptimizer: null surrogate");
+  if (surrogate_->inputDim() != em::kNumParams ||
+      surrogate_->outputDim() != em::kNumMetrics) {
+    throw std::invalid_argument("IsopOptimizer: surrogate must map 15 params -> 3 metrics");
+  }
+  if (config_.useGradientStage && !surrogate_->hasInputGradient()) {
+    throw std::invalid_argument(
+        "IsopOptimizer: gradient stage requires a differentiable surrogate "
+        "(disable useGradientStage for tree-based models)");
+  }
+}
+
+IsopResult IsopOptimizer::run() const {
+  Timer timer;
+  IsopResult result;
+  surrogate_->resetQueryCount();
+  const std::size_t simCallsBefore = simulator_->callCount();
+  const double simSecondsBefore = simulator_->modeledSeconds();
+
+  Objective objective(task_.spec, config_.objective);
+  SurrogateObjective searchObjective(objective, *surrogate_, config_.useSmoothObjective);
+  searchObjective.setUncertaintyPenalty(config_.uncertaintyPenalty);
+  AdaptiveWeights weightAdapter(objective, config_.adaptiveWeights);
+
+  const hpo::BinaryCodec codec(space_, config_.coding);
+  const std::size_t numBits = codec.totalBits();
+
+  // ---- Stage 1a: Harmonica global exploration (Alg. 1 lines 1-7) ----------
+  hpo::HarmonicaConfig harmonicaCfg = config_.harmonica;
+  harmonicaCfg.seed = config_.seed * 0x9e3779b97f4a7c15ULL + 0xabcd;
+  const hpo::Harmonica harmonica(harmonicaCfg);
+
+  searchObjective.setRecording(config_.adaptiveWeights.enabled);
+  std::vector<em::PerformanceMetrics> batchMetrics;
+  std::vector<em::StackupParams> batchDesigns;
+
+  // Samplers draw valid grid points and then apply the current restriction;
+  // the overwritten fixed bits can make the pattern decode out of range, so
+  // a few rejection rounds keep the evaluated batches dense in valid
+  // designs (invalid leftovers are still excluded by the +inf objective).
+  auto sampleUnderRestriction = [&](Rng& rng,
+                                    std::span<const hpo::FixedBit> fixed) {
+    hpo::BitVector bits;
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      bits = codec.sampleValid(rng);
+      hpo::Harmonica::applyFixedBits(fixed, bits);
+      if (codec.isValid(bits)) break;
+    }
+    return bits;
+  };
+
+  auto harmonicaResult = harmonica.optimize(
+      numBits,
+      [&](const hpo::BitVector& bits) { return searchObjective.evaluateBits(codec, bits); },
+      sampleUnderRestriction,
+      [&](std::size_t iteration, std::span<const hpo::BitVector>, std::span<const double>) {
+        if (!config_.adaptiveWeights.enabled) return;
+        searchObjective.drainBatch(batchMetrics, batchDesigns);
+        weightAdapter.update(batchMetrics, batchDesigns);
+        log::debug("isop: after harmonica iteration ", iteration,
+                   " wOC[0]=", objective.weights().oc.empty() ? 0.0 : objective.weights().oc[0]);
+      },
+      [&](const hpo::BitVector& bits) { return codec.isValid(bits); });
+  searchObjective.setRecording(false);
+
+  // ---- Stage 1b: seed selection (Alg. 1 line 8) ----------------------------
+  Rng seedRng(config_.seed * 0x2545f4914f6cdd1dULL + 0x1234);
+  std::vector<em::StackupParams> seeds;
+
+  auto restrictedSample = [&](Rng& rng) {
+    return sampleUnderRestriction(rng, harmonicaResult.fixedBits);
+  };
+
+  if (config_.useHyperband) {
+    hpo::HyperbandConfig hbCfg = config_.hyperband;
+    hbCfg.seed = config_.seed * 0x94d049bb133111ebULL + 0x77;
+    const hpo::Hyperband hyperband(hbCfg);
+    // Resource semantics: r units = r random bit-flip hill-climb probes.
+    Rng probeRng(config_.seed + 0x5151);
+    auto eval = [&](hpo::BitVector& bits, std::size_t resource) {
+      double best = searchObjective.evaluateBits(codec, bits);
+      for (std::size_t p = 0; p < resource; ++p) {
+        hpo::BitVector neighbour = bits;
+        for (std::size_t f = 0; f < config_.hyperbandProbeBits; ++f) {
+          const auto pos = static_cast<std::size_t>(probeRng.below(neighbour.size()));
+          neighbour[pos] ^= 1u;
+        }
+        hpo::Harmonica::applyFixedBits(harmonicaResult.fixedBits, neighbour);
+        const double v = searchObjective.evaluateBits(codec, neighbour);
+        if (v < best) {
+          best = v;
+          bits = neighbour;
+        }
+      }
+      return best;
+    };
+    auto picks = hyperband.run(restrictedSample, eval, config_.localSeeds);
+    for (const auto& pick : picks) {
+      if (auto decoded = codec.decode(pick.bits)) seeds.push_back(*decoded);
+    }
+  } else {
+    // Naive alternative: evaluate a flat batch of random restricted samples
+    // and keep the best p (the paper's "naive random sampling" comparator).
+    const std::size_t batch = std::max<std::size_t>(config_.localSeeds * 8, 32);
+    std::vector<std::pair<double, em::StackupParams>> scored;
+    scored.reserve(batch);
+    for (std::size_t i = 0; i < batch; ++i) {
+      hpo::BitVector bits = restrictedSample(seedRng);
+      if (auto decoded = codec.decode(bits)) {
+        scored.emplace_back(searchObjective.evaluate(*decoded), *decoded);
+      }
+    }
+    std::sort(scored.begin(), scored.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (std::size_t i = 0; i < std::min(config_.localSeeds, scored.size()); ++i) {
+      seeds.push_back(scored[i].second);
+    }
+  }
+  // Always include the best Harmonica sample as a seed.
+  if (!harmonicaResult.bestBits.empty()) {
+    if (auto decoded = codec.decode(harmonicaResult.bestBits)) seeds.push_back(*decoded);
+  }
+  if (seeds.empty()) {
+    // Pathological fallback (e.g. zero-budget configs in tests).
+    seeds.push_back(space_.sample(seedRng));
+  }
+  if (seeds.size() > config_.localSeeds + 1) seeds.resize(config_.localSeeds + 1);
+
+  // ---- Stage 2: gradient-descent local exploration (Alg. 1 lines 9-12) ----
+  std::vector<em::StackupParams> refined = seeds;
+  if (config_.useGradientStage) {
+    const hpo::AdamRefiner refiner(config_.refine);
+    auto refineResult = refiner.refine(
+        space_, seeds, [&](const em::StackupParams& x, std::span<double> grad) {
+          return searchObjective.evaluateWithGradient(x, grad);
+        });
+    refined = std::move(refineResult.refined);
+    // The continuous refinement may drift outside feasibility pockets; keep
+    // the original seeds as roll-out alternatives too.
+    refined.insert(refined.end(), seeds.begin(), seeds.end());
+  }
+
+  // ---- Stage 3: candidate roll-out (Alg. 1 lines 13-16) -------------------
+  // Snap to valid discrete values, dedupe, score with the surrogate, and
+  // send the most promising cand_num designs to the accurate EM simulator.
+  // If every validated design misses a constraint, an optional repair round
+  // measures the surrogate's bias at the best candidate, shifts the search
+  // targets by it, re-runs the local stage, and validates again — the
+  // optimizer otherwise tends to exploit exactly the pockets where the
+  // surrogate is optimistically wrong.
+  auto selectRollout = [&](std::span<const em::StackupParams> pool,
+                           const SurrogateObjective& scorer) {
+    std::vector<em::StackupParams> rollout;
+    std::set<std::string> seen;
+    for (const auto& p : pool) {
+      em::StackupParams snapped = space_.snap(p);
+      std::string key = snapped.toString();
+      if (seen.insert(std::move(key)).second) rollout.push_back(snapped);
+    }
+    std::sort(rollout.begin(), rollout.end(),
+              [&](const em::StackupParams& a, const em::StackupParams& b) {
+                return scorer.evaluate(a) < scorer.evaluate(b);
+              });
+    if (rollout.size() <= config_.candNum) return rollout;
+    // Diversity-aware selection: surrogate error is spatially correlated, so
+    // validating three near-identical designs wastes two EM runs. Greedily
+    // keep the best candidate, then prefer candidates that differ from every
+    // kept one in at least two parameters by more than one grid step;
+    // backfill by rank if diversity runs out.
+    auto distance = [&](const em::StackupParams& a, const em::StackupParams& b) {
+      std::size_t differing = 0;
+      for (std::size_t i = 0; i < space_.dim(); ++i) {
+        const double step = space_.range(i).step;
+        if (std::abs(a.values[i] - b.values[i]) > 1.5 * step) ++differing;
+      }
+      return differing;
+    };
+    std::vector<em::StackupParams> selected{rollout.front()};
+    std::vector<bool> used(rollout.size(), false);
+    used[0] = true;
+    while (selected.size() < config_.candNum) {
+      std::size_t pick = rollout.size();
+      for (std::size_t i = 1; i < rollout.size(); ++i) {
+        if (used[i]) continue;
+        bool diverse = true;
+        for (const auto& s : selected) {
+          if (distance(rollout[i], s) < 2) {
+            diverse = false;
+            break;
+          }
+        }
+        if (diverse) {
+          pick = i;
+          break;
+        }
+      }
+      if (pick == rollout.size()) {
+        for (std::size_t i = 1; i < rollout.size(); ++i) {
+          if (!used[i]) {
+            pick = i;
+            break;
+          }
+        }
+        if (pick == rollout.size()) break;
+      }
+      used[pick] = true;
+      selected.push_back(rollout[pick]);
+    }
+    return selected;
+  };
+
+  auto validate = [&](std::span<const em::StackupParams> designs) {
+    for (const auto& p : designs) {
+      IsopCandidate cand;
+      cand.params = p;
+      cand.metrics = simulator_->simulate(p);
+      // Always scored against the *original* task objective.
+      cand.g = objective.gValue(cand.metrics, p);
+      cand.fom = objective.fomValue(cand.metrics);
+      cand.feasible = objective.feasible(cand.metrics, p);
+      result.candidates.push_back(std::move(cand));
+    }
+  };
+
+  validate(selectRollout(refined, searchObjective));
+
+  const std::size_t maxRounds = std::max<std::size_t>(config_.rolloutRounds, 1);
+  Task shiftedTask = task_;
+  for (std::size_t round = 1; round < maxRounds; ++round) {
+    const bool anyFeasible = std::any_of(
+        result.candidates.begin(), result.candidates.end(),
+        [](const IsopCandidate& c) { return c.feasible; });
+    if (anyFeasible || !config_.useGradientStage) break;
+
+    // Bias at the best-g validated candidate: shift each output-constraint
+    // target so the surrogate-space optimum maps onto the true target.
+    const auto bestIt = std::min_element(
+        result.candidates.begin(), result.candidates.end(),
+        [](const IsopCandidate& a, const IsopCandidate& b) { return a.g < b.g; });
+    const em::PerformanceMetrics predicted = searchObjective.predict(bestIt->params);
+    const auto predictedArr = predicted.asArray();
+    const auto measuredArr = bestIt->metrics.asArray();
+    for (std::size_t j = 0; j < shiftedTask.spec.outputConstraints.size(); ++j) {
+      auto& oc = shiftedTask.spec.outputConstraints[j];
+      const auto k = static_cast<std::size_t>(oc.metric);
+      const double bias = measuredArr[k] - predictedArr[k];
+      oc.target = task_.spec.outputConstraints[j].target - bias;
+    }
+    log::debug("isop: roll-out repair round ", round, " (bias-shifted targets)");
+
+    Objective shiftedObjective(shiftedTask.spec, config_.objective);
+    shiftedObjective.weights() = objective.weights();
+    const SurrogateObjective repairObjective(shiftedObjective, *surrogate_,
+                                             config_.useSmoothObjective);
+    std::vector<em::StackupParams> repairSeeds;
+    for (const auto& c : result.candidates) repairSeeds.push_back(c.params);
+    const hpo::AdamRefiner refiner(config_.refine);
+    auto repairResult = refiner.refine(
+        space_, repairSeeds, [&](const em::StackupParams& x, std::span<double> grad) {
+          return repairObjective.evaluateWithGradient(x, grad);
+        });
+    // Exclude already-validated designs from the new roll-out set.
+    std::set<std::string> validatedKeys;
+    for (const auto& c : result.candidates) validatedKeys.insert(c.params.toString());
+    std::vector<em::StackupParams> fresh;
+    for (const auto& p : repairResult.refined) {
+      em::StackupParams snapped = space_.snap(p);
+      if (!validatedKeys.count(snapped.toString())) fresh.push_back(snapped);
+    }
+    if (fresh.empty()) break;
+    ++result.rolloutRoundsUsed;
+    validate(selectRollout(fresh, repairObjective));
+  }
+
+  // Rank: feasible first, then by exact g.
+  std::sort(result.candidates.begin(), result.candidates.end(),
+            [](const IsopCandidate& a, const IsopCandidate& b) {
+              if (a.feasible != b.feasible) return a.feasible;
+              return a.g < b.g;
+            });
+  if (result.candidates.size() > config_.candNum) {
+    result.candidates.resize(config_.candNum);
+  }
+
+  result.surrogateQueries = surrogate_->queryCount();
+  result.simulatorCalls = simulator_->callCount() - simCallsBefore;
+  result.algoSeconds = timer.seconds();
+  result.modeledSeconds =
+      result.algoSeconds + (simulator_->modeledSeconds() - simSecondsBefore);
+  result.finalWeights = objective.weights();
+  return result;
+}
+
+}  // namespace isop::core

@@ -1,0 +1,209 @@
+#include "core/objective.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace isop::core {
+
+namespace {
+double sigmoid(double v) { return 1.0 / (1.0 + std::exp(-v)); }
+double sigmoidDerivative(double v) {
+  const double s = sigmoid(v);
+  return s * (1.0 - s);
+}
+
+double metricValue(const em::PerformanceMetrics& m, em::Metric metric) {
+  switch (metric) {
+    case em::Metric::Z: return m.z;
+    case em::Metric::L: return m.l;
+    case em::Metric::Next: return m.next;
+  }
+  return 0.0;
+}
+}  // namespace
+
+ObjectiveWeights ObjectiveWeights::uniform(const ObjectiveSpec& spec, double value) {
+  ObjectiveWeights w;
+  w.fom = value;
+  w.oc.assign(spec.outputConstraints.size(), value);
+  w.ic.assign(spec.inputConstraints.size(), value);
+  return w;
+}
+
+Objective::Objective(ObjectiveSpec spec, ObjectiveConfig config)
+    : spec_(std::move(spec)),
+      config_(config),
+      weights_(ObjectiveWeights::uniform(spec_)) {}
+
+double Objective::fomValue(const em::PerformanceMetrics& m) const {
+  double acc = 0.0;
+  for (const FomTerm& term : spec_.fom) {
+    acc += term.coefficient * std::abs(metricValue(m, term.metric));
+  }
+  return acc;
+}
+
+double Objective::gamma(std::size_t j) const {
+  const double tol = std::max(spec_.outputConstraints[j].tolerance, 1e-12);
+  return config_.gammaFactor / tol;
+}
+
+double Objective::ocPenaltyExact(std::size_t j, const em::PerformanceMetrics& m) const {
+  const OutputConstraint& c = spec_.outputConstraints[j];
+  const double u = std::abs(metricValue(m, c.metric) - c.target);
+  return std::max(u - c.tolerance, 0.0);
+}
+
+double Objective::ocPenaltySmooth(std::size_t j, const em::PerformanceMetrics& m) const {
+  const OutputConstraint& c = spec_.outputConstraints[j];
+  const double u = metricValue(m, c.metric) - c.target;
+  const double g = gamma(j);
+  return sigmoid(g * (u - c.tolerance)) + sigmoid(g * (-u - c.tolerance));
+}
+
+double Objective::ocPenaltySmoothDerivative(std::size_t j,
+                                            const em::PerformanceMetrics& m) const {
+  const OutputConstraint& c = spec_.outputConstraints[j];
+  const double u = metricValue(m, c.metric) - c.target;
+  const double g = gamma(j);
+  return g * (sigmoidDerivative(g * (u - c.tolerance)) -
+              sigmoidDerivative(g * (-u - c.tolerance)));
+}
+
+double Objective::icPenalty(std::size_t k, const em::StackupParams& x) const {
+  const InputConstraint& c = spec_.inputConstraints[k];
+  double y = 0.0;
+  for (std::size_t i = 0; i < em::kNumParams; ++i) y += c.coefficients[i] * x.values[i];
+  return std::max(y - c.bound, 0.0);
+}
+
+double Objective::gValue(const em::PerformanceMetrics& m, const em::StackupParams& x) const {
+  double acc = weights_.fom * fomValue(m);
+  for (std::size_t j = 0; j < spec_.outputConstraints.size(); ++j) {
+    acc += weights_.oc[j] * ocPenaltyExact(j, m);
+  }
+  for (std::size_t k = 0; k < spec_.inputConstraints.size(); ++k) {
+    acc += weights_.ic[k] * icPenalty(k, x);
+  }
+  return acc;
+}
+
+double Objective::gSmoothValue(const em::PerformanceMetrics& m,
+                               const em::StackupParams& x) const {
+  double acc = weights_.fom * fomValue(m);
+  for (std::size_t j = 0; j < spec_.outputConstraints.size(); ++j) {
+    acc += weights_.oc[j] * ocPenaltySmooth(j, m);
+  }
+  for (std::size_t k = 0; k < spec_.inputConstraints.size(); ++k) {
+    acc += weights_.ic[k] * icPenalty(k, x);
+  }
+  return acc;
+}
+
+double Objective::gSmoothWithGradient(
+    const em::PerformanceMetrics& m, const em::StackupParams& x,
+    const std::function<void(em::Metric, std::span<double>)>& metricGradient,
+    std::span<double> gradOut) const {
+  assert(gradOut.size() == em::kNumParams);
+  std::fill(gradOut.begin(), gradOut.end(), 0.0);
+  std::array<double, em::kNumParams> mg{};
+
+  double acc = 0.0;
+  // FoM terms: w^FoM * c * |metric|  ->  w^FoM * c * sign(metric) * dm/dx.
+  for (const FomTerm& term : spec_.fom) {
+    const double v = metricValue(m, term.metric);
+    acc += weights_.fom * term.coefficient * std::abs(v);
+    const double sign = v >= 0.0 ? 1.0 : -1.0;
+    metricGradient(term.metric, mg);
+    for (std::size_t i = 0; i < em::kNumParams; ++i) {
+      gradOut[i] += weights_.fom * term.coefficient * sign * mg[i];
+    }
+  }
+  // Smoothed output constraints.
+  for (std::size_t j = 0; j < spec_.outputConstraints.size(); ++j) {
+    acc += weights_.oc[j] * ocPenaltySmooth(j, m);
+    const double dPdm = ocPenaltySmoothDerivative(j, m);
+    if (dPdm != 0.0) {
+      metricGradient(spec_.outputConstraints[j].metric, mg);
+      for (std::size_t i = 0; i < em::kNumParams; ++i) {
+        gradOut[i] += weights_.oc[j] * dPdm * mg[i];
+      }
+    }
+  }
+  // Input constraints (piecewise-linear; subgradient at the kink).
+  for (std::size_t k = 0; k < spec_.inputConstraints.size(); ++k) {
+    const double pen = icPenalty(k, x);
+    acc += weights_.ic[k] * pen;
+    if (pen > 0.0) {
+      const auto& c = spec_.inputConstraints[k];
+      for (std::size_t i = 0; i < em::kNumParams; ++i) {
+        gradOut[i] += weights_.ic[k] * c.coefficients[i];
+      }
+    }
+  }
+  return acc;
+}
+
+bool Objective::feasible(const em::PerformanceMetrics& m, const em::StackupParams& x) const {
+  for (std::size_t j = 0; j < spec_.outputConstraints.size(); ++j) {
+    if (ocPenaltyExact(j, m) > 0.0) return false;
+  }
+  for (std::size_t k = 0; k < spec_.inputConstraints.size(); ++k) {
+    if (icPenalty(k, x) > 1e-9) return false;
+  }
+  return true;
+}
+
+double Objective::ocBoundaryValue(std::size_t j) const {
+  // At u = tolerance: S(0) + S(-2 gamma tol) = 0.5 + S(-2 gammaFactor).
+  // Independent of j because gamma_j * tolerance_j == gammaFactor for all j;
+  // the index is kept for interface stability.
+  (void)j;
+  return 0.5 + sigmoid(-2.0 * config_.gammaFactor);
+}
+
+void AdaptiveWeights::update(std::span<const em::PerformanceMetrics> metrics,
+                             std::span<const em::StackupParams> designs) {
+  if (!config_.enabled || metrics.empty()) return;
+  assert(metrics.size() == designs.size());
+  Objective& obj = *objective_;
+  const auto& spec = obj.spec();
+  auto& w = obj.weights();
+
+  // Weight floor of Alg. 2 line 3: the best (lowest) w^FoM * FoM seen so
+  // far across batches. Early random batches have poor FoM; tying the floor
+  // to the running minimum keeps it at the scale of achievable FoM values.
+  for (const auto& m : metrics) {
+    runningMinFom_ = std::min(runningMinFom_, w.fom * obj.fomValue(m));
+  }
+  if (!std::isfinite(runningMinFom_)) return;
+  const double total = static_cast<double>(metrics.size());
+
+  for (std::size_t j = 0; j < spec.outputConstraints.size(); ++j) {
+    const double cMax = obj.ocBoundaryValue(j);
+    std::size_t valid = 0;
+    for (const auto& m : metrics) {
+      if (obj.ocPenaltySmooth(j, m) <= cMax) ++valid;
+    }
+    if (static_cast<double>(valid) / total >= config_.beta) {
+      const double floor = runningMinFom_ / std::max(cMax, 1e-9);
+      w.oc[j] = std::min(w.oc[j], std::max((1.0 - config_.beta) * w.oc[j], floor));
+    }
+  }
+  for (std::size_t k = 0; k < spec.inputConstraints.size(); ++k) {
+    std::size_t valid = 0;
+    for (std::size_t i = 0; i < designs.size(); ++i) {
+      if (obj.icPenalty(k, designs[i]) <= 1e-9) ++valid;
+    }
+    if (static_cast<double>(valid) / total >= config_.beta) {
+      // f^IC's boundary value is 0; the weight floor degenerates, so the
+      // floor is taken against C_max = 1 (documented deviation).
+      w.ic[k] = std::min(w.ic[k],
+                         std::max((1.0 - config_.beta) * w.ic[k], runningMinFom_));
+    }
+  }
+}
+
+}  // namespace isop::core

@@ -1,0 +1,160 @@
+// Optimization objectives of the ISOP+ framework (Section III-E/F).
+//
+// A task supplies three ingredients:
+//   * FoM terms    — f^FoM(x) = sum_k c_k |M_k(x)|; the paper's tasks
+//                    minimize loss magnitude (|L|) and, for T4, a weighted
+//                    crosstalk term (|L| + 2|NEXT|);
+//   * output constraints f^OC — |M_k(x) - target| <= tolerance on a metric,
+//                    e.g. differential impedance within Zo +/- 1 ohm;
+//   * input constraints f^IC — first-order inequalities a.x <= A over the
+//                    raw design parameters (Eq. 11), e.g. 2 Wt + St <= 20.
+//
+// Two aggregate objectives are exposed:
+//   * g(x)     (Eq. 8)  — FoM plus hard clip penalties; used with accurate
+//                         EM metrics in the candidate roll-out stage;
+//   * ghat(x)  (Eq. 9/10) — FoM plus the double-sigmoid smoothing of the
+//                         output constraints (steepness gamma ~ 1/tol) plus
+//                         clipped input constraints; used with surrogate
+//                         metrics during global and local exploration, and
+//                         differentiable for the gradient-descent stage.
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "em/stackup.hpp"
+
+namespace isop::core {
+
+/// One FoM term: coefficient * |metric|.
+struct FomTerm {
+  em::Metric metric = em::Metric::L;
+  double coefficient = 1.0;
+};
+
+/// |metric - target| <= tolerance.
+struct OutputConstraint {
+  em::Metric metric = em::Metric::Z;
+  double target = 0.0;
+  double tolerance = 1.0;
+  std::string name;  ///< for reports ("Z", "NEXT", ...)
+};
+
+/// coefficients . x <= bound over the raw 15-dim design vector.
+struct InputConstraint {
+  std::array<double, em::kNumParams> coefficients{};
+  double bound = 0.0;
+  std::string name;
+};
+
+struct ObjectiveSpec {
+  std::vector<FomTerm> fom;
+  std::vector<OutputConstraint> outputConstraints;
+  std::vector<InputConstraint> inputConstraints;
+};
+
+/// Mutable weights (w^FoM, w^OC_j, w^IC_k); the paper initializes all to 1
+/// and adapts the constraint weights during the HPO search (Alg. 2).
+struct ObjectiveWeights {
+  double fom = 1.0;
+  std::vector<double> oc;
+  std::vector<double> ic;
+
+  static ObjectiveWeights uniform(const ObjectiveSpec& spec, double value = 1.0);
+};
+
+struct ObjectiveConfig {
+  /// Sigmoid steepness multiplier: gamma_j = gammaFactor / tolerance_j.
+  /// gammaFactor = 1 is the paper's literal 1/f±; larger values sharpen the
+  /// feasibility boundary (see the Fig. 5 reproduction bench).
+  double gammaFactor = 4.0;
+};
+
+class Objective {
+ public:
+  Objective(ObjectiveSpec spec, ObjectiveConfig config = {});
+
+  const ObjectiveSpec& spec() const { return spec_; }
+  const ObjectiveConfig& objectiveConfig() const { return config_; }
+
+  ObjectiveWeights& weights() { return weights_; }
+  const ObjectiveWeights& weights() const { return weights_; }
+
+  /// f^FoM: weighted sum of |metric| values. Does not include w^FoM.
+  double fomValue(const em::PerformanceMetrics& m) const;
+
+  /// Hard-clip output-constraint penalty f_j^OC (Eq. 8's max form).
+  double ocPenaltyExact(std::size_t j, const em::PerformanceMetrics& m) const;
+
+  /// Smoothed double-sigmoid output-constraint term f̂_j^OC in (0, 2).
+  double ocPenaltySmooth(std::size_t j, const em::PerformanceMetrics& m) const;
+
+  /// d f̂_j^OC / d metric value.
+  double ocPenaltySmoothDerivative(std::size_t j, const em::PerformanceMetrics& m) const;
+
+  /// Input-constraint clip penalty f_k^IC (Eq. 11).
+  double icPenalty(std::size_t k, const em::StackupParams& x) const;
+
+  /// g(x): w^FoM f^FoM + sum w^OC f^OC(exact) + sum w^IC f^IC.
+  double gValue(const em::PerformanceMetrics& m, const em::StackupParams& x) const;
+
+  /// ghat(x): w^FoM f^FoM + sum w^OC f̂^OC(smooth) + sum w^IC f^IC.
+  double gSmoothValue(const em::PerformanceMetrics& m, const em::StackupParams& x) const;
+
+  /// ghat plus its gradient w.r.t. the raw design vector. `metricGradient`
+  /// fills d metric_k / d x (only called for metrics the spec references).
+  double gSmoothWithGradient(
+      const em::PerformanceMetrics& m, const em::StackupParams& x,
+      const std::function<void(em::Metric, std::span<double>)>& metricGradient,
+      std::span<double> gradOut) const;
+
+  /// True iff all output constraints hold within tolerance and all input
+  /// constraints are satisfied.
+  bool feasible(const em::PerformanceMetrics& m, const em::StackupParams& x) const;
+
+  /// Boundary value C_max of the smoothed OC term (used by Alg. 2): the
+  /// value of f̂^OC exactly at |metric - target| == tolerance.
+  double ocBoundaryValue(std::size_t j) const;
+
+ private:
+  double gamma(std::size_t j) const;
+
+  ObjectiveSpec spec_;
+  ObjectiveConfig config_;
+  ObjectiveWeights weights_;
+};
+
+/// Adaptive weight adjustment (Algorithm 2): once >= beta of a batch
+/// satisfies a constraint, that constraint's weight is decayed by (1 - beta)
+/// but never below min(w^FoM * FoM) / C_max observed in the batch.
+struct AdaptiveWeightConfig {
+  double beta = 0.2;
+  bool enabled = true;
+};
+
+class AdaptiveWeights {
+ public:
+  AdaptiveWeights(Objective& objective, AdaptiveWeightConfig config = {})
+      : objective_(&objective), config_(config) {}
+
+  /// Consumes one batch of evaluated samples (metrics + design points, same
+  /// order) and updates the objective's constraint weights in place.
+  ///
+  /// Two clarifications vs. the paper's Algorithm 2 pseudo-code (documented
+  /// deviations): the FoM floor uses the *running* minimum across batches
+  /// (the best FoM seen so far, which is what the floor is protecting
+  /// against), and an update never increases a weight — the floor is a
+  /// decay limiter, not a growth rule.
+  void update(std::span<const em::PerformanceMetrics> metrics,
+              std::span<const em::StackupParams> designs);
+
+ private:
+  Objective* objective_;
+  AdaptiveWeightConfig config_;
+  double runningMinFom_ = std::numeric_limits<double>::infinity();
+};
+
+}  // namespace isop::core

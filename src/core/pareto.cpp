@@ -1,0 +1,92 @@
+#include "core/pareto.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace isop::core {
+
+bool dominates(const ParetoPoint& a, const ParetoPoint& b) {
+  const bool noWorse =
+      a.lossMagnitude <= b.lossMagnitude && a.nextMagnitude <= b.nextMagnitude;
+  const bool better =
+      a.lossMagnitude < b.lossMagnitude || a.nextMagnitude < b.nextMagnitude;
+  return noWorse && better;
+}
+
+ParetoExplorer::ParetoExplorer(const em::EmSimulator& simulator,
+                               std::shared_ptr<const ml::Surrogate> surrogate,
+                               em::ParameterSpace space, Task baseTask,
+                               ParetoConfig config)
+    : simulator_(&simulator),
+      surrogate_(std::move(surrogate)),
+      space_(std::move(space)),
+      baseTask_(std::move(baseTask)),
+      config_(std::move(config)) {}
+
+ParetoFront ParetoExplorer::explore() const {
+  ParetoFront front;
+  std::vector<ParetoPoint> candidates;
+
+  for (std::size_t i = 0; i < config_.nextWeights.size(); ++i) {
+    const double w = config_.nextWeights[i];
+    Task task = baseTask_;
+    task.spec.fom = {{em::Metric::L, 1.0}};
+    if (w > 0.0) task.spec.fom.push_back({em::Metric::Next, w});
+
+    IsopConfig cfg = config_.isop;
+    cfg.seed = config_.baseSeed + i;
+    const IsopOptimizer optimizer(*simulator_, surrogate_, space_, task, cfg);
+    const IsopResult result = optimizer.run();
+    ++front.sweepRuns;
+
+    // Every EM-validated candidate is a potential frontier point.
+    for (const auto& c : result.candidates) {
+      if (!c.feasible) {
+        ++front.infeasibleDropped;
+        continue;
+      }
+      ParetoPoint point;
+      point.params = c.params;
+      point.metrics = c.metrics;
+      point.lossMagnitude = std::abs(c.metrics.l);
+      point.nextMagnitude = std::abs(c.metrics.next);
+      point.weight = w;
+      candidates.push_back(std::move(point));
+    }
+  }
+
+  // Non-dominated filter.
+  for (const auto& candidate : candidates) {
+    bool isDominated = false;
+    for (const auto& other : candidates) {
+      if (&other != &candidate && dominates(other, candidate)) {
+        isDominated = true;
+        break;
+      }
+    }
+    if (isDominated) {
+      ++front.dominatedDropped;
+    } else {
+      front.points.push_back(candidate);
+    }
+  }
+  // Dedupe identical metric pairs (different weights can land on the same
+  // grid point) and sort by ascending loss.
+  std::sort(front.points.begin(), front.points.end(),
+            [](const ParetoPoint& a, const ParetoPoint& b) {
+              if (a.lossMagnitude != b.lossMagnitude) {
+                return a.lossMagnitude < b.lossMagnitude;
+              }
+              return a.nextMagnitude < b.nextMagnitude;
+            });
+  front.points.erase(
+      std::unique(front.points.begin(), front.points.end(),
+                  [](const ParetoPoint& a, const ParetoPoint& b) {
+                    return a.lossMagnitude == b.lossMagnitude &&
+                           a.nextMagnitude == b.nextMagnitude;
+                  }),
+      front.points.end());
+  return front;
+}
+
+}  // namespace isop::core

@@ -1,0 +1,60 @@
+// Loss-vs-crosstalk Pareto exploration.
+//
+// The paper's T4 fixes one scalarization (FoM = |L| + 2|NEXT|); a designer
+// choosing a stack-up wants the whole trade-off curve. ParetoExplorer runs
+// the ISOP+ pipeline across a sweep of NEXT weights and keeps the
+// non-dominated EM-validated designs — a frontier of (|L|, |NEXT|) points,
+// each a complete feasible stack-up.
+#pragma once
+
+#include <memory>
+
+#include "core/isop.hpp"
+
+namespace isop::core {
+
+struct ParetoConfig {
+  /// NEXT coefficients swept into the FoM (|L| + w * |NEXT|); 0 recovers T1.
+  std::vector<double> nextWeights{0.0, 0.5, 1.0, 2.0, 4.0, 8.0};
+  IsopConfig isop{};
+  std::uint64_t baseSeed = 11;
+};
+
+struct ParetoPoint {
+  em::StackupParams params{};
+  em::PerformanceMetrics metrics{};
+  double lossMagnitude = 0.0;   ///< |L|
+  double nextMagnitude = 0.0;   ///< |NEXT|
+  double weight = 0.0;          ///< the sweep weight that produced it
+};
+
+struct ParetoFront {
+  /// Non-dominated feasible designs, sorted by ascending |L|.
+  std::vector<ParetoPoint> points;
+  std::size_t sweepRuns = 0;
+  std::size_t dominatedDropped = 0;
+  std::size_t infeasibleDropped = 0;
+};
+
+/// True iff a dominates b (no worse in both magnitudes, better in one).
+bool dominates(const ParetoPoint& a, const ParetoPoint& b);
+
+class ParetoExplorer {
+ public:
+  /// `baseTask` supplies the output/input constraints (e.g. T1's Z band);
+  /// its FoM terms are replaced by the swept |L| + w|NEXT| scalarization.
+  ParetoExplorer(const em::EmSimulator& simulator,
+                 std::shared_ptr<const ml::Surrogate> surrogate,
+                 em::ParameterSpace space, Task baseTask, ParetoConfig config = {});
+
+  ParetoFront explore() const;
+
+ private:
+  const em::EmSimulator* simulator_;
+  std::shared_ptr<const ml::Surrogate> surrogate_;
+  em::ParameterSpace space_;
+  Task baseTask_;
+  ParetoConfig config_;
+};
+
+}  // namespace isop::core

@@ -1,0 +1,96 @@
+#include "core/report.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace isop::core {
+
+json::Value toJson(const em::StackupParams& params) {
+  json::Value out = json::Value::object();
+  const auto names = em::paramNames();
+  for (std::size_t i = 0; i < em::kNumParams; ++i) {
+    out.set(std::string(names[i]), json::Value::number(params.values[i]));
+  }
+  return out;
+}
+
+json::Value toJson(const em::PerformanceMetrics& metrics) {
+  json::Value out = json::Value::object();
+  out.set("Z_ohm", json::Value::number(metrics.z));
+  out.set("L_dB_per_inch", json::Value::number(metrics.l));
+  out.set("NEXT_mV", json::Value::number(metrics.next));
+  return out;
+}
+
+json::Value toJson(const IsopCandidate& candidate) {
+  json::Value out = json::Value::object();
+  out.set("params", toJson(candidate.params));
+  out.set("metrics", toJson(candidate.metrics));
+  out.set("g", json::Value::number(candidate.g));
+  out.set("fom", json::Value::number(candidate.fom));
+  out.set("feasible", json::Value::boolean(candidate.feasible));
+  return out;
+}
+
+json::Value toJson(const IsopResult& result) {
+  json::Value out = json::Value::object();
+  json::Value candidates = json::Value::array();
+  for (const auto& c : result.candidates) candidates.push(toJson(c));
+  out.set("candidates", std::move(candidates));
+  out.set("surrogate_queries",
+          json::Value::integer(static_cast<long long>(result.surrogateQueries)));
+  out.set("simulator_calls",
+          json::Value::integer(static_cast<long long>(result.simulatorCalls)));
+  out.set("rollout_rounds_used",
+          json::Value::integer(static_cast<long long>(result.rolloutRoundsUsed)));
+  out.set("algo_seconds", json::Value::number(result.algoSeconds));
+  out.set("modeled_seconds", json::Value::number(result.modeledSeconds));
+  return out;
+}
+
+json::Value toJson(const TrialStats& stats) {
+  json::Value out = json::Value::object();
+  out.set("method", json::Value::string(stats.method));
+  out.set("trials", json::Value::integer(static_cast<long long>(stats.trials)));
+  out.set("successes", json::Value::integer(static_cast<long long>(stats.successes)));
+  out.set("avg_runtime_seconds", json::Value::number(stats.avgRuntime));
+  out.set("avg_samples", json::Value::number(stats.avgSamples));
+  out.set("dz_mean", json::Value::number(stats.dzMean));
+  out.set("dz_stdev", json::Value::number(stats.dzStdev));
+  out.set("l_mean", json::Value::number(stats.lMean));
+  out.set("l_stdev", json::Value::number(stats.lStdev));
+  out.set("next_mean", json::Value::number(stats.nextMean));
+  out.set("next_stdev", json::Value::number(stats.nextStdev));
+  out.set("fom_mean", json::Value::number(stats.fomMean));
+  out.set("fom_stdev", json::Value::number(stats.fomStdev));
+  return out;
+}
+
+json::Value toJson(const BoardResult& board) {
+  json::Value out = json::Value::object();
+  json::Value layers = json::Value::array();
+  for (const auto& layer : board.layers) {
+    json::Value l = json::Value::object();
+    l.set("name", json::Value::string(layer.name));
+    l.set("feasible", json::Value::boolean(layer.feasible));
+    l.set("fom", json::Value::number(layer.fom));
+    l.set("result", toJson(layer.optimization));
+    layers.push(std::move(l));
+  }
+  out.set("layers", std::move(layers));
+  out.set("feasible_layers",
+          json::Value::integer(static_cast<long long>(board.feasibleLayers)));
+  out.set("all_feasible", json::Value::boolean(board.allFeasible()));
+  out.set("total_algo_seconds", json::Value::number(board.totalAlgoSeconds));
+  out.set("total_modeled_seconds", json::Value::number(board.totalModeledSeconds));
+  return out;
+}
+
+void writeJsonFile(const std::string& path, const json::Value& value) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("report: cannot open '" + path + "' for writing");
+  out << value.dump(2) << '\n';
+  if (!out) throw std::runtime_error("report: write failed for '" + path + "'");
+}
+
+}  // namespace isop::core

@@ -1,0 +1,30 @@
+// Result export: JSON serialization of optimization outcomes for downstream
+// tooling (design databases, CI dashboards, notebook analysis).
+#pragma once
+
+#include <string>
+
+#include "common/json.hpp"
+#include "core/board.hpp"
+#include "core/trial_runner.hpp"
+
+namespace isop::core {
+
+/// One design point with its EM-validated metrics.
+json::Value toJson(const em::StackupParams& params);
+json::Value toJson(const em::PerformanceMetrics& metrics);
+json::Value toJson(const IsopCandidate& candidate);
+
+/// Full optimization result: ranked candidates + accounting.
+json::Value toJson(const IsopResult& result);
+
+/// Aggregated trial statistics (one bench-table row).
+json::Value toJson(const TrialStats& stats);
+
+/// Whole-board report.
+json::Value toJson(const BoardResult& board);
+
+/// Writes any JSON value to a file (pretty-printed). Throws on I/O failure.
+void writeJsonFile(const std::string& path, const json::Value& value);
+
+}  // namespace isop::core

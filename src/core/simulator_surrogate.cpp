@@ -1,0 +1,33 @@
+#include "core/simulator_surrogate.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace isop::core {
+
+void SimulatorSurrogate::predict(std::span<const double> x, std::span<double> out) const {
+  assert(x.size() == em::kNumParams && out.size() == em::kNumMetrics);
+  countQuery();
+  const auto m = simulator_->evaluateUncounted(em::StackupParams::fromVector(x));
+  const auto arr = m.asArray();
+  for (std::size_t i = 0; i < arr.size(); ++i) out[i] = arr[i];
+}
+
+void SimulatorSurrogate::inputGradient(std::span<const double> x, std::size_t outputIndex,
+                                       std::span<double> grad) const {
+  assert(x.size() == em::kNumParams && grad.size() == em::kNumParams);
+  assert(outputIndex < em::kNumMetrics);
+  em::StackupParams p = em::StackupParams::fromVector(x);
+  for (std::size_t j = 0; j < em::kNumParams; ++j) {
+    const double h = std::max(std::abs(p.values[j]), 1.0) * relativeStep_;
+    const double saved = p.values[j];
+    p.values[j] = saved + h;
+    const double up = simulator_->evaluateUncounted(p).asArray()[outputIndex];
+    p.values[j] = saved - h;
+    const double down = simulator_->evaluateUncounted(p).asArray()[outputIndex];
+    p.values[j] = saved;
+    grad[j] = (up - down) / (2.0 * h);
+  }
+}
+
+}  // namespace isop::core

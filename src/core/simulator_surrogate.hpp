@@ -1,0 +1,37 @@
+// SimulatorSurrogate: presents the exact EM model M(x) behind the Surrogate
+// interface M̂(x), with central-difference input gradients.
+//
+// Used by tests (an oracle surrogate isolates optimizer behaviour from
+// surrogate error) and by the "no-ML" ablation: running ISOP+ with the
+// simulator in the search loop shows what the ML surrogate buys.
+//
+// Queries use the *uncounted* evaluation path — when this class stands in
+// for the cheap proxy, its calls must not be billed as EM solver time.
+#pragma once
+
+#include "em/simulator.hpp"
+#include "ml/surrogate.hpp"
+
+namespace isop::core {
+
+class SimulatorSurrogate final : public ml::Surrogate {
+ public:
+  explicit SimulatorSurrogate(const em::EmSimulator& simulator,
+                              double relativeStep = 1e-4)
+      : simulator_(&simulator), relativeStep_(relativeStep) {}
+
+  std::size_t inputDim() const override { return em::kNumParams; }
+  std::size_t outputDim() const override { return em::kNumMetrics; }
+
+  void predict(std::span<const double> x, std::span<double> out) const override;
+
+  bool hasInputGradient() const override { return true; }
+  void inputGradient(std::span<const double> x, std::size_t outputIndex,
+                     std::span<double> grad) const override;
+
+ private:
+  const em::EmSimulator* simulator_;
+  double relativeStep_;
+};
+
+}  // namespace isop::core

@@ -1,0 +1,80 @@
+#include "core/surrogate_objective.hpp"
+
+#include <cassert>
+#include <limits>
+
+namespace isop::core {
+
+SurrogateObjective::SurrogateObjective(Objective& objective, const ml::Surrogate& model,
+                                       bool smooth)
+    : objective_(&objective), model_(&model), smooth_(smooth) {
+  assert(model.inputDim() == em::kNumParams);
+  assert(model.outputDim() == em::kNumMetrics);
+}
+
+em::PerformanceMetrics SurrogateObjective::predict(const em::StackupParams& x) const {
+  std::array<double, em::kNumMetrics> out{};
+  model_->predict(x.asVector(), out);
+  return em::PerformanceMetrics::fromArray(out);
+}
+
+void SurrogateObjective::setUncertaintyPenalty(double weight) {
+  uncertaintyWeight_ = weight;
+  ensemble_ = weight > 0.0 ? dynamic_cast<const ml::EnsembleSurrogate*>(model_) : nullptr;
+}
+
+double SurrogateObjective::uncertaintyTerm(const em::StackupParams& x) const {
+  if (!ensemble_ || uncertaintyWeight_ <= 0.0) return 0.0;
+  std::array<double, em::kNumMetrics> mean{}, spread{};
+  ensemble_->predictWithSpread(x.asVector(), mean, spread);
+  // Scale each metric's disagreement by its constraint tolerance where one
+  // exists (an 0.5-ohm disagreement matters for a 1-ohm band, not for FoM).
+  std::array<double, em::kNumMetrics> scale{};
+  scale.fill(1.0);
+  for (const auto& oc : objective_->spec().outputConstraints) {
+    scale[static_cast<std::size_t>(oc.metric)] = std::max(oc.tolerance, 1e-9);
+  }
+  double acc = 0.0;
+  for (std::size_t k = 0; k < em::kNumMetrics; ++k) acc += spread[k] / scale[k];
+  return uncertaintyWeight_ * acc;
+}
+
+double SurrogateObjective::evaluate(const em::StackupParams& x) const {
+  const em::PerformanceMetrics m = predict(x);
+  if (recording_) {
+    std::lock_guard lock(batchMutex_);
+    batchMetrics_.push_back(m);
+    batchDesigns_.push_back(x);
+  }
+  const double base = smooth_ ? objective_->gSmoothValue(m, x) : objective_->gValue(m, x);
+  return base + uncertaintyTerm(x);
+}
+
+double SurrogateObjective::evaluateBits(const hpo::BinaryCodec& codec,
+                                        const hpo::BitVector& bits) const {
+  const auto decoded = codec.decode(bits);
+  if (!decoded) return std::numeric_limits<double>::infinity();
+  return evaluate(*decoded);
+}
+
+double SurrogateObjective::evaluateWithGradient(const em::StackupParams& x,
+                                                std::span<double> grad) const {
+  const em::PerformanceMetrics m = predict(x);
+  return objective_->gSmoothWithGradient(
+      m, x,
+      [&](em::Metric metric, std::span<double> mg) {
+        model_->inputGradient(x.asVector(), static_cast<std::size_t>(metric), mg);
+      },
+      grad);
+}
+
+void SurrogateObjective::drainBatch(std::vector<em::PerformanceMetrics>& metrics,
+                                    std::vector<em::StackupParams>& designs) const {
+  std::lock_guard lock(batchMutex_);
+  metrics = std::move(batchMetrics_);
+  designs = std::move(batchDesigns_);
+  batchMetrics_.clear();
+  batchDesigns_.clear();
+}
+
+}  // namespace isop::core

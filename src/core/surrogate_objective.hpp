@@ -1,0 +1,74 @@
+// Adapter binding an Objective to a performance model (ML surrogate or the
+// EM simulator behind the Surrogate interface): evaluates ghat/g on design
+// points or on Harmonica bit vectors, provides the chained gradient for the
+// local stage, and optionally records each evaluated batch so the adaptive
+// weight adjustment (Alg. 2) can observe per-constraint statistics without
+// re-querying the model.
+#pragma once
+
+#include <mutex>
+#include <vector>
+
+#include "core/objective.hpp"
+#include "hpo/binary_codec.hpp"
+#include "ml/ensemble_surrogate.hpp"
+#include "ml/surrogate.hpp"
+
+namespace isop::core {
+
+class SurrogateObjective {
+ public:
+  /// `smooth` selects ghat (Eq. 9/10) vs plain g (Eq. 8) for the search
+  /// stages. The objective is held by reference: weight updates made by
+  /// AdaptiveWeights are visible to subsequent evaluations.
+  SurrogateObjective(Objective& objective, const ml::Surrogate& model, bool smooth = true);
+
+  em::PerformanceMetrics predict(const em::StackupParams& x) const;
+
+  /// Objective value at a design point (thread-safe).
+  double evaluate(const em::StackupParams& x) const;
+
+  /// Objective value for an encoded configuration; +inf for invalid bit
+  /// patterns (the paper's "invalid cases" exclusion).
+  double evaluateBits(const hpo::BinaryCodec& codec, const hpo::BitVector& bits) const;
+
+  /// Value plus d(objective)/dx via the surrogate's input gradients.
+  /// Requires model.hasInputGradient().
+  double evaluateWithGradient(const em::StackupParams& x, std::span<double> grad) const;
+
+  /// Uncertainty penalty (extension): when the model is an
+  /// ml::EnsembleSurrogate and weight > 0, evaluate() adds
+  /// weight * sum_j sigma_j(x) / scale_j to the objective, where sigma is
+  /// the ensemble disagreement and scale_j the constraint tolerance (or 1
+  /// for unconstrained metrics). Steers the search away from regions the
+  /// surrogate does not actually know — the optimizer otherwise exploits
+  /// exactly the pockets where the model is optimistically wrong. The
+  /// penalty is value-only (not propagated through the gradient path).
+  void setUncertaintyPenalty(double weight);
+
+  /// When recording, every evaluate() appends (metrics, design) to an
+  /// internal batch retrievable with drainBatch() — used between Harmonica
+  /// iterations by the weight adapter.
+  void setRecording(bool on) { recording_ = on; }
+  void drainBatch(std::vector<em::PerformanceMetrics>& metrics,
+                  std::vector<em::StackupParams>& designs) const;
+
+  const Objective& objective() const { return *objective_; }
+  Objective& objective() { return *objective_; }
+  const ml::Surrogate& model() const { return *model_; }
+
+ private:
+  double uncertaintyTerm(const em::StackupParams& x) const;
+
+  Objective* objective_;
+  const ml::Surrogate* model_;
+  const ml::EnsembleSurrogate* ensemble_ = nullptr;  // set iff model is one
+  double uncertaintyWeight_ = 0.0;
+  bool smooth_;
+  bool recording_ = false;
+  mutable std::mutex batchMutex_;
+  mutable std::vector<em::PerformanceMetrics> batchMetrics_;
+  mutable std::vector<em::StackupParams> batchDesigns_;
+};
+
+}  // namespace isop::core

@@ -1,0 +1,81 @@
+#include "core/tasks.hpp"
+
+#include <stdexcept>
+
+namespace isop::core {
+
+namespace {
+OutputConstraint zConstraint(double target, double tolerance) {
+  return {em::Metric::Z, target, tolerance, "Z"};
+}
+}  // namespace
+
+Task taskT1() {
+  Task t;
+  t.name = "T1";
+  t.spec.fom = {{em::Metric::L, 1.0}};
+  t.spec.outputConstraints = {zConstraint(85.0, 1.0)};
+  return t;
+}
+
+Task taskT2() {
+  Task t;
+  t.name = "T2";
+  t.spec.fom = {{em::Metric::L, 1.0}};
+  t.spec.outputConstraints = {zConstraint(100.0, 2.0)};
+  return t;
+}
+
+Task taskT3() {
+  Task t;
+  t.name = "T3";
+  t.spec.fom = {{em::Metric::L, 1.0}};
+  t.spec.outputConstraints = {zConstraint(85.0, 1.0),
+                              {em::Metric::Next, 0.0, 0.05, "NEXT"}};
+  return t;
+}
+
+Task taskT4() {
+  Task t;
+  t.name = "T4";
+  t.spec.fom = {{em::Metric::L, 1.0}, {em::Metric::Next, 2.0}};
+  t.spec.outputConstraints = {zConstraint(85.0, 1.0)};
+  return t;
+}
+
+Task taskByName(std::string_view name) {
+  if (name == "T1") return taskT1();
+  if (name == "T2") return taskT2();
+  if (name == "T3") return taskT3();
+  if (name == "T4") return taskT4();
+  throw std::invalid_argument("unknown task: " + std::string(name));
+}
+
+std::vector<InputConstraint> tableIxInputConstraints() {
+  using em::Param;
+  std::vector<InputConstraint> ics(3);
+  ics[0].name = "2*Wt+St<=20";
+  ics[0].coefficients[static_cast<std::size_t>(Param::Wt)] = 2.0;
+  ics[0].coefficients[static_cast<std::size_t>(Param::St)] = 1.0;
+  ics[0].bound = 20.0;
+
+  ics[1].name = "Dt-5*Hc<=0";
+  ics[1].coefficients[static_cast<std::size_t>(Param::Dt)] = 1.0;
+  ics[1].coefficients[static_cast<std::size_t>(Param::Hc)] = -5.0;
+  ics[1].bound = 0.0;
+
+  ics[2].name = "Dt-5*Hp<=0";
+  ics[2].coefficients[static_cast<std::size_t>(Param::Dt)] = 1.0;
+  ics[2].coefficients[static_cast<std::size_t>(Param::Hp)] = -5.0;
+  ics[2].bound = 0.0;
+  return ics;
+}
+
+em::StackupParams manualDesignTableIx() {
+  em::StackupParams p;
+  p.values = {5.0, 6.0, 20.0, 0.0, 1.5, 8.0, 8.0, 5.8e7,
+              -14.5, 4.3, 4.3, 4.3, 0.001, 0.001, 0.001};
+  return p;
+}
+
+}  // namespace isop::core

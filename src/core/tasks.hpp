@@ -1,0 +1,39 @@
+// The paper's experiment tasks (Table II) and the Table IX input-constraint
+// case study.
+//
+//   T1: minimize |L|            s.t. |Z - 85| <= 1
+//   T2: minimize |L|            s.t. |Z - 100| <= 2
+//   T3: minimize |L|            s.t. |Z - 85| <= 1, |NEXT - 0| <= 0.05 mV
+//   T4: minimize |L| + 2|NEXT|  s.t. |Z - 85| <= 1
+#pragma once
+
+#include <string>
+
+#include "core/objective.hpp"
+
+namespace isop::core {
+
+struct Task {
+  std::string name;
+  ObjectiveSpec spec;
+};
+
+Task taskT1();
+Task taskT2();
+Task taskT3();
+Task taskT4();
+
+/// Lookup by name ("T1".."T4"); throws std::invalid_argument on unknown.
+Task taskByName(std::string_view name);
+
+/// The three expert-defined input constraints of the Table IX study:
+///   1) 2*Wt + St <= 20          (differential pair base width)
+///   2) Dt - 5*Hc <= 0           (pair distance vs. core height)
+///   3) Dt - 5*Hp <= 0           (pair distance vs. prepreg height)
+std::vector<InputConstraint> tableIxInputConstraints();
+
+/// The expert's manual design from Table IX (evaluated as the baseline in
+/// the manual-vs-ISOP+ comparison).
+em::StackupParams manualDesignTableIx();
+
+}  // namespace isop::core

@@ -1,0 +1,202 @@
+#include "core/trial_runner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.hpp"
+#include "common/timer.hpp"
+#include "hpo/genetic.hpp"
+#include "hpo/simulated_annealing.hpp"
+#include "hpo/tpe.hpp"
+#include "hpo/random_search.hpp"
+
+namespace isop::core {
+
+namespace {
+
+/// Keeps the k best distinct designs seen by a sequential baseline search.
+class TopKCollector {
+ public:
+  explicit TopKCollector(std::size_t k) : k_(k) {}
+
+  void offer(const em::StackupParams& p, double value) {
+    for (auto& e : entries_) {
+      if (e.params.values == p.values) {
+        e.value = std::min(e.value, value);
+        return;
+      }
+    }
+    entries_.push_back({p, value});
+    std::sort(entries_.begin(), entries_.end(),
+              [](const Entry& a, const Entry& b) { return a.value < b.value; });
+    if (entries_.size() > k_) entries_.resize(k_);
+  }
+
+  std::vector<em::StackupParams> designs() const {
+    std::vector<em::StackupParams> out;
+    out.reserve(entries_.size());
+    for (const auto& e : entries_) out.push_back(e.params);
+    return out;
+  }
+
+ private:
+  struct Entry {
+    em::StackupParams params;
+    double value;
+  };
+  std::size_t k_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace
+
+double fomImprovementPercent(double theirsFom, double oursFom) {
+  if (theirsFom == 0.0) return 0.0;
+  return 100.0 * (theirsFom - oursFom) / theirsFom;
+}
+
+TrialRunner::TrialRunner(const em::EmSimulator& simulator,
+                         std::shared_ptr<const ml::Surrogate> surrogate,
+                         em::ParameterSpace space, Task task)
+    : simulator_(&simulator),
+      surrogate_(std::move(surrogate)),
+      space_(std::move(space)),
+      task_(std::move(task)) {}
+
+TrialOutcome TrialRunner::runIsopTrial(const MethodSpec& method, std::uint64_t seed) const {
+  IsopConfig cfg = method.isop;
+  cfg.seed = seed;
+  cfg.candNum = method.rolloutCandidates;
+  const IsopOptimizer optimizer(*simulator_, surrogate_, space_, task_, cfg);
+  const IsopResult result = optimizer.run();
+
+  TrialOutcome outcome;
+  const IsopCandidate& best = result.best();
+  outcome.params = best.params;
+  outcome.metrics = best.metrics;
+  outcome.fom = best.fom;
+  outcome.g = best.g;
+  outcome.success = best.feasible;
+  outcome.samplesSeen = result.surrogateQueries;
+  outcome.runtimeSeconds = result.modeledSeconds;
+  return outcome;
+}
+
+TrialOutcome TrialRunner::runBaselineTrial(const MethodSpec& method,
+                                           std::uint64_t seed) const {
+  Timer timer;
+  surrogate_->resetQueryCount();
+  const std::size_t simBefore = simulator_->callCount();
+  const double simSecondsBefore = simulator_->modeledSeconds();
+
+  Objective objective(task_.spec);
+  const SurrogateObjective searchObjective(objective, *surrogate_, /*smooth=*/true);
+  TopKCollector collector(method.rolloutCandidates);
+  auto tracked = [&](const em::StackupParams& p) {
+    const double v = searchObjective.evaluate(p);
+    collector.offer(p, v);
+    return v;
+  };
+
+  switch (method.kind) {
+    case MethodSpec::Kind::SimulatedAnnealing: {
+      hpo::SaConfig cfg;
+      cfg.evaluations = method.evalBudget;
+      cfg.seed = seed;
+      hpo::SimulatedAnnealing(cfg).optimize(space_, tracked);
+      break;
+    }
+    case MethodSpec::Kind::Tpe: {
+      hpo::TpeConfig cfg;
+      cfg.evaluations = method.evalBudget;
+      cfg.seed = seed;
+      hpo::TpeOptimizer(cfg).optimize(space_, tracked);
+      break;
+    }
+    case MethodSpec::Kind::RandomSearch: {
+      hpo::RandomSearchConfig cfg;
+      cfg.evaluations = method.evalBudget;
+      cfg.seed = seed;
+      hpo::RandomSearch(cfg).optimize(space_, tracked);
+      break;
+    }
+    case MethodSpec::Kind::Genetic: {
+      hpo::GaConfig cfg;
+      cfg.evaluations = method.evalBudget;
+      cfg.seed = seed;
+      hpo::GeneticAlgorithm(cfg).optimize(space_, tracked);
+      break;
+    }
+    case MethodSpec::Kind::Isop:
+      break;  // handled elsewhere
+  }
+
+  // EM-validated roll-out of the top candidates, like ISOP+'s stage 3.
+  TrialOutcome outcome;
+  bool first = true;
+  for (const auto& design : collector.designs()) {
+    const em::PerformanceMetrics m = simulator_->simulate(design);
+    const double g = objective.gValue(m, design);
+    const bool feasible = objective.feasible(m, design);
+    const bool better =
+        first || (feasible && !outcome.success) ||
+        (feasible == outcome.success && g < outcome.g);
+    if (better) {
+      outcome.params = design;
+      outcome.metrics = m;
+      outcome.g = g;
+      outcome.fom = objective.fomValue(m);
+      outcome.success = feasible;
+      first = false;
+    }
+  }
+  outcome.samplesSeen = surrogate_->queryCount();
+  outcome.runtimeSeconds =
+      timer.seconds() + (simulator_->modeledSeconds() - simSecondsBefore);
+  (void)simBefore;
+  return outcome;
+}
+
+TrialStats TrialRunner::run(const MethodSpec& method, std::size_t trials,
+                            std::uint64_t baseSeed) const {
+  TrialStats stats;
+  stats.method = method.name;
+  stats.trials = trials;
+
+  std::vector<double> dz, l, next, fom, runtime, samples;
+  const double zTarget = [&] {
+    for (const auto& oc : task_.spec.outputConstraints) {
+      if (oc.metric == em::Metric::Z) return oc.target;
+    }
+    return 0.0;
+  }();
+
+  for (std::size_t t = 0; t < trials; ++t) {
+    const std::uint64_t seed = baseSeed + t;
+    TrialOutcome outcome = method.kind == MethodSpec::Kind::Isop
+                               ? runIsopTrial(method, seed)
+                               : runBaselineTrial(method, seed);
+    if (outcome.success) ++stats.successes;
+    dz.push_back(std::abs(outcome.metrics.z - zTarget));
+    l.push_back(outcome.metrics.l);
+    next.push_back(outcome.metrics.next);
+    fom.push_back(outcome.fom);
+    runtime.push_back(outcome.runtimeSeconds);
+    samples.push_back(static_cast<double>(outcome.samplesSeen));
+    stats.outcomes.push_back(std::move(outcome));
+  }
+
+  stats.avgRuntime = stats::mean(runtime);
+  stats.avgSamples = stats::mean(samples);
+  stats.dzMean = stats::mean(dz);
+  stats.dzStdev = stats::stdev(dz);
+  stats.lMean = stats::mean(l);
+  stats.lStdev = stats::stdev(l);
+  stats.nextMean = stats::mean(next);
+  stats.nextStdev = stats::stdev(next);
+  stats.fomMean = stats::mean(fom);
+  stats.fomStdev = stats::stdev(fom);
+  return stats;
+}
+
+}  // namespace isop::core

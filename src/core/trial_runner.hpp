@@ -1,0 +1,77 @@
+// Repeat-trial experiment harness behind Tables IV, V, VII and VIII: runs a
+// method (ISOP+ / ISOP variants / SA / BO / random search) n times with
+// distinct seeds against a task+space, validates each trial's final
+// candidates with the EM simulator, and aggregates the paper's statistics
+// (success rate, runtime, samples seen, dZ, L, NEXT, FoM).
+//
+// All baselines use the same ML surrogate and the same smoothed objective
+// ghat with uniform initial weights, exactly as in Section IV-A; like the
+// paper, each trial's final answer is selected by three EM validation
+// simulations of the best surrogate-ranked candidates.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/isop.hpp"
+
+namespace isop::core {
+
+struct MethodSpec {
+  enum class Kind { Isop, SimulatedAnnealing, Tpe, RandomSearch, Genetic };
+
+  std::string name;                  ///< row label ("ISOP+", "SA-1", "BO-2", ...)
+  Kind kind = Kind::Isop;
+  IsopConfig isop{};                 ///< used when kind == Isop
+  std::size_t evalBudget = 16000;    ///< surrogate evaluations for baselines
+  std::size_t rolloutCandidates = 3; ///< EM validations per trial
+};
+
+/// Per-trial outcome: the EM-validated final design.
+struct TrialOutcome {
+  em::StackupParams params{};
+  em::PerformanceMetrics metrics{};
+  double fom = 0.0;
+  double g = 0.0;
+  bool success = false;          ///< all constraints met (EM-validated)
+  std::size_t samplesSeen = 0;   ///< surrogate queries
+  double runtimeSeconds = 0.0;   ///< algo wall time + modeled EM solver time
+};
+
+struct TrialStats {
+  std::string method;
+  std::size_t trials = 0;
+  std::size_t successes = 0;
+  double avgRuntime = 0.0;
+  double avgSamples = 0.0;
+  double dzMean = 0.0, dzStdev = 0.0;      ///< |Z - Zo| of the final designs
+  double lMean = 0.0, lStdev = 0.0;
+  double nextMean = 0.0, nextStdev = 0.0;
+  double fomMean = 0.0, fomStdev = 0.0;
+  std::vector<TrialOutcome> outcomes;
+};
+
+class TrialRunner {
+ public:
+  TrialRunner(const em::EmSimulator& simulator,
+              std::shared_ptr<const ml::Surrogate> surrogate,
+              em::ParameterSpace space, Task task);
+
+  /// Runs `trials` repetitions of `method`; trial t uses seed baseSeed + t.
+  TrialStats run(const MethodSpec& method, std::size_t trials,
+                 std::uint64_t baseSeed = 100) const;
+
+ private:
+  TrialOutcome runIsopTrial(const MethodSpec& method, std::uint64_t seed) const;
+  TrialOutcome runBaselineTrial(const MethodSpec& method, std::uint64_t seed) const;
+
+  const em::EmSimulator* simulator_;
+  std::shared_ptr<const ml::Surrogate> surrogate_;
+  em::ParameterSpace space_;
+  Task task_;
+};
+
+/// FoM improvement of `ours` over `theirs` per Eq. 12, in percent.
+double fomImprovementPercent(double theirsFom, double oursFom);
+
+}  // namespace isop::core

@@ -1,0 +1,127 @@
+#include "data/cache.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace isop::data {
+
+namespace fs = std::filesystem;
+
+std::string cacheDir() {
+  const char* env = std::getenv("ISOP_CACHE_DIR");
+  std::string dir = env && *env ? env : "isop_cache";
+  std::error_code ec;
+  fs::create_directories(dir, ec);  // best effort; open errors surface later
+  return dir;
+}
+
+namespace {
+std::string datasetPath(const GenerationConfig& config) {
+  std::ostringstream os;
+  os << cacheDir() << "/dataset_" << config.spaceName << "_n" << config.samples
+     << "_s" << config.seed << (config.unique ? "_u" : "") << ".bin";
+  return os.str();
+}
+
+std::string modelPath(const char* kind, const GenerationConfig& dsConfig,
+                      const ml::nn::TrainConfig& trainConfig) {
+  std::ostringstream os;
+  os << cacheDir() << "/" << kind << "_" << dsConfig.spaceName << "_n"
+     << dsConfig.samples << "_s" << dsConfig.seed << "_e" << trainConfig.epochs
+     << "_b" << trainConfig.batchSize << "_ts" << trainConfig.seed << ".bin";
+  return os.str();
+}
+
+ml::Dataset trainSplit(const em::EmSimulator& sim, const GenerationConfig& dsConfig) {
+  ml::Dataset ds =
+      getOrGenerateDataset(sim, em::spaceByName(dsConfig.spaceName), dsConfig);
+  Rng rng(dsConfig.seed ^ 0x5ca1ab1eULL);
+  ds.shuffle(rng);
+  auto [train, test] = ds.split(0.8);
+  (void)test;
+  return train;
+}
+}  // namespace
+
+ml::Dataset getOrGenerateDataset(const em::EmSimulator& sim,
+                                 const em::ParameterSpace& space,
+                                 const GenerationConfig& config) {
+  const std::string path = datasetPath(config);
+  if (fs::exists(path)) {
+    try {
+      return ml::loadDataset(path);
+    } catch (const std::exception& e) {
+      log::warn("dataset cache '", path, "' unreadable (", e.what(), "); regenerating");
+    }
+  }
+  log::info("generating dataset: ", config.samples, " samples (seed ", config.seed, ")");
+  ml::Dataset ds = generateDataset(sim, space, config);
+  try {
+    saveDataset(path, ds);
+  } catch (const std::exception& e) {
+    log::warn("could not cache dataset to '", path, "': ", e.what());
+  }
+  return ds;
+}
+
+std::shared_ptr<ml::Cnn1dRegressor> getOrTrainCnnSurrogate(
+    const em::EmSimulator& sim, const GenerationConfig& datasetConfig,
+    const ml::nn::TrainConfig& trainConfig) {
+  const std::string path = modelPath("cnn", datasetConfig, trainConfig);
+  if (fs::exists(path)) {
+    try {
+      return std::shared_ptr<ml::Cnn1dRegressor>(ml::Cnn1dRegressor::load(path));
+    } catch (const std::exception& e) {
+      log::warn("model cache '", path, "' unreadable (", e.what(), "); retraining");
+    }
+  }
+  // Accuracy-oriented architecture: wide expansion, no dropout (ample data,
+  // and the +-1 ohm constraint band punishes any regularization bias).
+  ml::Cnn1dConfig arch;
+  arch.expandChannels = 16;
+  arch.expandLength = 32;
+  arch.convChannels = 32;
+  arch.headHidden = 96;
+  arch.dropout = 0.0;
+  auto model = std::make_shared<ml::Cnn1dRegressor>(arch);
+  model->setOutputTransforms(ml::metricLogTransforms());
+  log::info("training 1D-CNN surrogate (", trainConfig.epochs, " epochs)");
+  model->fit(trainSplit(sim, datasetConfig), trainConfig);
+  try {
+    model->save(path);
+  } catch (const std::exception& e) {
+    log::warn("could not cache model to '", path, "': ", e.what());
+  }
+  return model;
+}
+
+std::shared_ptr<ml::MlpRegressor> getOrTrainMlpSurrogate(
+    const em::EmSimulator& sim, const GenerationConfig& datasetConfig,
+    const ml::nn::TrainConfig& trainConfig) {
+  const std::string path = modelPath("mlp", datasetConfig, trainConfig);
+  if (fs::exists(path)) {
+    try {
+      return std::shared_ptr<ml::MlpRegressor>(ml::MlpRegressor::load(path));
+    } catch (const std::exception& e) {
+      log::warn("model cache '", path, "' unreadable (", e.what(), "); retraining");
+    }
+  }
+  ml::MlpConfig arch;
+  arch.hidden = {256, 256, 128};
+  arch.dropout = 0.0;
+  auto model = std::make_shared<ml::MlpRegressor>(arch);
+  model->setOutputTransforms(ml::metricLogTransforms());
+  log::info("training MLP surrogate (", trainConfig.epochs, " epochs)");
+  model->fit(trainSplit(sim, datasetConfig), trainConfig);
+  try {
+    model->save(path);
+  } catch (const std::exception& e) {
+    log::warn("could not cache model to '", path, "': ", e.what());
+  }
+  return model;
+}
+
+}  // namespace isop::data

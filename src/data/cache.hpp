@@ -1,0 +1,35 @@
+// On-disk caching of generated datasets and trained neural surrogates so the
+// benchmark binaries (one per paper table) share work instead of regenerating
+// a dataset and retraining a CNN each. Cache keys encode the generation and
+// training settings; files live under a cache directory (default
+// "isop_cache/" in the working directory, override with ISOP_CACHE_DIR).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "data/dataset_gen.hpp"
+#include "ml/neural_regressor.hpp"
+
+namespace isop::data {
+
+/// Resolves the cache directory (creates it if missing).
+std::string cacheDir();
+
+/// Loads the dataset for (config) if cached, else generates and caches it.
+ml::Dataset getOrGenerateDataset(const em::EmSimulator& sim,
+                                 const em::ParameterSpace& space,
+                                 const GenerationConfig& config);
+
+/// Loads a trained 1D-CNN surrogate for the given dataset settings if
+/// cached, else trains (80% split of the generated dataset) and caches it.
+std::shared_ptr<ml::Cnn1dRegressor> getOrTrainCnnSurrogate(
+    const em::EmSimulator& sim, const GenerationConfig& datasetConfig,
+    const ml::nn::TrainConfig& trainConfig);
+
+/// Same for the MLP surrogate (the DATE-version ISOP model).
+std::shared_ptr<ml::MlpRegressor> getOrTrainMlpSurrogate(
+    const em::EmSimulator& sim, const GenerationConfig& datasetConfig,
+    const ml::nn::TrainConfig& trainConfig);
+
+}  // namespace isop::data

@@ -1,0 +1,59 @@
+#include "data/dataset_gen.hpp"
+
+#include <unordered_set>
+
+#include "common/thread_pool.hpp"
+
+namespace isop::data {
+
+namespace {
+/// Key for grid-point dedup: the per-parameter case indices.
+std::uint64_t gridKey(const em::ParameterSpace& space, const em::StackupParams& p) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (std::size_t i = 0; i < space.dim(); ++i) {
+    const std::uint64_t idx = space.range(i).nearestIndex(p.values[i]);
+    h ^= idx + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+}  // namespace
+
+ml::Dataset generateDataset(const em::EmSimulator& sim, const em::ParameterSpace& space,
+                            const GenerationConfig& config) {
+  ml::Dataset ds;
+  ds.x.resize(config.samples, em::kNumParams);
+  ds.y.resize(config.samples, em::kNumMetrics);
+
+  // Draw the design points sequentially (dedup needs a single stream), then
+  // label them in parallel.
+  std::vector<em::StackupParams> designs;
+  designs.reserve(config.samples);
+  Rng rng(config.seed);
+  std::unordered_set<std::uint64_t> seen;
+  std::size_t attempts = 0;
+  const std::size_t maxAttempts = config.samples * 20 + 1000;
+  while (designs.size() < config.samples && attempts < maxAttempts) {
+    ++attempts;
+    em::StackupParams p = space.sample(rng);
+    if (config.unique) {
+      auto [it, inserted] = seen.insert(gridKey(space, p));
+      (void)it;
+      if (!inserted) continue;
+    }
+    designs.push_back(p);
+  }
+  // Exceedingly unlikely fallback: pad with (possibly duplicate) samples.
+  while (designs.size() < config.samples) designs.push_back(space.sample(rng));
+
+  ThreadPool::global().parallelFor(designs.size(), [&](std::size_t i) {
+    const auto& p = designs[i];
+    const em::PerformanceMetrics m = sim.evaluateUncounted(p);
+    for (std::size_t j = 0; j < em::kNumParams; ++j) ds.x(i, j) = p.values[j];
+    ds.y(i, 0) = m.z;
+    ds.y(i, 1) = m.l;
+    ds.y(i, 2) = m.next;
+  });
+  return ds;
+}
+
+}  // namespace isop::data

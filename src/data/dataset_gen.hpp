@@ -1,0 +1,35 @@
+// Training-data generation: the stand-in for the paper's 90k-design dataset
+// queried from the commercial ICAT simulator.
+//
+// Designs are sampled uniformly on the training-space grid (Table III, last
+// column) and labelled with the EM model; generation is parallel and fully
+// deterministic given the seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "em/parameter_space.hpp"
+#include "em/simulator.hpp"
+#include "ml/dataset.hpp"
+
+namespace isop::data {
+
+struct GenerationConfig {
+  std::size_t samples = 30000;  ///< paper scale: 90000
+  std::uint64_t seed = 42;
+  /// Deduplicate identical grid points (the paper's dataset is "unique
+  /// stack-up design combinations"); duplicates are resampled.
+  bool unique = true;
+  /// Sampling space for the cache helpers ("envelope", "training", "S1",
+  /// "S2", "S1p") — see em::designerEnvelope() for why "envelope" is the
+  /// default for the optimization benches.
+  std::string spaceName = "envelope";
+};
+
+/// Samples designs from `space` and labels them via `sim` (uncounted calls —
+/// dataset generation is not billed as optimizer simulation time).
+ml::Dataset generateDataset(const em::EmSimulator& sim, const em::ParameterSpace& space,
+                            const GenerationConfig& config);
+
+}  // namespace isop::data

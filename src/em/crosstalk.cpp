@@ -1,0 +1,45 @@
+#include "em/crosstalk.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace isop::em {
+
+namespace {
+double traceCoupling(double distanceMil, double halfSpacingMil) {
+  return std::exp(-distanceMil / std::max(halfSpacingMil, 1e-3));
+}
+}  // namespace
+
+double differentialCoupling(const StackupParams& p, const CrosstalkModelConfig& cfg) {
+  const StriplineGeometry g = deriveGeometry(p, cfg.stripline);
+  const double halfB = 0.5 * g.planeSpacing;
+  const double d = std::max(p[Param::Dt], 0.0);
+  const double pitch = std::max(g.pairPitch, 1e-3);
+  const double dk = traceCoupling(d, halfB) - 2.0 * traceCoupling(d + pitch, halfB) +
+                    traceCoupling(d + 2.0 * pitch, halfB);
+  return std::max(dk, 0.0);
+}
+
+double nearEndCrosstalkMv(const StackupParams& p, const CrosstalkModelConfig& cfg) {
+  const StriplineGeometry g = deriveGeometry(p, cfg.stripline);
+  const double dielectricFactor = std::sqrt(std::max(g.dkEff, 1.0) / 4.0);
+  const double next = cfg.backwardStrength * dielectricFactor *
+                      differentialCoupling(p, cfg) * cfg.aggressorSwingV;
+  return -1000.0 * next;
+}
+
+double farEndCrosstalkMv(const StackupParams& p, double coupledLengthInches,
+                         const CrosstalkModelConfig& cfg) {
+  // Forward coupling ~ (Cm/C - Lm/L): zero in a perfectly homogeneous
+  // stripline. The residual imbalance scales with the relative mismatch of
+  // the two dielectric half-spaces.
+  const double dkC = std::max(p[Param::DkC], 1.0);
+  const double dkP = std::max(p[Param::DkP], 1.0);
+  const double imbalance = std::abs(dkC - dkP) / (dkC + dkP);
+  const double fext = 0.02 * imbalance * differentialCoupling(p, cfg) *
+                      cfg.aggressorSwingV * std::max(coupledLengthInches, 0.0);
+  return -1000.0 * fext;
+}
+
+}  // namespace isop::em

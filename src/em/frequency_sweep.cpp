@@ -1,0 +1,156 @@
+#include "em/frequency_sweep.hpp"
+
+#include <cassert>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <cmath>
+#include <numbers>
+
+#include "em/stripline.hpp"
+
+namespace isop::em {
+
+namespace {
+constexpr double kC0 = 2.99792458e8;         // m/s
+constexpr double kMetersPerInch = 0.0254;
+constexpr double kDbPerNeper = 8.685889638;
+
+using Complex = std::complex<double>;
+}  // namespace
+
+Complex RlgcPoint::seriesImpedance() const {
+  const double w = 2.0 * std::numbers::pi * frequencyHz;
+  return {r, w * l};
+}
+
+Complex RlgcPoint::shuntAdmittance() const {
+  const double w = 2.0 * std::numbers::pi * frequencyHz;
+  return {g, w * c};
+}
+
+Complex RlgcPoint::characteristicImpedance() const {
+  return std::sqrt(seriesImpedance() / shuntAdmittance());
+}
+
+Complex RlgcPoint::propagationConstant() const {
+  return std::sqrt(seriesImpedance() * shuntAdmittance());
+}
+
+RlgcPoint deriveRlgc(const StackupParams& p, double frequencyHz,
+                     const LossModelConfig& cfg) {
+  RlgcPoint out;
+  out.frequencyHz = frequencyHz;
+
+  const StriplineGeometry geom = deriveGeometry(p, cfg.stripline);
+  const double z0 = std::max(singleEndedImpedance(p, cfg.stripline), 1.0);
+
+  // Lossless backbone from Z0 and the effective dielectric.
+  out.c = std::sqrt(geom.dkEff) / (kC0 * z0);
+  out.l = z0 * z0 * out.c;
+
+  // Loss terms from the same alpha models the scalar metric uses, evaluated
+  // at the requested frequency.
+  LossModelConfig at = cfg;
+  at.frequencyHz = frequencyHz;
+  const double alphaCNpPerM =
+      conductorLossDbPerInch(p, at) / kDbPerNeper / kMetersPerInch;
+  const double alphaDNpPerM =
+      dielectricLossDbPerInch(p, at) / kDbPerNeper / kMetersPerInch;
+  out.r = 2.0 * alphaCNpPerM * z0;
+  out.g = 2.0 * alphaDNpPerM / z0;
+  return out;
+}
+
+double SParameters::s21Db() const { return 20.0 * std::log10(std::abs(s21)); }
+double SParameters::s11Db() const {
+  const double mag = std::abs(s11);
+  return 20.0 * std::log10(std::max(mag, 1e-12));
+}
+
+SParameters lineSParameters(const StackupParams& p, double frequencyHz,
+                            double lengthInches, double referenceOhms,
+                            const LossModelConfig& cfg) {
+  const RlgcPoint rlgc = deriveRlgc(p, frequencyHz, cfg);
+  const Complex zc = rlgc.characteristicImpedance();
+  const Complex gamma = rlgc.propagationConstant();
+  const double lengthM = lengthInches * kMetersPerInch;
+  const Complex gl = gamma * lengthM;
+
+  // ABCD of the uniform segment.
+  const Complex a = std::cosh(gl);
+  const Complex b = zc * std::sinh(gl);
+  const Complex c = std::sinh(gl) / zc;
+  const Complex d = a;
+
+  const double zRef = referenceOhms > 0.0 ? referenceOhms : zc.real();
+  const Complex z{zRef, 0.0};
+  const Complex denom = a + b / z + c * z + d;
+
+  SParameters s;
+  s.frequencyHz = frequencyHz;
+  s.s21 = 2.0 / denom;
+  s.s11 = (a + b / z - c * z - d) / denom;
+  return s;
+}
+
+std::vector<SParameters> frequencySweep(const StackupParams& p, const SweepConfig& config,
+                                        const LossModelConfig& lossCfg) {
+  assert(config.points >= 2 && config.stopHz > config.startHz);
+  std::vector<SParameters> out;
+  out.reserve(config.points);
+  for (std::size_t i = 0; i < config.points; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(config.points - 1);
+    const double f = config.logSpacing
+                         ? config.startHz *
+                               std::pow(config.stopHz / config.startHz, t)
+                         : config.startHz + t * (config.stopHz - config.startHz);
+    out.push_back(
+        lineSParameters(p, f, config.lengthInches, config.referenceOhms, lossCfg));
+  }
+  return out;
+}
+
+void writeTouchstone(const std::string& path, std::span<const SParameters> sweep,
+                     double referenceOhms) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("writeTouchstone: cannot open '" + path + "'");
+  }
+  out << "! differential-pair line model exported by the ISOP+ library\n";
+  out << "# Hz S RI R " << referenceOhms << "\n";
+  char line[256];
+  for (const auto& s : sweep) {
+    // Touchstone 2-port row: f S11 S21 S12 S22 (real imag pairs).
+    std::snprintf(line, sizeof(line),
+                  "%.6e % .9e % .9e % .9e % .9e % .9e % .9e % .9e % .9e\n",
+                  s.frequencyHz, s.s11.real(), s.s11.imag(), s.s21.real(),
+                  s.s21.imag(), s.s21.real(), s.s21.imag(), s.s11.real(),
+                  s.s11.imag());
+    out << line;
+  }
+  if (!out) throw std::runtime_error("writeTouchstone: write failed for '" + path + "'");
+}
+
+ChannelSummary summarizeChannel(const StackupParams& p, const SweepConfig& config,
+                                const LossModelConfig& lossCfg) {
+  ChannelSummary summary;
+  const auto matched = lineSParameters(p, 16.0e9, 1.0, 0.0, lossCfg);
+  summary.lossAt16GHzDbPerInch = matched.s21Db();
+
+  const auto sweep = frequencySweep(p, config, lossCfg);
+  double worstS11 = -1e9;
+  summary.bandwidth3DbGHz = config.stopHz / 1e9;  // unless crossed below
+  bool crossed = false;
+  for (const auto& s : sweep) {
+    worstS11 = std::max(worstS11, s.s11Db());
+    if (!crossed && s.s21Db() < -3.0) {
+      summary.bandwidth3DbGHz = s.frequencyHz / 1e9;
+      crossed = true;
+    }
+  }
+  summary.worstReturnLossDb = worstS11;
+  return summary;
+}
+
+}  // namespace isop::em

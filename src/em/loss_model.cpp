@@ -1,0 +1,55 @@
+#include "em/loss_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace isop::em {
+
+namespace {
+constexpr double kMu0 = 4.0e-7 * std::numbers::pi;  // H/m
+constexpr double kC0 = 2.99792458e8;                // m/s
+constexpr double kNpToDb = 8.685889638;             // dB per neper
+constexpr double kMetersPerInch = 0.0254;
+constexpr double kMetersPerMil = 2.54e-5;
+}  // namespace
+
+double surfaceResistance(double frequencyHz, double conductivitySm) {
+  conductivitySm = std::max(conductivitySm, 1.0);
+  return std::sqrt(std::numbers::pi * frequencyHz * kMu0 / conductivitySm);
+}
+
+double skinDepthUm(double frequencyHz, double conductivitySm) {
+  conductivitySm = std::max(conductivitySm, 1.0);
+  const double omega = 2.0 * std::numbers::pi * frequencyHz;
+  return std::sqrt(2.0 / (omega * kMu0 * conductivitySm)) * 1e6;
+}
+
+double roughnessFactor(const StackupParams& p, const LossModelConfig& cfg) {
+  const double rqUm = cfg.roughnessBaseUm * std::pow(10.0, p[Param::Rt] / 20.0);
+  const double deltaUm = skinDepthUm(cfg.frequencyHz, p[Param::SigmaT]);
+  const double ratio = rqUm / std::max(deltaUm, 1e-9);
+  return 1.0 + (2.0 / std::numbers::pi) * std::atan(1.4 * ratio * ratio);
+}
+
+double dielectricLossDbPerInch(const StackupParams& p, const LossModelConfig& cfg) {
+  const StriplineGeometry g = deriveGeometry(p, cfg.stripline);
+  const double alphaNpPerM = std::numbers::pi * cfg.frequencyHz *
+                             std::sqrt(g.dkEff) * std::max(g.dfEff, 0.0) / kC0;
+  return alphaNpPerM * kNpToDb * kMetersPerInch;
+}
+
+double conductorLossDbPerInch(const StackupParams& p, const LossModelConfig& cfg) {
+  const StriplineGeometry g = deriveGeometry(p, cfg.stripline);
+  const double rs = surfaceResistance(cfg.frequencyHz, p[Param::SigmaT]);
+  const double z0 = std::max(singleEndedImpedance(p, cfg.stripline), 1.0);
+  const double widthM = std::max(g.traceWidthEff, 1e-3) * kMetersPerMil;
+  const double alphaDbPerM = cfg.conductorCalibration * kNpToDb * rs / (z0 * widthM);
+  return alphaDbPerM * kMetersPerInch * roughnessFactor(p, cfg);
+}
+
+double insertionLossDbPerInch(const StackupParams& p, const LossModelConfig& cfg) {
+  return -(conductorLossDbPerInch(p, cfg) + dielectricLossDbPerInch(p, cfg));
+}
+
+}  // namespace isop::em

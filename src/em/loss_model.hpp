@@ -1,0 +1,49 @@
+// Differential insertion-loss model (dB/inch, negative) at a configurable
+// frequency (the paper evaluates at 16 GHz).
+//
+// L = -(alpha_conductor * K_roughness + alpha_dielectric)
+//
+//   * alpha_dielectric = 8.686 * pi * f * sqrt(DkEff) * DfEff / c0
+//     (standard TEM dielectric loss), converted to dB/inch;
+//   * alpha_conductor  = Kc * 8.686 * Rs / (Z0 * We) with the surface
+//     resistance Rs = sqrt(pi f mu0 / sigma); Kc is a calibration constant
+//     folding in the stripline current-distribution factor so typical S1
+//     designs land in the paper's -0.3 .. -0.7 dB/inch band;
+//   * K_roughness is the Hammerstad–Jensen factor
+//     1 + (2/pi) atan(1.4 (Rq/delta)^2) with the RMS roughness Rq derived
+//     from the paper's dB-scaled roughness knob Rt in [-14.5, 14]:
+//     Rq = Rq0 * 10^(Rt/20), so Rt = -14.5 is near-smooth foil and
+//     Rt = 14 is heavily treated foil (~2.5 um).
+#pragma once
+
+#include "em/stackup.hpp"
+#include "em/stripline.hpp"
+
+namespace isop::em {
+
+struct LossModelConfig {
+  double frequencyHz = 16.0e9;       ///< evaluation frequency (paper: 16 GHz)
+  double conductorCalibration = 0.342;///< Kc; folds stripline current factors
+  double roughnessBaseUm = 0.5;      ///< Rq0: RMS roughness at Rt = 0 dB
+  StriplineModelConfig stripline;    ///< shared geometry model
+};
+
+/// Conductor skin-effect surface resistance (ohms/square).
+double surfaceResistance(double frequencyHz, double conductivitySm);
+
+/// Skin depth in micrometres.
+double skinDepthUm(double frequencyHz, double conductivitySm);
+
+/// Hammerstad–Jensen roughness multiplier (>= 1).
+double roughnessFactor(const StackupParams& p, const LossModelConfig& cfg = {});
+
+/// Dielectric loss component, dB/inch (positive magnitude).
+double dielectricLossDbPerInch(const StackupParams& p, const LossModelConfig& cfg = {});
+
+/// Conductor loss component including roughness, dB/inch (positive magnitude).
+double conductorLossDbPerInch(const StackupParams& p, const LossModelConfig& cfg = {});
+
+/// Total differential insertion loss, dB/inch, negative (a loss).
+double insertionLossDbPerInch(const StackupParams& p, const LossModelConfig& cfg = {});
+
+}  // namespace isop::em

@@ -1,0 +1,107 @@
+#include "em/microstrip.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "em/loss_model.hpp"
+
+namespace isop::em {
+
+namespace {
+constexpr double kMinDim = 1e-3;   // mil
+constexpr double kNpToDb = 8.685889638;
+constexpr double kC0 = 2.99792458e8;
+constexpr double kMetersPerInch = 0.0254;
+constexpr double kMetersPerMil = 2.54e-5;
+
+double effectiveWidth(const StackupParams& p) {
+  const double w = std::max(p[Param::Wt], kMinDim);
+  const double t = std::max(p[Param::Ht], kMinDim);
+  return std::max(w - p[Param::Et] * t, 0.25 * w);
+}
+}  // namespace
+
+double microstripEffectiveDk(const StackupParams& p, const MicrostripModelConfig& cfg) {
+  const double er = std::max(p[Param::DkC], 1.0);
+  const double h = std::max(p[Param::Hc], kMinDim);
+  const double w = effectiveWidth(p);
+  // Hammerstad: half the field in the substrate, the rest shared with air,
+  // narrowing toward the substrate value for wide traces.
+  const double base =
+      0.5 * (er + 1.0) + 0.5 * (er - 1.0) / std::sqrt(1.0 + 12.0 * h / w);
+  // Thin solder mask pulls the air side up slightly.
+  const double mask = std::max(p[Param::DkP], 1.0);
+  return (1.0 - cfg.maskMixRatio) * base + cfg.maskMixRatio * mask;
+}
+
+double microstripSingleEndedImpedance(const StackupParams& p,
+                                      const MicrostripModelConfig& cfg) {
+  const double h = std::max(p[Param::Hc], kMinDim);
+  const double t = std::max(p[Param::Ht], kMinDim);
+  const double we = effectiveWidth(p);
+  const double erEff = microstripEffectiveDk(p, cfg);
+  const double arg = 5.98 * h / (0.8 * we + t);
+  return 87.0 / std::sqrt(erEff + 1.41) * std::log1p(arg);
+}
+
+double microstripDifferentialImpedance(const StackupParams& p,
+                                       const MicrostripModelConfig& cfg) {
+  const double z0 = microstripSingleEndedImpedance(p, cfg);
+  const double s = std::max(p[Param::St], kMinDim);
+  const double h = std::max(p[Param::Hc], kMinDim);
+  const double coupling = cfg.couplingStrength * std::exp(-cfg.couplingDecay * s / h);
+  return 2.0 * z0 * (1.0 - coupling);
+}
+
+double microstripInsertionLossDbPerInch(const StackupParams& p, double frequencyHz,
+                                        const MicrostripModelConfig& cfg) {
+  const double erEff = microstripEffectiveDk(p, cfg);
+  const double er = std::max(p[Param::DkC], 1.0);
+  // Dielectric loss with the standard inhomogeneous-fill factor.
+  const double fill = er * (erEff - 1.0) / (std::max(erEff, 1.0 + 1e-9) * (er - 1.0 + 1e-9));
+  const double alphaD = std::numbers::pi * frequencyHz * std::sqrt(erEff) *
+                        std::max(p[Param::DfC], 0.0) * fill / kC0 * kNpToDb *
+                        kMetersPerInch;
+  // Conductor loss: one reference plane only -> slightly higher current
+  // crowding than stripline at the same Z0, folded into the 0.38 factor.
+  LossModelConfig lossCfg;
+  lossCfg.frequencyHz = frequencyHz;
+  const double rs = surfaceResistance(frequencyHz, p[Param::SigmaT]);
+  const double z0 = std::max(microstripSingleEndedImpedance(p, cfg), 1.0);
+  const double widthM = effectiveWidth(p) * kMetersPerMil;
+  const double alphaC = 0.38 * kNpToDb * rs / (z0 * widthM) * kMetersPerInch *
+                        roughnessFactor(p, lossCfg);
+  return -(alphaC + alphaD);
+}
+
+double microstripFarEndCrosstalkMv(const StackupParams& p, double coupledLengthInches,
+                                   const MicrostripModelConfig& cfg) {
+  // Forward coupling in an inhomogeneous medium: the imbalance between the
+  // capacitive and inductive coupling fractions scales with how far the
+  // effective dielectric sits from the substrate value (i.e. how much of
+  // the field is in the air).
+  const double er = std::max(p[Param::DkC], 1.0);
+  const double erEff = microstripEffectiveDk(p, cfg);
+  const double imbalance = std::max(er - erEff, 0.0) / er;
+  const double h = std::max(p[Param::Hc], kMinDim);
+  const double d = std::max(p[Param::Dt], 0.0);
+  const double pitch = effectiveWidth(p) + p[Param::St];
+  auto k = [&](double dist) { return 1.0 / (1.0 + (dist / h) * (dist / h)); };
+  const double dk = std::max(k(d) - 2.0 * k(d + pitch) + k(d + 2.0 * pitch), 0.0);
+  return -1000.0 * 0.08 * imbalance * dk * std::max(coupledLengthInches, 0.0);
+}
+
+double microstripNearEndCrosstalkMv(const StackupParams& p,
+                                    const MicrostripModelConfig& cfg) {
+  const double h = std::max(p[Param::Hc], kMinDim);
+  const double d = std::max(p[Param::Dt], 0.0);
+  const double pitch = effectiveWidth(p) + p[Param::St];
+  // Classic 1/(1+(d/h)^2) microstrip coupling, differentially sensed.
+  auto k = [&](double dist) { return 1.0 / (1.0 + (dist / h) * (dist / h)); };
+  const double dk = std::max(k(d) - 2.0 * k(d + pitch) + k(d + 2.0 * pitch), 0.0);
+  // One-sided return path: saturated backward coupling ~2x the stripline's.
+  return -1000.0 * 0.1 * dk;
+}
+
+}  // namespace isop::em

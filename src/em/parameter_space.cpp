@@ -1,0 +1,204 @@
+#include "em/parameter_space.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace isop::em {
+
+std::size_t ParameterRange::caseCount() const {
+  assert(step > 0.0 && hi >= lo);
+  return static_cast<std::size_t>(std::llround((hi - lo) / step)) + 1;
+}
+
+std::size_t ParameterRange::bitCount() const {
+  std::size_t n = caseCount();
+  std::size_t bits = 0;
+  std::size_t cap = 1;
+  while (cap < n) {
+    cap <<= 1;
+    ++bits;
+  }
+  return bits == 0 ? 1 : bits;  // a 1-case range still occupies one bit
+}
+
+std::size_t ParameterRange::nearestIndex(double value) const {
+  double raw = (value - lo) / step;
+  long long idx = std::llround(raw);
+  long long maxIdx = static_cast<long long>(caseCount()) - 1;
+  if (idx < 0) idx = 0;
+  if (idx > maxIdx) idx = maxIdx;
+  return static_cast<std::size_t>(idx);
+}
+
+bool ParameterRange::contains(double value, double tol) const {
+  if (value < lo - tol || value > hi + tol) return false;
+  double idx = (value - lo) / step;
+  return std::abs(idx - std::round(idx)) <= tol / step + 1e-9;
+}
+
+ParameterSpace::ParameterSpace(std::vector<ParameterRange> ranges) : ranges_(std::move(ranges)) {}
+
+std::size_t ParameterSpace::totalBits() const {
+  std::size_t bits = 0;
+  for (const auto& r : ranges_) bits += r.bitCount();
+  return bits;
+}
+
+double ParameterSpace::log10CaseCount() const {
+  double sum = 0.0;
+  for (const auto& r : ranges_) sum += std::log10(static_cast<double>(r.caseCount()));
+  return sum;
+}
+
+StackupParams ParameterSpace::sample(Rng& rng) const {
+  assert(dim() == kNumParams);
+  StackupParams p;
+  for (std::size_t i = 0; i < ranges_.size(); ++i) {
+    const auto& r = ranges_[i];
+    p.values[i] = r.valueAt(static_cast<std::size_t>(rng.below(r.caseCount())));
+  }
+  return p;
+}
+
+StackupParams ParameterSpace::snap(const StackupParams& p) const {
+  assert(dim() == kNumParams);
+  StackupParams out;
+  for (std::size_t i = 0; i < ranges_.size(); ++i) out.values[i] = ranges_[i].snap(p.values[i]);
+  return out;
+}
+
+bool ParameterSpace::contains(const StackupParams& p, double tol) const {
+  assert(dim() == kNumParams);
+  for (std::size_t i = 0; i < ranges_.size(); ++i) {
+    if (!ranges_[i].contains(p.values[i], tol)) return false;
+  }
+  return true;
+}
+
+bool ParameterSpace::isWithin(const ParameterSpace& other) const {
+  if (dim() != other.dim()) return false;
+  for (std::size_t i = 0; i < ranges_.size(); ++i) {
+    const auto& a = ranges_[i];
+    const auto& b = other.ranges_[i];
+    if (a.lo < b.lo - 1e-12 || a.hi > b.hi + 1e-12) return false;
+  }
+  return true;
+}
+
+// --- Table III space definitions -------------------------------------------
+//
+// Order matches em::Param: Wt St Dt Et Ht Hc Hp sigma Rt Dkt Dkc Dkp Dft Dfc Dfp
+
+ParameterSpace spaceS1() {
+  return ParameterSpace({
+      {2.0, 5.0, 0.1},        // Wt: 31 cases / 5 bits
+      {2.0, 10.0, 0.5},       // St: 17 / 5
+      {30.0, 40.0, 5.0},      // Dt: 3 / 2
+      {0.0, 0.3, 0.05},       // Et: 7 / 3
+      {0.6, 1.5, 0.1},        // Ht: 10 / 4
+      {2.0, 8.0, 0.2},        // Hc: 31 / 5
+      {2.0, 8.0, 0.2},        // Hp: 31 / 5
+      {3.8e7, 5.8e7, 1.0e6},  // sigma_t: 21 / 5
+      {-14.5, 14.0, 0.5},     // Rt: 58 / 6
+      {2.5, 4.5, 0.05},       // Dk_t: 41 / 6
+      {2.5, 4.5, 0.05},       // Dk_c: 41 / 6
+      {2.5, 4.5, 0.05},       // Dk_p: 41 / 6
+      {0.001, 0.02, 0.001},   // Df_t: 20 / 5
+      {0.001, 0.02, 0.001},   // Df_c: 20 / 5
+      {0.001, 0.02, 0.001},   // Df_p: 20 / 5
+  });
+}
+
+ParameterSpace spaceS2() {
+  return ParameterSpace({
+      {2.0, 10.0, 0.1},       // Wt: 81 / 7
+      {2.0, 10.0, 0.5},       // St: 17 / 5
+      {15.0, 40.0, 5.0},      // Dt: 6 / 3
+      {0.0, 0.3, 0.05},       // Et: 7 / 3
+      {0.6, 1.5, 0.1},        // Ht: 10 / 4
+      {2.0, 10.0, 0.2},       // Hc: 41 / 6
+      {2.0, 10.0, 0.2},       // Hp: 41 / 6
+      {3.0e7, 5.8e7, 1.0e6},  // sigma_t: 29 / 5
+      {-14.5, 14.0, 0.5},     // Rt: 58 / 6
+      {2.0, 5.0, 0.05},       // Dk_t: 61 / 6
+      {2.0, 5.0, 0.05},       // Dk_c: 61 / 6
+      {2.0, 5.0, 0.05},       // Dk_p: 61 / 6
+      {0.001, 0.02, 0.001},   // Df_t: 20 / 5
+      {0.001, 0.02, 0.001},   // Df_c: 20 / 5
+      {0.001, 0.02, 0.001},   // Df_p: 20 / 5
+  });
+}
+
+ParameterSpace spaceS1Prime() {
+  return ParameterSpace({
+      {2.0, 10.0, 0.1},       // Wt: 81 / 7 (widened vs S1)
+      {2.0, 10.0, 0.5},       // St: 17 / 5
+      {15.0, 40.0, 5.0},      // Dt: 6 / 3 (widened)
+      {0.0, 0.3, 0.05},       // Et: 7 / 3
+      {0.6, 1.5, 0.1},        // Ht: 10 / 4
+      {2.0, 10.0, 0.2},       // Hc: 41 / 6 (widened)
+      {2.0, 10.0, 0.2},       // Hp: 41 / 6 (widened)
+      {3.8e7, 5.8e7, 1.0e6},  // sigma_t: 21 / 5
+      {-14.5, 14.0, 0.5},     // Rt: 58 / 6
+      {2.5, 4.5, 0.05},       // Dk_t: 41 / 6
+      {2.5, 4.5, 0.05},       // Dk_c: 41 / 6
+      {2.5, 4.5, 0.05},       // Dk_p: 41 / 6
+      {0.001, 0.02, 0.001},   // Df_t: 20 / 5
+      {0.001, 0.02, 0.001},   // Df_c: 20 / 5
+      {0.001, 0.02, 0.001},   // Df_p: 20 / 5
+  });
+}
+
+ParameterSpace trainingSpace() {
+  return ParameterSpace({
+      {1.0, 29.0, 0.5},        // Wt
+      {1.0, 64.0, 0.5},        // St
+      {1.0, 100.0, 1.0},       // Dt
+      {0.0, 0.7, 0.1},         // Et
+      {0.3, 3.9, 0.1},         // Ht
+      {1.0, 40.0, 1.0},        // Hc
+      {1.0, 40.0, 1.0},        // Hp
+      {3.0e7, 5.8e7, 1.0e6},   // sigma_t
+      {-14.5, 14.0, 0.5},      // Rt
+      {1.0, 7.0, 0.1},         // Dk_t
+      {1.0, 7.0, 0.1},         // Dk_c
+      {1.0, 7.0, 0.1},         // Dk_p
+      {0.0001, 0.1, 0.0001},   // Df_t
+      {0.0001, 0.1, 0.0001},   // Df_c
+      {0.0001, 0.1, 0.0001},   // Df_p
+  });
+}
+
+ParameterSpace designerEnvelope(double margin) {
+  const ParameterSpace base = spaceS2();
+  const ParameterSpace outer = trainingSpace();
+  std::vector<ParameterRange> ranges;
+  ranges.reserve(base.dim());
+  for (std::size_t i = 0; i < base.dim(); ++i) {
+    const ParameterRange& r = base.range(i);
+    const ParameterRange& t = outer.range(i);
+    const double span = r.hi - r.lo;
+    double lo = std::max(t.lo, r.lo - margin * span);
+    double hi = std::min(t.hi, r.hi + margin * span);
+    // Keep the widened bounds on the experiment step grid so snapping and
+    // encoding stay consistent (epsilon guards float division, e.g.
+    // (10 - 2) / 0.2 evaluating just below 40).
+    lo = r.lo - std::floor((r.lo - lo) / r.step + 1e-9) * r.step;
+    hi = r.lo + std::floor((hi - r.lo) / r.step + 1e-9) * r.step;
+    ranges.push_back({lo, hi, r.step});
+  }
+  return ParameterSpace(std::move(ranges));
+}
+
+ParameterSpace spaceByName(std::string_view name) {
+  if (name == "S1") return spaceS1();
+  if (name == "S2") return spaceS2();
+  if (name == "S1p" || name == "S1'") return spaceS1Prime();
+  if (name == "training") return trainingSpace();
+  if (name == "envelope") return designerEnvelope();
+  throw std::invalid_argument("unknown parameter space: " + std::string(name));
+}
+
+}  // namespace isop::em

@@ -1,0 +1,112 @@
+// Discrete design-parameter search spaces (Table III of the ISOP+ paper).
+//
+// Every parameter lives on a uniform grid [lo, lo+dx, ..., hi]; a space is
+// the cartesian product of 15 such grids. The paper defines four spaces:
+//   S1        — the default experiment space (7.14e19 valid designs, 73 bits)
+//   S2        — a superset of S1 (2.97e21 designs, 78 bits)
+//   S1'       — S1 with widened physical dimensions, used together with
+//               input constraints in the Table IX case study
+//   Training  — the much wider space the surrogate training data is drawn
+//               from (1.31e29 designs)
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "em/stackup.hpp"
+
+namespace isop::em {
+
+/// One parameter's discrete grid: {lo, lo+step, ..., hi}.
+struct ParameterRange {
+  double lo = 0.0;
+  double hi = 0.0;
+  double step = 1.0;
+
+  /// Number of grid points (cases) in the range.
+  std::size_t caseCount() const;
+
+  /// Bits needed to index all cases: ceil(log2(caseCount)).
+  std::size_t bitCount() const;
+
+  /// Grid value for a case index (index 0 -> lo). Index may exceed
+  /// caseCount()-1 when produced from a raw bit pattern; callers must check
+  /// isValidIndex first.
+  double valueAt(std::size_t index) const { return lo + static_cast<double>(index) * step; }
+
+  bool isValidIndex(std::size_t index) const { return index < caseCount(); }
+
+  /// Index of the nearest grid point for an arbitrary (possibly off-grid,
+  /// possibly out-of-range) value; clamps to [0, caseCount()-1].
+  std::size_t nearestIndex(double value) const;
+
+  /// Snaps a value to the nearest grid point (Eq. 6 of the paper, plus
+  /// clamping into [lo, hi]).
+  double snap(double value) const { return valueAt(nearestIndex(value)); }
+
+  bool contains(double value, double tol = 1e-9) const;
+};
+
+/// Cartesian product of per-parameter grids; the object the optimizers
+/// search over.
+class ParameterSpace {
+ public:
+  ParameterSpace() = default;
+  explicit ParameterSpace(std::vector<ParameterRange> ranges);
+
+  std::size_t dim() const { return ranges_.size(); }
+  const ParameterRange& range(std::size_t i) const { return ranges_[i]; }
+  const ParameterRange& range(Param p) const { return ranges_[static_cast<std::size_t>(p)]; }
+  std::span<const ParameterRange> ranges() const { return ranges_; }
+
+  /// Total bits of the binary encoding (sum of per-parameter bits).
+  std::size_t totalBits() const;
+
+  /// log10 of the number of valid designs (the count itself can exceed
+  /// 2^64 for the training space).
+  double log10CaseCount() const;
+
+  /// Uniform random design on the grid.
+  StackupParams sample(Rng& rng) const;
+
+  /// Snaps every coordinate to its nearest grid point.
+  StackupParams snap(const StackupParams& p) const;
+
+  /// True iff every coordinate is on-grid and in-range.
+  bool contains(const StackupParams& p, double tol = 1e-9) const;
+
+  /// True iff this space's grids are all subsets of `other`'s ranges
+  /// (used to check that experiment spaces lie inside the training space).
+  bool isWithin(const ParameterSpace& other) const;
+
+ private:
+  std::vector<ParameterRange> ranges_;
+};
+
+/// Table III spaces.
+ParameterSpace spaceS1();
+ParameterSpace spaceS2();
+ParameterSpace spaceS1Prime();
+ParameterSpace trainingSpace();
+
+/// "Designer envelope" sampling space: the union of the experiment spaces
+/// (S2 already contains S1 and S1') widened by `margin` x each range's span,
+/// clipped to the Table III training ranges.
+///
+/// Rationale (documented substitution): the paper trains its surrogate on
+/// 90k ICAT samples over ranges "set by the designers", reaching ~0.3 ohm
+/// MAE. Uniform sampling of the full 1.3e29-point training space cannot
+/// reach that accuracy at reproducible CPU budgets — the experiment region
+/// is a vanishing fraction of it — so the default dataset concentrates on a
+/// realistic designer envelope around the experiment spaces. margin = 0 is
+/// exactly S2; the full training space remains available for the Table VI
+/// accuracy study.
+ParameterSpace designerEnvelope(double margin = 0.25);
+
+/// Lookup by name: "S1", "S2", "S1p", "training". Throws on unknown name.
+ParameterSpace spaceByName(std::string_view name);
+
+}  // namespace isop::em

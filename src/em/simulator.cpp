@@ -1,0 +1,76 @@
+#include "em/simulator.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/rng.hpp"
+
+namespace isop::em {
+
+namespace {
+/// FNV-1a over the raw parameter bytes; gives each design point its own
+/// deterministic noise stream.
+std::uint64_t hashParams(const StackupParams& p, std::uint64_t seed) {
+  std::uint64_t h = 1469598103934665603ULL ^ seed;
+  for (double v : p.values) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    for (int shift = 0; shift < 64; shift += 8) {
+      h ^= (bits >> shift) & 0xffu;
+      h *= 1099511628211ULL;
+    }
+  }
+  return h;
+}
+}  // namespace
+
+EmSimulator::EmSimulator(SimulatorConfig config) : config_(std::move(config)) {}
+
+PerformanceMetrics EmSimulator::evaluateExact(const StackupParams& p) const {
+  PerformanceMetrics m;
+  if (config_.layerType == LayerType::Microstrip) {
+    m.z = microstripDifferentialImpedance(p, config_.microstrip);
+    m.l = microstripInsertionLossDbPerInch(p, config_.loss.frequencyHz,
+                                           config_.microstrip);
+    m.next = microstripNearEndCrosstalkMv(p, config_.microstrip);
+    return m;
+  }
+  m.z = differentialImpedance(p, config_.stripline);
+  LossModelConfig loss = config_.loss;
+  loss.stripline = config_.stripline;
+  m.l = insertionLossDbPerInch(p, loss);
+  CrosstalkModelConfig xtalk = config_.crosstalk;
+  xtalk.stripline = config_.stripline;
+  m.next = nearEndCrosstalkMv(p, xtalk);
+  return m;
+}
+
+PerformanceMetrics EmSimulator::applyNoise(const StackupParams& p, PerformanceMetrics m) const {
+  if (config_.noiseRelZ == 0.0 && config_.noiseRelL == 0.0 && config_.noiseRelNext == 0.0) {
+    return m;
+  }
+  Rng rng(hashParams(p, config_.noiseSeed));
+  m.z *= 1.0 + config_.noiseRelZ * rng.normal();
+  m.l *= 1.0 + config_.noiseRelL * rng.normal();
+  m.next *= 1.0 + config_.noiseRelNext * rng.normal();
+  return m;
+}
+
+PerformanceMetrics EmSimulator::simulate(const StackupParams& p) const {
+  calls_.fetch_add(1, std::memory_order_relaxed);
+  return applyNoise(p, evaluateExact(p));
+}
+
+PerformanceMetrics EmSimulator::evaluateUncounted(const StackupParams& p) const {
+  return applyNoise(p, evaluateExact(p));
+}
+
+double EmSimulator::modeledSeconds() const {
+  const std::size_t calls = callCount();
+  if (calls == 0) return 0.0;
+  const std::size_t parallelism = config_.parallelism == 0 ? 1 : config_.parallelism;
+  const std::size_t batches = (calls + parallelism - 1) / parallelism;
+  return static_cast<double>(batches) * config_.secondsPerBatch;
+}
+
+}  // namespace isop::em

@@ -1,0 +1,84 @@
+// EmSimulator: the accurate performance oracle M(x) of the ISOP+ paper.
+//
+// In the paper this is an ICAT-based commercial EM solver taking ~45.5 s per
+// batch of three parallel simulations. Here it is the closed-form physics
+// model of stripline.hpp / loss_model.hpp / crosstalk.hpp, wrapped with:
+//
+//   * call counting (the "samples seen" accounting in Tables IV/V);
+//   * a modeled wall-clock cost so benches can report paper-comparable
+//     runtimes without actually sleeping (ceil(calls/parallelism) batches,
+//     each costing `secondsPerBatch`);
+//   * optional deterministic pseudo-measurement noise: the perturbation is a
+//     hash of the design point, so re-simulating the same design gives the
+//     same answer (like a real solver's systematic model error), yet the
+//     error field varies across the space.
+//
+// The class is thread-safe for concurrent simulate() calls.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "em/crosstalk.hpp"
+#include "em/loss_model.hpp"
+#include "em/microstrip.hpp"
+#include "em/stackup.hpp"
+#include "em/stripline.hpp"
+
+namespace isop::em {
+
+/// Transmission-line structure the simulator models. Stripline is the
+/// paper's experiment vehicle; Microstrip demonstrates the framework's
+/// extensibility to other layer types with the same parameterization.
+enum class LayerType { Stripline, Microstrip };
+
+struct SimulatorConfig {
+  LayerType layerType = LayerType::Stripline;
+  StriplineModelConfig stripline;
+  MicrostripModelConfig microstrip;
+  LossModelConfig loss;
+  CrosstalkModelConfig crosstalk;
+
+  /// Relative noise amplitudes per metric (0 = exact closed form).
+  double noiseRelZ = 0.0;
+  double noiseRelL = 0.0;
+  double noiseRelNext = 0.0;
+  std::uint64_t noiseSeed = 0;
+
+  /// Latency model: the paper reports 45.5 s for three simulations run in
+  /// parallel.
+  double secondsPerBatch = 45.5;
+  std::size_t parallelism = 3;
+};
+
+class EmSimulator {
+ public:
+  EmSimulator() = default;
+  explicit EmSimulator(SimulatorConfig config);
+
+  const SimulatorConfig& config() const { return config_; }
+
+  /// Full accurate evaluation of one design. Increments the call counter.
+  PerformanceMetrics simulate(const StackupParams& p) const;
+
+  /// Evaluation without touching the counters (used by dataset generation,
+  /// where we do not want to bill simulation time to an optimizer).
+  PerformanceMetrics evaluateUncounted(const StackupParams& p) const;
+
+  /// Number of simulate() calls since construction / last reset.
+  std::size_t callCount() const { return calls_.load(std::memory_order_relaxed); }
+
+  /// Wall-clock seconds a real solver would have spent on the counted calls.
+  double modeledSeconds() const;
+
+  void resetCounters() const { calls_.store(0, std::memory_order_relaxed); }
+
+ private:
+  PerformanceMetrics evaluateExact(const StackupParams& p) const;
+  PerformanceMetrics applyNoise(const StackupParams& p, PerformanceMetrics m) const;
+
+  SimulatorConfig config_;
+  mutable std::atomic<std::size_t> calls_{0};
+};
+
+}  // namespace isop::em

@@ -1,0 +1,49 @@
+#include "em/stackup.hpp"
+
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+
+namespace isop::em {
+
+namespace {
+constexpr std::array<std::string_view, kNumParams> kParamNames = {
+    "Wt", "St", "Dt", "Et", "Ht", "Hc", "Hp", "sigma_t",
+    "Rt", "Dk_t", "Dk_c", "Dk_p", "Df_t", "Df_c", "Df_p"};
+
+constexpr std::array<std::string_view, kNumMetrics> kMetricNames = {"Z", "L", "NEXT"};
+}  // namespace
+
+std::span<const std::string_view> paramNames() { return kParamNames; }
+
+std::size_t paramIndex(std::string_view name) {
+  for (std::size_t i = 0; i < kParamNames.size(); ++i) {
+    if (kParamNames[i] == name) return i;
+  }
+  throw std::out_of_range("unknown stack-up parameter name: " + std::string(name));
+}
+
+StackupParams StackupParams::fromVector(std::span<const double> v) {
+  assert(v.size() == kNumParams);
+  StackupParams p;
+  for (std::size_t i = 0; i < kNumParams; ++i) p.values[i] = v[i];
+  return p;
+}
+
+std::string StackupParams::toString() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < kNumParams; ++i) {
+    if (i) os << ' ';
+    os << kParamNames[i] << '=' << values[i];
+  }
+  return os.str();
+}
+
+PerformanceMetrics PerformanceMetrics::fromArray(std::span<const double> v) {
+  assert(v.size() == kNumMetrics);
+  return {v[0], v[1], v[2]};
+}
+
+std::span<const std::string_view> metricNames() { return kMetricNames; }
+
+}  // namespace isop::em

@@ -1,0 +1,92 @@
+// Stack-up design parameters for a single differential stripline layer.
+//
+// This mirrors Table I of the ISOP+ paper: a differential pair of trapezoidal
+// copper traces embedded between a glass-reinforced core sheet (below) and a
+// pre-impregnated bonding sheet (above), with an adjacent identical pair at
+// distance D for crosstalk evaluation.
+//
+//          ------------------ reference plane ------------------
+//            prepreg:  height Hp, dielectric Dkp, loss Dfp
+//              [trace] [trace]        [trace] [trace]
+//               Wt,Ht   <-St->  <---Dt--->
+//            core:     height Hc, dielectric Dkc, loss Dfc
+//          ------------------ reference plane ------------------
+//
+// Units follow the paper: mils for dimensions, S/m for conductivity,
+// a dB-scaled knob for surface roughness (see loss_model.hpp).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace isop::em {
+
+/// Index of each design parameter inside the canonical 15-dimensional vector.
+/// The ordering matches Table III of the paper and is used everywhere a
+/// stack-up is treated as a flat feature vector (datasets, surrogates, HPO).
+enum class Param : std::size_t {
+  Wt = 0,      ///< trace width (mil)
+  St = 1,      ///< spacing between the two traces of a pair (mil)
+  Dt = 2,      ///< distance between adjacent differential pairs (mil)
+  Et = 3,      ///< etch factor (trapezoidal sidewall slope, unitless)
+  Ht = 4,      ///< trace (metal) thickness (mil)
+  Hc = 5,      ///< core dielectric height (mil)
+  Hp = 6,      ///< prepreg dielectric height (mil)
+  SigmaT = 7,  ///< trace conductivity (S/m)
+  Rt = 8,      ///< surface roughness knob (dB scale, see loss model)
+  DkT = 9,     ///< dielectric constant of the resin surrounding the trace
+  DkC = 10,    ///< dielectric constant of the core
+  DkP = 11,    ///< dielectric constant of the prepreg
+  DfT = 12,    ///< dissipation factor of the trace-level resin
+  DfC = 13,    ///< dissipation factor of the core
+  DfP = 14,    ///< dissipation factor of the prepreg
+};
+
+inline constexpr std::size_t kNumParams = 15;
+
+/// Short names in canonical order ("Wt", "St", ...).
+std::span<const std::string_view> paramNames();
+
+/// Canonical index for a short name; throws std::out_of_range if unknown.
+std::size_t paramIndex(std::string_view name);
+
+/// A concrete stack-up design point. Thin value type over the canonical
+/// vector with named accessors; no invariants beyond finite values, so the
+/// members are public per the "struct if no invariant" guideline.
+struct StackupParams {
+  std::array<double, kNumParams> values{};
+
+  double& operator[](Param p) { return values[static_cast<std::size_t>(p)]; }
+  double operator[](Param p) const { return values[static_cast<std::size_t>(p)]; }
+
+  std::span<const double> asVector() const { return values; }
+  std::span<double> asVector() { return values; }
+
+  static StackupParams fromVector(std::span<const double> v);
+
+  /// Human-readable single-line summary (for examples and reports).
+  std::string toString() const;
+};
+
+/// Performance metrics computed by the EM model, matching the paper's
+/// reporting conventions: Z in ohms (differential), L in dB/inch at 16 GHz
+/// (negative = loss), NEXT in mV (<= 0).
+struct PerformanceMetrics {
+  double z = 0.0;
+  double l = 0.0;
+  double next = 0.0;
+
+  std::array<double, 3> asArray() const { return {z, l, next}; }
+  static PerformanceMetrics fromArray(std::span<const double> v);
+};
+
+/// Metric indices used when metrics are treated as a flat output vector.
+enum class Metric : std::size_t { Z = 0, L = 1, Next = 2 };
+inline constexpr std::size_t kNumMetrics = 3;
+
+std::span<const std::string_view> metricNames();
+
+}  // namespace isop::em

@@ -1,0 +1,64 @@
+#include "em/stripline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace isop::em {
+
+namespace {
+constexpr double kMinDim = 1e-3;  // mil; guards divisions for degenerate inputs
+}
+
+StriplineGeometry deriveGeometry(const StackupParams& p, const StriplineModelConfig& cfg) {
+  StriplineGeometry g;
+  const double w = std::max(p[Param::Wt], kMinDim);
+  const double t = std::max(p[Param::Ht], kMinDim);
+  const double e = p[Param::Et];
+  const double hc = std::max(p[Param::Hc], kMinDim);
+  const double hp = std::max(p[Param::Hp], kMinDim);
+
+  // Mean width of the trapezoid: bottom w, top w - 2*e*t.
+  g.traceWidthEff = std::max(w - e * t, 0.25 * w);
+
+  // Harmonic-mean plane distance: the closer plane dominates the capacitance.
+  const double hMean = 2.0 * hc * hp / (hc + hp);
+  g.planeSpacing = 2.0 * hMean + t;
+
+  // Effective dielectric: inverse-height weighting of core/prepreg (the
+  // closer material matters more), mixed with the trace-level resin.
+  const double dkC = std::max(p[Param::DkC], 1.0);
+  const double dkP = std::max(p[Param::DkP], 1.0);
+  const double dkT = std::max(p[Param::DkT], 1.0);
+  const double wC = 1.0 / hc;
+  const double wP = 1.0 / hp;
+  const double dkPlanes = (dkC * wC + dkP * wP) / (wC + wP);
+  g.dkEff = (1.0 - cfg.resinMixRatio) * dkPlanes + cfg.resinMixRatio * dkT;
+
+  // Effective dissipation factor: same mixing rule.
+  const double dfPlanes = (p[Param::DfC] * wC + p[Param::DfP] * wP) / (wC + wP);
+  g.dfEff = (1.0 - cfg.resinMixRatio) * dfPlanes + cfg.resinMixRatio * p[Param::DfT];
+
+  g.pairPitch = g.traceWidthEff + p[Param::St];
+  return g;
+}
+
+double singleEndedImpedance(const StackupParams& p, const StriplineModelConfig& cfg) {
+  const StriplineGeometry g = deriveGeometry(p, cfg);
+  const double t = std::max(p[Param::Ht], kMinDim);
+  // log1p keeps the expression positive and monotone even for very wide
+  // traces (training space goes to W = 29 mil with b as small as ~2.6 mil),
+  // while matching ln(1.9 b / (0.8 We + T)) in the narrow-trace regime.
+  const double arg = 1.9 * g.planeSpacing / (0.8 * g.traceWidthEff + t);
+  return 60.0 / std::sqrt(g.dkEff) * std::log1p(arg);
+}
+
+double differentialImpedance(const StackupParams& p, const StriplineModelConfig& cfg) {
+  const StriplineGeometry g = deriveGeometry(p, cfg);
+  const double z0 = singleEndedImpedance(p, cfg);
+  const double s = std::max(p[Param::St], kMinDim);
+  const double coupling =
+      cfg.couplingStrength * std::exp(-cfg.couplingDecay * s / g.planeSpacing);
+  return 2.0 * z0 * (1.0 - coupling);
+}
+
+}  // namespace isop::em

@@ -1,0 +1,63 @@
+#include "hpo/adam_refiner.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace isop::hpo {
+
+RefineResult AdamRefiner::refine(const em::ParameterSpace& space,
+                                 std::span<const em::StackupParams> seeds,
+                                 const ObjectiveWithGrad& objective) const {
+  const std::size_t d = space.dim();
+  const std::size_t p = seeds.size();
+  RefineResult result;
+  result.refined.assign(seeds.begin(), seeds.end());
+  result.values.assign(p, 0.0);
+  if (p == 0) return result;
+
+  // Normalized coordinates: u = (x - lo) / span, one flat block per seed.
+  std::vector<double> lo(d), span(d);
+  for (std::size_t j = 0; j < d; ++j) {
+    lo[j] = space.range(j).lo;
+    span[j] = std::max(space.range(j).hi - space.range(j).lo, 1e-12);
+  }
+  std::vector<double> u(p * d), grad(p * d);
+  for (std::size_t i = 0; i < p; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      u[i * d + j] = std::clamp((seeds[i].values[j] - lo[j]) / span[j], 0.0, 1.0);
+    }
+  }
+
+  ml::nn::AdamConfig adamCfg = config_.adam;
+  adamCfg.learningRate = config_.learningRate;
+  ml::nn::Adam adam(adamCfg);
+  adam.registerBlock(u);
+
+  std::vector<double> rawGrad(d);
+  em::StackupParams x{};
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    for (std::size_t i = 0; i < p; ++i) {
+      for (std::size_t j = 0; j < d; ++j) x.values[j] = lo[j] + u[i * d + j] * span[j];
+      result.values[i] = objective(x, rawGrad);
+      ++result.gradientEvaluations;
+      // Chain rule du: dg/du_j = dg/dx_j * span_j.
+      for (std::size_t j = 0; j < d; ++j) grad[i * d + j] = rawGrad[j] * span[j];
+    }
+    std::span<double> blocks[] = {std::span<double>(u)};
+    std::span<double> gblocks[] = {std::span<double>(grad)};
+    adam.step(blocks, gblocks);
+    for (double& v : u) v = std::clamp(v, 0.0, 1.0);
+  }
+
+  // Final values at the refined points.
+  for (std::size_t i = 0; i < p; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      result.refined[i].values[j] = lo[j] + u[i * d + j] * span[j];
+    }
+    result.values[i] = objective(result.refined[i], rawGrad);
+    ++result.gradientEvaluations;
+  }
+  return result;
+}
+
+}  // namespace isop::hpo

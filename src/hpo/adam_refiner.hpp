@@ -1,0 +1,52 @@
+// Gradient-descent local exploration (Algorithm 1, lines 9–12): the p
+// candidates surviving the global stage are decoded to the continuous domain
+// and refined as one Adam batch against the smoothed surrogate objective.
+//
+// Optimization runs in normalized coordinates u in [0,1]^d mapped affinely
+// onto each parameter's [lo, hi] — the raw parameters span ~10 orders of
+// magnitude (Df ~ 1e-3 vs sigma ~ 5.8e7), so a shared learning rate is only
+// meaningful after normalization. Iterates are clamped into the box.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "em/parameter_space.hpp"
+#include "ml/nn/adam.hpp"
+
+namespace isop::hpo {
+
+struct RefineConfig {
+  std::size_t epochs = 60;
+  double learningRate = 0.02;  ///< in normalized [0,1] coordinates
+  ml::nn::AdamConfig adam{};   ///< beta/epsilon knobs (learningRate ignored)
+};
+
+struct RefineResult {
+  std::vector<em::StackupParams> refined;  ///< same order as the input seeds
+  std::vector<double> values;              ///< final objective values
+  std::size_t gradientEvaluations = 0;
+};
+
+class AdamRefiner {
+ public:
+  /// Returns the objective value at x and writes dObjective/dx (raw
+  /// parameter units) into grad.
+  using ObjectiveWithGrad =
+      std::function<double(const em::StackupParams& x, std::span<double> grad)>;
+
+  explicit AdamRefiner(RefineConfig config = {}) : config_(config) {}
+
+  const RefineConfig& config() const { return config_; }
+
+  /// Refines the seeds inside `space`'s bounding box (continuous, not yet
+  /// snapped to the grid — rounding happens in the roll-out stage, Eq. 6).
+  RefineResult refine(const em::ParameterSpace& space,
+                      std::span<const em::StackupParams> seeds,
+                      const ObjectiveWithGrad& objective) const;
+
+ private:
+  RefineConfig config_;
+};
+
+}  // namespace isop::hpo

@@ -1,0 +1,87 @@
+#include "hpo/binary_codec.hpp"
+
+#include <cassert>
+
+namespace isop::hpo {
+
+std::uint64_t binaryToGray(std::uint64_t v) { return v ^ (v >> 1); }
+
+std::uint64_t grayToBinary(std::uint64_t v) {
+  for (std::uint64_t shift = 1; shift < 64; shift <<= 1) v ^= v >> shift;
+  return v;
+}
+
+BinaryCodec::BinaryCodec(em::ParameterSpace space, BitCoding coding)
+    : space_(std::move(space)), coding_(coding) {
+  bits_.reserve(space_.dim());
+  offsets_.reserve(space_.dim());
+  for (std::size_t i = 0; i < space_.dim(); ++i) {
+    offsets_.push_back(totalBits_);
+    bits_.push_back(space_.range(i).bitCount());
+    totalBits_ += bits_.back();
+  }
+}
+
+std::uint64_t BinaryCodec::indexFromBits(const BitVector& bits, std::size_t param) const {
+  std::uint64_t v = 0;
+  const std::size_t off = offsets_[param];
+  for (std::size_t b = 0; b < bits_[param]; ++b) {
+    v = (v << 1) | (bits[off + b] ? 1u : 0u);  // MSB first
+  }
+  return coding_ == BitCoding::Gray ? grayToBinary(v) : v;
+}
+
+void BinaryCodec::bitsFromIndex(std::uint64_t index, std::size_t param,
+                                BitVector& bits) const {
+  std::uint64_t v = coding_ == BitCoding::Gray ? binaryToGray(index) : index;
+  const std::size_t off = offsets_[param];
+  const std::size_t n = bits_[param];
+  for (std::size_t b = 0; b < n; ++b) {
+    bits[off + n - 1 - b] = static_cast<std::uint8_t>(v & 1u);
+    v >>= 1;
+  }
+}
+
+BitVector BinaryCodec::encode(const em::StackupParams& p) const {
+  BitVector bits(totalBits_, 0);
+  for (std::size_t i = 0; i < space_.dim(); ++i) {
+    const std::uint64_t idx = space_.range(i).nearestIndex(p.values[i]);
+    bitsFromIndex(idx, i, bits);
+  }
+  return bits;
+}
+
+std::optional<em::StackupParams> BinaryCodec::decode(const BitVector& bits) const {
+  assert(bits.size() == totalBits_);
+  em::StackupParams p;
+  for (std::size_t i = 0; i < space_.dim(); ++i) {
+    const std::uint64_t idx = indexFromBits(bits, i);
+    const auto& range = space_.range(i);
+    if (!range.isValidIndex(idx)) return std::nullopt;
+    p.values[i] = range.valueAt(idx);
+  }
+  return p;
+}
+
+em::StackupParams BinaryCodec::decodeClamped(const BitVector& bits) const {
+  assert(bits.size() == totalBits_);
+  em::StackupParams p;
+  for (std::size_t i = 0; i < space_.dim(); ++i) {
+    std::uint64_t idx = indexFromBits(bits, i);
+    const auto& range = space_.range(i);
+    if (!range.isValidIndex(idx)) idx = range.caseCount() - 1;
+    p.values[i] = range.valueAt(idx);
+  }
+  return p;
+}
+
+BitVector BinaryCodec::sampleValid(Rng& rng) const {
+  BitVector bits(totalBits_, 0);
+  for (std::size_t i = 0; i < space_.dim(); ++i) {
+    const std::uint64_t idx = rng.below(space_.range(i).caseCount());
+    bitsFromIndex(idx, i, bits);
+  }
+  return bits;
+}
+
+}  // namespace isop::hpo

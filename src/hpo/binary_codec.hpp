@@ -1,0 +1,72 @@
+// Binary encoding of the discrete design space (Eqs. 4–6 of the paper).
+//
+// Each parameter's grid index is packed into ceil(log2(cases)) bits; the
+// concatenation over all parameters is the Harmonica search domain
+// {0,1}^n. Because case counts are generally not powers of two, some bit
+// patterns decode to out-of-range indices — those are the "invalid cases"
+// the paper excludes from performance evaluation; decode() reports them.
+//
+// Both plain binary and Gray code are supported (the paper motivates its
+// local gradient stage with the Hamming-cliff problem of plain binary,
+// e.g. 31 -> 32 flipping all five bits; Gray code is the classic mitigation
+// and is exposed here for the ablation bench).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "em/parameter_space.hpp"
+
+namespace isop::hpo {
+
+using BitVector = std::vector<std::uint8_t>;  // each element 0 or 1
+
+enum class BitCoding { Binary, Gray };
+
+class BinaryCodec {
+ public:
+  explicit BinaryCodec(em::ParameterSpace space, BitCoding coding = BitCoding::Binary);
+
+  const em::ParameterSpace& space() const { return space_; }
+  std::size_t totalBits() const { return totalBits_; }
+  std::size_t paramCount() const { return space_.dim(); }
+
+  /// Bit range [offset, offset+count) of parameter i in the vector.
+  std::size_t bitOffset(std::size_t param) const { return offsets_[param]; }
+  std::size_t bitCount(std::size_t param) const { return bits_[param]; }
+
+  /// Encodes an on-grid design (coordinates are snapped to the grid first).
+  BitVector encode(const em::StackupParams& p) const;
+
+  /// Decodes a bit pattern; nullopt if any parameter index is out of range
+  /// (an "invalid case").
+  std::optional<em::StackupParams> decode(const BitVector& bits) const;
+
+  /// Decodes with out-of-range indices clamped to the last valid case —
+  /// always succeeds; used where a best-effort design is preferable.
+  em::StackupParams decodeClamped(const BitVector& bits) const;
+
+  bool isValid(const BitVector& bits) const { return decode(bits).has_value(); }
+
+  /// Uniform random *valid* bit pattern (samples grid indices, not raw bits,
+  /// so the distribution over designs is uniform).
+  BitVector sampleValid(Rng& rng) const;
+
+ private:
+  std::uint64_t indexFromBits(const BitVector& bits, std::size_t param) const;
+  void bitsFromIndex(std::uint64_t index, std::size_t param, BitVector& bits) const;
+
+  em::ParameterSpace space_;
+  BitCoding coding_;
+  std::vector<std::size_t> bits_;     // per-param bit counts
+  std::vector<std::size_t> offsets_;  // per-param bit offsets
+  std::size_t totalBits_ = 0;
+};
+
+/// Gray-code helpers (exposed for tests).
+std::uint64_t binaryToGray(std::uint64_t v);
+std::uint64_t grayToBinary(std::uint64_t v);
+
+}  // namespace isop::hpo

@@ -1,0 +1,100 @@
+#include "hpo/genetic.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace isop::hpo {
+
+GaResult GeneticAlgorithm::optimize(const em::ParameterSpace& space,
+                                    const Objective& objective) const {
+  Rng rng(config_.seed);
+  GaResult result;
+  const std::size_t popSize = std::max<std::size_t>(config_.populationSize, 4);
+
+  struct Individual {
+    em::StackupParams params{};
+    double value = std::numeric_limits<double>::infinity();
+  };
+
+  auto evaluate = [&](Individual& ind) {
+    ind.value = objective(ind.params);
+    ++result.evaluations;
+    if (ind.value < result.bestValue) {
+      result.bestValue = ind.value;
+      result.best = ind.params;
+    }
+  };
+
+  std::vector<Individual> population(popSize);
+  for (auto& ind : population) {
+    ind.params = space.sample(rng);
+    if (result.evaluations >= config_.evaluations) break;
+    evaluate(ind);
+  }
+
+  auto tournament = [&]() -> const Individual& {
+    const Individual* best = nullptr;
+    for (std::size_t t = 0; t < config_.tournamentSize; ++t) {
+      const Individual& cand = population[rng.below(popSize)];
+      if (!best || cand.value < best->value) best = &cand;
+    }
+    return *best;
+  };
+
+  std::vector<Individual> next(popSize);
+  while (result.evaluations < config_.evaluations) {
+    ++result.generations;
+    // Elitism: carry the best individuals over unchanged.
+    std::partial_sort(population.begin(),
+                      population.begin() + static_cast<std::ptrdiff_t>(
+                                               std::min(config_.elites, popSize)),
+                      population.end(),
+                      [](const Individual& a, const Individual& b) {
+                        return a.value < b.value;
+                      });
+    for (std::size_t e = 0; e < std::min(config_.elites, popSize); ++e) {
+      next[e] = population[e];
+    }
+
+    for (std::size_t i = std::min(config_.elites, popSize); i < popSize; ++i) {
+      const Individual& mom = tournament();
+      const Individual& dad = tournament();
+      Individual child;
+      // Uniform crossover.
+      if (rng.bernoulli(config_.crossoverRate)) {
+        for (std::size_t g = 0; g < em::kNumParams; ++g) {
+          child.params.values[g] =
+              rng.bernoulli(0.5) ? mom.params.values[g] : dad.params.values[g];
+        }
+      } else {
+        child.params = mom.params;
+      }
+      // Grid-step mutation.
+      for (std::size_t g = 0; g < em::kNumParams; ++g) {
+        if (!rng.bernoulli(config_.mutationRate)) continue;
+        const auto& range = space.range(g);
+        const auto cases = static_cast<std::int64_t>(range.caseCount());
+        if (cases <= 1) continue;
+        auto idx = static_cast<std::int64_t>(range.nearestIndex(child.params.values[g]));
+        const auto maxStep = static_cast<std::int64_t>(config_.mutationMaxSteps);
+        std::int64_t step = 0;
+        while (step == 0) step = rng.range(-maxStep, maxStep);
+        idx = std::clamp<std::int64_t>(idx + step, 0, cases - 1);
+        child.params.values[g] = range.valueAt(static_cast<std::size_t>(idx));
+      }
+      evaluate(child);
+      next[i] = std::move(child);
+      if (result.evaluations >= config_.evaluations) {
+        // Budget exhausted mid-generation: fill the rest by copying parents
+        // so the population stays well-formed, then stop.
+        for (std::size_t j = i + 1; j < popSize; ++j) next[j] = population[j];
+        population = next;
+        return result;
+      }
+    }
+    population.swap(next);
+  }
+  return result;
+}
+
+}  // namespace isop::hpo

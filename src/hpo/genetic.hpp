@@ -1,0 +1,50 @@
+// Genetic-algorithm baseline over the discrete design grid. The paper's
+// related-work section cites GA as the classic metaheuristic for the
+// analogous analog-sizing inverse problem; this implementation rounds out
+// the baseline roster (random / SA / TPE / GA) for the extended comparison
+// bench.
+//
+// Standard generational GA: tournament selection, uniform crossover on the
+// parameter vector, per-gene grid-step mutation, elitism.
+#pragma once
+
+#include <functional>
+#include <limits>
+
+#include "em/parameter_space.hpp"
+
+namespace isop::hpo {
+
+struct GaConfig {
+  std::size_t evaluations = 16000;   ///< total objective calls
+  std::size_t populationSize = 80;
+  std::size_t tournamentSize = 3;
+  double crossoverRate = 0.9;
+  double mutationRate = 0.15;        ///< per gene
+  std::size_t mutationMaxSteps = 3;  ///< grid steps per mutated gene
+  std::size_t elites = 2;
+  std::uint64_t seed = 29;
+};
+
+struct GaResult {
+  em::StackupParams best{};
+  double bestValue = std::numeric_limits<double>::infinity();
+  std::size_t evaluations = 0;
+  std::size_t generations = 0;
+};
+
+class GeneticAlgorithm {
+ public:
+  using Objective = std::function<double(const em::StackupParams&)>;
+
+  explicit GeneticAlgorithm(GaConfig config = {}) : config_(config) {}
+
+  const GaConfig& config() const { return config_; }
+
+  GaResult optimize(const em::ParameterSpace& space, const Objective& objective) const;
+
+ private:
+  GaConfig config_;
+};
+
+}  // namespace isop::hpo

@@ -1,0 +1,171 @@
+#include "hpo/harmonica.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <set>
+
+#include "common/logging.hpp"
+#include "common/thread_pool.hpp"
+
+namespace isop::hpo {
+
+void Harmonica::applyFixedBits(std::span<const FixedBit> fixed, BitVector& bits) {
+  for (const FixedBit& f : fixed) {
+    assert(f.position < bits.size());
+    bits[f.position] = f.value;
+  }
+}
+
+HarmonicaResult Harmonica::optimize(std::size_t numBits, const Objective& objective,
+                                    const Sampler& sampler,
+                                    const IterationCallback& onIteration,
+                                    const Validator& validator) const {
+  HarmonicaResult result;
+  Rng rng(config_.seed);
+  std::set<std::size_t> fixedPositions;
+
+  for (std::size_t iter = 0; iter < config_.iterations; ++iter) {
+    // 1. Sample q configurations from the restricted space.
+    std::vector<BitVector> samples(config_.samplesPerIter);
+    for (auto& s : samples) {
+      s = sampler(rng, result.fixedBits);
+      assert(s.size() == numBits);
+      applyFixedBits(result.fixedBits, s);
+    }
+
+    // 2. Parallel evaluation.
+    std::vector<double> values(samples.size());
+    auto evalOne = [&](std::size_t i) { values[i] = objective(samples[i]); };
+    if (config_.parallelEval) {
+      ThreadPool::global().parallelFor(samples.size(), evalOne);
+    } else {
+      for (std::size_t i = 0; i < samples.size(); ++i) evalOne(i);
+    }
+
+    // Bookkeeping: best-so-far, invalid count.
+    std::vector<std::size_t> validIdx;
+    validIdx.reserve(samples.size());
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      if (!std::isfinite(values[i])) {
+        ++result.invalidSamples;
+        continue;
+      }
+      validIdx.push_back(i);
+      ++result.evaluations;
+      if (values[i] < result.bestValue) {
+        result.bestValue = values[i];
+        result.bestBits = samples[i];
+      }
+    }
+
+    if (onIteration) onIteration(iter, samples, values);
+    if (iter + 1 == config_.iterations) break;  // last round: no restriction
+    if (validIdx.size() < 8) {
+      log::warn("harmonica: iteration ", iter, " produced only ", validIdx.size(),
+                " valid samples; skipping restriction");
+      continue;
+    }
+
+    // 3. PSR: Lasso over parity features of the free bits.
+    std::vector<std::size_t> freeBits;
+    freeBits.reserve(numBits - fixedPositions.size());
+    for (std::size_t b = 0; b < numBits; ++b) {
+      if (!fixedPositions.count(b)) freeBits.push_back(b);
+    }
+    if (freeBits.empty()) break;
+    const auto monomials = enumerateMonomials(freeBits, config_.polyDegree);
+
+    std::vector<BitVector> validSamples;
+    std::vector<double> validValues;
+    validSamples.reserve(validIdx.size());
+    for (std::size_t i : validIdx) {
+      validSamples.push_back(samples[i]);
+      validValues.push_back(values[i]);
+    }
+    const Matrix design = parityDesignMatrix(validSamples, monomials);
+    const LassoResult lasso = lassoFit(design, validValues, {.lambda = config_.lassoLambda});
+
+    // Rank monomials by |coefficient|; keep the top k nonzero ones, capping
+    // the number of distinct bits to enumerate.
+    std::vector<std::size_t> order(monomials.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return std::abs(lasso.coefficients[a]) > std::abs(lasso.coefficients[b]);
+    });
+
+    std::vector<std::size_t> chosenMonomials;
+    std::set<std::size_t> involved;
+    for (std::size_t i : order) {
+      if (chosenMonomials.size() >= config_.topMonomials) break;
+      if (lasso.coefficients[i] == 0.0) break;
+      std::set<std::size_t> candidate = involved;
+      candidate.insert(monomials[i].begin(), monomials[i].end());
+      if (candidate.size() > config_.maxEnumerationBits) continue;
+      involved = std::move(candidate);
+      chosenMonomials.push_back(i);
+    }
+    if (chosenMonomials.empty()) {
+      log::debug("harmonica: iteration ", iter, " found no significant monomials");
+      continue;
+    }
+
+    // 4. Enumerate all assignments of the involved bits, ranked by the
+    // fitted polynomial, and fix the best assignment whose restricted
+    // subspace still contains valid encodings.
+    const std::vector<std::size_t> vars(involved.begin(), involved.end());
+    const std::size_t combos = std::size_t{1} << vars.size();
+    std::vector<std::pair<double, std::size_t>> ranked;
+    ranked.reserve(combos);
+    BitVector probe(numBits, 0);
+    for (std::size_t mask = 0; mask < combos; ++mask) {
+      for (std::size_t v = 0; v < vars.size(); ++v) {
+        probe[vars[v]] = static_cast<std::uint8_t>((mask >> v) & 1u);
+      }
+      double p = 0.0;
+      for (std::size_t mi : chosenMonomials) {
+        p += lasso.coefficients[mi] * parityValue(monomials[mi], probe);
+      }
+      ranked.emplace_back(p, mask);
+    }
+    std::sort(ranked.begin(), ranked.end());
+
+    auto admitsValidSamples = [&](std::size_t mask, Rng& probeRng) {
+      if (!validator) return true;
+      std::vector<FixedBit> tentative = result.fixedBits;
+      for (std::size_t v = 0; v < vars.size(); ++v) {
+        tentative.push_back({vars[v], static_cast<std::uint8_t>((mask >> v) & 1u)});
+      }
+      for (int attempt = 0; attempt < 12; ++attempt) {
+        BitVector bits = sampler(probeRng, tentative);
+        applyFixedBits(tentative, bits);
+        if (validator(bits)) return true;
+      }
+      return false;
+    };
+
+    bool fixedThisRound = false;
+    const std::size_t screenLimit = std::min<std::size_t>(ranked.size(), 64);
+    for (std::size_t r = 0; r < screenLimit; ++r) {
+      if (!admitsValidSamples(ranked[r].second, rng)) continue;
+      const std::size_t bestAssign = ranked[r].second;
+      for (std::size_t v = 0; v < vars.size(); ++v) {
+        const auto value = static_cast<std::uint8_t>((bestAssign >> v) & 1u);
+        result.fixedBits.push_back({vars[v], value});
+        fixedPositions.insert(vars[v]);
+      }
+      fixedThisRound = true;
+      break;
+    }
+    if (!fixedThisRound) {
+      log::warn("harmonica: iteration ", iter,
+                " found no viable restriction; keeping the space unchanged");
+      continue;
+    }
+    log::debug("harmonica: iteration ", iter, " fixed ", vars.size(), " bits (",
+               fixedPositions.size(), "/", numBits, " total), best=", result.bestValue);
+  }
+  return result;
+}
+
+}  // namespace isop::hpo

@@ -1,0 +1,92 @@
+// Harmonica (Hazan, Klivans & Yuan, ICLR 2018): spectral hyperparameter
+// optimization over the boolean cube, as adapted by ISOP+ for the global
+// search-space exploration stage (Algorithm 1, lines 1–8).
+//
+// Each iteration:
+//   1. draws q random valid configurations from the current restricted
+//      space and evaluates them in parallel;
+//   2. fits a sparse low-degree Fourier polynomial to the observed values
+//      with Lasso (the PSR subroutine, Eq. 3);
+//   3. takes the k most significant monomials, enumerates all assignments
+//      of the bits they touch, and fixes those bits to the minimizer —
+//      shrinking the search space for the next iteration.
+//
+// An iteration callback exposes each evaluated batch so the caller can run
+// the paper's adaptive weight adjustment (Algorithm 2) between iterations.
+#pragma once
+
+#include <functional>
+#include <limits>
+
+#include "hpo/binary_codec.hpp"
+#include "hpo/lasso.hpp"
+#include "hpo/parity_features.hpp"
+
+namespace isop::hpo {
+
+struct HarmonicaConfig {
+  std::size_t iterations = 3;        ///< search-space reduction rounds
+  std::size_t samplesPerIter = 300;  ///< q
+  std::size_t polyDegree = 2;        ///< Fourier polynomial degree
+  std::size_t topMonomials = 5;      ///< k significant monomials per round
+  double lassoLambda = 0.02;
+  std::size_t maxEnumerationBits = 14;  ///< cap on bits fixed per round
+  std::uint64_t seed = 1;
+  bool parallelEval = true;  ///< evaluate batches on the global thread pool
+};
+
+/// One fixed-bit restriction: position and value.
+struct FixedBit {
+  std::size_t position = 0;
+  std::uint8_t value = 0;
+};
+
+struct HarmonicaResult {
+  std::vector<FixedBit> fixedBits;  ///< accumulated space restriction
+  BitVector bestBits;               ///< best evaluated configuration
+  double bestValue = std::numeric_limits<double>::infinity();
+  std::size_t evaluations = 0;      ///< objective calls (valid samples)
+  std::size_t invalidSamples = 0;   ///< samples skipped as invalid encodings
+};
+
+class Harmonica {
+ public:
+  /// Objective over bit vectors; return +inf to mark a sample invalid
+  /// (excluded from the regression, counted in invalidSamples).
+  using Objective = std::function<double(const BitVector&)>;
+
+  /// Draws a random configuration given the current restriction (the fixed
+  /// bits accumulated so far). The sampler should honour the restriction —
+  /// e.g. by rejection-sampling valid encodings — but as a safety net the
+  /// fixed bits are re-applied to whatever it returns.
+  using Sampler = std::function<BitVector(Rng&, std::span<const FixedBit>)>;
+
+  /// Called after each iteration with the evaluated batch.
+  using IterationCallback = std::function<void(
+      std::size_t iteration, std::span<const BitVector> samples,
+      std::span<const double> values)>;
+
+  /// True iff the bit pattern is a valid encoding. When provided, candidate
+  /// bit-fixing assignments are screened so the restricted subspace still
+  /// contains valid designs (the fitted polynomial knows nothing about
+  /// encoding validity, and e.g. fixing a 5-bit field to index 31 of a
+  /// 31-case parameter would otherwise empty the space).
+  using Validator = std::function<bool(const BitVector&)>;
+
+  explicit Harmonica(HarmonicaConfig config = {}) : config_(config) {}
+
+  const HarmonicaConfig& config() const { return config_; }
+
+  HarmonicaResult optimize(std::size_t numBits, const Objective& objective,
+                           const Sampler& sampler,
+                           const IterationCallback& onIteration = {},
+                           const Validator& validator = {}) const;
+
+  /// Applies a restriction to a freshly sampled configuration.
+  static void applyFixedBits(std::span<const FixedBit> fixed, BitVector& bits);
+
+ private:
+  HarmonicaConfig config_;
+};
+
+}  // namespace isop::hpo

@@ -1,0 +1,49 @@
+#include "hpo/hyperband.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace isop::hpo {
+
+std::vector<ScoredConfig> Hyperband::run(const Sampler& sampler, const Eval& eval,
+                                         std::size_t keep) const {
+  Rng rng(config_.seed);
+  const double eta = std::max(config_.eta, 1.5);
+  const double r = static_cast<double>(std::max<std::size_t>(config_.maxResource, 1));
+  const auto sMax = static_cast<std::size_t>(std::log(r) / std::log(eta));
+  const double budget = static_cast<double>(sMax + 1) * r;
+
+  std::vector<ScoredConfig> finalists;
+
+  for (std::size_t s = sMax + 1; s-- > 0;) {
+    // Initial arms and resource for this bracket.
+    auto n = static_cast<std::size_t>(
+        std::ceil(budget / r * std::pow(eta, static_cast<double>(s)) /
+                  static_cast<double>(s + 1)));
+    double resource = r * std::pow(eta, -static_cast<double>(s));
+    n = std::max<std::size_t>(n, 1);
+
+    std::vector<ScoredConfig> arms(n);
+    for (auto& a : arms) a.bits = sampler(rng);
+
+    for (std::size_t round = 0; round <= s; ++round) {
+      const auto res = static_cast<std::size_t>(
+          std::max(1.0, std::floor(resource * std::pow(eta, static_cast<double>(round)))));
+      for (auto& a : arms) a.value = eval(a.bits, res);
+      std::sort(arms.begin(), arms.end(),
+                [](const ScoredConfig& x, const ScoredConfig& y) { return x.value < y.value; });
+      const auto keepCount = static_cast<std::size_t>(
+          std::floor(static_cast<double>(arms.size()) / eta));
+      if (round == s || keepCount == 0) break;
+      arms.resize(std::max<std::size_t>(keepCount, 1));
+    }
+    finalists.insert(finalists.end(), arms.begin(), arms.end());
+  }
+
+  std::sort(finalists.begin(), finalists.end(),
+            [](const ScoredConfig& x, const ScoredConfig& y) { return x.value < y.value; });
+  if (finalists.size() > keep) finalists.resize(keep);
+  return finalists;
+}
+
+}  // namespace isop::hpo

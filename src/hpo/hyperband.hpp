@@ -1,0 +1,52 @@
+// Hyperband (Li et al., JMLR 2017): bandit-based configuration selection via
+// successive halving across multiple exploration/exploitation brackets.
+//
+// In ISOP+ it picks the p seeds for the gradient-descent local stage out of
+// the Harmonica-restricted space (Algorithm 1, line 8). The "resource" given
+// to a configuration is the budget of a short stochastic local search around
+// it (more resource = more neighbour probes = a sharper estimate of the
+// basin's quality), which is what makes adaptive resource allocation
+// meaningful on a deterministic surrogate.
+#pragma once
+
+#include <functional>
+
+#include "hpo/binary_codec.hpp"
+
+namespace isop::hpo {
+
+struct HyperbandConfig {
+  std::size_t maxResource = 27;  ///< R
+  double eta = 3.0;              ///< halving factor
+  std::uint64_t seed = 2;
+};
+
+struct ScoredConfig {
+  BitVector bits;
+  double value = 0.0;
+};
+
+class Hyperband {
+ public:
+  /// Draws a random configuration.
+  using Sampler = std::function<BitVector(Rng&)>;
+
+  /// Evaluates a configuration with the given resource; may refine the
+  /// configuration in place (the local-probe semantics) and returns its
+  /// score (lower is better).
+  using Eval = std::function<double(BitVector& bits, std::size_t resource)>;
+
+  explicit Hyperband(HyperbandConfig config = {}) : config_(config) {}
+
+  const HyperbandConfig& config() const { return config_; }
+
+  /// Runs all brackets and returns the best `keep` configurations found,
+  /// sorted by ascending value.
+  std::vector<ScoredConfig> run(const Sampler& sampler, const Eval& eval,
+                                std::size_t keep) const;
+
+ private:
+  HyperbandConfig config_;
+};
+
+}  // namespace isop::hpo

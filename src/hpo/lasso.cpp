@@ -1,0 +1,91 @@
+#include "hpo/lasso.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace isop::hpo {
+
+namespace {
+double softThreshold(double v, double t) {
+  if (v > t) return v - t;
+  if (v < -t) return v + t;
+  return 0.0;
+}
+}  // namespace
+
+LassoResult lassoFit(const Matrix& x, std::span<const double> y, const LassoConfig& config) {
+  const std::size_t n = x.rows(), d = x.cols();
+  assert(y.size() == n && n > 0);
+
+  // Column standardization (zero mean, unit scale) for a scale-free lambda.
+  // Standardize around the mean actually subtracted: the coordinate-descent
+  // update below assumes (1/n) z_j . z_j == 1, so without an intercept the
+  // scale must be the raw RMS, not the centered standard deviation.
+  std::vector<double> colMean(d, 0.0), colScale(d, 1.0);
+  for (std::size_t j = 0; j < d; ++j) {
+    double m = 0.0;
+    for (std::size_t i = 0; i < n; ++i) m += x(i, j);
+    m /= static_cast<double>(n);
+    colMean[j] = config.fitIntercept ? m : 0.0;
+    double s = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double c = x(i, j) - colMean[j];
+      s += c * c;
+    }
+    s = std::sqrt(s / static_cast<double>(n));
+    colScale[j] = s > 1e-12 ? s : 1.0;
+  }
+  double yMean = 0.0;
+  if (config.fitIntercept) {
+    for (double v : y) yMean += v;
+    yMean /= static_cast<double>(n);
+  }
+
+  // Work on standardized columns: z_j = (x_j - mean) / scale.
+  // residual r = y_centered - Z w.
+  std::vector<double> w(d, 0.0);
+  std::vector<double> residual(n);
+  for (std::size_t i = 0; i < n; ++i) residual[i] = y[i] - yMean;
+
+  LassoResult result;
+  const double invN = 1.0 / static_cast<double>(n);
+  for (std::size_t iter = 0; iter < config.maxIters; ++iter) {
+    double maxDelta = 0.0;
+    for (std::size_t j = 0; j < d; ++j) {
+      // rho = (1/n) z_j . (r + z_j w_j); with standardized z, (1/n) z.z = 1.
+      double rho = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double zij = (x(i, j) - colMean[j]) / colScale[j];
+        rho += zij * residual[i];
+      }
+      rho = rho * invN + w[j];
+      const double next = softThreshold(rho, config.lambda);
+      const double delta = next - w[j];
+      if (delta != 0.0) {
+        for (std::size_t i = 0; i < n; ++i) {
+          const double zij = (x(i, j) - colMean[j]) / colScale[j];
+          residual[i] -= delta * zij;
+        }
+        w[j] = next;
+        maxDelta = std::max(maxDelta, std::abs(delta));
+      }
+    }
+    result.iterations = iter + 1;
+    if (maxDelta < config.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  // De-standardize: y = yMean + sum_j w_j (x_j - mean_j)/scale_j.
+  result.coefficients.assign(d, 0.0);
+  double intercept = yMean;
+  for (std::size_t j = 0; j < d; ++j) {
+    result.coefficients[j] = w[j] / colScale[j];
+    intercept -= w[j] * colMean[j] / colScale[j];
+  }
+  result.intercept = config.fitIntercept ? intercept : 0.0;
+  return result;
+}
+
+}  // namespace isop::hpo

@@ -1,0 +1,32 @@
+// L1-regularized least squares via cyclic coordinate descent with
+// soft-thresholding — the polynomial sparse recovery (PSR) subroutine of
+// the Harmonica algorithm (Eq. 3 of the paper).
+#pragma once
+
+#include <vector>
+
+#include "common/matrix.hpp"
+
+namespace isop::hpo {
+
+struct LassoConfig {
+  double lambda = 0.05;     ///< L1 strength (on standardized columns)
+  std::size_t maxIters = 200;
+  double tolerance = 1e-6;  ///< max coefficient change for convergence
+  bool fitIntercept = true;
+};
+
+struct LassoResult {
+  std::vector<double> coefficients;  ///< per feature column
+  double intercept = 0.0;
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Minimizes (1/2n)||y - Xw - b||^2 + lambda * ||w||_1. Columns are
+/// internally standardized so lambda is scale-free; returned coefficients
+/// are de-standardized back to the original column scales.
+LassoResult lassoFit(const Matrix& x, std::span<const double> y,
+                     const LassoConfig& config = {});
+
+}  // namespace isop::hpo

@@ -1,0 +1,56 @@
+#include "hpo/parity_features.hpp"
+
+#include <cassert>
+
+namespace isop::hpo {
+
+std::vector<Monomial> enumerateMonomials(std::span<const std::size_t> positions,
+                                         std::size_t maxDegree) {
+  std::vector<Monomial> out;
+  const std::size_t n = positions.size();
+  // Degree 1.
+  if (maxDegree >= 1) {
+    for (std::size_t i = 0; i < n; ++i) out.push_back({positions[i]});
+  }
+  // Degree 2.
+  if (maxDegree >= 2) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        out.push_back({positions[i], positions[j]});
+      }
+    }
+  }
+  // Degree 3 (only used for small position sets; cubic blow-up).
+  if (maxDegree >= 3) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        for (std::size_t k = j + 1; k < n; ++k) {
+          out.push_back({positions[i], positions[j], positions[k]});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+double parityValue(const Monomial& monomial, const BitVector& bits) {
+  double v = 1.0;
+  for (std::size_t idx : monomial) {
+    assert(idx < bits.size());
+    v *= bits[idx] ? -1.0 : 1.0;  // 0 -> +1, 1 -> -1
+  }
+  return v;
+}
+
+Matrix parityDesignMatrix(std::span<const BitVector> samples,
+                          std::span<const Monomial> monomials) {
+  Matrix out(samples.size(), monomials.size());
+  for (std::size_t r = 0; r < samples.size(); ++r) {
+    for (std::size_t c = 0; c < monomials.size(); ++c) {
+      out(r, c) = parityValue(monomials[c], samples[r]);
+    }
+  }
+  return out;
+}
+
+}  // namespace isop::hpo

@@ -1,0 +1,30 @@
+// Fourier (parity) monomial features over the boolean cube for Harmonica's
+// sparse recovery. A monomial is a subset S of bit positions; its value on a
+// bit vector x in {0,1}^n is chi_S(x) = prod_{i in S} (1 - 2 x_i), i.e. the
+// parity of the selected bits in the {-1,+1} convention.
+#pragma once
+
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "hpo/binary_codec.hpp"
+
+namespace isop::hpo {
+
+/// A monomial: sorted, distinct bit indices (empty = constant term, which is
+/// the intercept and therefore not generated here).
+using Monomial = std::vector<std::size_t>;
+
+/// All monomials of degree 1..maxDegree over the given bit positions.
+/// Count grows as sum_k C(|positions|, k); callers cap positions/degree.
+std::vector<Monomial> enumerateMonomials(std::span<const std::size_t> positions,
+                                         std::size_t maxDegree);
+
+/// chi_S(x) for one monomial.
+double parityValue(const Monomial& monomial, const BitVector& bits);
+
+/// Design matrix: rows = samples, cols = monomials.
+Matrix parityDesignMatrix(std::span<const BitVector> samples,
+                          std::span<const Monomial> monomials);
+
+}  // namespace isop::hpo

@@ -1,0 +1,21 @@
+#include "hpo/random_search.hpp"
+
+namespace isop::hpo {
+
+RandomSearchResult RandomSearch::optimize(const em::ParameterSpace& space,
+                                          const Objective& objective) const {
+  Rng rng(config_.seed);
+  RandomSearchResult result;
+  for (std::size_t i = 0; i < config_.evaluations; ++i) {
+    em::StackupParams candidate = space.sample(rng);
+    const double value = objective(candidate);
+    ++result.evaluations;
+    if (value < result.bestValue) {
+      result.bestValue = value;
+      result.best = candidate;
+    }
+  }
+  return result;
+}
+
+}  // namespace isop::hpo

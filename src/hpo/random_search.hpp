@@ -1,0 +1,37 @@
+// Uniform random search over the discrete space — the sanity baseline every
+// informed method must beat, and the "naive random sampling" the paper
+// compares Hyperband against for local-stage seed selection.
+#pragma once
+
+#include <functional>
+#include <limits>
+
+#include "em/parameter_space.hpp"
+
+namespace isop::hpo {
+
+struct RandomSearchConfig {
+  std::size_t evaluations = 1000;
+  std::uint64_t seed = 4;
+};
+
+struct RandomSearchResult {
+  em::StackupParams best{};
+  double bestValue = std::numeric_limits<double>::infinity();
+  std::size_t evaluations = 0;
+};
+
+class RandomSearch {
+ public:
+  using Objective = std::function<double(const em::StackupParams&)>;
+
+  explicit RandomSearch(RandomSearchConfig config = {}) : config_(config) {}
+
+  RandomSearchResult optimize(const em::ParameterSpace& space,
+                              const Objective& objective) const;
+
+ private:
+  RandomSearchConfig config_;
+};
+
+}  // namespace isop::hpo

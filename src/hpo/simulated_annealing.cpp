@@ -1,0 +1,63 @@
+#include "hpo/simulated_annealing.hpp"
+
+#include <cmath>
+
+namespace isop::hpo {
+
+SaResult SimulatedAnnealing::optimize(const em::ParameterSpace& space,
+                                      const Objective& objective) const {
+  Rng rng(config_.seed);
+  SaResult result;
+
+  em::StackupParams current = space.sample(rng);
+  double currentValue = objective(current);
+  ++result.evaluations;
+  result.best = current;
+  result.bestValue = currentValue;
+
+  const std::size_t total = config_.evaluations;
+  for (std::size_t iter = 1; iter < total; ++iter) {
+    // Linear cooling (as the paper describes its SA), floored to keep the
+    // acceptance test well-defined.
+    const double progress = static_cast<double>(iter) / static_cast<double>(total);
+    const double temperature =
+        std::max(config_.initialTemperature * (1.0 - progress), 1e-9);
+
+    // Neighbour: perturb paramsPerMove random coordinates by up to
+    // maxStepsPerMove grid steps.
+    em::StackupParams candidate = current;
+    for (std::size_t m = 0; m < config_.paramsPerMove; ++m) {
+      const auto p = static_cast<std::size_t>(rng.below(space.dim()));
+      const auto& range = space.range(p);
+      const auto cases = static_cast<std::int64_t>(range.caseCount());
+      if (cases <= 1) continue;
+      auto idx = static_cast<std::int64_t>(range.nearestIndex(candidate.values[p]));
+      const auto maxStep = static_cast<std::int64_t>(config_.maxStepsPerMove);
+      std::int64_t step = 0;
+      while (step == 0) step = rng.range(-maxStep, maxStep);
+      idx = std::clamp<std::int64_t>(idx + step, 0, cases - 1);
+      candidate.values[p] = range.valueAt(static_cast<std::size_t>(idx));
+    }
+
+    const double candidateValue = objective(candidate);
+    ++result.evaluations;
+
+    bool accept = candidateValue <= currentValue;
+    if (!accept) {
+      const double prob = std::exp((currentValue - candidateValue) / temperature);
+      accept = rng.uniform() < prob;
+    }
+    if (accept) {
+      current = candidate;
+      currentValue = candidateValue;
+      ++result.accepted;
+      if (currentValue < result.bestValue) {
+        result.bestValue = currentValue;
+        result.best = current;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace isop::hpo

@@ -1,0 +1,45 @@
+// Simulated annealing baseline, implemented exactly as the paper describes
+// its own SA comparator: random initial solution, random grid-neighbour
+// moves, acceptance probability exp((cost - new_cost) / T) compared against
+// a uniform draw, temperature decreasing linearly over the iteration budget.
+#pragma once
+
+#include <functional>
+#include <limits>
+
+#include "em/parameter_space.hpp"
+
+namespace isop::hpo {
+
+struct SaConfig {
+  std::size_t evaluations = 16000;  ///< total objective calls
+  double initialTemperature = 0.3;
+  /// Max grid steps a single move can take in one parameter.
+  std::size_t maxStepsPerMove = 3;
+  /// Number of parameters perturbed per move.
+  std::size_t paramsPerMove = 1;
+  std::uint64_t seed = 3;
+};
+
+struct SaResult {
+  em::StackupParams best{};
+  double bestValue = std::numeric_limits<double>::infinity();
+  std::size_t evaluations = 0;
+  std::size_t accepted = 0;  ///< accepted moves (diagnostics)
+};
+
+class SimulatedAnnealing {
+ public:
+  using Objective = std::function<double(const em::StackupParams&)>;
+
+  explicit SimulatedAnnealing(SaConfig config = {}) : config_(config) {}
+
+  const SaConfig& config() const { return config_; }
+
+  SaResult optimize(const em::ParameterSpace& space, const Objective& objective) const;
+
+ private:
+  SaConfig config_;
+};
+
+}  // namespace isop::hpo

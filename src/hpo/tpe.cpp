@@ -1,0 +1,131 @@
+#include "hpo/tpe.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace isop::hpo {
+
+namespace {
+
+/// Discrete Parzen density over grid indices for one dimension: a mixture of
+/// triangular kernels centred at the observations plus a uniform floor.
+class ParzenDensity {
+ public:
+  ParzenDensity(std::size_t cases, std::span<const std::size_t> observations,
+                double smoothing)
+      : cases_(cases), weights_(cases, 0.0) {
+    // Bandwidth scales with the grid size and shrinks as data accumulates.
+    const double n = static_cast<double>(std::max<std::size_t>(observations.size(), 1));
+    bandwidth_ = std::max(1.0, static_cast<double>(cases) / (4.0 + std::sqrt(n)));
+    const auto bw = static_cast<std::ptrdiff_t>(std::ceil(bandwidth_));
+    for (std::size_t obs : observations) {
+      for (std::ptrdiff_t d = -bw; d <= bw; ++d) {
+        const std::ptrdiff_t idx = static_cast<std::ptrdiff_t>(obs) + d;
+        if (idx < 0 || idx >= static_cast<std::ptrdiff_t>(cases)) continue;
+        const double k = 1.0 - std::abs(static_cast<double>(d)) / (bandwidth_ + 1.0);
+        weights_[static_cast<std::size_t>(idx)] += k;
+      }
+    }
+    double total = 0.0;
+    for (double w : weights_) total += w;
+    const double uniform = smoothing / static_cast<double>(cases);
+    for (double& w : weights_) {
+      w = (total > 0.0 ? (1.0 - smoothing) * w / total : 0.0) + uniform;
+    }
+  }
+
+  double pdf(std::size_t index) const { return weights_[index]; }
+
+  std::size_t sample(Rng& rng) const {
+    double u = rng.uniform();
+    double acc = 0.0;
+    for (std::size_t i = 0; i < cases_; ++i) {
+      acc += weights_[i];
+      if (u <= acc) return i;
+    }
+    return cases_ - 1;
+  }
+
+ private:
+  std::size_t cases_;
+  double bandwidth_ = 1.0;
+  std::vector<double> weights_;
+};
+
+}  // namespace
+
+TpeResult TpeOptimizer::optimize(const em::ParameterSpace& space,
+                                 const Objective& objective) const {
+  Rng rng(config_.seed);
+  TpeResult result;
+
+  const std::size_t d = space.dim();
+  // History as grid indices per dimension + objective values.
+  std::vector<std::vector<std::size_t>> historyIdx;  // row per observation
+  std::vector<double> historyVal;
+
+  auto evaluate = [&](const em::StackupParams& p) {
+    const double v = objective(p);
+    ++result.evaluations;
+    std::vector<std::size_t> idx(d);
+    for (std::size_t j = 0; j < d; ++j) idx[j] = space.range(j).nearestIndex(p.values[j]);
+    historyIdx.push_back(std::move(idx));
+    historyVal.push_back(v);
+    if (v < result.bestValue) {
+      result.bestValue = v;
+      result.best = p;
+    }
+  };
+
+  const std::size_t startup = std::min(config_.startupSamples, config_.evaluations);
+  for (std::size_t i = 0; i < startup; ++i) evaluate(space.sample(rng));
+
+  while (result.evaluations < config_.evaluations) {
+    // Split observations at the gamma quantile.
+    std::vector<std::size_t> order(historyVal.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return historyVal[a] < historyVal[b]; });
+    const auto goodCount = std::max<std::size_t>(
+        1, static_cast<std::size_t>(config_.gammaQuantile *
+                                    static_cast<double>(order.size())));
+
+    // Per-dimension densities.
+    std::vector<ParzenDensity> good, bad;
+    good.reserve(d);
+    bad.reserve(d);
+    std::vector<std::size_t> goodObs, badObs;
+    for (std::size_t j = 0; j < d; ++j) {
+      goodObs.clear();
+      badObs.clear();
+      for (std::size_t i = 0; i < order.size(); ++i) {
+        (i < goodCount ? goodObs : badObs).push_back(historyIdx[order[i]][j]);
+      }
+      const std::size_t cases = space.range(j).caseCount();
+      good.emplace_back(cases, goodObs, config_.smoothing);
+      bad.emplace_back(cases, badObs, config_.smoothing);
+    }
+
+    // Draw candidates from l(x), score by log l(x) - log g(x).
+    double bestScore = -std::numeric_limits<double>::infinity();
+    em::StackupParams bestCandidate{};
+    for (std::size_t c = 0; c < config_.candidates; ++c) {
+      em::StackupParams candidate{};
+      double score = 0.0;
+      for (std::size_t j = 0; j < d; ++j) {
+        const std::size_t idx = good[j].sample(rng);
+        candidate.values[j] = space.range(j).valueAt(idx);
+        score += std::log(good[j].pdf(idx)) - std::log(bad[j].pdf(idx));
+      }
+      if (score > bestScore) {
+        bestScore = score;
+        bestCandidate = candidate;
+      }
+    }
+    evaluate(bestCandidate);
+  }
+  return result;
+}
+
+}  // namespace isop::hpo

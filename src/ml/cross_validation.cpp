@@ -1,0 +1,73 @@
+#include "ml/cross_validation.hpp"
+
+#include <stdexcept>
+
+#include "common/stats.hpp"
+#include "ml/metrics.hpp"
+
+namespace isop::ml {
+
+double CrossValidationScores::meanMape() const {
+  return stats::mean(mapeMean);
+}
+
+CrossValidationScores kFoldCrossValidate(const Dataset& data, std::size_t folds,
+                                         const ModelFactory& factory,
+                                         std::uint64_t seed) {
+  if (folds < 2) throw std::invalid_argument("kFoldCrossValidate: folds must be >= 2");
+  if (data.size() < folds) {
+    throw std::invalid_argument("kFoldCrossValidate: fewer rows than folds");
+  }
+
+  Dataset shuffled = data;
+  Rng rng(seed);
+  shuffled.shuffle(rng);
+
+  const std::size_t n = shuffled.size();
+  const std::size_t outputs = shuffled.outputDim();
+
+  // Per-output, per-fold scores.
+  std::vector<std::vector<double>> mae(outputs), mape(outputs), smape(outputs);
+
+  for (std::size_t fold = 0; fold < folds; ++fold) {
+    const std::size_t begin = fold * n / folds;
+    const std::size_t end = (fold + 1) * n / folds;
+    std::vector<std::size_t> trainRows, testRows;
+    trainRows.reserve(n - (end - begin));
+    testRows.reserve(end - begin);
+    for (std::size_t i = 0; i < n; ++i) {
+      (i >= begin && i < end ? testRows : trainRows).push_back(i);
+    }
+    const Dataset foldTrain = shuffled.subset(trainRows);
+    const Dataset foldTest = shuffled.subset(testRows);
+
+    const std::unique_ptr<Surrogate> model = factory(foldTrain);
+    if (!model || model->outputDim() != outputs) {
+      throw std::invalid_argument("kFoldCrossValidate: factory returned bad model");
+    }
+    Matrix pred;
+    model->predictBatch(foldTest.x, pred);
+    for (std::size_t k = 0; k < outputs; ++k) {
+      std::vector<double> truth(foldTest.size()), predicted(foldTest.size());
+      for (std::size_t i = 0; i < foldTest.size(); ++i) {
+        truth[i] = foldTest.y(i, k);
+        predicted[i] = pred(i, k);
+      }
+      mae[k].push_back(ml::mae(truth, predicted));
+      mape[k].push_back(ml::mape(truth, predicted));
+      smape[k].push_back(ml::smape(truth, predicted));
+    }
+  }
+
+  CrossValidationScores scores;
+  scores.folds = folds;
+  for (std::size_t k = 0; k < outputs; ++k) {
+    scores.maeMean.push_back(stats::mean(mae[k]));
+    scores.maeStdev.push_back(stats::stdev(mae[k]));
+    scores.mapeMean.push_back(stats::mean(mape[k]));
+    scores.smapeMean.push_back(stats::mean(smape[k]));
+  }
+  return scores;
+}
+
+}  // namespace isop::ml

@@ -1,0 +1,38 @@
+// K-fold cross-validation for surrogate model selection. The paper's
+// Section IV-B trains its regression models "with cross-validation"; this
+// is the utility behind that step — it produced the Table VI-style model
+// choice before the final 80/20 fit.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "ml/dataset.hpp"
+#include "ml/surrogate.hpp"
+
+namespace isop::ml {
+
+struct CrossValidationScores {
+  std::size_t folds = 0;
+  /// Per-output means over folds.
+  std::vector<double> maeMean;
+  std::vector<double> maeStdev;
+  std::vector<double> mapeMean;   ///< fractional
+  std::vector<double> smapeMean;  ///< fractional
+
+  /// Scalar summary: mean MAPE across outputs (the paper's primary metric).
+  double meanMape() const;
+};
+
+/// Builds a fresh untrained multi-output model for one fold. The model is
+/// fitted on the fold's training rows and scored on the held-out rows.
+using ModelFactory = std::function<std::unique_ptr<Surrogate>(const Dataset& foldTrain)>;
+
+/// Deterministic k-fold CV: shuffles once with `seed`, splits into k
+/// contiguous folds, trains k models. Throws std::invalid_argument for
+/// k < 2 or datasets smaller than k rows.
+CrossValidationScores kFoldCrossValidate(const Dataset& data, std::size_t folds,
+                                         const ModelFactory& factory,
+                                         std::uint64_t seed = 17);
+
+}  // namespace isop::ml

@@ -1,0 +1,103 @@
+#include "ml/dataset.hpp"
+
+#include <cassert>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace isop::ml {
+
+namespace {
+constexpr char kMagic[8] = {'I', 'S', 'O', 'P', 'D', 'S', '0', '1'};
+
+void writeMatrix(std::ofstream& out, const Matrix& m) {
+  auto rows = static_cast<std::uint64_t>(m.rows());
+  auto cols = static_cast<std::uint64_t>(m.cols());
+  out.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+  out.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+  out.write(reinterpret_cast<const char*>(m.data()),
+            static_cast<std::streamsize>(m.size() * sizeof(double)));
+}
+
+Matrix readMatrix(std::ifstream& in) {
+  std::uint64_t rows = 0, cols = 0;
+  in.read(reinterpret_cast<char*>(&rows), sizeof(rows));
+  in.read(reinterpret_cast<char*>(&cols), sizeof(cols));
+  if (!in) throw std::runtime_error("dataset: truncated header");
+  Matrix m(rows, cols);
+  in.read(reinterpret_cast<char*>(m.data()),
+          static_cast<std::streamsize>(m.size() * sizeof(double)));
+  if (!in) throw std::runtime_error("dataset: truncated payload");
+  return m;
+}
+}  // namespace
+
+std::vector<double> Dataset::targetColumn(std::size_t col) const {
+  assert(col < y.cols());
+  std::vector<double> out(y.rows());
+  for (std::size_t i = 0; i < y.rows(); ++i) out[i] = y(i, col);
+  return out;
+}
+
+void Dataset::shuffle(Rng& rng) {
+  const std::size_t n = size();
+  for (std::size_t i = n; i > 1; --i) {
+    std::size_t j = static_cast<std::size_t>(rng.below(i));
+    if (j == i - 1) continue;
+    for (std::size_t c = 0; c < x.cols(); ++c) std::swap(x(i - 1, c), x(j, c));
+    for (std::size_t c = 0; c < y.cols(); ++c) std::swap(y(i - 1, c), y(j, c));
+  }
+}
+
+std::pair<Dataset, Dataset> Dataset::split(double trainFraction) const {
+  const std::size_t n = size();
+  auto nTrain = static_cast<std::size_t>(static_cast<double>(n) * trainFraction);
+  nTrain = std::min(nTrain, n);
+  Dataset train{Matrix(nTrain, x.cols()), Matrix(nTrain, y.cols())};
+  Dataset test{Matrix(n - nTrain, x.cols()), Matrix(n - nTrain, y.cols())};
+  for (std::size_t i = 0; i < n; ++i) {
+    Dataset& dst = i < nTrain ? train : test;
+    std::size_t r = i < nTrain ? i : i - nTrain;
+    for (std::size_t c = 0; c < x.cols(); ++c) dst.x(r, c) = x(i, c);
+    for (std::size_t c = 0; c < y.cols(); ++c) dst.y(r, c) = y(i, c);
+  }
+  return {std::move(train), std::move(test)};
+}
+
+Dataset Dataset::subset(std::span<const std::size_t> indices) const {
+  Dataset out{Matrix(indices.size(), x.cols()), Matrix(indices.size(), y.cols())};
+  for (std::size_t r = 0; r < indices.size(); ++r) {
+    assert(indices[r] < size());
+    for (std::size_t c = 0; c < x.cols(); ++c) out.x(r, c) = x(indices[r], c);
+    for (std::size_t c = 0; c < y.cols(); ++c) out.y(r, c) = y(indices[r], c);
+  }
+  return out;
+}
+
+void saveDataset(const std::string& path, const Dataset& ds) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("dataset: cannot open '" + path + "' for writing");
+  out.write(kMagic, sizeof(kMagic));
+  writeMatrix(out, ds.x);
+  writeMatrix(out, ds.y);
+  if (!out) throw std::runtime_error("dataset: write failed for '" + path + "'");
+}
+
+Dataset loadDataset(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("dataset: cannot open '" + path + "' for reading");
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("dataset: bad magic in '" + path + "'");
+  }
+  Dataset ds;
+  ds.x = readMatrix(in);
+  ds.y = readMatrix(in);
+  if (ds.x.rows() != ds.y.rows()) {
+    throw std::runtime_error("dataset: row-count mismatch in '" + path + "'");
+  }
+  return ds;
+}
+
+}  // namespace isop::ml

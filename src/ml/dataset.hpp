@@ -1,0 +1,40 @@
+// Tabular regression dataset: N rows of (features X, targets Y). This is the
+// in-memory form of the paper's 90k-sample stack-up dataset (15 design
+// parameters -> Z, L, NEXT).
+#pragma once
+
+#include <string>
+
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+
+namespace isop::ml {
+
+struct Dataset {
+  Matrix x;  ///< n x dIn features
+  Matrix y;  ///< n x dOut targets
+
+  std::size_t size() const { return x.rows(); }
+  std::size_t inputDim() const { return x.cols(); }
+  std::size_t outputDim() const { return y.cols(); }
+
+  /// Extracts one target column as a vector (for single-output regressors).
+  std::vector<double> targetColumn(std::size_t col) const;
+
+  /// In-place row permutation shared between X and Y.
+  void shuffle(Rng& rng);
+
+  /// Splits into (first `trainFraction`, rest). Caller should shuffle first.
+  std::pair<Dataset, Dataset> split(double trainFraction) const;
+
+  /// Row subset by indices.
+  Dataset subset(std::span<const std::size_t> indices) const;
+};
+
+/// Binary round-trip (magic + dims + raw doubles); used to cache generated
+/// datasets between benchmark binaries. Throws std::runtime_error on I/O or
+/// format errors.
+void saveDataset(const std::string& path, const Dataset& ds);
+Dataset loadDataset(const std::string& path);
+
+}  // namespace isop::ml

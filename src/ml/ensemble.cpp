@@ -1,0 +1,165 @@
+#include "ml/ensemble.hpp"
+
+#include <cassert>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "common/stats.hpp"
+#include "common/thread_pool.hpp"
+
+namespace isop::ml {
+
+// --- RandomForestRegressor ---------------------------------------------------
+
+void RandomForestRegressor::fit(const Matrix& x, std::span<const double> y) {
+  assert(x.rows() == y.size() && x.rows() > 0);
+  binner_.fit(x, config_.maxBins);
+  std::vector<std::uint8_t> binned;
+  binner_.transform(x, binned);
+
+  std::vector<double> g(y.size()), h(y.size(), 1.0);
+  for (std::size_t i = 0; i < y.size(); ++i) g[i] = -y[i];
+
+  TreeConfig cfg;
+  cfg.maxDepth = config_.maxDepth;
+  cfg.minSamplesLeaf = config_.minSamplesLeaf;
+  cfg.featureSubsample = config_.featureSubsample;
+
+  trees_.assign(config_.trees, {});
+  const std::size_t n = x.rows();
+  const auto rowsPerTree = static_cast<std::size_t>(
+      config_.rowSubsample * static_cast<double>(n));
+  // Deterministic per-tree RNG streams keep the fit reproducible even when
+  // trees are trained in parallel.
+  ThreadPool::global().parallelFor(config_.trees, [&](std::size_t t) {
+    Rng rng(config_.seed + 0x9e3779b9u * (t + 1));
+    std::vector<std::size_t> rows(rowsPerTree);
+    for (auto& r : rows) r = static_cast<std::size_t>(rng.below(n));  // bootstrap
+    trees_[t].fit(binner_, binned, x.cols(), rows, g, h, cfg, rng);
+  });
+}
+
+double RandomForestRegressor::predictOne(std::span<const double> x) const {
+  double acc = 0.0;
+  for (const auto& tree : trees_) acc += tree.predictOne(x);
+  return trees_.empty() ? 0.0 : acc / static_cast<double>(trees_.size());
+}
+
+// --- GradientBoostingRegressor -----------------------------------------------
+
+void GradientBoostingRegressor::fit(const Matrix& x, std::span<const double> y) {
+  assert(x.rows() == y.size() && x.rows() > 0);
+  binner_.fit(x, config_.maxBins);
+  std::vector<std::uint8_t> binned;
+  binner_.transform(x, binned);
+
+  baseValue_ = stats::mean(y);
+  std::vector<double> residual(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) residual[i] = y[i] - baseValue_;
+
+  std::vector<std::size_t> rows(x.rows());
+  for (std::size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  std::vector<double> g(y.size()), h(y.size(), 1.0);
+
+  TreeConfig cfg;
+  cfg.maxDepth = config_.maxDepth;
+  cfg.minSamplesLeaf = config_.minSamplesLeaf;
+
+  Rng rng(config_.seed);
+  trees_.clear();
+  trees_.reserve(config_.stages);
+  for (std::size_t stage = 0; stage < config_.stages; ++stage) {
+    for (std::size_t i = 0; i < residual.size(); ++i) g[i] = -residual[i];
+    GradientTree tree;
+    tree.fit(binner_, binned, x.cols(), rows, g, h, cfg, rng);
+    for (std::size_t i = 0; i < residual.size(); ++i) {
+      residual[i] -= config_.learningRate * tree.predictOne(x.row(i));
+    }
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double GradientBoostingRegressor::predictOne(std::span<const double> x) const {
+  double acc = baseValue_;
+  for (const auto& tree : trees_) acc += config_.learningRate * tree.predictOne(x);
+  return acc;
+}
+
+// --- XgboostRegressor --------------------------------------------------------
+
+void XgboostRegressor::fit(const Matrix& x, std::span<const double> y) {
+  assert(x.rows() == y.size() && x.rows() > 0);
+  binner_.fit(x, config_.maxBins);
+  std::vector<std::uint8_t> binned;
+  binner_.transform(x, binned);
+
+  baseValue_ = stats::mean(y);
+  const std::size_t n = x.rows();
+  std::vector<double> pred(n, baseValue_);
+  std::vector<double> g(n), h(n, 1.0);
+
+  TreeConfig cfg;
+  cfg.maxDepth = config_.maxDepth;
+  cfg.minSamplesLeaf = config_.minSamplesLeaf;
+  cfg.lambda = config_.lambda;
+  cfg.gamma = config_.gamma;
+  cfg.featureSubsample = config_.featureSubsample;
+
+  Rng rng(config_.seed);
+  trees_.clear();
+  trees_.reserve(config_.rounds);
+  std::vector<std::size_t> rows;
+  rows.reserve(n);
+  for (std::size_t round = 0; round < config_.rounds; ++round) {
+    // Squared loss: gradient = pred - y, hessian = 1.
+    for (std::size_t i = 0; i < n; ++i) g[i] = pred[i] - y[i];
+    rows.clear();
+    if (config_.rowSubsample < 1.0) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (rng.bernoulli(config_.rowSubsample)) rows.push_back(i);
+      }
+      if (rows.empty()) rows.push_back(static_cast<std::size_t>(rng.below(n)));
+    } else {
+      for (std::size_t i = 0; i < n; ++i) rows.push_back(i);
+    }
+    GradientTree tree;
+    tree.fit(binner_, binned, x.cols(), rows, g, h, cfg, rng);
+    for (std::size_t i = 0; i < n; ++i) {
+      pred[i] += config_.learningRate * tree.predictOne(x.row(i));
+    }
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double XgboostRegressor::predictOne(std::span<const double> x) const {
+  double acc = baseValue_;
+  for (const auto& tree : trees_) acc += config_.learningRate * tree.predictOne(x);
+  return acc;
+}
+
+void XgboostRegressor::save(std::ostream& out) const {
+  constexpr std::uint32_t magic = 0x58474231;  // "XGB1"
+  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  out.write(reinterpret_cast<const char*>(&config_.learningRate),
+            sizeof(config_.learningRate));
+  out.write(reinterpret_cast<const char*>(&baseValue_), sizeof(baseValue_));
+  const auto n = static_cast<std::uint64_t>(trees_.size());
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  for (const auto& tree : trees_) tree.save(out);
+}
+
+void XgboostRegressor::load(std::istream& in) {
+  std::uint32_t magic = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  if (magic != 0x58474231) throw std::runtime_error("XgboostRegressor: bad magic");
+  in.read(reinterpret_cast<char*>(&config_.learningRate), sizeof(config_.learningRate));
+  in.read(reinterpret_cast<char*>(&baseValue_), sizeof(baseValue_));
+  std::uint64_t n = 0;
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  trees_.resize(n);
+  for (auto& tree : trees_) tree.load(in);
+  if (!in) throw std::runtime_error("XgboostRegressor: truncated stream");
+}
+
+}  // namespace isop::ml

@@ -1,0 +1,95 @@
+// Tree ensembles for the Table VI study: random forest (RFR), gradient
+// boosting (GBR), and an XGBoost-style second-order booster with L2 leaf
+// regularization, minimum-gain pruning and row/column subsampling.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "ml/tree.hpp"
+
+namespace isop::ml {
+
+struct RandomForestConfig {
+  std::size_t trees = 60;
+  std::size_t maxDepth = 14;
+  std::size_t minSamplesLeaf = 3;
+  double featureSubsample = 0.6;
+  double rowSubsample = 0.8;  ///< bootstrap fraction per tree
+  std::size_t maxBins = 64;
+  std::uint64_t seed = 11;
+};
+
+class RandomForestRegressor final : public SingleOutputModel {
+ public:
+  explicit RandomForestRegressor(RandomForestConfig config = {}) : config_(config) {}
+
+  void fit(const Matrix& x, std::span<const double> y) override;
+  double predictOne(std::span<const double> x) const override;
+
+ private:
+  RandomForestConfig config_;
+  FeatureBinner binner_;
+  std::vector<GradientTree> trees_;
+};
+
+struct GradientBoostingConfig {
+  std::size_t stages = 150;
+  double learningRate = 0.1;
+  std::size_t maxDepth = 4;
+  std::size_t minSamplesLeaf = 5;
+  std::size_t maxBins = 64;
+  std::uint64_t seed = 13;
+};
+
+/// Classic (first-order) gradient boosting: each stage fits a shallow CART
+/// to the current residuals and is added with shrinkage.
+class GradientBoostingRegressor final : public SingleOutputModel {
+ public:
+  explicit GradientBoostingRegressor(GradientBoostingConfig config = {}) : config_(config) {}
+
+  void fit(const Matrix& x, std::span<const double> y) override;
+  double predictOne(std::span<const double> x) const override;
+
+ private:
+  GradientBoostingConfig config_;
+  FeatureBinner binner_;
+  double baseValue_ = 0.0;
+  std::vector<GradientTree> trees_;
+};
+
+struct XgboostConfig {
+  std::size_t rounds = 250;
+  double learningRate = 0.1;
+  std::size_t maxDepth = 6;
+  std::size_t minSamplesLeaf = 2;
+  double lambda = 1.0;          ///< L2 on leaf values
+  double gamma = 0.0;           ///< min split gain
+  double rowSubsample = 0.9;
+  double featureSubsample = 0.9;
+  std::size_t maxBins = 64;
+  std::uint64_t seed = 17;
+};
+
+/// Second-order boosting in the XGBoost formulation (squared loss: g = pred
+/// - y, h = 1), with regularized leaves and stochastic sub-sampling.
+class XgboostRegressor final : public SingleOutputModel {
+ public:
+  explicit XgboostRegressor(XgboostConfig config = {}) : config_(config) {}
+
+  void fit(const Matrix& x, std::span<const double> y) override;
+  double predictOne(std::span<const double> x) const override;
+
+  /// Binary round-trip of the fitted booster (trees carry raw thresholds, so
+  /// the binner is not needed for prediction and is not serialized).
+  void save(std::ostream& out) const;
+  void load(std::istream& in);
+
+ private:
+  XgboostConfig config_;
+  FeatureBinner binner_;
+  double baseValue_ = 0.0;
+  std::vector<GradientTree> trees_;
+};
+
+}  // namespace isop::ml

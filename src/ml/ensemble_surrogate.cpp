@@ -1,0 +1,109 @@
+#include "ml/ensemble_surrogate.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace isop::ml {
+
+EnsembleSurrogate::EnsembleSurrogate(
+    std::vector<std::shared_ptr<const Surrogate>> members)
+    : members_(std::move(members)) {
+  if (members_.empty()) {
+    throw std::invalid_argument("EnsembleSurrogate: needs at least one member");
+  }
+  for (const auto& m : members_) {
+    if (!m || m->inputDim() != members_.front()->inputDim() ||
+        m->outputDim() != members_.front()->outputDim()) {
+      throw std::invalid_argument("EnsembleSurrogate: member shape mismatch");
+    }
+  }
+}
+
+std::size_t EnsembleSurrogate::inputDim() const { return members_.front()->inputDim(); }
+std::size_t EnsembleSurrogate::outputDim() const { return members_.front()->outputDim(); }
+
+void EnsembleSurrogate::predict(std::span<const double> x, std::span<double> out) const {
+  assert(out.size() == outputDim());
+  countQuery();
+  std::vector<double> member(outputDim());
+  std::fill(out.begin(), out.end(), 0.0);
+  for (const auto& m : members_) {
+    m->predict(x, member);
+    for (std::size_t k = 0; k < member.size(); ++k) out[k] += member[k];
+  }
+  const double inv = 1.0 / static_cast<double>(members_.size());
+  for (double& v : out) v *= inv;
+}
+
+void EnsembleSurrogate::predictWithSpread(std::span<const double> x,
+                                          std::span<double> mean,
+                                          std::span<double> stddev) const {
+  assert(mean.size() == outputDim() && stddev.size() == outputDim());
+  countQuery();
+  std::vector<double> member(outputDim());
+  std::fill(mean.begin(), mean.end(), 0.0);
+  std::fill(stddev.begin(), stddev.end(), 0.0);
+  for (const auto& m : members_) {
+    m->predict(x, member);
+    for (std::size_t k = 0; k < member.size(); ++k) {
+      mean[k] += member[k];
+      stddev[k] += member[k] * member[k];
+    }
+  }
+  const double inv = 1.0 / static_cast<double>(members_.size());
+  for (std::size_t k = 0; k < mean.size(); ++k) {
+    mean[k] *= inv;
+    const double var = std::max(stddev[k] * inv - mean[k] * mean[k], 0.0);
+    stddev[k] = std::sqrt(var);
+  }
+}
+
+bool EnsembleSurrogate::hasInputGradient() const {
+  for (const auto& m : members_) {
+    if (!m->hasInputGradient()) return false;
+  }
+  return true;
+}
+
+void EnsembleSurrogate::inputGradient(std::span<const double> x, std::size_t outputIndex,
+                                      std::span<double> grad) const {
+  assert(grad.size() == inputDim());
+  std::vector<double> member(inputDim());
+  std::fill(grad.begin(), grad.end(), 0.0);
+  for (const auto& m : members_) {
+    m->inputGradient(x, outputIndex, member);
+    for (std::size_t j = 0; j < member.size(); ++j) grad[j] += member[j];
+  }
+  const double inv = 1.0 / static_cast<double>(members_.size());
+  for (double& v : grad) v *= inv;
+}
+
+std::shared_ptr<EnsembleSurrogate> trainMlpEnsemble(const Dataset& train,
+                                                    const EnsembleTrainConfig& config) {
+  if (config.members == 0) {
+    throw std::invalid_argument("trainMlpEnsemble: members must be >= 1");
+  }
+  std::vector<std::shared_ptr<const Surrogate>> members;
+  members.reserve(config.members);
+  Rng rng(config.seed);
+  for (std::size_t m = 0; m < config.members; ++m) {
+    Dataset memberSet;
+    const Dataset* fitSet = &train;
+    if (config.bootstrap) {
+      std::vector<std::size_t> rows(train.size());
+      for (auto& r : rows) r = static_cast<std::size_t>(rng.below(train.size()));
+      memberSet = train.subset(rows);
+      fitSet = &memberSet;
+    }
+    auto model = std::make_shared<MlpRegressor>(config.architecture);
+    if (!config.transforms.empty()) model->setOutputTransforms(config.transforms);
+    nn::TrainConfig tc = config.training;
+    tc.seed = config.seed * 1000003ULL + m;  // distinct init + batch order
+    model->fit(*fitSet, tc);
+    members.push_back(std::move(model));
+  }
+  return std::make_shared<EnsembleSurrogate>(std::move(members));
+}
+
+}  // namespace isop::ml

@@ -1,0 +1,63 @@
+// Deep-ensemble surrogate: K independently-initialized (and optionally
+// bootstrap-resampled) neural surrogates whose mean is the prediction and
+// whose member disagreement is a calibration-free uncertainty signal.
+//
+// Motivation (see EXPERIMENTS.md ablations): an optimizer searching through
+// a single surrogate converges to the pockets where that surrogate is
+// *optimistically wrong* — it exploits model error. Penalizing ensemble
+// disagreement steers the search back toward regions where the model
+// actually knows the answer; core::SurrogateObjective exposes this as an
+// optional uncertainty penalty.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "ml/neural_regressor.hpp"
+#include "ml/surrogate.hpp"
+
+namespace isop::ml {
+
+class EnsembleSurrogate final : public Surrogate {
+ public:
+  /// Takes ownership of >= 1 pre-trained members with identical shapes.
+  explicit EnsembleSurrogate(std::vector<std::shared_ptr<const Surrogate>> members);
+
+  std::size_t inputDim() const override;
+  std::size_t outputDim() const override;
+  std::size_t memberCount() const { return members_.size(); }
+
+  /// Mean prediction over the members.
+  void predict(std::span<const double> x, std::span<double> out) const override;
+
+  /// Mean and per-output member standard deviation (population, K in the
+  /// denominator) in one pass.
+  void predictWithSpread(std::span<const double> x, std::span<double> mean,
+                         std::span<double> stddev) const;
+
+  /// Mean of the members' input gradients (requires every member to
+  /// support gradients).
+  bool hasInputGradient() const override;
+  void inputGradient(std::span<const double> x, std::size_t outputIndex,
+                     std::span<double> grad) const override;
+
+ private:
+  std::vector<std::shared_ptr<const Surrogate>> members_;
+};
+
+struct EnsembleTrainConfig {
+  std::size_t members = 4;
+  bool bootstrap = true;  ///< resample the training set per member
+  MlpConfig architecture{};
+  nn::TrainConfig training{};
+  std::vector<OutputTransform> transforms{};  ///< applied to every member
+  std::uint64_t seed = 77;
+};
+
+/// Trains an MLP deep ensemble (seeds and, optionally, bootstrap resamples
+/// differ per member).
+std::shared_ptr<EnsembleSurrogate> trainMlpEnsemble(const Dataset& train,
+                                                    const EnsembleTrainConfig& config);
+
+}  // namespace isop::ml

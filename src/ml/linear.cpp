@@ -1,0 +1,79 @@
+#include "ml/linear.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace isop::ml {
+
+PolynomialLinearRegressor::PolynomialLinearRegressor(PolynomialLinearConfig config)
+    : config_(config) {
+  if (config_.degree < 1 || config_.degree > 2) {
+    throw std::invalid_argument("PolynomialLinearRegressor: degree must be 1 or 2");
+  }
+}
+
+std::size_t PolynomialLinearRegressor::expandedDimFor(std::size_t d) const {
+  std::size_t n = 1 + d;                         // bias + linear
+  if (config_.degree == 2) n += d * (d + 1) / 2; // squares + pairwise
+  return n;
+}
+
+void PolynomialLinearRegressor::expandRow(std::span<const double> scaled,
+                                          std::span<double> out) const {
+  std::size_t k = 0;
+  out[k++] = 1.0;
+  for (double v : scaled) out[k++] = v;
+  if (config_.degree == 2) {
+    for (std::size_t i = 0; i < scaled.size(); ++i) {
+      for (std::size_t j = i; j < scaled.size(); ++j) {
+        out[k++] = scaled[i] * scaled[j];
+      }
+    }
+  }
+  assert(k == out.size());
+}
+
+void PolynomialLinearRegressor::fit(const Matrix& x, std::span<const double> y) {
+  assert(x.rows() == y.size() && x.rows() > 0);
+  inputDim_ = x.cols();
+  scaler_.fit(x);
+  const std::size_t n = x.rows();
+  const std::size_t m = expandedDimFor(inputDim_);
+
+  // Accumulate normal equations A = F^T F, b = F^T y without materializing F.
+  Matrix a(m, m, 0.0);
+  std::vector<double> b(m, 0.0);
+  std::vector<double> scaled(inputDim_), feat(m);
+  for (std::size_t r = 0; r < n; ++r) {
+    scaler_.transformRow(x.row(r), scaled);
+    expandRow(scaled, feat);
+    for (std::size_t i = 0; i < m; ++i) {
+      b[i] += feat[i] * y[r];
+      const double fi = feat[i];
+      double* aRow = a.data() + i * m;
+      for (std::size_t j = i; j < m; ++j) aRow[j] += fi * feat[j];
+    }
+  }
+  // Mirror the upper triangle.
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < i; ++j) a(i, j) = a(j, i);
+  }
+
+  weights_.assign(m, 0.0);
+  if (!linalg::choleskySolve(a, b, weights_, config_.ridge * static_cast<double>(n))) {
+    // Extremely ill-conditioned data: retry with a heavy ridge.
+    if (!linalg::choleskySolve(a, b, weights_, 1.0 * static_cast<double>(n))) {
+      throw std::runtime_error("PolynomialLinearRegressor: normal equations not SPD");
+    }
+  }
+}
+
+double PolynomialLinearRegressor::predictOne(std::span<const double> x) const {
+  assert(x.size() == inputDim_);
+  std::vector<double> scaled(inputDim_), feat(weights_.size());
+  scaler_.transformRow(x, scaled);
+  expandRow(scaled, feat);
+  return linalg::dot(feat, weights_);
+}
+
+}  // namespace isop::ml

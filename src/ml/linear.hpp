@@ -1,0 +1,37 @@
+// Polynomial linear regression (Table VI "PLR"): degree-2 polynomial feature
+// expansion (bias, linear, squares, pairwise products) followed by ridge
+// regression solved via Cholesky on the normal equations.
+#pragma once
+
+#include <vector>
+
+#include "ml/scaler.hpp"
+#include "ml/single_output.hpp"
+
+namespace isop::ml {
+
+struct PolynomialLinearConfig {
+  std::size_t degree = 2;  ///< 1 or 2
+  double ridge = 1e-3;
+};
+
+class PolynomialLinearRegressor final : public SingleOutputModel {
+ public:
+  explicit PolynomialLinearRegressor(PolynomialLinearConfig config = {});
+
+  void fit(const Matrix& x, std::span<const double> y) override;
+  double predictOne(std::span<const double> x) const override;
+
+  std::size_t expandedDim() const { return weights_.size(); }
+
+ private:
+  void expandRow(std::span<const double> scaled, std::span<double> out) const;
+  std::size_t expandedDimFor(std::size_t d) const;
+
+  PolynomialLinearConfig config_;
+  StandardScaler scaler_;
+  std::vector<double> weights_;
+  std::size_t inputDim_ = 0;
+};
+
+}  // namespace isop::ml

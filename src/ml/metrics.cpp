@@ -1,0 +1,50 @@
+#include "ml/metrics.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace isop::ml {
+
+double mae(std::span<const double> truth, std::span<const double> pred) {
+  assert(truth.size() == pred.size());
+  if (truth.empty()) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) acc += std::abs(truth[i] - pred[i]);
+  return acc / static_cast<double>(truth.size());
+}
+
+double mape(std::span<const double> truth, std::span<const double> pred, double eps) {
+  assert(truth.size() == pred.size());
+  double acc = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (std::abs(truth[i]) < eps) continue;
+    acc += std::abs((truth[i] - pred[i]) / truth[i]);
+    ++n;
+  }
+  return n ? acc / static_cast<double>(n) : 0.0;
+}
+
+double smape(std::span<const double> truth, std::span<const double> pred, double eps) {
+  assert(truth.size() == pred.size());
+  if (truth.empty()) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    double denom = std::abs(truth[i]) + std::abs(pred[i]);
+    if (denom < eps) continue;  // both ~0: perfect agreement, contributes 0
+    acc += 2.0 * std::abs(truth[i] - pred[i]) / denom;
+  }
+  return acc / static_cast<double>(truth.size());
+}
+
+double rmse(std::span<const double> truth, std::span<const double> pred) {
+  assert(truth.size() == pred.size());
+  if (truth.empty()) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    acc += (truth[i] - pred[i]) * (truth[i] - pred[i]);
+  }
+  return std::sqrt(acc / static_cast<double>(truth.size()));
+}
+
+}  // namespace isop::ml

@@ -1,0 +1,24 @@
+// Regression quality metrics used in Table VI of the paper: MAE and MAPE for
+// impedance and loss, sMAPE for crosstalk (which can be ~0, making plain
+// MAPE blow up), plus RMSE and R^2 for the extended reports.
+#pragma once
+
+#include <span>
+
+namespace isop::ml {
+
+/// Mean absolute error.
+double mae(std::span<const double> truth, std::span<const double> pred);
+
+/// Mean absolute percentage error, as a fraction (0.05 = 5%). Entries with
+/// |truth| < eps are skipped to avoid division blow-ups.
+double mape(std::span<const double> truth, std::span<const double> pred, double eps = 1e-9);
+
+/// Symmetric MAPE: mean of 2|t-p| / (|t|+|p|), as a fraction in [0, 2].
+/// Entries where both sides are ~0 contribute 0.
+double smape(std::span<const double> truth, std::span<const double> pred, double eps = 1e-12);
+
+/// Root mean squared error.
+double rmse(std::span<const double> truth, std::span<const double> pred);
+
+}  // namespace isop::ml

@@ -1,0 +1,263 @@
+#include "ml/neural_regressor.hpp"
+
+#include <cassert>
+#include <fstream>
+#include <stdexcept>
+
+#include "ml/nn/activation.hpp"
+#include "ml/nn/batch_norm.hpp"
+#include "ml/nn/conv1d.hpp"
+#include "ml/nn/dense.hpp"
+#include "ml/nn/dropout.hpp"
+
+namespace isop::ml {
+
+namespace {
+constexpr std::uint32_t kMlpMagic = 0x4d4c5031;   // "MLP1"
+constexpr std::uint32_t kCnnMagic = 0x434e4e31;   // "CNN1"
+
+template <typename T>
+void writePod(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+template <typename T>
+T readPod(std::istream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return v;
+}
+}  // namespace
+
+void NeuralRegressor::rawFromScaled(std::span<const double> scaled,
+                                    std::span<double> raw) const {
+  outScaler_.inverseTransformRow(scaled, raw);
+  if (!transforms_.empty()) {
+    for (std::size_t k = 0; k < raw.size(); ++k) raw[k] = transforms_[k].invert(raw[k]);
+  }
+}
+
+void NeuralRegressor::predict(std::span<const double> x, std::span<double> out) const {
+  assert(x.size() == inputDim_ && out.size() == outputDim_);
+  countQuery();
+  Matrix in(1, inputDim_);
+  inScaler_.transformRow(x, in.row(0));
+  Matrix pred;
+  net_.infer(in, pred);
+  rawFromScaled(pred.row(0), out);
+}
+
+void NeuralRegressor::predictBatch(const Matrix& x, Matrix& out) const {
+  assert(x.cols() == inputDim_);
+  countQuery(x.rows());
+  Matrix scaled = x;
+  inScaler_.transformInPlace(scaled);
+  Matrix pred;
+  net_.infer(scaled, pred);
+  out.resize(x.rows(), outputDim_);
+  for (std::size_t r = 0; r < pred.rows(); ++r) {
+    rawFromScaled(pred.row(r), out.row(r));
+  }
+}
+
+void NeuralRegressor::inputGradient(std::span<const double> x, std::size_t outputIndex,
+                                    std::span<double> grad) const {
+  assert(x.size() == inputDim_ && grad.size() == inputDim_);
+  assert(outputIndex < outputDim_);
+  std::vector<double> scaled(inputDim_);
+  inScaler_.transformRow(x, scaled);
+  double transformChain = 1.0;
+  {
+    std::lock_guard lock(gradMutex_);
+    // inputGradient mutates cached activations; the network parameters are
+    // untouched, so this is safe to interleave with concurrent infer().
+    auto& net = const_cast<nn::Sequential&>(net_);
+    if (!transforms_.empty() &&
+        transforms_[outputIndex].kind != OutputTransform::Kind::Identity) {
+      // Need the network's transformed-space output for the chain factor.
+      Matrix in(1, inputDim_), pred;
+      for (std::size_t j = 0; j < inputDim_; ++j) in(0, j) = scaled[j];
+      net.infer(in, pred);
+      std::vector<double> transformed(outputDim_);
+      outScaler_.inverseTransformRow(pred.row(0), transformed);
+      transformChain = transforms_[outputIndex].inverseDerivative(transformed[outputIndex]);
+    }
+    net.inputGradient(scaled, outputIndex, grad);
+  }
+  // Chain rule: d raw_out / d raw_in =
+  //   d invTransform/d t * std_out[k] * d net/d scaled_in * (1 / std_in[j]).
+  const double outScale = transformChain * outScaler_.outputScale(outputIndex);
+  for (std::size_t j = 0; j < grad.size(); ++j) {
+    grad[j] *= outScale * inScaler_.inputScale(j);
+  }
+}
+
+nn::TrainReport NeuralRegressor::fit(const Dataset& train, const nn::TrainConfig& config) {
+  if (train.size() == 0) throw std::invalid_argument("NeuralRegressor: empty training set");
+  inputDim_ = train.inputDim();
+  outputDim_ = train.outputDim();
+  if (!transforms_.empty() && transforms_.size() != outputDim_) {
+    throw std::invalid_argument("NeuralRegressor: transform count != output dim");
+  }
+  Matrix y = train.y;
+  if (!transforms_.empty()) {
+    for (std::size_t r = 0; r < y.rows(); ++r) {
+      for (std::size_t c = 0; c < y.cols(); ++c) y(r, c) = transforms_[c].apply(y(r, c));
+    }
+  }
+  inScaler_.fit(train.x);
+  outScaler_.fit(y);
+  Matrix x = train.x;
+  inScaler_.transformInPlace(x);
+  outScaler_.transformInPlace(y);
+  net_ = nn::Sequential();
+  Rng initRng(config.seed * 0x9e3779b97f4a7c15ULL + 1);
+  buildNetwork(inputDim_, outputDim_, initRng);
+  return nn::trainMse(net_, x, y, config);
+}
+
+void NeuralRegressor::saveCommon(std::ostream& out) const {
+  writePod(out, static_cast<std::uint64_t>(inputDim_));
+  writePod(out, static_cast<std::uint64_t>(outputDim_));
+  writePod(out, static_cast<std::uint64_t>(transforms_.size()));
+  for (const auto& t : transforms_) {
+    writePod(out, static_cast<std::uint8_t>(t.kind));
+    writePod(out, t.sign);
+    writePod(out, t.floor);
+  }
+  inScaler_.save(out);
+  outScaler_.save(out);
+  net_.saveParams(out);
+}
+
+void NeuralRegressor::loadCommon(std::istream& in) {
+  const auto nTransforms = readPod<std::uint64_t>(in);
+  transforms_.resize(nTransforms);
+  for (auto& t : transforms_) {
+    t.kind = static_cast<OutputTransform::Kind>(readPod<std::uint8_t>(in));
+    t.sign = readPod<double>(in);
+    t.floor = readPod<double>(in);
+  }
+  inScaler_.load(in);
+  outScaler_.load(in);
+  net_.loadParams(in);
+}
+
+// --- MLP --------------------------------------------------------------------
+
+void MlpRegressor::buildNetwork(std::size_t inputDim, std::size_t outputDim, Rng& rng) {
+  std::size_t prev = inputDim;
+  for (std::size_t h : config_.hidden) {
+    net_.add(std::make_unique<nn::Dense>(prev, h, rng));
+    net_.add(std::make_unique<nn::LeakyRelu>(h, config_.leakySlope));
+    if (config_.dropout > 0.0) net_.add(std::make_unique<nn::Dropout>(h, config_.dropout));
+    prev = h;
+  }
+  net_.add(std::make_unique<nn::Dense>(prev, outputDim, rng));
+}
+
+void MlpRegressor::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("MlpRegressor: cannot write '" + path + "'");
+  writePod(out, kMlpMagic);
+  writePod(out, static_cast<std::uint64_t>(config_.hidden.size()));
+  for (std::size_t h : config_.hidden) writePod(out, static_cast<std::uint64_t>(h));
+  writePod(out, config_.dropout);
+  writePod(out, config_.leakySlope);
+  saveCommon(out);
+  if (!out) throw std::runtime_error("MlpRegressor: write failed for '" + path + "'");
+}
+
+std::unique_ptr<MlpRegressor> MlpRegressor::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("MlpRegressor: cannot read '" + path + "'");
+  if (readPod<std::uint32_t>(in) != kMlpMagic) {
+    throw std::runtime_error("MlpRegressor: bad magic in '" + path + "'");
+  }
+  MlpConfig cfg;
+  cfg.hidden.resize(readPod<std::uint64_t>(in));
+  for (auto& h : cfg.hidden) h = readPod<std::uint64_t>(in);
+  cfg.dropout = readPod<double>(in);
+  cfg.leakySlope = readPod<double>(in);
+  auto model = std::make_unique<MlpRegressor>(cfg);
+  model->inputDim_ = readPod<std::uint64_t>(in);
+  model->outputDim_ = readPod<std::uint64_t>(in);
+  Rng rng(cfg.initSeed);
+  model->buildNetwork(model->inputDim_, model->outputDim_, rng);
+  model->loadCommon(in);
+  if (!in) throw std::runtime_error("MlpRegressor: truncated file '" + path + "'");
+  return model;
+}
+
+// --- 1D-CNN -----------------------------------------------------------------
+
+void Cnn1dRegressor::buildNetwork(std::size_t inputDim, std::size_t outputDim, Rng& rng) {
+  const std::size_t ch = config_.expandChannels;
+  const std::size_t len = config_.expandLength;
+  const std::size_t conv = config_.convChannels;
+  // Dense expansion of the tabular features, then reshape to (ch x len);
+  // the reshape is just a reinterpretation of the flat row.
+  net_.add(std::make_unique<nn::Dense>(inputDim, ch * len, rng));
+  if (config_.batchNorm) net_.add(std::make_unique<nn::BatchNorm>(ch * len));
+  net_.add(std::make_unique<nn::LeakyRelu>(ch * len, config_.leakySlope));
+  if (config_.dropout > 0.0) {
+    net_.add(std::make_unique<nn::Dropout>(ch * len, config_.dropout));
+  }
+  net_.add(std::make_unique<nn::Conv1d>(ch, conv, len, config_.kernel, rng));
+  net_.add(std::make_unique<nn::LeakyRelu>(conv * len, config_.leakySlope));
+  net_.add(std::make_unique<nn::AvgPool1d>(conv, len, 2));
+  const std::size_t len2 = (len + 1) / 2;
+  net_.add(std::make_unique<nn::Conv1d>(conv, conv, len2, config_.kernel, rng));
+  net_.add(std::make_unique<nn::LeakyRelu>(conv * len2, config_.leakySlope));
+  net_.add(std::make_unique<nn::GlobalAvgPool1d>(conv, len2));
+  net_.add(std::make_unique<nn::Dense>(conv, config_.headHidden, rng));
+  if (config_.batchNorm) net_.add(std::make_unique<nn::BatchNorm>(config_.headHidden));
+  net_.add(std::make_unique<nn::LeakyRelu>(config_.headHidden, config_.leakySlope));
+  if (config_.dropout > 0.0) {
+    net_.add(std::make_unique<nn::Dropout>(config_.headHidden, config_.dropout));
+  }
+  net_.add(std::make_unique<nn::Dense>(config_.headHidden, outputDim, rng));
+}
+
+void Cnn1dRegressor::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("Cnn1dRegressor: cannot write '" + path + "'");
+  writePod(out, kCnnMagic);
+  writePod(out, static_cast<std::uint64_t>(config_.expandChannels));
+  writePod(out, static_cast<std::uint64_t>(config_.expandLength));
+  writePod(out, static_cast<std::uint64_t>(config_.convChannels));
+  writePod(out, static_cast<std::uint64_t>(config_.kernel));
+  writePod(out, static_cast<std::uint64_t>(config_.headHidden));
+  writePod(out, config_.dropout);
+  writePod(out, config_.leakySlope);
+  writePod(out, static_cast<std::uint8_t>(config_.batchNorm ? 1 : 0));
+  saveCommon(out);
+  if (!out) throw std::runtime_error("Cnn1dRegressor: write failed for '" + path + "'");
+}
+
+std::unique_ptr<Cnn1dRegressor> Cnn1dRegressor::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("Cnn1dRegressor: cannot read '" + path + "'");
+  if (readPod<std::uint32_t>(in) != kCnnMagic) {
+    throw std::runtime_error("Cnn1dRegressor: bad magic in '" + path + "'");
+  }
+  Cnn1dConfig cfg;
+  cfg.expandChannels = readPod<std::uint64_t>(in);
+  cfg.expandLength = readPod<std::uint64_t>(in);
+  cfg.convChannels = readPod<std::uint64_t>(in);
+  cfg.kernel = readPod<std::uint64_t>(in);
+  cfg.headHidden = readPod<std::uint64_t>(in);
+  cfg.dropout = readPod<double>(in);
+  cfg.leakySlope = readPod<double>(in);
+  cfg.batchNorm = readPod<std::uint8_t>(in) != 0;
+  auto model = std::make_unique<Cnn1dRegressor>(cfg);
+  model->inputDim_ = readPod<std::uint64_t>(in);
+  model->outputDim_ = readPod<std::uint64_t>(in);
+  Rng rng(cfg.initSeed);
+  model->buildNetwork(model->inputDim_, model->outputDim_, rng);
+  model->loadCommon(in);
+  if (!in) throw std::runtime_error("Cnn1dRegressor: truncated file '" + path + "'");
+  return model;
+}
+
+}  // namespace isop::ml

@@ -1,0 +1,51 @@
+#include "ml/nn/activation.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace isop::ml::nn {
+
+void LeakyRelu::infer(const Matrix& in, Matrix& out) const {
+  assert(in.cols() == dim_);
+  out.resize(in.rows(), in.cols());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    double v = in.data()[i];
+    out.data()[i] = v >= 0.0 ? v : slope_ * v;
+  }
+}
+
+void LeakyRelu::forward(const Matrix& in, Matrix& out, Rng&) {
+  cachedIn_ = in;
+  infer(in, out);
+}
+
+void LeakyRelu::backward(const Matrix& gradOut, Matrix& gradIn) {
+  assert(gradOut.rows() == cachedIn_.rows() && gradOut.cols() == dim_);
+  gradIn.resize(gradOut.rows(), gradOut.cols());
+  for (std::size_t i = 0; i < gradOut.size(); ++i) {
+    gradIn.data()[i] =
+        gradOut.data()[i] * (cachedIn_.data()[i] >= 0.0 ? 1.0 : slope_);
+  }
+}
+
+void Tanh::infer(const Matrix& in, Matrix& out) const {
+  assert(in.cols() == dim_);
+  out.resize(in.rows(), in.cols());
+  for (std::size_t i = 0; i < in.size(); ++i) out.data()[i] = std::tanh(in.data()[i]);
+}
+
+void Tanh::forward(const Matrix& in, Matrix& out, Rng&) {
+  infer(in, out);
+  cachedOut_ = out;
+}
+
+void Tanh::backward(const Matrix& gradOut, Matrix& gradIn) {
+  assert(gradOut.rows() == cachedOut_.rows() && gradOut.cols() == dim_);
+  gradIn.resize(gradOut.rows(), gradOut.cols());
+  for (std::size_t i = 0; i < gradOut.size(); ++i) {
+    double y = cachedOut_.data()[i];
+    gradIn.data()[i] = gradOut.data()[i] * (1.0 - y * y);
+  }
+}
+
+}  // namespace isop::ml::nn

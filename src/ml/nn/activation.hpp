@@ -1,0 +1,42 @@
+// Element-wise activation layers. The paper's surrogates use leaky ReLU.
+#pragma once
+
+#include "ml/nn/layer.hpp"
+
+namespace isop::ml::nn {
+
+class LeakyRelu final : public Layer {
+ public:
+  explicit LeakyRelu(std::size_t dim, double negativeSlope = 0.01)
+      : dim_(dim), slope_(negativeSlope) {}
+
+  std::size_t inputDim() const override { return dim_; }
+  std::size_t outputDim() const override { return dim_; }
+
+  void forward(const Matrix& in, Matrix& out, Rng& rng) override;
+  void infer(const Matrix& in, Matrix& out) const override;
+  void backward(const Matrix& gradOut, Matrix& gradIn) override;
+
+ private:
+  std::size_t dim_;
+  double slope_;
+  Matrix cachedIn_;
+};
+
+class Tanh final : public Layer {
+ public:
+  explicit Tanh(std::size_t dim) : dim_(dim) {}
+
+  std::size_t inputDim() const override { return dim_; }
+  std::size_t outputDim() const override { return dim_; }
+
+  void forward(const Matrix& in, Matrix& out, Rng& rng) override;
+  void infer(const Matrix& in, Matrix& out) const override;
+  void backward(const Matrix& gradOut, Matrix& gradIn) override;
+
+ private:
+  std::size_t dim_;
+  Matrix cachedOut_;
+};
+
+}  // namespace isop::ml::nn

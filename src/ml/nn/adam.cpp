@@ -1,0 +1,40 @@
+#include "ml/nn/adam.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace isop::ml::nn {
+
+void Adam::registerBlock(std::span<double> params) {
+  m_.emplace_back(params.size(), 0.0);
+  v_.emplace_back(params.size(), 0.0);
+}
+
+void Adam::step(std::span<std::span<double>> params, std::span<std::span<double>> grads) {
+  if (params.size() != m_.size() || grads.size() != m_.size()) {
+    throw std::invalid_argument("Adam: block count mismatch with registration");
+  }
+  ++t_;
+  const double b1 = config_.beta1, b2 = config_.beta2;
+  const double corr1 = 1.0 - std::pow(b1, static_cast<double>(t_));
+  const double corr2 = 1.0 - std::pow(b2, static_cast<double>(t_));
+  const double lr = config_.learningRate;
+  for (std::size_t blk = 0; blk < params.size(); ++blk) {
+    auto p = params[blk];
+    auto g = grads[blk];
+    assert(p.size() == m_[blk].size() && g.size() == p.size());
+    auto& m = m_[blk];
+    auto& v = v_[blk];
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      m[i] = b1 * m[i] + (1.0 - b1) * g[i];
+      v[i] = b2 * v[i] + (1.0 - b2) * g[i] * g[i];
+      const double mHat = m[i] / corr1;
+      const double vHat = v[i] / corr2;
+      p[i] -= lr * (mHat / (std::sqrt(vHat) + config_.epsilon) +
+                    config_.weightDecay * p[i]);
+    }
+  }
+}
+
+}  // namespace isop::ml::nn

@@ -1,0 +1,43 @@
+// Adam optimizer (Kingma & Ba, 2015) over a set of parameter blocks.
+// Used both for surrogate training and — in core/ — for the paper's
+// gradient-descent local exploration over design parameters.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace isop::ml::nn {
+
+struct AdamConfig {
+  double learningRate = 1e-3;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double epsilon = 1e-8;
+  double weightDecay = 0.0;  ///< decoupled (AdamW-style) decay
+};
+
+class Adam {
+ public:
+  explicit Adam(AdamConfig config = {}) : config_(config) {}
+
+  const AdamConfig& config() const { return config_; }
+  void setLearningRate(double lr) { config_.learningRate = lr; }
+
+  /// Registers a parameter block; must be called once per block, in a fixed
+  /// order, before the first step().
+  void registerBlock(std::span<double> params);
+
+  /// Applies one update. Blocks must be passed in registration order with
+  /// matching sizes; gradients are consumed (not cleared).
+  void step(std::span<std::span<double>> params, std::span<std::span<double>> grads);
+
+  std::size_t stepCount() const { return t_; }
+
+ private:
+  AdamConfig config_;
+  std::vector<std::vector<double>> m_;
+  std::vector<std::vector<double>> v_;
+  std::size_t t_ = 0;
+};
+
+}  // namespace isop::ml::nn

@@ -1,0 +1,97 @@
+#include "ml/nn/batch_norm.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace isop::ml::nn {
+
+BatchNorm::BatchNorm(std::size_t dim, double momentum, double epsilon)
+    : dim_(dim),
+      momentum_(momentum),
+      epsilon_(epsilon),
+      params_(2 * dim, 0.0),
+      grads_(2 * dim, 0.0),
+      state_(2 * dim, 0.0) {
+  for (std::size_t j = 0; j < dim_; ++j) {
+    params_[j] = 1.0;           // gamma
+    state_[dim_ + j] = 1.0;     // running var
+  }
+}
+
+void BatchNorm::infer(const Matrix& in, Matrix& out) const {
+  assert(in.cols() == dim_);
+  out.resize(in.rows(), dim_);
+  const double* gamma = params_.data();
+  const double* beta = params_.data() + dim_;
+  const double* mean = state_.data();
+  const double* var = state_.data() + dim_;
+  for (std::size_t r = 0; r < in.rows(); ++r) {
+    for (std::size_t j = 0; j < dim_; ++j) {
+      const double invStd = 1.0 / std::sqrt(var[j] + epsilon_);
+      out(r, j) = gamma[j] * (in(r, j) - mean[j]) * invStd + beta[j];
+    }
+  }
+}
+
+void BatchNorm::forward(const Matrix& in, Matrix& out, Rng&) {
+  assert(in.cols() == dim_);
+  const std::size_t n = in.rows();
+  out.resize(n, dim_);
+  cachedNorm_.resize(n, dim_);
+  batchInvStd_.assign(dim_, 0.0);
+
+  const double* gamma = params_.data();
+  const double* beta = params_.data() + dim_;
+  double* runMean = state_.data();
+  double* runVar = state_.data() + dim_;
+
+  for (std::size_t j = 0; j < dim_; ++j) {
+    double mean = 0.0;
+    for (std::size_t r = 0; r < n; ++r) mean += in(r, j);
+    mean /= static_cast<double>(n);
+    double var = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      const double d = in(r, j) - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(n);
+    const double invStd = 1.0 / std::sqrt(var + epsilon_);
+    batchInvStd_[j] = invStd;
+    for (std::size_t r = 0; r < n; ++r) {
+      const double xhat = (in(r, j) - mean) * invStd;
+      cachedNorm_(r, j) = xhat;
+      out(r, j) = gamma[j] * xhat + beta[j];
+    }
+    runMean[j] = momentum_ * runMean[j] + (1.0 - momentum_) * mean;
+    runVar[j] = momentum_ * runVar[j] + (1.0 - momentum_) * var;
+  }
+}
+
+void BatchNorm::backward(const Matrix& gradOut, Matrix& gradIn) {
+  const std::size_t n = gradOut.rows();
+  assert(gradOut.cols() == dim_ && cachedNorm_.rows() == n);
+  gradIn.resize(n, dim_);
+  const double* gamma = params_.data();
+  double* gGamma = grads_.data();
+  double* gBeta = grads_.data() + dim_;
+
+  for (std::size_t j = 0; j < dim_; ++j) {
+    double sumDy = 0.0, sumDyXhat = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      const double dy = gradOut(r, j);
+      sumDy += dy;
+      sumDyXhat += dy * cachedNorm_(r, j);
+    }
+    gGamma[j] += sumDyXhat;
+    gBeta[j] += sumDy;
+    const double invN = 1.0 / static_cast<double>(n);
+    const double scale = gamma[j] * batchInvStd_[j];
+    for (std::size_t r = 0; r < n; ++r) {
+      const double dy = gradOut(r, j);
+      gradIn(r, j) =
+          scale * (dy - invN * sumDy - cachedNorm_(r, j) * invN * sumDyXhat);
+    }
+  }
+}
+
+}  // namespace isop::ml::nn

@@ -1,0 +1,48 @@
+// Batch normalization (Ioffe & Szegedy, 2015) over feature columns.
+//
+// The Kaggle-MoA tabular 1D-CNN the paper's surrogate follows (Fig. 4)
+// interleaves batch norm with its dense/conv blocks; Cnn1dConfig exposes it
+// via `batchNorm`. Training uses batch statistics and maintains running
+// estimates; inference uses the frozen running statistics, which keeps the
+// thread-safe stateless infer() path.
+#pragma once
+
+#include <vector>
+
+#include "ml/nn/layer.hpp"
+
+namespace isop::ml::nn {
+
+class BatchNorm final : public Layer {
+ public:
+  explicit BatchNorm(std::size_t dim, double momentum = 0.9, double epsilon = 1e-5);
+
+  std::size_t inputDim() const override { return dim_; }
+  std::size_t outputDim() const override { return dim_; }
+
+  void forward(const Matrix& in, Matrix& out, Rng& rng) override;
+  void infer(const Matrix& in, Matrix& out) const override;
+  void backward(const Matrix& gradOut, Matrix& gradIn) override;
+
+  /// Learned affine parameters: [gamma (dim) | beta (dim)].
+  std::span<double> params() override { return params_; }
+  std::span<const double> params() const override { return params_; }
+  std::span<double> grads() override { return grads_; }
+
+  /// Running statistics: [mean (dim) | var (dim)] — serialized, not trained.
+  std::span<double> state() override { return state_; }
+  std::span<const double> state() const override { return state_; }
+
+ private:
+  std::size_t dim_;
+  double momentum_;
+  double epsilon_;
+  std::vector<double> params_;  // gamma | beta
+  std::vector<double> grads_;
+  std::vector<double> state_;   // running mean | running var
+  // Cached batch statistics for backward.
+  std::vector<double> batchInvStd_;
+  Matrix cachedNorm_;  // normalized activations x_hat
+};
+
+}  // namespace isop::ml::nn

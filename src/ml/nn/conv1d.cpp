@@ -1,0 +1,195 @@
+#include "ml/nn/conv1d.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/thread_pool.hpp"
+
+namespace isop::ml::nn {
+
+Conv1d::Conv1d(std::size_t inChannels, std::size_t outChannels, std::size_t length,
+               std::size_t kernel, Rng& rng)
+    : inChannels_(inChannels),
+      outChannels_(outChannels),
+      length_(length),
+      kernel_(kernel),
+      params_(outChannels * inChannels * kernel + outChannels, 0.0),
+      grads_(params_.size(), 0.0) {
+  if (kernel % 2 == 0) throw std::invalid_argument("Conv1d: kernel must be odd");
+  const double fanIn = static_cast<double>(inChannels * kernel);
+  const double scale = std::sqrt(2.0 / fanIn);
+  for (std::size_t i = 0; i < outChannels * inChannels * kernel; ++i) {
+    params_[i] = scale * rng.normal();
+  }
+}
+
+void Conv1d::infer(const Matrix& in, Matrix& out) const {
+  assert(in.cols() == inputDim());
+  const std::size_t n = in.rows();
+  const std::size_t half = kernel_ / 2;
+  out.resize(n, outputDim());
+  const double* bias = params_.data() + outChannels_ * inChannels_ * kernel_;
+  auto rowKernel = [&](std::size_t r) {
+    const double* x = in.data() + r * inputDim();
+    double* y = out.data() + r * outputDim();
+    for (std::size_t oc = 0; oc < outChannels_; ++oc) {
+      double* yRow = y + oc * length_;
+      for (std::size_t t = 0; t < length_; ++t) yRow[t] = bias[oc];
+      for (std::size_t ic = 0; ic < inChannels_; ++ic) {
+        const double* xRow = x + ic * length_;
+        const double* w = params_.data() + (oc * inChannels_ + ic) * kernel_;
+        for (std::size_t j = 0; j < kernel_; ++j) {
+          const double wv = w[j];
+          if (wv == 0.0) continue;
+          // y[t] += w[j] * x[t + j - half]; clamp range so t+j-half in [0,L)
+          const std::ptrdiff_t off = static_cast<std::ptrdiff_t>(j) -
+                                     static_cast<std::ptrdiff_t>(half);
+          const std::size_t tBegin = off < 0 ? static_cast<std::size_t>(-off) : 0;
+          const std::size_t tEnd =
+              off > 0 ? length_ - static_cast<std::size_t>(off) : length_;
+          for (std::size_t t = tBegin; t < tEnd; ++t) {
+            yRow[t] += wv * xRow[static_cast<std::size_t>(
+                                static_cast<std::ptrdiff_t>(t) + off)];
+          }
+        }
+      }
+    }
+  };
+  // Rows are independent; fan out when the batch carries enough work.
+  const std::size_t flops = n * outChannels_ * inChannels_ * kernel_ * length_;
+  if (flops >= (std::size_t{1} << 24)) {
+    ThreadPool::global().parallelFor(n, rowKernel);
+  } else {
+    for (std::size_t r = 0; r < n; ++r) rowKernel(r);
+  }
+}
+
+void Conv1d::forward(const Matrix& in, Matrix& out, Rng&) {
+  cachedIn_ = in;
+  infer(in, out);
+}
+
+void Conv1d::backward(const Matrix& gradOut, Matrix& gradIn) {
+  const std::size_t n = gradOut.rows();
+  assert(gradOut.cols() == outputDim() && cachedIn_.rows() == n);
+  const std::size_t half = kernel_ / 2;
+  gradIn.resize(n, inputDim(), 0.0);
+  double* gBias = grads_.data() + outChannels_ * inChannels_ * kernel_;
+  for (std::size_t r = 0; r < n; ++r) {
+    const double* go = gradOut.data() + r * outputDim();
+    const double* x = cachedIn_.data() + r * inputDim();
+    double* gi = gradIn.data() + r * inputDim();
+    for (std::size_t oc = 0; oc < outChannels_; ++oc) {
+      const double* goRow = go + oc * length_;
+      for (std::size_t t = 0; t < length_; ++t) gBias[oc] += goRow[t];
+      for (std::size_t ic = 0; ic < inChannels_; ++ic) {
+        const double* xRow = x + ic * length_;
+        double* giRow = gi + ic * length_;
+        const double* w = params_.data() + (oc * inChannels_ + ic) * kernel_;
+        double* gw = grads_.data() + (oc * inChannels_ + ic) * kernel_;
+        for (std::size_t j = 0; j < kernel_; ++j) {
+          const std::ptrdiff_t off = static_cast<std::ptrdiff_t>(j) -
+                                     static_cast<std::ptrdiff_t>(half);
+          const std::size_t tBegin = off < 0 ? static_cast<std::size_t>(-off) : 0;
+          const std::size_t tEnd =
+              off > 0 ? length_ - static_cast<std::size_t>(off) : length_;
+          double gwAcc = 0.0;
+          const double wv = w[j];
+          for (std::size_t t = tBegin; t < tEnd; ++t) {
+            const std::size_t src = static_cast<std::size_t>(
+                static_cast<std::ptrdiff_t>(t) + off);
+            gwAcc += goRow[t] * xRow[src];
+            giRow[src] += goRow[t] * wv;
+          }
+          gw[j] += gwAcc;
+        }
+      }
+    }
+  }
+}
+
+AvgPool1d::AvgPool1d(std::size_t channels, std::size_t length, std::size_t kernel)
+    : channels_(channels),
+      length_(length),
+      kernel_(kernel),
+      outLength_((length + kernel - 1) / kernel) {
+  if (kernel == 0) throw std::invalid_argument("AvgPool1d: kernel must be > 0");
+}
+
+void AvgPool1d::infer(const Matrix& in, Matrix& out) const {
+  assert(in.cols() == inputDim());
+  const std::size_t n = in.rows();
+  out.resize(n, outputDim());
+  for (std::size_t r = 0; r < n; ++r) {
+    const double* x = in.data() + r * inputDim();
+    double* y = out.data() + r * outputDim();
+    for (std::size_t c = 0; c < channels_; ++c) {
+      const double* xRow = x + c * length_;
+      double* yRow = y + c * outLength_;
+      for (std::size_t o = 0; o < outLength_; ++o) {
+        std::size_t begin = o * kernel_;
+        std::size_t end = std::min(begin + kernel_, length_);
+        double acc = 0.0;
+        for (std::size_t t = begin; t < end; ++t) acc += xRow[t];
+        yRow[o] = acc / static_cast<double>(end - begin);
+      }
+    }
+  }
+}
+
+void AvgPool1d::forward(const Matrix& in, Matrix& out, Rng&) { infer(in, out); }
+
+void AvgPool1d::backward(const Matrix& gradOut, Matrix& gradIn) {
+  const std::size_t n = gradOut.rows();
+  assert(gradOut.cols() == outputDim());
+  gradIn.resize(n, inputDim(), 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    const double* go = gradOut.data() + r * outputDim();
+    double* gi = gradIn.data() + r * inputDim();
+    for (std::size_t c = 0; c < channels_; ++c) {
+      const double* goRow = go + c * outLength_;
+      double* giRow = gi + c * length_;
+      for (std::size_t o = 0; o < outLength_; ++o) {
+        std::size_t begin = o * kernel_;
+        std::size_t end = std::min(begin + kernel_, length_);
+        double share = goRow[o] / static_cast<double>(end - begin);
+        for (std::size_t t = begin; t < end; ++t) giRow[t] += share;
+      }
+    }
+  }
+}
+
+void GlobalAvgPool1d::infer(const Matrix& in, Matrix& out) const {
+  assert(in.cols() == inputDim());
+  const std::size_t n = in.rows();
+  out.resize(n, channels_);
+  for (std::size_t r = 0; r < n; ++r) {
+    const double* x = in.data() + r * inputDim();
+    double* y = out.data() + r * channels_;
+    for (std::size_t c = 0; c < channels_; ++c) {
+      const double* xRow = x + c * length_;
+      double acc = 0.0;
+      for (std::size_t t = 0; t < length_; ++t) acc += xRow[t];
+      y[c] = acc / static_cast<double>(length_);
+    }
+  }
+}
+
+void GlobalAvgPool1d::forward(const Matrix& in, Matrix& out, Rng&) { infer(in, out); }
+
+void GlobalAvgPool1d::backward(const Matrix& gradOut, Matrix& gradIn) {
+  const std::size_t n = gradOut.rows();
+  assert(gradOut.cols() == channels_);
+  gradIn.resize(n, inputDim());
+  const double inv = 1.0 / static_cast<double>(length_);
+  for (std::size_t r = 0; r < n; ++r) {
+    const double* go = gradOut.data() + r * channels_;
+    double* gi = gradIn.data() + r * inputDim();
+    for (std::size_t c = 0; c < channels_; ++c) {
+      for (std::size_t t = 0; t < length_; ++t) gi[c * length_ + t] = go[c] * inv;
+    }
+  }
+}
+
+}  // namespace isop::ml::nn

@@ -1,0 +1,90 @@
+// 1-D convolution over channel-major flattened rows.
+//
+// A row of the activation matrix is interpreted as (channels x length),
+// flattened as index = channel * length + position. The 1D-CNN surrogate
+// (Kaggle-MoA structure, Fig. 4 of the paper) first expands the 15 tabular
+// features with a Dense layer, reshapes them into this layout, and then
+// stacks Conv1d blocks.
+//
+// Stride 1, odd kernel, zero "same" padding — output length == input length.
+#pragma once
+
+#include <vector>
+
+#include "ml/nn/layer.hpp"
+
+namespace isop::ml::nn {
+
+class Conv1d final : public Layer {
+ public:
+  Conv1d(std::size_t inChannels, std::size_t outChannels, std::size_t length,
+         std::size_t kernel, Rng& rng);
+
+  std::size_t inputDim() const override { return inChannels_ * length_; }
+  std::size_t outputDim() const override { return outChannels_ * length_; }
+  std::size_t length() const { return length_; }
+  std::size_t outChannels() const { return outChannels_; }
+
+  void forward(const Matrix& in, Matrix& out, Rng& rng) override;
+  void infer(const Matrix& in, Matrix& out) const override;
+  void backward(const Matrix& gradOut, Matrix& gradIn) override;
+
+  std::span<double> params() override { return params_; }
+  std::span<const double> params() const override { return params_; }
+  std::span<double> grads() override { return grads_; }
+
+ private:
+  // params layout: [W (outC x inC x k) | b (outC)]
+  std::size_t wIndex(std::size_t oc, std::size_t ic, std::size_t j) const {
+    return (oc * inChannels_ + ic) * kernel_ + j;
+  }
+
+  std::size_t inChannels_;
+  std::size_t outChannels_;
+  std::size_t length_;
+  std::size_t kernel_;
+  std::vector<double> params_;
+  std::vector<double> grads_;
+  Matrix cachedIn_;
+};
+
+/// Average pooling along the position axis; kernel == stride. A trailing
+/// partial window is averaged over its actual size.
+class AvgPool1d final : public Layer {
+ public:
+  AvgPool1d(std::size_t channels, std::size_t length, std::size_t kernel);
+
+  std::size_t inputDim() const override { return channels_ * length_; }
+  std::size_t outputDim() const override { return channels_ * outLength_; }
+  std::size_t outLength() const { return outLength_; }
+
+  void forward(const Matrix& in, Matrix& out, Rng& rng) override;
+  void infer(const Matrix& in, Matrix& out) const override;
+  void backward(const Matrix& gradOut, Matrix& gradIn) override;
+
+ private:
+  std::size_t channels_;
+  std::size_t length_;
+  std::size_t kernel_;
+  std::size_t outLength_;
+};
+
+/// Collapses each channel to its mean over positions: (C x L) -> (C).
+class GlobalAvgPool1d final : public Layer {
+ public:
+  GlobalAvgPool1d(std::size_t channels, std::size_t length)
+      : channels_(channels), length_(length) {}
+
+  std::size_t inputDim() const override { return channels_ * length_; }
+  std::size_t outputDim() const override { return channels_; }
+
+  void forward(const Matrix& in, Matrix& out, Rng& rng) override;
+  void infer(const Matrix& in, Matrix& out) const override;
+  void backward(const Matrix& gradOut, Matrix& gradIn) override;
+
+ private:
+  std::size_t channels_;
+  std::size_t length_;
+};
+
+}  // namespace isop::ml::nn

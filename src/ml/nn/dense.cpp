@@ -1,0 +1,101 @@
+#include "ml/nn/dense.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/thread_pool.hpp"
+
+namespace isop::ml::nn {
+
+namespace {
+/// Work below this many multiply-adds is not worth fanning out to the pool:
+/// dispatch latency and gradIn cache-line sharing dominate small batches.
+constexpr std::size_t kParallelFlopThreshold = 1u << 24;
+}
+
+Dense::Dense(std::size_t inDim, std::size_t outDim, Rng& rng)
+    : inDim_(inDim),
+      outDim_(outDim),
+      params_(inDim * outDim + outDim, 0.0),
+      grads_(params_.size(), 0.0) {
+  const double scale = std::sqrt(2.0 / static_cast<double>(inDim));
+  for (std::size_t i = 0; i < inDim * outDim; ++i) params_[i] = scale * rng.normal();
+  // biases start at zero
+}
+
+void Dense::infer(const Matrix& in, Matrix& out) const {
+  assert(in.cols() == inDim_);
+  const std::size_t n = in.rows();
+  out.resize(n, outDim_);
+  const double* w = params_.data();
+  const double* b = params_.data() + inDim_ * outDim_;
+  auto rowRange = [&](std::size_t r) {
+    const double* x = in.data() + r * inDim_;
+    double* y = out.data() + r * outDim_;
+    for (std::size_t o = 0; o < outDim_; ++o) {
+      const double* wRow = w + o * inDim_;
+      double acc = b[o];
+      for (std::size_t i = 0; i < inDim_; ++i) acc += wRow[i] * x[i];
+      y[o] = acc;
+    }
+  };
+  if (n * outDim_ * inDim_ >= kParallelFlopThreshold) {
+    ThreadPool::global().parallelFor(n, rowRange);
+  } else {
+    for (std::size_t r = 0; r < n; ++r) rowRange(r);
+  }
+}
+
+void Dense::forward(const Matrix& in, Matrix& out, Rng&) {
+  cachedIn_ = in;
+  infer(in, out);
+}
+
+void Dense::backward(const Matrix& gradOut, Matrix& gradIn) {
+  const std::size_t n = gradOut.rows();
+  assert(gradOut.cols() == outDim_ && cachedIn_.rows() == n);
+  gradIn.resize(n, inDim_, 0.0);
+  const double* w = params_.data();
+
+  // Pass 1: gradIn rows are independent -> parallel over samples.
+  auto gradInRow = [&](std::size_t r) {
+    const double* go = gradOut.data() + r * outDim_;
+    double* gi = gradIn.data() + r * inDim_;
+    for (std::size_t o = 0; o < outDim_; ++o) {
+      const double g = go[o];
+      if (g == 0.0) continue;
+      const double* wRow = w + o * inDim_;
+      for (std::size_t i = 0; i < inDim_; ++i) gi[i] += g * wRow[i];
+    }
+  };
+  const bool parallel = n * outDim_ * inDim_ >= kParallelFlopThreshold;
+  if (parallel) {
+    ThreadPool::global().parallelFor(n, gradInRow);
+  } else {
+    for (std::size_t r = 0; r < n; ++r) gradInRow(r);
+  }
+
+  // Pass 2: weight/bias gradients — each output neuron's row is independent
+  // -> parallel over outputs.
+  double* gw = grads_.data();
+  double* gb = grads_.data() + inDim_ * outDim_;
+  auto gradWRow = [&](std::size_t o) {
+    double* gwRow = gw + o * inDim_;
+    double biasAcc = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      const double g = gradOut.data()[r * outDim_ + o];
+      if (g == 0.0) continue;
+      biasAcc += g;
+      const double* x = cachedIn_.data() + r * inDim_;
+      for (std::size_t i = 0; i < inDim_; ++i) gwRow[i] += g * x[i];
+    }
+    gb[o] += biasAcc;
+  };
+  if (parallel) {
+    ThreadPool::global().parallelFor(outDim_, gradWRow);
+  } else {
+    for (std::size_t o = 0; o < outDim_; ++o) gradWRow(o);
+  }
+}
+
+}  // namespace isop::ml::nn

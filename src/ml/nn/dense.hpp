@@ -1,0 +1,37 @@
+// Fully connected layer: out = in * W^T + b, He-initialized.
+#pragma once
+
+#include <vector>
+
+#include "ml/nn/layer.hpp"
+
+namespace isop::ml::nn {
+
+class Dense final : public Layer {
+ public:
+  /// He (Kaiming) normal initialization, suitable for (leaky-)ReLU nets.
+  Dense(std::size_t inDim, std::size_t outDim, Rng& rng);
+
+  std::size_t inputDim() const override { return inDim_; }
+  std::size_t outputDim() const override { return outDim_; }
+
+  void forward(const Matrix& in, Matrix& out, Rng& rng) override;
+  void infer(const Matrix& in, Matrix& out) const override;
+  void backward(const Matrix& gradOut, Matrix& gradIn) override;
+
+  std::span<double> params() override { return params_; }
+  std::span<const double> params() const override { return params_; }
+  std::span<double> grads() override { return grads_; }
+
+ private:
+  // params_ layout: [W (outDim x inDim row-major) | b (outDim)].
+  double weight(std::size_t o, std::size_t i) const { return params_[o * inDim_ + i]; }
+
+  std::size_t inDim_;
+  std::size_t outDim_;
+  std::vector<double> params_;
+  std::vector<double> grads_;
+  Matrix cachedIn_;
+};
+
+}  // namespace isop::ml::nn

@@ -1,0 +1,37 @@
+#include "ml/nn/dropout.hpp"
+
+#include <cassert>
+
+namespace isop::ml::nn {
+
+void Dropout::infer(const Matrix& in, Matrix& out) const {
+  assert(in.cols() == dim_);
+  out = in;
+}
+
+void Dropout::forward(const Matrix& in, Matrix& out, Rng& rng) {
+  assert(in.cols() == dim_);
+  out.resize(in.rows(), in.cols());
+  mask_.resize(in.rows(), in.cols());
+  if (rate_ <= 0.0 || !stochastic_) {
+    out = in;
+    mask_.fill(1.0);
+    return;
+  }
+  const double keepScale = 1.0 / (1.0 - rate_);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    double m = rng.bernoulli(rate_) ? 0.0 : keepScale;
+    mask_.data()[i] = m;
+    out.data()[i] = in.data()[i] * m;
+  }
+}
+
+void Dropout::backward(const Matrix& gradOut, Matrix& gradIn) {
+  assert(gradOut.rows() == mask_.rows() && gradOut.cols() == dim_);
+  gradIn.resize(gradOut.rows(), gradOut.cols());
+  for (std::size_t i = 0; i < gradOut.size(); ++i) {
+    gradIn.data()[i] = gradOut.data()[i] * mask_.data()[i];
+  }
+}
+
+}  // namespace isop::ml::nn

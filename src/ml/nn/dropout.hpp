@@ -1,0 +1,31 @@
+// Inverted dropout: active only on the training path (the paper uses dropout
+// in both surrogate networks to prevent over-fitting the sparse dataset).
+#pragma once
+
+#include "ml/nn/layer.hpp"
+
+namespace isop::ml::nn {
+
+class Dropout final : public Layer {
+ public:
+  Dropout(std::size_t dim, double rate) : dim_(dim), rate_(rate) {}
+
+  std::size_t inputDim() const override { return dim_; }
+  std::size_t outputDim() const override { return dim_; }
+
+  void forward(const Matrix& in, Matrix& out, Rng& rng) override;
+  void infer(const Matrix& in, Matrix& out) const override;  // identity
+  void backward(const Matrix& gradOut, Matrix& gradIn) override;
+
+  /// When disabled, the training-path forward is the identity (used by the
+  /// deterministic input-gradient pass of the local optimization stage).
+  void setStochastic(bool on) { stochastic_ = on; }
+
+ private:
+  std::size_t dim_;
+  double rate_;
+  bool stochastic_ = true;
+  Matrix mask_;  // 0 or 1/(1-rate)
+};
+
+}  // namespace isop::ml::nn

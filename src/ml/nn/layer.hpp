@@ -1,0 +1,52 @@
+// Neural-network layer interface.
+//
+// Two execution paths:
+//   * training: forward(in, out, rng) caches activations in the layer, and
+//     backward(gradOut, gradIn) accumulates parameter gradients — stateful,
+//     single-threaded per network instance;
+//   * inference: infer(in, out) const is stateless and thread-safe, used by
+//     the Surrogate::predict path that the parallel HPO samplers hit.
+//
+// Parameters and their gradients are exposed as flat spans so the Adam
+// optimizer can treat the whole network as one parameter vector.
+#pragma once
+
+#include <span>
+
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+
+namespace isop::ml::nn {
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  virtual std::size_t inputDim() const = 0;
+  virtual std::size_t outputDim() const = 0;
+
+  /// Training-mode forward; caches whatever backward() needs.
+  virtual void forward(const Matrix& in, Matrix& out, Rng& rng) = 0;
+
+  /// Thread-safe inference forward (dropout = identity).
+  virtual void infer(const Matrix& in, Matrix& out) const = 0;
+
+  /// Backprop through the cached forward; accumulates into grads().
+  virtual void backward(const Matrix& gradOut, Matrix& gradIn) = 0;
+
+  /// Flat views of trainable parameters / their gradients (empty if none).
+  virtual std::span<double> params() { return {}; }
+  virtual std::span<const double> params() const { return {}; }
+  virtual std::span<double> grads() { return {}; }
+
+  /// Non-learned persistent state (e.g. batch-norm running statistics):
+  /// serialized with the parameters but never touched by the optimizer.
+  virtual std::span<double> state() { return {}; }
+  virtual std::span<const double> state() const { return {}; }
+
+  void zeroGrads() {
+    for (double& g : grads()) g = 0.0;
+  }
+};
+
+}  // namespace isop::ml::nn

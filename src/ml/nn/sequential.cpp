@@ -1,0 +1,137 @@
+#include "ml/nn/sequential.hpp"
+
+#include <cassert>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "ml/nn/dropout.hpp"
+
+namespace isop::ml::nn {
+
+void Sequential::add(std::unique_ptr<Layer> layer) {
+  if (!layers_.empty() && layers_.back()->outputDim() != layer->inputDim()) {
+    throw std::invalid_argument("Sequential: layer dimension mismatch");
+  }
+  layers_.push_back(std::move(layer));
+}
+
+std::size_t Sequential::inputDim() const {
+  assert(!layers_.empty());
+  return layers_.front()->inputDim();
+}
+
+std::size_t Sequential::outputDim() const {
+  assert(!layers_.empty());
+  return layers_.back()->outputDim();
+}
+
+std::size_t Sequential::parameterCount() const {
+  std::size_t n = 0;
+  for (const auto& l : layers_) n += l->params().size();
+  return n;
+}
+
+void Sequential::setStochastic(bool on) {
+  for (auto& l : layers_) {
+    if (auto* d = dynamic_cast<Dropout*>(l.get())) d->setStochastic(on);
+  }
+}
+
+void Sequential::forwardTrain(const Matrix& in, Matrix& out, Rng& rng, bool stochastic) {
+  assert(!layers_.empty());
+  setStochastic(stochastic);
+  const Matrix* cur = &in;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    Matrix& dst = (i % 2 == 0) ? bufA_ : bufB_;
+    layers_[i]->forward(*cur, dst, rng);
+    cur = &dst;
+  }
+  out = *cur;
+}
+
+void Sequential::backward(const Matrix& gradOut, Matrix& gradIn) {
+  assert(!layers_.empty());
+  Matrix gA = gradOut, gB;
+  const Matrix* cur = &gA;
+  for (std::size_t i = layers_.size(); i-- > 0;) {
+    Matrix& dst = (cur == &gA) ? gB : gA;
+    layers_[i]->backward(*cur, dst);
+    cur = &dst;
+  }
+  gradIn = *cur;
+}
+
+void Sequential::infer(const Matrix& in, Matrix& out) const {
+  assert(!layers_.empty());
+  Matrix a, b;
+  const Matrix* cur = &in;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    Matrix& dst = (i % 2 == 0) ? a : b;
+    layers_[i]->infer(*cur, dst);
+    cur = &dst;
+  }
+  out = *cur;
+}
+
+void Sequential::zeroGrads() {
+  for (auto& l : layers_) l->zeroGrads();
+}
+
+void Sequential::inputGradient(std::span<const double> x, std::size_t outputIndex,
+                               std::span<double> grad) {
+  assert(x.size() == inputDim() && grad.size() == inputDim());
+  assert(outputIndex < outputDim());
+  Matrix in(1, x.size());
+  for (std::size_t j = 0; j < x.size(); ++j) in(0, j) = x[j];
+  Matrix out;
+  Rng dummy(0);
+  forwardTrain(in, out, dummy, /*stochastic=*/false);
+  // The input-gradient pass also accumulates parameter gradients as a side
+  // effect; clear them afterwards so a training step is not polluted.
+  Matrix gradOut(1, outputDim(), 0.0);
+  gradOut(0, outputIndex) = 1.0;
+  Matrix gradIn;
+  backward(gradOut, gradIn);
+  for (std::size_t j = 0; j < grad.size(); ++j) grad[j] = gradIn(0, j);
+  zeroGrads();
+}
+
+namespace {
+void writeBlob(std::ostream& out, std::span<const double> blob) {
+  const auto n = static_cast<std::uint64_t>(blob.size());
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  if (n) {
+    out.write(reinterpret_cast<const char*>(blob.data()),
+              static_cast<std::streamsize>(n * sizeof(double)));
+  }
+}
+
+void readBlob(std::istream& in, std::span<double> blob) {
+  std::uint64_t n = 0;
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  if (n != blob.size()) throw std::runtime_error("Sequential: blob size mismatch");
+  if (n) {
+    in.read(reinterpret_cast<char*>(blob.data()),
+            static_cast<std::streamsize>(n * sizeof(double)));
+  }
+}
+}  // namespace
+
+void Sequential::saveParams(std::ostream& out) const {
+  for (const auto& l : layers_) {
+    const Layer& layer = *l;
+    writeBlob(out, layer.params());
+    writeBlob(out, layer.state());
+  }
+}
+
+void Sequential::loadParams(std::istream& in) {
+  for (auto& l : layers_) {
+    readBlob(in, l->params());
+    readBlob(in, l->state());
+  }
+  if (!in) throw std::runtime_error("Sequential: truncated parameter stream");
+}
+
+}  // namespace isop::ml::nn

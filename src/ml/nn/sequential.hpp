@@ -1,0 +1,69 @@
+// Sequential network container: owns an ordered list of layers, drives the
+// training forward/backward passes, thread-safe inference, parameter
+// (de)serialization, and input-gradient computation (backprop down to the
+// input row), which is what the ISOP+ local exploration stage consumes.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "ml/nn/layer.hpp"
+
+namespace isop::ml::nn {
+
+class Sequential {
+ public:
+  Sequential() = default;
+
+  /// Appends a layer; its inputDim must match the current outputDim.
+  void add(std::unique_ptr<Layer> layer);
+
+  std::size_t layerCount() const { return layers_.size(); }
+  Layer& layer(std::size_t i) { return *layers_[i]; }
+
+  std::size_t inputDim() const;
+  std::size_t outputDim() const;
+  std::size_t parameterCount() const;
+
+  /// Training-mode forward (dropout active when `stochastic`); caches
+  /// activations for backward(). Not thread-safe.
+  void forwardTrain(const Matrix& in, Matrix& out, Rng& rng, bool stochastic = true);
+
+  /// Backprop from dLoss/dOut; accumulates parameter gradients and returns
+  /// dLoss/dIn in gradIn. Must follow a forwardTrain on the same batch.
+  void backward(const Matrix& gradOut, Matrix& gradIn);
+
+  /// Thread-safe stateless inference.
+  void infer(const Matrix& in, Matrix& out) const;
+
+  void zeroGrads();
+
+  /// d(output[outputIndex])/d(input[j]) for a single input row. Runs a
+  /// deterministic cached forward; not thread-safe (callers serialize).
+  void inputGradient(std::span<const double> x, std::size_t outputIndex,
+                     std::span<double> grad);
+
+  /// Visits every (params, grads) pair for the optimizer.
+  template <typename Fn>
+  void forEachParamBlock(Fn&& fn) {
+    for (auto& l : layers_) {
+      auto p = l->params();
+      if (!p.empty()) fn(p, l->grads());
+    }
+  }
+
+  /// Raw parameter blobs in layer order (architecture is NOT serialized —
+  /// the caller must rebuild the same topology before load).
+  void saveParams(std::ostream& out) const;
+  void loadParams(std::istream& in);
+
+ private:
+  void setStochastic(bool on);
+
+  std::vector<std::unique_ptr<Layer>> layers_;
+  // Scratch ping-pong buffers for the training path.
+  Matrix bufA_, bufB_;
+};
+
+}  // namespace isop::ml::nn

@@ -1,0 +1,80 @@
+#include "ml/nn/trainer.hpp"
+
+#include <cassert>
+#include <vector>
+
+namespace isop::ml::nn {
+
+TrainReport trainMse(Sequential& net, const Matrix& x, const Matrix& y,
+                     const TrainConfig& config) {
+  assert(x.rows() == y.rows());
+  assert(x.cols() == net.inputDim() && y.cols() == net.outputDim());
+  const std::size_t n = x.rows();
+  const std::size_t batch = std::min(config.batchSize, n);
+  Rng rng(config.seed);
+
+  Adam adam({.learningRate = config.learningRate, .weightDecay = config.weightDecay});
+  std::vector<std::span<double>> paramBlocks, gradBlocks;
+  net.forEachParamBlock([&](std::span<double> p, std::span<double> g) {
+    adam.registerBlock(p);
+    paramBlocks.push_back(p);
+    gradBlocks.push_back(g);
+  });
+
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+
+  TrainReport report;
+  Matrix bx, by, pred, gradOut, gradIn;
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.shuffle(order);
+    double epochLoss = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t begin = 0; begin < n; begin += batch) {
+      const std::size_t end = std::min(begin + batch, n);
+      const std::size_t bn = end - begin;
+      bx.resize(bn, x.cols());
+      by.resize(bn, y.cols());
+      for (std::size_t r = 0; r < bn; ++r) {
+        const std::size_t src = order[begin + r];
+        for (std::size_t c = 0; c < x.cols(); ++c) bx(r, c) = x(src, c);
+        for (std::size_t c = 0; c < y.cols(); ++c) by(r, c) = y(src, c);
+      }
+      net.zeroGrads();
+      net.forwardTrain(bx, pred, rng);
+      // MSE over all entries in the batch.
+      gradOut.resize(bn, y.cols());
+      double loss = 0.0;
+      const double invCount = 1.0 / static_cast<double>(bn * y.cols());
+      for (std::size_t i = 0; i < pred.size(); ++i) {
+        const double diff = pred.data()[i] - by.data()[i];
+        loss += diff * diff;
+        gradOut.data()[i] = 2.0 * diff * invCount;
+      }
+      loss *= invCount;
+      net.backward(gradOut, gradIn);
+      adam.step(paramBlocks, gradBlocks);
+      epochLoss += loss;
+      ++batches;
+      ++report.steps;
+    }
+    epochLoss /= static_cast<double>(batches);
+    report.finalTrainLoss = epochLoss;
+    if (config.onEpoch) config.onEpoch(epoch, epochLoss);
+    adam.setLearningRate(adam.config().learningRate * config.lrDecay);
+  }
+  return report;
+}
+
+double mseLoss(const Sequential& net, const Matrix& x, const Matrix& y) {
+  Matrix pred;
+  net.infer(x, pred);
+  double loss = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const double diff = pred.data()[i] - y.data()[i];
+    loss += diff * diff;
+  }
+  return pred.size() ? loss / static_cast<double>(pred.size()) : 0.0;
+}
+
+}  // namespace isop::ml::nn

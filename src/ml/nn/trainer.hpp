@@ -1,0 +1,39 @@
+// Mini-batch MSE trainer for Sequential networks. Inputs and targets are
+// expected pre-scaled (the regressor wrappers own the scalers).
+#pragma once
+
+#include <functional>
+
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "ml/nn/adam.hpp"
+#include "ml/nn/sequential.hpp"
+
+namespace isop::ml::nn {
+
+struct TrainConfig {
+  std::size_t epochs = 30;
+  std::size_t batchSize = 128;
+  double learningRate = 1e-3;
+  double weightDecay = 1e-5;
+  std::uint64_t seed = 1;
+  /// Multiplicative LR decay applied at the end of each epoch.
+  double lrDecay = 0.97;
+  /// Optional per-epoch callback(epoch, trainLoss); may be empty.
+  std::function<void(std::size_t, double)> onEpoch;
+};
+
+struct TrainReport {
+  double finalTrainLoss = 0.0;
+  std::size_t steps = 0;
+};
+
+/// Trains `net` to minimize mean squared error over (x, y). Returns the
+/// final epoch's average training loss.
+TrainReport trainMse(Sequential& net, const Matrix& x, const Matrix& y,
+                     const TrainConfig& config);
+
+/// Mean squared error of the network's inference output over (x, y).
+double mseLoss(const Sequential& net, const Matrix& x, const Matrix& y);
+
+}  // namespace isop::ml::nn

@@ -1,0 +1,56 @@
+// Per-output target transforms for the surrogate models.
+//
+// The stack-up metrics are strictly signed with heavy-tailed magnitudes
+// (Z > 0 spans 20..600 ohm over the training space; L < 0 and NEXT <= 0 span
+// several decades), so regressing the log magnitude conditions the problem:
+// the model's error becomes relative rather than absolute, which is what the
+// tight |Z - Zo| <= 1 ohm constraint band actually needs.
+//
+//   transform(y)  = ln(max(sign * y, floor))
+//   inverse(t)    = sign * exp(t)
+//   d inverse/d t = sign * exp(t) = inverse(t)   (chain factor for gradients)
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace isop::ml {
+
+struct OutputTransform {
+  enum class Kind : std::uint8_t { Identity = 0, LogMagnitude = 1 };
+
+  Kind kind = Kind::Identity;
+  double sign = 1.0;     ///< +1 for positive metrics (Z), -1 for negative (L, NEXT)
+  double floor = 1e-6;   ///< magnitude clamp before the log
+
+  static OutputTransform identity() { return {}; }
+  static OutputTransform logMagnitude(double sign, double floor = 1e-6) {
+    return {Kind::LogMagnitude, sign, floor};
+  }
+
+  double apply(double y) const {
+    if (kind == Kind::Identity) return y;
+    return std::log(std::max(sign * y, floor));
+  }
+
+  double invert(double t) const {
+    if (kind == Kind::Identity) return t;
+    return sign * std::exp(t);
+  }
+
+  /// d(raw)/d(transformed) evaluated at transformed value t.
+  double inverseDerivative(double t) const {
+    if (kind == Kind::Identity) return 1.0;
+    return sign * std::exp(t);
+  }
+};
+
+/// The canonical transforms for the (Z, L, NEXT) metric vector.
+inline std::vector<OutputTransform> metricLogTransforms() {
+  return {OutputTransform::logMagnitude(+1.0),   // Z > 0
+          OutputTransform::logMagnitude(-1.0),   // L < 0
+          OutputTransform::logMagnitude(-1.0, 1e-4)};  // NEXT <= 0 (mV)
+}
+
+}  // namespace isop::ml

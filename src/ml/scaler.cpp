@@ -1,0 +1,71 @@
+#include "ml/scaler.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <istream>
+#include <ostream>
+
+namespace isop::ml {
+
+void StandardScaler::fit(const Matrix& x) {
+  const std::size_t n = x.rows(), d = x.cols();
+  assert(n > 0);
+  mean_.assign(d, 0.0);
+  std_.assign(d, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) mean_[j] += x(i, j);
+  }
+  for (std::size_t j = 0; j < d; ++j) mean_[j] /= static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      double dv = x(i, j) - mean_[j];
+      std_[j] += dv * dv;
+    }
+  }
+  for (std::size_t j = 0; j < d; ++j) {
+    std_[j] = std::sqrt(std_[j] / static_cast<double>(n));
+    if (std_[j] < 1e-12) std_[j] = 1.0;
+  }
+}
+
+void StandardScaler::transformInPlace(Matrix& x) const {
+  assert(x.cols() == dim());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    for (std::size_t j = 0; j < x.cols(); ++j) {
+      x(i, j) = (x(i, j) - mean_[j]) / std_[j];
+    }
+  }
+}
+
+void StandardScaler::transformRow(std::span<const double> in, std::span<double> out) const {
+  assert(in.size() == dim() && out.size() == dim());
+  for (std::size_t j = 0; j < in.size(); ++j) out[j] = (in[j] - mean_[j]) / std_[j];
+}
+
+void StandardScaler::inverseTransformRow(std::span<const double> in,
+                                         std::span<double> out) const {
+  assert(in.size() == dim() && out.size() == dim());
+  for (std::size_t j = 0; j < in.size(); ++j) out[j] = in[j] * std_[j] + mean_[j];
+}
+
+void StandardScaler::save(std::ostream& out) const {
+  auto n = static_cast<std::uint64_t>(mean_.size());
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  out.write(reinterpret_cast<const char*>(mean_.data()),
+            static_cast<std::streamsize>(mean_.size() * sizeof(double)));
+  out.write(reinterpret_cast<const char*>(std_.data()),
+            static_cast<std::streamsize>(std_.size() * sizeof(double)));
+}
+
+void StandardScaler::load(std::istream& in) {
+  std::uint64_t n = 0;
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  mean_.resize(n);
+  std_.resize(n);
+  in.read(reinterpret_cast<char*>(mean_.data()),
+          static_cast<std::streamsize>(n * sizeof(double)));
+  in.read(reinterpret_cast<char*>(std_.data()),
+          static_cast<std::streamsize>(n * sizeof(double)));
+}
+
+}  // namespace isop::ml

@@ -1,0 +1,41 @@
+// Per-column standardization (z-score) for features and targets. The NN
+// surrogates train in scaled space; the regressor wrappers apply the inverse
+// transform on predict and chain the scale factors through input gradients.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "common/matrix.hpp"
+
+namespace isop::ml {
+
+class StandardScaler {
+ public:
+  /// Learns column means and standard deviations. Constant columns get
+  /// stddev 1 so they pass through unchanged (minus centering).
+  void fit(const Matrix& x);
+
+  bool fitted() const { return !mean_.empty(); }
+  std::size_t dim() const { return mean_.size(); }
+
+  void transformInPlace(Matrix& x) const;
+  void transformRow(std::span<const double> in, std::span<double> out) const;
+  void inverseTransformRow(std::span<const double> in, std::span<double> out) const;
+
+  /// d(scaled_j)/d(raw_j) = 1/std_j — used to chain input gradients.
+  double inputScale(std::size_t col) const { return 1.0 / std_[col]; }
+  /// d(raw_j)/d(scaled_j) = std_j — used to unscale output gradients.
+  double outputScale(std::size_t col) const { return std_[col]; }
+  double mean(std::size_t col) const { return mean_[col]; }
+
+  void save(std::ostream& out) const;
+  void load(std::istream& in);
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> std_;
+};
+
+}  // namespace isop::ml

@@ -1,0 +1,28 @@
+#include "ml/single_output.hpp"
+
+#include <cassert>
+
+namespace isop::ml {
+
+MultiOutputSurrogate::MultiOutputSurrogate(const Dataset& train, const ModelFactory& factory)
+    : inputDim_(train.inputDim()) {
+  models_.reserve(train.outputDim());
+  for (std::size_t k = 0; k < train.outputDim(); ++k) {
+    auto model = factory(k);
+    auto target = train.targetColumn(k);
+    model->fit(train.x, target);
+    models_.push_back(std::move(model));
+  }
+}
+
+MultiOutputSurrogate::MultiOutputSurrogate(
+    std::size_t inputDim, std::vector<std::unique_ptr<SingleOutputModel>> models)
+    : inputDim_(inputDim), models_(std::move(models)) {}
+
+void MultiOutputSurrogate::predict(std::span<const double> x, std::span<double> out) const {
+  assert(x.size() == inputDim_ && out.size() == models_.size());
+  countQuery();
+  for (std::size_t k = 0; k < models_.size(); ++k) out[k] = models_[k]->predictOne(x);
+}
+
+}  // namespace isop::ml

@@ -1,0 +1,78 @@
+// Single-output regressor interface for the classical Table VI baselines
+// (trees, boosting, linear, SVR), plus the multi-output adapter that stacks
+// one model per target behind the common Surrogate interface.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "ml/dataset.hpp"
+#include "ml/output_transform.hpp"
+#include "ml/surrogate.hpp"
+
+namespace isop::ml {
+
+class SingleOutputModel {
+ public:
+  virtual ~SingleOutputModel() = default;
+
+  /// Trains on rows of x against the scalar target y (y.size() == x.rows()).
+  virtual void fit(const Matrix& x, std::span<const double> y) = 0;
+
+  /// Predicts the target for one feature row. Thread-safe after fit().
+  virtual double predictOne(std::span<const double> x) const = 0;
+};
+
+/// Wraps a single-output model so it trains on (and predicts through) a
+/// target transform, e.g. regressing ln|NEXT| instead of NEXT. Keeps the
+/// Table VI model comparison apples-to-apples with the neural surrogates'
+/// log-magnitude targets.
+class TransformedTargetModel final : public SingleOutputModel {
+ public:
+  TransformedTargetModel(std::unique_ptr<SingleOutputModel> inner, OutputTransform transform)
+      : inner_(std::move(inner)), transform_(transform) {}
+
+  void fit(const Matrix& x, std::span<const double> y) override {
+    std::vector<double> t(y.size());
+    for (std::size_t i = 0; i < y.size(); ++i) t[i] = transform_.apply(y[i]);
+    inner_->fit(x, t);
+  }
+
+  double predictOne(std::span<const double> x) const override {
+    return transform_.invert(inner_->predictOne(x));
+  }
+
+ private:
+  std::unique_ptr<SingleOutputModel> inner_;
+  OutputTransform transform_;
+};
+
+/// Stacks independent single-output models into a multi-output Surrogate
+/// (e.g. one XGBoost per metric, as in the DATE-version ISOP's NEXT model).
+class MultiOutputSurrogate final : public Surrogate {
+ public:
+  using ModelFactory = std::function<std::unique_ptr<SingleOutputModel>(std::size_t output)>;
+
+  /// Builds one model per target column via `factory` and fits each.
+  MultiOutputSurrogate(const Dataset& train, const ModelFactory& factory);
+
+  /// Takes ownership of pre-fitted models (size = output dim).
+  MultiOutputSurrogate(std::size_t inputDim,
+                       std::vector<std::unique_ptr<SingleOutputModel>> models);
+
+  std::size_t inputDim() const override { return inputDim_; }
+  std::size_t outputDim() const override { return models_.size(); }
+
+  void predict(std::span<const double> x, std::span<double> out) const override;
+
+  SingleOutputModel& model(std::size_t output) { return *models_[output]; }
+
+ private:
+  std::size_t inputDim_ = 0;
+  std::vector<std::unique_ptr<SingleOutputModel>> models_;
+};
+
+}  // namespace isop::ml

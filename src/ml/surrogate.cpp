@@ -1,0 +1,25 @@
+#include "ml/surrogate.hpp"
+
+#include <stdexcept>
+
+namespace isop::ml {
+
+void Surrogate::predictBatch(const Matrix& x, Matrix& out) const {
+  out.resize(x.rows(), outputDim());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    predict(x.row(i), out.row(i));
+  }
+}
+
+void Surrogate::inputGradient(std::span<const double>, std::size_t,
+                              std::span<double>) const {
+  throw std::logic_error("Surrogate: inputGradient not supported by this model");
+}
+
+std::vector<double> Surrogate::predictVec(std::span<const double> x) const {
+  std::vector<double> out(outputDim());
+  predict(x, out);
+  return out;
+}
+
+}  // namespace isop::ml

@@ -1,0 +1,61 @@
+// Surrogate: the common multi-output predictor interface M̂(x).
+//
+// Everything that maps a design vector to performance metrics implements
+// this: the trained ML models (MLP, 1D-CNN, trees, ...) and — via an adapter
+// in core — the exact EM simulator M(x) itself, so the optimization stages
+// are agnostic about whether they query the cheap proxy or the real solver.
+//
+// Models that can backpropagate (the neural surrogates) additionally expose
+// d(output_k)/d(input_j), which powers the paper's gradient-descent local
+// exploration stage.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/matrix.hpp"
+
+namespace isop::ml {
+
+class Surrogate {
+ public:
+  virtual ~Surrogate() = default;
+
+  virtual std::size_t inputDim() const = 0;
+  virtual std::size_t outputDim() const = 0;
+
+  /// Predicts all outputs for one input row. out.size() == outputDim().
+  /// Must be safe to call concurrently.
+  virtual void predict(std::span<const double> x, std::span<double> out) const = 0;
+
+  /// Batch prediction; default implementation loops over rows. `out` is
+  /// resized to (X.rows, outputDim()).
+  virtual void predictBatch(const Matrix& x, Matrix& out) const;
+
+  /// True if inputGradient is implemented.
+  virtual bool hasInputGradient() const { return false; }
+
+  /// grad[j] = d(output[outputIndex]) / d(x[j]). Throws std::logic_error in
+  /// the base class; only meaningful when hasInputGradient().
+  virtual void inputGradient(std::span<const double> x, std::size_t outputIndex,
+                             std::span<double> grad) const;
+
+  /// Convenience single-allocation predict.
+  std::vector<double> predictVec(std::span<const double> x) const;
+
+  /// Number of predict() calls since construction (the "samples seen"
+  /// accounting of the paper's tables).
+  std::size_t queryCount() const { return queries_.load(std::memory_order_relaxed); }
+  void resetQueryCount() const { queries_.store(0, std::memory_order_relaxed); }
+
+ protected:
+  /// Implementations call this once per predicted row.
+  void countQuery(std::size_t n = 1) const { queries_.fetch_add(n, std::memory_order_relaxed); }
+
+ private:
+  mutable std::atomic<std::size_t> queries_{0};
+};
+
+}  // namespace isop::ml

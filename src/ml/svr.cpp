@@ -1,0 +1,99 @@
+#include "ml/svr.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+#include "common/stats.hpp"
+
+namespace isop::ml {
+
+void SvrRegressor::featurize(std::span<const double> scaled, std::span<double> out) const {
+  const std::size_t d = config_.fourierFeatures;
+  assert(out.size() == d);
+  const double scale = std::sqrt(2.0 / static_cast<double>(d));
+  for (std::size_t k = 0; k < d; ++k) {
+    double acc = phase_[k];
+    const double* w = omega_.data() + k * inputDim_;
+    for (std::size_t j = 0; j < inputDim_; ++j) acc += w[j] * scaled[j];
+    out[k] = scale * std::cos(acc);
+  }
+}
+
+void SvrRegressor::fit(const Matrix& x, std::span<const double> y) {
+  assert(x.rows() == y.size() && x.rows() > 0);
+  inputDim_ = x.cols();
+  xScaler_.fit(x);
+  yMean_ = stats::mean(y);
+  yStd_ = stats::stdev(y);
+  if (yStd_ < 1e-12) yStd_ = 1.0;
+
+  Rng rng(config_.seed);
+  // omega ~ N(0, 2*gamma I) gives the RBF spectral measure.
+  const double gamma =
+      config_.gamma > 0.0 ? config_.gamma : 1.0 / static_cast<double>(inputDim_);
+  const double omegaStd = std::sqrt(2.0 * gamma);
+  omega_.resize(config_.fourierFeatures, inputDim_);
+  for (std::size_t i = 0; i < omega_.size(); ++i) omega_.data()[i] = omegaStd * rng.normal();
+  phase_.resize(config_.fourierFeatures);
+  for (auto& p : phase_) p = rng.uniform(0.0, 2.0 * std::numbers::pi);
+
+  const std::size_t n = x.rows();
+  const std::size_t d = config_.fourierFeatures;
+  // Pre-featurize the training set once (n x d).
+  Matrix features(n, d);
+  std::vector<double> scaled(inputDim_);
+  for (std::size_t r = 0; r < n; ++r) {
+    xScaler_.transformRow(x.row(r), scaled);
+    featurize(scaled, features.row(r));
+  }
+
+  std::vector<double> w(d + 1, 0.0);  // last entry = bias
+  std::vector<double> wAvg(d + 1, 0.0);
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  std::size_t t = 0;
+  std::size_t averaged = 0;
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.shuffle(order);
+    for (std::size_t idx : order) {
+      ++t;
+      const double lr = 1.0 / (config_.regularization * static_cast<double>(t));
+      const double target = (y[idx] - yMean_) / yStd_;
+      const double* f = features.data() + idx * d;
+      double pred = w[d];
+      for (std::size_t k = 0; k < d; ++k) pred += w[k] * f[k];
+      const double err = pred - target;
+      // Subgradient of epsilon-insensitive loss + L2.
+      double dir = 0.0;
+      if (err > config_.epsilon) dir = 1.0;
+      else if (err < -config_.epsilon) dir = -1.0;
+      const double shrink = 1.0 - lr * config_.regularization;
+      for (std::size_t k = 0; k < d; ++k) {
+        w[k] = shrink * w[k] - (dir != 0.0 ? lr * dir * f[k] : 0.0);
+      }
+      w[d] -= dir != 0.0 ? lr * dir : 0.0;  // bias not regularized
+      // Tail averaging over the last half of training.
+      if (epoch * 2 >= config_.epochs) {
+        ++averaged;
+        for (std::size_t k = 0; k <= d; ++k) {
+          wAvg[k] += (w[k] - wAvg[k]) / static_cast<double>(averaged);
+        }
+      }
+    }
+  }
+  weights_ = averaged ? std::move(wAvg) : std::move(w);
+}
+
+double SvrRegressor::predictOne(std::span<const double> x) const {
+  assert(x.size() == inputDim_);
+  std::vector<double> scaled(inputDim_), f(config_.fourierFeatures);
+  xScaler_.transformRow(x, scaled);
+  featurize(scaled, f);
+  double pred = weights_[config_.fourierFeatures];
+  for (std::size_t k = 0; k < config_.fourierFeatures; ++k) pred += weights_[k] * f[k];
+  return pred * yStd_ + yMean_;
+}
+
+}  // namespace isop::ml

@@ -1,0 +1,47 @@
+// Support vector regression (Table VI "SVR"): RBF kernel approximated with
+// random Fourier features (Rahimi & Recht), trained in the primal with the
+// epsilon-insensitive loss via averaged stochastic subgradient descent
+// (Pegasos-style). This keeps kernel SVR tractable on tens of thousands of
+// samples without a QP solver.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ml/scaler.hpp"
+#include "ml/single_output.hpp"
+
+namespace isop::ml {
+
+struct SvrConfig {
+  std::size_t fourierFeatures = 256;
+  /// RBF width: k(x,y) = exp(-gamma ||x-y||^2). <= 0 selects the scale
+  /// heuristic gamma = 1 / inputDim at fit time (sklearn-style).
+  double gamma = 0.0;
+  double epsilon = 0.05;    ///< insensitive tube (in standardized target units)
+  double regularization = 1e-4;
+  std::size_t epochs = 12;
+  std::uint64_t seed = 23;
+};
+
+class SvrRegressor final : public SingleOutputModel {
+ public:
+  explicit SvrRegressor(SvrConfig config = {}) : config_(config) {}
+
+  void fit(const Matrix& x, std::span<const double> y) override;
+  double predictOne(std::span<const double> x) const override;
+
+ private:
+  void featurize(std::span<const double> scaled, std::span<double> out) const;
+
+  SvrConfig config_;
+  StandardScaler xScaler_;
+  double yMean_ = 0.0;
+  double yStd_ = 1.0;
+  Matrix omega_;                 // fourierFeatures x inputDim
+  std::vector<double> phase_;    // fourierFeatures
+  std::vector<double> weights_;  // fourierFeatures + 1 (bias)
+  std::size_t inputDim_ = 0;
+};
+
+}  // namespace isop::ml

@@ -1,0 +1,244 @@
+#include "ml/tree.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+namespace isop::ml {
+
+// --- FeatureBinner -----------------------------------------------------------
+
+void FeatureBinner::fit(const Matrix& x, std::size_t maxBins) {
+  assert(maxBins >= 2 && maxBins <= 256);
+  const std::size_t n = x.rows(), d = x.cols();
+  edges_.assign(d, {});
+  std::vector<double> col(n);
+  for (std::size_t j = 0; j < d; ++j) {
+    for (std::size_t i = 0; i < n; ++i) col[i] = x(i, j);
+    std::sort(col.begin(), col.end());
+    auto& e = edges_[j];
+    double last = std::numeric_limits<double>::quiet_NaN();
+    for (std::size_t b = 1; b < maxBins; ++b) {
+      const std::size_t idx =
+          std::min(n - 1, b * n / maxBins);
+      double v = col[idx];
+      if (!(v == last)) {  // dedupe (NaN-safe: first always inserted)
+        e.push_back(v);
+        last = v;
+      }
+    }
+  }
+}
+
+std::uint8_t FeatureBinner::binOf(std::size_t feature, double value) const {
+  const auto& e = edges_[feature];
+  // First bin whose upper edge >= value; values above all edges go to the
+  // last bin.
+  auto it = std::lower_bound(e.begin(), e.end(), value);
+  return static_cast<std::uint8_t>(it - e.begin());
+}
+
+void FeatureBinner::transform(const Matrix& x, std::vector<std::uint8_t>& out) const {
+  const std::size_t n = x.rows(), d = x.cols();
+  assert(d == featureCount());
+  out.resize(n * d);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) out[i * d + j] = binOf(j, x(i, j));
+  }
+}
+
+// --- GradientTree ------------------------------------------------------------
+
+namespace {
+double leafValue(double g, double h, double lambda) {
+  return -g / (h + lambda);
+}
+double scoreTerm(double g, double h, double lambda) {
+  return g * g / (h + lambda);
+}
+}  // namespace
+
+void GradientTree::fit(const FeatureBinner& binner, std::span<const std::uint8_t> binned,
+                       std::size_t stride, std::span<const std::size_t> rows,
+                       std::span<const double> g, std::span<const double> h,
+                       const TreeConfig& config, Rng& rng) {
+  nodes_.clear();
+  std::vector<std::size_t> work(rows.begin(), rows.end());
+  grow(binner, binned, stride, work, 0, work.size(), g, h, config, rng, 0);
+}
+
+std::size_t GradientTree::grow(const FeatureBinner& binner,
+                               std::span<const std::uint8_t> binned, std::size_t stride,
+                               std::vector<std::size_t>& rows, std::size_t begin,
+                               std::size_t end, std::span<const double> g,
+                               std::span<const double> h, const TreeConfig& config,
+                               Rng& rng, std::size_t depth) {
+  const std::size_t nodeIdx = nodes_.size();
+  nodes_.emplace_back();
+
+  double sumG = 0.0, sumH = 0.0;
+  for (std::size_t i = begin; i < end; ++i) {
+    sumG += g[rows[i]];
+    sumH += h[rows[i]];
+  }
+  nodes_[nodeIdx].value = leafValue(sumG, sumH, config.lambda);
+
+  const std::size_t count = end - begin;
+  if (depth >= config.maxDepth || count < 2 * config.minSamplesLeaf) return nodeIdx;
+
+  const std::size_t d = binner.featureCount();
+  // Histogram buffers (max 256 bins).
+  double histG[256], histH[256];
+  std::size_t histN[256];
+
+  double bestGain = config.gamma > 0.0 ? config.gamma : 1e-12;
+  std::int32_t bestFeature = -1;
+  std::size_t bestBin = 0;
+
+  // Feature subsampling: draw the candidate set up front; if the Bernoulli
+  // draws leave it empty (likely for very low-dimensional data), fall back
+  // to trying every feature so a node is never starved of splits.
+  std::vector<std::uint8_t> tryFeature(d, 1);
+  if (config.featureSubsample < 1.0) {
+    bool any = false;
+    for (std::size_t j = 0; j < d; ++j) {
+      tryFeature[j] = rng.bernoulli(config.featureSubsample) ? 1 : 0;
+      any = any || tryFeature[j];
+    }
+    if (!any) std::fill(tryFeature.begin(), tryFeature.end(), std::uint8_t{1});
+  }
+
+  for (std::size_t j = 0; j < d; ++j) {
+    if (!tryFeature[j]) continue;
+    const std::size_t bins = binner.binCount(j);
+    if (bins < 2) continue;
+    std::fill(histG, histG + bins, 0.0);
+    std::fill(histH, histH + bins, 0.0);
+    std::fill(histN, histN + bins, std::size_t{0});
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::size_t r = rows[i];
+      const std::uint8_t b = binned[r * stride + j];
+      histG[b] += g[r];
+      histH[b] += h[r];
+      ++histN[b];
+    }
+    double leftG = 0.0, leftH = 0.0;
+    std::size_t leftN = 0;
+    const double parentScore = scoreTerm(sumG, sumH, config.lambda);
+    for (std::size_t b = 0; b + 1 < bins; ++b) {
+      leftG += histG[b];
+      leftH += histH[b];
+      leftN += histN[b];
+      if (leftN < config.minSamplesLeaf) continue;
+      const std::size_t rightN = count - leftN;
+      if (rightN < config.minSamplesLeaf) break;
+      const double gain = 0.5 * (scoreTerm(leftG, leftH, config.lambda) +
+                                 scoreTerm(sumG - leftG, sumH - leftH, config.lambda) -
+                                 parentScore) -
+                          config.gamma;
+      if (gain > bestGain) {
+        bestGain = gain;
+        bestFeature = static_cast<std::int32_t>(j);
+        bestBin = b;
+      }
+    }
+  }
+
+  if (bestFeature < 0) return nodeIdx;
+
+  // Partition rows by the winning split (stable partition keeps determinism).
+  const auto j = static_cast<std::size_t>(bestFeature);
+  auto mid = std::stable_partition(
+      rows.begin() + static_cast<std::ptrdiff_t>(begin),
+      rows.begin() + static_cast<std::ptrdiff_t>(end),
+      [&](std::size_t r) { return binned[r * stride + j] <= bestBin; });
+  const auto midIdx = static_cast<std::size_t>(mid - rows.begin());
+  if (midIdx == begin || midIdx == end) return nodeIdx;  // degenerate
+
+  nodes_[nodeIdx].feature = bestFeature;
+  nodes_[nodeIdx].threshold = binner.edge(j, bestBin);
+  const std::size_t left =
+      grow(binner, binned, stride, rows, begin, midIdx, g, h, config, rng, depth + 1);
+  const std::size_t right =
+      grow(binner, binned, stride, rows, midIdx, end, g, h, config, rng, depth + 1);
+  nodes_[nodeIdx].left = static_cast<std::int32_t>(left);
+  nodes_[nodeIdx].right = static_cast<std::int32_t>(right);
+  return nodeIdx;
+}
+
+double GradientTree::predictOne(std::span<const double> x) const {
+  assert(!nodes_.empty());
+  std::size_t idx = 0;
+  for (;;) {
+    const Node& node = nodes_[idx];
+    if (node.feature < 0) return node.value;
+    idx = x[static_cast<std::size_t>(node.feature)] <= node.threshold
+              ? static_cast<std::size_t>(node.left)
+              : static_cast<std::size_t>(node.right);
+  }
+}
+
+void GradientTree::save(std::ostream& out) const {
+  const auto n = static_cast<std::uint64_t>(nodes_.size());
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  static_assert(std::is_trivially_copyable_v<Node>);
+  if (n) {
+    out.write(reinterpret_cast<const char*>(nodes_.data()),
+              static_cast<std::streamsize>(n * sizeof(Node)));
+  }
+}
+
+void GradientTree::load(std::istream& in) {
+  std::uint64_t n = 0;
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  nodes_.resize(n);
+  if (n) {
+    in.read(reinterpret_cast<char*>(nodes_.data()),
+            static_cast<std::streamsize>(n * sizeof(Node)));
+  }
+  if (!in) throw std::runtime_error("GradientTree: truncated stream");
+}
+
+std::size_t GradientTree::depth() const {
+  // Iterative depth via parent-less traversal: compute by walking each node.
+  std::vector<std::size_t> depth(nodes_.size(), 0);
+  std::size_t maxDepth = 0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& node = nodes_[i];
+    if (node.feature >= 0) {
+      depth[static_cast<std::size_t>(node.left)] = depth[i] + 1;
+      depth[static_cast<std::size_t>(node.right)] = depth[i] + 1;
+      maxDepth = std::max(maxDepth, depth[i] + 1);
+    }
+  }
+  return maxDepth;
+}
+
+// --- DecisionTreeRegressor ---------------------------------------------------
+
+void DecisionTreeRegressor::fit(const Matrix& x, std::span<const double> y) {
+  assert(x.rows() == y.size() && x.rows() > 0);
+  binner_.fit(x, config_.maxBins);
+  std::vector<std::uint8_t> binned;
+  binner_.transform(x, binned);
+  std::vector<std::size_t> rows(x.rows());
+  for (std::size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  // CART reduction: g = -y, h = 1 makes leaves output the mean target.
+  std::vector<double> g(y.size()), h(y.size(), 1.0);
+  for (std::size_t i = 0; i < y.size(); ++i) g[i] = -y[i];
+  TreeConfig cfg;
+  cfg.maxDepth = config_.maxDepth;
+  cfg.minSamplesLeaf = config_.minSamplesLeaf;
+  Rng rng(1);
+  tree_.fit(binner_, binned, x.cols(), rows, g, h, cfg, rng);
+}
+
+double DecisionTreeRegressor::predictOne(std::span<const double> x) const {
+  return tree_.predictOne(x);
+}
+
+}  // namespace isop::ml

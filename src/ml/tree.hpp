@@ -1,0 +1,113 @@
+// Histogram-based regression trees.
+//
+// The grower works in the XGBoost second-order formulation on per-sample
+// (gradient, hessian) pairs: a leaf's value is -G/(H + lambda) and a split's
+// gain is 1/2 [GL^2/(HL+l) + GR^2/(HR+l) - G^2/(H+l)] - gamma. With g = -y,
+// h = 1, lambda = gamma = 0 this reduces exactly to classic CART with
+// variance-reduction splits and mean-value leaves, so one grower backs the
+// plain DecisionTreeRegressor, the random forest, gradient boosting, and
+// the XGBoost-style booster in ensemble.hpp.
+//
+// Features are pre-quantized into at most 64 quantile bins per column
+// (FeatureBinner), making split search O(bins) per feature per node.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "ml/single_output.hpp"
+
+namespace isop::ml {
+
+/// Quantile feature quantizer shared by all trees in an ensemble.
+class FeatureBinner {
+ public:
+  /// Learns up to `maxBins` bin edges per column from quantiles of x.
+  void fit(const Matrix& x, std::size_t maxBins = 64);
+
+  std::size_t featureCount() const { return edges_.size(); }
+  std::size_t binCount(std::size_t feature) const { return edges_[feature].size() + 1; }
+
+  /// Upper edge of a bin (split threshold "x <= edge"): bin b covers
+  /// (edge[b-1], edge[b]]. Requires b < binCount-1.
+  double edge(std::size_t feature, std::size_t bin) const { return edges_[feature][bin]; }
+
+  std::uint8_t binOf(std::size_t feature, double value) const;
+
+  /// Quantizes all rows; out is (n x d) of bin indices.
+  void transform(const Matrix& x, std::vector<std::uint8_t>& out) const;
+
+ private:
+  std::vector<std::vector<double>> edges_;
+};
+
+struct TreeConfig {
+  std::size_t maxDepth = 8;
+  std::size_t minSamplesLeaf = 5;
+  double lambda = 0.0;          ///< L2 regularization on leaf values
+  double gamma = 0.0;           ///< minimum gain to split
+  double featureSubsample = 1.0;///< fraction of features tried per node
+};
+
+/// A fitted tree: flat node array, raw-threshold splits.
+class GradientTree {
+ public:
+  /// Grows the tree on pre-binned rows. `rows` selects the training subset
+  /// (for bagging); g/h are indexed by original row id.
+  void fit(const FeatureBinner& binner, std::span<const std::uint8_t> binned,
+           std::size_t stride, std::span<const std::size_t> rows,
+           std::span<const double> g, std::span<const double> h,
+           const TreeConfig& config, Rng& rng);
+
+  double predictOne(std::span<const double> x) const;
+
+  std::size_t nodeCount() const { return nodes_.size(); }
+  std::size_t depth() const;
+
+  /// Binary round-trip of the fitted node array.
+  void save(std::ostream& out) const;
+  void load(std::istream& in);
+
+ private:
+  struct Node {
+    std::int32_t feature = -1;  // -1 = leaf
+    double threshold = 0.0;     // go left if x[feature] <= threshold
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+    double value = 0.0;         // leaf output
+  };
+
+  std::size_t grow(const FeatureBinner& binner, std::span<const std::uint8_t> binned,
+                   std::size_t stride, std::vector<std::size_t>& rows,
+                   std::size_t begin, std::size_t end, std::span<const double> g,
+                   std::span<const double> h, const TreeConfig& config, Rng& rng,
+                   std::size_t depth);
+
+  std::vector<Node> nodes_;
+};
+
+struct DecisionTreeConfig {
+  std::size_t maxDepth = 12;
+  std::size_t minSamplesLeaf = 4;
+  std::size_t maxBins = 64;
+};
+
+/// Plain CART regressor (Table VI "DTR").
+class DecisionTreeRegressor final : public SingleOutputModel {
+ public:
+  explicit DecisionTreeRegressor(DecisionTreeConfig config = {}) : config_(config) {}
+
+  void fit(const Matrix& x, std::span<const double> y) override;
+  double predictOne(std::span<const double> x) const override;
+
+ private:
+  DecisionTreeConfig config_;
+  FeatureBinner binner_;
+  GradientTree tree_;
+};
+
+}  // namespace isop::ml

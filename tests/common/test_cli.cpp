@@ -1,0 +1,67 @@
+#include "common/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace isop {
+namespace {
+
+CliArgs makeArgs(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return CliArgs(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, SpaceSeparatedValue) {
+  auto args = makeArgs({"--trials", "5"});
+  EXPECT_EQ(args.getInt("trials", 0), 5);
+}
+
+TEST(Cli, EqualsSeparatedValue) {
+  auto args = makeArgs({"--samples=9000"});
+  EXPECT_EQ(args.getInt("samples", 0), 9000);
+}
+
+TEST(Cli, BooleanFlagPresent) {
+  auto args = makeArgs({"--paper-scale"});
+  EXPECT_TRUE(args.has("paper-scale"));
+  EXPECT_TRUE(args.getBool("paper-scale", false));
+  EXPECT_FALSE(args.getBool("other", false));
+}
+
+TEST(Cli, ExplicitBooleanValues) {
+  auto args = makeArgs({"--a=true", "--b=false", "--c=1", "--d=0"});
+  EXPECT_TRUE(args.getBool("a", false));
+  EXPECT_FALSE(args.getBool("b", true));
+  EXPECT_TRUE(args.getBool("c", false));
+  EXPECT_FALSE(args.getBool("d", true));
+}
+
+TEST(Cli, DoubleAndStringValues) {
+  auto args = makeArgs({"--lr", "0.5", "--name", "cnn"});
+  EXPECT_DOUBLE_EQ(args.getDouble("lr", 0.0), 0.5);
+  EXPECT_EQ(args.getString("name", ""), "cnn");
+}
+
+TEST(Cli, FallbacksWhenAbsentOrMalformed) {
+  auto args = makeArgs({"--n", "abc"});
+  EXPECT_EQ(args.getInt("n", 7), 7);
+  EXPECT_EQ(args.getInt("missing", 9), 9);
+  EXPECT_EQ(args.getString("missing", "dflt"), "dflt");
+}
+
+TEST(Cli, PositionalArguments) {
+  auto args = makeArgs({"pos1", "--flag", "pos2"});
+  // "--flag pos2": pos2 is consumed as flag's value.
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "pos1");
+  EXPECT_EQ(args.getString("flag", ""), "pos2");
+}
+
+TEST(Cli, FlagFollowedByFlagIsBoolean) {
+  auto args = makeArgs({"--a", "--b", "3"});
+  EXPECT_TRUE(args.getBool("a", false));
+  EXPECT_EQ(args.getInt("b", 0), 3);
+}
+
+}  // namespace
+}  // namespace isop

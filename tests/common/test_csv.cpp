@@ -1,0 +1,68 @@
+#include "common/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace isop::csv {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("isop_csv_test_" + std::to_string(::getpid()) + ".csv"))
+                .string();
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(CsvTest, RoundTrip) {
+  Table t;
+  t.header = {"a", "b", "c"};
+  t.rows = {{1.0, 2.5, -3.0}, {4.0, 0.0, 1e-3}};
+  write(path_, t);
+  Table r = read(path_);
+  ASSERT_EQ(r.header, t.header);
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.rows[1][2], 1e-3);
+}
+
+TEST_F(CsvTest, ColumnIndexLookup) {
+  Table t;
+  t.header = {"x", "y"};
+  EXPECT_EQ(t.columnIndex("y"), 1u);
+  EXPECT_THROW(t.columnIndex("z"), std::runtime_error);
+}
+
+TEST_F(CsvTest, ReadRejectsNonNumericCell) {
+  std::ofstream out(path_);
+  out << "a,b\n1,hello\n";
+  out.close();
+  EXPECT_THROW(read(path_), std::runtime_error);
+}
+
+TEST_F(CsvTest, ReadRejectsRaggedRow) {
+  std::ofstream out(path_);
+  out << "a,b\n1,2,3\n";
+  out.close();
+  EXPECT_THROW(read(path_), std::runtime_error);
+}
+
+TEST_F(CsvTest, ReadMissingFileThrows) {
+  EXPECT_THROW(read("/nonexistent/definitely/not/here.csv"), std::runtime_error);
+}
+
+TEST_F(CsvTest, SkipsBlankLines) {
+  std::ofstream out(path_);
+  out << "a\n1\n\n2\n";
+  out.close();
+  Table t = read(path_);
+  EXPECT_EQ(t.rows.size(), 2u);
+}
+
+}  // namespace
+}  // namespace isop::csv

@@ -1,0 +1,82 @@
+#include "common/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace isop::json {
+namespace {
+
+TEST(Json, Scalars) {
+  EXPECT_EQ(Value::null().dump(), "null");
+  EXPECT_EQ(Value::boolean(true).dump(), "true");
+  EXPECT_EQ(Value::boolean(false).dump(), "false");
+  EXPECT_EQ(Value::integer(-42).dump(), "-42");
+  EXPECT_EQ(Value::number(1.5).dump(), "1.5");
+  EXPECT_EQ(Value::string("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, NonFiniteNumbersBecomeNull) {
+  EXPECT_EQ(Value::number(std::numeric_limits<double>::infinity()).dump(), "null");
+  EXPECT_EQ(Value::number(std::nan("")).dump(), "null");
+}
+
+TEST(Json, StringEscaping) {
+  EXPECT_EQ(escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(escape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(escape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(escape(std::string_view("\x01", 1)), "\\u0001");
+  EXPECT_EQ(Value::string("tab\there").dump(), "\"tab\\there\"");
+}
+
+TEST(Json, ArrayBuilding) {
+  Value arr = Value::array();
+  arr.push(Value::integer(1)).push(Value::integer(2)).push(Value::string("x"));
+  EXPECT_EQ(arr.dump(), "[1,2,\"x\"]");
+  EXPECT_EQ(arr.size(), 3u);
+  EXPECT_TRUE(arr.isArray());
+}
+
+TEST(Json, ObjectBuildingAndOverwrite) {
+  Value obj = Value::object();
+  obj.set("a", Value::integer(1));
+  obj.set("b", Value::boolean(false));
+  obj.set("a", Value::integer(9));  // overwrite keeps position
+  EXPECT_EQ(obj.dump(), "{\"a\":9,\"b\":false}");
+  EXPECT_TRUE(obj.isObject());
+}
+
+TEST(Json, NestedStructures) {
+  Value obj = Value::object();
+  Value inner = Value::array();
+  inner.push(Value::number(0.5));
+  obj.set("xs", std::move(inner));
+  EXPECT_EQ(obj.dump(), "{\"xs\":[0.5]}");
+}
+
+TEST(Json, PrettyPrinting) {
+  Value obj = Value::object();
+  obj.set("k", Value::integer(1));
+  EXPECT_EQ(obj.dump(2), "{\n  \"k\": 1\n}");
+  Value empty = Value::object();
+  EXPECT_EQ(empty.dump(2), "{}");
+}
+
+TEST(Json, TypeMisuseThrows) {
+  Value scalar = Value::integer(1);
+  EXPECT_THROW(scalar.push(Value::null()), std::logic_error);
+  EXPECT_THROW(scalar.set("k", Value::null()), std::logic_error);
+  Value arr = Value::array();
+  EXPECT_THROW(arr.set("k", Value::null()), std::logic_error);
+}
+
+TEST(Json, NumberPrecision) {
+  // 12 significant digits round-trip typical metric values.
+  EXPECT_EQ(Value::number(85.694999).dump(), "85.694999");
+  EXPECT_EQ(Value::number(-0.434).dump(), "-0.434");
+  EXPECT_EQ(Value::number(5.8e7).dump(), "58000000");
+}
+
+}  // namespace
+}  // namespace isop::json

@@ -1,0 +1,122 @@
+#include "common/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace isop {
+namespace {
+
+Matrix randomMatrix(std::size_t r, std::size_t c, Rng& rng) {
+  Matrix m(r, c);
+  for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] = rng.uniform(-1.0, 1.0);
+  return m;
+}
+
+Matrix naiveMatmul(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows(), b.cols(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      for (std::size_t k = 0; k < a.cols(); ++k) out(i, j) += a(i, k) * b(k, j);
+    }
+  }
+  return out;
+}
+
+void expectNear(const Matrix& a, const Matrix& b, double tol = 1e-12) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a.data()[i], b.data()[i], tol);
+  }
+}
+
+TEST(Matrix, IndexingAndRowSpan) {
+  Matrix m(2, 3);
+  m(0, 0) = 1.0;
+  m(1, 2) = 5.0;
+  EXPECT_EQ(m.row(0)[0], 1.0);
+  EXPECT_EQ(m.row(1)[2], 5.0);
+  EXPECT_EQ(m.row(1).size(), 3u);
+}
+
+TEST(Matrix, AddAndScale) {
+  Matrix a(2, 2, 1.0), b(2, 2, 2.0);
+  a.add(b);
+  a.scale(3.0);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a.data()[i], 9.0);
+}
+
+TEST(Linalg, MatmulMatchesNaive) {
+  Rng rng(1);
+  Matrix a = randomMatrix(7, 5, rng), b = randomMatrix(5, 9, rng), out;
+  linalg::matmul(a, b, out);
+  expectNear(out, naiveMatmul(a, b));
+}
+
+TEST(Linalg, MatmulTransAMatchesNaive) {
+  Rng rng(2);
+  Matrix a = randomMatrix(6, 4, rng), b = randomMatrix(6, 3, rng), out;
+  linalg::matmulTransA(a, b, out);
+  // naive: a^T (4x6) * b (6x3)
+  Matrix at(4, 6);
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) at(j, i) = a(i, j);
+  }
+  expectNear(out, naiveMatmul(at, b));
+}
+
+TEST(Linalg, MatmulTransBMatchesNaive) {
+  Rng rng(3);
+  Matrix a = randomMatrix(4, 5, rng), b = randomMatrix(7, 5, rng), out;
+  linalg::matmulTransB(a, b, out);
+  Matrix bt(5, 7);
+  for (std::size_t i = 0; i < 7; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) bt(j, i) = b(i, j);
+  }
+  expectNear(out, naiveMatmul(a, bt));
+}
+
+TEST(Linalg, MatvecMatchesMatmul) {
+  Rng rng(4);
+  Matrix a = randomMatrix(5, 3, rng);
+  std::vector<double> x{0.5, -1.0, 2.0}, y(5);
+  linalg::matvec(a, x, y);
+  Matrix xm(3, 1, {0.5, -1.0, 2.0});
+  Matrix expected = naiveMatmul(a, xm);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_NEAR(y[i], expected(i, 0), 1e-12);
+}
+
+TEST(Linalg, DotAxpyNorm) {
+  std::vector<double> a{1, 2, 3}, b{4, 5, 6};
+  EXPECT_DOUBLE_EQ(linalg::dot(a, b), 32.0);
+  linalg::axpy(2.0, a, b);
+  EXPECT_DOUBLE_EQ(b[0], 6.0);
+  EXPECT_DOUBLE_EQ(b[2], 12.0);
+  std::vector<double> c{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(linalg::norm2(c), 5.0);
+}
+
+TEST(Linalg, CholeskySolvesSpdSystem) {
+  // A = M^T M + I is SPD.
+  Rng rng(5);
+  Matrix m = randomMatrix(6, 6, rng), a;
+  linalg::matmulTransA(m, m, a);
+  for (std::size_t i = 0; i < 6; ++i) a(i, i) += 1.0;
+  std::vector<double> xTrue{1, -2, 3, 0.5, -0.25, 2};
+  std::vector<double> b(6), x(6);
+  linalg::matvec(a, xTrue, b);
+  ASSERT_TRUE(linalg::choleskySolve(a, b, x));
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_NEAR(x[i], xTrue[i], 1e-9);
+}
+
+TEST(Linalg, CholeskyRejectsIndefinite) {
+  Matrix a(2, 2, {1.0, 2.0, 2.0, 1.0});  // eigenvalues 3, -1
+  std::vector<double> b{1.0, 1.0}, x(2);
+  EXPECT_FALSE(linalg::choleskySolve(a, b, x));
+  // A ridge large enough makes it SPD.
+  EXPECT_TRUE(linalg::choleskySolve(a, b, x, 2.0));
+}
+
+}  // namespace
+}  // namespace isop

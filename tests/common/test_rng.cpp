@@ -1,0 +1,129 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace isop {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(123), b(124);
+  int differing = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a() != b()) ++differing;
+  }
+  EXPECT_GT(differing, 24);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.uniform(-3.0, 2.0);
+    ASSERT_GE(v, -3.0);
+    ASSERT_LT(v, 2.0);
+  }
+}
+
+TEST(Rng, BelowCoversAllValuesWithoutBias) {
+  Rng rng(11);
+  std::vector<int> counts(5, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[rng.below(5)];
+  for (int c : counts) EXPECT_NEAR(c, 10000, 500);
+}
+
+TEST(Rng, BelowOneAlwaysZero) {
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(13);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    auto v = rng.range(-2, 2);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NormalMomentsAreStandard) {
+  Rng rng(17);
+  double sum = 0.0, sumSq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.normal();
+    sum += v;
+    sumSq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sumSq / n, 1.0, 0.05);
+}
+
+TEST(Rng, BernoulliFrequencyMatchesP) {
+  Rng rng(19);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(21);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, SampleIndicesDistinctAndInRange) {
+  Rng rng(23);
+  auto idx = rng.sampleIndices(100, 10);
+  EXPECT_EQ(idx.size(), 10u);
+  std::set<std::size_t> unique(idx.begin(), idx.end());
+  EXPECT_EQ(unique.size(), 10u);
+  for (auto i : idx) EXPECT_LT(i, 100u);
+}
+
+TEST(Rng, SampleIndicesClampsKToN) {
+  Rng rng(25);
+  auto idx = rng.sampleIndices(3, 10);
+  EXPECT_EQ(idx.size(), 3u);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(31);
+  Rng child = a.split();
+  // The child should not replay the parent's sequence.
+  Rng parentCopy(31);
+  parentCopy.split();
+  int same = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (child() == parentCopy()) ++same;
+  }
+  EXPECT_LT(same, 8);
+}
+
+}  // namespace
+}  // namespace isop

@@ -1,0 +1,71 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace isop::stats {
+namespace {
+
+TEST(Stats, MeanAndStdev) {
+  std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_NEAR(stdev(xs), 2.138089935299395, 1e-12);  // sample (n-1) stdev
+}
+
+TEST(Stats, EmptyAndSingleInputs) {
+  std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(mean(empty), 0.0);
+  EXPECT_DOUBLE_EQ(stdev(empty), 0.0);
+  std::vector<double> one{3.0};
+  EXPECT_DOUBLE_EQ(stdev(one), 0.0);
+}
+
+TEST(Stats, MinMax) {
+  std::vector<double> xs{3.0, -1.0, 7.0};
+  EXPECT_DOUBLE_EQ(minValue(xs), -1.0);
+  EXPECT_DOUBLE_EQ(maxValue(xs), 7.0);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  std::vector<double> xs{4.0, 1.0, 3.0, 2.0};  // sorted: 1 2 3 4
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0 / 3.0), 2.0);
+}
+
+TEST(Stats, PearsonPerfectAndAnticorrelated) {
+  std::vector<double> x{1, 2, 3, 4}, y{2, 4, 6, 8}, z{8, 6, 4, 2};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+  EXPECT_NEAR(pearson(x, z), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonConstantSideIsZero) {
+  std::vector<double> x{1, 2, 3}, c{5, 5, 5};
+  EXPECT_DOUBLE_EQ(pearson(x, c), 0.0);
+}
+
+TEST(Stats, R2PerfectPredictionIsOne) {
+  std::vector<double> t{1, 2, 3}, p{1, 2, 3};
+  EXPECT_DOUBLE_EQ(r2(t, p), 1.0);
+}
+
+TEST(Stats, R2MeanPredictorIsZero) {
+  std::vector<double> t{1, 2, 3}, p{2, 2, 2};
+  EXPECT_NEAR(r2(t, p), 0.0, 1e-12);
+}
+
+TEST(Stats, AccumulatorMatchesBatch) {
+  std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  Accumulator acc;
+  for (double x : xs) acc.add(x);
+  EXPECT_EQ(acc.count(), xs.size());
+  EXPECT_NEAR(acc.mean(), mean(xs), 1e-12);
+  EXPECT_NEAR(acc.stdev(), stdev(xs), 1e-12);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+}
+
+}  // namespace
+}  // namespace isop::stats

@@ -1,0 +1,64 @@
+#include "common/string_utils.hpp"
+
+#include <gtest/gtest.h>
+
+namespace isop::strings {
+namespace {
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, SplitSingleToken) {
+  auto parts = split("hello", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "hello");
+}
+
+TEST(Strings, TrimWhitespace) {
+  EXPECT_EQ(trim("  abc \t\n"), "abc");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Strings, ToDoubleValidAndInvalid) {
+  EXPECT_EQ(toDouble("3.5"), 3.5);
+  EXPECT_EQ(toDouble(" -2e3 "), -2000.0);
+  EXPECT_FALSE(toDouble("abc").has_value());
+  EXPECT_FALSE(toDouble("1.5x").has_value());
+  EXPECT_FALSE(toDouble("").has_value());
+}
+
+TEST(Strings, ToIntValidAndInvalid) {
+  EXPECT_EQ(toInt("42"), 42);
+  EXPECT_EQ(toInt("-7"), -7);
+  EXPECT_FALSE(toInt("3.5").has_value());
+  EXPECT_FALSE(toInt("").has_value());
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(startsWith("--flag", "--"));
+  EXPECT_FALSE(startsWith("-f", "--"));
+  EXPECT_FALSE(startsWith("", "--"));
+}
+
+TEST(Strings, FixedFormatting) {
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fixed(-0.5, 3), "-0.500");
+  EXPECT_EQ(fixed(2.0, 0), "2");
+}
+
+TEST(Strings, Padding) {
+  EXPECT_EQ(padLeft("ab", 5), "   ab");
+  EXPECT_EQ(padRight("ab", 5), "ab   ");
+  EXPECT_EQ(padLeft("abcdef", 3), "abcdef");
+}
+
+}  // namespace
+}  // namespace isop::strings

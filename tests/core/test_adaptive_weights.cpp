@@ -1,0 +1,111 @@
+// Algorithm 2 behaviour: constraint weights decay once enough of a batch is
+// feasible, respect the FoM-derived floor, and never move when disabled.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/objective.hpp"
+#include "core/tasks.hpp"
+
+namespace isop::core {
+namespace {
+
+ObjectiveSpec specWithIc() {
+  ObjectiveSpec spec;
+  spec.fom = {{em::Metric::L, 1.0}};
+  spec.outputConstraints = {{em::Metric::Z, 85.0, 1.0, "Z"}};
+  spec.inputConstraints = tableIxInputConstraints();
+  return spec;
+}
+
+/// Batch where `feasibleFraction` of samples satisfy the Z constraint.
+void makeBatch(double feasibleFraction, std::size_t n,
+               std::vector<em::PerformanceMetrics>& metrics,
+               std::vector<em::StackupParams>& designs) {
+  metrics.clear();
+  designs.clear();
+  const auto feasibleCount = static_cast<std::size_t>(feasibleFraction * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double z = i < feasibleCount ? 85.0 : 95.0;
+    metrics.push_back({z, -0.4, 0.0});
+    designs.push_back(manualDesignTableIx());
+  }
+}
+
+TEST(AdaptiveWeights, DecaysWhenEnoughSamplesFeasible) {
+  Objective obj(specWithIc());
+  AdaptiveWeights adapter(obj, {.beta = 0.2, .enabled = true});
+  std::vector<em::PerformanceMetrics> metrics;
+  std::vector<em::StackupParams> designs;
+  makeBatch(0.5, 100, metrics, designs);  // 50% >= beta
+  const double before = obj.weights().oc[0];
+  adapter.update(metrics, designs);
+  EXPECT_LT(obj.weights().oc[0], before);
+  EXPECT_NEAR(obj.weights().oc[0], 0.8 * before, 0.41);  // (1-beta) or floor
+}
+
+TEST(AdaptiveWeights, HoldsWhenTooFewFeasible) {
+  Objective obj(specWithIc());
+  AdaptiveWeights adapter(obj, {.beta = 0.2, .enabled = true});
+  std::vector<em::PerformanceMetrics> metrics;
+  std::vector<em::StackupParams> designs;
+  makeBatch(0.1, 100, metrics, designs);  // 10% < beta
+  adapter.update(metrics, designs);
+  EXPECT_DOUBLE_EQ(obj.weights().oc[0], 1.0);
+}
+
+TEST(AdaptiveWeights, RepeatedDecayIsFlooredByFom) {
+  Objective obj(specWithIc());
+  AdaptiveWeights adapter(obj, {.beta = 0.2, .enabled = true});
+  std::vector<em::PerformanceMetrics> metrics;
+  std::vector<em::StackupParams> designs;
+  makeBatch(1.0, 50, metrics, designs);
+  for (int i = 0; i < 200; ++i) adapter.update(metrics, designs);
+  // Floor = min(w_fom * FoM)/C_max = 0.4 / ~0.52.
+  const double floor = 0.4 / obj.ocBoundaryValue(0);
+  EXPECT_NEAR(obj.weights().oc[0], floor, 1e-9);
+  EXPECT_GT(obj.weights().oc[0], 0.0);
+}
+
+TEST(AdaptiveWeights, InputConstraintWeightDecaysToo) {
+  Objective obj(specWithIc());
+  AdaptiveWeights adapter(obj, {.beta = 0.2, .enabled = true});
+  std::vector<em::PerformanceMetrics> metrics;
+  std::vector<em::StackupParams> designs;
+  makeBatch(1.0, 50, metrics, designs);  // manual design satisfies all ICs
+  const double before = obj.weights().ic[0];
+  adapter.update(metrics, designs);
+  EXPECT_LT(obj.weights().ic[0], before);
+}
+
+TEST(AdaptiveWeights, ViolatedIcHolds) {
+  Objective obj(specWithIc());
+  AdaptiveWeights adapter(obj, {.beta = 0.2, .enabled = true});
+  std::vector<em::PerformanceMetrics> metrics;
+  std::vector<em::StackupParams> designs;
+  makeBatch(1.0, 50, metrics, designs);
+  for (auto& d : designs) d[em::Param::Wt] = 9.5;  // 2W+S > 20 for all
+  adapter.update(metrics, designs);
+  EXPECT_DOUBLE_EQ(obj.weights().ic[0], 1.0);
+}
+
+TEST(AdaptiveWeights, DisabledIsNoop) {
+  Objective obj(specWithIc());
+  AdaptiveWeights adapter(obj, {.beta = 0.2, .enabled = false});
+  std::vector<em::PerformanceMetrics> metrics;
+  std::vector<em::StackupParams> designs;
+  makeBatch(1.0, 50, metrics, designs);
+  adapter.update(metrics, designs);
+  EXPECT_DOUBLE_EQ(obj.weights().oc[0], 1.0);
+  EXPECT_DOUBLE_EQ(obj.weights().ic[0], 1.0);
+}
+
+TEST(AdaptiveWeights, EmptyBatchIsNoop) {
+  Objective obj(specWithIc());
+  AdaptiveWeights adapter(obj);
+  adapter.update({}, {});
+  EXPECT_DOUBLE_EQ(obj.weights().oc[0], 1.0);
+}
+
+}  // namespace
+}  // namespace isop::core

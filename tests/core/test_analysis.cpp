@@ -1,0 +1,106 @@
+#include "core/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/tasks.hpp"
+
+namespace isop::core {
+namespace {
+
+class AnalysisTest : public ::testing::Test {
+ protected:
+  em::EmSimulator sim_;
+  Objective objective_{taskT1().spec};  // |Z - 85| <= 1
+};
+
+TEST_F(AnalysisTest, InfeasibleNominalHasZeroishYield) {
+  // The manual design sits at Z ~ 85.7; a relaxed copy at Z far outside the
+  // band should fail everywhere.
+  em::StackupParams off = manualDesignTableIx();
+  off[em::Param::Wt] = 2.0;  // narrow trace -> Z way above 86
+  const YieldReport report = yieldAnalysis(sim_, objective_, off, {}, 300, 1);
+  EXPECT_EQ(report.passed, 0u);
+  EXPECT_DOUBLE_EQ(report.yield, 0.0);
+}
+
+TEST_F(AnalysisTest, CenteredDesignYieldsMoreThanEdgeDesign) {
+  // Z(manual) = 85.66: near the +1 band edge. A design re-centred to ~85.0
+  // must survive tolerances better.
+  em::StackupParams edge = manualDesignTableIx();
+  em::StackupParams centered = edge;
+  centered[em::Param::Wt] = 5.2;  // nudges Z down toward the band centre
+  const double zCentered = sim_.evaluateUncounted(centered).z;
+  ASSERT_NEAR(zCentered, 85.0, 0.5);
+
+  const YieldReport edgeReport = yieldAnalysis(sim_, objective_, edge, {}, 1500, 2);
+  const YieldReport centeredReport =
+      yieldAnalysis(sim_, objective_, centered, {}, 1500, 2);
+  EXPECT_GT(centeredReport.yield, edgeReport.yield);
+  EXPECT_GT(centeredReport.yield, 0.3);
+}
+
+TEST_F(AnalysisTest, TighterTolerancesImproveYield) {
+  const em::StackupParams design = manualDesignTableIx();
+  ToleranceModel loose;
+  loose.dimensionRel = 0.10;
+  ToleranceModel tight;
+  tight.dimensionRel = 0.01;
+  tight.materialRel = 0.005;
+  tight.roughnessAbs = 0.2;
+  const double looseYield =
+      yieldAnalysis(sim_, objective_, design, loose, 1200, 3).yield;
+  const double tightYield =
+      yieldAnalysis(sim_, objective_, design, tight, 1200, 3).yield;
+  EXPECT_GE(tightYield, looseYield);
+}
+
+TEST_F(AnalysisTest, ReportFieldsAreConsistent) {
+  const em::StackupParams design = manualDesignTableIx();
+  const YieldReport report = yieldAnalysis(sim_, objective_, design, {}, 500, 4);
+  EXPECT_EQ(report.samples, 500u);
+  EXPECT_LE(report.passed, report.samples);
+  EXPECT_NEAR(report.yield,
+              static_cast<double>(report.passed) / static_cast<double>(report.samples),
+              1e-12);
+  EXPECT_LE(report.worstL, report.nominal.l);      // worst is at least nominal
+  EXPECT_LE(report.worstNext, report.nominal.next);
+  EXPECT_GT(report.fomMean, 0.0);
+  EXPECT_DOUBLE_EQ(report.nominal.z, sim_.evaluateUncounted(design).z);
+}
+
+TEST_F(AnalysisTest, YieldIsDeterministicForSeed) {
+  const em::StackupParams design = manualDesignTableIx();
+  const auto a = yieldAnalysis(sim_, objective_, design, {}, 400, 7);
+  const auto b = yieldAnalysis(sim_, objective_, design, {}, 400, 7);
+  EXPECT_EQ(a.passed, b.passed);
+  EXPECT_DOUBLE_EQ(a.fomMean, b.fomMean);
+}
+
+TEST_F(AnalysisTest, SensitivitySignsMatchPhysics) {
+  const auto rows =
+      sensitivityAnalysis(sim_, em::spaceS1(), manualDesignTableIx());
+  auto row = [&](em::Param p) { return rows[static_cast<std::size_t>(p)]; };
+  EXPECT_LT(row(em::Param::Wt).dZ, 0.0);   // wider trace -> lower Z
+  EXPECT_GT(row(em::Param::Hc).dZ, 0.0);   // taller core -> higher Z
+  EXPECT_LT(row(em::Param::DkC).dZ, 0.0);  // higher Dk -> lower Z
+  EXPECT_GT(row(em::Param::Wt).dL, 0.0);   // wider trace -> less loss (L up)
+  EXPECT_LT(row(em::Param::DfC).dL, 0.0);  // lossier laminate -> more loss
+  EXPECT_GT(row(em::Param::Dt).dNext, 0.0);  // more distance -> less |NEXT|
+}
+
+TEST_F(AnalysisTest, SensitivityScaledPerGridStep) {
+  // sigma_t's step is 1e6 S/m; the per-step dZ must be small even though
+  // the raw derivative per S/m is minuscule — the scaling makes rows
+  // comparable.
+  const auto rows =
+      sensitivityAnalysis(sim_, em::spaceS1(), manualDesignTableIx());
+  for (const auto& row : rows) {
+    EXPECT_TRUE(std::isfinite(row.dZ));
+    EXPECT_LT(std::abs(row.dZ), 20.0) << "param " << row.param;
+  }
+}
+
+}  // namespace
+}  // namespace isop::core

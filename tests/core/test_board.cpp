@@ -1,0 +1,105 @@
+#include "core/board.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/simulator_surrogate.hpp"
+
+namespace isop::core {
+namespace {
+
+IsopConfig quickBase() {
+  IsopConfig cfg;
+  cfg.harmonica.iterations = 2;
+  cfg.harmonica.samplesPerIter = 150;
+  cfg.hyperband.maxResource = 9;
+  cfg.refine.epochs = 25;
+  cfg.localSeeds = 3;
+  cfg.seed = 1;
+  return cfg;
+}
+
+std::vector<LayerSpec> twoLayerBoard() {
+  std::vector<LayerSpec> layers;
+  {
+    LayerSpec l;
+    l.name = "inner-85";
+    l.space = em::spaceS1();
+    l.task = taskT1();
+    layers.push_back(std::move(l));
+  }
+  {
+    LayerSpec l;
+    l.name = "surface-120";
+    l.simulator.layerType = em::LayerType::Microstrip;
+    l.space = em::spaceS1();
+    l.task = taskT1();
+    l.task.spec.outputConstraints[0].target = 120.0;
+    l.task.spec.outputConstraints[0].tolerance = 3.0;
+    layers.push_back(std::move(l));
+  }
+  return layers;
+}
+
+TEST(BoardDesigner, DesignsEveryLayerFeasiblyWithOracle) {
+  const BoardDesigner designer(quickBase());
+  const BoardResult board = designer.design(twoLayerBoard());
+  ASSERT_EQ(board.layers.size(), 2u);
+  EXPECT_TRUE(board.allFeasible());
+  EXPECT_EQ(board.feasibleLayers, 2u);
+  // Each layer meets its own target under its own physics.
+  EXPECT_NEAR(board.layers[0].optimization.best().metrics.z, 85.0, 1.0);
+  EXPECT_NEAR(board.layers[1].optimization.best().metrics.z, 120.0, 3.0);
+}
+
+TEST(BoardDesigner, LayerNamesAndAccountingPropagate) {
+  const BoardDesigner designer(quickBase());
+  const BoardResult board = designer.design(twoLayerBoard());
+  EXPECT_EQ(board.layers[0].name, "inner-85");
+  EXPECT_EQ(board.layers[1].name, "surface-120");
+  EXPECT_GT(board.totalAlgoSeconds, 0.0);
+  EXPECT_GT(board.totalModeledSeconds, board.totalAlgoSeconds);
+  for (const auto& layer : board.layers) {
+    EXPECT_DOUBLE_EQ(layer.fom, layer.optimization.best().fom);
+  }
+}
+
+TEST(BoardDesigner, EmptyBoardIsTriviallyFeasible) {
+  const BoardDesigner designer(quickBase());
+  const BoardResult board = designer.design({});
+  EXPECT_TRUE(board.allFeasible());
+  EXPECT_EQ(board.layers.size(), 0u);
+}
+
+TEST(BoardDesigner, CustomSurrogateFactoryIsUsed) {
+  std::size_t factoryCalls = 0;
+  const BoardDesigner designer(
+      quickBase(), [&](const LayerSpec&, const em::EmSimulator& sim) {
+        ++factoryCalls;
+        return std::make_shared<SimulatorSurrogate>(sim);
+      });
+  designer.design(twoLayerBoard());
+  EXPECT_EQ(factoryCalls, 2u);
+}
+
+TEST(BoardDesigner, DistinctSeedsPerLayer) {
+  // Two identical layers must still explore differently (seed + index).
+  std::vector<LayerSpec> layers;
+  for (int i = 0; i < 2; ++i) {
+    LayerSpec l;
+    l.name = "dup";
+    l.space = em::spaceS1();
+    l.task = taskT1();
+    layers.push_back(std::move(l));
+  }
+  IsopConfig base = quickBase();
+  base.harmonica.parallelEval = false;
+  const BoardDesigner designer(base);
+  const BoardResult board = designer.design(layers);
+  EXPECT_NE(board.layers[0].optimization.best().params.values,
+            board.layers[1].optimization.best().params.values);
+}
+
+}  // namespace
+}  // namespace isop::core

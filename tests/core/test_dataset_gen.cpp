@@ -1,0 +1,142 @@
+#include "data/dataset_gen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <cstdlib>
+#include <filesystem>
+#include <set>
+
+#include "data/cache.hpp"
+
+namespace isop::data {
+namespace {
+
+TEST(DatasetGen, ShapeAndLabels) {
+  em::EmSimulator sim;
+  GenerationConfig cfg;
+  cfg.samples = 500;
+  cfg.seed = 1;
+  const ml::Dataset ds = generateDataset(sim, em::spaceS1(), cfg);
+  EXPECT_EQ(ds.size(), 500u);
+  EXPECT_EQ(ds.inputDim(), em::kNumParams);
+  EXPECT_EQ(ds.outputDim(), em::kNumMetrics);
+  // Labels are exactly the simulator's outputs.
+  for (std::size_t i : {0uz, 123uz, 499uz}) {
+    const auto p = em::StackupParams::fromVector(ds.x.row(i));
+    const auto m = sim.evaluateUncounted(p);
+    EXPECT_DOUBLE_EQ(ds.y(i, 0), m.z);
+    EXPECT_DOUBLE_EQ(ds.y(i, 1), m.l);
+    EXPECT_DOUBLE_EQ(ds.y(i, 2), m.next);
+  }
+}
+
+TEST(DatasetGen, SamplesAreOnGrid) {
+  em::EmSimulator sim;
+  GenerationConfig cfg;
+  cfg.samples = 300;
+  cfg.seed = 2;
+  const auto space = em::designerEnvelope();
+  const ml::Dataset ds = generateDataset(sim, space, cfg);
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    EXPECT_TRUE(space.contains(em::StackupParams::fromVector(ds.x.row(i))));
+  }
+}
+
+TEST(DatasetGen, UniqueModeDeduplicates) {
+  em::EmSimulator sim;
+  // Tiny space so collisions are certain: sample S1's Dt dimension heavily.
+  GenerationConfig cfg;
+  cfg.samples = 1000;
+  cfg.seed = 3;
+  cfg.unique = true;
+  const ml::Dataset ds = generateDataset(sim, em::spaceS1(), cfg);
+  std::set<std::string> keys;
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    keys.insert(em::StackupParams::fromVector(ds.x.row(i)).toString());
+  }
+  EXPECT_EQ(keys.size(), ds.size());
+}
+
+TEST(DatasetGen, DeterministicForSeed) {
+  em::EmSimulator sim;
+  GenerationConfig cfg;
+  cfg.samples = 200;
+  cfg.seed = 4;
+  const ml::Dataset a = generateDataset(sim, em::spaceS1(), cfg);
+  const ml::Dataset b = generateDataset(sim, em::spaceS1(), cfg);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t j = 0; j < a.inputDim(); ++j) {
+      ASSERT_DOUBLE_EQ(a.x(i, j), b.x(i, j));
+    }
+  }
+}
+
+TEST(DatasetGen, DifferentSeedsDiffer) {
+  em::EmSimulator sim;
+  GenerationConfig a, b;
+  a.samples = b.samples = 100;
+  a.seed = 5;
+  b.seed = 6;
+  const ml::Dataset da = generateDataset(sim, em::spaceS1(), a);
+  const ml::Dataset db = generateDataset(sim, em::spaceS1(), b);
+  bool differs = false;
+  for (std::size_t i = 0; i < da.size() && !differs; ++i) {
+    if (da.x(i, 0) != db.x(i, 0)) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(DatasetGen, GenerationDoesNotBillSimulatorCalls) {
+  em::EmSimulator sim;
+  GenerationConfig cfg;
+  cfg.samples = 100;
+  generateDataset(sim, em::spaceS1(), cfg);
+  EXPECT_EQ(sim.callCount(), 0u);
+}
+
+TEST(DatasetCache, RoundTripsThroughDisk) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "isop_cache_test";
+  fs::remove_all(dir);
+  ASSERT_EQ(setenv("ISOP_CACHE_DIR", dir.c_str(), 1), 0);
+
+  em::EmSimulator sim;
+  GenerationConfig cfg;
+  cfg.samples = 64;
+  cfg.seed = 77;
+  cfg.spaceName = "S1";
+  const auto space = em::spaceByName(cfg.spaceName);
+  const ml::Dataset first = getOrGenerateDataset(sim, space, cfg);
+  EXPECT_EQ(first.size(), 64u);
+  // Second call must hit the cache and return identical data.
+  const ml::Dataset second = getOrGenerateDataset(sim, space, cfg);
+  ASSERT_EQ(second.size(), first.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    for (std::size_t j = 0; j < first.inputDim(); ++j) {
+      ASSERT_DOUBLE_EQ(second.x(i, j), first.x(i, j));
+    }
+  }
+  unsetenv("ISOP_CACHE_DIR");
+  fs::remove_all(dir);
+}
+
+TEST(DatasetCache, SpaceByNameEnvelope) {
+  const auto envelope = em::spaceByName("envelope");
+  EXPECT_EQ(envelope.dim(), em::kNumParams);
+  EXPECT_TRUE(em::spaceS2().isWithin(envelope));
+}
+
+TEST(DesignerEnvelope, NestsBetweenS2AndTraining) {
+  const auto envelope = em::designerEnvelope(0.25);
+  EXPECT_TRUE(em::spaceS2().isWithin(envelope));
+  EXPECT_TRUE(envelope.isWithin(em::trainingSpace()));
+  // Margin 0 is exactly S2's bounding box.
+  const auto zero = em::designerEnvelope(0.0);
+  EXPECT_TRUE(zero.isWithin(em::spaceS2()));
+  EXPECT_TRUE(em::spaceS2().isWithin(zero));
+}
+
+}  // namespace
+}  // namespace isop::data

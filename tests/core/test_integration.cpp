@@ -1,0 +1,140 @@
+// End-to-end integration: dataset generation -> surrogate training ->
+// ISOP+ optimization -> EM validation, exactly the production flow, at a
+// CI-friendly scale (a few seconds of training).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/trial_runner.hpp"
+#include "data/dataset_gen.hpp"
+#include "ml/ensemble_surrogate.hpp"
+#include "ml/neural_regressor.hpp"
+
+namespace isop::core {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    simulator_ = new em::EmSimulator();
+    data::GenerationConfig gen;
+    gen.samples = 6000;
+    gen.seed = 42;
+    const ml::Dataset ds =
+        data::generateDataset(*simulator_, em::designerEnvelope(), gen);
+    auto mlp = std::make_shared<ml::MlpRegressor>(
+        ml::MlpConfig{.hidden = {128, 128, 64}, .dropout = 0.0});
+    mlp->setOutputTransforms(ml::metricLogTransforms());
+    ml::nn::TrainConfig train;
+    train.epochs = 25;
+    train.learningRate = 3e-3;
+    mlp->fit(ds, train);
+    surrogate_ = mlp;
+  }
+
+  static void TearDownTestSuite() {
+    surrogate_.reset();
+    delete simulator_;
+    simulator_ = nullptr;
+  }
+
+  static em::EmSimulator* simulator_;
+  static std::shared_ptr<const ml::Surrogate> surrogate_;
+};
+
+em::EmSimulator* IntegrationTest::simulator_ = nullptr;
+std::shared_ptr<const ml::Surrogate> IntegrationTest::surrogate_;
+
+TEST_F(IntegrationTest, TrainedSurrogateIsUsablyAccurate) {
+  // Spot-check: predictions near the manual design within a few percent.
+  const em::StackupParams probe = manualDesignTableIx();
+  const auto truth = simulator_->evaluateUncounted(probe);
+  std::array<double, 3> pred{};
+  surrogate_->predict(probe.asVector(), pred);
+  EXPECT_NEAR(pred[0], truth.z, 0.08 * std::abs(truth.z));
+  EXPECT_NEAR(pred[1], truth.l, 0.15 * std::abs(truth.l));
+}
+
+TEST_F(IntegrationTest, IsopWithTrainedSurrogateFindsNearFeasibleDesigns) {
+  // A 6k-sample surrogate is deliberately rough (MAE(Z) ~ 2 ohm); the test
+  // asserts the full pipeline still lands near the band and that the
+  // EM-feedback repair round activates when the first roll-out misses.
+  MethodSpec spec;
+  spec.name = "ISOP+";
+  spec.kind = MethodSpec::Kind::Isop;
+  spec.isop.harmonica.iterations = 3;
+  spec.isop.harmonica.samplesPerIter = 400;
+  spec.isop.refine.epochs = 40;
+  spec.isop.localSeeds = 4;
+  const TrialRunner runner(*simulator_, surrogate_, em::spaceS1(), taskT1());
+  const TrialStats stats = runner.run(spec, 3, 500);
+  EXPECT_LE(stats.dzMean, 4.0);
+  EXPECT_LT(stats.lMean, 0.0);
+  EXPECT_GT(stats.avgSamples, 500.0);
+}
+
+TEST_F(IntegrationTest, RepairRoundTriggersOnlyWhenNeeded) {
+  IsopConfig cfg;
+  cfg.harmonica.iterations = 3;
+  cfg.harmonica.samplesPerIter = 400;
+  cfg.refine.epochs = 40;
+  cfg.localSeeds = 4;
+  cfg.rolloutRounds = 2;
+  cfg.seed = 501;
+  const IsopOptimizer optimizer(*simulator_, surrogate_, em::spaceS1(), taskT1(), cfg);
+  const IsopResult result = optimizer.run();
+  EXPECT_GE(result.rolloutRoundsUsed, 1u);
+  EXPECT_LE(result.rolloutRoundsUsed, 2u);
+  // Second round only when the first failed; either way candidates capped.
+  EXPECT_LE(result.candidates.size(), cfg.candNum);
+  if (result.rolloutRoundsUsed == 2) {
+    EXPECT_GT(result.simulatorCalls, cfg.candNum);
+  } else {
+    EXPECT_TRUE(result.best().feasible);
+  }
+}
+
+TEST_F(IntegrationTest, EnsembleWithUncertaintyPenaltyRunsEndToEnd) {
+  // A small deep ensemble in the loop, with the disagreement penalty on:
+  // the full pipeline must run and stay near the band (the penalty may only
+  // help, never break the search).
+  data::GenerationConfig gen;
+  gen.samples = 4000;
+  gen.seed = 43;
+  const ml::Dataset ds = data::generateDataset(*simulator_, em::designerEnvelope(), gen);
+  ml::EnsembleTrainConfig ecfg;
+  ecfg.members = 3;
+  ecfg.architecture.hidden = {64, 64};
+  ecfg.architecture.dropout = 0.0;
+  ecfg.training.epochs = 12;
+  ecfg.transforms = ml::metricLogTransforms();
+  auto ensemble = ml::trainMlpEnsemble(ds, ecfg);
+
+  IsopConfig cfg;
+  cfg.harmonica.iterations = 3;
+  cfg.harmonica.samplesPerIter = 300;
+  cfg.refine.epochs = 30;
+  cfg.localSeeds = 3;
+  cfg.uncertaintyPenalty = 0.5;
+  cfg.seed = 503;
+  const IsopOptimizer optimizer(*simulator_, ensemble, em::spaceS1(), taskT1(), cfg);
+  const IsopResult result = optimizer.run();
+  ASSERT_FALSE(result.candidates.empty());
+  EXPECT_LE(std::abs(result.best().metrics.z - 85.0), 5.0);
+}
+
+TEST_F(IntegrationTest, PaperProtocolSingleRolloutStillWorks) {
+  IsopConfig cfg;
+  cfg.harmonica.iterations = 3;
+  cfg.harmonica.samplesPerIter = 400;
+  cfg.refine.epochs = 40;
+  cfg.rolloutRounds = 1;  // the paper's exact protocol
+  cfg.seed = 502;
+  const IsopOptimizer optimizer(*simulator_, surrogate_, em::spaceS1(), taskT1(), cfg);
+  const IsopResult result = optimizer.run();
+  EXPECT_EQ(result.rolloutRoundsUsed, 1u);
+  EXPECT_LE(result.simulatorCalls, cfg.candNum);
+}
+
+}  // namespace
+}  // namespace isop::core

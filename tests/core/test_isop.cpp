@@ -1,0 +1,194 @@
+// End-to-end IsopOptimizer tests using the oracle surrogate (the EM model
+// behind the Surrogate interface) so optimizer behaviour is isolated from
+// surrogate fitting error. Budgets are kept small; these are correctness
+// tests, not benchmark runs.
+#include "core/isop.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/simulator_surrogate.hpp"
+
+namespace isop::core {
+namespace {
+
+IsopConfig quickConfig(std::uint64_t seed = 1) {
+  IsopConfig cfg;
+  cfg.harmonica.iterations = 2;
+  cfg.harmonica.samplesPerIter = 150;
+  cfg.harmonica.topMonomials = 4;
+  cfg.hyperband.maxResource = 9;
+  cfg.refine.epochs = 25;
+  cfg.localSeeds = 3;
+  cfg.candNum = 3;
+  cfg.seed = seed;
+  return cfg;
+}
+
+class IsopTest : public ::testing::Test {
+ protected:
+  em::EmSimulator sim_;
+  std::shared_ptr<SimulatorSurrogate> oracle_ = std::make_shared<SimulatorSurrogate>(sim_);
+};
+
+TEST_F(IsopTest, FindsFeasibleT1DesignWithOracle) {
+  const IsopOptimizer optimizer(sim_, oracle_, em::spaceS1(), taskT1(), quickConfig());
+  const IsopResult result = optimizer.run();
+  ASSERT_FALSE(result.candidates.empty());
+  const IsopCandidate& best = result.best();
+  EXPECT_TRUE(best.feasible);
+  EXPECT_NEAR(best.metrics.z, 85.0, 1.0);
+  EXPECT_LT(best.fom, 0.9);  // found a reasonably low-loss design
+  EXPECT_TRUE(em::spaceS1().contains(best.params));
+}
+
+TEST_F(IsopTest, CandidatesAreValidGridPointsRankedByG) {
+  const IsopOptimizer optimizer(sim_, oracle_, em::spaceS1(), taskT1(), quickConfig(2));
+  const IsopResult result = optimizer.run();
+  ASSERT_LE(result.candidates.size(), 3u);
+  for (const auto& c : result.candidates) {
+    EXPECT_TRUE(em::spaceS1().contains(c.params));
+  }
+  for (std::size_t i = 1; i < result.candidates.size(); ++i) {
+    const auto& prev = result.candidates[i - 1];
+    const auto& cur = result.candidates[i];
+    EXPECT_TRUE(prev.feasible >= cur.feasible);
+    if (prev.feasible == cur.feasible) EXPECT_LE(prev.g, cur.g);
+  }
+}
+
+TEST_F(IsopTest, AccountingIsConsistent) {
+  sim_.resetCounters();
+  oracle_->resetQueryCount();
+  IsopConfig cfg = quickConfig(3);
+  const IsopOptimizer optimizer(sim_, oracle_, em::spaceS1(), taskT1(), cfg);
+  const IsopResult result = optimizer.run();
+  EXPECT_EQ(result.simulatorCalls, result.candidates.size());
+  EXPECT_GE(result.surrogateQueries,
+            cfg.harmonica.iterations * cfg.harmonica.samplesPerIter / 2);
+  EXPECT_GT(result.modeledSeconds, result.algoSeconds);  // includes EM latency
+}
+
+TEST_F(IsopTest, GradientStageRequiresDifferentiableSurrogate) {
+  // A surrogate without gradients must be rejected when the GD stage is on.
+  class NoGradOracle final : public ml::Surrogate {
+   public:
+    explicit NoGradOracle(const em::EmSimulator& sim) : inner_(sim) {}
+    std::size_t inputDim() const override { return em::kNumParams; }
+    std::size_t outputDim() const override { return em::kNumMetrics; }
+    void predict(std::span<const double> x, std::span<double> out) const override {
+      inner_.predict(x, out);
+    }
+
+   private:
+    SimulatorSurrogate inner_;
+  };
+  auto noGrad = std::make_shared<NoGradOracle>(sim_);
+  IsopConfig cfg = quickConfig(4);
+  cfg.useGradientStage = true;
+  EXPECT_THROW(IsopOptimizer(sim_, noGrad, em::spaceS1(), taskT1(), cfg),
+               std::invalid_argument);
+  cfg.useGradientStage = false;
+  EXPECT_NO_THROW(IsopOptimizer(sim_, noGrad, em::spaceS1(), taskT1(), cfg));
+}
+
+TEST_F(IsopTest, HVariantRunsWithoutGradientStage) {
+  IsopConfig cfg = quickConfig(5);
+  cfg.useGradientStage = false;  // the DATE-version "H" optimizer
+  const IsopOptimizer optimizer(sim_, oracle_, em::spaceS1(), taskT1(), cfg);
+  const IsopResult result = optimizer.run();
+  ASSERT_FALSE(result.candidates.empty());
+  EXPECT_TRUE(result.best().feasible);
+}
+
+TEST_F(IsopTest, NaiveSeedPickVariantRuns) {
+  IsopConfig cfg = quickConfig(6);
+  cfg.useHyperband = false;
+  const IsopOptimizer optimizer(sim_, oracle_, em::spaceS1(), taskT1(), cfg);
+  EXPECT_FALSE(optimizer.run().candidates.empty());
+}
+
+TEST_F(IsopTest, UnsmoothedObjectiveVariantRuns) {
+  IsopConfig cfg = quickConfig(7);
+  cfg.useSmoothObjective = false;
+  const IsopOptimizer optimizer(sim_, oracle_, em::spaceS1(), taskT1(), cfg);
+  EXPECT_FALSE(optimizer.run().candidates.empty());
+}
+
+TEST_F(IsopTest, AdaptiveWeightsChangeDuringRun) {
+  // A wide Z band (easily satisfied by random samples) guarantees the
+  // >= beta feasibility ratio Algorithm 2 needs to trigger a decay; T1's
+  // tight 1-ohm band rightly keeps the weight pinned instead.
+  Task relaxed = taskT1();
+  relaxed.spec.outputConstraints[0].tolerance = 25.0;
+  // Small FoM coefficient keeps Alg. 2's FoM-derived floor well below the
+  // decayed weight so the decay is observable.
+  relaxed.spec.fom[0].coefficient = 0.1;
+  IsopConfig cfg = quickConfig(8);
+  cfg.adaptiveWeights.enabled = true;
+  const IsopOptimizer optimizer(sim_, oracle_, em::spaceS1(), relaxed, cfg);
+  const IsopResult result = optimizer.run();
+  ASSERT_EQ(result.finalWeights.oc.size(), 1u);
+  EXPECT_LT(result.finalWeights.oc[0], 1.0);
+
+  IsopConfig off = quickConfig(8);
+  off.adaptiveWeights.enabled = false;
+  const IsopResult fixedResult =
+      IsopOptimizer(sim_, oracle_, em::spaceS1(), relaxed, off).run();
+  EXPECT_DOUBLE_EQ(fixedResult.finalWeights.oc[0], 1.0);
+}
+
+TEST_F(IsopTest, T4CompositeObjectiveProducesLowCrosstalk) {
+  IsopConfig cfg = quickConfig(9);
+  const IsopOptimizer optimizer(sim_, oracle_, em::spaceS1(), taskT4(), cfg);
+  const IsopResult result = optimizer.run();
+  ASSERT_FALSE(result.candidates.empty());
+  const auto& best = result.best();
+  EXPECT_TRUE(best.feasible);
+  // FoM = |L| + 2|NEXT| pressures crosstalk down hard.
+  EXPECT_LT(-best.metrics.next, 0.5);
+}
+
+TEST_F(IsopTest, InputConstraintsRestrictRollout) {
+  Task task = taskT1();
+  task.spec.inputConstraints = tableIxInputConstraints();
+  IsopConfig cfg = quickConfig(10);
+  const IsopOptimizer optimizer(sim_, oracle_, em::spaceS1Prime(), task, cfg);
+  const IsopResult result = optimizer.run();
+  ASSERT_FALSE(result.candidates.empty());
+  const auto& best = result.best();
+  if (best.feasible) {
+    const double wt = best.params[em::Param::Wt];
+    const double st = best.params[em::Param::St];
+    EXPECT_LE(2.0 * wt + st, 20.0 + 1e-9);
+  }
+}
+
+TEST_F(IsopTest, GrayCodedPipelineFindsFeasibleDesign) {
+  IsopConfig cfg = quickConfig(12);
+  cfg.coding = hpo::BitCoding::Gray;
+  const IsopOptimizer optimizer(sim_, oracle_, em::spaceS1(), taskT1(), cfg);
+  const IsopResult result = optimizer.run();
+  ASSERT_FALSE(result.candidates.empty());
+  EXPECT_TRUE(result.best().feasible);
+  EXPECT_TRUE(em::spaceS1().contains(result.best().params));
+}
+
+TEST_F(IsopTest, DeterministicForFixedSeed) {
+  IsopConfig cfg = quickConfig(11);
+  cfg.harmonica.parallelEval = false;
+  const IsopOptimizer a(sim_, oracle_, em::spaceS1(), taskT1(), cfg);
+  const IsopOptimizer b(sim_, oracle_, em::spaceS1(), taskT1(), cfg);
+  const auto ra = a.run(), rb = b.run();
+  ASSERT_EQ(ra.candidates.size(), rb.candidates.size());
+  EXPECT_EQ(ra.best().params.values, rb.best().params.values);
+}
+
+TEST_F(IsopTest, RejectsNullSurrogate) {
+  EXPECT_THROW(IsopOptimizer(sim_, nullptr, em::spaceS1(), taskT1(), quickConfig()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace isop::core

@@ -1,0 +1,158 @@
+#include "core/objective.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/tasks.hpp"
+
+namespace isop::core {
+namespace {
+
+ObjectiveSpec specZ85() {
+  ObjectiveSpec spec;
+  spec.fom = {{em::Metric::L, 1.0}};
+  spec.outputConstraints = {{em::Metric::Z, 85.0, 1.0, "Z"}};
+  return spec;
+}
+
+TEST(Objective, FomIsWeightedAbsoluteSum) {
+  Objective obj(taskT4().spec);  // |L| + 2 |NEXT|
+  em::PerformanceMetrics m{85.0, -0.45, -0.01};
+  EXPECT_NEAR(obj.fomValue(m), 0.45 + 2.0 * 0.01, 1e-12);
+}
+
+TEST(Objective, ExactPenaltyClipsAtTolerance) {
+  Objective obj(specZ85());
+  em::PerformanceMetrics inside{85.5, -0.4, 0.0};
+  em::PerformanceMetrics atEdge{86.0, -0.4, 0.0};
+  em::PerformanceMetrics outside{87.5, -0.4, 0.0};
+  EXPECT_DOUBLE_EQ(obj.ocPenaltyExact(0, inside), 0.0);
+  EXPECT_DOUBLE_EQ(obj.ocPenaltyExact(0, atEdge), 0.0);
+  EXPECT_NEAR(obj.ocPenaltyExact(0, outside), 1.5, 1e-12);
+  // Symmetric below the target.
+  em::PerformanceMetrics below{82.0, -0.4, 0.0};
+  EXPECT_NEAR(obj.ocPenaltyExact(0, below), 2.0, 1e-12);
+}
+
+TEST(Objective, SmoothPenaltyIsBoundedAndCenteredLow) {
+  Objective obj(specZ85());
+  em::PerformanceMetrics onTarget{85.0, -0.4, 0.0};
+  em::PerformanceMetrics farOff{95.0, -0.4, 0.0};
+  const double low = obj.ocPenaltySmooth(0, onTarget);
+  const double high = obj.ocPenaltySmooth(0, farOff);
+  EXPECT_GT(low, 0.0);
+  EXPECT_LT(low, 0.2);  // deep inside the band with gammaFactor = 4
+  EXPECT_GT(high, 0.9);
+  EXPECT_LT(high, 2.0);  // sum of two sigmoids is < 2
+}
+
+TEST(Objective, SmoothPenaltyBoundaryValueMatchesCmax) {
+  Objective obj(specZ85());
+  em::PerformanceMetrics boundary{86.0, -0.4, 0.0};  // |Z-85| == tol
+  EXPECT_NEAR(obj.ocPenaltySmooth(0, boundary), obj.ocBoundaryValue(0), 1e-9);
+}
+
+TEST(Objective, SmoothPenaltyDerivativeSignAndFiniteDifference) {
+  Objective obj(specZ85());
+  for (double z : {83.0, 84.5, 85.0, 85.5, 87.0}) {
+    em::PerformanceMetrics m{z, -0.4, 0.0};
+    const double analytic = obj.ocPenaltySmoothDerivative(0, m);
+    const double h = 1e-6;
+    em::PerformanceMetrics up{z + h, -0.4, 0.0}, down{z - h, -0.4, 0.0};
+    const double numeric =
+        (obj.ocPenaltySmooth(0, up) - obj.ocPenaltySmooth(0, down)) / (2.0 * h);
+    EXPECT_NEAR(analytic, numeric, 1e-5) << "z=" << z;
+    if (z > 85.0 + 0.1) EXPECT_GT(analytic, 0.0);
+    if (z < 85.0 - 0.1) EXPECT_LT(analytic, 0.0);
+  }
+}
+
+TEST(Objective, GammaFactorSharpensBoundary) {
+  ObjectiveSpec spec = specZ85();
+  Objective soft(spec, {.gammaFactor = 1.0});
+  Objective sharp(spec, {.gammaFactor = 8.0});
+  em::PerformanceMetrics inside{85.0, -0.4, 0.0};
+  em::PerformanceMetrics outside{88.0, -0.4, 0.0};
+  const double softContrast =
+      soft.ocPenaltySmooth(0, outside) - soft.ocPenaltySmooth(0, inside);
+  const double sharpContrast =
+      sharp.ocPenaltySmooth(0, outside) - sharp.ocPenaltySmooth(0, inside);
+  EXPECT_GT(sharpContrast, softContrast);
+}
+
+TEST(Objective, InputConstraintClipAndFeasibility) {
+  ObjectiveSpec spec = specZ85();
+  spec.inputConstraints = tableIxInputConstraints();
+  Objective obj(spec);
+  em::StackupParams x = manualDesignTableIx();  // Wt=5, St=6: 2W+S = 16 <= 20
+  EXPECT_DOUBLE_EQ(obj.icPenalty(0, x), 0.0);
+  x[em::Param::Wt] = 9.0;  // 2*9+6 = 24 > 20
+  EXPECT_NEAR(obj.icPenalty(0, x), 4.0, 1e-12);
+  // Dt - 5 Hc: manual Dt=20, Hc=8 -> -20 <= 0 ok.
+  EXPECT_DOUBLE_EQ(obj.icPenalty(1, manualDesignTableIx()), 0.0);
+}
+
+TEST(Objective, GValueComposition) {
+  ObjectiveSpec spec = specZ85();
+  spec.inputConstraints = tableIxInputConstraints();
+  Objective obj(spec);
+  obj.weights().fom = 2.0;
+  obj.weights().oc[0] = 3.0;
+  em::StackupParams x = manualDesignTableIx();
+  em::PerformanceMetrics m{87.0, -0.5, 0.0};  // violates Z by 1 beyond tol
+  EXPECT_NEAR(obj.gValue(m, x), 2.0 * 0.5 + 3.0 * 1.0, 1e-12);
+}
+
+TEST(Objective, FeasibleChecksBothConstraintKinds) {
+  ObjectiveSpec spec = specZ85();
+  spec.inputConstraints = tableIxInputConstraints();
+  Objective obj(spec);
+  em::StackupParams x = manualDesignTableIx();
+  EXPECT_TRUE(obj.feasible({85.5, -0.4, 0.0}, x));
+  EXPECT_FALSE(obj.feasible({87.0, -0.4, 0.0}, x));  // OC violated
+  x[em::Param::Wt] = 9.0;
+  EXPECT_FALSE(obj.feasible({85.5, -0.4, 0.0}, x));  // IC violated
+}
+
+TEST(Objective, GradientMatchesFiniteDifferenceThroughLinearModel) {
+  // Metric model: Z = 80 + 2*Wt, L = -0.1*St, NEXT = 0 (linear => exact grads).
+  ObjectiveSpec spec = specZ85();
+  spec.inputConstraints = tableIxInputConstraints();
+  Objective obj(spec);
+  auto metric = [](const em::StackupParams& x) {
+    return em::PerformanceMetrics{80.0 + 2.0 * x[em::Param::Wt],
+                                  -0.1 * x[em::Param::St], 0.0};
+  };
+  auto metricGrad = [](em::Metric which, std::span<double> g) {
+    std::fill(g.begin(), g.end(), 0.0);
+    if (which == em::Metric::Z) g[0] = 2.0;
+    if (which == em::Metric::L) g[1] = -0.1;
+  };
+  em::StackupParams x = manualDesignTableIx();
+  std::vector<double> grad(em::kNumParams);
+  const double value = obj.gSmoothWithGradient(metric(x), x, metricGrad, grad);
+  EXPECT_NEAR(value, obj.gSmoothValue(metric(x), x), 1e-12);
+
+  const double h = 1e-6;
+  for (std::size_t j : {0uz, 1uz, 5uz}) {
+    em::StackupParams up = x, down = x;
+    up.values[j] += h;
+    down.values[j] -= h;
+    const double numeric =
+        (obj.gSmoothValue(metric(up), up) - obj.gSmoothValue(metric(down), down)) /
+        (2.0 * h);
+    EXPECT_NEAR(grad[j], numeric, 1e-5) << "param " << j;
+  }
+}
+
+TEST(Objective, UniformWeightsInitialization) {
+  Objective obj(taskT3().spec);
+  EXPECT_DOUBLE_EQ(obj.weights().fom, 1.0);
+  ASSERT_EQ(obj.weights().oc.size(), 2u);
+  EXPECT_DOUBLE_EQ(obj.weights().oc[0], 1.0);
+  EXPECT_DOUBLE_EQ(obj.weights().oc[1], 1.0);
+}
+
+}  // namespace
+}  // namespace isop::core

@@ -1,0 +1,87 @@
+#include "core/pareto.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/simulator_surrogate.hpp"
+
+namespace isop::core {
+namespace {
+
+TEST(ParetoDominance, Definition) {
+  ParetoPoint a, b;
+  a.lossMagnitude = 0.4;
+  a.nextMagnitude = 0.1;
+  b.lossMagnitude = 0.5;
+  b.nextMagnitude = 0.2;
+  EXPECT_TRUE(dominates(a, b));
+  EXPECT_FALSE(dominates(b, a));
+  // Equal points dominate neither way.
+  EXPECT_FALSE(dominates(a, a));
+  // Trade-off points do not dominate each other.
+  b.lossMagnitude = 0.3;
+  b.nextMagnitude = 0.3;
+  EXPECT_FALSE(dominates(a, b));
+  EXPECT_FALSE(dominates(b, a));
+}
+
+class ParetoTest : public ::testing::Test {
+ protected:
+  ParetoConfig quickConfig() const {
+    ParetoConfig cfg;
+    cfg.nextWeights = {0.0, 2.0, 8.0};
+    cfg.isop.harmonica.iterations = 2;
+    cfg.isop.harmonica.samplesPerIter = 150;
+    cfg.isop.hyperband.maxResource = 9;
+    cfg.isop.refine.epochs = 25;
+    cfg.isop.localSeeds = 3;
+    return cfg;
+  }
+
+  em::EmSimulator sim_;
+  std::shared_ptr<SimulatorSurrogate> oracle_ =
+      std::make_shared<SimulatorSurrogate>(sim_);
+};
+
+TEST_F(ParetoTest, FrontierIsNonDominatedAndSorted) {
+  const ParetoExplorer explorer(sim_, oracle_, em::spaceS1(), taskT1(), quickConfig());
+  const ParetoFront front = explorer.explore();
+  EXPECT_EQ(front.sweepRuns, 3u);
+  ASSERT_GE(front.points.size(), 2u);
+  for (std::size_t i = 0; i < front.points.size(); ++i) {
+    for (std::size_t j = 0; j < front.points.size(); ++j) {
+      if (i != j) EXPECT_FALSE(dominates(front.points[i], front.points[j]));
+    }
+    if (i) {
+      EXPECT_GE(front.points[i].lossMagnitude, front.points[i - 1].lossMagnitude);
+      // Sorted by loss => crosstalk must be non-increasing on a clean front.
+      EXPECT_LE(front.points[i].nextMagnitude, front.points[i - 1].nextMagnitude);
+    }
+  }
+}
+
+TEST_F(ParetoTest, EveryFrontierPointMeetsTheConstraints) {
+  const ParetoExplorer explorer(sim_, oracle_, em::spaceS1(), taskT1(), quickConfig());
+  const ParetoFront front = explorer.explore();
+  for (const auto& point : front.points) {
+    EXPECT_NEAR(point.metrics.z, 85.0, 1.0);
+    EXPECT_TRUE(em::spaceS1().contains(point.params));
+    EXPECT_DOUBLE_EQ(point.lossMagnitude, std::abs(point.metrics.l));
+  }
+}
+
+TEST_F(ParetoTest, CrosstalkWeightSweepActuallyTradesOff) {
+  const ParetoExplorer explorer(sim_, oracle_, em::spaceS1(), taskT1(), quickConfig());
+  const ParetoFront front = explorer.explore();
+  ASSERT_GE(front.points.size(), 2u);
+  // The frontier must span a real range on at least one axis.
+  const auto& first = front.points.front();
+  const auto& last = front.points.back();
+  EXPECT_GT(last.lossMagnitude - first.lossMagnitude +
+                (first.nextMagnitude - last.nextMagnitude),
+            1e-4);
+}
+
+}  // namespace
+}  // namespace isop::core

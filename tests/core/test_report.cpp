@@ -1,0 +1,102 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "core/simulator_surrogate.hpp"
+
+namespace isop::core {
+namespace {
+
+IsopResult smallResult() {
+  em::EmSimulator sim;
+  auto oracle = std::make_shared<SimulatorSurrogate>(sim);
+  IsopConfig cfg;
+  cfg.harmonica.iterations = 2;
+  cfg.harmonica.samplesPerIter = 100;
+  cfg.hyperband.maxResource = 9;
+  cfg.refine.epochs = 15;
+  cfg.localSeeds = 2;
+  cfg.seed = 3;
+  const IsopOptimizer optimizer(sim, oracle, em::spaceS1(), taskT1(), cfg);
+  return optimizer.run();
+}
+
+TEST(Report, ParamsJsonHasAllFifteenFields) {
+  const json::Value v = toJson(manualDesignTableIx());
+  const std::string s = v.dump();
+  for (auto name : em::paramNames()) {
+    EXPECT_NE(s.find("\"" + std::string(name) + "\""), std::string::npos) << name;
+  }
+}
+
+TEST(Report, MetricsJsonUsesUnitsInKeys) {
+  const json::Value v = toJson(em::PerformanceMetrics{85.0, -0.43, -0.5});
+  const std::string s = v.dump();
+  EXPECT_NE(s.find("\"Z_ohm\":85"), std::string::npos);
+  EXPECT_NE(s.find("\"L_dB_per_inch\":-0.43"), std::string::npos);
+  EXPECT_NE(s.find("\"NEXT_mV\":-0.5"), std::string::npos);
+}
+
+TEST(Report, IsopResultJsonStructure) {
+  const IsopResult result = smallResult();
+  const json::Value v = toJson(result);
+  const std::string s = v.dump();
+  EXPECT_NE(s.find("\"candidates\""), std::string::npos);
+  EXPECT_NE(s.find("\"surrogate_queries\""), std::string::npos);
+  EXPECT_NE(s.find("\"rollout_rounds_used\""), std::string::npos);
+  EXPECT_NE(s.find("\"feasible\""), std::string::npos);
+}
+
+TEST(Report, TrialStatsJson) {
+  TrialStats stats;
+  stats.method = "SA-1";
+  stats.trials = 10;
+  stats.successes = 9;
+  stats.fomMean = 0.446;
+  const std::string s = toJson(stats).dump();
+  EXPECT_NE(s.find("\"method\":\"SA-1\""), std::string::npos);
+  EXPECT_NE(s.find("\"successes\":9"), std::string::npos);
+  EXPECT_NE(s.find("\"fom_mean\":0.446"), std::string::npos);
+}
+
+TEST(Report, BoardResultJson) {
+  BoardResult board;
+  LayerResult layer;
+  layer.name = "L3 DDR";
+  layer.feasible = true;
+  layer.fom = 0.42;
+  layer.optimization = smallResult();
+  board.layers.push_back(std::move(layer));
+  board.feasibleLayers = 1;
+  board.totalAlgoSeconds = 1.5;
+  const std::string s = toJson(board).dump();
+  EXPECT_NE(s.find("\"name\":\"L3 DDR\""), std::string::npos);
+  EXPECT_NE(s.find("\"all_feasible\":true"), std::string::npos);
+  EXPECT_NE(s.find("\"feasible_layers\":1"), std::string::npos);
+  EXPECT_NE(s.find("\"layers\":["), std::string::npos);
+}
+
+TEST(Report, WriteJsonFileRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "isop_report_test.json").string();
+  json::Value v = json::Value::object();
+  v.set("ok", json::Value::boolean(true));
+  writeJsonFile(path, v);
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("\"ok\": true"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Report, WriteJsonFileBadPathThrows) {
+  EXPECT_THROW(writeJsonFile("/no/such/dir/x.json", json::Value::object()),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace isop::core

@@ -1,0 +1,166 @@
+#include "core/surrogate_objective.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/simulator_surrogate.hpp"
+#include "data/dataset_gen.hpp"
+#include "ml/ensemble_surrogate.hpp"
+#include "core/tasks.hpp"
+
+namespace isop::core {
+namespace {
+
+class SurrogateObjectiveTest : public ::testing::Test {
+ protected:
+  em::EmSimulator sim_;
+  SimulatorSurrogate oracle_{sim_};
+  Task task_ = taskT1();
+};
+
+TEST_F(SurrogateObjectiveTest, PredictMatchesSimulator) {
+  Objective obj(task_.spec);
+  const SurrogateObjective so(obj, oracle_);
+  const em::StackupParams x = manualDesignTableIx();
+  const auto m = so.predict(x);
+  const auto truth = sim_.evaluateUncounted(x);
+  EXPECT_DOUBLE_EQ(m.z, truth.z);
+  EXPECT_DOUBLE_EQ(m.l, truth.l);
+  EXPECT_DOUBLE_EQ(m.next, truth.next);
+}
+
+TEST_F(SurrogateObjectiveTest, SmoothVsExactSelection) {
+  Objective obj(task_.spec);
+  const SurrogateObjective smooth(obj, oracle_, /*smooth=*/true);
+  const SurrogateObjective exact(obj, oracle_, /*smooth=*/false);
+  const em::StackupParams x = manualDesignTableIx();
+  const auto m = sim_.evaluateUncounted(x);
+  EXPECT_DOUBLE_EQ(smooth.evaluate(x), obj.gSmoothValue(m, x));
+  EXPECT_DOUBLE_EQ(exact.evaluate(x), obj.gValue(m, x));
+}
+
+TEST_F(SurrogateObjectiveTest, InvalidBitsAreInfinite) {
+  Objective obj(task_.spec);
+  const SurrogateObjective so(obj, oracle_);
+  const hpo::BinaryCodec codec(em::spaceS1());
+  // Force an invalid index in the Wt field (31 cases, 5 bits, index 31).
+  hpo::BitVector bits(codec.totalBits(), 0);
+  for (std::size_t b = 0; b < codec.bitCount(0); ++b) bits[codec.bitOffset(0) + b] = 1;
+  EXPECT_TRUE(std::isinf(so.evaluateBits(codec, bits)));
+  // A valid pattern evaluates finitely.
+  Rng rng(1);
+  EXPECT_TRUE(std::isfinite(so.evaluateBits(codec, codec.sampleValid(rng))));
+}
+
+TEST_F(SurrogateObjectiveTest, RecordingDrainsBatch) {
+  Objective obj(task_.spec);
+  SurrogateObjective so(obj, oracle_);
+  so.setRecording(true);
+  Rng rng(2);
+  const auto space = em::spaceS1();
+  for (int i = 0; i < 5; ++i) so.evaluate(space.sample(rng));
+  std::vector<em::PerformanceMetrics> metrics;
+  std::vector<em::StackupParams> designs;
+  so.drainBatch(metrics, designs);
+  EXPECT_EQ(metrics.size(), 5u);
+  EXPECT_EQ(designs.size(), 5u);
+  // Drained: second drain is empty.
+  so.drainBatch(metrics, designs);
+  EXPECT_TRUE(metrics.empty());
+  // Not recording: nothing accumulates.
+  so.setRecording(false);
+  so.evaluate(space.sample(rng));
+  so.drainBatch(metrics, designs);
+  EXPECT_TRUE(metrics.empty());
+}
+
+TEST_F(SurrogateObjectiveTest, WeightUpdatesVisibleThroughReference) {
+  Objective obj(task_.spec);
+  const SurrogateObjective so(obj, oracle_);
+  const em::StackupParams x = manualDesignTableIx();
+  const double before = so.evaluate(x);
+  obj.weights().oc[0] = 50.0;  // crank the constraint weight
+  const double after = so.evaluate(x);
+  EXPECT_NE(before, after);
+}
+
+TEST_F(SurrogateObjectiveTest, GradientMatchesFiniteDifference) {
+  Objective obj(task_.spec);
+  const SurrogateObjective so(obj, oracle_);
+  const em::StackupParams x = manualDesignTableIx();
+  std::vector<double> grad(em::kNumParams);
+  const double value = so.evaluateWithGradient(x, grad);
+  EXPECT_NEAR(value, so.evaluate(x), 1e-9);
+  // Check a few coordinates against central differences of the objective.
+  for (std::size_t j : {0uz, 5uz, 9uz}) {
+    const double h = std::max(std::abs(x.values[j]), 1.0) * 1e-5;
+    em::StackupParams up = x, down = x;
+    up.values[j] += h;
+    down.values[j] -= h;
+    const double numeric = (so.evaluate(up) - so.evaluate(down)) / (2.0 * h);
+    EXPECT_NEAR(grad[j], numeric, 5e-3 * std::max(1.0, std::abs(numeric)))
+        << "param " << j;
+  }
+}
+
+TEST_F(SurrogateObjectiveTest, UncertaintyPenaltyRaisesUncertainRegions) {
+  // Train a tiny ensemble on stack-up data restricted to S1, then compare
+  // the penalty inside vs far outside the training support.
+  data::GenerationConfig gen;
+  gen.samples = 800;
+  gen.seed = 9;
+  const ml::Dataset ds = data::generateDataset(sim_, em::spaceS1(), gen);
+  ml::EnsembleTrainConfig ecfg;
+  ecfg.members = 3;
+  ecfg.architecture.hidden = {24, 24};
+  ecfg.architecture.dropout = 0.0;
+  ecfg.training.epochs = 8;
+  ecfg.transforms = ml::metricLogTransforms();
+  auto ensemble = ml::trainMlpEnsemble(ds, ecfg);
+
+  Objective obj(task_.spec);
+  SurrogateObjective so(obj, *ensemble);
+  const em::StackupParams inside = core::manualDesignTableIx();
+  em::StackupParams outside = inside;  // push far outside S1's support
+  outside[em::Param::Wt] = 29.0;
+  outside[em::Param::Hc] = 40.0;
+  outside[em::Param::DkC] = 7.0;
+
+  const double insideBase = so.evaluate(inside);
+  const double outsideBase = so.evaluate(outside);
+  so.setUncertaintyPenalty(1.0);
+  const double insidePenalized = so.evaluate(inside);
+  const double outsidePenalized = so.evaluate(outside);
+  // Penalty is non-negative everywhere and larger off-support.
+  EXPECT_GE(insidePenalized, insideBase);
+  EXPECT_GE(outsidePenalized, outsideBase);
+  EXPECT_GT(outsidePenalized - outsideBase, insidePenalized - insideBase);
+  // Turning it off restores the base value.
+  so.setUncertaintyPenalty(0.0);
+  EXPECT_DOUBLE_EQ(so.evaluate(inside), insideBase);
+}
+
+TEST_F(SurrogateObjectiveTest, UncertaintyPenaltyIgnoredForNonEnsembles) {
+  Objective obj(task_.spec);
+  SurrogateObjective so(obj, oracle_);
+  const em::StackupParams x = manualDesignTableIx();
+  const double before = so.evaluate(x);
+  so.setUncertaintyPenalty(5.0);  // oracle is not an ensemble: no-op
+  EXPECT_DOUBLE_EQ(so.evaluate(x), before);
+}
+
+TEST_F(SurrogateObjectiveTest, OracleQueryCountingWorks) {
+  Objective obj(task_.spec);
+  const SurrogateObjective so(obj, oracle_);
+  oracle_.resetQueryCount();
+  const em::StackupParams x = manualDesignTableIx();
+  so.evaluate(x);
+  so.evaluate(x);
+  EXPECT_EQ(oracle_.queryCount(), 2u);
+  // The oracle path must not bill the EM simulator's counted interface.
+  EXPECT_EQ(sim_.callCount(), 0u);
+}
+
+}  // namespace
+}  // namespace isop::core

@@ -1,0 +1,83 @@
+#include "core/tasks.hpp"
+
+#include <gtest/gtest.h>
+
+namespace isop::core {
+namespace {
+
+TEST(Tasks, T1MatchesTableII) {
+  const Task t = taskT1();
+  EXPECT_EQ(t.name, "T1");
+  ASSERT_EQ(t.spec.fom.size(), 1u);
+  EXPECT_EQ(t.spec.fom[0].metric, em::Metric::L);
+  ASSERT_EQ(t.spec.outputConstraints.size(), 1u);
+  EXPECT_DOUBLE_EQ(t.spec.outputConstraints[0].target, 85.0);
+  EXPECT_DOUBLE_EQ(t.spec.outputConstraints[0].tolerance, 1.0);
+  EXPECT_TRUE(t.spec.inputConstraints.empty());
+}
+
+TEST(Tasks, T2MatchesTableII) {
+  const Task t = taskT2();
+  ASSERT_EQ(t.spec.outputConstraints.size(), 1u);
+  EXPECT_DOUBLE_EQ(t.spec.outputConstraints[0].target, 100.0);
+  EXPECT_DOUBLE_EQ(t.spec.outputConstraints[0].tolerance, 2.0);
+}
+
+TEST(Tasks, T3AddsNextConstraint) {
+  const Task t = taskT3();
+  ASSERT_EQ(t.spec.outputConstraints.size(), 2u);
+  EXPECT_EQ(t.spec.outputConstraints[1].metric, em::Metric::Next);
+  EXPECT_DOUBLE_EQ(t.spec.outputConstraints[1].target, 0.0);
+  EXPECT_DOUBLE_EQ(t.spec.outputConstraints[1].tolerance, 0.05);
+}
+
+TEST(Tasks, T4HasCompositeFom) {
+  const Task t = taskT4();
+  ASSERT_EQ(t.spec.fom.size(), 2u);
+  EXPECT_EQ(t.spec.fom[0].metric, em::Metric::L);
+  EXPECT_DOUBLE_EQ(t.spec.fom[0].coefficient, 1.0);
+  EXPECT_EQ(t.spec.fom[1].metric, em::Metric::Next);
+  EXPECT_DOUBLE_EQ(t.spec.fom[1].coefficient, 2.0);
+  ASSERT_EQ(t.spec.outputConstraints.size(), 1u);
+}
+
+TEST(Tasks, LookupByName) {
+  EXPECT_EQ(taskByName("T3").name, "T3");
+  EXPECT_THROW(taskByName("T9"), std::invalid_argument);
+}
+
+TEST(Tasks, TableIxInputConstraintsEncodeThePaperInequalities) {
+  const auto ics = tableIxInputConstraints();
+  ASSERT_EQ(ics.size(), 3u);
+  // 1) 2 Wt + St <= 20.
+  EXPECT_DOUBLE_EQ(ics[0].coefficients[0], 2.0);
+  EXPECT_DOUBLE_EQ(ics[0].coefficients[1], 1.0);
+  EXPECT_DOUBLE_EQ(ics[0].bound, 20.0);
+  // 2) Dt - 5 Hc <= 0.
+  EXPECT_DOUBLE_EQ(ics[1].coefficients[2], 1.0);
+  EXPECT_DOUBLE_EQ(ics[1].coefficients[5], -5.0);
+  EXPECT_DOUBLE_EQ(ics[1].bound, 0.0);
+  // 3) Dt - 5 Hp <= 0.
+  EXPECT_DOUBLE_EQ(ics[2].coefficients[6], -5.0);
+}
+
+TEST(Tasks, ManualDesignMatchesTableIxRow) {
+  const em::StackupParams p = manualDesignTableIx();
+  EXPECT_DOUBLE_EQ(p[em::Param::Wt], 5.0);
+  EXPECT_DOUBLE_EQ(p[em::Param::St], 6.0);
+  EXPECT_DOUBLE_EQ(p[em::Param::Dt], 20.0);
+  EXPECT_DOUBLE_EQ(p[em::Param::SigmaT], 5.8e7);
+  EXPECT_DOUBLE_EQ(p[em::Param::Rt], -14.5);
+  EXPECT_DOUBLE_EQ(p[em::Param::DkC], 4.3);
+  EXPECT_DOUBLE_EQ(p[em::Param::DfP], 0.001);
+}
+
+TEST(Tasks, ManualDesignSatisfiesTableIxConstraints) {
+  Objective obj({taskT1().spec.fom, taskT1().spec.outputConstraints,
+                 tableIxInputConstraints()});
+  const em::StackupParams p = manualDesignTableIx();
+  for (std::size_t k = 0; k < 3; ++k) EXPECT_DOUBLE_EQ(obj.icPenalty(k, p), 0.0);
+}
+
+}  // namespace
+}  // namespace isop::core

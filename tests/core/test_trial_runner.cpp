@@ -1,0 +1,131 @@
+#include "core/trial_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/simulator_surrogate.hpp"
+
+namespace isop::core {
+namespace {
+
+class TrialRunnerTest : public ::testing::Test {
+ protected:
+  TrialRunnerTest()
+      : oracle_(std::make_shared<SimulatorSurrogate>(sim_)),
+        runner_(sim_, oracle_, em::spaceS1(), taskT1()) {}
+
+  MethodSpec isopSpec() const {
+    MethodSpec spec;
+    spec.name = "ISOP+";
+    spec.kind = MethodSpec::Kind::Isop;
+    spec.isop.harmonica.iterations = 2;
+    spec.isop.harmonica.samplesPerIter = 120;
+    spec.isop.hyperband.maxResource = 9;
+    spec.isop.refine.epochs = 20;
+    spec.isop.localSeeds = 3;
+    return spec;
+  }
+
+  em::EmSimulator sim_;
+  std::shared_ptr<SimulatorSurrogate> oracle_;
+  TrialRunner runner_;
+};
+
+TEST_F(TrialRunnerTest, IsopTrialsSucceedWithOracle) {
+  const TrialStats stats = runner_.run(isopSpec(), 3, 100);
+  EXPECT_EQ(stats.trials, 3u);
+  EXPECT_EQ(stats.successes, 3u);
+  EXPECT_EQ(stats.outcomes.size(), 3u);
+  EXPECT_LE(stats.dzMean, 1.0);
+  EXPECT_LT(stats.lMean, 0.0);
+  EXPECT_GT(stats.fomMean, 0.0);
+  EXPECT_GT(stats.avgSamples, 100.0);
+  EXPECT_GT(stats.avgRuntime, 0.0);
+}
+
+TEST_F(TrialRunnerTest, SaBaselineRunsAndValidatesWithEm) {
+  MethodSpec sa;
+  sa.name = "SA-1";
+  sa.kind = MethodSpec::Kind::SimulatedAnnealing;
+  sa.evalBudget = 2500;
+  sim_.resetCounters();
+  const TrialStats stats = runner_.run(sa, 2, 100);
+  EXPECT_EQ(stats.trials, 2u);
+  // Each trial validates up to rolloutCandidates designs with the EM model.
+  EXPECT_LE(sim_.callCount(), 2u * sa.rolloutCandidates);
+  EXPECT_GT(sim_.callCount(), 0u);
+  EXPECT_NEAR(stats.avgSamples, 2500.0, 100.0);
+}
+
+TEST_F(TrialRunnerTest, TpeBaselineRespectsBudget) {
+  MethodSpec bo;
+  bo.name = "BO-2";
+  bo.kind = MethodSpec::Kind::Tpe;
+  bo.evalBudget = 150;
+  const TrialStats stats = runner_.run(bo, 2, 100);
+  EXPECT_NEAR(stats.avgSamples, 150.0, 5.0);
+}
+
+TEST_F(TrialRunnerTest, RandomSearchBaselineWorks) {
+  MethodSpec rs;
+  rs.name = "RS";
+  rs.kind = MethodSpec::Kind::RandomSearch;
+  rs.evalBudget = 800;
+  const TrialStats stats = runner_.run(rs, 2, 100);
+  EXPECT_EQ(stats.trials, 2u);
+  for (const auto& o : stats.outcomes) {
+    EXPECT_TRUE(em::spaceS1().contains(o.params));
+  }
+}
+
+TEST_F(TrialRunnerTest, GeneticBaselineWorks) {
+  MethodSpec ga;
+  ga.name = "GA";
+  ga.kind = MethodSpec::Kind::Genetic;
+  ga.evalBudget = 2000;
+  const TrialStats stats = runner_.run(ga, 2, 100);
+  EXPECT_EQ(stats.trials, 2u);
+  EXPECT_NEAR(stats.avgSamples, 2000.0, 150.0);
+  for (const auto& o : stats.outcomes) {
+    EXPECT_TRUE(em::spaceS1().contains(o.params));
+  }
+}
+
+TEST_F(TrialRunnerTest, StatsAggregateOutcomes) {
+  MethodSpec rs;
+  rs.name = "RS";
+  rs.kind = MethodSpec::Kind::RandomSearch;
+  rs.evalBudget = 300;
+  const TrialStats stats = runner_.run(rs, 4, 7);
+  ASSERT_EQ(stats.outcomes.size(), 4u);
+  double fomSum = 0.0;
+  for (const auto& o : stats.outcomes) fomSum += o.fom;
+  EXPECT_NEAR(stats.fomMean, fomSum / 4.0, 1e-12);
+  std::size_t successes = 0;
+  for (const auto& o : stats.outcomes) successes += o.success;
+  EXPECT_EQ(stats.successes, successes);
+}
+
+TEST_F(TrialRunnerTest, DistinctSeedsGiveDistinctTrials) {
+  MethodSpec rs;
+  rs.name = "RS";
+  rs.kind = MethodSpec::Kind::RandomSearch;
+  rs.evalBudget = 50;
+  const TrialStats stats = runner_.run(rs, 3, 500);
+  // With 50 random samples per trial and different seeds, the three final
+  // designs are almost surely distinct.
+  EXPECT_TRUE(stats.outcomes[0].params.values != stats.outcomes[1].params.values ||
+              stats.outcomes[1].params.values != stats.outcomes[2].params.values);
+}
+
+TEST(FomImprovement, MatchesEquation12) {
+  EXPECT_NEAR(fomImprovementPercent(0.446, 0.436), 100.0 * (0.446 - 0.436) / 0.446,
+              1e-12);
+  EXPECT_GT(fomImprovementPercent(0.5, 0.4), 0.0);   // we are better
+  EXPECT_LT(fomImprovementPercent(0.4, 0.5), 0.0);   // we are worse
+  EXPECT_DOUBLE_EQ(fomImprovementPercent(0.0, 0.1), 0.0);  // guarded
+}
+
+}  // namespace
+}  // namespace isop::core

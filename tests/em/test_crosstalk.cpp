@@ -1,0 +1,106 @@
+#include "em/crosstalk.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "em/parameter_space.hpp"
+
+namespace isop::em {
+namespace {
+
+StackupParams manualDesign() {
+  StackupParams p;
+  p.values = {5.0, 6.0, 20.0, 0.0, 1.5, 8.0, 8.0, 5.8e7,
+              -14.5, 4.3, 4.3, 4.3, 0.001, 0.001, 0.001};
+  return p;
+}
+
+TEST(Crosstalk, CalibrationPointMatchesPaperManualDesign) {
+  // Paper Table IX: NEXT = -2.77 mV for the manual design (Dt = 20 mil).
+  EXPECT_NEAR(nearEndCrosstalkMv(manualDesign()), -2.77, 0.6);
+}
+
+TEST(Crosstalk, AlwaysNonPositive) {
+  const auto space = trainingSpace();
+  Rng rng(4);
+  for (int i = 0; i < 2000; ++i) {
+    StackupParams p = space.sample(rng);
+    ASSERT_LE(nearEndCrosstalkMv(p), 0.0);
+    ASSERT_TRUE(std::isfinite(nearEndCrosstalkMv(p)));
+  }
+}
+
+TEST(Crosstalk, DecaysSteeplyWithPairDistance) {
+  StackupParams p = manualDesign();
+  p[Param::Dt] = 20.0;
+  const double at20 = -nearEndCrosstalkMv(p);
+  p[Param::Dt] = 30.0;
+  const double at30 = -nearEndCrosstalkMv(p);
+  p[Param::Dt] = 40.0;
+  const double at40 = -nearEndCrosstalkMv(p);
+  EXPECT_GT(at20, 2.0 * at30);  // steep roll-off
+  EXPECT_GT(at30, 2.0 * at40);
+}
+
+TEST(Crosstalk, TallerDielectricCouplesMore) {
+  StackupParams p = manualDesign();
+  StackupParams thin = p;
+  thin[Param::Hc] = 3.0;
+  thin[Param::Hp] = 3.0;
+  EXPECT_LT(-nearEndCrosstalkMv(thin), -nearEndCrosstalkMv(p));
+}
+
+TEST(Crosstalk, CouplingCoefficientNonNegativeAndBelowOne) {
+  const auto space = trainingSpace();
+  Rng rng(6);
+  for (int i = 0; i < 1000; ++i) {
+    const double k = differentialCoupling(space.sample(rng));
+    ASSERT_GE(k, 0.0);
+    ASSERT_LE(k, 1.0);
+  }
+}
+
+TEST(Crosstalk, ScalesLinearlyWithAggressorSwing) {
+  CrosstalkModelConfig oneVolt;
+  CrosstalkModelConfig twoVolt = oneVolt;
+  twoVolt.aggressorSwingV = 2.0;
+  const StackupParams p = manualDesign();
+  EXPECT_NEAR(nearEndCrosstalkMv(p, twoVolt), 2.0 * nearEndCrosstalkMv(p, oneVolt), 1e-9);
+}
+
+TEST(Fext, StriplineFarEndNearlyCancels) {
+  // Homogeneous stripline: FEXT ~ 0. The manual design has Dk_c == Dk_p.
+  const StackupParams p = manualDesign();
+  EXPECT_NEAR(farEndCrosstalkMv(p, 10.0), 0.0, 1e-9);
+  // |FEXT| stays well below |NEXT| even with mismatched laminates.
+  StackupParams mismatched = p;
+  mismatched[Param::DkC] = 3.0;
+  mismatched[Param::DkP] = 4.5;
+  const double fext = farEndCrosstalkMv(mismatched, 10.0);
+  EXPECT_LT(fext, 0.0);
+  EXPECT_LT(-fext, -nearEndCrosstalkMv(mismatched));
+}
+
+TEST(Fext, GrowsLinearlyWithCoupledLength) {
+  StackupParams p = manualDesign();
+  p[Param::DkC] = 3.0;
+  p[Param::DkP] = 4.5;
+  const double at5 = farEndCrosstalkMv(p, 5.0);
+  const double at10 = farEndCrosstalkMv(p, 10.0);
+  EXPECT_NEAR(at10, 2.0 * at5, 1e-12);
+  EXPECT_DOUBLE_EQ(farEndCrosstalkMv(p, 0.0), 0.0);
+}
+
+TEST(Crosstalk, S1AllowsNearZeroCrosstalkDesigns) {
+  // The T3 task constrains |NEXT| <= 0.05 mV: feasible designs must exist in
+  // S1 (max pair distance, thin dielectrics).
+  StackupParams p = manualDesign();
+  p[Param::Dt] = 40.0;
+  p[Param::Hc] = 2.0;
+  p[Param::Hp] = 2.0;
+  EXPECT_LT(-nearEndCrosstalkMv(p), 0.05);
+}
+
+}  // namespace
+}  // namespace isop::em

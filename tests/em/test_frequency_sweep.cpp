@@ -1,0 +1,199 @@
+#include "em/frequency_sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "em/parameter_space.hpp"
+#include "em/stripline.hpp"
+
+namespace isop::em {
+namespace {
+
+StackupParams manualDesign() {
+  StackupParams p;
+  p.values = {5.0, 6.0, 20.0, 0.0, 1.5, 8.0, 8.0, 5.8e7,
+              -14.5, 4.3, 4.3, 4.3, 0.001, 0.001, 0.001};
+  return p;
+}
+
+TEST(Rlgc, BackboneMatchesImpedanceAndVelocity) {
+  const StackupParams p = manualDesign();
+  const RlgcPoint rlgc = deriveRlgc(p, 16.0e9);
+  // sqrt(L/C) equals the single-ended impedance the geometry model gives.
+  EXPECT_NEAR(std::sqrt(rlgc.l / rlgc.c), singleEndedImpedance(p), 1e-6);
+  // 1/sqrt(LC) equals c0/sqrt(dkEff).
+  const double v = 1.0 / std::sqrt(rlgc.l * rlgc.c);
+  const double dkEff = deriveGeometry(p).dkEff;
+  EXPECT_NEAR(v, 2.99792458e8 / std::sqrt(dkEff), 1.0);
+}
+
+TEST(Rlgc, LossTermsPositiveAndFrequencyScaling) {
+  const StackupParams p = manualDesign();
+  const RlgcPoint at16 = deriveRlgc(p, 16.0e9);
+  const RlgcPoint at32 = deriveRlgc(p, 32.0e9);
+  EXPECT_GT(at16.r, 0.0);
+  EXPECT_GT(at16.g, 0.0);
+  // Skin effect: R ~ sqrt(f) (roughness factor adds a little more).
+  EXPECT_GT(at32.r, 1.3 * at16.r);
+  EXPECT_LT(at32.r, 2.5 * at16.r);
+  // Dielectric conductance: G ~ f.
+  EXPECT_NEAR(at32.g / at16.g, 2.0, 0.05);
+}
+
+TEST(Rlgc, CharacteristicImpedanceNearlyReal) {
+  const RlgcPoint rlgc = deriveRlgc(manualDesign(), 16.0e9);
+  const auto zc = rlgc.characteristicImpedance();
+  EXPECT_GT(zc.real(), 20.0);
+  EXPECT_LT(std::abs(zc.imag()), 0.05 * zc.real());  // low-loss line
+}
+
+TEST(SParams, MatchedLineLossAgreesWithScalarModel) {
+  // This is the consistency contract between the frequency-domain view and
+  // the scalar L the optimizer uses.
+  const StackupParams p = manualDesign();
+  const auto s = lineSParameters(p, 16.0e9, 1.0);  // 1 inch, matched
+  EXPECT_NEAR(s.s21Db(), insertionLossDbPerInch(p), 0.01);
+}
+
+TEST(SParams, MatchedLineHasTinyReflection) {
+  const auto s = lineSParameters(manualDesign(), 16.0e9, 1.0);
+  EXPECT_LT(s.s11Db(), -30.0);
+}
+
+TEST(SParams, MismatchedReferenceReflects) {
+  const StackupParams p = manualDesign();
+  const auto matched = lineSParameters(p, 16.0e9, 1.0);
+  const auto mismatched = lineSParameters(p, 16.0e9, 1.0, 25.0);  // ~2:1
+  EXPECT_GT(mismatched.s11Db(), matched.s11Db() + 10.0);
+}
+
+TEST(SParams, LossScalesWithLength) {
+  const StackupParams p = manualDesign();
+  const double oneInch = lineSParameters(p, 16.0e9, 1.0).s21Db();
+  const double tenInch = lineSParameters(p, 16.0e9, 10.0).s21Db();
+  EXPECT_NEAR(tenInch, 10.0 * oneInch, 0.05);
+}
+
+TEST(SParams, PassivityOverSweep) {
+  const auto sweep = frequencySweep(manualDesign(), {.points = 60, .lengthInches = 5.0});
+  ASSERT_EQ(sweep.size(), 60u);
+  for (const auto& s : sweep) {
+    const double power = std::norm(s.s11) + std::norm(s.s21);
+    EXPECT_LE(power, 1.0 + 1e-9) << "active at " << s.frequencyHz;
+    EXPECT_GT(std::abs(s.s21), 0.0);
+  }
+}
+
+TEST(SParams, InsertionLossMonotoneInFrequency) {
+  const auto sweep = frequencySweep(manualDesign(), {.points = 30, .lengthInches = 1.0});
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    EXPECT_LE(sweep[i].s21Db(), sweep[i - 1].s21Db() + 1e-6);
+  }
+}
+
+TEST(Sweep, LogSpacingCoversRange) {
+  SweepConfig cfg;
+  cfg.startHz = 1e9;
+  cfg.stopHz = 64e9;
+  cfg.points = 7;
+  cfg.logSpacing = true;
+  const auto sweep = frequencySweep(manualDesign(), cfg);
+  EXPECT_DOUBLE_EQ(sweep.front().frequencyHz, 1e9);
+  EXPECT_NEAR(sweep.back().frequencyHz, 64e9, 1.0);
+  EXPECT_NEAR(sweep[1].frequencyHz / sweep[0].frequencyHz, 2.0, 1e-6);
+}
+
+TEST(ChannelSummary, ReportsConsistentFigures) {
+  SweepConfig cfg;
+  cfg.lengthInches = 10.0;  // long enough to cross -3 dB inside the sweep
+  const ChannelSummary summary = summarizeChannel(manualDesign(), cfg);
+  EXPECT_NEAR(summary.lossAt16GHzDbPerInch, insertionLossDbPerInch(manualDesign()),
+              0.01);
+  EXPECT_LE(summary.worstReturnLossDb, 0.0);
+  EXPECT_GT(summary.bandwidth3DbGHz, 1.0);
+  EXPECT_LT(summary.bandwidth3DbGHz, 40.0);
+}
+
+TEST(ChannelSummary, LossierLaminateShrinksBandwidth) {
+  StackupParams lowLoss = manualDesign();
+  StackupParams highLoss = manualDesign();
+  highLoss[Param::DfC] = 0.02;
+  highLoss[Param::DfP] = 0.02;
+  highLoss[Param::DfT] = 0.02;
+  SweepConfig cfg;
+  cfg.lengthInches = 10.0;
+  EXPECT_LT(summarizeChannel(highLoss, cfg).bandwidth3DbGHz,
+            summarizeChannel(lowLoss, cfg).bandwidth3DbGHz);
+}
+
+TEST(Touchstone, WritesParseableS2p) {
+  namespace fs = std::filesystem;
+  const std::string path = (fs::temp_directory_path() / "isop_test.s2p").string();
+  const auto sweep = frequencySweep(manualDesign(), {.points = 5, .lengthInches = 2.0});
+  writeTouchstone(path, sweep, 42.5);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line[0], '!');  // comment header
+  std::getline(in, line);
+  EXPECT_EQ(line, "# Hz S RI R 42.5");  // option line
+  std::size_t rows = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++rows;
+    std::istringstream cells(line);
+    double v;
+    std::size_t count = 0;
+    while (cells >> v) ++count;
+    EXPECT_EQ(count, 9u);  // f + 4 complex pairs
+  }
+  EXPECT_EQ(rows, 5u);
+  std::remove(path.c_str());
+}
+
+TEST(Touchstone, ReciprocalAndSymmetric) {
+  namespace fs = std::filesystem;
+  const std::string path = (fs::temp_directory_path() / "isop_test2.s2p").string();
+  const auto sweep = frequencySweep(manualDesign(), {.points = 3});
+  writeTouchstone(path, sweep);
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  std::getline(in, line);
+  while (std::getline(in, line)) {
+    std::istringstream cells(line);
+    double f, s11r, s11i, s21r, s21i, s12r, s12i, s22r, s22i;
+    cells >> f >> s11r >> s11i >> s21r >> s21i >> s12r >> s12i >> s22r >> s22i;
+    EXPECT_DOUBLE_EQ(s12r, s21r);
+    EXPECT_DOUBLE_EQ(s12i, s21i);
+    EXPECT_DOUBLE_EQ(s22r, s11r);
+    EXPECT_DOUBLE_EQ(s22i, s11i);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Touchstone, BadPathThrows) {
+  const auto sweep = frequencySweep(manualDesign(), {.points = 3});
+  EXPECT_THROW(writeTouchstone("/no/such/dir/x.s2p", sweep), std::runtime_error);
+}
+
+TEST(Sweep, FiniteAcrossRandomDesigns) {
+  const auto space = spaceS1();
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    const StackupParams p = space.sample(rng);
+    const auto s = lineSParameters(p, 16.0e9, 2.0);
+    ASSERT_TRUE(std::isfinite(s.s21Db()));
+    ASSERT_TRUE(std::isfinite(s.s11Db()));
+  }
+}
+
+}  // namespace
+}  // namespace isop::em

@@ -1,0 +1,80 @@
+// Golden-value regression tests for the calibrated EM models.
+//
+// The constants below snapshot the model outputs at fixed design points
+// (stripline and microstrip). Any change to the physics or its calibration
+// constants shows up here first — intentional recalibration must update
+// these values AND re-check the Table IX anchors in docs/physics.md.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "em/simulator.hpp"
+
+namespace isop::em {
+namespace {
+
+struct GoldenCase {
+  std::array<double, kNumParams> params;
+  double stripZ, stripL, stripNext;
+  double microZ, microL, microNext;
+};
+
+// Generated from spaceS1().sample with seed 20260706.
+const GoldenCase kGolden[] = {
+  {{2.9, 10, 30, 0.2, 0.6, 7, 5.2, 58000000, -2.5, 4.05, 4.45, 3.7, 0.012, 0.015, 0.008},
+   114.746432427, -1.56063870525, -0.31644389924, 198.397528839, -1.34212750654, -1.51068906509},
+  {{2.6, 3, 30, 0, 0.7, 7.4, 2.4, 44000000, -1, 4.1, 3.25, 3.9, 0.004, 0.011, 0.013},
+   87.9916955248, -1.88075609431, -0.014655737143, 167.82801523, -1.10762253692, -0.577021177707},
+  {{4.2, 5, 40, 0.05, 0.8, 6.8, 3.4, 49000000, 8, 3.85, 4.35, 3.85, 0.02, 0.017, 0.02},
+   82.1445229037, -2.36636688719, -0.0107080866399, 148.391145404, -1.54516970906, -0.39524783319},
+  {{2.9, 5, 40, 0.25, 1, 2.8, 2.2, 44000000, 13.5, 3.05, 4.35, 4.05, 0.009, 0.001, 0.006},
+   78.9172232164, -2.16787467444, -5.89294830046e-05, 136.474177583, -1.30489370372, -0.0551107338581},
+  {{4.3, 7.5, 40, 0.25, 1.4, 4.2, 3.8, 53000000, -8, 3.25, 2.95, 2.7, 0.014, 0.006, 0.007},
+   96.1290303388, -0.996118930242, -0.00699508142454, 154.714490959, -0.667245786632, -0.210401838567},
+  {{4.7, 8, 40, 0.15, 1.1, 5.6, 5.6, 56000000, 7, 3.35, 3.55, 3.85, 0.004, 0.003, 0.004},
+   92.7928111791, -0.99842672038, -0.0540798528576, 156.637366745, -0.683088252579, -0.410536778842},
+};
+
+class GoldenPhysics : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GoldenPhysics, StriplineMetricsFrozen) {
+  const GoldenCase& c = kGolden[GetParam()];
+  EmSimulator sim;
+  StackupParams p;
+  p.values = c.params;
+  const auto m = sim.evaluateUncounted(p);
+  EXPECT_NEAR(m.z, c.stripZ, 1e-6 * std::abs(c.stripZ));
+  EXPECT_NEAR(m.l, c.stripL, 1e-6 * std::abs(c.stripL));
+  EXPECT_NEAR(m.next, c.stripNext, 1e-6 * std::abs(c.stripNext) + 1e-12);
+}
+
+TEST_P(GoldenPhysics, MicrostripMetricsFrozen) {
+  const GoldenCase& c = kGolden[GetParam()];
+  SimulatorConfig cfg;
+  cfg.layerType = LayerType::Microstrip;
+  EmSimulator sim(cfg);
+  StackupParams p;
+  p.values = c.params;
+  const auto m = sim.evaluateUncounted(p);
+  EXPECT_NEAR(m.z, c.microZ, 1e-6 * std::abs(c.microZ));
+  EXPECT_NEAR(m.l, c.microL, 1e-6 * std::abs(c.microL));
+  EXPECT_NEAR(m.next, c.microNext, 1e-6 * std::abs(c.microNext) + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Snapshots, GoldenPhysics,
+                         ::testing::Range<std::size_t>(0, std::size(kGolden)));
+
+TEST(GoldenPhysics, TableIxAnchorsHold) {
+  // The calibration contract with the paper (docs/physics.md).
+  EmSimulator sim;
+  StackupParams manual;
+  manual.values = {5.0, 6.0, 20.0, 0.0, 1.5, 8.0, 8.0, 5.8e7,
+                   -14.5, 4.3, 4.3, 4.3, 0.001, 0.001, 0.001};
+  const auto m = sim.evaluateUncounted(manual);
+  EXPECT_NEAR(m.z, 85.69, 0.2);    // paper: 85.69
+  EXPECT_NEAR(m.l, -0.434, 0.01);  // paper: -0.434
+  EXPECT_NEAR(m.next, -2.77, 0.2); // paper: -2.77
+}
+
+}  // namespace
+}  // namespace isop::em

@@ -1,0 +1,120 @@
+#include "em/loss_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "em/parameter_space.hpp"
+
+namespace isop::em {
+namespace {
+
+StackupParams manualDesign() {
+  StackupParams p;
+  p.values = {5.0, 6.0, 20.0, 0.0, 1.5, 8.0, 8.0, 5.8e7,
+              -14.5, 4.3, 4.3, 4.3, 0.001, 0.001, 0.001};
+  return p;
+}
+
+TEST(LossModel, CalibrationPointMatchesPaperManualDesign) {
+  // Paper Table IX: L = -0.434 dB/inch at 16 GHz for the manual design.
+  EXPECT_NEAR(insertionLossDbPerInch(manualDesign()), -0.434, 0.03);
+}
+
+TEST(LossModel, SkinDepthOfCopperAt16GHz) {
+  // Copper at 16 GHz: delta ~ 0.52 um.
+  EXPECT_NEAR(skinDepthUm(16.0e9, 5.8e7), 0.522, 0.02);
+}
+
+TEST(LossModel, SurfaceResistanceGrowsWithFrequency) {
+  EXPECT_GT(surfaceResistance(32.0e9, 5.8e7), surfaceResistance(16.0e9, 5.8e7));
+  // Rs ~ sqrt(f): doubling f multiplies by sqrt(2).
+  EXPECT_NEAR(surfaceResistance(32.0e9, 5.8e7) / surfaceResistance(16.0e9, 5.8e7),
+              std::sqrt(2.0), 1e-9);
+}
+
+TEST(LossModel, RoughnessFactorBoundsAndMonotonicity) {
+  StackupParams p = manualDesign();
+  p[Param::Rt] = -14.5;
+  const double smooth = roughnessFactor(p);
+  p[Param::Rt] = 0.0;
+  const double mid = roughnessFactor(p);
+  p[Param::Rt] = 14.0;
+  const double rough = roughnessFactor(p);
+  EXPECT_GE(smooth, 1.0);
+  EXPECT_LT(smooth, 1.1);  // near-smooth foil
+  EXPECT_GT(mid, smooth);
+  EXPECT_GT(rough, mid);
+  EXPECT_LT(rough, 2.0);   // Hammerstad saturates at 2
+}
+
+TEST(LossModel, TotalIsNegativeAndComponentsPositive) {
+  const StackupParams p = manualDesign();
+  EXPECT_GT(conductorLossDbPerInch(p), 0.0);
+  EXPECT_GT(dielectricLossDbPerInch(p), 0.0);
+  EXPECT_LT(insertionLossDbPerInch(p), 0.0);
+  EXPECT_NEAR(-insertionLossDbPerInch(p),
+              conductorLossDbPerInch(p) + dielectricLossDbPerInch(p), 1e-12);
+}
+
+struct LossTrendCase {
+  const char* name;
+  Param param;
+  double delta;
+  int lossMagnitudeSign;  ///< sign of d|L| for +delta
+};
+
+class LossTrend : public ::testing::TestWithParam<LossTrendCase> {};
+
+TEST_P(LossTrend, HoldsAcrossRandomS1Designs) {
+  const auto& tc = GetParam();
+  const auto space = spaceS1();
+  Rng rng(99);
+  int agree = 0, total = 0;
+  for (int i = 0; i < 100; ++i) {
+    StackupParams p = space.sample(rng);
+    StackupParams q = p;
+    q[tc.param] += tc.delta;
+    const double d = -insertionLossDbPerInch(q) - (-insertionLossDbPerInch(p));
+    if (d != 0.0) {
+      ++total;
+      if ((d > 0) == (tc.lossMagnitudeSign > 0)) ++agree;
+    }
+  }
+  EXPECT_EQ(agree, total) << tc.name;
+  EXPECT_GT(total, 50);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Physics, LossTrend,
+    ::testing::Values(
+        LossTrendCase{"HigherDfCoreMoreLoss", Param::DfC, 0.005, +1},
+        LossTrendCase{"HigherDfPrepregMoreLoss", Param::DfP, 0.005, +1},
+        LossTrendCase{"RougherCopperMoreLoss", Param::Rt, 5.0, +1},
+        LossTrendCase{"BetterConductorLessLoss", Param::SigmaT, 1.0e7, -1},
+        LossTrendCase{"WiderTraceLessLoss", Param::Wt, 1.0, -1}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(LossModel, DielectricLossScalesWithFrequency) {
+  StackupParams p = manualDesign();
+  LossModelConfig at16;
+  LossModelConfig at32 = at16;
+  at32.frequencyHz = 32.0e9;
+  EXPECT_NEAR(dielectricLossDbPerInch(p, at32) / dielectricLossDbPerInch(p, at16), 2.0,
+              1e-9);
+}
+
+TEST(LossModel, FiniteOverTrainingSpace) {
+  const auto space = trainingSpace();
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    StackupParams p = space.sample(rng);
+    const double l = insertionLossDbPerInch(p);
+    ASSERT_TRUE(std::isfinite(l));
+    ASSERT_LT(l, 0.0);
+    ASSERT_GT(l, -100.0);
+  }
+}
+
+}  // namespace
+}  // namespace isop::em

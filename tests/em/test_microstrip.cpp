@@ -1,0 +1,149 @@
+#include "em/microstrip.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "em/parameter_space.hpp"
+#include "em/simulator.hpp"
+
+namespace isop::em {
+namespace {
+
+StackupParams surfaceDesign() {
+  StackupParams p;
+  // 5 mil trace over a 4 mil FR-4 substrate, thin solder mask.
+  p.values = {5.0, 6.0, 20.0, 0.0, 1.5, 4.0, 2.0, 5.8e7,
+              -14.5, 4.0, 4.3, 3.5, 0.001, 0.02, 0.02};
+  return p;
+}
+
+TEST(Microstrip, EffectiveDkBetweenAirAndSubstrate) {
+  const StackupParams p = surfaceDesign();
+  const double erEff = microstripEffectiveDk(p);
+  EXPECT_GT(erEff, 1.0);
+  EXPECT_LT(erEff, p[Param::DkC]);  // some field is in the air
+}
+
+TEST(Microstrip, ImpedancePlausibleForTypicalGeometry) {
+  // ~5 mil over 4 mil FR-4 is a classic ~50 ohm single-ended / ~90-100 ohm
+  // differential regime.
+  const StackupParams p = surfaceDesign();
+  const double z0 = microstripSingleEndedImpedance(p);
+  const double zd = microstripDifferentialImpedance(p);
+  EXPECT_GT(z0, 30.0);
+  EXPECT_LT(z0, 80.0);
+  EXPECT_GT(zd, 1.3 * z0);
+  EXPECT_LT(zd, 2.0 * z0);
+}
+
+TEST(Microstrip, FasterThanStriplineAtSameDk) {
+  // Lower effective dielectric -> higher impedance for the same geometry
+  // than a fully-embedded stripline with that dielectric everywhere.
+  StackupParams p = surfaceDesign();
+  p[Param::Hp] = p[Param::Hc];  // make the stripline comparison symmetric
+  p[Param::DkP] = p[Param::DkC];
+  EXPECT_GT(microstripSingleEndedImpedance(p), singleEndedImpedance(p));
+}
+
+struct TrendCase {
+  const char* name;
+  Param param;
+  double delta;
+  int expectedSign;  ///< sign of dZ for +delta
+};
+
+class MicrostripTrend : public ::testing::TestWithParam<TrendCase> {};
+
+TEST_P(MicrostripTrend, HoldsAcrossRandomDesigns) {
+  const auto& tc = GetParam();
+  const auto space = spaceS1();
+  Rng rng(31);
+  int agree = 0, total = 0;
+  for (int i = 0; i < 100; ++i) {
+    StackupParams p = space.sample(rng);
+    StackupParams q = p;
+    q[tc.param] += tc.delta;
+    const double dz =
+        microstripDifferentialImpedance(q) - microstripDifferentialImpedance(p);
+    if (dz != 0.0) {
+      ++total;
+      if ((dz > 0) == (tc.expectedSign > 0)) ++agree;
+    }
+  }
+  EXPECT_EQ(agree, total) << tc.name;
+  EXPECT_GT(total, 50);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Physics, MicrostripTrend,
+    ::testing::Values(TrendCase{"WiderTraceLowersZ", Param::Wt, 0.5, -1},
+                      TrendCase{"TallerSubstrateRaisesZ", Param::Hc, 0.5, +1},
+                      TrendCase{"HigherDkLowersZ", Param::DkC, 0.3, -1},
+                      TrendCase{"WiderSpacingRaisesZ", Param::St, 1.0, +1}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(Microstrip, LossNegativeAndRoughnessSensitive) {
+  StackupParams p = surfaceDesign();
+  const double smooth = microstripInsertionLossDbPerInch(p);
+  EXPECT_LT(smooth, 0.0);
+  p[Param::Rt] = 14.0;
+  EXPECT_LT(microstripInsertionLossDbPerInch(p), smooth);  // rough = more loss
+}
+
+TEST(Microstrip, CrosstalkStrongerThanStripline) {
+  StackupParams p = surfaceDesign();
+  p[Param::Hp] = p[Param::Hc];
+  p[Param::DkP] = p[Param::DkC];
+  EXPECT_LT(microstripNearEndCrosstalkMv(p), nearEndCrosstalkMv(p));  // more negative
+}
+
+TEST(Microstrip, FarEndCrosstalkIsFirstOrder) {
+  // Unlike stripline, microstrip FEXT is substantial and grows with length.
+  const StackupParams p = surfaceDesign();
+  const double at2 = microstripFarEndCrosstalkMv(p, 2.0);
+  const double at8 = microstripFarEndCrosstalkMv(p, 8.0);
+  EXPECT_LT(at2, 0.0);
+  EXPECT_NEAR(at8, 4.0 * at2, 1e-12);
+  // The same geometry as a (homogenized) stripline has ~zero FEXT.
+  StackupParams strip = p;
+  strip[Param::DkP] = strip[Param::DkC];
+  EXPECT_NEAR(farEndCrosstalkMv(strip, 8.0), 0.0, 1e-9);
+  EXPECT_GT(-at8, -farEndCrosstalkMv(strip, 8.0));
+}
+
+TEST(Microstrip, CrosstalkDecaysWithDistance) {
+  StackupParams near = surfaceDesign(), far = surfaceDesign();
+  near[Param::Dt] = 15.0;
+  far[Param::Dt] = 40.0;
+  EXPECT_LT(microstripNearEndCrosstalkMv(near), microstripNearEndCrosstalkMv(far));
+}
+
+TEST(Microstrip, SimulatorLayerTypeSwitch) {
+  SimulatorConfig cfg;
+  cfg.layerType = LayerType::Microstrip;
+  const EmSimulator micro(cfg);
+  const EmSimulator strip;  // default: stripline
+  const StackupParams p = surfaceDesign();
+  const auto mm = micro.evaluateUncounted(p);
+  const auto ms = strip.evaluateUncounted(p);
+  EXPECT_DOUBLE_EQ(mm.z, microstripDifferentialImpedance(p));
+  EXPECT_NE(mm.z, ms.z);
+  EXPECT_LT(mm.l, 0.0);
+  EXPECT_LE(mm.next, 0.0);
+}
+
+TEST(Microstrip, FiniteOverTrainingSpace) {
+  const auto space = trainingSpace();
+  Rng rng(37);
+  for (int i = 0; i < 1000; ++i) {
+    const StackupParams p = space.sample(rng);
+    ASSERT_TRUE(std::isfinite(microstripDifferentialImpedance(p)));
+    ASSERT_TRUE(std::isfinite(microstripInsertionLossDbPerInch(p)));
+    ASSERT_TRUE(std::isfinite(microstripNearEndCrosstalkMv(p)));
+    ASSERT_GT(microstripDifferentialImpedance(p), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace isop::em

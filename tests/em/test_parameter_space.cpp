@@ -1,0 +1,127 @@
+#include "em/parameter_space.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace isop::em {
+namespace {
+
+TEST(ParameterRange, CaseCountAndBits) {
+  // Wt in S1: 2..5 step 0.1 -> 31 cases / 5 bits (Table III).
+  ParameterRange r{2.0, 5.0, 0.1};
+  EXPECT_EQ(r.caseCount(), 31u);
+  EXPECT_EQ(r.bitCount(), 5u);
+}
+
+TEST(ParameterRange, SingleCaseRange) {
+  ParameterRange r{3.0, 3.0, 1.0};
+  EXPECT_EQ(r.caseCount(), 1u);
+  EXPECT_EQ(r.bitCount(), 1u);
+  EXPECT_DOUBLE_EQ(r.snap(99.0), 3.0);
+}
+
+TEST(ParameterRange, SnapAndNearestIndex) {
+  ParameterRange r{0.0, 1.0, 0.25};
+  EXPECT_DOUBLE_EQ(r.snap(0.3), 0.25);
+  EXPECT_DOUBLE_EQ(r.snap(0.38), 0.5);
+  EXPECT_DOUBLE_EQ(r.snap(-5.0), 0.0);   // clamps below
+  EXPECT_DOUBLE_EQ(r.snap(5.0), 1.0);    // clamps above
+  EXPECT_EQ(r.nearestIndex(0.77), 3u);
+}
+
+TEST(ParameterRange, Contains) {
+  ParameterRange r{2.0, 10.0, 0.5};
+  EXPECT_TRUE(r.contains(2.0));
+  EXPECT_TRUE(r.contains(6.5));
+  EXPECT_FALSE(r.contains(6.3));
+  EXPECT_FALSE(r.contains(10.5));
+  EXPECT_FALSE(r.contains(1.5));
+}
+
+// --- Table III cross-checks --------------------------------------------------
+
+struct SpaceBitsCase {
+  const char* name;
+  std::size_t expectedBits;
+};
+
+class SpaceBits : public ::testing::TestWithParam<SpaceBitsCase> {};
+
+TEST_P(SpaceBits, TotalBitsMatchTableIII) {
+  const auto& param = GetParam();
+  EXPECT_EQ(spaceByName(param.name).totalBits(), param.expectedBits);
+}
+
+INSTANTIATE_TEST_SUITE_P(TableIII, SpaceBits,
+                         ::testing::Values(SpaceBitsCase{"S1", 73},
+                                           SpaceBitsCase{"S2", 78},
+                                           SpaceBitsCase{"S1p", 78}),
+                         [](const auto& info) { return std::string(info.param.name) == "S1p"
+                                                            ? "S1prime"
+                                                            : info.param.name; });
+
+TEST(ParameterSpace, S1CaseCountMatchesPaper) {
+  // Paper: 7.14e19 valid designs in S1.
+  EXPECT_NEAR(spaceS1().log10CaseCount(), std::log10(7.14e19), 0.01);
+}
+
+TEST(ParameterSpace, S2CaseCountMatchesPaper) {
+  EXPECT_NEAR(spaceS2().log10CaseCount(), std::log10(2.97e21), 0.01);
+}
+
+TEST(ParameterSpace, S1PrimeCaseCountMatchesPaper) {
+  EXPECT_NEAR(spaceS1Prime().log10CaseCount(), std::log10(6.53e20), 0.01);
+}
+
+TEST(ParameterSpace, TrainingSpaceCaseCountMatchesPaper) {
+  EXPECT_NEAR(trainingSpace().log10CaseCount(), std::log10(1.31e29), 0.05);
+}
+
+TEST(ParameterSpace, ExperimentSpacesLieInsideTrainingSpace) {
+  const auto training = trainingSpace();
+  // The surrogate must have seen the whole experiment region (sigma_t of S1
+  // starts above training lo, etc.) — bounding boxes must nest.
+  EXPECT_TRUE(spaceS1().isWithin(training));
+  EXPECT_TRUE(spaceS2().isWithin(training));
+  EXPECT_TRUE(spaceS1Prime().isWithin(training));
+}
+
+TEST(ParameterSpace, S1IsWithinS2) {
+  EXPECT_TRUE(spaceS1().isWithin(spaceS2()));
+  EXPECT_FALSE(spaceS2().isWithin(spaceS1()));
+}
+
+TEST(ParameterSpace, SampleIsOnGridAndContained) {
+  const auto space = spaceS1();
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    StackupParams p = space.sample(rng);
+    EXPECT_TRUE(space.contains(p));
+  }
+}
+
+TEST(ParameterSpace, SnapProducesContainedPoint) {
+  const auto space = spaceS1();
+  StackupParams p;
+  p.values = {3.17, 9.9, 33.0, 0.12, 1.04, 5.3, 7.77, 4.63e7,
+              0.3, 3.33, 2.51, 4.49, 0.0113, 0.0029, 0.0197};
+  StackupParams snapped = space.snap(p);
+  EXPECT_TRUE(space.contains(snapped));
+  EXPECT_NEAR(snapped[Param::Wt], 3.2, 1e-12);
+  EXPECT_NEAR(snapped[Param::Dt], 35.0, 1e-12);
+}
+
+TEST(ParameterSpace, SpaceByNameUnknownThrows) {
+  EXPECT_THROW(spaceByName("S9"), std::invalid_argument);
+}
+
+TEST(ParameterSpace, ParamNameLookup) {
+  EXPECT_EQ(paramIndex("Wt"), 0u);
+  EXPECT_EQ(paramIndex("Df_p"), 14u);
+  EXPECT_THROW(paramIndex("nope"), std::out_of_range);
+  EXPECT_EQ(paramNames().size(), kNumParams);
+}
+
+}  // namespace
+}  // namespace isop::em

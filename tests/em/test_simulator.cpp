@@ -1,0 +1,122 @@
+#include "em/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "em/parameter_space.hpp"
+
+namespace isop::em {
+namespace {
+
+StackupParams someDesign() {
+  StackupParams p;
+  p.values = {5.0, 6.0, 20.0, 0.0, 1.5, 8.0, 8.0, 5.8e7,
+              -14.5, 4.3, 4.3, 4.3, 0.001, 0.001, 0.001};
+  return p;
+}
+
+TEST(Simulator, CountsOnlyCountedCalls) {
+  EmSimulator sim;
+  EXPECT_EQ(sim.callCount(), 0u);
+  sim.simulate(someDesign());
+  sim.simulate(someDesign());
+  sim.evaluateUncounted(someDesign());
+  EXPECT_EQ(sim.callCount(), 2u);
+  sim.resetCounters();
+  EXPECT_EQ(sim.callCount(), 0u);
+}
+
+TEST(Simulator, ModeledSecondsUsesBatchLatency) {
+  SimulatorConfig cfg;
+  cfg.secondsPerBatch = 45.5;
+  cfg.parallelism = 3;
+  EmSimulator sim(cfg);
+  EXPECT_DOUBLE_EQ(sim.modeledSeconds(), 0.0);
+  sim.simulate(someDesign());
+  EXPECT_DOUBLE_EQ(sim.modeledSeconds(), 45.5);  // 1 call -> 1 batch
+  sim.simulate(someDesign());
+  sim.simulate(someDesign());
+  EXPECT_DOUBLE_EQ(sim.modeledSeconds(), 45.5);  // 3 calls -> still 1 batch
+  sim.simulate(someDesign());
+  EXPECT_DOUBLE_EQ(sim.modeledSeconds(), 91.0);  // 4 calls -> 2 batches
+}
+
+TEST(Simulator, ExactModeIsDeterministic) {
+  EmSimulator sim;
+  const auto a = sim.simulate(someDesign());
+  const auto b = sim.simulate(someDesign());
+  EXPECT_DOUBLE_EQ(a.z, b.z);
+  EXPECT_DOUBLE_EQ(a.l, b.l);
+  EXPECT_DOUBLE_EQ(a.next, b.next);
+}
+
+TEST(Simulator, NoiseIsDeterministicPerDesign) {
+  SimulatorConfig cfg;
+  cfg.noiseRelZ = 0.01;
+  cfg.noiseRelL = 0.01;
+  cfg.noiseSeed = 7;
+  EmSimulator sim(cfg);
+  const auto a = sim.simulate(someDesign());
+  const auto b = sim.simulate(someDesign());
+  EXPECT_DOUBLE_EQ(a.z, b.z);  // same design -> same noisy value
+  StackupParams other = someDesign();
+  other[Param::Wt] = 5.1;
+  const auto c = sim.simulate(other);
+  EXPECT_NE(a.z, c.z);
+}
+
+TEST(Simulator, NoisePerturbsAroundExactValue) {
+  SimulatorConfig noisy;
+  noisy.noiseRelZ = 0.01;
+  noisy.noiseSeed = 11;
+  EmSimulator sim(noisy);
+  EmSimulator exact;
+  const double zNoisy = sim.simulate(someDesign()).z;
+  const double zExact = exact.simulate(someDesign()).z;
+  EXPECT_NE(zNoisy, zExact);
+  EXPECT_NEAR(zNoisy, zExact, 0.05 * zExact);  // 5 sigma
+}
+
+TEST(Simulator, DifferentNoiseSeedsGiveDifferentFields) {
+  SimulatorConfig a, b;
+  a.noiseRelZ = b.noiseRelZ = 0.01;
+  a.noiseSeed = 1;
+  b.noiseSeed = 2;
+  EXPECT_NE(EmSimulator(a).simulate(someDesign()).z,
+            EmSimulator(b).simulate(someDesign()).z);
+}
+
+TEST(Simulator, ThreadSafeCounting) {
+  EmSimulator sim;
+  const auto design = someDesign();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 100; ++i) sim.simulate(design);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(sim.callCount(), 800u);
+}
+
+TEST(Simulator, MetricsAgreeWithComponentModels) {
+  EmSimulator sim;
+  const auto design = someDesign();
+  const auto m = sim.simulate(design);
+  EXPECT_DOUBLE_EQ(m.z, differentialImpedance(design));
+  EXPECT_DOUBLE_EQ(m.l, insertionLossDbPerInch(design));
+  EXPECT_DOUBLE_EQ(m.next, nearEndCrosstalkMv(design));
+}
+
+TEST(PerformanceMetrics, ArrayRoundTrip) {
+  PerformanceMetrics m{85.0, -0.4, -1.2};
+  const auto arr = m.asArray();
+  const auto back = PerformanceMetrics::fromArray(arr);
+  EXPECT_DOUBLE_EQ(back.z, 85.0);
+  EXPECT_DOUBLE_EQ(back.l, -0.4);
+  EXPECT_DOUBLE_EQ(back.next, -1.2);
+}
+
+}  // namespace
+}  // namespace isop::em

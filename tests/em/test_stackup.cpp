@@ -1,0 +1,60 @@
+#include "em/stackup.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace isop::em {
+namespace {
+
+TEST(StackupParams, VectorRoundTrip) {
+  StackupParams p;
+  for (std::size_t i = 0; i < kNumParams; ++i) p.values[i] = static_cast<double>(i) + 0.5;
+  const StackupParams q = StackupParams::fromVector(p.asVector());
+  EXPECT_EQ(q.values, p.values);
+}
+
+TEST(StackupParams, NamedAccessorsAliasTheVector) {
+  StackupParams p{};
+  p[Param::Wt] = 5.0;
+  p[Param::DfP] = 0.002;
+  EXPECT_DOUBLE_EQ(p.values[0], 5.0);
+  EXPECT_DOUBLE_EQ(p.values[14], 0.002);
+  const StackupParams& cref = p;
+  EXPECT_DOUBLE_EQ(cref[Param::Wt], 5.0);
+}
+
+TEST(StackupParams, ToStringListsEveryParameter) {
+  StackupParams p{};
+  p[Param::Wt] = 5.0;
+  const std::string s = p.toString();
+  for (auto name : paramNames()) {
+    EXPECT_NE(s.find(std::string(name) + "="), std::string::npos) << name;
+  }
+  EXPECT_NE(s.find("Wt=5"), std::string::npos);
+}
+
+TEST(StackupParams, MutableVectorWritesThrough) {
+  StackupParams p{};
+  auto v = p.asVector();
+  v[3] = 0.25;
+  EXPECT_DOUBLE_EQ(p[Param::Et], 0.25);
+}
+
+TEST(Metrics, NamesMatchEnumOrder) {
+  const auto names = metricNames();
+  ASSERT_EQ(names.size(), kNumMetrics);
+  EXPECT_EQ(names[static_cast<std::size_t>(Metric::Z)], "Z");
+  EXPECT_EQ(names[static_cast<std::size_t>(Metric::L)], "L");
+  EXPECT_EQ(names[static_cast<std::size_t>(Metric::Next)], "NEXT");
+}
+
+TEST(ParamNames, RoundTripThroughIndexLookup) {
+  const auto names = paramNames();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    EXPECT_EQ(paramIndex(names[i]), i);
+  }
+}
+
+}  // namespace
+}  // namespace isop::em

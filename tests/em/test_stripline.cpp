@@ -1,0 +1,109 @@
+#include "em/stripline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "em/parameter_space.hpp"
+
+namespace isop::em {
+namespace {
+
+/// The Table IX manual expert design: the calibration anchor of the model.
+StackupParams manualDesign() {
+  StackupParams p;
+  p.values = {5.0, 6.0, 20.0, 0.0, 1.5, 8.0, 8.0, 5.8e7,
+              -14.5, 4.3, 4.3, 4.3, 0.001, 0.001, 0.001};
+  return p;
+}
+
+TEST(Stripline, CalibrationPointMatchesPaperManualDesign) {
+  // Paper Table IX reports Z = 85.69 ohm for the manual design.
+  EXPECT_NEAR(differentialImpedance(manualDesign()), 85.69, 1.0);
+}
+
+TEST(Stripline, DifferentialIsAboveSingleEndedTimesTwoMinusCoupling) {
+  const StackupParams p = manualDesign();
+  const double z0 = singleEndedImpedance(p);
+  const double zd = differentialImpedance(p);
+  EXPECT_LT(zd, 2.0 * z0);   // coupling always reduces below 2*Z0
+  EXPECT_GT(zd, 1.2 * z0);   // but not absurdly
+}
+
+TEST(Stripline, GeometryDerivation) {
+  StackupParams p = manualDesign();
+  const StriplineGeometry g = deriveGeometry(p);
+  EXPECT_DOUBLE_EQ(g.traceWidthEff, 5.0);          // E = 0: no trapezoid
+  EXPECT_DOUBLE_EQ(g.planeSpacing, 2.0 * 8.0 + 1.5);
+  EXPECT_NEAR(g.dkEff, 4.3, 1e-9);                 // homogeneous dielectric
+  EXPECT_DOUBLE_EQ(g.pairPitch, 11.0);
+  p[Param::Et] = 0.2;
+  EXPECT_NEAR(deriveGeometry(p).traceWidthEff, 5.0 - 0.2 * 1.5, 1e-12);
+}
+
+TEST(Stripline, AsymmetryLowersImpedanceTowardCloserPlane) {
+  StackupParams sym = manualDesign();
+  StackupParams asym = sym;
+  // Same total dielectric, asymmetric split: harmonic mean < arithmetic.
+  asym[Param::Hc] = 4.0;
+  asym[Param::Hp] = 12.0;
+  EXPECT_LT(differentialImpedance(asym), differentialImpedance(sym));
+}
+
+// --- Monotone trend properties (the physics the optimizer exploits) --------
+
+struct TrendCase {
+  const char* name;
+  Param param;
+  double delta;      ///< perturbation
+  int expectedSign;  ///< sign of dZ for +delta
+};
+
+class ImpedanceTrend : public ::testing::TestWithParam<TrendCase> {};
+
+TEST_P(ImpedanceTrend, HoldsAcrossRandomS1Designs) {
+  const auto& tc = GetParam();
+  const auto space = spaceS1();
+  Rng rng(42);
+  int agree = 0, total = 0;
+  for (int i = 0; i < 100; ++i) {
+    StackupParams p = space.sample(rng);
+    StackupParams q = p;
+    q[tc.param] += tc.delta;
+    const double dz = differentialImpedance(q) - differentialImpedance(p);
+    if (dz != 0.0) {
+      ++total;
+      if ((dz > 0) == (tc.expectedSign > 0)) ++agree;
+    }
+  }
+  // Strict monotonicity everywhere.
+  EXPECT_EQ(agree, total) << tc.name;
+  EXPECT_GT(total, 50);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Physics, ImpedanceTrend,
+    ::testing::Values(TrendCase{"WiderTraceLowersZ", Param::Wt, 0.5, -1},
+                      TrendCase{"TallerCoreRaisesZ", Param::Hc, 0.5, +1},
+                      TrendCase{"TallerPrepregRaisesZ", Param::Hp, 0.5, +1},
+                      TrendCase{"HigherDkCoreLowersZ", Param::DkC, 0.3, -1},
+                      TrendCase{"HigherDkPrepregLowersZ", Param::DkP, 0.3, -1},
+                      TrendCase{"WiderPairSpacingRaisesZ", Param::St, 1.0, +1},
+                      TrendCase{"MoreEtchRaisesZ", Param::Et, 0.1, +1},
+                      TrendCase{"ThickerTraceLowersZ", Param::Ht, 0.3, -1}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(Stripline, PositiveAndFiniteOverTrainingSpace) {
+  const auto space = trainingSpace();
+  Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    StackupParams p = space.sample(rng);
+    const double z = differentialImpedance(p);
+    ASSERT_TRUE(std::isfinite(z));
+    ASSERT_GT(z, 0.0);
+    ASSERT_LT(z, 1000.0);
+  }
+}
+
+}  // namespace
+}  // namespace isop::em

@@ -1,0 +1,124 @@
+#include "hpo/adam_refiner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace isop::hpo {
+namespace {
+
+/// Quadratic bowl centred inside S1 with analytic gradient.
+struct Bowl {
+  em::StackupParams center;
+  em::ParameterSpace space = em::spaceS1();
+
+  Bowl() {
+    center.values = {3.5, 6.0, 35.0, 0.15, 1.0, 5.0, 5.0, 4.8e7,
+                     0.0, 3.5, 3.5, 3.5, 0.01, 0.01, 0.01};
+  }
+
+  double operator()(const em::StackupParams& x, std::span<double> grad) const {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < em::kNumParams; ++i) {
+      const auto& r = space.range(i);
+      const double span = r.hi - r.lo;
+      const double norm = (x.values[i] - center.values[i]) / span;
+      acc += norm * norm;
+      grad[i] = 2.0 * norm / span;
+    }
+    return acc;
+  }
+};
+
+TEST(AdamRefiner, ConvergesToInteriorMinimum) {
+  Bowl bowl;
+  RefineConfig cfg;
+  cfg.epochs = 200;
+  cfg.learningRate = 0.05;
+  const AdamRefiner refiner(cfg);
+  Rng rng(1);
+  std::vector<em::StackupParams> seeds{bowl.space.sample(rng), bowl.space.sample(rng)};
+  const auto result = refiner.refine(
+      bowl.space, seeds,
+      [&](const em::StackupParams& x, std::span<double> g) { return bowl(x, g); });
+  ASSERT_EQ(result.refined.size(), 2u);
+  for (double v : result.values) EXPECT_LT(v, 0.002);
+  EXPECT_GT(result.gradientEvaluations, 2u * 200u);
+}
+
+TEST(AdamRefiner, ClampsToBox) {
+  // Minimum far outside the box: refiner must stop at the boundary.
+  const auto space = em::spaceS1();
+  RefineConfig cfg;
+  cfg.epochs = 150;
+  cfg.learningRate = 0.1;
+  const AdamRefiner refiner(cfg);
+  Rng rng(2);
+  std::vector<em::StackupParams> seeds{space.sample(rng)};
+  const auto result = refiner.refine(
+      space, seeds, [&](const em::StackupParams& x, std::span<double> g) {
+        // Push Wt toward +infinity: objective = -Wt.
+        std::fill(g.begin(), g.end(), 0.0);
+        g[0] = -1.0;
+        return -x.values[0];
+      });
+  EXPECT_NEAR(result.refined[0].values[0], space.range(0).hi, 1e-9);
+  for (std::size_t i = 0; i < em::kNumParams; ++i) {
+    EXPECT_GE(result.refined[0].values[i], space.range(i).lo - 1e-9);
+    EXPECT_LE(result.refined[0].values[i], space.range(i).hi + 1e-9);
+  }
+}
+
+TEST(AdamRefiner, EmptySeedsIsNoop) {
+  const AdamRefiner refiner;
+  const auto result =
+      refiner.refine(em::spaceS1(), {}, [](const em::StackupParams&, std::span<double>) {
+        ADD_FAILURE() << "objective must not be called";
+        return 0.0;
+      });
+  EXPECT_TRUE(result.refined.empty());
+  EXPECT_EQ(result.gradientEvaluations, 0u);
+}
+
+TEST(AdamRefiner, ImprovesEverySeed) {
+  Bowl bowl;
+  RefineConfig cfg;
+  cfg.epochs = 80;
+  cfg.learningRate = 0.03;
+  const AdamRefiner refiner(cfg);
+  Rng rng(3);
+  std::vector<em::StackupParams> seeds;
+  std::vector<double> initial;
+  std::vector<double> g(em::kNumParams);
+  for (int i = 0; i < 4; ++i) {
+    seeds.push_back(bowl.space.sample(rng));
+    initial.push_back(bowl(seeds.back(), g));
+  }
+  const auto result = refiner.refine(
+      bowl.space, seeds,
+      [&](const em::StackupParams& x, std::span<double> gr) { return bowl(x, gr); });
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    EXPECT_LT(result.values[i], initial[i]);
+  }
+}
+
+TEST(AdamRefiner, HandlesMixedParameterScales) {
+  // sigma_t spans 2e7 while Df spans 0.019: normalized updates must move
+  // both substantially from range edge to interior target.
+  Bowl bowl;
+  RefineConfig cfg;
+  cfg.epochs = 250;
+  cfg.learningRate = 0.05;
+  const AdamRefiner refiner(cfg);
+  em::StackupParams seed = bowl.space.sample(*std::make_unique<Rng>(4));
+  seed.values[7] = bowl.space.range(7).lo;   // sigma at lower edge
+  seed.values[12] = bowl.space.range(12).hi; // Df at upper edge
+  const auto result = refiner.refine(
+      bowl.space, std::vector<em::StackupParams>{seed},
+      [&](const em::StackupParams& x, std::span<double> g) { return bowl(x, g); });
+  EXPECT_NEAR(result.refined[0].values[7], bowl.center.values[7], 2e6);
+  EXPECT_NEAR(result.refined[0].values[12], bowl.center.values[12], 2e-3);
+}
+
+}  // namespace
+}  // namespace isop::hpo

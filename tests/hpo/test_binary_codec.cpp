@@ -1,0 +1,145 @@
+#include "hpo/binary_codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace isop::hpo {
+namespace {
+
+TEST(GrayCode, RoundTripAndAdjacency) {
+  for (std::uint64_t v = 0; v < 256; ++v) {
+    EXPECT_EQ(grayToBinary(binaryToGray(v)), v);
+  }
+  // Consecutive values differ in exactly one Gray bit.
+  for (std::uint64_t v = 0; v + 1 < 64; ++v) {
+    const std::uint64_t diff = binaryToGray(v) ^ binaryToGray(v + 1);
+    EXPECT_EQ(__builtin_popcountll(diff), 1);
+  }
+}
+
+class CodecTest : public ::testing::TestWithParam<BitCoding> {
+ protected:
+  BinaryCodec makeCodec() const { return BinaryCodec(em::spaceS1(), GetParam()); }
+};
+
+TEST_P(CodecTest, TotalBitsMatchesTableIII) {
+  EXPECT_EQ(makeCodec().totalBits(), 73u);
+}
+
+TEST_P(CodecTest, EncodeDecodeRoundTrip) {
+  const auto codec = makeCodec();
+  Rng rng(1);
+  for (int i = 0; i < 300; ++i) {
+    const em::StackupParams p = codec.space().sample(rng);
+    const BitVector bits = codec.encode(p);
+    const auto decoded = codec.decode(bits);
+    ASSERT_TRUE(decoded.has_value());
+    for (std::size_t j = 0; j < em::kNumParams; ++j) {
+      EXPECT_NEAR(decoded->values[j], p.values[j], 1e-9) << "param " << j;
+    }
+  }
+}
+
+TEST_P(CodecTest, SampleValidAlwaysDecodes) {
+  const auto codec = makeCodec();
+  Rng rng(2);
+  for (int i = 0; i < 300; ++i) {
+    EXPECT_TRUE(codec.isValid(codec.sampleValid(rng)));
+  }
+}
+
+TEST_P(CodecTest, DetectsInvalidPatterns) {
+  const auto codec = makeCodec();
+  // Wt has 31 cases in 5 bits -> index 31 is invalid.
+  BitVector bits(codec.totalBits(), 0);
+  for (std::size_t b = 0; b < codec.bitCount(0); ++b) bits[codec.bitOffset(0) + b] = 1;
+  if (GetParam() == BitCoding::Binary) {
+    // All-ones = index 31 (binary) -> invalid.
+    EXPECT_FALSE(codec.decode(bits).has_value());
+  } else {
+    // All-ones Gray = binary 0b10101 = 21 -> valid; craft index 31 instead:
+    // gray(31) = 31 ^ 15 = 0b10000.
+    for (std::size_t b = 0; b < 5; ++b) bits[codec.bitOffset(0) + b] = 0;
+    bits[codec.bitOffset(0)] = 1;
+    EXPECT_FALSE(codec.decode(bits).has_value());
+  }
+}
+
+TEST_P(CodecTest, DecodeClampedAlwaysSucceeds) {
+  const auto codec = makeCodec();
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    BitVector bits(codec.totalBits());
+    for (auto& b : bits) b = static_cast<std::uint8_t>(rng.below(2));
+    const em::StackupParams p = codec.decodeClamped(bits);
+    EXPECT_TRUE(codec.space().contains(p));
+  }
+}
+
+TEST_P(CodecTest, BitLayoutIsContiguous) {
+  const auto codec = makeCodec();
+  std::size_t expectedOffset = 0;
+  for (std::size_t i = 0; i < codec.paramCount(); ++i) {
+    EXPECT_EQ(codec.bitOffset(i), expectedOffset);
+    expectedOffset += codec.bitCount(i);
+  }
+  EXPECT_EQ(expectedOffset, codec.totalBits());
+}
+
+INSTANTIATE_TEST_SUITE_P(Codings, CodecTest,
+                         ::testing::Values(BitCoding::Binary, BitCoding::Gray),
+                         [](const auto& info) {
+                           return info.param == BitCoding::Binary ? "Binary" : "Gray";
+                         });
+
+TEST(CodecEncoding, OffGridValuesSnapBeforeEncoding) {
+  const BinaryCodec codec(em::spaceS1());
+  em::StackupParams p = em::spaceS1().sample(*std::make_unique<Rng>(4));
+  p.values[0] = 3.14;  // off the 0.1 grid
+  const auto decoded = codec.decode(codec.encode(p));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_NEAR(decoded->values[0], 3.1, 1e-9);
+}
+
+
+// Round-trip property over every space the paper defines (plus the
+// envelope), under both codings.
+struct SpaceCodingCase {
+  const char* space;
+  BitCoding coding;
+};
+
+class CodecSpaceSweep : public ::testing::TestWithParam<SpaceCodingCase> {};
+
+TEST_P(CodecSpaceSweep, RoundTripAndValidity) {
+  const auto& param = GetParam();
+  const BinaryCodec codec(em::spaceByName(param.space), param.coding);
+  Rng rng(99);
+  for (int i = 0; i < 100; ++i) {
+    const em::StackupParams p = codec.space().sample(rng);
+    const auto decoded = codec.decode(codec.encode(p));
+    ASSERT_TRUE(decoded.has_value());
+    for (std::size_t j = 0; j < em::kNumParams; ++j) {
+      ASSERT_NEAR(decoded->values[j], p.values[j], 1e-9);
+    }
+    ASSERT_TRUE(codec.isValid(codec.sampleValid(rng)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSpaces, CodecSpaceSweep,
+    ::testing::Values(SpaceCodingCase{"S1", BitCoding::Binary},
+                      SpaceCodingCase{"S2", BitCoding::Binary},
+                      SpaceCodingCase{"S1p", BitCoding::Binary},
+                      SpaceCodingCase{"envelope", BitCoding::Binary},
+                      SpaceCodingCase{"S2", BitCoding::Gray},
+                      SpaceCodingCase{"envelope", BitCoding::Gray}),
+    [](const auto& info) {
+      return std::string(info.param.space == std::string("S1p") ? "S1prime"
+                                                                : info.param.space) +
+             (info.param.coding == BitCoding::Binary ? "_Binary" : "_Gray");
+    });
+
+}  // namespace
+}  // namespace isop::hpo

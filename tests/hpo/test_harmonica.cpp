@@ -1,0 +1,165 @@
+#include "hpo/harmonica.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <atomic>
+
+namespace isop::hpo {
+namespace {
+
+/// Sparse boolean objective: sum of a few parities plus small noise-free
+/// dense term — exactly the structure Harmonica assumes.
+double sparseObjective(const BitVector& bits) {
+  auto sign = [&](std::size_t i) { return bits[i] ? -1.0 : 1.0; };
+  // Minimized when bit3 = 1, bit10 = 0, and bits 5,6 disagree.
+  return 2.0 * sign(3) - 1.5 * sign(10) + 1.0 * sign(5) * sign(6);
+}
+
+Harmonica::Sampler uniformSampler(std::size_t numBits) {
+  return [numBits](Rng& rng, std::span<const FixedBit>) {
+    BitVector bits(numBits);
+    for (auto& b : bits) b = static_cast<std::uint8_t>(rng.below(2));
+    return bits;
+  };
+}
+
+TEST(Harmonica, FixesTheSignificantBitsCorrectly) {
+  HarmonicaConfig cfg;
+  cfg.iterations = 2;
+  cfg.samplesPerIter = 200;
+  cfg.topMonomials = 4;
+  cfg.seed = 1;
+  const Harmonica harmonica(cfg);
+  const std::size_t numBits = 20;
+  auto result = harmonica.optimize(numBits, sparseObjective, uniformSampler(numBits));
+
+  bool bit3Fixed = false, bit10Fixed = false;
+  for (const FixedBit& f : result.fixedBits) {
+    if (f.position == 3) {
+      bit3Fixed = true;
+      EXPECT_EQ(f.value, 1);  // sign(3) = -1 minimizes +2*sign(3)
+    }
+    if (f.position == 10) {
+      bit10Fixed = true;
+      EXPECT_EQ(f.value, 0);  // sign(10) = +1 minimizes -1.5*sign(10)
+    }
+  }
+  EXPECT_TRUE(bit3Fixed);
+  EXPECT_TRUE(bit10Fixed);
+  EXPECT_LE(result.bestValue, -2.0);
+}
+
+TEST(Harmonica, BeatsRandomSamplingOnSparseFunction) {
+  const std::size_t numBits = 30;
+  HarmonicaConfig cfg;
+  cfg.iterations = 3;
+  cfg.samplesPerIter = 150;
+  cfg.seed = 2;
+  auto result = Harmonica(cfg).optimize(numBits, sparseObjective, uniformSampler(numBits));
+  EXPECT_NEAR(result.bestValue, -4.5, 0.01);  // global optimum
+}
+
+TEST(Harmonica, CountsEvaluationsAndInvalids) {
+  HarmonicaConfig cfg;
+  cfg.iterations = 2;
+  cfg.samplesPerIter = 50;
+  cfg.seed = 3;
+  std::atomic<int> calls{0};
+  auto objective = [&](const BitVector& bits) {
+    ++calls;
+    if (bits[0] == 1) return std::numeric_limits<double>::infinity();  // "invalid"
+    return sparseObjective(bits);
+  };
+  auto result = Harmonica(cfg).optimize(16, objective, uniformSampler(16));
+  EXPECT_EQ(result.evaluations + result.invalidSamples,
+            static_cast<std::size_t>(calls.load()));
+  EXPECT_GT(result.invalidSamples, 0u);
+  EXPECT_TRUE(std::isfinite(result.bestValue));
+}
+
+TEST(Harmonica, IterationCallbackSeesEveryBatch) {
+  HarmonicaConfig cfg;
+  cfg.iterations = 3;
+  cfg.samplesPerIter = 40;
+  cfg.seed = 4;
+  std::size_t batches = 0, totalSamples = 0;
+  Harmonica(cfg).optimize(
+      12, sparseObjective, uniformSampler(12),
+      [&](std::size_t iter, std::span<const BitVector> samples, std::span<const double> values) {
+        EXPECT_EQ(iter, batches);
+        EXPECT_EQ(samples.size(), 40u);
+        EXPECT_EQ(values.size(), 40u);
+        ++batches;
+        totalSamples += samples.size();
+      });
+  EXPECT_EQ(batches, 3u);
+  EXPECT_EQ(totalSamples, 120u);
+}
+
+TEST(Harmonica, RestrictedSamplesHonourFixedBits) {
+  HarmonicaConfig cfg;
+  cfg.iterations = 3;
+  cfg.samplesPerIter = 100;
+  cfg.seed = 5;
+  // Keep the last iteration's batch; it must satisfy the final restriction
+  // (the last restriction step runs before the final batch is drawn).
+  std::vector<BitVector> lastBatch;
+  auto result = Harmonica(cfg).optimize(
+      20, sparseObjective, uniformSampler(20),
+      [&](std::size_t iter, std::span<const BitVector> samples, std::span<const double>) {
+        if (iter + 1 == cfg.iterations) lastBatch.assign(samples.begin(), samples.end());
+      });
+  EXPECT_FALSE(result.fixedBits.empty());
+  ASSERT_FALSE(lastBatch.empty());
+  for (const FixedBit& f : result.fixedBits) {
+    for (const auto& s : lastBatch) EXPECT_EQ(s[f.position], f.value);
+  }
+}
+
+TEST(Harmonica, ApplyFixedBits) {
+  BitVector bits(8, 0);
+  std::vector<FixedBit> fixed{{2, 1}, {5, 1}};
+  Harmonica::applyFixedBits(fixed, bits);
+  EXPECT_EQ(bits[2], 1);
+  EXPECT_EQ(bits[5], 1);
+  EXPECT_EQ(bits[0], 0);
+}
+
+TEST(Harmonica, ValidatorVetoesEmptyRestrictions) {
+  // Declare every pattern with bit3 == 1 invalid. The objective strongly
+  // prefers bit3 == 1, so the unscreened restriction would fix bit3 = 1 and
+  // empty the valid space; with the validator the restriction must keep
+  // bit3 == 0 (or leave it free).
+  HarmonicaConfig cfg;
+  cfg.iterations = 3;
+  cfg.samplesPerIter = 150;
+  cfg.seed = 7;
+  auto validator = [](const BitVector& bits) { return bits[3] == 0; };
+  auto objective = [&](const BitVector& bits) {
+    if (bits[3] == 1) return std::numeric_limits<double>::infinity();
+    return sparseObjective(bits);
+  };
+  auto result =
+      Harmonica(cfg).optimize(20, objective, uniformSampler(20), {}, validator);
+  for (const FixedBit& f : result.fixedBits) {
+    if (f.position == 3) EXPECT_EQ(f.value, 0);
+  }
+  EXPECT_TRUE(std::isfinite(result.bestValue));
+}
+
+TEST(Harmonica, DeterministicForFixedSeed) {
+  HarmonicaConfig cfg;
+  cfg.iterations = 2;
+  cfg.samplesPerIter = 60;
+  cfg.seed = 6;
+  cfg.parallelEval = false;  // deterministic evaluation order
+  auto a = Harmonica(cfg).optimize(16, sparseObjective, uniformSampler(16));
+  auto b = Harmonica(cfg).optimize(16, sparseObjective, uniformSampler(16));
+  EXPECT_EQ(a.bestValue, b.bestValue);
+  EXPECT_EQ(a.fixedBits.size(), b.fixedBits.size());
+}
+
+}  // namespace
+}  // namespace isop::hpo

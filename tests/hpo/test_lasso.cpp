@@ -1,0 +1,88 @@
+#include "hpo/lasso.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace isop::hpo {
+namespace {
+
+TEST(Lasso, RecoversSparseCoefficients) {
+  // y = 3 x2 - 2 x7 + 1, 20 features, 120 samples.
+  Rng rng(1);
+  const std::size_t n = 120, d = 20;
+  Matrix x(n, d);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) x(i, j) = rng.uniform(-1.0, 1.0);
+    y[i] = 3.0 * x(i, 2) - 2.0 * x(i, 7) + 1.0;
+  }
+  const LassoResult result = lassoFit(x, y, {.lambda = 0.05});
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.coefficients[2], 3.0, 0.25);
+  EXPECT_NEAR(result.coefficients[7], -2.0, 0.25);
+  EXPECT_NEAR(result.intercept, 1.0, 0.1);
+  std::size_t nonzero = 0;
+  for (double c : result.coefficients) {
+    if (c != 0.0) ++nonzero;
+  }
+  EXPECT_LE(nonzero, 6u);  // sparse solution
+}
+
+TEST(Lasso, LargeLambdaKillsAllCoefficients) {
+  Rng rng(2);
+  Matrix x(50, 5);
+  std::vector<double> y(50);
+  for (std::size_t i = 0; i < 50; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) x(i, j) = rng.uniform(-1.0, 1.0);
+    y[i] = 0.1 * x(i, 0);
+  }
+  const LassoResult result = lassoFit(x, y, {.lambda = 10.0});
+  for (double c : result.coefficients) EXPECT_DOUBLE_EQ(c, 0.0);
+}
+
+TEST(Lasso, ZeroLambdaApproachesLeastSquares) {
+  Rng rng(3);
+  Matrix x(200, 2);
+  std::vector<double> y(200);
+  for (std::size_t i = 0; i < 200; ++i) {
+    x(i, 0) = rng.uniform(-1.0, 1.0);
+    x(i, 1) = rng.uniform(-1.0, 1.0);
+    y[i] = 2.0 * x(i, 0) - 0.5 * x(i, 1);
+  }
+  const LassoResult result = lassoFit(x, y, {.lambda = 1e-6, .maxIters = 500});
+  EXPECT_NEAR(result.coefficients[0], 2.0, 1e-2);
+  EXPECT_NEAR(result.coefficients[1], -0.5, 1e-2);
+}
+
+TEST(Lasso, HandlesConstantColumn) {
+  Matrix x(30, 2);
+  std::vector<double> y(30);
+  Rng rng(4);
+  for (std::size_t i = 0; i < 30; ++i) {
+    x(i, 0) = 1.0;  // constant
+    x(i, 1) = rng.uniform(-1.0, 1.0);
+    y[i] = x(i, 1);
+  }
+  const LassoResult result = lassoFit(x, y, {.lambda = 0.01});
+  EXPECT_NEAR(result.coefficients[1], 1.0, 0.1);
+  EXPECT_TRUE(std::isfinite(result.coefficients[0]));
+}
+
+TEST(Lasso, NoInterceptMode) {
+  Rng rng(5);
+  Matrix x(100, 1);
+  std::vector<double> y(100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    x(i, 0) = rng.uniform(0.5, 1.5);
+    y[i] = 2.0 * x(i, 0);
+  }
+  const LassoResult result = lassoFit(x, y, {.lambda = 1e-4, .fitIntercept = false});
+  EXPECT_DOUBLE_EQ(result.intercept, 0.0);
+  EXPECT_NEAR(result.coefficients[0], 2.0, 0.05);
+}
+
+}  // namespace
+}  // namespace isop::hpo

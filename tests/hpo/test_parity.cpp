@@ -1,0 +1,71 @@
+#include "hpo/parity_features.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace isop::hpo {
+namespace {
+
+TEST(Parity, ValueConvention) {
+  // bit 0 -> +1, bit 1 -> -1.
+  BitVector bits{0, 1, 0, 1};
+  EXPECT_DOUBLE_EQ(parityValue({0}, bits), 1.0);
+  EXPECT_DOUBLE_EQ(parityValue({1}, bits), -1.0);
+  EXPECT_DOUBLE_EQ(parityValue({1, 3}, bits), 1.0);   // (-1)*(-1)
+  EXPECT_DOUBLE_EQ(parityValue({0, 1}, bits), -1.0);  // (+1)*(-1)
+  EXPECT_DOUBLE_EQ(parityValue({1, 2, 3}, bits), 1.0);
+}
+
+TEST(Parity, EnumerationCounts) {
+  std::vector<std::size_t> pos{0, 1, 2, 3, 4};
+  EXPECT_EQ(enumerateMonomials(pos, 1).size(), 5u);
+  EXPECT_EQ(enumerateMonomials(pos, 2).size(), 5u + 10u);
+  EXPECT_EQ(enumerateMonomials(pos, 3).size(), 5u + 10u + 10u);
+}
+
+TEST(Parity, EnumerationUsesGivenPositions) {
+  std::vector<std::size_t> pos{7, 9};
+  auto monomials = enumerateMonomials(pos, 2);
+  ASSERT_EQ(monomials.size(), 3u);
+  EXPECT_EQ(monomials[0], Monomial{7});
+  EXPECT_EQ(monomials[1], Monomial{9});
+  EXPECT_EQ(monomials[2], (Monomial{7, 9}));
+}
+
+TEST(Parity, DesignMatrixShapeAndValues) {
+  std::vector<BitVector> samples{{0, 0}, {1, 0}, {0, 1}, {1, 1}};
+  std::vector<std::size_t> pos{0, 1};
+  auto monomials = enumerateMonomials(pos, 2);
+  Matrix design = parityDesignMatrix(samples, monomials);
+  ASSERT_EQ(design.rows(), 4u);
+  ASSERT_EQ(design.cols(), 3u);
+  // chi_{0,1} column is the XOR parity: +1, -1, -1, +1.
+  EXPECT_DOUBLE_EQ(design(0, 2), 1.0);
+  EXPECT_DOUBLE_EQ(design(1, 2), -1.0);
+  EXPECT_DOUBLE_EQ(design(2, 2), -1.0);
+  EXPECT_DOUBLE_EQ(design(3, 2), 1.0);
+}
+
+TEST(Parity, ParityColumnsAreOrthogonalOverFullCube) {
+  // Over all 8 vertices of {0,1}^3, distinct parities are orthogonal.
+  std::vector<BitVector> cube;
+  for (int v = 0; v < 8; ++v) {
+    cube.push_back({static_cast<std::uint8_t>(v & 1),
+                    static_cast<std::uint8_t>((v >> 1) & 1),
+                    static_cast<std::uint8_t>((v >> 2) & 1)});
+  }
+  std::vector<std::size_t> pos{0, 1, 2};
+  auto monomials = enumerateMonomials(pos, 3);
+  Matrix design = parityDesignMatrix(cube, monomials);
+  for (std::size_t a = 0; a < monomials.size(); ++a) {
+    for (std::size_t b = a + 1; b < monomials.size(); ++b) {
+      double dot = 0.0;
+      for (std::size_t r = 0; r < 8; ++r) dot += design(r, a) * design(r, b);
+      EXPECT_DOUBLE_EQ(dot, 0.0) << a << "," << b;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace isop::hpo

@@ -1,0 +1,96 @@
+#include "hpo/simulated_annealing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hpo/random_search.hpp"
+
+namespace isop::hpo {
+namespace {
+
+/// Smooth separable objective with a unique grid minimum at the Table IX
+/// manual design values (distance-to-target in normalized units).
+double distanceObjective(const em::StackupParams& p) {
+  em::StackupParams target;
+  target.values = {3.5, 6.0, 35.0, 0.1, 1.0, 5.0, 5.0, 4.8e7,
+                   0.0, 3.5, 3.5, 3.5, 0.01, 0.01, 0.01};
+  const auto space = em::spaceS1();
+  double acc = 0.0;
+  for (std::size_t i = 0; i < em::kNumParams; ++i) {
+    const auto& r = space.range(i);
+    const double norm = (p.values[i] - target.values[i]) / (r.hi - r.lo);
+    acc += norm * norm;
+  }
+  return acc;
+}
+
+TEST(SimulatedAnnealing, ConvergesNearOptimumOnSmoothObjective) {
+  SaConfig cfg;
+  cfg.evaluations = 8000;
+  cfg.seed = 1;
+  const auto result = SimulatedAnnealing(cfg).optimize(em::spaceS1(), distanceObjective);
+  EXPECT_EQ(result.evaluations, 8000u);
+  // 15-dim discrete bowl: random designs average ~1.25; SA must reach the
+  // near-optimal basin (a few grid steps from the target per coordinate).
+  EXPECT_LT(result.bestValue, 0.03);
+}
+
+TEST(SimulatedAnnealing, StaysOnGrid) {
+  SaConfig cfg;
+  cfg.evaluations = 500;
+  cfg.seed = 2;
+  const auto space = em::spaceS1();
+  const auto result = SimulatedAnnealing(cfg).optimize(space, [&](const em::StackupParams& p) {
+    EXPECT_TRUE(space.contains(p));
+    return distanceObjective(p);
+  });
+  EXPECT_TRUE(space.contains(result.best));
+}
+
+TEST(SimulatedAnnealing, BeatsRandomSearchAtEqualBudget) {
+  SaConfig saCfg;
+  saCfg.evaluations = 4000;
+  saCfg.seed = 3;
+  RandomSearchConfig rsCfg;
+  rsCfg.evaluations = 4000;
+  rsCfg.seed = 3;
+  const double sa =
+      SimulatedAnnealing(saCfg).optimize(em::spaceS1(), distanceObjective).bestValue;
+  const double rs = RandomSearch(rsCfg).optimize(em::spaceS1(), distanceObjective).bestValue;
+  EXPECT_LT(sa, rs);
+}
+
+TEST(SimulatedAnnealing, AcceptsSomeUphillMovesEarly) {
+  SaConfig cfg;
+  cfg.evaluations = 2000;
+  cfg.seed = 4;
+  cfg.initialTemperature = 1.0;  // hot: plenty of uphill acceptance
+  const auto result = SimulatedAnnealing(cfg).optimize(em::spaceS1(), distanceObjective);
+  // Acceptance count includes uphill moves; with T0 = 1 on an objective
+  // bounded by ~4, plenty of moves must be accepted.
+  EXPECT_GT(result.accepted, 200u);
+}
+
+TEST(SimulatedAnnealing, DeterministicForFixedSeed) {
+  SaConfig cfg;
+  cfg.evaluations = 1000;
+  cfg.seed = 5;
+  const auto a = SimulatedAnnealing(cfg).optimize(em::spaceS1(), distanceObjective);
+  const auto b = SimulatedAnnealing(cfg).optimize(em::spaceS1(), distanceObjective);
+  EXPECT_EQ(a.bestValue, b.bestValue);
+  EXPECT_EQ(a.best.values, b.best.values);
+}
+
+TEST(RandomSearch, TracksBestAndBudget) {
+  RandomSearchConfig cfg;
+  cfg.evaluations = 300;
+  cfg.seed = 6;
+  const auto result = RandomSearch(cfg).optimize(em::spaceS1(), distanceObjective);
+  EXPECT_EQ(result.evaluations, 300u);
+  EXPECT_TRUE(std::isfinite(result.bestValue));
+  EXPECT_DOUBLE_EQ(distanceObjective(result.best), result.bestValue);
+}
+
+}  // namespace
+}  // namespace isop::hpo

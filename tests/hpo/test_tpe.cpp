@@ -1,0 +1,95 @@
+#include "hpo/tpe.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hpo/random_search.hpp"
+
+namespace isop::hpo {
+namespace {
+
+double bowlObjective(const em::StackupParams& p) {
+  const auto space = em::spaceS1();
+  double acc = 0.0;
+  for (std::size_t i = 0; i < em::kNumParams; ++i) {
+    const auto& r = space.range(i);
+    const double mid = 0.5 * (r.lo + r.hi);
+    const double norm = (p.values[i] - mid) / (r.hi - r.lo);
+    acc += norm * norm;
+  }
+  return acc;
+}
+
+TEST(Tpe, RespectsEvaluationBudget) {
+  TpeConfig cfg;
+  cfg.evaluations = 120;
+  cfg.seed = 1;
+  std::size_t calls = 0;
+  const auto result = TpeOptimizer(cfg).optimize(em::spaceS1(), [&](const auto& p) {
+    ++calls;
+    return bowlObjective(p);
+  });
+  EXPECT_EQ(calls, 120u);
+  EXPECT_EQ(result.evaluations, 120u);
+}
+
+TEST(Tpe, BeatsRandomSearchAtEqualBudget) {
+  TpeConfig tpeCfg;
+  tpeCfg.evaluations = 300;
+  tpeCfg.seed = 2;
+  RandomSearchConfig rsCfg;
+  rsCfg.evaluations = 300;
+  rsCfg.seed = 2;
+  const double tpe = TpeOptimizer(tpeCfg).optimize(em::spaceS1(), bowlObjective).bestValue;
+  const double rs = RandomSearch(rsCfg).optimize(em::spaceS1(), bowlObjective).bestValue;
+  EXPECT_LT(tpe, rs);
+}
+
+TEST(Tpe, StaysOnGrid) {
+  TpeConfig cfg;
+  cfg.evaluations = 80;
+  cfg.seed = 3;
+  const auto space = em::spaceS1();
+  const auto result = TpeOptimizer(cfg).optimize(space, [&](const em::StackupParams& p) {
+    EXPECT_TRUE(space.contains(p));
+    return bowlObjective(p);
+  });
+  EXPECT_TRUE(space.contains(result.best));
+}
+
+TEST(Tpe, DeterministicForFixedSeed) {
+  TpeConfig cfg;
+  cfg.evaluations = 100;
+  cfg.seed = 4;
+  const auto a = TpeOptimizer(cfg).optimize(em::spaceS1(), bowlObjective);
+  const auto b = TpeOptimizer(cfg).optimize(em::spaceS1(), bowlObjective);
+  EXPECT_EQ(a.bestValue, b.bestValue);
+}
+
+TEST(Tpe, StartupPhaseOnlyWhenBudgetTiny) {
+  TpeConfig cfg;
+  cfg.evaluations = 10;
+  cfg.startupSamples = 20;  // larger than budget
+  cfg.seed = 5;
+  const auto result = TpeOptimizer(cfg).optimize(em::spaceS1(), bowlObjective);
+  EXPECT_EQ(result.evaluations, 10u);
+}
+
+TEST(Tpe, ImprovesOverItsOwnStartupPhase) {
+  TpeConfig cfg;
+  cfg.evaluations = 400;
+  cfg.startupSamples = 30;
+  cfg.seed = 6;
+  double bestAtStartup = std::numeric_limits<double>::infinity();
+  std::size_t calls = 0;
+  const auto result = TpeOptimizer(cfg).optimize(em::spaceS1(), [&](const auto& p) {
+    const double v = bowlObjective(p);
+    if (++calls <= 30) bestAtStartup = std::min(bestAtStartup, v);
+    return v;
+  });
+  EXPECT_LT(result.bestValue, bestAtStartup);
+}
+
+}  // namespace
+}  // namespace isop::hpo

@@ -1,0 +1,96 @@
+#include "ml/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace isop::ml {
+namespace {
+
+Dataset makeDataset(std::size_t n) {
+  Dataset ds{Matrix(n, 2), Matrix(n, 1)};
+  for (std::size_t i = 0; i < n; ++i) {
+    ds.x(i, 0) = static_cast<double>(i);
+    ds.x(i, 1) = static_cast<double>(i) * 10.0;
+    ds.y(i, 0) = static_cast<double>(i) * 100.0;
+  }
+  return ds;
+}
+
+TEST(Dataset, Dimensions) {
+  Dataset ds = makeDataset(5);
+  EXPECT_EQ(ds.size(), 5u);
+  EXPECT_EQ(ds.inputDim(), 2u);
+  EXPECT_EQ(ds.outputDim(), 1u);
+}
+
+TEST(Dataset, TargetColumn) {
+  Dataset ds = makeDataset(4);
+  auto col = ds.targetColumn(0);
+  ASSERT_EQ(col.size(), 4u);
+  EXPECT_DOUBLE_EQ(col[3], 300.0);
+}
+
+TEST(Dataset, ShuffleKeepsRowsAligned) {
+  Dataset ds = makeDataset(50);
+  Rng rng(3);
+  ds.shuffle(rng);
+  // Row invariant: y == x0*100 and x1 == x0*10 for every row.
+  bool moved = false;
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ds.y(i, 0), ds.x(i, 0) * 100.0);
+    EXPECT_DOUBLE_EQ(ds.x(i, 1), ds.x(i, 0) * 10.0);
+    if (ds.x(i, 0) != static_cast<double>(i)) moved = true;
+  }
+  EXPECT_TRUE(moved);
+}
+
+TEST(Dataset, SplitSizes) {
+  Dataset ds = makeDataset(10);
+  auto [train, test] = ds.split(0.8);
+  EXPECT_EQ(train.size(), 8u);
+  EXPECT_EQ(test.size(), 2u);
+  EXPECT_DOUBLE_EQ(test.x(0, 0), 8.0);  // split preserves order
+}
+
+TEST(Dataset, SubsetByIndices) {
+  Dataset ds = makeDataset(10);
+  std::vector<std::size_t> idx{9, 0, 5};
+  Dataset sub = ds.subset(idx);
+  ASSERT_EQ(sub.size(), 3u);
+  EXPECT_DOUBLE_EQ(sub.x(0, 0), 9.0);
+  EXPECT_DOUBLE_EQ(sub.y(2, 0), 500.0);
+}
+
+TEST(Dataset, SaveLoadRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "isop_ds_test.bin").string();
+  Dataset ds = makeDataset(7);
+  saveDataset(path, ds);
+  Dataset loaded = loadDataset(path);
+  ASSERT_EQ(loaded.size(), 7u);
+  ASSERT_EQ(loaded.inputDim(), 2u);
+  EXPECT_DOUBLE_EQ(loaded.x(6, 1), 60.0);
+  EXPECT_DOUBLE_EQ(loaded.y(6, 0), 600.0);
+  std::remove(path.c_str());
+}
+
+TEST(Dataset, LoadRejectsBadMagic) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "isop_ds_bad.bin").string();
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "NOTADATASET";
+  }
+  EXPECT_THROW(loadDataset(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Dataset, LoadMissingFileThrows) {
+  EXPECT_THROW(loadDataset("/no/such/path.bin"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace isop::ml

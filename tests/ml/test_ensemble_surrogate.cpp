@@ -1,0 +1,107 @@
+#include "ml/ensemble_surrogate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace isop::ml {
+namespace {
+
+/// y0 = 3 x0 - x1 (positive-ish), smooth 2-in/1-out problem.
+Dataset makeDataset(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Dataset ds{Matrix(n, 2), Matrix(n, 1)};
+  for (std::size_t i = 0; i < n; ++i) {
+    ds.x(i, 0) = rng.uniform(-1.0, 1.0);
+    ds.x(i, 1) = rng.uniform(-1.0, 1.0);
+    ds.y(i, 0) = 10.0 + 3.0 * ds.x(i, 0) - ds.x(i, 1);
+  }
+  return ds;
+}
+
+EnsembleTrainConfig quickEnsemble(std::size_t members) {
+  EnsembleTrainConfig cfg;
+  cfg.members = members;
+  cfg.architecture.hidden = {16, 16};
+  cfg.architecture.dropout = 0.0;
+  cfg.training.epochs = 15;
+  cfg.training.batchSize = 32;
+  return cfg;
+}
+
+TEST(EnsembleSurrogate, MeanPredictionIsAccurate) {
+  const Dataset train = makeDataset(1500, 1);
+  auto ensemble = trainMlpEnsemble(train, quickEnsemble(3));
+  EXPECT_EQ(ensemble->memberCount(), 3u);
+  std::array<double, 1> out{};
+  std::vector<double> x{0.3, -0.4};
+  ensemble->predict(x, out);
+  EXPECT_NEAR(out[0], 10.0 + 0.9 + 0.4, 0.3);
+}
+
+TEST(EnsembleSurrogate, SpreadSmallOnDataLargerOffData) {
+  const Dataset train = makeDataset(1500, 2);
+  auto ensemble = trainMlpEnsemble(train, quickEnsemble(4));
+  std::array<double, 1> mean{}, inSpread{}, outSpread{};
+  std::vector<double> inside{0.0, 0.0}, outside{6.0, -7.0};  // far off-support
+  ensemble->predictWithSpread(inside, mean, inSpread);
+  ensemble->predictWithSpread(outside, mean, outSpread);
+  EXPECT_GT(outSpread[0], 3.0 * inSpread[0]);
+}
+
+TEST(EnsembleSurrogate, MeanMatchesManualAverage) {
+  const Dataset train = makeDataset(600, 3);
+  auto ensemble = trainMlpEnsemble(train, quickEnsemble(3));
+  std::vector<double> x{0.1, 0.2};
+  std::array<double, 1> viaPredict{}, viaSpread{}, spread{};
+  ensemble->predict(x, viaPredict);
+  ensemble->predictWithSpread(x, viaSpread, spread);
+  EXPECT_NEAR(viaPredict[0], viaSpread[0], 1e-12);
+  EXPECT_GE(spread[0], 0.0);
+}
+
+TEST(EnsembleSurrogate, GradientIsMemberMean) {
+  const Dataset train = makeDataset(1200, 4);
+  auto ensemble = trainMlpEnsemble(train, quickEnsemble(2));
+  ASSERT_TRUE(ensemble->hasInputGradient());
+  std::vector<double> grad(2);
+  ensemble->inputGradient(std::vector<double>{0.2, 0.1}, 0, grad);
+  // True gradient of the target is (3, -1); the trained mean tracks it.
+  EXPECT_NEAR(grad[0], 3.0, 0.6);
+  EXPECT_NEAR(grad[1], -1.0, 0.6);
+}
+
+TEST(EnsembleSurrogate, RejectsEmptyAndMismatched) {
+  EXPECT_THROW(EnsembleSurrogate({}), std::invalid_argument);
+  const Dataset a = makeDataset(200, 5);
+  Dataset b{Matrix(200, 3), Matrix(200, 1)};  // different input dim
+  Rng rng(6);
+  for (std::size_t i = 0; i < 200; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) b.x(i, j) = rng.uniform(-1.0, 1.0);
+    b.y(i, 0) = b.x(i, 0);
+  }
+  auto m1 = std::make_shared<MlpRegressor>(MlpConfig{.hidden = {8}});
+  auto m2 = std::make_shared<MlpRegressor>(MlpConfig{.hidden = {8}});
+  nn::TrainConfig tc;
+  tc.epochs = 2;
+  m1->fit(a, tc);
+  m2->fit(b, tc);
+  EXPECT_THROW(
+      EnsembleSurrogate({std::shared_ptr<const Surrogate>(m1),
+                         std::shared_ptr<const Surrogate>(m2)}),
+      std::invalid_argument);
+}
+
+TEST(EnsembleSurrogate, DeterministicTraining) {
+  const Dataset train = makeDataset(400, 7);
+  auto a = trainMlpEnsemble(train, quickEnsemble(2));
+  auto b = trainMlpEnsemble(train, quickEnsemble(2));
+  std::array<double, 1> pa{}, pb{};
+  std::vector<double> x{0.5, 0.5};
+  a->predict(x, pa);
+  b->predict(x, pb);
+  EXPECT_DOUBLE_EQ(pa[0], pb[0]);
+}
+
+}  // namespace
+}  // namespace isop::ml

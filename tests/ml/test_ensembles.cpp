@@ -1,0 +1,158 @@
+#include "ml/ensemble.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "ml/metrics.hpp"
+
+namespace isop::ml {
+namespace {
+
+/// Noisy smooth target: y = sin(2 x0) + x1^2 - x0 x1 + noise.
+void makeData(std::size_t n, std::uint64_t seed, double noise, Matrix& x,
+              std::vector<double>& y) {
+  Rng rng(seed);
+  x.resize(n, 2);
+  y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.uniform(-2.0, 2.0);
+    x(i, 1) = rng.uniform(-2.0, 2.0);
+    y[i] = std::sin(2.0 * x(i, 0)) + x(i, 1) * x(i, 1) - x(i, 0) * x(i, 1) +
+           noise * rng.normal();
+  }
+}
+
+double testMae(const SingleOutputModel& model, std::uint64_t seed) {
+  Matrix x;
+  std::vector<double> y;
+  makeData(500, seed, 0.0, x, y);
+  std::vector<double> pred(y.size());
+  for (std::size_t i = 0; i < x.rows(); ++i) pred[i] = model.predictOne(x.row(i));
+  return mae(y, pred);
+}
+
+TEST(RandomForest, BeatsSingleTreeOnNoisyData) {
+  Matrix x;
+  std::vector<double> y;
+  makeData(3000, 1, 0.3, x, y);
+
+  DecisionTreeConfig treeCfg;
+  treeCfg.maxDepth = 14;
+  treeCfg.minSamplesLeaf = 1;  // deliberately overfit-prone
+  DecisionTreeRegressor tree(treeCfg);
+  tree.fit(x, y);
+
+  RandomForestConfig rfCfg;
+  rfCfg.trees = 40;
+  RandomForestRegressor forest(rfCfg);
+  forest.fit(x, y);
+
+  EXPECT_LT(testMae(forest, 99), testMae(tree, 99));
+}
+
+TEST(RandomForest, DeterministicAcrossFits) {
+  Matrix x;
+  std::vector<double> y;
+  makeData(500, 2, 0.1, x, y);
+  RandomForestConfig cfg;
+  cfg.trees = 8;
+  RandomForestRegressor a(cfg), b(cfg);
+  a.fit(x, y);
+  b.fit(x, y);
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(a.predictOne(x.row(i)), b.predictOne(x.row(i)));
+  }
+}
+
+TEST(GradientBoosting, MoreStagesReduceError) {
+  Matrix x;
+  std::vector<double> y;
+  makeData(2000, 3, 0.05, x, y);
+
+  GradientBoostingConfig few;
+  few.stages = 10;
+  GradientBoostingRegressor weak(few);
+  weak.fit(x, y);
+
+  GradientBoostingConfig many;
+  many.stages = 150;
+  GradientBoostingRegressor strong(many);
+  strong.fit(x, y);
+
+  EXPECT_LT(testMae(strong, 101), 0.5 * testMae(weak, 101));
+}
+
+TEST(GradientBoosting, ZeroStagesPredictsMean) {
+  Matrix x(4, 1, 0.0);
+  std::vector<double> y{1.0, 2.0, 3.0, 4.0};
+  GradientBoostingConfig cfg;
+  cfg.stages = 0;
+  GradientBoostingRegressor model(cfg);
+  model.fit(x, y);
+  std::vector<double> q{0.0};
+  EXPECT_DOUBLE_EQ(model.predictOne(q), 2.5);
+}
+
+TEST(Xgboost, FitsSmoothTargetWell) {
+  Matrix x;
+  std::vector<double> y;
+  makeData(4000, 5, 0.0, x, y);
+  XgboostRegressor model;
+  model.fit(x, y);
+  EXPECT_LT(testMae(model, 103), 0.12);
+}
+
+TEST(Xgboost, OutperformsPlainTree) {
+  Matrix x;
+  std::vector<double> y;
+  makeData(3000, 7, 0.1, x, y);
+  DecisionTreeRegressor tree;
+  tree.fit(x, y);
+  XgboostRegressor xgb;
+  xgb.fit(x, y);
+  EXPECT_LT(testMae(xgb, 105), testMae(tree, 105));
+}
+
+TEST(Xgboost, SaveLoadRoundTrip) {
+  Matrix x;
+  std::vector<double> y;
+  makeData(600, 11, 0.05, x, y);
+  XgboostConfig cfg;
+  cfg.rounds = 40;
+  XgboostRegressor original(cfg);
+  original.fit(x, y);
+
+  std::stringstream buf;
+  original.save(buf);
+  XgboostRegressor loaded;
+  loaded.load(buf);
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(loaded.predictOne(x.row(i)), original.predictOne(x.row(i)));
+  }
+}
+
+TEST(Xgboost, LoadRejectsGarbage) {
+  std::stringstream buf;
+  buf << "not a model";
+  XgboostRegressor model;
+  EXPECT_THROW(model.load(buf), std::runtime_error);
+}
+
+TEST(Xgboost, DeterministicAcrossFits) {
+  Matrix x;
+  std::vector<double> y;
+  makeData(800, 9, 0.1, x, y);
+  XgboostConfig cfg;
+  cfg.rounds = 30;
+  XgboostRegressor a(cfg), b(cfg);
+  a.fit(x, y);
+  b.fit(x, y);
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(a.predictOne(x.row(i)), b.predictOne(x.row(i)));
+  }
+}
+
+}  // namespace
+}  // namespace isop::ml

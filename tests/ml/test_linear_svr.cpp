@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/linear.hpp"
+#include "ml/metrics.hpp"
+#include "ml/svr.hpp"
+
+namespace isop::ml {
+namespace {
+
+TEST(PolynomialLinear, RecoversExactQuadratic) {
+  // y = 2 + 3 x0 - x1 + 0.5 x0^2 + 2 x0 x1.
+  Rng rng(1);
+  Matrix x(500, 2);
+  std::vector<double> y(500);
+  for (std::size_t i = 0; i < 500; ++i) {
+    x(i, 0) = rng.uniform(-2.0, 2.0);
+    x(i, 1) = rng.uniform(-2.0, 2.0);
+    y[i] = 2.0 + 3.0 * x(i, 0) - x(i, 1) + 0.5 * x(i, 0) * x(i, 0) +
+           2.0 * x(i, 0) * x(i, 1);
+  }
+  PolynomialLinearConfig cfg;
+  cfg.ridge = 1e-8;
+  PolynomialLinearRegressor model(cfg);
+  model.fit(x, y);
+  Rng rng2(2);
+  for (int i = 0; i < 50; ++i) {
+    std::vector<double> q{rng2.uniform(-2.0, 2.0), rng2.uniform(-2.0, 2.0)};
+    const double truth =
+        2.0 + 3.0 * q[0] - q[1] + 0.5 * q[0] * q[0] + 2.0 * q[0] * q[1];
+    EXPECT_NEAR(model.predictOne(q), truth, 1e-5);
+  }
+}
+
+TEST(PolynomialLinear, ExpandedDimension) {
+  PolynomialLinearRegressor deg2;
+  Matrix x(10, 3);
+  std::vector<double> y(10, 1.0);
+  deg2.fit(x, y);
+  // 1 + 3 + 6 = 10 features for d=3 degree 2.
+  EXPECT_EQ(deg2.expandedDim(), 10u);
+}
+
+TEST(PolynomialLinear, DegreeOneIsAffine) {
+  PolynomialLinearConfig cfg;
+  cfg.degree = 1;
+  cfg.ridge = 1e-10;
+  PolynomialLinearRegressor model(cfg);
+  Rng rng(3);
+  Matrix x(200, 2);
+  std::vector<double> y(200);
+  for (std::size_t i = 0; i < 200; ++i) {
+    x(i, 0) = rng.uniform(-1.0, 1.0);
+    x(i, 1) = rng.uniform(-1.0, 1.0);
+    y[i] = 4.0 - 2.0 * x(i, 0) + 7.0 * x(i, 1);
+  }
+  model.fit(x, y);
+  std::vector<double> q{0.5, -0.5};
+  EXPECT_NEAR(model.predictOne(q), 4.0 - 1.0 - 3.5, 1e-6);
+}
+
+TEST(PolynomialLinear, RejectsUnsupportedDegree) {
+  PolynomialLinearConfig cfg;
+  cfg.degree = 3;
+  EXPECT_THROW(PolynomialLinearRegressor{cfg}, std::invalid_argument);
+}
+
+TEST(PolynomialLinear, CannotFitCubicExactly) {
+  // Sanity: degree-2 features underfit a cubic (motivates the NN models).
+  Rng rng(4);
+  Matrix x(400, 1);
+  std::vector<double> y(400);
+  for (std::size_t i = 0; i < 400; ++i) {
+    x(i, 0) = rng.uniform(-2.0, 2.0);
+    y[i] = x(i, 0) * x(i, 0) * x(i, 0);
+  }
+  PolynomialLinearRegressor model;
+  model.fit(x, y);
+  std::vector<double> pred, truth;
+  for (std::size_t i = 0; i < 400; ++i) {
+    pred.push_back(model.predictOne(x.row(i)));
+    truth.push_back(y[i]);
+  }
+  EXPECT_GT(mae(truth, pred), 0.2);
+}
+
+TEST(Svr, ApproximatesSmoothFunction) {
+  Rng rng(5);
+  Matrix x(3000, 2);
+  std::vector<double> y(3000);
+  for (std::size_t i = 0; i < 3000; ++i) {
+    x(i, 0) = rng.uniform(-1.0, 1.0);
+    x(i, 1) = rng.uniform(-1.0, 1.0);
+    y[i] = std::sin(2.0 * x(i, 0)) + 0.5 * x(i, 1);
+  }
+  SvrRegressor model;
+  model.fit(x, y);
+  std::vector<double> pred, truth;
+  Rng rng2(6);
+  for (int i = 0; i < 300; ++i) {
+    std::vector<double> q{rng2.uniform(-1.0, 1.0), rng2.uniform(-1.0, 1.0)};
+    truth.push_back(std::sin(2.0 * q[0]) + 0.5 * q[1]);
+    pred.push_back(model.predictOne(q));
+  }
+  EXPECT_LT(mae(truth, pred), 0.12);
+}
+
+TEST(Svr, HandlesConstantTarget) {
+  Matrix x(50, 1);
+  for (std::size_t i = 0; i < 50; ++i) x(i, 0) = static_cast<double>(i);
+  std::vector<double> y(50, 3.0);
+  SvrRegressor model;
+  model.fit(x, y);
+  std::vector<double> q{25.0};
+  EXPECT_NEAR(model.predictOne(q), 3.0, 0.2);
+}
+
+TEST(Svr, DeterministicAcrossFits) {
+  Rng rng(7);
+  Matrix x(300, 1);
+  std::vector<double> y(300);
+  for (std::size_t i = 0; i < 300; ++i) {
+    x(i, 0) = rng.uniform(-1.0, 1.0);
+    y[i] = x(i, 0) * x(i, 0);
+  }
+  SvrRegressor a, b;
+  a.fit(x, y);
+  b.fit(x, y);
+  std::vector<double> q{0.3};
+  EXPECT_DOUBLE_EQ(a.predictOne(q), b.predictOne(q));
+}
+
+TEST(TransformedTargetModel, RoundTripsThroughLogSpace) {
+  // Exponential-range target: y = exp(3 x). Log-space linear fit is exact.
+  Rng rng(8);
+  Matrix x(300, 1);
+  std::vector<double> y(300);
+  for (std::size_t i = 0; i < 300; ++i) {
+    x(i, 0) = rng.uniform(-1.0, 1.0);
+    y[i] = std::exp(3.0 * x(i, 0));
+  }
+  PolynomialLinearConfig cfg;
+  cfg.degree = 1;
+  cfg.ridge = 1e-10;
+  TransformedTargetModel model(std::make_unique<PolynomialLinearRegressor>(cfg),
+                               OutputTransform::logMagnitude(+1.0));
+  model.fit(x, y);
+  std::vector<double> q{0.5};
+  EXPECT_NEAR(model.predictOne(q), std::exp(1.5), 1e-3);
+}
+
+}  // namespace
+}  // namespace isop::ml

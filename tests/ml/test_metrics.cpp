@@ -1,0 +1,64 @@
+#include "ml/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <vector>
+
+namespace isop::ml {
+namespace {
+
+TEST(Metrics, MaeBasic) {
+  std::vector<double> t{1.0, 2.0, 3.0}, p{1.5, 1.5, 3.0};
+  EXPECT_NEAR(mae(t, p), (0.5 + 0.5 + 0.0) / 3.0, 1e-12);
+}
+
+TEST(Metrics, MaeEmptyIsZero) {
+  std::vector<double> e;
+  EXPECT_DOUBLE_EQ(mae(e, e), 0.0);
+}
+
+TEST(Metrics, MapeIsFractional) {
+  std::vector<double> t{100.0, 200.0}, p{110.0, 180.0};
+  EXPECT_NEAR(mape(t, p), (0.1 + 0.1) / 2.0, 1e-12);
+}
+
+TEST(Metrics, MapeSkipsNearZeroTruth) {
+  std::vector<double> t{0.0, 100.0}, p{5.0, 110.0};
+  EXPECT_NEAR(mape(t, p), 0.1, 1e-12);  // only the second entry counts
+}
+
+TEST(Metrics, SmapeHandlesZeros) {
+  std::vector<double> t{0.0, 1.0}, p{0.0, 1.0};
+  EXPECT_DOUBLE_EQ(smape(t, p), 0.0);
+}
+
+TEST(Metrics, SmapeMaxIsTwo) {
+  std::vector<double> t{1.0}, p{-1.0};
+  EXPECT_DOUBLE_EQ(smape(t, p), 2.0);
+}
+
+TEST(Metrics, SmapeSymmetric) {
+  std::vector<double> t{2.0}, p{1.0};
+  std::vector<double> t2{1.0}, p2{2.0};
+  EXPECT_DOUBLE_EQ(smape(t, p), smape(t2, p2));
+  EXPECT_NEAR(smape(t, p), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Metrics, RmsePenalizesLargeErrors) {
+  std::vector<double> t{0.0, 0.0}, p{0.0, 2.0};
+  EXPECT_NEAR(rmse(t, p), std::sqrt(2.0), 1e-12);
+  EXPECT_GT(rmse(t, p), mae(t, p));
+}
+
+TEST(Metrics, PerfectPredictionAllZero) {
+  std::vector<double> t{1.0, -2.0, 3.5}, p = t;
+  EXPECT_DOUBLE_EQ(mae(t, p), 0.0);
+  EXPECT_DOUBLE_EQ(mape(t, p), 0.0);
+  EXPECT_DOUBLE_EQ(smape(t, p), 0.0);
+  EXPECT_DOUBLE_EQ(rmse(t, p), 0.0);
+}
+
+}  // namespace
+}  // namespace isop::ml

@@ -1,0 +1,287 @@
+#include "ml/neural_regressor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include "ml/ensemble.hpp"
+#include "ml/metrics.hpp"
+#include "ml/single_output.hpp"
+
+namespace isop::ml {
+namespace {
+
+/// 4-in / 2-out smooth target with strictly-signed outputs (like Z and L).
+Dataset makeDataset(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Dataset ds{Matrix(n, 4), Matrix(n, 2)};
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) ds.x(i, j) = rng.uniform(-1.0, 1.0);
+    ds.y(i, 0) = 50.0 + 20.0 * ds.x(i, 0) * ds.x(i, 1) + 5.0 * ds.x(i, 2);  // > 0
+    ds.y(i, 1) = -std::exp(0.5 * ds.x(i, 3)) - 0.2 * ds.x(i, 0) * ds.x(i, 0);  // < 0
+  }
+  return ds;
+}
+
+nn::TrainConfig quickTraining() {
+  nn::TrainConfig cfg;
+  cfg.epochs = 25;
+  cfg.batchSize = 64;
+  cfg.learningRate = 3e-3;
+  return cfg;
+}
+
+TEST(MlpRegressor, LearnsMultiOutputTarget) {
+  Dataset train = makeDataset(3000, 1);
+  Dataset test = makeDataset(400, 2);
+  MlpConfig cfg;
+  cfg.hidden = {64, 64};
+  cfg.dropout = 0.0;
+  MlpRegressor model(cfg);
+  model.fit(train, quickTraining());
+  Matrix pred;
+  model.predictBatch(test.x, pred);
+  auto t0 = test.targetColumn(0), t1 = test.targetColumn(1);
+  std::vector<double> p0(400), p1(400);
+  for (std::size_t i = 0; i < 400; ++i) {
+    p0[i] = pred(i, 0);
+    p1[i] = pred(i, 1);
+  }
+  EXPECT_LT(mape(t0, p0), 0.02);
+  EXPECT_LT(mape(t1, p1), 0.06);
+}
+
+TEST(MlpRegressor, PredictAndBatchAgree) {
+  Dataset train = makeDataset(500, 3);
+  MlpRegressor model;
+  auto cfg = quickTraining();
+  cfg.epochs = 3;
+  model.fit(train, cfg);
+  Matrix batch;
+  model.predictBatch(train.x, batch);
+  std::array<double, 2> single{};
+  model.predict(train.x.row(7), single);
+  EXPECT_DOUBLE_EQ(single[0], batch(7, 0));
+  EXPECT_DOUBLE_EQ(single[1], batch(7, 1));
+}
+
+TEST(MlpRegressor, QueryCounting) {
+  Dataset train = makeDataset(200, 4);
+  MlpRegressor model;
+  auto cfg = quickTraining();
+  cfg.epochs = 2;
+  model.fit(train, cfg);
+  model.resetQueryCount();
+  std::array<double, 2> out{};
+  model.predict(train.x.row(0), out);
+  model.predict(train.x.row(1), out);
+  Matrix batch;
+  model.predictBatch(train.x, batch);
+  EXPECT_EQ(model.queryCount(), 2u + train.size());
+}
+
+TEST(MlpRegressor, InputGradientMatchesFiniteDifference) {
+  Dataset train = makeDataset(2000, 5);
+  MlpConfig cfg;
+  cfg.hidden = {32, 32};
+  cfg.dropout = 0.1;  // exercises the deterministic gradient path
+  MlpRegressor model(cfg);
+  model.fit(train, quickTraining());
+  ASSERT_TRUE(model.hasInputGradient());
+
+  std::vector<double> x{0.2, -0.4, 0.6, 0.1}, grad(4);
+  for (std::size_t k = 0; k < 2; ++k) {
+    model.inputGradient(x, k, grad);
+    for (std::size_t j = 0; j < 4; ++j) {
+      const double h = 1e-5;
+      std::array<double, 2> up{}, down{};
+      auto xx = x;
+      xx[j] = x[j] + h;
+      model.predict(xx, up);
+      xx[j] = x[j] - h;
+      model.predict(xx, down);
+      const double numeric = (up[k] - down[k]) / (2.0 * h);
+      EXPECT_NEAR(grad[j], numeric, 1e-3 * std::max(1.0, std::abs(numeric)))
+          << "output " << k << " input " << j;
+    }
+  }
+}
+
+TEST(MlpRegressor, LogTransformImprovesStrictlySignedOutputs) {
+  Dataset train = makeDataset(2000, 6);
+  MlpRegressor model;
+  model.setOutputTransforms({OutputTransform::logMagnitude(+1.0),
+                             OutputTransform::logMagnitude(-1.0)});
+  model.fit(train, quickTraining());
+  Dataset test = makeDataset(300, 7);
+  Matrix pred;
+  model.predictBatch(test.x, pred);
+  // Signs are structurally guaranteed by the transform.
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    EXPECT_GT(pred(i, 0), 0.0);
+    EXPECT_LT(pred(i, 1), 0.0);
+  }
+}
+
+TEST(MlpRegressor, GradientChainsThroughLogTransform) {
+  Dataset train = makeDataset(1500, 8);
+  MlpRegressor model;
+  model.setOutputTransforms({OutputTransform::logMagnitude(+1.0),
+                             OutputTransform::logMagnitude(-1.0)});
+  model.fit(train, quickTraining());
+  std::vector<double> x{0.1, 0.3, -0.2, 0.5}, grad(4);
+  model.inputGradient(x, 1, grad);
+  const double h = 1e-5;
+  for (std::size_t j = 0; j < 4; ++j) {
+    std::array<double, 2> up{}, down{};
+    auto xx = x;
+    xx[j] = x[j] + h;
+    model.predict(xx, up);
+    xx[j] = x[j] - h;
+    model.predict(xx, down);
+    const double numeric = (up[1] - down[1]) / (2.0 * h);
+    EXPECT_NEAR(grad[j], numeric, 1e-3 * std::max(1.0, std::abs(numeric)));
+  }
+}
+
+TEST(MlpRegressor, SaveLoadRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "isop_mlp_test.bin").string();
+  Dataset train = makeDataset(500, 9);
+  MlpRegressor model;
+  model.setOutputTransforms({OutputTransform::logMagnitude(+1.0),
+                             OutputTransform::logMagnitude(-1.0)});
+  auto cfg = quickTraining();
+  cfg.epochs = 4;
+  model.fit(train, cfg);
+  model.save(path);
+  auto loaded = MlpRegressor::load(path);
+  std::array<double, 2> a{}, b{};
+  model.predict(train.x.row(3), a);
+  loaded->predict(train.x.row(3), b);
+  EXPECT_DOUBLE_EQ(a[0], b[0]);
+  EXPECT_DOUBLE_EQ(a[1], b[1]);
+  std::remove(path.c_str());
+}
+
+TEST(Cnn1dRegressor, LearnsTargetAndRoundTrips) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "isop_cnn_test.bin").string();
+  Dataset train = makeDataset(2000, 10);
+  Cnn1dConfig cfg;
+  cfg.expandChannels = 4;
+  cfg.expandLength = 8;
+  cfg.convChannels = 8;
+  cfg.headHidden = 16;
+  cfg.dropout = 0.0;
+  Cnn1dRegressor model(cfg);
+  auto tc = quickTraining();
+  tc.epochs = 20;
+  model.fit(train, tc);
+
+  Dataset test = makeDataset(300, 11);
+  Matrix pred;
+  model.predictBatch(test.x, pred);
+  auto t0 = test.targetColumn(0);
+  std::vector<double> p0(300);
+  for (std::size_t i = 0; i < 300; ++i) p0[i] = pred(i, 0);
+  EXPECT_LT(mape(t0, p0), 0.05);
+
+  model.save(path);
+  auto loaded = Cnn1dRegressor::load(path);
+  std::array<double, 2> a{}, b{};
+  model.predict(test.x.row(0), a);
+  loaded->predict(test.x.row(0), b);
+  EXPECT_DOUBLE_EQ(a[0], b[0]);
+  std::remove(path.c_str());
+}
+
+TEST(Cnn1dRegressor, BatchNormVariantTrainsAndRoundTrips) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "isop_cnn_bn_test.bin").string();
+  Dataset train = makeDataset(1500, 15);
+  Cnn1dConfig cfg;
+  cfg.expandChannels = 4;
+  cfg.expandLength = 8;
+  cfg.convChannels = 8;
+  cfg.headHidden = 16;
+  cfg.dropout = 0.0;
+  cfg.batchNorm = true;  // Kaggle-MoA style
+  Cnn1dRegressor model(cfg);
+  auto tc = quickTraining();
+  tc.epochs = 12;
+  model.fit(train, tc);
+
+  Dataset test = makeDataset(200, 16);
+  Matrix pred;
+  model.predictBatch(test.x, pred);
+  auto t0 = test.targetColumn(0);
+  std::vector<double> p0(200);
+  for (std::size_t i = 0; i < 200; ++i) p0[i] = pred(i, 0);
+  EXPECT_LT(mape(t0, p0), 0.12);  // learns through the BN blocks
+
+  // Serialization must carry the BN running statistics (state blobs).
+  model.save(path);
+  auto loaded = Cnn1dRegressor::load(path);
+  EXPECT_TRUE(loaded->config().batchNorm);
+  std::array<double, 2> a{}, b{};
+  model.predict(test.x.row(5), a);
+  loaded->predict(test.x.row(5), b);
+  EXPECT_DOUBLE_EQ(a[0], b[0]);
+  EXPECT_DOUBLE_EQ(a[1], b[1]);
+  std::remove(path.c_str());
+}
+
+TEST(Cnn1dRegressor, HasInputGradient) {
+  Dataset train = makeDataset(300, 12);
+  Cnn1dConfig cfg;
+  cfg.expandChannels = 2;
+  cfg.expandLength = 4;
+  cfg.convChannels = 4;
+  cfg.headHidden = 8;
+  Cnn1dRegressor model(cfg);
+  auto tc = quickTraining();
+  tc.epochs = 3;
+  model.fit(train, tc);
+  ASSERT_TRUE(model.hasInputGradient());
+  std::vector<double> grad(4);
+  model.inputGradient(std::vector<double>{0.1, 0.2, 0.3, 0.4}, 0, grad);
+  bool nonzero = false;
+  for (double g : grad) {
+    if (g != 0.0) nonzero = true;
+  }
+  EXPECT_TRUE(nonzero);
+}
+
+TEST(MultiOutputSurrogate, StacksPerTargetModels) {
+  Dataset train = makeDataset(1000, 13);
+  MultiOutputSurrogate surrogate(train, [](std::size_t) {
+    return std::make_unique<XgboostRegressor>();
+  });
+  EXPECT_EQ(surrogate.inputDim(), 4u);
+  EXPECT_EQ(surrogate.outputDim(), 2u);
+  std::array<double, 2> out{};
+  surrogate.predict(train.x.row(0), out);
+  EXPECT_GT(out[0], 0.0);
+  EXPECT_LT(out[1], 0.0);
+  EXPECT_FALSE(surrogate.hasInputGradient());
+  EXPECT_EQ(surrogate.queryCount(), 1u);
+}
+
+TEST(NeuralRegressor, RejectsEmptyTrainingSet) {
+  MlpRegressor model;
+  Dataset empty;
+  EXPECT_THROW(model.fit(empty, quickTraining()), std::invalid_argument);
+}
+
+TEST(NeuralRegressor, RejectsTransformCountMismatch) {
+  MlpRegressor model;
+  model.setOutputTransforms({OutputTransform::identity()});  // 1 != 2 outputs
+  Dataset train = makeDataset(100, 14);
+  EXPECT_THROW(model.fit(train, quickTraining()), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace isop::ml

@@ -1,0 +1,274 @@
+// Finite-difference gradient checks for every layer: both parameter
+// gradients and input gradients must match central differences.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "ml/nn/activation.hpp"
+#include "ml/nn/conv1d.hpp"
+#include "ml/nn/dense.hpp"
+#include "ml/nn/batch_norm.hpp"
+#include "ml/nn/dropout.hpp"
+
+namespace isop::ml::nn {
+namespace {
+
+/// Scalar loss: sum of squares of layer output. dLoss/dOut = 2*out.
+double lossOf(Layer& layer, const Matrix& in, Rng& rng) {
+  Matrix out;
+  layer.forward(in, out, rng);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < out.size(); ++i) acc += out.data()[i] * out.data()[i];
+  return acc;
+}
+
+/// Checks analytic parameter + input gradients against central differences.
+void checkGradients(Layer& layer, std::size_t inputDim, std::uint64_t seed,
+                    double tol = 1e-6) {
+  Rng rng(seed);
+  const std::size_t batch = 3;
+  Matrix in(batch, inputDim);
+  for (std::size_t i = 0; i < in.size(); ++i) in.data()[i] = rng.uniform(-1.0, 1.0);
+
+  // Analytic gradients.
+  Rng fwd(1);
+  Matrix out;
+  layer.zeroGrads();
+  layer.forward(in, out, fwd);
+  Matrix gradOut(out.rows(), out.cols());
+  for (std::size_t i = 0; i < out.size(); ++i) gradOut.data()[i] = 2.0 * out.data()[i];
+  Matrix gradIn;
+  layer.backward(gradOut, gradIn);
+
+  const double h = 1e-6;
+  // Parameter gradients.
+  auto params = layer.params();
+  auto grads = layer.grads();
+  for (std::size_t k = 0; k < params.size(); k += std::max<std::size_t>(1, params.size() / 17)) {
+    const double saved = params[k];
+    Rng f1(1), f2(1);
+    params[k] = saved + h;
+    const double up = lossOf(layer, in, f1);
+    params[k] = saved - h;
+    const double down = lossOf(layer, in, f2);
+    params[k] = saved;
+    const double numeric = (up - down) / (2.0 * h);
+    EXPECT_NEAR(grads[k], numeric, tol * std::max(1.0, std::abs(numeric)))
+        << "param " << k;
+  }
+  // Input gradients.
+  for (std::size_t k = 0; k < in.size(); k += std::max<std::size_t>(1, in.size() / 11)) {
+    const double saved = in.data()[k];
+    Rng f1(1), f2(1);
+    in.data()[k] = saved + h;
+    const double up = lossOf(layer, in, f1);
+    in.data()[k] = saved - h;
+    const double down = lossOf(layer, in, f2);
+    in.data()[k] = saved;
+    const double numeric = (up - down) / (2.0 * h);
+    EXPECT_NEAR(gradIn.data()[k], numeric, tol * std::max(1.0, std::abs(numeric)))
+        << "input " << k;
+  }
+}
+
+TEST(DenseLayer, GradientCheck) {
+  Rng init(5);
+  Dense layer(6, 4, init);
+  checkGradients(layer, 6, 11);
+}
+
+TEST(DenseLayer, InferMatchesForward) {
+  Rng init(6);
+  Dense layer(3, 2, init);
+  Matrix in(2, 3, {1.0, 2.0, 3.0, -1.0, 0.5, 0.0});
+  Matrix a, b;
+  Rng rng(1);
+  layer.forward(in, a, rng);
+  layer.infer(in, b);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a.data()[i], b.data()[i]);
+}
+
+TEST(LeakyReluLayer, GradientCheck) {
+  LeakyRelu layer(5, 0.01);
+  checkGradients(layer, 5, 13);
+}
+
+TEST(LeakyReluLayer, NegativeSlopeApplied) {
+  LeakyRelu layer(2, 0.1);
+  Matrix in(1, 2, {-10.0, 10.0}), out;
+  layer.infer(in, out);
+  EXPECT_DOUBLE_EQ(out(0, 0), -1.0);
+  EXPECT_DOUBLE_EQ(out(0, 1), 10.0);
+}
+
+TEST(TanhLayer, GradientCheck) {
+  Tanh layer(4);
+  checkGradients(layer, 4, 17);
+}
+
+TEST(Conv1dLayer, GradientCheck) {
+  Rng init(7);
+  Conv1d layer(2, 3, 8, 3, init);  // 2 ch x 8 len -> 3 ch x 8 len
+  checkGradients(layer, 16, 19, 1e-5);
+}
+
+TEST(Conv1dLayer, RejectsEvenKernel) {
+  Rng init(8);
+  EXPECT_THROW(Conv1d(1, 1, 4, 2, init), std::invalid_argument);
+}
+
+TEST(Conv1dLayer, IdentityKernelPassesThrough) {
+  Rng init(9);
+  Conv1d layer(1, 1, 5, 3, init);
+  // Force kernel = [0, 1, 0], bias 0.
+  auto p = layer.params();
+  p[0] = 0.0;
+  p[1] = 1.0;
+  p[2] = 0.0;
+  p[3] = 0.0;  // bias
+  Matrix in(1, 5, {1.0, 2.0, 3.0, 4.0, 5.0}), out;
+  layer.infer(in, out);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_DOUBLE_EQ(out(0, i), in(0, i));
+}
+
+TEST(AvgPool1dLayer, GradientCheck) {
+  AvgPool1d layer(2, 6, 2);
+  checkGradients(layer, 12, 23);
+}
+
+TEST(AvgPool1dLayer, AveragesWindows) {
+  AvgPool1d layer(1, 4, 2);
+  Matrix in(1, 4, {1.0, 3.0, 5.0, 7.0}), out;
+  layer.infer(in, out);
+  ASSERT_EQ(out.cols(), 2u);
+  EXPECT_DOUBLE_EQ(out(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(out(0, 1), 6.0);
+}
+
+TEST(AvgPool1dLayer, TrailingPartialWindow) {
+  AvgPool1d layer(1, 5, 2);
+  Matrix in(1, 5, {1.0, 3.0, 5.0, 7.0, 9.0}), out;
+  layer.infer(in, out);
+  ASSERT_EQ(out.cols(), 3u);
+  EXPECT_DOUBLE_EQ(out(0, 2), 9.0);  // single-element window
+}
+
+TEST(GlobalAvgPoolLayer, GradientCheck) {
+  GlobalAvgPool1d layer(3, 4);
+  checkGradients(layer, 12, 29);
+}
+
+TEST(GlobalAvgPoolLayer, ChannelMeans) {
+  GlobalAvgPool1d layer(2, 3);
+  Matrix in(1, 6, {1.0, 2.0, 3.0, 10.0, 20.0, 30.0}), out;
+  layer.infer(in, out);
+  ASSERT_EQ(out.cols(), 2u);
+  EXPECT_DOUBLE_EQ(out(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(out(0, 1), 20.0);
+}
+
+TEST(DropoutLayer, InferIsIdentity) {
+  Dropout layer(4, 0.5);
+  Matrix in(2, 4, 1.0), out;
+  layer.infer(in, out);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_DOUBLE_EQ(out.data()[i], 1.0);
+}
+
+TEST(DropoutLayer, TrainingDropsAndScales) {
+  Dropout layer(1000, 0.5);
+  Matrix in(1, 1000, 1.0), out;
+  Rng rng(31);
+  layer.forward(in, out, rng);
+  std::size_t zeros = 0, scaled = 0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (out.data()[i] == 0.0) ++zeros;
+    else if (std::abs(out.data()[i] - 2.0) < 1e-12) ++scaled;
+  }
+  EXPECT_EQ(zeros + scaled, 1000u);
+  EXPECT_NEAR(static_cast<double>(zeros), 500.0, 60.0);
+}
+
+TEST(DropoutLayer, NonStochasticModeIsIdentityWithBackward) {
+  Dropout layer(3, 0.9);
+  layer.setStochastic(false);
+  Matrix in(1, 3, {1.0, 2.0, 3.0}), out;
+  Rng rng(7);
+  layer.forward(in, out, rng);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(out(0, i), in(0, i));
+  Matrix gradOut(1, 3, 1.0), gradIn;
+  layer.backward(gradOut, gradIn);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(gradIn(0, i), 1.0);
+}
+
+TEST(DropoutLayer, BackwardUsesSameMask) {
+  Dropout layer(100, 0.5);
+  Matrix in(1, 100, 1.0), out;
+  Rng rng(33);
+  layer.forward(in, out, rng);
+  Matrix gradOut(1, 100, 1.0), gradIn;
+  layer.backward(gradOut, gradIn);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(gradIn(0, i), out(0, i));  // both are mask * 1
+  }
+}
+
+
+TEST(BatchNormLayer, NormalizesBatchColumns) {
+  BatchNorm layer(2);
+  Rng rng(1);
+  Matrix in(64, 2);
+  for (std::size_t r = 0; r < 64; ++r) {
+    in(r, 0) = rng.normal(10.0, 3.0);
+    in(r, 1) = rng.normal(-4.0, 0.5);
+  }
+  Matrix out;
+  layer.forward(in, out, rng);
+  for (std::size_t j = 0; j < 2; ++j) {
+    double mean = 0.0, var = 0.0;
+    for (std::size_t r = 0; r < 64; ++r) mean += out(r, j);
+    mean /= 64.0;
+    for (std::size_t r = 0; r < 64; ++r) var += (out(r, j) - mean) * (out(r, j) - mean);
+    var /= 64.0;
+    EXPECT_NEAR(mean, 0.0, 1e-9);
+    EXPECT_NEAR(var, 1.0, 1e-3);  // gamma = 1 initially
+  }
+}
+
+TEST(BatchNormLayer, GradientCheck) {
+  BatchNorm layer(3);
+  // Warm the affine parameters away from identity so gamma grads matter.
+  auto p = layer.params();
+  p[0] = 1.5;
+  p[1] = 0.7;
+  p[2] = 2.0;
+  p[3] = 0.1;
+  checkGradients(layer, 3, 41, 1e-5);
+}
+
+TEST(BatchNormLayer, RunningStatsConvergeAndDriveInference) {
+  BatchNorm layer(1, /*momentum=*/0.5);
+  Rng rng(2);
+  Matrix in(128, 1), out;
+  for (int step = 0; step < 30; ++step) {
+    for (std::size_t r = 0; r < 128; ++r) in(r, 0) = rng.normal(5.0, 2.0);
+    layer.forward(in, out, rng);
+  }
+  // state = [running mean | running var].
+  EXPECT_NEAR(layer.state()[0], 5.0, 0.3);
+  EXPECT_NEAR(layer.state()[1], 4.0, 0.8);
+  // Inference uses the running stats: feeding the mean gives ~beta (=0).
+  Matrix probe(1, 1, 5.0), inf;
+  layer.infer(probe, inf);
+  EXPECT_NEAR(inf(0, 0), 0.0, 0.2);
+}
+
+TEST(BatchNormLayer, StateIsSeparateFromParams) {
+  BatchNorm layer(4);
+  EXPECT_EQ(layer.params().size(), 8u);  // gamma | beta
+  EXPECT_EQ(layer.state().size(), 8u);   // mean | var
+  EXPECT_EQ(layer.grads().size(), 8u);
+}
+
+}  // namespace
+}  // namespace isop::ml::nn

@@ -1,0 +1,155 @@
+// End-to-end training behaviour of the Sequential/Adam/trainer stack.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/nn/activation.hpp"
+#include "ml/nn/adam.hpp"
+#include "ml/nn/dense.hpp"
+#include "ml/nn/sequential.hpp"
+#include "ml/nn/trainer.hpp"
+
+namespace isop::ml::nn {
+namespace {
+
+/// y = x0*x1 + 0.5*sin(pi*x2): smooth nonlinear 3-in/1-out target.
+void makeData(std::size_t n, std::uint64_t seed, Matrix& x, Matrix& y) {
+  Rng rng(seed);
+  x.resize(n, 3);
+  y.resize(n, 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) x(i, j) = rng.uniform(-1.0, 1.0);
+    y(i, 0) = x(i, 0) * x(i, 1) + 0.5 * std::sin(3.14159265 * x(i, 2));
+  }
+}
+
+Sequential makeMlp(std::uint64_t seed) {
+  Rng rng(seed);
+  Sequential net;
+  net.add(std::make_unique<Dense>(3, 32, rng));
+  net.add(std::make_unique<LeakyRelu>(32));
+  net.add(std::make_unique<Dense>(32, 32, rng));
+  net.add(std::make_unique<LeakyRelu>(32));
+  net.add(std::make_unique<Dense>(32, 1, rng));
+  return net;
+}
+
+TEST(Trainer, LossDecreasesAndFitsNonlinearTarget) {
+  Matrix x, y;
+  makeData(2000, 1, x, y);
+  Sequential net = makeMlp(2);
+  std::vector<double> losses;
+  TrainConfig cfg;
+  cfg.epochs = 40;
+  cfg.batchSize = 64;
+  cfg.learningRate = 3e-3;
+  cfg.onEpoch = [&](std::size_t, double l) { losses.push_back(l); };
+  TrainReport report = trainMse(net, x, y, cfg);
+  ASSERT_EQ(losses.size(), 40u);
+  EXPECT_LT(losses.back(), 0.25 * losses.front());
+  EXPECT_LT(report.finalTrainLoss, 0.01);
+
+  Matrix xt, yt;
+  makeData(500, 99, xt, yt);
+  EXPECT_LT(mseLoss(net, xt, yt), 0.02);  // generalizes
+}
+
+TEST(Trainer, DeterministicGivenSeed) {
+  Matrix x, y;
+  makeData(300, 3, x, y);
+  Sequential a = makeMlp(5), b = makeMlp(5);
+  TrainConfig cfg;
+  cfg.epochs = 5;
+  cfg.seed = 17;
+  trainMse(a, x, y, cfg);
+  trainMse(b, x, y, cfg);
+  Matrix pa, pb;
+  a.infer(x, pa);
+  b.infer(x, pb);
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    ASSERT_DOUBLE_EQ(pa.data()[i], pb.data()[i]);
+  }
+}
+
+TEST(Sequential, InputGradientMatchesFiniteDifference) {
+  Sequential net = makeMlp(7);
+  std::vector<double> x{0.3, -0.5, 0.8}, grad(3);
+  net.inputGradient(x, 0, grad);
+  const double h = 1e-6;
+  for (std::size_t j = 0; j < 3; ++j) {
+    auto evalAt = [&](double v) {
+      auto xx = x;
+      xx[j] = v;
+      Matrix in(1, 3, {xx[0], xx[1], xx[2]}), out;
+      net.infer(in, out);
+      return out(0, 0);
+    };
+    const double numeric = (evalAt(x[j] + h) - evalAt(x[j] - h)) / (2.0 * h);
+    EXPECT_NEAR(grad[j], numeric, 1e-5);
+  }
+}
+
+TEST(Sequential, InputGradientDoesNotPolluteParamGrads) {
+  Sequential net = makeMlp(9);
+  std::vector<double> x{0.1, 0.2, 0.3}, grad(3);
+  net.inputGradient(x, 0, grad);
+  net.forEachParamBlock([](std::span<double>, std::span<double> g) {
+    for (double v : g) ASSERT_DOUBLE_EQ(v, 0.0);
+  });
+}
+
+TEST(Sequential, RejectsDimensionMismatch) {
+  Rng rng(1);
+  Sequential net;
+  net.add(std::make_unique<Dense>(3, 8, rng));
+  EXPECT_THROW(net.add(std::make_unique<Dense>(4, 2, rng)), std::invalid_argument);
+}
+
+TEST(Sequential, ParamsSaveLoadRoundTrip) {
+  Sequential a = makeMlp(11);
+  std::stringstream buf;
+  a.saveParams(buf);
+  Sequential b = makeMlp(999);  // different init
+  b.loadParams(buf);
+  Matrix in(1, 3, {0.5, -0.5, 0.25}), outA, outB;
+  a.infer(in, outA);
+  b.infer(in, outB);
+  EXPECT_DOUBLE_EQ(outA(0, 0), outB(0, 0));
+}
+
+TEST(Sequential, LoadRejectsWrongTopology) {
+  Sequential a = makeMlp(1);
+  std::stringstream buf;
+  a.saveParams(buf);
+  Rng rng(2);
+  Sequential b;
+  b.add(std::make_unique<Dense>(3, 16, rng));  // different shape
+  EXPECT_THROW(b.loadParams(buf), std::runtime_error);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  // minimize (p0 - 3)^2 + (p1 + 2)^2.
+  std::vector<double> p{0.0, 0.0}, g(2);
+  Adam adam({.learningRate = 0.1});
+  adam.registerBlock(p);
+  for (int i = 0; i < 300; ++i) {
+    g[0] = 2.0 * (p[0] - 3.0);
+    g[1] = 2.0 * (p[1] + 2.0);
+    std::span<double> pb[] = {std::span<double>(p)};
+    std::span<double> gb[] = {std::span<double>(g)};
+    adam.step(pb, gb);
+  }
+  EXPECT_NEAR(p[0], 3.0, 1e-2);
+  EXPECT_NEAR(p[1], -2.0, 1e-2);
+}
+
+TEST(Adam, BlockCountMismatchThrows) {
+  std::vector<double> p{1.0};
+  Adam adam;
+  adam.registerBlock(p);
+  std::vector<std::span<double>> none;
+  EXPECT_THROW(adam.step(none, none), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace isop::ml::nn

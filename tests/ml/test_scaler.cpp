@@ -1,0 +1,112 @@
+#include "ml/scaler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "ml/output_transform.hpp"
+
+namespace isop::ml {
+namespace {
+
+TEST(Scaler, TransformsToZeroMeanUnitVariance) {
+  Rng rng(1);
+  Matrix x(500, 3);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    x(i, 0) = rng.normal(10.0, 2.0);
+    x(i, 1) = rng.normal(-5.0, 0.1);
+    x(i, 2) = rng.normal(0.0, 100.0);
+  }
+  StandardScaler scaler;
+  scaler.fit(x);
+  scaler.transformInPlace(x);
+  for (std::size_t j = 0; j < 3; ++j) {
+    double mean = 0.0, var = 0.0;
+    for (std::size_t i = 0; i < x.rows(); ++i) mean += x(i, j);
+    mean /= static_cast<double>(x.rows());
+    for (std::size_t i = 0; i < x.rows(); ++i) var += (x(i, j) - mean) * (x(i, j) - mean);
+    var /= static_cast<double>(x.rows());
+    EXPECT_NEAR(mean, 0.0, 1e-9);
+    EXPECT_NEAR(var, 1.0, 1e-9);
+  }
+}
+
+TEST(Scaler, RowRoundTrip) {
+  Matrix x(3, 2, {1.0, 10.0, 2.0, 20.0, 3.0, 30.0});
+  StandardScaler scaler;
+  scaler.fit(x);
+  std::vector<double> in{2.5, 17.0}, scaled(2), back(2);
+  scaler.transformRow(in, scaled);
+  scaler.inverseTransformRow(scaled, back);
+  EXPECT_NEAR(back[0], 2.5, 1e-12);
+  EXPECT_NEAR(back[1], 17.0, 1e-12);
+}
+
+TEST(Scaler, ConstantColumnPassesThrough) {
+  Matrix x(4, 1, {7.0, 7.0, 7.0, 7.0});
+  StandardScaler scaler;
+  scaler.fit(x);
+  std::vector<double> in{7.0}, out(1);
+  scaler.transformRow(in, out);
+  EXPECT_DOUBLE_EQ(out[0], 0.0);  // centered, scale 1
+  EXPECT_DOUBLE_EQ(scaler.outputScale(0), 1.0);
+}
+
+TEST(Scaler, ScaleAccessorsAreReciprocal) {
+  Matrix x(3, 1, {0.0, 10.0, 20.0});
+  StandardScaler scaler;
+  scaler.fit(x);
+  EXPECT_NEAR(scaler.inputScale(0) * scaler.outputScale(0), 1.0, 1e-12);
+}
+
+TEST(Scaler, SerializationRoundTrip) {
+  Matrix x(3, 2, {1.0, 100.0, 2.0, 200.0, 3.0, 300.0});
+  StandardScaler a;
+  a.fit(x);
+  std::stringstream buf;
+  a.save(buf);
+  StandardScaler b;
+  b.load(buf);
+  std::vector<double> in{2.0, 150.0}, outA(2), outB(2);
+  a.transformRow(in, outA);
+  b.transformRow(in, outB);
+  EXPECT_DOUBLE_EQ(outA[0], outB[0]);
+  EXPECT_DOUBLE_EQ(outA[1], outB[1]);
+}
+
+TEST(OutputTransform, IdentityPassthrough) {
+  auto t = OutputTransform::identity();
+  EXPECT_DOUBLE_EQ(t.apply(3.0), 3.0);
+  EXPECT_DOUBLE_EQ(t.invert(3.0), 3.0);
+  EXPECT_DOUBLE_EQ(t.inverseDerivative(3.0), 1.0);
+}
+
+TEST(OutputTransform, LogMagnitudePositiveSign) {
+  auto t = OutputTransform::logMagnitude(+1.0);
+  EXPECT_NEAR(t.invert(t.apply(85.0)), 85.0, 1e-9);
+  EXPECT_NEAR(t.apply(std::exp(2.0)), 2.0, 1e-12);
+}
+
+TEST(OutputTransform, LogMagnitudeNegativeSign) {
+  auto t = OutputTransform::logMagnitude(-1.0);
+  EXPECT_NEAR(t.invert(t.apply(-0.45)), -0.45, 1e-12);
+  EXPECT_LT(t.invert(0.0), 0.0);  // inverse restores the sign
+}
+
+TEST(OutputTransform, FloorClampsTinyMagnitudes) {
+  auto t = OutputTransform::logMagnitude(-1.0, 1e-4);
+  EXPECT_DOUBLE_EQ(t.apply(0.0), std::log(1e-4));
+  EXPECT_DOUBLE_EQ(t.apply(1e-9), std::log(1e-4));  // NEXT can be ~0
+}
+
+TEST(OutputTransform, InverseDerivativeEqualsInverse) {
+  auto t = OutputTransform::logMagnitude(-1.0);
+  // d(s e^t)/dt = s e^t = invert(t) for the log transform.
+  EXPECT_DOUBLE_EQ(t.inverseDerivative(1.3), t.invert(1.3));
+}
+
+}  // namespace
+}  // namespace isop::ml

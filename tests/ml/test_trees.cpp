@@ -1,0 +1,148 @@
+#include "ml/tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/metrics.hpp"
+
+namespace isop::ml {
+namespace {
+
+TEST(FeatureBinner, QuantileEdgesAndBinning) {
+  Matrix x(100, 1);
+  for (std::size_t i = 0; i < 100; ++i) x(i, 0) = static_cast<double>(i);
+  FeatureBinner binner;
+  binner.fit(x, 4);
+  EXPECT_EQ(binner.featureCount(), 1u);
+  EXPECT_EQ(binner.binCount(0), 4u);
+  EXPECT_EQ(binner.binOf(0, -10.0), 0);
+  EXPECT_EQ(binner.binOf(0, 1000.0), 3);
+  // Monotone: larger values never map to smaller bins.
+  std::uint8_t prev = 0;
+  for (double v = 0.0; v < 100.0; v += 1.0) {
+    std::uint8_t b = binner.binOf(0, v);
+    EXPECT_GE(b, prev);
+    prev = b;
+  }
+}
+
+TEST(FeatureBinner, ConstantColumnSingleBin) {
+  Matrix x(50, 1, 7.0);
+  FeatureBinner binner;
+  binner.fit(x, 8);
+  EXPECT_EQ(binner.binCount(0), 2u);  // one dedup'd edge -> 2 bins max
+}
+
+TEST(DecisionTree, FitsStepFunctionExactly) {
+  // y = 1 if x > 0.5 else 0: a single split suffices.
+  Matrix x(200, 1);
+  std::vector<double> y(200);
+  for (std::size_t i = 0; i < 200; ++i) {
+    x(i, 0) = static_cast<double>(i) / 200.0;
+    y[i] = x(i, 0) > 0.5 ? 1.0 : 0.0;
+  }
+  DecisionTreeRegressor tree;
+  tree.fit(x, y);
+  std::vector<double> xq{0.1};
+  EXPECT_NEAR(tree.predictOne(xq), 0.0, 1e-9);
+  xq[0] = 0.9;
+  EXPECT_NEAR(tree.predictOne(xq), 1.0, 1e-9);
+}
+
+TEST(DecisionTree, RespectsMaxDepth) {
+  Matrix x(256, 1);
+  std::vector<double> y(256);
+  Rng rng(1);
+  for (std::size_t i = 0; i < 256; ++i) {
+    x(i, 0) = static_cast<double>(i);
+    y[i] = rng.uniform();  // pure noise: tree wants to overfit
+  }
+  DecisionTreeConfig cfg;
+  cfg.maxDepth = 2;
+  cfg.minSamplesLeaf = 1;
+  DecisionTreeRegressor shallow(cfg);
+  shallow.fit(x, y);
+  // Depth 2 -> at most 4 distinct leaf values.
+  std::set<double> values;
+  for (std::size_t i = 0; i < 256; ++i) values.insert(shallow.predictOne(x.row(i)));
+  EXPECT_LE(values.size(), 4u);
+}
+
+TEST(DecisionTree, PredictsMeanForConstantFeatures) {
+  Matrix x(10, 2, 1.0);
+  std::vector<double> y{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  DecisionTreeRegressor tree;
+  tree.fit(x, y);
+  std::vector<double> q{1.0, 1.0};
+  EXPECT_NEAR(tree.predictOne(q), 5.5, 1e-9);
+}
+
+TEST(DecisionTree, LearnsTwoDimensionalInteraction) {
+  // y = XOR-ish: sign(x0) * sign(x1). Needs depth >= 2.
+  Rng rng(5);
+  Matrix x(1000, 2);
+  std::vector<double> y(1000);
+  for (std::size_t i = 0; i < 1000; ++i) {
+    x(i, 0) = rng.uniform(-1.0, 1.0);
+    x(i, 1) = rng.uniform(-1.0, 1.0);
+    y[i] = (x(i, 0) > 0) == (x(i, 1) > 0) ? 1.0 : -1.0;
+  }
+  DecisionTreeRegressor tree;
+  tree.fit(x, y);
+  std::vector<double> preds, truths;
+  Rng rng2(7);
+  for (int i = 0; i < 200; ++i) {
+    std::vector<double> q{rng2.uniform(-1.0, 1.0), rng2.uniform(-1.0, 1.0)};
+    truths.push_back((q[0] > 0) == (q[1] > 0) ? 1.0 : -1.0);
+    preds.push_back(tree.predictOne(q));
+  }
+  EXPECT_LT(mae(truths, preds), 0.15);
+}
+
+TEST(GradientTreeXgb, LambdaShrinksLeaves) {
+  // One leaf, lambda = count -> leaf value = mean/2.
+  Matrix x(4, 1, 0.0);
+  FeatureBinner binner;
+  binner.fit(x, 4);
+  std::vector<std::uint8_t> binned;
+  binner.transform(x, binned);
+  std::vector<std::size_t> rows{0, 1, 2, 3};
+  std::vector<double> g{-2.0, -2.0, -2.0, -2.0}, h{1.0, 1.0, 1.0, 1.0};
+  TreeConfig cfg;
+  cfg.lambda = 4.0;
+  Rng rng(1);
+  GradientTree tree;
+  tree.fit(binner, binned, 1, rows, g, h, cfg, rng);
+  std::vector<double> q{0.0};
+  // -sum(g)/(sum(h)+lambda) = 8/(4+4) = 1 instead of the unregularized 2.
+  EXPECT_NEAR(tree.predictOne(q), 1.0, 1e-12);
+}
+
+TEST(GradientTreeXgb, GammaBlocksWeakSplits) {
+  Matrix x(100, 1);
+  std::vector<double> y(100);
+  Rng rng(3);
+  for (std::size_t i = 0; i < 100; ++i) {
+    x(i, 0) = static_cast<double>(i);
+    y[i] = rng.uniform(-0.01, 0.01);  // nearly constant target
+  }
+  FeatureBinner binner;
+  binner.fit(x, 32);
+  std::vector<std::uint8_t> binned;
+  binner.transform(x, binned);
+  std::vector<std::size_t> rows(100);
+  for (std::size_t i = 0; i < 100; ++i) rows[i] = i;
+  std::vector<double> g(100), h(100, 1.0);
+  for (std::size_t i = 0; i < 100; ++i) g[i] = -y[i];
+  TreeConfig cfg;
+  cfg.gamma = 10.0;  // demands large gain
+  Rng rng2(4);
+  GradientTree tree;
+  tree.fit(binner, binned, 1, rows, g, h, cfg, rng2);
+  EXPECT_EQ(tree.nodeCount(), 1u);  // no split worth gamma
+  EXPECT_EQ(tree.depth(), 0u);
+}
+
+}  // namespace
+}  // namespace isop::ml
