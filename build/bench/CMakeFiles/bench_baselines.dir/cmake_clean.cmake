@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baselines.dir/bench_baselines.cpp.o"
+  "CMakeFiles/bench_baselines.dir/bench_baselines.cpp.o.d"
+  "bench_baselines"
+  "bench_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

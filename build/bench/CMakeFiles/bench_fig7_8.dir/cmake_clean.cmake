@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_8.dir/bench_fig7_8.cpp.o"
+  "CMakeFiles/bench_fig7_8.dir/bench_fig7_8.cpp.o.d"
+  "bench_fig7_8"
+  "bench_fig7_8.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_8.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

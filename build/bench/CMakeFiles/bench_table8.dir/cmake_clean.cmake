@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8.dir/bench_table8.cpp.o"
+  "CMakeFiles/bench_table8.dir/bench_table8.cpp.o.d"
+  "bench_table8"
+  "bench_table8.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

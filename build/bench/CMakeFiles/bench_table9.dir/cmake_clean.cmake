@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table9.dir/bench_table9.cpp.o"
+  "CMakeFiles/bench_table9.dir/bench_table9.cpp.o.d"
+  "bench_table9"
+  "bench_table9.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libisop_bench_common.a"
+  "../lib/libisop_bench_common.pdb"
+  "CMakeFiles/isop_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/isop_bench_common.dir/bench_common.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isop_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

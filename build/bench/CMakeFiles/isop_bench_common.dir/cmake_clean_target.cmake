@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libisop_bench_common.a"
+)

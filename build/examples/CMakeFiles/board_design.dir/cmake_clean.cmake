@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/board_design.dir/board_design.cpp.o"
+  "CMakeFiles/board_design.dir/board_design.cpp.o.d"
+  "board_design"
+  "board_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/board_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

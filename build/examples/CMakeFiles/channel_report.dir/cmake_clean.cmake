@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/channel_report.dir/channel_report.cpp.o"
+  "CMakeFiles/channel_report.dir/channel_report.cpp.o.d"
+  "channel_report"
+  "channel_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/channel_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_constraints.dir/custom_constraints.cpp.o"
+  "CMakeFiles/custom_constraints.dir/custom_constraints.cpp.o.d"
+  "custom_constraints"
+  "custom_constraints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isop_cli.dir/isop_cli.cpp.o"
+  "CMakeFiles/isop_cli.dir/isop_cli.cpp.o.d"
+  "isop_cli"
+  "isop_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isop_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

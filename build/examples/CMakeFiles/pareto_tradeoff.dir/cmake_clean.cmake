@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pareto_tradeoff.dir/pareto_tradeoff.cpp.o"
+  "CMakeFiles/pareto_tradeoff.dir/pareto_tradeoff.cpp.o.d"
+  "pareto_tradeoff"
+  "pareto_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pareto_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/stackup_explorer.cpp" "examples/CMakeFiles/stackup_explorer.dir/stackup_explorer.cpp.o" "gcc" "examples/CMakeFiles/stackup_explorer.dir/stackup_explorer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/isop_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpo/CMakeFiles/isop_hpo.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/isop_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/isop_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/em/CMakeFiles/isop_em.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/isop_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

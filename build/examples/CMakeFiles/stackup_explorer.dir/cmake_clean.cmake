@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stackup_explorer.dir/stackup_explorer.cpp.o"
+  "CMakeFiles/stackup_explorer.dir/stackup_explorer.cpp.o.d"
+  "stackup_explorer"
+  "stackup_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stackup_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for stackup_explorer.
+# This may be replaced when dependencies are built.

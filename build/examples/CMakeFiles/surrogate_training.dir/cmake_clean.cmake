@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surrogate_training.dir/surrogate_training.cpp.o"
+  "CMakeFiles/surrogate_training.dir/surrogate_training.cpp.o.d"
+  "surrogate_training"
+  "surrogate_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surrogate_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isop_common.dir/cli.cpp.o"
+  "CMakeFiles/isop_common.dir/cli.cpp.o.d"
+  "CMakeFiles/isop_common.dir/csv.cpp.o"
+  "CMakeFiles/isop_common.dir/csv.cpp.o.d"
+  "CMakeFiles/isop_common.dir/json.cpp.o"
+  "CMakeFiles/isop_common.dir/json.cpp.o.d"
+  "CMakeFiles/isop_common.dir/logging.cpp.o"
+  "CMakeFiles/isop_common.dir/logging.cpp.o.d"
+  "CMakeFiles/isop_common.dir/matrix.cpp.o"
+  "CMakeFiles/isop_common.dir/matrix.cpp.o.d"
+  "CMakeFiles/isop_common.dir/rng.cpp.o"
+  "CMakeFiles/isop_common.dir/rng.cpp.o.d"
+  "CMakeFiles/isop_common.dir/stats.cpp.o"
+  "CMakeFiles/isop_common.dir/stats.cpp.o.d"
+  "CMakeFiles/isop_common.dir/string_utils.cpp.o"
+  "CMakeFiles/isop_common.dir/string_utils.cpp.o.d"
+  "CMakeFiles/isop_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/isop_common.dir/thread_pool.cpp.o.d"
+  "libisop_common.a"
+  "libisop_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isop_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analysis.cpp" "src/core/CMakeFiles/isop_core.dir/analysis.cpp.o" "gcc" "src/core/CMakeFiles/isop_core.dir/analysis.cpp.o.d"
+  "/root/repo/src/core/board.cpp" "src/core/CMakeFiles/isop_core.dir/board.cpp.o" "gcc" "src/core/CMakeFiles/isop_core.dir/board.cpp.o.d"
+  "/root/repo/src/core/isop.cpp" "src/core/CMakeFiles/isop_core.dir/isop.cpp.o" "gcc" "src/core/CMakeFiles/isop_core.dir/isop.cpp.o.d"
+  "/root/repo/src/core/objective.cpp" "src/core/CMakeFiles/isop_core.dir/objective.cpp.o" "gcc" "src/core/CMakeFiles/isop_core.dir/objective.cpp.o.d"
+  "/root/repo/src/core/pareto.cpp" "src/core/CMakeFiles/isop_core.dir/pareto.cpp.o" "gcc" "src/core/CMakeFiles/isop_core.dir/pareto.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/isop_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/isop_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/simulator_surrogate.cpp" "src/core/CMakeFiles/isop_core.dir/simulator_surrogate.cpp.o" "gcc" "src/core/CMakeFiles/isop_core.dir/simulator_surrogate.cpp.o.d"
+  "/root/repo/src/core/surrogate_objective.cpp" "src/core/CMakeFiles/isop_core.dir/surrogate_objective.cpp.o" "gcc" "src/core/CMakeFiles/isop_core.dir/surrogate_objective.cpp.o.d"
+  "/root/repo/src/core/tasks.cpp" "src/core/CMakeFiles/isop_core.dir/tasks.cpp.o" "gcc" "src/core/CMakeFiles/isop_core.dir/tasks.cpp.o.d"
+  "/root/repo/src/core/trial_runner.cpp" "src/core/CMakeFiles/isop_core.dir/trial_runner.cpp.o" "gcc" "src/core/CMakeFiles/isop_core.dir/trial_runner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/isop_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/em/CMakeFiles/isop_em.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/isop_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpo/CMakeFiles/isop_hpo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

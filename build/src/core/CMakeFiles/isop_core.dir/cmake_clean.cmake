@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isop_core.dir/analysis.cpp.o"
+  "CMakeFiles/isop_core.dir/analysis.cpp.o.d"
+  "CMakeFiles/isop_core.dir/board.cpp.o"
+  "CMakeFiles/isop_core.dir/board.cpp.o.d"
+  "CMakeFiles/isop_core.dir/isop.cpp.o"
+  "CMakeFiles/isop_core.dir/isop.cpp.o.d"
+  "CMakeFiles/isop_core.dir/objective.cpp.o"
+  "CMakeFiles/isop_core.dir/objective.cpp.o.d"
+  "CMakeFiles/isop_core.dir/pareto.cpp.o"
+  "CMakeFiles/isop_core.dir/pareto.cpp.o.d"
+  "CMakeFiles/isop_core.dir/report.cpp.o"
+  "CMakeFiles/isop_core.dir/report.cpp.o.d"
+  "CMakeFiles/isop_core.dir/simulator_surrogate.cpp.o"
+  "CMakeFiles/isop_core.dir/simulator_surrogate.cpp.o.d"
+  "CMakeFiles/isop_core.dir/surrogate_objective.cpp.o"
+  "CMakeFiles/isop_core.dir/surrogate_objective.cpp.o.d"
+  "CMakeFiles/isop_core.dir/tasks.cpp.o"
+  "CMakeFiles/isop_core.dir/tasks.cpp.o.d"
+  "CMakeFiles/isop_core.dir/trial_runner.cpp.o"
+  "CMakeFiles/isop_core.dir/trial_runner.cpp.o.d"
+  "libisop_core.a"
+  "libisop_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isop_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isop_data.dir/cache.cpp.o"
+  "CMakeFiles/isop_data.dir/cache.cpp.o.d"
+  "CMakeFiles/isop_data.dir/dataset_gen.cpp.o"
+  "CMakeFiles/isop_data.dir/dataset_gen.cpp.o.d"
+  "libisop_data.a"
+  "libisop_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isop_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

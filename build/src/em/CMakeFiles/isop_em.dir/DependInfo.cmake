@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/em/crosstalk.cpp" "src/em/CMakeFiles/isop_em.dir/crosstalk.cpp.o" "gcc" "src/em/CMakeFiles/isop_em.dir/crosstalk.cpp.o.d"
+  "/root/repo/src/em/frequency_sweep.cpp" "src/em/CMakeFiles/isop_em.dir/frequency_sweep.cpp.o" "gcc" "src/em/CMakeFiles/isop_em.dir/frequency_sweep.cpp.o.d"
+  "/root/repo/src/em/loss_model.cpp" "src/em/CMakeFiles/isop_em.dir/loss_model.cpp.o" "gcc" "src/em/CMakeFiles/isop_em.dir/loss_model.cpp.o.d"
+  "/root/repo/src/em/microstrip.cpp" "src/em/CMakeFiles/isop_em.dir/microstrip.cpp.o" "gcc" "src/em/CMakeFiles/isop_em.dir/microstrip.cpp.o.d"
+  "/root/repo/src/em/parameter_space.cpp" "src/em/CMakeFiles/isop_em.dir/parameter_space.cpp.o" "gcc" "src/em/CMakeFiles/isop_em.dir/parameter_space.cpp.o.d"
+  "/root/repo/src/em/simulator.cpp" "src/em/CMakeFiles/isop_em.dir/simulator.cpp.o" "gcc" "src/em/CMakeFiles/isop_em.dir/simulator.cpp.o.d"
+  "/root/repo/src/em/stackup.cpp" "src/em/CMakeFiles/isop_em.dir/stackup.cpp.o" "gcc" "src/em/CMakeFiles/isop_em.dir/stackup.cpp.o.d"
+  "/root/repo/src/em/stripline.cpp" "src/em/CMakeFiles/isop_em.dir/stripline.cpp.o" "gcc" "src/em/CMakeFiles/isop_em.dir/stripline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/isop_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

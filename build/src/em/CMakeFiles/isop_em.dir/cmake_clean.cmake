@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isop_em.dir/crosstalk.cpp.o"
+  "CMakeFiles/isop_em.dir/crosstalk.cpp.o.d"
+  "CMakeFiles/isop_em.dir/frequency_sweep.cpp.o"
+  "CMakeFiles/isop_em.dir/frequency_sweep.cpp.o.d"
+  "CMakeFiles/isop_em.dir/loss_model.cpp.o"
+  "CMakeFiles/isop_em.dir/loss_model.cpp.o.d"
+  "CMakeFiles/isop_em.dir/microstrip.cpp.o"
+  "CMakeFiles/isop_em.dir/microstrip.cpp.o.d"
+  "CMakeFiles/isop_em.dir/parameter_space.cpp.o"
+  "CMakeFiles/isop_em.dir/parameter_space.cpp.o.d"
+  "CMakeFiles/isop_em.dir/simulator.cpp.o"
+  "CMakeFiles/isop_em.dir/simulator.cpp.o.d"
+  "CMakeFiles/isop_em.dir/stackup.cpp.o"
+  "CMakeFiles/isop_em.dir/stackup.cpp.o.d"
+  "CMakeFiles/isop_em.dir/stripline.cpp.o"
+  "CMakeFiles/isop_em.dir/stripline.cpp.o.d"
+  "libisop_em.a"
+  "libisop_em.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isop_em.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libisop_em.a"
+)

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hpo/adam_refiner.cpp" "src/hpo/CMakeFiles/isop_hpo.dir/adam_refiner.cpp.o" "gcc" "src/hpo/CMakeFiles/isop_hpo.dir/adam_refiner.cpp.o.d"
+  "/root/repo/src/hpo/binary_codec.cpp" "src/hpo/CMakeFiles/isop_hpo.dir/binary_codec.cpp.o" "gcc" "src/hpo/CMakeFiles/isop_hpo.dir/binary_codec.cpp.o.d"
+  "/root/repo/src/hpo/genetic.cpp" "src/hpo/CMakeFiles/isop_hpo.dir/genetic.cpp.o" "gcc" "src/hpo/CMakeFiles/isop_hpo.dir/genetic.cpp.o.d"
+  "/root/repo/src/hpo/harmonica.cpp" "src/hpo/CMakeFiles/isop_hpo.dir/harmonica.cpp.o" "gcc" "src/hpo/CMakeFiles/isop_hpo.dir/harmonica.cpp.o.d"
+  "/root/repo/src/hpo/hyperband.cpp" "src/hpo/CMakeFiles/isop_hpo.dir/hyperband.cpp.o" "gcc" "src/hpo/CMakeFiles/isop_hpo.dir/hyperband.cpp.o.d"
+  "/root/repo/src/hpo/lasso.cpp" "src/hpo/CMakeFiles/isop_hpo.dir/lasso.cpp.o" "gcc" "src/hpo/CMakeFiles/isop_hpo.dir/lasso.cpp.o.d"
+  "/root/repo/src/hpo/parity_features.cpp" "src/hpo/CMakeFiles/isop_hpo.dir/parity_features.cpp.o" "gcc" "src/hpo/CMakeFiles/isop_hpo.dir/parity_features.cpp.o.d"
+  "/root/repo/src/hpo/random_search.cpp" "src/hpo/CMakeFiles/isop_hpo.dir/random_search.cpp.o" "gcc" "src/hpo/CMakeFiles/isop_hpo.dir/random_search.cpp.o.d"
+  "/root/repo/src/hpo/simulated_annealing.cpp" "src/hpo/CMakeFiles/isop_hpo.dir/simulated_annealing.cpp.o" "gcc" "src/hpo/CMakeFiles/isop_hpo.dir/simulated_annealing.cpp.o.d"
+  "/root/repo/src/hpo/tpe.cpp" "src/hpo/CMakeFiles/isop_hpo.dir/tpe.cpp.o" "gcc" "src/hpo/CMakeFiles/isop_hpo.dir/tpe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/isop_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/em/CMakeFiles/isop_em.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/isop_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

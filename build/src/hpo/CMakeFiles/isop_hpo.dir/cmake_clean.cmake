@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isop_hpo.dir/adam_refiner.cpp.o"
+  "CMakeFiles/isop_hpo.dir/adam_refiner.cpp.o.d"
+  "CMakeFiles/isop_hpo.dir/binary_codec.cpp.o"
+  "CMakeFiles/isop_hpo.dir/binary_codec.cpp.o.d"
+  "CMakeFiles/isop_hpo.dir/genetic.cpp.o"
+  "CMakeFiles/isop_hpo.dir/genetic.cpp.o.d"
+  "CMakeFiles/isop_hpo.dir/harmonica.cpp.o"
+  "CMakeFiles/isop_hpo.dir/harmonica.cpp.o.d"
+  "CMakeFiles/isop_hpo.dir/hyperband.cpp.o"
+  "CMakeFiles/isop_hpo.dir/hyperband.cpp.o.d"
+  "CMakeFiles/isop_hpo.dir/lasso.cpp.o"
+  "CMakeFiles/isop_hpo.dir/lasso.cpp.o.d"
+  "CMakeFiles/isop_hpo.dir/parity_features.cpp.o"
+  "CMakeFiles/isop_hpo.dir/parity_features.cpp.o.d"
+  "CMakeFiles/isop_hpo.dir/random_search.cpp.o"
+  "CMakeFiles/isop_hpo.dir/random_search.cpp.o.d"
+  "CMakeFiles/isop_hpo.dir/simulated_annealing.cpp.o"
+  "CMakeFiles/isop_hpo.dir/simulated_annealing.cpp.o.d"
+  "CMakeFiles/isop_hpo.dir/tpe.cpp.o"
+  "CMakeFiles/isop_hpo.dir/tpe.cpp.o.d"
+  "libisop_hpo.a"
+  "libisop_hpo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isop_hpo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/cross_validation.cpp" "src/ml/CMakeFiles/isop_ml.dir/cross_validation.cpp.o" "gcc" "src/ml/CMakeFiles/isop_ml.dir/cross_validation.cpp.o.d"
+  "/root/repo/src/ml/dataset.cpp" "src/ml/CMakeFiles/isop_ml.dir/dataset.cpp.o" "gcc" "src/ml/CMakeFiles/isop_ml.dir/dataset.cpp.o.d"
+  "/root/repo/src/ml/ensemble.cpp" "src/ml/CMakeFiles/isop_ml.dir/ensemble.cpp.o" "gcc" "src/ml/CMakeFiles/isop_ml.dir/ensemble.cpp.o.d"
+  "/root/repo/src/ml/ensemble_surrogate.cpp" "src/ml/CMakeFiles/isop_ml.dir/ensemble_surrogate.cpp.o" "gcc" "src/ml/CMakeFiles/isop_ml.dir/ensemble_surrogate.cpp.o.d"
+  "/root/repo/src/ml/linear.cpp" "src/ml/CMakeFiles/isop_ml.dir/linear.cpp.o" "gcc" "src/ml/CMakeFiles/isop_ml.dir/linear.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/ml/CMakeFiles/isop_ml.dir/metrics.cpp.o" "gcc" "src/ml/CMakeFiles/isop_ml.dir/metrics.cpp.o.d"
+  "/root/repo/src/ml/neural_regressor.cpp" "src/ml/CMakeFiles/isop_ml.dir/neural_regressor.cpp.o" "gcc" "src/ml/CMakeFiles/isop_ml.dir/neural_regressor.cpp.o.d"
+  "/root/repo/src/ml/nn/activation.cpp" "src/ml/CMakeFiles/isop_ml.dir/nn/activation.cpp.o" "gcc" "src/ml/CMakeFiles/isop_ml.dir/nn/activation.cpp.o.d"
+  "/root/repo/src/ml/nn/adam.cpp" "src/ml/CMakeFiles/isop_ml.dir/nn/adam.cpp.o" "gcc" "src/ml/CMakeFiles/isop_ml.dir/nn/adam.cpp.o.d"
+  "/root/repo/src/ml/nn/batch_norm.cpp" "src/ml/CMakeFiles/isop_ml.dir/nn/batch_norm.cpp.o" "gcc" "src/ml/CMakeFiles/isop_ml.dir/nn/batch_norm.cpp.o.d"
+  "/root/repo/src/ml/nn/conv1d.cpp" "src/ml/CMakeFiles/isop_ml.dir/nn/conv1d.cpp.o" "gcc" "src/ml/CMakeFiles/isop_ml.dir/nn/conv1d.cpp.o.d"
+  "/root/repo/src/ml/nn/dense.cpp" "src/ml/CMakeFiles/isop_ml.dir/nn/dense.cpp.o" "gcc" "src/ml/CMakeFiles/isop_ml.dir/nn/dense.cpp.o.d"
+  "/root/repo/src/ml/nn/dropout.cpp" "src/ml/CMakeFiles/isop_ml.dir/nn/dropout.cpp.o" "gcc" "src/ml/CMakeFiles/isop_ml.dir/nn/dropout.cpp.o.d"
+  "/root/repo/src/ml/nn/sequential.cpp" "src/ml/CMakeFiles/isop_ml.dir/nn/sequential.cpp.o" "gcc" "src/ml/CMakeFiles/isop_ml.dir/nn/sequential.cpp.o.d"
+  "/root/repo/src/ml/nn/trainer.cpp" "src/ml/CMakeFiles/isop_ml.dir/nn/trainer.cpp.o" "gcc" "src/ml/CMakeFiles/isop_ml.dir/nn/trainer.cpp.o.d"
+  "/root/repo/src/ml/scaler.cpp" "src/ml/CMakeFiles/isop_ml.dir/scaler.cpp.o" "gcc" "src/ml/CMakeFiles/isop_ml.dir/scaler.cpp.o.d"
+  "/root/repo/src/ml/single_output.cpp" "src/ml/CMakeFiles/isop_ml.dir/single_output.cpp.o" "gcc" "src/ml/CMakeFiles/isop_ml.dir/single_output.cpp.o.d"
+  "/root/repo/src/ml/surrogate.cpp" "src/ml/CMakeFiles/isop_ml.dir/surrogate.cpp.o" "gcc" "src/ml/CMakeFiles/isop_ml.dir/surrogate.cpp.o.d"
+  "/root/repo/src/ml/svr.cpp" "src/ml/CMakeFiles/isop_ml.dir/svr.cpp.o" "gcc" "src/ml/CMakeFiles/isop_ml.dir/svr.cpp.o.d"
+  "/root/repo/src/ml/tree.cpp" "src/ml/CMakeFiles/isop_ml.dir/tree.cpp.o" "gcc" "src/ml/CMakeFiles/isop_ml.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/isop_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

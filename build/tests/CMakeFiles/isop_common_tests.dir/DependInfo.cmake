@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/test_cli.cpp" "tests/CMakeFiles/isop_common_tests.dir/common/test_cli.cpp.o" "gcc" "tests/CMakeFiles/isop_common_tests.dir/common/test_cli.cpp.o.d"
+  "/root/repo/tests/common/test_csv.cpp" "tests/CMakeFiles/isop_common_tests.dir/common/test_csv.cpp.o" "gcc" "tests/CMakeFiles/isop_common_tests.dir/common/test_csv.cpp.o.d"
+  "/root/repo/tests/common/test_json.cpp" "tests/CMakeFiles/isop_common_tests.dir/common/test_json.cpp.o" "gcc" "tests/CMakeFiles/isop_common_tests.dir/common/test_json.cpp.o.d"
+  "/root/repo/tests/common/test_logging.cpp" "tests/CMakeFiles/isop_common_tests.dir/common/test_logging.cpp.o" "gcc" "tests/CMakeFiles/isop_common_tests.dir/common/test_logging.cpp.o.d"
+  "/root/repo/tests/common/test_matrix.cpp" "tests/CMakeFiles/isop_common_tests.dir/common/test_matrix.cpp.o" "gcc" "tests/CMakeFiles/isop_common_tests.dir/common/test_matrix.cpp.o.d"
+  "/root/repo/tests/common/test_rng.cpp" "tests/CMakeFiles/isop_common_tests.dir/common/test_rng.cpp.o" "gcc" "tests/CMakeFiles/isop_common_tests.dir/common/test_rng.cpp.o.d"
+  "/root/repo/tests/common/test_stats.cpp" "tests/CMakeFiles/isop_common_tests.dir/common/test_stats.cpp.o" "gcc" "tests/CMakeFiles/isop_common_tests.dir/common/test_stats.cpp.o.d"
+  "/root/repo/tests/common/test_strings.cpp" "tests/CMakeFiles/isop_common_tests.dir/common/test_strings.cpp.o" "gcc" "tests/CMakeFiles/isop_common_tests.dir/common/test_strings.cpp.o.d"
+  "/root/repo/tests/common/test_thread_pool.cpp" "tests/CMakeFiles/isop_common_tests.dir/common/test_thread_pool.cpp.o" "gcc" "tests/CMakeFiles/isop_common_tests.dir/common/test_thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/isop_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpo/CMakeFiles/isop_hpo.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/isop_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/isop_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/em/CMakeFiles/isop_em.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/isop_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isop_common_tests.dir/common/test_cli.cpp.o"
+  "CMakeFiles/isop_common_tests.dir/common/test_cli.cpp.o.d"
+  "CMakeFiles/isop_common_tests.dir/common/test_csv.cpp.o"
+  "CMakeFiles/isop_common_tests.dir/common/test_csv.cpp.o.d"
+  "CMakeFiles/isop_common_tests.dir/common/test_json.cpp.o"
+  "CMakeFiles/isop_common_tests.dir/common/test_json.cpp.o.d"
+  "CMakeFiles/isop_common_tests.dir/common/test_logging.cpp.o"
+  "CMakeFiles/isop_common_tests.dir/common/test_logging.cpp.o.d"
+  "CMakeFiles/isop_common_tests.dir/common/test_matrix.cpp.o"
+  "CMakeFiles/isop_common_tests.dir/common/test_matrix.cpp.o.d"
+  "CMakeFiles/isop_common_tests.dir/common/test_rng.cpp.o"
+  "CMakeFiles/isop_common_tests.dir/common/test_rng.cpp.o.d"
+  "CMakeFiles/isop_common_tests.dir/common/test_stats.cpp.o"
+  "CMakeFiles/isop_common_tests.dir/common/test_stats.cpp.o.d"
+  "CMakeFiles/isop_common_tests.dir/common/test_strings.cpp.o"
+  "CMakeFiles/isop_common_tests.dir/common/test_strings.cpp.o.d"
+  "CMakeFiles/isop_common_tests.dir/common/test_thread_pool.cpp.o"
+  "CMakeFiles/isop_common_tests.dir/common/test_thread_pool.cpp.o.d"
+  "isop_common_tests"
+  "isop_common_tests.pdb"
+  "isop_common_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isop_common_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_adaptive_weights.cpp" "tests/CMakeFiles/isop_core_tests.dir/core/test_adaptive_weights.cpp.o" "gcc" "tests/CMakeFiles/isop_core_tests.dir/core/test_adaptive_weights.cpp.o.d"
+  "/root/repo/tests/core/test_analysis.cpp" "tests/CMakeFiles/isop_core_tests.dir/core/test_analysis.cpp.o" "gcc" "tests/CMakeFiles/isop_core_tests.dir/core/test_analysis.cpp.o.d"
+  "/root/repo/tests/core/test_board.cpp" "tests/CMakeFiles/isop_core_tests.dir/core/test_board.cpp.o" "gcc" "tests/CMakeFiles/isop_core_tests.dir/core/test_board.cpp.o.d"
+  "/root/repo/tests/core/test_dataset_gen.cpp" "tests/CMakeFiles/isop_core_tests.dir/core/test_dataset_gen.cpp.o" "gcc" "tests/CMakeFiles/isop_core_tests.dir/core/test_dataset_gen.cpp.o.d"
+  "/root/repo/tests/core/test_integration.cpp" "tests/CMakeFiles/isop_core_tests.dir/core/test_integration.cpp.o" "gcc" "tests/CMakeFiles/isop_core_tests.dir/core/test_integration.cpp.o.d"
+  "/root/repo/tests/core/test_isop.cpp" "tests/CMakeFiles/isop_core_tests.dir/core/test_isop.cpp.o" "gcc" "tests/CMakeFiles/isop_core_tests.dir/core/test_isop.cpp.o.d"
+  "/root/repo/tests/core/test_objective.cpp" "tests/CMakeFiles/isop_core_tests.dir/core/test_objective.cpp.o" "gcc" "tests/CMakeFiles/isop_core_tests.dir/core/test_objective.cpp.o.d"
+  "/root/repo/tests/core/test_objective_sweep.cpp" "tests/CMakeFiles/isop_core_tests.dir/core/test_objective_sweep.cpp.o" "gcc" "tests/CMakeFiles/isop_core_tests.dir/core/test_objective_sweep.cpp.o.d"
+  "/root/repo/tests/core/test_pareto.cpp" "tests/CMakeFiles/isop_core_tests.dir/core/test_pareto.cpp.o" "gcc" "tests/CMakeFiles/isop_core_tests.dir/core/test_pareto.cpp.o.d"
+  "/root/repo/tests/core/test_report.cpp" "tests/CMakeFiles/isop_core_tests.dir/core/test_report.cpp.o" "gcc" "tests/CMakeFiles/isop_core_tests.dir/core/test_report.cpp.o.d"
+  "/root/repo/tests/core/test_surrogate_objective.cpp" "tests/CMakeFiles/isop_core_tests.dir/core/test_surrogate_objective.cpp.o" "gcc" "tests/CMakeFiles/isop_core_tests.dir/core/test_surrogate_objective.cpp.o.d"
+  "/root/repo/tests/core/test_tasks.cpp" "tests/CMakeFiles/isop_core_tests.dir/core/test_tasks.cpp.o" "gcc" "tests/CMakeFiles/isop_core_tests.dir/core/test_tasks.cpp.o.d"
+  "/root/repo/tests/core/test_trial_runner.cpp" "tests/CMakeFiles/isop_core_tests.dir/core/test_trial_runner.cpp.o" "gcc" "tests/CMakeFiles/isop_core_tests.dir/core/test_trial_runner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/isop_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpo/CMakeFiles/isop_hpo.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/isop_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/isop_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/em/CMakeFiles/isop_em.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/isop_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

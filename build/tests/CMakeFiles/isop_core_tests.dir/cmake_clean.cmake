@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isop_core_tests.dir/core/test_adaptive_weights.cpp.o"
+  "CMakeFiles/isop_core_tests.dir/core/test_adaptive_weights.cpp.o.d"
+  "CMakeFiles/isop_core_tests.dir/core/test_analysis.cpp.o"
+  "CMakeFiles/isop_core_tests.dir/core/test_analysis.cpp.o.d"
+  "CMakeFiles/isop_core_tests.dir/core/test_board.cpp.o"
+  "CMakeFiles/isop_core_tests.dir/core/test_board.cpp.o.d"
+  "CMakeFiles/isop_core_tests.dir/core/test_dataset_gen.cpp.o"
+  "CMakeFiles/isop_core_tests.dir/core/test_dataset_gen.cpp.o.d"
+  "CMakeFiles/isop_core_tests.dir/core/test_integration.cpp.o"
+  "CMakeFiles/isop_core_tests.dir/core/test_integration.cpp.o.d"
+  "CMakeFiles/isop_core_tests.dir/core/test_isop.cpp.o"
+  "CMakeFiles/isop_core_tests.dir/core/test_isop.cpp.o.d"
+  "CMakeFiles/isop_core_tests.dir/core/test_objective.cpp.o"
+  "CMakeFiles/isop_core_tests.dir/core/test_objective.cpp.o.d"
+  "CMakeFiles/isop_core_tests.dir/core/test_objective_sweep.cpp.o"
+  "CMakeFiles/isop_core_tests.dir/core/test_objective_sweep.cpp.o.d"
+  "CMakeFiles/isop_core_tests.dir/core/test_pareto.cpp.o"
+  "CMakeFiles/isop_core_tests.dir/core/test_pareto.cpp.o.d"
+  "CMakeFiles/isop_core_tests.dir/core/test_report.cpp.o"
+  "CMakeFiles/isop_core_tests.dir/core/test_report.cpp.o.d"
+  "CMakeFiles/isop_core_tests.dir/core/test_surrogate_objective.cpp.o"
+  "CMakeFiles/isop_core_tests.dir/core/test_surrogate_objective.cpp.o.d"
+  "CMakeFiles/isop_core_tests.dir/core/test_tasks.cpp.o"
+  "CMakeFiles/isop_core_tests.dir/core/test_tasks.cpp.o.d"
+  "CMakeFiles/isop_core_tests.dir/core/test_trial_runner.cpp.o"
+  "CMakeFiles/isop_core_tests.dir/core/test_trial_runner.cpp.o.d"
+  "isop_core_tests"
+  "isop_core_tests.pdb"
+  "isop_core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isop_core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/em/test_crosstalk.cpp" "tests/CMakeFiles/isop_em_tests.dir/em/test_crosstalk.cpp.o" "gcc" "tests/CMakeFiles/isop_em_tests.dir/em/test_crosstalk.cpp.o.d"
+  "/root/repo/tests/em/test_frequency_sweep.cpp" "tests/CMakeFiles/isop_em_tests.dir/em/test_frequency_sweep.cpp.o" "gcc" "tests/CMakeFiles/isop_em_tests.dir/em/test_frequency_sweep.cpp.o.d"
+  "/root/repo/tests/em/test_golden.cpp" "tests/CMakeFiles/isop_em_tests.dir/em/test_golden.cpp.o" "gcc" "tests/CMakeFiles/isop_em_tests.dir/em/test_golden.cpp.o.d"
+  "/root/repo/tests/em/test_loss_model.cpp" "tests/CMakeFiles/isop_em_tests.dir/em/test_loss_model.cpp.o" "gcc" "tests/CMakeFiles/isop_em_tests.dir/em/test_loss_model.cpp.o.d"
+  "/root/repo/tests/em/test_microstrip.cpp" "tests/CMakeFiles/isop_em_tests.dir/em/test_microstrip.cpp.o" "gcc" "tests/CMakeFiles/isop_em_tests.dir/em/test_microstrip.cpp.o.d"
+  "/root/repo/tests/em/test_parameter_space.cpp" "tests/CMakeFiles/isop_em_tests.dir/em/test_parameter_space.cpp.o" "gcc" "tests/CMakeFiles/isop_em_tests.dir/em/test_parameter_space.cpp.o.d"
+  "/root/repo/tests/em/test_simulator.cpp" "tests/CMakeFiles/isop_em_tests.dir/em/test_simulator.cpp.o" "gcc" "tests/CMakeFiles/isop_em_tests.dir/em/test_simulator.cpp.o.d"
+  "/root/repo/tests/em/test_stackup.cpp" "tests/CMakeFiles/isop_em_tests.dir/em/test_stackup.cpp.o" "gcc" "tests/CMakeFiles/isop_em_tests.dir/em/test_stackup.cpp.o.d"
+  "/root/repo/tests/em/test_stripline.cpp" "tests/CMakeFiles/isop_em_tests.dir/em/test_stripline.cpp.o" "gcc" "tests/CMakeFiles/isop_em_tests.dir/em/test_stripline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/isop_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpo/CMakeFiles/isop_hpo.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/isop_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/isop_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/em/CMakeFiles/isop_em.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/isop_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

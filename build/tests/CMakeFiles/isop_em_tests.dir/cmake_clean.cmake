@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isop_em_tests.dir/em/test_crosstalk.cpp.o"
+  "CMakeFiles/isop_em_tests.dir/em/test_crosstalk.cpp.o.d"
+  "CMakeFiles/isop_em_tests.dir/em/test_frequency_sweep.cpp.o"
+  "CMakeFiles/isop_em_tests.dir/em/test_frequency_sweep.cpp.o.d"
+  "CMakeFiles/isop_em_tests.dir/em/test_golden.cpp.o"
+  "CMakeFiles/isop_em_tests.dir/em/test_golden.cpp.o.d"
+  "CMakeFiles/isop_em_tests.dir/em/test_loss_model.cpp.o"
+  "CMakeFiles/isop_em_tests.dir/em/test_loss_model.cpp.o.d"
+  "CMakeFiles/isop_em_tests.dir/em/test_microstrip.cpp.o"
+  "CMakeFiles/isop_em_tests.dir/em/test_microstrip.cpp.o.d"
+  "CMakeFiles/isop_em_tests.dir/em/test_parameter_space.cpp.o"
+  "CMakeFiles/isop_em_tests.dir/em/test_parameter_space.cpp.o.d"
+  "CMakeFiles/isop_em_tests.dir/em/test_simulator.cpp.o"
+  "CMakeFiles/isop_em_tests.dir/em/test_simulator.cpp.o.d"
+  "CMakeFiles/isop_em_tests.dir/em/test_stackup.cpp.o"
+  "CMakeFiles/isop_em_tests.dir/em/test_stackup.cpp.o.d"
+  "CMakeFiles/isop_em_tests.dir/em/test_stripline.cpp.o"
+  "CMakeFiles/isop_em_tests.dir/em/test_stripline.cpp.o.d"
+  "isop_em_tests"
+  "isop_em_tests.pdb"
+  "isop_em_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isop_em_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

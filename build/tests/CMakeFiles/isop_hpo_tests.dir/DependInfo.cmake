@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hpo/test_adam_refiner.cpp" "tests/CMakeFiles/isop_hpo_tests.dir/hpo/test_adam_refiner.cpp.o" "gcc" "tests/CMakeFiles/isop_hpo_tests.dir/hpo/test_adam_refiner.cpp.o.d"
+  "/root/repo/tests/hpo/test_binary_codec.cpp" "tests/CMakeFiles/isop_hpo_tests.dir/hpo/test_binary_codec.cpp.o" "gcc" "tests/CMakeFiles/isop_hpo_tests.dir/hpo/test_binary_codec.cpp.o.d"
+  "/root/repo/tests/hpo/test_genetic.cpp" "tests/CMakeFiles/isop_hpo_tests.dir/hpo/test_genetic.cpp.o" "gcc" "tests/CMakeFiles/isop_hpo_tests.dir/hpo/test_genetic.cpp.o.d"
+  "/root/repo/tests/hpo/test_harmonica.cpp" "tests/CMakeFiles/isop_hpo_tests.dir/hpo/test_harmonica.cpp.o" "gcc" "tests/CMakeFiles/isop_hpo_tests.dir/hpo/test_harmonica.cpp.o.d"
+  "/root/repo/tests/hpo/test_hyperband.cpp" "tests/CMakeFiles/isop_hpo_tests.dir/hpo/test_hyperband.cpp.o" "gcc" "tests/CMakeFiles/isop_hpo_tests.dir/hpo/test_hyperband.cpp.o.d"
+  "/root/repo/tests/hpo/test_lasso.cpp" "tests/CMakeFiles/isop_hpo_tests.dir/hpo/test_lasso.cpp.o" "gcc" "tests/CMakeFiles/isop_hpo_tests.dir/hpo/test_lasso.cpp.o.d"
+  "/root/repo/tests/hpo/test_parity.cpp" "tests/CMakeFiles/isop_hpo_tests.dir/hpo/test_parity.cpp.o" "gcc" "tests/CMakeFiles/isop_hpo_tests.dir/hpo/test_parity.cpp.o.d"
+  "/root/repo/tests/hpo/test_simulated_annealing.cpp" "tests/CMakeFiles/isop_hpo_tests.dir/hpo/test_simulated_annealing.cpp.o" "gcc" "tests/CMakeFiles/isop_hpo_tests.dir/hpo/test_simulated_annealing.cpp.o.d"
+  "/root/repo/tests/hpo/test_tpe.cpp" "tests/CMakeFiles/isop_hpo_tests.dir/hpo/test_tpe.cpp.o" "gcc" "tests/CMakeFiles/isop_hpo_tests.dir/hpo/test_tpe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/isop_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpo/CMakeFiles/isop_hpo.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/isop_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/isop_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/em/CMakeFiles/isop_em.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/isop_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isop_hpo_tests.dir/hpo/test_adam_refiner.cpp.o"
+  "CMakeFiles/isop_hpo_tests.dir/hpo/test_adam_refiner.cpp.o.d"
+  "CMakeFiles/isop_hpo_tests.dir/hpo/test_binary_codec.cpp.o"
+  "CMakeFiles/isop_hpo_tests.dir/hpo/test_binary_codec.cpp.o.d"
+  "CMakeFiles/isop_hpo_tests.dir/hpo/test_genetic.cpp.o"
+  "CMakeFiles/isop_hpo_tests.dir/hpo/test_genetic.cpp.o.d"
+  "CMakeFiles/isop_hpo_tests.dir/hpo/test_harmonica.cpp.o"
+  "CMakeFiles/isop_hpo_tests.dir/hpo/test_harmonica.cpp.o.d"
+  "CMakeFiles/isop_hpo_tests.dir/hpo/test_hyperband.cpp.o"
+  "CMakeFiles/isop_hpo_tests.dir/hpo/test_hyperband.cpp.o.d"
+  "CMakeFiles/isop_hpo_tests.dir/hpo/test_lasso.cpp.o"
+  "CMakeFiles/isop_hpo_tests.dir/hpo/test_lasso.cpp.o.d"
+  "CMakeFiles/isop_hpo_tests.dir/hpo/test_parity.cpp.o"
+  "CMakeFiles/isop_hpo_tests.dir/hpo/test_parity.cpp.o.d"
+  "CMakeFiles/isop_hpo_tests.dir/hpo/test_simulated_annealing.cpp.o"
+  "CMakeFiles/isop_hpo_tests.dir/hpo/test_simulated_annealing.cpp.o.d"
+  "CMakeFiles/isop_hpo_tests.dir/hpo/test_tpe.cpp.o"
+  "CMakeFiles/isop_hpo_tests.dir/hpo/test_tpe.cpp.o.d"
+  "isop_hpo_tests"
+  "isop_hpo_tests.pdb"
+  "isop_hpo_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isop_hpo_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

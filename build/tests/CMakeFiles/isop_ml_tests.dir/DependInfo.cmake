@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ml/test_cross_validation.cpp" "tests/CMakeFiles/isop_ml_tests.dir/ml/test_cross_validation.cpp.o" "gcc" "tests/CMakeFiles/isop_ml_tests.dir/ml/test_cross_validation.cpp.o.d"
+  "/root/repo/tests/ml/test_dataset.cpp" "tests/CMakeFiles/isop_ml_tests.dir/ml/test_dataset.cpp.o" "gcc" "tests/CMakeFiles/isop_ml_tests.dir/ml/test_dataset.cpp.o.d"
+  "/root/repo/tests/ml/test_ensemble_surrogate.cpp" "tests/CMakeFiles/isop_ml_tests.dir/ml/test_ensemble_surrogate.cpp.o" "gcc" "tests/CMakeFiles/isop_ml_tests.dir/ml/test_ensemble_surrogate.cpp.o.d"
+  "/root/repo/tests/ml/test_ensembles.cpp" "tests/CMakeFiles/isop_ml_tests.dir/ml/test_ensembles.cpp.o" "gcc" "tests/CMakeFiles/isop_ml_tests.dir/ml/test_ensembles.cpp.o.d"
+  "/root/repo/tests/ml/test_linear_svr.cpp" "tests/CMakeFiles/isop_ml_tests.dir/ml/test_linear_svr.cpp.o" "gcc" "tests/CMakeFiles/isop_ml_tests.dir/ml/test_linear_svr.cpp.o.d"
+  "/root/repo/tests/ml/test_metrics.cpp" "tests/CMakeFiles/isop_ml_tests.dir/ml/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/isop_ml_tests.dir/ml/test_metrics.cpp.o.d"
+  "/root/repo/tests/ml/test_neural_regressor.cpp" "tests/CMakeFiles/isop_ml_tests.dir/ml/test_neural_regressor.cpp.o" "gcc" "tests/CMakeFiles/isop_ml_tests.dir/ml/test_neural_regressor.cpp.o.d"
+  "/root/repo/tests/ml/test_nn_layers.cpp" "tests/CMakeFiles/isop_ml_tests.dir/ml/test_nn_layers.cpp.o" "gcc" "tests/CMakeFiles/isop_ml_tests.dir/ml/test_nn_layers.cpp.o.d"
+  "/root/repo/tests/ml/test_nn_training.cpp" "tests/CMakeFiles/isop_ml_tests.dir/ml/test_nn_training.cpp.o" "gcc" "tests/CMakeFiles/isop_ml_tests.dir/ml/test_nn_training.cpp.o.d"
+  "/root/repo/tests/ml/test_scaler.cpp" "tests/CMakeFiles/isop_ml_tests.dir/ml/test_scaler.cpp.o" "gcc" "tests/CMakeFiles/isop_ml_tests.dir/ml/test_scaler.cpp.o.d"
+  "/root/repo/tests/ml/test_trees.cpp" "tests/CMakeFiles/isop_ml_tests.dir/ml/test_trees.cpp.o" "gcc" "tests/CMakeFiles/isop_ml_tests.dir/ml/test_trees.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/isop_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpo/CMakeFiles/isop_hpo.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/isop_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/isop_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/em/CMakeFiles/isop_em.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/isop_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isop_ml_tests.dir/ml/test_cross_validation.cpp.o"
+  "CMakeFiles/isop_ml_tests.dir/ml/test_cross_validation.cpp.o.d"
+  "CMakeFiles/isop_ml_tests.dir/ml/test_dataset.cpp.o"
+  "CMakeFiles/isop_ml_tests.dir/ml/test_dataset.cpp.o.d"
+  "CMakeFiles/isop_ml_tests.dir/ml/test_ensemble_surrogate.cpp.o"
+  "CMakeFiles/isop_ml_tests.dir/ml/test_ensemble_surrogate.cpp.o.d"
+  "CMakeFiles/isop_ml_tests.dir/ml/test_ensembles.cpp.o"
+  "CMakeFiles/isop_ml_tests.dir/ml/test_ensembles.cpp.o.d"
+  "CMakeFiles/isop_ml_tests.dir/ml/test_linear_svr.cpp.o"
+  "CMakeFiles/isop_ml_tests.dir/ml/test_linear_svr.cpp.o.d"
+  "CMakeFiles/isop_ml_tests.dir/ml/test_metrics.cpp.o"
+  "CMakeFiles/isop_ml_tests.dir/ml/test_metrics.cpp.o.d"
+  "CMakeFiles/isop_ml_tests.dir/ml/test_neural_regressor.cpp.o"
+  "CMakeFiles/isop_ml_tests.dir/ml/test_neural_regressor.cpp.o.d"
+  "CMakeFiles/isop_ml_tests.dir/ml/test_nn_layers.cpp.o"
+  "CMakeFiles/isop_ml_tests.dir/ml/test_nn_layers.cpp.o.d"
+  "CMakeFiles/isop_ml_tests.dir/ml/test_nn_training.cpp.o"
+  "CMakeFiles/isop_ml_tests.dir/ml/test_nn_training.cpp.o.d"
+  "CMakeFiles/isop_ml_tests.dir/ml/test_scaler.cpp.o"
+  "CMakeFiles/isop_ml_tests.dir/ml/test_scaler.cpp.o.d"
+  "CMakeFiles/isop_ml_tests.dir/ml/test_trees.cpp.o"
+  "CMakeFiles/isop_ml_tests.dir/ml/test_trees.cpp.o.d"
+  "isop_ml_tests"
+  "isop_ml_tests.pdb"
+  "isop_ml_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isop_ml_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

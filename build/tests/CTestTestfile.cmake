@@ -1,0 +1,11 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/isop_common_tests[1]_include.cmake")
+include("/root/repo/build/tests/isop_em_tests[1]_include.cmake")
+include("/root/repo/build/tests/isop_ml_tests[1]_include.cmake")
+include("/root/repo/build/tests/isop_hpo_tests[1]_include.cmake")
+include("/root/repo/build/tests/isop_core_tests[1]_include.cmake")
