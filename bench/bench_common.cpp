@@ -224,6 +224,7 @@ std::vector<std::string> statsRow(const core::TrialStats& stats, bool hasNext,
   row.push_back(std::to_string(stats.successes) + "/" + std::to_string(stats.trials));
   row.push_back(fixed(stats.avgRuntime, 2));
   row.push_back(fixed(stats.avgSamples, 0));
+  row.push_back(fixed(stats.avgEmCalls, 0));
   row.push_back(fixed(stats.dzMean, 3));
   row.push_back(fixed(stats.dzStdev, 3));
   row.push_back(fixed(stats.lMean, 3));
@@ -246,7 +247,7 @@ void runComparisonBench(BenchContext& ctx, std::span<const ComparisonCase> cases
   auto surrogate = ctx.cnnSurrogate();
 
   std::vector<std::string> headers{"Method", "Succ", "Runtime(s)", "Samples",
-                                   "dZ mean",  "dZ sd", "L mean",     "L sd"};
+                                   "EM",     "dZ mean", "dZ sd", "L mean", "L sd"};
   if (hasNext) {
     headers.push_back("NEXT mean");
     headers.push_back("NEXT sd");
@@ -293,7 +294,7 @@ void runVariantBench(BenchContext& ctx, std::span<const ComparisonCase> cases,
   };
 
   std::vector<std::string> headers{"Variant", "Succ", "Runtime(s)", "Samples",
-                                   "dZ mean", "dZ sd", "L mean", "L sd"};
+                                   "EM",      "dZ mean", "dZ sd", "L mean", "L sd"};
   if (hasNext) {
     headers.push_back("NEXT mean");
     headers.push_back("NEXT sd");

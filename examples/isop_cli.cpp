@@ -4,6 +4,8 @@
 //   isop_cli [--task T1|T2|T3|T4] [--space S1|S2|S1p] [--layer stripline|microstrip]
 //            [--target Z] [--tolerance T] [--surrogate oracle|cnn|mlp]
 //            [--candidates N] [--budget N] [--seed N] [--table-ix-constraints]
+//            [--metrics-out M.json] [--trace-out T.json] [--convergence-out C.jsonl]
+//            [--log-level debug|info|warn|error|off]
 //
 // With --surrogate oracle (default) the EM model itself drives the search —
 // instant, no training. --surrogate cnn|mlp loads (or trains and caches)
@@ -12,6 +14,7 @@
 #include <cstdio>
 
 #include "common/cli.hpp"
+#include "common/logging.hpp"
 #include "core/analysis.hpp"
 #include "core/isop.hpp"
 #include "core/simulator_surrogate.hpp"
@@ -34,8 +37,17 @@ int main(int argc, char** argv) {
               "  --table-ix-constraints      add the expert input constraints\n"
               "  --json [PATH]               export the result as JSON\n"
               "  --analyze                   fab-yield + sensitivity report\n"
+              "  --metrics-out PATH          write counters/histograms as JSON\n"
+              "  --metrics-csv PATH          same registry as flat CSV\n"
+              "  --trace-out PATH            write chrome://tracing span JSON\n"
+              "  --convergence-out PATH      stream per-iteration JSONL records\n"
+              "  --log-level LVL             debug|info|warn|error|off\n"
               "  --seed N");
     return 0;
+  }
+
+  if (args.has("log-level")) {
+    log::setLevel(log::levelFromString(args.getString("log-level", "info")));
   }
 
   em::SimulatorConfig simCfg;
@@ -84,6 +96,11 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(args.getInt("budget", 400));
   cfg.candNum = static_cast<std::size_t>(args.getInt("candidates", 3));
   cfg.seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
+  cfg.obs = obs::ObsConfig::fromOutputs(args.getString("metrics-out", ""),
+                                        args.getString("trace-out", ""),
+                                        args.getString("convergence-out", ""));
+  cfg.obs.metricsCsvOut = args.getString("metrics-csv", "");
+  if (!cfg.obs.metricsCsvOut.empty()) cfg.obs.metrics = true;
 
   const core::IsopOptimizer optimizer(simulator, surrogate, space, task, cfg);
   const core::IsopResult result = optimizer.run();

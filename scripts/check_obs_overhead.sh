@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Enforces the observability subsystem's disabled-path overhead budget.
+#
+# Runs bench/bench_obs (google-benchmark, built when the system benchmark
+# library is found) and compares the instrumented-but-disabled EM evaluation
+# against the raw closed-form baseline. The disabled path is the state every
+# hot call site sees outside an obs::Session, so its cost is the only one
+# that matters for non-observability users; the budget is <= 2% by default.
+#
+# Usage:
+#   scripts/check_obs_overhead.sh [build-dir]
+# Env:
+#   OBS_OVERHEAD_BUDGET   allowed fractional overhead (default 0.02)
+#   OBS_BENCH_REPETITIONS benchmark repetitions for the median (default 5)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+BUDGET="${OBS_OVERHEAD_BUDGET:-0.02}"
+REPS="${OBS_BENCH_REPETITIONS:-5}"
+BENCH="${BUILD_DIR}/bench/bench_obs"
+
+if [[ ! -x "${BENCH}" ]]; then
+  echo "check_obs_overhead: ${BENCH} not found." >&2
+  echo "Build it first: cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} --target bench_obs" >&2
+  echo "(bench_obs requires the system google-benchmark library; if CMake" >&2
+  echo "reported 'benchmark' as not found this check cannot run.)" >&2
+  exit 2
+fi
+
+OUT="obs_overhead_$(date +%Y%m%d_%H%M%S).json"
+echo "check_obs_overhead: running ${BENCH} (${REPS} repetitions) -> ${OUT}"
+"${BENCH}" \
+  --benchmark_repetitions="${REPS}" \
+  --benchmark_report_aggregates_only=true \
+  --benchmark_format=json >"${OUT}"
+
+python3 - "${OUT}" "${BUDGET}" <<'PY'
+import json, sys
+
+path, budget = sys.argv[1], float(sys.argv[2])
+with open(path) as f:
+    report = json.load(f)
+
+# Median aggregate row per benchmark (includes user counters).
+medians = {
+    b["run_name"]: b
+    for b in report["benchmarks"]
+    if b.get("aggregate_name") == "median"
+}
+
+# The budgeted measurement: BM_EmDisabledOverheadPaired times the raw
+# closed-form evaluation and the instrumented-but-disabled simulate()
+# interleaved inside one benchmark, so the exported overhead_pct counter is
+# free of the code-layout bias between separate benchmark functions.
+paired = medians.get("BM_EmDisabledOverheadPaired")
+if paired is None:
+    sys.exit(f"check_obs_overhead: no BM_EmDisabledOverheadPaired median in {path}")
+
+raw = paired["raw_ns"]
+disabled = paired["disabled_ns"]
+overhead = paired["overhead_pct"] / 100.0
+status = "OK" if overhead <= budget else "FAIL"
+failed = status == "FAIL"
+print(f"  EM evaluate (paired): raw {raw:8.1f} ns  disabled {disabled:8.1f} ns  "
+      f"overhead {overhead * 100:+6.2f}%  (budget {budget * 100:.1f}%)  {status}")
+
+# Informational: absolute disabled-primitive costs and enabled-path prices.
+for name in ("BM_EmEvaluateRaw", "BM_EmSimulateObsDisabled", "BM_SpanDisabled",
+             "BM_SpanEnabled", "BM_CounterAdd", "BM_HistogramRecord",
+             "BM_EmSimulateObsEnabled", "BM_SurrogatePredictObsDisabled",
+             "BM_SurrogatePredictObsEnabled", "BM_ConvergenceRecordInMemory"):
+    if name in medians:
+        print(f"  {name:>32}: {medians[name]['real_time']:10.1f} ns (median)")
+
+sys.exit(1 if failed else 0)
+PY

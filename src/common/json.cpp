@@ -1,5 +1,7 @@
 #include "common/json.hpp"
 
+#include <cctype>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <stdexcept>
@@ -87,6 +89,260 @@ Value& Value::set(const std::string& key, Value v) {
   }
   children_.emplace_back(key, std::move(v));
   return *this;
+}
+
+bool Value::asBool() const {
+  if (kind_ != Kind::Bool) throw std::logic_error("json: asBool on non-bool");
+  return bool_;
+}
+
+double Value::asNumber() const {
+  if (kind_ == Kind::Number) return number_;
+  if (kind_ == Kind::Integer) return static_cast<double>(integer_);
+  throw std::logic_error("json: asNumber on non-numeric value");
+}
+
+long long Value::asInteger() const {
+  if (kind_ != Kind::Integer) throw std::logic_error("json: asInteger on non-integer");
+  return integer_;
+}
+
+const std::string& Value::asString() const {
+  if (kind_ != Kind::String) throw std::logic_error("json: asString on non-string");
+  return string_;
+}
+
+const Value* Value::find(std::string_view key) const {
+  if (kind_ != Kind::Object) return nullptr;
+  for (const auto& [k, v] : children_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const Value& Value::at(std::string_view key) const {
+  if (const Value* v = find(key)) return *v;
+  throw std::out_of_range("json: missing key '" + std::string(key) + "'");
+}
+
+const Value& Value::at(std::size_t index) const {
+  if (kind_ != Kind::Array && kind_ != Kind::Object) {
+    throw std::logic_error("json: at(index) on scalar");
+  }
+  if (index >= children_.size()) throw std::out_of_range("json: index out of range");
+  return children_[index].second;
+}
+
+const std::string& Value::keyAt(std::size_t index) const {
+  if (kind_ != Kind::Object) throw std::logic_error("json: keyAt on non-object");
+  if (index >= children_.size()) throw std::out_of_range("json: index out of range");
+  return children_[index].first;
+}
+
+namespace {
+
+/// Recursive-descent parser over a string_view cursor.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<Value> run() {
+    auto v = parseValue();
+    if (!v) return std::nullopt;
+    skipWs();
+    if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
+    return v;
+  }
+
+ private:
+  void skipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool consumeLiteral(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  std::optional<Value> parseValue() {
+    skipWs();
+    if (pos_ >= text_.size()) return std::nullopt;
+    switch (text_[pos_]) {
+      case 'n': return consumeLiteral("null") ? std::optional(Value::null()) : std::nullopt;
+      case 't': return consumeLiteral("true") ? std::optional(Value::boolean(true)) : std::nullopt;
+      case 'f':
+        return consumeLiteral("false") ? std::optional(Value::boolean(false)) : std::nullopt;
+      case '"': return parseString();
+      case '[': return parseArray();
+      case '{': return parseObject();
+      default: return parseNumber();
+    }
+  }
+
+  std::optional<Value> parseString() {
+    std::string out;
+    if (!parseRawString(out)) return std::nullopt;
+    return Value::string(std::move(out));
+  }
+
+  bool parseRawString(std::string& out) {
+    if (!consume('"')) return false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control char
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return false;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return false;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return false;
+          }
+          // UTF-8 encode the code point (surrogate pairs are passed through
+          // as two 3-byte sequences — fine for the ASCII-centric records we
+          // read back).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: return false;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  std::optional<Value> parseNumber() {
+    const std::size_t start = pos_;
+    if (consume('-')) {
+    }
+    bool anyDigits = false;
+    const std::size_t digitsStart = pos_;
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+      anyDigits = true;
+    }
+    if (!anyDigits) return std::nullopt;
+    // Strict JSON: a leading zero must stand alone ("01" is invalid).
+    if (text_[digitsStart] == '0' && pos_ - digitsStart > 1) return std::nullopt;
+    bool integral = true;
+    if (consume('.')) {
+      integral = false;
+      bool fracDigits = false;
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+        fracDigits = true;
+      }
+      if (!fracDigits) return std::nullopt;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      integral = false;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      bool expDigits = false;
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+        expDigits = true;
+      }
+      if (!expDigits) return std::nullopt;
+    }
+    const std::string_view token = text_.substr(start, pos_ - start);
+    const char* first = token.data();
+    const char* last = token.data() + token.size();
+    if (integral) {
+      long long v = 0;
+      const auto [ptr, ec] = std::from_chars(first, last, v);
+      if (ec == std::errc() && ptr == last) return Value::integer(v);
+      // Falls through to double on overflow.
+    }
+    double d = 0.0;
+    const auto [ptr, ec] = std::from_chars(first, last, d);
+    if (ec != std::errc() || ptr != last) return std::nullopt;
+    return Value::number(d);
+  }
+
+  std::optional<Value> parseArray() {
+    if (!consume('[')) return std::nullopt;
+    Value arr = Value::array();
+    skipWs();
+    if (consume(']')) return arr;
+    for (;;) {
+      auto element = parseValue();
+      if (!element) return std::nullopt;
+      arr.push(std::move(*element));
+      skipWs();
+      if (consume(']')) return arr;
+      if (!consume(',')) return std::nullopt;
+    }
+  }
+
+  std::optional<Value> parseObject() {
+    if (!consume('{')) return std::nullopt;
+    Value obj = Value::object();
+    skipWs();
+    if (consume('}')) return obj;
+    for (;;) {
+      skipWs();
+      std::string key;
+      if (!parseRawString(key)) return std::nullopt;
+      skipWs();
+      if (!consume(':')) return std::nullopt;
+      auto member = parseValue();
+      if (!member) return std::nullopt;
+      obj.set(key, std::move(*member));
+      skipWs();
+      if (consume('}')) return obj;
+      if (!consume(',')) return std::nullopt;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<Value> Value::parse(std::string_view text) {
+  return Parser(text).run();
 }
 
 std::string Value::dump(int indent) const {

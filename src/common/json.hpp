@@ -1,21 +1,27 @@
-// Minimal JSON writer for result export (isop_cli --json, report files).
-// Write-only by design — the library never needs to parse JSON — with
-// correct string escaping and locale-independent number formatting.
+// Minimal JSON support for result export (isop_cli --json, report files)
+// and for reading back the observability artifacts (JSONL convergence
+// records, trace files) in tests and tools: a builder/serializer with
+// correct string escaping and locale-independent number formatting, plus a
+// strict recursive-descent parser.
 #pragma once
 
 #include <initializer_list>
 #include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace isop::json {
 
 class Value;
 
-/// A JSON value under construction. Build with the static factories, then
-/// serialize with dump().
+/// A JSON value. Build with the static factories, serialize with dump(), or
+/// load from text with parse() and read through the typed accessors.
 class Value {
  public:
+  enum class Kind { Null, Bool, Number, Integer, String, Array, Object };
+
   Value() : kind_(Kind::Null) {}
 
   static Value null();
@@ -26,22 +32,43 @@ class Value {
   static Value array();
   static Value object();
 
+  /// Strict parse of a complete JSON document (trailing whitespace allowed);
+  /// std::nullopt on any syntax error. Integral numbers without fraction or
+  /// exponent parse as Kind::Integer, everything else as Kind::Number.
+  static std::optional<Value> parse(std::string_view text);
+
   /// Array append. Requires an array value.
   Value& push(Value v);
 
   /// Object insert/overwrite. Requires an object value.
   Value& set(const std::string& key, Value v);
 
+  Kind kind() const { return kind_; }
+  bool isNull() const { return kind_ == Kind::Null; }
   bool isArray() const { return kind_ == Kind::Array; }
   bool isObject() const { return kind_ == Kind::Object; }
+  bool isNumeric() const { return kind_ == Kind::Number || kind_ == Kind::Integer; }
   std::size_t size() const { return children_.size(); }
+
+  /// Typed reads; each throws std::logic_error on a kind mismatch.
+  bool asBool() const;
+  double asNumber() const;      ///< Number or Integer
+  long long asInteger() const;  ///< Integer only
+  const std::string& asString() const;
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  const Value* find(std::string_view key) const;
+  /// Object member access; throws std::out_of_range when absent.
+  const Value& at(std::string_view key) const;
+  /// Array element access; throws std::out_of_range when out of bounds.
+  const Value& at(std::size_t index) const;
+  /// The key of the i-th object member (insertion order).
+  const std::string& keyAt(std::size_t index) const;
 
   /// Serializes; `indent` > 0 pretty-prints with that many spaces per level.
   std::string dump(int indent = 0) const;
 
  private:
-  enum class Kind { Null, Bool, Number, Integer, String, Array, Object };
-
   void dumpTo(std::string& out, int indent, int depth) const;
 
   Kind kind_;

@@ -1,14 +1,19 @@
 #include "common/logging.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <cctype>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <functional>
 #include <mutex>
+#include <thread>
 
 namespace isop::log {
 
 namespace {
-std::atomic<Level> g_level{Level::Info};
-std::mutex g_mutex;
 
 const char* levelName(Level level) {
   switch (level) {
@@ -19,15 +24,57 @@ const char* levelName(Level level) {
     default: return "?????";
   }
 }
+
+Level levelFromEnv() {
+  const char* env = std::getenv("ISOP_LOG_LEVEL");
+  return env ? levelFromString(env, Level::Info) : Level::Info;
+}
+
+// The env var is parsed exactly once, before main() touches the logger.
+std::atomic<Level> g_level{levelFromEnv()};
+std::mutex g_mutex;
+
+/// "2026-08-06T12:34:56.789Z" into buf (must hold >= 25 chars + NUL).
+void formatUtcTimestamp(char* buf, std::size_t size) {
+  using namespace std::chrono;
+  const auto now = system_clock::now();
+  const std::time_t secs = system_clock::to_time_t(now);
+  const auto millis =
+      duration_cast<milliseconds>(now.time_since_epoch()).count() % 1000;
+  std::tm tm{};
+  gmtime_r(&secs, &tm);
+  char date[24];
+  std::strftime(date, sizeof(date), "%Y-%m-%dT%H:%M:%S", &tm);
+  std::snprintf(buf, size, "%s.%03dZ", date, static_cast<int>(millis));
+}
+
 }  // namespace
 
 void setLevel(Level level) { g_level.store(level); }
 Level level() { return g_level.load(); }
 
+Level levelFromString(std::string_view name, Level fallback) {
+  std::string lowered(name);
+  std::transform(lowered.begin(), lowered.end(), lowered.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (lowered == "debug") return Level::Debug;
+  if (lowered == "info") return Level::Info;
+  if (lowered == "warn" || lowered == "warning") return Level::Warn;
+  if (lowered == "error") return Level::Error;
+  if (lowered == "off" || lowered == "none" || lowered == "quiet") return Level::Off;
+  return fallback;
+}
+
 void message(Level lvl, const std::string& text) {
   if (lvl < level()) return;
+  char stamp[32];
+  formatUtcTimestamp(stamp, sizeof(stamp));
+  static thread_local const auto tid = static_cast<unsigned>(
+      std::hash<std::thread::id>{}(std::this_thread::get_id()));
+  // One formatted write under the mutex: concurrent lines never interleave.
   std::lock_guard lock(g_mutex);
-  std::fprintf(stderr, "[%s] %s\n", levelName(lvl), text.c_str());
+  std::fprintf(stderr, "%s [%s] [tid %08x] %s\n", stamp, levelName(lvl), tid,
+               text.c_str());
 }
 
 }  // namespace isop::log

@@ -1,9 +1,20 @@
 // Lightweight leveled logging to stderr. The optimizers log per-iteration
 // search-space reductions at Debug level; benches default to Info.
+//
+// Each line carries an ISO-8601 UTC timestamp (millisecond precision), the
+// level, and the emitting thread's id, and is written with a single call
+// under a mutex so concurrent messages never interleave:
+//
+//   2026-08-06T12:34:56.789Z [INFO ] [tid 1a2b3c4d] harmonica: ...
+//
+// The initial threshold comes from the ISOP_LOG_LEVEL environment variable
+// (debug|info|warn|error|off, parsed once at startup, default info);
+// setLevel() and isop_cli --log-level override it at runtime.
 #pragma once
 
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace isop::log {
 
@@ -12,6 +23,9 @@ enum class Level { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
 /// Sets the global threshold; messages below it are dropped.
 void setLevel(Level level);
 Level level();
+
+/// "debug" -> Level::Debug etc., case-insensitive; `fallback` if unknown.
+Level levelFromString(std::string_view name, Level fallback = Level::Info);
 
 void message(Level level, const std::string& text);
 

@@ -28,10 +28,26 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   auto fut = packaged.get_future();
   {
     std::lock_guard lock(mutex_);
-    tasks_.push(std::move(packaged));
+    tasks_.push({std::move(packaged), std::chrono::steady_clock::now()});
+    maxQueueDepth_ = std::max(maxQueueDepth_, tasks_.size());
   }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
   cv_.notify_one();
   return fut;
+}
+
+ThreadPool::PoolStats ThreadPool::stats() const {
+  PoolStats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.waitSeconds = static_cast<double>(waitNanos_.load(std::memory_order_relaxed)) * 1e-9;
+  s.runSeconds = static_cast<double>(runNanos_.load(std::memory_order_relaxed)) * 1e-9;
+  {
+    std::lock_guard lock(mutex_);
+    s.queueDepth = tasks_.size();
+    s.maxQueueDepth = maxQueueDepth_;
+  }
+  return s;
 }
 
 void ThreadPool::parallelFor(std::size_t n, const std::function<void(std::size_t)>& fn) {
@@ -73,16 +89,29 @@ ThreadPool& ThreadPool::global() {
 }
 
 void ThreadPool::workerLoop() {
+  using std::chrono::duration_cast;
+  using std::chrono::nanoseconds;
+  using std::chrono::steady_clock;
   for (;;) {
-    std::packaged_task<void()> task;
+    Pending pending;
     {
       std::unique_lock lock(mutex_);
       cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
       if (stop_ && tasks_.empty()) return;
-      task = std::move(tasks_.front());
+      pending = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    const auto started = steady_clock::now();
+    pending.task();
+    const auto finished = steady_clock::now();
+    waitNanos_.fetch_add(
+        static_cast<std::uint64_t>(
+            duration_cast<nanoseconds>(started - pending.enqueued).count()),
+        std::memory_order_relaxed);
+    runNanos_.fetch_add(static_cast<std::uint64_t>(
+                            duration_cast<nanoseconds>(finished - started).count()),
+                        std::memory_order_relaxed);
+    completed_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 

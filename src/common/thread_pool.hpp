@@ -3,8 +3,11 @@
 // data-parallel ML training.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <mutex>
@@ -16,6 +19,18 @@ namespace isop {
 
 class ThreadPool {
  public:
+  /// Load counters for observability (see obs::captureThreadPoolStats).
+  /// waitSeconds is cumulative enqueue-to-start latency, runSeconds
+  /// cumulative execution time, both summed over all completed tasks.
+  struct PoolStats {
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;
+    std::size_t queueDepth = 0;
+    std::size_t maxQueueDepth = 0;
+    double waitSeconds = 0.0;
+    double runSeconds = 0.0;
+  };
+
   /// Creates `threads` workers; 0 means hardware_concurrency (min 1).
   explicit ThreadPool(std::size_t threads = 0);
   ~ThreadPool();
@@ -33,17 +48,32 @@ class ThreadPool {
   /// (first one wins).
   void parallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
 
+  /// Consistent-enough snapshot of the load counters (each field is read
+  /// atomically; the set is not mutually synchronized).
+  PoolStats stats() const;
+
   /// Process-wide shared pool (lazily constructed).
   static ThreadPool& global();
 
  private:
+  struct Pending {
+    std::packaged_task<void()> task;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
   void workerLoop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::packaged_task<void()>> tasks_;
-  std::mutex mutex_;
+  std::queue<Pending> tasks_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;
+  std::size_t maxQueueDepth_ = 0;  // guarded by mutex_
+
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> waitNanos_{0};
+  std::atomic<std::uint64_t> runNanos_{0};
 };
 
 }  // namespace isop

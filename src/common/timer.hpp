@@ -7,18 +7,32 @@ namespace isop {
 
 class Timer {
  public:
-  Timer() : start_(Clock::now()) {}
+  Timer() : start_(Clock::now()), lap_(start_) {}
 
-  void reset() { start_ = Clock::now(); }
+  void reset() {
+    start_ = Clock::now();
+    lap_ = start_;
+  }
 
   /// Elapsed seconds since construction or last reset().
   double seconds() const {
     return std::chrono::duration<double>(Clock::now() - start_).count();
   }
 
+  /// Seconds since the previous lap() (or construction/reset), then starts
+  /// the next lap — one timer can split consecutive pipeline stages without
+  /// touching the total measured by seconds().
+  double lap() {
+    const auto now = Clock::now();
+    const double elapsed = std::chrono::duration<double>(now - lap_).count();
+    lap_ = now;
+    return elapsed;
+  }
+
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+  Clock::time_point lap_;
 };
 
 }  // namespace isop

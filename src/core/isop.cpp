@@ -7,6 +7,7 @@
 
 #include "common/logging.hpp"
 #include "common/timer.hpp"
+#include "obs/obs.hpp"
 
 namespace isop::core {
 
@@ -31,6 +32,10 @@ IsopOptimizer::IsopOptimizer(const em::EmSimulator& simulator,
 }
 
 IsopResult IsopOptimizer::run() const {
+  // The session outlives every span below (declaration order), so the trace
+  // and metrics files flush after all stages have reported.
+  obs::Session session(config_.obs);
+  obs::StageSpan runSpan("isop.run");
   Timer timer;
   IsopResult result;
   surrogate_->resetQueryCount();
@@ -69,23 +74,37 @@ IsopResult IsopOptimizer::run() const {
     return bits;
   };
 
-  auto harmonicaResult = harmonica.optimize(
-      numBits,
-      [&](const hpo::BitVector& bits) { return searchObjective.evaluateBits(codec, bits); },
-      sampleUnderRestriction,
-      [&](std::size_t iteration, std::span<const hpo::BitVector>, std::span<const double>) {
-        if (!config_.adaptiveWeights.enabled) return;
-        searchObjective.drainBatch(batchMetrics, batchDesigns);
-        weightAdapter.update(batchMetrics, batchDesigns);
-        log::debug("isop: after harmonica iteration ", iteration,
-                   " wOC[0]=", objective.weights().oc.empty() ? 0.0 : objective.weights().oc[0]);
-      },
-      [&](const hpo::BitVector& bits) { return codec.isValid(bits); });
+  hpo::HarmonicaResult harmonicaResult;
+  {
+    obs::StageSpan stageSpan("stage1.harmonica");
+    harmonicaResult = harmonica.optimize(
+        numBits,
+        [&](const hpo::BitVector& bits) { return searchObjective.evaluateBits(codec, bits); },
+        sampleUnderRestriction,
+        [&](std::size_t iteration, std::span<const hpo::BitVector>, std::span<const double>) {
+          if (!config_.adaptiveWeights.enabled) return;
+          searchObjective.drainBatch(batchMetrics, batchDesigns);
+          weightAdapter.update(batchMetrics, batchDesigns);
+          if (obs::convergence().enabled()) {
+            obs::AdaptiveWeightsRecord rec;
+            rec.iteration = iteration;
+            rec.wFom = objective.weights().fom;
+            rec.wOc = objective.weights().oc;
+            rec.wIc = objective.weights().ic;
+            obs::convergence().record(rec.toJson());
+          }
+          log::debug("isop: after harmonica iteration ", iteration,
+                     " wOC[0]=", objective.weights().oc.empty() ? 0.0 : objective.weights().oc[0]);
+        },
+        [&](const hpo::BitVector& bits) { return codec.isValid(bits); });
+  }
   searchObjective.setRecording(false);
 
   // ---- Stage 1b: seed selection (Alg. 1 line 8) ----------------------------
   Rng seedRng(config_.seed * 0x2545f4914f6cdd1dULL + 0x1234);
   std::vector<em::StackupParams> seeds;
+  {
+  obs::StageSpan stageSpan("stage1b.seeds");
 
   auto restrictedSample = [&](Rng& rng) {
     return sampleUnderRestriction(rng, harmonicaResult.fixedBits);
@@ -145,10 +164,12 @@ IsopResult IsopOptimizer::run() const {
     seeds.push_back(space_.sample(seedRng));
   }
   if (seeds.size() > config_.localSeeds + 1) seeds.resize(config_.localSeeds + 1);
+  }  // stage1b.seeds span
 
   // ---- Stage 2: gradient-descent local exploration (Alg. 1 lines 9-12) ----
   std::vector<em::StackupParams> refined = seeds;
   if (config_.useGradientStage) {
+    obs::StageSpan stageSpan("stage2.refine");
     const hpo::AdamRefiner refiner(config_.refine);
     auto refineResult = refiner.refine(
         space_, seeds, [&](const em::StackupParams& x, std::span<double> grad) {
@@ -229,6 +250,7 @@ IsopResult IsopOptimizer::run() const {
     return selected;
   };
 
+  std::size_t rolloutRound = 1;
   auto validate = [&](std::span<const em::StackupParams> designs) {
     for (const auto& p : designs) {
       IsopCandidate cand;
@@ -238,10 +260,22 @@ IsopResult IsopOptimizer::run() const {
       cand.g = objective.gValue(cand.metrics, p);
       cand.fom = objective.fomValue(cand.metrics);
       cand.feasible = objective.feasible(cand.metrics, p);
+      if (obs::convergence().enabled()) {
+        obs::RolloutValidationRecord rec;
+        rec.round = rolloutRound;
+        rec.g = cand.g;
+        rec.fom = cand.fom;
+        rec.feasible = cand.feasible;
+        rec.z = cand.metrics.z;
+        rec.l = cand.metrics.l;
+        rec.next = cand.metrics.next;
+        obs::convergence().record(rec.toJson());
+      }
       result.candidates.push_back(std::move(cand));
     }
   };
 
+  obs::StageSpan rolloutSpan("stage3.rollout");
   validate(selectRollout(refined, searchObjective));
 
   const std::size_t maxRounds = std::max<std::size_t>(config_.rolloutRounds, 1);
@@ -289,6 +323,7 @@ IsopResult IsopOptimizer::run() const {
     }
     if (fresh.empty()) break;
     ++result.rolloutRoundsUsed;
+    rolloutRound = result.rolloutRoundsUsed;
     validate(selectRollout(fresh, repairObjective));
   }
 

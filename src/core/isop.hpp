@@ -27,6 +27,7 @@
 #include "hpo/adam_refiner.hpp"
 #include "hpo/harmonica.hpp"
 #include "hpo/hyperband.hpp"
+#include "obs/obs.hpp"
 
 namespace isop::core {
 
@@ -62,6 +63,11 @@ struct IsopConfig {
   std::size_t hyperbandProbeBits = 2;
 
   std::uint64_t seed = 1;
+
+  /// Observability: run() opens an obs::Session with this config (stage
+  /// spans, EM/surrogate counters, convergence JSONL). Default: all off,
+  /// which also lets an enclosing session (e.g. TrialRunner's) win.
+  obs::ObsConfig obs{};
 };
 
 struct IsopCandidate {

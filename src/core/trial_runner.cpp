@@ -5,6 +5,7 @@
 
 #include "common/stats.hpp"
 #include "common/timer.hpp"
+#include "obs/obs.hpp"
 #include "hpo/genetic.hpp"
 #include "hpo/simulated_annealing.hpp"
 #include "hpo/tpe.hpp"
@@ -78,6 +79,7 @@ TrialOutcome TrialRunner::runIsopTrial(const MethodSpec& method, std::uint64_t s
   outcome.g = best.g;
   outcome.success = best.feasible;
   outcome.samplesSeen = result.surrogateQueries;
+  outcome.emCalls = result.simulatorCalls;
   outcome.runtimeSeconds = result.modeledSeconds;
   return outcome;
 }
@@ -130,6 +132,7 @@ TrialOutcome TrialRunner::runBaselineTrial(const MethodSpec& method,
     case MethodSpec::Kind::Isop:
       break;  // handled elsewhere
   }
+  const double searchSeconds = timer.lap();
 
   // EM-validated roll-out of the top candidates, like ISOP+'s stage 3.
   TrialOutcome outcome;
@@ -151,19 +154,28 @@ TrialOutcome TrialRunner::runBaselineTrial(const MethodSpec& method,
     }
   }
   outcome.samplesSeen = surrogate_->queryCount();
+  outcome.emCalls = simulator_->callCount() - simBefore;
+  if (obs::metricsEnabled()) {
+    obs::Registry& reg = obs::registry();
+    reg.histogram("trial.search.seconds").record(searchSeconds);
+    reg.histogram("trial.rollout.seconds").record(timer.lap());
+  }
   outcome.runtimeSeconds =
       timer.seconds() + (simulator_->modeledSeconds() - simSecondsBefore);
-  (void)simBefore;
   return outcome;
 }
 
 TrialStats TrialRunner::run(const MethodSpec& method, std::size_t trials,
                             std::uint64_t baseSeed) const {
+  // The runner's session wraps every trial; per-trial IsopOptimizer sessions
+  // are all-off by construction here, so they nest as no-ops.
+  obs::Session session(obs_);
+  obs::StageSpan runSpan("trial_runner.run");
   TrialStats stats;
   stats.method = method.name;
   stats.trials = trials;
 
-  std::vector<double> dz, l, next, fom, runtime, samples;
+  std::vector<double> dz, l, next, fom, runtime, samples, emCalls;
   const double zTarget = [&] {
     for (const auto& oc : task_.spec.outputConstraints) {
       if (oc.metric == em::Metric::Z) return oc.target;
@@ -183,6 +195,15 @@ TrialStats TrialRunner::run(const MethodSpec& method, std::size_t trials,
     fom.push_back(outcome.fom);
     runtime.push_back(outcome.runtimeSeconds);
     samples.push_back(static_cast<double>(outcome.samplesSeen));
+    emCalls.push_back(static_cast<double>(outcome.emCalls));
+    if (obs::metricsEnabled()) {
+      obs::Registry& reg = obs::registry();
+      reg.counter(obs::Registry::labeled("trial.runs", "method", method.name)).add();
+      if (outcome.success) {
+        reg.counter(obs::Registry::labeled("trial.successes", "method", method.name)).add();
+      }
+      reg.histogram("trial.runtime.seconds").record(outcome.runtimeSeconds);
+    }
     stats.outcomes.push_back(std::move(outcome));
   }
 
@@ -196,6 +217,11 @@ TrialStats TrialRunner::run(const MethodSpec& method, std::size_t trials,
   stats.nextStdev = stats::stdev(next);
   stats.fomMean = stats::mean(fom);
   stats.fomStdev = stats::stdev(fom);
+  stats.avgEmCalls = stats::mean(emCalls);
+  if (obs::metricsEnabled()) {
+    obs::captureThreadPoolStats();
+    stats.obsMetrics = obs::registry().snapshot();
+  }
   return stats;
 }
 

@@ -35,6 +35,7 @@ struct TrialOutcome {
   double g = 0.0;
   bool success = false;          ///< all constraints met (EM-validated)
   std::size_t samplesSeen = 0;   ///< surrogate queries
+  std::size_t emCalls = 0;       ///< accurate simulator calls this trial
   double runtimeSeconds = 0.0;   ///< algo wall time + modeled EM solver time
 };
 
@@ -48,7 +49,12 @@ struct TrialStats {
   double lMean = 0.0, lStdev = 0.0;
   double nextMean = 0.0, nextStdev = 0.0;
   double fomMean = 0.0, fomStdev = 0.0;
+  double avgEmCalls = 0.0;
   std::vector<TrialOutcome> outcomes;
+
+  /// Flat metrics snapshot taken right after the trials finished (empty when
+  /// the runner's ObsConfig leaves metrics off).
+  obs::MetricsSnapshot obsMetrics;
 };
 
 class TrialRunner {
@@ -56,6 +62,13 @@ class TrialRunner {
   TrialRunner(const em::EmSimulator& simulator,
               std::shared_ptr<const ml::Surrogate> surrogate,
               em::ParameterSpace space, Task task);
+
+  /// Observability for the whole experiment: run() wraps the trials in an
+  /// obs::Session with this config, labels per-method counters
+  /// ("trial.runs{method=...}"), and snapshots the registry into
+  /// TrialStats::obsMetrics. Default: all off.
+  void setObsConfig(obs::ObsConfig config) { obs_ = std::move(config); }
+  const obs::ObsConfig& obsConfig() const { return obs_; }
 
   /// Runs `trials` repetitions of `method`; trial t uses seed baseSeed + t.
   TrialStats run(const MethodSpec& method, std::size_t trials,
@@ -69,6 +82,7 @@ class TrialRunner {
   std::shared_ptr<const ml::Surrogate> surrogate_;
   em::ParameterSpace space_;
   Task task_;
+  obs::ObsConfig obs_{};
 };
 
 /// FoM improvement of `ours` over `theirs` per Eq. 12, in percent.

@@ -1,9 +1,11 @@
 #include "em/simulator.hpp"
 
+#include <chrono>
 #include <cmath>
 #include <cstring>
 
 #include "common/rng.hpp"
+#include "obs/obs.hpp"
 
 namespace isop::em {
 
@@ -58,7 +60,25 @@ PerformanceMetrics EmSimulator::applyNoise(const StackupParams& p, PerformanceMe
 
 PerformanceMetrics EmSimulator::simulate(const StackupParams& p) const {
   calls_.fetch_add(1, std::memory_order_relaxed);
+  // Keep the common (metrics-off) path shaped exactly like the uninstrumented
+  // function: the timed variant lives in a separate cold function so its
+  // clock reads and statics don't bloat this body or its inlined evaluate.
+  if (obs::metricsEnabled()) [[unlikely]]
+    return simulateInstrumented(p);
   return applyNoise(p, evaluateExact(p));
+}
+
+PerformanceMetrics EmSimulator::simulateInstrumented(const StackupParams& p) const {
+  // Registry handles are stable for the process lifetime, so the lookup
+  // happens once; afterwards each call is two atomic adds.
+  static obs::Counter& simCalls = obs::registry().counter("em.sim.calls");
+  static obs::Histogram& simSeconds = obs::registry().histogram("em.sim.seconds");
+  const auto start = std::chrono::steady_clock::now();
+  PerformanceMetrics m = applyNoise(p, evaluateExact(p));
+  simCalls.add(1);
+  simSeconds.record(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count());
+  return m;
 }
 
 PerformanceMetrics EmSimulator::evaluateUncounted(const StackupParams& p) const {

@@ -76,6 +76,9 @@ class EmSimulator {
  private:
   PerformanceMetrics evaluateExact(const StackupParams& p) const;
   PerformanceMetrics applyNoise(const StackupParams& p, PerformanceMetrics m) const;
+  /// Cold path of simulate(): additionally times the evaluation into the
+  /// observability registry. Split out so the metrics-off path stays lean.
+  PerformanceMetrics simulateInstrumented(const StackupParams& p) const;
 
   SimulatorConfig config_;
   mutable std::atomic<std::size_t> calls_{0};

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/obs.hpp"
+
 namespace isop::hpo {
 
 RefineResult AdamRefiner::refine(const em::ParameterSpace& space,
@@ -35,6 +37,7 @@ RefineResult AdamRefiner::refine(const em::ParameterSpace& space,
 
   std::vector<double> rawGrad(d);
   em::StackupParams x{};
+  obs::StageSpan refineSpan("adam.refine");
   for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
     for (std::size_t i = 0; i < p; ++i) {
       for (std::size_t j = 0; j < d; ++j) x.values[j] = lo[j] + u[i * d + j] * span[j];
@@ -42,6 +45,16 @@ RefineResult AdamRefiner::refine(const em::ParameterSpace& space,
       ++result.gradientEvaluations;
       // Chain rule du: dg/du_j = dg/dx_j * span_j.
       for (std::size_t j = 0; j < d; ++j) grad[i * d + j] = rawGrad[j] * span[j];
+    }
+    if (obs::convergence().enabled()) {
+      obs::AdamEpochRecord rec;
+      rec.epoch = epoch;
+      rec.seeds = p;
+      rec.bestValue = *std::min_element(result.values.begin(), result.values.end());
+      double sum = 0.0;
+      for (double v : result.values) sum += v;
+      rec.meanValue = sum / static_cast<double>(p);
+      obs::convergence().record(rec.toJson());
     }
     std::span<double> blocks[] = {std::span<double>(u)};
     std::span<double> gblocks[] = {std::span<double>(grad)};

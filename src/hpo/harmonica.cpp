@@ -7,6 +7,7 @@
 
 #include "common/logging.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/obs.hpp"
 
 namespace isop::hpo {
 
@@ -26,6 +27,7 @@ HarmonicaResult Harmonica::optimize(std::size_t numBits, const Objective& object
   std::set<std::size_t> fixedPositions;
 
   for (std::size_t iter = 0; iter < config_.iterations; ++iter) {
+    obs::StageSpan iterSpan("harmonica.iteration");
     // 1. Sample q configurations from the restricted space.
     std::vector<BitVector> samples(config_.samplesPerIter);
     for (auto& s : samples) {
@@ -60,6 +62,18 @@ HarmonicaResult Harmonica::optimize(std::size_t numBits, const Objective& object
     }
 
     if (onIteration) onIteration(iter, samples, values);
+    if (obs::convergence().enabled()) {
+      // One record per iteration, even when the restriction step below bails
+      // out early — consumers rely on a gap-free monotone iteration index.
+      obs::HarmonicaIterationRecord rec;
+      rec.iteration = iter;
+      rec.bestGhat = std::isfinite(result.bestValue) ? result.bestValue : 0.0;
+      rec.evaluations = result.evaluations;
+      rec.invalidSamples = result.invalidSamples;
+      rec.fixedBits = fixedPositions.size();
+      rec.freeBits = numBits - fixedPositions.size();
+      obs::convergence().record(rec.toJson());
+    }
     if (iter + 1 == config_.iterations) break;  // last round: no restriction
     if (validIdx.size() < 8) {
       log::warn("harmonica: iteration ", iter, " produced only ", validIdx.size(),

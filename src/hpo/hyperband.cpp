@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.hpp"
+
 namespace isop::hpo {
 
 std::vector<ScoredConfig> Hyperband::run(const Sampler& sampler, const Eval& eval,
@@ -26,6 +28,7 @@ std::vector<ScoredConfig> Hyperband::run(const Sampler& sampler, const Eval& eva
     std::vector<ScoredConfig> arms(n);
     for (auto& a : arms) a.bits = sampler(rng);
 
+    obs::StageSpan bracketSpan("hyperband.bracket");
     for (std::size_t round = 0; round <= s; ++round) {
       const auto res = static_cast<std::size_t>(
           std::max(1.0, std::floor(resource * std::pow(eta, static_cast<double>(round)))));
@@ -34,7 +37,18 @@ std::vector<ScoredConfig> Hyperband::run(const Sampler& sampler, const Eval& eva
                 [](const ScoredConfig& x, const ScoredConfig& y) { return x.value < y.value; });
       const auto keepCount = static_cast<std::size_t>(
           std::floor(static_cast<double>(arms.size()) / eta));
-      if (round == s || keepCount == 0) break;
+      const bool last = round == s || keepCount == 0;
+      if (obs::convergence().enabled()) {
+        obs::HyperbandRoundRecord rec;
+        rec.bracket = s;
+        rec.round = round;
+        rec.resource = res;
+        rec.arms = arms.size();
+        rec.survivors = last ? arms.size() : std::max<std::size_t>(keepCount, 1);
+        rec.bestValue = arms.front().value;
+        obs::convergence().record(rec.toJson());
+      }
+      if (last) break;
       arms.resize(std::max<std::size_t>(keepCount, 1));
     }
     finalists.insert(finalists.end(), arms.begin(), arms.end());

@@ -4,6 +4,13 @@
 
 namespace isop::ml {
 
+namespace detail {
+void recordSurrogateQueries(std::size_t n) {
+  static obs::Counter& queries = obs::registry().counter("surrogate.queries");
+  queries.add(static_cast<std::uint64_t>(n));
+}
+}  // namespace detail
+
 void Surrogate::predictBatch(const Matrix& x, Matrix& out) const {
   out.resize(x.rows(), outputDim());
   for (std::size_t i = 0; i < x.rows(); ++i) {

@@ -16,8 +16,15 @@
 #include <vector>
 
 #include "common/matrix.hpp"
+#include "obs/obs.hpp"
 
 namespace isop::ml {
+
+namespace detail {
+/// Forwards to the process-global obs registry ("surrogate.queries"
+/// counter); defined in surrogate.cpp so the hot header stays light.
+void recordSurrogateQueries(std::size_t n);
+}  // namespace detail
 
 class Surrogate {
  public:
@@ -52,7 +59,10 @@ class Surrogate {
 
  protected:
   /// Implementations call this once per predicted row.
-  void countQuery(std::size_t n = 1) const { queries_.fetch_add(n, std::memory_order_relaxed); }
+  void countQuery(std::size_t n = 1) const {
+    queries_.fetch_add(n, std::memory_order_relaxed);
+    if (obs::metricsEnabled()) detail::recordSurrogateQueries(n);
+  }
 
  private:
   mutable std::atomic<std::size_t> queries_{0};

@@ -1,0 +1,261 @@
+#include "obs/convergence.hpp"
+
+namespace isop::obs {
+
+namespace {
+
+json::Value sizeValue(std::size_t v) {
+  return json::Value::integer(static_cast<long long>(v));
+}
+
+std::optional<std::size_t> readSize(const json::Value& v, std::string_view key) {
+  const json::Value* field = v.find(key);
+  if (!field || field->kind() != json::Value::Kind::Integer) return std::nullopt;
+  const long long raw = field->asInteger();
+  if (raw < 0) return std::nullopt;
+  return static_cast<std::size_t>(raw);
+}
+
+std::optional<double> readNumber(const json::Value& v, std::string_view key) {
+  const json::Value* field = v.find(key);
+  if (!field || !field->isNumeric()) return std::nullopt;
+  return field->asNumber();
+}
+
+std::optional<bool> readBool(const json::Value& v, std::string_view key) {
+  const json::Value* field = v.find(key);
+  if (!field || field->kind() != json::Value::Kind::Bool) return std::nullopt;
+  return field->asBool();
+}
+
+bool typeIs(const json::Value& v, std::string_view type) {
+  const json::Value* field = v.find("type");
+  return field && field->kind() == json::Value::Kind::String &&
+         field->asString() == type;
+}
+
+}  // namespace
+
+ConvergenceRecorder::~ConvergenceRecorder() { close(); }
+
+bool ConvergenceRecorder::openFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  std::lock_guard lock(mutex_);
+  if (file_) std::fclose(file_);
+  file_ = f;
+  return true;
+}
+
+void ConvergenceRecorder::useMemory() {
+  std::lock_guard lock(mutex_);
+  if (file_) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+void ConvergenceRecorder::record(const json::Value& record) {
+  if (!enabled()) return;
+  const std::string line = record.dump();
+  std::lock_guard lock(mutex_);
+  if (file_) {
+    std::fwrite(line.data(), 1, line.size(), file_);
+    std::fputc('\n', file_);
+  } else {
+    memory_.push_back(line);
+  }
+}
+
+std::vector<std::string> ConvergenceRecorder::lines() const {
+  std::lock_guard lock(mutex_);
+  return memory_;
+}
+
+void ConvergenceRecorder::clear() {
+  std::lock_guard lock(mutex_);
+  memory_.clear();
+}
+
+void ConvergenceRecorder::close() {
+  std::lock_guard lock(mutex_);
+  if (file_) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+// ---- Typed records ---------------------------------------------------------
+
+json::Value HarmonicaIterationRecord::toJson() const {
+  json::Value v = json::Value::object();
+  v.set("type", json::Value::string("harmonica_iteration"));
+  v.set("iteration", sizeValue(iteration));
+  v.set("best_ghat", json::Value::number(bestGhat));
+  v.set("evaluations", sizeValue(evaluations));
+  v.set("invalid_samples", sizeValue(invalidSamples));
+  v.set("fixed_bits", sizeValue(fixedBits));
+  v.set("free_bits", sizeValue(freeBits));
+  return v;
+}
+
+std::optional<HarmonicaIterationRecord> HarmonicaIterationRecord::fromJson(
+    const json::Value& v) {
+  if (!typeIs(v, "harmonica_iteration")) return std::nullopt;
+  HarmonicaIterationRecord r;
+  const auto iteration = readSize(v, "iteration");
+  const auto bestGhat = readNumber(v, "best_ghat");
+  const auto evaluations = readSize(v, "evaluations");
+  const auto invalid = readSize(v, "invalid_samples");
+  const auto fixed = readSize(v, "fixed_bits");
+  const auto free = readSize(v, "free_bits");
+  if (!iteration || !bestGhat || !evaluations || !invalid || !fixed || !free) {
+    return std::nullopt;
+  }
+  r.iteration = *iteration;
+  r.bestGhat = *bestGhat;
+  r.evaluations = *evaluations;
+  r.invalidSamples = *invalid;
+  r.fixedBits = *fixed;
+  r.freeBits = *free;
+  return r;
+}
+
+json::Value HyperbandRoundRecord::toJson() const {
+  json::Value v = json::Value::object();
+  v.set("type", json::Value::string("hyperband_round"));
+  v.set("bracket", sizeValue(bracket));
+  v.set("round", sizeValue(round));
+  v.set("resource", sizeValue(resource));
+  v.set("arms", sizeValue(arms));
+  v.set("survivors", sizeValue(survivors));
+  v.set("best_value", json::Value::number(bestValue));
+  return v;
+}
+
+std::optional<HyperbandRoundRecord> HyperbandRoundRecord::fromJson(const json::Value& v) {
+  if (!typeIs(v, "hyperband_round")) return std::nullopt;
+  HyperbandRoundRecord r;
+  const auto bracket = readSize(v, "bracket");
+  const auto round = readSize(v, "round");
+  const auto resource = readSize(v, "resource");
+  const auto arms = readSize(v, "arms");
+  const auto survivors = readSize(v, "survivors");
+  const auto best = readNumber(v, "best_value");
+  if (!bracket || !round || !resource || !arms || !survivors || !best) {
+    return std::nullopt;
+  }
+  r.bracket = *bracket;
+  r.round = *round;
+  r.resource = *resource;
+  r.arms = *arms;
+  r.survivors = *survivors;
+  r.bestValue = *best;
+  return r;
+}
+
+json::Value AdamEpochRecord::toJson() const {
+  json::Value v = json::Value::object();
+  v.set("type", json::Value::string("adam_epoch"));
+  v.set("epoch", sizeValue(epoch));
+  v.set("seeds", sizeValue(seeds));
+  v.set("best_value", json::Value::number(bestValue));
+  v.set("mean_value", json::Value::number(meanValue));
+  return v;
+}
+
+std::optional<AdamEpochRecord> AdamEpochRecord::fromJson(const json::Value& v) {
+  if (!typeIs(v, "adam_epoch")) return std::nullopt;
+  AdamEpochRecord r;
+  const auto epoch = readSize(v, "epoch");
+  const auto seeds = readSize(v, "seeds");
+  const auto best = readNumber(v, "best_value");
+  const auto mean = readNumber(v, "mean_value");
+  if (!epoch || !seeds || !best || !mean) return std::nullopt;
+  r.epoch = *epoch;
+  r.seeds = *seeds;
+  r.bestValue = *best;
+  r.meanValue = *mean;
+  return r;
+}
+
+json::Value AdaptiveWeightsRecord::toJson() const {
+  json::Value v = json::Value::object();
+  v.set("type", json::Value::string("adaptive_weights"));
+  v.set("iteration", sizeValue(iteration));
+  v.set("w_fom", json::Value::number(wFom));
+  json::Value oc = json::Value::array();
+  for (double w : wOc) oc.push(json::Value::number(w));
+  v.set("w_oc", std::move(oc));
+  json::Value ic = json::Value::array();
+  for (double w : wIc) ic.push(json::Value::number(w));
+  v.set("w_ic", std::move(ic));
+  return v;
+}
+
+std::optional<AdaptiveWeightsRecord> AdaptiveWeightsRecord::fromJson(
+    const json::Value& v) {
+  if (!typeIs(v, "adaptive_weights")) return std::nullopt;
+  AdaptiveWeightsRecord r;
+  const auto iteration = readSize(v, "iteration");
+  const auto wFom = readNumber(v, "w_fom");
+  const json::Value* oc = v.find("w_oc");
+  const json::Value* ic = v.find("w_ic");
+  if (!iteration || !wFom || !oc || !oc->isArray() || !ic || !ic->isArray()) {
+    return std::nullopt;
+  }
+  r.iteration = *iteration;
+  r.wFom = *wFom;
+  for (std::size_t i = 0; i < oc->size(); ++i) {
+    if (!oc->at(i).isNumeric()) return std::nullopt;
+    r.wOc.push_back(oc->at(i).asNumber());
+  }
+  for (std::size_t i = 0; i < ic->size(); ++i) {
+    if (!ic->at(i).isNumeric()) return std::nullopt;
+    r.wIc.push_back(ic->at(i).asNumber());
+  }
+  return r;
+}
+
+json::Value RolloutValidationRecord::toJson() const {
+  json::Value v = json::Value::object();
+  v.set("type", json::Value::string("rollout_validation"));
+  v.set("round", sizeValue(round));
+  v.set("g", json::Value::number(g));
+  v.set("fom", json::Value::number(fom));
+  v.set("feasible", json::Value::boolean(feasible));
+  v.set("z", json::Value::number(z));
+  v.set("l", json::Value::number(l));
+  v.set("next", json::Value::number(next));
+  return v;
+}
+
+std::optional<RolloutValidationRecord> RolloutValidationRecord::fromJson(
+    const json::Value& v) {
+  if (!typeIs(v, "rollout_validation")) return std::nullopt;
+  RolloutValidationRecord r;
+  const auto round = readSize(v, "round");
+  const auto g = readNumber(v, "g");
+  const auto fom = readNumber(v, "fom");
+  const auto feasible = readBool(v, "feasible");
+  const auto z = readNumber(v, "z");
+  const auto l = readNumber(v, "l");
+  const auto next = readNumber(v, "next");
+  if (!round || !g || !fom || !feasible || !z || !l || !next) return std::nullopt;
+  r.round = *round;
+  r.g = *g;
+  r.fom = *fom;
+  r.feasible = *feasible;
+  r.z = *z;
+  r.l = *l;
+  r.next = *next;
+  return r;
+}
+
+std::string recordType(const json::Value& v) {
+  const json::Value* field = v.find("type");
+  if (!field || field->kind() != json::Value::Kind::String) return "";
+  return field->asString();
+}
+
+}  // namespace isop::obs

@@ -1,0 +1,132 @@
+// Convergence recorder: a stream of per-iteration optimizer state, one JSON
+// object per line (JSONL), for diagnosing and regression-testing the ISOP+
+// search the way He et al. and Withöft et al. use convergence traces.
+//
+// Record types emitted by the instrumented pipeline (each also carries a
+// "type" discriminator and is documented in docs/observability.md):
+//   harmonica_iteration — best ghat, evaluation counts, search-space size;
+//   adaptive_weights    — the constraint weights after Algorithm 2 updates;
+//   hyperband_round     — per-bracket successive-halving eliminations;
+//   adam_epoch          — local-stage objective trajectory;
+//   rollout_validation  — each EM-validated candidate with its exact g.
+//
+// Sinks: an append-only file (streaming, line-buffered under a mutex) or an
+// in-memory line buffer (tests, programmatic consumers). Disabled by
+// default; a disabled recorder costs one relaxed atomic load per call site.
+#pragma once
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+
+namespace isop::obs {
+
+class ConvergenceRecorder {
+ public:
+  ConvergenceRecorder() = default;
+  ~ConvergenceRecorder();
+
+  ConvergenceRecorder(const ConvergenceRecorder&) = delete;
+  ConvergenceRecorder& operator=(const ConvergenceRecorder&) = delete;
+
+  bool enabled() const noexcept { return enabled_.load(std::memory_order_relaxed); }
+  void setEnabled(bool on) noexcept { enabled_.store(on, std::memory_order_relaxed); }
+
+  /// Switches to a file sink; returns false if the file cannot be opened
+  /// (the recorder then keeps its previous sink). Closes any previous file.
+  bool openFile(const std::string& path);
+
+  /// Switches (back) to the in-memory sink, dropping any open file.
+  void useMemory();
+
+  /// Serializes `record` as one line. No-op when disabled.
+  void record(const json::Value& record);
+
+  /// Lines captured by the memory sink (copy; empty under a file sink).
+  std::vector<std::string> lines() const;
+
+  void clear();
+
+  /// Flushes and closes a file sink (also done on destruction).
+  void close();
+
+ private:
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::FILE* file_ = nullptr;
+  std::vector<std::string> memory_;
+};
+
+// ---- Typed records ---------------------------------------------------------
+// Plain structs with to/from JSON so tests can assert a lossless round-trip
+// through common/json and downstream tools get a stable schema.
+
+struct HarmonicaIterationRecord {
+  std::size_t iteration = 0;
+  double bestGhat = 0.0;
+  std::size_t evaluations = 0;     ///< cumulative valid objective calls
+  std::size_t invalidSamples = 0;  ///< cumulative invalid encodings skipped
+  std::size_t fixedBits = 0;       ///< total bits fixed so far
+  std::size_t freeBits = 0;        ///< log2 of the restricted-space size
+
+  json::Value toJson() const;
+  static std::optional<HarmonicaIterationRecord> fromJson(const json::Value& v);
+  bool operator==(const HarmonicaIterationRecord&) const = default;
+};
+
+struct HyperbandRoundRecord {
+  std::size_t bracket = 0;
+  std::size_t round = 0;
+  std::size_t resource = 0;
+  std::size_t arms = 0;       ///< arms evaluated this round
+  std::size_t survivors = 0;  ///< arms kept for the next round
+  double bestValue = 0.0;
+
+  json::Value toJson() const;
+  static std::optional<HyperbandRoundRecord> fromJson(const json::Value& v);
+  bool operator==(const HyperbandRoundRecord&) const = default;
+};
+
+struct AdamEpochRecord {
+  std::size_t epoch = 0;
+  std::size_t seeds = 0;
+  double bestValue = 0.0;
+  double meanValue = 0.0;
+
+  json::Value toJson() const;
+  static std::optional<AdamEpochRecord> fromJson(const json::Value& v);
+  bool operator==(const AdamEpochRecord&) const = default;
+};
+
+struct AdaptiveWeightsRecord {
+  std::size_t iteration = 0;
+  double wFom = 1.0;
+  std::vector<double> wOc;
+  std::vector<double> wIc;
+
+  json::Value toJson() const;
+  static std::optional<AdaptiveWeightsRecord> fromJson(const json::Value& v);
+  bool operator==(const AdaptiveWeightsRecord&) const = default;
+};
+
+struct RolloutValidationRecord {
+  std::size_t round = 1;  ///< roll-out (repair) round, 1-based
+  double g = 0.0;
+  double fom = 0.0;
+  bool feasible = false;
+  double z = 0.0, l = 0.0, next = 0.0;
+
+  json::Value toJson() const;
+  static std::optional<RolloutValidationRecord> fromJson(const json::Value& v);
+  bool operator==(const RolloutValidationRecord&) const = default;
+};
+
+/// The "type" field of a serialized record, or "" when absent.
+std::string recordType(const json::Value& v);
+
+}  // namespace isop::obs

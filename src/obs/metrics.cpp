@@ -1,0 +1,235 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace isop::obs {
+
+namespace {
+
+void casExtreme(std::atomic<std::uint64_t>& slot, double candidate, bool wantMin) {
+  std::uint64_t expected = slot.load(std::memory_order_relaxed);
+  for (;;) {
+    const double current = std::bit_cast<double>(expected);
+    if (wantMin ? candidate >= current : candidate <= current) return;
+    if (slot.compare_exchange_weak(expected, std::bit_cast<std::uint64_t>(candidate),
+                                   std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+int Histogram::bucketIndex(double v) noexcept {
+  if (!(v > 0.0)) return 0;  // underflow bucket (also NaN / non-positive)
+  const double exponent = std::log10(v) - kMinExponent;
+  const auto slot = static_cast<long>(std::floor(exponent * kBucketsPerDecade));
+  if (slot < 0) return 0;
+  if (slot >= kBuckets - 2) return kBuckets - 1;  // overflow bucket
+  return static_cast<int>(slot) + 1;
+}
+
+double Histogram::bucketLowerEdge(int index) noexcept {
+  if (index <= 0) return 0.0;
+  return std::pow(10.0, kMinExponent +
+                            static_cast<double>(index - 1) / kBucketsPerDecade);
+}
+
+void Histogram::record(double v) noexcept {
+  buckets_[static_cast<std::size_t>(bucketIndex(v))].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.add(v);
+  casExtreme(min_, v, /*wantMin=*/true);
+  casExtreme(max_, v, /*wantMin=*/false);
+}
+
+double Histogram::sum() const noexcept { return sum_.value(); }
+
+double Histogram::min() const noexcept {
+  return std::bit_cast<double>(min_.load(std::memory_order_relaxed));
+}
+
+double Histogram::max() const noexcept {
+  return std::bit_cast<double>(max_.load(std::memory_order_relaxed));
+}
+
+double Histogram::mean() const noexcept {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+double Histogram::percentile(double p) const noexcept {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  // Rank of the target observation (1-based, nearest-rank method).
+  const auto rank = static_cast<std::uint64_t>(std::ceil(
+      p * static_cast<double>(n)));
+  const std::uint64_t target = std::max<std::uint64_t>(rank, 1);
+  std::uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    const std::uint64_t inBucket = buckets_[static_cast<std::size_t>(b)].load(
+        std::memory_order_relaxed);
+    if (inBucket == 0) continue;
+    if (seen + inBucket < target) {
+      seen += inBucket;
+      continue;
+    }
+    // Interpolate inside the bucket, clamped to the exact extrema so tiny
+    // histograms (one or two samples) report faithful percentiles.
+    const double lo = std::max(bucketLowerEdge(b), min());
+    const double hi = std::min(b + 1 < kBuckets ? bucketLowerEdge(b + 1)
+                                                : std::numeric_limits<double>::max(),
+                               max());
+    if (!(hi > lo)) return std::clamp(lo, min(), max());
+    const double frac =
+        static_cast<double>(target - seen) / static_cast<double>(inBucket);
+    return lo + frac * (hi - lo);
+  }
+  return max();
+}
+
+void Histogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.reset();
+  min_.store(std::bit_cast<std::uint64_t>(std::numeric_limits<double>::infinity()),
+             std::memory_order_relaxed);
+  max_.store(std::bit_cast<std::uint64_t>(-std::numeric_limits<double>::infinity()),
+             std::memory_order_relaxed);
+}
+
+Registry::Instrument& Registry::get(std::string_view name, Kind kind) {
+  std::lock_guard lock(mutex_);
+  auto it = instruments_.find(name);
+  if (it == instruments_.end()) {
+    Instrument inst{kind, nullptr, nullptr, nullptr};
+    switch (kind) {
+      case Kind::Counter: inst.counter = std::make_unique<Counter>(); break;
+      case Kind::Gauge: inst.gauge = std::make_unique<Gauge>(); break;
+      case Kind::Histogram: inst.histogram = std::make_unique<Histogram>(); break;
+    }
+    it = instruments_.emplace(std::string(name), std::move(inst)).first;
+  } else if (it->second.kind != kind) {
+    throw std::logic_error("obs::Registry: instrument '" + std::string(name) +
+                           "' already registered with a different kind");
+  }
+  return it->second;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  return *get(name, Kind::Counter).counter;
+}
+
+Gauge& Registry::gauge(std::string_view name) { return *get(name, Kind::Gauge).gauge; }
+
+Histogram& Registry::histogram(std::string_view name) {
+  return *get(name, Kind::Histogram).histogram;
+}
+
+std::string Registry::labeled(std::string_view name, std::string_view key,
+                              std::string_view value) {
+  std::string out;
+  out.reserve(name.size() + key.size() + value.size() + 3);
+  out.append(name).append("{").append(key).append("=").append(value).append("}");
+  return out;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard lock(mutex_);
+  for (const auto& [name, inst] : instruments_) {
+    switch (inst.kind) {
+      case Kind::Counter:
+        snap[name] = static_cast<double>(inst.counter->value());
+        break;
+      case Kind::Gauge:
+        snap[name] = inst.gauge->value();
+        break;
+      case Kind::Histogram: {
+        const Histogram& h = *inst.histogram;
+        snap[name + ".count"] = static_cast<double>(h.count());
+        snap[name + ".mean"] = h.mean();
+        snap[name + ".p50"] = h.percentile(0.50);
+        snap[name + ".p95"] = h.percentile(0.95);
+        snap[name + ".p99"] = h.percentile(0.99);
+        break;
+      }
+    }
+  }
+  return snap;
+}
+
+json::Value Registry::toJson() const {
+  json::Value counters = json::Value::object();
+  json::Value gauges = json::Value::object();
+  json::Value histograms = json::Value::object();
+  std::lock_guard lock(mutex_);
+  for (const auto& [name, inst] : instruments_) {
+    switch (inst.kind) {
+      case Kind::Counter:
+        counters.set(name, json::Value::integer(
+                               static_cast<long long>(inst.counter->value())));
+        break;
+      case Kind::Gauge:
+        gauges.set(name, json::Value::number(inst.gauge->value()));
+        break;
+      case Kind::Histogram: {
+        const Histogram& h = *inst.histogram;
+        json::Value entry = json::Value::object();
+        entry.set("count", json::Value::integer(static_cast<long long>(h.count())));
+        if (h.count() > 0) {
+          entry.set("min", json::Value::number(h.min()));
+          entry.set("max", json::Value::number(h.max()));
+          entry.set("mean", json::Value::number(h.mean()));
+          entry.set("p50", json::Value::number(h.percentile(0.50)));
+          entry.set("p95", json::Value::number(h.percentile(0.95)));
+          entry.set("p99", json::Value::number(h.percentile(0.99)));
+        }
+        histograms.set(name, std::move(entry));
+        break;
+      }
+    }
+  }
+  json::Value root = json::Value::object();
+  root.set("counters", std::move(counters));
+  root.set("gauges", std::move(gauges));
+  root.set("histograms", std::move(histograms));
+  return root;
+}
+
+std::string Registry::toCsv() const {
+  const MetricsSnapshot snap = snapshot();
+  std::string out = "name,kind,value\n";
+  std::lock_guard lock(mutex_);
+  for (const auto& [name, value] : snap) {
+    // Derive the kind from the registered instrument (histogram rows carry
+    // a .count/.p50/... suffix not present in the instrument map).
+    auto it = instruments_.find(name);
+    const char* kind = "histogram";
+    if (it != instruments_.end()) {
+      kind = it->second.kind == Kind::Counter ? "counter" : "gauge";
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.12g", value);
+    out.append(name).append(",").append(kind).append(",").append(buf).append("\n");
+  }
+  return out;
+}
+
+void Registry::reset() {
+  std::lock_guard lock(mutex_);
+  for (auto& [name, inst] : instruments_) {
+    switch (inst.kind) {
+      case Kind::Counter: inst.counter->reset(); break;
+      case Kind::Gauge: inst.gauge->reset(); break;
+      case Kind::Histogram: inst.histogram->reset(); break;
+    }
+  }
+}
+
+}  // namespace isop::obs

@@ -1,0 +1,154 @@
+// Metrics registry: named counters, gauges and latency histograms shared by
+// every layer of the ISOP+ pipeline (EM simulator call counts, surrogate
+// query counts, per-stage span durations, thread-pool load).
+//
+// Design constraints, in order:
+//   * near-zero cost when observability is off — hot call sites guard with
+//     one relaxed atomic load (obs::metricsEnabled()) and skip everything;
+//   * safe under concurrent updates — counters/gauges are lock-free atomics,
+//     histograms use atomic log-scale buckets (Harmonica evaluates batches
+//     on the global thread pool, so every instrument may be hit from many
+//     threads at once);
+//   * stable handles — instruments are created once and never move, so call
+//     sites can cache a reference (Registry never deletes an instrument).
+//
+// Exporters: a JSON document (isop_cli --metrics-out) and a flat CSV
+// (name,kind,value columns) for spreadsheet-side bench analysis.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/json.hpp"
+
+namespace isop::obs {
+
+/// Monotone event counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (queue depth, weight values, ...).
+class Gauge {
+ public:
+  void set(double v) noexcept { bits_.store(pack(v), std::memory_order_relaxed); }
+  void add(double delta) noexcept {
+    std::uint64_t expected = bits_.load(std::memory_order_relaxed);
+    while (!bits_.compare_exchange_weak(expected, pack(unpack(expected) + delta),
+                                        std::memory_order_relaxed)) {
+    }
+  }
+  double value() const noexcept { return unpack(bits_.load(std::memory_order_relaxed)); }
+  void reset() noexcept { set(0.0); }
+
+ private:
+  static std::uint64_t pack(double v) noexcept { return std::bit_cast<std::uint64_t>(v); }
+  static double unpack(std::uint64_t bits) noexcept { return std::bit_cast<double>(bits); }
+  std::atomic<std::uint64_t> bits_{0};  // 0 == +0.0
+};
+
+/// Concurrent histogram over positive values (durations in seconds, sizes).
+///
+/// Values land in logarithmic buckets — kBucketsPerDecade per power of ten
+/// across [1e-9, 1e5) — giving ~15% relative quantile error with a few KB of
+/// fixed storage and wait-free recording. Percentiles interpolate inside the
+/// winning bucket; min/max/sum/count are tracked exactly.
+class Histogram {
+ public:
+  static constexpr int kBucketsPerDecade = 8;
+  static constexpr int kMinExponent = -9;  ///< 1e-9 lower edge
+  static constexpr int kMaxExponent = 5;   ///< 1e5 upper edge
+  static constexpr int kBuckets =
+      (kMaxExponent - kMinExponent) * kBucketsPerDecade + 2;  // +under/overflow
+
+  void record(double v) noexcept;
+
+  std::uint64_t count() const noexcept { return count_.load(std::memory_order_relaxed); }
+  double sum() const noexcept;
+  double min() const noexcept;  ///< +inf when empty
+  double max() const noexcept;  ///< -inf when empty
+  double mean() const noexcept;
+
+  /// Quantile in [0, 1]; returns 0 when empty. p=0.5 is the median.
+  double percentile(double p) const noexcept;
+
+  void reset() noexcept;
+
+ private:
+  static int bucketIndex(double v) noexcept;
+  static double bucketLowerEdge(int index) noexcept;
+
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  Gauge sum_{};
+  // CAS-updated running extrema (packed doubles), valid when count() > 0.
+  std::atomic<std::uint64_t> min_{
+      std::bit_cast<std::uint64_t>(std::numeric_limits<double>::infinity())};
+  std::atomic<std::uint64_t> max_{
+      std::bit_cast<std::uint64_t>(-std::numeric_limits<double>::infinity())};
+};
+
+/// Snapshot of every instrument as flat name -> value pairs. Histograms
+/// expand to name.count / name.p50 / name.p95 / name.p99 / name.mean.
+using MetricsSnapshot = std::map<std::string, double>;
+
+class Registry {
+ public:
+  /// Returns the instrument with this name, creating it on first use. The
+  /// returned reference stays valid for the registry's lifetime — cache it
+  /// at hot call sites. Requesting an existing name as a different kind
+  /// throws std::logic_error.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Prometheus-style label suffix: labeled("trial.runs", "method", "SA-1")
+  /// == "trial.runs{method=SA-1}".
+  static std::string labeled(std::string_view name, std::string_view key,
+                             std::string_view value);
+
+  MetricsSnapshot snapshot() const;
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name: {count, min,
+  /// max, mean, p50, p95, p99}}}
+  json::Value toJson() const;
+
+  /// "name,kind,value" rows (histograms expanded like snapshot()).
+  std::string toCsv() const;
+
+  /// Zeroes every instrument in place; handles stay valid.
+  void reset();
+
+ private:
+  enum class Kind { Counter, Gauge, Histogram };
+  struct Instrument {
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  Instrument& get(std::string_view name, Kind kind);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Instrument, std::less<>> instruments_;
+};
+
+}  // namespace isop::obs

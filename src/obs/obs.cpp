@@ -1,0 +1,112 @@
+#include "obs/obs.hpp"
+
+#include <cstdio>
+
+#include "common/logging.hpp"
+#include "common/thread_pool.hpp"
+
+namespace isop::obs {
+
+namespace detail {
+std::atomic<bool> gMetricsEnabled{false};
+}  // namespace detail
+
+Registry& registry() {
+  static Registry* instance = new Registry();  // leaked: usable in atexit paths
+  return *instance;
+}
+
+Tracer& tracer() {
+  static Tracer* instance = new Tracer();
+  return *instance;
+}
+
+ConvergenceRecorder& convergence() {
+  static ConvergenceRecorder* instance = new ConvergenceRecorder();
+  return *instance;
+}
+
+void setMetricsEnabled(bool on) noexcept {
+  detail::gMetricsEnabled.store(on, std::memory_order_relaxed);
+}
+
+void captureThreadPoolStats() {
+  const ThreadPool::PoolStats stats = ThreadPool::global().stats();
+  Registry& reg = registry();
+  reg.gauge("threadpool.threads").set(static_cast<double>(ThreadPool::global().threadCount()));
+  reg.gauge("threadpool.tasks.submitted").set(static_cast<double>(stats.submitted));
+  reg.gauge("threadpool.tasks.completed").set(static_cast<double>(stats.completed));
+  reg.gauge("threadpool.queue.depth").set(static_cast<double>(stats.queueDepth));
+  reg.gauge("threadpool.queue.max_depth").set(static_cast<double>(stats.maxQueueDepth));
+  reg.gauge("threadpool.task.wait_seconds.total").set(stats.waitSeconds);
+  reg.gauge("threadpool.task.run_seconds.total").set(stats.runSeconds);
+}
+
+ObsConfig ObsConfig::fromOutputs(std::string metricsOut, std::string traceOut,
+                                 std::string convergenceOut) {
+  ObsConfig cfg;
+  cfg.metrics = !metricsOut.empty();
+  cfg.trace = !traceOut.empty();
+  cfg.convergence = !convergenceOut.empty();
+  cfg.metricsOut = std::move(metricsOut);
+  cfg.traceOut = std::move(traceOut);
+  cfg.convergenceOut = std::move(convergenceOut);
+  return cfg;
+}
+
+Session::Session(ObsConfig config) : config_(std::move(config)) {
+  if (!config_.anyEnabled()) return;
+  active_ = true;
+  prevMetrics_ = metricsEnabled();
+  prevTrace_ = tracer().enabled();
+  prevConvergence_ = convergence().enabled();
+  if (config_.metrics) setMetricsEnabled(true);
+  if (config_.trace) tracer().setEnabled(true);
+  if (config_.convergence) {
+    if (!config_.convergenceOut.empty()) {
+      if (convergence().openFile(config_.convergenceOut)) {
+        openedConvergenceFile_ = true;
+      } else {
+        log::warn("obs: cannot open convergence output '", config_.convergenceOut,
+                  "'; recording to memory instead");
+      }
+    }
+    convergence().setEnabled(true);
+  }
+}
+
+Session::~Session() {
+  if (!active_) return;
+  flush();
+  setMetricsEnabled(prevMetrics_);
+  tracer().setEnabled(prevTrace_);
+  convergence().setEnabled(prevConvergence_);
+  if (openedConvergenceFile_) convergence().close();
+}
+
+void Session::flush() {
+  if (!active_) return;
+  if (config_.metrics) captureThreadPoolStats();
+  auto writeText = [](const std::string& path, const std::string& text) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) {
+      log::warn("obs: cannot write '", path, "'");
+      return;
+    }
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+  };
+  if (config_.metrics && !config_.metricsOut.empty()) {
+    writeText(config_.metricsOut, registry().toJson().dump(2) + "\n");
+  }
+  if (config_.metrics && !config_.metricsCsvOut.empty()) {
+    writeText(config_.metricsCsvOut, registry().toCsv());
+  }
+  if (config_.trace && !config_.traceOut.empty()) {
+    if (!tracer().writeChromeTrace(config_.traceOut)) {
+      log::warn("obs: cannot write trace '", config_.traceOut, "'");
+    }
+  }
+}
+
+}  // namespace isop::obs

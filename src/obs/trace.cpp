@@ -1,0 +1,117 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <functional>
+#include <thread>
+
+#include "obs/obs.hpp"
+
+namespace isop::obs {
+
+Tracer::Tracer(std::size_t maxEvents)
+    : epoch_(std::chrono::steady_clock::now()), maxEvents_(maxEvents) {}
+
+void Tracer::record(std::string name, std::chrono::steady_clock::time_point start,
+                    std::chrono::steady_clock::duration duration) {
+  using std::chrono::duration_cast;
+  using std::chrono::microseconds;
+  TraceEvent event;
+  event.name = std::move(name);
+  event.startMicros =
+      static_cast<std::uint64_t>(duration_cast<microseconds>(start - epoch_).count());
+  event.durMicros =
+      static_cast<std::uint64_t>(duration_cast<microseconds>(duration).count());
+  event.tid = currentThreadId();
+  std::lock_guard lock(mutex_);
+  if (events_.size() >= maxEvents_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::lock_guard lock(mutex_);
+  return events_;
+}
+
+std::size_t Tracer::droppedEvents() const {
+  std::lock_guard lock(mutex_);
+  return dropped_;
+}
+
+void Tracer::clear() {
+  std::lock_guard lock(mutex_);
+  events_.clear();
+  dropped_ = 0;
+}
+
+json::Value Tracer::toChromeJson() const {
+  json::Value list = json::Value::array();
+  {
+    std::lock_guard lock(mutex_);
+    for (const TraceEvent& e : events_) {
+      json::Value ev = json::Value::object();
+      ev.set("name", json::Value::string(e.name));
+      ev.set("cat", json::Value::string("isop"));
+      ev.set("ph", json::Value::string("X"));
+      ev.set("ts", json::Value::integer(static_cast<long long>(e.startMicros)));
+      ev.set("dur", json::Value::integer(static_cast<long long>(e.durMicros)));
+      ev.set("pid", json::Value::integer(1));
+      ev.set("tid", json::Value::integer(static_cast<long long>(e.tid)));
+      list.push(std::move(ev));
+    }
+  }
+  json::Value root = json::Value::object();
+  root.set("traceEvents", std::move(list));
+  root.set("displayTimeUnit", json::Value::string("ms"));
+  return root;
+}
+
+bool Tracer::writeChromeTrace(const std::string& path) const {
+  const std::string text = toChromeJson().dump(2);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+std::uint32_t currentThreadId() noexcept {
+  static thread_local const std::uint32_t id = static_cast<std::uint32_t>(
+      std::hash<std::thread::id>{}(std::this_thread::get_id()));
+  return id;
+}
+
+Span::Span(const char* name) : Span(tracer(), name) {}
+
+Span::Span(Tracer& tracer, const char* name)
+    : tracer_(tracer.enabled() ? &tracer : nullptr), name_(name) {
+  if (tracer_) start_ = std::chrono::steady_clock::now();
+}
+
+Span::~Span() {
+  if (!tracer_) return;
+  tracer_->record(name_, start_, std::chrono::steady_clock::now() - start_);
+}
+
+double Span::seconds() const {
+  if (!tracer_) return 0.0;
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+StageSpan::StageSpan(const char* name)
+    : span_(name), name_(name), metrics_(metricsEnabled()) {
+  if (metrics_) start_ = std::chrono::steady_clock::now();
+}
+
+StageSpan::~StageSpan() {
+  if (!metrics_) return;
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  registry()
+      .histogram(std::string("span.") + name_ + ".seconds")
+      .record(seconds);
+}
+
+}  // namespace isop::obs

@@ -1,0 +1,108 @@
+// Low-overhead scoped-span tracer with Chrome trace_event export.
+//
+// Usage:
+//   { obs::Span span("stage1.harmonica"); ...work... }   // global tracer
+//
+// When tracing is disabled (the default) a Span costs one relaxed atomic
+// load in the constructor and a null check in the destructor — no clock
+// reads, no allocation, no locking (the null-sink fast path). When enabled,
+// each span records a steady-clock complete event ('X' phase) with
+// microsecond start/duration and the recording thread's id, bounded by a
+// fixed event cap so a runaway loop cannot exhaust memory.
+//
+// The exported JSON loads directly in chrome://tracing or https://ui.perfetto.dev.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+
+namespace isop::obs {
+
+struct TraceEvent {
+  std::string name;
+  std::uint64_t startMicros = 0;  ///< since tracer epoch
+  std::uint64_t durMicros = 0;
+  std::uint32_t tid = 0;
+};
+
+class Tracer {
+ public:
+  /// Default cap: 1M events (~64 MB worst case).
+  explicit Tracer(std::size_t maxEvents = 1 << 20);
+
+  bool enabled() const noexcept { return enabled_.load(std::memory_order_relaxed); }
+  void setEnabled(bool on) noexcept { enabled_.store(on, std::memory_order_relaxed); }
+
+  void record(std::string name, std::chrono::steady_clock::time_point start,
+              std::chrono::steady_clock::duration duration);
+
+  std::vector<TraceEvent> events() const;
+  std::size_t droppedEvents() const;
+  void clear();
+
+  /// Chrome trace_event "JSON object format": {"traceEvents": [...],
+  /// "displayTimeUnit": "ms"}.
+  json::Value toChromeJson() const;
+
+  /// Writes toChromeJson() to `path`; returns false on I/O failure.
+  bool writeChromeTrace(const std::string& path) const;
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::chrono::steady_clock::time_point epoch_;
+  std::size_t maxEvents_;
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+  std::size_t dropped_ = 0;
+};
+
+/// Current thread's id folded to 32 bits (stable within a run).
+std::uint32_t currentThreadId() noexcept;
+
+/// RAII scoped span against the global tracer (see obs.hpp). Null-sink fast
+/// path: when tracing is off at construction the span holds no tracer and
+/// both constructor and destructor are branch-only.
+class Span {
+ public:
+  explicit Span(const char* name);
+  Span(Tracer& tracer, const char* name);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Seconds elapsed since construction (0 when the tracer was disabled).
+  double seconds() const;
+
+ private:
+  Tracer* tracer_;  // nullptr == disabled at construction
+  const char* name_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Span that additionally records its duration into the metrics registry
+/// histogram "span.<name>.seconds" — the per-stage latency distributions the
+/// bench tables and the metrics exporter report. Each sink (trace, metrics)
+/// engages independently from its own enabled flag.
+class StageSpan {
+ public:
+  explicit StageSpan(const char* name);
+  ~StageSpan();
+
+  StageSpan(const StageSpan&) = delete;
+  StageSpan& operator=(const StageSpan&) = delete;
+
+ private:
+  Span span_;
+  const char* name_;
+  bool metrics_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace isop::obs

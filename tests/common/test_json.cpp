@@ -78,5 +78,67 @@ TEST(Json, NumberPrecision) {
   EXPECT_EQ(Value::number(5.8e7).dump(), "58000000");
 }
 
+TEST(JsonParse, ScalarsAndKinds) {
+  EXPECT_EQ(Value::parse("null")->kind(), Value::Kind::Null);
+  EXPECT_TRUE(Value::parse("true")->asBool());
+  EXPECT_FALSE(Value::parse("false")->asBool());
+  EXPECT_EQ(Value::parse("-42")->asInteger(), -42);
+  EXPECT_EQ(Value::parse("-42")->kind(), Value::Kind::Integer);
+  EXPECT_DOUBLE_EQ(Value::parse("1.5")->asNumber(), 1.5);
+  EXPECT_DOUBLE_EQ(Value::parse("2e3")->asNumber(), 2000.0);
+  EXPECT_EQ(Value::parse("\"hi\"")->asString(), "hi");
+}
+
+TEST(JsonParse, StringsUnescape) {
+  EXPECT_EQ(Value::parse(R"("a\"b\\c\nd\te")")->asString(), "a\"b\\c\nd\te");
+  EXPECT_EQ(Value::parse(R"("Aé")")->asString(), "A\xc3\xa9");
+}
+
+TEST(JsonParse, ArraysAndObjects) {
+  const auto arr = Value::parse("[1, 2.5, \"x\", null]");
+  ASSERT_TRUE(arr.has_value());
+  ASSERT_EQ(arr->size(), 4u);
+  EXPECT_EQ(arr->at(0).asInteger(), 1);
+  EXPECT_DOUBLE_EQ(arr->at(1).asNumber(), 2.5);
+  EXPECT_EQ(arr->at(2).asString(), "x");
+  EXPECT_TRUE(arr->at(3).isNull());
+
+  const auto obj = Value::parse(R"({"a": 1, "nested": {"b": [true]}})");
+  ASSERT_TRUE(obj.has_value());
+  EXPECT_EQ(obj->at("a").asInteger(), 1);
+  EXPECT_TRUE(obj->at("nested").at("b").at(0).asBool());
+  EXPECT_EQ(obj->find("missing"), nullptr);
+  EXPECT_EQ(obj->keyAt(1), "nested");
+  EXPECT_THROW(obj->at("missing"), std::out_of_range);
+}
+
+TEST(JsonParse, RoundTripsDumpedDocuments) {
+  Value obj = Value::object();
+  obj.set("name", Value::string("span.stage1 \"quoted\""));
+  obj.set("count", Value::integer(12));
+  obj.set("mean", Value::number(0.125));
+  Value arr = Value::array();
+  arr.push(Value::boolean(true)).push(Value::null());
+  obj.set("flags", std::move(arr));
+  for (int indent : {0, 2}) {
+    const auto parsed = Value::parse(obj.dump(indent));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->dump(), obj.dump());
+  }
+}
+
+TEST(JsonParse, RejectsMalformedDocuments) {
+  for (const char* bad :
+       {"", "{", "[1,]", "{\"a\":}", "{\"a\" 1}", "tru", "1 2", "\"unterminated",
+        "{\"a\":1,}", "[1 2]", "nul", "+5", "01", "--1", "{'a':1}"}) {
+    EXPECT_FALSE(Value::parse(bad).has_value()) << bad;
+  }
+}
+
+TEST(JsonParse, AllowsSurroundingWhitespaceOnly) {
+  EXPECT_TRUE(Value::parse("  { \"a\" : [ 1 , 2 ] }\n\t").has_value());
+  EXPECT_FALSE(Value::parse("{} extra").has_value());
+}
+
 }  // namespace
 }  // namespace isop::json

@@ -25,6 +25,19 @@ TEST_F(LoggingTest, ConcatFormatsMixedTypes) {
   EXPECT_EQ(detail::concat("solo"), "solo");
 }
 
+TEST_F(LoggingTest, LevelFromStringIsCaseInsensitiveWithAliases) {
+  EXPECT_EQ(levelFromString("debug"), Level::Debug);
+  EXPECT_EQ(levelFromString("INFO"), Level::Info);
+  EXPECT_EQ(levelFromString("Warn"), Level::Warn);
+  EXPECT_EQ(levelFromString("warning"), Level::Warn);
+  EXPECT_EQ(levelFromString("error"), Level::Error);
+  EXPECT_EQ(levelFromString("off"), Level::Off);
+  EXPECT_EQ(levelFromString("none"), Level::Off);
+  EXPECT_EQ(levelFromString("quiet"), Level::Off);
+  EXPECT_EQ(levelFromString("bogus"), Level::Info);
+  EXPECT_EQ(levelFromString("bogus", Level::Error), Level::Error);
+}
+
 TEST_F(LoggingTest, SuppressedLevelsDoNotCrash) {
   setLevel(Level::Off);
   debug("dropped");

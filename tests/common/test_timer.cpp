@@ -1,0 +1,41 @@
+#include "common/timer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace isop {
+namespace {
+
+TEST(Timer, SecondsGrowsMonotonically) {
+  Timer t;
+  const double a = t.seconds();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  const double b = t.seconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GT(b, a);
+}
+
+TEST(Timer, LapSplitsWithoutDisturbingTotal) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  const double lap1 = t.lap();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  const double lap2 = t.lap();
+  EXPECT_GT(lap1, 0.0);
+  EXPECT_GT(lap2, 0.0);
+  // The laps partition the total: their sum cannot exceed seconds().
+  EXPECT_GE(t.seconds(), lap1 + lap2);
+}
+
+TEST(Timer, ResetRestartsBothClocks) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  t.reset();
+  EXPECT_LT(t.seconds(), 0.002);
+  EXPECT_LT(t.lap(), 0.002);
+}
+
+}  // namespace
+}  // namespace isop

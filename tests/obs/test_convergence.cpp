@@ -1,0 +1,144 @@
+// Convergence recorder tests: the typed records round-trip losslessly
+// through the common/json parser, the JSONL sinks (memory and file) emit
+// one parseable object per line, and a disabled recorder drops everything.
+#include "obs/convergence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace isop::obs {
+namespace {
+
+template <typename Record>
+Record roundTrip(const Record& in) {
+  const std::string line = in.toJson().dump();
+  const auto parsed = json::Value::parse(line);
+  EXPECT_TRUE(parsed.has_value()) << line;
+  const auto out = Record::fromJson(*parsed);
+  EXPECT_TRUE(out.has_value()) << line;
+  return *out;
+}
+
+TEST(ConvergenceRecords, HarmonicaIterationRoundTrips) {
+  HarmonicaIterationRecord r;
+  r.iteration = 3;
+  r.bestGhat = -1.25;
+  r.evaluations = 1200;
+  r.invalidSamples = 17;
+  r.fixedBits = 6;
+  r.freeBits = 39;
+  EXPECT_EQ(roundTrip(r), r);
+  EXPECT_EQ(recordType(r.toJson()), "harmonica_iteration");
+}
+
+TEST(ConvergenceRecords, HyperbandRoundRoundTrips) {
+  HyperbandRoundRecord r;
+  r.bracket = 2;
+  r.round = 1;
+  r.resource = 9;
+  r.arms = 12;
+  r.survivors = 4;
+  r.bestValue = 0.75;
+  EXPECT_EQ(roundTrip(r), r);
+  EXPECT_EQ(recordType(r.toJson()), "hyperband_round");
+}
+
+TEST(ConvergenceRecords, AdamEpochRoundTrips) {
+  AdamEpochRecord r;
+  r.epoch = 24;
+  r.seeds = 6;
+  r.bestValue = 0.125;
+  r.meanValue = 0.5;
+  EXPECT_EQ(roundTrip(r), r);
+}
+
+TEST(ConvergenceRecords, AdaptiveWeightsRoundTripsWithVectors) {
+  AdaptiveWeightsRecord r;
+  r.iteration = 1;
+  r.wFom = 1.5;
+  r.wOc = {1.0, 2.25};
+  r.wIc = {0.5};
+  EXPECT_EQ(roundTrip(r), r);
+}
+
+TEST(ConvergenceRecords, RolloutValidationRoundTrips) {
+  RolloutValidationRecord r;
+  r.round = 2;
+  r.g = 0.875;
+  r.fom = 0.33;
+  r.feasible = true;
+  r.z = 84.9;
+  r.l = -0.42;
+  r.next = -12.5;
+  EXPECT_EQ(roundTrip(r), r);
+}
+
+TEST(ConvergenceRecords, FromJsonRejectsWrongTypeAndMissingFields) {
+  HarmonicaIterationRecord r;
+  EXPECT_FALSE(HyperbandRoundRecord::fromJson(r.toJson()).has_value());
+  json::Value truncated = json::Value::object();
+  truncated.set("type", json::Value::string("harmonica_iteration"));
+  truncated.set("iteration", json::Value::integer(1));
+  EXPECT_FALSE(HarmonicaIterationRecord::fromJson(truncated).has_value());
+}
+
+TEST(ConvergenceRecorder, DisabledRecorderDropsRecords) {
+  ConvergenceRecorder rec;
+  rec.record(HarmonicaIterationRecord{}.toJson());
+  EXPECT_TRUE(rec.lines().empty());
+}
+
+TEST(ConvergenceRecorder, MemorySinkKeepsOneParseableLinePerRecord) {
+  ConvergenceRecorder rec;
+  rec.setEnabled(true);
+  for (std::size_t i = 0; i < 3; ++i) {
+    HarmonicaIterationRecord r;
+    r.iteration = i;
+    rec.record(r.toJson());
+  }
+  const auto lines = rec.lines();
+  ASSERT_EQ(lines.size(), 3u);
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const auto parsed = json::Value::parse(lines[i]);
+    ASSERT_TRUE(parsed.has_value());
+    const auto r = HarmonicaIterationRecord::fromJson(*parsed);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->iteration, i);
+  }
+  rec.clear();
+  EXPECT_TRUE(rec.lines().empty());
+}
+
+TEST(ConvergenceRecorder, FileSinkStreamsJsonl) {
+  const std::string path = ::testing::TempDir() + "convergence_test.jsonl";
+  {
+    ConvergenceRecorder rec;
+    ASSERT_TRUE(rec.openFile(path));
+    rec.setEnabled(true);
+    AdamEpochRecord r;
+    r.epoch = 7;
+    r.seeds = 4;
+    r.bestValue = 0.5;
+    r.meanValue = 1.0;
+    rec.record(r.toJson());
+    rec.close();
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  const auto parsed = json::Value::parse(line);
+  ASSERT_TRUE(parsed.has_value());
+  const auto r = AdamEpochRecord::fromJson(*parsed);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->epoch, 7u);
+  EXPECT_FALSE(std::getline(in, line));  // exactly one line
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace isop::obs

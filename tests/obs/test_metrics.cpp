@@ -1,0 +1,174 @@
+// Metrics registry tests: correctness of each instrument kind, concurrent
+// increments from many threads, the exporters, and reset-in-place semantics.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace isop::obs {
+namespace {
+
+TEST(Counter, ConcurrentAddsSumExactly) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, ConcurrentAddsAccumulate) {
+  Gauge g;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&g] {
+      for (int i = 0; i < kPerThread; ++i) g.add(0.5);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_DOUBLE_EQ(g.value(), 0.5 * kThreads * kPerThread);
+  g.set(-3.25);
+  EXPECT_DOUBLE_EQ(g.value(), -3.25);
+}
+
+TEST(Histogram, TracksExactCountSumExtrema) {
+  Histogram h;
+  h.record(0.001);
+  h.record(0.01);
+  h.record(0.1);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.001);
+  EXPECT_DOUBLE_EQ(h.max(), 0.1);
+  EXPECT_NEAR(h.sum(), 0.111, 1e-12);
+  EXPECT_NEAR(h.mean(), 0.037, 1e-12);
+}
+
+TEST(Histogram, PercentilesAreOrderedAndBounded) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.record(i * 1e-3);  // 1ms .. 1s
+  const double p50 = h.percentile(0.50);
+  const double p95 = h.percentile(0.95);
+  const double p99 = h.percentile(0.99);
+  EXPECT_LE(h.min(), p50);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LE(p99, h.max());
+  // Log-scale buckets: ~15% relative error budget.
+  EXPECT_NEAR(p50, 0.5, 0.5 * 0.2);
+  EXPECT_NEAR(p99, 0.99, 0.99 * 0.2);
+}
+
+TEST(Histogram, ConcurrentRecordsLoseNothing) {
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.record(1e-6 * (1 + ((t * kPerThread + i) % 1000)));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(h.min(), 1e-6 * 1);
+  EXPECT_DOUBLE_EQ(h.max(), 1e-6 * 1000);
+}
+
+TEST(Registry, HandlesAreStableAndKindChecked) {
+  Registry reg;
+  Counter& c1 = reg.counter("x.calls");
+  Counter& c2 = reg.counter("x.calls");
+  EXPECT_EQ(&c1, &c2);
+  EXPECT_THROW(reg.gauge("x.calls"), std::logic_error);
+  EXPECT_THROW(reg.histogram("x.calls"), std::logic_error);
+}
+
+TEST(Registry, LabeledNamesFollowPrometheusStyle) {
+  EXPECT_EQ(Registry::labeled("trial.runs", "method", "SA-1"),
+            "trial.runs{method=SA-1}");
+}
+
+TEST(Registry, ConcurrentMixedRegistrationIsSafe) {
+  Registry reg;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      for (int i = 0; i < 1000; ++i) {
+        reg.counter("shared.counter").add();
+        reg.histogram("shared.hist").record(1e-3);
+        reg.gauge("shared.gauge").add(1.0);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_DOUBLE_EQ(snap.at("shared.counter"), 8000.0);
+  EXPECT_DOUBLE_EQ(snap.at("shared.hist.count"), 8000.0);
+  EXPECT_DOUBLE_EQ(snap.at("shared.gauge"), 8000.0);
+}
+
+TEST(Registry, JsonExportParsesBackAndCoversAllKinds) {
+  Registry reg;
+  reg.counter("a.calls").add(3);
+  reg.gauge("b.depth").set(2.5);
+  reg.histogram("c.seconds").record(0.25);
+  const auto parsed = json::Value::parse(reg.toJson().dump(2));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_DOUBLE_EQ(parsed->at("counters").at("a.calls").asNumber(), 3.0);
+  EXPECT_DOUBLE_EQ(parsed->at("gauges").at("b.depth").asNumber(), 2.5);
+  const json::Value& hist = parsed->at("histograms").at("c.seconds");
+  EXPECT_DOUBLE_EQ(hist.at("count").asNumber(), 1.0);
+  EXPECT_DOUBLE_EQ(hist.at("min").asNumber(), 0.25);
+  EXPECT_DOUBLE_EQ(hist.at("max").asNumber(), 0.25);
+  ASSERT_NE(hist.find("p50"), nullptr);
+  ASSERT_NE(hist.find("p95"), nullptr);
+  ASSERT_NE(hist.find("p99"), nullptr);
+}
+
+TEST(Registry, CsvHasOneRowPerExportedValue) {
+  Registry reg;
+  reg.counter("a.calls").add(7);
+  const std::string csv = reg.toCsv();
+  EXPECT_NE(csv.find("a.calls,counter,7"), std::string::npos);
+}
+
+TEST(Registry, ResetZeroesInPlaceKeepingHandles) {
+  Registry reg;
+  Counter& c = reg.counter("r.calls");
+  Histogram& h = reg.histogram("r.seconds");
+  c.add(5);
+  h.record(0.5);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h.count(), 0u);
+  c.add(1);
+  EXPECT_EQ(reg.counter("r.calls").value(), 1u);
+}
+
+TEST(ObsGlobals, MetricsEnabledDefaultsOffAndToggles) {
+  EXPECT_FALSE(metricsEnabled());
+  setMetricsEnabled(true);
+  EXPECT_TRUE(metricsEnabled());
+  setMetricsEnabled(false);
+  EXPECT_FALSE(metricsEnabled());
+}
+
+}  // namespace
+}  // namespace isop::obs

@@ -1,0 +1,141 @@
+// End-to-end observability smoke tests: a short IsopOptimizer::run with all
+// sinks on must produce gap-free monotone Harmonica iteration records,
+// nonzero EM/surrogate counters with per-stage span histograms, and a
+// loadable Chrome trace — and leave every global sink disabled afterwards.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/isop.hpp"
+#include "core/simulator_surrogate.hpp"
+#include "core/trial_runner.hpp"
+#include "obs/obs.hpp"
+
+namespace isop::core {
+namespace {
+
+IsopConfig smokeConfig() {
+  IsopConfig cfg;
+  cfg.harmonica.iterations = 3;
+  cfg.harmonica.samplesPerIter = 120;
+  cfg.harmonica.topMonomials = 4;
+  cfg.hyperband.maxResource = 9;
+  cfg.refine.epochs = 10;
+  cfg.localSeeds = 2;
+  cfg.candNum = 2;
+  cfg.seed = 11;
+  return cfg;
+}
+
+class ObsPipelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::registry().reset();
+    obs::tracer().clear();
+    obs::convergence().clear();
+  }
+  em::EmSimulator sim_;
+  std::shared_ptr<SimulatorSurrogate> oracle_ = std::make_shared<SimulatorSurrogate>(sim_);
+};
+
+TEST_F(ObsPipelineTest, ShortRunEmitsMonotoneIterationsAndNonzeroCounters) {
+  IsopConfig cfg = smokeConfig();
+  cfg.obs.metrics = true;
+  cfg.obs.trace = true;
+  cfg.obs.convergence = true;  // no path -> in-memory lines()
+
+  const IsopOptimizer optimizer(sim_, oracle_, em::spaceS1(), taskT1(), cfg);
+  const IsopResult result = optimizer.run();
+  ASSERT_FALSE(result.candidates.empty());
+
+  // Sinks were restored to disabled when run()'s session closed.
+  EXPECT_FALSE(obs::metricsEnabled());
+  EXPECT_FALSE(obs::tracer().enabled());
+  EXPECT_FALSE(obs::convergence().enabled());
+
+  // Counters: the EM validations and every surrogate query were billed.
+  EXPECT_GT(obs::registry().counter("em.sim.calls").value(), 0u);
+  EXPECT_GT(obs::registry().counter("surrogate.queries").value(), 0u);
+  EXPECT_EQ(obs::registry().counter("em.sim.calls").value(), result.simulatorCalls);
+
+  // Per-stage span histograms landed for every pipeline stage.
+  const obs::MetricsSnapshot snap = obs::registry().snapshot();
+  for (const char* key :
+       {"span.isop.run.seconds.count", "span.stage1.harmonica.seconds.count",
+        "span.stage1b.seeds.seconds.count", "span.stage2.refine.seconds.count",
+        "span.stage3.rollout.seconds.count", "span.harmonica.iteration.seconds.count",
+        "span.adam.refine.seconds.count"}) {
+    ASSERT_TRUE(snap.count(key)) << key;
+    EXPECT_GT(snap.at(key), 0.0) << key;
+  }
+
+  // Convergence JSONL: gap-free monotone harmonica iterations, plus records
+  // from the seed-selection, refinement and roll-out stages.
+  std::vector<obs::HarmonicaIterationRecord> iterations;
+  std::size_t hyperbandRounds = 0, adamEpochs = 0, rollouts = 0;
+  for (const std::string& line : obs::convergence().lines()) {
+    const auto parsed = json::Value::parse(line);
+    ASSERT_TRUE(parsed.has_value()) << line;
+    if (auto r = obs::HarmonicaIterationRecord::fromJson(*parsed)) {
+      iterations.push_back(*r);
+    }
+    const std::string type = obs::recordType(*parsed);
+    hyperbandRounds += type == "hyperband_round";
+    adamEpochs += type == "adam_epoch";
+    rollouts += type == "rollout_validation";
+  }
+  ASSERT_EQ(iterations.size(), cfg.harmonica.iterations);
+  for (std::size_t i = 0; i < iterations.size(); ++i) {
+    EXPECT_EQ(iterations[i].iteration, i);
+    if (i > 0) {
+      EXPECT_GE(iterations[i].evaluations, iterations[i - 1].evaluations);
+      EXPECT_LE(iterations[i].bestGhat, iterations[i - 1].bestGhat);
+    }
+  }
+  EXPECT_GT(hyperbandRounds, 0u);
+  // Repair rounds may rerun the refiner / validate extra designs, so these
+  // are lower bounds.
+  EXPECT_GE(adamEpochs, cfg.refine.epochs);
+  EXPECT_GE(rollouts, result.candidates.size());
+
+  // Trace: the stage spans are loadable Chrome trace events.
+  const auto trace = json::Value::parse(obs::tracer().toChromeJson().dump());
+  ASSERT_TRUE(trace.has_value());
+  EXPECT_GT(trace->at("traceEvents").size(), 0u);
+}
+
+TEST_F(ObsPipelineTest, DisabledConfigLeavesSinksUntouched) {
+  const IsopOptimizer optimizer(sim_, oracle_, em::spaceS1(), taskT1(), smokeConfig());
+  (void)optimizer.run();
+  EXPECT_EQ(obs::registry().counter("em.sim.calls").value(), 0u);
+  EXPECT_TRUE(obs::tracer().events().empty());
+  EXPECT_TRUE(obs::convergence().lines().empty());
+}
+
+TEST_F(ObsPipelineTest, TrialRunnerAggregatesSnapshotAndLabeledCounters) {
+  MethodSpec method;
+  method.name = "ISOP+";
+  method.kind = MethodSpec::Kind::Isop;
+  method.isop = smokeConfig();
+  method.rolloutCandidates = 2;
+
+  TrialRunner runner(sim_, oracle_, em::spaceS1(), taskT1());
+  obs::ObsConfig obsCfg;
+  obsCfg.metrics = true;
+  runner.setObsConfig(obsCfg);
+  const TrialStats stats = runner.run(method, 2, 42);
+
+  EXPECT_EQ(stats.trials, 2u);
+  EXPECT_GT(stats.avgEmCalls, 0.0);
+  ASSERT_FALSE(stats.obsMetrics.empty());
+  EXPECT_DOUBLE_EQ(stats.obsMetrics.at("trial.runs{method=ISOP+}"), 2.0);
+  EXPECT_GT(stats.obsMetrics.at("em.sim.calls"), 0.0);
+  EXPECT_GT(stats.obsMetrics.at("trial.runtime.seconds.count"), 0.0);
+  ASSERT_TRUE(stats.obsMetrics.count("threadpool.threads"));
+  EXPECT_GT(stats.obsMetrics.at("threadpool.threads"), 0.0);
+  EXPECT_FALSE(obs::metricsEnabled());
+}
+
+}  // namespace
+}  // namespace isop::core

@@ -1,0 +1,102 @@
+// Tracer tests: Chrome trace_event JSON well-formedness (validated by
+// parsing it back through common/json), the null-sink fast path, the event
+// cap, and concurrent span recording.
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace isop::obs {
+namespace {
+
+TEST(Tracer, DisabledSpansRecordNothing) {
+  Tracer tracer;
+  ASSERT_FALSE(tracer.enabled());
+  { Span span(tracer, "ignored"); }
+  EXPECT_TRUE(tracer.events().empty());
+}
+
+TEST(Tracer, EnabledSpansRecordNameAndDuration) {
+  Tracer tracer;
+  tracer.setEnabled(true);
+  {
+    Span span(tracer, "work");
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "work");
+  EXPECT_GE(events[0].durMicros, 1000u);
+  EXPECT_EQ(events[0].tid, currentThreadId());
+}
+
+TEST(Tracer, EnableCheckedAtConstructionNotDestruction) {
+  Tracer tracer;
+  Span span(tracer, "started-disabled");
+  tracer.setEnabled(true);
+  // The span bound itself to the disabled state; flipping the flag mid-span
+  // must not produce a partial event.
+  EXPECT_TRUE(tracer.events().empty());
+}
+
+TEST(Tracer, ChromeJsonIsWellFormed) {
+  Tracer tracer;
+  tracer.setEnabled(true);
+  { Span span(tracer, "alpha"); }
+  { Span span(tracer, "beta"); }
+  const auto parsed = json::Value::parse(tracer.toChromeJson().dump());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->at("displayTimeUnit").asString(), "ms");
+  const json::Value& events = parsed->at("traceEvents");
+  ASSERT_TRUE(events.isArray());
+  ASSERT_EQ(events.size(), 2u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const json::Value& e = events.at(i);
+    EXPECT_EQ(e.at("ph").asString(), "X");
+    EXPECT_EQ(e.at("cat").asString(), "isop");
+    EXPECT_EQ(e.at("pid").asInteger(), 1);
+    EXPECT_TRUE(e.at("ts").isNumeric());
+    EXPECT_TRUE(e.at("dur").isNumeric());
+    EXPECT_TRUE(e.at("tid").isNumeric());
+    EXPECT_FALSE(e.at("name").asString().empty());
+  }
+  EXPECT_EQ(events.at(0).at("name").asString(), "alpha");
+  EXPECT_EQ(events.at(1).at("name").asString(), "beta");
+}
+
+TEST(Tracer, CapsEventsAndCountsDrops) {
+  Tracer tracer(/*maxEvents=*/4);
+  tracer.setEnabled(true);
+  for (int i = 0; i < 10; ++i) {
+    Span span(tracer, "loop");
+  }
+  EXPECT_EQ(tracer.events().size(), 4u);
+  EXPECT_EQ(tracer.droppedEvents(), 6u);
+  tracer.clear();
+  EXPECT_TRUE(tracer.events().empty());
+  EXPECT_EQ(tracer.droppedEvents(), 0u);
+}
+
+TEST(Tracer, ConcurrentSpansAllLand) {
+  Tracer tracer;
+  tracer.setEnabled(true);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer] {
+      for (int i = 0; i < kPerThread; ++i) {
+        Span span(tracer, "mt");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(tracer.events().size(),
+            static_cast<std::size_t>(kThreads) * kPerThread);
+}
+
+}  // namespace
+}  // namespace isop::obs
