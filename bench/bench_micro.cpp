@@ -5,6 +5,7 @@
 // Lasso PSR subroutine.
 #include <benchmark/benchmark.h>
 
+#include "core/eval/eval_engine.hpp"
 #include "core/simulator_surrogate.hpp"
 #include "em/simulator.hpp"
 #include "hpo/binary_codec.hpp"
@@ -139,6 +140,123 @@ void BM_LassoFit(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LassoFit);
+
+/// Small trained CNN surrogate for the batched-inference comparison.
+const ml::Cnn1dRegressor& trainedCnn() {
+  static const auto model = [] {
+    em::EmSimulator sim;
+    Rng rng(10);
+    const auto space = em::designerEnvelope();
+    ml::Dataset ds{Matrix(1000, em::kNumParams), Matrix(1000, em::kNumMetrics)};
+    for (std::size_t i = 0; i < 1000; ++i) {
+      const auto p = space.sample(rng);
+      const auto m = sim.evaluateUncounted(p);
+      for (std::size_t j = 0; j < em::kNumParams; ++j) ds.x(i, j) = p.values[j];
+      ds.y(i, 0) = m.z;
+      ds.y(i, 1) = m.l;
+      ds.y(i, 2) = m.next;
+    }
+    auto cnn = std::make_unique<ml::Cnn1dRegressor>();
+    cnn->setOutputTransforms(ml::metricLogTransforms());
+    ml::nn::TrainConfig cfg;
+    cfg.epochs = 2;
+    cnn->fit(ds, cfg);
+    return cnn;
+  }();
+  return *model;
+}
+
+Matrix sampleBatch(std::size_t rows, std::uint64_t seed) {
+  Rng rng(seed);
+  const auto space = em::spaceS1();
+  Matrix x(rows, em::kNumParams);
+  for (std::size_t i = 0; i < rows; ++i) {
+    const auto p = space.sample(rng);
+    for (std::size_t j = 0; j < em::kNumParams; ++j) x(i, j) = p.values[j];
+  }
+  return x;
+}
+
+/// Baseline for the eval-engine comparison: one predict() call per row, the
+/// pre-engine per-row inference path.
+void perRowBench(benchmark::State& state, const ml::Surrogate& model) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix x = sampleBatch(n, 11);
+  std::array<double, em::kNumMetrics> out{};
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i) model.predict(x.row(i), out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+/// One predictBatch call over the same rows (one GEMM chain per layer).
+void batchedBench(benchmark::State& state, const ml::Surrogate& model) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix x = sampleBatch(n, 11);
+  Matrix out;
+  for (auto _ : state) {
+    model.predictBatch(x, out);
+    benchmark::DoNotOptimize(out.row(0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+void BM_MlpPredictPerRow(benchmark::State& state) { perRowBench(state, trainedMlp()); }
+BENCHMARK(BM_MlpPredictPerRow)->Arg(1)->Arg(64)->Arg(256);
+
+void BM_MlpPredictBatched(benchmark::State& state) { batchedBench(state, trainedMlp()); }
+BENCHMARK(BM_MlpPredictBatched)->Arg(1)->Arg(64)->Arg(256);
+
+void BM_CnnPredictPerRow(benchmark::State& state) { perRowBench(state, trainedCnn()); }
+BENCHMARK(BM_CnnPredictPerRow)->Arg(1)->Arg(64)->Arg(256);
+
+void BM_CnnPredictBatched(benchmark::State& state) { batchedBench(state, trainedCnn()); }
+BENCHMARK(BM_CnnPredictBatched)->Arg(1)->Arg(64)->Arg(256);
+
+/// Engine overhead + memo payoff: the same 256-row batch re-submitted every
+/// iteration. hit_rate converges to ~1 — the steady-state cost of a fully
+/// memoized batch (hash + scatter + billing) per design.
+void BM_EvalEngineMemoizedBatch(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const core::EvalEngine engine(trainedMlp());
+  Rng rng(12);
+  const auto space = em::spaceS1();
+  std::vector<em::StackupParams> designs(n);
+  for (auto& d : designs) d = space.sample(rng);
+  std::vector<em::PerformanceMetrics> out;
+  for (auto _ : state) {
+    engine.predictMetrics(designs, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+  state.counters["hit_rate"] = engine.stats().hitRate();
+}
+BENCHMARK(BM_EvalEngineMemoizedBatch)->Arg(64)->Arg(256);
+
+/// Cold engine on all-unique rows: the dedup/memo bookkeeping overhead on
+/// top of the batched model dispatch (compare with BM_MlpPredictBatched).
+void BM_EvalEngineUniqueBatch(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  core::EvalEngineConfig cfg;
+  cfg.memoize = false;  // every iteration re-runs the model
+  const core::EvalEngine engine(trainedMlp(), cfg);
+  Rng rng(13);
+  const auto space = em::spaceS1();
+  std::vector<em::StackupParams> designs(n);
+  for (auto& d : designs) d = space.sample(rng);
+  std::vector<em::PerformanceMetrics> out;
+  for (auto _ : state) {
+    engine.predictMetrics(designs, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EvalEngineUniqueBatch)->Arg(64)->Arg(256);
 
 }  // namespace
 

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Builds and runs the tier-1 test suite under ASan+UBSan and under TSan.
+#
+# The TSan pass is the gate for the eval engine's concurrent machinery: the
+# shared memo cache is hit from thread-pool workers during batched dispatch,
+# and the EM roll-out validation fans simulate() calls out across the pool —
+# tests/core/test_eval_engine.cpp and the ISOP thread-count trials exercise
+# both with 1, 4 and default-size pools.
+#
+# Usage:
+#   scripts/check_sanitizers.sh [asan-ubsan|tsan]...   (default: both)
+# Env:
+#   CTEST_ARGS  extra args for ctest (e.g. "-R EvalEngine" to narrow a run)
+#   JOBS        build/test parallelism (default: nproc)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${JOBS:-$(nproc)}"
+PRESETS=("$@")
+if [[ ${#PRESETS[@]} -eq 0 ]]; then
+  PRESETS=(asan-ubsan tsan)
+fi
+
+# Halt on the first report instead of surviving past it: sanitizer findings
+# in this repo are test failures, not diagnostics.
+export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=0}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}"
+
+for preset in "${PRESETS[@]}"; do
+  echo "== check_sanitizers: ${preset} =="
+  cmake --preset "${preset}"
+  cmake --build --preset "${preset}" -j "${JOBS}"
+  # shellcheck disable=SC2086  # CTEST_ARGS is intentionally word-split
+  ctest --preset "${preset}" -j "${JOBS}" ${CTEST_ARGS:-}
+  echo "== check_sanitizers: ${preset} OK =="
+done

@@ -59,26 +59,29 @@ void ThreadPool::parallelFor(std::size_t n, const std::function<void(std::size_t
   }
   std::atomic<std::size_t> next{0};
   const std::size_t grain = (n + chunks - 1) / chunks;
-  std::vector<std::future<void>> futs;
-  futs.reserve(chunks);
   std::exception_ptr error;
   std::mutex errMutex;
-  for (std::size_t c = 0; c < chunks; ++c) {
-    futs.push_back(submit([&] {
-      for (;;) {
-        std::size_t begin = next.fetch_add(grain);
-        if (begin >= n) return;
-        std::size_t end = std::min(n, begin + grain);
-        try {
-          for (std::size_t i = begin; i < end; ++i) fn(i);
-        } catch (...) {
-          std::lock_guard lock(errMutex);
-          if (!error) error = std::current_exception();
-          return;
-        }
+  auto claimLoop = [&] {
+    for (;;) {
+      std::size_t begin = next.fetch_add(grain);
+      if (begin >= n) return;
+      std::size_t end = std::min(n, begin + grain);
+      try {
+        for (std::size_t i = begin; i < end; ++i) fn(i);
+      } catch (...) {
+        std::lock_guard lock(errMutex);
+        if (!error) error = std::current_exception();
+        return;
       }
-    }));
-  }
+    }
+  };
+  // The caller runs the same claim loop as the workers: even if every worker
+  // is busy (e.g. parallelFor called from inside a pool task), the calling
+  // thread alone drains the range, so nested invocations cannot deadlock.
+  std::vector<std::future<void>> futs;
+  futs.reserve(chunks - 1);
+  for (std::size_t c = 0; c + 1 < chunks; ++c) futs.push_back(submit(claimLoop));
+  claimLoop();
   for (auto& f : futs) f.get();
   if (error) std::rethrow_exception(error);
 }

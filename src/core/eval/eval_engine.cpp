@@ -1,0 +1,242 @@
+#include "core/eval/eval_engine.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "obs/obs.hpp"
+
+namespace isop::core {
+
+namespace {
+
+// Obs hooks: registered once, guarded by metricsEnabled() at the call site.
+void recordPredictBatch(std::size_t rows, std::size_t hits, std::size_t dups,
+                        std::size_t modelRows) {
+  auto& reg = obs::registry();
+  static obs::Counter& batches = reg.counter("eval.batches");
+  static obs::Counter& rowsC = reg.counter("eval.rows");
+  static obs::Counter& hitsC = reg.counter("eval.memo.hits");
+  static obs::Counter& missesC = reg.counter("eval.memo.misses");
+  static obs::Counter& dedupC = reg.counter("eval.dedup.rows");
+  static obs::Histogram& sizeH = reg.histogram("eval.batch.rows");
+  batches.add(1);
+  rowsC.add(rows);
+  hitsC.add(hits);
+  missesC.add(rows - hits);
+  dedupC.add(dups);
+  static obs::Counter& modelRowsC = reg.counter("eval.model.rows");
+  modelRowsC.add(modelRows);
+  sizeH.record(static_cast<double>(rows));
+}
+
+void recordSimBatch(std::size_t rows, std::size_t hits, std::size_t dups) {
+  auto& reg = obs::registry();
+  static obs::Counter& batches = reg.counter("eval.sim.batches");
+  static obs::Counter& rowsC = reg.counter("eval.sim.rows");
+  static obs::Counter& hitsC = reg.counter("eval.sim.memo.hits");
+  static obs::Counter& dedupC = reg.counter("eval.sim.dedup.rows");
+  static obs::Histogram& sizeH = reg.histogram("eval.sim.batch.rows");
+  batches.add(1);
+  rowsC.add(rows);
+  hitsC.add(hits);
+  dedupC.add(dups);
+  sizeH.record(static_cast<double>(rows));
+}
+
+}  // namespace
+
+EvalEngine::EvalEngine(const ml::Surrogate& model, EvalEngineConfig config)
+    : model_(&model),
+      config_(config),
+      predictCache_(config.maxCacheEntries),
+      simCache_(config.maxCacheEntries) {
+  assert(model_->outputDim() == em::kNumMetrics);
+}
+
+EvalEngine::EvalEngine(const ml::Surrogate& model, const em::EmSimulator& simulator,
+                       EvalEngineConfig config)
+    : EvalEngine(model, config) {
+  simulator_ = &simulator;
+}
+
+std::vector<std::size_t> EvalEngine::resolveBatch(
+    std::span<const em::StackupParams> designs, const MemoCache& cache, bool memoize,
+    std::vector<std::int32_t>& slotOf, std::vector<em::PerformanceMetrics>& out,
+    std::size_t& hits, std::size_t& dups) const {
+  const std::size_t n = designs.size();
+  slotOf.assign(n, -1);
+  out.resize(n);
+  hits = 0;
+  dups = 0;
+  std::vector<std::size_t> uniques;
+  std::unordered_map<MemoCache::Key, std::int32_t, MemoCache::KeyHash> pending;
+  for (std::size_t i = 0; i < n; ++i) {
+    const MemoCache::Key& key = designs[i].values;
+    MemoCache::Value cached{};
+    if (memoize && cache.lookup(key, cached)) {
+      out[i] = em::PerformanceMetrics::fromArray(cached);
+      ++hits;
+      continue;
+    }
+    const auto [it, inserted] =
+        pending.try_emplace(key, static_cast<std::int32_t>(uniques.size()));
+    if (inserted) {
+      uniques.push_back(i);
+    } else {
+      ++dups;
+    }
+    slotOf[i] = it->second;
+  }
+  return uniques;
+}
+
+void EvalEngine::predictMetrics(std::span<const em::StackupParams> designs,
+                                std::vector<em::PerformanceMetrics>& out) const {
+  const std::size_t n = designs.size();
+  out.resize(n);
+  if (n == 0) return;
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  rows_.fetch_add(n, std::memory_order_relaxed);
+
+  std::vector<std::int32_t> slotOf;
+  std::size_t hits = 0, dups = 0;
+  const std::vector<std::size_t> uniques =
+      resolveBatch(designs, predictCache_, config_.memoize, slotOf, out, hits, dups);
+  memoHits_.fetch_add(hits, std::memory_order_relaxed);
+  dedupedRows_.fetch_add(dups, std::memory_order_relaxed);
+
+  const std::size_t u = uniques.size();
+  Matrix uout;
+  if (u > 0) {
+    modelRows_.fetch_add(u, std::memory_order_relaxed);
+    const std::size_t dim = model_->inputDim();
+    // Chunk count depends only on the row count, and every chunk fills a
+    // disjoint row range of uout — results are thread-count independent.
+    const std::size_t chunkRows = std::max<std::size_t>(config_.chunkRows, 1);
+    const std::size_t chunks = (u + chunkRows - 1) / chunkRows;
+    if (config_.parallel && chunks > 1) {
+      uout.resize(u, model_->outputDim());
+      pool().parallelFor(chunks, [&](std::size_t c) {
+        const std::size_t begin = c * chunkRows;
+        const std::size_t end = std::min(u, begin + chunkRows);
+        Matrix cx(end - begin, dim);
+        for (std::size_t r = begin; r < end; ++r) {
+          const auto src = designs[uniques[r]].asVector();
+          std::copy(src.begin(), src.end(), cx.row(r - begin).begin());
+        }
+        Matrix cout;
+        model_->predictBatch(cx, cout);
+        for (std::size_t r = begin; r < end; ++r) {
+          const auto src = cout.row(r - begin);
+          std::copy(src.begin(), src.end(), uout.row(r).begin());
+        }
+      });
+    } else {
+      Matrix ux(u, dim);
+      for (std::size_t r = 0; r < u; ++r) {
+        const auto src = designs[uniques[r]].asVector();
+        std::copy(src.begin(), src.end(), ux.row(r).begin());
+      }
+      model_->predictBatch(ux, uout);
+    }
+  }
+
+  // Scatter model rows back to every requesting slot and refresh the memo.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (slotOf[i] >= 0) {
+      out[i] = em::PerformanceMetrics::fromArray(
+          uout.row(static_cast<std::size_t>(slotOf[i])));
+    }
+  }
+  if (config_.memoize) {
+    for (std::size_t r = 0; r < u; ++r) {
+      const std::size_t i = uniques[r];
+      predictCache_.insert(designs[i].values, out[i].asArray());
+    }
+  }
+
+  // The model billed the u rows it actually ran; bill the served remainder
+  // so "samples seen" matches the unbatched pipeline exactly.
+  if (n > u) model_->billQueries(n - u);
+  if (obs::metricsEnabled()) recordPredictBatch(n, hits, dups, u);
+}
+
+em::PerformanceMetrics EvalEngine::predictOne(const em::StackupParams& x) const {
+  rows_.fetch_add(1, std::memory_order_relaxed);
+  MemoCache::Value cached{};
+  if (config_.memoize && predictCache_.lookup(x.values, cached)) {
+    memoHits_.fetch_add(1, std::memory_order_relaxed);
+    model_->billQueries(1);
+    if (obs::metricsEnabled()) recordPredictBatch(1, 1, 0, 0);
+    return em::PerformanceMetrics::fromArray(cached);
+  }
+  modelRows_.fetch_add(1, std::memory_order_relaxed);
+  MemoCache::Value out{};
+  model_->predict(x.asVector(), out);
+  if (config_.memoize) predictCache_.insert(x.values, out);
+  if (obs::metricsEnabled()) recordPredictBatch(1, 0, 0, 1);
+  return em::PerformanceMetrics::fromArray(out);
+}
+
+void EvalEngine::run(EvalBatch& batch) const {
+  predictMetrics(batch.designs_, batch.metrics_);
+  batch.evaluated_ = true;
+}
+
+std::vector<em::PerformanceMetrics> EvalEngine::simulateBatch(
+    std::span<const em::StackupParams> designs) const {
+  assert(simulator_ != nullptr && "EvalEngine: no simulator bound");
+  const std::size_t n = designs.size();
+  std::vector<em::PerformanceMetrics> out(n);
+  if (n == 0) return out;
+  simBatches_.fetch_add(1, std::memory_order_relaxed);
+  simRows_.fetch_add(n, std::memory_order_relaxed);
+
+  std::vector<std::int32_t> slotOf;
+  std::size_t hits = 0, dups = 0;
+  const std::vector<std::size_t> uniques =
+      resolveBatch(designs, simCache_, config_.memoize, slotOf, out, hits, dups);
+  simMemoHits_.fetch_add(hits, std::memory_order_relaxed);
+  simDedupedRows_.fetch_add(dups, std::memory_order_relaxed);
+
+  const std::size_t u = uniques.size();
+  std::vector<em::PerformanceMetrics> sims(u);
+  if (u > 0) {
+    simModelRows_.fetch_add(u, std::memory_order_relaxed);
+    auto simOne = [&](std::size_t r) { sims[r] = simulator_->simulate(designs[uniques[r]]); };
+    if (config_.parallel && u > 1) {
+      pool().parallelFor(u, simOne);
+    } else {
+      for (std::size_t r = 0; r < u; ++r) simOne(r);
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (slotOf[i] >= 0) out[i] = sims[static_cast<std::size_t>(slotOf[i])];
+  }
+  if (config_.memoize) {
+    for (std::size_t r = 0; r < u; ++r) {
+      simCache_.insert(designs[uniques[r]].values, sims[r].asArray());
+    }
+  }
+  // simulate() billed the u fresh designs; bill memo/dedup-served rows too.
+  if (n > u) simulator_->billCalls(n - u);
+  if (obs::metricsEnabled()) recordSimBatch(n, hits, dups);
+  return out;
+}
+
+EvalEngineStats EvalEngine::stats() const {
+  EvalEngineStats s;
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.rows = rows_.load(std::memory_order_relaxed);
+  s.memoHits = memoHits_.load(std::memory_order_relaxed);
+  s.dedupedRows = dedupedRows_.load(std::memory_order_relaxed);
+  s.modelRows = modelRows_.load(std::memory_order_relaxed);
+  s.simBatches = simBatches_.load(std::memory_order_relaxed);
+  s.simRows = simRows_.load(std::memory_order_relaxed);
+  s.simMemoHits = simMemoHits_.load(std::memory_order_relaxed);
+  s.simDedupedRows = simDedupedRows_.load(std::memory_order_relaxed);
+  s.simModelRows = simModelRows_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace isop::core

@@ -1,0 +1,178 @@
+// EvalEngine: the single funnel for surrogate and EM-simulator queries.
+//
+// Every optimizer stage (Harmonica batches, Hyperband arms, the Adam local
+// stage, SA/TPE chains via SurrogateObjective, the roll-out validation)
+// routes its evaluations through one engine, which
+//
+//   * deduplicates repeated designs within a batch (Harmonica resamples and
+//     SA revisits configurations constantly);
+//   * memoizes results across the run in a thread-safe sharded cache keyed
+//     on the exact design vector (shared between the search and repair
+//     objectives — the cached quantity is the *model output*, which is
+//     immutable, never the objective value, which changes under adaptive
+//     weights);
+//   * dispatches the unique rows to Surrogate::predictBatch so neural
+//     surrogates run one GEMM chain per layer per batch instead of per-row
+//     matvecs, fanning fixed-size row chunks across the thread pool;
+//   * fans EM simulate() calls out on the pool with results scattered back
+//     in submission order.
+//
+// Query accounting keeps the paper's "samples seen" semantics: a memo hit
+// is billed to the surrogate's query counter (billQueries) / the
+// simulator's call counter (billCalls) exactly as if the model had run.
+//
+// Determinism: chunking depends only on the row count (never the thread
+// count), every chunk writes disjoint output rows, and predictBatch
+// overrides are bitwise row-equivalent to predict() — so results, query
+// counts and downstream optimizer trajectories are identical at any thread
+// count, including 1.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/thread_pool.hpp"
+#include "core/eval/memo_cache.hpp"
+#include "em/simulator.hpp"
+#include "ml/surrogate.hpp"
+
+namespace isop::core {
+
+using eval::MemoCache;
+
+struct EvalEngineConfig {
+  bool memoize = true;              ///< cross-run memo cache on design vectors
+  std::size_t maxCacheEntries = 1u << 20;
+  bool parallel = true;             ///< fan chunks / simulations onto the pool
+  std::size_t chunkRows = 64;       ///< rows per dispatched surrogate chunk
+  ThreadPool* pool = nullptr;       ///< nullptr = ThreadPool::global()
+};
+
+/// Plain snapshot of the engine's counters (see EvalEngine::stats()).
+struct EvalEngineStats {
+  std::size_t batches = 0;      ///< predict batch calls (size > 1)
+  std::size_t rows = 0;         ///< total design rows requested
+  std::size_t memoHits = 0;     ///< rows served from the cache
+  std::size_t dedupedRows = 0;  ///< in-batch duplicates of a pending row
+  std::size_t modelRows = 0;    ///< rows actually sent to the model
+  std::size_t simBatches = 0;
+  std::size_t simRows = 0;
+  std::size_t simMemoHits = 0;
+  std::size_t simDedupedRows = 0;
+  std::size_t simModelRows = 0;
+
+  double hitRate() const {
+    return rows == 0 ? 0.0 : static_cast<double>(memoHits) / static_cast<double>(rows);
+  }
+  double dedupRatio() const {
+    return rows == 0 ? 0.0
+                     : static_cast<double>(memoHits + dedupedRows) / static_cast<double>(rows);
+  }
+};
+
+/// Slot-stable batch builder: add designs (duplicates welcome), run the
+/// batch through an engine, read metrics back by slot.
+class EvalBatch {
+ public:
+  /// Returns the slot index metrics(slot) answers after evaluation.
+  std::size_t add(const em::StackupParams& x) {
+    designs_.push_back(x);
+    return designs_.size() - 1;
+  }
+
+  std::size_t size() const { return designs_.size(); }
+  bool evaluated() const { return evaluated_; }
+
+  std::span<const em::StackupParams> designs() const { return designs_; }
+
+  const em::PerformanceMetrics& metrics(std::size_t slot) const {
+    assert(evaluated_ && slot < metrics_.size());
+    return metrics_[slot];
+  }
+
+  void clear() {
+    designs_.clear();
+    metrics_.clear();
+    evaluated_ = false;
+  }
+
+ private:
+  friend class EvalEngine;
+  std::vector<em::StackupParams> designs_;
+  std::vector<em::PerformanceMetrics> metrics_;
+  bool evaluated_ = false;
+};
+
+class EvalEngine {
+ public:
+  /// Surrogate-only engine (simulateBatch unavailable).
+  explicit EvalEngine(const ml::Surrogate& model, EvalEngineConfig config = {});
+
+  /// Full engine: surrogate predictions and EM validation.
+  EvalEngine(const ml::Surrogate& model, const em::EmSimulator& simulator,
+             EvalEngineConfig config = {});
+
+  const ml::Surrogate& model() const { return *model_; }
+  const EvalEngineConfig& config() const { return config_; }
+
+  /// Metrics for each design, in submission order. Dedups, serves memo hits,
+  /// batches the remainder through the model. Bills every row as a query.
+  void predictMetrics(std::span<const em::StackupParams> designs,
+                      std::vector<em::PerformanceMetrics>& out) const;
+
+  /// Single-design variant (memo-checked; the SA/TPE scalar path).
+  em::PerformanceMetrics predictOne(const em::StackupParams& x) const;
+
+  /// Evaluates all designs in `batch`; afterwards batch.metrics(slot) holds
+  /// the prediction for the slot returned by add().
+  void run(EvalBatch& batch) const;
+
+  /// Accurate EM validation of each design, in submission order, fanned out
+  /// on the pool. Duplicate / previously simulated designs are served from a
+  /// separate memo (the simulator is deterministic) but still billed.
+  std::vector<em::PerformanceMetrics> simulateBatch(
+      std::span<const em::StackupParams> designs) const;
+
+  bool hasSimulator() const { return simulator_ != nullptr; }
+
+  EvalEngineStats stats() const;
+  std::size_t cacheSize() const { return predictCache_.size(); }
+
+ private:
+  ThreadPool& pool() const {
+    return config_.pool != nullptr ? *config_.pool : ThreadPool::global();
+  }
+
+  /// Splits designs into memo hits and unique pending rows, writes hits into
+  /// `out` directly, returns first-occurrence indices of the unique rows and
+  /// fills slotOf (index into uniques, or -1 when served from the cache).
+  std::vector<std::size_t> resolveBatch(std::span<const em::StackupParams> designs,
+                                        const MemoCache& cache, bool memoize,
+                                        std::vector<std::int32_t>& slotOf,
+                                        std::vector<em::PerformanceMetrics>& out,
+                                        std::size_t& hits, std::size_t& dups) const;
+
+  const ml::Surrogate* model_;
+  const em::EmSimulator* simulator_ = nullptr;
+  EvalEngineConfig config_;
+  mutable eval::MemoCache predictCache_;
+  mutable eval::MemoCache simCache_;
+
+  mutable std::atomic<std::size_t> batches_{0};
+  mutable std::atomic<std::size_t> rows_{0};
+  mutable std::atomic<std::size_t> memoHits_{0};
+  mutable std::atomic<std::size_t> dedupedRows_{0};
+  mutable std::atomic<std::size_t> modelRows_{0};
+  mutable std::atomic<std::size_t> simBatches_{0};
+  mutable std::atomic<std::size_t> simRows_{0};
+  mutable std::atomic<std::size_t> simMemoHits_{0};
+  mutable std::atomic<std::size_t> simDedupedRows_{0};
+  mutable std::atomic<std::size_t> simModelRows_{0};
+};
+
+}  // namespace isop::core

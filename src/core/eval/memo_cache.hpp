@@ -1,0 +1,104 @@
+// Thread-safe design-point memo cache backing the eval engine.
+//
+// Keys are the raw 15-dimensional design vectors (bit-exact doubles — the
+// optimizers re-submit the exact same decoded grid points, so no tolerance
+// matching is needed), values the model's 3 output metrics. The map is
+// sharded 16 ways on the key hash so Harmonica batches, the parallel
+// roll-out and SA chains can hit it concurrently without a global lock.
+//
+// The cache is bounded: once `maxEntries` distinct keys are stored, further
+// inserts are dropped (lookups still serve the resident set). Eviction is
+// deliberately not implemented — a run's working set is the set of designs
+// it evaluates, which is orders of magnitude below the bound; the cap only
+// guards pathological callers.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "em/stackup.hpp"
+
+namespace isop::core::eval {
+
+class MemoCache {
+ public:
+  using Key = std::array<double, em::kNumParams>;
+  using Value = std::array<double, em::kNumMetrics>;
+
+  explicit MemoCache(std::size_t maxEntries) : maxEntries_(maxEntries) {}
+
+  /// Copies the cached value into `out` and returns true on a hit.
+  bool lookup(const Key& key, Value& out) const {
+    const Shard& s = shardFor(key);
+    std::lock_guard lock(s.mutex);
+    const auto it = s.map.find(key);
+    if (it == s.map.end()) return false;
+    out = it->second;
+    return true;
+  }
+
+  /// Inserts (no-op if the key is present or the cache is at capacity).
+  void insert(const Key& key, const Value& value) {
+    Shard& s = shardFor(key);
+    std::lock_guard lock(s.mutex);
+    if (size_.load(std::memory_order_relaxed) >= maxEntries_) return;
+    if (s.map.emplace(key, value).second) {
+      size_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  std::size_t size() const { return size_.load(std::memory_order_relaxed); }
+  std::size_t capacity() const { return maxEntries_; }
+
+  void clear() {
+    for (Shard& s : shards_) {
+      std::lock_guard lock(s.mutex);
+      s.map.clear();
+    }
+    size_.store(0, std::memory_order_relaxed);
+  }
+
+  /// splitmix64-style mix over the key's bit patterns; exposed so shard
+  /// selection and the per-batch dedup map share one hash.
+  struct KeyHash {
+    static std::uint64_t mix(std::uint64_t h) noexcept {
+      h ^= h >> 33;
+      h *= 0xff51afd7ed558ccdULL;
+      h ^= h >> 33;
+      h *= 0xc4ceb9fe1a85ec53ULL;
+      h ^= h >> 33;
+      return h;
+    }
+    std::size_t operator()(const Key& key) const noexcept {
+      std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+      for (double v : key) h = mix(h ^ std::bit_cast<std::uint64_t>(v));
+      return static_cast<std::size_t>(h);
+    }
+  };
+
+ private:
+  static constexpr std::size_t kShards = 16;
+
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<Key, Value, KeyHash> map;
+  };
+
+  const Shard& shardFor(const Key& key) const {
+    return shards_[KeyHash{}(key) & (kShards - 1)];
+  }
+  Shard& shardFor(const Key& key) {
+    return shards_[KeyHash{}(key) & (kShards - 1)];
+  }
+
+  std::size_t maxEntries_;
+  std::array<Shard, kShards> shards_;
+  std::atomic<std::size_t> size_{0};
+};
+
+}  // namespace isop::core::eval

@@ -43,7 +43,13 @@ IsopResult IsopOptimizer::run() const {
   const double simSecondsBefore = simulator_->modeledSeconds();
 
   Objective objective(task_.spec, config_.objective);
-  SurrogateObjective searchObjective(objective, *surrogate_, config_.useSmoothObjective);
+  // One eval engine funnels every model/simulator query of the run: all
+  // stages (and the repair objective below) share its memo cache and batch
+  // dispatch.
+  const auto engine =
+      std::make_shared<EvalEngine>(*surrogate_, *simulator_, config_.evalEngine);
+  SurrogateObjective searchObjective(objective, *surrogate_, config_.useSmoothObjective,
+                                     engine);
   searchObjective.setUncertaintyPenalty(config_.uncertaintyPenalty);
   AdaptiveWeights weightAdapter(objective, config_.adaptiveWeights);
 
@@ -79,7 +85,9 @@ IsopResult IsopOptimizer::run() const {
     obs::StageSpan stageSpan("stage1.harmonica");
     harmonicaResult = harmonica.optimize(
         numBits,
-        [&](const hpo::BitVector& bits) { return searchObjective.evaluateBits(codec, bits); },
+        [&](std::span<const hpo::BitVector> samples, std::span<double> values) {
+          searchObjective.evaluateBitsBatch(codec, samples, values);
+        },
         sampleUnderRestriction,
         [&](std::size_t iteration, std::span<const hpo::BitVector>, std::span<const double>) {
           if (!config_.adaptiveWeights.enabled) return;
@@ -115,23 +123,33 @@ IsopResult IsopOptimizer::run() const {
     hbCfg.seed = config_.seed * 0x94d049bb133111ebULL + 0x77;
     const hpo::Hyperband hyperband(hbCfg);
     // Resource semantics: r units = r random bit-flip hill-climb probes.
+    // The base evaluations of a round are batched across arms; the probe
+    // chains stay sequential in arm order so the shared probe RNG consumes
+    // draws exactly as the per-arm path did.
     Rng probeRng(config_.seed + 0x5151);
-    auto eval = [&](hpo::BitVector& bits, std::size_t resource) {
-      double best = searchObjective.evaluateBits(codec, bits);
-      for (std::size_t p = 0; p < resource; ++p) {
-        hpo::BitVector neighbour = bits;
-        for (std::size_t f = 0; f < config_.hyperbandProbeBits; ++f) {
-          const auto pos = static_cast<std::size_t>(probeRng.below(neighbour.size()));
-          neighbour[pos] ^= 1u;
+    auto eval = [&](std::span<hpo::ScoredConfig> arms, std::size_t resource) {
+      std::vector<hpo::BitVector> base(arms.size());
+      for (std::size_t i = 0; i < arms.size(); ++i) base[i] = arms[i].bits;
+      std::vector<double> baseValues(arms.size());
+      searchObjective.evaluateBitsBatch(codec, base, baseValues);
+      for (std::size_t i = 0; i < arms.size(); ++i) {
+        hpo::ScoredConfig& arm = arms[i];
+        double best = baseValues[i];
+        for (std::size_t p = 0; p < resource; ++p) {
+          hpo::BitVector neighbour = arm.bits;
+          for (std::size_t f = 0; f < config_.hyperbandProbeBits; ++f) {
+            const auto pos = static_cast<std::size_t>(probeRng.below(neighbour.size()));
+            neighbour[pos] ^= 1u;
+          }
+          hpo::Harmonica::applyFixedBits(harmonicaResult.fixedBits, neighbour);
+          const double v = searchObjective.evaluateBits(codec, neighbour);
+          if (v < best) {
+            best = v;
+            arm.bits = neighbour;
+          }
         }
-        hpo::Harmonica::applyFixedBits(harmonicaResult.fixedBits, neighbour);
-        const double v = searchObjective.evaluateBits(codec, neighbour);
-        if (v < best) {
-          best = v;
-          bits = neighbour;
-        }
+        arm.value = best;
       }
-      return best;
     };
     auto picks = hyperband.run(restrictedSample, eval, config_.localSeeds);
     for (const auto& pick : picks) {
@@ -141,13 +159,18 @@ IsopResult IsopOptimizer::run() const {
     // Naive alternative: evaluate a flat batch of random restricted samples
     // and keep the best p (the paper's "naive random sampling" comparator).
     const std::size_t batch = std::max<std::size_t>(config_.localSeeds * 8, 32);
-    std::vector<std::pair<double, em::StackupParams>> scored;
-    scored.reserve(batch);
+    std::vector<em::StackupParams> sampled;
+    sampled.reserve(batch);
     for (std::size_t i = 0; i < batch; ++i) {
       hpo::BitVector bits = restrictedSample(seedRng);
-      if (auto decoded = codec.decode(bits)) {
-        scored.emplace_back(searchObjective.evaluate(*decoded), *decoded);
-      }
+      if (auto decoded = codec.decode(bits)) sampled.push_back(*decoded);
+    }
+    std::vector<double> values(sampled.size());
+    searchObjective.evaluateBatch(sampled, values);
+    std::vector<std::pair<double, em::StackupParams>> scored;
+    scored.reserve(sampled.size());
+    for (std::size_t i = 0; i < sampled.size(); ++i) {
+      scored.emplace_back(values[i], sampled[i]);
     }
     std::sort(scored.begin(), scored.end(),
               [](const auto& a, const auto& b) { return a.first < b.first; });
@@ -172,8 +195,10 @@ IsopResult IsopOptimizer::run() const {
     obs::StageSpan stageSpan("stage2.refine");
     const hpo::AdamRefiner refiner(config_.refine);
     auto refineResult = refiner.refine(
-        space_, seeds, [&](const em::StackupParams& x, std::span<double> grad) {
-          return searchObjective.evaluateWithGradient(x, grad);
+        space_, seeds,
+        [&](std::span<const em::StackupParams> xs, std::span<double> values,
+            Matrix& grads) {
+          searchObjective.evaluateWithGradientBatch(xs, values, grads);
         });
     refined = std::move(refineResult.refined);
     // The continuous refinement may drift outside feasibility pockets; keep
@@ -198,10 +223,18 @@ IsopResult IsopOptimizer::run() const {
       std::string key = snapped.toString();
       if (seen.insert(std::move(key)).second) rollout.push_back(snapped);
     }
-    std::sort(rollout.begin(), rollout.end(),
-              [&](const em::StackupParams& a, const em::StackupParams& b) {
-                return scorer.evaluate(a) < scorer.evaluate(b);
-              });
+    // One batched scoring pass instead of an evaluate() per comparison —
+    // same ranking, n queries instead of O(n log n).
+    std::vector<double> scores(rollout.size());
+    scorer.evaluateBatch(rollout, scores);
+    std::vector<std::size_t> order(rollout.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return scores[a] < scores[b]; });
+    std::vector<em::StackupParams> ranked;
+    ranked.reserve(rollout.size());
+    for (std::size_t i : order) ranked.push_back(rollout[i]);
+    rollout = std::move(ranked);
     if (rollout.size() <= config_.candNum) return rollout;
     // Diversity-aware selection: surrogate error is spatially correlated, so
     // validating three near-identical designs wastes two EM runs. Greedily
@@ -252,10 +285,14 @@ IsopResult IsopOptimizer::run() const {
 
   std::size_t rolloutRound = 1;
   auto validate = [&](std::span<const em::StackupParams> designs) {
-    for (const auto& p : designs) {
+    // EM validations fan out on the pool through the engine; results come
+    // back in submission order, so candidate ranking is unchanged.
+    const std::vector<em::PerformanceMetrics> measured = engine->simulateBatch(designs);
+    for (std::size_t i = 0; i < designs.size(); ++i) {
+      const em::StackupParams& p = designs[i];
       IsopCandidate cand;
       cand.params = p;
-      cand.metrics = simulator_->simulate(p);
+      cand.metrics = measured[i];
       // Always scored against the *original* task objective.
       cand.g = objective.gValue(cand.metrics, p);
       cand.fom = objective.fomValue(cand.metrics);
@@ -304,14 +341,19 @@ IsopResult IsopOptimizer::run() const {
 
     Objective shiftedObjective(shiftedTask.spec, config_.objective);
     shiftedObjective.weights() = objective.weights();
+    // The repair objective reuses the run's engine: the memo caches model
+    // outputs (weight- and target-independent), so search-stage entries are
+    // valid here and repair queries stay billed on the same counters.
     const SurrogateObjective repairObjective(shiftedObjective, *surrogate_,
-                                             config_.useSmoothObjective);
+                                             config_.useSmoothObjective, engine);
     std::vector<em::StackupParams> repairSeeds;
     for (const auto& c : result.candidates) repairSeeds.push_back(c.params);
     const hpo::AdamRefiner refiner(config_.refine);
     auto repairResult = refiner.refine(
-        space_, repairSeeds, [&](const em::StackupParams& x, std::span<double> grad) {
-          return repairObjective.evaluateWithGradient(x, grad);
+        space_, repairSeeds,
+        [&](std::span<const em::StackupParams> xs, std::span<double> values,
+            Matrix& grads) {
+          repairObjective.evaluateWithGradientBatch(xs, values, grads);
         });
     // Exclude already-validated designs from the new roll-out set.
     std::set<std::string> validatedKeys;
@@ -339,6 +381,7 @@ IsopResult IsopOptimizer::run() const {
 
   result.surrogateQueries = surrogate_->queryCount();
   result.simulatorCalls = simulator_->callCount() - simCallsBefore;
+  result.evalStats = engine->stats();
   result.algoSeconds = timer.seconds();
   result.modeledSeconds =
       result.algoSeconds + (simulator_->modeledSeconds() - simSecondsBefore);

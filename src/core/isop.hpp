@@ -58,6 +58,13 @@ struct IsopConfig {
   bool useSmoothObjective = true; ///< ghat vs g during search
   hpo::BitCoding coding = hpo::BitCoding::Binary;
 
+  /// Eval-engine knobs (memoization, batching, pool selection). One engine
+  /// is shared by every stage of the run, including the repair round's
+  /// objective and the EM validation fan-out. `evalEngine.pool` lets tests
+  /// pin the run to a fixed-size pool; results are identical at any thread
+  /// count (see core/eval/eval_engine.hpp).
+  EvalEngineConfig evalEngine{};
+
   /// Resource semantics for Hyperband: each unit of resource is one
   /// bit-flip hill-climb probe around the configuration.
   std::size_t hyperbandProbeBits = 2;
@@ -86,6 +93,7 @@ struct IsopResult {
   double algoSeconds = 0.0;     ///< measured optimizer wall time
   double modeledSeconds = 0.0;  ///< algoSeconds + modeled EM solver time
   ObjectiveWeights finalWeights{};
+  EvalEngineStats evalStats{};  ///< memo/dedup/batch accounting for the run
 
   const IsopCandidate& best() const { return candidates.front(); }
 };

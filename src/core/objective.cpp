@@ -102,6 +102,20 @@ double Objective::gSmoothValue(const em::PerformanceMetrics& m,
   return acc;
 }
 
+void Objective::gBatch(std::span<const em::PerformanceMetrics> metrics,
+                       std::span<const em::StackupParams> xs,
+                       std::span<double> out) const {
+  assert(metrics.size() == xs.size() && out.size() == xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) out[i] = gValue(metrics[i], xs[i]);
+}
+
+void Objective::gSmoothBatch(std::span<const em::PerformanceMetrics> metrics,
+                             std::span<const em::StackupParams> xs,
+                             std::span<double> out) const {
+  assert(metrics.size() == xs.size() && out.size() == xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) out[i] = gSmoothValue(metrics[i], xs[i]);
+}
+
 double Objective::gSmoothWithGradient(
     const em::PerformanceMetrics& m, const em::StackupParams& x,
     const std::function<void(em::Metric, std::span<double>)>& metricGradient,

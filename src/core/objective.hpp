@@ -104,6 +104,14 @@ class Objective {
   /// ghat(x): w^FoM f^FoM + sum w^OC f̂^OC(smooth) + sum w^IC f^IC.
   double gSmoothValue(const em::PerformanceMetrics& m, const em::StackupParams& x) const;
 
+  /// Batch forms: out[i] = g / ghat of (metrics[i], xs[i]). All spans must
+  /// have equal length; evaluation order is row order (weights are read per
+  /// row, matching a scalar loop under concurrent weight adaptation).
+  void gBatch(std::span<const em::PerformanceMetrics> metrics,
+              std::span<const em::StackupParams> xs, std::span<double> out) const;
+  void gSmoothBatch(std::span<const em::PerformanceMetrics> metrics,
+                    std::span<const em::StackupParams> xs, std::span<double> out) const;
+
   /// ghat plus its gradient w.r.t. the raw design vector. `metricGradient`
   /// fills d metric_k / d x (only called for metrics the spec references).
   double gSmoothWithGradient(

@@ -13,6 +13,17 @@ void SimulatorSurrogate::predict(std::span<const double> x, std::span<double> ou
   for (std::size_t i = 0; i < arr.size(); ++i) out[i] = arr[i];
 }
 
+void SimulatorSurrogate::predictBatch(const Matrix& x, Matrix& out) const {
+  assert(x.cols() == em::kNumParams);
+  countQuery(x.rows());
+  out.resize(x.rows(), em::kNumMetrics);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const auto m = simulator_->evaluateUncounted(em::StackupParams::fromVector(x.row(i)));
+    const auto arr = m.asArray();
+    for (std::size_t k = 0; k < arr.size(); ++k) out(i, k) = arr[k];
+  }
+}
+
 void SimulatorSurrogate::inputGradient(std::span<const double> x, std::size_t outputIndex,
                                        std::span<double> grad) const {
   assert(x.size() == em::kNumParams && grad.size() == em::kNumParams);

@@ -25,6 +25,10 @@ class SimulatorSurrogate final : public ml::Surrogate {
 
   void predict(std::span<const double> x, std::span<double> out) const override;
 
+  /// Row loop over the uncounted oracle with one countQuery(rows); kept
+  /// serial so the eval engine's chunk fan-out stays the only parallelism.
+  void predictBatch(const Matrix& x, Matrix& out) const override;
+
   bool hasInputGradient() const override { return true; }
   void inputGradient(std::span<const double> x, std::size_t outputIndex,
                      std::span<double> grad) const override;

@@ -6,16 +6,19 @@
 namespace isop::core {
 
 SurrogateObjective::SurrogateObjective(Objective& objective, const ml::Surrogate& model,
-                                       bool smooth)
-    : objective_(&objective), model_(&model), smooth_(smooth) {
+                                       bool smooth, std::shared_ptr<EvalEngine> engine)
+    : objective_(&objective),
+      model_(&model),
+      engine_(std::move(engine)),
+      smooth_(smooth) {
   assert(model.inputDim() == em::kNumParams);
   assert(model.outputDim() == em::kNumMetrics);
+  if (!engine_) engine_ = std::make_shared<EvalEngine>(model);
+  assert(&engine_->model() == model_ && "engine must wrap the same surrogate");
 }
 
 em::PerformanceMetrics SurrogateObjective::predict(const em::StackupParams& x) const {
-  std::array<double, em::kNumMetrics> out{};
-  model_->predict(x.asVector(), out);
-  return em::PerformanceMetrics::fromArray(out);
+  return engine_->predictOne(x);
 }
 
 void SurrogateObjective::setUncertaintyPenalty(double weight) {
@@ -57,6 +60,47 @@ double SurrogateObjective::evaluateBits(const hpo::BinaryCodec& codec,
   return evaluate(*decoded);
 }
 
+void SurrogateObjective::evaluateBatch(std::span<const em::StackupParams> xs,
+                                       std::span<double> out) const {
+  assert(out.size() == xs.size());
+  std::vector<em::PerformanceMetrics> metrics;
+  engine_->predictMetrics(xs, metrics);
+  if (recording_) {
+    std::lock_guard lock(batchMutex_);
+    batchMetrics_.insert(batchMetrics_.end(), metrics.begin(), metrics.end());
+    batchDesigns_.insert(batchDesigns_.end(), xs.begin(), xs.end());
+  }
+  if (smooth_) {
+    objective_->gSmoothBatch(metrics, xs, out);
+  } else {
+    objective_->gBatch(metrics, xs, out);
+  }
+  if (ensemble_ && uncertaintyWeight_ > 0.0) {
+    for (std::size_t i = 0; i < xs.size(); ++i) out[i] += uncertaintyTerm(xs[i]);
+  }
+}
+
+void SurrogateObjective::evaluateBitsBatch(const hpo::BinaryCodec& codec,
+                                           std::span<const hpo::BitVector> bits,
+                                           std::span<double> out) const {
+  assert(out.size() == bits.size());
+  std::vector<em::StackupParams> decoded;
+  std::vector<std::size_t> slots;
+  decoded.reserve(bits.size());
+  slots.reserve(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (auto d = codec.decode(bits[i])) {
+      decoded.push_back(*d);
+      slots.push_back(i);
+    } else {
+      out[i] = std::numeric_limits<double>::infinity();
+    }
+  }
+  std::vector<double> values(decoded.size());
+  evaluateBatch(decoded, values);
+  for (std::size_t j = 0; j < slots.size(); ++j) out[slots[j]] = values[j];
+}
+
 double SurrogateObjective::evaluateWithGradient(const em::StackupParams& x,
                                                 std::span<double> grad) const {
   const em::PerformanceMetrics m = predict(x);
@@ -66,6 +110,23 @@ double SurrogateObjective::evaluateWithGradient(const em::StackupParams& x,
         model_->inputGradient(x.asVector(), static_cast<std::size_t>(metric), mg);
       },
       grad);
+}
+
+void SurrogateObjective::evaluateWithGradientBatch(std::span<const em::StackupParams> xs,
+                                                   std::span<double> values,
+                                                   Matrix& grads) const {
+  assert(values.size() == xs.size());
+  std::vector<em::PerformanceMetrics> metrics;
+  engine_->predictMetrics(xs, metrics);
+  grads.resize(xs.size(), em::kNumParams);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    values[i] = objective_->gSmoothWithGradient(
+        metrics[i], xs[i],
+        [&](em::Metric metric, std::span<double> mg) {
+          model_->inputGradient(xs[i].asVector(), static_cast<std::size_t>(metric), mg);
+        },
+        grads.row(i));
+  }
 }
 
 void SurrogateObjective::drainBatch(std::vector<em::PerformanceMetrics>& metrics,

@@ -4,11 +4,20 @@
 // local stage, and optionally records each evaluated batch so the adaptive
 // weight adjustment (Alg. 2) can observe per-constraint statistics without
 // re-querying the model.
+//
+// All model queries flow through an EvalEngine (core/eval): scalar calls go
+// through its memo cache, the *Batch entry points additionally dedup the
+// batch and dispatch the unique rows as one predictBatch. Several adapters
+// may share one engine (the roll-out repair objective reuses the search
+// objective's engine — the cached quantity is the model output, which does
+// not depend on the adapter's weights).
 #pragma once
 
+#include <memory>
 #include <mutex>
 #include <vector>
 
+#include "core/eval/eval_engine.hpp"
 #include "core/objective.hpp"
 #include "hpo/binary_codec.hpp"
 #include "ml/ensemble_surrogate.hpp"
@@ -21,7 +30,11 @@ class SurrogateObjective {
   /// `smooth` selects ghat (Eq. 9/10) vs plain g (Eq. 8) for the search
   /// stages. The objective is held by reference: weight updates made by
   /// AdaptiveWeights are visible to subsequent evaluations.
-  SurrogateObjective(Objective& objective, const ml::Surrogate& model, bool smooth = true);
+  ///
+  /// `engine` routes the model queries; it must wrap the same `model`. A
+  /// null engine constructs a private one with default EvalEngineConfig.
+  SurrogateObjective(Objective& objective, const ml::Surrogate& model, bool smooth = true,
+                     std::shared_ptr<EvalEngine> engine = nullptr);
 
   em::PerformanceMetrics predict(const em::StackupParams& x) const;
 
@@ -35,6 +48,18 @@ class SurrogateObjective {
   /// Value plus d(objective)/dx via the surrogate's input gradients.
   /// Requires model.hasInputGradient().
   double evaluateWithGradient(const em::StackupParams& x, std::span<double> grad) const;
+
+  /// Batch forms of the three entry points above: one engine round-trip
+  /// (dedup + memo + batched inference) instead of per-row queries. Results
+  /// and query accounting match a scalar loop exactly.
+  void evaluateBatch(std::span<const em::StackupParams> xs, std::span<double> out) const;
+  void evaluateBitsBatch(const hpo::BinaryCodec& codec,
+                         std::span<const hpo::BitVector> bits,
+                         std::span<double> out) const;
+  /// values[i] and grads.row(i) get ghat / its gradient at xs[i]; grads is
+  /// resized to (xs.size(), kNumParams).
+  void evaluateWithGradientBatch(std::span<const em::StackupParams> xs,
+                                 std::span<double> values, Matrix& grads) const;
 
   /// Uncertainty penalty (extension): when the model is an
   /// ml::EnsembleSurrogate and weight > 0, evaluate() adds
@@ -56,12 +81,14 @@ class SurrogateObjective {
   const Objective& objective() const { return *objective_; }
   Objective& objective() { return *objective_; }
   const ml::Surrogate& model() const { return *model_; }
+  const std::shared_ptr<EvalEngine>& engine() const { return engine_; }
 
  private:
   double uncertaintyTerm(const em::StackupParams& x) const;
 
   Objective* objective_;
   const ml::Surrogate* model_;
+  std::shared_ptr<EvalEngine> engine_;
   const ml::EnsembleSurrogate* ensemble_ = nullptr;  // set iff model is one
   double uncertaintyWeight_ = 0.0;
   bool smooth_;

@@ -68,6 +68,11 @@ class EmSimulator {
   /// Number of simulate() calls since construction / last reset.
   std::size_t callCount() const { return calls_.load(std::memory_order_relaxed); }
 
+  /// Bills n calls without evaluating anything. Used by the eval layer when
+  /// a memoized simulation result is served — the paper bills solver time
+  /// per requested sample, so a cache hit still counts.
+  void billCalls(std::size_t n) const { calls_.fetch_add(n, std::memory_order_relaxed); }
+
   /// Wall-clock seconds a real solver would have spent on the counted calls.
   double modeledSeconds() const;
 

@@ -10,6 +10,19 @@ namespace isop::hpo {
 RefineResult AdamRefiner::refine(const em::ParameterSpace& space,
                                  std::span<const em::StackupParams> seeds,
                                  const ObjectiveWithGrad& objective) const {
+  const BatchObjectiveWithGrad batch = [&](std::span<const em::StackupParams> xs,
+                                           std::span<double> values, Matrix& grads) {
+    grads.resize(xs.size(), em::kNumParams);
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      values[i] = objective(xs[i], grads.row(i));
+    }
+  };
+  return refine(space, seeds, batch);
+}
+
+RefineResult AdamRefiner::refine(const em::ParameterSpace& space,
+                                 std::span<const em::StackupParams> seeds,
+                                 const BatchObjectiveWithGrad& objective) const {
   const std::size_t d = space.dim();
   const std::size_t p = seeds.size();
   RefineResult result;
@@ -35,16 +48,20 @@ RefineResult AdamRefiner::refine(const em::ParameterSpace& space,
   ml::nn::Adam adam(adamCfg);
   adam.registerBlock(u);
 
-  std::vector<double> rawGrad(d);
-  em::StackupParams x{};
+  // One batched value+gradient evaluation per epoch over all p seeds.
+  std::vector<em::StackupParams> xs(p);
+  Matrix rawGrads;
   obs::StageSpan refineSpan("adam.refine");
   for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
     for (std::size_t i = 0; i < p; ++i) {
-      for (std::size_t j = 0; j < d; ++j) x.values[j] = lo[j] + u[i * d + j] * span[j];
-      result.values[i] = objective(x, rawGrad);
-      ++result.gradientEvaluations;
-      // Chain rule du: dg/du_j = dg/dx_j * span_j.
-      for (std::size_t j = 0; j < d; ++j) grad[i * d + j] = rawGrad[j] * span[j];
+      for (std::size_t j = 0; j < d; ++j) xs[i].values[j] = lo[j] + u[i * d + j] * span[j];
+    }
+    objective(xs, result.values, rawGrads);
+    assert(rawGrads.rows() == p && rawGrads.cols() == d);
+    result.gradientEvaluations += p;
+    // Chain rule du: dg/du_j = dg/dx_j * span_j.
+    for (std::size_t i = 0; i < p; ++i) {
+      for (std::size_t j = 0; j < d; ++j) grad[i * d + j] = rawGrads(i, j) * span[j];
     }
     if (obs::convergence().enabled()) {
       obs::AdamEpochRecord rec;
@@ -67,9 +84,9 @@ RefineResult AdamRefiner::refine(const em::ParameterSpace& space,
     for (std::size_t j = 0; j < d; ++j) {
       result.refined[i].values[j] = lo[j] + u[i * d + j] * span[j];
     }
-    result.values[i] = objective(result.refined[i], rawGrad);
-    ++result.gradientEvaluations;
   }
+  objective(result.refined, result.values, rawGrads);
+  result.gradientEvaluations += p;
   return result;
 }
 

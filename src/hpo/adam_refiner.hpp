@@ -9,8 +9,10 @@
 #pragma once
 
 #include <functional>
+#include <span>
 #include <vector>
 
+#include "common/matrix.hpp"
 #include "em/parameter_space.hpp"
 #include "ml/nn/adam.hpp"
 
@@ -35,12 +37,23 @@ class AdamRefiner {
   using ObjectiveWithGrad =
       std::function<double(const em::StackupParams& x, std::span<double> grad)>;
 
+  /// Batched form: fills values[i] and grads.row(i) (resized to
+  /// (xs.size(), kNumParams)) for every seed of an epoch in one call — the
+  /// eval layer batches the p surrogate forward passes.
+  using BatchObjectiveWithGrad = std::function<void(
+      std::span<const em::StackupParams> xs, std::span<double> values, Matrix& grads)>;
+
   explicit AdamRefiner(RefineConfig config = {}) : config_(config) {}
 
   const RefineConfig& config() const { return config_; }
 
   /// Refines the seeds inside `space`'s bounding box (continuous, not yet
   /// snapped to the grid — rounding happens in the roll-out stage, Eq. 6).
+  RefineResult refine(const em::ParameterSpace& space,
+                      std::span<const em::StackupParams> seeds,
+                      const BatchObjectiveWithGrad& objective) const;
+
+  /// Scalar-objective compatibility overload (wraps into a per-seed loop).
   RefineResult refine(const em::ParameterSpace& space,
                       std::span<const em::StackupParams> seeds,
                       const ObjectiveWithGrad& objective) const;

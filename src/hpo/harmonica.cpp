@@ -22,6 +22,22 @@ HarmonicaResult Harmonica::optimize(std::size_t numBits, const Objective& object
                                     const Sampler& sampler,
                                     const IterationCallback& onIteration,
                                     const Validator& validator) const {
+  const BatchObjective batch = [&](std::span<const BitVector> samples,
+                                   std::span<double> values) {
+    auto evalOne = [&](std::size_t i) { values[i] = objective(samples[i]); };
+    if (config_.parallelEval) {
+      ThreadPool::global().parallelFor(samples.size(), evalOne);
+    } else {
+      for (std::size_t i = 0; i < samples.size(); ++i) evalOne(i);
+    }
+  };
+  return optimize(numBits, batch, sampler, onIteration, validator);
+}
+
+HarmonicaResult Harmonica::optimize(std::size_t numBits, const BatchObjective& objective,
+                                    const Sampler& sampler,
+                                    const IterationCallback& onIteration,
+                                    const Validator& validator) const {
   HarmonicaResult result;
   Rng rng(config_.seed);
   std::set<std::size_t> fixedPositions;
@@ -36,14 +52,10 @@ HarmonicaResult Harmonica::optimize(std::size_t numBits, const Objective& object
       applyFixedBits(result.fixedBits, s);
     }
 
-    // 2. Parallel evaluation.
+    // 2. One batched evaluation round (the eval engine dedups and runs one
+    // inference pass; the scalar-overload wrapper fans out per row instead).
     std::vector<double> values(samples.size());
-    auto evalOne = [&](std::size_t i) { values[i] = objective(samples[i]); };
-    if (config_.parallelEval) {
-      ThreadPool::global().parallelFor(samples.size(), evalOne);
-    } else {
-      for (std::size_t i = 0; i < samples.size(); ++i) evalOne(i);
-    }
+    objective(samples, values);
 
     // Bookkeeping: best-so-far, invalid count.
     std::vector<std::size_t> validIdx;

@@ -55,6 +55,12 @@ class Harmonica {
   /// (excluded from the regression, counted in invalidSamples).
   using Objective = std::function<double(const BitVector&)>;
 
+  /// Batched objective: fills values[i] for samples[i] (+inf = invalid).
+  /// Preferred entry point — one call per iteration lets the eval layer
+  /// dedup the batch and run one inference pass instead of q matvecs.
+  using BatchObjective =
+      std::function<void(std::span<const BitVector> samples, std::span<double> values)>;
+
   /// Draws a random configuration given the current restriction (the fixed
   /// bits accumulated so far). The sampler should honour the restriction —
   /// e.g. by rejection-sampling valid encodings — but as a safety net the
@@ -77,6 +83,13 @@ class Harmonica {
 
   const HarmonicaConfig& config() const { return config_; }
 
+  HarmonicaResult optimize(std::size_t numBits, const BatchObjective& objective,
+                           const Sampler& sampler,
+                           const IterationCallback& onIteration = {},
+                           const Validator& validator = {}) const;
+
+  /// Scalar-objective compatibility overload: wraps the objective into a
+  /// batch (fanning rows across the thread pool when config.parallelEval).
   HarmonicaResult optimize(std::size_t numBits, const Objective& objective,
                            const Sampler& sampler,
                            const IterationCallback& onIteration = {},

@@ -2,12 +2,21 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 
 #include "obs/obs.hpp"
 
 namespace isop::hpo {
 
 std::vector<ScoredConfig> Hyperband::run(const Sampler& sampler, const Eval& eval,
+                                         std::size_t keep) const {
+  const BatchEval batch = [&](std::span<ScoredConfig> arms, std::size_t resource) {
+    for (auto& a : arms) a.value = eval(a.bits, resource);
+  };
+  return run(sampler, batch, keep);
+}
+
+std::vector<ScoredConfig> Hyperband::run(const Sampler& sampler, const BatchEval& eval,
                                          std::size_t keep) const {
   Rng rng(config_.seed);
   const double eta = std::max(config_.eta, 1.5);
@@ -32,7 +41,7 @@ std::vector<ScoredConfig> Hyperband::run(const Sampler& sampler, const Eval& eva
     for (std::size_t round = 0; round <= s; ++round) {
       const auto res = static_cast<std::size_t>(
           std::max(1.0, std::floor(resource * std::pow(eta, static_cast<double>(round)))));
-      for (auto& a : arms) a.value = eval(a.bits, res);
+      eval(std::span<ScoredConfig>(arms), res);
       std::sort(arms.begin(), arms.end(),
                 [](const ScoredConfig& x, const ScoredConfig& y) { return x.value < y.value; });
       const auto keepCount = static_cast<std::size_t>(

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <functional>
+#include <span>
 
 #include "hpo/binary_codec.hpp"
 
@@ -36,12 +37,22 @@ class Hyperband {
   /// score (lower is better).
   using Eval = std::function<double(BitVector& bits, std::size_t resource)>;
 
+  /// Batched round evaluation: scores (and may refine) every surviving arm
+  /// of a bracket round in one call — the eval layer batches the base
+  /// evaluations across arms. Must fill arm.value for each arm.
+  using BatchEval =
+      std::function<void(std::span<ScoredConfig> arms, std::size_t resource)>;
+
   explicit Hyperband(HyperbandConfig config = {}) : config_(config) {}
 
   const HyperbandConfig& config() const { return config_; }
 
   /// Runs all brackets and returns the best `keep` configurations found,
   /// sorted by ascending value.
+  std::vector<ScoredConfig> run(const Sampler& sampler, const BatchEval& eval,
+                                std::size_t keep) const;
+
+  /// Scalar-eval compatibility overload (wraps into a per-arm loop).
   std::vector<ScoredConfig> run(const Sampler& sampler, const Eval& eval,
                                 std::size_t keep) const;
 

@@ -1,5 +1,6 @@
 #include "ml/ensemble.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <istream>
 #include <ostream>
@@ -46,6 +47,16 @@ double RandomForestRegressor::predictOne(std::span<const double> x) const {
   return trees_.empty() ? 0.0 : acc / static_cast<double>(trees_.size());
 }
 
+void RandomForestRegressor::predictMany(const Matrix& x, std::span<double> out) const {
+  assert(out.size() == x.rows());
+  std::fill(out.begin(), out.end(), 0.0);
+  if (trees_.empty()) return;
+  for (const auto& tree : trees_) {
+    for (std::size_t i = 0; i < x.rows(); ++i) out[i] += tree.predictOne(x.row(i));
+  }
+  for (double& v : out) v /= static_cast<double>(trees_.size());
+}
+
 // --- GradientBoostingRegressor -----------------------------------------------
 
 void GradientBoostingRegressor::fit(const Matrix& x, std::span<const double> y) {
@@ -84,6 +95,16 @@ double GradientBoostingRegressor::predictOne(std::span<const double> x) const {
   double acc = baseValue_;
   for (const auto& tree : trees_) acc += config_.learningRate * tree.predictOne(x);
   return acc;
+}
+
+void GradientBoostingRegressor::predictMany(const Matrix& x, std::span<double> out) const {
+  assert(out.size() == x.rows());
+  std::fill(out.begin(), out.end(), baseValue_);
+  for (const auto& tree : trees_) {
+    for (std::size_t i = 0; i < x.rows(); ++i) {
+      out[i] += config_.learningRate * tree.predictOne(x.row(i));
+    }
+  }
 }
 
 // --- XgboostRegressor --------------------------------------------------------
@@ -136,6 +157,16 @@ double XgboostRegressor::predictOne(std::span<const double> x) const {
   double acc = baseValue_;
   for (const auto& tree : trees_) acc += config_.learningRate * tree.predictOne(x);
   return acc;
+}
+
+void XgboostRegressor::predictMany(const Matrix& x, std::span<double> out) const {
+  assert(out.size() == x.rows());
+  std::fill(out.begin(), out.end(), baseValue_);
+  for (const auto& tree : trees_) {
+    for (std::size_t i = 0; i < x.rows(); ++i) {
+      out[i] += config_.learningRate * tree.predictOne(x.row(i));
+    }
+  }
 }
 
 void XgboostRegressor::save(std::ostream& out) const {

@@ -26,6 +26,9 @@ class RandomForestRegressor final : public SingleOutputModel {
 
   void fit(const Matrix& x, std::span<const double> y) override;
   double predictOne(std::span<const double> x) const override;
+  /// Tree-outer batch sweep (walks each tree's nodes across all rows); the
+  /// per-row accumulation order matches predictOne bitwise.
+  void predictMany(const Matrix& x, std::span<double> out) const override;
 
  private:
   RandomForestConfig config_;
@@ -50,6 +53,7 @@ class GradientBoostingRegressor final : public SingleOutputModel {
 
   void fit(const Matrix& x, std::span<const double> y) override;
   double predictOne(std::span<const double> x) const override;
+  void predictMany(const Matrix& x, std::span<double> out) const override;
 
  private:
   GradientBoostingConfig config_;
@@ -79,6 +83,7 @@ class XgboostRegressor final : public SingleOutputModel {
 
   void fit(const Matrix& x, std::span<const double> y) override;
   double predictOne(std::span<const double> x) const override;
+  void predictMany(const Matrix& x, std::span<double> out) const override;
 
   /// Binary round-trip of the fitted booster (trees carry raw thresholds, so
   /// the binner is not needed for prediction and is not serialized).

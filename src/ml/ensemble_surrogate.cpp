@@ -36,6 +36,17 @@ void EnsembleSurrogate::predict(std::span<const double> x, std::span<double> out
   for (double& v : out) v *= inv;
 }
 
+void EnsembleSurrogate::predictBatch(const Matrix& x, Matrix& out) const {
+  countQuery(x.rows());
+  out.resize(x.rows(), outputDim());
+  Matrix member;
+  for (const auto& m : members_) {
+    m->predictBatch(x, member);
+    out.add(member);
+  }
+  out.scale(1.0 / static_cast<double>(members_.size()));
+}
+
 void EnsembleSurrogate::predictWithSpread(std::span<const double> x,
                                           std::span<double> mean,
                                           std::span<double> stddev) const {

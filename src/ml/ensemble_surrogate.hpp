@@ -31,6 +31,11 @@ class EnsembleSurrogate final : public Surrogate {
   /// Mean prediction over the members.
   void predict(std::span<const double> x, std::span<double> out) const override;
 
+  /// One batched forward pass per member, accumulated and scaled. A single
+  /// countQuery(rows) bills the batch; per-row results are bitwise equal to
+  /// predict() (same member order, same accumulation order per row).
+  void predictBatch(const Matrix& x, Matrix& out) const override;
+
   /// Mean and per-output member standard deviation (population, K in the
   /// denominator) in one pass.
   void predictWithSpread(std::span<const double> x, std::span<double> mean,

@@ -4,7 +4,10 @@
 #include <cmath>
 #include <stdexcept>
 
+#include <vector>
+
 #include "common/thread_pool.hpp"
+#include "ml/nn/simd_block.hpp"
 
 namespace isop::ml::nn {
 
@@ -48,21 +51,84 @@ void Conv1d::infer(const Matrix& in, Matrix& out) const {
           const std::size_t tBegin = off < 0 ? static_cast<std::size_t>(-off) : 0;
           const std::size_t tEnd =
               off > 0 ? length_ - static_cast<std::size_t>(off) : length_;
+          // Explicit fma to match the fused multiply-adds of the blocked
+          // path below — batch == per-row bitwise needs one rounding here.
           for (std::size_t t = tBegin; t < tEnd; ++t) {
-            yRow[t] += wv * xRow[static_cast<std::size_t>(
-                                static_cast<std::ptrdiff_t>(t) + off)];
+            yRow[t] = __builtin_fma(
+                wv,
+                xRow[static_cast<std::size_t>(static_cast<std::ptrdiff_t>(t) + off)],
+                yRow[t]);
           }
         }
       }
     }
   };
+  // Batched rows run kInferRowBlock at a time, packed transposed so the
+  // per-t update runs over contiguous row lanes and compiles to packed FMAs
+  // (see simd_block.hpp). Each lane accumulates over (ic, j) in exactly
+  // rowKernel's order, so blocked rows are bitwise identical to the scalar
+  // path — the eval engine's determinism relies on that.
+  constexpr std::size_t kRowBlock = kInferRowBlock;
+  auto rowBlock = [&](std::size_t blk) {
+    const std::size_t r0 = blk * kRowBlock;
+    std::vector<double> xt(inputDim() * kRowBlock);   // xt[c * kRowBlock + rr]
+    std::vector<double> yt(outputDim() * kRowBlock);  // yt[c * kRowBlock + rr]
+    for (std::size_t rr = 0; rr < kRowBlock; ++rr) {
+      const double* x = in.data() + (r0 + rr) * inputDim();
+      for (std::size_t c = 0; c < inputDim(); ++c) xt[c * kRowBlock + rr] = x[c];
+    }
+    for (std::size_t oc = 0; oc < outChannels_; ++oc) {
+      double* yc = yt.data() + oc * length_ * kRowBlock;
+      for (std::size_t e = 0; e < length_ * kRowBlock; ++e) yc[e] = bias[oc];
+    }
+    // Per (oc, ic, j) tap: one streaming pass over the valid t range, all
+    // kRowBlock lanes per step. y[t] accumulates taps in rowKernel's
+    // ic-then-j order, so each lane matches the scalar path bitwise.
+    for (std::size_t oc = 0; oc < outChannels_; ++oc) {
+      double* yc = yt.data() + oc * length_ * kRowBlock;
+      for (std::size_t ic = 0; ic < inChannels_; ++ic) {
+        const double* xc = xt.data() + ic * length_ * kRowBlock;
+        const double* w = params_.data() + (oc * inChannels_ + ic) * kernel_;
+        for (std::size_t j = 0; j < kernel_; ++j) {
+          const double wv = w[j];
+          if (wv == 0.0) continue;
+          const std::ptrdiff_t off = static_cast<std::ptrdiff_t>(j) -
+                                     static_cast<std::ptrdiff_t>(half);
+          const std::size_t tBegin = off < 0 ? static_cast<std::size_t>(-off) : 0;
+          const std::size_t tEnd =
+              off > 0 ? length_ - static_cast<std::size_t>(off) : length_;
+          const double* xs =
+              xc + static_cast<std::size_t>(static_cast<std::ptrdiff_t>(tBegin) + off) *
+                       kRowBlock;
+          double* ys = yc + tBegin * kRowBlock;
+          const std::size_t steps = (tEnd - tBegin) * kRowBlock;
+#if defined(ISOP_NN_SIMD_BLOCK)
+          const Vd wvv = vdSplat(wv);
+          Vd* y = reinterpret_cast<Vd*>(ys);
+          const Vd* xv = reinterpret_cast<const Vd*>(xs);
+          for (std::size_t e = 0; e < steps / kVdLanes; ++e) y[e] += wvv * xv[e];
+#else
+          for (std::size_t e = 0; e < steps; ++e) {
+            ys[e] = __builtin_fma(wv, xs[e], ys[e]);
+          }
+#endif
+        }
+      }
+    }
+    for (std::size_t rr = 0; rr < kRowBlock; ++rr) {
+      double* y = out.data() + (r0 + rr) * outputDim();
+      for (std::size_t c = 0; c < outputDim(); ++c) y[c] = yt[c * kRowBlock + rr];
+    }
+  };
   // Rows are independent; fan out when the batch carries enough work.
+  const std::size_t blocks = n / kRowBlock;
   const std::size_t flops = n * outChannels_ * inChannels_ * kernel_ * length_;
-  if (flops >= (std::size_t{1} << 24)) {
-    ThreadPool::global().parallelFor(n, rowKernel);
+  if (flops >= (std::size_t{1} << 24) && blocks > 1) {
+    ThreadPool::global().parallelFor(blocks, rowBlock);
   } else {
-    for (std::size_t r = 0; r < n; ++r) rowKernel(r);
+    for (std::size_t blk = 0; blk < blocks; ++blk) rowBlock(blk);
   }
+  for (std::size_t r = blocks * kRowBlock; r < n; ++r) rowKernel(r);
 }
 
 void Conv1d::forward(const Matrix& in, Matrix& out, Rng&) {

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/thread_pool.hpp"
+#include "ml/nn/simd_block.hpp"
 
 namespace isop::ml::nn {
 
@@ -35,15 +36,66 @@ void Dense::infer(const Matrix& in, Matrix& out) const {
     for (std::size_t o = 0; o < outDim_; ++o) {
       const double* wRow = w + o * inDim_;
       double acc = b[o];
-      for (std::size_t i = 0; i < inDim_; ++i) acc += wRow[i] * x[i];
+      // Explicit fma: the blocked path below fuses its multiply-adds, and
+      // batch == per-row bitwise requires the same single rounding here
+      // (left to the compiler, this reduction gets an unfused mul+add mix).
+      for (std::size_t i = 0; i < inDim_; ++i) acc = __builtin_fma(wRow[i], x[i], acc);
       y[o] = acc;
     }
   };
-  if (n * outDim_ * inDim_ >= kParallelFlopThreshold) {
-    ThreadPool::global().parallelFor(n, rowRange);
+  // Batched rows run kRowBlock at a time: one weight traversal feeds
+  // kRowBlock independent accumulator chains, hiding the FMA latency that
+  // bounds the single-row dot product (the sum above is a serial dependency
+  // the compiler may not reassociate). The block is packed transposed so the
+  // rr loop runs over contiguous lanes and vectorizes into packed FMAs; each
+  // lane still adds wRow[i] * x[i] in exactly the scalar order, so blocked
+  // rows are bitwise identical to rowRange's — the eval engine's determinism
+  // relies on that.
+  constexpr std::size_t kRowBlock = kInferRowBlock;
+  auto rowBlock = [&](std::size_t blk) {
+    const std::size_t r0 = blk * kRowBlock;
+    std::vector<double> xt(kRowBlock * inDim_);  // xt[i * kRowBlock + rr]
+    for (std::size_t rr = 0; rr < kRowBlock; ++rr) {
+      const double* x = in.data() + (r0 + rr) * inDim_;
+      for (std::size_t i = 0; i < inDim_; ++i) xt[i * kRowBlock + rr] = x[i];
+    }
+    for (std::size_t o = 0; o < outDim_; ++o) {
+      const double* wRow = w + o * inDim_;
+#if defined(ISOP_NN_SIMD_BLOCK)
+      Vd a[kVdPerBlock];
+      for (std::size_t v = 0; v < kVdPerBlock; ++v) a[v] = vdSplat(b[o]);
+      for (std::size_t i = 0; i < inDim_; ++i) {
+        const Vd wvv = vdSplat(wRow[i]);
+        const Vd* xc = reinterpret_cast<const Vd*>(xt.data() + i * kRowBlock);
+        for (std::size_t v = 0; v < kVdPerBlock; ++v) a[v] += wvv * xc[v];
+      }
+      double acc[kRowBlock];
+      for (std::size_t v = 0; v < kVdPerBlock; ++v) {
+        for (std::size_t l = 0; l < kVdLanes; ++l) acc[v * kVdLanes + l] = a[v][l];
+      }
+#else
+      double acc[kRowBlock];
+      for (std::size_t rr = 0; rr < kRowBlock; ++rr) acc[rr] = b[o];
+      for (std::size_t i = 0; i < inDim_; ++i) {
+        const double wv = wRow[i];
+        const double* xc = xt.data() + i * kRowBlock;
+        for (std::size_t rr = 0; rr < kRowBlock; ++rr) {
+          acc[rr] = __builtin_fma(wv, xc[rr], acc[rr]);
+        }
+      }
+#endif
+      for (std::size_t rr = 0; rr < kRowBlock; ++rr) {
+        out.data()[(r0 + rr) * outDim_ + o] = acc[rr];
+      }
+    }
+  };
+  const std::size_t blocks = n / kRowBlock;
+  if (n * outDim_ * inDim_ >= kParallelFlopThreshold && blocks > 1) {
+    ThreadPool::global().parallelFor(blocks, rowBlock);
   } else {
-    for (std::size_t r = 0; r < n; ++r) rowRange(r);
+    for (std::size_t blk = 0; blk < blocks; ++blk) rowBlock(blk);
   }
+  for (std::size_t r = blocks * kRowBlock; r < n; ++r) rowRange(r);
 }
 
 void Dense::forward(const Matrix& in, Matrix& out, Rng&) {

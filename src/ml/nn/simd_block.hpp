@@ -1,0 +1,38 @@
+// Row-blocked SIMD helpers for the batched inference kernels.
+//
+// Batched layers process kInferRowBlock input rows at a time with the rows
+// packed transposed ("lane = row"): the innermost loop runs over contiguous
+// lanes and compiles to packed FMAs, while each lane's accumulation order
+// stays exactly the scalar path's — so blocked results are bitwise identical
+// to per-row inference, which the eval engine's determinism contract
+// requires.
+#pragma once
+
+#include <cstddef>
+
+namespace isop::ml::nn {
+
+/// Rows per packed block in the batched inference kernels.
+inline constexpr std::size_t kInferRowBlock = 8;
+
+#if defined(__AVX512F__)
+/// 8-lane double vector: one full row block per register.
+using Vd __attribute__((vector_size(64), aligned(8))) = double;
+inline constexpr std::size_t kVdLanes = 8;
+#define ISOP_NN_SIMD_BLOCK 1
+#elif defined(__GNUC__)
+/// 4-lane double vector (lowered to SSE pairs when AVX is unavailable).
+/// aligned(8) keeps loads/stores legal on unaligned scratch buffers.
+using Vd __attribute__((vector_size(32), aligned(8))) = double;
+inline constexpr std::size_t kVdLanes = 4;
+#define ISOP_NN_SIMD_BLOCK 1
+#endif
+
+#if defined(ISOP_NN_SIMD_BLOCK)
+/// Vectors per row block (1 with AVX-512, 2 otherwise).
+inline constexpr std::size_t kVdPerBlock = kInferRowBlock / kVdLanes;
+
+inline Vd vdSplat(double s) { return Vd{} + s; }
+#endif
+
+}  // namespace isop::ml::nn

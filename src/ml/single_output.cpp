@@ -19,10 +19,26 @@ MultiOutputSurrogate::MultiOutputSurrogate(
     std::size_t inputDim, std::vector<std::unique_ptr<SingleOutputModel>> models)
     : inputDim_(inputDim), models_(std::move(models)) {}
 
+void SingleOutputModel::predictMany(const Matrix& x, std::span<double> out) const {
+  assert(out.size() == x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) out[i] = predictOne(x.row(i));
+}
+
 void MultiOutputSurrogate::predict(std::span<const double> x, std::span<double> out) const {
   assert(x.size() == inputDim_ && out.size() == models_.size());
   countQuery();
   for (std::size_t k = 0; k < models_.size(); ++k) out[k] = models_[k]->predictOne(x);
+}
+
+void MultiOutputSurrogate::predictBatch(const Matrix& x, Matrix& out) const {
+  assert(x.cols() == inputDim_);
+  countQuery(x.rows());
+  out.resize(x.rows(), models_.size());
+  std::vector<double> column(x.rows());
+  for (std::size_t k = 0; k < models_.size(); ++k) {
+    models_[k]->predictMany(x, column);
+    for (std::size_t i = 0; i < x.rows(); ++i) out(i, k) = column[i];
+  }
 }
 
 }  // namespace isop::ml

@@ -24,6 +24,11 @@ class SingleOutputModel {
 
   /// Predicts the target for one feature row. Thread-safe after fit().
   virtual double predictOne(std::span<const double> x) const = 0;
+
+  /// Predicts one value per row of x into out (out.size() == x.rows()).
+  /// Default loops predictOne; tree ensembles override with a tree-outer
+  /// sweep whose per-row accumulation order matches predictOne bitwise.
+  virtual void predictMany(const Matrix& x, std::span<double> out) const;
 };
 
 /// Wraps a single-output model so it trains on (and predicts through) a
@@ -43,6 +48,11 @@ class TransformedTargetModel final : public SingleOutputModel {
 
   double predictOne(std::span<const double> x) const override {
     return transform_.invert(inner_->predictOne(x));
+  }
+
+  void predictMany(const Matrix& x, std::span<double> out) const override {
+    inner_->predictMany(x, out);
+    for (double& v : out) v = transform_.invert(v);
   }
 
  private:
@@ -67,6 +77,10 @@ class MultiOutputSurrogate final : public Surrogate {
   std::size_t outputDim() const override { return models_.size(); }
 
   void predict(std::span<const double> x, std::span<double> out) const override;
+
+  /// One predictMany sweep per stacked model (column), billed with a single
+  /// countQuery(rows).
+  void predictBatch(const Matrix& x, Matrix& out) const override;
 
   SingleOutputModel& model(std::size_t output) { return *models_[output]; }
 

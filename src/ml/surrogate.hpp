@@ -39,6 +39,13 @@ class Surrogate {
 
   /// Batch prediction; default implementation loops over rows. `out` is
   /// resized to (X.rows, outputDim()).
+  ///
+  /// Contract for overrides: row i of `out` must equal what predict(x.row(i))
+  /// would produce, bitwise — the eval engine relies on this to swap the
+  /// per-row path for the batched one without perturbing optimizer
+  /// trajectories. All shipped models satisfy it because their batch kernels
+  /// are row-independent with per-row accumulation order identical to the
+  /// scalar path.
   virtual void predictBatch(const Matrix& x, Matrix& out) const;
 
   /// True if inputGradient is implemented.
@@ -56,6 +63,12 @@ class Surrogate {
   /// accounting of the paper's tables).
   std::size_t queryCount() const { return queries_.load(std::memory_order_relaxed); }
   void resetQueryCount() const { queries_.store(0, std::memory_order_relaxed); }
+
+  /// Bills n queries without running the model. Used by the eval layer when
+  /// a memoized prediction is served: the paper's cost model is "samples
+  /// seen" by the optimizer, so a cache hit still counts as a sample even
+  /// though no inference ran.
+  void billQueries(std::size_t n) const { countQuery(n); }
 
  protected:
   /// Implementations call this once per predicted row.

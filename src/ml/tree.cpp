@@ -241,4 +241,9 @@ double DecisionTreeRegressor::predictOne(std::span<const double> x) const {
   return tree_.predictOne(x);
 }
 
+void DecisionTreeRegressor::predictMany(const Matrix& x, std::span<double> out) const {
+  assert(out.size() == x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) out[i] = tree_.predictOne(x.row(i));
+}
+
 }  // namespace isop::ml

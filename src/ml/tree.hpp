@@ -103,6 +103,7 @@ class DecisionTreeRegressor final : public SingleOutputModel {
 
   void fit(const Matrix& x, std::span<const double> y) override;
   double predictOne(std::span<const double> x) const override;
+  void predictMany(const Matrix& x, std::span<double> out) const override;
 
  private:
   DecisionTreeConfig config_;

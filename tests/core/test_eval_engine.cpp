@@ -1,0 +1,261 @@
+// EvalEngine tests: dedup/memoization semantics, paper-faithful query
+// billing (a memo hit still counts as a sample seen), the EvalBatch
+// builder, parallel EM fan-out with deterministic ordering, and the
+// headline guarantee — a full ISOP+ trial produces identical candidates
+// at 1, 4, and hardware-default thread counts.
+#include "core/eval/eval_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/isop.hpp"
+#include "core/simulator_surrogate.hpp"
+
+namespace isop::core {
+namespace {
+
+em::StackupParams designAt(double t) {
+  // A valid in-space S1 design parameterized by t in [0, 1].
+  const em::ParameterSpace space = em::spaceS1();
+  em::StackupParams p;
+  for (std::size_t j = 0; j < em::kNumParams; ++j) {
+    const auto r = space.range(j);
+    p.values[j] = r.lo + t * (r.hi - r.lo);
+  }
+  return p;
+}
+
+class EvalEngineTest : public ::testing::Test {
+ protected:
+  em::EmSimulator sim_;
+  SimulatorSurrogate oracle_{sim_};
+};
+
+TEST_F(EvalEngineTest, DedupsWithinBatchAndBillsEveryRow) {
+  EvalEngine engine(oracle_);
+  // 3 unique designs, each submitted 3 times.
+  std::vector<em::StackupParams> designs;
+  for (int rep = 0; rep < 3; ++rep) {
+    for (double t : {0.25, 0.5, 0.75}) designs.push_back(designAt(t));
+  }
+  oracle_.resetQueryCount();
+  std::vector<em::PerformanceMetrics> out;
+  engine.predictMetrics(designs, out);
+  ASSERT_EQ(out.size(), 9u);
+  // Paper accounting: all 9 rows billed even though only 3 ran the model.
+  EXPECT_EQ(oracle_.queryCount(), 9u);
+  const EvalEngineStats s = engine.stats();
+  EXPECT_EQ(s.rows, 9u);
+  EXPECT_EQ(s.modelRows, 3u);
+  EXPECT_EQ(s.dedupedRows, 6u);
+  EXPECT_EQ(s.memoHits, 0u);
+  // Every copy of a design got the same metrics.
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t rep = 1; rep < 3; ++rep) {
+      EXPECT_EQ(out[i].asArray(), out[rep * 3 + i].asArray());
+    }
+  }
+}
+
+TEST_F(EvalEngineTest, MemoizesAcrossBatchesAndAgreesWithDirectPredict) {
+  EvalEngine engine(oracle_);
+  std::vector<em::StackupParams> designs{designAt(0.1), designAt(0.9)};
+  std::vector<em::PerformanceMetrics> first, second;
+  engine.predictMetrics(designs, first);
+  oracle_.resetQueryCount();
+  engine.predictMetrics(designs, second);
+  // Second pass is served fully from the memo but still billed.
+  EXPECT_EQ(oracle_.queryCount(), 2u);
+  EXPECT_EQ(engine.stats().memoHits, 2u);
+  EXPECT_EQ(engine.stats().modelRows, 2u);
+  EXPECT_EQ(engine.cacheSize(), 2u);
+  for (std::size_t i = 0; i < designs.size(); ++i) {
+    EXPECT_EQ(first[i].asArray(), second[i].asArray());
+    // And both match the un-engined surrogate path bitwise.
+    const em::PerformanceMetrics direct = sim_.simulate(designs[i]);
+    EXPECT_EQ(first[i].asArray(), direct.asArray());
+  }
+}
+
+TEST_F(EvalEngineTest, MemoizationCanBeDisabled) {
+  EvalEngineConfig cfg;
+  cfg.memoize = false;
+  EvalEngine engine(oracle_, cfg);
+  std::vector<em::StackupParams> designs{designAt(0.3)};
+  std::vector<em::PerformanceMetrics> out;
+  engine.predictMetrics(designs, out);
+  engine.predictMetrics(designs, out);
+  EXPECT_EQ(engine.stats().memoHits, 0u);
+  EXPECT_EQ(engine.stats().modelRows, 2u);
+  EXPECT_EQ(engine.cacheSize(), 0u);
+}
+
+TEST_F(EvalEngineTest, PredictOneUsesAndFillsTheSharedMemo) {
+  EvalEngine engine(oracle_);
+  const em::StackupParams x = designAt(0.4);
+  oracle_.resetQueryCount();
+  const em::PerformanceMetrics a = engine.predictOne(x);
+  const em::PerformanceMetrics b = engine.predictOne(x);  // memo hit
+  EXPECT_EQ(oracle_.queryCount(), 2u);  // hit still billed
+  EXPECT_EQ(a.asArray(), b.asArray());
+  EXPECT_EQ(engine.stats().memoHits, 1u);
+  // The scalar path warms the batch path's cache too.
+  std::vector<em::PerformanceMetrics> out;
+  engine.predictMetrics(std::vector<em::StackupParams>{x}, out);
+  EXPECT_EQ(engine.stats().memoHits, 2u);
+}
+
+TEST_F(EvalEngineTest, EvalBatchSlotsSurviveDuplicates) {
+  EvalEngine engine(oracle_);
+  EvalBatch batch;
+  const std::size_t s0 = batch.add(designAt(0.2));
+  const std::size_t s1 = batch.add(designAt(0.8));
+  const std::size_t s2 = batch.add(designAt(0.2));  // duplicate of s0
+  EXPECT_FALSE(batch.evaluated());
+  engine.run(batch);
+  ASSERT_TRUE(batch.evaluated());
+  EXPECT_EQ(batch.metrics(s0).asArray(), batch.metrics(s2).asArray());
+  EXPECT_NE(batch.metrics(s0).asArray(), batch.metrics(s1).asArray());
+  batch.clear();
+  EXPECT_EQ(batch.size(), 0u);
+  EXPECT_FALSE(batch.evaluated());
+}
+
+TEST_F(EvalEngineTest, LargeBatchIsChunkIndependent) {
+  // The same 300-row batch through a serial engine, a 1-thread pool and a
+  // many-thread pool must agree bitwise (chunking depends on rows only).
+  std::vector<em::StackupParams> designs;
+  for (std::size_t i = 0; i < 300; ++i) {
+    designs.push_back(designAt(static_cast<double>(i % 97) / 96.0));
+  }
+  EvalEngineConfig serialCfg;
+  serialCfg.parallel = false;
+  serialCfg.memoize = false;
+  EvalEngine serial(oracle_, serialCfg);
+  std::vector<em::PerformanceMetrics> want;
+  serial.predictMetrics(designs, want);
+
+  for (std::size_t threads : {1u, 4u}) {
+    ThreadPool pool(threads);
+    EvalEngineConfig cfg;
+    cfg.memoize = false;
+    cfg.pool = &pool;
+    EvalEngine engine(oracle_, cfg);
+    std::vector<em::PerformanceMetrics> got;
+    engine.predictMetrics(designs, got);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(got[i].asArray(), want[i].asArray()) << "row " << i;
+    }
+  }
+}
+
+TEST_F(EvalEngineTest, SimulateBatchDedupsBillsAndPreservesOrder) {
+  EvalEngine engine(oracle_, sim_);
+  ASSERT_TRUE(engine.hasSimulator());
+  std::vector<em::StackupParams> designs{designAt(0.6), designAt(0.2), designAt(0.6),
+                                         designAt(0.9)};
+  sim_.resetCounters();
+  const auto out = engine.simulateBatch(designs);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(sim_.callCount(), 4u);  // dup billed like the serial loop
+  const EvalEngineStats s = engine.stats();
+  EXPECT_EQ(s.simRows, 4u);
+  EXPECT_EQ(s.simModelRows, 3u);
+  EXPECT_EQ(s.simDedupedRows, 1u);
+  // Submission order preserved, duplicates identical, values exact.
+  EXPECT_EQ(out[0].asArray(), out[2].asArray());
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(out[i].asArray(), sim_.simulate(designs[i]).asArray()) << "row " << i;
+  }
+  // A repeat batch is all memo hits but still fully billed.
+  sim_.resetCounters();
+  const auto again = engine.simulateBatch(designs);
+  EXPECT_EQ(sim_.callCount(), 4u);
+  EXPECT_EQ(engine.stats().simMemoHits, 4u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(again[i].asArray(), out[i].asArray());
+}
+
+TEST_F(EvalEngineTest, StatsRatiosAreConsistent) {
+  EvalEngine engine(oracle_);
+  std::vector<em::PerformanceMetrics> out;
+  std::vector<em::StackupParams> designs{designAt(0.5), designAt(0.5)};
+  engine.predictMetrics(designs, out);
+  engine.predictMetrics(designs, out);
+  const EvalEngineStats s = engine.stats();
+  EXPECT_EQ(s.rows, 4u);
+  EXPECT_EQ(s.modelRows, 1u);
+  EXPECT_DOUBLE_EQ(s.hitRate(), 0.5);        // 2 memo hits / 4 rows
+  EXPECT_DOUBLE_EQ(s.dedupRatio(), 0.75);    // (2 hits + 1 dup) / 4 rows
+}
+
+// The headline determinism guarantee: a full ISOP+ trial (Harmonica +
+// Hyperband + Adam + EM-validated roll-out, all through one shared engine)
+// returns identical candidates regardless of the thread count.
+class IsopThreadCountTest : public ::testing::Test {
+ protected:
+  static IsopConfig quickConfig() {
+    IsopConfig cfg;
+    cfg.harmonica.iterations = 2;
+    cfg.harmonica.samplesPerIter = 120;
+    cfg.harmonica.topMonomials = 4;
+    cfg.hyperband.maxResource = 9;
+    cfg.refine.epochs = 20;
+    cfg.localSeeds = 3;
+    cfg.candNum = 3;
+    cfg.seed = 21;
+    return cfg;
+  }
+
+  IsopResult runWithPool(ThreadPool* pool) {
+    oracle_->resetQueryCount();
+    sim_.resetCounters();
+    IsopConfig cfg = quickConfig();
+    cfg.evalEngine.pool = pool;
+    cfg.harmonica.parallelEval = false;  // the engine is the only fan-out
+    const IsopOptimizer optimizer(sim_, oracle_, em::spaceS1(), taskT1(), cfg);
+    return optimizer.run();
+  }
+
+  em::EmSimulator sim_;
+  std::shared_ptr<SimulatorSurrogate> oracle_ = std::make_shared<SimulatorSurrogate>(sim_);
+};
+
+TEST_F(IsopThreadCountTest, TrialIsIdenticalAt1And4AndDefaultThreads) {
+  ThreadPool one(1), four(4);
+  const IsopResult r1 = runWithPool(&one);
+  const IsopResult r4 = runWithPool(&four);
+  const IsopResult rn = runWithPool(nullptr);  // ThreadPool::global()
+
+  ASSERT_FALSE(r1.candidates.empty());
+  ASSERT_EQ(r1.candidates.size(), r4.candidates.size());
+  ASSERT_EQ(r1.candidates.size(), rn.candidates.size());
+  for (std::size_t i = 0; i < r1.candidates.size(); ++i) {
+    EXPECT_EQ(r1.candidates[i].params.values, r4.candidates[i].params.values);
+    EXPECT_EQ(r1.candidates[i].params.values, rn.candidates[i].params.values);
+    EXPECT_EQ(r1.candidates[i].g, r4.candidates[i].g);
+    EXPECT_EQ(r1.candidates[i].g, rn.candidates[i].g);
+    EXPECT_EQ(r1.candidates[i].metrics.asArray(), r4.candidates[i].metrics.asArray());
+  }
+  // Query accounting is thread-count independent too.
+  EXPECT_EQ(r1.surrogateQueries, r4.surrogateQueries);
+  EXPECT_EQ(r1.surrogateQueries, rn.surrogateQueries);
+  EXPECT_EQ(r1.evalStats.rows, r4.evalStats.rows);
+  EXPECT_EQ(r1.evalStats.memoHits, r4.evalStats.memoHits);
+  EXPECT_EQ(r1.evalStats.modelRows, r4.evalStats.modelRows);
+  // The run exercises the memo (Harmonica resamples, roll-out revalidates).
+  EXPECT_GT(r1.evalStats.memoHits + r1.evalStats.dedupedRows, 0u);
+}
+
+TEST_F(IsopThreadCountTest, EvalStatsAccountForAllSurrogateQueries) {
+  ThreadPool four(4);
+  const IsopResult r = runWithPool(&four);
+  // Every surrogate query flowed through the engine: rows requested equals
+  // the queries billed (predictWithSpread-based uncertainty is off here).
+  EXPECT_EQ(r.evalStats.rows, r.surrogateQueries);
+  EXPECT_EQ(r.evalStats.rows,
+            r.evalStats.memoHits + r.evalStats.dedupedRows + r.evalStats.modelRows);
+  EXPECT_EQ(r.evalStats.simRows, r.simulatorCalls);
+}
+
+}  // namespace
+}  // namespace isop::core

@@ -1,0 +1,160 @@
+// Golden equivalence tests for the batched prediction path: for every
+// shipped surrogate family, predictBatch row i must reproduce what the
+// scalar predict() path computes for the same input — bitwise for every
+// family: trees and stacks reuse the scalar code per row, and the neural
+// batch kernels keep each lane's fused accumulation order identical to the
+// per-row path (see simd_block.hpp). The eval engine's determinism
+// guarantee rests on this contract.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "ml/ensemble.hpp"
+#include "ml/ensemble_surrogate.hpp"
+#include "ml/neural_regressor.hpp"
+#include "ml/single_output.hpp"
+#include "ml/tree.hpp"
+
+namespace isop::ml {
+namespace {
+
+/// Smooth 4-in / 2-out target (positive and negative outputs, like Z / L).
+Dataset makeDataset(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Dataset ds{Matrix(n, 4), Matrix(n, 2)};
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) ds.x(i, j) = rng.uniform(-1.0, 1.0);
+    ds.y(i, 0) = 50.0 + 20.0 * ds.x(i, 0) * ds.x(i, 1) + 5.0 * ds.x(i, 2);
+    ds.y(i, 1) = -std::exp(0.5 * ds.x(i, 3)) - 0.2 * ds.x(i, 0) * ds.x(i, 0);
+  }
+  return ds;
+}
+
+Matrix makeQueries(std::size_t n, std::size_t dim, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix x(n, dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < dim; ++j) x(i, j) = rng.uniform(-1.2, 1.2);
+  }
+  return x;
+}
+
+/// Asserts predictBatch(x) row-equals per-row predict() within `tol`
+/// (tol == 0.0 means bitwise), and that the batch bills one query per row.
+void expectBatchMatchesScalar(const Surrogate& model, const Matrix& x, double tol) {
+  Matrix batch;
+  model.resetQueryCount();
+  model.predictBatch(x, batch);
+  EXPECT_EQ(model.queryCount(), x.rows());
+  ASSERT_EQ(batch.rows(), x.rows());
+  ASSERT_EQ(batch.cols(), model.outputDim());
+  std::vector<double> row(model.outputDim());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    model.predict(x.row(i), row);
+    for (std::size_t k = 0; k < row.size(); ++k) {
+      if (tol == 0.0) {
+        EXPECT_EQ(batch(i, k), row[k]) << "row " << i << " output " << k;
+      } else {
+        EXPECT_NEAR(batch(i, k), row[k], tol) << "row " << i << " output " << k;
+      }
+    }
+  }
+}
+
+nn::TrainConfig quickTraining() {
+  nn::TrainConfig cfg;
+  cfg.epochs = 8;
+  cfg.batchSize = 64;
+  cfg.learningRate = 3e-3;
+  return cfg;
+}
+
+TEST(PredictBatchGolden, MlpMatchesScalarPath) {
+  MlpConfig cfg;
+  cfg.hidden = {32, 32};
+  cfg.dropout = 0.0;
+  MlpRegressor model(cfg);
+  model.fit(makeDataset(600, 1), quickTraining());
+  expectBatchMatchesScalar(model, makeQueries(97, 4, 11), 0.0);
+}
+
+TEST(PredictBatchGolden, CnnMatchesScalarPath) {
+  Cnn1dConfig cfg;
+  cfg.expandChannels = 4;
+  cfg.expandLength = 8;
+  cfg.convChannels = 8;
+  cfg.headHidden = 16;
+  cfg.dropout = 0.0;
+  Cnn1dRegressor model(cfg);
+  model.fit(makeDataset(400, 2), quickTraining());
+  expectBatchMatchesScalar(model, makeQueries(70, 4, 12), 0.0);
+}
+
+TEST(PredictBatchGolden, MlpEnsembleMatchesScalarBitwise) {
+  EnsembleTrainConfig cfg;
+  cfg.members = 3;
+  cfg.architecture.hidden = {16, 16};
+  cfg.architecture.dropout = 0.0;
+  cfg.training.epochs = 5;
+  cfg.training.batchSize = 32;
+  auto ensemble = trainMlpEnsemble(makeDataset(400, 3), cfg);
+  // The ensemble mean is computed member-by-member in the same order on
+  // both paths, so equality is bitwise, not just approximate.
+  expectBatchMatchesScalar(*ensemble, makeQueries(83, 4, 13), 0.0);
+}
+
+/// Fits one single-output model per target column and stacks them.
+template <typename Model, typename Config>
+std::shared_ptr<MultiOutputSurrogate> stack(const Dataset& train, Config cfg) {
+  return std::make_shared<MultiOutputSurrogate>(
+      train, [&](std::size_t) { return std::make_unique<Model>(cfg); });
+}
+
+TEST(PredictBatchGolden, DecisionTreeStackMatchesScalarBitwise) {
+  DecisionTreeConfig cfg;
+  cfg.maxDepth = 6;
+  auto model = stack<DecisionTreeRegressor>(makeDataset(500, 4), cfg);
+  expectBatchMatchesScalar(*model, makeQueries(90, 4, 14), 0.0);
+}
+
+TEST(PredictBatchGolden, RandomForestStackMatchesScalarBitwise) {
+  RandomForestConfig cfg;
+  cfg.trees = 12;
+  cfg.maxDepth = 8;
+  auto model = stack<RandomForestRegressor>(makeDataset(500, 5), cfg);
+  expectBatchMatchesScalar(*model, makeQueries(90, 4, 15), 0.0);
+}
+
+TEST(PredictBatchGolden, GradientBoostingStackMatchesScalarBitwise) {
+  GradientBoostingConfig cfg;
+  cfg.stages = 25;
+  auto model = stack<GradientBoostingRegressor>(makeDataset(500, 6), cfg);
+  expectBatchMatchesScalar(*model, makeQueries(90, 4, 16), 0.0);
+}
+
+TEST(PredictBatchGolden, XgboostStackMatchesScalarBitwise) {
+  XgboostConfig cfg;
+  cfg.rounds = 25;
+  auto model = stack<XgboostRegressor>(makeDataset(500, 7), cfg);
+  expectBatchMatchesScalar(*model, makeQueries(90, 4, 17), 0.0);
+}
+
+TEST(PredictBatchGolden, TransformedTargetStackMatchesScalarBitwise) {
+  // Wrap each forest in a log-magnitude transform (the NEXT-style target):
+  // predictMany applies the same invert() per element as predictOne.
+  const Dataset train = makeDataset(500, 8);
+  auto factory = [&](std::size_t output) -> std::unique_ptr<SingleOutputModel> {
+    RandomForestConfig cfg;
+    cfg.trees = 8;
+    const auto transform = output == 1 ? OutputTransform::logMagnitude(-1.0)
+                                       : OutputTransform::identity();
+    return std::make_unique<TransformedTargetModel>(
+        std::make_unique<RandomForestRegressor>(cfg), transform);
+  };
+  MultiOutputSurrogate model(train, factory);
+  expectBatchMatchesScalar(model, makeQueries(64, 4, 18), 0.0);
+}
+
+}  // namespace
+}  // namespace isop::ml
