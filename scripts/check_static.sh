@@ -1,0 +1,166 @@
+#!/usr/bin/env bash
+# Project lint gate: compile-time correctness checks for the ISOP+ tree.
+#
+# Stages (each skipped with a notice when its tool is absent — the CI image
+# and the dev container only ship GCC; the Clang stages light up wherever a
+# Clang toolchain exists):
+#
+#   determinism  custom linter (scripts/determinism_lint.py): bans rand()/
+#                std::random_device outside the seeded RNG module, wall-clock
+#                reads in result paths, and hash-order iteration feeding
+#                ranked output. Always runs (python3 only).
+#   format       clang-format --dry-run -Werror over src/ and tests/.
+#   tsa          full build under the `static-analysis` preset: Clang
+#                -Wthread-safety -Werror over the ISOP_GUARDED_BY annotations.
+#   tsa-negative compiles tests/static/tsa_negative.cpp (intentional locking
+#                bugs + the injected MemoCache unguarded-access seam) and
+#                FAILS THE GATE IF IT COMPILES — proves the analysis rejects
+#                unguarded access rather than silently accepting everything.
+#   tidy         clang-tidy (config: .clang-tidy) over the compile database
+#                produced by the tsa stage.
+#   cppcheck     cppcheck over src/ with .cppcheck-suppressions.
+#
+# Usage:
+#   scripts/check_static.sh [stage]...   (default: all stages)
+# Env:
+#   JOBS  build parallelism (default: nproc)
+#
+# Exit 0 = every runnable stage passed; skipped stages are reported but do
+# not fail the gate. Any stage failure exits 1.
+set -uo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${JOBS:-$(nproc)}"
+STAGES=("$@")
+if [[ ${#STAGES[@]} -eq 0 ]]; then
+  STAGES=(determinism format tsa tsa-negative tidy cppcheck)
+fi
+
+failures=0
+skips=0
+
+note() { echo "== check_static: $* =="; }
+skip() { note "$1 SKIPPED ($2)"; skips=$((skips + 1)); }
+fail() { note "$1 FAILED"; failures=$((failures + 1)); }
+
+run_determinism() {
+  if ! command -v python3 > /dev/null; then
+    skip determinism "python3 not found"
+    return
+  fi
+  if python3 scripts/determinism_lint.py .; then
+    note "determinism OK"
+  else
+    fail determinism
+  fi
+}
+
+run_format() {
+  if ! command -v clang-format > /dev/null; then
+    skip format "clang-format not found"
+    return
+  fi
+  local files
+  mapfile -t files < <(find src tests -name '*.hpp' -o -name '*.cpp' | sort)
+  if clang-format --dry-run -Werror "${files[@]}"; then
+    note "format OK"
+  else
+    fail format
+  fi
+}
+
+have_clang() { command -v clang++ > /dev/null; }
+
+run_tsa() {
+  if ! have_clang; then
+    skip tsa "clang++ not found (thread-safety analysis is Clang-only)"
+    return
+  fi
+  if cmake --preset static-analysis && cmake --build --preset static-analysis -j "${JOBS}"; then
+    note "tsa OK"
+  else
+    fail tsa
+  fi
+}
+
+run_tsa_negative() {
+  if ! have_clang; then
+    skip tsa-negative "clang++ not found"
+    return
+  fi
+  local log
+  log="$(mktemp)"
+  # Must FAIL to compile: the TU holds intentional locking bugs, including
+  # the ISOP_TSA_NEGATIVE_SEAM unguarded read of MemoCache shard state.
+  if clang++ -std=c++20 -fsyntax-only -Isrc \
+      -Wthread-safety -Werror=thread-safety-analysis \
+      -DISOP_TSA_NEGATIVE_SEAM \
+      tests/static/tsa_negative.cpp 2> "${log}"; then
+    note "tsa-negative FAILED: intentional locking bugs COMPILED — the"
+    note "thread-safety gate is not rejecting unguarded access"
+    failures=$((failures + 1))
+  elif grep -q "thread-safety" "${log}" \
+      && grep -Eq "unguardedSize|memo_cache" "${log}"; then
+    note "tsa-negative OK (bugs rejected, MemoCache seam caught)"
+  else
+    note "tsa-negative FAILED: compile failed for the wrong reason:"
+    cat "${log}"
+    failures=$((failures + 1))
+  fi
+  rm -f "${log}"
+}
+
+run_tidy() {
+  if ! command -v clang-tidy > /dev/null; then
+    skip tidy "clang-tidy not found"
+    return
+  fi
+  if [[ ! -f build-static/compile_commands.json ]]; then
+    if have_clang; then
+      cmake --preset static-analysis || { fail tidy; return; }
+    else
+      skip tidy "no compile database (clang++ needed to configure static-analysis preset)"
+      return
+    fi
+  fi
+  local files
+  mapfile -t files < <(find src -name '*.cpp' | sort)
+  if clang-tidy -p build-static --quiet "${files[@]}"; then
+    note "tidy OK"
+  else
+    fail tidy
+  fi
+}
+
+run_cppcheck() {
+  if ! command -v cppcheck > /dev/null; then
+    skip cppcheck "cppcheck not found"
+    return
+  fi
+  if cppcheck --enable=warning,performance,portability --inline-suppr \
+      --suppressions-list=.cppcheck-suppressions --error-exitcode=1 \
+      --std=c++20 -Isrc --quiet -j "${JOBS}" src; then
+    note "cppcheck OK"
+  else
+    fail cppcheck
+  fi
+}
+
+for stage in "${STAGES[@]}"; do
+  note "stage ${stage}"
+  case "${stage}" in
+    determinism) run_determinism ;;
+    format) run_format ;;
+    tsa) run_tsa ;;
+    tsa-negative) run_tsa_negative ;;
+    tidy) run_tidy ;;
+    cppcheck) run_cppcheck ;;
+    *)
+      echo "check_static: unknown stage '${stage}'" >&2
+      exit 2
+      ;;
+  esac
+done
+
+note "summary: ${failures} failed, ${skips} skipped"
+[[ ${failures} -eq 0 ]]

@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Determinism linter for the ISOP+ source tree.
+
+The repo promises bitwise-reproducible results for a fixed seed (same FoM,
+same convergence trace, regardless of thread count or wall-clock time). That
+guarantee is easy to break silently with one careless call, so this linter
+bans the usual suspects from src/:
+
+  B1  rand()/srand()           - unseeded global RNG; use common/rng.hpp (Pcg32)
+  B2  std::random_device       - nondeterministic entropy source; only the
+                                 seeded RNG module may touch it
+  B3  wall-clock reads         - system_clock/high_resolution_clock/time()/
+                                 gettimeofday/localtime in result-producing
+                                 code; steady_clock is fine (duration-only)
+  B4  ranged-for over unordered_{map,set}
+                               - hash-order iteration; feeding it into ranked
+                                 or serialized output makes results depend on
+                                 the standard library's hash seed and on
+                                 insertion history. Iterate a sorted container
+                                 or sort the keys first.
+
+Suppressions: append a trailing comment with a reason, e.g.
+
+    auto t = std::chrono::system_clock::now();  // determinism-ok: log timestamp
+
+A bare "determinism-ok" with no reason text is rejected. File-level
+allowlists below cover code that is wall-clock-facing by design.
+
+Exit status: 0 = clean, 1 = findings, 2 = usage error.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+# Files whose whole job is wall-clock-facing (timestamps in log lines). Keys
+# are paths relative to the repo root, values are the banned-pattern ids that
+# file may use freely.
+FILE_ALLOWLIST = {
+    "src/common/logging.cpp": {"B3"},
+}
+
+BANNED = [
+    ("B1", re.compile(r"(?<![\w:])s?rand\s*\("),
+     "libc rand()/srand(): unseeded global state; use isop::Rng (common/rng.hpp)"),
+    ("B2", re.compile(r"\brandom_device\b"),
+     "std::random_device: nondeterministic entropy; seed isop::Rng explicitly"),
+    ("B3", re.compile(
+        r"\b(?:system_clock|high_resolution_clock)\b"
+        r"|(?<![\w:])(?:time|gettimeofday|localtime|gmtime)\s*\("),
+     "wall-clock read: results must not depend on when the run happened; "
+     "use steady_clock for durations"),
+]
+
+# B4: a ranged-for whose range expression is a variable declared in the same
+# file as std::unordered_map/unordered_set (directly or via auto&). This is a
+# heuristic - it catches the pattern that actually bit similar codebases
+# (iterating a memo/dedup map straight into output) without needing a real
+# parser.
+UNORDERED_DECL = re.compile(
+    r"\bunordered_(?:map|set|multimap|multiset)\s*<[^;{]*?>\s*&?\s*(\w+)\s*[;{=(,)]")
+RANGED_FOR = re.compile(r"\bfor\s*\(\s*(?:const\s+)?[\w:<>,\s&*]+?\s[&*]?\s*\w+\s*:\s*(\w+)\s*\)")
+
+SUPPRESS = re.compile(r"//\s*determinism-ok\s*:\s*\S")
+BARE_SUPPRESS = re.compile(r"//\s*determinism-ok\s*(?::\s*)?$")
+
+LINE_COMMENT = re.compile(r"//[^\n]*")
+BLOCK_COMMENT = re.compile(r"/\*.*?\*/", re.DOTALL)
+STRING_LIT = re.compile(r'"(?:[^"\\\n]|\\.)*"|\'(?:[^\'\\\n]|\\.)*\'')
+
+
+def strip_noise(line: str) -> str:
+    """Remove string/char literals and comments so patterns only see code."""
+    line = STRING_LIT.sub('""', line)
+    line = LINE_COMMENT.sub("", line)
+    return line
+
+
+def lint_file(path: Path, rel: str) -> list[str]:
+    text = path.read_text(encoding="utf-8", errors="replace")
+    # Blank out block comments but keep line numbers aligned.
+    text = BLOCK_COMMENT.sub(lambda m: "\n" * m.group(0).count("\n"), text)
+    lines = text.splitlines()
+    allow = FILE_ALLOWLIST.get(rel, set())
+    findings: list[str] = []
+
+    unordered_vars: set[str] = set()
+    for line in lines:
+        code = strip_noise(line)
+        for m in UNORDERED_DECL.finditer(code):
+            unordered_vars.add(m.group(1))
+
+    for lineno, raw in enumerate(lines, start=1):
+        if SUPPRESS.search(raw):
+            continue
+        if BARE_SUPPRESS.search(raw):
+            findings.append(
+                f"{rel}:{lineno}: bare 'determinism-ok' suppression - state a reason "
+                f"(// determinism-ok: <why>)")
+            continue
+        code = strip_noise(raw)
+        if not code.strip():
+            continue
+        for pat_id, pat, why in BANNED:
+            if pat_id in allow:
+                continue
+            if pat.search(code):
+                findings.append(f"{rel}:{lineno}: [{pat_id}] {why}")
+        if "B4" not in allow:
+            m = RANGED_FOR.search(code)
+            if m and m.group(1) in unordered_vars:
+                findings.append(
+                    f"{rel}:{lineno}: [B4] ranged-for over unordered container "
+                    f"'{m.group(1)}': hash-order iteration is not reproducible; "
+                    f"sort the keys or use an ordered container")
+    return findings
+
+
+def main(argv: list[str]) -> int:
+    root = Path(argv[1]) if len(argv) > 1 else Path(__file__).resolve().parent.parent
+    src = root / "src"
+    if not src.is_dir():
+        print(f"determinism_lint: no src/ under {root}", file=sys.stderr)
+        return 2
+    findings: list[str] = []
+    files = sorted(src.rglob("*.hpp")) + sorted(src.rglob("*.cpp"))
+    for path in files:
+        rel = path.relative_to(root).as_posix()
+        findings.extend(lint_file(path, rel))
+    for f in findings:
+        print(f)
+    print(f"determinism_lint: scanned {len(files)} files, "
+          f"{len(findings)} finding(s)", file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

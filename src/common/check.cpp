@@ -1,0 +1,17 @@
+#include "common/check.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace isop::check {
+
+void fail(const char* kind, const char* expr, const char* file, int line,
+          const char* msg) noexcept {
+  // One formatted write so concurrent failures don't interleave mid-line.
+  std::fprintf(stderr, "isop: %s failed: %s (%s) at %s:%d\n", kind, expr, msg,
+               file, line);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace isop::check

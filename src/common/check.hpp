@@ -1,0 +1,52 @@
+// Contract macros: precondition / invariant checks with file:line context.
+//
+//   ISOP_REQUIRE(cond, msg)   — always-on precondition at API boundaries
+//                               (per-call cost, never per-element); aborts
+//                               with context on violation in every build.
+//   ISOP_ASSERT(cond, msg)    — debug-only invariant for hot inner loops;
+//                               compiled out under NDEBUG (the condition is
+//                               not even evaluated), aborts with context in
+//                               debug builds. Drop-in for <cassert> assert.
+//   ISOP_UNREACHABLE(msg)     — marks impossible control flow; always aborts.
+//
+// Violation output goes to stderr in one write:
+//   isop: ISOP_REQUIRE failed: x.cols() == inputDim() (batch width must
+//   match the model input) at src/ml/surrogate.cpp:17
+//
+// Define ISOP_FORCE_CHECKS to keep ISOP_ASSERT active in release builds
+// (used by the sanitizer presets). tests/common/test_check.cpp holds the
+// death tests and the release-mode zero-cost probe.
+#pragma once
+
+namespace isop::check {
+
+/// Prints "isop: <kind> failed: <expr> (<msg>) at <file>:<line>" to stderr
+/// and aborts. Never returns; noexcept so a contract failure cannot be
+/// swallowed by exception handling.
+[[noreturn]] void fail(const char* kind, const char* expr, const char* file,
+                       int line, const char* msg) noexcept;
+
+}  // namespace isop::check
+
+#if defined(NDEBUG) && !defined(ISOP_FORCE_CHECKS)
+#define ISOP_CHECKS_ENABLED 0
+#else
+#define ISOP_CHECKS_ENABLED 1
+#endif
+
+#define ISOP_REQUIRE(cond, msg)                                                \
+  ((cond) ? static_cast<void>(0)                                               \
+          : ::isop::check::fail("ISOP_REQUIRE", #cond, __FILE__, __LINE__,     \
+                                (msg)))
+
+#if ISOP_CHECKS_ENABLED
+#define ISOP_ASSERT(cond, msg)                                                 \
+  ((cond) ? static_cast<void>(0)                                               \
+          : ::isop::check::fail("ISOP_ASSERT", #cond, __FILE__, __LINE__,      \
+                                (msg)))
+#else
+#define ISOP_ASSERT(cond, msg) static_cast<void>(0)
+#endif
+
+#define ISOP_UNREACHABLE(msg)                                                  \
+  ::isop::check::fail("ISOP_UNREACHABLE", "reached", __FILE__, __LINE__, (msg))

@@ -8,8 +8,9 @@
 #include <cstdlib>
 #include <ctime>
 #include <functional>
-#include <mutex>
 #include <thread>
+
+#include "common/thread_annotations.hpp"
 
 namespace isop::log {
 
@@ -32,7 +33,7 @@ Level levelFromEnv() {
 
 // The env var is parsed exactly once, before main() touches the logger.
 std::atomic<Level> g_level{levelFromEnv()};
-std::mutex g_mutex;
+AnnotatedMutex g_mutex;  // serializes the single fprintf per line
 
 /// "2026-08-06T12:34:56.789Z" into buf (must hold >= 25 chars + NUL).
 void formatUtcTimestamp(char* buf, std::size_t size) {
@@ -72,7 +73,7 @@ void message(Level lvl, const std::string& text) {
   static thread_local const auto tid = static_cast<unsigned>(
       std::hash<std::thread::id>{}(std::this_thread::get_id()));
   // One formatted write under the mutex: concurrent lines never interleave.
-  std::lock_guard lock(g_mutex);
+  MutexLock lock(g_mutex);
   std::fprintf(stderr, "%s [%s] [tid %08x] %s\n", stamp, levelName(lvl), tid,
                text.c_str());
 }

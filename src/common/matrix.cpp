@@ -5,7 +5,7 @@
 namespace isop {
 
 void Matrix::add(const Matrix& other) {
-  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  ISOP_ASSERT(rows_ == other.rows_ && cols_ == other.cols_, "add: shape mismatch");
   for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
 }
 
@@ -16,7 +16,7 @@ void Matrix::scale(double s) {
 namespace linalg {
 
 void matmul(const Matrix& a, const Matrix& b, Matrix& out) {
-  assert(a.cols() == b.rows());
+  ISOP_ASSERT(a.cols() == b.rows(), "matmul: inner dims must agree");
   const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
   out.resize(m, n, 0.0);
   // ikj loop order: streams through b and out rows contiguously.
@@ -33,7 +33,7 @@ void matmul(const Matrix& a, const Matrix& b, Matrix& out) {
 }
 
 void matmulTransA(const Matrix& a, const Matrix& b, Matrix& out) {
-  assert(a.rows() == b.rows());
+  ISOP_ASSERT(a.rows() == b.rows(), "matmulTransA: row counts must agree");
   const std::size_t m = a.cols(), k = a.rows(), n = b.cols();
   out.resize(m, n, 0.0);
   for (std::size_t p = 0; p < k; ++p) {
@@ -49,7 +49,7 @@ void matmulTransA(const Matrix& a, const Matrix& b, Matrix& out) {
 }
 
 void matmulTransB(const Matrix& a, const Matrix& b, Matrix& out) {
-  assert(a.cols() == b.cols());
+  ISOP_ASSERT(a.cols() == b.cols(), "matmulTransB: col counts must agree");
   const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
   out.resize(m, n, 0.0);
   for (std::size_t i = 0; i < m; ++i) {
@@ -65,7 +65,7 @@ void matmulTransB(const Matrix& a, const Matrix& b, Matrix& out) {
 }
 
 void matvec(const Matrix& a, std::span<const double> x, std::span<double> y) {
-  assert(x.size() == a.cols() && y.size() == a.rows());
+  ISOP_ASSERT(x.size() == a.cols() && y.size() == a.rows(), "matvec: vector dims must match");
   for (std::size_t i = 0; i < a.rows(); ++i) {
     const double* row = a.data() + i * a.cols();
     double acc = 0.0;
@@ -75,14 +75,14 @@ void matvec(const Matrix& a, std::span<const double> x, std::span<double> y) {
 }
 
 double dot(std::span<const double> a, std::span<const double> b) {
-  assert(a.size() == b.size());
+  ISOP_ASSERT(a.size() == b.size(), "dot: length mismatch");
   double acc = 0.0;
   for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
   return acc;
 }
 
 void axpy(double alpha, std::span<const double> x, std::span<double> y) {
-  assert(x.size() == y.size());
+  ISOP_ASSERT(x.size() == y.size(), "axpy: length mismatch");
   for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
 }
 
@@ -90,9 +90,9 @@ double norm2(std::span<const double> x) { return std::sqrt(dot(x, x)); }
 
 bool choleskySolve(const Matrix& a, std::span<const double> b,
                    std::span<double> x, double ridge) {
-  assert(a.rows() == a.cols());
+  ISOP_ASSERT(a.rows() == a.cols(), "choleskySolve: matrix must be square");
   const std::size_t n = a.rows();
-  assert(b.size() == n && x.size() == n);
+  ISOP_ASSERT(b.size() == n && x.size() == n, "choleskySolve: rhs/solution size mismatch");
   Matrix l(n, n, 0.0);
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = 0; j <= i; ++j) {

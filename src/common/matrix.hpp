@@ -6,11 +6,12 @@
 // matmul kernels below, which are blocked/unrolled enough for that scale.
 #pragma once
 
-#include <cassert>
 #include <cstddef>
 #include <initializer_list>
 #include <span>
 #include <vector>
+
+#include "common/check.hpp"
 
 namespace isop {
 
@@ -22,7 +23,7 @@ class Matrix {
       : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
   Matrix(std::size_t rows, std::size_t cols, std::vector<double> data)
       : rows_(rows), cols_(cols), data_(std::move(data)) {
-    assert(data_.size() == rows_ * cols_);
+    ISOP_ASSERT(data_.size() == rows_ * cols_, "storage size must be rows*cols");
   }
 
   std::size_t rows() const { return rows_; }
@@ -31,20 +32,20 @@ class Matrix {
   bool empty() const { return data_.empty(); }
 
   double& operator()(std::size_t r, std::size_t c) {
-    assert(r < rows_ && c < cols_);
+    ISOP_ASSERT(r < rows_ && c < cols_, "matrix element out of range");
     return data_[r * cols_ + c];
   }
   double operator()(std::size_t r, std::size_t c) const {
-    assert(r < rows_ && c < cols_);
+    ISOP_ASSERT(r < rows_ && c < cols_, "matrix element out of range");
     return data_[r * cols_ + c];
   }
 
   std::span<double> row(std::size_t r) {
-    assert(r < rows_);
+    ISOP_ASSERT(r < rows_, "matrix row out of range");
     return {data_.data() + r * cols_, cols_};
   }
   std::span<const double> row(std::size_t r) const {
-    assert(r < rows_);
+    ISOP_ASSERT(r < rows_, "matrix row out of range");
     return {data_.data() + r * cols_, cols_};
   }
 

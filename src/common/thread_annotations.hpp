@@ -1,0 +1,109 @@
+// Clang Thread Safety Analysis wiring (compile-time race rejection).
+//
+// Wraps Clang's capability attributes behind ISOP_* macros that expand to
+// nothing on other compilers, plus an AnnotatedMutex/MutexLock pair the
+// shared-state classes (MemoCache, ThreadPool, obs::Registry/Tracer/
+// ConvergenceRecorder, the logger) use instead of raw std::mutex /
+// std::lock_guard — Clang cannot see through the unannotated standard
+// library types, so the wrappers are what make `-Wthread-safety` able to
+// prove every access to an ISOP_GUARDED_BY member happens under its lock.
+//
+// Build with the `static-analysis` CMake preset (Clang + -Wthread-safety
+// -Werror, see docs/static_analysis.md) to turn violations into build
+// failures; scripts/check_static.sh runs it as part of the project gate.
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define ISOP_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef ISOP_THREAD_ANNOTATION
+#define ISOP_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+/// Marks a type as a lockable capability ("mutex").
+#define ISOP_CAPABILITY(x) ISOP_THREAD_ANNOTATION(capability(x))
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define ISOP_SCOPED_CAPABILITY ISOP_THREAD_ANNOTATION(scoped_lockable)
+/// Data member may only be read/written while holding the given mutex.
+#define ISOP_GUARDED_BY(x) ISOP_THREAD_ANNOTATION(guarded_by(x))
+/// Pointer member: the pointee is guarded by the given mutex.
+#define ISOP_PT_GUARDED_BY(x) ISOP_THREAD_ANNOTATION(pt_guarded_by(x))
+/// Function requires the listed capabilities to be held on entry.
+#define ISOP_REQUIRES(...) ISOP_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+/// Function acquires the listed capabilities (held on return).
+#define ISOP_ACQUIRE(...) ISOP_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+/// Function releases the listed capabilities.
+#define ISOP_RELEASE(...) ISOP_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+/// Function acquires the capability iff it returns `ret`.
+#define ISOP_TRY_ACQUIRE(ret, ...) \
+  ISOP_THREAD_ANNOTATION(try_acquire_capability(ret, __VA_ARGS__))
+/// Caller must NOT hold the listed capabilities (non-reentrancy guard).
+#define ISOP_EXCLUDES(...) ISOP_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+/// Function returns a reference to the given capability.
+#define ISOP_RETURN_CAPABILITY(x) ISOP_THREAD_ANNOTATION(lock_returned(x))
+/// Escape hatch: disables the analysis for one function. Every use must
+/// carry a written reason (see the suppression policy in
+/// docs/static_analysis.md).
+#define ISOP_NO_THREAD_SAFETY_ANALYSIS \
+  ISOP_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace isop {
+
+/// std::mutex annotated as a Clang capability. Same cost as std::mutex.
+class ISOP_CAPABILITY("mutex") AnnotatedMutex {
+ public:
+  AnnotatedMutex() = default;
+  AnnotatedMutex(const AnnotatedMutex&) = delete;
+  AnnotatedMutex& operator=(const AnnotatedMutex&) = delete;
+
+  void lock() ISOP_ACQUIRE() { mutex_.lock(); }
+  void unlock() ISOP_RELEASE() { mutex_.unlock(); }
+  bool try_lock() ISOP_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+ private:
+  std::mutex mutex_;
+};
+
+/// Scoped lock over AnnotatedMutex (the analysable std::lock_guard).
+class ISOP_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(AnnotatedMutex& mutex) ISOP_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() ISOP_RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  AnnotatedMutex& mutex_;
+};
+
+/// Scoped lock that std::condition_variable_any can wait on (it needs
+/// lock()/unlock() on the lock object itself). Owns the mutex between
+/// construction and destruction except while a wait has it released.
+class ISOP_SCOPED_CAPABILITY CvLock {
+ public:
+  explicit CvLock(AnnotatedMutex& mutex) ISOP_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~CvLock() ISOP_RELEASE() { mutex_.unlock(); }
+
+  CvLock(const CvLock&) = delete;
+  CvLock& operator=(const CvLock&) = delete;
+
+  // condition_variable_any calls these around the wait; the analysis treats
+  // the capability as continuously held across wait(), which matches the
+  // program logic (guarded state is only touched while the lock is held).
+  void lock() ISOP_ACQUIRE() { mutex_.lock(); }
+  void unlock() ISOP_RELEASE() { mutex_.unlock(); }
+
+ private:
+  AnnotatedMutex& mutex_;
+};
+
+}  // namespace isop

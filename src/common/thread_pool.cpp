@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
+#include <mutex>
 
 namespace isop {
 
@@ -16,7 +17,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -27,23 +28,23 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   std::packaged_task<void()> packaged(std::move(task));
   auto fut = packaged.get_future();
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     tasks_.push({std::move(packaged), std::chrono::steady_clock::now()});
     maxQueueDepth_ = std::max(maxQueueDepth_, tasks_.size());
+    ++submitted_;
   }
-  submitted_.fetch_add(1, std::memory_order_relaxed);
   cv_.notify_one();
   return fut;
 }
 
 ThreadPool::PoolStats ThreadPool::stats() const {
   PoolStats s;
-  s.submitted = submitted_.load(std::memory_order_relaxed);
   s.completed = completed_.load(std::memory_order_relaxed);
   s.waitSeconds = static_cast<double>(waitNanos_.load(std::memory_order_relaxed)) * 1e-9;
   s.runSeconds = static_cast<double>(runNanos_.load(std::memory_order_relaxed)) * 1e-9;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
+    s.submitted = submitted_;
     s.queueDepth = tasks_.size();
     s.maxQueueDepth = maxQueueDepth_;
   }
@@ -98,8 +99,8 @@ void ThreadPool::workerLoop() {
   for (;;) {
     Pending pending;
     {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      CvLock lock(mutex_);
+      while (!stop_ && tasks_.empty()) cv_.wait(lock);
       if (stop_ && tasks_.empty()) return;
       pending = std::move(tasks_.front());
       tasks_.pop();

@@ -1,6 +1,11 @@
 // Fixed-size worker pool used for parallel batch evaluation (the paper's
 // Harmonica stage evaluates q candidate configurations in parallel) and for
 // data-parallel ML training.
+//
+// Queue state (tasks, stop flag, depth high-water mark, submit counter) is
+// guarded by one AnnotatedMutex and compile-time checked under Clang
+// -Wthread-safety; completion-side counters are relaxed atomics updated by
+// workers outside the lock.
 #pragma once
 
 #include <atomic>
@@ -10,10 +15,11 @@
 #include <cstdint>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.hpp"
 
 namespace isop {
 
@@ -41,16 +47,19 @@ class ThreadPool {
   std::size_t threadCount() const { return workers_.size(); }
 
   /// Enqueues a task; the future resolves when it completes.
-  std::future<void> submit(std::function<void()> task);
+  std::future<void> submit(std::function<void()> task) ISOP_EXCLUDES(mutex_);
 
   /// Runs fn(i) for i in [0, n), partitioned into contiguous chunks across
   /// the pool, and blocks until all complete. Exceptions from fn propagate
   /// (first one wins).
   void parallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
 
-  /// Consistent-enough snapshot of the load counters (each field is read
-  /// atomically; the set is not mutually synchronized).
-  PoolStats stats() const;
+  /// Snapshot of the load counters. The submit-side fields (submitted,
+  /// queueDepth, maxQueueDepth) are read under the queue lock; the
+  /// completion-side fields are relaxed atomics. A task is counted in
+  /// `submitted` before it can run, so `completed <= submitted` holds in
+  /// every snapshot (regression-tested in tests/common/test_thread_pool.cpp).
+  PoolStats stats() const ISOP_EXCLUDES(mutex_);
 
   /// Process-wide shared pool (lazily constructed).
   static ThreadPool& global();
@@ -61,16 +70,19 @@ class ThreadPool {
     std::chrono::steady_clock::time_point enqueued;
   };
 
-  void workerLoop();
+  void workerLoop() ISOP_EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
-  std::queue<Pending> tasks_;
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stop_ = false;
-  std::size_t maxQueueDepth_ = 0;  // guarded by mutex_
+  mutable AnnotatedMutex mutex_;
+  std::condition_variable_any cv_;
+  std::queue<Pending> tasks_ ISOP_GUARDED_BY(mutex_);
+  bool stop_ ISOP_GUARDED_BY(mutex_) = false;
+  std::size_t maxQueueDepth_ ISOP_GUARDED_BY(mutex_) = 0;
+  // Counted inside the enqueue critical section — never after the task is
+  // already visible to workers — so a stats() snapshot can never observe
+  // completed > submitted.
+  std::uint64_t submitted_ ISOP_GUARDED_BY(mutex_) = 0;
 
-  std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> completed_{0};
   std::atomic<std::uint64_t> waitNanos_{0};
   std::atomic<std::uint64_t> runNanos_{0};

@@ -50,7 +50,17 @@ EvalEngine::EvalEngine(const ml::Surrogate& model, EvalEngineConfig config)
       config_(config),
       predictCache_(config.maxCacheEntries),
       simCache_(config.maxCacheEntries) {
-  assert(model_->outputDim() == em::kNumMetrics);
+  ISOP_REQUIRE(model_->outputDim() == em::kNumMetrics,
+               "EvalEngine model must emit the (Z, L, NEXT) metric triple");
+}
+
+void EvalEngine::recordEvictions() const {
+  const std::size_t cur = cacheEvictions();
+  const std::size_t prev = reportedEvictions_.exchange(cur, std::memory_order_relaxed);
+  if (cur > prev) {
+    static obs::Counter& evictC = obs::registry().counter("eval.memo.evictions");
+    evictC.add(cur - prev);
+  }
 }
 
 EvalEngine::EvalEngine(const ml::Surrogate& model, const em::EmSimulator& simulator,
@@ -119,6 +129,9 @@ void EvalEngine::predictMetrics(std::span<const em::StackupParams> designs,
       pool().parallelFor(chunks, [&](std::size_t c) {
         const std::size_t begin = c * chunkRows;
         const std::size_t end = std::min(u, begin + chunkRows);
+        // Chunks must tile [0, u) disjointly — determinism depends on every
+        // output row being written by exactly one chunk.
+        ISOP_ASSERT(begin < end, "empty chunk dispatched");
         Matrix cx(end - begin, dim);
         for (std::size_t r = begin; r < end; ++r) {
           const auto src = designs[uniques[r]].asVector();
@@ -158,7 +171,10 @@ void EvalEngine::predictMetrics(std::span<const em::StackupParams> designs,
   // The model billed the u rows it actually ran; bill the served remainder
   // so "samples seen" matches the unbatched pipeline exactly.
   if (n > u) model_->billQueries(n - u);
-  if (obs::metricsEnabled()) recordPredictBatch(n, hits, dups, u);
+  if (obs::metricsEnabled()) {
+    recordPredictBatch(n, hits, dups, u);
+    recordEvictions();
+  }
 }
 
 em::PerformanceMetrics EvalEngine::predictOne(const em::StackupParams& x) const {
@@ -174,7 +190,10 @@ em::PerformanceMetrics EvalEngine::predictOne(const em::StackupParams& x) const 
   MemoCache::Value out{};
   model_->predict(x.asVector(), out);
   if (config_.memoize) predictCache_.insert(x.values, out);
-  if (obs::metricsEnabled()) recordPredictBatch(1, 0, 0, 1);
+  if (obs::metricsEnabled()) {
+    recordPredictBatch(1, 0, 0, 1);
+    recordEvictions();
+  }
   return em::PerformanceMetrics::fromArray(out);
 }
 
@@ -185,7 +204,7 @@ void EvalEngine::run(EvalBatch& batch) const {
 
 std::vector<em::PerformanceMetrics> EvalEngine::simulateBatch(
     std::span<const em::StackupParams> designs) const {
-  assert(simulator_ != nullptr && "EvalEngine: no simulator bound");
+  ISOP_REQUIRE(simulator_ != nullptr, "EvalEngine: no simulator bound");
   const std::size_t n = designs.size();
   std::vector<em::PerformanceMetrics> out(n);
   if (n == 0) return out;
@@ -220,7 +239,10 @@ std::vector<em::PerformanceMetrics> EvalEngine::simulateBatch(
   }
   // simulate() billed the u fresh designs; bill memo/dedup-served rows too.
   if (n > u) simulator_->billCalls(n - u);
-  if (obs::metricsEnabled()) recordSimBatch(n, hits, dups);
+  if (obs::metricsEnabled()) {
+    recordSimBatch(n, hits, dups);
+    recordEvictions();
+  }
   return out;
 }
 
@@ -236,6 +258,7 @@ EvalEngineStats EvalEngine::stats() const {
   s.simMemoHits = simMemoHits_.load(std::memory_order_relaxed);
   s.simDedupedRows = simDedupedRows_.load(std::memory_order_relaxed);
   s.simModelRows = simModelRows_.load(std::memory_order_relaxed);
+  s.evictions = cacheEvictions();
   return s;
 }
 

@@ -29,12 +29,12 @@
 #pragma once
 
 #include <atomic>
-#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "common/check.hpp"
 #include "common/matrix.hpp"
 #include "common/thread_pool.hpp"
 #include "core/eval/memo_cache.hpp"
@@ -65,6 +65,7 @@ struct EvalEngineStats {
   std::size_t simMemoHits = 0;
   std::size_t simDedupedRows = 0;
   std::size_t simModelRows = 0;
+  std::size_t evictions = 0;  ///< LRU evictions across both memo caches
 
   double hitRate() const {
     return rows == 0 ? 0.0 : static_cast<double>(memoHits) / static_cast<double>(rows);
@@ -91,7 +92,8 @@ class EvalBatch {
   std::span<const em::StackupParams> designs() const { return designs_; }
 
   const em::PerformanceMetrics& metrics(std::size_t slot) const {
-    assert(evaluated_ && slot < metrics_.size());
+    ISOP_REQUIRE(evaluated_, "EvalBatch::metrics before EvalEngine::run");
+    ISOP_REQUIRE(slot < metrics_.size(), "EvalBatch::metrics slot out of range");
     return metrics_[slot];
   }
 
@@ -142,11 +144,18 @@ class EvalEngine {
 
   EvalEngineStats stats() const;
   std::size_t cacheSize() const { return predictCache_.size(); }
+  std::size_t cacheEvictions() const {
+    return predictCache_.evictions() + simCache_.evictions();
+  }
 
  private:
   ThreadPool& pool() const {
     return config_.pool != nullptr ? *config_.pool : ThreadPool::global();
   }
+
+  /// Publishes the cumulative LRU eviction count to the obs counter
+  /// "eval.memo.evictions" (delta since the last publish; metrics-gated).
+  void recordEvictions() const;
 
   /// Splits designs into memo hits and unique pending rows, writes hits into
   /// `out` directly, returns first-occurrence indices of the unique rows and
@@ -173,6 +182,8 @@ class EvalEngine {
   mutable std::atomic<std::size_t> simMemoHits_{0};
   mutable std::atomic<std::size_t> simDedupedRows_{0};
   mutable std::atomic<std::size_t> simModelRows_{0};
+  /// Evictions already published to the obs counter (delta accounting).
+  mutable std::atomic<std::size_t> reportedEvictions_{0};
 };
 
 }  // namespace isop::core

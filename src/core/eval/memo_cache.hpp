@@ -6,11 +6,19 @@
 // sharded 16 ways on the key hash so Harmonica batches, the parallel
 // roll-out and SA chains can hit it concurrently without a global lock.
 //
-// The cache is bounded: once `maxEntries` distinct keys are stored, further
-// inserts are dropped (lookups still serve the resident set). Eviction is
-// deliberately not implemented — a run's working set is the set of designs
-// it evaluates, which is orders of magnitude below the bound; the cap only
-// guards pathological callers.
+// The cache is bounded with per-shard LRU eviction: each shard holds at most
+// ceil(maxEntries / kShards) entries and evicts its least-recently-used key
+// when a fresh insert would exceed that (lookups refresh recency). Eviction
+// never changes results — the cached quantity is the immutable model output,
+// so an evicted key is simply recomputed bitwise-identically on the next
+// miss; only the hit rate (and the paper-semantics billing split) moves.
+// This replaces the old `maxEntries` hard stop, so long-lived engines (memo
+// reuse across TrialRunner trials) keep serving the *recent* working set
+// instead of freezing the first N designs ever seen.
+//
+// Concurrency is compile-time checked: every map/list access is guarded by
+// the shard's AnnotatedMutex (Clang -Wthread-safety, see
+// docs/static_analysis.md).
 #pragma once
 
 #include <array>
@@ -18,9 +26,12 @@
 #include <bit>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
+#include <list>
 #include <unordered_map>
+#include <utility>
 
+#include "common/check.hpp"
+#include "common/thread_annotations.hpp"
 #include "em/stackup.hpp"
 
 namespace isop::core::eval {
@@ -30,38 +41,84 @@ class MemoCache {
   using Key = std::array<double, em::kNumParams>;
   using Value = std::array<double, em::kNumMetrics>;
 
-  explicit MemoCache(std::size_t maxEntries) : maxEntries_(maxEntries) {}
+  explicit MemoCache(std::size_t maxEntries)
+      : maxEntries_(maxEntries),
+        perShardCapacity_(maxEntries == 0 ? 0 : (maxEntries + kShards - 1) / kShards) {}
 
-  /// Copies the cached value into `out` and returns true on a hit.
+  /// Copies the cached value into `out` and returns true on a hit. A hit
+  /// refreshes the entry's LRU position.
   bool lookup(const Key& key, Value& out) const {
     const Shard& s = shardFor(key);
-    std::lock_guard lock(s.mutex);
+    MutexLock lock(s.mutex);
     const auto it = s.map.find(key);
     if (it == s.map.end()) return false;
-    out = it->second;
+    s.lru.splice(s.lru.begin(), s.lru, it->second);  // move to MRU
+    out = it->second->second;
     return true;
   }
 
-  /// Inserts (no-op if the key is present or the cache is at capacity).
+  /// Inserts, evicting the shard's LRU entry when the shard is full.
+  /// Re-inserting a resident key only refreshes its recency (values for a
+  /// given key are immutable model outputs, so there is nothing to update).
   void insert(const Key& key, const Value& value) {
+    if (perShardCapacity_ == 0) return;
     Shard& s = shardFor(key);
-    std::lock_guard lock(s.mutex);
-    if (size_.load(std::memory_order_relaxed) >= maxEntries_) return;
-    if (s.map.emplace(key, value).second) {
-      size_.fetch_add(1, std::memory_order_relaxed);
+    MutexLock lock(s.mutex);
+    const auto it = s.map.find(key);
+    if (it != s.map.end()) {
+      s.lru.splice(s.lru.begin(), s.lru, it->second);
+      return;
     }
+    if (s.map.size() >= perShardCapacity_) {
+      ISOP_ASSERT(!s.lru.empty(), "full shard must have an LRU victim");
+      s.map.erase(s.lru.back().first);
+      s.lru.pop_back();
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+    s.lru.emplace_front(key, value);
+    s.map.emplace(key, s.lru.begin());
   }
 
-  std::size_t size() const { return size_.load(std::memory_order_relaxed); }
+  /// Exact resident-entry count (sums the shards under their locks — unlike
+  /// the old detached atomic counter, this cannot drift from the maps when
+  /// clear() races concurrent inserts).
+  std::size_t size() const {
+    std::size_t total = 0;
+    for (const Shard& s : shards_) {
+      MutexLock lock(s.mutex);
+      total += s.map.size();
+    }
+    return total;
+  }
+
   std::size_t capacity() const { return maxEntries_; }
+
+  /// Entries evicted by LRU replacement since construction (monotone).
+  std::size_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
 
   void clear() {
     for (Shard& s : shards_) {
-      std::lock_guard lock(s.mutex);
+      MutexLock lock(s.mutex);
       s.map.clear();
+      s.lru.clear();
     }
-    size_.store(0, std::memory_order_relaxed);
   }
+
+#ifdef ISOP_TSA_NEGATIVE_SEAM
+  /// Deliberately racy: reads shard state without taking the shard lock.
+  /// Exists only for the negative stage of scripts/check_static.sh, which
+  /// compiles tests/static/tsa_negative.cpp with this seam enabled and
+  /// requires the build to FAIL — proving the -Wthread-safety gate actually
+  /// rejects unguarded access to MemoCache state. Never defined in real
+  /// builds.
+  std::size_t unguardedSize() const {
+    std::size_t total = 0;
+    for (const Shard& s : shards_) total += s.map.size();
+    return total;
+  }
+#endif
 
   /// splitmix64-style mix over the key's bit patterns; exposed so shard
   /// selection and the per-batch dedup map share one hash.
@@ -85,8 +142,13 @@ class MemoCache {
   static constexpr std::size_t kShards = 16;
 
   struct Shard {
-    mutable std::mutex mutex;
-    std::unordered_map<Key, Value, KeyHash> map;
+    mutable AnnotatedMutex mutex;
+    /// MRU at the front; map values point into this list. `mutable` because
+    /// lookup() is const to callers but refreshes recency.
+    mutable std::list<std::pair<Key, Value>> lru ISOP_GUARDED_BY(mutex);
+    mutable std::unordered_map<Key, std::list<std::pair<Key, Value>>::iterator,
+                               KeyHash>
+        map ISOP_GUARDED_BY(mutex);
   };
 
   const Shard& shardFor(const Key& key) const {
@@ -97,8 +159,9 @@ class MemoCache {
   }
 
   std::size_t maxEntries_;
+  std::size_t perShardCapacity_;
   std::array<Shard, kShards> shards_;
-  std::atomic<std::size_t> size_{0};
+  mutable std::atomic<std::size_t> evictions_{0};
 };
 
 }  // namespace isop::core::eval

@@ -15,6 +15,7 @@
 #include <span>
 #include <vector>
 
+#include "common/check.hpp"
 #include "common/rng.hpp"
 #include "em/stackup.hpp"
 
@@ -35,7 +36,10 @@ struct ParameterRange {
   /// Grid value for a case index (index 0 -> lo). Index may exceed
   /// caseCount()-1 when produced from a raw bit pattern; callers must check
   /// isValidIndex first.
-  double valueAt(std::size_t index) const { return lo + static_cast<double>(index) * step; }
+  double valueAt(std::size_t index) const {
+    ISOP_ASSERT(isValidIndex(index), "valueAt: grid index past the last case");
+    return lo + static_cast<double>(index) * step;
+  }
 
   bool isValidIndex(std::size_t index) const { return index < caseCount(); }
 

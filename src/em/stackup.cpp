@@ -1,8 +1,9 @@
 #include "em/stackup.hpp"
 
-#include <cassert>
 #include <sstream>
 #include <stdexcept>
+
+#include "common/check.hpp"
 
 namespace isop::em {
 
@@ -24,7 +25,8 @@ std::size_t paramIndex(std::string_view name) {
 }
 
 StackupParams StackupParams::fromVector(std::span<const double> v) {
-  assert(v.size() == kNumParams);
+  ISOP_REQUIRE(v.size() == kNumParams,
+               "StackupParams::fromVector: wrong design-vector length");
   StackupParams p;
   for (std::size_t i = 0; i < kNumParams; ++i) p.values[i] = v[i];
   return p;
@@ -40,7 +42,8 @@ std::string StackupParams::toString() const {
 }
 
 PerformanceMetrics PerformanceMetrics::fromArray(std::span<const double> v) {
-  assert(v.size() == kNumMetrics);
+  ISOP_REQUIRE(v.size() == kNumMetrics,
+               "PerformanceMetrics::fromArray: wrong metric count");
   return {v[0], v[1], v[2]};
 }
 

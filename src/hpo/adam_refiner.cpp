@@ -1,7 +1,8 @@
 #include "hpo/adam_refiner.hpp"
 
 #include <algorithm>
-#include <cassert>
+
+#include "common/check.hpp"
 
 #include "obs/obs.hpp"
 
@@ -57,7 +58,8 @@ RefineResult AdamRefiner::refine(const em::ParameterSpace& space,
       for (std::size_t j = 0; j < d; ++j) xs[i].values[j] = lo[j] + u[i * d + j] * span[j];
     }
     objective(xs, result.values, rawGrads);
-    assert(rawGrads.rows() == p && rawGrads.cols() == d);
+    ISOP_REQUIRE(rawGrads.rows() == p && rawGrads.cols() == d,
+                 "AdamRefiner: batch objective must fill one gradient row per seed");
     result.gradientEvaluations += p;
     // Chain rule du: dg/du_j = dg/dx_j * span_j.
     for (std::size_t i = 0; i < p; ++i) {

@@ -1,6 +1,6 @@
 #include "hpo/binary_codec.hpp"
 
-#include <cassert>
+#include "common/check.hpp"
 
 namespace isop::hpo {
 
@@ -52,7 +52,8 @@ BitVector BinaryCodec::encode(const em::StackupParams& p) const {
 }
 
 std::optional<em::StackupParams> BinaryCodec::decode(const BitVector& bits) const {
-  assert(bits.size() == totalBits_);
+  ISOP_REQUIRE(bits.size() == totalBits_,
+               "decode: bit vector length must equal the codec width");
   em::StackupParams p;
   for (std::size_t i = 0; i < space_.dim(); ++i) {
     const std::uint64_t idx = indexFromBits(bits, i);
@@ -64,7 +65,8 @@ std::optional<em::StackupParams> BinaryCodec::decode(const BitVector& bits) cons
 }
 
 em::StackupParams BinaryCodec::decodeClamped(const BitVector& bits) const {
-  assert(bits.size() == totalBits_);
+  ISOP_REQUIRE(bits.size() == totalBits_,
+               "decodeClamped: bit vector length must equal the codec width");
   em::StackupParams p;
   for (std::size_t i = 0; i < space_.dim(); ++i) {
     std::uint64_t idx = indexFromBits(bits, i);

@@ -1,7 +1,8 @@
 #include "hpo/lasso.hpp"
 
-#include <cassert>
 #include <cmath>
+
+#include "common/check.hpp"
 
 namespace isop::hpo {
 
@@ -15,7 +16,8 @@ double softThreshold(double v, double t) {
 
 LassoResult lassoFit(const Matrix& x, std::span<const double> y, const LassoConfig& config) {
   const std::size_t n = x.rows(), d = x.cols();
-  assert(y.size() == n && n > 0);
+  ISOP_REQUIRE(y.size() == n && n > 0,
+               "lassoFit: y must have one response per design row");
 
   // Column standardization (zero mean, unit scale) for a scale-free lambda.
   // Standardize around the mean actually subtracted: the coordinate-descent

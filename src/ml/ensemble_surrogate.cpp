@@ -1,6 +1,8 @@
 #include "ml/ensemble_surrogate.hpp"
 
 #include <cassert>
+
+#include "common/check.hpp"
 #include <cmath>
 #include <stdexcept>
 
@@ -37,6 +39,8 @@ void EnsembleSurrogate::predict(std::span<const double> x, std::span<double> out
 }
 
 void EnsembleSurrogate::predictBatch(const Matrix& x, Matrix& out) const {
+  ISOP_REQUIRE(x.cols() == inputDim(),
+               "predictBatch: batch width must match the model input dim");
   countQuery(x.rows());
   out.resize(x.rows(), outputDim());
   Matrix member;

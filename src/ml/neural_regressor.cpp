@@ -1,6 +1,8 @@
 #include "ml/neural_regressor.hpp"
 
 #include <cassert>
+
+#include "common/check.hpp"
 #include <fstream>
 #include <stdexcept>
 
@@ -48,7 +50,8 @@ void NeuralRegressor::predict(std::span<const double> x, std::span<double> out) 
 }
 
 void NeuralRegressor::predictBatch(const Matrix& x, Matrix& out) const {
-  assert(x.cols() == inputDim_);
+  ISOP_REQUIRE(x.cols() == inputDim_,
+               "predictBatch: batch width must match the model input dim");
   countQuery(x.rows());
   Matrix scaled = x;
   inScaler_.transformInPlace(scaled);

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "common/check.hpp"
+
 namespace isop::ml {
 
 MultiOutputSurrogate::MultiOutputSurrogate(const Dataset& train, const ModelFactory& factory)
@@ -31,7 +33,8 @@ void MultiOutputSurrogate::predict(std::span<const double> x, std::span<double> 
 }
 
 void MultiOutputSurrogate::predictBatch(const Matrix& x, Matrix& out) const {
-  assert(x.cols() == inputDim_);
+  ISOP_REQUIRE(x.cols() == inputDim_,
+               "predictBatch: batch width must match the model input dim");
   countQuery(x.rows());
   out.resize(x.rows(), models_.size());
   std::vector<double> column(x.rows());

@@ -1,5 +1,6 @@
 #include "ml/surrogate.hpp"
 
+#include "common/check.hpp"
 #include <stdexcept>
 
 namespace isop::ml {
@@ -12,6 +13,8 @@ void recordSurrogateQueries(std::size_t n) {
 }  // namespace detail
 
 void Surrogate::predictBatch(const Matrix& x, Matrix& out) const {
+  ISOP_REQUIRE(x.cols() == inputDim(),
+               "predictBatch: batch width must match the model input dim");
   out.resize(x.rows(), outputDim());
   for (std::size_t i = 0; i < x.rows(); ++i) {
     predict(x.row(i), out.row(i));

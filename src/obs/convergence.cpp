@@ -41,14 +41,14 @@ ConvergenceRecorder::~ConvergenceRecorder() { close(); }
 bool ConvergenceRecorder::openFile(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (!f) return false;
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   if (file_) std::fclose(file_);
   file_ = f;
   return true;
 }
 
 void ConvergenceRecorder::useMemory() {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   if (file_) {
     std::fclose(file_);
     file_ = nullptr;
@@ -58,7 +58,7 @@ void ConvergenceRecorder::useMemory() {
 void ConvergenceRecorder::record(const json::Value& record) {
   if (!enabled()) return;
   const std::string line = record.dump();
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   if (file_) {
     std::fwrite(line.data(), 1, line.size(), file_);
     std::fputc('\n', file_);
@@ -68,17 +68,17 @@ void ConvergenceRecorder::record(const json::Value& record) {
 }
 
 std::vector<std::string> ConvergenceRecorder::lines() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return memory_;
 }
 
 void ConvergenceRecorder::clear() {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   memory_.clear();
 }
 
 void ConvergenceRecorder::close() {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   if (file_) {
     std::fclose(file_);
     file_ = nullptr;

@@ -17,12 +17,12 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/json.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace isop::obs {
 
@@ -57,9 +57,9 @@ class ConvergenceRecorder {
 
  private:
   std::atomic<bool> enabled_{false};
-  mutable std::mutex mutex_;
-  std::FILE* file_ = nullptr;
-  std::vector<std::string> memory_;
+  mutable AnnotatedMutex mutex_;
+  std::FILE* file_ ISOP_GUARDED_BY(mutex_) = nullptr;
+  std::vector<std::string> memory_ ISOP_GUARDED_BY(mutex_);
 };
 
 // ---- Typed records ---------------------------------------------------------

@@ -104,7 +104,7 @@ void Histogram::reset() noexcept {
 }
 
 Registry::Instrument& Registry::get(std::string_view name, Kind kind) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = instruments_.find(name);
   if (it == instruments_.end()) {
     Instrument inst{kind, nullptr, nullptr, nullptr};
@@ -141,7 +141,7 @@ std::string Registry::labeled(std::string_view name, std::string_view key,
 
 MetricsSnapshot Registry::snapshot() const {
   MetricsSnapshot snap;
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   for (const auto& [name, inst] : instruments_) {
     switch (inst.kind) {
       case Kind::Counter:
@@ -168,7 +168,7 @@ json::Value Registry::toJson() const {
   json::Value counters = json::Value::object();
   json::Value gauges = json::Value::object();
   json::Value histograms = json::Value::object();
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   for (const auto& [name, inst] : instruments_) {
     switch (inst.kind) {
       case Kind::Counter:
@@ -205,7 +205,7 @@ json::Value Registry::toJson() const {
 std::string Registry::toCsv() const {
   const MetricsSnapshot snap = snapshot();
   std::string out = "name,kind,value\n";
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   for (const auto& [name, value] : snap) {
     // Derive the kind from the registered instrument (histogram rows carry
     // a .count/.p50/... suffix not present in the instrument map).
@@ -222,7 +222,7 @@ std::string Registry::toCsv() const {
 }
 
 void Registry::reset() {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   for (auto& [name, inst] : instruments_) {
     switch (inst.kind) {
       case Kind::Counter: inst.counter->reset(); break;

@@ -23,11 +23,11 @@
 #include <limits>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 
 #include "common/json.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace isop::obs {
 
@@ -145,10 +145,13 @@ class Registry {
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<Histogram> histogram;
   };
-  Instrument& get(std::string_view name, Kind kind);
+  Instrument& get(std::string_view name, Kind kind) ISOP_EXCLUDES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::map<std::string, Instrument, std::less<>> instruments_;
+  mutable AnnotatedMutex mutex_;
+  // The map is guarded; the pointed-to instruments are lock-free atomics and
+  // are deliberately updated outside the lock (never deleted, handles stable).
+  std::map<std::string, Instrument, std::less<>> instruments_
+      ISOP_GUARDED_BY(mutex_);
 };
 
 }  // namespace isop::obs

@@ -22,7 +22,7 @@ void Tracer::record(std::string name, std::chrono::steady_clock::time_point star
   event.durMicros =
       static_cast<std::uint64_t>(duration_cast<microseconds>(duration).count());
   event.tid = currentThreadId();
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   if (events_.size() >= maxEvents_) {
     ++dropped_;
     return;
@@ -31,17 +31,17 @@ void Tracer::record(std::string name, std::chrono::steady_clock::time_point star
 }
 
 std::vector<TraceEvent> Tracer::events() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return events_;
 }
 
 std::size_t Tracer::droppedEvents() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return dropped_;
 }
 
 void Tracer::clear() {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   events_.clear();
   dropped_ = 0;
 }
@@ -49,7 +49,7 @@ void Tracer::clear() {
 json::Value Tracer::toChromeJson() const {
   json::Value list = json::Value::array();
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     for (const TraceEvent& e : events_) {
       json::Value ev = json::Value::object();
       ev.set("name", json::Value::string(e.name));

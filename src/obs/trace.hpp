@@ -16,11 +16,11 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/json.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace isop::obs {
 
@@ -57,9 +57,9 @@ class Tracer {
   std::atomic<bool> enabled_{false};
   std::chrono::steady_clock::time_point epoch_;
   std::size_t maxEvents_;
-  mutable std::mutex mutex_;
-  std::vector<TraceEvent> events_;
-  std::size_t dropped_ = 0;
+  mutable AnnotatedMutex mutex_;
+  std::vector<TraceEvent> events_ ISOP_GUARDED_BY(mutex_);
+  std::size_t dropped_ ISOP_GUARDED_BY(mutex_) = 0;
 };
 
 /// Current thread's id folded to 32 bits (stable within a run).

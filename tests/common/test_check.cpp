@@ -1,0 +1,89 @@
+#include "common/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <span>
+
+#include "common/matrix.hpp"
+#include "core/eval/eval_engine.hpp"
+#include "em/parameter_space.hpp"
+#include "hpo/binary_codec.hpp"
+#include "ml/surrogate.hpp"
+
+namespace isop {
+namespace {
+
+TEST(Check, RequirePassesOnTrueCondition) {
+  ISOP_REQUIRE(1 + 1 == 2, "arithmetic still works");
+  SUCCEED();
+}
+
+TEST(CheckDeathTest, RequireAbortsWithContext) {
+  EXPECT_DEATH(ISOP_REQUIRE(false, "the message"),
+               "ISOP_REQUIRE failed: false \\(the message\\) at .*test_check\\.cpp");
+}
+
+TEST(CheckDeathTest, UnreachableAlwaysAborts) {
+  EXPECT_DEATH(ISOP_UNREACHABLE("impossible branch"),
+               "ISOP_UNREACHABLE failed:.*impossible branch");
+}
+
+// ISOP_ASSERT must cost literally nothing in release builds: under NDEBUG
+// (and without ISOP_FORCE_CHECKS) the macro expands to static_cast<void>(0)
+// and the condition expression is never evaluated. The side-effecting
+// condition below distinguishes "checked" from "compiled out".
+TEST(Check, AssertConditionIsNotEvaluatedWhenChecksDisabled) {
+  int evaluations = 0;
+  ISOP_ASSERT(++evaluations > 0, "probe");
+#if ISOP_CHECKS_ENABLED
+  EXPECT_EQ(evaluations, 1) << "checks enabled: condition must run";
+#else
+  EXPECT_EQ(evaluations, 0) << "release: condition must be compiled out";
+#endif
+}
+
+#if ISOP_CHECKS_ENABLED
+TEST(CheckDeathTest, AssertAbortsWhenChecksEnabled) {
+  EXPECT_DEATH(ISOP_ASSERT(false, "debug invariant"),
+               "ISOP_ASSERT failed:.*debug invariant");
+}
+#endif
+
+// --- Contract checks on real API boundaries (always-on ISOP_REQUIRE paths,
+// --- so these death tests hold in release tier-1 builds too).
+
+/// Minimal surrogate: identity-ish model with fixed dims, used to hit the
+/// base-class predictBatch shape contract.
+class TinySurrogate final : public ml::Surrogate {
+ public:
+  std::size_t inputDim() const override { return 2; }
+  std::size_t outputDim() const override { return 3; }
+  void predict(std::span<const double> x, std::span<double> out) const override {
+    for (std::size_t k = 0; k < out.size(); ++k) out[k] = x[0];
+  }
+};
+
+TEST(CheckDeathTest, PredictBatchRejectsMismatchedBatchWidth) {
+  TinySurrogate model;
+  Matrix x(4, 3);  // 3 columns, model expects inputDim() == 2
+  Matrix out;
+  EXPECT_DEATH(model.predictBatch(x, out),
+               "ISOP_REQUIRE failed:.*batch width must match the model input dim");
+}
+
+TEST(CheckDeathTest, DecodeRejectsWrongLengthBitVector) {
+  const hpo::BinaryCodec codec(em::spaceS1());
+  const hpo::BitVector tooShort(codec.totalBits() - 1, 0);
+  EXPECT_DEATH(static_cast<void>(codec.decode(tooShort)), "ISOP_REQUIRE failed:");
+  EXPECT_DEATH(static_cast<void>(codec.decodeClamped(tooShort)), "ISOP_REQUIRE failed:");
+}
+
+TEST(CheckDeathTest, EvalBatchMetricsBeforeRunAborts) {
+  core::EvalBatch batch;
+  const std::size_t slot = batch.add(em::spaceS1().snap(em::StackupParams{}));
+  EXPECT_DEATH(static_cast<void>(batch.metrics(slot)),
+               "ISOP_REQUIRE failed:.*EvalBatch::metrics before EvalEngine::run");
+}
+
+}  // namespace
+}  // namespace isop

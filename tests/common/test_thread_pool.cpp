@@ -63,5 +63,49 @@ TEST(ThreadPool, ManyTasksComplete) {
   EXPECT_EQ(done, 200);
 }
 
+TEST(ThreadPool, StatsCountSubmittedAndCompleted) {
+  ThreadPool pool(2);
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 50; ++i) futs.push_back(pool.submit([] {}));
+  for (auto& f : futs) f.get();
+  const ThreadPool::PoolStats s = pool.stats();
+  EXPECT_EQ(s.submitted, 50u);
+  EXPECT_EQ(s.completed, 50u);
+  EXPECT_EQ(s.queueDepth, 0u);
+  EXPECT_GE(s.maxQueueDepth, 1u);
+}
+
+// Regression test for a snapshot-ordering race: submit() used to increment
+// the `submitted` counter after releasing the queue lock, so a concurrent
+// stats() call could observe a task as completed before it was counted as
+// submitted (completed > submitted). The counter now lives inside the
+// enqueue critical section; every snapshot must satisfy the invariant.
+TEST(ThreadPool, StatsSnapshotNeverShowsCompletedAboveSubmitted) {
+  ThreadPool pool(4);
+  std::atomic<bool> stopSampling{false};
+  std::atomic<std::uint64_t> violations{0};
+  std::atomic<std::uint64_t> samples{0};
+  std::thread sampler([&] {
+    // do-while: on a loaded machine this thread may not be scheduled until
+    // after the submissions finish; it must still take at least one sample.
+    do {
+      const ThreadPool::PoolStats s = pool.stats();
+      if (s.completed > s.submitted) violations.fetch_add(1);
+      samples.fetch_add(1);
+    } while (!stopSampling.load(std::memory_order_relaxed));
+  });
+  std::vector<std::future<void>> futs;
+  futs.reserve(2000);
+  for (int i = 0; i < 2000; ++i) futs.push_back(pool.submit([] {}));
+  for (auto& f : futs) f.get();
+  stopSampling = true;
+  sampler.join();
+  EXPECT_EQ(violations.load(), 0u);
+  EXPECT_GT(samples.load(), 0u);
+  const ThreadPool::PoolStats final = pool.stats();
+  EXPECT_EQ(final.submitted, 2000u);
+  EXPECT_EQ(final.completed, 2000u);
+}
+
 }  // namespace
 }  // namespace isop

@@ -9,6 +9,7 @@
 
 #include "core/isop.hpp"
 #include "core/simulator_surrogate.hpp"
+#include "obs/obs.hpp"
 
 namespace isop::core {
 namespace {
@@ -186,6 +187,53 @@ TEST_F(EvalEngineTest, StatsRatiosAreConsistent) {
   EXPECT_EQ(s.modelRows, 1u);
   EXPECT_DOUBLE_EQ(s.hitRate(), 0.5);        // 2 memo hits / 4 rows
   EXPECT_DOUBLE_EQ(s.dedupRatio(), 0.75);    // (2 hits + 1 dup) / 4 rows
+}
+
+TEST_F(EvalEngineTest, TinyCacheEvictsLruAndKeepsResultsBitwiseIdentical) {
+  // 16 shards x 1 entry: heavy churn forces LRU replacement, but every
+  // metric must come back bitwise identical to the unbounded-cache engine —
+  // eviction only trades hit rate, never results.
+  EvalEngineConfig tinyCfg;
+  tinyCfg.maxCacheEntries = 16;
+  const EvalEngine tiny(oracle_, tinyCfg);
+  const EvalEngine unbounded(oracle_);
+
+  std::vector<em::StackupParams> designs;
+  for (int i = 0; i < 200; ++i) designs.push_back(designAt(i / 199.0));
+  std::vector<em::PerformanceMetrics> tinyOut, refOut;
+  for (int pass = 0; pass < 2; ++pass) {
+    tiny.predictMetrics(designs, tinyOut);
+    unbounded.predictMetrics(designs, refOut);
+  }
+  ASSERT_EQ(tinyOut.size(), refOut.size());
+  for (std::size_t i = 0; i < tinyOut.size(); ++i) {
+    EXPECT_EQ(tinyOut[i].asArray(), refOut[i].asArray()) << "design " << i;
+  }
+
+  const EvalEngineStats ts = tiny.stats();
+  EXPECT_GT(ts.evictions, 0u);
+  EXPECT_EQ(ts.evictions, tiny.cacheEvictions());
+  EXPECT_LE(tiny.cacheSize(), tinyCfg.maxCacheEntries);
+  EXPECT_EQ(unbounded.stats().evictions, 0u);
+  // Paper billing is hit/miss-agnostic: both engines bill every row.
+  EXPECT_EQ(ts.rows, unbounded.stats().rows);
+}
+
+TEST_F(EvalEngineTest, EvictionsPublishToObsCounterAsDeltas) {
+  obs::registry().reset();
+  obs::setMetricsEnabled(true);
+  EvalEngineConfig tinyCfg;
+  tinyCfg.maxCacheEntries = 16;
+  const EvalEngine engine(oracle_, tinyCfg);
+  std::vector<em::StackupParams> designs;
+  for (int i = 0; i < 100; ++i) designs.push_back(designAt(i / 99.0));
+  std::vector<em::PerformanceMetrics> out;
+  engine.predictMetrics(designs, out);
+  engine.predictMetrics(designs, out);
+  obs::setMetricsEnabled(false);
+  EXPECT_EQ(obs::registry().counter("eval.memo.evictions").value(),
+            engine.cacheEvictions());
+  EXPECT_GT(engine.cacheEvictions(), 0u);
 }
 
 // The headline determinism guarantee: a full ISOP+ trial (Harmonica +

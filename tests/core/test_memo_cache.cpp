@@ -1,0 +1,167 @@
+#include "core/eval/memo_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace isop::core::eval {
+namespace {
+
+using Key = MemoCache::Key;
+using Value = MemoCache::Value;
+
+// Shard fan-out of the cache (kShards in memo_cache.hpp). The LRU bound is
+// per shard, so recency tests need keys that collide on one shard.
+constexpr std::size_t kShardCount = 16;
+
+Key makeKey(double v) {
+  Key k{};
+  k[0] = v;
+  return k;
+}
+
+Value makeValue(double v) {
+  Value out{};
+  out[0] = v;
+  return out;
+}
+
+// First `n` keys (scanning k[0] = 0, 1, 2, ...) that hash into `shard`.
+std::vector<Key> keysInShard(std::size_t shard, std::size_t n) {
+  std::vector<Key> keys;
+  for (double v = 0.0; keys.size() < n; v += 1.0) {
+    Key k = makeKey(v);
+    if ((MemoCache::KeyHash{}(k) & (kShardCount - 1)) == shard) keys.push_back(k);
+  }
+  return keys;
+}
+
+TEST(MemoCache, MissThenInsertThenHit) {
+  MemoCache cache(64);
+  const Key k = makeKey(1.0);
+  Value out{};
+  EXPECT_FALSE(cache.lookup(k, out));
+  cache.insert(k, makeValue(7.0));
+  ASSERT_TRUE(cache.lookup(k, out));
+  EXPECT_EQ(out[0], 7.0);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.evictions(), 0u);
+}
+
+TEST(MemoCache, EvictsLeastRecentlyUsedWithinShard) {
+  // maxEntries = kShardCount gives every shard a capacity of exactly 1.
+  MemoCache cache(kShardCount);
+  const auto keys = keysInShard(3, 2);
+  cache.insert(keys[0], makeValue(1.0));
+  cache.insert(keys[1], makeValue(2.0));
+  Value out{};
+  EXPECT_FALSE(cache.lookup(keys[0], out)) << "oldest entry should be evicted";
+  ASSERT_TRUE(cache.lookup(keys[1], out));
+  EXPECT_EQ(out[0], 2.0);
+  EXPECT_EQ(cache.evictions(), 1u);
+}
+
+TEST(MemoCache, LookupRefreshesRecency) {
+  // Shard capacity 2: insert A, B; touch A; insert C -> B (now LRU) evicted.
+  MemoCache cache(2 * kShardCount);
+  const auto keys = keysInShard(5, 3);
+  cache.insert(keys[0], makeValue(1.0));
+  cache.insert(keys[1], makeValue(2.0));
+  Value out{};
+  ASSERT_TRUE(cache.lookup(keys[0], out));
+  cache.insert(keys[2], makeValue(3.0));
+  EXPECT_TRUE(cache.lookup(keys[0], out)) << "touched entry must survive";
+  EXPECT_FALSE(cache.lookup(keys[1], out)) << "untouched entry is the LRU victim";
+  EXPECT_TRUE(cache.lookup(keys[2], out));
+  EXPECT_EQ(cache.evictions(), 1u);
+}
+
+TEST(MemoCache, ReinsertingResidentKeyRefreshesInsteadOfEvicting) {
+  MemoCache cache(2 * kShardCount);
+  const auto keys = keysInShard(9, 3);
+  cache.insert(keys[0], makeValue(1.0));
+  cache.insert(keys[1], makeValue(2.0));
+  cache.insert(keys[0], makeValue(1.0));  // refresh, not a new entry
+  EXPECT_EQ(cache.evictions(), 0u);
+  cache.insert(keys[2], makeValue(3.0));
+  Value out{};
+  EXPECT_TRUE(cache.lookup(keys[0], out)) << "refreshed key must survive";
+  EXPECT_FALSE(cache.lookup(keys[1], out));
+  EXPECT_EQ(cache.evictions(), 1u);
+}
+
+TEST(MemoCache, CapacityBoundHoldsUnderChurn) {
+  constexpr std::size_t kMax = 64;
+  MemoCache cache(kMax);
+  constexpr std::size_t kInserts = 1000;
+  for (std::size_t i = 0; i < kInserts; ++i) {
+    cache.insert(makeKey(static_cast<double>(i)), makeValue(static_cast<double>(i)));
+  }
+  EXPECT_LE(cache.size(), kMax);
+  EXPECT_EQ(cache.size() + cache.evictions(), kInserts);
+}
+
+TEST(MemoCache, ZeroCapacityCachesNothing) {
+  MemoCache cache(0);
+  const Key k = makeKey(1.0);
+  cache.insert(k, makeValue(7.0));
+  Value out{};
+  EXPECT_FALSE(cache.lookup(k, out));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.evictions(), 0u);
+}
+
+TEST(MemoCache, ClearEmptiesAndAllowsReuse) {
+  MemoCache cache(64);
+  for (int i = 0; i < 10; ++i) {
+    cache.insert(makeKey(static_cast<double>(i)), makeValue(1.0));
+  }
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  cache.insert(makeKey(3.0), makeValue(9.0));
+  Value out{};
+  ASSERT_TRUE(cache.lookup(makeKey(3.0), out));
+  EXPECT_EQ(out[0], 9.0);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+// Regression test for the size-drift race: the old implementation kept a
+// detached atomic entry counter next to the sharded maps, and a clear()
+// racing concurrent inserts could leave the counter permanently out of sync
+// with the actual resident entries. size() now sums the shard maps under
+// their locks, so it can never disagree with what lookup() can see.
+TEST(MemoCache, SizeStaysConsistentWhenClearRacesInserts) {
+  constexpr std::size_t kMax = 256;
+  MemoCache cache(kMax);
+  std::atomic<bool> stop{false};
+  std::thread clearer([&] {
+    while (!stop.load(std::memory_order_relaxed)) cache.clear();
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&, t] {
+      for (int i = 0; i < 3000; ++i) {
+        cache.insert(makeKey(static_cast<double>(t * 3000 + i)), makeValue(1.0));
+        if (i % 64 == 0) EXPECT_LE(cache.size(), kMax);
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  stop = true;
+  clearer.join();
+
+  // Quiescent check: size() must equal the number of keys lookup() can hit.
+  std::size_t resident = 0;
+  Value out{};
+  for (int i = 0; i < 4 * 3000; ++i) {
+    if (cache.lookup(makeKey(static_cast<double>(i)), out)) ++resident;
+  }
+  EXPECT_EQ(cache.size(), resident);
+  EXPECT_LE(cache.size(), kMax);
+}
+
+}  // namespace
+}  // namespace isop::core::eval

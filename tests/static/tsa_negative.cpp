@@ -1,0 +1,74 @@
+// Negative compile test for the thread-safety gate. This file MUST NOT
+// compile under `clang++ -Wthread-safety -Werror=thread-safety-analysis`:
+// every function below contains an intentional locking bug that the
+// analysis is required to reject. scripts/check_static.sh builds this TU
+// (with -DISOP_TSA_NEGATIVE_SEAM for the MemoCache case) and fails the gate
+// if the compiler ACCEPTS it — a passing compile would mean the annotations
+// have silently stopped guarding anything.
+//
+// Not registered with CMake/CTest: it is compiled standalone by the gate
+// script only. See docs/static_analysis.md.
+
+#include "common/thread_annotations.hpp"
+#include "core/eval/memo_cache.hpp"
+
+namespace {
+
+// Bug 1: reading a guarded member without holding its mutex.
+struct Counter {
+  isop::AnnotatedMutex mutex;
+  long value ISOP_GUARDED_BY(mutex) = 0;
+};
+
+long readWithoutLock(Counter& c) {
+  return c.value;  // expected-error: reading variable requires holding mutex
+}
+
+// Bug 2: writing under the wrong lock.
+struct TwoLocks {
+  isop::AnnotatedMutex a;
+  isop::AnnotatedMutex b;
+  long guardedByA ISOP_GUARDED_BY(a) = 0;
+};
+
+void writeUnderWrongLock(TwoLocks& t) {
+  isop::MutexLock lock(t.b);
+  t.guardedByA = 1;  // expected-error: holds b, needs a
+}
+
+// Bug 3: calling a REQUIRES function without the capability.
+class Queue {
+ public:
+  void pushLocked() ISOP_REQUIRES(mutex_) { ++depth_; }
+  isop::AnnotatedMutex mutex_;
+
+ private:
+  long depth_ ISOP_GUARDED_BY(mutex_) = 0;
+};
+
+void callWithoutCapability(Queue& q) {
+  q.pushLocked();  // expected-error: requires holding mutex_
+}
+
+// Bug 4: the injected MemoCache seam — iterating the shard maps with no
+// shard lock held. This is the acceptance case: real MemoCache state,
+// real guard annotations, unguarded access, and the build must die.
+std::size_t memoCacheUnguarded(const isop::core::eval::MemoCache& cache) {
+#ifdef ISOP_TSA_NEGATIVE_SEAM
+  return cache.unguardedSize();  // the seam itself fails to compile
+#else
+  (void)cache;
+  return 0;
+#endif
+}
+
+}  // namespace
+
+int main() {
+  Counter c;
+  TwoLocks t;
+  Queue q;
+  isop::core::eval::MemoCache cache(16);
+  return static_cast<int>(readWithoutLock(c) + memoCacheUnguarded(cache)) +
+         (writeUnderWrongLock(t), callWithoutCapability(q), 0);
+}
