@@ -216,6 +216,54 @@ BENCHMARK(BM_CnnPredictPerRow)->Arg(1)->Arg(64)->Arg(256);
 void BM_CnnPredictBatched(benchmark::State& state) { batchedBench(state, trainedCnn()); }
 BENCHMARK(BM_CnnPredictBatched)->Arg(1)->Arg(64)->Arg(256);
 
+/// Baseline for the batched-gradient comparison: one inputGradient backprop
+/// per row, the pre-batching Adam local stage's cost shape.
+void perRowGradientBench(benchmark::State& state, const ml::Surrogate& model) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix x = sampleBatch(n, 14);
+  std::vector<double> grad(em::kNumParams);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i) model.inputGradient(x.row(i), 0, grad);
+    benchmark::DoNotOptimize(grad.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+/// One inputGradientBatch call over the same rows: a single forward pass plus
+/// row-blocked backward kernels (bitwise identical rows to the loop above).
+void batchedGradientBench(benchmark::State& state, const ml::Surrogate& model) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix x = sampleBatch(n, 14);
+  Matrix grads;
+  for (auto _ : state) {
+    model.inputGradientBatch(x, 0, grads);
+    benchmark::DoNotOptimize(grads.row(0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+void BM_MlpGradientPerRow(benchmark::State& state) {
+  perRowGradientBench(state, trainedMlp());
+}
+BENCHMARK(BM_MlpGradientPerRow)->Arg(1)->Arg(64)->Arg(256);
+
+void BM_MlpGradientBatched(benchmark::State& state) {
+  batchedGradientBench(state, trainedMlp());
+}
+BENCHMARK(BM_MlpGradientBatched)->Arg(1)->Arg(64)->Arg(256);
+
+void BM_CnnGradientPerRow(benchmark::State& state) {
+  perRowGradientBench(state, trainedCnn());
+}
+BENCHMARK(BM_CnnGradientPerRow)->Arg(1)->Arg(64)->Arg(256);
+
+void BM_CnnGradientBatched(benchmark::State& state) {
+  batchedGradientBench(state, trainedCnn());
+}
+BENCHMARK(BM_CnnGradientBatched)->Arg(1)->Arg(64)->Arg(256);
+
 /// Engine overhead + memo payoff: the same 256-row batch re-submitted every
 /// iteration. hit_rate converges to ~1 — the steady-state cost of a fully
 /// memoized batch (hash + scatter + billing) per design.

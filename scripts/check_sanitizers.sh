@@ -5,12 +5,16 @@
 # shared memo cache is hit from thread-pool workers during batched dispatch,
 # and the EM roll-out validation fans simulate() calls out across the pool —
 # tests/core/test_eval_engine.cpp and the ISOP thread-count trials exercise
-# both with 1, 4 and default-size pools.
+# both with 1, 4 and default-size pools. The lock-free gradient path has its
+# own stress suite under the "gradients" ctest label
+# (tests/ml/test_gradients.cpp; see docs/testing.md):
+#   CTEST_ARGS="-L gradients" scripts/check_sanitizers.sh tsan
 #
 # Usage:
 #   scripts/check_sanitizers.sh [asan-ubsan|tsan]...   (default: both)
 # Env:
-#   CTEST_ARGS  extra args for ctest (e.g. "-R EvalEngine" to narrow a run)
+#   CTEST_ARGS  extra args for ctest (e.g. "-R EvalEngine" or "-L gradients"
+#               to narrow a run)
 #   JOBS        build/test parallelism (default: nproc)
 set -euo pipefail
 

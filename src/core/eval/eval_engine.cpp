@@ -29,6 +29,20 @@ void recordPredictBatch(std::size_t rows, std::size_t hits, std::size_t dups,
   sizeH.record(static_cast<double>(rows));
 }
 
+void recordGradientBatch(std::size_t rows, std::size_t dups, std::size_t modelRows) {
+  auto& reg = obs::registry();
+  static obs::Counter& batches = reg.counter("eval.grad.batches");
+  static obs::Counter& rowsC = reg.counter("eval.grad.rows");
+  static obs::Counter& dedupC = reg.counter("eval.grad.dedup.rows");
+  static obs::Counter& modelRowsC = reg.counter("eval.grad.model.rows");
+  static obs::Histogram& sizeH = reg.histogram("eval.grad.batch.rows");
+  batches.add(1);
+  rowsC.add(rows);
+  dedupC.add(dups);
+  modelRowsC.add(modelRows);
+  sizeH.record(static_cast<double>(rows));
+}
+
 void recordSimBatch(std::size_t rows, std::size_t hits, std::size_t dups) {
   auto& reg = obs::registry();
   static obs::Counter& batches = reg.counter("eval.sim.batches");
@@ -197,6 +211,77 @@ em::PerformanceMetrics EvalEngine::predictOne(const em::StackupParams& x) const 
   return em::PerformanceMetrics::fromArray(out);
 }
 
+void EvalEngine::gradientBatch(std::span<const em::StackupParams> designs,
+                               std::size_t outputIndex, Matrix& grads) const {
+  ISOP_REQUIRE(model_->hasInputGradient(),
+               "EvalEngine::gradientBatch: model has no input gradients");
+  const std::size_t n = designs.size();
+  const std::size_t dim = model_->inputDim();
+  grads.resize(n, dim);
+  if (n == 0) return;
+  gradBatches_.fetch_add(1, std::memory_order_relaxed);
+  gradRows_.fetch_add(n, std::memory_order_relaxed);
+
+  // In-batch dedup only — no memo (see the header note), so every row maps
+  // to a unique-row slot.
+  std::vector<std::int32_t> slotOf(n, -1);
+  std::vector<std::size_t> uniques;
+  std::unordered_map<MemoCache::Key, std::int32_t, MemoCache::KeyHash> pending;
+  std::size_t dups = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto [it, inserted] = pending.try_emplace(
+        designs[i].values, static_cast<std::int32_t>(uniques.size()));
+    if (inserted) {
+      uniques.push_back(i);
+    } else {
+      ++dups;
+    }
+    slotOf[i] = it->second;
+  }
+  gradDedupedRows_.fetch_add(dups, std::memory_order_relaxed);
+
+  const std::size_t u = uniques.size();
+  gradModelRows_.fetch_add(u, std::memory_order_relaxed);
+  Matrix ugrad;
+  // Same row-count-only chunking as predictMetrics: chunk boundaries depend
+  // on u alone and each chunk writes a disjoint row range, so results are
+  // identical at any thread count.
+  const std::size_t chunkRows = std::max<std::size_t>(config_.chunkRows, 1);
+  const std::size_t chunks = (u + chunkRows - 1) / chunkRows;
+  if (config_.parallel && chunks > 1) {
+    ugrad.resize(u, dim);
+    pool().parallelFor(chunks, [&](std::size_t c) {
+      const std::size_t begin = c * chunkRows;
+      const std::size_t end = std::min(u, begin + chunkRows);
+      ISOP_ASSERT(begin < end, "empty chunk dispatched");
+      Matrix cx(end - begin, dim);
+      for (std::size_t r = begin; r < end; ++r) {
+        const auto src = designs[uniques[r]].asVector();
+        std::copy(src.begin(), src.end(), cx.row(r - begin).begin());
+      }
+      Matrix cgrad;
+      model_->inputGradientBatch(cx, outputIndex, cgrad);
+      for (std::size_t r = begin; r < end; ++r) {
+        const auto src = cgrad.row(r - begin);
+        std::copy(src.begin(), src.end(), ugrad.row(r).begin());
+      }
+    });
+  } else {
+    Matrix ux(u, dim);
+    for (std::size_t r = 0; r < u; ++r) {
+      const auto src = designs[uniques[r]].asVector();
+      std::copy(src.begin(), src.end(), ux.row(r).begin());
+    }
+    model_->inputGradientBatch(ux, outputIndex, ugrad);
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto src = ugrad.row(static_cast<std::size_t>(slotOf[i]));
+    std::copy(src.begin(), src.end(), grads.row(i).begin());
+  }
+  if (obs::metricsEnabled()) recordGradientBatch(n, dups, u);
+}
+
 void EvalEngine::run(EvalBatch& batch) const {
   predictMetrics(batch.designs_, batch.metrics_);
   batch.evaluated_ = true;
@@ -258,6 +343,10 @@ EvalEngineStats EvalEngine::stats() const {
   s.simMemoHits = simMemoHits_.load(std::memory_order_relaxed);
   s.simDedupedRows = simDedupedRows_.load(std::memory_order_relaxed);
   s.simModelRows = simModelRows_.load(std::memory_order_relaxed);
+  s.gradBatches = gradBatches_.load(std::memory_order_relaxed);
+  s.gradRows = gradRows_.load(std::memory_order_relaxed);
+  s.gradDedupedRows = gradDedupedRows_.load(std::memory_order_relaxed);
+  s.gradModelRows = gradModelRows_.load(std::memory_order_relaxed);
   s.evictions = cacheEvictions();
   return s;
 }

@@ -65,6 +65,10 @@ struct EvalEngineStats {
   std::size_t simMemoHits = 0;
   std::size_t simDedupedRows = 0;
   std::size_t simModelRows = 0;
+  std::size_t gradBatches = 0;      ///< gradientBatch calls
+  std::size_t gradRows = 0;         ///< gradient rows requested
+  std::size_t gradDedupedRows = 0;  ///< in-batch duplicate gradient rows
+  std::size_t gradModelRows = 0;    ///< gradient rows backpropagated
   std::size_t evictions = 0;  ///< LRU evictions across both memo caches
 
   double hitRate() const {
@@ -73,6 +77,29 @@ struct EvalEngineStats {
   double dedupRatio() const {
     return rows == 0 ? 0.0
                      : static_cast<double>(memoHits + dedupedRows) / static_cast<double>(rows);
+  }
+
+  /// Counter delta (this - earlier). Engines can outlive one optimizer run
+  /// (TrialRunner shares one across trials); subtracting a snapshot taken at
+  /// run start yields that run's own traffic.
+  EvalEngineStats operator-(const EvalEngineStats& earlier) const {
+    EvalEngineStats d = *this;
+    d.batches -= earlier.batches;
+    d.rows -= earlier.rows;
+    d.memoHits -= earlier.memoHits;
+    d.dedupedRows -= earlier.dedupedRows;
+    d.modelRows -= earlier.modelRows;
+    d.simBatches -= earlier.simBatches;
+    d.simRows -= earlier.simRows;
+    d.simMemoHits -= earlier.simMemoHits;
+    d.simDedupedRows -= earlier.simDedupedRows;
+    d.simModelRows -= earlier.simModelRows;
+    d.gradBatches -= earlier.gradBatches;
+    d.gradRows -= earlier.gradRows;
+    d.gradDedupedRows -= earlier.gradDedupedRows;
+    d.gradModelRows -= earlier.gradModelRows;
+    d.evictions -= earlier.evictions;
+    return d;
   }
 };
 
@@ -130,6 +157,17 @@ class EvalEngine {
   /// Single-design variant (memo-checked; the SA/TPE scalar path).
   em::PerformanceMetrics predictOne(const em::StackupParams& x) const;
 
+  /// Input gradients d(metric[outputIndex])/d(design[j]) for every design,
+  /// in submission order (grads is resized to designs.size() x inputDim).
+  /// Dedups duplicate designs within the batch and fans row chunks onto the
+  /// pool like predictMetrics, but never memoizes — the cached quantity of
+  /// the forward path is the model output, and the Adam stage moves to a new
+  /// point every step, so gradient rows have no reuse across batches.
+  /// Gradient rows are not billed as queries ("samples seen" counts forward
+  /// predictions only). Requires model().hasInputGradient().
+  void gradientBatch(std::span<const em::StackupParams> designs,
+                     std::size_t outputIndex, Matrix& grads) const;
+
   /// Evaluates all designs in `batch`; afterwards batch.metrics(slot) holds
   /// the prediction for the slot returned by add().
   void run(EvalBatch& batch) const;
@@ -182,6 +220,10 @@ class EvalEngine {
   mutable std::atomic<std::size_t> simMemoHits_{0};
   mutable std::atomic<std::size_t> simDedupedRows_{0};
   mutable std::atomic<std::size_t> simModelRows_{0};
+  mutable std::atomic<std::size_t> gradBatches_{0};
+  mutable std::atomic<std::size_t> gradRows_{0};
+  mutable std::atomic<std::size_t> gradDedupedRows_{0};
+  mutable std::atomic<std::size_t> gradModelRows_{0};
   /// Evictions already published to the obs counter (delta accounting).
   mutable std::atomic<std::size_t> reportedEvictions_{0};
 };

@@ -45,9 +45,14 @@ IsopResult IsopOptimizer::run() const {
   Objective objective(task_.spec, config_.objective);
   // One eval engine funnels every model/simulator query of the run: all
   // stages (and the repair objective below) share its memo cache and batch
-  // dispatch.
+  // dispatch. A caller-lent engine (setSharedEngine) survives past this run,
+  // so later runs against the same surrogate warm-start from its memo; stats
+  // are delta-accounted either way.
   const auto engine =
-      std::make_shared<EvalEngine>(*surrogate_, *simulator_, config_.evalEngine);
+      sharedEngine_ != nullptr
+          ? sharedEngine_
+          : std::make_shared<EvalEngine>(*surrogate_, *simulator_, config_.evalEngine);
+  const EvalEngineStats engineStatsBefore = engine->stats();
   SurrogateObjective searchObjective(objective, *surrogate_, config_.useSmoothObjective,
                                      engine);
   searchObjective.setUncertaintyPenalty(config_.uncertaintyPenalty);
@@ -381,7 +386,7 @@ IsopResult IsopOptimizer::run() const {
 
   result.surrogateQueries = surrogate_->queryCount();
   result.simulatorCalls = simulator_->callCount() - simCallsBefore;
-  result.evalStats = engine->stats();
+  result.evalStats = engine->stats() - engineStatsBefore;
   result.algoSeconds = timer.seconds();
   result.modeledSeconds =
       result.algoSeconds + (simulator_->modeledSeconds() - simSecondsBefore);

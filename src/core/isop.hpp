@@ -108,6 +108,16 @@ class IsopOptimizer {
 
   const IsopConfig& config() const { return config_; }
 
+  /// Lends the run an externally owned EvalEngine instead of constructing a
+  /// private one, so its memo cache persists across runs (TrialRunner shares
+  /// one engine over all trials for cross-trial warm-starts). The engine must
+  /// wrap the same surrogate; `config().evalEngine` is ignored when set.
+  /// IsopResult::evalStats then reports this run's delta, not the engine's
+  /// lifetime totals.
+  void setSharedEngine(std::shared_ptr<EvalEngine> engine) {
+    sharedEngine_ = std::move(engine);
+  }
+
   IsopResult run() const;
 
  private:
@@ -116,6 +126,7 @@ class IsopOptimizer {
   em::ParameterSpace space_;
   Task task_;
   IsopConfig config_;
+  std::shared_ptr<EvalEngine> sharedEngine_;
 };
 
 }  // namespace isop::core

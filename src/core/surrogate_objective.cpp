@@ -76,7 +76,26 @@ void SurrogateObjective::evaluateBatch(std::span<const em::StackupParams> xs,
     objective_->gBatch(metrics, xs, out);
   }
   if (ensemble_ && uncertaintyWeight_ > 0.0) {
-    for (std::size_t i = 0; i < xs.size(); ++i) out[i] += uncertaintyTerm(xs[i]);
+    // Batch-aware disagreement: one batched member sweep instead of a
+    // per-row predictWithSpread loop. Values match the scalar loop exactly
+    // (spreads are bitwise row-equal; the scale vector is row-invariant).
+    Matrix x(xs.size(), em::kNumParams);
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      const auto src = xs[i].asVector();
+      std::copy(src.begin(), src.end(), x.row(i).begin());
+    }
+    Matrix mean, spread;
+    ensemble_->predictWithSpreadBatch(x, mean, spread);
+    std::array<double, em::kNumMetrics> scale{};
+    scale.fill(1.0);
+    for (const auto& oc : objective_->spec().outputConstraints) {
+      scale[static_cast<std::size_t>(oc.metric)] = std::max(oc.tolerance, 1e-9);
+    }
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < em::kNumMetrics; ++k) acc += spread(i, k) / scale[k];
+      out[i] += uncertaintyWeight_ * acc;
+    }
   }
 }
 
@@ -116,14 +135,46 @@ void SurrogateObjective::evaluateWithGradientBatch(std::span<const em::StackupPa
                                                    std::span<double> values,
                                                    Matrix& grads) const {
   assert(values.size() == xs.size());
+  const std::size_t n = xs.size();
   std::vector<em::PerformanceMetrics> metrics;
   engine_->predictMetrics(xs, metrics);
-  grads.resize(xs.size(), em::kNumParams);
-  for (std::size_t i = 0; i < xs.size(); ++i) {
+
+  // Work out which metrics gSmoothWithGradient will ask for anywhere in the
+  // batch: FoM terms unconditionally, output constraint j only when its
+  // smoothed penalty has nonzero slope for at least one row (the same lazy
+  // condition the per-row callback protocol uses). One batched backward pass
+  // per needed metric then steps every candidate together — this is what
+  // turns the Adam local stage's p per-design backprops into ceil(p/chunk)
+  // row-blocked ones.
+  std::array<bool, em::kNumMetrics> needed{};
+  for (const auto& term : objective_->spec().fom) {
+    needed[static_cast<std::size_t>(term.metric)] = true;
+  }
+  const auto& ocs = objective_->spec().outputConstraints;
+  for (std::size_t j = 0; j < ocs.size(); ++j) {
+    const std::size_t k = static_cast<std::size_t>(ocs[j].metric);
+    if (needed[k]) continue;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (objective_->ocPenaltySmoothDerivative(j, metrics[i]) != 0.0) {
+        needed[k] = true;
+        break;
+      }
+    }
+  }
+  std::array<Matrix, em::kNumMetrics> metricGrads;
+  for (std::size_t k = 0; k < em::kNumMetrics; ++k) {
+    if (needed[k]) engine_->gradientBatch(xs, k, metricGrads[k]);
+  }
+
+  grads.resize(n, em::kNumParams);
+  for (std::size_t i = 0; i < n; ++i) {
     values[i] = objective_->gSmoothWithGradient(
         metrics[i], xs[i],
         [&](em::Metric metric, std::span<double> mg) {
-          model_->inputGradient(xs[i].asVector(), static_cast<std::size_t>(metric), mg);
+          // Served from the precomputed batch rows — bitwise what the
+          // per-design inputGradient call returned here before.
+          const auto row = metricGrads[static_cast<std::size_t>(metric)].row(i);
+          std::copy(row.begin(), row.end(), mg.begin());
         },
         grads.row(i));
   }

@@ -17,6 +17,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "core/eval/eval_engine.hpp"
 #include "core/objective.hpp"
 #include "hpo/binary_codec.hpp"
@@ -93,9 +94,12 @@ class SurrogateObjective {
   double uncertaintyWeight_ = 0.0;
   bool smooth_;
   bool recording_ = false;
+  // The recording buffer is the adapter's only mutable shared state: the
+  // gradient path itself is lock-free (per-call workspaces in the model's
+  // backward kernels).
   mutable std::mutex batchMutex_;
-  mutable std::vector<em::PerformanceMetrics> batchMetrics_;
-  mutable std::vector<em::StackupParams> batchDesigns_;
+  mutable std::vector<em::PerformanceMetrics> batchMetrics_ ISOP_GUARDED_BY(batchMutex_);
+  mutable std::vector<em::StackupParams> batchDesigns_ ISOP_GUARDED_BY(batchMutex_);
 };
 
 }  // namespace isop::core

@@ -64,11 +64,13 @@ TrialRunner::TrialRunner(const em::EmSimulator& simulator,
       space_(std::move(space)),
       task_(std::move(task)) {}
 
-TrialOutcome TrialRunner::runIsopTrial(const MethodSpec& method, std::uint64_t seed) const {
+TrialOutcome TrialRunner::runIsopTrial(const MethodSpec& method, std::uint64_t seed,
+                                       const std::shared_ptr<EvalEngine>& engine) const {
   IsopConfig cfg = method.isop;
   cfg.seed = seed;
   cfg.candNum = method.rolloutCandidates;
-  const IsopOptimizer optimizer(*simulator_, surrogate_, space_, task_, cfg);
+  IsopOptimizer optimizer(*simulator_, surrogate_, space_, task_, cfg);
+  optimizer.setSharedEngine(engine);
   const IsopResult result = optimizer.run();
 
   TrialOutcome outcome;
@@ -81,18 +83,20 @@ TrialOutcome TrialRunner::runIsopTrial(const MethodSpec& method, std::uint64_t s
   outcome.samplesSeen = result.surrogateQueries;
   outcome.emCalls = result.simulatorCalls;
   outcome.runtimeSeconds = result.modeledSeconds;
+  outcome.evalStats = result.evalStats;
   return outcome;
 }
 
-TrialOutcome TrialRunner::runBaselineTrial(const MethodSpec& method,
-                                           std::uint64_t seed) const {
+TrialOutcome TrialRunner::runBaselineTrial(const MethodSpec& method, std::uint64_t seed,
+                                           const std::shared_ptr<EvalEngine>& engine) const {
   Timer timer;
   surrogate_->resetQueryCount();
   const std::size_t simBefore = simulator_->callCount();
   const double simSecondsBefore = simulator_->modeledSeconds();
+  const EvalEngineStats engineStatsBefore = engine->stats();
 
   Objective objective(task_.spec);
-  const SurrogateObjective searchObjective(objective, *surrogate_, /*smooth=*/true);
+  const SurrogateObjective searchObjective(objective, *surrogate_, /*smooth=*/true, engine);
   TopKCollector collector(method.rolloutCandidates);
   auto tracked = [&](const em::StackupParams& p) {
     const double v = searchObjective.evaluate(p);
@@ -155,6 +159,7 @@ TrialOutcome TrialRunner::runBaselineTrial(const MethodSpec& method,
   }
   outcome.samplesSeen = surrogate_->queryCount();
   outcome.emCalls = simulator_->callCount() - simBefore;
+  outcome.evalStats = engine->stats() - engineStatsBefore;
   if (obs::metricsEnabled()) {
     obs::Registry& reg = obs::registry();
     reg.histogram("trial.search.seconds").record(searchSeconds);
@@ -175,6 +180,14 @@ TrialStats TrialRunner::run(const MethodSpec& method, std::size_t trials,
   stats.method = method.name;
   stats.trials = trials;
 
+  // One engine for all trials of this method: the memo cache (model outputs
+  // keyed on exact design vectors) carries across trials, so repeated designs
+  // — shared task targets pull every seed toward the same grid points — are
+  // served from cache in later trials. Per-trial deltas land in
+  // TrialOutcome::evalStats via the snapshots the trial helpers take.
+  const auto engine = std::make_shared<EvalEngine>(*surrogate_, *simulator_,
+                                                   method.isop.evalEngine);
+
   std::vector<double> dz, l, next, fom, runtime, samples, emCalls;
   const double zTarget = [&] {
     for (const auto& oc : task_.spec.outputConstraints) {
@@ -186,8 +199,8 @@ TrialStats TrialRunner::run(const MethodSpec& method, std::size_t trials,
   for (std::size_t t = 0; t < trials; ++t) {
     const std::uint64_t seed = baseSeed + t;
     TrialOutcome outcome = method.kind == MethodSpec::Kind::Isop
-                               ? runIsopTrial(method, seed)
-                               : runBaselineTrial(method, seed);
+                               ? runIsopTrial(method, seed, engine)
+                               : runBaselineTrial(method, seed, engine);
     if (outcome.success) ++stats.successes;
     dz.push_back(std::abs(outcome.metrics.z - zTarget));
     l.push_back(outcome.metrics.l);

@@ -37,6 +37,7 @@ struct TrialOutcome {
   std::size_t samplesSeen = 0;   ///< surrogate queries
   std::size_t emCalls = 0;       ///< accurate simulator calls this trial
   double runtimeSeconds = 0.0;   ///< algo wall time + modeled EM solver time
+  EvalEngineStats evalStats{};   ///< this trial's engine traffic (delta)
 };
 
 struct TrialStats {
@@ -71,12 +72,20 @@ class TrialRunner {
   const obs::ObsConfig& obsConfig() const { return obs_; }
 
   /// Runs `trials` repetitions of `method`; trial t uses seed baseSeed + t.
+  /// One EvalEngine (and thus one memo cache) is shared across all trials of
+  /// the method, so later trials warm-start from earlier trials' memoized
+  /// forward evaluations. Results are identical to per-trial engines: memo
+  /// hits return the exact cached model output and are still billed as
+  /// queries, so every trial's designs and "samples seen" are unchanged —
+  /// only TrialOutcome::evalStats.memoHits (and wall time) move.
   TrialStats run(const MethodSpec& method, std::size_t trials,
                  std::uint64_t baseSeed = 100) const;
 
  private:
-  TrialOutcome runIsopTrial(const MethodSpec& method, std::uint64_t seed) const;
-  TrialOutcome runBaselineTrial(const MethodSpec& method, std::uint64_t seed) const;
+  TrialOutcome runIsopTrial(const MethodSpec& method, std::uint64_t seed,
+                            const std::shared_ptr<EvalEngine>& engine) const;
+  TrialOutcome runBaselineTrial(const MethodSpec& method, std::uint64_t seed,
+                                const std::shared_ptr<EvalEngine>& engine) const;
 
   const em::EmSimulator* simulator_;
   std::shared_ptr<const ml::Surrogate> surrogate_;

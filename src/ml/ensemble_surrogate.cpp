@@ -74,6 +74,32 @@ void EnsembleSurrogate::predictWithSpread(std::span<const double> x,
   }
 }
 
+void EnsembleSurrogate::predictWithSpreadBatch(const Matrix& x, Matrix& mean,
+                                               Matrix& stddev) const {
+  ISOP_REQUIRE(x.cols() == inputDim(),
+               "predictWithSpreadBatch: batch width must match the model input dim");
+  countQuery(x.rows());
+  const std::size_t n = x.rows();
+  mean.resize(n, outputDim());
+  stddev.resize(n, outputDim());
+  Matrix member;
+  for (const auto& m : members_) {
+    m->predictBatch(x, member);
+    for (std::size_t i = 0; i < member.size(); ++i) {
+      const double v = member.data()[i];
+      mean.data()[i] += v;
+      stddev.data()[i] += v * v;
+    }
+  }
+  const double inv = 1.0 / static_cast<double>(members_.size());
+  for (std::size_t i = 0; i < mean.size(); ++i) {
+    mean.data()[i] *= inv;
+    const double var =
+        std::max(stddev.data()[i] * inv - mean.data()[i] * mean.data()[i], 0.0);
+    stddev.data()[i] = std::sqrt(var);
+  }
+}
+
 bool EnsembleSurrogate::hasInputGradient() const {
   for (const auto& m : members_) {
     if (!m->hasInputGradient()) return false;
@@ -92,6 +118,19 @@ void EnsembleSurrogate::inputGradient(std::span<const double> x, std::size_t out
   }
   const double inv = 1.0 / static_cast<double>(members_.size());
   for (double& v : grad) v *= inv;
+}
+
+void EnsembleSurrogate::inputGradientBatch(const Matrix& x, std::size_t outputIndex,
+                                           Matrix& grads) const {
+  ISOP_REQUIRE(x.cols() == inputDim(),
+               "inputGradientBatch: batch width must match the model input dim");
+  grads.resize(x.rows(), inputDim());
+  Matrix member;
+  for (const auto& m : members_) {
+    m->inputGradientBatch(x, outputIndex, member);
+    grads.add(member);
+  }
+  grads.scale(1.0 / static_cast<double>(members_.size()));
 }
 
 std::shared_ptr<EnsembleSurrogate> trainMlpEnsemble(const Dataset& train,

@@ -41,11 +41,19 @@ class EnsembleSurrogate final : public Surrogate {
   void predictWithSpread(std::span<const double> x, std::span<double> mean,
                          std::span<double> stddev) const;
 
+  /// Batched predictWithSpread: one batched member pass instead of rows * K
+  /// scalar ones. mean/stddev are resized to (x.rows, outputDim()); row i is
+  /// bitwise equal to predictWithSpread(x.row(i)) (same member order, same
+  /// accumulate-then-finalize expressions). Bills x.rows() queries.
+  void predictWithSpreadBatch(const Matrix& x, Matrix& mean, Matrix& stddev) const;
+
   /// Mean of the members' input gradients (requires every member to
   /// support gradients).
   bool hasInputGradient() const override;
   void inputGradient(std::span<const double> x, std::size_t outputIndex,
                      std::span<double> grad) const override;
+  void inputGradientBatch(const Matrix& x, std::size_t outputIndex,
+                          Matrix& grads) const override;
 
  private:
   std::vector<std::shared_ptr<const Surrogate>> members_;

@@ -76,4 +76,32 @@ double PolynomialLinearRegressor::predictOne(std::span<const double> x) const {
   return linalg::dot(feat, weights_);
 }
 
+void PolynomialLinearRegressor::gradientOne(std::span<const double> x,
+                                            std::span<double> grad) const {
+  assert(x.size() == inputDim_ && grad.size() == inputDim_);
+  std::vector<double> scaled(inputDim_);
+  scaler_.transformRow(x, scaled);
+  // In scaled space s: f = w_0 + sum_i w_i s_i + sum_{i<=j} w_ij s_i s_j, so
+  // df/ds_k = w_k + 2 w_kk s_k + sum_{i != k} w_ik s_i; walk the weights in
+  // expandRow's feature order and scatter each term's contributions.
+  std::fill(grad.begin(), grad.end(), 0.0);
+  std::size_t k = 1;  // skip bias
+  for (std::size_t i = 0; i < inputDim_; ++i) grad[i] += weights_[k++];
+  if (config_.degree == 2) {
+    for (std::size_t i = 0; i < inputDim_; ++i) {
+      for (std::size_t j = i; j < inputDim_; ++j) {
+        const double w = weights_[k++];
+        if (i == j) {
+          grad[i] += 2.0 * w * scaled[i];
+        } else {
+          grad[i] += w * scaled[j];
+          grad[j] += w * scaled[i];
+        }
+      }
+    }
+  }
+  // Chain through standardization: ds_j/dx_j = 1/std_j.
+  for (std::size_t j = 0; j < inputDim_; ++j) grad[j] *= scaler_.inputScale(j);
+}
+
 }  // namespace isop::ml

@@ -22,6 +22,11 @@ class PolynomialLinearRegressor final : public SingleOutputModel {
   void fit(const Matrix& x, std::span<const double> y) override;
   double predictOne(std::span<const double> x) const override;
 
+  /// Analytic gradient of the degree-<=2 polynomial, chained through the
+  /// internal standardizer.
+  bool hasGradient() const override { return true; }
+  void gradientOne(std::span<const double> x, std::span<double> grad) const override;
+
   std::size_t expandedDim() const { return weights_.size(); }
 
  private:

@@ -66,32 +66,46 @@ void NeuralRegressor::predictBatch(const Matrix& x, Matrix& out) const {
 void NeuralRegressor::inputGradient(std::span<const double> x, std::size_t outputIndex,
                                     std::span<double> grad) const {
   assert(x.size() == inputDim_ && grad.size() == inputDim_);
+  Matrix in(1, inputDim_);
+  for (std::size_t j = 0; j < inputDim_; ++j) in(0, j) = x[j];
+  Matrix g;
+  inputGradientBatch(in, outputIndex, g);
+  for (std::size_t j = 0; j < grad.size(); ++j) grad[j] = g(0, j);
+}
+
+void NeuralRegressor::inputGradientBatch(const Matrix& x, std::size_t outputIndex,
+                                         Matrix& grads) const {
+  ISOP_REQUIRE(x.cols() == inputDim_,
+               "inputGradientBatch: batch width must match the model input dim");
   assert(outputIndex < outputDim_);
-  std::vector<double> scaled(inputDim_);
-  inScaler_.transformRow(x, scaled);
-  double transformChain = 1.0;
-  {
-    std::lock_guard lock(gradMutex_);
-    // inputGradient mutates cached activations; the network parameters are
-    // untouched, so this is safe to interleave with concurrent infer().
-    auto& net = const_cast<nn::Sequential&>(net_);
-    if (!transforms_.empty() &&
-        transforms_[outputIndex].kind != OutputTransform::Kind::Identity) {
-      // Need the network's transformed-space output for the chain factor.
-      Matrix in(1, inputDim_), pred;
-      for (std::size_t j = 0; j < inputDim_; ++j) in(0, j) = scaled[j];
-      net.infer(in, pred);
-      std::vector<double> transformed(outputDim_);
-      outScaler_.inverseTransformRow(pred.row(0), transformed);
-      transformChain = transforms_[outputIndex].inverseDerivative(transformed[outputIndex]);
+  const std::size_t n = x.rows();
+  Matrix scaled = x;
+  inScaler_.transformInPlace(scaled);
+  // Per-row chain factor d invTransform / d t, evaluated at the network's
+  // transformed-space output — needs one (batched) forward pass, but only
+  // when the output transform is non-trivial.
+  std::vector<double> transformChain(n, 1.0);
+  if (!transforms_.empty() &&
+      transforms_[outputIndex].kind != OutputTransform::Kind::Identity) {
+    Matrix pred;
+    net_.infer(scaled, pred);
+    std::vector<double> transformed(outputDim_);
+    for (std::size_t r = 0; r < n; ++r) {
+      outScaler_.inverseTransformRow(pred.row(r), transformed);
+      transformChain[r] =
+          transforms_[outputIndex].inverseDerivative(transformed[outputIndex]);
     }
-    net.inputGradient(scaled, outputIndex, grad);
   }
+  // Stateless backprop: no shared workspaces, so concurrent calls need no
+  // serialization (the old per-design path held a mutex here).
+  net_.inputGradientBatch(scaled, outputIndex, grads);
   // Chain rule: d raw_out / d raw_in =
   //   d invTransform/d t * std_out[k] * d net/d scaled_in * (1 / std_in[j]).
-  const double outScale = transformChain * outScaler_.outputScale(outputIndex);
-  for (std::size_t j = 0; j < grad.size(); ++j) {
-    grad[j] *= outScale * inScaler_.inputScale(j);
+  const double outStd = outScaler_.outputScale(outputIndex);
+  for (std::size_t r = 0; r < n; ++r) {
+    const double outScale = transformChain[r] * outStd;
+    auto g = grads.row(r);
+    for (std::size_t j = 0; j < g.size(); ++j) g[j] *= outScale * inScaler_.inputScale(j);
   }
 }
 

@@ -16,7 +16,6 @@
 
 #include <iosfwd>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -41,6 +40,8 @@ class NeuralRegressor : public Surrogate {
   bool hasInputGradient() const override { return true; }
   void inputGradient(std::span<const double> x, std::size_t outputIndex,
                      std::span<double> grad) const override;
+  void inputGradientBatch(const Matrix& x, std::size_t outputIndex,
+                          Matrix& grads) const override;
 
   /// Trains on the dataset (fits scalers + runs the MSE trainer).
   nn::TrainReport fit(const Dataset& train, const nn::TrainConfig& config);
@@ -70,7 +71,6 @@ class NeuralRegressor : public Surrogate {
   StandardScaler inScaler_;
   StandardScaler outScaler_;
   std::vector<OutputTransform> transforms_;  ///< empty = identity
-  mutable std::mutex gradMutex_;  // Sequential::inputGradient is stateful
 };
 
 struct MlpConfig {

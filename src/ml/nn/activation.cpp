@@ -28,6 +28,17 @@ void LeakyRelu::backward(const Matrix& gradOut, Matrix& gradIn) {
   }
 }
 
+void LeakyRelu::backwardInput(const Matrix& in, const Matrix& /*out*/,
+                              const Matrix& gradOut, Matrix& gradIn) const {
+  assert(gradOut.rows() == in.rows() && gradOut.cols() == dim_);
+  gradIn.resize(gradOut.rows(), gradOut.cols());
+  // Same expression as backward(), reading the caller-held input instead of
+  // the training-path cache.
+  for (std::size_t i = 0; i < gradOut.size(); ++i) {
+    gradIn.data()[i] = gradOut.data()[i] * (in.data()[i] >= 0.0 ? 1.0 : slope_);
+  }
+}
+
 void Tanh::infer(const Matrix& in, Matrix& out) const {
   assert(in.cols() == dim_);
   out.resize(in.rows(), in.cols());
@@ -44,6 +55,16 @@ void Tanh::backward(const Matrix& gradOut, Matrix& gradIn) {
   gradIn.resize(gradOut.rows(), gradOut.cols());
   for (std::size_t i = 0; i < gradOut.size(); ++i) {
     double y = cachedOut_.data()[i];
+    gradIn.data()[i] = gradOut.data()[i] * (1.0 - y * y);
+  }
+}
+
+void Tanh::backwardInput(const Matrix& /*in*/, const Matrix& out,
+                         const Matrix& gradOut, Matrix& gradIn) const {
+  assert(gradOut.rows() == out.rows() && gradOut.cols() == dim_);
+  gradIn.resize(gradOut.rows(), gradOut.cols());
+  for (std::size_t i = 0; i < gradOut.size(); ++i) {
+    double y = out.data()[i];
     gradIn.data()[i] = gradOut.data()[i] * (1.0 - y * y);
   }
 }

@@ -16,6 +16,8 @@ class LeakyRelu final : public Layer {
   void forward(const Matrix& in, Matrix& out, Rng& rng) override;
   void infer(const Matrix& in, Matrix& out) const override;
   void backward(const Matrix& gradOut, Matrix& gradIn) override;
+  void backwardInput(const Matrix& in, const Matrix& out, const Matrix& gradOut,
+                     Matrix& gradIn) const override;
 
  private:
   std::size_t dim_;
@@ -33,6 +35,8 @@ class Tanh final : public Layer {
   void forward(const Matrix& in, Matrix& out, Rng& rng) override;
   void infer(const Matrix& in, Matrix& out) const override;
   void backward(const Matrix& gradOut, Matrix& gradIn) override;
+  void backwardInput(const Matrix& in, const Matrix& out, const Matrix& gradOut,
+                     Matrix& gradIn) const override;
 
  private:
   std::size_t dim_;

@@ -94,4 +94,23 @@ void BatchNorm::backward(const Matrix& gradOut, Matrix& gradIn) {
   }
 }
 
+void BatchNorm::backwardInput(const Matrix& /*in*/, const Matrix& /*out*/,
+                              const Matrix& gradOut, Matrix& gradIn) const {
+  // Gradient of the *inference* transform the local stage actually
+  // differentiates: out = gamma * (in - runMean) * invStd(runVar) + beta,
+  // where the running statistics are frozen constants. So
+  // d out / d in = gamma * invStd, diagonal — unlike the training backward,
+  // which differentiates through the batch statistics (and on the 1-row
+  // batches the old per-design path used, collapsed to an exact zero).
+  const std::size_t n = gradOut.rows();
+  assert(gradOut.cols() == dim_);
+  gradIn.resize(n, dim_);
+  const double* gamma = params_.data();
+  const double* var = state_.data() + dim_;
+  for (std::size_t j = 0; j < dim_; ++j) {
+    const double scale = gamma[j] * (1.0 / std::sqrt(var[j] + epsilon_));
+    for (std::size_t r = 0; r < n; ++r) gradIn(r, j) = gradOut(r, j) * scale;
+  }
+}
+
 }  // namespace isop::ml::nn

@@ -23,6 +23,8 @@ class BatchNorm final : public Layer {
   void forward(const Matrix& in, Matrix& out, Rng& rng) override;
   void infer(const Matrix& in, Matrix& out) const override;
   void backward(const Matrix& gradOut, Matrix& gradIn) override;
+  void backwardInput(const Matrix& in, const Matrix& out, const Matrix& gradOut,
+                     Matrix& gradIn) const override;
 
   /// Learned affine parameters: [gamma (dim) | beta (dim)].
   std::span<double> params() override { return params_; }

@@ -11,6 +11,40 @@
 
 namespace isop::ml::nn {
 
+namespace {
+/// dL/dIn for one sample of Conv1d: giRow[t + off] += goRow[t] * w[j],
+/// accumulated in (oc, ic, j, t) order. Shared by the training backward()
+/// and the stateless backwardInput() so both produce bitwise-identical rows.
+/// Unlike the forward kernels there is no w == 0 skip: the training backward
+/// has always added zero-tap products in sequence, and the parity contract
+/// pins that behavior.
+inline void convGradInRow(const double* params, std::size_t inChannels,
+                          std::size_t outChannels, std::size_t length,
+                          std::size_t kernel, const double* go, double* gi) {
+  const std::size_t half = kernel / 2;
+  for (std::size_t oc = 0; oc < outChannels; ++oc) {
+    const double* goRow = go + oc * length;
+    for (std::size_t ic = 0; ic < inChannels; ++ic) {
+      double* giRow = gi + ic * length;
+      const double* w = params + (oc * inChannels + ic) * kernel;
+      for (std::size_t j = 0; j < kernel; ++j) {
+        const std::ptrdiff_t off = static_cast<std::ptrdiff_t>(j) -
+                                   static_cast<std::ptrdiff_t>(half);
+        const std::size_t tBegin = off < 0 ? static_cast<std::size_t>(-off) : 0;
+        const std::size_t tEnd =
+            off > 0 ? length - static_cast<std::size_t>(off) : length;
+        const double wv = w[j];
+        for (std::size_t t = tBegin; t < tEnd; ++t) {
+          const std::size_t src =
+              static_cast<std::size_t>(static_cast<std::ptrdiff_t>(t) + off);
+          giRow[src] += goRow[t] * wv;
+        }
+      }
+    }
+  }
+}
+}  // namespace
+
 Conv1d::Conv1d(std::size_t inChannels, std::size_t outChannels, std::size_t length,
                std::size_t kernel, Rng& rng)
     : inChannels_(inChannels),
@@ -151,8 +185,6 @@ void Conv1d::backward(const Matrix& gradOut, Matrix& gradIn) {
       for (std::size_t t = 0; t < length_; ++t) gBias[oc] += goRow[t];
       for (std::size_t ic = 0; ic < inChannels_; ++ic) {
         const double* xRow = x + ic * length_;
-        double* giRow = gi + ic * length_;
-        const double* w = params_.data() + (oc * inChannels_ + ic) * kernel_;
         double* gw = grads_.data() + (oc * inChannels_ + ic) * kernel_;
         for (std::size_t j = 0; j < kernel_; ++j) {
           const std::ptrdiff_t off = static_cast<std::ptrdiff_t>(j) -
@@ -161,17 +193,80 @@ void Conv1d::backward(const Matrix& gradOut, Matrix& gradIn) {
           const std::size_t tEnd =
               off > 0 ? length_ - static_cast<std::size_t>(off) : length_;
           double gwAcc = 0.0;
-          const double wv = w[j];
           for (std::size_t t = tBegin; t < tEnd; ++t) {
             const std::size_t src = static_cast<std::size_t>(
                 static_cast<std::ptrdiff_t>(t) + off);
             gwAcc += goRow[t] * xRow[src];
-            giRow[src] += goRow[t] * wv;
           }
           gw[j] += gwAcc;
         }
       }
     }
+    // Input gradient via the shared kernel (same accumulation order as the
+    // formerly interleaved loop — gwAcc and giRow never mixed accumulators).
+    convGradInRow(params_.data(), inChannels_, outChannels_, length_, kernel_, go, gi);
+  }
+}
+
+void Conv1d::backwardInput(const Matrix& /*in*/, const Matrix& /*out*/,
+                           const Matrix& gradOut, Matrix& gradIn) const {
+  const std::size_t n = gradOut.rows();
+  assert(gradOut.cols() == outputDim());
+  const std::size_t half = kernel_ / 2;
+  gradIn.resize(n, inputDim(), 0.0);
+
+  // Blocked rows mirror infer()'s transposed tap-streaming kernel, run in
+  // reverse: per (oc, ic, j) tap one streaming pass scatters
+  // gi[t + off] += go[t] * w[j] across all kRowBlock lanes. Each lane
+  // accumulates taps in convGradInRow's (oc, ic, j, t) order, so blocked rows
+  // are bitwise identical to the scalar path. No w == 0 skip, matching the
+  // scalar kernel.
+  constexpr std::size_t kRowBlock = kInferRowBlock;
+  auto rowBlock = [&](std::size_t blk) {
+    const std::size_t r0 = blk * kRowBlock;
+    std::vector<double> got(outputDim() * kRowBlock);
+    std::vector<double> git(inputDim() * kRowBlock, 0.0);
+    packRowBlock(gradOut.data(), r0, outputDim(), got.data());
+    for (std::size_t oc = 0; oc < outChannels_; ++oc) {
+      const double* goc = got.data() + oc * length_ * kRowBlock;
+      for (std::size_t ic = 0; ic < inChannels_; ++ic) {
+        double* gic = git.data() + ic * length_ * kRowBlock;
+        const double* w = params_.data() + (oc * inChannels_ + ic) * kernel_;
+        for (std::size_t j = 0; j < kernel_; ++j) {
+          const double wv = w[j];
+          const std::ptrdiff_t off = static_cast<std::ptrdiff_t>(j) -
+                                     static_cast<std::ptrdiff_t>(half);
+          const std::size_t tBegin = off < 0 ? static_cast<std::size_t>(-off) : 0;
+          const std::size_t tEnd =
+              off > 0 ? length_ - static_cast<std::size_t>(off) : length_;
+          const double* gs = goc + tBegin * kRowBlock;
+          double* gd =
+              gic + static_cast<std::size_t>(static_cast<std::ptrdiff_t>(tBegin) + off) *
+                        kRowBlock;
+          const std::size_t steps = (tEnd - tBegin) * kRowBlock;
+#if defined(ISOP_NN_SIMD_BLOCK)
+          const Vd wvv = vdSplat(wv);
+          Vd* gdv = reinterpret_cast<Vd*>(gd);
+          const Vd* gsv = reinterpret_cast<const Vd*>(gs);
+          for (std::size_t e = 0; e < steps / kVdLanes; ++e) gdv[e] += gsv[e] * wvv;
+#else
+          for (std::size_t e = 0; e < steps; ++e) gd[e] += gs[e] * wv;
+#endif
+        }
+      }
+    }
+    unpackRowBlock(git.data(), r0, inputDim(), gradIn.data());
+  };
+  const std::size_t blocks = n / kRowBlock;
+  const std::size_t flops = n * outChannels_ * inChannels_ * kernel_ * length_;
+  if (flops >= (std::size_t{1} << 24) && blocks > 1) {
+    ThreadPool::global().parallelFor(blocks, rowBlock);
+  } else {
+    for (std::size_t blk = 0; blk < blocks; ++blk) rowBlock(blk);
+  }
+  for (std::size_t r = blocks * kRowBlock; r < n; ++r) {
+    convGradInRow(params_.data(), inChannels_, outChannels_, length_, kernel_,
+                  gradOut.data() + r * outputDim(), gradIn.data() + r * inputDim());
   }
 }
 
@@ -226,6 +321,29 @@ void AvgPool1d::backward(const Matrix& gradOut, Matrix& gradIn) {
   }
 }
 
+void AvgPool1d::backwardInput(const Matrix& /*in*/, const Matrix& /*out*/,
+                              const Matrix& gradOut, Matrix& gradIn) const {
+  // Pooling has no trainable state: the input gradient is the training
+  // backward verbatim, already stateless.
+  const std::size_t n = gradOut.rows();
+  assert(gradOut.cols() == outputDim());
+  gradIn.resize(n, inputDim(), 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    const double* go = gradOut.data() + r * outputDim();
+    double* gi = gradIn.data() + r * inputDim();
+    for (std::size_t c = 0; c < channels_; ++c) {
+      const double* goRow = go + c * outLength_;
+      double* giRow = gi + c * length_;
+      for (std::size_t o = 0; o < outLength_; ++o) {
+        std::size_t begin = o * kernel_;
+        std::size_t end = std::min(begin + kernel_, length_);
+        double share = goRow[o] / static_cast<double>(end - begin);
+        for (std::size_t t = begin; t < end; ++t) giRow[t] += share;
+      }
+    }
+  }
+}
+
 void GlobalAvgPool1d::infer(const Matrix& in, Matrix& out) const {
   assert(in.cols() == inputDim());
   const std::size_t n = in.rows();
@@ -245,6 +363,22 @@ void GlobalAvgPool1d::infer(const Matrix& in, Matrix& out) const {
 void GlobalAvgPool1d::forward(const Matrix& in, Matrix& out, Rng&) { infer(in, out); }
 
 void GlobalAvgPool1d::backward(const Matrix& gradOut, Matrix& gradIn) {
+  const std::size_t n = gradOut.rows();
+  assert(gradOut.cols() == channels_);
+  gradIn.resize(n, inputDim());
+  const double inv = 1.0 / static_cast<double>(length_);
+  for (std::size_t r = 0; r < n; ++r) {
+    const double* go = gradOut.data() + r * channels_;
+    double* gi = gradIn.data() + r * inputDim();
+    for (std::size_t c = 0; c < channels_; ++c) {
+      for (std::size_t t = 0; t < length_; ++t) gi[c * length_ + t] = go[c] * inv;
+    }
+  }
+}
+
+void GlobalAvgPool1d::backwardInput(const Matrix& /*in*/, const Matrix& /*out*/,
+                                    const Matrix& gradOut, Matrix& gradIn) const {
+  // Stateless like AvgPool1d: same code as the training backward.
   const std::size_t n = gradOut.rows();
   assert(gradOut.cols() == channels_);
   gradIn.resize(n, inputDim());

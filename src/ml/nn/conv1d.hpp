@@ -28,6 +28,8 @@ class Conv1d final : public Layer {
   void forward(const Matrix& in, Matrix& out, Rng& rng) override;
   void infer(const Matrix& in, Matrix& out) const override;
   void backward(const Matrix& gradOut, Matrix& gradIn) override;
+  void backwardInput(const Matrix& in, const Matrix& out, const Matrix& gradOut,
+                     Matrix& gradIn) const override;
 
   std::span<double> params() override { return params_; }
   std::span<const double> params() const override { return params_; }
@@ -61,6 +63,8 @@ class AvgPool1d final : public Layer {
   void forward(const Matrix& in, Matrix& out, Rng& rng) override;
   void infer(const Matrix& in, Matrix& out) const override;
   void backward(const Matrix& gradOut, Matrix& gradIn) override;
+  void backwardInput(const Matrix& in, const Matrix& out, const Matrix& gradOut,
+                     Matrix& gradIn) const override;
 
  private:
   std::size_t channels_;
@@ -81,6 +85,8 @@ class GlobalAvgPool1d final : public Layer {
   void forward(const Matrix& in, Matrix& out, Rng& rng) override;
   void infer(const Matrix& in, Matrix& out) const override;
   void backward(const Matrix& gradOut, Matrix& gradIn) override;
+  void backwardInput(const Matrix& in, const Matrix& out, const Matrix& gradOut,
+                     Matrix& gradIn) const override;
 
  private:
   std::size_t channels_;

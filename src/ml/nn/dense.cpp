@@ -12,6 +12,20 @@ namespace {
 /// Work below this many multiply-adds is not worth fanning out to the pool:
 /// dispatch latency and gradIn cache-line sharing dominate small batches.
 constexpr std::size_t kParallelFlopThreshold = 1u << 24;
+
+/// dL/dIn for one sample: gi[i] += go[o] * w[o][i], accumulated in o order.
+/// Shared by the training backward() and the stateless backwardInput() —
+/// both paths must produce bitwise-identical rows, so they run this exact
+/// kernel (same contraction decisions, same zero-output skip).
+inline void denseGradInRow(const double* w, std::size_t inDim, std::size_t outDim,
+                           const double* go, double* gi) {
+  for (std::size_t o = 0; o < outDim; ++o) {
+    const double g = go[o];
+    if (g == 0.0) continue;
+    const double* wRow = w + o * inDim;
+    for (std::size_t i = 0; i < inDim; ++i) gi[i] += g * wRow[i];
+  }
+}
 }
 
 Dense::Dense(std::size_t inDim, std::size_t outDim, Rng& rng)
@@ -111,14 +125,8 @@ void Dense::backward(const Matrix& gradOut, Matrix& gradIn) {
 
   // Pass 1: gradIn rows are independent -> parallel over samples.
   auto gradInRow = [&](std::size_t r) {
-    const double* go = gradOut.data() + r * outDim_;
-    double* gi = gradIn.data() + r * inDim_;
-    for (std::size_t o = 0; o < outDim_; ++o) {
-      const double g = go[o];
-      if (g == 0.0) continue;
-      const double* wRow = w + o * inDim_;
-      for (std::size_t i = 0; i < inDim_; ++i) gi[i] += g * wRow[i];
-    }
+    denseGradInRow(w, inDim_, outDim_, gradOut.data() + r * outDim_,
+                   gradIn.data() + r * inDim_);
   };
   const bool parallel = n * outDim_ * inDim_ >= kParallelFlopThreshold;
   if (parallel) {
@@ -147,6 +155,64 @@ void Dense::backward(const Matrix& gradOut, Matrix& gradIn) {
     ThreadPool::global().parallelFor(outDim_, gradWRow);
   } else {
     for (std::size_t o = 0; o < outDim_; ++o) gradWRow(o);
+  }
+}
+
+void Dense::backwardInput(const Matrix& /*in*/, const Matrix& /*out*/,
+                          const Matrix& gradOut, Matrix& gradIn) const {
+  const std::size_t n = gradOut.rows();
+  assert(gradOut.cols() == outDim_);
+  gradIn.resize(n, inDim_, 0.0);
+  const double* w = params_.data();
+
+  // Blocked rows mirror infer()'s transposed-lane layout: gradOut is packed
+  // lane-=-row, one weight traversal feeds kRowBlock independent gi chains,
+  // and each lane accumulates g * wRow[i] in exactly the scalar o-then-i
+  // order, so blocked rows match denseGradInRow bitwise. An output column is
+  // skipped only when all kRowBlock lanes are zero — the common case here,
+  // because the one-hot top-layer seed hots the same column for every row;
+  // mixed-zero lanes fall through and add exact-zero products, which leaves
+  // each lane's accumulator bits unchanged.
+  constexpr std::size_t kRowBlock = kInferRowBlock;
+  auto rowBlock = [&](std::size_t blk) {
+    const std::size_t r0 = blk * kRowBlock;
+    std::vector<double> got(outDim_ * kRowBlock);
+    std::vector<double> git(inDim_ * kRowBlock, 0.0);
+    packRowBlock(gradOut.data(), r0, outDim_, got.data());
+    for (std::size_t o = 0; o < outDim_; ++o) {
+      const double* gl = got.data() + o * kRowBlock;
+      bool anyHot = false;
+      for (std::size_t rr = 0; rr < kRowBlock; ++rr) anyHot = anyHot || gl[rr] != 0.0;
+      if (!anyHot) continue;
+      const double* wRow = w + o * inDim_;
+#if defined(ISOP_NN_SIMD_BLOCK)
+      const Vd* gv = reinterpret_cast<const Vd*>(gl);
+      Vd* giv = reinterpret_cast<Vd*>(git.data());
+      for (std::size_t i = 0; i < inDim_; ++i) {
+        const Vd wvv = vdSplat(wRow[i]);
+        for (std::size_t v = 0; v < kVdPerBlock; ++v) {
+          giv[i * kVdPerBlock + v] += gv[v] * wvv;
+        }
+      }
+#else
+      for (std::size_t i = 0; i < inDim_; ++i) {
+        const double wv = wRow[i];
+        double* gc = git.data() + i * kRowBlock;
+        for (std::size_t rr = 0; rr < kRowBlock; ++rr) gc[rr] += gl[rr] * wv;
+      }
+#endif
+    }
+    unpackRowBlock(git.data(), r0, inDim_, gradIn.data());
+  };
+  const std::size_t blocks = n / kRowBlock;
+  if (n * outDim_ * inDim_ >= kParallelFlopThreshold && blocks > 1) {
+    ThreadPool::global().parallelFor(blocks, rowBlock);
+  } else {
+    for (std::size_t blk = 0; blk < blocks; ++blk) rowBlock(blk);
+  }
+  for (std::size_t r = blocks * kRowBlock; r < n; ++r) {
+    denseGradInRow(w, inDim_, outDim_, gradOut.data() + r * outDim_,
+                   gradIn.data() + r * inDim_);
   }
 }
 

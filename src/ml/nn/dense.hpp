@@ -18,6 +18,8 @@ class Dense final : public Layer {
   void forward(const Matrix& in, Matrix& out, Rng& rng) override;
   void infer(const Matrix& in, Matrix& out) const override;
   void backward(const Matrix& gradOut, Matrix& gradIn) override;
+  void backwardInput(const Matrix& in, const Matrix& out, const Matrix& gradOut,
+                     Matrix& gradIn) const override;
 
   std::span<double> params() override { return params_; }
   std::span<const double> params() const override { return params_; }

@@ -34,4 +34,12 @@ void Dropout::backward(const Matrix& gradOut, Matrix& gradIn) {
   }
 }
 
+void Dropout::backwardInput(const Matrix& /*in*/, const Matrix& /*out*/,
+                            const Matrix& gradOut, Matrix& gradIn) const {
+  // The inference path is the identity, so its input gradient is a copy —
+  // bitwise equal to the non-stochastic training backward (g * 1.0 == g).
+  assert(gradOut.cols() == dim_);
+  gradIn = gradOut;
+}
+
 }  // namespace isop::ml::nn

@@ -16,6 +16,8 @@ class Dropout final : public Layer {
   void forward(const Matrix& in, Matrix& out, Rng& rng) override;
   void infer(const Matrix& in, Matrix& out) const override;  // identity
   void backward(const Matrix& gradOut, Matrix& gradIn) override;
+  void backwardInput(const Matrix& in, const Matrix& out, const Matrix& gradOut,
+                     Matrix& gradIn) const override;  // identity, like infer()
 
   /// When disabled, the training-path forward is the identity (used by the
   /// deterministic input-gradient pass of the local optimization stage).

@@ -1,11 +1,16 @@
 // Neural-network layer interface.
 //
-// Two execution paths:
+// Three execution paths:
 //   * training: forward(in, out, rng) caches activations in the layer, and
 //     backward(gradOut, gradIn) accumulates parameter gradients — stateful,
 //     single-threaded per network instance;
 //   * inference: infer(in, out) const is stateless and thread-safe, used by
-//     the Surrogate::predict path that the parallel HPO samplers hit.
+//     the Surrogate::predict path that the parallel HPO samplers hit;
+//   * input gradients: backwardInput(in, out, gradOut, gradIn) const is the
+//     stateless backprop companion of infer() — the caller holds the
+//     activations, no parameter gradients accumulate, safe to run
+//     concurrently. Powers Sequential::inputGradientBatch and through it the
+//     batched Adam local stage.
 //
 // Parameters and their gradients are exposed as flat spans so the Adam
 // optimizer can treat the whole network as one parameter vector.
@@ -33,6 +38,19 @@ class Layer {
 
   /// Backprop through the cached forward; accumulates into grads().
   virtual void backward(const Matrix& gradOut, Matrix& gradIn) = 0;
+
+  /// Stateless input-gradient backprop for the inference path: `in` is the
+  /// batch infer() consumed and `out` what it produced; gradIn is resized to
+  /// in's shape and filled with dL/dIn from gradOut = dL/dOut. Touches no
+  /// layer state and no parameter gradients — thread-safe like infer().
+  ///
+  /// Contract for implementations: row r of gradIn must be bitwise identical
+  /// to the dL/dIn row the training-path backward() computes for the same
+  /// single row (same per-element accumulation order as the scalar kernels) —
+  /// the batched gradient engine swaps this path in for per-row
+  /// Sequential::inputGradient and relies on the swap being invisible.
+  virtual void backwardInput(const Matrix& in, const Matrix& out,
+                             const Matrix& gradOut, Matrix& gradIn) const = 0;
 
   /// Flat views of trainable parameters / their gradients (empty if none).
   virtual std::span<double> params() { return {}; }

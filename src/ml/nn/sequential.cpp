@@ -78,23 +78,42 @@ void Sequential::zeroGrads() {
   for (auto& l : layers_) l->zeroGrads();
 }
 
-void Sequential::inputGradient(std::span<const double> x, std::size_t outputIndex,
-                               std::span<double> grad) {
-  assert(x.size() == inputDim() && grad.size() == inputDim());
+void Sequential::inputGradientBatch(const Matrix& x, std::size_t outputIndex,
+                                    Matrix& grad) const {
+  assert(!layers_.empty());
+  assert(x.cols() == inputDim());
   assert(outputIndex < outputDim());
+  const std::size_t n = x.rows();
+  // Forward through the stateless infer() path, holding every activation in
+  // a per-call workspace — this is what lets concurrent input-gradient calls
+  // share one network with no mutex (training caches stay untouched).
+  std::vector<Matrix> acts(layers_.size());
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    const Matrix& src = (i == 0) ? x : acts[i - 1];
+    layers_[i]->infer(src, acts[i]);
+  }
+  // Seed dL/dOut one-hot (the same column for every row) and backprop down
+  // the stateless backwardInput chain.
+  Matrix gA(n, outputDim(), 0.0), gB;
+  for (std::size_t r = 0; r < n; ++r) gA(r, outputIndex) = 1.0;
+  const Matrix* cur = &gA;
+  for (std::size_t i = layers_.size(); i-- > 0;) {
+    const Matrix& layerIn = (i == 0) ? x : acts[i - 1];
+    Matrix& dst = (cur == &gA) ? gB : gA;
+    layers_[i]->backwardInput(layerIn, acts[i], *cur, dst);
+    cur = &dst;
+  }
+  grad = *cur;
+}
+
+void Sequential::inputGradient(std::span<const double> x, std::size_t outputIndex,
+                               std::span<double> grad) const {
+  assert(x.size() == inputDim() && grad.size() == inputDim());
   Matrix in(1, x.size());
   for (std::size_t j = 0; j < x.size(); ++j) in(0, j) = x[j];
-  Matrix out;
-  Rng dummy(0);
-  forwardTrain(in, out, dummy, /*stochastic=*/false);
-  // The input-gradient pass also accumulates parameter gradients as a side
-  // effect; clear them afterwards so a training step is not polluted.
-  Matrix gradOut(1, outputDim(), 0.0);
-  gradOut(0, outputIndex) = 1.0;
-  Matrix gradIn;
-  backward(gradOut, gradIn);
-  for (std::size_t j = 0; j < grad.size(); ++j) grad[j] = gradIn(0, j);
-  zeroGrads();
+  Matrix g;
+  inputGradientBatch(in, outputIndex, g);
+  for (std::size_t j = 0; j < grad.size(); ++j) grad[j] = g(0, j);
 }
 
 namespace {

@@ -39,10 +39,17 @@ class Sequential {
 
   void zeroGrads();
 
-  /// d(output[outputIndex])/d(input[j]) for a single input row. Runs a
-  /// deterministic cached forward; not thread-safe (callers serialize).
+  /// d(output[outputIndex])/d(input[j]) for every row of x: grad is resized
+  /// to x's shape. Runs infer() forward with caller-held activations, then
+  /// backprops through the stateless Layer::backwardInput chain — thread-safe
+  /// and bitwise identical per row to inputGradient().
+  void inputGradientBatch(const Matrix& x, std::size_t outputIndex,
+                          Matrix& grad) const;
+
+  /// d(output[outputIndex])/d(input[j]) for a single input row: the one-row
+  /// case of inputGradientBatch(). Thread-safe.
   void inputGradient(std::span<const double> x, std::size_t outputIndex,
-                     std::span<double> grad);
+                     std::span<double> grad) const;
 
   /// Visits every (params, grads) pair for the optimizer.
   template <typename Fn>

@@ -35,4 +35,24 @@ inline constexpr std::size_t kVdPerBlock = kInferRowBlock / kVdLanes;
 inline Vd vdSplat(double s) { return Vd{} + s; }
 #endif
 
+/// Packs kInferRowBlock consecutive rows of a row-major (rows x cols) buffer
+/// transposed into dst: dst[c * kInferRowBlock + rr] = src row (r0+rr), col c.
+/// The backward kernels use the same lane-=-row layout as the inference ones.
+inline void packRowBlock(const double* src, std::size_t r0, std::size_t cols,
+                         double* dst) {
+  for (std::size_t rr = 0; rr < kInferRowBlock; ++rr) {
+    const double* row = src + (r0 + rr) * cols;
+    for (std::size_t c = 0; c < cols; ++c) dst[c * kInferRowBlock + rr] = row[c];
+  }
+}
+
+/// Inverse of packRowBlock: scatters the transposed block back to row-major.
+inline void unpackRowBlock(const double* src, std::size_t r0, std::size_t cols,
+                           double* dst) {
+  for (std::size_t rr = 0; rr < kInferRowBlock; ++rr) {
+    double* row = dst + (r0 + rr) * cols;
+    for (std::size_t c = 0; c < cols; ++c) row[c] = src[c * kInferRowBlock + rr];
+  }
+}
+
 }  // namespace isop::ml::nn

@@ -1,10 +1,15 @@
 #include "ml/single_output.hpp"
 
 #include <cassert>
+#include <stdexcept>
 
 #include "common/check.hpp"
 
 namespace isop::ml {
+
+void SingleOutputModel::gradientOne(std::span<const double>, std::span<double>) const {
+  throw std::logic_error("SingleOutputModel: gradientOne not supported by this model");
+}
 
 MultiOutputSurrogate::MultiOutputSurrogate(const Dataset& train, const ModelFactory& factory)
     : inputDim_(train.inputDim()) {
@@ -41,6 +46,33 @@ void MultiOutputSurrogate::predictBatch(const Matrix& x, Matrix& out) const {
   for (std::size_t k = 0; k < models_.size(); ++k) {
     models_[k]->predictMany(x, column);
     for (std::size_t i = 0; i < x.rows(); ++i) out(i, k) = column[i];
+  }
+}
+
+bool MultiOutputSurrogate::hasInputGradient() const {
+  for (const auto& m : models_) {
+    if (!m->hasGradient()) return false;
+  }
+  return true;
+}
+
+void MultiOutputSurrogate::inputGradient(std::span<const double> x,
+                                         std::size_t outputIndex,
+                                         std::span<double> grad) const {
+  assert(x.size() == inputDim_ && grad.size() == inputDim_);
+  assert(outputIndex < models_.size());
+  models_[outputIndex]->gradientOne(x, grad);
+}
+
+void MultiOutputSurrogate::inputGradientBatch(const Matrix& x, std::size_t outputIndex,
+                                              Matrix& grads) const {
+  ISOP_REQUIRE(x.cols() == inputDim_,
+               "inputGradientBatch: batch width must match the model input dim");
+  assert(outputIndex < models_.size());
+  grads.resize(x.rows(), inputDim_);
+  const auto& model = *models_[outputIndex];
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    model.gradientOne(x.row(i), grads.row(i));
   }
 }
 

@@ -29,6 +29,14 @@ class SingleOutputModel {
   /// Default loops predictOne; tree ensembles override with a tree-outer
   /// sweep whose per-row accumulation order matches predictOne bitwise.
   virtual void predictMany(const Matrix& x, std::span<double> out) const;
+
+  /// True if gradientOne is implemented (differentiable models only — e.g.
+  /// the polynomial regressor; trees and boosting stay gradient-free).
+  virtual bool hasGradient() const { return false; }
+
+  /// grad[j] = d predictOne(x) / d x[j]. Throws std::logic_error by default;
+  /// only meaningful when hasGradient().
+  virtual void gradientOne(std::span<const double> x, std::span<double> grad) const;
 };
 
 /// Wraps a single-output model so it trains on (and predicts through) a
@@ -53,6 +61,16 @@ class TransformedTargetModel final : public SingleOutputModel {
   void predictMany(const Matrix& x, std::span<double> out) const override {
     inner_->predictMany(x, out);
     for (double& v : out) v = transform_.invert(v);
+  }
+
+  bool hasGradient() const override { return inner_->hasGradient(); }
+
+  /// Chain rule through the target transform: the inner model predicts in
+  /// transformed space t, so d out/d x = d invTransform/d t * d t/d x.
+  void gradientOne(std::span<const double> x, std::span<double> grad) const override {
+    inner_->gradientOne(x, grad);
+    const double chain = transform_.inverseDerivative(inner_->predictOne(x));
+    for (double& g : grad) g *= chain;
   }
 
  private:
@@ -81,6 +99,13 @@ class MultiOutputSurrogate final : public Surrogate {
   /// One predictMany sweep per stacked model (column), billed with a single
   /// countQuery(rows).
   void predictBatch(const Matrix& x, Matrix& out) const override;
+
+  /// Gradients are available when every stacked model exposes gradientOne.
+  bool hasInputGradient() const override;
+  void inputGradient(std::span<const double> x, std::size_t outputIndex,
+                     std::span<double> grad) const override;
+  void inputGradientBatch(const Matrix& x, std::size_t outputIndex,
+                          Matrix& grads) const override;
 
   SingleOutputModel& model(std::size_t output) { return *models_[output]; }
 

@@ -26,6 +26,16 @@ void Surrogate::inputGradient(std::span<const double>, std::size_t,
   throw std::logic_error("Surrogate: inputGradient not supported by this model");
 }
 
+void Surrogate::inputGradientBatch(const Matrix& x, std::size_t outputIndex,
+                                   Matrix& grads) const {
+  ISOP_REQUIRE(x.cols() == inputDim(),
+               "inputGradientBatch: batch width must match the model input dim");
+  grads.resize(x.rows(), inputDim());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    inputGradient(x.row(i), outputIndex, grads.row(i));
+  }
+}
+
 std::vector<double> Surrogate::predictVec(std::span<const double> x) const {
   std::vector<double> out(outputDim());
   predict(x, out);

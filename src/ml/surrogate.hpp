@@ -56,6 +56,18 @@ class Surrogate {
   virtual void inputGradient(std::span<const double> x, std::size_t outputIndex,
                              std::span<double> grad) const;
 
+  /// Batch input gradients: grads is resized to x's shape, row i holding
+  /// inputGradient(x.row(i), outputIndex). Default implementation loops; the
+  /// neural models override it with row-blocked backward kernels.
+  ///
+  /// Contract for overrides: same bitwise row-equality as predictBatch —
+  /// batched rows must match the per-row path exactly, so the batched Adam
+  /// local stage is trajectory-identical to per-design stepping. Gradient
+  /// rows are NOT billed as queries (only forward predictions are "samples
+  /// seen" in the paper's accounting).
+  virtual void inputGradientBatch(const Matrix& x, std::size_t outputIndex,
+                                  Matrix& grads) const;
+
   /// Convenience single-allocation predict.
   std::vector<double> predictVec(std::span<const double> x) const;
 

@@ -236,6 +236,79 @@ TEST_F(EvalEngineTest, EvictionsPublishToObsCounterAsDeltas) {
   EXPECT_GT(engine.cacheEvictions(), 0u);
 }
 
+TEST_F(EvalEngineTest, GradientBatchMatchesPerRowAndDedupsUnbilled) {
+  EvalEngine engine(oracle_);
+  // 4 unique designs, one duplicated twice.
+  std::vector<em::StackupParams> designs{designAt(0.2), designAt(0.5), designAt(0.2),
+                                         designAt(0.8), designAt(0.35)};
+  oracle_.resetQueryCount();
+  Matrix grads;
+  engine.gradientBatch(designs, /*outputIndex=*/1, grads);
+  // Gradient rows are not "samples seen" (only forward predictions bill).
+  EXPECT_EQ(oracle_.queryCount(), 0u);
+  ASSERT_EQ(grads.rows(), designs.size());
+  ASSERT_EQ(grads.cols(), em::kNumParams);
+  const EvalEngineStats s = engine.stats();
+  EXPECT_EQ(s.gradBatches, 1u);
+  EXPECT_EQ(s.gradRows, 5u);
+  EXPECT_EQ(s.gradDedupedRows, 1u);
+  EXPECT_EQ(s.gradModelRows, 4u);
+  // Forward counters untouched: gradients live in their own accounting.
+  EXPECT_EQ(s.rows, 0u);
+  // Every row equals the direct per-design call, duplicates included.
+  std::vector<double> want(em::kNumParams);
+  for (std::size_t i = 0; i < designs.size(); ++i) {
+    oracle_.inputGradient(designs[i].asVector(), 1, want);
+    for (std::size_t j = 0; j < em::kNumParams; ++j) {
+      EXPECT_EQ(grads(i, j), want[j]) << "row " << i << " input " << j;
+    }
+  }
+}
+
+TEST_F(EvalEngineTest, GradientBatchIsThreadCountIndependent) {
+  // Chunked backward dispatch depends only on the row count: a serial
+  // engine, a 1-thread pool and a 4-thread pool must agree bitwise.
+  std::vector<em::StackupParams> designs;
+  for (std::size_t i = 0; i < 150; ++i) {
+    designs.push_back(designAt(static_cast<double>(i % 53) / 52.0));
+  }
+  EvalEngineConfig serialCfg;
+  serialCfg.parallel = false;
+  EvalEngine serial(oracle_, serialCfg);
+  Matrix want;
+  serial.gradientBatch(designs, 0, want);
+
+  for (std::size_t threads : {1u, 4u}) {
+    ThreadPool pool(threads);
+    EvalEngineConfig cfg;
+    cfg.pool = &pool;
+    EvalEngine engine(oracle_, cfg);
+    Matrix got;
+    engine.gradientBatch(designs, 0, got);
+    ASSERT_EQ(got.rows(), want.rows());
+    for (std::size_t i = 0; i < designs.size(); ++i) {
+      for (std::size_t j = 0; j < em::kNumParams; ++j) {
+        EXPECT_EQ(got(i, j), want(i, j)) << "row " << i << " input " << j;
+      }
+    }
+  }
+}
+
+TEST_F(EvalEngineTest, GradientBatchPublishesObsCounters) {
+  obs::registry().reset();
+  obs::setMetricsEnabled(true);
+  EvalEngine engine(oracle_);
+  std::vector<em::StackupParams> designs{designAt(0.1), designAt(0.1), designAt(0.7)};
+  Matrix grads;
+  engine.gradientBatch(designs, 2, grads);
+  obs::setMetricsEnabled(false);
+  obs::Registry& reg = obs::registry();
+  EXPECT_EQ(reg.counter("eval.grad.batches").value(), 1u);
+  EXPECT_EQ(reg.counter("eval.grad.rows").value(), 3u);
+  EXPECT_EQ(reg.counter("eval.grad.dedup.rows").value(), 1u);
+  EXPECT_EQ(reg.counter("eval.grad.model.rows").value(), 2u);
+}
+
 // The headline determinism guarantee: a full ISOP+ trial (Harmonica +
 // Hyperband + Adam + EM-validated roll-out, all through one shared engine)
 // returns identical candidates regardless of the thread count.

@@ -119,6 +119,81 @@ TEST_F(TrialRunnerTest, DistinctSeedsGiveDistinctTrials) {
               stats.outcomes[1].params.values != stats.outcomes[2].params.values);
 }
 
+TEST_F(TrialRunnerTest, SharedEngineCrossTrialMemoKeepsResultsIdenticalToColdCache) {
+  // One EvalEngine spans all trials of a method, so later trials can be
+  // served from earlier trials' memoized forward evaluations. The memo must
+  // be invisible in every reported number except evalStats: each warm trial
+  // has to match a cold-cache run of the same seed exactly — memo hits
+  // return the identical cached model output and are still billed as
+  // queries (billQueries), so "samples seen" cannot move either.
+  const MethodSpec spec = isopSpec();
+  const TrialStats warm = runner_.run(spec, 3, 100);
+  ASSERT_EQ(warm.outcomes.size(), 3u);
+
+  std::size_t warmHits = 0, coldHits = 0;
+  for (std::size_t t = 0; t < 3; ++t) {
+    // A fresh runner gets a fresh engine: cold memo for this seed.
+    const TrialRunner cold(sim_, oracle_, em::spaceS1(), taskT1());
+    const TrialStats solo = cold.run(spec, 1, 100 + t);
+    const TrialOutcome& w = warm.outcomes[t];
+    const TrialOutcome& c = solo.outcomes[0];
+    EXPECT_EQ(w.params.values, c.params.values) << "trial " << t;
+    EXPECT_EQ(w.fom, c.fom) << "trial " << t;
+    EXPECT_EQ(w.g, c.g) << "trial " << t;
+    EXPECT_EQ(w.success, c.success) << "trial " << t;
+    EXPECT_EQ(w.samplesSeen, c.samplesSeen) << "trial " << t;
+    EXPECT_EQ(w.emCalls, c.emCalls) << "trial " << t;
+    // The per-trial stats delta sees the same traffic; warm-starting can
+    // only convert model rows into memo hits, never change the row count.
+    EXPECT_EQ(w.evalStats.rows, c.evalStats.rows) << "trial " << t;
+    EXPECT_GE(w.evalStats.memoHits, c.evalStats.memoHits) << "trial " << t;
+    EXPECT_LE(w.evalStats.modelRows, c.evalStats.modelRows) << "trial " << t;
+    EXPECT_EQ(w.evalStats.memoHits + w.evalStats.dedupedRows + w.evalStats.modelRows,
+              w.evalStats.rows)
+        << "trial " << t;
+    warmHits += w.evalStats.memoHits;
+    coldHits += c.evalStats.memoHits;
+  }
+  // The shared engine can only add hits on top of what isolated engines see
+  // (distinct seeds may or may not revisit earlier trials' designs — the
+  // guaranteed warm-start case is pinned by the repeat-seed test below).
+  EXPECT_GE(warmHits, coldHits);
+  for (std::size_t t = 1; t < 3; ++t) {
+    EXPECT_GT(warm.outcomes[t].evalStats.memoHits, 0u) << "trial " << t;
+  }
+}
+
+TEST_F(TrialRunnerTest, SharedEngineWarmStartServesRepeatRunEntirelyFromMemo) {
+  // The mechanism behind the cross-trial hoist, isolated: two identical runs
+  // against one lent engine. The second run's trajectory revisits exactly
+  // the first's designs, so every forward row is a memo hit, no model rows
+  // run — and every reported number still matches (hits are billed).
+  IsopConfig cfg = isopSpec().isop;
+  cfg.seed = 100;
+  const auto engine = std::make_shared<EvalEngine>(*oracle_, sim_, cfg.evalEngine);
+  IsopOptimizer optimizer(sim_, oracle_, em::spaceS1(), taskT1(), cfg);
+  optimizer.setSharedEngine(engine);
+  const IsopResult first = optimizer.run();
+  const IsopResult second = optimizer.run();
+
+  EXPECT_GT(first.evalStats.modelRows, 0u);
+  EXPECT_EQ(second.evalStats.modelRows, 0u);
+  EXPECT_EQ(second.evalStats.memoHits + second.evalStats.dedupedRows,
+            second.evalStats.rows);
+  EXPECT_EQ(second.evalStats.simModelRows, 0u);
+  // Stats are per-run deltas, not engine lifetime totals.
+  EXPECT_EQ(first.evalStats.rows, second.evalStats.rows);
+  // Billing is hit-agnostic, so the paper's columns cannot move.
+  EXPECT_EQ(first.surrogateQueries, second.surrogateQueries);
+  EXPECT_EQ(first.simulatorCalls, second.simulatorCalls);
+  ASSERT_EQ(first.candidates.size(), second.candidates.size());
+  for (std::size_t i = 0; i < first.candidates.size(); ++i) {
+    EXPECT_EQ(first.candidates[i].params.values, second.candidates[i].params.values);
+    EXPECT_EQ(first.candidates[i].g, second.candidates[i].g);
+    EXPECT_EQ(first.candidates[i].feasible, second.candidates[i].feasible);
+  }
+}
+
 TEST(FomImprovement, MatchesEquation12) {
   EXPECT_NEAR(fomImprovementPercent(0.446, 0.436), 100.0 * (0.446 - 0.436) / 0.446,
               1e-12);

@@ -1,0 +1,398 @@
+// Gradient test harness for the surrogate backward path.
+//
+// Two independent checks pin the analytic input gradients that drive the
+// Adam local stage:
+//
+//  * central finite differences on the public predict() path — catches wrong
+//    math (chain rule through scalers / output transforms, layer backward
+//    formulas) for every differentiable family across seeds, input dims and
+//    output indices;
+//  * golden bitwise equality of inputGradientBatch against per-row
+//    inputGradient at batch sizes straddling the SIMD row-block boundary
+//    (1, 7, 8, 9, 64) — the contract the batched Adam stage and
+//    EvalEngine::gradientBatch rely on to keep optimizer trajectories
+//    identical to per-design stepping.
+//
+// A TSan-targeted stress test also hammers one shared model from many
+// threads: inputGradient is lock-free (per-call activation workspaces, no
+// gradMutex_), so concurrent calls must be race-free and bitwise stable.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "ml/ensemble_surrogate.hpp"
+#include "ml/linear.hpp"
+#include "ml/neural_regressor.hpp"
+#include "ml/single_output.hpp"
+
+namespace isop::ml {
+namespace {
+
+/// Smooth synthetic target with `inDim` features and `outDim` outputs mixing
+/// products, exponentials and sines (positive and negative outputs, like the
+/// Z / L / NEXT metrics).
+Dataset makeDataset(std::size_t n, std::uint64_t seed, std::size_t inDim,
+                    std::size_t outDim) {
+  Rng rng(seed);
+  Dataset ds{Matrix(n, inDim), Matrix(n, outDim)};
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < inDim; ++j) ds.x(i, j) = rng.uniform(-1.0, 1.0);
+    for (std::size_t k = 0; k < outDim; ++k) {
+      const double a = ds.x(i, k % inDim);
+      const double b = ds.x(i, (k + 1) % inDim);
+      double y = 40.0 + 15.0 * a * b + 4.0 * std::sin(2.0 * b);
+      if (k % 2 == 1) y = -std::exp(0.4 * a) - 8.0 * b * b;
+      ds.y(i, k) = y;
+    }
+  }
+  return ds;
+}
+
+Matrix makeQueries(std::size_t n, std::size_t dim, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix x(n, dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < dim; ++j) x(i, j) = rng.uniform(-1.1, 1.1);
+  }
+  return x;
+}
+
+/// Symmetric relative error, guarded for near-zero pairs.
+double relativeError(double analytic, double numeric) {
+  const double scale =
+      std::max({std::abs(analytic), std::abs(numeric), 1e-8});
+  return std::abs(analytic - numeric) / scale;
+}
+
+/// Central finite difference of predict()[outputIndex] along every input.
+std::vector<double> fdGradient(const Surrogate& model, std::span<const double> x,
+                               std::size_t outputIndex, double h) {
+  std::vector<double> grad(x.size());
+  std::vector<double> probe(x.begin(), x.end());
+  std::vector<double> lo(model.outputDim()), hi(model.outputDim());
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    const double saved = probe[j];
+    probe[j] = saved + h;
+    model.predict(probe, hi);
+    probe[j] = saved - h;
+    model.predict(probe, lo);
+    probe[j] = saved;
+    grad[j] = (hi[outputIndex] - lo[outputIndex]) / (2.0 * h);
+  }
+  return grad;
+}
+
+/// Every row x output index of `queries`: inputGradient must agree with the
+/// central difference within `relTol` (or an absolute floor for components
+/// that are essentially zero).
+void expectGradientMatchesFd(const Surrogate& model, const Matrix& queries,
+                             double h, double relTol, double absTol = 1e-6) {
+  ASSERT_TRUE(model.hasInputGradient());
+  std::vector<double> grad(model.inputDim());
+  for (std::size_t i = 0; i < queries.rows(); ++i) {
+    for (std::size_t k = 0; k < model.outputDim(); ++k) {
+      model.inputGradient(queries.row(i), k, grad);
+      const auto fd = fdGradient(model, queries.row(i), k, h);
+      for (std::size_t j = 0; j < grad.size(); ++j) {
+        if (std::abs(grad[j] - fd[j]) < absTol) continue;
+        EXPECT_LT(relativeError(grad[j], fd[j]), relTol)
+            << "row " << i << " output " << k << " input " << j
+            << " analytic=" << grad[j] << " fd=" << fd[j];
+      }
+    }
+  }
+}
+
+/// Golden contract: inputGradientBatch over the first n rows must reproduce
+/// per-row inputGradient bitwise at sizes straddling the 8-row SIMD block,
+/// for every output index — and gradient rows must not be billed as queries.
+void expectBatchBitwiseEqualsScalar(const Surrogate& model, const Matrix& queries) {
+  ASSERT_GE(queries.rows(), 64u);
+  std::vector<double> row(model.inputDim());
+  for (std::size_t n : {1u, 7u, 8u, 9u, 64u}) {
+    Matrix x(n, model.inputDim());
+    for (std::size_t r = 0; r < n; ++r) {
+      const auto src = queries.row(r);
+      std::copy(src.begin(), src.end(), x.row(r).begin());
+    }
+    for (std::size_t k = 0; k < model.outputDim(); ++k) {
+      model.resetQueryCount();
+      Matrix batch;
+      model.inputGradientBatch(x, k, batch);
+      EXPECT_EQ(model.queryCount(), 0u) << "gradients are not samples seen";
+      ASSERT_EQ(batch.rows(), n);
+      ASSERT_EQ(batch.cols(), model.inputDim());
+      for (std::size_t r = 0; r < n; ++r) {
+        model.inputGradient(x.row(r), k, row);
+        EXPECT_EQ(std::memcmp(row.data(), batch.row(r).data(),
+                              row.size() * sizeof(double)),
+                  0)
+            << "batch " << n << " output " << k << " row " << r;
+      }
+    }
+  }
+}
+
+nn::TrainConfig quickTraining(std::size_t epochs = 8) {
+  nn::TrainConfig cfg;
+  cfg.epochs = epochs;
+  cfg.batchSize = 64;
+  cfg.learningRate = 3e-3;
+  return cfg;
+}
+
+/// Analytic toy surrogate with a known closed-form gradient and NO
+/// inputGradientBatch override, so the batch call runs the Surrogate base
+/// fallback loop. f_k(x) = sum_j (k + 1 + j) * x_j^2.
+class QuadraticSurrogate final : public Surrogate {
+ public:
+  QuadraticSurrogate(std::size_t inDim, std::size_t outDim)
+      : inDim_(inDim), outDim_(outDim) {}
+
+  std::size_t inputDim() const override { return inDim_; }
+  std::size_t outputDim() const override { return outDim_; }
+
+  void predict(std::span<const double> x, std::span<double> out) const override {
+    countQuery();
+    for (std::size_t k = 0; k < outDim_; ++k) {
+      double acc = 0.0;
+      for (std::size_t j = 0; j < inDim_; ++j) {
+        acc += static_cast<double>(k + 1 + j) * x[j] * x[j];
+      }
+      out[k] = acc;
+    }
+  }
+
+  bool hasInputGradient() const override { return true; }
+  void inputGradient(std::span<const double> x, std::size_t outputIndex,
+                     std::span<double> grad) const override {
+    for (std::size_t j = 0; j < inDim_; ++j) {
+      grad[j] = 2.0 * static_cast<double>(outputIndex + 1 + j) * x[j];
+    }
+  }
+
+ private:
+  std::size_t inDim_;
+  std::size_t outDim_;
+};
+
+// ---- Finite-difference checks -------------------------------------------
+
+TEST(GradientFiniteDifference, HarnessAgreesWithClosedFormQuadratic) {
+  // Sanity-check the harness itself: FD of a quadratic with h=1e-5 is exact
+  // to ~1e-10, so a tight tolerance must hold.
+  const QuadraticSurrogate model(5, 3);
+  expectGradientMatchesFd(model, makeQueries(12, 5, 31), 1e-5, 1e-6);
+}
+
+TEST(GradientFiniteDifference, MlpAcrossSeedsMatchesFd) {
+  for (std::uint64_t seed : {1u, 2u}) {
+    MlpConfig cfg;
+    cfg.hidden = {32, 32};
+    cfg.initSeed = 7 + seed;
+    MlpRegressor model(cfg);
+    model.fit(makeDataset(600, seed, 4, 2), quickTraining());
+    expectGradientMatchesFd(model, makeQueries(10, 4, 40 + seed), 1e-5, 5e-3);
+  }
+}
+
+TEST(GradientFiniteDifference, MlpWiderInputAndThreeOutputsMatchesFd) {
+  MlpConfig cfg;
+  cfg.hidden = {24, 24};
+  MlpRegressor model(cfg);
+  model.fit(makeDataset(700, 3, 6, 3), quickTraining());
+  expectGradientMatchesFd(model, makeQueries(8, 6, 43), 1e-5, 5e-3);
+}
+
+TEST(GradientFiniteDifference, MlpWithOutputTransformMatchesFd) {
+  // The log-magnitude transform on output 1 exercises the inverseDerivative
+  // chain in NeuralRegressor::inputGradientBatch.
+  MlpConfig cfg;
+  cfg.hidden = {32, 32};
+  MlpRegressor model(cfg);
+  model.setOutputTransforms(
+      {OutputTransform::identity(), OutputTransform::logMagnitude(-1.0)});
+  model.fit(makeDataset(600, 4, 4, 2), quickTraining());
+  expectGradientMatchesFd(model, makeQueries(10, 4, 44), 1e-5, 5e-3);
+}
+
+TEST(GradientFiniteDifference, CnnMatchesFd) {
+  Cnn1dConfig cfg;
+  cfg.expandChannels = 4;
+  cfg.expandLength = 8;
+  cfg.convChannels = 8;
+  cfg.headHidden = 16;
+  Cnn1dRegressor model(cfg);
+  model.fit(makeDataset(500, 5, 4, 2), quickTraining(6));
+  expectGradientMatchesFd(model, makeQueries(8, 4, 45), 1e-5, 5e-3);
+}
+
+TEST(GradientFiniteDifference, CnnWithBatchNormMatchesFd) {
+  // Inference-mode BatchNorm is an affine map through the running stats, so
+  // its analytic gradient (gamma / sqrt(runVar + eps) on the diagonal) must
+  // match finite differences of the inference path.
+  Cnn1dConfig cfg;
+  cfg.expandChannels = 4;
+  cfg.expandLength = 8;
+  cfg.convChannels = 8;
+  cfg.headHidden = 16;
+  cfg.batchNorm = true;
+  Cnn1dRegressor model(cfg);
+  model.fit(makeDataset(500, 6, 4, 2), quickTraining(6));
+  expectGradientMatchesFd(model, makeQueries(8, 4, 46), 1e-5, 5e-3);
+}
+
+TEST(GradientFiniteDifference, MlpEnsembleMatchesFd) {
+  EnsembleTrainConfig cfg;
+  cfg.members = 3;
+  cfg.architecture.hidden = {16, 16};
+  cfg.training = quickTraining(5);
+  auto ensemble = trainMlpEnsemble(makeDataset(500, 7, 4, 2), cfg);
+  expectGradientMatchesFd(*ensemble, makeQueries(8, 4, 47), 1e-5, 5e-3);
+}
+
+TEST(GradientFiniteDifference, PolynomialStackMatchesFd) {
+  // Degree-2 polynomial: analytic gradient, near-exact FD agreement. Output
+  // 1 is wrapped in a log-magnitude transform to cover the
+  // TransformedTargetModel chain rule.
+  const Dataset train = makeDataset(500, 8, 4, 2);
+  auto factory = [&](std::size_t output) -> std::unique_ptr<SingleOutputModel> {
+    PolynomialLinearConfig cfg;
+    cfg.degree = 2;
+    auto inner = std::make_unique<PolynomialLinearRegressor>(cfg);
+    if (output == 1) {
+      return std::make_unique<TransformedTargetModel>(
+          std::move(inner), OutputTransform::logMagnitude(-1.0));
+    }
+    return inner;
+  };
+  MultiOutputSurrogate model(train, factory);
+  expectGradientMatchesFd(model, makeQueries(10, 4, 48), 1e-5, 1e-4);
+}
+
+// ---- Golden bitwise batch == scalar --------------------------------------
+
+TEST(GradientBatchGolden, MlpBatchMatchesScalarBitwise) {
+  MlpConfig cfg;
+  cfg.hidden = {32, 32};
+  MlpRegressor model(cfg);
+  model.setOutputTransforms(
+      {OutputTransform::identity(), OutputTransform::logMagnitude(-1.0)});
+  model.fit(makeDataset(600, 11, 4, 2), quickTraining());
+  expectBatchBitwiseEqualsScalar(model, makeQueries(64, 4, 51));
+}
+
+TEST(GradientBatchGolden, CnnBatchMatchesScalarBitwise) {
+  Cnn1dConfig cfg;
+  cfg.expandChannels = 4;
+  cfg.expandLength = 8;
+  cfg.convChannels = 8;
+  cfg.headHidden = 16;
+  Cnn1dRegressor model(cfg);
+  model.fit(makeDataset(400, 12, 4, 2), quickTraining(6));
+  expectBatchBitwiseEqualsScalar(model, makeQueries(64, 4, 52));
+}
+
+TEST(GradientBatchGolden, CnnWithBatchNormBatchMatchesScalarBitwise) {
+  Cnn1dConfig cfg;
+  cfg.expandChannels = 4;
+  cfg.expandLength = 8;
+  cfg.convChannels = 8;
+  cfg.headHidden = 16;
+  cfg.batchNorm = true;
+  Cnn1dRegressor model(cfg);
+  model.fit(makeDataset(400, 13, 4, 2), quickTraining(6));
+  expectBatchBitwiseEqualsScalar(model, makeQueries(64, 4, 53));
+}
+
+TEST(GradientBatchGolden, MlpEnsembleBatchMatchesScalarBitwise) {
+  EnsembleTrainConfig cfg;
+  cfg.members = 3;
+  cfg.architecture.hidden = {16, 16};
+  cfg.training = quickTraining(5);
+  auto ensemble = trainMlpEnsemble(makeDataset(400, 14, 4, 2), cfg);
+  expectBatchBitwiseEqualsScalar(*ensemble, makeQueries(64, 4, 54));
+}
+
+TEST(GradientBatchGolden, BaseFallbackBatchMatchesScalarBitwise) {
+  // QuadraticSurrogate has no inputGradientBatch override: this pins the
+  // Surrogate base-class fallback loop (and its unbilled-rows contract).
+  const QuadraticSurrogate model(5, 3);
+  expectBatchBitwiseEqualsScalar(model, makeQueries(64, 5, 55));
+}
+
+TEST(GradientBatchGolden, PolynomialStackBatchMatchesScalarBitwise) {
+  const Dataset train = makeDataset(500, 15, 4, 2);
+  auto factory = [&](std::size_t output) -> std::unique_ptr<SingleOutputModel> {
+    PolynomialLinearConfig cfg;
+    cfg.degree = 2;
+    auto inner = std::make_unique<PolynomialLinearRegressor>(cfg);
+    if (output == 1) {
+      return std::make_unique<TransformedTargetModel>(
+          std::move(inner), OutputTransform::logMagnitude(-1.0));
+    }
+    return inner;
+  };
+  MultiOutputSurrogate model(train, factory);
+  expectBatchBitwiseEqualsScalar(model, makeQueries(64, 4, 56));
+}
+
+// ---- Thread-safety stress -------------------------------------------------
+
+TEST(GradientThreadSafety, ConcurrentGradientsAreRaceFreeAndBitwiseStable) {
+  // inputGradient / inputGradientBatch are lock-free const paths (per-call
+  // activation workspaces; no shared gradient scratch). Hammering one model
+  // from many threads must produce the serial reference bitwise and be clean
+  // under TSan (scripts/check_sanitizers.sh runs this under -L gradients).
+  MlpConfig cfg;
+  cfg.hidden = {32, 32};
+  MlpRegressor model(cfg);
+  model.fit(makeDataset(500, 21, 4, 2), quickTraining(5));
+
+  const Matrix queries = makeQueries(16, 4, 61);
+  std::vector<std::vector<double>> want(queries.rows(),
+                                        std::vector<double>(queries.cols()));
+  for (std::size_t r = 0; r < queries.rows(); ++r) {
+    model.inputGradient(queries.row(r), 0, want[r]);
+  }
+  Matrix wantBatch;
+  model.inputGradientBatch(queries, 1, wantBatch);
+
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kIters = 50;
+  std::vector<std::size_t> mismatches(kThreads, 0);
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      std::vector<double> grad(queries.cols());
+      Matrix batch;
+      for (std::size_t it = 0; it < kIters; ++it) {
+        const std::size_t r = (t * kIters + it) % queries.rows();
+        model.inputGradient(queries.row(r), 0, grad);
+        if (std::memcmp(grad.data(), want[r].data(),
+                        grad.size() * sizeof(double)) != 0) {
+          ++mismatches[t];
+        }
+        if (it % 8 == 0) {
+          model.inputGradientBatch(queries, 1, batch);
+          if (std::memcmp(batch.data(), wantBatch.data(),
+                          batch.rows() * batch.cols() * sizeof(double)) != 0) {
+            ++mismatches[t];
+          }
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(mismatches[t], 0u) << "thread " << t;
+  }
+}
+
+}  // namespace
+}  // namespace isop::ml
