@@ -6,10 +6,16 @@
 //            [--candidates N] [--budget N] [--seed N] [--table-ix-constraints]
 //            [--metrics-out M.json] [--trace-out T.json] [--convergence-out C.jsonl]
 //            [--log-level debug|info|warn|error|off]
+//   isop_cli --serve [--serve-workers N] [--serve-queue N] [--serve-socket PATH]
 //
 // With --surrogate oracle (default) the EM model itself drives the search —
 // instant, no training. --surrogate cnn|mlp loads (or trains and caches)
 // the ML surrogate like the benchmark harnesses do.
+//
+// --serve turns the binary into a long-running optimization service: JSONL
+// requests on stdin (and, optionally, a unix socket), streamed JSONL events
+// on stdout, concurrent jobs with shared warm surrogate sessions, graceful
+// drain on SIGINT/SIGTERM. Protocol: docs/serving.md.
 #include <cmath>
 #include <cstdio>
 
@@ -20,6 +26,7 @@
 #include "core/simulator_surrogate.hpp"
 #include "core/report.hpp"
 #include "data/cache.hpp"
+#include "serve/server.hpp"
 
 int main(int argc, char** argv) {
   using namespace isop;
@@ -42,12 +49,37 @@ int main(int argc, char** argv) {
               "  --trace-out PATH            write chrome://tracing span JSON\n"
               "  --convergence-out PATH      stream per-iteration JSONL records\n"
               "  --log-level LVL             debug|info|warn|error|off\n"
-              "  --seed N");
+              "  --seed N\n"
+              "  --serve                     JSONL service mode (docs/serving.md)\n"
+              "  --serve-workers N           concurrent jobs (default 2)\n"
+              "  --serve-queue N             queued-job capacity (default 16)\n"
+              "  --serve-socket PATH         also listen on a unix socket");
     return 0;
   }
 
   if (args.has("log-level")) {
     log::setLevel(log::levelFromString(args.getString("log-level", "info")));
+  }
+
+  if (args.getBool("serve", false)) {
+    serve::ServerConfig serveCfg;
+    serveCfg.scheduler.workers =
+        static_cast<std::size_t>(args.getInt("serve-workers", 2));
+    serveCfg.scheduler.queueCapacity =
+        static_cast<std::size_t>(args.getInt("serve-queue", 16));
+    serveCfg.socketPath = args.getString("serve-socket", "");
+    // The usual observability flags wrap the whole service lifetime, so
+    // serve.* gauges/histograms and stage metrics of every job land in one
+    // export on shutdown.
+    obs::ObsConfig obsCfg = obs::ObsConfig::fromOutputs(
+        args.getString("metrics-out", ""), args.getString("trace-out", ""),
+        args.getString("convergence-out", ""));
+    obsCfg.metricsCsvOut = args.getString("metrics-csv", "");
+    if (!obsCfg.metricsCsvOut.empty()) obsCfg.metrics = true;
+    obs::Session session(obsCfg);
+    serve::Server::installSignalHandlers();
+    serve::Server server(serveCfg, stdin, stdout);
+    return server.run();
   }
 
   em::SimulatorConfig simCfg;

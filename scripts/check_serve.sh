@@ -1,0 +1,170 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for serve mode (docs/serving.md): drives
+# `isop_cli --serve` over its stdin/stdout JSONL protocol and over the unix
+# socket, and checks the full job lifecycle plus graceful SIGTERM drain.
+#
+# Scenarios:
+#   1. stdio round-trip — submit a small job, require the exact event order
+#      ready / accepted / started / progress+ / done (with a ranked result),
+#      then a status reply and a clean shutdown event on request.
+#   2. protocol errors — a malformed line and an unknown field each get an
+#      error event without killing the server.
+#   3. unix socket — the same submit over the socket while stdio stays open.
+#   4. SIGTERM drain — the signal finishes the running job (done) and the
+#      server exits 0 with a shutdown event.
+#
+# Usage:
+#   scripts/check_serve.sh [build-dir]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+CLI="${BUILD_DIR}/examples/isop_cli"
+
+cd "$(dirname "$0")/.."
+
+if [[ ! -x "${CLI}" ]]; then
+  echo "check_serve: ${CLI} not found." >&2
+  echo "Build it first: cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} --target isop_cli" >&2
+  exit 2
+fi
+
+python3 - "${CLI}" <<'PY'
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+
+CLI = sys.argv[1]
+# Small enough to finish in seconds, large enough to stream progress records.
+QUICK_JOB = {
+    "type": "submit", "task": "T1", "space": "S1", "surrogate": "oracle",
+    "budget": 120, "iterations": 2, "hyperband_resource": 9,
+    "refine_epochs": 20, "local_seeds": 3, "candidates": 2, "seed": 7,
+}
+
+
+def start(extra_args=()):
+    return subprocess.Popen(
+        [CLI, "--serve", "--serve-workers", "2", *extra_args],
+        stdin=subprocess.PIPE, stdout=subprocess.PIPE, text=True)
+
+
+def send(proc, request):
+    proc.stdin.write(json.dumps(request) + "\n")
+    proc.stdin.flush()
+
+
+def read_event(proc, timeout=120.0):
+    # The protocol is line-delimited JSON; every line must parse.
+    line = proc.stdout.readline()
+    if not line:
+        raise AssertionError("server closed stdout unexpectedly")
+    return json.loads(line)
+
+
+def expect(event, name, **fields):
+    assert event.get("event") == name, f"expected {name!r}, got: {event}"
+    for key, value in fields.items():
+        assert event.get(key) == value, f"{name}: {key}={event.get(key)!r}, want {value!r}: {event}"
+    return event
+
+
+def read_job_lifecycle(read, job_id):
+    """Reads accepted/started/progress+/done for job_id; returns the done event."""
+    expect(read(), "accepted", id=job_id)
+    expect(read(), "started", id=job_id)
+    progress = 0
+    while True:
+        event = read()
+        if event["event"] == "progress":
+            assert event["id"] == job_id and event["record"].get("type"), event
+            progress += 1
+            continue
+        done = expect(event, "done", id=job_id)
+        break
+    assert progress > 0, "job streamed no progress records"
+    ranked = done["result"]["ranked"]
+    assert ranked and ranked[0]["rank"] == 1 and "params" in ranked[0], done
+    return done
+
+
+def scenario_stdio_and_errors():
+    proc = start()
+    try:
+        expect(read_event(proc), "ready", protocol=1)
+
+        # Malformed lines and unknown fields are per-request errors, not fatal.
+        proc.stdin.write("this is not json\n")
+        send(proc, {"type": "submit", "id": "bad", "budgget": 5})
+        err = read_event(proc)
+        assert err["event"] == "error" and "malformed" in err["error"], err
+        err = read_event(proc)
+        assert err["event"] == "error" and "budgget" in err["error"], err
+
+        send(proc, {**QUICK_JOB, "id": "smoke1"})
+        read_job_lifecycle(lambda: read_event(proc), "smoke1")
+
+        send(proc, {"type": "status"})
+        status = expect(read_event(proc), "status", completed=1, draining=False)
+        assert status["queue_capacity"] >= 1, status
+
+        send(proc, {"type": "shutdown"})
+        expect(read_event(proc), "shutdown")
+        assert proc.wait(timeout=60) == 0, f"exit={proc.returncode}"
+    finally:
+        proc.kill()
+    print("check_serve: stdio lifecycle + protocol errors OK")
+
+
+def scenario_unix_socket():
+    sock_path = os.path.join(tempfile.mkdtemp(prefix="isop_serve_"), "serve.sock")
+    proc = start(("--serve-socket", sock_path))
+    try:
+        expect(read_event(proc), "ready")
+        for _ in range(100):
+            if os.path.exists(sock_path):
+                break
+            time.sleep(0.05)
+        with socket.socket(socket.AF_UNIX) as client:
+            client.connect(sock_path)
+            reader = client.makefile("r")
+            client.sendall((json.dumps({**QUICK_JOB, "id": "sock1"}) + "\n").encode())
+            read_job_lifecycle(lambda: json.loads(reader.readline()), "sock1")
+        send(proc, {"type": "shutdown"})
+        assert proc.wait(timeout=60) == 0, f"exit={proc.returncode}"
+    finally:
+        proc.kill()
+    print("check_serve: unix socket lifecycle OK")
+
+
+def scenario_sigterm_drain():
+    proc = start()
+    try:
+        expect(read_event(proc), "ready")
+        send(proc, {**QUICK_JOB, "id": "drain1"})
+        expect(read_event(proc), "accepted", id="drain1")
+        expect(read_event(proc), "started", id="drain1")
+        proc.send_signal(signal.SIGTERM)
+        # Drain lets the running job finish: progress keeps flowing, then done.
+        while True:
+            event = read_event(proc)
+            if event["event"] == "progress":
+                continue
+            expect(event, "done", id="drain1")
+            break
+        expect(read_event(proc), "shutdown", jobs_completed=1)
+        assert proc.wait(timeout=60) == 0, f"exit={proc.returncode}"
+    finally:
+        proc.kill()
+    print("check_serve: SIGTERM drain OK")
+
+
+scenario_stdio_and_errors()
+scenario_unix_socket()
+scenario_sigterm_drain()
+print("check_serve: all scenarios OK")
+PY

@@ -11,6 +11,9 @@ cmake --build build
 
 ctest --test-dir build 2>&1 | tee test_output.txt
 
+# End-to-end smoke test of the JSONL serve mode (scripts/check_serve.sh).
+scripts/check_serve.sh build 2>&1 | tee serve_output.txt
+
 for b in build/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] || continue
   echo "=== $(basename "$b") ==="

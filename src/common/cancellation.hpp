@@ -1,0 +1,112 @@
+// Cooperative cancellation for long-running optimizer loops and the serve
+// subsystem's job scheduler.
+//
+// A CancelToken is a cheap copyable handle onto shared cancellation state.
+// Producers (the scheduler, a signal handler, a deadline) call cancel() or
+// arm a steady-clock deadline; consumers (Harmonica iterations, Hyperband
+// rounds, Adam epochs, TrialRunner trials) poll cancelled() or call
+// throwIfCancelled() at iteration boundaries. A default-constructed token is
+// inert — never cancelled, and its checks cost a single null-pointer test —
+// so every optimizer config can carry one without taxing batch runs.
+//
+// Cancellation is *cooperative*: nothing is interrupted mid-evaluation, so a
+// cancelled run stops at the next iteration boundary with all invariants
+// intact. Checks never consume RNG draws or touch results, so an uncancelled
+// run is bitwise identical with or without a token attached.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+
+namespace isop {
+
+/// Thrown by CancelToken::throwIfCancelled(); carries the cancellation
+/// reason ("cancelled" or "deadline exceeded").
+class OperationCancelled : public std::runtime_error {
+ public:
+  explicit OperationCancelled(const std::string& reason)
+      : std::runtime_error(reason) {}
+};
+
+class CancelToken {
+ public:
+  /// Inert token: cancelled() is always false, cancel() is a no-op.
+  CancelToken() = default;
+
+  /// A live token backed by fresh shared state.
+  static CancelToken create() {
+    CancelToken t;
+    t.state_ = std::make_shared<State>();
+    return t;
+  }
+
+  /// False for default-constructed (inert) tokens.
+  bool valid() const noexcept { return state_ != nullptr; }
+
+  /// Requests cancellation. Idempotent; safe from any thread and from
+  /// signal-handler-adjacent contexts (one relaxed atomic store).
+  void cancel() const noexcept {
+    if (state_) state_->flag.store(true, std::memory_order_relaxed);
+  }
+
+  /// Arms (or tightens) a steady-clock deadline; the token reads as
+  /// cancelled once the deadline passes. Later calls can only move the
+  /// deadline earlier.
+  void setDeadline(std::chrono::steady_clock::time_point tp) const noexcept {
+    if (!state_) return;
+    const std::int64_t nanos = tp.time_since_epoch().count();
+    std::int64_t current = state_->deadlineNanos.load(std::memory_order_relaxed);
+    while (nanos < current && !state_->deadlineNanos.compare_exchange_weak(
+                                  current, nanos, std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Convenience: deadline `timeout` from now.
+  void setTimeout(std::chrono::nanoseconds timeout) const noexcept {
+    setDeadline(std::chrono::steady_clock::now() + timeout);
+  }
+
+  bool deadlineArmed() const noexcept {
+    return state_ != nullptr &&
+           state_->deadlineNanos.load(std::memory_order_relaxed) != kNoDeadline;
+  }
+
+  /// True once cancel() was called or an armed deadline has passed.
+  bool cancelled() const noexcept {
+    if (!state_) return false;
+    if (state_->flag.load(std::memory_order_relaxed)) return true;
+    const std::int64_t deadline = state_->deadlineNanos.load(std::memory_order_relaxed);
+    return deadline != kNoDeadline &&
+           std::chrono::steady_clock::now().time_since_epoch().count() >= deadline;
+  }
+
+  /// "cancelled" for explicit cancellation, "deadline exceeded" when only
+  /// the deadline fired, "" when not cancelled.
+  const char* reason() const noexcept {
+    if (!state_) return "";
+    if (state_->flag.load(std::memory_order_relaxed)) return "cancelled";
+    return cancelled() ? "deadline exceeded" : "";
+  }
+
+  /// Throws OperationCancelled when cancelled; the designated check for
+  /// optimizer iteration boundaries.
+  void throwIfCancelled() const {
+    if (cancelled()) throw OperationCancelled(reason());
+  }
+
+ private:
+  static constexpr std::int64_t kNoDeadline = std::numeric_limits<std::int64_t>::max();
+
+  struct State {
+    std::atomic<bool> flag{false};
+    std::atomic<std::int64_t> deadlineNanos{kNoDeadline};
+  };
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace isop

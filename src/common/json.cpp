@@ -302,24 +302,35 @@ class Parser {
 
   std::optional<Value> parseArray() {
     if (!consume('[')) return std::nullopt;
+    if (++depth_ > Value::kMaxParseDepth) return std::nullopt;
     Value arr = Value::array();
     skipWs();
-    if (consume(']')) return arr;
+    if (consume(']')) {
+      --depth_;
+      return arr;
+    }
     for (;;) {
       auto element = parseValue();
       if (!element) return std::nullopt;
       arr.push(std::move(*element));
       skipWs();
-      if (consume(']')) return arr;
+      if (consume(']')) {
+        --depth_;
+        return arr;
+      }
       if (!consume(',')) return std::nullopt;
     }
   }
 
   std::optional<Value> parseObject() {
     if (!consume('{')) return std::nullopt;
+    if (++depth_ > Value::kMaxParseDepth) return std::nullopt;
     Value obj = Value::object();
     skipWs();
-    if (consume('}')) return obj;
+    if (consume('}')) {
+      --depth_;
+      return obj;
+    }
     for (;;) {
       skipWs();
       std::string key;
@@ -330,13 +341,17 @@ class Parser {
       if (!member) return std::nullopt;
       obj.set(key, std::move(*member));
       skipWs();
-      if (consume('}')) return obj;
+      if (consume('}')) {
+        --depth_;
+        return obj;
+      }
       if (!consume(',')) return std::nullopt;
     }
   }
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  std::size_t depth_ = 0;  ///< open containers; capped at kMaxParseDepth
 };
 
 }  // namespace

@@ -32,9 +32,17 @@ class Value {
   static Value array();
   static Value object();
 
+  /// Container nesting accepted by parse(). Documents beyond this depth are
+  /// rejected (std::nullopt) instead of risking parser stack exhaustion on
+  /// adversarial wire input like a megabyte of '['. Generous for real
+  /// payloads: the serve protocol and obs records nest < 10 levels.
+  static constexpr std::size_t kMaxParseDepth = 192;
+
   /// Strict parse of a complete JSON document (trailing whitespace allowed);
-  /// std::nullopt on any syntax error. Integral numbers without fraction or
-  /// exponent parse as Kind::Integer, everything else as Kind::Number.
+  /// std::nullopt on any syntax error, and on container nesting deeper than
+  /// kMaxParseDepth. Integral numbers without fraction or exponent parse as
+  /// Kind::Integer, everything else as Kind::Number. NaN/Infinity literals
+  /// are not JSON and do not parse.
   static std::optional<Value> parse(std::string_view text);
 
   /// Array append. Requires an array value.
@@ -66,6 +74,11 @@ class Value {
   const std::string& keyAt(std::size_t index) const;
 
   /// Serializes; `indent` > 0 pretty-prints with that many spaces per level.
+  /// Non-finite numbers (NaN, +/-Inf) have no JSON representation and are
+  /// serialized as `null` — the defined, documented wire behaviour relied on
+  /// by the serve protocol (a non-finite metric can never emit a line that
+  /// fails to parse on the client). Round-trip consequence: such a value
+  /// parses back as Kind::Null, not Kind::Number.
   std::string dump(int indent = 0) const;
 
  private:

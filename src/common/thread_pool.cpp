@@ -39,6 +39,10 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
 
 ThreadPool::PoolStats ThreadPool::stats() const {
   PoolStats s;
+  // completed_ is read *before* taking the queue lock: any task finishing
+  // between the read and the lock only makes the derived inFlight count
+  // larger, never negative (submitted/queueDepth move together under the
+  // lock, so submitted - completed - queueDepth >= running >= 0).
   s.completed = completed_.load(std::memory_order_relaxed);
   s.waitSeconds = static_cast<double>(waitNanos_.load(std::memory_order_relaxed)) * 1e-9;
   s.runSeconds = static_cast<double>(runNanos_.load(std::memory_order_relaxed)) * 1e-9;
@@ -48,6 +52,7 @@ ThreadPool::PoolStats ThreadPool::stats() const {
     s.queueDepth = tasks_.size();
     s.maxQueueDepth = maxQueueDepth_;
   }
+  s.inFlight = s.submitted - s.completed - s.queueDepth;
   return s;
 }
 

@@ -33,6 +33,12 @@ class ThreadPool {
     std::uint64_t completed = 0;
     std::size_t queueDepth = 0;
     std::size_t maxQueueDepth = 0;
+    /// Tasks popped by a worker but not yet completed (running right now).
+    /// Derived as submitted - completed - queueDepth inside one stats()
+    /// snapshot; the read order there guarantees it is never negative. This
+    /// is the single source of truth behind both the scheduler's
+    /// backpressure view and the "threadpool.inflight" obs gauge.
+    std::uint64_t inFlight = 0;
     double waitSeconds = 0.0;
     double runSeconds = 0.0;
   };

@@ -64,6 +64,7 @@ IsopResult IsopOptimizer::run() const {
   // ---- Stage 1a: Harmonica global exploration (Alg. 1 lines 1-7) ----------
   hpo::HarmonicaConfig harmonicaCfg = config_.harmonica;
   harmonicaCfg.seed = config_.seed * 0x9e3779b97f4a7c15ULL + 0xabcd;
+  harmonicaCfg.cancel = config_.cancel;
   const hpo::Harmonica harmonica(harmonicaCfg);
 
   searchObjective.setRecording(config_.adaptiveWeights.enabled);
@@ -126,6 +127,7 @@ IsopResult IsopOptimizer::run() const {
   if (config_.useHyperband) {
     hpo::HyperbandConfig hbCfg = config_.hyperband;
     hbCfg.seed = config_.seed * 0x94d049bb133111ebULL + 0x77;
+    hbCfg.cancel = config_.cancel;
     const hpo::Hyperband hyperband(hbCfg);
     // Resource semantics: r units = r random bit-flip hill-climb probes.
     // The base evaluations of a round are batched across arms; the probe
@@ -196,9 +198,11 @@ IsopResult IsopOptimizer::run() const {
 
   // ---- Stage 2: gradient-descent local exploration (Alg. 1 lines 9-12) ----
   std::vector<em::StackupParams> refined = seeds;
+  hpo::RefineConfig refineCfg = config_.refine;
+  refineCfg.cancel = config_.cancel;
   if (config_.useGradientStage) {
     obs::StageSpan stageSpan("stage2.refine");
-    const hpo::AdamRefiner refiner(config_.refine);
+    const hpo::AdamRefiner refiner(refineCfg);
     auto refineResult = refiner.refine(
         space_, seeds,
         [&](std::span<const em::StackupParams> xs, std::span<double> values,
@@ -318,6 +322,7 @@ IsopResult IsopOptimizer::run() const {
   };
 
   obs::StageSpan rolloutSpan("stage3.rollout");
+  config_.cancel.throwIfCancelled();
   validate(selectRollout(refined, searchObjective));
 
   const std::size_t maxRounds = std::max<std::size_t>(config_.rolloutRounds, 1);
@@ -353,7 +358,7 @@ IsopResult IsopOptimizer::run() const {
                                              config_.useSmoothObjective, engine);
     std::vector<em::StackupParams> repairSeeds;
     for (const auto& c : result.candidates) repairSeeds.push_back(c.params);
-    const hpo::AdamRefiner refiner(config_.refine);
+    const hpo::AdamRefiner refiner(refineCfg);
     auto repairResult = refiner.refine(
         space_, repairSeeds,
         [&](std::span<const em::StackupParams> xs, std::span<double> values,

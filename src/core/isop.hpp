@@ -75,6 +75,13 @@ struct IsopConfig {
   /// spans, EM/surrogate counters, convergence JSONL). Default: all off,
   /// which also lets an enclosing session (e.g. TrialRunner's) win.
   obs::ObsConfig obs{};
+
+  /// Cooperative cancellation: forwarded into every stage's iteration loop
+  /// (Harmonica iterations, Hyperband rounds, Adam epochs) and checked
+  /// between stages, so a cancelled run() throws OperationCancelled within
+  /// one optimizer iteration. Inert by default; checks never consume RNG
+  /// draws, so attaching a token leaves results bitwise unchanged.
+  CancelToken cancel{};
 };
 
 struct IsopCandidate {

@@ -69,9 +69,10 @@ TrialOutcome TrialRunner::runIsopTrial(const MethodSpec& method, std::uint64_t s
   IsopConfig cfg = method.isop;
   cfg.seed = seed;
   cfg.candNum = method.rolloutCandidates;
+  cfg.cancel = cancel_;
   IsopOptimizer optimizer(*simulator_, surrogate_, space_, task_, cfg);
   optimizer.setSharedEngine(engine);
-  const IsopResult result = optimizer.run();
+  IsopResult result = optimizer.run();
 
   TrialOutcome outcome;
   const IsopCandidate& best = result.best();
@@ -84,6 +85,7 @@ TrialOutcome TrialRunner::runIsopTrial(const MethodSpec& method, std::uint64_t s
   outcome.emCalls = result.simulatorCalls;
   outcome.runtimeSeconds = result.modeledSeconds;
   outcome.evalStats = result.evalStats;
+  outcome.candidates = std::move(result.candidates);
   return outcome;
 }
 
@@ -99,6 +101,7 @@ TrialOutcome TrialRunner::runBaselineTrial(const MethodSpec& method, std::uint64
   const SurrogateObjective searchObjective(objective, *surrogate_, /*smooth=*/true, engine);
   TopKCollector collector(method.rolloutCandidates);
   auto tracked = [&](const em::StackupParams& p) {
+    cancel_.throwIfCancelled();
     const double v = searchObjective.evaluate(p);
     collector.offer(p, v);
     return v;
@@ -185,8 +188,10 @@ TrialStats TrialRunner::run(const MethodSpec& method, std::size_t trials,
   // — shared task targets pull every seed toward the same grid points — are
   // served from cache in later trials. Per-trial deltas land in
   // TrialOutcome::evalStats via the snapshots the trial helpers take.
-  const auto engine = std::make_shared<EvalEngine>(*surrogate_, *simulator_,
-                                                   method.isop.evalEngine);
+  const auto engine = sharedEngine_ != nullptr
+                          ? sharedEngine_
+                          : std::make_shared<EvalEngine>(*surrogate_, *simulator_,
+                                                         method.isop.evalEngine);
 
   std::vector<double> dz, l, next, fom, runtime, samples, emCalls;
   const double zTarget = [&] {
@@ -197,6 +202,7 @@ TrialStats TrialRunner::run(const MethodSpec& method, std::size_t trials,
   }();
 
   for (std::size_t t = 0; t < trials; ++t) {
+    cancel_.throwIfCancelled();
     const std::uint64_t seed = baseSeed + t;
     TrialOutcome outcome = method.kind == MethodSpec::Kind::Isop
                                ? runIsopTrial(method, seed, engine)

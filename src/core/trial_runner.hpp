@@ -38,6 +38,11 @@ struct TrialOutcome {
   std::size_t emCalls = 0;       ///< accurate simulator calls this trial
   double runtimeSeconds = 0.0;   ///< algo wall time + modeled EM solver time
   EvalEngineStats evalStats{};   ///< this trial's engine traffic (delta)
+  /// All EM-validated roll-out candidates of the trial, ranked (feasible
+  /// first, ascending g). Filled for ISOP trials — the serve subsystem
+  /// streams these as the final ranked-designs result; empty for baselines
+  /// (params above is still their best design).
+  std::vector<IsopCandidate> candidates;
 };
 
 struct TrialStats {
@@ -71,6 +76,21 @@ class TrialRunner {
   void setObsConfig(obs::ObsConfig config) { obs_ = std::move(config); }
   const obs::ObsConfig& obsConfig() const { return obs_; }
 
+  /// Lends run() an externally owned EvalEngine (it must wrap the same
+  /// surrogate + simulator) instead of constructing a per-run one. The serve
+  /// SessionManager uses this to share one memo cache across every job that
+  /// targets the same (surrogate, space) pair, so concurrent jobs warm-start
+  /// from each other's evaluations. Results are unchanged — memo hits return
+  /// the exact cached model output and are still billed as queries.
+  void setSharedEngine(std::shared_ptr<EvalEngine> engine) {
+    sharedEngine_ = std::move(engine);
+  }
+
+  /// Cooperative cancellation: checked between trials and forwarded into
+  /// every optimizer iteration loop; a cancelled run() throws
+  /// OperationCancelled within one iteration. Inert by default.
+  void setCancelToken(CancelToken token) { cancel_ = std::move(token); }
+
   /// Runs `trials` repetitions of `method`; trial t uses seed baseSeed + t.
   /// One EvalEngine (and thus one memo cache) is shared across all trials of
   /// the method, so later trials warm-start from earlier trials' memoized
@@ -92,6 +112,8 @@ class TrialRunner {
   em::ParameterSpace space_;
   Task task_;
   obs::ObsConfig obs_{};
+  std::shared_ptr<EvalEngine> sharedEngine_;
+  CancelToken cancel_{};
 };
 
 /// FoM improvement of `ours` over `theirs` per Eq. 12, in percent.

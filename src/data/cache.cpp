@@ -1,7 +1,11 @@
 #include "data/cache.hpp"
 
+#include <unistd.h>
+
+#include <atomic>
 #include <cstdlib>
 #include <filesystem>
+#include <functional>
 #include <sstream>
 
 #include "common/logging.hpp"
@@ -35,6 +39,31 @@ std::string modelPath(const char* kind, const GenerationConfig& dsConfig,
   return os.str();
 }
 
+// Atomic cache publication: `save` writes to a temp file next to `path`
+// (same directory, so the rename below never crosses a filesystem), which is
+// then renamed into place. rename(2) is atomic on POSIX, so a reader — or a
+// second binary racing on the same cache key, routine once serve mode runs
+// concurrent jobs — sees either the complete old file, the complete new
+// file, or no file; never a torn one. The temp name is unique per process
+// and call, so concurrent writers cannot clobber each other's temp files;
+// the losing writer simply renames last (both wrote identical bytes — cache
+// keys encode every generation/training setting).
+void atomicSave(const std::string& path,
+                const std::function<void(const std::string&)>& save) {
+  static std::atomic<unsigned> counter{0};
+  std::ostringstream os;
+  os << path << ".tmp." << ::getpid() << "." << counter.fetch_add(1);
+  const std::string tmp = os.str();
+  try {
+    save(tmp);
+    fs::rename(tmp, path);
+  } catch (...) {
+    std::error_code ec;
+    fs::remove(tmp, ec);  // best effort; the original error is what matters
+    throw;
+  }
+}
+
 ml::Dataset trainSplit(const em::EmSimulator& sim, const GenerationConfig& dsConfig) {
   ml::Dataset ds =
       getOrGenerateDataset(sim, em::spaceByName(dsConfig.spaceName), dsConfig);
@@ -60,7 +89,7 @@ ml::Dataset getOrGenerateDataset(const em::EmSimulator& sim,
   log::info("generating dataset: ", config.samples, " samples (seed ", config.seed, ")");
   ml::Dataset ds = generateDataset(sim, space, config);
   try {
-    saveDataset(path, ds);
+    atomicSave(path, [&](const std::string& tmp) { saveDataset(tmp, ds); });
   } catch (const std::exception& e) {
     log::warn("could not cache dataset to '", path, "': ", e.what());
   }
@@ -91,7 +120,7 @@ std::shared_ptr<ml::Cnn1dRegressor> getOrTrainCnnSurrogate(
   log::info("training 1D-CNN surrogate (", trainConfig.epochs, " epochs)");
   model->fit(trainSplit(sim, datasetConfig), trainConfig);
   try {
-    model->save(path);
+    atomicSave(path, [&](const std::string& tmp) { model->save(tmp); });
   } catch (const std::exception& e) {
     log::warn("could not cache model to '", path, "': ", e.what());
   }
@@ -117,7 +146,7 @@ std::shared_ptr<ml::MlpRegressor> getOrTrainMlpSurrogate(
   log::info("training MLP surrogate (", trainConfig.epochs, " epochs)");
   model->fit(trainSplit(sim, datasetConfig), trainConfig);
   try {
-    model->save(path);
+    atomicSave(path, [&](const std::string& tmp) { model->save(tmp); });
   } catch (const std::exception& e) {
     log::warn("could not cache model to '", path, "': ", e.what());
   }

@@ -54,6 +54,7 @@ RefineResult AdamRefiner::refine(const em::ParameterSpace& space,
   Matrix rawGrads;
   obs::StageSpan refineSpan("adam.refine");
   for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    config_.cancel.throwIfCancelled();
     for (std::size_t i = 0; i < p; ++i) {
       for (std::size_t j = 0; j < d; ++j) xs[i].values[j] = lo[j] + u[i * d + j] * span[j];
     }

@@ -12,6 +12,7 @@
 #include <span>
 #include <vector>
 
+#include "common/cancellation.hpp"
 #include "common/matrix.hpp"
 #include "em/parameter_space.hpp"
 #include "ml/nn/adam.hpp"
@@ -22,6 +23,9 @@ struct RefineConfig {
   std::size_t epochs = 60;
   double learningRate = 0.02;  ///< in normalized [0,1] coordinates
   ml::nn::AdamConfig adam{};   ///< beta/epsilon knobs (learningRate ignored)
+  /// Checked at the top of every epoch; a cancelled token makes refine()
+  /// throw OperationCancelled. Inert by default.
+  CancelToken cancel{};
 };
 
 struct RefineResult {

@@ -43,6 +43,7 @@ HarmonicaResult Harmonica::optimize(std::size_t numBits, const BatchObjective& o
   std::set<std::size_t> fixedPositions;
 
   for (std::size_t iter = 0; iter < config_.iterations; ++iter) {
+    config_.cancel.throwIfCancelled();
     obs::StageSpan iterSpan("harmonica.iteration");
     // 1. Sample q configurations from the restricted space.
     std::vector<BitVector> samples(config_.samplesPerIter);

@@ -18,6 +18,7 @@
 #include <functional>
 #include <limits>
 
+#include "common/cancellation.hpp"
 #include "hpo/binary_codec.hpp"
 #include "hpo/lasso.hpp"
 #include "hpo/parity_features.hpp"
@@ -33,6 +34,10 @@ struct HarmonicaConfig {
   std::size_t maxEnumerationBits = 14;  ///< cap on bits fixed per round
   std::uint64_t seed = 1;
   bool parallelEval = true;  ///< evaluate batches on the global thread pool
+  /// Checked at the top of every iteration; a cancelled token makes
+  /// optimize() throw OperationCancelled before the next sampling round.
+  /// Inert by default (see common/cancellation.hpp).
+  CancelToken cancel{};
 };
 
 /// One fixed-bit restriction: position and value.

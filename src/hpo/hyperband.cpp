@@ -39,6 +39,7 @@ std::vector<ScoredConfig> Hyperband::run(const Sampler& sampler, const BatchEval
 
     obs::StageSpan bracketSpan("hyperband.bracket");
     for (std::size_t round = 0; round <= s; ++round) {
+      config_.cancel.throwIfCancelled();
       const auto res = static_cast<std::size_t>(
           std::max(1.0, std::floor(resource * std::pow(eta, static_cast<double>(round)))));
       eval(std::span<ScoredConfig>(arms), res);

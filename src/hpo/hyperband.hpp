@@ -12,6 +12,7 @@
 #include <functional>
 #include <span>
 
+#include "common/cancellation.hpp"
 #include "hpo/binary_codec.hpp"
 
 namespace isop::hpo {
@@ -20,6 +21,9 @@ struct HyperbandConfig {
   std::size_t maxResource = 27;  ///< R
   double eta = 3.0;              ///< halving factor
   std::uint64_t seed = 2;
+  /// Checked before every successive-halving round; a cancelled token makes
+  /// run() throw OperationCancelled. Inert by default.
+  CancelToken cancel{};
 };
 
 struct ScoredConfig {

@@ -2,6 +2,24 @@
 
 namespace isop::obs {
 
+namespace detail {
+namespace {
+// One tap slot per thread; ScopedTap saves/restores it so taps nest.
+thread_local const std::function<void(const json::Value&)>* tTap = nullptr;
+}  // namespace
+
+const std::function<void(const json::Value&)>* currentConvergenceTap() noexcept {
+  return tTap;
+}
+}  // namespace detail
+
+ConvergenceRecorder::ScopedTap::ScopedTap(std::function<void(const json::Value&)> fn)
+    : fn_(std::move(fn)), prev_(detail::tTap) {
+  detail::tTap = &fn_;
+}
+
+ConvergenceRecorder::ScopedTap::~ScopedTap() { detail::tTap = prev_; }
+
 namespace {
 
 json::Value sizeValue(std::size_t v) {
@@ -56,6 +74,10 @@ void ConvergenceRecorder::useMemory() {
 }
 
 void ConvergenceRecorder::record(const json::Value& record) {
+  if (const auto* tap = detail::currentConvergenceTap()) {
+    (*tap)(record);
+    return;
+  }
   if (!enabled()) return;
   const std::string line = record.dump();
   MutexLock lock(mutex_);

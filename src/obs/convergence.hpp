@@ -17,6 +17,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -26,15 +27,45 @@
 
 namespace isop::obs {
 
+namespace detail {
+/// The record tap installed on the current thread (nullptr when none). See
+/// ConvergenceRecorder::ScopedTap.
+const std::function<void(const json::Value&)>* currentConvergenceTap() noexcept;
+}  // namespace detail
+
 class ConvergenceRecorder {
  public:
+  /// Per-thread record tap. While one is installed, record() calls made on
+  /// that thread are routed to the tap instead of the global file/memory
+  /// sink, and enabled() reads true on that thread regardless of the global
+  /// flag. This is how the serve scheduler streams each job's convergence
+  /// records as its own progress events: every worker thread taps the
+  /// recorder for the duration of its job, so concurrent jobs never
+  /// interleave in one sink. Taps nest (the previous tap is restored on
+  /// destruction) and must be destroyed on the thread that created them.
+  class ScopedTap {
+   public:
+    explicit ScopedTap(std::function<void(const json::Value&)> fn);
+    ~ScopedTap();
+
+    ScopedTap(const ScopedTap&) = delete;
+    ScopedTap& operator=(const ScopedTap&) = delete;
+
+   private:
+    std::function<void(const json::Value&)> fn_;
+    const std::function<void(const json::Value&)>* prev_;
+  };
+
   ConvergenceRecorder() = default;
   ~ConvergenceRecorder();
 
   ConvergenceRecorder(const ConvergenceRecorder&) = delete;
   ConvergenceRecorder& operator=(const ConvergenceRecorder&) = delete;
 
-  bool enabled() const noexcept { return enabled_.load(std::memory_order_relaxed); }
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed) ||
+           detail::currentConvergenceTap() != nullptr;
+  }
   void setEnabled(bool on) noexcept { enabled_.store(on, std::memory_order_relaxed); }
 
   /// Switches to a file sink; returns false if the file cannot be opened
@@ -44,7 +75,9 @@ class ConvergenceRecorder {
   /// Switches (back) to the in-memory sink, dropping any open file.
   void useMemory();
 
-  /// Serializes `record` as one line. No-op when disabled.
+  /// Serializes `record` as one line into the global sink — unless the
+  /// calling thread has a ScopedTap installed, in which case the record goes
+  /// to the tap only. No-op when disabled.
   void record(const json::Value& record);
 
   /// Lines captured by the memory sink (copy; empty under a file sink).

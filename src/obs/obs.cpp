@@ -38,6 +38,7 @@ void captureThreadPoolStats() {
   reg.gauge("threadpool.tasks.completed").set(static_cast<double>(stats.completed));
   reg.gauge("threadpool.queue.depth").set(static_cast<double>(stats.queueDepth));
   reg.gauge("threadpool.queue.max_depth").set(static_cast<double>(stats.maxQueueDepth));
+  reg.gauge("threadpool.inflight").set(static_cast<double>(stats.inFlight));
   reg.gauge("threadpool.task.wait_seconds.total").set(stats.waitSeconds);
   reg.gauge("threadpool.task.run_seconds.total").set(stats.runSeconds);
 }

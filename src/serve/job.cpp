@@ -1,0 +1,81 @@
+#include "serve/job.hpp"
+
+#include <stdexcept>
+
+#include "core/tasks.hpp"
+
+namespace isop::serve {
+
+const char* jobStateName(JobState state) {
+  switch (state) {
+    case JobState::Queued: return "queued";
+    case JobState::Running: return "running";
+    case JobState::Done: return "done";
+    case JobState::Cancelled: return "cancelled";
+    case JobState::Failed: return "failed";
+  }
+  return "unknown";
+}
+
+core::Task makeTask(const JobSpec& spec) {
+  core::Task task = core::taskByName(spec.task);
+  // Same override semantics as isop_cli's --target/--tolerance: constraint 0
+  // is the impedance band on every preset task.
+  if (spec.target) task.spec.outputConstraints[0].target = *spec.target;
+  if (spec.tolerance) task.spec.outputConstraints[0].tolerance = *spec.tolerance;
+  if (spec.tableIxConstraints) {
+    task.spec.inputConstraints = core::tableIxInputConstraints();
+  }
+  return task;
+}
+
+em::ParameterSpace makeSpace(const JobSpec& spec) {
+  return em::spaceByName(spec.space);
+}
+
+core::MethodSpec makeMethod(const JobSpec& spec) {
+  core::MethodSpec method;
+  method.name = "ISOP+";
+  method.kind = core::MethodSpec::Kind::Isop;
+  method.rolloutCandidates = spec.candidates;
+  method.isop.harmonica.iterations = spec.iterations;
+  method.isop.harmonica.samplesPerIter = spec.budget;
+  method.isop.hyperband.maxResource = spec.hyperbandResource;
+  method.isop.refine.epochs = spec.refineEpochs;
+  method.isop.localSeeds = spec.localSeeds;
+  method.isop.candNum = spec.candidates;
+  return method;
+}
+
+bool validateSpec(const JobSpec& spec, std::string* reason) {
+  const auto fail = [&](std::string why) {
+    if (reason) *reason = std::move(why);
+    return false;
+  };
+  if (spec.id.empty()) return fail("missing job id");
+  try {
+    (void)makeTask(spec);
+  } catch (const std::exception& e) {
+    return fail(e.what());
+  }
+  try {
+    (void)makeSpace(spec);
+  } catch (const std::exception& e) {
+    return fail(e.what());
+  }
+  if (spec.layer != "stripline" && spec.layer != "microstrip") {
+    return fail("unknown layer '" + spec.layer + "' (expected stripline|microstrip)");
+  }
+  if (spec.surrogate != "oracle" && spec.surrogate != "cnn" && spec.surrogate != "mlp") {
+    return fail("unknown surrogate '" + spec.surrogate + "' (expected oracle|cnn|mlp)");
+  }
+  if (spec.budget == 0) return fail("budget must be >= 1");
+  if (spec.iterations == 0) return fail("iterations must be >= 1");
+  if (spec.localSeeds == 0) return fail("local_seeds must be >= 1");
+  if (spec.hyperbandResource == 0) return fail("hyperband_resource must be >= 1");
+  if (spec.candidates == 0) return fail("candidates must be >= 1");
+  if (spec.trials == 0) return fail("trials must be >= 1");
+  return true;
+}
+
+}  // namespace isop::serve

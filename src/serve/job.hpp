@@ -1,0 +1,96 @@
+// Job model for the optimization service: the wire-level task spec a client
+// submits, the mapping from that spec onto the repo's TrialRunner/IsopConfig
+// machinery, and the internal Job record the queue and scheduler share.
+//
+// The mapping functions are the determinism contract of the serve mode: a
+// job's result must be bitwise identical to running TrialRunner directly
+// with the spec's knobs and seed (tests/serve/test_serve.cpp asserts this),
+// so makeTask/makeSpace/makeMethod are pure functions of the spec and are
+// used by both the scheduler and the tests.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/cancellation.hpp"
+#include "common/timer.hpp"
+#include "core/trial_runner.hpp"
+
+namespace isop::serve {
+
+/// A client-submitted optimization task: which task/space/physics to solve,
+/// the optimizer knobs, and the scheduling attributes (priority, deadline).
+/// Field-for-field this mirrors the documented JSONL `submit` request
+/// (docs/serving.md); defaults match `isop_cli`'s one-shot flags.
+struct JobSpec {
+  std::string id;  ///< client-chosen, unique among live jobs (required)
+
+  std::string task = "T1";            ///< T1|T2|T3|T4
+  std::string space = "S1";           ///< S1|S2|S1p
+  std::string layer = "stripline";    ///< stripline|microstrip
+  std::string surrogate = "oracle";   ///< oracle|cnn|mlp
+
+  std::optional<double> target;     ///< impedance band target override
+  std::optional<double> tolerance;  ///< impedance band tolerance override
+  bool tableIxConstraints = false;  ///< add the Table IX expert constraints
+
+  std::size_t budget = 400;             ///< Harmonica samples per iteration
+  std::size_t iterations = 3;           ///< Harmonica iterations
+  std::size_t localSeeds = 5;           ///< p (local-stage seeds)
+  std::size_t refineEpochs = 60;        ///< Adam epochs
+  std::size_t hyperbandResource = 27;   ///< Hyperband R
+  std::size_t candidates = 3;           ///< roll-out designs per trial
+  std::size_t trials = 1;               ///< TrialRunner repetitions
+  std::uint64_t seed = 1;               ///< base seed (trial t uses seed + t)
+
+  long long priority = 0;       ///< higher runs first; FIFO within a priority
+  std::uint64_t timeoutMs = 0;  ///< run-time budget, armed at job start (0 = none)
+  std::uint64_t deadlineMs = 0; ///< end-to-end budget from admission (0 = none)
+};
+
+/// Lifecycle: Queued -> Running -> {Done, Cancelled, Failed}; a queued job
+/// can also go straight to Cancelled. Rejected submissions never become
+/// jobs — rejection is an admission-time event only.
+enum class JobState { Queued, Running, Done, Cancelled, Failed };
+
+const char* jobStateName(JobState state);
+
+/// The spec's task preset with its overrides applied. Throws
+/// std::invalid_argument on an unknown task name.
+core::Task makeTask(const JobSpec& spec);
+
+/// The spec's search space. Throws std::invalid_argument on unknown names.
+em::ParameterSpace makeSpace(const JobSpec& spec);
+
+/// The spec's optimizer knobs as a TrialRunner method. Pure: two jobs with
+/// equal specs produce equal methods, and a direct
+/// TrialRunner::run(makeMethod(spec), spec.trials, spec.seed) reproduces the
+/// serve result bit for bit.
+core::MethodSpec makeMethod(const JobSpec& spec);
+
+/// Validates everything that can be checked without running: id presence,
+/// enum-ish string fields, and knob ranges. Returns false and sets *reason
+/// on the first violation.
+bool validateSpec(const JobSpec& spec, std::string* reason);
+
+/// Internal job record shared by the queue, the scheduler and its workers.
+struct Job {
+  explicit Job(JobSpec s) : spec(std::move(s)) {}
+
+  JobSpec spec;
+  CancelToken token = CancelToken::create();
+  std::atomic<JobState> state{JobState::Queued};
+  std::uint64_t seq = 0;  ///< admission order, assigned by the queue
+
+  Timer sinceAdmission;          ///< steady clock; latency accounting
+  double queueWaitSeconds = 0.0; ///< filled when a worker picks the job up
+
+  /// Result of a Done job (unset otherwise). Shared so event sinks can keep
+  /// it alive past the job without copying the outcome vectors.
+  std::shared_ptr<const core::TrialStats> result;
+};
+
+}  // namespace isop::serve

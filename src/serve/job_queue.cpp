@@ -1,0 +1,71 @@
+#include "serve/job_queue.hpp"
+
+#include <algorithm>
+
+namespace isop::serve {
+
+JobQueue::JobQueue(std::size_t capacity) : capacity_(std::max<std::size_t>(1, capacity)) {}
+
+bool JobQueue::push(const std::shared_ptr<Job>& job, std::string* reason) {
+  {
+    CvLock lock(mutex_);
+    if (closed_) {
+      if (reason) *reason = "server draining";
+      return false;
+    }
+    if (queue_.size() >= capacity_) {
+      if (reason) {
+        *reason = "queue full (capacity " + std::to_string(capacity_) + ")";
+      }
+      return false;
+    }
+    job->seq = nextSeq_++;
+    queue_.insert(job);
+  }
+  available_.notify_one();
+  return true;
+}
+
+std::shared_ptr<Job> JobQueue::pop() {
+  CvLock lock(mutex_);
+  while (!closed_ && queue_.empty()) available_.wait(lock);
+  if (queue_.empty()) return nullptr;  // closed and drained
+  std::shared_ptr<Job> job = *queue_.begin();
+  queue_.erase(queue_.begin());
+  return job;
+}
+
+bool JobQueue::remove(const std::string& id) {
+  CvLock lock(mutex_);
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if ((*it)->spec.id == id) {
+      queue_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::shared_ptr<Job>> JobQueue::close() {
+  std::vector<std::shared_ptr<Job>> remaining;
+  {
+    CvLock lock(mutex_);
+    closed_ = true;
+    remaining.assign(queue_.begin(), queue_.end());  // set order == pop order
+    queue_.clear();
+  }
+  available_.notify_all();
+  return remaining;
+}
+
+std::size_t JobQueue::depth() const {
+  CvLock lock(mutex_);
+  return queue_.size();
+}
+
+bool JobQueue::closed() const {
+  CvLock lock(mutex_);
+  return closed_;
+}
+
+}  // namespace isop::serve

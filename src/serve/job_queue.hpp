@@ -1,0 +1,71 @@
+// Bounded priority queue feeding the scheduler's worker pool.
+//
+// Ordering is deterministic: higher priority first, FIFO (admission order)
+// within a priority. Admission past `capacity` is rejected with a reason
+// string rather than blocking the client — backpressure surfaces as a
+// `rejected` protocol event, never as an unbounded queue or a stalled
+// submitter.
+#pragma once
+
+#include <condition_variable>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/thread_annotations.hpp"
+#include "serve/job.hpp"
+
+namespace isop::serve {
+
+class JobQueue {
+ public:
+  explicit JobQueue(std::size_t capacity);
+
+  JobQueue(const JobQueue&) = delete;
+  JobQueue& operator=(const JobQueue&) = delete;
+
+  /// Admits `job` (assigning its admission sequence number) unless the queue
+  /// is closed or full; on rejection returns false and, when `reason` is
+  /// non-null, sets the human-readable cause.
+  bool push(const std::shared_ptr<Job>& job, std::string* reason);
+
+  /// Blocks until a job is available or the queue is closed; returns the
+  /// highest-priority / oldest job, or nullptr once closed and empty.
+  std::shared_ptr<Job> pop();
+
+  /// Removes a still-queued job by id (cancellation of a queued job). False
+  /// when the job is not in the queue — e.g. a worker already popped it.
+  bool remove(const std::string& id);
+
+  /// Closes admission and returns every still-queued job in pop order
+  /// (highest priority first). pop() returns nullptr to all waiters.
+  std::vector<std::shared_ptr<Job>> close();
+
+  std::size_t depth() const;
+  std::size_t capacity() const { return capacity_; }
+  bool closed() const;
+
+ private:
+  // Deterministic pop order: priority descending, admission sequence
+  // ascending. The sequence number is unique, so this is a strict weak
+  // ordering and std::set iteration order is the pop order.
+  struct Order {
+    bool operator()(const std::shared_ptr<Job>& a,
+                    const std::shared_ptr<Job>& b) const {
+      if (a->spec.priority != b->spec.priority) {
+        return a->spec.priority > b->spec.priority;
+      }
+      return a->seq < b->seq;
+    }
+  };
+
+  const std::size_t capacity_;
+  mutable AnnotatedMutex mutex_;
+  std::condition_variable_any available_;
+  std::set<std::shared_ptr<Job>, Order> queue_ ISOP_GUARDED_BY(mutex_);
+  std::uint64_t nextSeq_ ISOP_GUARDED_BY(mutex_) = 0;
+  bool closed_ ISOP_GUARDED_BY(mutex_) = false;
+};
+
+}  // namespace isop::serve

@@ -1,0 +1,311 @@
+#include "serve/protocol.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "core/report.hpp"
+
+namespace isop::serve {
+
+namespace {
+
+// Typed field readers. Each returns false (setting *error) on a kind
+// mismatch; absence is not an error — the spec default stays.
+bool readString(const json::Value& v, const char* key, std::string* out,
+                std::string* error) {
+  const json::Value* field = v.find(key);
+  if (!field) return true;
+  if (field->kind() != json::Value::Kind::String) {
+    *error = std::string("field '") + key + "' must be a string";
+    return false;
+  }
+  *out = field->asString();
+  return true;
+}
+
+bool readBool(const json::Value& v, const char* key, bool* out, std::string* error) {
+  const json::Value* field = v.find(key);
+  if (!field) return true;
+  if (field->kind() != json::Value::Kind::Bool) {
+    *error = std::string("field '") + key + "' must be a boolean";
+    return false;
+  }
+  *out = field->asBool();
+  return true;
+}
+
+bool readNumber(const json::Value& v, const char* key, std::optional<double>* out,
+                std::string* error) {
+  const json::Value* field = v.find(key);
+  if (!field) return true;
+  if (!field->isNumeric()) {
+    *error = std::string("field '") + key + "' must be a number";
+    return false;
+  }
+  *out = field->asNumber();
+  return true;
+}
+
+bool readCount(const json::Value& v, const char* key, std::size_t* out,
+               std::string* error, long long min = 0) {
+  const json::Value* field = v.find(key);
+  if (!field) return true;
+  if (field->kind() != json::Value::Kind::Integer || field->asInteger() < min) {
+    *error = std::string("field '") + key + "' must be an integer >= " +
+             std::to_string(min);
+    return false;
+  }
+  *out = static_cast<std::size_t>(field->asInteger());
+  return true;
+}
+
+bool readU64(const json::Value& v, const char* key, std::uint64_t* out,
+             std::string* error) {
+  std::size_t value = 0;
+  bool present = v.find(key) != nullptr;
+  if (!readCount(v, key, &value, error)) return false;
+  if (present) *out = value;
+  return true;
+}
+
+bool readPriority(const json::Value& v, const char* key, long long* out,
+                  std::string* error) {
+  const json::Value* field = v.find(key);
+  if (!field) return true;
+  if (field->kind() != json::Value::Kind::Integer) {
+    *error = std::string("field '") + key + "' must be an integer";
+    return false;
+  }
+  *out = field->asInteger();
+  return true;
+}
+
+const std::set<std::string>& submitKeys() {
+  static const std::set<std::string> keys = {
+      "type",          "id",           "task",
+      "space",         "layer",        "surrogate",
+      "target",        "tolerance",    "table_ix_constraints",
+      "budget",        "iterations",   "local_seeds",
+      "refine_epochs", "hyperband_resource", "candidates",
+      "trials",        "seed",         "priority",
+      "timeout_ms",    "deadline_ms"};
+  return keys;
+}
+
+bool checkKeys(const json::Value& v, const std::set<std::string>& known,
+               std::string* error) {
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (known.count(v.keyAt(i)) == 0) {
+      *error = "unknown field '" + v.keyAt(i) + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+std::optional<Request> parseSubmit(const json::Value& v, std::string* error) {
+  Request req;
+  req.kind = Request::Kind::Submit;
+  JobSpec& spec = req.spec;
+  if (!checkKeys(v, submitKeys(), error)) return std::nullopt;
+  if (!readString(v, "id", &spec.id, error)) return std::nullopt;
+  if (!readString(v, "task", &spec.task, error)) return std::nullopt;
+  if (!readString(v, "space", &spec.space, error)) return std::nullopt;
+  if (!readString(v, "layer", &spec.layer, error)) return std::nullopt;
+  if (!readString(v, "surrogate", &spec.surrogate, error)) return std::nullopt;
+  if (!readNumber(v, "target", &spec.target, error)) return std::nullopt;
+  if (!readNumber(v, "tolerance", &spec.tolerance, error)) return std::nullopt;
+  if (!readBool(v, "table_ix_constraints", &spec.tableIxConstraints, error)) {
+    return std::nullopt;
+  }
+  if (!readCount(v, "budget", &spec.budget, error, 1)) return std::nullopt;
+  if (!readCount(v, "iterations", &spec.iterations, error, 1)) return std::nullopt;
+  if (!readCount(v, "local_seeds", &spec.localSeeds, error, 1)) return std::nullopt;
+  if (!readCount(v, "refine_epochs", &spec.refineEpochs, error)) return std::nullopt;
+  if (!readCount(v, "hyperband_resource", &spec.hyperbandResource, error, 1)) {
+    return std::nullopt;
+  }
+  if (!readCount(v, "candidates", &spec.candidates, error, 1)) return std::nullopt;
+  if (!readCount(v, "trials", &spec.trials, error, 1)) return std::nullopt;
+  if (!readU64(v, "seed", &spec.seed, error)) return std::nullopt;
+  if (!readPriority(v, "priority", &spec.priority, error)) return std::nullopt;
+  if (!readU64(v, "timeout_ms", &spec.timeoutMs, error)) return std::nullopt;
+  if (!readU64(v, "deadline_ms", &spec.deadlineMs, error)) return std::nullopt;
+  // Name/range checks (task, space, surrogate, ...) deliberately run in
+  // Scheduler::submit via validateSpec so direct (non-protocol) submitters
+  // get the same errors; the parse layer only enforces shape.
+  return req;
+}
+
+}  // namespace
+
+std::optional<Request> parseRequest(const std::string& line, std::string* error) {
+  std::string localError;
+  std::string* err = error ? error : &localError;
+  const std::optional<json::Value> parsed = json::Value::parse(line);
+  if (!parsed) {
+    *err = "malformed JSON";
+    return std::nullopt;
+  }
+  if (!parsed->isObject()) {
+    *err = "request must be a JSON object";
+    return std::nullopt;
+  }
+  const json::Value* type = parsed->find("type");
+  if (!type || type->kind() != json::Value::Kind::String) {
+    *err = "missing string field 'type'";
+    return std::nullopt;
+  }
+  const std::string& kind = type->asString();
+  if (kind == "submit") return parseSubmit(*parsed, err);
+  if (kind == "cancel") {
+    static const std::set<std::string> keys = {"type", "id"};
+    if (!checkKeys(*parsed, keys, err)) return std::nullopt;
+    Request req;
+    req.kind = Request::Kind::Cancel;
+    if (!readString(*parsed, "id", &req.id, err)) return std::nullopt;
+    if (req.id.empty()) {
+      *err = "cancel requires a non-empty 'id'";
+      return std::nullopt;
+    }
+    return req;
+  }
+  if (kind == "status" || kind == "shutdown") {
+    static const std::set<std::string> keys = {"type"};
+    if (!checkKeys(*parsed, keys, err)) return std::nullopt;
+    Request req;
+    req.kind = kind == "status" ? Request::Kind::Status : Request::Kind::Shutdown;
+    return req;
+  }
+  *err = "unknown request type '" + kind + "'";
+  return std::nullopt;
+}
+
+json::Value resultToJson(const core::TrialStats& stats) {
+  json::Value out = json::Value::object();
+  out.set("trials", json::Value::integer(static_cast<long long>(stats.trials)));
+  out.set("successes",
+          json::Value::integer(static_cast<long long>(stats.successes)));
+  out.set("avg_samples", json::Value::number(stats.avgSamples));
+  out.set("avg_em_calls", json::Value::number(stats.avgEmCalls));
+  out.set("avg_runtime_seconds", json::Value::number(stats.avgRuntime));
+  out.set("fom_mean", json::Value::number(stats.fomMean));
+
+  // Ranked designs. A single trial exposes its full EM-validated roll-out
+  // list; a multi-trial job ranks the per-trial winners (feasible first,
+  // ascending g; FIFO by trial on ties — stable sort keeps it
+  // deterministic).
+  json::Value ranked = json::Value::array();
+  const auto pushDesign = [&ranked](const core::IsopCandidate& c, std::size_t trial) {
+    json::Value d = json::Value::object();
+    d.set("rank", json::Value::integer(static_cast<long long>(ranked.size() + 1)));
+    d.set("trial", json::Value::integer(static_cast<long long>(trial)));
+    d.set("feasible", json::Value::boolean(c.feasible));
+    d.set("g", json::Value::number(c.g));
+    d.set("fom", json::Value::number(c.fom));
+    d.set("metrics", core::toJson(c.metrics));
+    d.set("params", core::toJson(c.params));
+    ranked.push(std::move(d));
+  };
+  if (stats.outcomes.size() == 1) {
+    const core::TrialOutcome& outcome = stats.outcomes.front();
+    if (!outcome.candidates.empty()) {
+      for (const core::IsopCandidate& c : outcome.candidates) pushDesign(c, 0);
+    } else {
+      core::IsopCandidate best;  // baseline methods: one validated design
+      best.params = outcome.params;
+      best.metrics = outcome.metrics;
+      best.g = outcome.g;
+      best.fom = outcome.fom;
+      best.feasible = outcome.success;
+      pushDesign(best, 0);
+    }
+  } else {
+    std::vector<std::pair<std::size_t, core::IsopCandidate>> winners;
+    winners.reserve(stats.outcomes.size());
+    for (std::size_t t = 0; t < stats.outcomes.size(); ++t) {
+      const core::TrialOutcome& outcome = stats.outcomes[t];
+      core::IsopCandidate best;
+      if (!outcome.candidates.empty()) {
+        best = outcome.candidates.front();
+      } else {
+        best.params = outcome.params;
+        best.metrics = outcome.metrics;
+        best.g = outcome.g;
+        best.fom = outcome.fom;
+        best.feasible = outcome.success;
+      }
+      winners.emplace_back(t, best);
+    }
+    std::stable_sort(winners.begin(), winners.end(),
+                     [](const auto& a, const auto& b) {
+                       if (a.second.feasible != b.second.feasible) {
+                         return a.second.feasible;
+                       }
+                       return a.second.g < b.second.g;
+                     });
+    for (const auto& [trial, c] : winners) pushDesign(c, trial);
+  }
+  out.set("ranked", std::move(ranked));
+  return out;
+}
+
+json::Value toJson(const JobEvent& event) {
+  json::Value out = json::Value::object();
+  out.set("event", json::Value::string(jobEventName(event.kind)));
+  out.set("id", json::Value::string(event.jobId));
+  switch (event.kind) {
+    case JobEvent::Kind::Accepted:
+      out.set("queue_depth",
+              json::Value::integer(static_cast<long long>(event.queueDepth)));
+      break;
+    case JobEvent::Kind::Rejected:
+      out.set("reason", json::Value::string(event.reason));
+      break;
+    case JobEvent::Kind::Started:
+      out.set("queue_wait_seconds", json::Value::number(event.queueWaitSeconds));
+      break;
+    case JobEvent::Kind::Progress:
+      out.set("record", event.payload);
+      break;
+    case JobEvent::Kind::Done:
+      out.set("run_seconds", json::Value::number(event.runSeconds));
+      out.set("latency_seconds", json::Value::number(event.latencySeconds));
+      out.set("result", event.result ? resultToJson(*event.result)
+                                     : json::Value::null());
+      break;
+    case JobEvent::Kind::Cancelled:
+      out.set("reason", json::Value::string(event.reason));
+      out.set("latency_seconds", json::Value::number(event.latencySeconds));
+      break;
+    case JobEvent::Kind::Failed:
+      out.set("error", json::Value::string(event.reason));
+      out.set("latency_seconds", json::Value::number(event.latencySeconds));
+      break;
+  }
+  return out;
+}
+
+json::Value statusToJson(const Scheduler::Status& status, std::size_t sessions) {
+  json::Value out = json::Value::object();
+  out.set("event", json::Value::string("status"));
+  out.set("queue_depth",
+          json::Value::integer(static_cast<long long>(status.queueDepth)));
+  out.set("queue_capacity",
+          json::Value::integer(static_cast<long long>(status.queueCapacity)));
+  out.set("running", json::Value::integer(static_cast<long long>(status.running)));
+  out.set("draining", json::Value::boolean(status.draining));
+  out.set("submitted",
+          json::Value::integer(static_cast<long long>(status.submitted)));
+  out.set("admitted", json::Value::integer(static_cast<long long>(status.admitted)));
+  out.set("rejected", json::Value::integer(static_cast<long long>(status.rejected)));
+  out.set("completed",
+          json::Value::integer(static_cast<long long>(status.completed)));
+  out.set("cancelled",
+          json::Value::integer(static_cast<long long>(status.cancelled)));
+  out.set("failed", json::Value::integer(static_cast<long long>(status.failed)));
+  out.set("sessions", json::Value::integer(static_cast<long long>(sessions)));
+  return out;
+}
+
+}  // namespace isop::serve

@@ -1,0 +1,55 @@
+// Wire protocol of the serve mode: line-delimited JSON on both directions.
+//
+// Requests (client -> server), one JSON object per line:
+//   {"type":"submit","id":"j1", ...job spec fields...}
+//   {"type":"cancel","id":"j1"}
+//   {"type":"status"}
+//   {"type":"shutdown"}
+//
+// Responses (server -> client), one JSON object per line, each carrying an
+// "event" discriminator: job lifecycle events (accepted/rejected/started/
+// progress/done/cancelled/failed, see Scheduler's JobEvent) plus the
+// server-level ready / status / error / shutdown events emitted by
+// serve::Server. docs/serving.md documents every field.
+//
+// Parsing is strict: malformed JSON, missing/mistyped fields, and unknown
+// keys are all rejected with a reason (served back as an `error` event) —
+// a typo in a knob name must not silently run a default job.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/json.hpp"
+#include "serve/scheduler.hpp"
+
+namespace isop::serve {
+
+/// Protocol revision announced in the `ready` event; bump on any breaking
+/// change to requests or events.
+inline constexpr int kProtocolVersion = 1;
+
+struct Request {
+  enum class Kind { Submit, Cancel, Status, Shutdown };
+  Kind kind = Kind::Status;
+  JobSpec spec;    ///< Submit only
+  std::string id;  ///< Cancel only
+};
+
+/// Parses one request line. std::nullopt (with *error set, when non-null) on
+/// malformed JSON, unknown "type", missing/mistyped fields, unknown keys, or
+/// out-of-range values.
+std::optional<Request> parseRequest(const std::string& line, std::string* error);
+
+/// Wire encoding of one scheduler event (the "result" of a Done event is
+/// expanded via resultToJson).
+json::Value toJson(const JobEvent& event);
+
+/// The final ranked-designs result of a completed job: per-design EM-validated
+/// metrics plus the run's accounting aggregates.
+json::Value resultToJson(const core::TrialStats& stats);
+
+/// The `status` response payload.
+json::Value statusToJson(const Scheduler::Status& status, std::size_t sessions);
+
+}  // namespace isop::serve

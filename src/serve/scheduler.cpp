@@ -1,0 +1,316 @@
+#include "serve/scheduler.hpp"
+
+#include <chrono>
+
+#include "common/check.hpp"
+#include "obs/convergence.hpp"
+#include "obs/obs.hpp"
+
+namespace isop::serve {
+
+const char* jobEventName(JobEvent::Kind kind) {
+  switch (kind) {
+    case JobEvent::Kind::Accepted: return "accepted";
+    case JobEvent::Kind::Rejected: return "rejected";
+    case JobEvent::Kind::Started: return "started";
+    case JobEvent::Kind::Progress: return "progress";
+    case JobEvent::Kind::Done: return "done";
+    case JobEvent::Kind::Cancelled: return "cancelled";
+    case JobEvent::Kind::Failed: return "failed";
+  }
+  return "unknown";
+}
+
+namespace {
+void countEvent(const char* name) {
+  if (!obs::metricsEnabled()) return;
+  obs::registry().counter(std::string("serve.jobs.") + name).add();
+}
+
+void recordSeconds(const char* name, double seconds) {
+  if (!obs::metricsEnabled()) return;
+  obs::registry().histogram(name).record(seconds);
+}
+}  // namespace
+
+Scheduler::Scheduler(SessionManager& sessions, SchedulerConfig config,
+                     EventSink defaultSink)
+    : sessions_(&sessions),
+      config_(config),
+      defaultSink_(std::move(defaultSink)),
+      queue_(config.queueCapacity) {
+  const std::size_t workers = std::max<std::size_t>(1, config_.workers);
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+Scheduler::~Scheduler() { drain(); }
+
+void Scheduler::emit(const EventSink& sink, const JobEvent& event) const {
+  if (sink) sink(event);
+}
+
+void Scheduler::updateQueueGauge() const {
+  if (!obs::metricsEnabled()) return;
+  obs::registry().gauge("serve.queue.depth").set(
+      static_cast<double>(queue_.depth()));
+}
+
+bool Scheduler::submit(const JobSpec& spec, EventSink sink) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  // A copy, not a reference: `sink` is moved into live_ below, and the
+  // accepted/rejected emit must still reach the caller's sink after that.
+  const EventSink effective = sink ? sink : defaultSink_;
+
+  const auto reject = [&](std::string reason) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    countEvent("rejected");
+    JobEvent event;
+    event.kind = JobEvent::Kind::Rejected;
+    event.jobId = spec.id;
+    event.reason = std::move(reason);
+    emit(effective, event);
+    return false;
+  };
+
+  std::string reason;
+  if (!validateSpec(spec, &reason)) return reject(reason);
+
+  auto job = std::make_shared<Job>(spec);
+  {
+    MutexLock lock(mutex_);
+    if (draining_) return reject("server draining");
+    if (live_.count(spec.id) != 0) {
+      return reject("duplicate job id '" + spec.id + "'");
+    }
+    // Backpressure: every push happens under this lock and pops only shrink
+    // the queue, so a capacity check here guarantees the push below admits.
+    if (queue_.depth() >= queue_.capacity()) {
+      return reject("queue full (capacity " + std::to_string(queue_.capacity()) + ")");
+    }
+    if (spec.deadlineMs != 0) {
+      job->token.setTimeout(std::chrono::milliseconds(spec.deadlineMs));
+    }
+    live_.emplace(spec.id, LiveJob{job, std::move(sink)});
+    admitted_.fetch_add(1, std::memory_order_relaxed);
+
+    // `accepted` goes out before the job becomes poppable so no other event
+    // of this job can precede it.
+    JobEvent event;
+    event.kind = JobEvent::Kind::Accepted;
+    event.jobId = spec.id;
+    event.queueDepth = queue_.depth() + 1;
+    emit(effective, event);
+
+    std::string pushReason;
+    const bool pushed = queue_.push(job, &pushReason);
+    ISOP_ASSERT(pushed, "capacity was checked under the scheduler lock");
+    (void)pushed;
+  }
+  countEvent("admitted");
+  updateQueueGauge();
+  return true;
+}
+
+bool Scheduler::cancel(const std::string& id, const std::string& reason) {
+  std::shared_ptr<Job> job;
+  EventSink sink;
+  {
+    MutexLock lock(mutex_);
+    auto it = live_.find(id);
+    if (it == live_.end()) return false;  // unknown or already terminal
+    job = it->second.job;
+    sink = it->second.sink ? it->second.sink : defaultSink_;
+  }
+  job->token.cancel();
+  if (queue_.remove(id)) {
+    // Still queued and now unreachable by workers; this thread owns the
+    // terminal transition.
+    JobState expected = JobState::Queued;
+    const bool won = job->state.compare_exchange_strong(expected, JobState::Cancelled);
+    ISOP_ASSERT(won, "a removed job cannot be popped");
+    (void)won;
+    updateQueueGauge();
+    JobEvent event;
+    event.kind = JobEvent::Kind::Cancelled;
+    event.jobId = id;
+    event.reason = reason;
+    finish(job, sink, std::move(event));
+  }
+  // else: a worker owns the job; the token makes it stop within one
+  // optimizer iteration and the worker emits the terminal event.
+  return true;
+}
+
+void Scheduler::drain() {
+  {
+    MutexLock lock(mutex_);
+    if (draining_) {
+      // Second caller (e.g. the destructor after an explicit drain): workers
+      // may already be joined; fall through only to join if needed.
+    }
+    draining_ = true;
+  }
+  // Reject still-queued jobs in deterministic pop order. close() also makes
+  // every pop() return nullptr once the queue is empty, stopping the workers.
+  const std::vector<std::shared_ptr<Job>> remaining = queue_.close();
+  for (const std::shared_ptr<Job>& job : remaining) {
+    JobState expected = JobState::Queued;
+    if (!job->state.compare_exchange_strong(expected, JobState::Cancelled)) {
+      continue;  // concurrently cancelled; that path emitted the event
+    }
+    EventSink sink = sinkFor(job->spec.id);
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    countEvent("rejected");
+    JobEvent event;
+    event.kind = JobEvent::Kind::Rejected;
+    event.jobId = job->spec.id;
+    event.reason = "server draining";
+    event.latencySeconds = job->sinceAdmission.seconds();
+    {
+      MutexLock lock(mutex_);
+      live_.erase(job->spec.id);
+    }
+    emit(sink, event);
+  }
+  updateQueueGauge();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+Scheduler::Status Scheduler::status() const {
+  Status s;
+  s.queueDepth = queue_.depth();
+  s.queueCapacity = queue_.capacity();
+  s.running = running_.load(std::memory_order_relaxed);
+  {
+    MutexLock lock(mutex_);
+    s.draining = draining_;
+  }
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.admitted = admitted_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.cancelled = cancelled_.load(std::memory_order_relaxed);
+  s.failed = failed_.load(std::memory_order_relaxed);
+  return s;
+}
+
+Scheduler::EventSink Scheduler::sinkFor(const std::string& id) const {
+  MutexLock lock(mutex_);
+  auto it = live_.find(id);
+  if (it == live_.end() || !it->second.sink) return defaultSink_;
+  return it->second.sink;
+}
+
+void Scheduler::finish(const std::shared_ptr<Job>& job, const EventSink& sink,
+                       JobEvent event) {
+  event.latencySeconds = job->sinceAdmission.seconds();
+  event.queueWaitSeconds = job->queueWaitSeconds;
+  {
+    MutexLock lock(mutex_);
+    live_.erase(job->spec.id);
+  }
+  switch (event.kind) {
+    case JobEvent::Kind::Done:
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      countEvent("completed");
+      break;
+    case JobEvent::Kind::Cancelled:
+      cancelled_.fetch_add(1, std::memory_order_relaxed);
+      countEvent("cancelled");
+      break;
+    case JobEvent::Kind::Failed:
+      failed_.fetch_add(1, std::memory_order_relaxed);
+      countEvent("failed");
+      break;
+    default:
+      ISOP_ASSERT(false, "finish() takes terminal events only");
+      break;
+  }
+  recordSeconds("serve.job.latency.seconds", event.latencySeconds);
+  recordSeconds("serve.job.queue_wait.seconds", event.queueWaitSeconds);
+  recordSeconds("serve.job.run.seconds", event.runSeconds);
+  emit(sink, event);
+}
+
+void Scheduler::workerLoop() {
+  for (;;) {
+    const std::shared_ptr<Job> job = queue_.pop();
+    if (!job) return;  // queue closed and drained
+    updateQueueGauge();
+
+    const EventSink sink = sinkFor(job->spec.id);
+    JobState expected = JobState::Queued;
+    if (!job->state.compare_exchange_strong(expected, JobState::Running)) {
+      continue;  // cancel() removed it concurrently and emitted the event
+    }
+    job->queueWaitSeconds = job->sinceAdmission.seconds();
+    running_.fetch_add(1, std::memory_order_relaxed);
+    {
+      JobEvent event;
+      event.kind = JobEvent::Kind::Started;
+      event.jobId = job->spec.id;
+      event.queueWaitSeconds = job->queueWaitSeconds;
+      emit(sink, event);
+    }
+
+    Timer runTimer;
+    JobEvent terminal;
+    terminal.jobId = job->spec.id;
+    try {
+      // The run-time budget starts now; a deadline set at admission stays in
+      // force (the token keeps the earlier of the two instants).
+      if (job->spec.timeoutMs != 0) {
+        job->token.setTimeout(std::chrono::milliseconds(job->spec.timeoutMs));
+      }
+      job->token.throwIfCancelled();  // e.g. deadline expired while queued
+      runJob(job, sink);
+      job->state.store(JobState::Done);
+      terminal.kind = JobEvent::Kind::Done;
+      terminal.result = job->result;
+    } catch (const OperationCancelled& e) {
+      job->state.store(JobState::Cancelled);
+      terminal.kind = JobEvent::Kind::Cancelled;
+      terminal.reason = e.what();
+    } catch (const std::exception& e) {
+      job->state.store(JobState::Failed);
+      terminal.kind = JobEvent::Kind::Failed;
+      terminal.reason = e.what();
+    }
+    terminal.runSeconds = runTimer.seconds();
+    finish(job, sink, std::move(terminal));
+    running_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void Scheduler::runJob(const std::shared_ptr<Job>& job, const EventSink& sink) {
+  const std::shared_ptr<SessionManager::Context> ctx = sessions_->acquire(
+      SessionKey{job->spec.surrogate, job->spec.space, job->spec.layer});
+  const core::Task task = makeTask(job->spec);
+  const core::MethodSpec method = makeMethod(job->spec);
+
+  core::TrialRunner runner(*ctx->simulator, ctx->surrogate, ctx->space, task);
+  runner.setSharedEngine(ctx->engine);
+  runner.setCancelToken(job->token);
+
+  // Per-thread convergence tap: every obs record produced by this job's
+  // stages (they run on this worker thread) streams out as a `progress`
+  // event, regardless of — and without disturbing — the process-wide
+  // convergence sink. Concurrent jobs on other workers tap their own records.
+  obs::ConvergenceRecorder::ScopedTap tap([&](const json::Value& record) {
+    JobEvent event;
+    event.kind = JobEvent::Kind::Progress;
+    event.jobId = job->spec.id;
+    event.payload = record;
+    emit(sink, event);
+  });
+
+  job->result = std::make_shared<const core::TrialStats>(
+      runner.run(method, job->spec.trials, job->spec.seed));
+}
+
+}  // namespace isop::serve

@@ -1,0 +1,140 @@
+// Job scheduler for the optimization service: a fixed worker pool draining
+// the bounded priority JobQueue, running each job through TrialRunner with
+// the session's shared EvalEngine, and reporting every lifecycle transition
+// as a JobEvent to the submitting client's sink.
+//
+// Event-order guarantees, per job:
+//   accepted -> started -> progress* -> exactly one of {done, cancelled,
+//   failed}; or accepted -> cancelled (cancelled while queued); or a lone
+//   rejected. `accepted` is emitted before the job becomes poppable, so no
+//   event can precede it, and the terminal event is emitted exactly once
+//   (the Queued -> Running state CAS arbitrates between a cancelling client
+//   and a worker that already popped the job).
+//
+// Determinism: a job's result depends only on its spec (makeMethod/makeTask
+// are pure, the shared engine's memo cache is result-neutral), never on
+// queue timing, worker count, or other jobs — asserted bitwise by
+// tests/serve/test_serve.cpp against a direct TrialRunner run.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/thread_annotations.hpp"
+#include "serve/job.hpp"
+#include "serve/job_queue.hpp"
+#include "serve/session_manager.hpp"
+
+namespace isop::serve {
+
+/// One lifecycle notification. Which fields are meaningful depends on kind;
+/// protocol.cpp defines the wire encoding.
+struct JobEvent {
+  enum class Kind { Accepted, Rejected, Started, Progress, Done, Cancelled, Failed };
+
+  Kind kind = Kind::Accepted;
+  std::string jobId;
+  std::string reason;            ///< Rejected / Cancelled cause, Failed error
+  json::Value payload;           ///< Progress: one obs convergence record
+  std::shared_ptr<const core::TrialStats> result;  ///< Done only
+  std::size_t queueDepth = 0;        ///< Accepted: depth including this job
+  double queueWaitSeconds = 0.0;     ///< Started and terminal events
+  double runSeconds = 0.0;           ///< terminal events: running time
+  double latencySeconds = 0.0;       ///< terminal events: admission -> terminal
+};
+
+const char* jobEventName(JobEvent::Kind kind);
+
+struct SchedulerConfig {
+  std::size_t workers = 2;        ///< concurrent jobs
+  std::size_t queueCapacity = 16; ///< queued (not yet running) jobs
+};
+
+class Scheduler {
+ public:
+  /// Receives every event for a job. Called from submitter threads
+  /// (Accepted/Rejected, queued-cancel) and worker threads (the rest);
+  /// sinks must be thread-safe. Events for one job are never concurrent
+  /// with each other.
+  using EventSink = std::function<void(const JobEvent&)>;
+
+  /// `sessions` must outlive the scheduler. `defaultSink` receives events of
+  /// jobs submitted without their own sink; may be null (events dropped).
+  Scheduler(SessionManager& sessions, SchedulerConfig config,
+            EventSink defaultSink = nullptr);
+  ~Scheduler();  ///< drains (running jobs finish, queued jobs are rejected)
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Validates and admits a job. Emits `accepted` (and returns true) or
+  /// `rejected` with a reason: invalid spec, duplicate live id, queue full
+  /// (backpressure), or draining. The job's deadline_ms starts now.
+  bool submit(const JobSpec& spec, EventSink sink = nullptr);
+
+  /// Cooperatively cancels a live job. A queued job is removed and emits
+  /// `cancelled` immediately; a running job observes its token within one
+  /// optimizer iteration and emits `cancelled` from its worker. False when
+  /// the id is not live (unknown or already terminal).
+  bool cancel(const std::string& id, const std::string& reason = "cancelled by client");
+
+  /// Stops admission, rejects every still-queued job (in deterministic pop
+  /// order, reason "server draining"), lets running jobs finish, and joins
+  /// the workers. Idempotent; also called by the destructor.
+  void drain();
+
+  struct Status {
+    std::size_t queueDepth = 0;
+    std::size_t queueCapacity = 0;
+    std::size_t running = 0;
+    bool draining = false;
+    std::uint64_t submitted = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t cancelled = 0;
+    std::uint64_t failed = 0;
+  };
+  Status status() const;
+
+ private:
+  struct LiveJob {
+    std::shared_ptr<Job> job;
+    EventSink sink;  ///< null -> defaultSink_
+  };
+
+  void workerLoop();
+  void runJob(const std::shared_ptr<Job>& job, const EventSink& sink);
+  void emit(const EventSink& sink, const JobEvent& event) const;
+  void finish(const std::shared_ptr<Job>& job, const EventSink& sink,
+              JobEvent event);
+  EventSink sinkFor(const std::string& id) const;
+  void updateQueueGauge() const;
+
+  SessionManager* sessions_;
+  const SchedulerConfig config_;
+  const EventSink defaultSink_;
+  JobQueue queue_;
+
+  mutable AnnotatedMutex mutex_;
+  std::map<std::string, LiveJob> live_ ISOP_GUARDED_BY(mutex_);  ///< queued + running
+  bool draining_ ISOP_GUARDED_BY(mutex_) = false;
+
+  std::atomic<std::size_t> running_{0};
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> admitted_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> cancelled_{0};
+  std::atomic<std::uint64_t> failed_{0};
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace isop::serve

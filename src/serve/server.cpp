@@ -1,0 +1,332 @@
+#include "serve/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+
+#include "common/logging.hpp"
+
+namespace isop::serve {
+
+namespace {
+
+// Self-pipe write end of the currently running server; the signal handler
+// may only touch async-signal-safe machinery, so it just pokes this fd.
+std::atomic<int> gSignalFd{-1};
+
+void onShutdownSignal(int) {
+  const int fd = gSignalFd.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    const char byte = 's';
+    // A full pipe means a wake-up is already pending; ignore the result.
+    [[maybe_unused]] const ssize_t n = ::write(fd, &byte, 1);
+  }
+}
+
+json::Value errorEvent(const std::string& message) {
+  json::Value v = json::Value::object();
+  v.set("event", json::Value::string("error"));
+  v.set("error", json::Value::string(message));
+  return v;
+}
+
+}  // namespace
+
+/// Serializes whole JSONL lines onto one stream from many threads (the
+/// scheduler's workers and the request reader share a client's writer).
+/// A failed write marks the writer dead and later writes are dropped — a
+/// client that went away must not take the server down (fd writes use
+/// MSG_NOSIGNAL to suppress SIGPIPE).
+class LineWriter {
+ public:
+  explicit LineWriter(std::FILE* file) : file_(file) {}
+  explicit LineWriter(int fd) : fd_(fd) {}
+
+  void write(const json::Value& value) {
+    const std::string line = value.dump() + "\n";
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (dead_) return;
+    if (file_) {
+      if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
+          std::fflush(file_) != 0) {
+        dead_ = true;
+      }
+      return;
+    }
+    std::size_t off = 0;
+    while (off < line.size()) {
+      const ssize_t n =
+          ::send(fd_, line.data() + off, line.size() - off, MSG_NOSIGNAL);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        dead_ = true;
+        return;
+      }
+      off += static_cast<std::size_t>(n);
+    }
+  }
+
+ private:
+  std::FILE* file_ = nullptr;
+  int fd_ = -1;
+  std::mutex mutex_;
+  bool dead_ = false;
+};
+
+/// One accepted socket client: a reader thread feeding handleLine(), and a
+/// LineWriter all of this client's job events are routed to.
+class Server::Connection {
+ public:
+  Connection(Server& server, int fd)
+      : server_(&server), fd_(fd), writer_(std::make_shared<LineWriter>(fd)) {}
+
+  ~Connection() {
+    join();
+    ::close(fd_);
+  }
+
+  void start() {
+    thread_ = std::thread([this] { readLoop(); });
+  }
+
+  /// Stops the reader (read() returns 0) without tearing down the write
+  /// side — events of still-running jobs keep flowing during the drain.
+  void stopReading() { ::shutdown(fd_, SHUT_RD); }
+
+  void join() {
+    if (thread_.joinable()) thread_.join();
+  }
+
+ private:
+  void readLoop() {
+    std::string buffer;
+    char chunk[4096];
+    for (;;) {
+      const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) break;
+      buffer.append(chunk, static_cast<std::size_t>(n));
+      std::size_t pos;
+      while ((pos = buffer.find('\n')) != std::string::npos) {
+        const std::string line = buffer.substr(0, pos);
+        buffer.erase(0, pos + 1);
+        if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+        server_->handleLine(line, writer_);
+      }
+    }
+  }
+
+  Server* server_;
+  int fd_;
+  std::shared_ptr<LineWriter> writer_;
+  std::thread thread_;
+};
+
+Server::Server(ServerConfig config, std::FILE* in, std::FILE* out)
+    : config_(std::move(config)), in_(in), out_(out), sessions_(config_.engine) {}
+
+Server::~Server() {
+  // run() tears everything down before returning; this only covers a Server
+  // that was never run.
+  if (listenFd_ >= 0) ::close(listenFd_);
+  for (int fd : shutdownPipe_) {
+    if (fd >= 0) ::close(fd);
+  }
+}
+
+void Server::installSignalHandlers() {
+  struct sigaction action;
+  std::memset(&action, 0, sizeof action);
+  action.sa_handler = onShutdownSignal;
+  sigemptyset(&action.sa_mask);
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+  // A vanished client must surface as a failed write, not kill the process.
+  ::signal(SIGPIPE, SIG_IGN);
+}
+
+void Server::beginShutdown() {
+  if (shutdownRequested_.exchange(true)) return;
+  const int fd = shutdownPipe_[1];
+  if (fd >= 0) {
+    const char byte = 's';
+    [[maybe_unused]] const ssize_t n = ::write(fd, &byte, 1);
+  }
+}
+
+void Server::handleLine(const std::string& line,
+                        const std::shared_ptr<LineWriter>& writer) {
+  std::string error;
+  const std::optional<Request> request = parseRequest(line, &error);
+  if (!request) {
+    writer->write(errorEvent(error));
+    return;
+  }
+  switch (request->kind) {
+    case Request::Kind::Submit: {
+      const std::shared_ptr<LineWriter> sink = writer;
+      scheduler_->submit(request->spec, [sink](const JobEvent& event) {
+        sink->write(toJson(event));
+      });
+      break;
+    }
+    case Request::Kind::Cancel:
+      if (!scheduler_->cancel(request->id)) {
+        writer->write(errorEvent("cancel: no live job '" + request->id + "'"));
+      }
+      break;
+    case Request::Kind::Status:
+      writer->write(statusToJson(scheduler_->status(), sessions_.size()));
+      break;
+    case Request::Kind::Shutdown:
+      beginShutdown();
+      break;
+  }
+}
+
+void Server::acceptLoop(int listenFd) {
+  for (;;) {
+    pollfd fds[2] = {{listenFd, POLLIN, 0}, {shutdownPipe_[0], POLLIN, 0}};
+    if (::poll(fds, 2, -1) < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (fds[1].revents != 0) return;  // shutdown (the byte stays for run())
+    if (fds[0].revents == 0) continue;
+    const int fd = ::accept(listenFd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return;
+    }
+    auto connection = std::make_shared<Connection>(*this, fd);
+    {
+      std::lock_guard<std::mutex> lock(connectionsMutex_);
+      connections_.push_back(connection);
+    }
+    connection->start();
+  }
+}
+
+int Server::run() {
+  if (::pipe(shutdownPipe_) != 0) {
+    log::error("serve: pipe() failed: ", std::strerror(errno));
+    return 1;
+  }
+  gSignalFd.store(shutdownPipe_[1], std::memory_order_relaxed);
+
+  if (!config_.socketPath.empty()) {
+    sockaddr_un addr;
+    std::memset(&addr, 0, sizeof addr);
+    addr.sun_family = AF_UNIX;
+    if (config_.socketPath.size() >= sizeof addr.sun_path) {
+      log::error("serve: socket path too long: ", config_.socketPath);
+      return 1;
+    }
+    std::strncpy(addr.sun_path, config_.socketPath.c_str(), sizeof addr.sun_path - 1);
+    listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listenFd_ < 0) {
+      log::error("serve: socket() failed: ", std::strerror(errno));
+      return 1;
+    }
+    ::unlink(config_.socketPath.c_str());  // stale path from a crashed server
+    if (::bind(listenFd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+        ::listen(listenFd_, 8) != 0) {
+      log::error("serve: cannot listen on '", config_.socketPath,
+                 "': ", std::strerror(errno));
+      ::close(listenFd_);
+      listenFd_ = -1;
+      return 1;
+    }
+  }
+
+  stdioWriter_ = std::make_shared<LineWriter>(out_);
+  scheduler_ = std::make_unique<Scheduler>(
+      sessions_, config_.scheduler,
+      [writer = stdioWriter_](const JobEvent& event) { writer->write(toJson(event)); });
+  if (listenFd_ >= 0) {
+    acceptThread_ = std::thread([this, fd = listenFd_] { acceptLoop(fd); });
+  }
+
+  {
+    json::Value ready = json::Value::object();
+    ready.set("event", json::Value::string("ready"));
+    ready.set("protocol", json::Value::integer(kProtocolVersion));
+    ready.set("workers", json::Value::integer(
+                             static_cast<long long>(config_.scheduler.workers)));
+    ready.set("queue_capacity",
+              json::Value::integer(
+                  static_cast<long long>(config_.scheduler.queueCapacity)));
+    stdioWriter_->write(ready);
+  }
+
+  const int inFd = ::fileno(in_);
+  std::string buffer;
+  while (!shutdownRequested_.load(std::memory_order_relaxed)) {
+    pollfd fds[2] = {{inFd, POLLIN, 0}, {shutdownPipe_[0], POLLIN, 0}};
+    if (::poll(fds, 2, -1) < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[1].revents != 0) break;  // signal or shutdown request
+    if (fds[0].revents == 0) continue;
+    char chunk[4096];
+    const ssize_t n = ::read(inFd, chunk, sizeof chunk);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // stdin EOF: batch mode finished submitting
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t pos;
+    while ((pos = buffer.find('\n')) != std::string::npos) {
+      const std::string line = buffer.substr(0, pos);
+      buffer.erase(0, pos + 1);
+      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+      handleLine(line, stdioWriter_);
+      if (shutdownRequested_.load(std::memory_order_relaxed)) break;
+    }
+  }
+  beginShutdown();
+
+  // Stop intake: no new connections, no new requests from existing ones.
+  if (acceptThread_.joinable()) acceptThread_.join();
+  if (listenFd_ >= 0) {
+    ::close(listenFd_);
+    ::unlink(config_.socketPath.c_str());
+    listenFd_ = -1;
+  }
+  {
+    std::lock_guard<std::mutex> lock(connectionsMutex_);
+    for (const auto& connection : connections_) connection->stopReading();
+  }
+
+  // Drain: queued jobs are rejected ("server draining"), running jobs finish
+  // and stream their remaining events to their clients.
+  const Scheduler::Status finalStatus = scheduler_->status();
+  scheduler_->drain();
+
+  {
+    json::Value done = json::Value::object();
+    done.set("event", json::Value::string("shutdown"));
+    done.set("jobs_completed",
+             json::Value::integer(
+                 static_cast<long long>(scheduler_->status().completed)));
+    done.set("jobs_running_at_drain",
+             json::Value::integer(static_cast<long long>(finalStatus.running)));
+    stdioWriter_->write(done);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(connectionsMutex_);
+    connections_.clear();  // joins readers, closes fds
+  }
+  gSignalFd.store(-1, std::memory_order_relaxed);
+  ::close(shutdownPipe_[0]);
+  ::close(shutdownPipe_[1]);
+  shutdownPipe_[0] = shutdownPipe_[1] = -1;
+  return 0;
+}
+
+}  // namespace isop::serve

@@ -1,0 +1,83 @@
+// The serve-mode front end: reads JSONL requests, writes JSONL events, and
+// coordinates graceful shutdown.
+//
+// Transports:
+//   * stdio  — requests on stdin, events on stdout (always on). EOF on
+//     stdin triggers a graceful drain, so `printf '...' | isop_cli --serve`
+//     runs a batch and exits cleanly.
+//   * unix socket — optional (`socketPath`); each accepted connection
+//     speaks the same protocol, and a job's events go to the connection
+//     that submitted it.
+//
+// Shutdown paths (all equivalent): SIGINT/SIGTERM, a {"type":"shutdown"}
+// request, or stdin EOF. Each stops admission, rejects still-queued jobs
+// ("server draining"), lets running jobs finish, then emits a final
+// `shutdown` event. Signals are handled with the self-pipe idiom — the
+// handler only writes a byte, the poll loop does the work.
+#pragma once
+
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/protocol.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/session_manager.hpp"
+
+namespace isop::serve {
+
+struct ServerConfig {
+  SchedulerConfig scheduler{};
+  std::string socketPath;  ///< empty = stdio only
+  /// Engine knobs shared by every session (memo cache size etc.).
+  core::EvalEngineConfig engine{};
+};
+
+class Server {
+ public:
+  /// `in`/`out` are the stdio transport (tests pass pipes). The server does
+  /// not own them.
+  Server(ServerConfig config, std::FILE* in, std::FILE* out);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Installs SIGINT/SIGTERM handlers that request a graceful shutdown of
+  /// the run()ning server. Call once from main(); not required (tests drive
+  /// shutdown via EOF or a shutdown request instead).
+  static void installSignalHandlers();
+
+  /// Serves until EOF, a shutdown request, or a signal; drains and returns
+  /// 0 (nonzero only on transport setup failure, e.g. an unbindable socket
+  /// path).
+  int run();
+
+ private:
+  class Connection;
+
+  void handleLine(const std::string& line, const std::shared_ptr<class LineWriter>& writer);
+  void acceptLoop(int listenFd);
+  void beginShutdown();
+
+  ServerConfig config_;
+  std::FILE* in_;
+  std::FILE* out_;
+  SessionManager sessions_;
+  std::unique_ptr<Scheduler> scheduler_;
+  std::shared_ptr<class LineWriter> stdioWriter_;
+
+  std::atomic<bool> shutdownRequested_{false};
+  int shutdownPipe_[2] = {-1, -1};  ///< wakes the poll loops
+
+  std::thread acceptThread_;
+  int listenFd_ = -1;
+  std::mutex connectionsMutex_;
+  std::vector<std::shared_ptr<Connection>> connections_;
+};
+
+}  // namespace isop::serve

@@ -1,0 +1,73 @@
+#include "serve/session_manager.hpp"
+
+#include <stdexcept>
+
+#include "core/simulator_surrogate.hpp"
+#include "data/cache.hpp"
+#include "obs/obs.hpp"
+
+namespace isop::serve {
+
+SessionManager::SessionManager(core::EvalEngineConfig engineConfig)
+    : engineConfig_(engineConfig) {}
+
+std::shared_ptr<SessionManager::Context> SessionManager::acquire(
+    const SessionKey& key) {
+  MutexLock lock(mutex_);
+  auto it = sessions_.find(key);
+  if (it != sessions_.end()) return it->second;
+  std::shared_ptr<Context> ctx = build(key);
+  sessions_.emplace(key, ctx);
+  if (obs::metricsEnabled()) {
+    auto& reg = obs::registry();
+    reg.counter("serve.sessions.created").add();
+    reg.gauge("serve.sessions.active").set(static_cast<double>(sessions_.size()));
+  }
+  return ctx;
+}
+
+std::shared_ptr<SessionManager::Context> SessionManager::build(
+    const SessionKey& key) const {
+  em::SimulatorConfig simCfg;
+  if (key.layer == "microstrip") {
+    simCfg.layerType = em::LayerType::Microstrip;
+  } else if (key.layer != "stripline") {
+    throw std::invalid_argument("unknown layer '" + key.layer + "'");
+  }
+
+  auto ctx = std::make_shared<Context>();
+  ctx->simulator = std::make_unique<em::EmSimulator>(simCfg);
+  ctx->space = em::spaceByName(key.space);
+
+  if (key.surrogate == "oracle") {
+    ctx->surrogate = std::make_shared<core::SimulatorSurrogate>(*ctx->simulator);
+  } else if (key.surrogate == "cnn" || key.surrogate == "mlp") {
+    // Same dataset/training settings as isop_cli's one-shot path, so the
+    // disk cache under ISOP_CACHE_DIR is shared between serve and one-shot
+    // runs and a pre-warmed model loads instantly here.
+    data::GenerationConfig gen;
+    ml::nn::TrainConfig train;
+    train.epochs = 80;
+    train.learningRate = 3e-3;
+    train.lrDecay = 0.98;
+    ctx->surrogate =
+        key.surrogate == "cnn"
+            ? std::shared_ptr<const ml::Surrogate>(
+                  data::getOrTrainCnnSurrogate(*ctx->simulator, gen, train))
+            : std::shared_ptr<const ml::Surrogate>(
+                  data::getOrTrainMlpSurrogate(*ctx->simulator, gen, train));
+  } else {
+    throw std::invalid_argument("unknown surrogate '" + key.surrogate + "'");
+  }
+
+  ctx->engine = std::make_shared<core::EvalEngine>(*ctx->surrogate,
+                                                   *ctx->simulator, engineConfig_);
+  return ctx;
+}
+
+std::size_t SessionManager::size() const {
+  MutexLock lock(mutex_);
+  return sessions_.size();
+}
+
+}  // namespace isop::serve

@@ -1,0 +1,73 @@
+// Long-lived optimization sessions for the serve mode.
+//
+// A session owns the expensive, reusable state behind a (surrogate, space,
+// layer) triple: the EM simulator, the performance surrogate (trained once,
+// or loaded from the data cache), and one shared EvalEngine whose memo cache
+// persists across jobs. Every job targeting the same triple is handed the
+// same Context, so concurrent and successive jobs warm-start from each
+// other's memoized evaluations — results are unchanged (memo hits return the
+// exact cached model output and are still billed as queries), only wall
+// time and EvalEngineStats::memoHits move.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/thread_annotations.hpp"
+#include "core/eval/eval_engine.hpp"
+#include "em/simulator.hpp"
+#include "ml/surrogate.hpp"
+#include "serve/job.hpp"
+
+namespace isop::serve {
+
+/// Identity of a session: which model answers queries over which space and
+/// layer physics. Jobs with equal keys share one Context.
+struct SessionKey {
+  std::string surrogate;  ///< oracle|cnn|mlp
+  std::string space;      ///< S1|S2|S1p
+  std::string layer;      ///< stripline|microstrip
+
+  bool operator<(const SessionKey& other) const {
+    if (surrogate != other.surrogate) return surrogate < other.surrogate;
+    if (space != other.space) return space < other.space;
+    return layer < other.layer;
+  }
+};
+
+class SessionManager {
+ public:
+  /// One session's shared state. Immutable after construction except for the
+  /// engine's internal (thread-safe) memo cache.
+  struct Context {
+    std::unique_ptr<em::EmSimulator> simulator;
+    std::shared_ptr<const ml::Surrogate> surrogate;
+    em::ParameterSpace space;
+    std::shared_ptr<core::EvalEngine> engine;
+  };
+
+  /// `engineConfig` applies to every session's shared engine (memoization
+  /// on by default; raise maxCacheEntries for long-running servers).
+  explicit SessionManager(core::EvalEngineConfig engineConfig = {});
+
+  /// Returns the session for `key`, creating it on first use. Creation can
+  /// be expensive for cnn/mlp (trains the surrogate unless the data cache
+  /// already holds it) and runs under the manager lock, so the first job on
+  /// a new ML-surrogate session briefly stalls other acquires; pre-warm the
+  /// cache (run bench_surrogates or a one-shot isop_cli) for instant serves.
+  /// Throws std::invalid_argument on unknown surrogate/space/layer names.
+  std::shared_ptr<Context> acquire(const SessionKey& key);
+
+  /// Number of live sessions.
+  std::size_t size() const;
+
+ private:
+  std::shared_ptr<Context> build(const SessionKey& key) const;
+
+  const core::EvalEngineConfig engineConfig_;
+  mutable AnnotatedMutex mutex_;
+  std::map<SessionKey, std::shared_ptr<Context>> sessions_ ISOP_GUARDED_BY(mutex_);
+};
+
+}  // namespace isop::serve

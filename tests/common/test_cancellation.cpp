@@ -1,0 +1,79 @@
+// CancelToken semantics: inert default, shared cancellation across copies,
+// monotone deadline arming, and the reason strings terminal job events carry.
+#include "common/cancellation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace isop {
+namespace {
+
+TEST(CancelToken, DefaultConstructedIsInertForever) {
+  CancelToken token;
+  EXPECT_FALSE(token.valid());
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_NO_THROW(token.throwIfCancelled());
+  token.cancel();  // no-op on an inert token
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_STREQ(token.reason(), "");
+}
+
+TEST(CancelToken, CancelIsSharedAcrossCopies) {
+  CancelToken token = CancelToken::create();
+  EXPECT_TRUE(token.valid());
+  EXPECT_FALSE(token.cancelled());
+  CancelToken copy = token;
+
+  copy.cancel();
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_STREQ(token.reason(), "cancelled");
+  EXPECT_THROW(token.throwIfCancelled(), OperationCancelled);
+  try {
+    copy.throwIfCancelled();
+    FAIL() << "expected OperationCancelled";
+  } catch (const OperationCancelled& e) {
+    EXPECT_NE(std::string(e.what()).find("cancelled"), std::string::npos);
+  }
+}
+
+TEST(CancelToken, DeadlineInThePastCancelsImmediately) {
+  CancelToken token = CancelToken::create();
+  token.setTimeout(std::chrono::nanoseconds(0));
+  // A zero timeout expires at once (modulo scheduler noise: poll briefly).
+  for (int i = 0; i < 100 && !token.cancelled(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_STREQ(token.reason(), "deadline exceeded");
+  EXPECT_THROW(token.throwIfCancelled(), OperationCancelled);
+}
+
+TEST(CancelToken, FarDeadlineDoesNotCancel) {
+  CancelToken token = CancelToken::create();
+  token.setTimeout(std::chrono::hours(24));
+  EXPECT_TRUE(token.deadlineArmed());
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(CancelToken, EarlierDeadlineWins) {
+  CancelToken token = CancelToken::create();
+  token.setTimeout(std::chrono::nanoseconds(0));
+  token.setTimeout(std::chrono::hours(24));  // must not extend the deadline
+  for (int i = 0; i < 100 && !token.cancelled(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(CancelToken, ExplicitCancelReasonBeatsDeadlineReason) {
+  CancelToken token = CancelToken::create();
+  token.cancel();
+  token.setTimeout(std::chrono::nanoseconds(0));
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_STREQ(token.reason(), "cancelled");
+}
+
+}  // namespace
+}  // namespace isop

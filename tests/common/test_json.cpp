@@ -140,5 +140,58 @@ TEST(JsonParse, AllowsSurroundingWhitespaceOnly) {
   EXPECT_FALSE(Value::parse("{} extra").has_value());
 }
 
+namespace {
+std::string nestedArrays(std::size_t depth) {
+  std::string doc(depth, '[');
+  doc += "1";
+  doc.append(depth, ']');
+  return doc;
+}
+}  // namespace
+
+TEST(JsonParse, NestingUpToMaxDepthRoundTrips) {
+  const std::string doc = nestedArrays(Value::kMaxParseDepth);
+  const auto parsed = Value::parse(doc);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->dump(), doc);
+  // Mixed containers count against the same limit.
+  std::string mixed;
+  for (std::size_t i = 0; i < Value::kMaxParseDepth / 2; ++i) mixed += "{\"k\":[";
+  mixed += "null";
+  for (std::size_t i = 0; i < Value::kMaxParseDepth / 2; ++i) mixed += "]}";
+  EXPECT_TRUE(Value::parse(mixed).has_value());
+}
+
+TEST(JsonParse, RejectsNestingBeyondMaxDepth) {
+  EXPECT_FALSE(Value::parse(nestedArrays(Value::kMaxParseDepth + 1)).has_value());
+  // A pathological deep document must fail cleanly, not blow the stack.
+  EXPECT_FALSE(Value::parse(nestedArrays(100000)).has_value());
+}
+
+TEST(JsonParse, LongStringsRoundTrip) {
+  std::string longString;
+  longString.reserve(1 << 16);
+  for (int i = 0; i < 4096; ++i) longString += "ab\"\\\n\t\xc3\xa9...";
+  Value obj = Value::object();
+  obj.set("s", Value::string(longString));
+  const auto parsed = Value::parse(obj.dump());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->at("s").asString(), longString);
+}
+
+TEST(JsonParse, NonFiniteDumpRoundTripsAsNull) {
+  // dump() writes non-finite doubles as null (valid JSON), so a document
+  // containing them always re-parses — the value comes back as Kind::Null.
+  Value obj = Value::object();
+  obj.set("inf", Value::number(std::numeric_limits<double>::infinity()));
+  obj.set("nan", Value::number(std::nan("")));
+  obj.set("ok", Value::number(1.5));
+  const auto parsed = Value::parse(obj.dump());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->at("inf").kind(), Value::Kind::Null);
+  EXPECT_EQ(parsed->at("nan").kind(), Value::Kind::Null);
+  EXPECT_DOUBLE_EQ(parsed->at("ok").asNumber(), 1.5);
+}
+
 }  // namespace
 }  // namespace isop::json

@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <condition_variable>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace isop {
@@ -105,6 +108,43 @@ TEST(ThreadPool, StatsSnapshotNeverShowsCompletedAboveSubmitted) {
   const ThreadPool::PoolStats final = pool.stats();
   EXPECT_EQ(final.submitted, 2000u);
   EXPECT_EQ(final.completed, 2000u);
+}
+
+TEST(ThreadPool, InFlightTracksRunningTasks) {
+  constexpr std::size_t kWorkers = 3;
+  ThreadPool pool(kWorkers);
+  EXPECT_EQ(pool.stats().inFlight, 0u);  // idle pool runs nothing
+
+  // Park every worker on a latch plus one extra task that must stay queued.
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<std::size_t> started{0};
+  std::vector<std::future<void>> futs;
+  for (std::size_t i = 0; i < kWorkers + 1; ++i) {
+    futs.push_back(pool.submit([&] {
+      started.fetch_add(1);
+      std::unique_lock<std::mutex> lock(mutex);
+      while (!release) cv.wait(lock);
+    }));
+  }
+  while (started.load() < kWorkers) std::this_thread::yield();
+
+  ThreadPool::PoolStats s = pool.stats();
+  EXPECT_EQ(s.inFlight, kWorkers);  // one task per worker, popped but unfinished
+  EXPECT_EQ(s.queueDepth, 1u);      // the extra task waits in the queue
+  EXPECT_EQ(s.submitted, s.completed + s.queueDepth + s.inFlight);
+
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    release = true;
+  }
+  cv.notify_all();
+  for (auto& f : futs) f.get();
+  s = pool.stats();
+  EXPECT_EQ(s.inFlight, 0u);
+  EXPECT_EQ(s.completed, kWorkers + 1);
+  EXPECT_EQ(s.submitted, s.completed + s.queueDepth + s.inFlight);
 }
 
 }  // namespace

@@ -1,0 +1,114 @@
+// Dataset/model cache behaviour: cache files are published atomically (no
+// torn or leftover temp files), a cached dataset round-trips bitwise, and a
+// corrupt cache entry is regenerated instead of crashing the run.
+#include "data/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "em/parameter_space.hpp"
+#include "em/simulator.hpp"
+
+namespace isop::data {
+namespace {
+
+namespace fs = std::filesystem;
+
+void expectBitwiseEqual(const ml::Dataset& actual, const ml::Dataset& expected) {
+  ASSERT_EQ(actual.size(), expected.size());
+  ASSERT_EQ(actual.inputDim(), expected.inputDim());
+  ASSERT_EQ(actual.outputDim(), expected.outputDim());
+  for (std::size_t r = 0; r < expected.size(); ++r) {
+    for (std::size_t c = 0; c < expected.inputDim(); ++c) {
+      ASSERT_EQ(actual.x(r, c), expected.x(r, c)) << "x(" << r << "," << c << ")";
+    }
+    for (std::size_t c = 0; c < expected.outputDim(); ++c) {
+      ASSERT_EQ(actual.y(r, c), expected.y(r, c)) << "y(" << r << "," << c << ")";
+    }
+  }
+}
+
+// Each test gets its own cache directory under the gtest temp dir via
+// ISOP_CACHE_DIR, so runs never touch (or depend on) the repo-level cache.
+class CacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "isop_cache_test";
+    fs::remove_all(dir_);
+    ASSERT_EQ(setenv("ISOP_CACHE_DIR", dir_.c_str(), 1), 0);
+  }
+
+  void TearDown() override {
+    unsetenv("ISOP_CACHE_DIR");
+    fs::remove_all(dir_);
+  }
+
+  static GenerationConfig smallConfig() {
+    GenerationConfig config;
+    config.samples = 32;
+    config.seed = 7;
+    config.spaceName = "S1";
+    return config;
+  }
+
+  std::vector<std::string> cacheFiles() const {
+    std::vector<std::string> names;
+    if (!fs::exists(dir_)) return names;
+    for (const auto& entry : fs::directory_iterator(dir_)) {
+      names.push_back(entry.path().filename().string());
+    }
+    return names;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(CacheTest, CacheDirHonoursEnvOverride) {
+  EXPECT_EQ(cacheDir(), dir_);
+  EXPECT_TRUE(fs::exists(dir_));
+}
+
+TEST_F(CacheTest, GeneratesOncePublishesAtomicallyAndReloads) {
+  em::EmSimulator sim;
+  const em::ParameterSpace space = em::spaceByName("S1");
+  const GenerationConfig config = smallConfig();
+
+  const ml::Dataset first = getOrGenerateDataset(sim, space, config);
+  EXPECT_EQ(first.size(), config.samples);
+
+  const auto files = cacheFiles();
+  ASSERT_EQ(files.size(), 1u) << "expected exactly the published dataset file";
+  // Atomic publication: the temp file was renamed into place, not left over.
+  EXPECT_EQ(files[0].find(".tmp."), std::string::npos) << files[0];
+
+  // A second call must serve the cached copy with identical contents.
+  const ml::Dataset second = getOrGenerateDataset(sim, space, config);
+  expectBitwiseEqual(second, first);
+}
+
+TEST_F(CacheTest, CorruptCacheEntryIsRegenerated) {
+  em::EmSimulator sim;
+  const em::ParameterSpace space = em::spaceByName("S1");
+  const GenerationConfig config = smallConfig();
+
+  const ml::Dataset fresh = getOrGenerateDataset(sim, space, config);
+  const auto files = cacheFiles();
+  ASSERT_EQ(files.size(), 1u);
+  {
+    std::ofstream out(dir_ + "/" + files[0], std::ios::trunc);
+    out << "garbage";
+  }
+
+  const ml::Dataset regenerated = getOrGenerateDataset(sim, space, config);
+  expectBitwiseEqual(regenerated, fresh);
+  // The rewritten cache entry must load cleanly again.
+  EXPECT_NO_THROW(ml::loadDataset(dir_ + "/" + files[0]));
+}
+
+}  // namespace
+}  // namespace isop::data

@@ -9,6 +9,8 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 namespace isop::obs {
 namespace {
@@ -138,6 +140,75 @@ TEST(ConvergenceRecorder, FileSinkStreamsJsonl) {
   EXPECT_EQ(r->epoch, 7u);
   EXPECT_FALSE(std::getline(in, line));  // exactly one line
   std::remove(path.c_str());
+}
+
+TEST(ConvergenceRecorder, ScopedTapCapturesAndShieldsGlobalSink) {
+  ConvergenceRecorder rec;
+  rec.setEnabled(true);
+  std::vector<std::string> tapped;
+  {
+    ConvergenceRecorder::ScopedTap tap(
+        [&](const json::Value& v) { tapped.push_back(v.dump()); });
+    HarmonicaIterationRecord r;
+    r.iteration = 5;
+    rec.record(r.toJson());
+  }
+  ASSERT_EQ(tapped.size(), 1u);
+  EXPECT_EQ(recordType(*json::Value::parse(tapped[0])), "harmonica_iteration");
+  EXPECT_TRUE(rec.lines().empty());  // the tap shielded the global sink
+
+  // After the tap is gone, records flow to the global sink again.
+  rec.record(HarmonicaIterationRecord{}.toJson());
+  EXPECT_EQ(rec.lines().size(), 1u);
+  EXPECT_EQ(tapped.size(), 1u);
+}
+
+TEST(ConvergenceRecorder, TapWorksWhileRecorderDisabled) {
+  // A serve job must stream progress even when the process-wide convergence
+  // sink is off: enabled() reads true on a tapped thread.
+  ConvergenceRecorder rec;
+  EXPECT_FALSE(rec.enabled());
+  std::vector<std::string> tapped;
+  {
+    ConvergenceRecorder::ScopedTap tap(
+        [&](const json::Value& v) { tapped.push_back(v.dump()); });
+    EXPECT_TRUE(rec.enabled());
+    rec.record(AdamEpochRecord{}.toJson());
+  }
+  EXPECT_FALSE(rec.enabled());
+  EXPECT_EQ(tapped.size(), 1u);
+  EXPECT_TRUE(rec.lines().empty());
+}
+
+TEST(ConvergenceRecorder, TapsNestAndRestore) {
+  ConvergenceRecorder rec;
+  std::vector<std::string> outer;
+  std::vector<std::string> inner;
+  {
+    ConvergenceRecorder::ScopedTap outerTap(
+        [&](const json::Value& v) { outer.push_back(v.dump()); });
+    {
+      ConvergenceRecorder::ScopedTap innerTap(
+          [&](const json::Value& v) { inner.push_back(v.dump()); });
+      rec.record(AdamEpochRecord{}.toJson());  // innermost tap wins
+    }
+    rec.record(AdamEpochRecord{}.toJson());  // previous tap restored
+  }
+  EXPECT_EQ(inner.size(), 1u);
+  EXPECT_EQ(outer.size(), 1u);
+}
+
+TEST(ConvergenceRecorder, TapIsPerThread) {
+  ConvergenceRecorder rec;
+  rec.setEnabled(true);
+  std::vector<std::string> tapped;
+  ConvergenceRecorder::ScopedTap tap(
+      [&](const json::Value& v) { tapped.push_back(v.dump()); });
+  // A record() on an untapped thread goes to the global sink, not our tap.
+  std::thread other([&] { rec.record(AdamEpochRecord{}.toJson()); });
+  other.join();
+  EXPECT_TRUE(tapped.empty());
+  EXPECT_EQ(rec.lines().size(), 1u);
 }
 
 }  // namespace

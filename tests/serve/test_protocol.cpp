@@ -1,0 +1,207 @@
+// Wire-protocol tests: strict request parsing (shape errors, unknown keys,
+// unknown types) and the JSONL encoding of job events and results.
+#include <gtest/gtest.h>
+
+#include "serve/protocol.hpp"
+
+namespace isop::serve {
+namespace {
+
+TEST(Protocol, ParsesFullSubmitRequest) {
+  const std::string line =
+      R"({"type":"submit","id":"j1","task":"T2","space":"S2","layer":"microstrip",)"
+      R"("surrogate":"oracle","target":100.5,"tolerance":2.5,)"
+      R"("table_ix_constraints":true,"budget":200,"iterations":4,)"
+      R"("local_seeds":2,"refine_epochs":10,"hyperband_resource":3,)"
+      R"("candidates":5,"trials":2,"seed":9,"priority":-3,"timeout_ms":1000,)"
+      R"("deadline_ms":2000})";
+  std::string error;
+  const auto request = parseRequest(line, &error);
+  ASSERT_TRUE(request.has_value()) << error;
+  ASSERT_EQ(request->kind, Request::Kind::Submit);
+  const JobSpec& spec = request->spec;
+  EXPECT_EQ(spec.id, "j1");
+  EXPECT_EQ(spec.task, "T2");
+  EXPECT_EQ(spec.space, "S2");
+  EXPECT_EQ(spec.layer, "microstrip");
+  EXPECT_EQ(spec.surrogate, "oracle");
+  ASSERT_TRUE(spec.target.has_value());
+  EXPECT_EQ(*spec.target, 100.5);
+  ASSERT_TRUE(spec.tolerance.has_value());
+  EXPECT_EQ(*spec.tolerance, 2.5);
+  EXPECT_TRUE(spec.tableIxConstraints);
+  EXPECT_EQ(spec.budget, 200u);
+  EXPECT_EQ(spec.iterations, 4u);
+  EXPECT_EQ(spec.localSeeds, 2u);
+  EXPECT_EQ(spec.refineEpochs, 10u);
+  EXPECT_EQ(spec.hyperbandResource, 3u);
+  EXPECT_EQ(spec.candidates, 5u);
+  EXPECT_EQ(spec.trials, 2u);
+  EXPECT_EQ(spec.seed, 9u);
+  EXPECT_EQ(spec.priority, -3);
+  EXPECT_EQ(spec.timeoutMs, 1000u);
+  EXPECT_EQ(spec.deadlineMs, 2000u);
+}
+
+TEST(Protocol, SubmitDefaultsMatchJobSpecDefaults) {
+  std::string error;
+  const auto request = parseRequest(R"({"type":"submit","id":"j"})", &error);
+  ASSERT_TRUE(request.has_value()) << error;
+  const JobSpec defaults;
+  const JobSpec& spec = request->spec;
+  EXPECT_EQ(spec.task, defaults.task);
+  EXPECT_EQ(spec.space, defaults.space);
+  EXPECT_EQ(spec.surrogate, defaults.surrogate);
+  EXPECT_EQ(spec.budget, defaults.budget);
+  EXPECT_EQ(spec.trials, defaults.trials);
+  EXPECT_FALSE(spec.target.has_value());
+}
+
+TEST(Protocol, RejectsMalformedRequests) {
+  const auto expectError = [](const std::string& line, const std::string& needle) {
+    std::string error;
+    EXPECT_FALSE(parseRequest(line, &error).has_value()) << line;
+    EXPECT_NE(error.find(needle), std::string::npos)
+        << "line: " << line << "\nerror: " << error;
+  };
+  expectError("not json", "malformed JSON");
+  expectError("[1,2]", "must be a JSON object");
+  expectError(R"({"id":"j1"})", "missing string field 'type'");
+  expectError(R"({"type":"explode"})", "unknown request type");
+  expectError(R"({"type":"submit","id":"j","budgget":5})", "unknown field 'budgget'");
+  expectError(R"({"type":"submit","id":7})", "'id' must be a string");
+  expectError(R"({"type":"submit","id":"j","budget":0})", "'budget'");
+  expectError(R"({"type":"submit","id":"j","budget":1.5})", "'budget'");
+  expectError(R"({"type":"submit","id":"j","seed":-4})", "'seed'");
+  expectError(R"({"type":"submit","id":"j","target":"85"})", "'target' must be a number");
+  expectError(R"({"type":"cancel"})", "non-empty 'id'");
+  expectError(R"({"type":"cancel","id":"j","extra":1})", "unknown field 'extra'");
+  expectError(R"({"type":"status","x":1})", "unknown field 'x'");
+}
+
+TEST(Protocol, ParsesControlRequests) {
+  std::string error;
+  const auto cancel = parseRequest(R"({"type":"cancel","id":"jobX"})", &error);
+  ASSERT_TRUE(cancel.has_value()) << error;
+  EXPECT_EQ(cancel->kind, Request::Kind::Cancel);
+  EXPECT_EQ(cancel->id, "jobX");
+
+  const auto status = parseRequest(R"({"type":"status"})", &error);
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(status->kind, Request::Kind::Status);
+
+  const auto shutdown = parseRequest(R"({"type":"shutdown"})", &error);
+  ASSERT_TRUE(shutdown.has_value());
+  EXPECT_EQ(shutdown->kind, Request::Kind::Shutdown);
+}
+
+TEST(Protocol, EventEncodingCarriesKindSpecificFields) {
+  JobEvent accepted;
+  accepted.kind = JobEvent::Kind::Accepted;
+  accepted.jobId = "j1";
+  accepted.queueDepth = 3;
+  json::Value v = toJson(accepted);
+  EXPECT_EQ(v.at("event").asString(), "accepted");
+  EXPECT_EQ(v.at("id").asString(), "j1");
+  EXPECT_EQ(v.at("queue_depth").asInteger(), 3);
+
+  JobEvent rejected;
+  rejected.kind = JobEvent::Kind::Rejected;
+  rejected.jobId = "j2";
+  rejected.reason = "queue full (capacity 1)";
+  v = toJson(rejected);
+  EXPECT_EQ(v.at("event").asString(), "rejected");
+  EXPECT_EQ(v.at("reason").asString(), "queue full (capacity 1)");
+
+  JobEvent progress;
+  progress.kind = JobEvent::Kind::Progress;
+  progress.jobId = "j3";
+  json::Value record = json::Value::object();
+  record.set("type", json::Value::string("adam_epoch"));
+  progress.payload = record;
+  v = toJson(progress);
+  EXPECT_EQ(v.at("record").at("type").asString(), "adam_epoch");
+
+  // Every encoded event is a single parseable JSONL line.
+  const std::string line = v.dump();
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  EXPECT_TRUE(json::Value::parse(line).has_value());
+}
+
+TEST(Protocol, DoneEventExpandsRankedResult) {
+  core::TrialStats stats;
+  stats.trials = 1;
+  stats.successes = 1;
+  stats.avgSamples = 420.0;
+  core::TrialOutcome outcome;
+  core::IsopCandidate a;
+  a.g = 0.25;
+  a.fom = 0.5;
+  a.feasible = true;
+  a.metrics.z = 85.5;
+  core::IsopCandidate b;
+  b.g = 0.75;
+  b.fom = 0.9;
+  b.feasible = false;
+  outcome.candidates = {a, b};
+  stats.outcomes.push_back(outcome);
+
+  JobEvent done;
+  done.kind = JobEvent::Kind::Done;
+  done.jobId = "j1";
+  done.result = std::make_shared<const core::TrialStats>(stats);
+  const json::Value v = toJson(done);
+  const json::Value& result = v.at("result");
+  EXPECT_EQ(result.at("trials").asInteger(), 1);
+  const json::Value& ranked = result.at("ranked");
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(ranked.at(std::size_t{0}).at("rank").asInteger(), 1);
+  EXPECT_EQ(ranked.at(std::size_t{0}).at("g").asNumber(), 0.25);
+  EXPECT_TRUE(ranked.at(std::size_t{0}).at("feasible").asBool());
+  EXPECT_EQ(ranked.at(std::size_t{1}).at("rank").asInteger(), 2);
+}
+
+TEST(Protocol, MultiTrialResultRanksTrialWinnersFeasibleFirst) {
+  core::TrialStats stats;
+  stats.trials = 3;
+  const auto outcomeWith = [](double g, bool feasible) {
+    core::TrialOutcome outcome;
+    core::IsopCandidate c;
+    c.g = g;
+    c.feasible = feasible;
+    outcome.candidates = {c};
+    return outcome;
+  };
+  stats.outcomes = {outcomeWith(0.2, false), outcomeWith(0.9, true),
+                    outcomeWith(0.4, true)};
+  const json::Value result = resultToJson(stats);
+  const json::Value& ranked = result.at("ranked");
+  ASSERT_EQ(ranked.size(), 3u);
+  // Feasible trials first (g ascending), infeasible last despite lower g.
+  EXPECT_EQ(ranked.at(std::size_t{0}).at("trial").asInteger(), 2);
+  EXPECT_EQ(ranked.at(std::size_t{1}).at("trial").asInteger(), 1);
+  EXPECT_EQ(ranked.at(std::size_t{2}).at("trial").asInteger(), 0);
+}
+
+TEST(Protocol, StatusEncodesSchedulerCounters) {
+  Scheduler::Status status;
+  status.queueDepth = 2;
+  status.queueCapacity = 16;
+  status.running = 1;
+  status.submitted = 10;
+  status.admitted = 8;
+  status.rejected = 2;
+  status.completed = 5;
+  status.cancelled = 1;
+  status.failed = 1;
+  const json::Value v = statusToJson(status, 3);
+  EXPECT_EQ(v.at("event").asString(), "status");
+  EXPECT_EQ(v.at("queue_depth").asInteger(), 2);
+  EXPECT_EQ(v.at("queue_capacity").asInteger(), 16);
+  EXPECT_EQ(v.at("submitted").asInteger(), 10);
+  EXPECT_EQ(v.at("sessions").asInteger(), 3);
+  EXPECT_FALSE(v.at("draining").asBool());
+}
+
+}  // namespace
+}  // namespace isop::serve
