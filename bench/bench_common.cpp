@@ -1,5 +1,7 @@
 #include "bench_common.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 #include "common/logging.hpp"
@@ -328,6 +330,25 @@ void runVariantBench(BenchContext& ctx, std::span<const ComparisonCase> cases,
     }
     printer.printRule();
   }
+}
+
+double benchMedian(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const std::size_t n = values.size();
+  if (n % 2 == 1) return values[n / 2];
+  return 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
+double benchPercentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  p = std::clamp(p, 0.0, 1.0);
+  // Nearest-rank (1-based): the smallest value with at least p*n samples at
+  // or below it — an actual observation, never an interpolated one.
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p * static_cast<double>(values.size())));
+  return values[rank == 0 ? 0 : rank - 1];
 }
 
 }  // namespace isop::bench

@@ -73,6 +73,15 @@ std::size_t estimateIsopQueries(const BenchContext& ctx,
                                 const em::ParameterSpace& space, const core::Task& task,
                                 const core::IsopConfig& cfg);
 
+/// Exact sample median (copies and sorts; even n averages the middle pair).
+/// Percentile-disciplined reporting helpers in the liric style: benches
+/// report median/P90/P99 of raw samples, never the mean of a noisy run.
+double benchMedian(std::vector<double> values);
+
+/// Exact nearest-rank percentile of the samples, p in [0, 1]. Returns 0 for
+/// an empty sample set.
+double benchPercentile(std::vector<double> values, double p);
+
 /// Fixed-width table printer.
 class TablePrinter {
  public:

@@ -1,0 +1,437 @@
+// Open-loop synthetic load generator for the serve mode, emitting the
+// versioned perf artifact BENCH_serve.json.
+//
+// Drives an in-process serve::Server over the same pipe transport the CLI
+// uses (requests in, JSONL events out), submitting `--jobs` quick
+// optimization jobs with exponentially distributed inter-arrival times
+// (`--rate` jobs/s), a seeded priority mix, and an optional cancellation
+// fraction. Open-loop means arrivals never wait for completions — exactly
+// the regime where queueing delay and backpressure rejections appear — and
+// the bounded queue turns overload into `rejected` events, which are part
+// of the measurement (rejection_rate), not an error.
+//
+// Reported figures follow the liric percentile discipline (median/P90/P99
+// of raw per-job samples, never means): end-to-end latency as observed by
+// the client, plus the server-accounted queue-wait and run times, and
+// overall throughput. scripts/bench_compare.py diffs two such artifacts and
+// fails on regressions beyond a threshold.
+//
+// Usage:
+//   bench_loadgen [--jobs N] [--rate R] [--workers N] [--queue N]
+//                 [--priority-mix 0,5,9] [--cancel-frac F] [--cancel-after-ms MS]
+//                 [--budget N] [--iterations N] [--trials N] [--seed N]
+//                 [--out BENCH_serve.json]
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/cli.hpp"
+#include "common/json.hpp"
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "common/string_utils.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using isop::json::Value;
+
+struct LoadConfig {
+  std::size_t jobs = 12;
+  double ratePerSecond = 8.0;  ///< 0 = back-to-back submission
+  std::size_t workers = 2;
+  std::size_t queueCapacity = 8;
+  std::vector<long long> priorityMix = {0, 5, 9};
+  double cancelFraction = 0.0;
+  std::uint64_t cancelAfterMs = 150;
+  std::size_t budget = 120;
+  std::size_t iterations = 2;
+  std::size_t trials = 1;
+  std::uint64_t seed = 1;
+  std::string out = "BENCH_serve.json";
+};
+
+struct JobRecord {
+  Clock::time_point submitted{};
+  Clock::time_point terminal{};
+  std::string outcome;  ///< done|cancelled|failed|rejected ("" = pending)
+  double queueWaitSeconds = 0.0;
+  double runSeconds = 0.0;
+  double latencySeconds = 0.0;  ///< server-side admission -> terminal
+};
+
+/// Client state shared between the submitting main thread and the event
+/// reader thread.
+struct ClientState {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::map<std::string, JobRecord> jobs;
+  std::size_t terminal = 0;
+  bool statsReceived = false;
+  bool shutdownReceived = false;
+  Value stats;
+};
+
+bool isTerminalEvent(const std::string& event) {
+  return event == "done" || event == "cancelled" || event == "failed" ||
+         event == "rejected";
+}
+
+void handleEvent(ClientState& state, const Value& event) {
+  const Value* kind = event.find("event");
+  if (!kind || kind->kind() != Value::Kind::String) return;
+  const std::string& name = kind->asString();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  if (name == "stats") {
+    state.stats = event;
+    state.statsReceived = true;
+    state.cv.notify_all();
+    return;
+  }
+  if (name == "shutdown") {
+    state.shutdownReceived = true;
+    state.cv.notify_all();
+    return;
+  }
+  const Value* id = event.find("id");
+  if (!id || id->kind() != Value::Kind::String) return;
+  auto it = state.jobs.find(id->asString());
+  if (it == state.jobs.end()) return;
+  JobRecord& record = it->second;
+  const auto number = [&event](const char* key) {
+    const Value* v = event.find(key);
+    return v && v->isNumeric() ? v->asNumber() : 0.0;
+  };
+  if (name == "started") {
+    record.queueWaitSeconds = number("queue_wait_seconds");
+    return;
+  }
+  if (isTerminalEvent(name) && record.outcome.empty()) {
+    record.outcome = name;
+    record.terminal = Clock::now();
+    record.runSeconds = number("run_seconds");
+    record.latencySeconds = number("latency_seconds");
+    ++state.terminal;
+    state.cv.notify_all();
+  }
+}
+
+/// Reads the server's JSONL event stream from `fd` until EOF.
+void readerLoop(int fd, ClientState& state) {
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t pos;
+    while ((pos = buffer.find('\n')) != std::string::npos) {
+      const std::string line = buffer.substr(0, pos);
+      buffer.erase(0, pos + 1);
+      if (line.empty()) continue;
+      if (const std::optional<Value> event = Value::parse(line)) {
+        handleEvent(state, *event);
+      }
+    }
+  }
+}
+
+/// Serializes request lines onto the server's input pipe.
+class RequestWriter {
+ public:
+  explicit RequestWriter(int fd) : fd_(fd) {}
+
+  void write(const Value& request) {
+    const std::string line = request.dump() + "\n";
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t off = 0;
+    while (off < line.size()) {
+      const ssize_t n = ::write(fd_, line.data() + off, line.size() - off);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return;
+      off += static_cast<std::size_t>(n);
+    }
+  }
+
+ private:
+  int fd_;
+  std::mutex mutex_;
+};
+
+Value submitRequest(const LoadConfig& cfg, const std::string& id,
+                    long long priority, std::uint64_t seed) {
+  Value req = Value::object();
+  req.set("type", Value::string("submit"));
+  req.set("id", Value::string(id));
+  req.set("task", Value::string("T1"));
+  req.set("space", Value::string("S1"));
+  req.set("surrogate", Value::string("oracle"));
+  req.set("budget", Value::integer(static_cast<long long>(cfg.budget)));
+  req.set("iterations", Value::integer(static_cast<long long>(cfg.iterations)));
+  req.set("hyperband_resource", Value::integer(9));
+  req.set("refine_epochs", Value::integer(20));
+  req.set("local_seeds", Value::integer(3));
+  req.set("candidates", Value::integer(2));
+  req.set("trials", Value::integer(static_cast<long long>(cfg.trials)));
+  req.set("seed", Value::integer(static_cast<long long>(seed)));
+  req.set("priority", Value::integer(priority));
+  return req;
+}
+
+Value percentileBlock(const std::vector<double>& samples) {
+  Value block = Value::object();
+  block.set("median", Value::number(isop::bench::benchMedian(samples)));
+  block.set("p90", Value::number(isop::bench::benchPercentile(samples, 0.90)));
+  block.set("p99", Value::number(isop::bench::benchPercentile(samples, 0.99)));
+  return block;
+}
+
+LoadConfig configFromArgs(const isop::CliArgs& args) {
+  LoadConfig cfg;
+  cfg.jobs = static_cast<std::size_t>(args.getInt("jobs", 12));
+  cfg.ratePerSecond = args.getDouble("rate", 8.0);
+  cfg.workers = static_cast<std::size_t>(args.getInt("workers", 2));
+  cfg.queueCapacity = static_cast<std::size_t>(args.getInt("queue", 8));
+  cfg.cancelFraction = args.getDouble("cancel-frac", 0.0);
+  cfg.cancelAfterMs = static_cast<std::uint64_t>(args.getInt("cancel-after-ms", 150));
+  cfg.budget = static_cast<std::size_t>(args.getInt("budget", 120));
+  cfg.iterations = static_cast<std::size_t>(args.getInt("iterations", 2));
+  cfg.trials = static_cast<std::size_t>(args.getInt("trials", 1));
+  cfg.seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
+  cfg.out = args.getString("out", "BENCH_serve.json");
+  const std::string mix = args.getString("priority-mix", "0,5,9");
+  std::vector<long long> priorities;
+  for (const std::string& part : isop::strings::split(mix, ',')) {
+    if (!part.empty()) priorities.push_back(std::stoll(part));
+  }
+  if (!priorities.empty()) cfg.priorityMix = std::move(priorities);
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace isop;
+  const CliArgs args(argc, argv);
+  if (args.has("help")) {
+    std::printf(
+        "bench_loadgen: open-loop load harness for the serve mode\n"
+        "  --jobs N            jobs to submit (default 12)\n"
+        "  --rate R            arrival rate, jobs/s; 0 = back-to-back (default 8)\n"
+        "  --workers N         scheduler workers (default 2)\n"
+        "  --queue N           queue capacity (default 8)\n"
+        "  --priority-mix CSV  priorities sampled uniformly (default 0,5,9)\n"
+        "  --cancel-frac F     fraction of jobs cancelled after a delay (default 0)\n"
+        "  --cancel-after-ms N delay before a scheduled cancel (default 150)\n"
+        "  --budget/--iterations/--trials  job shape knobs (default 120/2/1)\n"
+        "  --seed N            arrival/priority/cancel RNG seed (default 1)\n"
+        "  --out PATH          artifact path (default BENCH_serve.json)\n");
+    return 0;
+  }
+  const LoadConfig cfg = configFromArgs(args);
+
+  int toServer[2] = {-1, -1};
+  int fromServer[2] = {-1, -1};
+  if (::pipe(toServer) != 0 || ::pipe(fromServer) != 0) {
+    log::error("bench_loadgen: pipe() failed");
+    return 1;
+  }
+  std::FILE* serverIn = ::fdopen(toServer[0], "r");
+  std::FILE* serverOut = ::fdopen(fromServer[1], "w");
+  if (!serverIn || !serverOut) {
+    log::error("bench_loadgen: fdopen() failed");
+    return 1;
+  }
+
+  serve::ServerConfig serverCfg;
+  serverCfg.scheduler.workers = cfg.workers;
+  serverCfg.scheduler.queueCapacity = cfg.queueCapacity;
+  serve::Server server(serverCfg, serverIn, serverOut);
+  std::thread serverThread([&server] { server.run(); });
+
+  ClientState state;
+  std::thread reader([&] { readerLoop(fromServer[0], state); });
+  RequestWriter writer(toServer[1]);
+
+  // Open-loop arrival schedule: exponential inter-arrival times drawn up
+  // front from the seeded generator, so the offered load is independent of
+  // how fast the server drains it.
+  Rng rng(cfg.seed);
+  std::vector<std::pair<Clock::time_point, std::string>> pendingCancels;
+  const auto serviceCancels = [&](Clock::time_point now) {
+    for (auto it = pendingCancels.begin(); it != pendingCancels.end();) {
+      if (it->first <= now) {
+        Value cancel = Value::object();
+        cancel.set("type", Value::string("cancel"));
+        cancel.set("id", Value::string(it->second));
+        writer.write(cancel);
+        it = pendingCancels.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+
+  const Clock::time_point epoch = Clock::now();
+  Clock::time_point firstSubmit{};
+  double arrivalSeconds = 0.0;
+  for (std::size_t i = 0; i < cfg.jobs; ++i) {
+    if (cfg.ratePerSecond > 0.0) {
+      arrivalSeconds += -std::log(1.0 - rng.uniform()) / cfg.ratePerSecond;
+    }
+    const Clock::time_point due =
+        epoch + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(arrivalSeconds));
+    while (Clock::now() < due) {
+      serviceCancels(Clock::now());
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    serviceCancels(Clock::now());
+
+    const std::string id = "job-" + std::to_string(i);
+    const long long priority = cfg.priorityMix[static_cast<std::size_t>(
+        rng.below(cfg.priorityMix.size()))];
+    const bool cancelLater = rng.bernoulli(cfg.cancelFraction);
+    {
+      std::lock_guard<std::mutex> lock(state.mutex);
+      state.jobs[id].submitted = Clock::now();
+    }
+    if (firstSubmit == Clock::time_point{}) firstSubmit = Clock::now();
+    writer.write(submitRequest(cfg, id, priority, cfg.seed + i));
+    if (cancelLater) {
+      pendingCancels.emplace_back(
+          Clock::now() + std::chrono::milliseconds(cfg.cancelAfterMs), id);
+    }
+  }
+  while (!pendingCancels.empty()) {
+    serviceCancels(Clock::now());
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // Every job reaches exactly one terminal event (the scheduler guarantees
+  // it), so this wait cannot hang short of a server bug.
+  {
+    std::unique_lock<std::mutex> lock(state.mutex);
+    state.cv.wait(lock, [&] { return state.terminal >= cfg.jobs; });
+  }
+  const Clock::time_point lastTerminal = Clock::now();
+
+  Value statsReq = Value::object();
+  statsReq.set("type", Value::string("stats"));
+  writer.write(statsReq);
+  {
+    std::unique_lock<std::mutex> lock(state.mutex);
+    state.cv.wait(lock, [&] { return state.statsReceived; });
+  }
+  Value shutdownReq = Value::object();
+  shutdownReq.set("type", Value::string("shutdown"));
+  writer.write(shutdownReq);
+  {
+    std::unique_lock<std::mutex> lock(state.mutex);
+    state.cv.wait(lock, [&] { return state.shutdownReceived; });
+  }
+  serverThread.join();
+  ::close(toServer[1]);
+  std::fclose(serverIn);
+  // Closing the server's write end is what EOFs the reader; join after.
+  std::fclose(serverOut);
+  reader.join();
+  ::close(fromServer[0]);
+
+  // Aggregate. Completed jobs carry the latency figures; rejected ones only
+  // feed the rejection rate.
+  std::vector<double> e2e, queueWait, run, latency;
+  std::size_t completed = 0, cancelled = 0, failed = 0, rejected = 0;
+  for (const auto& [id, record] : state.jobs) {
+    if (record.outcome == "rejected") {
+      ++rejected;
+      continue;
+    }
+    if (record.outcome == "cancelled") ++cancelled;
+    if (record.outcome == "failed") ++failed;
+    if (record.outcome != "done") continue;
+    ++completed;
+    e2e.push_back(
+        std::chrono::duration<double>(record.terminal - record.submitted).count());
+    queueWait.push_back(record.queueWaitSeconds);
+    run.push_back(record.runSeconds);
+    latency.push_back(record.latencySeconds);
+  }
+  const double wall =
+      std::chrono::duration<double>(lastTerminal - firstSubmit).count();
+
+  Value config = Value::object();
+  config.set("jobs", Value::integer(static_cast<long long>(cfg.jobs)));
+  config.set("rate_per_s", Value::number(cfg.ratePerSecond));
+  config.set("workers", Value::integer(static_cast<long long>(cfg.workers)));
+  config.set("queue_capacity",
+             Value::integer(static_cast<long long>(cfg.queueCapacity)));
+  config.set("cancel_fraction", Value::number(cfg.cancelFraction));
+  config.set("budget", Value::integer(static_cast<long long>(cfg.budget)));
+  config.set("iterations", Value::integer(static_cast<long long>(cfg.iterations)));
+  config.set("trials", Value::integer(static_cast<long long>(cfg.trials)));
+  config.set("seed", Value::integer(static_cast<long long>(cfg.seed)));
+
+  Value results = Value::object();
+  results.set("completed", Value::integer(static_cast<long long>(completed)));
+  results.set("cancelled", Value::integer(static_cast<long long>(cancelled)));
+  results.set("failed", Value::integer(static_cast<long long>(failed)));
+  results.set("rejected", Value::integer(static_cast<long long>(rejected)));
+  results.set("rejection_rate",
+              Value::number(cfg.jobs == 0 ? 0.0
+                                          : static_cast<double>(rejected) /
+                                                static_cast<double>(cfg.jobs)));
+  results.set("throughput_jobs_per_s",
+              Value::number(wall > 0.0 ? static_cast<double>(completed) / wall : 0.0));
+  results.set("e2e_latency_seconds", percentileBlock(e2e));
+  results.set("queue_wait_seconds", percentileBlock(queueWait));
+  results.set("run_seconds", percentileBlock(run));
+
+  Value artifact = Value::object();
+  artifact.set("bench", Value::string("serve_loadgen"));
+  artifact.set("schema", Value::integer(1));
+  artifact.set("config", std::move(config));
+  artifact.set("results", std::move(results));
+  if (state.stats.isObject()) {
+    // The live-server snapshot taken after the last terminal event; keeps
+    // session/memo-cache health next to the latency figures.
+    artifact.set("server_stats", state.stats);
+  }
+
+  const std::string text = artifact.dump(2) + "\n";
+  std::FILE* out = std::fopen(cfg.out.c_str(), "w");
+  if (!out) {
+    log::error("bench_loadgen: cannot write '", cfg.out, "'");
+    return 1;
+  }
+  std::fwrite(text.data(), 1, text.size(), out);
+  std::fclose(out);
+
+  std::printf(
+      "bench_loadgen: %zu jobs (%zu done, %zu cancelled, %zu rejected, %zu "
+      "failed) in %.2fs -> %s\n",
+      cfg.jobs, completed, cancelled, rejected, failed, wall, cfg.out.c_str());
+  std::printf("  e2e latency s: median %.4f  p90 %.4f  p99 %.4f\n",
+              bench::benchMedian(e2e), bench::benchPercentile(e2e, 0.90),
+              bench::benchPercentile(e2e, 0.99));
+  std::printf("  throughput: %.2f jobs/s  rejection rate: %.2f\n",
+              wall > 0.0 ? static_cast<double>(completed) / wall : 0.0,
+              cfg.jobs == 0 ? 0.0
+                            : static_cast<double>(rejected) /
+                                  static_cast<double>(cfg.jobs));
+  return 0;
+}

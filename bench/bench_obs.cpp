@@ -153,6 +153,59 @@ void BM_SpanEnabled(benchmark::State& state) {
 }
 BENCHMARK(BM_SpanEnabled);
 
+// --- Pair 4: tagged-span hot path -------------------------------------------
+// A ScopedSpanTag in scope must not change what a DISABLED span costs: the
+// tag is a thread-local pointer read only at event-record time, which a
+// disabled span never reaches. Interleaved blocks (same technique as the EM
+// pair) export the untagged-vs-tagged disabled-span ratio as a counter.
+
+void BM_SpanTaggedDisabledOverheadPaired(benchmark::State& state) {
+  obs::tracer().setEnabled(false);
+  obs::setMetricsEnabled(false);
+  using clock = std::chrono::steady_clock;
+  constexpr int kBlock = 65536;
+  double untaggedNs = 0.0, taggedNs = 0.0;
+  for (auto _ : state) {
+    const auto t0 = clock::now();
+    for (int i = 0; i < kBlock; ++i) {
+      obs::StageSpan span("bench.span");
+      benchmark::DoNotOptimize(&span);
+    }
+    const auto t1 = clock::now();
+    {
+      obs::ScopedSpanTag tag("bench-job");
+      for (int i = 0; i < kBlock; ++i) {
+        obs::StageSpan span("bench.span");
+        benchmark::DoNotOptimize(&span);
+      }
+    }
+    const auto t2 = clock::now();
+    untaggedNs += std::chrono::duration<double, std::nano>(t1 - t0).count();
+    taggedNs += std::chrono::duration<double, std::nano>(t2 - t1).count();
+  }
+  const double spans = static_cast<double>(state.iterations()) * kBlock;
+  state.counters["untagged_ns"] = untaggedNs / spans;
+  state.counters["tagged_ns"] = taggedNs / spans;
+  state.counters["overhead_pct"] = (taggedNs / untaggedNs - 1.0) * 100.0;
+  state.SetItemsProcessed(static_cast<std::int64_t>(spans) * 2);
+}
+BENCHMARK(BM_SpanTaggedDisabledOverheadPaired);
+
+// Informational: the enabled price of recording a tagged event (one string
+// copy per event on top of the untagged enabled span).
+void BM_SpanTaggedEnabled(benchmark::State& state) {
+  obs::tracer().clear();
+  obs::tracer().setEnabled(true);
+  obs::ScopedSpanTag tag("bench-job");
+  for (auto _ : state) {
+    obs::StageSpan span("bench.span");
+    benchmark::DoNotOptimize(&span);
+  }
+  obs::tracer().setEnabled(false);
+  obs::tracer().clear();
+}
+BENCHMARK(BM_SpanTaggedEnabled);
+
 // --- Primitive costs (no raw pair; absolute numbers for the docs) ----------
 
 void BM_CounterAdd(benchmark::State& state) {

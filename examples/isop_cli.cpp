@@ -7,6 +7,7 @@
 //            [--metrics-out M.json] [--trace-out T.json] [--convergence-out C.jsonl]
 //            [--log-level debug|info|warn|error|off]
 //   isop_cli --serve [--serve-workers N] [--serve-queue N] [--serve-socket PATH]
+//            [--metrics-interval MS] [--metrics-series S.jsonl]
 //
 // With --surrogate oracle (default) the EM model itself drives the search —
 // instant, no training. --surrogate cnn|mlp loads (or trains and caches)
@@ -53,7 +54,9 @@ int main(int argc, char** argv) {
               "  --serve                     JSONL service mode (docs/serving.md)\n"
               "  --serve-workers N           concurrent jobs (default 2)\n"
               "  --serve-queue N             queued-job capacity (default 16)\n"
-              "  --serve-socket PATH         also listen on a unix socket");
+              "  --serve-socket PATH         also listen on a unix socket\n"
+              "  --metrics-interval MS       sample the metrics registry every MS ms\n"
+              "  --metrics-series PATH       append sampled records as JSONL");
     return 0;
   }
 
@@ -68,6 +71,13 @@ int main(int argc, char** argv) {
     serveCfg.scheduler.queueCapacity =
         static_cast<std::size_t>(args.getInt("serve-queue", 16));
     serveCfg.socketPath = args.getString("serve-socket", "");
+    serveCfg.metricsIntervalMs =
+        static_cast<std::uint64_t>(args.getInt("metrics-interval", 0));
+    serveCfg.metricsSeriesPath = args.getString("metrics-series", "");
+    // A series path without an interval still means "sample": default 1s.
+    if (!serveCfg.metricsSeriesPath.empty() && serveCfg.metricsIntervalMs == 0) {
+      serveCfg.metricsIntervalMs = 1000;
+    }
     // The usual observability flags wrap the whole service lifetime, so
     // serve.* gauges/histograms and stage metrics of every job land in one
     // export on shutdown.

@@ -1,0 +1,209 @@
+#!/usr/bin/env python3
+"""Compares two BENCH_*.json perf artifacts and fails on regressions.
+
+Usage:
+  scripts/bench_compare.py BASELINE.json CANDIDATE.json [--threshold 0.10]
+  scripts/bench_compare.py --self-check
+
+Both files are flattened to dotted numeric keys (`results.e2e_latency_seconds.p90`)
+and every key present in both is classified by name:
+
+  * lower-is-better  — keys ending in `seconds`, or containing `latency`,
+    `wait`, `_ms`, or `error`: a candidate value more than `threshold`
+    above the baseline is a regression.
+  * higher-is-better — keys containing `throughput`, `per_s`, `hit_rate`,
+    or `qps`: a candidate value more than `threshold` below the baseline
+    is a regression.
+  * informational    — everything else (counts, config echoes): printed when
+    changed, never a failure.
+
+Near-zero baselines (< `--abs-floor`, default 1e-6) are informational: a
+ratio against ~0 is noise, not signal. Exit status: 0 = no regressions,
+1 = at least one regression, 2 = usage/input error.
+"""
+
+import argparse
+import json
+import sys
+
+ABS_FLOOR_DEFAULT = 1e-6
+
+LOWER_BETTER_MARKERS = ("latency", "wait", "_ms", "error")
+HIGHER_BETTER_MARKERS = ("throughput", "per_s", "hit_rate", "qps")
+
+
+def flatten(value, prefix=""):
+    """Yields (dotted_key, number) for every numeric leaf of a JSON value."""
+    if isinstance(value, bool):
+        return
+    if isinstance(value, (int, float)):
+        yield prefix, float(value)
+        return
+    if isinstance(value, dict):
+        for key, child in value.items():
+            yield from flatten(child, f"{prefix}.{key}" if prefix else key)
+    elif isinstance(value, list):
+        for i, child in enumerate(value):
+            yield from flatten(child, f"{prefix}[{i}]")
+
+
+def classify(key):
+    """Returns 'lower', 'higher', or 'info' for a flattened key."""
+    name = key.lower()
+    if name.startswith("config.") or ".config." in name:
+        return "info"
+    leaf = name.rsplit(".", 1)[-1]
+    # Histogram counts scale with the workload, min/max are single-sample
+    # noise, and .total accumulates over the run — none is a latency signal.
+    if leaf in ("count", "min", "max", "total"):
+        return "info"
+    if any(marker in name for marker in HIGHER_BETTER_MARKERS):
+        return "higher"
+    if leaf.endswith("seconds") or any(m in name for m in LOWER_BETTER_MARKERS):
+        # The percentile leaves (median/p90/p99) inherit the parent's unit,
+        # e.g. results.queue_wait_seconds.p99.
+        return "lower"
+    parent = name.rsplit(".", 1)[0] if "." in name else ""
+    if parent.endswith("seconds"):
+        return "lower"
+    return "info"
+
+
+def compare(baseline, candidate, threshold, abs_floor):
+    """Returns (regressions, improvements, changes) as lists of report lines."""
+    base = dict(flatten(baseline))
+    cand = dict(flatten(candidate))
+    regressions, improvements, changes = [], [], []
+    for key in sorted(base.keys() & cand.keys()):
+        b, c = base[key], cand[key]
+        if b == c:
+            continue
+        direction = classify(key)
+        line = f"{key}: {b:.6g} -> {c:.6g}"
+        if direction == "info" or abs(b) < abs_floor:
+            changes.append(line)
+            continue
+        ratio = (c - b) / abs(b)
+        line += f" ({ratio:+.1%})"
+        if direction == "lower":
+            (regressions if ratio > threshold
+             else improvements if ratio < -threshold else changes).append(line)
+        else:
+            (regressions if ratio < -threshold
+             else improvements if ratio > threshold else changes).append(line)
+    return regressions, improvements, changes
+
+
+def self_check():
+    baseline = {
+        "results": {
+            "e2e_latency_seconds": {"median": 0.10, "p99": 0.50},
+            "queue_wait_seconds": {"p90": 0.02},
+            "throughput_jobs_per_s": 8.0,
+            "completed": 10,
+            "rejection_rate": 0.0,
+        },
+        "config": {"jobs": 10},
+    }
+
+    # Identical artifacts: clean pass.
+    r, i, c = compare(baseline, baseline, 0.10, ABS_FLOOR_DEFAULT)
+    assert not r and not i and not c, (r, i, c)
+
+    # Latency up 50%: regression. Throughput down 50%: regression.
+    worse = json.loads(json.dumps(baseline))
+    worse["results"]["e2e_latency_seconds"]["p99"] = 0.75
+    worse["results"]["throughput_jobs_per_s"] = 4.0
+    r, _, _ = compare(baseline, worse, 0.10, ABS_FLOOR_DEFAULT)
+    assert len(r) == 2, r
+    assert any("p99" in line for line in r), r
+    assert any("throughput" in line for line in r), r
+
+    # Latency down, throughput up: improvements, not failures.
+    better = json.loads(json.dumps(baseline))
+    better["results"]["e2e_latency_seconds"]["median"] = 0.05
+    better["results"]["throughput_jobs_per_s"] = 16.0
+    r, i, _ = compare(baseline, better, 0.10, ABS_FLOOR_DEFAULT)
+    assert not r and len(i) == 2, (r, i)
+
+    # Inside the threshold: a change, neither regression nor improvement.
+    noisy = json.loads(json.dumps(baseline))
+    noisy["results"]["e2e_latency_seconds"]["median"] = 0.105
+    r, i, c = compare(baseline, noisy, 0.10, ABS_FLOOR_DEFAULT)
+    assert not r and not i and len(c) == 1, (r, i, c)
+
+    # Counts and config are informational even when they swing wildly.
+    shifted = json.loads(json.dumps(baseline))
+    shifted["results"]["completed"] = 3
+    shifted["config"]["jobs"] = 3
+    r, i, c = compare(baseline, shifted, 0.10, ABS_FLOOR_DEFAULT)
+    assert not r and not i and len(c) == 2, (r, i, c)
+
+    # Near-zero baseline never produces a ratio-based failure.
+    zeroish = json.loads(json.dumps(baseline))
+    zeroish["results"]["rejection_rate"] = 1.0
+    r, _, _ = compare(baseline, zeroish, 0.10, ABS_FLOOR_DEFAULT)
+    assert not r, r
+
+    # Direction classification spot checks.
+    assert classify("results.e2e_latency_seconds.p99") == "lower"
+    assert classify("results.queue_wait_seconds.median") == "lower"
+    assert classify("results.throughput_jobs_per_s") == "higher"
+    assert classify("server_stats.sessions[0].hit_rate") == "higher"
+    assert classify("results.completed") == "info"
+    assert classify("config.jobs") == "info"
+    assert classify("metrics.histograms.span.isop.run.seconds.count") == "info"
+    assert classify("metrics.histograms.span.isop.run.seconds.max") == "info"
+    assert classify("metrics.gauges.threadpool.task.run_seconds.total") == "info"
+
+    print("bench_compare: self-check OK")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", nargs="?", help="baseline BENCH_*.json")
+    parser.add_argument("candidate", nargs="?", help="candidate BENCH_*.json")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="relative regression threshold (default 0.10)")
+    parser.add_argument("--abs-floor", type=float, default=ABS_FLOOR_DEFAULT,
+                        help="baselines below this are informational only")
+    parser.add_argument("--self-check", action="store_true",
+                        help="run the embedded unit checks and exit")
+    args = parser.parse_args()
+
+    if args.self_check:
+        return self_check()
+    if not args.baseline or not args.candidate:
+        parser.error("baseline and candidate files are required")
+
+    try:
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+        with open(args.candidate) as f:
+            candidate = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"bench_compare: {err}", file=sys.stderr)
+        return 2
+
+    regressions, improvements, changes = compare(
+        baseline, candidate, args.threshold, args.abs_floor)
+
+    for title, lines in (("regressions", regressions),
+                         ("improvements", improvements),
+                         ("other changes", changes)):
+        if lines:
+            print(f"{title} (threshold {args.threshold:.0%}):")
+            for line in lines:
+                print(f"  {line}")
+    if not (regressions or improvements or changes):
+        print("bench_compare: artifacts are numerically identical")
+    if regressions:
+        print(f"bench_compare: FAIL ({len(regressions)} regression(s))")
+        return 1
+    print("bench_compare: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

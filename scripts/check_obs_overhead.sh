@@ -64,9 +64,21 @@ failed = status == "FAIL"
 print(f"  EM evaluate (paired): raw {raw:8.1f} ns  disabled {disabled:8.1f} ns  "
       f"overhead {overhead * 100:+6.2f}%  (budget {budget * 100:.1f}%)  {status}")
 
+# Same budget for the tagged-span hot path: a ScopedSpanTag in scope must be
+# free for disabled spans (the tag is only read when an event records).
+tagged = medians.get("BM_SpanTaggedDisabledOverheadPaired")
+if tagged is not None:
+    t_overhead = tagged["overhead_pct"] / 100.0
+    t_status = "OK" if t_overhead <= budget else "FAIL"
+    failed = failed or t_status == "FAIL"
+    print(f"  tagged span (paired): untagged {tagged['untagged_ns']:6.2f} ns  "
+          f"tagged {tagged['tagged_ns']:6.2f} ns  "
+          f"overhead {t_overhead * 100:+6.2f}%  (budget {budget * 100:.1f}%)  {t_status}")
+
 # Informational: absolute disabled-primitive costs and enabled-path prices.
 for name in ("BM_EmEvaluateRaw", "BM_EmSimulateObsDisabled", "BM_SpanDisabled",
-             "BM_SpanEnabled", "BM_CounterAdd", "BM_HistogramRecord",
+             "BM_SpanEnabled", "BM_SpanTaggedEnabled", "BM_CounterAdd",
+             "BM_HistogramRecord",
              "BM_EmSimulateObsEnabled", "BM_SurrogatePredictObsDisabled",
              "BM_SurrogatePredictObsEnabled", "BM_ConvergenceRecordInMemory"):
     if name in medians:

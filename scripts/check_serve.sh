@@ -6,7 +6,9 @@
 # Scenarios:
 #   1. stdio round-trip — submit a small job, require the exact event order
 #      ready / accepted / started / progress+ / done (with a ranked result),
-#      then a status reply and a clean shutdown event on request.
+#      then a status reply, a stats reply (live queue/jobs/sessions/metrics
+#      snapshot), a trace start/status/stop round-trip, a per-job Chrome
+#      trace via submit's trace_out, and a clean shutdown event on request.
 #   2. protocol errors — a malformed line and an unknown field each get an
 #      error event without killing the server.
 #   3. unix socket — the same submit over the socket while stdio stays open.
@@ -95,7 +97,7 @@ def read_job_lifecycle(read, job_id):
 def scenario_stdio_and_errors():
     proc = start()
     try:
-        expect(read_event(proc), "ready", protocol=1)
+        expect(read_event(proc), "ready", protocol=2)
 
         # Malformed lines and unknown fields are per-request errors, not fatal.
         proc.stdin.write("this is not json\n")
@@ -111,6 +113,49 @@ def scenario_stdio_and_errors():
         send(proc, {"type": "status"})
         status = expect(read_event(proc), "status", completed=1, draining=False)
         assert status["queue_capacity"] >= 1, status
+
+        # Live introspection: the stats snapshot must reflect the completed
+        # job in the queue counters, the warm session, and the registry.
+        send(proc, {"type": "stats"})
+        stats = expect(read_event(proc), "stats")
+        assert stats["queue"]["completed"] == 1, stats["queue"]
+        assert stats["queue"]["depth"] == 0 and not stats["queue"]["draining"], stats["queue"]
+        assert isinstance(stats["jobs"], list), stats
+        sessions = stats["sessions"]
+        assert len(sessions) == 1 and sessions[0]["surrogate"] == "oracle", sessions
+        assert sessions[0]["rows"] > 0, sessions
+        counters = stats["metrics"]["counters"]
+        assert counters.get("serve.jobs.completed") == 1, counters
+        assert "serve.job.latency.seconds" in stats["metrics"]["histograms"], stats["metrics"]
+
+        # Trace control round-trip: start clears and enables, stop disables
+        # and (with "out") writes a Chrome trace of the captured window.
+        trace_dir = tempfile.mkdtemp(prefix="isop_trace_")
+        send(proc, {"type": "trace", "action": "start"})
+        expect(read_event(proc), "trace", enabled=True)
+        send(proc, {**QUICK_JOB, "id": "traced1"})
+        read_job_lifecycle(lambda: read_event(proc), "traced1")
+        send(proc, {"type": "trace", "action": "status"})
+        traced = expect(read_event(proc), "trace", enabled=True)
+        assert traced["events"] > 0, traced
+        window_path = os.path.join(trace_dir, "window.json")
+        send(proc, {"type": "trace", "action": "stop", "out": window_path})
+        expect(read_event(proc), "trace", enabled=False, written=window_path)
+        with open(window_path) as f:
+            window = json.load(f)
+        names = {e["name"] for e in window["traceEvents"]}
+        assert "serve.job.run" in names, sorted(names)
+
+        # Per-job trace: submit with trace_out, the file exists by "done" and
+        # contains only that job's spans.
+        job_path = os.path.join(trace_dir, "job.json")
+        send(proc, {**QUICK_JOB, "id": "traced2", "trace_out": job_path})
+        read_job_lifecycle(lambda: read_event(proc), "traced2")
+        with open(job_path) as f:
+            job_trace = json.load(f)
+        assert job_trace["traceEvents"], "per-job trace is empty"
+        for event in job_trace["traceEvents"]:
+            assert event.get("args", {}).get("job") == "traced2", event
 
         send(proc, {"type": "shutdown"})
         expect(read_event(proc), "shutdown")

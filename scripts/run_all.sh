@@ -14,8 +14,21 @@ ctest --test-dir build 2>&1 | tee test_output.txt
 # End-to-end smoke test of the JSONL serve mode (scripts/check_serve.sh).
 scripts/check_serve.sh build 2>&1 | tee serve_output.txt
 
+# Serve-tier perf trajectory: the open-loop load harness produces the
+# checked-in BENCH_serve.json, and bench_compare.py both validates its own
+# direction rules (--self-check) and demonstrates a clean diff of the fresh
+# artifact against itself. Diff against a previous commit's artifact with:
+#   scripts/bench_compare.py OLD_BENCH_serve.json BENCH_serve.json
+python3 scripts/bench_compare.py --self-check
+build/bench/bench_loadgen --jobs 12 --rate 8 --workers 2 --queue 8 \
+  --cancel-frac 0.1 --seed 1 --out BENCH_serve.json 2>&1 | tee loadgen_output.txt
+python3 scripts/bench_compare.py BENCH_serve.json BENCH_serve.json
+
 for b in build/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] || continue
+  case "$(basename "$b")" in
+    bench_loadgen) continue ;;  # driven above with explicit flags
+  esac
   echo "=== $(basename "$b") ==="
   "$b"
 done 2>&1 | tee bench_output.txt

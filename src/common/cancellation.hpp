@@ -75,6 +75,18 @@ class CancelToken {
            state_->deadlineNanos.load(std::memory_order_relaxed) != kNoDeadline;
   }
 
+  /// Seconds until the armed deadline (negative once it has passed);
+  /// +infinity when no deadline is armed or the token is inert. The live
+  /// "deadline remaining" figure the serve stats request reports per job.
+  double secondsToDeadline() const noexcept {
+    if (!deadlineArmed()) return std::numeric_limits<double>::infinity();
+    const std::int64_t deadline = state_->deadlineNanos.load(std::memory_order_relaxed);
+    const std::int64_t now =
+        std::chrono::steady_clock::now().time_since_epoch().count();
+    return std::chrono::duration<double>(std::chrono::nanoseconds(deadline - now))
+        .count();
+  }
+
   /// True once cancel() was called or an armed deadline has passed.
   bool cancelled() const noexcept {
     if (!state_) return false;

@@ -119,6 +119,9 @@ void EvalEngine::predictMetrics(std::span<const em::StackupParams> designs,
   const std::size_t n = designs.size();
   out.resize(n);
   if (n == 0) return;
+  // On the calling (job-worker) thread, so the span inherits the job's tag;
+  // the chunked work fanned onto the pool is covered by this span's extent.
+  obs::Span span("eval.predict_batch");
   batches_.fetch_add(1, std::memory_order_relaxed);
   rows_.fetch_add(n, std::memory_order_relaxed);
 
@@ -219,6 +222,7 @@ void EvalEngine::gradientBatch(std::span<const em::StackupParams> designs,
   const std::size_t dim = model_->inputDim();
   grads.resize(n, dim);
   if (n == 0) return;
+  obs::Span span("eval.gradient_batch");
   gradBatches_.fetch_add(1, std::memory_order_relaxed);
   gradRows_.fetch_add(n, std::memory_order_relaxed);
 
@@ -293,6 +297,7 @@ std::vector<em::PerformanceMetrics> EvalEngine::simulateBatch(
   const std::size_t n = designs.size();
   std::vector<em::PerformanceMetrics> out(n);
   if (n == 0) return out;
+  obs::Span span("eval.simulate_batch");
   simBatches_.fetch_add(1, std::memory_order_relaxed);
   simRows_.fetch_add(n, std::memory_order_relaxed);
 

@@ -141,22 +141,29 @@ std::string Registry::labeled(std::string_view name, std::string_view key,
 
 MetricsSnapshot Registry::snapshot() const {
   MetricsSnapshot snap;
+  for (const auto& [name, sample] : flatSample()) snap[name] = sample.value;
+  return snap;
+}
+
+std::map<std::string, FlatSample> Registry::flatSample() const {
+  std::map<std::string, FlatSample> snap;
   MutexLock lock(mutex_);
   for (const auto& [name, inst] : instruments_) {
     switch (inst.kind) {
       case Kind::Counter:
-        snap[name] = static_cast<double>(inst.counter->value());
+        snap[name] = {static_cast<double>(inst.counter->value()), true};
         break;
       case Kind::Gauge:
-        snap[name] = inst.gauge->value();
+        snap[name] = {inst.gauge->value(), false};
         break;
       case Kind::Histogram: {
         const Histogram& h = *inst.histogram;
-        snap[name + ".count"] = static_cast<double>(h.count());
-        snap[name + ".mean"] = h.mean();
-        snap[name + ".p50"] = h.percentile(0.50);
-        snap[name + ".p95"] = h.percentile(0.95);
-        snap[name + ".p99"] = h.percentile(0.99);
+        snap[name + ".count"] = {static_cast<double>(h.count()), true};
+        snap[name + ".mean"] = {h.mean(), false};
+        snap[name + ".p50"] = {h.percentile(0.50), false};
+        snap[name + ".p90"] = {h.percentile(0.90), false};
+        snap[name + ".p95"] = {h.percentile(0.95), false};
+        snap[name + ".p99"] = {h.percentile(0.99), false};
         break;
       }
     }
@@ -187,6 +194,7 @@ json::Value Registry::toJson() const {
           entry.set("max", json::Value::number(h.max()));
           entry.set("mean", json::Value::number(h.mean()));
           entry.set("p50", json::Value::number(h.percentile(0.50)));
+          entry.set("p90", json::Value::number(h.percentile(0.90)));
           entry.set("p95", json::Value::number(h.percentile(0.95)));
           entry.set("p99", json::Value::number(h.percentile(0.99)));
         }

@@ -107,8 +107,18 @@ class Histogram {
 };
 
 /// Snapshot of every instrument as flat name -> value pairs. Histograms
-/// expand to name.count / name.p50 / name.p95 / name.p99 / name.mean.
+/// expand to name.count / name.p50 / name.p90 / name.p95 / name.p99 /
+/// name.mean.
 using MetricsSnapshot = std::map<std::string, double>;
+
+/// One flat-snapshot entry annotated with monotonicity: counter values and
+/// histogram .count expansions only ever grow, so a time-series sampler can
+/// delta-encode them (per-interval rates); everything else is an
+/// instantaneous reading and is reported absolute.
+struct FlatSample {
+  double value = 0.0;
+  bool monotone = false;
+};
 
 class Registry {
  public:
@@ -127,8 +137,12 @@ class Registry {
 
   MetricsSnapshot snapshot() const;
 
+  /// snapshot() plus the monotone flag per key (see FlatSample) — the input
+  /// MetricsSampler delta-encodes from.
+  std::map<std::string, FlatSample> flatSample() const;
+
   /// {"counters": {...}, "gauges": {...}, "histograms": {name: {count, min,
-  /// max, mean, p50, p95, p99}}}
+  /// max, mean, p50, p90, p95, p99}}}
   json::Value toJson() const;
 
   /// "name,kind,value" rows (histograms expanded like snapshot()).

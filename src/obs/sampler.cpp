@@ -1,0 +1,144 @@
+#include "obs/sampler.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "common/logging.hpp"
+#include "obs/obs.hpp"
+
+namespace isop::obs {
+
+MetricsSampler::MetricsSampler(Registry& registry, MetricsSamplerConfig config)
+    : registry_(&registry),
+      config_(std::move(config)),
+      epoch_(std::chrono::steady_clock::now()) {
+  if (!config_.path.empty()) {
+    file_ = std::fopen(config_.path.c_str(), "w");
+    if (!file_) {
+      log::warn("obs: cannot open metrics series '", config_.path,
+                "'; sampling to the ring buffer only");
+    }
+  }
+}
+
+MetricsSampler::~MetricsSampler() {
+  stop();
+  if (file_) std::fclose(file_);
+}
+
+void MetricsSampler::start() {
+  {
+    CvLock lock(threadMutex_);
+    if (running_) return;
+    running_ = true;
+    stopRequested_ = false;
+  }
+  thread_ = std::thread([this] { tickLoop(); });
+}
+
+void MetricsSampler::stop() {
+  {
+    CvLock lock(threadMutex_);
+    if (!running_) return;
+    stopRequested_ = true;
+  }
+  wake_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  {
+    CvLock lock(threadMutex_);
+    running_ = false;
+  }
+  sampleOnce();  // final record so short-lived servers still leave a trail
+  if (file_) std::fflush(file_);
+}
+
+bool MetricsSampler::running() const {
+  CvLock lock(threadMutex_);
+  return running_;
+}
+
+void MetricsSampler::tickLoop() {
+  for (;;) {
+    {
+      CvLock lock(threadMutex_);
+      const auto deadline = std::chrono::steady_clock::now() + config_.interval;
+      while (!stopRequested_ && std::chrono::steady_clock::now() < deadline) {
+        wake_.wait_until(lock, deadline);
+      }
+      if (stopRequested_) return;
+    }
+    sampleOnce();
+    if (file_) std::fflush(file_);
+  }
+}
+
+json::Value MetricsSampler::buildRecord() {
+  json::Value counters = json::Value::object();
+  json::Value values = json::Value::object();
+  const std::map<std::string, FlatSample> sample = registry_->flatSample();
+  for (const auto& [name, entry] : sample) {
+    if (entry.monotone) {
+      // Delta since the key's previous tick; a key's first appearance
+      // reports its full value, so deltas always sum to the raw counter.
+      const auto it = prevMonotone_.find(name);
+      const double prev = it == prevMonotone_.end() ? 0.0 : it->second;
+      const double delta = entry.value - prev;
+      prevMonotone_[name] = entry.value;
+      if (delta != 0.0) counters.set(name, json::Value::number(delta));
+    } else {
+      const auto it = prevValues_.find(name);
+      const bool changed = it == prevValues_.end() || it->second != entry.value;
+      prevValues_[name] = entry.value;
+      if (changed && std::isfinite(entry.value)) {
+        values.set(name, json::Value::number(entry.value));
+      }
+    }
+  }
+  json::Value record = json::Value::object();
+  record.set("seq", json::Value::integer(static_cast<long long>(seq_)));
+  record.set("uptime_seconds",
+             json::Value::number(std::chrono::duration<double>(
+                                     std::chrono::steady_clock::now() - epoch_)
+                                     .count()));
+  record.set("counters", std::move(counters));
+  record.set("values", std::move(values));
+  ++seq_;
+  return record;
+}
+
+void MetricsSampler::appendLine(const std::string& line) {
+  if (file_) {
+    std::fwrite(line.data(), 1, line.size(), file_);
+    std::fputc('\n', file_);
+  }
+  ring_.push_back(line);
+  while (ring_.size() > config_.ringCapacity) {
+    ring_.pop_front();
+    ++dropped_;
+  }
+}
+
+json::Value MetricsSampler::sampleOnce() {
+  if (config_.captureThreadPool) captureThreadPoolStats();
+  MutexLock lock(sampleMutex_);
+  json::Value record = buildRecord();
+  appendLine(record.dump());
+  return record;
+}
+
+std::vector<std::string> MetricsSampler::lines() const {
+  MutexLock lock(sampleMutex_);
+  return std::vector<std::string>(ring_.begin(), ring_.end());
+}
+
+std::uint64_t MetricsSampler::ticks() const {
+  MutexLock lock(sampleMutex_);
+  return seq_;
+}
+
+std::uint64_t MetricsSampler::droppedLines() const {
+  MutexLock lock(sampleMutex_);
+  return dropped_;
+}
+
+}  // namespace isop::obs

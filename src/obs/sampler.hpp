@@ -1,0 +1,104 @@
+// Background metrics time-series sampler for long-running processes (the
+// serve mode): at a fixed interval it flat-samples the Registry and appends
+// one delta-encoded JSONL record to a file and/or a bounded in-memory ring,
+// so queue depth / throughput / latency percentiles can be plotted over a
+// server's lifetime instead of only as an exit-time snapshot.
+//
+// Record schema (one JSON object per line):
+//   {"seq": N,                    // 0-based tick number
+//    "uptime_seconds": S,         // steady-clock seconds since construction
+//    "counters": {name: delta},   // monotone keys: increment since the
+//                                 //   previous tick (rate * interval)
+//    "values":   {name: value}}   // non-monotone keys: absolute reading,
+//                                 //   only when changed since the last tick
+// Unchanged keys are omitted, so an idle server costs a few bytes per tick.
+// A counter increment is reported in exactly one tick: deltas across any
+// run of records sum to the raw counter difference (tested under concurrent
+// publishes in tests/obs/test_sampler.cpp).
+//
+// The sampler never blocks instrument updates — it reads the same lock-free
+// atomics the exporters use; only the tick itself is serialized (the
+// background thread and tests' explicit sampleOnce() share one mutex).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/thread_annotations.hpp"
+#include "obs/metrics.hpp"
+
+namespace isop::obs {
+
+struct MetricsSamplerConfig {
+  /// Tick period for the background thread started by start().
+  std::chrono::milliseconds interval{1000};
+  /// JSONL output path; "" = ring buffer only.
+  std::string path;
+  /// Most recent records kept in memory (lines()); older ones are dropped
+  /// once the ring is full (droppedLines() counts them).
+  std::size_t ringCapacity = 512;
+  /// Refresh threadpool.* gauges before each tick (obs::captureThreadPoolStats).
+  bool captureThreadPool = true;
+};
+
+class MetricsSampler {
+ public:
+  explicit MetricsSampler(Registry& registry, MetricsSamplerConfig config);
+  ~MetricsSampler();  ///< stop()s; the file (if any) is closed here
+
+  MetricsSampler(const MetricsSampler&) = delete;
+  MetricsSampler& operator=(const MetricsSampler&) = delete;
+
+  /// Starts the background tick thread. Idempotent.
+  void start();
+
+  /// Takes one final sample, stops the thread, and flushes the file.
+  /// Idempotent; sampleOnce() remains usable afterwards.
+  void stop();
+
+  bool running() const;
+
+  /// Takes one sample now (also what the background thread calls each tick)
+  /// and returns the record. Thread-safe; tests drive deterministic tick
+  /// sequences through this without starting the thread.
+  json::Value sampleOnce();
+
+  /// The ring buffer contents, oldest first (each entry one JSONL record).
+  std::vector<std::string> lines() const;
+
+  std::uint64_t ticks() const;
+  std::uint64_t droppedLines() const;
+
+ private:
+  json::Value buildRecord() ISOP_REQUIRES(sampleMutex_);
+  void appendLine(const std::string& line) ISOP_REQUIRES(sampleMutex_);
+  void tickLoop();
+
+  Registry* registry_;
+  const MetricsSamplerConfig config_;
+  const std::chrono::steady_clock::time_point epoch_;
+  std::FILE* file_ = nullptr;
+
+  mutable AnnotatedMutex sampleMutex_;
+  std::map<std::string, double> prevMonotone_ ISOP_GUARDED_BY(sampleMutex_);
+  std::map<std::string, double> prevValues_ ISOP_GUARDED_BY(sampleMutex_);
+  std::uint64_t seq_ ISOP_GUARDED_BY(sampleMutex_) = 0;
+  std::deque<std::string> ring_ ISOP_GUARDED_BY(sampleMutex_);
+  std::uint64_t dropped_ ISOP_GUARDED_BY(sampleMutex_) = 0;
+
+  mutable AnnotatedMutex threadMutex_;
+  std::condition_variable_any wake_;
+  bool stopRequested_ ISOP_GUARDED_BY(threadMutex_) = false;
+  bool running_ ISOP_GUARDED_BY(threadMutex_) = false;
+  std::thread thread_;
+};
+
+}  // namespace isop::obs

@@ -11,12 +11,30 @@ namespace isop::obs {
 Tracer::Tracer(std::size_t maxEvents)
     : epoch_(std::chrono::steady_clock::now()), maxEvents_(maxEvents) {}
 
+namespace detail {
+
+namespace {
+thread_local const std::string* tCurrentSpanTag = nullptr;
+}  // namespace
+
+const std::string* currentSpanTag() noexcept { return tCurrentSpanTag; }
+
+}  // namespace detail
+
+ScopedSpanTag::ScopedSpanTag(std::string tag)
+    : tag_(std::move(tag)), prev_(detail::tCurrentSpanTag) {
+  detail::tCurrentSpanTag = &tag_;
+}
+
+ScopedSpanTag::~ScopedSpanTag() { detail::tCurrentSpanTag = prev_; }
+
 void Tracer::record(std::string name, std::chrono::steady_clock::time_point start,
                     std::chrono::steady_clock::duration duration) {
   using std::chrono::duration_cast;
   using std::chrono::microseconds;
   TraceEvent event;
   event.name = std::move(name);
+  if (const std::string* tag = detail::currentSpanTag()) event.tag = *tag;
   event.startMicros =
       static_cast<std::uint64_t>(duration_cast<microseconds>(start - epoch_).count());
   event.durMicros =
@@ -30,9 +48,19 @@ void Tracer::record(std::string name, std::chrono::steady_clock::time_point star
   events_.push_back(std::move(event));
 }
 
-std::vector<TraceEvent> Tracer::events() const {
+std::vector<TraceEvent> Tracer::events(std::string_view tagFilter) const {
   MutexLock lock(mutex_);
-  return events_;
+  if (tagFilter.empty()) return events_;
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& e : events_) {
+    if (e.tag == tagFilter) out.push_back(e);
+  }
+  return out;
+}
+
+std::size_t Tracer::eventCount() const {
+  MutexLock lock(mutex_);
+  return events_.size();
 }
 
 std::size_t Tracer::droppedEvents() const {
@@ -46,11 +74,12 @@ void Tracer::clear() {
   dropped_ = 0;
 }
 
-json::Value Tracer::toChromeJson() const {
+json::Value Tracer::toChromeJson(std::string_view tagFilter) const {
   json::Value list = json::Value::array();
   {
     MutexLock lock(mutex_);
     for (const TraceEvent& e : events_) {
+      if (!tagFilter.empty() && e.tag != tagFilter) continue;
       json::Value ev = json::Value::object();
       ev.set("name", json::Value::string(e.name));
       ev.set("cat", json::Value::string("isop"));
@@ -59,6 +88,11 @@ json::Value Tracer::toChromeJson() const {
       ev.set("dur", json::Value::integer(static_cast<long long>(e.durMicros)));
       ev.set("pid", json::Value::integer(1));
       ev.set("tid", json::Value::integer(static_cast<long long>(e.tid)));
+      if (!e.tag.empty()) {
+        json::Value args = json::Value::object();
+        args.set("job", json::Value::string(e.tag));
+        ev.set("args", std::move(args));
+      }
       list.push(std::move(ev));
     }
   }
@@ -68,8 +102,9 @@ json::Value Tracer::toChromeJson() const {
   return root;
 }
 
-bool Tracer::writeChromeTrace(const std::string& path) const {
-  const std::string text = toChromeJson().dump(2);
+bool Tracer::writeChromeTrace(const std::string& path,
+                              std::string_view tagFilter) const {
+  const std::string text = toChromeJson(tagFilter).dump(2);
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (!f) return false;
   const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();

@@ -17,6 +17,7 @@
 #include <chrono>
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/json.hpp"
@@ -26,6 +27,7 @@ namespace isop::obs {
 
 struct TraceEvent {
   std::string name;
+  std::string tag;                ///< span context tag ("" = untagged)
   std::uint64_t startMicros = 0;  ///< since tracer epoch
   std::uint64_t durMicros = 0;
   std::uint32_t tid = 0;
@@ -39,19 +41,27 @@ class Tracer {
   bool enabled() const noexcept { return enabled_.load(std::memory_order_relaxed); }
   void setEnabled(bool on) noexcept { enabled_.store(on, std::memory_order_relaxed); }
 
+  /// Records one complete event, stamped with the calling thread's current
+  /// span tag (see ScopedSpanTag); events recorded outside any tag scope are
+  /// untagged.
   void record(std::string name, std::chrono::steady_clock::time_point start,
               std::chrono::steady_clock::duration duration);
 
-  std::vector<TraceEvent> events() const;
+  /// All events, or (with a non-empty `tagFilter`) only the events recorded
+  /// under that exact span tag — the per-job view of a shared tracer.
+  std::vector<TraceEvent> events(std::string_view tagFilter = {}) const;
+  std::size_t eventCount() const;
   std::size_t droppedEvents() const;
   void clear();
 
   /// Chrome trace_event "JSON object format": {"traceEvents": [...],
-  /// "displayTimeUnit": "ms"}.
-  json::Value toChromeJson() const;
+  /// "displayTimeUnit": "ms"}. Tagged events carry args:{"job": tag}; a
+  /// non-empty `tagFilter` exports only that tag's events.
+  json::Value toChromeJson(std::string_view tagFilter = {}) const;
 
-  /// Writes toChromeJson() to `path`; returns false on I/O failure.
-  bool writeChromeTrace(const std::string& path) const;
+  /// Writes toChromeJson(tagFilter) to `path`; returns false on I/O failure.
+  bool writeChromeTrace(const std::string& path,
+                        std::string_view tagFilter = {}) const;
 
  private:
   std::atomic<bool> enabled_{false};
@@ -64,6 +74,32 @@ class Tracer {
 
 /// Current thread's id folded to 32 bits (stable within a run).
 std::uint32_t currentThreadId() noexcept;
+
+namespace detail {
+/// The calling thread's active span tag, or nullptr outside any
+/// ScopedSpanTag scope. Read by Tracer::record when stamping events.
+const std::string* currentSpanTag() noexcept;
+}  // namespace detail
+
+/// Thread-local span-context tag: while alive, every TraceEvent recorded by
+/// this thread carries `tag` (the serve scheduler tags a worker with the job
+/// id for the duration of that job, so one job's spans can be filtered out
+/// of a tracer shared by concurrent jobs). Scopes nest — the innermost tag
+/// wins and the previous one is restored on destruction. Same pattern as
+/// ConvergenceRecorder::ScopedTap; costs nothing on the disabled-tracer path
+/// (the tag is only read when an event is actually recorded).
+class ScopedSpanTag {
+ public:
+  explicit ScopedSpanTag(std::string tag);
+  ~ScopedSpanTag();
+
+  ScopedSpanTag(const ScopedSpanTag&) = delete;
+  ScopedSpanTag& operator=(const ScopedSpanTag&) = delete;
+
+ private:
+  std::string tag_;
+  const std::string* prev_;
+};
 
 /// RAII scoped span against the global tracer (see obs.hpp). Null-sink fast
 /// path: when tracing is off at construction the span holds no tracer and

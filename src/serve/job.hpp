@@ -49,6 +49,12 @@ struct JobSpec {
   long long priority = 0;       ///< higher runs first; FIFO within a priority
   std::uint64_t timeoutMs = 0;  ///< run-time budget, armed at job start (0 = none)
   std::uint64_t deadlineMs = 0; ///< end-to-end budget from admission (0 = none)
+
+  /// Chrome-trace path for this job's spans ("" = no per-job trace). Span
+  /// capture is turned on for the job's run and its `id`-tagged events are
+  /// exported here when the job reaches a terminal state — only this job's
+  /// spans, even with concurrent jobs on the worker pool.
+  std::string traceOut;
 };
 
 /// Lifecycle: Queued -> Running -> {Done, Cancelled, Failed}; a queued job
@@ -85,8 +91,10 @@ struct Job {
   std::atomic<JobState> state{JobState::Queued};
   std::uint64_t seq = 0;  ///< admission order, assigned by the queue
 
-  Timer sinceAdmission;          ///< steady clock; latency accounting
-  double queueWaitSeconds = 0.0; ///< filled when a worker picks the job up
+  Timer sinceAdmission;  ///< steady clock; latency accounting
+  /// Filled when a worker picks the job up. Atomic because the stats
+  /// request snapshots live jobs from other threads while workers run.
+  std::atomic<double> queueWaitSeconds{0.0};
 
   /// Result of a Done job (unset otherwise). Shared so event sinks can keep
   /// it alive past the job without copying the outcome vectors.

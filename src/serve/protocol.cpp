@@ -1,6 +1,8 @@
 #include "serve/protocol.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <map>
 #include <set>
 
 #include "core/report.hpp"
@@ -88,7 +90,7 @@ const std::set<std::string>& submitKeys() {
       "budget",        "iterations",   "local_seeds",
       "refine_epochs", "hyperband_resource", "candidates",
       "trials",        "seed",         "priority",
-      "timeout_ms",    "deadline_ms"};
+      "timeout_ms",    "deadline_ms",  "trace_out"};
   return keys;
 }
 
@@ -131,6 +133,7 @@ std::optional<Request> parseSubmit(const json::Value& v, std::string* error) {
   if (!readPriority(v, "priority", &spec.priority, error)) return std::nullopt;
   if (!readU64(v, "timeout_ms", &spec.timeoutMs, error)) return std::nullopt;
   if (!readU64(v, "deadline_ms", &spec.deadlineMs, error)) return std::nullopt;
+  if (!readString(v, "trace_out", &spec.traceOut, error)) return std::nullopt;
   // Name/range checks (task, space, surrogate, ...) deliberately run in
   // Scheduler::submit via validateSpec so direct (non-protocol) submitters
   // get the same errors; the parse layer only enforces shape.
@@ -170,11 +173,33 @@ std::optional<Request> parseRequest(const std::string& line, std::string* error)
     }
     return req;
   }
-  if (kind == "status" || kind == "shutdown") {
+  if (kind == "status" || kind == "stats" || kind == "shutdown") {
     static const std::set<std::string> keys = {"type"};
     if (!checkKeys(*parsed, keys, err)) return std::nullopt;
     Request req;
-    req.kind = kind == "status" ? Request::Kind::Status : Request::Kind::Shutdown;
+    req.kind = kind == "status"  ? Request::Kind::Status
+               : kind == "stats" ? Request::Kind::Stats
+                                 : Request::Kind::Shutdown;
+    return req;
+  }
+  if (kind == "trace") {
+    static const std::set<std::string> keys = {"type", "action", "out"};
+    if (!checkKeys(*parsed, keys, err)) return std::nullopt;
+    Request req;
+    req.kind = Request::Kind::Trace;
+    std::string action;
+    if (!readString(*parsed, "action", &action, err)) return std::nullopt;
+    if (action == "start") {
+      req.traceAction = Request::TraceAction::Start;
+    } else if (action == "stop") {
+      req.traceAction = Request::TraceAction::Stop;
+    } else if (action == "status") {
+      req.traceAction = Request::TraceAction::Status;
+    } else {
+      *err = "trace 'action' must be one of start|stop|status";
+      return std::nullopt;
+    }
+    if (!readString(*parsed, "out", &req.traceOut, err)) return std::nullopt;
     return req;
   }
   *err = "unknown request type '" + kind + "'";
@@ -283,6 +308,91 @@ json::Value toJson(const JobEvent& event) {
       out.set("latency_seconds", json::Value::number(event.latencySeconds));
       break;
   }
+  return out;
+}
+
+json::Value statsToJson(const Scheduler::Status& status,
+                        const std::vector<Scheduler::JobSnapshot>& jobs,
+                        const std::vector<SessionManager::SessionInfo>& sessions,
+                        json::Value metrics) {
+  json::Value out = json::Value::object();
+  out.set("event", json::Value::string("stats"));
+
+  json::Value queue = json::Value::object();
+  queue.set("depth", json::Value::integer(static_cast<long long>(status.queueDepth)));
+  queue.set("capacity",
+            json::Value::integer(static_cast<long long>(status.queueCapacity)));
+  queue.set("running", json::Value::integer(static_cast<long long>(status.running)));
+  queue.set("draining", json::Value::boolean(status.draining));
+  queue.set("submitted",
+            json::Value::integer(static_cast<long long>(status.submitted)));
+  queue.set("admitted", json::Value::integer(static_cast<long long>(status.admitted)));
+  queue.set("rejected", json::Value::integer(static_cast<long long>(status.rejected)));
+  queue.set("completed",
+            json::Value::integer(static_cast<long long>(status.completed)));
+  queue.set("cancelled",
+            json::Value::integer(static_cast<long long>(status.cancelled)));
+  queue.set("failed", json::Value::integer(static_cast<long long>(status.failed)));
+
+  // Per-priority occupancy of the queued jobs (priority -> count), keyed by
+  // the priority's decimal string.
+  json::Value byPriority = json::Value::object();
+  std::map<long long, std::size_t> priorityCounts;
+  for (const Scheduler::JobSnapshot& job : jobs) {
+    if (job.state == JobState::Queued) ++priorityCounts[job.priority];
+  }
+  for (const auto& [priority, count] : priorityCounts) {
+    byPriority.set(std::to_string(priority),
+                   json::Value::integer(static_cast<long long>(count)));
+  }
+  queue.set("queued_by_priority", std::move(byPriority));
+  out.set("queue", std::move(queue));
+
+  json::Value jobList = json::Value::array();
+  for (const Scheduler::JobSnapshot& job : jobs) {
+    json::Value j = json::Value::object();
+    j.set("id", json::Value::string(job.id));
+    j.set("state", json::Value::string(jobStateName(job.state)));
+    j.set("priority", json::Value::integer(job.priority));
+    j.set("age_seconds", json::Value::number(job.ageSeconds));
+    j.set("queue_wait_seconds", json::Value::number(job.queueWaitSeconds));
+    j.set("run_seconds", json::Value::number(job.runSeconds));
+    // Omitted (not null) when the job has no deadline: +inf is not JSON.
+    if (std::isfinite(job.deadlineRemainingSeconds)) {
+      j.set("deadline_remaining_seconds",
+            json::Value::number(job.deadlineRemainingSeconds));
+    }
+    jobList.push(std::move(j));
+  }
+  out.set("jobs", std::move(jobList));
+
+  json::Value sessionList = json::Value::array();
+  for (const SessionManager::SessionInfo& info : sessions) {
+    json::Value s = json::Value::object();
+    s.set("surrogate", json::Value::string(info.key.surrogate));
+    s.set("space", json::Value::string(info.key.space));
+    s.set("layer", json::Value::string(info.key.layer));
+    s.set("cache_size", json::Value::integer(static_cast<long long>(info.cacheSize)));
+    s.set("evictions", json::Value::integer(static_cast<long long>(info.evictions)));
+    s.set("rows", json::Value::integer(static_cast<long long>(info.rows)));
+    s.set("memo_hits", json::Value::integer(static_cast<long long>(info.memoHits)));
+    s.set("hit_rate", json::Value::number(info.hitRate));
+    sessionList.push(std::move(s));
+  }
+  out.set("sessions", std::move(sessionList));
+
+  out.set("metrics", std::move(metrics));
+  return out;
+}
+
+json::Value traceToJson(bool enabled, std::size_t events, std::size_t dropped,
+                        const std::string& written) {
+  json::Value out = json::Value::object();
+  out.set("event", json::Value::string("trace"));
+  out.set("enabled", json::Value::boolean(enabled));
+  out.set("events", json::Value::integer(static_cast<long long>(events)));
+  out.set("dropped", json::Value::integer(static_cast<long long>(dropped)));
+  if (!written.empty()) out.set("written", json::Value::string(written));
   return out;
 }
 

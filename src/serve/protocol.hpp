@@ -4,6 +4,8 @@
 //   {"type":"submit","id":"j1", ...job spec fields...}
 //   {"type":"cancel","id":"j1"}
 //   {"type":"status"}
+//   {"type":"stats"}                                  // live introspection
+//   {"type":"trace","action":"start|stop|status"[,"out":PATH]}
 //   {"type":"shutdown"}
 //
 // Responses (server -> client), one JSON object per line, each carrying an
@@ -26,14 +28,20 @@
 namespace isop::serve {
 
 /// Protocol revision announced in the `ready` event; bump on any breaking
-/// change to requests or events.
-inline constexpr int kProtocolVersion = 1;
+/// change to requests or events. v2 adds the stats/trace requests and the
+/// submit `trace_out` field (v1 requests are unchanged).
+inline constexpr int kProtocolVersion = 2;
 
 struct Request {
-  enum class Kind { Submit, Cancel, Status, Shutdown };
+  enum class Kind { Submit, Cancel, Status, Stats, Trace, Shutdown };
   Kind kind = Kind::Status;
   JobSpec spec;    ///< Submit only
   std::string id;  ///< Cancel only
+
+  /// Trace only: the span-capture control verb.
+  enum class TraceAction { Start, Stop, Status };
+  TraceAction traceAction = TraceAction::Status;
+  std::string traceOut;  ///< Trace stop: Chrome-trace export path ("" = none)
 };
 
 /// Parses one request line. std::nullopt (with *error set, when non-null) on
@@ -51,5 +59,18 @@ json::Value resultToJson(const core::TrialStats& stats);
 
 /// The `status` response payload.
 json::Value statusToJson(const Scheduler::Status& status, std::size_t sessions);
+
+/// The `stats` response payload: the status fields under "queue", the live
+/// per-job table under "jobs", the session/memo-cache table under
+/// "sessions", and the full metrics-registry export under "metrics".
+json::Value statsToJson(const Scheduler::Status& status,
+                        const std::vector<Scheduler::JobSnapshot>& jobs,
+                        const std::vector<SessionManager::SessionInfo>& sessions,
+                        json::Value metrics);
+
+/// The `trace` response payload: current capture state plus (after a stop
+/// with an "out" path) whether the export was written.
+json::Value traceToJson(bool enabled, std::size_t events, std::size_t dropped,
+                        const std::string& written);
 
 }  // namespace isop::serve

@@ -1,8 +1,10 @@
 #include "serve/scheduler.hpp"
 
+#include <algorithm>
 #include <chrono>
 
 #include "common/check.hpp"
+#include "common/logging.hpp"
 #include "obs/convergence.hpp"
 #include "obs/obs.hpp"
 
@@ -54,8 +56,21 @@ void Scheduler::emit(const EventSink& sink, const JobEvent& event) const {
 
 void Scheduler::updateQueueGauge() const {
   if (!obs::metricsEnabled()) return;
-  obs::registry().gauge("serve.queue.depth").set(
-      static_cast<double>(queue_.depth()));
+  // Labeled names are interned once; gauge() returns a stable handle.
+  static const std::string kQueued =
+      obs::Registry::labeled("serve.jobs.inflight", "state", "queued");
+  static const std::string kRunning =
+      obs::Registry::labeled("serve.jobs.inflight", "state", "running");
+  static const std::string kDraining =
+      obs::Registry::labeled("serve.jobs.inflight", "state", "draining");
+  obs::Registry& reg = obs::registry();
+  const double depth = static_cast<double>(queue_.depth());
+  reg.gauge("serve.queue.depth").set(depth);
+  reg.gauge(kQueued).set(depth);
+  reg.gauge(kRunning).set(
+      static_cast<double>(running_.load(std::memory_order_relaxed)));
+  reg.gauge(kDraining).set(
+      static_cast<double>(drainPending_.load(std::memory_order_relaxed)));
 }
 
 bool Scheduler::submit(const JobSpec& spec, EventSink sink) {
@@ -156,9 +171,12 @@ void Scheduler::drain() {
   // Reject still-queued jobs in deterministic pop order. close() also makes
   // every pop() return nullptr once the queue is empty, stopping the workers.
   const std::vector<std::shared_ptr<Job>> remaining = queue_.close();
+  drainPending_.store(remaining.size(), std::memory_order_relaxed);
+  updateQueueGauge();
   for (const std::shared_ptr<Job>& job : remaining) {
     JobState expected = JobState::Queued;
     if (!job->state.compare_exchange_strong(expected, JobState::Cancelled)) {
+      drainPending_.fetch_sub(1, std::memory_order_relaxed);
       continue;  // concurrently cancelled; that path emitted the event
     }
     EventSink sink = sinkFor(job->spec.id);
@@ -174,6 +192,7 @@ void Scheduler::drain() {
       live_.erase(job->spec.id);
     }
     emit(sink, event);
+    drainPending_.fetch_sub(1, std::memory_order_relaxed);
   }
   updateQueueGauge();
   for (std::thread& worker : workers_) {
@@ -199,6 +218,30 @@ Scheduler::Status Scheduler::status() const {
   return s;
 }
 
+std::vector<Scheduler::JobSnapshot> Scheduler::jobs() const {
+  std::vector<JobSnapshot> out;
+  MutexLock lock(mutex_);
+  out.reserve(live_.size());
+  // live_ is keyed by id, so iteration (and the wire output) is id-ordered.
+  for (const auto& [id, entry] : live_) {
+    const Job& job = *entry.job;
+    JobSnapshot snap;
+    snap.id = id;
+    snap.state = job.state.load(std::memory_order_relaxed);
+    snap.priority = job.spec.priority;
+    snap.ageSeconds = job.sinceAdmission.seconds();
+    if (snap.state == JobState::Running) {
+      snap.queueWaitSeconds = job.queueWaitSeconds.load(std::memory_order_relaxed);
+      snap.runSeconds = std::max(0.0, snap.ageSeconds - snap.queueWaitSeconds);
+    } else {
+      snap.queueWaitSeconds = snap.ageSeconds;  // still waiting
+    }
+    snap.deadlineRemainingSeconds = job.token.secondsToDeadline();
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
 Scheduler::EventSink Scheduler::sinkFor(const std::string& id) const {
   MutexLock lock(mutex_);
   auto it = live_.find(id);
@@ -209,7 +252,7 @@ Scheduler::EventSink Scheduler::sinkFor(const std::string& id) const {
 void Scheduler::finish(const std::shared_ptr<Job>& job, const EventSink& sink,
                        JobEvent event) {
   event.latencySeconds = job->sinceAdmission.seconds();
-  event.queueWaitSeconds = job->queueWaitSeconds;
+  event.queueWaitSeconds = job->queueWaitSeconds.load(std::memory_order_relaxed);
   {
     MutexLock lock(mutex_);
     live_.erase(job->spec.id);
@@ -248,15 +291,23 @@ void Scheduler::workerLoop() {
     if (!job->state.compare_exchange_strong(expected, JobState::Running)) {
       continue;  // cancel() removed it concurrently and emitted the event
     }
-    job->queueWaitSeconds = job->sinceAdmission.seconds();
+    job->queueWaitSeconds.store(job->sinceAdmission.seconds(),
+                                std::memory_order_relaxed);
     running_.fetch_add(1, std::memory_order_relaxed);
+    updateQueueGauge();  // the queued -> running CAS moved this job's state
     {
       JobEvent event;
       event.kind = JobEvent::Kind::Started;
       event.jobId = job->spec.id;
-      event.queueWaitSeconds = job->queueWaitSeconds;
+      event.queueWaitSeconds =
+          job->queueWaitSeconds.load(std::memory_order_relaxed);
       emit(sink, event);
     }
+
+    // A per-job trace request turns span capture on before any of this
+    // job's spans open; capture stays on afterwards (concurrent jobs may
+    // still be recording — the `trace` protocol control stops it).
+    if (!job->spec.traceOut.empty()) obs::tracer().setEnabled(true);
 
     Timer runTimer;
     JobEvent terminal;
@@ -282,8 +333,20 @@ void Scheduler::workerLoop() {
       terminal.reason = e.what();
     }
     terminal.runSeconds = runTimer.seconds();
-    finish(job, sink, std::move(terminal));
+    // Settle the accounting and export the per-job trace before the terminal
+    // event goes out: a client that saw `done` can immediately read the
+    // trace file and a stats snapshot that no longer counts this job.
     running_.fetch_sub(1, std::memory_order_relaxed);
+    updateQueueGauge();
+    exportJobTrace(job);
+    finish(job, sink, std::move(terminal));
+  }
+}
+
+void Scheduler::exportJobTrace(const std::shared_ptr<Job>& job) const {
+  if (job->spec.traceOut.empty()) return;
+  if (!obs::tracer().writeChromeTrace(job->spec.traceOut, job->spec.id)) {
+    log::warn("serve: cannot write job trace '", job->spec.traceOut, "'");
   }
 }
 
@@ -296,6 +359,13 @@ void Scheduler::runJob(const std::shared_ptr<Job>& job, const EventSink& sink) {
   core::TrialRunner runner(*ctx->simulator, ctx->surrogate, ctx->space, task);
   runner.setSharedEngine(ctx->engine);
   runner.setCancelToken(job->token);
+
+  // Per-job span context: every span this job's stages open on this worker
+  // thread (TrialRunner -> IsopOptimizer -> EvalEngine batch calls) carries
+  // the job id, so a shared tracer can be filtered down to one job's
+  // timeline even with concurrent jobs interleaved on the pool.
+  obs::ScopedSpanTag spanTag(job->spec.id);
+  obs::Span jobSpan("serve.job.run");
 
   // Per-thread convergence tap: every obs record produced by this job's
   // stages (they run on this worker thread) streams out as a `progress`

@@ -103,6 +103,23 @@ class Scheduler {
   };
   Status status() const;
 
+  /// Point-in-time view of one live (queued or running) job, as reported by
+  /// the serve `stats` request.
+  struct JobSnapshot {
+    std::string id;
+    JobState state = JobState::Queued;
+    long long priority = 0;
+    double ageSeconds = 0.0;        ///< since admission
+    double queueWaitSeconds = 0.0;  ///< so far when queued, final when running
+    double runSeconds = 0.0;        ///< so far; 0 when still queued
+    /// Seconds until the job's armed deadline (negative once past);
+    /// +infinity when the job has no deadline.
+    double deadlineRemainingSeconds = 0.0;
+  };
+
+  /// Snapshots every live job, ordered by id (deterministic wire output).
+  std::vector<JobSnapshot> jobs() const;
+
  private:
   struct LiveJob {
     std::shared_ptr<Job> job;
@@ -116,6 +133,7 @@ class Scheduler {
               JobEvent event);
   EventSink sinkFor(const std::string& id) const;
   void updateQueueGauge() const;
+  void exportJobTrace(const std::shared_ptr<Job>& job) const;
 
   SessionManager* sessions_;
   const SchedulerConfig config_;
@@ -127,6 +145,7 @@ class Scheduler {
   bool draining_ ISOP_GUARDED_BY(mutex_) = false;
 
   std::atomic<std::size_t> running_{0};
+  std::atomic<std::size_t> drainPending_{0};  ///< queued jobs awaiting drain rejection
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> admitted_{0};
   std::atomic<std::uint64_t> rejected_{0};

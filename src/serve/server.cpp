@@ -10,6 +10,7 @@
 #include <cstring>
 
 #include "common/logging.hpp"
+#include "obs/obs.hpp"
 
 namespace isop::serve {
 
@@ -183,6 +184,37 @@ void Server::handleLine(const std::string& line,
     case Request::Kind::Status:
       writer->write(statusToJson(scheduler_->status(), sessions_.size()));
       break;
+    case Request::Kind::Stats:
+      writer->write(statsToJson(scheduler_->status(), scheduler_->jobs(),
+                                sessions_.table(), obs::registry().toJson()));
+      break;
+    case Request::Kind::Trace: {
+      obs::Tracer& tracer = obs::tracer();
+      std::string written;
+      switch (request->traceAction) {
+        case Request::TraceAction::Start:
+          tracer.clear();
+          tracer.setEnabled(true);
+          break;
+        case Request::TraceAction::Stop:
+          tracer.setEnabled(false);
+          if (!request->traceOut.empty()) {
+            if (tracer.writeChromeTrace(request->traceOut)) {
+              written = request->traceOut;
+            } else {
+              writer->write(errorEvent("trace: cannot write '" +
+                                       request->traceOut + "'"));
+              return;
+            }
+          }
+          break;
+        case Request::TraceAction::Status:
+          break;
+      }
+      writer->write(traceToJson(tracer.enabled(), tracer.eventCount(),
+                                tracer.droppedEvents(), written));
+      break;
+    }
     case Request::Kind::Shutdown:
       beginShutdown();
       break;
@@ -242,6 +274,19 @@ int Server::run() {
       listenFd_ = -1;
       return 1;
     }
+  }
+
+  // A service answers stats requests for its whole lifetime, so serve mode
+  // keeps the metrics registry recording regardless of the one-shot obs
+  // flags; the previous state is restored when run() returns.
+  prevMetricsEnabled_ = obs::metricsEnabled();
+  obs::setMetricsEnabled(true);
+  if (config_.metricsIntervalMs > 0) {
+    obs::MetricsSamplerConfig samplerCfg;
+    samplerCfg.interval = std::chrono::milliseconds(config_.metricsIntervalMs);
+    samplerCfg.path = config_.metricsSeriesPath;
+    sampler_ = std::make_unique<obs::MetricsSampler>(obs::registry(), samplerCfg);
+    sampler_->start();
   }
 
   stdioWriter_ = std::make_shared<LineWriter>(out_);
@@ -307,6 +352,10 @@ int Server::run() {
   const Scheduler::Status finalStatus = scheduler_->status();
   scheduler_->drain();
 
+  // The sampler's stop() takes a final sample, so the series always ends
+  // with the post-drain state.
+  if (sampler_) sampler_->stop();
+
   {
     json::Value done = json::Value::object();
     done.set("event", json::Value::string("shutdown"));
@@ -326,6 +375,7 @@ int Server::run() {
   ::close(shutdownPipe_[0]);
   ::close(shutdownPipe_[1]);
   shutdownPipe_[0] = shutdownPipe_[1] = -1;
+  obs::setMetricsEnabled(prevMetricsEnabled_);
   return 0;
 }
 

@@ -24,6 +24,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/sampler.hpp"
 #include "serve/protocol.hpp"
 #include "serve/scheduler.hpp"
 #include "serve/session_manager.hpp"
@@ -35,6 +36,11 @@ struct ServerConfig {
   std::string socketPath;  ///< empty = stdio only
   /// Engine knobs shared by every session (memo cache size etc.).
   core::EvalEngineConfig engine{};
+
+  /// Background metrics time-series tick period in ms; 0 = no sampler.
+  std::uint64_t metricsIntervalMs = 0;
+  /// JSONL path for the sampler's records ("" = in-memory ring only).
+  std::string metricsSeriesPath;
 };
 
 class Server {
@@ -69,7 +75,9 @@ class Server {
   std::FILE* out_;
   SessionManager sessions_;
   std::unique_ptr<Scheduler> scheduler_;
+  std::unique_ptr<obs::MetricsSampler> sampler_;
   std::shared_ptr<class LineWriter> stdioWriter_;
+  bool prevMetricsEnabled_ = false;
 
   std::atomic<bool> shutdownRequested_{false};
   int shutdownPipe_[2] = {-1, -1};  ///< wakes the poll loops

@@ -70,4 +70,23 @@ std::size_t SessionManager::size() const {
   return sessions_.size();
 }
 
+std::vector<SessionManager::SessionInfo> SessionManager::table() const {
+  std::vector<SessionInfo> out;
+  MutexLock lock(mutex_);
+  out.reserve(sessions_.size());
+  // sessions_ is keyed by SessionKey, so iteration order is deterministic.
+  for (const auto& [key, ctx] : sessions_) {
+    const core::EvalEngineStats stats = ctx->engine->stats();
+    SessionInfo info;
+    info.key = key;
+    info.cacheSize = ctx->engine->cacheSize();
+    info.evictions = stats.evictions;
+    info.rows = stats.rows;
+    info.memoHits = stats.memoHits;
+    info.hitRate = stats.hitRate();
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
 }  // namespace isop::serve

@@ -13,6 +13,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/thread_annotations.hpp"
 #include "core/eval/eval_engine.hpp"
@@ -61,6 +62,20 @@ class SessionManager {
 
   /// Number of live sessions.
   std::size_t size() const;
+
+  /// One row of the serve stats request's session table: the session's key
+  /// plus its shared engine's memo-cache health.
+  struct SessionInfo {
+    SessionKey key;
+    std::size_t cacheSize = 0;   ///< live memoized predict entries
+    std::size_t evictions = 0;   ///< LRU evictions across both memo caches
+    std::size_t rows = 0;        ///< design rows requested since creation
+    std::size_t memoHits = 0;    ///< rows served from the cache
+    double hitRate = 0.0;        ///< memoHits / rows (0 when idle)
+  };
+
+  /// Snapshots every live session, ordered by key (deterministic output).
+  std::vector<SessionInfo> table() const;
 
  private:
   std::shared_ptr<Context> build(const SessionKey& key) const;

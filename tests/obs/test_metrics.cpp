@@ -72,6 +72,27 @@ TEST(Histogram, PercentilesAreOrderedAndBounded) {
   EXPECT_NEAR(p99, 0.99, 0.99 * 0.2);
 }
 
+TEST(Histogram, LogBucketEstimationErrorIsBounded) {
+  // The log-bucket scheme guarantees a percentile estimate within one bucket
+  // of the true value: with kBucketsPerDecade buckets per power of ten the
+  // bucket boundary ratio is 10^(1/kBucketsPerDecade), so the relative error
+  // can never exceed that ratio minus one (~33% at 8 buckets/decade).
+  const double maxRelError =
+      std::pow(10.0, 1.0 / Histogram::kBucketsPerDecade) - 1.0;
+  Histogram h;
+  constexpr int kSamples = 10000;
+  // Uniform over three decades exercises many distinct buckets.
+  for (int i = 1; i <= kSamples; ++i) h.record(i * 1e-3);
+  for (const double p : {0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99}) {
+    // Exact nearest-rank percentile of the uniform ramp.
+    const double exact =
+        1e-3 * std::ceil(p * static_cast<double>(kSamples));
+    const double estimate = h.percentile(p);
+    EXPECT_LE(std::abs(estimate - exact) / exact, maxRelError)
+        << "p=" << p << " exact=" << exact << " estimate=" << estimate;
+  }
+}
+
 TEST(Histogram, ConcurrentRecordsLoseNothing) {
   Histogram h;
   constexpr int kThreads = 8;
@@ -138,8 +159,23 @@ TEST(Registry, JsonExportParsesBackAndCoversAllKinds) {
   EXPECT_DOUBLE_EQ(hist.at("min").asNumber(), 0.25);
   EXPECT_DOUBLE_EQ(hist.at("max").asNumber(), 0.25);
   ASSERT_NE(hist.find("p50"), nullptr);
+  ASSERT_NE(hist.find("p90"), nullptr);
   ASSERT_NE(hist.find("p95"), nullptr);
   ASSERT_NE(hist.find("p99"), nullptr);
+}
+
+TEST(Registry, FlatSampleMarksMonotoneKeys) {
+  Registry reg;
+  reg.counter("a.calls").add(3);
+  reg.gauge("b.depth").set(2.5);
+  reg.histogram("c.seconds").record(0.25);
+  const auto flat = reg.flatSample();
+  EXPECT_TRUE(flat.at("a.calls").monotone);
+  EXPECT_DOUBLE_EQ(flat.at("a.calls").value, 3.0);
+  EXPECT_FALSE(flat.at("b.depth").monotone);
+  EXPECT_TRUE(flat.at("c.seconds.count").monotone);
+  EXPECT_FALSE(flat.at("c.seconds.p90").monotone);
+  EXPECT_FALSE(flat.at("c.seconds.mean").monotone);
 }
 
 TEST(Registry, CsvHasOneRowPerExportedValue) {

@@ -1,0 +1,204 @@
+// MetricsSampler tests: the delta-encoding invariant (each counter increment
+// lands in exactly one tick, even while other threads publish concurrently),
+// absolute-vs-delta key classification, changed-key-only records, the
+// bounded ring, the file sink, and background start/stop.
+#include "obs/sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace isop::obs {
+namespace {
+
+double counterDelta(const json::Value& record, const std::string& key) {
+  const json::Value* counters = record.find("counters");
+  if (!counters) return 0.0;
+  const json::Value* delta = counters->find(key);
+  return delta ? delta->asNumber() : 0.0;
+}
+
+TEST(MetricsSampler, FirstTickReportsFullCounterValue) {
+  Registry reg;
+  reg.counter("x.calls").add(7);
+  MetricsSampler sampler(reg, {});
+  const json::Value record = sampler.sampleOnce();
+  EXPECT_EQ(record.at("seq").asInteger(), 0);
+  EXPECT_TRUE(record.at("uptime_seconds").isNumeric());
+  EXPECT_DOUBLE_EQ(counterDelta(record, "x.calls"), 7.0);
+}
+
+TEST(MetricsSampler, DeltasOmitUnchangedAndTrackIncrements) {
+  Registry reg;
+  Counter& c = reg.counter("x.calls");
+  Gauge& g = reg.gauge("y.depth");
+  MetricsSamplerConfig cfg;
+  cfg.captureThreadPool = false;
+  MetricsSampler sampler(reg, cfg);
+
+  c.add(5);
+  g.set(2.5);
+  const json::Value first = sampler.sampleOnce();
+  EXPECT_DOUBLE_EQ(counterDelta(first, "x.calls"), 5.0);
+  EXPECT_DOUBLE_EQ(first.at("values").at("y.depth").asNumber(), 2.5);
+
+  // Second tick: only what changed. The gauge is unchanged -> omitted; the
+  // counter moved by 3 -> a delta of 3, not the raw 8.
+  c.add(3);
+  const json::Value second = sampler.sampleOnce();
+  EXPECT_EQ(second.at("seq").asInteger(), 1);
+  EXPECT_DOUBLE_EQ(counterDelta(second, "x.calls"), 3.0);
+  const json::Value* values = second.find("values");
+  if (values) {
+    EXPECT_EQ(values->find("y.depth"), nullptr);
+  }
+
+  // Third tick with no activity at all: no counters, no values.
+  const json::Value third = sampler.sampleOnce();
+  const json::Value* counters = third.find("counters");
+  if (counters) {
+    EXPECT_EQ(counters->find("x.calls"), nullptr);
+  }
+}
+
+TEST(MetricsSampler, GaugeChangesReportAbsoluteReadings) {
+  Registry reg;
+  Gauge& g = reg.gauge("q.depth");
+  MetricsSamplerConfig cfg;
+  cfg.captureThreadPool = false;
+  MetricsSampler sampler(reg, cfg);
+  g.set(4.0);
+  EXPECT_DOUBLE_EQ(sampler.sampleOnce().at("values").at("q.depth").asNumber(), 4.0);
+  g.set(1.0);
+  // Absolute, not a -3 delta: gauges go down as well as up.
+  EXPECT_DOUBLE_EQ(sampler.sampleOnce().at("values").at("q.depth").asNumber(), 1.0);
+}
+
+TEST(MetricsSampler, DeltasSumToRawCounterUnderConcurrentPublishes) {
+  Registry reg;
+  Counter& c = reg.counter("hot.calls");
+  Histogram& h = reg.histogram("hot.seconds");
+  MetricsSamplerConfig cfg;
+  cfg.captureThreadPool = false;
+  MetricsSampler sampler(reg, cfg);
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50000;
+  std::atomic<bool> done{false};
+  std::vector<std::thread> publishers;
+  for (int t = 0; t < kThreads; ++t) {
+    publishers.emplace_back([&c, &h] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.add();
+        h.record(1e-3);
+      }
+    });
+  }
+  // Sample continuously while the publishers run; every record claims some
+  // slice of the increments and no increment may be claimed twice.
+  double callsDeltaSum = 0.0;
+  double histCountDeltaSum = 0.0;
+  std::thread samplerThread([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      const json::Value record = sampler.sampleOnce();
+      callsDeltaSum += counterDelta(record, "hot.calls");
+      histCountDeltaSum += counterDelta(record, "hot.seconds.count");
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  for (auto& t : publishers) t.join();
+  done.store(true, std::memory_order_relaxed);
+  samplerThread.join();
+  // One final tick picks up whatever the in-flight samples missed.
+  const json::Value last = sampler.sampleOnce();
+  callsDeltaSum += counterDelta(last, "hot.calls");
+  histCountDeltaSum += counterDelta(last, "hot.seconds.count");
+
+  const double total = static_cast<double>(kThreads) * kPerThread;
+  EXPECT_DOUBLE_EQ(callsDeltaSum, total);
+  EXPECT_DOUBLE_EQ(histCountDeltaSum, total);
+}
+
+TEST(MetricsSampler, RingIsBoundedAndCountsDrops) {
+  Registry reg;
+  Counter& c = reg.counter("x.calls");
+  MetricsSamplerConfig cfg;
+  cfg.ringCapacity = 4;
+  cfg.captureThreadPool = false;
+  MetricsSampler sampler(reg, cfg);
+  for (int i = 0; i < 10; ++i) {
+    c.add();
+    sampler.sampleOnce();
+  }
+  const std::vector<std::string> lines = sampler.lines();
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(sampler.droppedLines(), 6u);
+  // Oldest-first: the surviving records are seq 6..9.
+  const auto first = json::Value::parse(lines.front());
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->at("seq").asInteger(), 6);
+}
+
+TEST(MetricsSampler, FileSinkAppendsParseableJsonl) {
+  const std::string path = "test_sampler_series.jsonl";
+  std::remove(path.c_str());
+  Registry reg;
+  Counter& c = reg.counter("x.calls");
+  {
+    MetricsSamplerConfig cfg;
+    cfg.path = path;
+    cfg.captureThreadPool = false;
+    MetricsSampler sampler(reg, cfg);
+    c.add(2);
+    sampler.sampleOnce();
+    c.add(1);
+    sampler.sampleOnce();
+  }  // dtor flushes + closes
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  double sum = 0.0;
+  std::size_t records = 0;
+  while (std::getline(in, line)) {
+    const auto record = json::Value::parse(line);
+    ASSERT_TRUE(record.has_value()) << line;
+    sum += counterDelta(*record, "x.calls");
+    ++records;
+  }
+  EXPECT_GE(records, 2u);
+  EXPECT_DOUBLE_EQ(sum, 3.0);
+  std::remove(path.c_str());
+}
+
+TEST(MetricsSampler, BackgroundThreadTicksAndStops) {
+  Registry reg;
+  reg.counter("x.calls").add(1);
+  MetricsSamplerConfig cfg;
+  cfg.interval = std::chrono::milliseconds(5);
+  cfg.captureThreadPool = false;
+  MetricsSampler sampler(reg, cfg);
+  EXPECT_FALSE(sampler.running());
+  sampler.start();
+  EXPECT_TRUE(sampler.running());
+  sampler.start();  // idempotent
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (sampler.ticks() < 3 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GE(sampler.ticks(), 3u);
+  sampler.stop();
+  EXPECT_FALSE(sampler.running());
+  sampler.stop();  // idempotent
+  // stop() takes a final sample, so the series is never empty.
+  EXPECT_FALSE(sampler.lines().empty());
+}
+
+}  // namespace
+}  // namespace isop::obs

@@ -80,6 +80,93 @@ TEST(Tracer, CapsEventsAndCountsDrops) {
   EXPECT_EQ(tracer.droppedEvents(), 0u);
 }
 
+TEST(ScopedSpanTag, TagsEventsAndRestoresOnExit) {
+  Tracer tracer;
+  tracer.setEnabled(true);
+  { Span span(tracer, "untagged-before"); }
+  {
+    ScopedSpanTag tag("job-A");
+    Span span(tracer, "tagged");
+  }
+  { Span span(tracer, "untagged-after"); }
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].tag, "");
+  EXPECT_EQ(events[1].tag, "job-A");
+  EXPECT_EQ(events[2].tag, "");
+}
+
+TEST(ScopedSpanTag, NestingRestoresOuterTag) {
+  Tracer tracer;
+  tracer.setEnabled(true);
+  {
+    ScopedSpanTag outer("outer");
+    { Span span(tracer, "a"); }
+    {
+      ScopedSpanTag inner("inner");
+      Span span(tracer, "b");
+    }
+    { Span span(tracer, "c"); }
+  }
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].tag, "outer");
+  EXPECT_EQ(events[1].tag, "inner");
+  EXPECT_EQ(events[2].tag, "outer");
+}
+
+TEST(ScopedSpanTag, TagIsThreadLocal) {
+  Tracer tracer;
+  tracer.setEnabled(true);
+  ScopedSpanTag tag("main-thread");
+  std::thread other([&tracer] {
+    Span span(tracer, "other-thread");
+  });
+  other.join();
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].tag, "");  // the tag never crossed threads
+}
+
+TEST(Tracer, EventsFilterByTag) {
+  Tracer tracer;
+  tracer.setEnabled(true);
+  {
+    ScopedSpanTag tag("job-1");
+    Span span(tracer, "one");
+  }
+  {
+    ScopedSpanTag tag("job-2");
+    Span span(tracer, "two");
+  }
+  { Span span(tracer, "untagged"); }
+  EXPECT_EQ(tracer.events().size(), 3u);
+  EXPECT_EQ(tracer.eventCount(), 3u);
+  const auto filtered = tracer.events("job-1");
+  ASSERT_EQ(filtered.size(), 1u);
+  EXPECT_EQ(filtered[0].name, "one");
+  EXPECT_TRUE(tracer.events("job-3").empty());
+}
+
+TEST(Tracer, ChromeJsonFilterAndJobArgs) {
+  Tracer tracer;
+  tracer.setEnabled(true);
+  {
+    ScopedSpanTag tag("job-x");
+    Span span(tracer, "inside");
+  }
+  { Span span(tracer, "outside"); }
+  const auto parsed = json::Value::parse(tracer.toChromeJson("job-x").dump());
+  ASSERT_TRUE(parsed.has_value());
+  const json::Value& events = parsed->at("traceEvents");
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events.at(0).at("name").asString(), "inside");
+  EXPECT_EQ(events.at(0).at("args").at("job").asString(), "job-x");
+  // Unfiltered export keeps both; the untagged event has no args block.
+  const auto all = json::Value::parse(tracer.toChromeJson().dump());
+  EXPECT_EQ(all->at("traceEvents").size(), 2u);
+}
+
 TEST(Tracer, ConcurrentSpansAllLand) {
   Tracer tracer;
   tracer.setEnabled(true);

@@ -2,6 +2,8 @@
 // unknown types) and the JSONL encoding of job events and results.
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "serve/protocol.hpp"
 
 namespace isop::serve {
@@ -77,6 +79,10 @@ TEST(Protocol, RejectsMalformedRequests) {
   expectError(R"({"type":"cancel"})", "non-empty 'id'");
   expectError(R"({"type":"cancel","id":"j","extra":1})", "unknown field 'extra'");
   expectError(R"({"type":"status","x":1})", "unknown field 'x'");
+  expectError(R"({"type":"stats","x":1})", "unknown field 'x'");
+  expectError(R"({"type":"trace"})", "action");
+  expectError(R"({"type":"trace","action":"pause"})", "action");
+  expectError(R"({"type":"trace","action":"start","x":1})", "unknown field 'x'");
 }
 
 TEST(Protocol, ParsesControlRequests) {
@@ -93,6 +99,35 @@ TEST(Protocol, ParsesControlRequests) {
   const auto shutdown = parseRequest(R"({"type":"shutdown"})", &error);
   ASSERT_TRUE(shutdown.has_value());
   EXPECT_EQ(shutdown->kind, Request::Kind::Shutdown);
+
+  const auto stats = parseRequest(R"({"type":"stats"})", &error);
+  ASSERT_TRUE(stats.has_value()) << error;
+  EXPECT_EQ(stats->kind, Request::Kind::Stats);
+
+  const auto start = parseRequest(R"({"type":"trace","action":"start"})", &error);
+  ASSERT_TRUE(start.has_value()) << error;
+  EXPECT_EQ(start->kind, Request::Kind::Trace);
+  EXPECT_EQ(start->traceAction, Request::TraceAction::Start);
+
+  const auto stop = parseRequest(
+      R"({"type":"trace","action":"stop","out":"/tmp/t.json"})", &error);
+  ASSERT_TRUE(stop.has_value()) << error;
+  EXPECT_EQ(stop->traceAction, Request::TraceAction::Stop);
+  EXPECT_EQ(stop->traceOut, "/tmp/t.json");
+
+  const auto probe = parseRequest(R"({"type":"trace","action":"status"})", &error);
+  ASSERT_TRUE(probe.has_value()) << error;
+  EXPECT_EQ(probe->traceAction, Request::TraceAction::Status);
+}
+
+TEST(Protocol, SubmitParsesTraceOut) {
+  std::string error;
+  const auto request = parseRequest(
+      R"({"type":"submit","id":"j","trace_out":"job_j.json"})", &error);
+  ASSERT_TRUE(request.has_value()) << error;
+  EXPECT_EQ(request->spec.traceOut, "job_j.json");
+  const JobSpec defaults;
+  EXPECT_EQ(defaults.traceOut, "");
 }
 
 TEST(Protocol, EventEncodingCarriesKindSpecificFields) {
@@ -201,6 +236,80 @@ TEST(Protocol, StatusEncodesSchedulerCounters) {
   EXPECT_EQ(v.at("submitted").asInteger(), 10);
   EXPECT_EQ(v.at("sessions").asInteger(), 3);
   EXPECT_FALSE(v.at("draining").asBool());
+}
+
+TEST(Protocol, StatsSnapshotEncodesQueueJobsSessionsMetrics) {
+  Scheduler::Status status;
+  status.queueDepth = 1;
+  status.queueCapacity = 8;
+  status.running = 1;
+  status.submitted = 3;
+  status.admitted = 3;
+  status.completed = 1;
+
+  std::vector<Scheduler::JobSnapshot> jobs(2);
+  jobs[0] = {"a", JobState::Running, 0, 1.5, 0.25, 1.25,
+             std::numeric_limits<double>::infinity()};
+  jobs[1] = {"b", JobState::Queued, 5, 0.5, 0.5, 0.0, 9.75};
+
+  std::vector<SessionManager::SessionInfo> sessions(1);
+  sessions[0].key = {"oracle", "S1", "stripline"};
+  sessions[0].cacheSize = 100;
+  sessions[0].evictions = 2;
+  sessions[0].rows = 140;
+  sessions[0].memoHits = 40;
+  sessions[0].hitRate = 40.0 / 140.0;
+
+  json::Value metrics = json::Value::object();
+  metrics.set("counters", json::Value::object());
+
+  const json::Value v =
+      statsToJson(status, jobs, sessions, std::move(metrics));
+  EXPECT_EQ(v.at("event").asString(), "stats");
+  const json::Value& queue = v.at("queue");
+  EXPECT_EQ(queue.at("depth").asInteger(), 1);
+  EXPECT_EQ(queue.at("capacity").asInteger(), 8);
+  EXPECT_EQ(queue.at("running").asInteger(), 1);
+  // One queued job at priority 5.
+  EXPECT_EQ(queue.at("queued_by_priority").at("5").asInteger(), 1);
+
+  const json::Value& encodedJobs = v.at("jobs");
+  ASSERT_EQ(encodedJobs.size(), 2u);
+  const json::Value& running = encodedJobs.at(0);
+  EXPECT_EQ(running.at("id").asString(), "a");
+  EXPECT_EQ(running.at("state").asString(), "running");
+  EXPECT_DOUBLE_EQ(running.at("queue_wait_seconds").asNumber(), 0.25);
+  EXPECT_DOUBLE_EQ(running.at("run_seconds").asNumber(), 1.25);
+  // +inf is not representable in JSON: the key is omitted, not null.
+  EXPECT_EQ(running.find("deadline_remaining_seconds"), nullptr);
+  const json::Value& queued = encodedJobs.at(1);
+  EXPECT_EQ(queued.at("state").asString(), "queued");
+  EXPECT_DOUBLE_EQ(queued.at("deadline_remaining_seconds").asNumber(), 9.75);
+
+  const json::Value& encodedSessions = v.at("sessions");
+  ASSERT_EQ(encodedSessions.size(), 1u);
+  EXPECT_EQ(encodedSessions.at(0).at("surrogate").asString(), "oracle");
+  EXPECT_EQ(encodedSessions.at(0).at("cache_size").asInteger(), 100);
+  EXPECT_EQ(encodedSessions.at(0).at("memo_hits").asInteger(), 40);
+
+  EXPECT_NE(v.at("metrics").find("counters"), nullptr);
+
+  // The whole snapshot survives a JSON round trip.
+  EXPECT_TRUE(json::Value::parse(v.dump()).has_value());
+}
+
+TEST(Protocol, TraceReplyEncodesStateAndWrittenPath) {
+  json::Value v = traceToJson(true, 12, 0, "");
+  EXPECT_EQ(v.at("event").asString(), "trace");
+  EXPECT_TRUE(v.at("enabled").asBool());
+  EXPECT_EQ(v.at("events").asInteger(), 12);
+  EXPECT_EQ(v.at("dropped").asInteger(), 0);
+  EXPECT_EQ(v.find("written"), nullptr);
+
+  v = traceToJson(false, 12, 3, "/tmp/out.json");
+  EXPECT_FALSE(v.at("enabled").asBool());
+  EXPECT_EQ(v.at("dropped").asInteger(), 3);
+  EXPECT_EQ(v.at("written").asString(), "/tmp/out.json");
 }
 
 }  // namespace

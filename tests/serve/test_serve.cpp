@@ -4,12 +4,20 @@
 // a served job's result is bitwise identical to a direct TrialRunner run.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <condition_variable>
+#include <cstdio>
+#include <fstream>
 #include <mutex>
+#include <set>
+#include <sstream>
 #include <vector>
 
 #include "core/simulator_surrogate.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
 #include "serve/job_queue.hpp"
 #include "serve/scheduler.hpp"
 #include "serve/session_manager.hpp"
@@ -468,6 +476,118 @@ TEST(Scheduler, DrainFinishesRunningAndRejectsQueuedDeterministically) {
   EXPECT_EQ(status.completed, 1u);
   EXPECT_EQ(status.rejected, 4u);
   EXPECT_TRUE(status.draining);
+}
+
+TEST(Scheduler, JobsSnapshotTracksQueuedAndRunningState) {
+  SessionManager sessions;
+  EventLog log;
+  Scheduler scheduler(sessions, {.workers = 1, .queueCapacity = 8}, log.sink());
+  ASSERT_TRUE(scheduler.submit(longSpec("snap-running")));
+  ASSERT_TRUE(log.waitFor("snap-running", JobEvent::Kind::Started));
+  JobSpec queued = quickSpec("snap-queued");
+  queued.priority = 3;
+  ASSERT_TRUE(scheduler.submit(queued));
+
+  const auto jobs = scheduler.jobs();
+  ASSERT_EQ(jobs.size(), 2u);  // id-ordered: snap-queued, snap-running
+  const Scheduler::JobSnapshot& q = jobs[0];
+  EXPECT_EQ(q.id, "snap-queued");
+  EXPECT_EQ(q.state, JobState::Queued);
+  EXPECT_EQ(q.priority, 3);
+  EXPECT_GE(q.queueWaitSeconds, 0.0);
+  // No deadline on the spec -> remaining time is unbounded.
+  EXPECT_TRUE(std::isinf(q.deadlineRemainingSeconds));
+  const Scheduler::JobSnapshot& r = jobs[1];
+  EXPECT_EQ(r.id, "snap-running");
+  EXPECT_EQ(r.state, JobState::Running);
+  EXPECT_GE(r.runSeconds, 0.0);
+  EXPECT_GE(r.ageSeconds, r.runSeconds);
+
+  EXPECT_TRUE(scheduler.cancel("snap-running"));
+  ASSERT_TRUE(log.waitFor("snap-queued", JobEvent::Kind::Done));
+  // Terminal jobs leave the live table.
+  EXPECT_TRUE(scheduler.jobs().empty());
+}
+
+TEST(Scheduler, InflightGaugesFollowCasTransitions) {
+  const bool prevEnabled = obs::metricsEnabled();
+  obs::setMetricsEnabled(true);
+  const auto gauge = [](const char* state) {
+    return obs::registry()
+        .gauge(obs::Registry::labeled("serve.jobs.inflight", "state", state))
+        .value();
+  };
+  {
+    SessionManager sessions;
+    EventLog log;
+    Scheduler scheduler(sessions, {.workers = 1, .queueCapacity = 8}, log.sink());
+    ASSERT_TRUE(scheduler.submit(longSpec("gauge-running")));
+    ASSERT_TRUE(log.waitFor("gauge-running", JobEvent::Kind::Started));
+    ASSERT_TRUE(scheduler.submit(quickSpec("gauge-q1")));
+    ASSERT_TRUE(scheduler.submit(quickSpec("gauge-q2")));
+
+    EXPECT_DOUBLE_EQ(gauge("queued"), 2.0);
+    EXPECT_DOUBLE_EQ(gauge("running"), 1.0);
+    EXPECT_DOUBLE_EQ(gauge("draining"), 0.0);
+    EXPECT_DOUBLE_EQ(obs::registry().gauge("serve.queue.depth").value(), 2.0);
+
+    // Queued -> Cancelled via the cancel CAS drops the queued gauge.
+    EXPECT_TRUE(scheduler.cancel("gauge-q2"));
+    EXPECT_DOUBLE_EQ(gauge("queued"), 1.0);
+
+    EXPECT_TRUE(scheduler.cancel("gauge-running"));
+    ASSERT_TRUE(log.waitFor("gauge-q1", JobEvent::Kind::Done));
+    EXPECT_DOUBLE_EQ(gauge("queued"), 0.0);
+    EXPECT_DOUBLE_EQ(gauge("running"), 0.0);
+  }
+  obs::setMetricsEnabled(prevEnabled);
+}
+
+TEST(Scheduler, PerJobTraceContainsOnlyThatJobsSpans) {
+  // Four concurrent jobs, each with a trace_out: every exported file must
+  // hold exactly its own job's spans — scheduler (serve.job.run), optimizer
+  // stages, and eval-engine batches — even though all four record into the
+  // shared tracer at once.
+  obs::tracer().setEnabled(false);
+  obs::tracer().clear();
+  SessionManager sessions;
+  EventLog log;
+  Scheduler scheduler(sessions, {.workers = 4, .queueCapacity = 8}, log.sink());
+  std::vector<std::string> ids = {"tr1", "tr2", "tr3", "tr4"};
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    JobSpec spec = quickSpec(ids[i], 40 + static_cast<std::uint64_t>(i));
+    spec.traceOut = "test_trace_" + ids[i] + ".json";
+    ASSERT_TRUE(scheduler.submit(spec));
+  }
+  for (const std::string& id : ids) {
+    ASSERT_TRUE(log.waitFor(id, JobEvent::Kind::Done)) << id;
+  }
+
+  for (const std::string& id : ids) {
+    const std::string path = "test_trace_" + id + ".json";
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << path;
+    std::stringstream text;
+    text << in.rdbuf();
+    const auto parsed = json::Value::parse(text.str());
+    ASSERT_TRUE(parsed.has_value()) << path;
+    const json::Value& events = parsed->at("traceEvents");
+    ASSERT_GT(events.size(), 0u) << path;
+    std::set<std::string> names;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      const json::Value& event = events.at(i);
+      // Isolation: every span in the file is tagged with this job's id.
+      ASSERT_EQ(event.at("args").at("job").asString(), id) << path;
+      names.insert(event.at("name").asString());
+    }
+    // The tag propagated through every layer of a job's run.
+    EXPECT_TRUE(names.count("serve.job.run")) << path;
+    EXPECT_TRUE(names.count("isop.run")) << path;
+    EXPECT_TRUE(names.count("eval.predict_batch")) << path;
+    std::remove(path.c_str());
+  }
+  obs::tracer().setEnabled(false);
+  obs::tracer().clear();
 }
 
 TEST(TrialRunner, PreCancelledTokenThrowsBeforeAnyTrial) {
