@@ -1,0 +1,250 @@
+// bench_kernels — versioned NN hot-path artifact (BENCH_kernels.json).
+//
+// Times the three execution tiers of the surrogate inference/gradient path
+// at batch sizes straddling the 8-row SIMD block, per model family:
+//
+//   perrow  — one predict()/inputGradient() call per design row (the
+//             pre-batching cost shape; also the golden reference path);
+//   interp  — one per-layer interpreted batch call
+//             (predictBatchInterpreted / inputGradientBatchInterpreted);
+//   plan    — the compiled execution plan (ml/nn/plan.hpp): the default
+//             predictBatch / inputGradientBatch hot path.
+//
+// Every cell reports the exact sample median and nearest-rank P90 of
+// --reps repetitions (never a mean), plus the plan's median speedup over
+// the per-row and interpreted tiers. The artifact diffs with
+//   scripts/bench_compare.py OLD_BENCH_kernels.json BENCH_kernels.json
+// (medians/P90s are lower-is-better "_ms" keys; speedups higher-is-better).
+//
+// Standalone driver (steady_clock + bench_common percentile helpers), not a
+// google-benchmark pairing — it must run in every build, benchmark_FOUND or
+// not, because run_all.sh regenerates the checked-in artifact.
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/cli.hpp"
+#include "common/json.hpp"
+#include "common/rng.hpp"
+#include "em/simulator.hpp"
+#include "ml/neural_regressor.hpp"
+#include "ml/output_transform.hpp"
+
+namespace {
+
+using namespace isop;
+using json::Value;
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kBatchSizes[] = {1, 8, 64, 256};
+
+struct KernelConfig {
+  std::size_t reps = 15;
+  std::size_t trainSamples = 2000;
+  std::size_t trainEpochs = 3;
+  std::uint64_t seed = 4;
+  std::string out = "BENCH_kernels.json";
+  bool quiet = false;
+};
+
+/// EM-labelled training set over the designer envelope (the bench_micro
+/// recipe, so the timed networks have the production topologies).
+ml::Dataset makeTrainingSet(const KernelConfig& cfg) {
+  em::EmSimulator sim;
+  Rng rng(cfg.seed);
+  const auto space = em::designerEnvelope();
+  ml::Dataset ds{Matrix(cfg.trainSamples, em::kNumParams),
+                 Matrix(cfg.trainSamples, em::kNumMetrics)};
+  for (std::size_t i = 0; i < cfg.trainSamples; ++i) {
+    const auto p = space.sample(rng);
+    const auto m = sim.evaluateUncounted(p);
+    for (std::size_t j = 0; j < em::kNumParams; ++j) ds.x(i, j) = p.values[j];
+    ds.y(i, 0) = m.z;
+    ds.y(i, 1) = m.l;
+    ds.y(i, 2) = m.next;
+  }
+  return ds;
+}
+
+Matrix sampleBatch(std::size_t rows, std::uint64_t seed) {
+  Rng rng(seed);
+  const auto space = em::spaceS1();
+  Matrix x(rows, em::kNumParams);
+  for (std::size_t i = 0; i < rows; ++i) {
+    const auto p = space.sample(rng);
+    for (std::size_t j = 0; j < em::kNumParams; ++j) x(i, j) = p.values[j];
+  }
+  return x;
+}
+
+/// Times `fn` (one full pass over the batch) `reps` times; returns the
+/// per-repetition milliseconds. An inner iteration count keeps each sample
+/// above timer resolution for the small batches.
+std::vector<double> timeReps(std::size_t reps, std::size_t iters,
+                             const std::function<void()>& fn) {
+  std::vector<double> ms;
+  ms.reserve(reps);
+  fn();  // warm-up: page in workspaces, populate the plan's pool
+  for (std::size_t r = 0; r < reps; ++r) {
+    const auto begin = Clock::now();
+    for (std::size_t i = 0; i < iters; ++i) fn();
+    const auto end = Clock::now();
+    ms.push_back(std::chrono::duration<double, std::milli>(end - begin).count() /
+                 static_cast<double>(iters));
+  }
+  return ms;
+}
+
+struct TierSamples {
+  std::vector<double> perrow, interp, plan;
+};
+
+Value tierBlock(const TierSamples& s) {
+  const double perrowMed = bench::benchMedian(s.perrow);
+  const double interpMed = bench::benchMedian(s.interp);
+  const double planMed = bench::benchMedian(s.plan);
+  Value v = Value::object();
+  v.set("perrow_median_ms", Value::number(perrowMed));
+  v.set("perrow_p90_ms", Value::number(bench::benchPercentile(s.perrow, 0.90)));
+  v.set("interp_median_ms", Value::number(interpMed));
+  v.set("interp_p90_ms", Value::number(bench::benchPercentile(s.interp, 0.90)));
+  v.set("plan_median_ms", Value::number(planMed));
+  v.set("plan_p90_ms", Value::number(bench::benchPercentile(s.plan, 0.90)));
+  v.set("plan_speedup_vs_perrow",
+        Value::number(planMed > 0.0 ? perrowMed / planMed : 0.0));
+  v.set("plan_speedup_vs_interp",
+        Value::number(planMed > 0.0 ? interpMed / planMed : 0.0));
+  return v;
+}
+
+/// One family x pass row of the artifact; also prints the table line.
+void benchPass(const KernelConfig& cfg, const ml::NeuralRegressor& model,
+               const char* family, const char* pass, Value& passes) {
+  Value block = Value::object();
+  for (std::size_t n : kBatchSizes) {
+    const Matrix x = sampleBatch(n, cfg.seed + 7);
+    // ~2k rows of work per repetition regardless of batch size.
+    const std::size_t iters = (2048 + n - 1) / n;
+    TierSamples s;
+    const bool gradient = std::string(pass) == "gradient";
+    if (gradient) {
+      std::vector<double> grad(em::kNumParams);
+      Matrix grads;
+      s.perrow = timeReps(cfg.reps, iters, [&] {
+        for (std::size_t i = 0; i < n; ++i) model.inputGradient(x.row(i), 0, grad);
+      });
+      s.interp = timeReps(cfg.reps, iters,
+                          [&] { model.inputGradientBatchInterpreted(x, 0, grads); });
+      s.plan =
+          timeReps(cfg.reps, iters, [&] { model.inputGradientBatch(x, 0, grads); });
+    } else {
+      std::array<double, em::kNumMetrics> row{};
+      Matrix out;
+      s.perrow = timeReps(cfg.reps, iters, [&] {
+        for (std::size_t i = 0; i < n; ++i) model.predict(x.row(i), row);
+      });
+      s.interp =
+          timeReps(cfg.reps, iters, [&] { model.predictBatchInterpreted(x, out); });
+      s.plan = timeReps(cfg.reps, iters, [&] { model.predictBatch(x, out); });
+    }
+    Value cell = tierBlock(s);
+    if (!cfg.quiet) {
+      std::printf(
+          "  %-4s %-8s b%-4zu  perrow %8.4f ms  interp %8.4f ms  plan %8.4f ms"
+          "  (plan %.2fx vs perrow, %.2fx vs interp)\n",
+          family, pass, n, bench::benchMedian(s.perrow),
+          bench::benchMedian(s.interp), bench::benchMedian(s.plan),
+          bench::benchMedian(s.perrow) / bench::benchMedian(s.plan),
+          bench::benchMedian(s.interp) / bench::benchMedian(s.plan));
+    }
+    block.set("b" + std::to_string(n), std::move(cell));
+  }
+  passes.set(pass, std::move(block));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  if (args.has("help")) {
+    std::printf(
+        "bench_kernels: NN hot-path tiers (per-row / interpreted / compiled "
+        "plan)\n"
+        "  --reps N      repetitions per cell; median/P90 reported (default 15)\n"
+        "  --samples N   training-set size for the timed surrogates (default 2000)\n"
+        "  --epochs N    training epochs (default 3)\n"
+        "  --seed N      data/model seed (default 4)\n"
+        "  --out PATH    artifact path (default BENCH_kernels.json)\n"
+        "  --quiet       suppress the per-cell table\n");
+    return 0;
+  }
+  KernelConfig cfg;
+  cfg.reps = static_cast<std::size_t>(args.getInt("reps", 15));
+  cfg.trainSamples = static_cast<std::size_t>(args.getInt("samples", 2000));
+  cfg.trainEpochs = static_cast<std::size_t>(args.getInt("epochs", 3));
+  cfg.seed = static_cast<std::uint64_t>(args.getInt("seed", 4));
+  cfg.out = args.getString("out", "BENCH_kernels.json");
+  cfg.quiet = args.getBool("quiet", false);
+
+  const ml::Dataset train = makeTrainingSet(cfg);
+  ml::nn::TrainConfig trainCfg;
+  trainCfg.epochs = cfg.trainEpochs;
+
+  ml::MlpRegressor mlp;
+  mlp.setOutputTransforms(ml::metricLogTransforms());
+  mlp.fit(train, trainCfg);
+
+  ml::Cnn1dRegressor cnn;
+  cnn.setOutputTransforms(ml::metricLogTransforms());
+  cnn.fit(train, trainCfg);
+
+  if (!cfg.quiet) {
+    std::printf("bench_kernels: mlp %s | cnn %s\n", mlp.planSummary().c_str(),
+                cnn.planSummary().c_str());
+  }
+
+  Value kernels = Value::object();
+  {
+    Value passes = Value::object();
+    benchPass(cfg, mlp, "mlp", "forward", passes);
+    benchPass(cfg, mlp, "mlp", "gradient", passes);
+    kernels.set("mlp", std::move(passes));
+  }
+  {
+    Value passes = Value::object();
+    benchPass(cfg, cnn, "cnn", "forward", passes);
+    benchPass(cfg, cnn, "cnn", "gradient", passes);
+    kernels.set("cnn", std::move(passes));
+  }
+
+  Value config = Value::object();
+  config.set("reps", Value::integer(static_cast<long long>(cfg.reps)));
+  config.set("train_samples",
+             Value::integer(static_cast<long long>(cfg.trainSamples)));
+  config.set("train_epochs",
+             Value::integer(static_cast<long long>(cfg.trainEpochs)));
+  config.set("seed", Value::integer(static_cast<long long>(cfg.seed)));
+  config.set("mlp_plan", Value::string(mlp.planSummary()));
+  config.set("cnn_plan", Value::string(cnn.planSummary()));
+
+  Value artifact = Value::object();
+  artifact.set("bench", Value::string("nn_kernels"));
+  artifact.set("schema", Value::integer(1));
+  artifact.set("config", std::move(config));
+  artifact.set("kernels", std::move(kernels));
+
+  const std::string text = artifact.dump(2) + "\n";
+  std::FILE* out = std::fopen(cfg.out.c_str(), "w");
+  if (!out) {
+    std::fprintf(stderr, "bench_kernels: cannot write '%s'\n", cfg.out.c_str());
+    return 1;
+  }
+  std::fwrite(text.data(), 1, text.size(), out);
+  std::fclose(out);
+  std::printf("bench_kernels: artifact written to %s\n", cfg.out.c_str());
+  return 0;
+}

@@ -5,6 +5,7 @@
 // Lasso PSR subroutine.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
 #include "core/eval/eval_engine.hpp"
 #include "core/simulator_surrogate.hpp"
 #include "em/simulator.hpp"
@@ -177,6 +178,18 @@ Matrix sampleBatch(std::size_t rows, std::uint64_t seed) {
   return x;
 }
 
+/// Percentile-disciplined reporting for the NN kernel benches: repeat each
+/// timing and report the median / nearest-rank P90 aggregates instead of a
+/// single-run mean (which a stray scheduler blip can drag arbitrarily).
+void kernelStats(benchmark::internal::Benchmark* b) {
+  b->Repetitions(9)
+      ->ComputeStatistics("p90",
+                          [](const std::vector<double>& v) {
+                            return bench::benchPercentile(v, 0.90);
+                          })
+      ->ReportAggregatesOnly(true);
+}
+
 /// Baseline for the eval-engine comparison: one predict() call per row, the
 /// pre-engine per-row inference path.
 void perRowBench(benchmark::State& state, const ml::Surrogate& model) {
@@ -191,7 +204,22 @@ void perRowBench(benchmark::State& state, const ml::Surrogate& model) {
                           static_cast<std::int64_t>(n));
 }
 
-/// One predictBatch call over the same rows (one GEMM chain per layer).
+/// One interpreted per-layer batch call: the pre-plan batched path, kept as
+/// the reference tier the compiled plan is measured against.
+void interpretedBench(benchmark::State& state, const ml::NeuralRegressor& model) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix x = sampleBatch(n, 11);
+  Matrix out;
+  for (auto _ : state) {
+    model.predictBatchInterpreted(x, out);
+    benchmark::DoNotOptimize(out.row(0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+/// One predictBatch call over the same rows — since the compiled-plan
+/// refactor this executes the fused execution plan (ml/nn/plan.hpp).
 void batchedBench(benchmark::State& state, const ml::Surrogate& model) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const Matrix x = sampleBatch(n, 11);
@@ -205,16 +233,26 @@ void batchedBench(benchmark::State& state, const ml::Surrogate& model) {
 }
 
 void BM_MlpPredictPerRow(benchmark::State& state) { perRowBench(state, trainedMlp()); }
-BENCHMARK(BM_MlpPredictPerRow)->Arg(1)->Arg(64)->Arg(256);
+BENCHMARK(BM_MlpPredictPerRow)->Arg(1)->Arg(64)->Arg(256)->Apply(kernelStats);
+
+void BM_MlpPredictInterp(benchmark::State& state) {
+  interpretedBench(state, trainedMlp());
+}
+BENCHMARK(BM_MlpPredictInterp)->Arg(1)->Arg(64)->Arg(256)->Apply(kernelStats);
 
 void BM_MlpPredictBatched(benchmark::State& state) { batchedBench(state, trainedMlp()); }
-BENCHMARK(BM_MlpPredictBatched)->Arg(1)->Arg(64)->Arg(256);
+BENCHMARK(BM_MlpPredictBatched)->Arg(1)->Arg(64)->Arg(256)->Apply(kernelStats);
 
 void BM_CnnPredictPerRow(benchmark::State& state) { perRowBench(state, trainedCnn()); }
-BENCHMARK(BM_CnnPredictPerRow)->Arg(1)->Arg(64)->Arg(256);
+BENCHMARK(BM_CnnPredictPerRow)->Arg(1)->Arg(64)->Arg(256)->Apply(kernelStats);
+
+void BM_CnnPredictInterp(benchmark::State& state) {
+  interpretedBench(state, trainedCnn());
+}
+BENCHMARK(BM_CnnPredictInterp)->Arg(1)->Arg(64)->Arg(256)->Apply(kernelStats);
 
 void BM_CnnPredictBatched(benchmark::State& state) { batchedBench(state, trainedCnn()); }
-BENCHMARK(BM_CnnPredictBatched)->Arg(1)->Arg(64)->Arg(256);
+BENCHMARK(BM_CnnPredictBatched)->Arg(1)->Arg(64)->Arg(256)->Apply(kernelStats);
 
 /// Baseline for the batched-gradient comparison: one inputGradient backprop
 /// per row, the pre-batching Adam local stage's cost shape.
@@ -230,8 +268,23 @@ void perRowGradientBench(benchmark::State& state, const ml::Surrogate& model) {
                           static_cast<std::int64_t>(n));
 }
 
-/// One inputGradientBatch call over the same rows: a single forward pass plus
-/// row-blocked backward kernels (bitwise identical rows to the loop above).
+/// Interpreted per-layer batched gradients (the pre-plan reference tier).
+void interpretedGradientBench(benchmark::State& state,
+                              const ml::NeuralRegressor& model) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix x = sampleBatch(n, 14);
+  Matrix grads;
+  for (auto _ : state) {
+    model.inputGradientBatchInterpreted(x, 0, grads);
+    benchmark::DoNotOptimize(grads.row(0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+/// One inputGradientBatch call over the same rows: since the compiled-plan
+/// refactor, a plan forward + reverse chain per 8-row block (bitwise
+/// identical rows to the loop above).
 void batchedGradientBench(benchmark::State& state, const ml::Surrogate& model) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const Matrix x = sampleBatch(n, 14);
@@ -247,22 +300,32 @@ void batchedGradientBench(benchmark::State& state, const ml::Surrogate& model) {
 void BM_MlpGradientPerRow(benchmark::State& state) {
   perRowGradientBench(state, trainedMlp());
 }
-BENCHMARK(BM_MlpGradientPerRow)->Arg(1)->Arg(64)->Arg(256);
+BENCHMARK(BM_MlpGradientPerRow)->Arg(1)->Arg(64)->Arg(256)->Apply(kernelStats);
+
+void BM_MlpGradientInterp(benchmark::State& state) {
+  interpretedGradientBench(state, trainedMlp());
+}
+BENCHMARK(BM_MlpGradientInterp)->Arg(1)->Arg(64)->Arg(256)->Apply(kernelStats);
 
 void BM_MlpGradientBatched(benchmark::State& state) {
   batchedGradientBench(state, trainedMlp());
 }
-BENCHMARK(BM_MlpGradientBatched)->Arg(1)->Arg(64)->Arg(256);
+BENCHMARK(BM_MlpGradientBatched)->Arg(1)->Arg(64)->Arg(256)->Apply(kernelStats);
 
 void BM_CnnGradientPerRow(benchmark::State& state) {
   perRowGradientBench(state, trainedCnn());
 }
-BENCHMARK(BM_CnnGradientPerRow)->Arg(1)->Arg(64)->Arg(256);
+BENCHMARK(BM_CnnGradientPerRow)->Arg(1)->Arg(64)->Arg(256)->Apply(kernelStats);
+
+void BM_CnnGradientInterp(benchmark::State& state) {
+  interpretedGradientBench(state, trainedCnn());
+}
+BENCHMARK(BM_CnnGradientInterp)->Arg(1)->Arg(64)->Arg(256)->Apply(kernelStats);
 
 void BM_CnnGradientBatched(benchmark::State& state) {
   batchedGradientBench(state, trainedCnn());
 }
-BENCHMARK(BM_CnnGradientBatched)->Arg(1)->Arg(64)->Arg(256);
+BENCHMARK(BM_CnnGradientBatched)->Arg(1)->Arg(64)->Arg(256)->Apply(kernelStats);
 
 /// Engine overhead + memo payoff: the same 256-row batch re-submitted every
 /// iteration. hit_rate converges to ~1 — the steady-state cost of a fully

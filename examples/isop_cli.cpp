@@ -27,6 +27,7 @@
 #include "core/simulator_surrogate.hpp"
 #include "core/report.hpp"
 #include "data/cache.hpp"
+#include "ml/nn/plan.hpp"
 #include "serve/server.hpp"
 
 int main(int argc, char** argv) {
@@ -50,6 +51,7 @@ int main(int argc, char** argv) {
               "  --trace-out PATH            write chrome://tracing span JSON\n"
               "  --convergence-out PATH      stream per-iteration JSONL records\n"
               "  --log-level LVL             debug|info|warn|error|off\n"
+              "  --plan-fast-math            opt-in non-bitwise compiled-plan path\n"
               "  --seed N\n"
               "  --serve                     JSONL service mode (docs/serving.md)\n"
               "  --serve-workers N           concurrent jobs (default 2)\n"
@@ -62,6 +64,12 @@ int main(int argc, char** argv) {
 
   if (args.has("log-level")) {
     log::setLevel(log::levelFromString(args.getString("log-level", "info")));
+  }
+
+  // Must be set before any surrogate is built (plans compile at
+  // construction/deserialize time). Non-bitwise; see docs/compiled_model.md.
+  if (args.getBool("plan-fast-math", false)) {
+    ml::nn::planFastMathDefault() = true;
   }
 
   if (args.getBool("serve", false)) {

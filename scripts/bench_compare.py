@@ -12,8 +12,8 @@ and every key present in both is classified by name:
     `wait`, `_ms`, or `error`: a candidate value more than `threshold`
     above the baseline is a regression.
   * higher-is-better — keys containing `throughput`, `per_s`, `hit_rate`,
-    or `qps`: a candidate value more than `threshold` below the baseline
-    is a regression.
+    `qps`, or `speedup`: a candidate value more than `threshold` below the
+    baseline is a regression.
   * informational    — everything else (counts, config echoes): printed when
     changed, never a failure.
 
@@ -29,7 +29,7 @@ import sys
 ABS_FLOOR_DEFAULT = 1e-6
 
 LOWER_BETTER_MARKERS = ("latency", "wait", "_ms", "error")
-HIGHER_BETTER_MARKERS = ("throughput", "per_s", "hit_rate", "qps")
+HIGHER_BETTER_MARKERS = ("throughput", "per_s", "hit_rate", "qps", "speedup")
 
 
 def flatten(value, prefix=""):
@@ -145,11 +145,25 @@ def self_check():
     r, _, _ = compare(baseline, zeroish, 0.10, ABS_FLOOR_DEFAULT)
     assert not r, r
 
+    # A kernel-speedup drop (BENCH_kernels.json) is a regression; note
+    # "speedup" must win even though the key also contains "_ms"-free tier
+    # names, and the *_median_ms keys stay lower-is-better.
+    kernels_base = {"kernels": {"cnn": {"forward": {"b256": {
+        "plan_median_ms": 4.0, "plan_speedup_vs_perrow": 5.0}}}}}
+    kernels_worse = {"kernels": {"cnn": {"forward": {"b256": {
+        "plan_median_ms": 9.0, "plan_speedup_vs_perrow": 2.0}}}}}
+    r, _, _ = compare(kernels_base, kernels_worse, 0.10, ABS_FLOOR_DEFAULT)
+    assert len(r) == 2, r
+    assert any("speedup" in line for line in r), r
+    assert any("plan_median_ms" in line for line in r), r
+
     # Direction classification spot checks.
     assert classify("results.e2e_latency_seconds.p99") == "lower"
     assert classify("results.queue_wait_seconds.median") == "lower"
     assert classify("results.throughput_jobs_per_s") == "higher"
     assert classify("server_stats.sessions[0].hit_rate") == "higher"
+    assert classify("kernels.cnn.forward.b256.plan_speedup_vs_perrow") == "higher"
+    assert classify("kernels.cnn.forward.b256.plan_p90_ms") == "lower"
     assert classify("results.completed") == "info"
     assert classify("config.jobs") == "info"
     assert classify("metrics.histograms.span.isop.run.seconds.count") == "info"

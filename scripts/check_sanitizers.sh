@@ -9,6 +9,9 @@
 # own stress suite under the "gradients" ctest label
 # (tests/ml/test_gradients.cpp; see docs/testing.md):
 #   CTEST_ARGS="-L gradients" scripts/check_sanitizers.sh tsan
+# The compiled-plan hot path (ml/nn/plan.hpp: shared workspace pool, packed
+# fused kernels) carries the "kernels" label (tests/ml/test_plan.cpp):
+#   CTEST_ARGS="-L kernels" scripts/check_sanitizers.sh tsan
 #
 # Usage:
 #   scripts/check_sanitizers.sh [asan-ubsan|tsan]...   (default: both)

@@ -24,10 +24,19 @@ build/bench/bench_loadgen --jobs 12 --rate 8 --workers 2 --queue 8 \
   --cancel-frac 0.1 --seed 1 --out BENCH_serve.json 2>&1 | tee loadgen_output.txt
 python3 scripts/bench_compare.py BENCH_serve.json BENCH_serve.json
 
+# NN hot-path trajectory: per-row vs interpreted vs compiled-plan medians/P90s
+# per family x batch size (BENCH_kernels.json). Diff against a previous
+# commit's artifact with:
+#   scripts/bench_compare.py OLD_BENCH_kernels.json BENCH_kernels.json
+build/bench/bench_kernels --reps 15 --seed 4 \
+  --out BENCH_kernels.json 2>&1 | tee kernels_output.txt
+python3 scripts/bench_compare.py BENCH_kernels.json BENCH_kernels.json
+
 for b in build/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] || continue
   case "$(basename "$b")" in
     bench_loadgen) continue ;;  # driven above with explicit flags
+    bench_kernels) continue ;;  # driven above with explicit flags
   esac
   echo "=== $(basename "$b") ==="
   "$b"

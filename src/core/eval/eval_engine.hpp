@@ -11,9 +11,11 @@
 //     objectives — the cached quantity is the *model output*, which is
 //     immutable, never the objective value, which changes under adaptive
 //     weights);
-//   * dispatches the unique rows to Surrogate::predictBatch so neural
-//     surrogates run one GEMM chain per layer per batch instead of per-row
-//     matvecs, fanning fixed-size row chunks across the thread pool;
+//   * dispatches the unique rows to Surrogate::predictBatch — for neural
+//     surrogates that executes the compiled model plan built at
+//     construction/deserialize time (fused, shape-specialized packed blocks;
+//     see ml/nn/plan.hpp and docs/compiled_model.md) — fanning fixed-size
+//     row chunks across the thread pool;
 //   * fans EM simulate() calls out on the pool with results scattered back
 //     in submission order.
 //

@@ -49,7 +49,7 @@ void NeuralRegressor::predict(std::span<const double> x, std::span<double> out) 
   rawFromScaled(pred.row(0), out);
 }
 
-void NeuralRegressor::predictBatch(const Matrix& x, Matrix& out) const {
+void NeuralRegressor::predictBatchInterpreted(const Matrix& x, Matrix& out) const {
   ISOP_REQUIRE(x.cols() == inputDim_,
                "predictBatch: batch width must match the model input dim");
   countQuery(x.rows());
@@ -57,6 +57,24 @@ void NeuralRegressor::predictBatch(const Matrix& x, Matrix& out) const {
   inScaler_.transformInPlace(scaled);
   Matrix pred;
   net_.infer(scaled, pred);
+  out.resize(x.rows(), outputDim_);
+  for (std::size_t r = 0; r < pred.rows(); ++r) {
+    rawFromScaled(pred.row(r), out.row(r));
+  }
+}
+
+void NeuralRegressor::predictBatch(const Matrix& x, Matrix& out) const {
+  if (!plan_) {
+    predictBatchInterpreted(x, out);
+    return;
+  }
+  ISOP_REQUIRE(x.cols() == inputDim_,
+               "predictBatch: batch width must match the model input dim");
+  countQuery(x.rows());
+  // The plan folds input standardization into its pack stage — no scaled
+  // copy of the batch, and bitwise identical to the interpreted path.
+  Matrix pred;
+  plan_->forwardBatch(x, pred);
   out.resize(x.rows(), outputDim_);
   for (std::size_t r = 0; r < pred.rows(); ++r) {
     rawFromScaled(pred.row(r), out.row(r));
@@ -73,8 +91,9 @@ void NeuralRegressor::inputGradient(std::span<const double> x, std::size_t outpu
   for (std::size_t j = 0; j < grad.size(); ++j) grad[j] = g(0, j);
 }
 
-void NeuralRegressor::inputGradientBatch(const Matrix& x, std::size_t outputIndex,
-                                         Matrix& grads) const {
+void NeuralRegressor::inputGradientBatchInterpreted(const Matrix& x,
+                                                    std::size_t outputIndex,
+                                                    Matrix& grads) const {
   ISOP_REQUIRE(x.cols() == inputDim_,
                "inputGradientBatch: batch width must match the model input dim");
   assert(outputIndex < outputDim_);
@@ -109,6 +128,40 @@ void NeuralRegressor::inputGradientBatch(const Matrix& x, std::size_t outputInde
   }
 }
 
+void NeuralRegressor::inputGradientBatch(const Matrix& x, std::size_t outputIndex,
+                                         Matrix& grads) const {
+  if (!plan_) {
+    inputGradientBatchInterpreted(x, outputIndex, grads);
+    return;
+  }
+  ISOP_REQUIRE(x.cols() == inputDim_,
+               "inputGradientBatch: batch width must match the model input dim");
+  assert(outputIndex < outputDim_);
+  const std::size_t n = x.rows();
+  std::vector<double> transformChain(n, 1.0);
+  if (!transforms_.empty() &&
+      transforms_[outputIndex].kind != OutputTransform::Kind::Identity) {
+    Matrix pred;
+    plan_->forwardBatch(x, pred);
+    std::vector<double> transformed(outputDim_);
+    for (std::size_t r = 0; r < n; ++r) {
+      outScaler_.inverseTransformRow(pred.row(r), transformed);
+      transformChain[r] =
+          transforms_[outputIndex].inverseDerivative(transformed[outputIndex]);
+    }
+  }
+  // The plan returns d net / d scaled_in (standardization is folded into its
+  // pack stage, not differentiated through), so the chain rule below is
+  // identical to the interpreted path.
+  plan_->inputGradientBatch(x, outputIndex, grads);
+  const double outStd = outScaler_.outputScale(outputIndex);
+  for (std::size_t r = 0; r < n; ++r) {
+    const double outScale = transformChain[r] * outStd;
+    auto g = grads.row(r);
+    for (std::size_t j = 0; j < g.size(); ++j) g[j] *= outScale * inScaler_.inputScale(j);
+  }
+}
+
 nn::TrainReport NeuralRegressor::fit(const Dataset& train, const nn::TrainConfig& config) {
   if (train.size() == 0) throw std::invalid_argument("NeuralRegressor: empty training set");
   inputDim_ = train.inputDim();
@@ -127,10 +180,40 @@ nn::TrainReport NeuralRegressor::fit(const Dataset& train, const nn::TrainConfig
   Matrix x = train.x;
   inScaler_.transformInPlace(x);
   outScaler_.transformInPlace(y);
+  // The plan aliases the old network's parameter storage — drop it before
+  // net_ is replaced, rebuild from the trained weights below.
+  plan_.reset();
   net_ = nn::Sequential();
   Rng initRng(config.seed * 0x9e3779b97f4a7c15ULL + 1);
   buildNetwork(inputDim_, outputDim_, initRng);
-  return nn::trainMse(net_, x, y, config);
+  nn::TrainReport report = nn::trainMse(net_, x, y, config);
+  rebuildPlan();
+  return report;
+}
+
+std::string NeuralRegressor::planSummary() const {
+  return plan_ ? plan_->summary() : "per-row";
+}
+
+void NeuralRegressor::rebuildPlan() {
+  nn::PlanOptions opts;
+  opts.fastMath = nn::planFastMathDefault();
+  if (inScaler_.fitted()) {
+    opts.inputMean.resize(inputDim_);
+    opts.inputStd.resize(inputDim_);
+    for (std::size_t j = 0; j < inputDim_; ++j) {
+      opts.inputMean[j] = inScaler_.mean(j);
+      opts.inputStd[j] = inScaler_.stddev(j);
+    }
+  }
+  plan_ = nn::CompiledPlan::compile(net_, std::move(opts));
+}
+
+void NeuralRegressor::recompilePlan(bool fastMath) {
+  const bool saved = nn::planFastMathDefault();
+  nn::planFastMathDefault() = fastMath;
+  rebuildPlan();
+  nn::planFastMathDefault() = saved;
 }
 
 void NeuralRegressor::saveCommon(std::ostream& out) const {
@@ -158,6 +241,9 @@ void NeuralRegressor::loadCommon(std::istream& in) {
   inScaler_.load(in);
   outScaler_.load(in);
   net_.loadParams(in);
+  // Deserialized models get their compiled plan immediately — serve sessions
+  // and the eval engine dispatch through it from the first batch.
+  rebuildPlan();
 }
 
 // --- MLP --------------------------------------------------------------------

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "ml/dataset.hpp"
+#include "ml/nn/plan.hpp"
 #include "ml/nn/sequential.hpp"
 #include "ml/nn/trainer.hpp"
 #include "ml/output_transform.hpp"
@@ -43,8 +44,28 @@ class NeuralRegressor : public Surrogate {
   void inputGradientBatch(const Matrix& x, std::size_t outputIndex,
                           Matrix& grads) const override;
 
-  /// Trains on the dataset (fits scalers + runs the MSE trainer).
+  /// Trains on the dataset (fits scalers + runs the MSE trainer). The
+  /// compiled plan is dropped for the duration of training and rebuilt from
+  /// the trained network before returning.
   nn::TrainReport fit(const Dataset& train, const nn::TrainConfig& config);
+
+  /// The compiled execution plan driving predictBatch/inputGradientBatch, or
+  /// nullptr when the network could not be lowered (interpreted fallback).
+  const nn::CompiledPlan* plan() const { return plan_.get(); }
+  /// plan()->summary(), or "per-row" when running interpreted. Surfaced by
+  /// the serve session table.
+  std::string planSummary() const;
+  /// Rebuilds the plan with an explicit fast-math setting (scaler folding is
+  /// preserved). Used by benches/tests to compare exact vs. fast-math.
+  void recompilePlan(bool fastMath);
+
+  /// The pre-plan per-layer path, kept as the golden reference for the
+  /// bitwise planned ≡ interpreted suites and the kernel benches. Bills
+  /// queries like predictBatch.
+  void predictBatchInterpreted(const Matrix& x, Matrix& out) const;
+  /// Interpreted input gradients (reference for the planned path).
+  void inputGradientBatchInterpreted(const Matrix& x, std::size_t outputIndex,
+                                     Matrix& grads) const;
 
   /// Sets per-output target transforms (e.g. metricLogTransforms()); must be
   /// called before fit(). Empty = identity for all outputs.
@@ -62,6 +83,11 @@ class NeuralRegressor : public Surrogate {
   void saveCommon(std::ostream& out) const;
   void loadCommon(std::istream& in);  // buildNetwork must have run already
 
+  /// Compiles net_ into plan_ (scaler standardization folded into the pack
+  /// stage when fitted; fastMath from planFastMathDefault()). Called at the
+  /// end of fit() and loadCommon().
+  void rebuildPlan();
+
   /// Inverse-transforms one network-space (scaled) output row to raw space.
   void rawFromScaled(std::span<const double> scaled, std::span<double> raw) const;
 
@@ -71,6 +97,9 @@ class NeuralRegressor : public Surrogate {
   StandardScaler inScaler_;
   StandardScaler outScaler_;
   std::vector<OutputTransform> transforms_;  ///< empty = identity
+  /// Compiled hot path; weight pointers alias net_'s layer storage, so the
+  /// plan is reset whenever net_ is rebuilt.
+  std::unique_ptr<const nn::CompiledPlan> plan_;
 };
 
 struct MlpConfig {

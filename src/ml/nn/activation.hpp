@@ -12,6 +12,7 @@ class LeakyRelu final : public Layer {
 
   std::size_t inputDim() const override { return dim_; }
   std::size_t outputDim() const override { return dim_; }
+  double slope() const { return slope_; }
 
   void forward(const Matrix& in, Matrix& out, Rng& rng) override;
   void infer(const Matrix& in, Matrix& out) const override;

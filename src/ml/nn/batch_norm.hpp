@@ -19,6 +19,7 @@ class BatchNorm final : public Layer {
 
   std::size_t inputDim() const override { return dim_; }
   std::size_t outputDim() const override { return dim_; }
+  double epsilon() const { return epsilon_; }
 
   void forward(const Matrix& in, Matrix& out, Rng& rng) override;
   void infer(const Matrix& in, Matrix& out) const override;

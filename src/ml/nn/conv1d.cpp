@@ -7,43 +7,10 @@
 #include <vector>
 
 #include "common/thread_pool.hpp"
+#include "ml/nn/kernels.hpp"
 #include "ml/nn/simd_block.hpp"
 
 namespace isop::ml::nn {
-
-namespace {
-/// dL/dIn for one sample of Conv1d: giRow[t + off] += goRow[t] * w[j],
-/// accumulated in (oc, ic, j, t) order. Shared by the training backward()
-/// and the stateless backwardInput() so both produce bitwise-identical rows.
-/// Unlike the forward kernels there is no w == 0 skip: the training backward
-/// has always added zero-tap products in sequence, and the parity contract
-/// pins that behavior.
-inline void convGradInRow(const double* params, std::size_t inChannels,
-                          std::size_t outChannels, std::size_t length,
-                          std::size_t kernel, const double* go, double* gi) {
-  const std::size_t half = kernel / 2;
-  for (std::size_t oc = 0; oc < outChannels; ++oc) {
-    const double* goRow = go + oc * length;
-    for (std::size_t ic = 0; ic < inChannels; ++ic) {
-      double* giRow = gi + ic * length;
-      const double* w = params + (oc * inChannels + ic) * kernel;
-      for (std::size_t j = 0; j < kernel; ++j) {
-        const std::ptrdiff_t off = static_cast<std::ptrdiff_t>(j) -
-                                   static_cast<std::ptrdiff_t>(half);
-        const std::size_t tBegin = off < 0 ? static_cast<std::size_t>(-off) : 0;
-        const std::size_t tEnd =
-            off > 0 ? length - static_cast<std::size_t>(off) : length;
-        const double wv = w[j];
-        for (std::size_t t = tBegin; t < tEnd; ++t) {
-          const std::size_t src =
-              static_cast<std::size_t>(static_cast<std::ptrdiff_t>(t) + off);
-          giRow[src] += goRow[t] * wv;
-        }
-      }
-    }
-  }
-}
-}  // namespace
 
 Conv1d::Conv1d(std::size_t inChannels, std::size_t outChannels, std::size_t length,
                std::size_t kernel, Rng& rng)
@@ -64,95 +31,22 @@ Conv1d::Conv1d(std::size_t inChannels, std::size_t outChannels, std::size_t leng
 void Conv1d::infer(const Matrix& in, Matrix& out) const {
   assert(in.cols() == inputDim());
   const std::size_t n = in.rows();
-  const std::size_t half = kernel_ / 2;
   out.resize(n, outputDim());
   const double* bias = params_.data() + outChannels_ * inChannels_ * kernel_;
-  auto rowKernel = [&](std::size_t r) {
-    const double* x = in.data() + r * inputDim();
-    double* y = out.data() + r * outputDim();
-    for (std::size_t oc = 0; oc < outChannels_; ++oc) {
-      double* yRow = y + oc * length_;
-      for (std::size_t t = 0; t < length_; ++t) yRow[t] = bias[oc];
-      for (std::size_t ic = 0; ic < inChannels_; ++ic) {
-        const double* xRow = x + ic * length_;
-        const double* w = params_.data() + (oc * inChannels_ + ic) * kernel_;
-        for (std::size_t j = 0; j < kernel_; ++j) {
-          const double wv = w[j];
-          if (wv == 0.0) continue;
-          // y[t] += w[j] * x[t + j - half]; clamp range so t+j-half in [0,L)
-          const std::ptrdiff_t off = static_cast<std::ptrdiff_t>(j) -
-                                     static_cast<std::ptrdiff_t>(half);
-          const std::size_t tBegin = off < 0 ? static_cast<std::size_t>(-off) : 0;
-          const std::size_t tEnd =
-              off > 0 ? length_ - static_cast<std::size_t>(off) : length_;
-          // Explicit fma to match the fused multiply-adds of the blocked
-          // path below — batch == per-row bitwise needs one rounding here.
-          for (std::size_t t = tBegin; t < tEnd; ++t) {
-            yRow[t] = __builtin_fma(
-                wv,
-                xRow[static_cast<std::size_t>(static_cast<std::ptrdiff_t>(t) + off)],
-                yRow[t]);
-          }
-        }
-      }
-    }
-  };
-  // Batched rows run kInferRowBlock at a time, packed transposed so the
-  // per-t update runs over contiguous row lanes and compiles to packed FMAs
-  // (see simd_block.hpp). Each lane accumulates over (ic, j) in exactly
-  // rowKernel's order, so blocked rows are bitwise identical to the scalar
-  // path — the eval engine's determinism relies on that.
+  // Batched rows run kInferRowBlock at a time through the shared packed
+  // tap-streaming kernel (ml/nn/kernels.hpp); each lane accumulates over
+  // (ic, j) in exactly the scalar kernel's order, so blocked rows are
+  // bitwise identical to the per-row path — the eval engine's determinism
+  // relies on that.
   constexpr std::size_t kRowBlock = kInferRowBlock;
   auto rowBlock = [&](std::size_t blk) {
     const std::size_t r0 = blk * kRowBlock;
     std::vector<double> xt(inputDim() * kRowBlock);   // xt[c * kRowBlock + rr]
     std::vector<double> yt(outputDim() * kRowBlock);  // yt[c * kRowBlock + rr]
-    for (std::size_t rr = 0; rr < kRowBlock; ++rr) {
-      const double* x = in.data() + (r0 + rr) * inputDim();
-      for (std::size_t c = 0; c < inputDim(); ++c) xt[c * kRowBlock + rr] = x[c];
-    }
-    for (std::size_t oc = 0; oc < outChannels_; ++oc) {
-      double* yc = yt.data() + oc * length_ * kRowBlock;
-      for (std::size_t e = 0; e < length_ * kRowBlock; ++e) yc[e] = bias[oc];
-    }
-    // Per (oc, ic, j) tap: one streaming pass over the valid t range, all
-    // kRowBlock lanes per step. y[t] accumulates taps in rowKernel's
-    // ic-then-j order, so each lane matches the scalar path bitwise.
-    for (std::size_t oc = 0; oc < outChannels_; ++oc) {
-      double* yc = yt.data() + oc * length_ * kRowBlock;
-      for (std::size_t ic = 0; ic < inChannels_; ++ic) {
-        const double* xc = xt.data() + ic * length_ * kRowBlock;
-        const double* w = params_.data() + (oc * inChannels_ + ic) * kernel_;
-        for (std::size_t j = 0; j < kernel_; ++j) {
-          const double wv = w[j];
-          if (wv == 0.0) continue;
-          const std::ptrdiff_t off = static_cast<std::ptrdiff_t>(j) -
-                                     static_cast<std::ptrdiff_t>(half);
-          const std::size_t tBegin = off < 0 ? static_cast<std::size_t>(-off) : 0;
-          const std::size_t tEnd =
-              off > 0 ? length_ - static_cast<std::size_t>(off) : length_;
-          const double* xs =
-              xc + static_cast<std::size_t>(static_cast<std::ptrdiff_t>(tBegin) + off) *
-                       kRowBlock;
-          double* ys = yc + tBegin * kRowBlock;
-          const std::size_t steps = (tEnd - tBegin) * kRowBlock;
-#if defined(ISOP_NN_SIMD_BLOCK)
-          const Vd wvv = vdSplat(wv);
-          Vd* y = reinterpret_cast<Vd*>(ys);
-          const Vd* xv = reinterpret_cast<const Vd*>(xs);
-          for (std::size_t e = 0; e < steps / kVdLanes; ++e) y[e] += wvv * xv[e];
-#else
-          for (std::size_t e = 0; e < steps; ++e) {
-            ys[e] = __builtin_fma(wv, xs[e], ys[e]);
-          }
-#endif
-        }
-      }
-    }
-    for (std::size_t rr = 0; rr < kRowBlock; ++rr) {
-      double* y = out.data() + (r0 + rr) * outputDim();
-      for (std::size_t c = 0; c < outputDim(); ++c) y[c] = yt[c * kRowBlock + rr];
-    }
+    packRowBlock(in.data(), r0, inputDim(), xt.data());
+    kernels::convForwardBlock(params_.data(), bias, inChannels_, outChannels_,
+                              length_, kernel_, xt.data(), yt.data());
+    unpackRowBlock(yt.data(), r0, outputDim(), out.data());
   };
   // Rows are independent; fan out when the batch carries enough work.
   const std::size_t blocks = n / kRowBlock;
@@ -162,7 +56,11 @@ void Conv1d::infer(const Matrix& in, Matrix& out) const {
   } else {
     for (std::size_t blk = 0; blk < blocks; ++blk) rowBlock(blk);
   }
-  for (std::size_t r = blocks * kRowBlock; r < n; ++r) rowKernel(r);
+  for (std::size_t r = blocks * kRowBlock; r < n; ++r) {
+    kernels::convForwardRow(params_.data(), bias, inChannels_, outChannels_, length_,
+                            kernel_, in.data() + r * inputDim(),
+                            out.data() + r * outputDim());
+  }
 }
 
 void Conv1d::forward(const Matrix& in, Matrix& out, Rng&) {
@@ -204,7 +102,8 @@ void Conv1d::backward(const Matrix& gradOut, Matrix& gradIn) {
     }
     // Input gradient via the shared kernel (same accumulation order as the
     // formerly interleaved loop — gwAcc and giRow never mixed accumulators).
-    convGradInRow(params_.data(), inChannels_, outChannels_, length_, kernel_, go, gi);
+    kernels::convGradInRow(params_.data(), inChannels_, outChannels_, length_,
+                           kernel_, go, gi);
   }
 }
 
@@ -212,49 +111,18 @@ void Conv1d::backwardInput(const Matrix& /*in*/, const Matrix& /*out*/,
                            const Matrix& gradOut, Matrix& gradIn) const {
   const std::size_t n = gradOut.rows();
   assert(gradOut.cols() == outputDim());
-  const std::size_t half = kernel_ / 2;
   gradIn.resize(n, inputDim(), 0.0);
 
-  // Blocked rows mirror infer()'s transposed tap-streaming kernel, run in
-  // reverse: per (oc, ic, j) tap one streaming pass scatters
-  // gi[t + off] += go[t] * w[j] across all kRowBlock lanes. Each lane
-  // accumulates taps in convGradInRow's (oc, ic, j, t) order, so blocked rows
-  // are bitwise identical to the scalar path. No w == 0 skip, matching the
-  // scalar kernel.
+  // Blocked rows run the shared packed tap-scatter kernel, bitwise identical
+  // per lane to convGradInRow (see ml/nn/kernels.hpp).
   constexpr std::size_t kRowBlock = kInferRowBlock;
   auto rowBlock = [&](std::size_t blk) {
     const std::size_t r0 = blk * kRowBlock;
     std::vector<double> got(outputDim() * kRowBlock);
     std::vector<double> git(inputDim() * kRowBlock, 0.0);
     packRowBlock(gradOut.data(), r0, outputDim(), got.data());
-    for (std::size_t oc = 0; oc < outChannels_; ++oc) {
-      const double* goc = got.data() + oc * length_ * kRowBlock;
-      for (std::size_t ic = 0; ic < inChannels_; ++ic) {
-        double* gic = git.data() + ic * length_ * kRowBlock;
-        const double* w = params_.data() + (oc * inChannels_ + ic) * kernel_;
-        for (std::size_t j = 0; j < kernel_; ++j) {
-          const double wv = w[j];
-          const std::ptrdiff_t off = static_cast<std::ptrdiff_t>(j) -
-                                     static_cast<std::ptrdiff_t>(half);
-          const std::size_t tBegin = off < 0 ? static_cast<std::size_t>(-off) : 0;
-          const std::size_t tEnd =
-              off > 0 ? length_ - static_cast<std::size_t>(off) : length_;
-          const double* gs = goc + tBegin * kRowBlock;
-          double* gd =
-              gic + static_cast<std::size_t>(static_cast<std::ptrdiff_t>(tBegin) + off) *
-                        kRowBlock;
-          const std::size_t steps = (tEnd - tBegin) * kRowBlock;
-#if defined(ISOP_NN_SIMD_BLOCK)
-          const Vd wvv = vdSplat(wv);
-          Vd* gdv = reinterpret_cast<Vd*>(gd);
-          const Vd* gsv = reinterpret_cast<const Vd*>(gs);
-          for (std::size_t e = 0; e < steps / kVdLanes; ++e) gdv[e] += gsv[e] * wvv;
-#else
-          for (std::size_t e = 0; e < steps; ++e) gd[e] += gs[e] * wv;
-#endif
-        }
-      }
-    }
+    kernels::convGradInBlock(params_.data(), inChannels_, outChannels_, length_,
+                             kernel_, got.data(), git.data());
     unpackRowBlock(git.data(), r0, inputDim(), gradIn.data());
   };
   const std::size_t blocks = n / kRowBlock;
@@ -265,8 +133,9 @@ void Conv1d::backwardInput(const Matrix& /*in*/, const Matrix& /*out*/,
     for (std::size_t blk = 0; blk < blocks; ++blk) rowBlock(blk);
   }
   for (std::size_t r = blocks * kRowBlock; r < n; ++r) {
-    convGradInRow(params_.data(), inChannels_, outChannels_, length_, kernel_,
-                  gradOut.data() + r * outputDim(), gradIn.data() + r * inputDim());
+    kernels::convGradInRow(params_.data(), inChannels_, outChannels_, length_,
+                           kernel_, gradOut.data() + r * outputDim(),
+                           gradIn.data() + r * inputDim());
   }
 }
 

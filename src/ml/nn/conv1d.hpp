@@ -23,7 +23,9 @@ class Conv1d final : public Layer {
   std::size_t inputDim() const override { return inChannels_ * length_; }
   std::size_t outputDim() const override { return outChannels_ * length_; }
   std::size_t length() const { return length_; }
+  std::size_t inChannels() const { return inChannels_; }
   std::size_t outChannels() const { return outChannels_; }
+  std::size_t kernel() const { return kernel_; }
 
   void forward(const Matrix& in, Matrix& out, Rng& rng) override;
   void infer(const Matrix& in, Matrix& out) const override;
@@ -58,6 +60,9 @@ class AvgPool1d final : public Layer {
 
   std::size_t inputDim() const override { return channels_ * length_; }
   std::size_t outputDim() const override { return channels_ * outLength_; }
+  std::size_t channels() const { return channels_; }
+  std::size_t length() const { return length_; }
+  std::size_t kernel() const { return kernel_; }
   std::size_t outLength() const { return outLength_; }
 
   void forward(const Matrix& in, Matrix& out, Rng& rng) override;
@@ -81,6 +86,8 @@ class GlobalAvgPool1d final : public Layer {
 
   std::size_t inputDim() const override { return channels_ * length_; }
   std::size_t outputDim() const override { return channels_; }
+  std::size_t channels() const { return channels_; }
+  std::size_t length() const { return length_; }
 
   void forward(const Matrix& in, Matrix& out, Rng& rng) override;
   void infer(const Matrix& in, Matrix& out) const override;

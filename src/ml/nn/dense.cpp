@@ -2,8 +2,10 @@
 
 #include <cassert>
 #include <cmath>
+#include <vector>
 
 #include "common/thread_pool.hpp"
+#include "ml/nn/kernels.hpp"
 #include "ml/nn/simd_block.hpp"
 
 namespace isop::ml::nn {
@@ -12,20 +14,6 @@ namespace {
 /// Work below this many multiply-adds is not worth fanning out to the pool:
 /// dispatch latency and gradIn cache-line sharing dominate small batches.
 constexpr std::size_t kParallelFlopThreshold = 1u << 24;
-
-/// dL/dIn for one sample: gi[i] += go[o] * w[o][i], accumulated in o order.
-/// Shared by the training backward() and the stateless backwardInput() —
-/// both paths must produce bitwise-identical rows, so they run this exact
-/// kernel (same contraction decisions, same zero-output skip).
-inline void denseGradInRow(const double* w, std::size_t inDim, std::size_t outDim,
-                           const double* go, double* gi) {
-  for (std::size_t o = 0; o < outDim; ++o) {
-    const double g = go[o];
-    if (g == 0.0) continue;
-    const double* wRow = w + o * inDim;
-    for (std::size_t i = 0; i < inDim; ++i) gi[i] += g * wRow[i];
-  }
-}
 }
 
 Dense::Dense(std::size_t inDim, std::size_t outDim, Rng& rng)
@@ -44,64 +32,18 @@ void Dense::infer(const Matrix& in, Matrix& out) const {
   out.resize(n, outDim_);
   const double* w = params_.data();
   const double* b = params_.data() + inDim_ * outDim_;
-  auto rowRange = [&](std::size_t r) {
-    const double* x = in.data() + r * inDim_;
-    double* y = out.data() + r * outDim_;
-    for (std::size_t o = 0; o < outDim_; ++o) {
-      const double* wRow = w + o * inDim_;
-      double acc = b[o];
-      // Explicit fma: the blocked path below fuses its multiply-adds, and
-      // batch == per-row bitwise requires the same single rounding here
-      // (left to the compiler, this reduction gets an unfused mul+add mix).
-      for (std::size_t i = 0; i < inDim_; ++i) acc = __builtin_fma(wRow[i], x[i], acc);
-      y[o] = acc;
-    }
-  };
-  // Batched rows run kRowBlock at a time: one weight traversal feeds
-  // kRowBlock independent accumulator chains, hiding the FMA latency that
-  // bounds the single-row dot product (the sum above is a serial dependency
-  // the compiler may not reassociate). The block is packed transposed so the
-  // rr loop runs over contiguous lanes and vectorizes into packed FMAs; each
-  // lane still adds wRow[i] * x[i] in exactly the scalar order, so blocked
-  // rows are bitwise identical to rowRange's — the eval engine's determinism
-  // relies on that.
+  // Batched rows run kInferRowBlock at a time through the shared packed
+  // kernel (ml/nn/kernels.hpp): one weight traversal feeds kInferRowBlock
+  // independent accumulator chains, bitwise identical per lane to the scalar
+  // row kernel — the eval engine's determinism relies on that.
   constexpr std::size_t kRowBlock = kInferRowBlock;
   auto rowBlock = [&](std::size_t blk) {
     const std::size_t r0 = blk * kRowBlock;
-    std::vector<double> xt(kRowBlock * inDim_);  // xt[i * kRowBlock + rr]
-    for (std::size_t rr = 0; rr < kRowBlock; ++rr) {
-      const double* x = in.data() + (r0 + rr) * inDim_;
-      for (std::size_t i = 0; i < inDim_; ++i) xt[i * kRowBlock + rr] = x[i];
-    }
-    for (std::size_t o = 0; o < outDim_; ++o) {
-      const double* wRow = w + o * inDim_;
-#if defined(ISOP_NN_SIMD_BLOCK)
-      Vd a[kVdPerBlock];
-      for (std::size_t v = 0; v < kVdPerBlock; ++v) a[v] = vdSplat(b[o]);
-      for (std::size_t i = 0; i < inDim_; ++i) {
-        const Vd wvv = vdSplat(wRow[i]);
-        const Vd* xc = reinterpret_cast<const Vd*>(xt.data() + i * kRowBlock);
-        for (std::size_t v = 0; v < kVdPerBlock; ++v) a[v] += wvv * xc[v];
-      }
-      double acc[kRowBlock];
-      for (std::size_t v = 0; v < kVdPerBlock; ++v) {
-        for (std::size_t l = 0; l < kVdLanes; ++l) acc[v * kVdLanes + l] = a[v][l];
-      }
-#else
-      double acc[kRowBlock];
-      for (std::size_t rr = 0; rr < kRowBlock; ++rr) acc[rr] = b[o];
-      for (std::size_t i = 0; i < inDim_; ++i) {
-        const double wv = wRow[i];
-        const double* xc = xt.data() + i * kRowBlock;
-        for (std::size_t rr = 0; rr < kRowBlock; ++rr) {
-          acc[rr] = __builtin_fma(wv, xc[rr], acc[rr]);
-        }
-      }
-#endif
-      for (std::size_t rr = 0; rr < kRowBlock; ++rr) {
-        out.data()[(r0 + rr) * outDim_ + o] = acc[rr];
-      }
-    }
+    std::vector<double> xt(kRowBlock * inDim_);   // xt[i * kRowBlock + rr]
+    std::vector<double> yt(kRowBlock * outDim_);  // yt[o * kRowBlock + rr]
+    packRowBlock(in.data(), r0, inDim_, xt.data());
+    kernels::denseForwardBlock(w, b, inDim_, outDim_, xt.data(), yt.data());
+    unpackRowBlock(yt.data(), r0, outDim_, out.data());
   };
   const std::size_t blocks = n / kRowBlock;
   if (n * outDim_ * inDim_ >= kParallelFlopThreshold && blocks > 1) {
@@ -109,7 +51,10 @@ void Dense::infer(const Matrix& in, Matrix& out) const {
   } else {
     for (std::size_t blk = 0; blk < blocks; ++blk) rowBlock(blk);
   }
-  for (std::size_t r = blocks * kRowBlock; r < n; ++r) rowRange(r);
+  for (std::size_t r = blocks * kRowBlock; r < n; ++r) {
+    kernels::denseForwardRow(w, b, inDim_, outDim_, in.data() + r * inDim_,
+                             out.data() + r * outDim_);
+  }
 }
 
 void Dense::forward(const Matrix& in, Matrix& out, Rng&) {
@@ -125,8 +70,8 @@ void Dense::backward(const Matrix& gradOut, Matrix& gradIn) {
 
   // Pass 1: gradIn rows are independent -> parallel over samples.
   auto gradInRow = [&](std::size_t r) {
-    denseGradInRow(w, inDim_, outDim_, gradOut.data() + r * outDim_,
-                   gradIn.data() + r * inDim_);
+    kernels::denseGradInRow(w, inDim_, outDim_, gradOut.data() + r * outDim_,
+                            gradIn.data() + r * inDim_);
   };
   const bool parallel = n * outDim_ * inDim_ >= kParallelFlopThreshold;
   if (parallel) {
@@ -165,43 +110,16 @@ void Dense::backwardInput(const Matrix& /*in*/, const Matrix& /*out*/,
   gradIn.resize(n, inDim_, 0.0);
   const double* w = params_.data();
 
-  // Blocked rows mirror infer()'s transposed-lane layout: gradOut is packed
-  // lane-=-row, one weight traversal feeds kRowBlock independent gi chains,
-  // and each lane accumulates g * wRow[i] in exactly the scalar o-then-i
-  // order, so blocked rows match denseGradInRow bitwise. An output column is
-  // skipped only when all kRowBlock lanes are zero — the common case here,
-  // because the one-hot top-layer seed hots the same column for every row;
-  // mixed-zero lanes fall through and add exact-zero products, which leaves
-  // each lane's accumulator bits unchanged.
+  // Blocked rows run the shared packed gradient kernel, bitwise identical to
+  // denseGradInRow per lane (see ml/nn/kernels.hpp for the zero-lane
+  // reasoning).
   constexpr std::size_t kRowBlock = kInferRowBlock;
   auto rowBlock = [&](std::size_t blk) {
     const std::size_t r0 = blk * kRowBlock;
     std::vector<double> got(outDim_ * kRowBlock);
     std::vector<double> git(inDim_ * kRowBlock, 0.0);
     packRowBlock(gradOut.data(), r0, outDim_, got.data());
-    for (std::size_t o = 0; o < outDim_; ++o) {
-      const double* gl = got.data() + o * kRowBlock;
-      bool anyHot = false;
-      for (std::size_t rr = 0; rr < kRowBlock; ++rr) anyHot = anyHot || gl[rr] != 0.0;
-      if (!anyHot) continue;
-      const double* wRow = w + o * inDim_;
-#if defined(ISOP_NN_SIMD_BLOCK)
-      const Vd* gv = reinterpret_cast<const Vd*>(gl);
-      Vd* giv = reinterpret_cast<Vd*>(git.data());
-      for (std::size_t i = 0; i < inDim_; ++i) {
-        const Vd wvv = vdSplat(wRow[i]);
-        for (std::size_t v = 0; v < kVdPerBlock; ++v) {
-          giv[i * kVdPerBlock + v] += gv[v] * wvv;
-        }
-      }
-#else
-      for (std::size_t i = 0; i < inDim_; ++i) {
-        const double wv = wRow[i];
-        double* gc = git.data() + i * kRowBlock;
-        for (std::size_t rr = 0; rr < kRowBlock; ++rr) gc[rr] += gl[rr] * wv;
-      }
-#endif
-    }
+    kernels::denseGradInBlock(w, inDim_, outDim_, got.data(), git.data());
     unpackRowBlock(git.data(), r0, inDim_, gradIn.data());
   };
   const std::size_t blocks = n / kRowBlock;
@@ -211,8 +129,8 @@ void Dense::backwardInput(const Matrix& /*in*/, const Matrix& /*out*/,
     for (std::size_t blk = 0; blk < blocks; ++blk) rowBlock(blk);
   }
   for (std::size_t r = blocks * kRowBlock; r < n; ++r) {
-    denseGradInRow(w, inDim_, outDim_, gradOut.data() + r * outDim_,
-                   gradIn.data() + r * inDim_);
+    kernels::denseGradInRow(w, inDim_, outDim_, gradOut.data() + r * outDim_,
+                            gradIn.data() + r * inDim_);
   }
 }
 

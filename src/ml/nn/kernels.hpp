@@ -1,0 +1,308 @@
+// Shape-specialized forward / input-gradient kernels shared by the per-layer
+// interpreted path (Dense::infer, Conv1d::infer and their backwardInput) and
+// the compiled execution plan (ml/nn/plan.hpp).
+//
+// Two tiers per op:
+//   * per-row scalar kernels — the bitwise reference. Every accumulation is
+//     an explicit __builtin_fma (or a plain += where the historical kernel
+//     used one), because batch == per-row identity requires one rounding per
+//     multiply-add, not whatever mul+add mix the optimizer picks.
+//   * packed row-block kernels — operate on kInferRowBlock rows packed
+//     transposed ("lane = row", see simd_block.hpp). Each lane accumulates
+//     in exactly the scalar kernel's order, so blocked rows are bitwise
+//     identical to the scalar tier. The eval engine's determinism contract
+//     and the golden batch≡per-row suites (tests/ml/test_predict_batch.cpp,
+//     test_gradients.cpp, test_plan.cpp) pin this.
+//
+// Keeping both tiers in one header is what lets the interpreted layers and
+// the compiled plan share a single source of truth: a change that breaks
+// parity breaks it for both paths at once and the golden suite catches it.
+#pragma once
+
+#include <cstddef>
+
+#include "ml/nn/simd_block.hpp"
+
+namespace isop::ml::nn::kernels {
+
+/// Identity epilogue: store the accumulator unchanged.
+struct IdentityEp {
+  double operator()(double v) const { return v; }
+};
+
+/// Fused leaky-ReLU epilogue: the exact LeakyRelu::infer expression applied
+/// to the accumulator while it is still in registers.
+struct LeakyReluEp {
+  double slope;
+  double operator()(double v) const { return v >= 0.0 ? v : slope * v; }
+};
+
+// --- Dense -----------------------------------------------------------------
+
+/// y = W x + b for one row; the scalar reference kernel of Dense::infer.
+inline void denseForwardRow(const double* w, const double* b, std::size_t inDim,
+                            std::size_t outDim, const double* x, double* y) {
+  for (std::size_t o = 0; o < outDim; ++o) {
+    const double* wRow = w + o * inDim;
+    double acc = b[o];
+    // Explicit fma: the blocked tier fuses its multiply-adds, and
+    // batch == per-row bitwise requires the same single rounding here
+    // (left to the compiler, this reduction gets an unfused mul+add mix).
+    for (std::size_t i = 0; i < inDim; ++i) acc = __builtin_fma(wRow[i], x[i], acc);
+    y[o] = acc;
+  }
+}
+
+/// dL/dIn for one sample: gi[i] += go[o] * w[o][i], accumulated in o order.
+/// Shared by the training backward() and the stateless backwardInput() —
+/// both paths must produce bitwise-identical rows, so they run this exact
+/// kernel (same contraction decisions, same zero-output skip).
+inline void denseGradInRow(const double* w, std::size_t inDim, std::size_t outDim,
+                           const double* go, double* gi) {
+  for (std::size_t o = 0; o < outDim; ++o) {
+    const double g = go[o];
+    if (g == 0.0) continue;
+    const double* wRow = w + o * inDim;
+    for (std::size_t i = 0; i < inDim; ++i) gi[i] += g * wRow[i];
+  }
+}
+
+/// Blocked Dense forward over one packed row block: xt/yt are transposed
+/// (lane = row, layout c * kInferRowBlock + rr). One weight traversal feeds
+/// kInferRowBlock independent accumulator chains, hiding the FMA latency
+/// that bounds the single-row dot product. Each lane adds wRow[i] * x[i] in
+/// exactly denseForwardRow's order, so blocked rows are bitwise identical.
+/// The epilogue runs on the accumulator lanes before the store — this is the
+/// dense→activation fusion tile of the compiled plan (elementwise, so it
+/// cannot perturb the accumulation).
+template <class Epilogue = IdentityEp>
+inline void denseForwardBlock(const double* w, const double* b, std::size_t inDim,
+                              std::size_t outDim, const double* xt, double* yt,
+                              Epilogue ep = {}) {
+  constexpr std::size_t kRowBlock = kInferRowBlock;
+  for (std::size_t o = 0; o < outDim; ++o) {
+    const double* wRow = w + o * inDim;
+#if defined(ISOP_NN_SIMD_BLOCK)
+    Vd a[kVdPerBlock];
+    for (std::size_t v = 0; v < kVdPerBlock; ++v) a[v] = vdSplat(b[o]);
+    for (std::size_t i = 0; i < inDim; ++i) {
+      const Vd wvv = vdSplat(wRow[i]);
+      const Vd* xc = reinterpret_cast<const Vd*>(xt + i * kRowBlock);
+      for (std::size_t v = 0; v < kVdPerBlock; ++v) a[v] += wvv * xc[v];
+    }
+    double acc[kRowBlock];
+    for (std::size_t v = 0; v < kVdPerBlock; ++v) {
+      for (std::size_t l = 0; l < kVdLanes; ++l) acc[v * kVdLanes + l] = a[v][l];
+    }
+#else
+    double acc[kRowBlock];
+    for (std::size_t rr = 0; rr < kRowBlock; ++rr) acc[rr] = b[o];
+    for (std::size_t i = 0; i < inDim; ++i) {
+      const double wv = wRow[i];
+      const double* xc = xt + i * kRowBlock;
+      for (std::size_t rr = 0; rr < kRowBlock; ++rr) {
+        acc[rr] = __builtin_fma(wv, xc[rr], acc[rr]);
+      }
+    }
+#endif
+    double* yc = yt + o * kRowBlock;
+    for (std::size_t rr = 0; rr < kRowBlock; ++rr) yc[rr] = ep(acc[rr]);
+  }
+}
+
+/// Blocked Dense input gradient over one packed row block: got is the packed
+/// upstream gradient, git the packed result (caller zero-initializes). One
+/// weight traversal feeds kInferRowBlock independent gi chains; each lane
+/// accumulates g * wRow[i] in exactly denseGradInRow's o-then-i order. An
+/// output column is skipped only when all lanes are zero — the common case,
+/// because the one-hot top-layer seed hots the same column for every row;
+/// mixed-zero lanes fall through and add exact-zero products, which leaves
+/// each lane's accumulator bits unchanged.
+inline void denseGradInBlock(const double* w, std::size_t inDim, std::size_t outDim,
+                             const double* got, double* git) {
+  constexpr std::size_t kRowBlock = kInferRowBlock;
+  for (std::size_t o = 0; o < outDim; ++o) {
+    const double* gl = got + o * kRowBlock;
+    bool anyHot = false;
+    for (std::size_t rr = 0; rr < kRowBlock; ++rr) anyHot = anyHot || gl[rr] != 0.0;
+    if (!anyHot) continue;
+    const double* wRow = w + o * inDim;
+#if defined(ISOP_NN_SIMD_BLOCK)
+    const Vd* gv = reinterpret_cast<const Vd*>(gl);
+    Vd* giv = reinterpret_cast<Vd*>(git);
+    for (std::size_t i = 0; i < inDim; ++i) {
+      const Vd wvv = vdSplat(wRow[i]);
+      for (std::size_t v = 0; v < kVdPerBlock; ++v) {
+        giv[i * kVdPerBlock + v] += gv[v] * wvv;
+      }
+    }
+#else
+    for (std::size_t i = 0; i < inDim; ++i) {
+      const double wv = wRow[i];
+      double* gc = git + i * kRowBlock;
+      for (std::size_t rr = 0; rr < kRowBlock; ++rr) gc[rr] += gl[rr] * wv;
+    }
+#endif
+  }
+}
+
+// --- Conv1d ----------------------------------------------------------------
+
+/// Stride-1, odd-kernel, same-padding 1-D convolution for one row of
+/// channel-major activations (index = channel * length + position); the
+/// scalar reference kernel of Conv1d::infer. `w` is the tap block
+/// [outC x inC x k], `bias` the per-output-channel bias.
+inline void convForwardRow(const double* w, const double* bias,
+                           std::size_t inChannels, std::size_t outChannels,
+                           std::size_t length, std::size_t kernel, const double* x,
+                           double* y) {
+  const std::size_t half = kernel / 2;
+  for (std::size_t oc = 0; oc < outChannels; ++oc) {
+    double* yRow = y + oc * length;
+    for (std::size_t t = 0; t < length; ++t) yRow[t] = bias[oc];
+    for (std::size_t ic = 0; ic < inChannels; ++ic) {
+      const double* xRow = x + ic * length;
+      const double* wRow = w + (oc * inChannels + ic) * kernel;
+      for (std::size_t j = 0; j < kernel; ++j) {
+        const double wv = wRow[j];
+        if (wv == 0.0) continue;
+        // y[t] += w[j] * x[t + j - half]; clamp range so t+j-half in [0,L)
+        const std::ptrdiff_t off =
+            static_cast<std::ptrdiff_t>(j) - static_cast<std::ptrdiff_t>(half);
+        const std::size_t tBegin = off < 0 ? static_cast<std::size_t>(-off) : 0;
+        const std::size_t tEnd =
+            off > 0 ? length - static_cast<std::size_t>(off) : length;
+        // Explicit fma to match the fused multiply-adds of the blocked tier
+        // — batch == per-row bitwise needs one rounding here.
+        for (std::size_t t = tBegin; t < tEnd; ++t) {
+          yRow[t] = __builtin_fma(
+              wv, xRow[static_cast<std::size_t>(static_cast<std::ptrdiff_t>(t) + off)],
+              yRow[t]);
+        }
+      }
+    }
+  }
+}
+
+/// dL/dIn for one sample of Conv1d: giRow[t + off] += goRow[t] * w[j],
+/// accumulated in (oc, ic, j, t) order. Shared by the training backward()
+/// and the stateless backwardInput() so both produce bitwise-identical rows.
+/// Unlike the forward kernels there is no w == 0 skip: the training backward
+/// has always added zero-tap products in sequence, and the parity contract
+/// pins that behavior.
+inline void convGradInRow(const double* params, std::size_t inChannels,
+                          std::size_t outChannels, std::size_t length,
+                          std::size_t kernel, const double* go, double* gi) {
+  const std::size_t half = kernel / 2;
+  for (std::size_t oc = 0; oc < outChannels; ++oc) {
+    const double* goRow = go + oc * length;
+    for (std::size_t ic = 0; ic < inChannels; ++ic) {
+      double* giRow = gi + ic * length;
+      const double* w = params + (oc * inChannels + ic) * kernel;
+      for (std::size_t j = 0; j < kernel; ++j) {
+        const std::ptrdiff_t off =
+            static_cast<std::ptrdiff_t>(j) - static_cast<std::ptrdiff_t>(half);
+        const std::size_t tBegin = off < 0 ? static_cast<std::size_t>(-off) : 0;
+        const std::size_t tEnd =
+            off > 0 ? length - static_cast<std::size_t>(off) : length;
+        const double wv = w[j];
+        for (std::size_t t = tBegin; t < tEnd; ++t) {
+          const std::size_t src =
+              static_cast<std::size_t>(static_cast<std::ptrdiff_t>(t) + off);
+          giRow[src] += goRow[t] * wv;
+        }
+      }
+    }
+  }
+}
+
+/// Blocked Conv1d forward over one packed row block (xt/yt transposed, lane
+/// = row). Per (oc, ic, j) tap: one streaming pass over the valid t range,
+/// all kInferRowBlock lanes per step. y[t] accumulates taps in
+/// convForwardRow's ic-then-j order, so each lane matches the scalar tier
+/// bitwise.
+inline void convForwardBlock(const double* w, const double* bias,
+                             std::size_t inChannels, std::size_t outChannels,
+                             std::size_t length, std::size_t kernel,
+                             const double* xt, double* yt) {
+  constexpr std::size_t kRowBlock = kInferRowBlock;
+  const std::size_t half = kernel / 2;
+  for (std::size_t oc = 0; oc < outChannels; ++oc) {
+    double* yc = yt + oc * length * kRowBlock;
+    for (std::size_t e = 0; e < length * kRowBlock; ++e) yc[e] = bias[oc];
+  }
+  for (std::size_t oc = 0; oc < outChannels; ++oc) {
+    double* yc = yt + oc * length * kRowBlock;
+    for (std::size_t ic = 0; ic < inChannels; ++ic) {
+      const double* xc = xt + ic * length * kRowBlock;
+      const double* wRow = w + (oc * inChannels + ic) * kernel;
+      for (std::size_t j = 0; j < kernel; ++j) {
+        const double wv = wRow[j];
+        if (wv == 0.0) continue;
+        const std::ptrdiff_t off =
+            static_cast<std::ptrdiff_t>(j) - static_cast<std::ptrdiff_t>(half);
+        const std::size_t tBegin = off < 0 ? static_cast<std::size_t>(-off) : 0;
+        const std::size_t tEnd =
+            off > 0 ? length - static_cast<std::size_t>(off) : length;
+        const double* xs =
+            xc + static_cast<std::size_t>(static_cast<std::ptrdiff_t>(tBegin) + off) *
+                     kRowBlock;
+        double* ys = yc + tBegin * kRowBlock;
+        const std::size_t steps = (tEnd - tBegin) * kRowBlock;
+#if defined(ISOP_NN_SIMD_BLOCK)
+        const Vd wvv = vdSplat(wv);
+        Vd* y = reinterpret_cast<Vd*>(ys);
+        const Vd* xv = reinterpret_cast<const Vd*>(xs);
+        for (std::size_t e = 0; e < steps / kVdLanes; ++e) y[e] += wvv * xv[e];
+#else
+        for (std::size_t e = 0; e < steps; ++e) {
+          ys[e] = __builtin_fma(wv, xs[e], ys[e]);
+        }
+#endif
+      }
+    }
+  }
+}
+
+/// Blocked Conv1d input gradient over one packed row block: the forward tap
+/// streaming run in reverse — per (oc, ic, j) tap one pass scatters
+/// gi[t + off] += go[t] * w[j] across all lanes (caller zero-initializes
+/// git). Each lane accumulates taps in convGradInRow's (oc, ic, j, t) order,
+/// so blocked rows are bitwise identical to the scalar tier. No w == 0 skip,
+/// matching the scalar kernel.
+inline void convGradInBlock(const double* params, std::size_t inChannels,
+                            std::size_t outChannels, std::size_t length,
+                            std::size_t kernel, const double* got, double* git) {
+  constexpr std::size_t kRowBlock = kInferRowBlock;
+  const std::size_t half = kernel / 2;
+  for (std::size_t oc = 0; oc < outChannels; ++oc) {
+    const double* goc = got + oc * length * kRowBlock;
+    for (std::size_t ic = 0; ic < inChannels; ++ic) {
+      double* gic = git + ic * length * kRowBlock;
+      const double* w = params + (oc * inChannels + ic) * kernel;
+      for (std::size_t j = 0; j < kernel; ++j) {
+        const double wv = w[j];
+        const std::ptrdiff_t off =
+            static_cast<std::ptrdiff_t>(j) - static_cast<std::ptrdiff_t>(half);
+        const std::size_t tBegin = off < 0 ? static_cast<std::size_t>(-off) : 0;
+        const std::size_t tEnd =
+            off > 0 ? length - static_cast<std::size_t>(off) : length;
+        const double* gs = goc + tBegin * kRowBlock;
+        double* gd =
+            gic + static_cast<std::size_t>(static_cast<std::ptrdiff_t>(tBegin) + off) *
+                      kRowBlock;
+        const std::size_t steps = (tEnd - tBegin) * kRowBlock;
+#if defined(ISOP_NN_SIMD_BLOCK)
+        const Vd wvv = vdSplat(wv);
+        Vd* gdv = reinterpret_cast<Vd*>(gd);
+        const Vd* gsv = reinterpret_cast<const Vd*>(gs);
+        for (std::size_t e = 0; e < steps / kVdLanes; ++e) gdv[e] += gsv[e] * wvv;
+#else
+        for (std::size_t e = 0; e < steps; ++e) gd[e] += gs[e] * wv;
+#endif
+      }
+    }
+  }
+}
+
+}  // namespace isop::ml::nn::kernels

@@ -1,0 +1,605 @@
+#include "ml/nn/plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/thread_pool.hpp"
+#include "ml/nn/activation.hpp"
+#include "ml/nn/batch_norm.hpp"
+#include "ml/nn/conv1d.hpp"
+#include "ml/nn/dense.hpp"
+#include "ml/nn/dropout.hpp"
+#include "ml/nn/kernels.hpp"
+#include "ml/nn/sequential.hpp"
+#include "ml/nn/simd_block.hpp"
+
+namespace isop::ml::nn {
+
+namespace {
+// Same batch-work threshold as the interpreted Dense/Conv layers: fan out to
+// the pool only when the whole call carries enough arithmetic to amortize it.
+constexpr std::size_t kParallelFlopThreshold = std::size_t{1} << 24;
+
+/// Fused tanh epilogue for the dense tile (leaky ReLU lives in kernels.hpp).
+struct TanhEp {
+  double operator()(double v) const { return std::tanh(v); }
+};
+}  // namespace
+
+bool& planFastMathDefault() {
+#if defined(ISOP_PLAN_FAST_MATH)
+  static bool value = true;
+#else
+  static bool value = false;
+#endif
+  return value;
+}
+
+/// Packed per-block scratch. Forward-only calls touch bufA/bufB; the gradient
+/// path lazily adds the saved-activation buffers on first use (workspaces are
+/// recycled through the plan's pool, so the cost is paid once per workspace).
+struct CompiledPlan::Workspace {
+  std::vector<double> bufA, bufB;    // forward ping-pong, maxDim lanes
+  std::vector<double> gradA, gradB;  // backward ping-pong, maxDim lanes
+  std::vector<double> packIn;        // packed (standardized) input block
+  std::vector<std::vector<double>> acts;  // per-op packed outputs
+  std::vector<std::vector<double>> pre;   // pre-activation of fused ops
+};
+
+CompiledPlan::~CompiledPlan() = default;
+
+std::unique_ptr<const CompiledPlan> CompiledPlan::compile(const Sequential& net,
+                                                          PlanOptions options) {
+  if (net.layerCount() == 0) return nullptr;
+  auto plan = std::unique_ptr<CompiledPlan>(new CompiledPlan());
+  plan->fastMath_ = options.fastMath;
+
+  for (std::size_t i = 0; i < net.layerCount(); ++i) {
+    const Layer& l = net.layer(i);
+    if (const auto* d = dynamic_cast<const Dense*>(&l)) {
+      Op op;
+      op.kind = OpKind::Dense;
+      op.inDim = d->inputDim();
+      op.outDim = d->outputDim();
+      // params layout: [W (outDim x inDim) | b (outDim)]
+      op.w = d->params().data();
+      op.b = d->params().data() + op.outDim * op.inDim;
+      plan->ops_.push_back(std::move(op));
+    } else if (const auto* c = dynamic_cast<const Conv1d*>(&l)) {
+      Op op;
+      op.kind = OpKind::Conv;
+      op.inDim = c->inputDim();
+      op.outDim = c->outputDim();
+      op.inChannels = c->inChannels();
+      op.outChannels = c->outChannels();
+      op.length = c->length();
+      op.kernel = c->kernel();
+      // params layout: [W (outC x inC x k) | b (outC)]
+      op.w = c->params().data();
+      op.b = c->params().data() + op.outChannels * op.inChannels * op.kernel;
+      plan->ops_.push_back(std::move(op));
+    } else if (const auto* bn = dynamic_cast<const BatchNorm*>(&l)) {
+      Op op;
+      op.inDim = bn->inputDim();
+      op.outDim = bn->outputDim();
+      const double* gamma = bn->params().data();
+      const double* beta = bn->params().data() + op.inDim;
+      const double* mean = bn->state().data();
+      const double* var = bn->state().data() + op.inDim;
+      if (options.fastMath) {
+        // Fold the frozen statistics into a per-column affine. One fma per
+        // element instead of sub/mul/mul/add — not bitwise (opt-in only).
+        op.kind = OpKind::AffineNorm;
+        op.foldScale.resize(op.inDim);
+        op.foldShift.resize(op.inDim);
+        for (std::size_t j = 0; j < op.inDim; ++j) {
+          op.foldScale[j] = gamma[j] / std::sqrt(var[j] + bn->epsilon());
+          op.foldShift[j] = beta[j] - mean[j] * op.foldScale[j];
+        }
+      } else {
+        op.kind = OpKind::BatchNorm;
+        op.gamma = gamma;
+        op.beta = beta;
+        op.mean = mean;
+        op.var = var;
+        op.epsilon = bn->epsilon();
+      }
+      plan->ops_.push_back(std::move(op));
+    } else if (const auto* lr = dynamic_cast<const LeakyRelu*>(&l)) {
+      Op* prev = plan->ops_.empty() ? nullptr : &plan->ops_.back();
+      if (prev != nullptr && prev->fused == Fused::None &&
+          (prev->kind == OpKind::Dense || prev->kind == OpKind::Conv)) {
+        prev->fused = Fused::LeakyRelu;
+        prev->slope = lr->slope();
+        ++plan->fusedOps_;
+      } else {
+        Op op;
+        op.kind = OpKind::LeakyRelu;
+        op.inDim = op.outDim = lr->inputDim();
+        op.slope = lr->slope();
+        plan->ops_.push_back(std::move(op));
+      }
+    } else if (const auto* th = dynamic_cast<const Tanh*>(&l)) {
+      Op* prev = plan->ops_.empty() ? nullptr : &plan->ops_.back();
+      if (prev != nullptr && prev->fused == Fused::None &&
+          (prev->kind == OpKind::Dense || prev->kind == OpKind::Conv)) {
+        prev->fused = Fused::Tanh;
+        ++plan->fusedOps_;
+      } else {
+        Op op;
+        op.kind = OpKind::Tanh;
+        op.inDim = op.outDim = th->inputDim();
+        plan->ops_.push_back(std::move(op));
+      }
+    } else if (const auto* ap = dynamic_cast<const AvgPool1d*>(&l)) {
+      Op op;
+      op.kind = OpKind::AvgPool;
+      op.inDim = ap->inputDim();
+      op.outDim = ap->outputDim();
+      op.inChannels = ap->channels();
+      op.length = ap->length();
+      op.kernel = ap->kernel();
+      op.outLength = ap->outLength();
+      plan->ops_.push_back(std::move(op));
+    } else if (const auto* gp = dynamic_cast<const GlobalAvgPool1d*>(&l)) {
+      Op op;
+      op.kind = OpKind::GlobalAvgPool;
+      op.inDim = gp->inputDim();
+      op.outDim = gp->channels();
+      op.inChannels = gp->channels();
+      op.length = gp->length();
+      plan->ops_.push_back(std::move(op));
+    } else if (dynamic_cast<const Dropout*>(&l) != nullptr) {
+      // Inference identity — elided from the plan entirely.
+      continue;
+    } else {
+      // Unknown layer kind: the caller falls back to the interpreted path.
+      return nullptr;
+    }
+  }
+  if (plan->ops_.empty()) return nullptr;
+
+  plan->inputDim_ = net.inputDim();
+  plan->outputDim_ = net.outputDim();
+  plan->maxDim_ = plan->inputDim_;
+  for (const Op& op : plan->ops_) {
+    plan->maxDim_ = std::max({plan->maxDim_, op.inDim, op.outDim});
+    switch (op.kind) {
+      case OpKind::Dense:
+        plan->flopsPerRow_ += op.inDim * op.outDim;
+        break;
+      case OpKind::Conv:
+        plan->flopsPerRow_ += op.outChannels * op.inChannels * op.kernel * op.length;
+        break;
+      default:
+        plan->flopsPerRow_ += op.outDim;
+        break;
+    }
+  }
+
+  if (!options.inputMean.empty() || !options.inputStd.empty()) {
+    if (options.inputMean.size() != plan->inputDim_ ||
+        options.inputStd.size() != plan->inputDim_) {
+      throw std::invalid_argument(
+          "CompiledPlan: standardization vectors must match the input width");
+    }
+    plan->inputMean_ = std::move(options.inputMean);
+    plan->inputStd_ = std::move(options.inputStd);
+  }
+  return plan;
+}
+
+std::string CompiledPlan::summary() const {
+  std::string s = "plan(ops=" + std::to_string(ops_.size()) +
+                  " fused=" + std::to_string(fusedOps_);
+  if (foldsInput()) s += " foldscale";
+  if (fastMath_) s += " fastmath";
+  s += ")";
+  return s;
+}
+
+std::unique_ptr<CompiledPlan::Workspace> CompiledPlan::acquireWorkspace() const {
+  {
+    MutexLock lock(mutex_);
+    if (!pool_.empty()) {
+      auto ws = std::move(pool_.back());
+      pool_.pop_back();
+      return ws;
+    }
+  }
+  auto ws = std::make_unique<Workspace>();
+  ws->bufA.resize(maxDim_ * kInferRowBlock);
+  ws->bufB.resize(maxDim_ * kInferRowBlock);
+  return ws;
+}
+
+void CompiledPlan::releaseWorkspace(std::unique_ptr<Workspace> ws) const {
+  MutexLock lock(mutex_);
+  pool_.push_back(std::move(ws));
+}
+
+void CompiledPlan::packInput(const Matrix& in, std::size_t r0, std::size_t rows,
+                             double* dst) const {
+  constexpr std::size_t kRB = kInferRowBlock;
+  const std::size_t cols = inputDim_;
+  if (inputMean_.empty()) {
+    for (std::size_t rr = 0; rr < rows; ++rr) {
+      const double* row = in.data() + (r0 + rr) * cols;
+      for (std::size_t c = 0; c < cols; ++c) dst[c * kRB + rr] = row[c];
+    }
+  } else {
+    // Exactly StandardScaler::transformRow, fused into the pack — bitwise
+    // identical to scaling the whole batch up front, without the copy.
+    const double* mean = inputMean_.data();
+    const double* std = inputStd_.data();
+    for (std::size_t rr = 0; rr < rows; ++rr) {
+      const double* row = in.data() + (r0 + rr) * cols;
+      for (std::size_t c = 0; c < cols; ++c) {
+        dst[c * kRB + rr] = (row[c] - mean[c]) / std[c];
+      }
+    }
+  }
+  // Zero-fill padding lanes of a partial block: every op is
+  // lane-independent, so the padding computes inertly alongside.
+  for (std::size_t rr = rows; rr < kRB; ++rr) {
+    for (std::size_t c = 0; c < cols; ++c) dst[c * kRB + rr] = 0.0;
+  }
+}
+
+namespace {
+constexpr std::size_t kRB = kInferRowBlock;
+
+void applyLeakyRelu(const double* src, double* dst, std::size_t n, double slope) {
+  for (std::size_t e = 0; e < n; ++e) {
+    const double v = src[e];
+    dst[e] = v >= 0.0 ? v : slope * v;
+  }
+}
+
+void applyTanh(const double* src, double* dst, std::size_t n) {
+  for (std::size_t e = 0; e < n; ++e) dst[e] = std::tanh(src[e]);
+}
+
+void avgPoolForward(std::size_t channels, std::size_t length, std::size_t kernel,
+                    std::size_t outLength, const double* src, double* dst) {
+  for (std::size_t c = 0; c < channels; ++c) {
+    const double* xc = src + c * length * kRB;
+    double* yc = dst + c * outLength * kRB;
+    for (std::size_t o = 0; o < outLength; ++o) {
+      const std::size_t begin = o * kernel;
+      const std::size_t end = std::min(begin + kernel, length);
+      double acc[kRB] = {0.0};
+      for (std::size_t t = begin; t < end; ++t) {
+        const double* xs = xc + t * kRB;
+        for (std::size_t rr = 0; rr < kRB; ++rr) acc[rr] += xs[rr];
+      }
+      double* ys = yc + o * kRB;
+      for (std::size_t rr = 0; rr < kRB; ++rr) {
+        ys[rr] = acc[rr] / static_cast<double>(end - begin);
+      }
+    }
+  }
+}
+
+void globalAvgPoolForward(std::size_t channels, std::size_t length,
+                          const double* src, double* dst) {
+  for (std::size_t c = 0; c < channels; ++c) {
+    const double* xc = src + c * length * kRB;
+    double acc[kRB] = {0.0};
+    for (std::size_t t = 0; t < length; ++t) {
+      const double* xs = xc + t * kRB;
+      for (std::size_t rr = 0; rr < kRB; ++rr) acc[rr] += xs[rr];
+    }
+    for (std::size_t rr = 0; rr < kRB; ++rr) {
+      dst[c * kRB + rr] = acc[rr] / static_cast<double>(length);
+    }
+  }
+}
+}  // namespace
+
+void CompiledPlan::forwardBlock(Workspace& ws, const Matrix& in, std::size_t r0,
+                                std::size_t rows, Matrix& out) const {
+  packInput(in, r0, rows, ws.bufA.data());
+  double* cur = ws.bufA.data();
+  double* nxt = ws.bufB.data();
+  for (const Op& op : ops_) {
+    switch (op.kind) {
+      case OpKind::Dense:
+        // The fused activation runs on the accumulator lanes in registers —
+        // the dense→activation tile.
+        switch (op.fused) {
+          case Fused::None:
+            kernels::denseForwardBlock(op.w, op.b, op.inDim, op.outDim, cur, nxt);
+            break;
+          case Fused::LeakyRelu:
+            kernels::denseForwardBlock(op.w, op.b, op.inDim, op.outDim, cur, nxt,
+                                       kernels::LeakyReluEp{op.slope});
+            break;
+          case Fused::Tanh:
+            kernels::denseForwardBlock(op.w, op.b, op.inDim, op.outDim, cur, nxt,
+                                       TanhEp{});
+            break;
+        }
+        break;
+      case OpKind::Conv:
+        kernels::convForwardBlock(op.w, op.b, op.inChannels, op.outChannels,
+                                  op.length, op.kernel, cur, nxt);
+        // Conv fusion: extra pass over the packed tile while it is L1-hot.
+        if (op.fused == Fused::LeakyRelu) {
+          applyLeakyRelu(nxt, nxt, op.outDim * kRB, op.slope);
+        } else if (op.fused == Fused::Tanh) {
+          applyTanh(nxt, nxt, op.outDim * kRB);
+        }
+        break;
+      case OpKind::BatchNorm:
+        // Exactly BatchNorm::infer per lane.
+        for (std::size_t j = 0; j < op.outDim; ++j) {
+          const double invStd = 1.0 / std::sqrt(op.var[j] + op.epsilon);
+          const double* xs = cur + j * kRB;
+          double* ys = nxt + j * kRB;
+          for (std::size_t rr = 0; rr < kRB; ++rr) {
+            ys[rr] = op.gamma[j] * (xs[rr] - op.mean[j]) * invStd + op.beta[j];
+          }
+        }
+        break;
+      case OpKind::AffineNorm:
+        for (std::size_t j = 0; j < op.outDim; ++j) {
+          const double scale = op.foldScale[j];
+          const double shift = op.foldShift[j];
+          const double* xs = cur + j * kRB;
+          double* ys = nxt + j * kRB;
+          for (std::size_t rr = 0; rr < kRB; ++rr) {
+            ys[rr] = __builtin_fma(xs[rr], scale, shift);
+          }
+        }
+        break;
+      case OpKind::LeakyRelu:
+        applyLeakyRelu(cur, nxt, op.outDim * kRB, op.slope);
+        break;
+      case OpKind::Tanh:
+        applyTanh(cur, nxt, op.outDim * kRB);
+        break;
+      case OpKind::AvgPool:
+        avgPoolForward(op.inChannels, op.length, op.kernel, op.outLength, cur, nxt);
+        break;
+      case OpKind::GlobalAvgPool:
+        globalAvgPoolForward(op.inChannels, op.length, cur, nxt);
+        break;
+    }
+    std::swap(cur, nxt);
+  }
+  for (std::size_t rr = 0; rr < rows; ++rr) {
+    double* row = out.data() + (r0 + rr) * outputDim_;
+    for (std::size_t c = 0; c < outputDim_; ++c) row[c] = cur[c * kRB + rr];
+  }
+}
+
+void CompiledPlan::gradientBlock(Workspace& ws, const Matrix& x, std::size_t r0,
+                                 std::size_t rows, std::size_t outputIndex,
+                                 Matrix& grad) const {
+  // Lazy gradient-side buffers (see Workspace comment).
+  if (ws.acts.size() != ops_.size()) {
+    ws.packIn.resize(inputDim_ * kRB);
+    ws.gradA.resize(maxDim_ * kRB);
+    ws.gradB.resize(maxDim_ * kRB);
+    ws.acts.assign(ops_.size(), {});
+    ws.pre.assign(ops_.size(), {});
+    for (std::size_t i = 0; i < ops_.size(); ++i) {
+      ws.acts[i].resize(ops_[i].outDim * kRB);
+      if (ops_[i].fused != Fused::None) ws.pre[i].resize(ops_[i].outDim * kRB);
+    }
+  }
+
+  // Forward, saving each op's packed output (and the pre-activation of fused
+  // ops — the leaky-ReLU derivative mask must come from the linear output,
+  // not the post-activation sign, for bitwise parity with the interpreted
+  // backwardInput chain).
+  packInput(x, r0, rows, ws.packIn.data());
+  const double* src = ws.packIn.data();
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    const Op& op = ops_[i];
+    double* post = ws.acts[i].data();
+    double* linearDst = op.fused == Fused::None ? post : ws.pre[i].data();
+    switch (op.kind) {
+      case OpKind::Dense:
+        kernels::denseForwardBlock(op.w, op.b, op.inDim, op.outDim, src, linearDst);
+        break;
+      case OpKind::Conv:
+        kernels::convForwardBlock(op.w, op.b, op.inChannels, op.outChannels,
+                                  op.length, op.kernel, src, linearDst);
+        break;
+      case OpKind::BatchNorm:
+        for (std::size_t j = 0; j < op.outDim; ++j) {
+          const double invStd = 1.0 / std::sqrt(op.var[j] + op.epsilon);
+          const double* xs = src + j * kRB;
+          double* ys = linearDst + j * kRB;
+          for (std::size_t rr = 0; rr < kRB; ++rr) {
+            ys[rr] = op.gamma[j] * (xs[rr] - op.mean[j]) * invStd + op.beta[j];
+          }
+        }
+        break;
+      case OpKind::AffineNorm:
+        for (std::size_t j = 0; j < op.outDim; ++j) {
+          const double scale = op.foldScale[j];
+          const double shift = op.foldShift[j];
+          const double* xs = src + j * kRB;
+          double* ys = linearDst + j * kRB;
+          for (std::size_t rr = 0; rr < kRB; ++rr) {
+            ys[rr] = __builtin_fma(xs[rr], scale, shift);
+          }
+        }
+        break;
+      case OpKind::LeakyRelu:
+        applyLeakyRelu(src, linearDst, op.outDim * kRB, op.slope);
+        break;
+      case OpKind::Tanh:
+        applyTanh(src, linearDst, op.outDim * kRB);
+        break;
+      case OpKind::AvgPool:
+        avgPoolForward(op.inChannels, op.length, op.kernel, op.outLength, src,
+                       linearDst);
+        break;
+      case OpKind::GlobalAvgPool:
+        globalAvgPoolForward(op.inChannels, op.length, src, linearDst);
+        break;
+    }
+    if (op.fused == Fused::LeakyRelu) {
+      applyLeakyRelu(linearDst, post, op.outDim * kRB, op.slope);
+    } else if (op.fused == Fused::Tanh) {
+      applyTanh(linearDst, post, op.outDim * kRB);
+    }
+    src = post;
+  }
+
+  // One-hot seed for the selected output column; padding lanes stay zero.
+  double* g = ws.gradA.data();
+  double* gn = ws.gradB.data();
+  std::fill(g, g + outputDim_ * kRB, 0.0);
+  for (std::size_t rr = 0; rr < rows; ++rr) g[outputIndex * kRB + rr] = 1.0;
+
+  for (std::size_t i = ops_.size(); i-- > 0;) {
+    const Op& op = ops_[i];
+    // Fused-activation backward first: exactly the standalone layer's
+    // backwardInput expression, reading the saved pre/post activations.
+    if (op.fused == Fused::LeakyRelu) {
+      const double* pre = ws.pre[i].data();
+      for (std::size_t e = 0; e < op.outDim * kRB; ++e) {
+        g[e] = g[e] * (pre[e] >= 0.0 ? 1.0 : op.slope);
+      }
+    } else if (op.fused == Fused::Tanh) {
+      const double* y = ws.acts[i].data();
+      for (std::size_t e = 0; e < op.outDim * kRB; ++e) {
+        g[e] = g[e] * (1.0 - y[e] * y[e]);
+      }
+    }
+    switch (op.kind) {
+      case OpKind::Dense:
+        std::fill(gn, gn + op.inDim * kRB, 0.0);
+        kernels::denseGradInBlock(op.w, op.inDim, op.outDim, g, gn);
+        std::swap(g, gn);
+        break;
+      case OpKind::Conv:
+        std::fill(gn, gn + op.inDim * kRB, 0.0);
+        kernels::convGradInBlock(op.w, op.inChannels, op.outChannels, op.length,
+                                 op.kernel, g, gn);
+        std::swap(g, gn);
+        break;
+      case OpKind::BatchNorm:
+        // Exactly BatchNorm::backwardInput: frozen-statistics diagonal.
+        for (std::size_t j = 0; j < op.outDim; ++j) {
+          const double scale = op.gamma[j] * (1.0 / std::sqrt(op.var[j] + op.epsilon));
+          double* gs = g + j * kRB;
+          for (std::size_t rr = 0; rr < kRB; ++rr) gs[rr] = gs[rr] * scale;
+        }
+        break;
+      case OpKind::AffineNorm:
+        for (std::size_t j = 0; j < op.outDim; ++j) {
+          const double scale = op.foldScale[j];
+          double* gs = g + j * kRB;
+          for (std::size_t rr = 0; rr < kRB; ++rr) gs[rr] = gs[rr] * scale;
+        }
+        break;
+      case OpKind::LeakyRelu: {
+        const double* in = i == 0 ? ws.packIn.data() : ws.acts[i - 1].data();
+        for (std::size_t e = 0; e < op.outDim * kRB; ++e) {
+          g[e] = g[e] * (in[e] >= 0.0 ? 1.0 : op.slope);
+        }
+        break;
+      }
+      case OpKind::Tanh: {
+        const double* y = ws.acts[i].data();
+        for (std::size_t e = 0; e < op.outDim * kRB; ++e) {
+          g[e] = g[e] * (1.0 - y[e] * y[e]);
+        }
+        break;
+      }
+      case OpKind::AvgPool:
+        std::fill(gn, gn + op.inDim * kRB, 0.0);
+        for (std::size_t c = 0; c < op.inChannels; ++c) {
+          const double* gc = g + c * op.outLength * kRB;
+          double* dc = gn + c * op.length * kRB;
+          for (std::size_t o = 0; o < op.outLength; ++o) {
+            const std::size_t begin = o * op.kernel;
+            const std::size_t end = std::min(begin + op.kernel, op.length);
+            const double* gs = gc + o * kRB;
+            for (std::size_t rr = 0; rr < kRB; ++rr) {
+              const double share = gs[rr] / static_cast<double>(end - begin);
+              for (std::size_t t = begin; t < end; ++t) dc[t * kRB + rr] += share;
+            }
+          }
+        }
+        std::swap(g, gn);
+        break;
+      case OpKind::GlobalAvgPool: {
+        const double inv = 1.0 / static_cast<double>(op.length);
+        for (std::size_t c = 0; c < op.inChannels; ++c) {
+          const double* gs = g + c * kRB;
+          double* dc = gn + c * op.length * kRB;
+          for (std::size_t t = 0; t < op.length; ++t) {
+            for (std::size_t rr = 0; rr < kRB; ++rr) {
+              dc[t * kRB + rr] = gs[rr] * inv;
+            }
+          }
+        }
+        std::swap(g, gn);
+        break;
+      }
+    }
+  }
+
+  for (std::size_t rr = 0; rr < rows; ++rr) {
+    double* row = grad.data() + (r0 + rr) * inputDim_;
+    for (std::size_t c = 0; c < inputDim_; ++c) row[c] = g[c * kRB + rr];
+  }
+}
+
+void CompiledPlan::forwardBatch(const Matrix& in, Matrix& out) const {
+  ISOP_REQUIRE(in.cols() == inputDim_, "CompiledPlan: input width mismatch");
+  const std::size_t n = in.rows();
+  out.resize(n, outputDim_);
+  if (n == 0) return;
+  const std::size_t blocks = (n + kInferRowBlock - 1) / kInferRowBlock;
+  auto runBlock = [&](std::size_t blk) {
+    const std::size_t r0 = blk * kInferRowBlock;
+    const std::size_t rows = std::min(kInferRowBlock, n - r0);
+    auto ws = acquireWorkspace();
+    forwardBlock(*ws, in, r0, rows, out);
+    releaseWorkspace(std::move(ws));
+  };
+  // Blocks write disjoint output rows, so the fan-out is bitwise independent
+  // of the thread count — same contract as the interpreted layers.
+  if (n * flopsPerRow_ >= kParallelFlopThreshold && blocks > 1) {
+    ThreadPool::global().parallelFor(blocks, runBlock);
+  } else {
+    for (std::size_t blk = 0; blk < blocks; ++blk) runBlock(blk);
+  }
+}
+
+void CompiledPlan::inputGradientBatch(const Matrix& x, std::size_t outputIndex,
+                                      Matrix& grad) const {
+  ISOP_REQUIRE(x.cols() == inputDim_, "CompiledPlan: input width mismatch");
+  ISOP_REQUIRE(outputIndex < outputDim_, "CompiledPlan: output index out of range");
+  const std::size_t n = x.rows();
+  grad.resize(n, inputDim_);
+  if (n == 0) return;
+  const std::size_t blocks = (n + kInferRowBlock - 1) / kInferRowBlock;
+  auto runBlock = [&](std::size_t blk) {
+    const std::size_t r0 = blk * kInferRowBlock;
+    const std::size_t rows = std::min(kInferRowBlock, n - r0);
+    auto ws = acquireWorkspace();
+    gradientBlock(*ws, x, r0, rows, outputIndex, grad);
+    releaseWorkspace(std::move(ws));
+  };
+  // Gradient runs the forward chain too, so use the same work threshold
+  // (doubled arithmetic still clears it whenever the forward would).
+  if (n * flopsPerRow_ >= kParallelFlopThreshold && blocks > 1) {
+    ThreadPool::global().parallelFor(blocks, runBlock);
+  } else {
+    for (std::size_t blk = 0; blk < blocks; ++blk) runBlock(blk);
+  }
+}
+
+}  // namespace isop::ml::nn

@@ -1,0 +1,172 @@
+// Compiled execution plans: the shape-specialized, fused NN hot path.
+//
+// A CompiledPlan is built once from a trained Sequential (at model
+// construction / deserialization time) and then drives every batched
+// inference and input-gradient call. Instead of the per-layer interpreted
+// walk — which materializes a full heap Matrix between every pair of layers —
+// the plan pre-resolves each layer into a fixed-shape op descriptor and
+// executes the whole chain one kInferRowBlock-row packed block at a time:
+// rows are packed transposed once at the input ("lane = row", see
+// simd_block.hpp), every op reads and writes small reusable packed
+// workspaces that stay L1-resident, and the result is unpacked once at the
+// output. Dense→activation fusion applies the activation to the accumulator
+// lanes while they are still in registers; conv→activation fusion runs the
+// activation as an extra pass over the packed tile it just produced.
+//
+// Arithmetic contract: the default plan is bitwise identical to the per-row
+// interpreted path. Every op replicates the exact expression (and
+// accumulation order) of the Layer it was compiled from, via the shared
+// kernels in ml/nn/kernels.hpp; the golden suites in tests/ml/test_plan.cpp
+// pin planned ≡ interpreted ≡ per-row. Non-bitwise transforms (folding batch
+// norm statistics into a per-column affine) are only applied when fastMath is
+// explicitly opted in (CMake -DISOP_PLAN_FAST_MATH=ON or the --plan-fast-math
+// CLI flag) and are covered by tolerance-bounded tests instead.
+//
+// Thread safety: plans are immutable after compile() and safe for concurrent
+// forwardBatch/inputGradientBatch calls. Packed workspaces are recycled
+// through a small mutex-guarded pool; weight pointers alias the source
+// network's parameter storage (stable for the life of the Sequential), so
+// the plan must not outlive the network it was compiled from.
+//
+// See docs/compiled_model.md for the lifecycle and fusion rules.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/thread_annotations.hpp"
+
+namespace isop::ml::nn {
+
+class Sequential;
+
+/// Process-wide default for PlanOptions::fastMath, initialized from the
+/// ISOP_PLAN_FAST_MATH compile definition (OFF unless explicitly enabled).
+/// The CLI's --plan-fast-math flag flips this before any surrogate is built.
+bool& planFastMathDefault();
+
+struct PlanOptions {
+  /// Input standardization folded into the pack stage: when non-empty (both
+  /// sized inputDim), the plan computes (x[j] - inputMean[j]) / inputStd[j]
+  /// while packing — the exact StandardScaler::transformRow expression, so
+  /// folding is bitwise-free and removes the full-batch scaled copy the
+  /// interpreted path makes. Gradients are returned w.r.t. the *scaled*
+  /// input, matching Sequential::inputGradientBatch on scaled rows.
+  std::vector<double> inputMean;
+  std::vector<double> inputStd;
+  /// Opt-in non-bitwise fast path: folds frozen batch-norm statistics into a
+  /// per-column fused multiply-add. Differs from the exact path by ~1 ulp per
+  /// batch-norm layer.
+  bool fastMath = planFastMathDefault();
+};
+
+/// A Sequential lowered to fixed-shape op descriptors plus preallocated
+/// packed workspaces. Compile once, execute many; see file comment.
+class CompiledPlan {
+ public:
+  /// Lowers `net` into a plan. Returns nullptr when the network contains a
+  /// layer kind the plan cannot execute (callers fall back to the
+  /// interpreted path). Throws std::invalid_argument when options carry
+  /// standardization vectors of the wrong size.
+  static std::unique_ptr<const CompiledPlan> compile(const Sequential& net,
+                                                     PlanOptions options = {});
+
+  CompiledPlan(const CompiledPlan&) = delete;
+  CompiledPlan& operator=(const CompiledPlan&) = delete;
+  ~CompiledPlan();
+
+  std::size_t inputDim() const { return inputDim_; }
+  std::size_t outputDim() const { return outputDim_; }
+  /// Executable ops after lowering (dropout elided, activations fused).
+  std::size_t opCount() const { return ops_.size(); }
+  /// Activations fused into a preceding dense/conv op.
+  std::size_t fusedOpCount() const { return fusedOps_; }
+  bool fastMath() const { return fastMath_; }
+  /// True when input standardization is folded into the pack stage.
+  bool foldsInput() const { return !inputMean_.empty(); }
+  /// Deterministic one-line description, e.g. "plan(ops=7 fused=3 fastmath)".
+  /// Surfaced by serve session stats.
+  std::string summary() const;
+
+  /// Batched inference: out is resized to (in.rows() x outputDim()). When the
+  /// plan folds input standardization, `in` holds raw feature rows; otherwise
+  /// it holds whatever the source network's first layer expects. Thread-safe.
+  void forwardBatch(const Matrix& in, Matrix& out) const;
+
+  /// d(output[outputIndex])/d(packed input[j]) for every row of x; grad is
+  /// resized to x's shape. Gradients are w.r.t. the network's (scaled) input
+  /// — bitwise identical to Sequential::inputGradientBatch. Thread-safe.
+  void inputGradientBatch(const Matrix& x, std::size_t outputIndex,
+                          Matrix& grad) const;
+
+ private:
+  enum class OpKind {
+    Dense,
+    Conv,
+    BatchNorm,    // exact frozen-statistics arithmetic (default path)
+    AffineNorm,   // batch norm folded to fma(x, scale, shift) — fastMath only
+    LeakyRelu,    // standalone (not fused into a preceding dense/conv)
+    Tanh,
+    AvgPool,
+    GlobalAvgPool,
+  };
+  enum class Fused { None, LeakyRelu, Tanh };
+
+  /// One lowered layer. Pointers alias the source network's parameter/state
+  /// storage; the fold* vectors are owned (fastMath AffineNorm only).
+  struct Op {
+    OpKind kind;
+    Fused fused = Fused::None;
+    std::size_t inDim = 0;
+    std::size_t outDim = 0;
+    const double* w = nullptr;      // Dense/Conv weights
+    const double* b = nullptr;      // Dense/Conv bias
+    const double* gamma = nullptr;  // BatchNorm
+    const double* beta = nullptr;
+    const double* mean = nullptr;   // BatchNorm running stats
+    const double* var = nullptr;
+    double epsilon = 0.0;  // BatchNorm
+    double slope = 0.0;    // LeakyRelu (standalone or fused)
+    std::size_t inChannels = 0, outChannels = 0;  // Conv
+    std::size_t length = 0, kernel = 0;           // Conv / pools
+    std::size_t outLength = 0;                    // AvgPool
+    std::vector<double> foldScale, foldShift;     // AffineNorm
+  };
+
+  /// Packed scratch for one row block, recycled through pool_. All buffers
+  /// hold kInferRowBlock lanes per element.
+  struct Workspace;
+
+  CompiledPlan() = default;
+
+  std::unique_ptr<Workspace> acquireWorkspace() const ISOP_EXCLUDES(mutex_);
+  void releaseWorkspace(std::unique_ptr<Workspace> ws) const ISOP_EXCLUDES(mutex_);
+
+  /// Packs rows [r0, r0+rows) transposed into dst, applying the folded
+  /// standardization when configured; lanes past `rows` are zero-filled
+  /// (every op is lane-independent, so padding lanes are inert).
+  void packInput(const Matrix& in, std::size_t r0, std::size_t rows,
+                 double* dst) const;
+
+  void forwardBlock(Workspace& ws, const Matrix& in, std::size_t r0,
+                    std::size_t rows, Matrix& out) const;
+  void gradientBlock(Workspace& ws, const Matrix& x, std::size_t r0,
+                     std::size_t rows, std::size_t outputIndex,
+                     Matrix& grad) const;
+
+  std::vector<Op> ops_;
+  std::size_t inputDim_ = 0;
+  std::size_t outputDim_ = 0;
+  std::size_t maxDim_ = 0;        // widest packed activation across the chain
+  std::size_t flopsPerRow_ = 0;   // parallelFor threshold, matches the layers'
+  std::size_t fusedOps_ = 0;
+  bool fastMath_ = false;
+  std::vector<double> inputMean_, inputStd_;
+
+  mutable AnnotatedMutex mutex_;
+  mutable std::vector<std::unique_ptr<Workspace>> pool_ ISOP_GUARDED_BY(mutex_);
+};
+
+}  // namespace isop::ml::nn

@@ -5,6 +5,7 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "common/check.hpp"
 #include "ml/nn/dropout.hpp"
 
 namespace isop::ml::nn {
@@ -120,19 +121,25 @@ namespace {
 void writeBlob(std::ostream& out, std::span<const double> blob) {
   const auto n = static_cast<std::uint64_t>(blob.size());
   out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  ISOP_REQUIRE(out.good(), "Sequential: failed to write parameter blob header");
   if (n) {
     out.write(reinterpret_cast<const char*>(blob.data()),
               static_cast<std::streamsize>(n * sizeof(double)));
+    ISOP_REQUIRE(out.good(), "Sequential: failed to write parameter blob data");
   }
 }
 
 void readBlob(std::istream& in, std::span<double> blob) {
   std::uint64_t n = 0;
   in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  ISOP_REQUIRE(in.good() && in.gcount() == static_cast<std::streamsize>(sizeof(n)),
+               "Sequential: truncated parameter blob header");
   if (n != blob.size()) throw std::runtime_error("Sequential: blob size mismatch");
   if (n) {
-    in.read(reinterpret_cast<char*>(blob.data()),
-            static_cast<std::streamsize>(n * sizeof(double)));
+    const auto bytes = static_cast<std::streamsize>(n * sizeof(double));
+    in.read(reinterpret_cast<char*>(blob.data()), bytes);
+    ISOP_REQUIRE(!in.fail() && in.gcount() == bytes,
+                 "Sequential: truncated parameter blob data");
   }
 }
 }  // namespace

@@ -21,6 +21,7 @@ class Sequential {
 
   std::size_t layerCount() const { return layers_.size(); }
   Layer& layer(std::size_t i) { return *layers_[i]; }
+  const Layer& layer(std::size_t i) const { return *layers_[i]; }
 
   std::size_t inputDim() const;
   std::size_t outputDim() const;

@@ -29,6 +29,9 @@ class StandardScaler {
   /// d(raw_j)/d(scaled_j) = std_j — used to unscale output gradients.
   double outputScale(std::size_t col) const { return std_[col]; }
   double mean(std::size_t col) const { return mean_[col]; }
+  /// Learned column standard deviation (the transform's divisor) — the
+  /// compiled plan copies these to fuse standardization into its pack stage.
+  double stddev(std::size_t col) const { return std_[col]; }
 
   void save(std::ostream& out) const;
   void load(std::istream& in);

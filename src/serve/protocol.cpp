@@ -377,6 +377,7 @@ json::Value statsToJson(const Scheduler::Status& status,
     s.set("rows", json::Value::integer(static_cast<long long>(info.rows)));
     s.set("memo_hits", json::Value::integer(static_cast<long long>(info.memoHits)));
     s.set("hit_rate", json::Value::number(info.hitRate));
+    s.set("plan", json::Value::string(info.plan));
     sessionList.push(std::move(s));
   }
   out.set("sessions", std::move(sessionList));

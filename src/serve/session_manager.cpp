@@ -4,6 +4,7 @@
 
 #include "core/simulator_surrogate.hpp"
 #include "data/cache.hpp"
+#include "ml/neural_regressor.hpp"
 #include "obs/obs.hpp"
 
 namespace isop::serve {
@@ -84,6 +85,10 @@ std::vector<SessionManager::SessionInfo> SessionManager::table() const {
     info.rows = stats.rows;
     info.memoHits = stats.memoHits;
     info.hitRate = stats.hitRate();
+    if (const auto* neural =
+            dynamic_cast<const ml::NeuralRegressor*>(ctx->surrogate.get())) {
+      info.plan = neural->planSummary();
+    }
     out.push_back(std::move(info));
   }
   return out;

@@ -72,6 +72,10 @@ class SessionManager {
     std::size_t rows = 0;        ///< design rows requested since creation
     std::size_t memoHits = 0;    ///< rows served from the cache
     double hitRate = 0.0;        ///< memoHits / rows (0 when idle)
+    /// Execution-plan description of the session's surrogate: the compiled
+    /// plan summary for neural surrogates (e.g. "plan(ops=7 fused=3 ...)"),
+    /// "per-row" otherwise. See docs/compiled_model.md.
+    std::string plan = "per-row";
   };
 
   /// Snapshots every live session, ordered by key (deterministic output).

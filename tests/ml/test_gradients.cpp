@@ -18,8 +18,10 @@
 // gradMutex_), so concurrent calls must be race-free and bitwise stable.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <iterator>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -382,6 +384,66 @@ TEST(GradientThreadSafety, ConcurrentGradientsAreRaceFreeAndBitwiseStable) {
           model.inputGradientBatch(queries, 1, batch);
           if (std::memcmp(batch.data(), wantBatch.data(),
                           batch.rows() * batch.cols() * sizeof(double)) != 0) {
+            ++mismatches[t];
+          }
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(mismatches[t], 0u) << "thread " << t;
+  }
+}
+
+TEST(GradientThreadSafety, ConcurrentPlannedCnnGradientsAreBitwiseStable) {
+  // The CNN variant hammers the compiled plan's shared workspace pool
+  // (ml/nn/plan.hpp): every forward/gradient block checks a workspace out of
+  // a mutex-guarded pool and returns it, so 8 threads mixing batch shapes
+  // exercise acquire/release churn plus the conv/pool kernels. Results must
+  // stay bitwise equal to the serial reference and clean under TSan.
+  Cnn1dConfig cfg;
+  cfg.expandChannels = 4;
+  cfg.expandLength = 8;
+  cfg.convChannels = 8;
+  cfg.headHidden = 16;
+  cfg.dropout = 0.0;
+  Cnn1dRegressor model(cfg);
+  model.fit(makeDataset(500, 22, 4, 2), quickTraining(5));
+  ASSERT_NE(model.plan(), nullptr);
+
+  const Matrix queries = makeQueries(24, 4, 62);
+  Matrix wantForward;
+  model.predictBatch(queries, wantForward);
+  Matrix wantGrad;
+  model.inputGradientBatch(queries, 0, wantGrad);
+
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kIters = 30;
+  // Sub-batch sizes straddling the 8-row block, so partial and multi-block
+  // workspaces interleave in the pool.
+  constexpr std::size_t kSizes[] = {3, 8, 13, 24};
+  std::vector<std::size_t> mismatches(kThreads, 0);
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      Matrix x, pred, grad;
+      for (std::size_t it = 0; it < kIters; ++it) {
+        const std::size_t n = kSizes[(t + it) % std::size(kSizes)];
+        x.resize(n, queries.cols());
+        for (std::size_t r = 0; r < n; ++r) {
+          const auto src = queries.row((t + it + r) % queries.rows());
+          std::copy(src.begin(), src.end(), x.row(r).begin());
+        }
+        model.predictBatch(x, pred);
+        model.inputGradientBatch(x, 0, grad);
+        for (std::size_t r = 0; r < n; ++r) {
+          const std::size_t ref = (t + it + r) % queries.rows();
+          if (std::memcmp(pred.row(r).data(), wantForward.row(ref).data(),
+                          pred.cols() * sizeof(double)) != 0 ||
+              std::memcmp(grad.row(r).data(), wantGrad.row(ref).data(),
+                          grad.cols() * sizeof(double)) != 0) {
             ++mismatches[t];
           }
         }

@@ -166,6 +166,25 @@ TEST(MlpRegressor, SaveLoadRoundTrip) {
   std::remove(path.c_str());
 }
 
+TEST(NeuralRegressorDeathTest, LoadAbortsOnTruncatedFile) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "isop_mlp_truncated.bin").string();
+  MlpConfig cfg;
+  cfg.hidden = {8};
+  cfg.dropout = 0.0;
+  MlpRegressor model(cfg);
+  auto tc = quickTraining();
+  tc.epochs = 2;
+  model.fit(makeDataset(200, 12), tc);
+  model.save(path);
+  // Chop into the final parameter blob: the raw-blob reader must abort with
+  // context instead of silently deserializing a partial weight vector.
+  std::filesystem::resize_file(path, std::filesystem::file_size(path) - 16);
+  EXPECT_DEATH(static_cast<void>(MlpRegressor::load(path)),
+               "Sequential: truncated parameter blob");
+  std::filesystem::remove(path);
+}
+
 TEST(Cnn1dRegressor, LearnsTargetAndRoundTrips) {
   const std::string path =
       (std::filesystem::temp_directory_path() / "isop_cnn_test.bin").string();

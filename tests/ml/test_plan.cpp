@@ -1,0 +1,348 @@
+// Golden suites for compiled model plans (ml/nn/plan.hpp).
+//
+// The default plan must be bitwise identical to the per-layer interpreted
+// path — forward AND input gradients — at batch sizes straddling the 8-row
+// SIMD block (1, 7, 8, 9, 64, 256), across the shipped surrogate families
+// (MLP; 1D-CNN; 1D-CNN with batch norm, whose BN-between-dense-and-act
+// blocks exercise the standalone-activation ops) plus a raw Sequential with
+// a Tanh fusion the regressors never build. Plan reuse (one plan, many
+// mixed-size batches) must stay stable, and the opt-in fast-math path is
+// tolerance-bounded instead of bitwise.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <iterator>
+#include <memory>
+
+#include "ml/neural_regressor.hpp"
+#include "ml/nn/activation.hpp"
+#include "ml/nn/batch_norm.hpp"
+#include "ml/nn/dense.hpp"
+#include "ml/nn/plan.hpp"
+#include "ml/nn/sequential.hpp"
+
+namespace isop::ml {
+namespace {
+
+constexpr std::size_t kBatches[] = {1, 7, 8, 9, 64, 256};
+
+Dataset makeDataset(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Dataset ds{Matrix(n, 4), Matrix(n, 2)};
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) ds.x(i, j) = rng.uniform(-1.0, 1.0);
+    ds.y(i, 0) = 45.0 + 18.0 * ds.x(i, 0) * ds.x(i, 1) + 4.0 * std::sin(ds.x(i, 2));
+    ds.y(i, 1) = -std::exp(0.4 * ds.x(i, 3)) - 0.3 * ds.x(i, 0) * ds.x(i, 0);
+  }
+  return ds;
+}
+
+Matrix makeQueries(std::size_t n, std::size_t dim, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix x(n, dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < dim; ++j) x(i, j) = rng.uniform(-1.2, 1.2);
+  }
+  return x;
+}
+
+nn::TrainConfig quickTraining(std::size_t epochs = 6) {
+  nn::TrainConfig cfg;
+  cfg.epochs = epochs;
+  cfg.batchSize = 64;
+  cfg.learningRate = 3e-3;
+  return cfg;
+}
+
+std::unique_ptr<MlpRegressor> trainedMlp() {
+  MlpConfig cfg;
+  cfg.hidden = {16, 8};
+  cfg.dropout = 0.0;
+  auto model = std::make_unique<MlpRegressor>(cfg);
+  model->fit(makeDataset(400, 1), quickTraining());
+  return model;
+}
+
+std::unique_ptr<Cnn1dRegressor> trainedCnn(bool batchNorm) {
+  Cnn1dConfig cfg;
+  cfg.expandChannels = 4;
+  cfg.expandLength = 8;
+  cfg.convChannels = 8;
+  cfg.headHidden = 16;
+  cfg.dropout = 0.0;
+  cfg.batchNorm = batchNorm;
+  auto model = std::make_unique<Cnn1dRegressor>(cfg);
+  model->fit(makeDataset(400, batchNorm ? 3 : 2), quickTraining());
+  return model;
+}
+
+Matrix firstRows(const Matrix& src, std::size_t n) {
+  Matrix x(n, src.cols());
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto row = src.row(r % src.rows());
+    std::copy(row.begin(), row.end(), x.row(r).begin());
+  }
+  return x;
+}
+
+void expectBitwiseEqual(const Matrix& got, const Matrix& want, const char* what,
+                        std::size_t batch) {
+  ASSERT_EQ(got.rows(), want.rows());
+  ASSERT_EQ(got.cols(), want.cols());
+  EXPECT_EQ(std::memcmp(got.data(), want.data(),
+                        got.rows() * got.cols() * sizeof(double)),
+            0)
+      << what << " diverges from the interpreted path at batch " << batch;
+}
+
+/// Planned predictBatch and inputGradientBatch must reproduce the
+/// interpreted reference bitwise at every block-straddling batch size.
+void expectPlannedMatchesInterpreted(const NeuralRegressor& model,
+                                     const Matrix& queries) {
+  ASSERT_NE(model.plan(), nullptr) << "plan should have compiled";
+  for (std::size_t n : kBatches) {
+    const Matrix x = firstRows(queries, n);
+    Matrix planned, interpreted;
+    model.predictBatch(x, planned);
+    model.predictBatchInterpreted(x, interpreted);
+    expectBitwiseEqual(planned, interpreted, "forward", n);
+    for (std::size_t k = 0; k < model.outputDim(); ++k) {
+      Matrix gPlanned, gInterpreted;
+      model.inputGradientBatch(x, k, gPlanned);
+      model.inputGradientBatchInterpreted(x, k, gInterpreted);
+      expectBitwiseEqual(gPlanned, gInterpreted, "gradient", n);
+    }
+  }
+}
+
+// ---- Lowering --------------------------------------------------------------
+
+TEST(PlanCompile, MlpLowersWithFusedActivationsAndElidedDropout) {
+  MlpConfig cfg;
+  cfg.hidden = {16, 8};
+  cfg.dropout = 0.1;  // dropout layers must be elided, not rejected
+  MlpRegressor model(cfg);
+  model.fit(makeDataset(300, 5), quickTraining(3));
+  const nn::CompiledPlan* plan = model.plan();
+  ASSERT_NE(plan, nullptr);
+  // Dense+LeakyRelu x2 fused, final Dense unfused; dropouts gone.
+  EXPECT_EQ(plan->opCount(), 3u);
+  EXPECT_EQ(plan->fusedOpCount(), 2u);
+  EXPECT_EQ(plan->inputDim(), model.inputDim());
+  EXPECT_EQ(plan->outputDim(), model.outputDim());
+  EXPECT_TRUE(plan->foldsInput());
+  EXPECT_FALSE(plan->fastMath());
+  EXPECT_EQ(model.planSummary(), "plan(ops=3 fused=2 foldscale)");
+}
+
+TEST(PlanCompile, CnnWithBatchNormKeepsStandaloneActivations) {
+  const auto model = trainedCnn(true);
+  const nn::CompiledPlan* plan = model->plan();
+  ASSERT_NE(plan, nullptr);
+  // BN sits between the expansion/head Dense and their activations, so those
+  // two LeakyRelus stay standalone; the two conv activations fuse.
+  EXPECT_EQ(plan->fusedOpCount(), 2u);
+  EXPECT_EQ(model->planSummary(), "plan(ops=11 fused=2 foldscale)");
+}
+
+TEST(PlanCompile, UnsupportedLayerFallsBackToInterpreted) {
+  /// A layer kind the plan does not know how to lower.
+  class SquareLayer final : public nn::Layer {
+   public:
+    explicit SquareLayer(std::size_t dim) : dim_(dim) {}
+    std::size_t inputDim() const override { return dim_; }
+    std::size_t outputDim() const override { return dim_; }
+    void forward(const Matrix& in, Matrix& out, Rng&) override { infer(in, out); }
+    void infer(const Matrix& in, Matrix& out) const override {
+      out.resize(in.rows(), in.cols());
+      for (std::size_t i = 0; i < in.size(); ++i) {
+        out.data()[i] = in.data()[i] * in.data()[i];
+      }
+    }
+    void backward(const Matrix&, Matrix&) override {}
+    void backwardInput(const Matrix& in, const Matrix&, const Matrix& gradOut,
+                       Matrix& gradIn) const override {
+      gradIn.resize(gradOut.rows(), gradOut.cols());
+      for (std::size_t i = 0; i < gradOut.size(); ++i) {
+        gradIn.data()[i] = gradOut.data()[i] * 2.0 * in.data()[i];
+      }
+    }
+
+   private:
+    std::size_t dim_;
+  };
+
+  Rng rng(9);
+  nn::Sequential net;
+  net.add(std::make_unique<nn::Dense>(4, 8, rng));
+  net.add(std::make_unique<SquareLayer>(8));
+  net.add(std::make_unique<nn::Dense>(8, 2, rng));
+  EXPECT_EQ(nn::CompiledPlan::compile(net), nullptr);
+}
+
+// ---- Golden planned == interpreted, per family -----------------------------
+
+TEST(PlanGolden, MlpPlannedMatchesInterpretedBitwise) {
+  expectPlannedMatchesInterpreted(*trainedMlp(), makeQueries(256, 4, 21));
+}
+
+TEST(PlanGolden, CnnPlannedMatchesInterpretedBitwise) {
+  expectPlannedMatchesInterpreted(*trainedCnn(false), makeQueries(256, 4, 22));
+}
+
+TEST(PlanGolden, CnnWithBatchNormPlannedMatchesInterpretedBitwise) {
+  expectPlannedMatchesInterpreted(*trainedCnn(true), makeQueries(256, 4, 23));
+}
+
+TEST(PlanGolden, MlpWithOutputTransformPlannedMatchesInterpretedBitwise) {
+  // The log-magnitude transform makes the gradient path run its extra
+  // forward pass (transform chain) through the plan as well.
+  MlpConfig cfg;
+  cfg.hidden = {16, 8};
+  cfg.dropout = 0.0;
+  MlpRegressor model(cfg);
+  model.setOutputTransforms(
+      {OutputTransform::identity(), OutputTransform::logMagnitude(-1.0)});
+  model.fit(makeDataset(400, 6), quickTraining());
+  expectPlannedMatchesInterpreted(model, makeQueries(256, 4, 24));
+}
+
+TEST(PlanGolden, RawSequentialWithTanhFusionMatchesInterpretedBitwise) {
+  // Direct Sequential lowering, no scaler folding: covers the Tanh fusion
+  // epilogue (no shipped regressor builds Tanh) and nontrivial BN statistics.
+  Rng rng(17);
+  nn::Sequential net;
+  net.add(std::make_unique<nn::Dense>(6, 24, rng));
+  net.add(std::make_unique<nn::Tanh>(24));
+  net.add(std::make_unique<nn::BatchNorm>(24));
+  net.add(std::make_unique<nn::Dense>(24, 12, rng));
+  net.add(std::make_unique<nn::Tanh>(12));  // BN upstream: still fuses here
+  net.add(std::make_unique<nn::Dense>(12, 3, rng));
+  // Make the frozen BN statistics nontrivial so the exact arithmetic is
+  // actually exercised.
+  auto bnState = net.layer(2).state();
+  auto bnParams = net.layer(2).params();
+  Rng statRng(18);
+  for (std::size_t j = 0; j < 24; ++j) {
+    bnParams[j] = statRng.uniform(0.5, 1.5);        // gamma
+    bnParams[24 + j] = statRng.uniform(-0.3, 0.3);  // beta
+    bnState[j] = statRng.uniform(-0.5, 0.5);        // running mean
+    bnState[24 + j] = statRng.uniform(0.2, 2.0);    // running var
+  }
+
+  auto plan = nn::CompiledPlan::compile(net);
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(plan->fusedOpCount(), 2u);
+  EXPECT_FALSE(plan->foldsInput());
+
+  const Matrix queries = makeQueries(256, 6, 25);
+  for (std::size_t n : kBatches) {
+    const Matrix x = firstRows(queries, n);
+    Matrix planned, interpreted;
+    plan->forwardBatch(x, planned);
+    net.infer(x, interpreted);
+    expectBitwiseEqual(planned, interpreted, "forward", n);
+    for (std::size_t k = 0; k < 3u; ++k) {
+      Matrix gPlanned, gInterpreted;
+      plan->inputGradientBatch(x, k, gPlanned);
+      net.inputGradientBatch(x, k, gInterpreted);
+      expectBitwiseEqual(gPlanned, gInterpreted, "gradient", n);
+    }
+  }
+}
+
+// ---- Plan reuse ------------------------------------------------------------
+
+TEST(PlanReuse, OnePlanManyMixedBatchesStaysBitwiseStable) {
+  const auto model = trainedCnn(false);
+  ASSERT_NE(model->plan(), nullptr);
+  const Matrix queries = makeQueries(64, 4, 31);
+  // References computed once, then the same plan (and its recycled
+  // workspaces) is driven through interleaved batch shapes for many rounds.
+  Matrix wantForward;
+  model->predictBatchInterpreted(queries, wantForward);
+  Matrix wantGrad;
+  model->inputGradientBatchInterpreted(queries, 0, wantGrad);
+  for (std::size_t round = 0; round < 20; ++round) {
+    const std::size_t n = kBatches[round % std::size(kBatches)] % 64;
+    const Matrix x = firstRows(queries, n == 0 ? 64 : n);
+    Matrix got;
+    model->predictBatch(x, got);
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+      EXPECT_EQ(std::memcmp(got.row(r).data(), wantForward.row(r % 64).data(),
+                            got.cols() * sizeof(double)),
+                0)
+          << "round " << round << " row " << r;
+    }
+    Matrix grad;
+    model->inputGradientBatch(x, 0, grad);
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+      EXPECT_EQ(std::memcmp(grad.row(r).data(), wantGrad.row(r % 64).data(),
+                            grad.cols() * sizeof(double)),
+                0)
+          << "round " << round << " row " << r;
+    }
+  }
+}
+
+TEST(PlanReuse, LoadedModelCompilesPlanAndMatchesTrainedModel) {
+  const auto model = trainedCnn(true);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "isop_plan_roundtrip.bin").string();
+  model->save(path);
+  auto loaded = Cnn1dRegressor::load(path);
+  std::filesystem::remove(path);
+  ASSERT_NE(loaded->plan(), nullptr) << "load must rebuild the plan";
+  const Matrix x = makeQueries(70, 4, 32);
+  Matrix want, got;
+  model->predictBatch(x, want);
+  loaded->predictBatch(x, got);
+  expectBitwiseEqual(got, want, "loaded forward", x.rows());
+}
+
+// ---- Fast math (opt-in, non-bitwise) ---------------------------------------
+
+TEST(PlanFastMath, FoldedBatchNormStaysWithinTolerance) {
+  auto model = trainedCnn(true);
+  const Matrix x = makeQueries(64, 4, 41);
+  Matrix exact;
+  model->predictBatch(x, exact);
+
+  model->recompilePlan(/*fastMath=*/true);
+  ASSERT_NE(model->plan(), nullptr);
+  EXPECT_TRUE(model->plan()->fastMath());
+  EXPECT_EQ(model->planSummary(), "plan(ops=11 fused=2 foldscale fastmath)");
+  Matrix fast;
+  model->predictBatch(x, fast);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t k = 0; k < exact.cols(); ++k) {
+      const double scale = std::max(std::abs(exact(r, k)), 1.0);
+      EXPECT_NEAR(fast(r, k), exact(r, k), 1e-9 * scale)
+          << "row " << r << " output " << k;
+    }
+  }
+
+  // Back to the default: bitwise again.
+  model->recompilePlan(/*fastMath=*/false);
+  Matrix restored;
+  model->predictBatch(x, restored);
+  expectBitwiseEqual(restored, exact, "restored exact plan", x.rows());
+}
+
+TEST(PlanFastMath, NoBatchNormMeansFastMathIsStillBitwise) {
+  // Fast math only rewrites batch-norm ops; an MLP plan is unaffected.
+  auto model = trainedMlp();
+  const Matrix x = makeQueries(64, 4, 42);
+  Matrix exact;
+  model->predictBatch(x, exact);
+  model->recompilePlan(/*fastMath=*/true);
+  Matrix fast;
+  model->predictBatch(x, fast);
+  expectBitwiseEqual(fast, exact, "mlp fastmath forward", x.rows());
+}
+
+}  // namespace
+}  // namespace isop::ml
