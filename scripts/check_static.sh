@@ -1,57 +1,91 @@
 #!/usr/bin/env bash
-# Project lint gate: compile-time correctness checks for the ISOP+ tree.
+# Project lint gate: compile-time and policy checks for the ISOP+ tree.
 #
 # Stages (each skipped with a notice when its tool is absent — the CI image
 # and the dev container only ship GCC; the Clang stages light up wherever a
 # Clang toolchain exists):
 #
-#   determinism  custom linter (scripts/determinism_lint.py): bans rand()/
-#                std::random_device outside the seeded RNG module, wall-clock
-#                reads in result paths, and hash-order iteration feeding
-#                ranked output. Always runs (python3 only).
+#   determinism  project linter (scripts/isop_lint.py --rules determinism):
+#                bans rand()/std::random_device outside the seeded RNG
+#                module, wall-clock reads in result paths, and hash-order
+#                iteration feeding ranked output. Always runs (python3 only).
+#   lint         the full rule set: determinism plus the lock-discipline
+#                rules (L1 raw std::mutex outside the wrapper header, L2
+#                mutexes that guard nothing, L3 blocking calls under a
+#                MutexLock). Always runs (python3 only).
 #   format       clang-format --dry-run -Werror over src/ and tests/.
 #   tsa          full build under the `static-analysis` preset: Clang
 #                -Wthread-safety -Werror over the ISOP_GUARDED_BY annotations.
 #   tsa-negative compiles tests/static/tsa_negative.cpp (intentional locking
-#                bugs + the injected MemoCache unguarded-access seam) and
-#                FAILS THE GATE IF IT COMPILES — proves the analysis rejects
-#                unguarded access rather than silently accepting everything.
+#                bugs + the injected MemoCache and serve Server unguarded-
+#                access seams) and FAILS THE GATE IF IT COMPILES — proves the
+#                analysis rejects unguarded access rather than silently
+#                accepting everything.
 #   tidy         clang-tidy (config: .clang-tidy) over the compile database
 #                produced by the tsa stage.
 #   cppcheck     cppcheck over src/ with .cppcheck-suppressions.
+#   lock-order   dynamic gate: builds the `tsan` preset (ThreadSanitizer +
+#                ISOP_LOCK_ORDER, see CMakePresets.json) and runs the
+#                lockorder/serve/kernels ctest labels — the runtime
+#                lock-order detector live on the real concurrent paths.
+#                Needs a compiler with a TSan runtime (GCC or Clang).
 #
 # Usage:
 #   scripts/check_static.sh [stage]...   (default: all stages)
 # Env:
-#   JOBS  build parallelism (default: nproc)
+#   JOBS  build/test parallelism (default: nproc)
 #
 # Exit 0 = every runnable stage passed; skipped stages are reported but do
-# not fail the gate. Any stage failure exits 1.
+# not fail the gate. Any stage failure exits 1. The last line is always
+#   == check_static: summary: N passed, M skipped, K failed ... ==
+# with the failing stage names listed when K > 0.
 set -uo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 STAGES=("$@")
 if [[ ${#STAGES[@]} -eq 0 ]]; then
-  STAGES=(determinism format tsa tsa-negative tidy cppcheck)
+  STAGES=(determinism lint format tsa tsa-negative tidy cppcheck lock-order)
 fi
 
+passes=0
 failures=0
 skips=0
+failed_stages=()
 
 note() { echo "== check_static: $* =="; }
+pass() { note "$1 OK"; passes=$((passes + 1)); }
 skip() { note "$1 SKIPPED ($2)"; skips=$((skips + 1)); }
-fail() { note "$1 FAILED"; failures=$((failures + 1)); }
+fail() {
+  note "$1 FAILED"
+  failures=$((failures + 1))
+  failed_stages+=("$1")
+}
+
+have_python() { command -v python3 > /dev/null; }
+have_clang() { command -v clang++ > /dev/null; }
 
 run_determinism() {
-  if ! command -v python3 > /dev/null; then
+  if ! have_python; then
     skip determinism "python3 not found"
     return
   fi
-  if python3 scripts/determinism_lint.py .; then
-    note "determinism OK"
+  if python3 scripts/isop_lint.py . --rules determinism; then
+    pass determinism
   else
     fail determinism
+  fi
+}
+
+run_lint() {
+  if ! have_python; then
+    skip lint "python3 not found"
+    return
+  fi
+  if python3 scripts/isop_lint.py .; then
+    pass lint
+  else
+    fail lint
   fi
 }
 
@@ -63,13 +97,11 @@ run_format() {
   local files
   mapfile -t files < <(find src tests -name '*.hpp' -o -name '*.cpp' | sort)
   if clang-format --dry-run -Werror "${files[@]}"; then
-    note "format OK"
+    pass format
   else
     fail format
   fi
 }
-
-have_clang() { command -v clang++ > /dev/null; }
 
 run_tsa() {
   if ! have_clang; then
@@ -77,7 +109,7 @@ run_tsa() {
     return
   fi
   if cmake --preset static-analysis && cmake --build --preset static-analysis -j "${JOBS}"; then
-    note "tsa OK"
+    pass tsa
   else
     fail tsa
   fi
@@ -91,21 +123,24 @@ run_tsa_negative() {
   local log
   log="$(mktemp)"
   # Must FAIL to compile: the TU holds intentional locking bugs, including
-  # the ISOP_TSA_NEGATIVE_SEAM unguarded read of MemoCache shard state.
+  # the ISOP_TSA_NEGATIVE_SEAM unguarded reads of MemoCache shard state and
+  # the serve Server's connection registry.
   if clang++ -std=c++20 -fsyntax-only -Isrc \
       -Wthread-safety -Werror=thread-safety-analysis \
       -DISOP_TSA_NEGATIVE_SEAM \
       tests/static/tsa_negative.cpp 2> "${log}"; then
-    note "tsa-negative FAILED: intentional locking bugs COMPILED — the"
+    note "tsa-negative: intentional locking bugs COMPILED — the"
     note "thread-safety gate is not rejecting unguarded access"
-    failures=$((failures + 1))
+    fail tsa-negative
   elif grep -q "thread-safety" "${log}" \
-      && grep -Eq "unguardedSize|memo_cache" "${log}"; then
-    note "tsa-negative OK (bugs rejected, MemoCache seam caught)"
+      && grep -Eq "unguardedSize|memo_cache" "${log}" \
+      && grep -q "unguardedConnectionCount" "${log}"; then
+    note "tsa-negative (bugs rejected, MemoCache + serve seams caught)"
+    pass tsa-negative
   else
-    note "tsa-negative FAILED: compile failed for the wrong reason:"
+    note "tsa-negative: compile failed for the wrong reason:"
     cat "${log}"
-    failures=$((failures + 1))
+    fail tsa-negative
   fi
   rm -f "${log}"
 }
@@ -126,7 +161,7 @@ run_tidy() {
   local files
   mapfile -t files < <(find src -name '*.cpp' | sort)
   if clang-tidy -p build-static --quiet "${files[@]}"; then
-    note "tidy OK"
+    pass tidy
   else
     fail tidy
   fi
@@ -140,9 +175,36 @@ run_cppcheck() {
   if cppcheck --enable=warning,performance,portability --inline-suppr \
       --suppressions-list=.cppcheck-suppressions --error-exitcode=1 \
       --std=c++20 -Isrc --quiet -j "${JOBS}" src; then
-    note "cppcheck OK"
+    pass cppcheck
   else
     fail cppcheck
+  fi
+}
+
+run_lock_order() {
+  if ! command -v cmake > /dev/null; then
+    skip lock-order "cmake not found"
+    return
+  fi
+  # The tsan preset needs a working ThreadSanitizer runtime; probe for one
+  # instead of letting the whole build fail on a missing libtsan.
+  local probe
+  probe="$(mktemp -d)"
+  echo 'int main() { return 0; }' > "${probe}/p.cpp"
+  if ! c++ -fsanitize=thread "${probe}/p.cpp" -o "${probe}/p" > /dev/null 2>&1; then
+    rm -rf "${probe}"
+    skip lock-order "no ThreadSanitizer runtime for c++"
+    return
+  fi
+  rm -rf "${probe}"
+  export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}"
+  if cmake --preset tsan \
+      && cmake --build --preset tsan -j "${JOBS}" \
+      && ctest --test-dir build-tsan -L 'lockorder|serve|kernels' \
+               --output-on-failure -j "${JOBS}"; then
+    pass lock-order
+  else
+    fail lock-order
   fi
 }
 
@@ -150,11 +212,13 @@ for stage in "${STAGES[@]}"; do
   note "stage ${stage}"
   case "${stage}" in
     determinism) run_determinism ;;
+    lint) run_lint ;;
     format) run_format ;;
     tsa) run_tsa ;;
     tsa-negative) run_tsa_negative ;;
     tidy) run_tidy ;;
     cppcheck) run_cppcheck ;;
+    lock-order) run_lock_order ;;
     *)
       echo "check_static: unknown stage '${stage}'" >&2
       exit 2
@@ -162,5 +226,9 @@ for stage in "${STAGES[@]}"; do
   esac
 done
 
-note "summary: ${failures} failed, ${skips} skipped"
+if [[ ${failures} -gt 0 ]]; then
+  note "summary: ${passes} passed, ${skips} skipped, ${failures} failed (${failed_stages[*]})"
+else
+  note "summary: ${passes} passed, ${skips} skipped, ${failures} failed"
+fi
 [[ ${failures} -eq 0 ]]

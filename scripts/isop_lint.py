@@ -1,0 +1,361 @@
+#!/usr/bin/env python3
+"""Project linter for the ISOP+ source tree: determinism + lock discipline.
+
+One shared file walker, multiple rules. Each finding carries a rule id so a
+suppression names exactly what it silences.
+
+Determinism rules (the repo promises bitwise-reproducible results for a
+fixed seed — same FoM, same convergence trace, regardless of thread count
+or wall-clock time):
+
+  B1  rand()/srand()           - unseeded global RNG; use common/rng.hpp (Pcg32)
+  B2  std::random_device       - nondeterministic entropy source; only the
+                                 seeded RNG module may touch it
+  B3  wall-clock reads         - system_clock/high_resolution_clock/time()/
+                                 gettimeofday/localtime in result-producing
+                                 code; steady_clock is fine (duration-only)
+  B4  ranged-for over unordered_{map,set}
+                               - hash-order iteration; feeding it into ranked
+                                 or serialized output makes results depend on
+                                 the standard library's hash seed and on
+                                 insertion history. Iterate a sorted container
+                                 or sort the keys first.
+
+Lock-discipline rules (the repo routes every lock through AnnotatedMutex /
+MutexLock so Clang thread-safety analysis and the runtime lock-order
+detector both see it — see src/common/thread_annotations.hpp and
+docs/static_analysis.md):
+
+  L1  raw std::mutex / std::lock_guard / std::unique_lock / std::scoped_lock
+      (or #include <mutex>) in src/ outside the sanctioned wrapper header —
+      raw primitives are invisible to -Wthread-safety AND to the
+      ISOP_LOCK_ORDER deadlock detector.
+  L2  an AnnotatedMutex member that guards nothing: no ISOP_GUARDED_BY /
+      ISOP_PT_GUARDED_BY / ISOP_REQUIRES / ISOP_EXCLUDES in the same file
+      names it. Either annotate what it protects or state why it cannot be
+      expressed (e.g. it serializes an external stream, not a member).
+  L3  blocking call lexically inside a MutexLock scope — condition waits,
+      thread joins, sleeps, stdio, socket syscalls. Holding a lock across
+      these turns contention into multi-millisecond stalls (or deadlock,
+      for joins). Restructure to do the slow work outside the critical
+      section, or state why serializing it is the lock's purpose. CvLock
+      scopes are exempt: cv.wait(lock) is the legitimate pattern there.
+
+Suppressions: append a trailing comment naming the rule(s) with a reason,
+
+    std::fwrite(buf, 1, n, file_);  // lint-ok(L3): the lock exists to serialize this write
+
+or for determinism rules the legacy spelling is still honored,
+
+    auto t = std::chrono::system_clock::now();  // determinism-ok: log timestamp
+
+A suppression with no reason text is itself a finding. File-level,
+per-rule allowlists below cover code that is exempt by design.
+
+Usage:
+    isop_lint.py [root] [--rules determinism|locks|all|B1,L3,...]
+
+Exit status: 0 = clean, 1 = findings, 2 = usage error.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+# ---- Rule sets -------------------------------------------------------------
+
+DETERMINISM_RULES = {"B1", "B2", "B3", "B4"}
+LOCK_RULES = {"L1", "L2", "L3"}
+ALL_RULES = DETERMINISM_RULES | LOCK_RULES
+
+RULE_GROUPS = {
+    "determinism": DETERMINISM_RULES,
+    "locks": LOCK_RULES,
+    "all": ALL_RULES,
+}
+
+# Files exempt from specific rules by design. Keys are paths relative to the
+# repo root, values are the rule ids that file may trip freely. Prefer a
+# line-level `lint-ok(RULE): reason` where the exemption is one site, and an
+# entry here only when the whole file's job is the exempted behavior.
+FILE_ALLOWLIST: dict[str, set[str]] = {
+    # The logger's whole job is stamping wall-clock timestamps on log lines.
+    "src/common/logging.cpp": {"B3"},
+}
+
+# ---- Simple per-line pattern rules ----------------------------------------
+
+BANNED = [
+    ("B1", re.compile(r"(?<![\w:])s?rand\s*\("),
+     "libc rand()/srand(): unseeded global state; use isop::Rng (common/rng.hpp)"),
+    ("B2", re.compile(r"\brandom_device\b"),
+     "std::random_device: nondeterministic entropy; seed isop::Rng explicitly"),
+    ("B3", re.compile(
+        r"\b(?:system_clock|high_resolution_clock)\b"
+        r"|(?<![\w:])(?:time|gettimeofday|localtime|gmtime)\s*\("),
+     "wall-clock read: results must not depend on when the run happened; "
+     "use steady_clock for durations"),
+    ("L1", re.compile(
+        r"\bstd::(?:recursive_)?(?:timed_)?mutex\b"
+        r"|\bstd::shared_(?:timed_)?mutex\b"
+        r"|\bstd::(?:lock_guard|unique_lock|scoped_lock)\b"
+        r"|^\s*#\s*include\s*<(?:mutex|shared_mutex)>"),
+     "raw standard-library lock: invisible to -Wthread-safety and the "
+     "lock-order detector; use AnnotatedMutex/MutexLock "
+     "(common/thread_annotations.hpp)"),
+]
+
+# B4: a ranged-for whose range expression is a variable declared in the same
+# file as std::unordered_map/unordered_set (directly or via auto&). This is a
+# heuristic - it catches the pattern that actually bit similar codebases
+# (iterating a memo/dedup map straight into output) without needing a real
+# parser.
+UNORDERED_DECL = re.compile(
+    r"\bunordered_(?:map|set|multimap|multiset)\s*<[^;{]*?>\s*&?\s*(\w+)\s*[;{=(,)]")
+RANGED_FOR = re.compile(
+    r"\bfor\s*\(\s*(?:const\s+)?[\w:<>,\s&*]+?\s[&*]?\s*\w+\s*:\s*(\w+)\s*\)")
+
+# L2: AnnotatedMutex declarations (members or namespace-scope objects;
+# references and parameters carry '&' and do not match).
+MUTEX_DECL = re.compile(r"\bAnnotatedMutex\s+(\w+)\s*[;{=]")
+
+# L3: the scope opener and the blocking calls banned inside it.
+MUTEXLOCK_DECL = re.compile(r"\bMutexLock\s+\w+\s*[({]")
+L3_PATTERNS = [
+    (re.compile(r"\.\s*wait(?:_for|_until)?\s*\("), "condition wait"),
+    (re.compile(r"\.\s*join\s*\(\s*\)"), "thread join"),
+    (re.compile(r"\bsleep_(?:for|until)\s*\("), "sleep"),
+    (re.compile(r"(?<![\w:])(?:std::)?f"
+                r"(?:open|close|read|write|printf|flush|puts|getc|putc|seek|scanf)"
+                r"\s*\("),
+     "stdio call"),
+    (re.compile(r"::(?:send|recv|accept|connect|poll|select)\s*\("),
+     "socket syscall"),
+]
+
+# ---- Suppressions ----------------------------------------------------------
+
+# lint-ok(L3): reason   /   lint-ok(L1, L2): reason
+LINT_OK = re.compile(r"//\s*lint-ok\(\s*([A-Z0-9,\s]+?)\s*\)\s*:\s*\S")
+BARE_LINT_OK = re.compile(r"//\s*lint-ok\(\s*([A-Z0-9,\s]*?)\s*\)\s*(?::\s*)?$")
+# Legacy determinism spelling, honored for B rules only.
+DETOK = re.compile(r"//\s*determinism-ok\s*:\s*\S")
+BARE_DETOK = re.compile(r"//\s*determinism-ok\s*(?::\s*)?$")
+
+LINE_COMMENT = re.compile(r"//[^\n]*")
+BLOCK_COMMENT = re.compile(r"/\*.*?\*/", re.DOTALL)
+STRING_LIT = re.compile(r'"(?:[^"\\\n]|\\.)*"|\'(?:[^\'\\\n]|\\.)*\'')
+
+
+def strip_noise(line: str) -> str:
+    """Remove string/char literals and comments so patterns only see code."""
+    line = STRING_LIT.sub('""', line)
+    line = LINE_COMMENT.sub("", line)
+    return line
+
+
+def suppressed_rules(raw_line: str) -> set[str]:
+    """Rule ids silenced (with a reason) by trailing comments on this line."""
+    rules: set[str] = set()
+    for m in LINT_OK.finditer(raw_line):
+        rules.update(r.strip() for r in m.group(1).split(",") if r.strip())
+    if DETOK.search(raw_line):
+        rules |= DETERMINISM_RULES
+    return rules
+
+
+def bare_suppression(raw_line: str) -> str | None:
+    """The offending text when a suppression omits its reason, else None."""
+    m = BARE_LINT_OK.search(raw_line)
+    if m:
+        return f"lint-ok({m.group(1)})"
+    if BARE_DETOK.search(raw_line):
+        return "determinism-ok"
+    return None
+
+
+class Finding:
+    __slots__ = ("rel", "line", "rule", "message")
+
+    def __init__(self, rel: str, line: int, rule: str, message: str):
+        self.rel, self.line, self.rule, self.message = rel, line, rule, message
+
+    def render(self) -> str:
+        return f"{self.rel}:{self.line}: [{self.rule}] {self.message}"
+
+
+class MutexLockScopes:
+    """Tracks lexical MutexLock scopes across lines by brace depth.
+
+    Purely lexical: a helper function called under a lock is not seen (that
+    is what ISOP_REQUIRES + Clang TSA cover); this catches the direct form
+    that code review keeps missing.
+    """
+
+    def __init__(self) -> None:
+        self.depth = 0
+        self.scopes: list[int] = []  # brace depth at each MutexLock decl
+
+    def feed(self, code: str) -> list[int]:
+        """Consume one noise-stripped line; return char offsets that are
+        inside a MutexLock scope and match an L3 position probe later."""
+        events: list[tuple[int, str]] = []
+        for i, ch in enumerate(code):
+            if ch == "{":
+                events.append((i, "open"))
+            elif ch == "}":
+                events.append((i, "close"))
+        for m in MUTEXLOCK_DECL.finditer(code):
+            events.append((m.start(), "decl"))
+        events.sort()
+        # Record, for every char offset, whether a scope is active there.
+        active_at: list[int] = []
+        pos = 0
+        for off, kind in events + [(len(code), "end")]:
+            if self.scopes:
+                active_at.extend(range(pos, off))
+            pos = off
+            if kind == "open":
+                self.depth += 1
+            elif kind == "close":
+                self.depth -= 1
+                while self.scopes and self.depth < self.scopes[-1]:
+                    self.scopes.pop()
+            elif kind == "decl":
+                self.scopes.append(self.depth)
+        return active_at
+
+
+def lint_file(path: Path, rel: str, rules: set[str]) -> list[Finding]:
+    text = path.read_text(encoding="utf-8", errors="replace")
+    # Blank out block comments but keep line numbers aligned.
+    text = BLOCK_COMMENT.sub(lambda m: "\n" * m.group(0).count("\n"), text)
+    lines = text.splitlines()
+    allow = FILE_ALLOWLIST.get(rel, set())
+    findings: list[Finding] = []
+
+    unordered_vars: set[str] = set()
+    declared_mutexes: list[tuple[int, str]] = []  # (lineno, name)
+    annotated_names: set[str] = set()
+    if "B4" in rules or "L2" in rules:
+        for lineno, line in enumerate(lines, start=1):
+            code = strip_noise(line)
+            for m in UNORDERED_DECL.finditer(code):
+                unordered_vars.add(m.group(1))
+            for m in MUTEX_DECL.finditer(code):
+                declared_mutexes.append((lineno, m.group(1)))
+            for m in re.finditer(
+                    r"ISOP_(?:PT_)?(?:GUARDED_BY|REQUIRES|EXCLUDES|ACQUIRE|"
+                    r"RELEASE|TRY_ACQUIRE|RETURN_CAPABILITY)\s*\(([^)]*)\)",
+                    code):
+                annotated_names.update(
+                    n.strip() for n in m.group(1).split(",") if n.strip())
+
+    scopes = MutexLockScopes()
+    for lineno, raw in enumerate(lines, start=1):
+        silenced = suppressed_rules(raw)
+        bare = bare_suppression(raw)
+        code = strip_noise(raw)
+        active = scopes.feed(code) if "L3" in rules else []
+        if bare is not None:
+            findings.append(Finding(
+                rel, lineno, "S1",
+                f"bare '{bare}' suppression - state a reason "
+                f"(// lint-ok(RULE): <why>)"))
+            continue
+        if not code.strip():
+            continue
+        for rule, pat, why in BANNED:
+            if rule not in rules or rule in allow or rule in silenced:
+                continue
+            if pat.search(code):
+                findings.append(Finding(rel, lineno, rule, why))
+        if "B4" in rules and "B4" not in allow and "B4" not in silenced:
+            m = RANGED_FOR.search(code)
+            if m and m.group(1) in unordered_vars:
+                findings.append(Finding(
+                    rel, lineno, "B4",
+                    f"ranged-for over unordered container '{m.group(1)}': "
+                    f"hash-order iteration is not reproducible; sort the "
+                    f"keys or use an ordered container"))
+        if "L3" in rules and "L3" not in allow and "L3" not in silenced and active:
+            active_set = set(active)
+            for pat, what in L3_PATTERNS:
+                for m in pat.finditer(code):
+                    if m.start() in active_set:
+                        findings.append(Finding(
+                            rel, lineno, "L3",
+                            f"{what} while holding a MutexLock: move the "
+                            f"blocking work outside the critical section"))
+                        break
+
+    if "L2" in rules and "L2" not in allow:
+        for lineno, name in declared_mutexes:
+            if name in annotated_names:
+                continue
+            if "L2" in suppressed_rules(lines[lineno - 1]):
+                continue
+            findings.append(Finding(
+                rel, lineno, "L2",
+                f"AnnotatedMutex '{name}' guards nothing in this file: add "
+                f"ISOP_GUARDED_BY({name}) on the state it protects, or a "
+                f"reasoned lint-ok(L2)"))
+    return findings
+
+
+def parse_rules(spec: str) -> set[str] | None:
+    if spec in RULE_GROUPS:
+        return set(RULE_GROUPS[spec])
+    rules = {r.strip() for r in spec.split(",") if r.strip()}
+    if rules and rules <= ALL_RULES:
+        return rules
+    return None
+
+
+def main(argv: list[str]) -> int:
+    root: Path | None = None
+    rules = set(ALL_RULES)
+    args = argv[1:]
+    while args:
+        arg = args.pop(0)
+        if arg == "--rules":
+            if not args:
+                print("isop_lint: --rules needs a value", file=sys.stderr)
+                return 2
+            parsed = parse_rules(args.pop(0))
+            if parsed is None:
+                print(f"isop_lint: unknown rule set (groups: "
+                      f"{', '.join(sorted(RULE_GROUPS))}; ids: "
+                      f"{', '.join(sorted(ALL_RULES))})", file=sys.stderr)
+                return 2
+            rules = parsed
+        elif arg.startswith("-"):
+            print(f"isop_lint: unknown option '{arg}'", file=sys.stderr)
+            return 2
+        elif root is None:
+            root = Path(arg)
+        else:
+            print("isop_lint: at most one root path", file=sys.stderr)
+            return 2
+    if root is None:
+        root = Path(__file__).resolve().parent.parent
+    src = root / "src"
+    if not src.is_dir():
+        print(f"isop_lint: no src/ under {root}", file=sys.stderr)
+        return 2
+    findings: list[Finding] = []
+    files = sorted(src.rglob("*.hpp")) + sorted(src.rglob("*.cpp"))
+    for path in files:
+        rel = path.relative_to(root).as_posix()
+        findings.extend(lint_file(path, rel, rules))
+    for f in findings:
+        print(f.render())
+    print(f"isop_lint: scanned {len(files)} files, {len(findings)} finding(s) "
+          f"(rules: {','.join(sorted(rules))})", file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

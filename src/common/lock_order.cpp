@@ -1,0 +1,217 @@
+#include "common/lock_order.hpp"
+
+#if ISOP_LOCK_ORDER_ENABLED
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>  // lint-ok(L1): the detector's own internals cannot use AnnotatedMutex (it would recurse into these hooks)
+#include <string>
+#include <vector>
+
+namespace isop::lock_order {
+
+namespace {
+
+// Per-thread held-lock stack. A raw trivially-destructible array, not a
+// std::vector: the hooks run from arbitrary code including thread-exit
+// destructors, after which a non-trivial thread_local would already be gone.
+struct Held {
+  const void* mutex;
+  const char* name;  // nullptr = unnamed (excluded from the graph)
+  int rank;
+};
+
+constexpr std::size_t kMaxHeld = 64;
+thread_local Held tHeld[kMaxHeld];
+thread_local std::size_t tHeldCount = 0;
+
+// The acquired-after graph. Nodes are lock *names* (instances sharing a
+// name collapse — that is the point: ordering discipline is per lock class,
+// and it makes node identity stable across mutex destruction/reuse).
+// Each edge from->to stores the full held chain observed when the edge was
+// first recorded, so an inversion report can show *how* the conflicting
+// order was established, not just that it exists.
+struct Graph {
+  // edges[from][to] = acquisition chain (oldest lock first, `to` last).
+  std::map<std::string, std::map<std::string, std::vector<std::string>>> edges;
+};
+
+std::mutex& graphMutex() {  // lint-ok(L1): detector-internal, see header include note
+  static std::mutex m;  // lint-ok(L1): detector-internal, see header include note
+  return m;
+}
+
+Graph& graph() {
+  // Leaked on purpose: worker threads (ThreadPool::global(), detached
+  // samplers) may still acquire locks during static destruction, after a
+  // destroyed graph would be a use-after-free.
+  static Graph* g = new Graph;
+  return *g;
+}
+
+/// DFS: is `to` reachable from `from` over recorded acquired-after edges?
+/// On success, fills `path` with the node sequence from -> ... -> to.
+/// Caller holds graphMutex().
+bool reaches(const Graph& g, const std::string& from, const std::string& to,
+             std::vector<std::string>& path) {
+  if (from == to) {
+    path.push_back(from);
+    return true;
+  }
+  const auto it = g.edges.find(from);
+  if (it == g.edges.end()) return false;
+  path.push_back(from);
+  for (const auto& [next, chain] : it->second) {
+    // path doubles as the visited set; cycles in `edges` cannot exist yet
+    // (every insertion runs this check first), so membership is enough.
+    bool seen = false;
+    for (const std::string& node : path) {
+      if (node == next) {
+        seen = true;
+        break;
+      }
+    }
+    if (seen) continue;
+    if (next == to || reaches(g, next, to, path)) {
+      if (path.back() != to) path.push_back(to);
+      return true;
+    }
+  }
+  path.pop_back();
+  return false;
+}
+
+void printChain(const char* label, const Held* held, std::size_t count,
+                const char* acquiring) {
+  std::fprintf(stderr, "  %s:", label);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::fprintf(stderr, " \"%s\"(rank %d) ->", held[i].name ? held[i].name : "<unnamed>",
+                 held[i].rank);
+  }
+  std::fprintf(stderr, " \"%s\"\n", acquiring);
+}
+
+[[noreturn]] void failRank(const Held& held, const char* name, int rank) {
+  std::fprintf(stderr,
+               "isop: LOCK RANK inversion: acquiring \"%s\" (rank %d) while "
+               "holding \"%s\" (rank %d) — the declared table "
+               "(common/lock_order.hpp) requires strictly descending ranks\n",
+               name ? name : "<unnamed>", rank, held.name ? held.name : "<unnamed>",
+               held.rank);
+  printChain("this thread holds (oldest first)", tHeld, tHeldCount,
+             name ? name : "<unnamed>");
+  std::abort();
+}
+
+[[noreturn]] void failCycle(const char* name, const std::string& holdingName,
+                            const std::vector<std::string>& reversePath,
+                            const std::vector<std::string>& establishedChain) {
+  std::fprintf(stderr,
+               "isop: LOCK ORDER inversion: acquiring \"%s\" while holding "
+               "\"%s\", but the reverse order is already on record\n",
+               name, holdingName.c_str());
+  printChain("this thread holds (oldest first)", tHeld, tHeldCount, name);
+  std::fprintf(stderr, "  conflicting acquired-after path:");
+  for (std::size_t i = 0; i < reversePath.size(); ++i) {
+    std::fprintf(stderr, "%s \"%s\"", i == 0 ? "" : " ->", reversePath[i].c_str());
+  }
+  std::fprintf(stderr, "\n  first established by the acquisition chain:");
+  for (std::size_t i = 0; i < establishedChain.size(); ++i) {
+    std::fprintf(stderr, "%s \"%s\"", i == 0 ? "" : " ->",
+                 establishedChain[i].c_str());
+  }
+  std::fprintf(stderr, "\n");
+  std::abort();
+}
+
+void push(const void* mutex, const char* name, int rank) {
+  if (tHeldCount >= kMaxHeld) {
+    std::fprintf(stderr,
+                 "isop: lock-order detector: thread holds more than %zu locks "
+                 "(runaway nesting?)\n",
+                 kMaxHeld);
+    std::abort();
+  }
+  tHeld[tHeldCount++] = Held{mutex, name, rank};
+}
+
+}  // namespace
+
+void onAcquire(const void* mutex, const char* name, int rank) {
+  // Rank table first: it rejects declared-order violations even before the
+  // reverse order was ever executed.
+  if (rank != kUnranked) {
+    for (std::size_t i = 0; i < tHeldCount; ++i) {
+      if (tHeld[i].rank != kUnranked && tHeld[i].rank <= rank) {
+        failRank(tHeld[i], name, rank);
+      }
+    }
+  }
+
+  if (name != nullptr && tHeldCount > 0) {
+    std::lock_guard<std::mutex> g(graphMutex());  // lint-ok(L1): detector-internal
+    Graph& gr = graph();
+    for (std::size_t i = 0; i < tHeldCount; ++i) {
+      if (tHeld[i].name == nullptr) continue;
+      const std::string from(tHeld[i].name);
+      const std::string to(name);
+      if (from == to) {
+        // Two locks of the same class held at once (e.g. two MemoCache
+        // shards): no intra-class order exists, so another thread nesting
+        // them the other way round deadlocks. Flag it as a length-1 cycle.
+        std::vector<std::string> path{to, from};
+        failCycle(name, from, path, {from, to});
+      }
+      // Would the new edge from->to close a cycle? Check to ~> from first.
+      std::vector<std::string> path;
+      if (reaches(gr, to, from, path)) {
+        // The first edge on the reverse path carries the chain that
+        // established the conflicting order.
+        std::vector<std::string> established;
+        if (path.size() >= 2) {
+          const auto eIt = gr.edges.find(path[0]);
+          if (eIt != gr.edges.end()) {
+            const auto cIt = eIt->second.find(path[1]);
+            if (cIt != eIt->second.end()) established = cIt->second;
+          }
+        }
+        failCycle(name, from, path, established);
+      }
+      auto& chain = gr.edges[from][to];
+      if (chain.empty()) {
+        for (std::size_t j = 0; j < tHeldCount; ++j) {
+          if (tHeld[j].name != nullptr) chain.emplace_back(tHeld[j].name);
+        }
+        chain.emplace_back(to);
+      }
+    }
+  }
+
+  push(mutex, name, rank);
+}
+
+void onRelease(const void* mutex) {
+  // Out-of-order release is legal; search from the top of the stack.
+  for (std::size_t i = tHeldCount; i > 0; --i) {
+    if (tHeld[i - 1].mutex == mutex) {
+      for (std::size_t j = i - 1; j + 1 < tHeldCount; ++j) tHeld[j] = tHeld[j + 1];
+      --tHeldCount;
+      return;
+    }
+  }
+  // Releasing a lock the detector never saw acquired: tolerated (the mutex
+  // may have been locked before the detector was compiled in — impossible
+  // today, but cheap to be lenient about).
+}
+
+void onTryAcquire(const void* mutex, const char* name, int rank) {
+  push(mutex, name, rank);
+}
+
+std::size_t heldCount() { return tHeldCount; }
+
+}  // namespace isop::lock_order
+
+#endif  // ISOP_LOCK_ORDER_ENABLED

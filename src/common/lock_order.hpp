@@ -1,0 +1,117 @@
+// Runtime lock-order detector: the dynamic complement to the Clang
+// thread-safety gate. TSA proves every *access* happens under the right
+// lock; this layer proves locks are *acquired in a consistent order*, so an
+// ABBA deadlock is rejected on the first run that establishes both orders —
+// not on the unlucky schedule that actually interleaves them.
+//
+// Two independent checks, both driven from AnnotatedMutex's lock()/unlock()
+// hooks (src/common/thread_annotations.hpp):
+//
+//   1. Acquired-after graph. Every named mutex is a node (instances sharing
+//      a name collapse to one node — all 16 MemoCache shards are "one"
+//      lock for ordering purposes). Acquiring B while holding A records the
+//      edge A -> B together with the acquiring thread's held-lock chain;
+//      incremental cycle detection aborts the process the moment an
+//      acquisition would close a cycle, printing both participating
+//      acquisition chains. Detection runs *before* blocking on the mutex,
+//      so a true inversion reports instead of deadlocking.
+//
+//   2. Declared rank table. Locks carrying a rank (the constants below)
+//      must be acquired rank-monotonically: taking a lock whose rank is >=
+//      any held ranked lock aborts immediately, even before the reverse
+//      order is ever observed. The table *is* the documented architecture:
+//      Server > Scheduler > JobQueue > SessionManager > MemoCache shard >
+//      ThreadPool queue > plan workspace pool > obs > LineWriter > logger.
+//
+// Cost model: compiled in only under ISOP_LOCK_ORDER (the CMake option of
+// the same name — ON in Debug builds and the sanitizer presets). Without
+// it every hook is an empty inline function and AnnotatedMutex carries no
+// extra state: sizeof(AnnotatedMutex) == sizeof(std::mutex), asserted by
+// tests/common/test_lock_order.cpp.
+//
+// See docs/static_analysis.md ("Lock-order detector") for the policy and
+// how to name a new mutex.
+#pragma once
+
+#include <cstddef>
+
+namespace isop::lock_order {
+
+/// Rank of a mutex that does not participate in the declared table (it is
+/// still a node in the acquired-after graph when named).
+inline constexpr int kUnranked = 0;
+
+/// The declared lock-rank table. Acquisition must be strictly
+/// rank-descending: holding a rank-r lock, only locks with rank < r (or
+/// unranked locks) may be acquired. Gaps are deliberate — slot new locks
+/// between existing layers without renumbering.
+namespace rank {
+/// serve: connection registry (Server::connectionsMutex_).
+inline constexpr int kServer = 80;
+/// serve: Scheduler live-job map. Held across JobQueue pushes and event
+/// sink writes (submit admits under the lock by design).
+inline constexpr int kScheduler = 70;
+/// serve: JobQueue state.
+inline constexpr int kJobQueue = 60;
+/// serve: SessionManager session map. Held across session build (surrogate
+/// training), so everything training touches must rank below.
+inline constexpr int kSessionManager = 50;
+/// core/eval: one MemoCache shard. Never hold two shards at once — same
+/// name means the detector flags shard-vs-shard nesting as an inversion.
+inline constexpr int kMemoShard = 40;
+/// common: ThreadPool queue state (submit/stats/worker pop).
+inline constexpr int kThreadPool = 35;
+/// ml/nn: CompiledPlan workspace pool.
+inline constexpr int kPlanPool = 30;
+/// obs: MetricsSampler tick-thread lifecycle.
+inline constexpr int kSamplerThread = 26;
+/// obs: MetricsSampler sample/ring state (takes the registry lock inside).
+inline constexpr int kSamplerSample = 24;
+/// obs: SpanTracer event buffer.
+inline constexpr int kObsTracer = 22;
+/// obs: MetricsRegistry name->instrument map.
+inline constexpr int kObsRegistry = 20;
+/// obs: ConvergenceRecorder sink.
+inline constexpr int kObsConvergence = 18;
+/// serve: LineWriter stream serialization (written to under the scheduler
+/// lock by the accepted/rejected emits).
+inline constexpr int kLineWriter = 15;
+/// common: ThreadPool::parallelFor first-exception capture.
+inline constexpr int kPoolError = 12;
+/// common: the logging backend. The floor — any thread may log while
+/// holding anything, so nothing may be acquired while holding it.
+inline constexpr int kLogger = 10;
+}  // namespace rank
+
+#if defined(ISOP_LOCK_ORDER)
+#define ISOP_LOCK_ORDER_ENABLED 1
+
+/// Called by AnnotatedMutex::lock() *before* blocking: runs the rank check
+/// and the cycle check against the acquiring thread's held stack, records
+/// the acquired-after edges, then pushes the lock. Aborts with both
+/// acquisition chains on an inversion.
+void onAcquire(const void* mutex, const char* name, int rank);
+
+/// Called by AnnotatedMutex::unlock() after releasing: pops the lock from
+/// the thread's held stack (locks may be released out of order).
+void onRelease(const void* mutex);
+
+/// Called by AnnotatedMutex::try_lock() on success only. Pushes the lock so
+/// later nested acquisitions see it, but records no edges and runs no
+/// checks — a try_lock cannot deadlock, so an "inverted" try order is legal.
+void onTryAcquire(const void* mutex, const char* name, int rank);
+
+/// Locks currently held by the calling thread (test observability).
+std::size_t heldCount();
+
+#else
+#define ISOP_LOCK_ORDER_ENABLED 0
+
+inline void onAcquire(const void*, const char*, int) {}
+inline void onRelease(const void*) {}
+inline void onTryAcquire(const void*, const char*, int) {}
+inline std::size_t heldCount() { return 0; }
+
+#endif
+
+}  // namespace isop::lock_order

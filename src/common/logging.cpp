@@ -32,8 +32,11 @@ Level levelFromEnv() {
 }
 
 // The env var is parsed exactly once, before main() touches the logger.
+// Serializes the single fprintf per line. Ranked at the floor of the lock
+// table: any thread may log while holding anything, nothing is acquired
+// while holding this.
+AnnotatedMutex g_mutex{"log.stream", lock_order::rank::kLogger};  // lint-ok(L2): guards the stderr stream, not a member field
 std::atomic<Level> g_level{levelFromEnv()};
-AnnotatedMutex g_mutex;  // serializes the single fprintf per line
 
 /// "2026-08-06T12:34:56.789Z" into buf (must hold >= 25 chars + NUL).
 void formatUtcTimestamp(char* buf, std::size_t size) {
@@ -74,7 +77,7 @@ void message(Level lvl, const std::string& text) {
       std::hash<std::thread::id>{}(std::this_thread::get_id()));
   // One formatted write under the mutex: concurrent lines never interleave.
   MutexLock lock(g_mutex);
-  std::fprintf(stderr, "%s [%s] [tid %08x] %s\n", stamp, levelName(lvl), tid,
+  std::fprintf(stderr, "%s [%s] [tid %08x] %s\n", stamp, levelName(lvl), tid,  // lint-ok(L3): serializing this exact write is the lock's whole job
                text.c_str());
 }
 

@@ -11,9 +11,17 @@
 // Build with the `static-analysis` CMake preset (Clang + -Wthread-safety
 // -Werror, see docs/static_analysis.md) to turn violations into build
 // failures; scripts/check_static.sh runs it as part of the project gate.
+//
+// Locks additionally carry an optional *name* and *rank* consumed by the
+// runtime lock-order detector (src/common/lock_order.hpp) when the build
+// defines ISOP_LOCK_ORDER; in ordinary builds the name/rank constructor
+// compiles to nothing and AnnotatedMutex stays layout-identical to
+// std::mutex (asserted by tests/common/test_lock_order.cpp).
 #pragma once
 
-#include <mutex>
+#include <mutex>  // lint-ok(L1): this header IS the sanctioned std::mutex wrapper
+
+#include "common/lock_order.hpp"
 
 #if defined(__clang__) && defined(__has_attribute)
 #if __has_attribute(capability)
@@ -54,18 +62,54 @@
 namespace isop {
 
 /// std::mutex annotated as a Clang capability. Same cost as std::mutex.
+///
+/// The (name, rank) constructor registers the lock with the lock-order
+/// detector under ISOP_LOCK_ORDER builds: `name` makes it a node in the
+/// acquired-after graph (instances sharing a name collapse to one node),
+/// `rank` (a lock_order::rank constant) additionally enforces the declared
+/// rank table. Elsewhere both arguments are discarded at compile time.
 class ISOP_CAPABILITY("mutex") AnnotatedMutex {
  public:
   AnnotatedMutex() = default;
+#if ISOP_LOCK_ORDER_ENABLED
+  explicit AnnotatedMutex(const char* name, int rank = lock_order::kUnranked)
+      : name_(name), rank_(rank) {}
+#else
+  explicit AnnotatedMutex(const char* /*name*/, int /*rank*/ = 0) {}
+#endif
   AnnotatedMutex(const AnnotatedMutex&) = delete;
   AnnotatedMutex& operator=(const AnnotatedMutex&) = delete;
 
-  void lock() ISOP_ACQUIRE() { mutex_.lock(); }
-  void unlock() ISOP_RELEASE() { mutex_.unlock(); }
-  bool try_lock() ISOP_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+  void lock() ISOP_ACQUIRE() {
+    // The detector hook runs BEFORE blocking: a real would-be ABBA deadlock
+    // aborts with both acquisition chains instead of hanging.
+#if ISOP_LOCK_ORDER_ENABLED
+    lock_order::onAcquire(this, name_, rank_);
+#endif
+    mutex_.lock();
+  }
+  void unlock() ISOP_RELEASE() {
+    mutex_.unlock();
+#if ISOP_LOCK_ORDER_ENABLED
+    lock_order::onRelease(this);
+#endif
+  }
+  bool try_lock() ISOP_TRY_ACQUIRE(true) {
+    const bool ok = mutex_.try_lock();
+#if ISOP_LOCK_ORDER_ENABLED
+    // try_lock cannot deadlock, so it is tracked (for later nested
+    // acquisitions) but never checked.
+    if (ok) lock_order::onTryAcquire(this, name_, rank_);
+#endif
+    return ok;
+  }
 
  private:
-  std::mutex mutex_;
+  std::mutex mutex_;  // lint-ok(L1): the primitive this wrapper sanctions
+#if ISOP_LOCK_ORDER_ENABLED
+  const char* name_ = nullptr;
+  int rank_ = lock_order::kUnranked;
+#endif
 };
 
 /// Scoped lock over AnnotatedMutex (the analysable std::lock_guard).

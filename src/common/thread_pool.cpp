@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
-#include <mutex>
 
 namespace isop {
 
@@ -65,8 +64,14 @@ void ThreadPool::parallelFor(std::size_t n, const std::function<void(std::size_t
   }
   std::atomic<std::size_t> next{0};
   const std::size_t grain = (n + chunks - 1) / chunks;
-  std::exception_ptr error;
-  std::mutex errMutex;
+  // First-exception capture, annotated so TSA proves the claim loops only
+  // touch `error` under the lock (and the lock-order detector sees it as
+  // the leaf it is — fn's own locks are released by unwinding before the
+  // catch block runs).
+  struct ErrState {
+    AnnotatedMutex mutex{"pool.parallel_for_err", lock_order::rank::kPoolError};
+    std::exception_ptr error ISOP_GUARDED_BY(mutex);
+  } err;
   auto claimLoop = [&] {
     for (;;) {
       std::size_t begin = next.fetch_add(grain);
@@ -75,8 +80,8 @@ void ThreadPool::parallelFor(std::size_t n, const std::function<void(std::size_t
       try {
         for (std::size_t i = begin; i < end; ++i) fn(i);
       } catch (...) {
-        std::lock_guard lock(errMutex);
-        if (!error) error = std::current_exception();
+        MutexLock lock(err.mutex);
+        if (!err.error) err.error = std::current_exception();
         return;
       }
     }
@@ -89,6 +94,11 @@ void ThreadPool::parallelFor(std::size_t n, const std::function<void(std::size_t
   for (std::size_t c = 0; c + 1 < chunks; ++c) futs.push_back(submit(claimLoop));
   claimLoop();
   for (auto& f : futs) f.get();
+  std::exception_ptr error;
+  {
+    MutexLock lock(err.mutex);
+    error = err.error;
+  }
   if (error) std::rethrow_exception(error);
 }
 

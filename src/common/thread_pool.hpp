@@ -79,7 +79,7 @@ class ThreadPool {
   void workerLoop() ISOP_EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
-  mutable AnnotatedMutex mutex_;
+  mutable AnnotatedMutex mutex_{"pool.queue", lock_order::rank::kThreadPool};
   std::condition_variable_any cv_;
   std::queue<Pending> tasks_ ISOP_GUARDED_BY(mutex_);
   bool stop_ ISOP_GUARDED_BY(mutex_) = false;

@@ -142,7 +142,9 @@ class MemoCache {
   static constexpr std::size_t kShards = 16;
 
   struct Shard {
-    mutable AnnotatedMutex mutex;
+    // All 16 shards share one detector node: holding two shards at once has
+    // no declared intra-class order, so the lock-order detector rejects it.
+    mutable AnnotatedMutex mutex{"eval.memo_shard", lock_order::rank::kMemoShard};
     /// MRU at the front; map values point into this list. `mutable` because
     /// lookup() is const to callers but refreshes recency.
     mutable std::list<std::pair<Key, Value>> lru ISOP_GUARDED_BY(mutex);

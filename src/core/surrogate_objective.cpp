@@ -45,7 +45,7 @@ double SurrogateObjective::uncertaintyTerm(const em::StackupParams& x) const {
 double SurrogateObjective::evaluate(const em::StackupParams& x) const {
   const em::PerformanceMetrics m = predict(x);
   if (recording_) {
-    std::lock_guard lock(batchMutex_);
+    MutexLock lock(batchMutex_);
     batchMetrics_.push_back(m);
     batchDesigns_.push_back(x);
   }
@@ -66,7 +66,7 @@ void SurrogateObjective::evaluateBatch(std::span<const em::StackupParams> xs,
   std::vector<em::PerformanceMetrics> metrics;
   engine_->predictMetrics(xs, metrics);
   if (recording_) {
-    std::lock_guard lock(batchMutex_);
+    MutexLock lock(batchMutex_);
     batchMetrics_.insert(batchMetrics_.end(), metrics.begin(), metrics.end());
     batchDesigns_.insert(batchDesigns_.end(), xs.begin(), xs.end());
   }
@@ -182,7 +182,7 @@ void SurrogateObjective::evaluateWithGradientBatch(std::span<const em::StackupPa
 
 void SurrogateObjective::drainBatch(std::vector<em::PerformanceMetrics>& metrics,
                                     std::vector<em::StackupParams>& designs) const {
-  std::lock_guard lock(batchMutex_);
+  MutexLock lock(batchMutex_);
   metrics = std::move(batchMetrics_);
   designs = std::move(batchDesigns_);
   batchMetrics_.clear();

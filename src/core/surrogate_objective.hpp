@@ -14,7 +14,6 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "common/thread_annotations.hpp"
@@ -96,8 +95,10 @@ class SurrogateObjective {
   bool recording_ = false;
   // The recording buffer is the adapter's only mutable shared state: the
   // gradient path itself is lock-free (per-call workspaces in the model's
-  // backward kernels).
-  mutable std::mutex batchMutex_;
+  // backward kernels). Ranked with the memo shards: both sit under the
+  // engine round-trip, neither is ever held while the other is taken.
+  mutable AnnotatedMutex batchMutex_{"core.surrogate_batch",
+                                     lock_order::rank::kMemoShard};
   mutable std::vector<em::PerformanceMetrics> batchMetrics_ ISOP_GUARDED_BY(batchMutex_);
   mutable std::vector<em::StackupParams> batchDesigns_ ISOP_GUARDED_BY(batchMutex_);
 };

@@ -165,7 +165,7 @@ class CompiledPlan {
   bool fastMath_ = false;
   std::vector<double> inputMean_, inputStd_;
 
-  mutable AnnotatedMutex mutex_;
+  mutable AnnotatedMutex mutex_{"nn.plan_pool", lock_order::rank::kPlanPool};
   mutable std::vector<std::unique_ptr<Workspace>> pool_ ISOP_GUARDED_BY(mutex_);
 };
 

@@ -90,7 +90,8 @@ class ConvergenceRecorder {
 
  private:
   std::atomic<bool> enabled_{false};
-  mutable AnnotatedMutex mutex_;
+  mutable AnnotatedMutex mutex_{"obs.convergence",
+                                lock_order::rank::kObsConvergence};
   std::FILE* file_ ISOP_GUARDED_BY(mutex_) = nullptr;
   std::vector<std::string> memory_ ISOP_GUARDED_BY(mutex_);
 };

@@ -161,7 +161,7 @@ class Registry {
   };
   Instrument& get(std::string_view name, Kind kind) ISOP_EXCLUDES(mutex_);
 
-  mutable AnnotatedMutex mutex_;
+  mutable AnnotatedMutex mutex_{"obs.registry", lock_order::rank::kObsRegistry};
   // The map is guarded; the pointed-to instruments are lock-free atomics and
   // are deliberately updated outside the lock (never deleted, handles stable).
   std::map<std::string, Instrument, std::less<>> instruments_

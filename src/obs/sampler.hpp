@@ -87,14 +87,17 @@ class MetricsSampler {
   const std::chrono::steady_clock::time_point epoch_;
   std::FILE* file_ = nullptr;
 
-  mutable AnnotatedMutex sampleMutex_;
+  // Takes the registry lock inside (flatSample), so it ranks above it.
+  mutable AnnotatedMutex sampleMutex_{"obs.sampler_sample",
+                                      lock_order::rank::kSamplerSample};
   std::map<std::string, double> prevMonotone_ ISOP_GUARDED_BY(sampleMutex_);
   std::map<std::string, double> prevValues_ ISOP_GUARDED_BY(sampleMutex_);
   std::uint64_t seq_ ISOP_GUARDED_BY(sampleMutex_) = 0;
   std::deque<std::string> ring_ ISOP_GUARDED_BY(sampleMutex_);
   std::uint64_t dropped_ ISOP_GUARDED_BY(sampleMutex_) = 0;
 
-  mutable AnnotatedMutex threadMutex_;
+  mutable AnnotatedMutex threadMutex_{"obs.sampler_thread",
+                                      lock_order::rank::kSamplerThread};
   std::condition_variable_any wake_;
   bool stopRequested_ ISOP_GUARDED_BY(threadMutex_) = false;
   bool running_ ISOP_GUARDED_BY(threadMutex_) = false;

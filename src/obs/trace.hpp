@@ -67,7 +67,7 @@ class Tracer {
   std::atomic<bool> enabled_{false};
   std::chrono::steady_clock::time_point epoch_;
   std::size_t maxEvents_;
-  mutable AnnotatedMutex mutex_;
+  mutable AnnotatedMutex mutex_{"obs.tracer", lock_order::rank::kObsTracer};
   std::vector<TraceEvent> events_ ISOP_GUARDED_BY(mutex_);
   std::size_t dropped_ ISOP_GUARDED_BY(mutex_) = 0;
 };

@@ -61,7 +61,7 @@ class JobQueue {
   };
 
   const std::size_t capacity_;
-  mutable AnnotatedMutex mutex_;
+  mutable AnnotatedMutex mutex_{"serve.job_queue", lock_order::rank::kJobQueue};
   std::condition_variable_any available_;
   std::set<std::shared_ptr<Job>, Order> queue_ ISOP_GUARDED_BY(mutex_);
   std::uint64_t nextSeq_ ISOP_GUARDED_BY(mutex_) = 0;

@@ -140,7 +140,7 @@ class Scheduler {
   const EventSink defaultSink_;
   JobQueue queue_;
 
-  mutable AnnotatedMutex mutex_;
+  mutable AnnotatedMutex mutex_{"serve.scheduler", lock_order::rank::kScheduler};
   std::map<std::string, LiveJob> live_ ISOP_GUARDED_BY(mutex_);  ///< queued + running
   bool draining_ ISOP_GUARDED_BY(mutex_) = false;
 

@@ -50,11 +50,11 @@ class LineWriter {
 
   void write(const json::Value& value) {
     const std::string line = value.dump() + "\n";
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (dead_) return;
     if (file_) {
-      if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
-          std::fflush(file_) != 0) {
+      if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||  // lint-ok(L3): serializing whole-line writes onto the stream is this lock's purpose
+          std::fflush(file_) != 0) {  // lint-ok(L3): flush belongs to the same serialized write
         dead_ = true;
       }
       return;
@@ -62,7 +62,7 @@ class LineWriter {
     std::size_t off = 0;
     while (off < line.size()) {
       const ssize_t n =
-          ::send(fd_, line.data() + off, line.size() - off, MSG_NOSIGNAL);
+          ::send(fd_, line.data() + off, line.size() - off, MSG_NOSIGNAL);  // lint-ok(L3): serializing whole-line writes onto the socket is this lock's purpose
       if (n <= 0) {
         if (n < 0 && errno == EINTR) continue;
         dead_ = true;
@@ -75,8 +75,11 @@ class LineWriter {
  private:
   std::FILE* file_ = nullptr;
   int fd_ = -1;
-  std::mutex mutex_;
-  bool dead_ = false;
+  // Ranked under the scheduler: accepted/rejected events are written while
+  // the scheduler lock is held (Scheduler::submit admits under its lock by
+  // design, so no later event can precede the accepted).
+  AnnotatedMutex mutex_{"serve.line_writer", lock_order::rank::kLineWriter};
+  bool dead_ ISOP_GUARDED_BY(mutex_) = false;
 };
 
 /// One accepted socket client: a reader thread feeding handleLine(), and a
@@ -237,7 +240,7 @@ void Server::acceptLoop(int listenFd) {
     }
     auto connection = std::make_shared<Connection>(*this, fd);
     {
-      std::lock_guard<std::mutex> lock(connectionsMutex_);
+      MutexLock lock(connectionsMutex_);
       connections_.push_back(connection);
     }
     connection->start();
@@ -343,7 +346,7 @@ int Server::run() {
     listenFd_ = -1;
   }
   {
-    std::lock_guard<std::mutex> lock(connectionsMutex_);
+    MutexLock lock(connectionsMutex_);
     for (const auto& connection : connections_) connection->stopReading();
   }
 
@@ -368,8 +371,16 @@ int Server::run() {
   }
 
   {
-    std::lock_guard<std::mutex> lock(connectionsMutex_);
-    connections_.clear();  // joins readers, closes fds
+    // Swap the registry out under the lock, destroy outside it: Connection's
+    // destructor joins the reader thread, and joining while holding
+    // connectionsMutex_ is exactly the lock-hold hazard lint rule L3 exists
+    // to flag (a reader stuck in handleLine() would deadlock the drain).
+    std::vector<std::shared_ptr<Connection>> doomed;
+    {
+      MutexLock lock(connectionsMutex_);
+      doomed.swap(connections_);
+    }
+    doomed.clear();  // joins readers, closes fds
   }
   gSignalFd.store(-1, std::memory_order_relaxed);
   ::close(shutdownPipe_[0]);

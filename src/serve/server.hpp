@@ -19,11 +19,11 @@
 #include <atomic>
 #include <cstdio>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "obs/sampler.hpp"
 #include "serve/protocol.hpp"
 #include "serve/scheduler.hpp"
@@ -63,6 +63,16 @@ class Server {
   /// path).
   int run();
 
+#ifdef ISOP_TSA_NEGATIVE_SEAM
+  /// Deliberately racy: reads the connection registry without taking
+  /// connectionsMutex_. Exists only for the tsa-negative stage of
+  /// scripts/check_static.sh, which compiles tests/static/tsa_negative.cpp
+  /// with this seam enabled and requires the build to FAIL — proving the
+  /// -Wthread-safety gate covers the serve layer's annotations. Never
+  /// defined in real builds.
+  std::size_t unguardedConnectionCount() const { return connections_.size(); }
+#endif
+
  private:
   class Connection;
 
@@ -84,8 +94,10 @@ class Server {
 
   std::thread acceptThread_;
   int listenFd_ = -1;
-  std::mutex connectionsMutex_;
-  std::vector<std::shared_ptr<Connection>> connections_;
+  mutable AnnotatedMutex connectionsMutex_{"serve.connections",
+                                           lock_order::rank::kServer};
+  std::vector<std::shared_ptr<Connection>> connections_
+      ISOP_GUARDED_BY(connectionsMutex_);
 };
 
 }  // namespace isop::serve

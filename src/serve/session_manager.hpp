@@ -85,7 +85,10 @@ class SessionManager {
   std::shared_ptr<Context> build(const SessionKey& key) const;
 
   const core::EvalEngineConfig engineConfig_;
-  mutable AnnotatedMutex mutex_;
+  // Held across build() — surrogate training — so every lock training can
+  // touch (thread pool, plan pool, obs, logger) ranks below this one.
+  mutable AnnotatedMutex mutex_{"serve.sessions",
+                                lock_order::rank::kSessionManager};
   std::map<SessionKey, std::shared_ptr<Context>> sessions_ ISOP_GUARDED_BY(mutex_);
 };
 

@@ -1,0 +1,198 @@
+// Runtime lock-order detector tests (src/common/lock_order.hpp).
+//
+// Under ISOP_LOCK_ORDER builds (the Debug/sanitizer presets): ABBA
+// inversions and rank-table violations must abort deterministically with
+// both acquisition chains in the report, and the real concurrent paths
+// (a multi-worker serve job, an EvalEngine batch over the memo shards)
+// must pass clean — proving the declared rank table matches what the code
+// actually does.
+//
+// In ordinary builds the detector must be a compile-time no-op: the
+// layout probe below pins AnnotatedMutex to the size of a raw std::mutex,
+// the same style of zero-cost guarantee tests/common/test_check.cpp pins
+// for ISOP_ASSERT.
+#include "common/lock_order.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/thread_annotations.hpp"
+#include "core/eval/eval_engine.hpp"
+#include "core/simulator_surrogate.hpp"
+#include "em/parameter_space.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/session_manager.hpp"
+
+namespace isop {
+namespace {
+
+#if !ISOP_LOCK_ORDER_ENABLED
+
+// Release builds: the name/rank plumbing must vanish entirely. A size
+// change here would mean every mutex in the tree grew for a disabled
+// feature.
+static_assert(sizeof(AnnotatedMutex) == sizeof(std::mutex),
+              "disabled lock-order detector must add no per-mutex state");
+
+TEST(LockOrder, DisabledDetectorHooksAreInertNoOps) {
+  AnnotatedMutex m("probe.disabled", 99);
+  m.lock();
+  EXPECT_EQ(lock_order::heldCount(), 0u);  // stub always reports empty
+  m.unlock();
+  EXPECT_TRUE(m.try_lock());
+  m.unlock();
+}
+
+#else  // ISOP_LOCK_ORDER_ENABLED
+
+TEST(LockOrder, HeldStackTracksNestingAndRelease) {
+  AnnotatedMutex outer("test.outer", lock_order::rank::kScheduler);
+  AnnotatedMutex inner("test.inner", lock_order::rank::kLogger);
+  EXPECT_EQ(lock_order::heldCount(), 0u);
+  {
+    MutexLock lockOuter(outer);
+    EXPECT_EQ(lock_order::heldCount(), 1u);
+    {
+      MutexLock lockInner(inner);  // descending rank: legal
+      EXPECT_EQ(lock_order::heldCount(), 2u);
+    }
+    EXPECT_EQ(lock_order::heldCount(), 1u);
+  }
+  EXPECT_EQ(lock_order::heldCount(), 0u);
+}
+
+TEST(LockOrder, TryLockIsTrackedButNeverChecked) {
+  AnnotatedMutex low("test.try_low", lock_order::rank::kLogger);
+  AnnotatedMutex high("test.try_high", lock_order::rank::kScheduler);
+  MutexLock lock(low);
+  // A rank-ascending try_lock cannot deadlock (it never blocks), so the
+  // detector must let it through while still recording the hold.
+  ASSERT_TRUE(high.try_lock());
+  EXPECT_EQ(lock_order::heldCount(), 2u);
+  high.unlock();
+  EXPECT_EQ(lock_order::heldCount(), 1u);
+}
+
+// Death tests re-execute through fork; "threadsafe" style is required
+// because the test binary runs threads (scheduler workers, thread pool).
+
+TEST(LockOrderDeathTest, AbbaInversionAbortsWithBothChains) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        AnnotatedMutex a("test.abba_a");
+        AnnotatedMutex b("test.abba_b");
+        {
+          MutexLock lockA(a);
+          MutexLock lockB(b);  // records a -> b
+        }
+        {
+          MutexLock lockB(b);
+          MutexLock lockA(a);  // reverse order: must abort, not deadlock
+        }
+      },
+      "LOCK ORDER inversion: acquiring \"test\\.abba_a\" while holding "
+      "\"test\\.abba_b\".*conflicting acquired-after path"
+      ".*first established by the acquisition chain");
+}
+
+TEST(LockOrderDeathTest, RankInversionAbortsEvenWithoutReverseHistory) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        AnnotatedMutex low("test.rank_low", lock_order::rank::kLogger);
+        AnnotatedMutex high("test.rank_high", lock_order::rank::kScheduler);
+        MutexLock lockLow(low);
+        MutexLock lockHigh(high);  // ascending rank: rejected on first try
+      },
+      "LOCK RANK inversion: acquiring \"test\\.rank_high\" \\(rank 70\\) "
+      "while holding \"test\\.rank_low\" \\(rank 10\\)");
+}
+
+TEST(LockOrderDeathTest, SameClassNestingIsAnInversion) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // Two instances sharing a name (the MemoCache-shard shape): no intra-class
+  // order exists, so nesting them at all is flagged.
+  EXPECT_DEATH(
+      {
+        AnnotatedMutex shardA("test.shard");
+        AnnotatedMutex shardB("test.shard");
+        MutexLock lockA(shardA);
+        MutexLock lockB(shardB);
+      },
+      "LOCK ORDER inversion: acquiring \"test\\.shard\" while holding "
+      "\"test\\.shard\"");
+}
+
+#endif  // ISOP_LOCK_ORDER_ENABLED
+
+// ---- Clean passes over the real concurrent paths ---------------------------
+// These run in every build; under ISOP_LOCK_ORDER they are the positive
+// gate that the production rank table matches real acquisition order (any
+// mis-ranked or inverted pair aborts the test).
+
+em::StackupParams designAt(double t) {
+  const em::ParameterSpace space = em::spaceS1();
+  em::StackupParams p;
+  for (std::size_t j = 0; j < em::kNumParams; ++j) {
+    const auto r = space.range(j);
+    p.values[j] = r.lo + t * (r.hi - r.lo);
+  }
+  return p;
+}
+
+TEST(LockOrder, EvalEngineBatchRunsCleanUnderDetector) {
+  em::EmSimulator simulator;
+  core::SimulatorSurrogate oracle(simulator);
+  core::EvalEngine engine(oracle);
+  std::vector<em::StackupParams> designs;
+  for (int i = 0; i < 32; ++i) designs.push_back(designAt(i / 31.0));
+  std::vector<em::PerformanceMetrics> out;
+  engine.predictMetrics(designs, out);  // parallel fan-out + memo shards
+  engine.predictMetrics(designs, out);  // memo-hit path
+  EXPECT_EQ(out.size(), designs.size());
+}
+
+TEST(LockOrder, FourWorkerServeJobsRunCleanUnderDetector) {
+  serve::SessionManager sessions;
+  std::mutex mutex;
+  std::condition_variable done;
+  std::size_t completed = 0;
+  serve::Scheduler::EventSink sink = [&](const serve::JobEvent& event) {
+    if (event.kind == serve::JobEvent::Kind::Done ||
+        event.kind == serve::JobEvent::Kind::Failed) {
+      std::lock_guard<std::mutex> lock(mutex);
+      ++completed;
+      done.notify_all();
+    }
+  };
+  {
+    serve::Scheduler scheduler(sessions, {.workers = 4, .queueCapacity = 8},
+                               sink);
+    for (int i = 0; i < 4; ++i) {
+      serve::JobSpec spec;
+      spec.id = "lockorder-" + std::to_string(i);
+      spec.budget = 120;
+      spec.iterations = 2;
+      spec.hyperbandResource = 9;
+      spec.refineEpochs = 20;
+      spec.localSeeds = 3;
+      spec.candidates = 2;
+      spec.seed = 7 + static_cast<std::uint64_t>(i);
+      ASSERT_TRUE(scheduler.submit(spec));
+    }
+    std::unique_lock<std::mutex> lock(mutex);
+    ASSERT_TRUE(done.wait_for(lock, std::chrono::seconds(120),
+                              [&] { return completed == 4; }));
+  }
+  EXPECT_EQ(completed, 4u);
+}
+
+}  // namespace
+}  // namespace isop

@@ -1,0 +1,229 @@
+#!/usr/bin/env python3
+"""Self-test for scripts/isop_lint.py: one positive and one negative fixture
+per rule, plus the suppression contract (reasoned suppressions accepted,
+bare suppressions rejected, rule-scoped suppressions only silence their
+rule). Registered as a ctest (`IsopLint.SelfTest`); stdlib unittest only.
+
+Each fixture is written into a temp tree shaped like the repo (<root>/src/…)
+and linted through the real public entry points, so the walker, rule
+dispatch, allowlists and exit codes are all under test — not just the
+regexes.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import io
+import sys
+import tempfile
+import unittest
+from contextlib import redirect_stderr, redirect_stdout
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+spec = importlib.util.spec_from_file_location(
+    "isop_lint", REPO_ROOT / "scripts" / "isop_lint.py")
+isop_lint = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(isop_lint)
+
+
+class LintFixture(unittest.TestCase):
+    """Lint a single in-memory file and assert on the rule ids found."""
+
+    def lint(self, source: str, rules: set[str] | None = None,
+             rel: str = "src/core/fixture.cpp") -> list:
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(source, encoding="utf-8")
+            return isop_lint.lint_file(path, rel,
+                                       rules or set(isop_lint.ALL_RULES))
+
+    def rule_ids(self, source: str, **kwargs) -> list[str]:
+        return [f.rule for f in self.lint(source, **kwargs)]
+
+
+class DeterminismRules(LintFixture):
+    def test_b1_flags_rand_and_srand(self):
+        self.assertEqual(self.rule_ids("int x = rand();\n"), ["B1"])
+        self.assertEqual(self.rule_ids("srand(42);\n"), ["B1"])
+
+    def test_b1_ignores_method_named_suffix(self):
+        self.assertEqual(self.rule_ids("rng.brand(7);\nisop::Rng r(1);\n"), [])
+
+    def test_b2_flags_random_device(self):
+        self.assertEqual(self.rule_ids("std::random_device rd;\n"), ["B2"])
+
+    def test_b3_flags_wall_clock_reads(self):
+        src = "auto t = std::chrono::system_clock::now();\n"
+        self.assertEqual(self.rule_ids(src), ["B3"])
+        self.assertEqual(self.rule_ids("time(nullptr);\n"), ["B3"])
+
+    def test_b3_allows_steady_clock(self):
+        self.assertEqual(
+            self.rule_ids("auto t = std::chrono::steady_clock::now();\n"), [])
+
+    def test_b4_flags_ranged_for_over_unordered(self):
+        src = ("std::unordered_map<int, int> memo;\n"
+               "for (const auto& kv : memo) { use(kv); }\n")
+        self.assertEqual(self.rule_ids(src), ["B4"])
+
+    def test_b4_allows_ordered_containers(self):
+        src = ("std::map<int, int> memo;\n"
+               "for (const auto& kv : memo) { use(kv); }\n")
+        self.assertEqual(self.rule_ids(src), [])
+
+
+class LockRules(LintFixture):
+    def test_l1_flags_raw_mutex_and_guards(self):
+        self.assertEqual(self.rule_ids("std::mutex m;\n"), ["L1"])
+        self.assertEqual(
+            self.rule_ids("std::lock_guard<std::mutex> g(m);\n"),
+            ["L1"])
+        self.assertEqual(self.rule_ids("std::unique_lock lk(m);\n"), ["L1"])
+        self.assertEqual(self.rule_ids("#include <mutex>\n"), ["L1"])
+
+    def test_l1_allows_annotated_wrappers(self):
+        src = ("AnnotatedMutex m{\"x\"};\n"
+               "int v ISOP_GUARDED_BY(m);\n"
+               "MutexLock lock(m);\n")
+        self.assertEqual(self.rule_ids(src), [])
+
+    def test_l2_flags_mutex_guarding_nothing(self):
+        ids = self.rule_ids("mutable AnnotatedMutex mutex_{\"core.x\"};\n")
+        self.assertEqual(ids, ["L2"])
+
+    def test_l2_satisfied_by_guarded_sibling(self):
+        src = ("mutable AnnotatedMutex mutex_{\"core.x\"};\n"
+               "int state_ ISOP_GUARDED_BY(mutex_);\n")
+        self.assertEqual(self.rule_ids(src), [])
+
+    def test_l2_satisfied_by_requires_annotation(self):
+        src = ("mutable AnnotatedMutex mutex_{\"core.x\"};\n"
+               "void drain() ISOP_REQUIRES(mutex_);\n")
+        self.assertEqual(self.rule_ids(src), [])
+
+    def test_l3_flags_blocking_calls_under_mutexlock(self):
+        src = ("void f() {\n"
+               "  MutexLock lock(mutex_);\n"
+               "  worker_.join();\n"
+               "}\n")
+        self.assertEqual(self.rule_ids(src), ["L3"])
+        src = ("void g() {\n"
+               "  MutexLock lock(mutex_);\n"
+               "  std::fwrite(p, 1, n, file_);\n"
+               "}\n")
+        self.assertEqual(self.rule_ids(src), ["L3"])
+        src = ("void h() {\n"
+               "  MutexLock lock(mutex_);\n"
+               "  std::this_thread::sleep_for(std::chrono::seconds(1));\n"
+               "}\n")
+        self.assertEqual(self.rule_ids(src), ["L3"])
+
+    def test_l3_scope_ends_at_closing_brace(self):
+        src = ("void f() {\n"
+               "  { MutexLock lock(mutex_); state_ = 1; }\n"
+               "  worker_.join();\n"
+               "}\n")
+        self.assertEqual(self.rule_ids(src), [])
+
+    def test_l3_exempts_cvlock_waits(self):
+        src = ("void f() {\n"
+               "  CvLock lock(mutex_);\n"
+               "  cv_.wait(lock);\n"
+               "}\n")
+        self.assertEqual(self.rule_ids(src), [])
+
+
+class Suppressions(LintFixture):
+    def test_reasoned_lint_ok_is_accepted(self):
+        src = "std::mutex m;  // lint-ok(L1): fixture needs the raw type\n"
+        self.assertEqual(self.rule_ids(src), [])
+
+    def test_bare_lint_ok_is_rejected(self):
+        ids = self.rule_ids("std::mutex m;  // lint-ok(L1)\n")
+        self.assertEqual(ids, ["S1"])
+
+    def test_suppression_only_silences_named_rule(self):
+        # L1 suppressed, but the same line's B2 finding must survive.
+        src = "std::mutex m; std::random_device rd;  // lint-ok(L1): fixture\n"
+        self.assertEqual(self.rule_ids(src), ["B2"])
+
+    def test_multi_rule_suppression(self):
+        src = ("void f() {\n"
+               "  MutexLock lock(mutex_);\n"
+               "  std::fwrite(p, 1, n, f_);  // lint-ok(L3, B3): fixture\n"
+               "}\n")
+        self.assertEqual(self.rule_ids(src), [])
+
+    def test_legacy_determinism_ok_covers_b_rules_only(self):
+        src = "auto t = std::chrono::system_clock::now();  // determinism-ok: stamp\n"
+        self.assertEqual(self.rule_ids(src), [])
+        src = "std::mutex m;  // determinism-ok: wrong spelling for L rules\n"
+        self.assertEqual(self.rule_ids(src), ["L1"])
+
+    def test_bare_determinism_ok_is_rejected(self):
+        ids = self.rule_ids("time(nullptr);  // determinism-ok\n")
+        self.assertEqual(ids, ["S1"])
+
+
+class RuleSelectionAndAllowlists(LintFixture):
+    def test_rules_flag_scopes_the_run(self):
+        src = "std::mutex m;\nint x = rand();\n"
+        self.assertEqual(self.rule_ids(src, rules={"B1"}), ["B1"])
+        self.assertEqual(self.rule_ids(src, rules={"L1"}), ["L1"])
+
+    def test_parse_rules_groups_and_ids(self):
+        self.assertEqual(isop_lint.parse_rules("determinism"),
+                         isop_lint.DETERMINISM_RULES)
+        self.assertEqual(isop_lint.parse_rules("locks"), isop_lint.LOCK_RULES)
+        self.assertEqual(isop_lint.parse_rules("B1,L3"), {"B1", "L3"})
+        self.assertIsNone(isop_lint.parse_rules("Z9"))
+
+    def test_file_allowlist_exempts_rule_for_that_file_only(self):
+        src = "auto t = std::chrono::system_clock::now();\n"
+        self.assertEqual(self.rule_ids(src, rel="src/common/logging.cpp"), [])
+        self.assertEqual(self.rule_ids(src, rel="src/common/timer.cpp"),
+                         ["B3"])
+
+
+class CommandLine(unittest.TestCase):
+    def run_main(self, *argv: str) -> tuple[int, str]:
+        out, err = io.StringIO(), io.StringIO()
+        with redirect_stdout(out), redirect_stderr(err):
+            rc = isop_lint.main(["isop_lint.py", *argv])
+        return rc, out.getvalue()
+
+    def test_clean_tree_exits_zero(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            (Path(tmp) / "src").mkdir()
+            (Path(tmp) / "src" / "ok.cpp").write_text("int main() {}\n")
+            rc, _ = self.run_main(tmp)
+        self.assertEqual(rc, 0)
+
+    def test_findings_exit_one_with_rule_ids(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            (Path(tmp) / "src").mkdir()
+            (Path(tmp) / "src" / "bad.cpp").write_text("std::mutex m;\n")
+            rc, out = self.run_main(tmp)
+        self.assertEqual(rc, 1)
+        self.assertIn("[L1]", out)
+        self.assertIn("src/bad.cpp:1", out)
+
+    def test_missing_src_is_usage_error(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            rc, _ = self.run_main(tmp)
+        self.assertEqual(rc, 2)
+
+    def test_bad_rules_flag_is_usage_error(self):
+        rc, _ = self.run_main(str(REPO_ROOT), "--rules", "nonsense")
+        self.assertEqual(rc, 2)
+
+    def test_repo_tree_is_clean(self):
+        rc, out = self.run_main(str(REPO_ROOT))
+        self.assertEqual(rc, 0, f"repo lint regressions:\n{out}")
+
+
+if __name__ == "__main__":
+    unittest.main()

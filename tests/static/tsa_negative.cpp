@@ -11,6 +11,7 @@
 
 #include "common/thread_annotations.hpp"
 #include "core/eval/memo_cache.hpp"
+#include "serve/server.hpp"
 
 namespace {
 
@@ -62,6 +63,22 @@ std::size_t memoCacheUnguarded(const isop::core::eval::MemoCache& cache) {
 #endif
 }
 
+// Bug 5: the injected serve seam — reading the Server connection registry
+// with no lock held (Server::unguardedConnectionCount, which reads
+// connections_ without connectionsMutex_). Proves the gate covers the
+// serve layer's annotations, not just core/eval. The error fires inside
+// the header's inline seam body; calling it here keeps the TU's shape
+// parallel to the MemoCache case. (This TU is only ever syntax-checked —
+// nothing runs, so no server is really constructed.)
+std::size_t serveUnguarded(const isop::serve::Server& server) {
+#ifdef ISOP_TSA_NEGATIVE_SEAM
+  return server.unguardedConnectionCount();  // the seam itself fails to compile
+#else
+  (void)server;
+  return 0;
+#endif
+}
+
 }  // namespace
 
 int main() {
@@ -69,6 +86,8 @@ int main() {
   TwoLocks t;
   Queue q;
   isop::core::eval::MemoCache cache(16);
-  return static_cast<int>(readWithoutLock(c) + memoCacheUnguarded(cache)) +
+  isop::serve::Server server({}, nullptr, nullptr);
+  return static_cast<int>(readWithoutLock(c) + memoCacheUnguarded(cache) +
+                          serveUnguarded(server)) +
          (writeUnderWrongLock(t), callWithoutCapability(q), 0);
 }
