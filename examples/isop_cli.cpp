@@ -7,6 +7,8 @@
 //            [--metrics-out M.json] [--trace-out T.json] [--convergence-out C.jsonl]
 //            [--log-level debug|info|warn|error|off]
 //   isop_cli --serve [--serve-workers N] [--serve-queue N] [--serve-socket PATH]
+//            [--listen HOST:PORT] [--auth-token SECRET] [--write-timeout-ms MS]
+//            [--max-sessions N] [--session-memory-budget BYTES] [--state-dir DIR]
 //            [--metrics-interval MS] [--metrics-series S.jsonl]
 //
 // With --surrogate oracle (default) the EM model itself drives the search —
@@ -57,6 +59,12 @@ int main(int argc, char** argv) {
               "  --serve-workers N           concurrent jobs (default 2)\n"
               "  --serve-queue N             queued-job capacity (default 16)\n"
               "  --serve-socket PATH         also listen on a unix socket\n"
+              "  --listen HOST:PORT          also listen on TCP (port 0 = auto)\n"
+              "  --auth-token SECRET         require a hello token from TCP clients\n"
+              "  --write-timeout-ms MS       drop clients whose reads stall this long\n"
+              "  --max-sessions N            evict LRU idle sessions beyond N\n"
+              "  --session-memory-budget B   evict LRU idle sessions beyond ~B bytes\n"
+              "  --state-dir DIR             persist/warm-start session state here\n"
               "  --metrics-interval MS       sample the metrics registry every MS ms\n"
               "  --metrics-series PATH       append sampled records as JSONL");
     return 0;
@@ -79,6 +87,14 @@ int main(int argc, char** argv) {
     serveCfg.scheduler.queueCapacity =
         static_cast<std::size_t>(args.getInt("serve-queue", 16));
     serveCfg.socketPath = args.getString("serve-socket", "");
+    serveCfg.listenAddress = args.getString("listen", "");
+    serveCfg.authToken = args.getString("auth-token", "");
+    serveCfg.writeTimeoutMs =
+        static_cast<std::uint64_t>(args.getInt("write-timeout-ms", 0));
+    serveCfg.maxSessions = static_cast<std::size_t>(args.getInt("max-sessions", 0));
+    serveCfg.sessionMemoryBudgetBytes =
+        static_cast<std::size_t>(args.getInt("session-memory-budget", 0));
+    serveCfg.stateDir = args.getString("state-dir", "");
     serveCfg.metricsIntervalMs =
         static_cast<std::uint64_t>(args.getInt("metrics-interval", 0));
     serveCfg.metricsSeriesPath = args.getString("metrics-series", "");

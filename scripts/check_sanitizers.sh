@@ -12,6 +12,13 @@
 # The compiled-plan hot path (ml/nn/plan.hpp: shared workspace pool, packed
 # fused kernels) carries the "kernels" label (tests/ml/test_plan.cpp):
 #   CTEST_ARGS="-L kernels" scripts/check_sanitizers.sh tsan
+# The serve tier carries three labels: "serve" (scheduler identity/cancel/
+# drain contracts), "serve-conformance" (the request matrix over stdio, unix
+# socket, and TCP against an in-process Server), and "serve-fault"
+# (corrupt-state, eviction/warm-start, disconnect and slow-reader faults).
+# ctest -L matches by regex, so one run covers all three — the TSan gate for
+# the whole tier, with the lock-order detector live via the presets:
+#   CTEST_ARGS="-L serve" scripts/check_sanitizers.sh tsan
 #
 # Usage:
 #   scripts/check_sanitizers.sh [asan-ubsan|tsan]...   (default: both)

@@ -14,6 +14,14 @@
 #   3. unix socket — the same submit over the socket while stdio stays open.
 #   4. SIGTERM drain — the signal finishes the running job (done) and the
 #      server exits 0 with a shutdown event.
+#   5. TCP lifecycle — connect to the --listen port: a bad --auth-token hello
+#      is rejected and disconnected, requests before hello are refused, an
+#      authenticated client runs a full job, and SIGTERM drains while the
+#      TCP client watches its running job finish.
+#   6. SIGKILL + restart warm start — run a job with --state-dir, kill -9 the
+#      server, restart on the same state dir: the resubmitted job reports
+#      more memo hits than the cold run and an identical result (only the
+#      eval accounting and wall-clock keys may differ).
 #
 # Usage:
 #   scripts/check_serve.sh [build-dir]
@@ -97,7 +105,7 @@ def read_job_lifecycle(read, job_id):
 def scenario_stdio_and_errors():
     proc = start()
     try:
-        expect(read_event(proc), "ready", protocol=2)
+        expect(read_event(proc), "ready", protocol=3)
 
         # Malformed lines and unknown fields are per-request errors, not fatal.
         proc.stdin.write("this is not json\n")
@@ -208,8 +216,118 @@ def scenario_sigterm_drain():
     print("check_serve: SIGTERM drain OK")
 
 
+def scenario_tcp_lifecycle():
+    proc = start(("--listen", "127.0.0.1:0", "--auth-token", "sekrit"))
+    try:
+        # Port 0 auto-assigns; the ready event announces the bound address.
+        ready = expect(read_event(proc), "ready", protocol=3)
+        port = int(ready["listen"].rsplit(":", 1)[1])
+
+        def tcp_client():
+            client = socket.create_connection(("127.0.0.1", port))
+            return client, client.makefile("r")
+
+        def tcp_send(client, request):
+            client.sendall((json.dumps(request) + "\n").encode())
+
+        # A wrong token gets one error event, then the server hangs up.
+        client, reader = tcp_client()
+        tcp_send(client, {"type": "hello", "token": "wrong"})
+        err = json.loads(reader.readline())
+        assert err["event"] == "error" and "invalid token" in err["error"], err
+        assert reader.readline() == "", "server must disconnect after bad auth"
+        client.close()
+
+        # With --auth-token set, TCP clients must hello before anything else.
+        client, reader = tcp_client()
+        tcp_send(client, {"type": "status"})
+        err = json.loads(reader.readline())
+        assert err["event"] == "error" and "authentication required" in err["error"], err
+        assert reader.readline() == "", "server must disconnect unauthenticated clients"
+        client.close()
+
+        # The right token unlocks the full job lifecycle over TCP.
+        client, reader = tcp_client()
+        tcp_send(client, {"type": "hello", "token": "sekrit"})
+        hello = json.loads(reader.readline())
+        expect(hello, "hello", protocol=3, authenticated=True)
+        tcp_send(client, {**QUICK_JOB, "id": "tcp1"})
+        read_job_lifecycle(lambda: json.loads(reader.readline()), "tcp1")
+
+        # SIGTERM drain with the job's client on TCP: progress keeps flowing
+        # to the socket, done arrives there, then the connection closes.
+        tcp_send(client, {**QUICK_JOB, "id": "tcp2"})
+        expect(json.loads(reader.readline()), "accepted", id="tcp2")
+        expect(json.loads(reader.readline()), "started", id="tcp2")
+        proc.send_signal(signal.SIGTERM)
+        while True:
+            event = json.loads(reader.readline())
+            if event["event"] == "progress":
+                continue
+            expect(event, "done", id="tcp2")
+            break
+        assert reader.readline() == "", "drain must close TCP connections"
+        client.close()
+        expect(read_event(proc), "shutdown", jobs_completed=2)
+        assert proc.wait(timeout=60) == 0, f"exit={proc.returncode}"
+    finally:
+        proc.kill()
+    print("check_serve: TCP lifecycle + auth + drain OK")
+
+
+def scenario_sigkill_restart_warm_start():
+    state_dir = tempfile.mkdtemp(prefix="isop_state_")
+    proc = start(("--state-dir", state_dir))
+    try:
+        ready = expect(read_event(proc), "ready", protocol=3)
+        assert ready["state_dir"] == state_dir, ready
+        send(proc, {**QUICK_JOB, "id": "cold"})
+        cold = read_job_lifecycle(lambda: read_event(proc), "cold")
+        # Session state is published (atomic temp-file + rename) before the
+        # done event goes out, so a crash right after the client saw "done"
+        # must not lose the warm-start files.
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=60)
+    finally:
+        proc.kill()
+    assert os.listdir(state_dir), "no state files persisted before SIGKILL"
+
+    proc = start(("--state-dir", state_dir))
+    try:
+        expect(read_event(proc), "ready")
+        send(proc, {**QUICK_JOB, "id": "warm"})
+        warm = read_job_lifecycle(lambda: read_event(proc), "warm")
+
+        # The reloaded memo serves queries the cold run had to evaluate, so
+        # the warm run's hit count strictly exceeds the cold run's (which
+        # only has within-job hits).
+        assert warm["result"]["eval"]["memo_hits"] > cold["result"]["eval"]["memo_hits"], \
+            (cold["result"]["eval"], warm["result"]["eval"])
+
+        # Warm start changes accounting, never results: identical except the
+        # eval cache counters and wall-clock time.
+        def scrub(result):
+            return {k: v for k, v in result.items()
+                    if k not in ("eval", "avg_runtime_seconds")}
+        assert scrub(warm["result"]) == scrub(cold["result"]), (cold, warm)
+
+        # The lifecycle counters must show the reload (and no load failures).
+        send(proc, {"type": "stats"})
+        life = expect(read_event(proc), "stats")["session_lifecycle"]
+        assert life["loaded"] >= 1 and life["load_failures"] == 0, life
+
+        send(proc, {"type": "shutdown"})
+        expect(read_event(proc), "shutdown")
+        assert proc.wait(timeout=60) == 0, f"exit={proc.returncode}"
+    finally:
+        proc.kill()
+    print("check_serve: SIGKILL + restart warm start OK")
+
+
 scenario_stdio_and_errors()
 scenario_unix_socket()
 scenario_sigterm_drain()
+scenario_tcp_lifecycle()
+scenario_sigkill_restart_warm_start()
 print("check_serve: all scenarios OK")
 PY

@@ -4,6 +4,7 @@
 #include <charconv>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 
 namespace isop::json {
@@ -381,8 +382,14 @@ void Value::dumpTo(std::string& out, int indent, int depth) const {
         out += "null";  // JSON has no inf/nan
         break;
       }
+      // Shortest representation that parses back to the exact same double:
+      // values crossing the wire (job specs, persisted results) must survive
+      // a dump -> parse round trip bit for bit.
       char buf[40];
-      std::snprintf(buf, sizeof(buf), "%.12g", number_);
+      for (int digits = 15; digits <= 17; ++digits) {
+        std::snprintf(buf, sizeof(buf), "%.*g", digits, number_);
+        if (std::strtod(buf, nullptr) == number_) break;
+      }
       out += buf;
       break;
     }

@@ -188,6 +188,25 @@ class EvalEngine {
     return predictCache_.evictions() + simCache_.evictions();
   }
 
+  /// Deterministic export of both memo caches (predict + simulate) for
+  /// warm-start persistence (serve's session store). Entries are the
+  /// immutable model/simulator outputs, so a restored cache serves
+  /// bitwise-identical values; only hit rates and the billing split move.
+  struct MemoSnapshot {
+    std::vector<MemoCache::Entry> predict;
+    std::vector<MemoCache::Entry> sim;
+  };
+  MemoSnapshot memoSnapshot() const {
+    return {predictCache_.snapshot(), simCache_.snapshot()};
+  }
+
+  /// Preloads both memo caches from a snapshot. Does not touch the query
+  /// counters — restored entries surface as memo hits on first use.
+  void restoreMemo(const MemoSnapshot& snapshot) {
+    predictCache_.restore(snapshot.predict);
+    simCache_.restore(snapshot.sim);
+  }
+
  private:
   ThreadPool& pool() const {
     return config_.pool != nullptr ? *config_.pool : ThreadPool::global();

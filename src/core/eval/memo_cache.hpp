@@ -29,6 +29,7 @@
 #include <list>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "common/check.hpp"
 #include "common/thread_annotations.hpp"
@@ -104,6 +105,28 @@ class MemoCache {
       s.map.clear();
       s.lru.clear();
     }
+  }
+
+  using Entry = std::pair<Key, Value>;
+
+  /// Deterministic export of every resident entry for warm-start
+  /// persistence: shards in index order, each shard's entries oldest
+  /// (LRU) first — so replaying the vector through restore() reproduces
+  /// both the contents and the recency order.
+  std::vector<Entry> snapshot() const {
+    std::vector<Entry> out;
+    for (const Shard& s : shards_) {
+      MutexLock lock(s.mutex);
+      for (auto it = s.lru.rbegin(); it != s.lru.rend(); ++it) out.push_back(*it);
+    }
+    return out;
+  }
+
+  /// Replays a snapshot (in order) through insert(). Entries beyond
+  /// capacity fall out via normal LRU replacement; values are immutable
+  /// model outputs, so restoring never changes results — only hit rates.
+  void restore(const std::vector<Entry>& entries) {
+    for (const Entry& e : entries) insert(e.first, e.second);
   }
 
 #ifdef ISOP_TSA_NEGATIVE_SEAM

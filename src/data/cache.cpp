@@ -39,31 +39,6 @@ std::string modelPath(const char* kind, const GenerationConfig& dsConfig,
   return os.str();
 }
 
-// Atomic cache publication: `save` writes to a temp file next to `path`
-// (same directory, so the rename below never crosses a filesystem), which is
-// then renamed into place. rename(2) is atomic on POSIX, so a reader — or a
-// second binary racing on the same cache key, routine once serve mode runs
-// concurrent jobs — sees either the complete old file, the complete new
-// file, or no file; never a torn one. The temp name is unique per process
-// and call, so concurrent writers cannot clobber each other's temp files;
-// the losing writer simply renames last (both wrote identical bytes — cache
-// keys encode every generation/training setting).
-void atomicSave(const std::string& path,
-                const std::function<void(const std::string&)>& save) {
-  static std::atomic<unsigned> counter{0};
-  std::ostringstream os;
-  os << path << ".tmp." << ::getpid() << "." << counter.fetch_add(1);
-  const std::string tmp = os.str();
-  try {
-    save(tmp);
-    fs::rename(tmp, path);
-  } catch (...) {
-    std::error_code ec;
-    fs::remove(tmp, ec);  // best effort; the original error is what matters
-    throw;
-  }
-}
-
 ml::Dataset trainSplit(const em::EmSimulator& sim, const GenerationConfig& dsConfig) {
   ml::Dataset ds =
       getOrGenerateDataset(sim, em::spaceByName(dsConfig.spaceName), dsConfig);
@@ -74,6 +49,49 @@ ml::Dataset trainSplit(const em::EmSimulator& sim, const GenerationConfig& dsCon
   return train;
 }
 }  // namespace
+
+// rename(2) is atomic on POSIX; see the contract in cache.hpp. The temp name
+// is unique per process and call, so concurrent writers cannot clobber each
+// other's temp files; the losing writer simply renames last (both wrote
+// identical bytes — cache keys encode every generation/training setting).
+void atomicSave(const std::string& path,
+                const std::function<void(const std::string&)>& save) {
+  static std::atomic<unsigned> counter{0};
+  std::ostringstream os;
+  os << path << ".tmp." << ::getpid() << "." << counter.fetch_add(1);
+  const std::string tmp = os.str();
+
+  // Crash-consistency sweep: a writer killed between save(tmp) and the
+  // rename leaves `<path>.tmp.<pid>.<n>` behind forever (loaders skip it —
+  // it never matches the published name — but it eats disk). The next
+  // publication of the same path is the natural owner of that cleanup.
+  {
+    const fs::path target(path);
+    const std::string prefix = target.filename().string() + ".tmp.";
+    std::error_code ec;
+    for (fs::directory_iterator it(target.parent_path().empty()
+                                       ? fs::path(".")
+                                       : target.parent_path(),
+                                   ec),
+         end;
+         !ec && it != end; it.increment(ec)) {
+      const std::string name = it->path().filename().string();
+      if (name.size() > prefix.size() && name.compare(0, prefix.size(), prefix) == 0) {
+        std::error_code rmEc;
+        fs::remove(it->path(), rmEc);  // best effort
+      }
+    }
+  }
+
+  try {
+    save(tmp);
+    fs::rename(tmp, path);
+  } catch (...) {
+    std::error_code ec;
+    fs::remove(tmp, ec);  // best effort; the original error is what matters
+    throw;
+  }
+}
 
 ml::Dataset getOrGenerateDataset(const em::EmSimulator& sim,
                                  const em::ParameterSpace& space,

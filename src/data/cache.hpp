@@ -5,6 +5,7 @@
 // "isop_cache/" in the working directory, override with ISOP_CACHE_DIR).
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -15,6 +16,17 @@ namespace isop::data {
 
 /// Resolves the cache directory (creates it if missing).
 std::string cacheDir();
+
+/// Atomic file publication: `save` writes to a unique temp file next to
+/// `path` (same directory, so the rename never crosses a filesystem), which
+/// is then renamed into place — readers see either the complete old file,
+/// the complete new file, or no file; never a torn one. Before publishing,
+/// stale `<path>.tmp.*` leftovers from crashed writers are removed (a live
+/// concurrent writer that loses its temp file fails its own publication
+/// with a warning and nothing else — both writers produce identical bytes).
+/// Used by the dataset/model caches here and by serve's session store.
+void atomicSave(const std::string& path,
+                const std::function<void(const std::string&)>& save);
 
 /// Loads the dataset for (config) if cached, else generates and caches it.
 ml::Dataset getOrGenerateDataset(const em::EmSimulator& sim,

@@ -262,20 +262,29 @@ void MlpRegressor::buildNetwork(std::size_t inputDim, std::size_t outputDim, Rng
 void MlpRegressor::save(const std::string& path) const {
   std::ofstream out(path, std::ios::binary);
   if (!out) throw std::runtime_error("MlpRegressor: cannot write '" + path + "'");
+  save(out, path);
+}
+
+void MlpRegressor::save(std::ostream& out, const std::string& context) const {
   writePod(out, kMlpMagic);
   writePod(out, static_cast<std::uint64_t>(config_.hidden.size()));
   for (std::size_t h : config_.hidden) writePod(out, static_cast<std::uint64_t>(h));
   writePod(out, config_.dropout);
   writePod(out, config_.leakySlope);
   saveCommon(out);
-  if (!out) throw std::runtime_error("MlpRegressor: write failed for '" + path + "'");
+  if (!out) throw std::runtime_error("MlpRegressor: write failed for '" + context + "'");
 }
 
 std::unique_ptr<MlpRegressor> MlpRegressor::load(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("MlpRegressor: cannot read '" + path + "'");
+  return load(in, path);
+}
+
+std::unique_ptr<MlpRegressor> MlpRegressor::load(std::istream& in,
+                                                 const std::string& context) {
   if (readPod<std::uint32_t>(in) != kMlpMagic) {
-    throw std::runtime_error("MlpRegressor: bad magic in '" + path + "'");
+    throw std::runtime_error("MlpRegressor: bad magic in '" + context + "'");
   }
   MlpConfig cfg;
   cfg.hidden.resize(readPod<std::uint64_t>(in));
@@ -288,7 +297,7 @@ std::unique_ptr<MlpRegressor> MlpRegressor::load(const std::string& path) {
   Rng rng(cfg.initSeed);
   model->buildNetwork(model->inputDim_, model->outputDim_, rng);
   model->loadCommon(in);
-  if (!in) throw std::runtime_error("MlpRegressor: truncated file '" + path + "'");
+  if (!in) throw std::runtime_error("MlpRegressor: truncated file '" + context + "'");
   return model;
 }
 
@@ -325,6 +334,10 @@ void Cnn1dRegressor::buildNetwork(std::size_t inputDim, std::size_t outputDim, R
 void Cnn1dRegressor::save(const std::string& path) const {
   std::ofstream out(path, std::ios::binary);
   if (!out) throw std::runtime_error("Cnn1dRegressor: cannot write '" + path + "'");
+  save(out, path);
+}
+
+void Cnn1dRegressor::save(std::ostream& out, const std::string& context) const {
   writePod(out, kCnnMagic);
   writePod(out, static_cast<std::uint64_t>(config_.expandChannels));
   writePod(out, static_cast<std::uint64_t>(config_.expandLength));
@@ -335,14 +348,19 @@ void Cnn1dRegressor::save(const std::string& path) const {
   writePod(out, config_.leakySlope);
   writePod(out, static_cast<std::uint8_t>(config_.batchNorm ? 1 : 0));
   saveCommon(out);
-  if (!out) throw std::runtime_error("Cnn1dRegressor: write failed for '" + path + "'");
+  if (!out) throw std::runtime_error("Cnn1dRegressor: write failed for '" + context + "'");
 }
 
 std::unique_ptr<Cnn1dRegressor> Cnn1dRegressor::load(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("Cnn1dRegressor: cannot read '" + path + "'");
+  return load(in, path);
+}
+
+std::unique_ptr<Cnn1dRegressor> Cnn1dRegressor::load(std::istream& in,
+                                                     const std::string& context) {
   if (readPod<std::uint32_t>(in) != kCnnMagic) {
-    throw std::runtime_error("Cnn1dRegressor: bad magic in '" + path + "'");
+    throw std::runtime_error("Cnn1dRegressor: bad magic in '" + context + "'");
   }
   Cnn1dConfig cfg;
   cfg.expandChannels = readPod<std::uint64_t>(in);
@@ -359,7 +377,7 @@ std::unique_ptr<Cnn1dRegressor> Cnn1dRegressor::load(const std::string& path) {
   Rng rng(cfg.initSeed);
   model->buildNetwork(model->inputDim_, model->outputDim_, rng);
   model->loadCommon(in);
-  if (!in) throw std::runtime_error("Cnn1dRegressor: truncated file '" + path + "'");
+  if (!in) throw std::runtime_error("Cnn1dRegressor: truncated file '" + context + "'");
   return model;
 }
 

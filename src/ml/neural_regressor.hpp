@@ -118,6 +118,13 @@ class MlpRegressor final : public NeuralRegressor {
   void save(const std::string& path) const;
   static std::unique_ptr<MlpRegressor> load(const std::string& path);
 
+  /// Stream round-trip of the full model (config + scalers + weights), the
+  /// byte format the path overloads use. `context` labels error messages
+  /// (a path or e.g. "state-dir payload").
+  void save(std::ostream& out, const std::string& context = "<stream>") const;
+  static std::unique_ptr<MlpRegressor> load(std::istream& in,
+                                            const std::string& context = "<stream>");
+
  protected:
   void buildNetwork(std::size_t inputDim, std::size_t outputDim, Rng& rng) override;
 
@@ -145,6 +152,11 @@ class Cnn1dRegressor final : public NeuralRegressor {
 
   void save(const std::string& path) const;
   static std::unique_ptr<Cnn1dRegressor> load(const std::string& path);
+
+  /// Stream round-trip (see MlpRegressor::save(std::ostream&)).
+  void save(std::ostream& out, const std::string& context = "<stream>") const;
+  static std::unique_ptr<Cnn1dRegressor> load(std::istream& in,
+                                              const std::string& context = "<stream>");
 
  protected:
   void buildNetwork(std::size_t inputDim, std::size_t outputDim, Rng& rng) override;

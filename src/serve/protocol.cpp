@@ -160,6 +160,14 @@ std::optional<Request> parseRequest(const std::string& line, std::string* error)
     return std::nullopt;
   }
   const std::string& kind = type->asString();
+  if (kind == "hello") {
+    static const std::set<std::string> keys = {"type", "token"};
+    if (!checkKeys(*parsed, keys, err)) return std::nullopt;
+    Request req;
+    req.kind = Request::Kind::Hello;
+    if (!readString(*parsed, "token", &req.token, err)) return std::nullopt;
+    return req;
+  }
   if (kind == "submit") return parseSubmit(*parsed, err);
   if (kind == "cancel") {
     static const std::set<std::string> keys = {"type", "id"};
@@ -206,6 +214,45 @@ std::optional<Request> parseRequest(const std::string& line, std::string* error)
   return std::nullopt;
 }
 
+json::Value submitToJson(const JobSpec& spec) {
+  const auto count = [](std::size_t v) {
+    return json::Value::integer(static_cast<long long>(v));
+  };
+  json::Value out = json::Value::object();
+  out.set("type", json::Value::string("submit"));
+  out.set("id", json::Value::string(spec.id));
+  out.set("task", json::Value::string(spec.task));
+  out.set("space", json::Value::string(spec.space));
+  out.set("layer", json::Value::string(spec.layer));
+  out.set("surrogate", json::Value::string(spec.surrogate));
+  if (spec.target) out.set("target", json::Value::number(*spec.target));
+  if (spec.tolerance) out.set("tolerance", json::Value::number(*spec.tolerance));
+  out.set("table_ix_constraints", json::Value::boolean(spec.tableIxConstraints));
+  out.set("budget", count(spec.budget));
+  out.set("iterations", count(spec.iterations));
+  out.set("local_seeds", count(spec.localSeeds));
+  out.set("refine_epochs", count(spec.refineEpochs));
+  out.set("hyperband_resource", count(spec.hyperbandResource));
+  out.set("candidates", count(spec.candidates));
+  out.set("trials", count(spec.trials));
+  out.set("seed", count(static_cast<std::size_t>(spec.seed)));
+  out.set("priority", json::Value::integer(spec.priority));
+  out.set("timeout_ms", count(static_cast<std::size_t>(spec.timeoutMs)));
+  out.set("deadline_ms", count(static_cast<std::size_t>(spec.deadlineMs)));
+  if (!spec.traceOut.empty()) {
+    out.set("trace_out", json::Value::string(spec.traceOut));
+  }
+  return out;
+}
+
+json::Value helloToJson(bool authenticated) {
+  json::Value out = json::Value::object();
+  out.set("event", json::Value::string("hello"));
+  out.set("protocol", json::Value::integer(kProtocolVersion));
+  out.set("authenticated", json::Value::boolean(authenticated));
+  return out;
+}
+
 json::Value resultToJson(const core::TrialStats& stats) {
   json::Value out = json::Value::object();
   out.set("trials", json::Value::integer(static_cast<long long>(stats.trials)));
@@ -215,6 +262,24 @@ json::Value resultToJson(const core::TrialStats& stats) {
   out.set("avg_em_calls", json::Value::number(stats.avgEmCalls));
   out.set("avg_runtime_seconds", json::Value::number(stats.avgRuntime));
   out.set("fom_mean", json::Value::number(stats.fomMean));
+
+  // Engine traffic across all trials. memo_hits > 0 on a job's first batch
+  // is the observable proof of a warm start — designs and samples-seen stay
+  // identical (hits return the exact cached model output and are still
+  // billed as queries); only this accounting and wall time move.
+  {
+    std::size_t rows = 0, memoHits = 0, emCalls = 0;
+    for (const core::TrialOutcome& outcome : stats.outcomes) {
+      rows += outcome.evalStats.rows;
+      memoHits += outcome.evalStats.memoHits;
+      emCalls += outcome.emCalls;
+    }
+    json::Value eval = json::Value::object();
+    eval.set("rows", json::Value::integer(static_cast<long long>(rows)));
+    eval.set("memo_hits", json::Value::integer(static_cast<long long>(memoHits)));
+    eval.set("em_calls", json::Value::integer(static_cast<long long>(emCalls)));
+    out.set("eval", std::move(eval));
+  }
 
   // Ranked designs. A single trial exposes its full EM-validated roll-out
   // list; a multi-trial job ranks the per-trial winners (feasible first,
@@ -314,6 +379,7 @@ json::Value toJson(const JobEvent& event) {
 json::Value statsToJson(const Scheduler::Status& status,
                         const std::vector<Scheduler::JobSnapshot>& jobs,
                         const std::vector<SessionManager::SessionInfo>& sessions,
+                        const SessionManager::Lifecycle& lifecycle,
                         json::Value metrics) {
   json::Value out = json::Value::object();
   out.set("event", json::Value::string("stats"));
@@ -377,10 +443,26 @@ json::Value statsToJson(const Scheduler::Status& status,
     s.set("rows", json::Value::integer(static_cast<long long>(info.rows)));
     s.set("memo_hits", json::Value::integer(static_cast<long long>(info.memoHits)));
     s.set("hit_rate", json::Value::number(info.hitRate));
+    s.set("active_jobs",
+          json::Value::integer(static_cast<long long>(info.activeJobs)));
+    s.set("warm_model", json::Value::boolean(info.warmModel));
+    s.set("warm_memo", json::Value::boolean(info.warmMemo));
+    s.set("estimated_bytes",
+          json::Value::integer(static_cast<long long>(info.estimatedBytes)));
     s.set("plan", json::Value::string(info.plan));
     sessionList.push(std::move(s));
   }
   out.set("sessions", std::move(sessionList));
+
+  json::Value life = json::Value::object();
+  life.set("created", json::Value::integer(static_cast<long long>(lifecycle.created)));
+  life.set("evicted", json::Value::integer(static_cast<long long>(lifecycle.evicted)));
+  life.set("persisted",
+           json::Value::integer(static_cast<long long>(lifecycle.persisted)));
+  life.set("loaded", json::Value::integer(static_cast<long long>(lifecycle.loaded)));
+  life.set("load_failures",
+           json::Value::integer(static_cast<long long>(lifecycle.loadFailures)));
+  out.set("session_lifecycle", std::move(life));
 
   out.set("metrics", std::move(metrics));
   return out;

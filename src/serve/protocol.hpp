@@ -1,6 +1,7 @@
 // Wire protocol of the serve mode: line-delimited JSON on both directions.
 //
 // Requests (client -> server), one JSON object per line:
+//   {"type":"hello"[,"token":SECRET]}                 // TCP authentication
 //   {"type":"submit","id":"j1", ...job spec fields...}
 //   {"type":"cancel","id":"j1"}
 //   {"type":"status"}
@@ -29,14 +30,18 @@ namespace isop::serve {
 
 /// Protocol revision announced in the `ready` event; bump on any breaking
 /// change to requests or events. v2 adds the stats/trace requests and the
-/// submit `trace_out` field (v1 requests are unchanged).
-inline constexpr int kProtocolVersion = 2;
+/// submit `trace_out` field (v1 requests are unchanged). v3 adds the
+/// `hello` request (TCP authentication), the `eval` block in done results,
+/// the session lifecycle in the stats response, and the `listen` field in
+/// the ready event (v2 requests are unchanged).
+inline constexpr int kProtocolVersion = 3;
 
 struct Request {
-  enum class Kind { Submit, Cancel, Status, Stats, Trace, Shutdown };
+  enum class Kind { Hello, Submit, Cancel, Status, Stats, Trace, Shutdown };
   Kind kind = Kind::Status;
-  JobSpec spec;    ///< Submit only
-  std::string id;  ///< Cancel only
+  JobSpec spec;      ///< Submit only
+  std::string id;    ///< Cancel only
+  std::string token; ///< Hello only: the shared secret ("" = none given)
 
   /// Trace only: the span-capture control verb.
   enum class TraceAction { Start, Stop, Status };
@@ -48,6 +53,17 @@ struct Request {
 /// malformed JSON, unknown "type", missing/mistyped fields, unknown keys, or
 /// out-of-range values.
 std::optional<Request> parseRequest(const std::string& line, std::string* error);
+
+/// Wire encoding of a submit request for `spec`. Inverse of parseSubmit: for
+/// any valid spec, parseRequest(submitToJson(spec).dump()) yields an equal
+/// spec, and re-encoding that spec reproduces the same JSON — the encode →
+/// parse → re-encode fixed point the protocol round-trip test pins down.
+/// Optional fields (target/tolerance/trace_out) are omitted when unset.
+json::Value submitToJson(const JobSpec& spec);
+
+/// The `hello` response payload (the protocol version is repeated so a
+/// client connecting over TCP learns it without seeing the ready event).
+json::Value helloToJson(bool authenticated);
 
 /// Wire encoding of one scheduler event (the "result" of a Done event is
 /// expanded via resultToJson).
@@ -62,10 +78,13 @@ json::Value statusToJson(const Scheduler::Status& status, std::size_t sessions);
 
 /// The `stats` response payload: the status fields under "queue", the live
 /// per-job table under "jobs", the session/memo-cache table under
-/// "sessions", and the full metrics-registry export under "metrics".
+/// "sessions", the session lifecycle (created/evicted/persisted/loaded)
+/// under "session_lifecycle", and the full metrics-registry export under
+/// "metrics".
 json::Value statsToJson(const Scheduler::Status& status,
                         const std::vector<Scheduler::JobSnapshot>& jobs,
                         const std::vector<SessionManager::SessionInfo>& sessions,
+                        const SessionManager::Lifecycle& lifecycle,
                         json::Value metrics);
 
 /// The `trace` response payload: current capture state plus (after a stop

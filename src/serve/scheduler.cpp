@@ -333,12 +333,18 @@ void Scheduler::workerLoop() {
       terminal.reason = e.what();
     }
     terminal.runSeconds = runTimer.seconds();
-    // Settle the accounting and export the per-job trace before the terminal
-    // event goes out: a client that saw `done` can immediately read the
-    // trace file and a stats snapshot that no longer counts this job.
+    // Settle the accounting, export the per-job trace, and persist the
+    // session's memo state before the terminal event goes out: a client that
+    // saw `done` can immediately read the trace file, see a stats snapshot
+    // that no longer counts this job — and kill the server knowing the
+    // warm-start state of this job's work is already on disk.
     running_.fetch_sub(1, std::memory_order_relaxed);
     updateQueueGauge();
     exportJobTrace(job);
+    if (terminal.kind == JobEvent::Kind::Done) {
+      sessions_->persistAfterJob(
+          SessionKey{job->spec.surrogate, job->spec.space, job->spec.layer});
+    }
     finish(job, sink, std::move(terminal));
   }
 }
@@ -353,6 +359,10 @@ void Scheduler::exportJobTrace(const std::shared_ptr<Job>& job) const {
 void Scheduler::runJob(const std::shared_ptr<Job>& job, const EventSink& sink) {
   const std::shared_ptr<SessionManager::Context> ctx = sessions_->acquire(
       SessionKey{job->spec.surrogate, job->spec.space, job->spec.layer});
+  // Pin for the duration of the run: the session manager never evicts a
+  // session with running jobs, so ctx->engine's memo cache stays reachable
+  // by concurrent jobs on the same key.
+  SessionPin pin(ctx);
   const core::Task task = makeTask(job->spec);
   const core::MethodSpec method = makeMethod(job->spec);
 

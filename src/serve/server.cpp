@@ -1,7 +1,11 @@
 #include "serve/server.hpp"
 
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -20,6 +24,11 @@ namespace {
 // may only touch async-signal-safe machinery, so it just pokes this fd.
 std::atomic<int> gSignalFd{-1};
 
+// Request lines are capped: a line this long is never a legitimate request
+// (the largest submit is well under a kilobyte), so treat it as a broken or
+// hostile client instead of buffering without bound.
+constexpr std::size_t kMaxRequestBytes = 1 << 20;  // 1 MiB
+
 void onShutdownSignal(int) {
   const int fd = gSignalFd.load(std::memory_order_relaxed);
   if (fd >= 0) {
@@ -36,13 +45,97 @@ json::Value errorEvent(const std::string& message) {
   return v;
 }
 
+/// Binds a listening unix socket at `path` (unlinking a stale one first).
+/// Returns the fd, or -1 with *error set.
+int openUnixListener(const std::string& path, std::string* error) {
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof addr);
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    *error = "socket path too long: " + path;
+    return -1;
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    *error = std::string("socket() failed: ") + std::strerror(errno);
+    return -1;
+  }
+  ::unlink(path.c_str());  // stale path from a crashed server
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(fd, 8) != 0) {
+    *error = "cannot listen on '" + path + "': " + std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// Binds a listening TCP socket for "host:port" (empty host = all
+/// interfaces; port 0 = kernel-assigned, reported back via *boundPort and
+/// *resolved). Returns the fd, or -1 with *error set.
+int openTcpListener(const std::string& address, std::uint16_t* boundPort,
+                    std::string* resolved, std::string* error) {
+  const std::size_t colon = address.rfind(':');
+  if (colon == std::string::npos) {
+    *error = "listen address must be host:port, got '" + address + "'";
+    return -1;
+  }
+  const std::string host = address.substr(0, colon);
+  const std::string port = address.substr(colon + 1);
+
+  addrinfo hints;
+  std::memset(&hints, 0, sizeof hints);
+  hints.ai_family = AF_INET;  // deterministic: v4 only, no dual-stack surprises
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_PASSIVE;
+  addrinfo* info = nullptr;
+  const int rc =
+      ::getaddrinfo(host.empty() ? nullptr : host.c_str(), port.c_str(), &hints, &info);
+  if (rc != 0 || !info) {
+    *error = "cannot resolve '" + address + "': " + ::gai_strerror(rc);
+    return -1;
+  }
+
+  int fd = -1;
+  for (const addrinfo* ai = info; ai; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    if (::bind(fd, ai->ai_addr, ai->ai_addrlen) == 0 && ::listen(fd, 8) == 0) break;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(info);
+  if (fd < 0) {
+    *error = "cannot listen on '" + address + "': " + std::strerror(errno);
+    return -1;
+  }
+
+  sockaddr_in bound;
+  socklen_t len = sizeof bound;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    char ip[INET_ADDRSTRLEN] = "0.0.0.0";
+    ::inet_ntop(AF_INET, &bound.sin_addr, ip, sizeof ip);
+    *boundPort = ntohs(bound.sin_port);
+    *resolved = std::string(ip) + ":" + std::to_string(*boundPort);
+  } else {
+    *boundPort = 0;
+    *resolved = address;
+  }
+  return fd;
+}
+
 }  // namespace
 
 /// Serializes whole JSONL lines onto one stream from many threads (the
 /// scheduler's workers and the request reader share a client's writer).
-/// A failed write marks the writer dead and later writes are dropped — a
-/// client that went away must not take the server down (fd writes use
-/// MSG_NOSIGNAL to suppress SIGPIPE).
+/// A failed write — EPIPE/ECONNRESET from a vanished client, or a
+/// SO_SNDTIMEO expiry from a stuck one — marks the writer dead and later
+/// writes are dropped: a client that went away must not take the server
+/// down (fd writes use MSG_NOSIGNAL to suppress SIGPIPE). dead() lets event
+/// producers skip serialization work for such clients entirely.
 class LineWriter {
  public:
   explicit LineWriter(std::FILE* file) : file_(file) {}
@@ -65,11 +158,19 @@ class LineWriter {
           ::send(fd_, line.data() + off, line.size() - off, MSG_NOSIGNAL);  // lint-ok(L3): serializing whole-line writes onto the socket is this lock's purpose
       if (n <= 0) {
         if (n < 0 && errno == EINTR) continue;
+        // EPIPE/ECONNRESET (client gone) or EAGAIN (SO_SNDTIMEO expired on
+        // a stuck reader): either way this client stops receiving events.
         dead_ = true;
         return;
       }
       off += static_cast<std::size_t>(n);
     }
+  }
+
+  /// True once a write failed; the client can never receive again.
+  bool dead() const {
+    MutexLock lock(mutex_);
+    return dead_;
   }
 
  private:
@@ -78,7 +179,7 @@ class LineWriter {
   // Ranked under the scheduler: accepted/rejected events are written while
   // the scheduler lock is held (Scheduler::submit admits under its lock by
   // design, so no later event can precede the accepted).
-  AnnotatedMutex mutex_{"serve.line_writer", lock_order::rank::kLineWriter};
+  mutable AnnotatedMutex mutex_{"serve.line_writer", lock_order::rank::kLineWriter};
   bool dead_ ISOP_GUARDED_BY(mutex_) = false;
 };
 
@@ -86,8 +187,10 @@ class LineWriter {
 /// LineWriter all of this client's job events are routed to.
 class Server::Connection {
  public:
-  Connection(Server& server, int fd)
-      : server_(&server), fd_(fd), writer_(std::make_shared<LineWriter>(fd)) {}
+  Connection(Server& server, int fd, bool requireAuth)
+      : server_(&server), fd_(fd), writer_(std::make_shared<LineWriter>(fd)) {
+    state_.requireAuth = requireAuth;
+  }
 
   ~Connection() {
     join();
@@ -102,10 +205,6 @@ class Server::Connection {
   /// side — events of still-running jobs keep flowing during the drain.
   void stopReading() { ::shutdown(fd_, SHUT_RD); }
 
-  void join() {
-    if (thread_.joinable()) thread_.join();
-  }
-
  private:
   void readLoop() {
     std::string buffer;
@@ -113,31 +212,55 @@ class Server::Connection {
     for (;;) {
       const ssize_t n = ::read(fd_, chunk, sizeof chunk);
       if (n < 0 && errno == EINTR) continue;
-      if (n <= 0) break;
+      if (n <= 0) break;  // EOF mid-line: the truncated frame is ignored
       buffer.append(chunk, static_cast<std::size_t>(n));
       std::size_t pos;
       while ((pos = buffer.find('\n')) != std::string::npos) {
         const std::string line = buffer.substr(0, pos);
         buffer.erase(0, pos + 1);
         if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
-        server_->handleLine(line, writer_);
+        server_->handleLine(line, writer_, &state_);
+        if (state_.closeRequested.load(std::memory_order_relaxed)) {
+          // Failed authentication: make the client see EOF immediately.
+          ::shutdown(fd_, SHUT_RDWR);
+          return;
+        }
+      }
+      if (buffer.size() > kMaxRequestBytes) {
+        // A socket client streaming an unbounded line is broken or hostile;
+        // answer once and disconnect (stdio discards instead — see run()).
+        writer_->write(errorEvent("request line exceeds 1 MiB limit"));
+        ::shutdown(fd_, SHUT_RDWR);
+        return;
       }
     }
+  }
+
+  void join() {
+    if (thread_.joinable()) thread_.join();
   }
 
   Server* server_;
   int fd_;
   std::shared_ptr<LineWriter> writer_;
+  ConnState state_;
   std::thread thread_;
 };
 
 Server::Server(ServerConfig config, std::FILE* in, std::FILE* out)
-    : config_(std::move(config)), in_(in), out_(out), sessions_(config_.engine) {}
+    : config_(std::move(config)),
+      in_(in),
+      out_(out),
+      sessions_(SessionManagerConfig{config_.engine, config_.maxSessions,
+                                     config_.sessionMemoryBudgetBytes,
+                                     config_.stateDir}) {}
 
 Server::~Server() {
   // run() tears everything down before returning; this only covers a Server
   // that was never run.
-  if (listenFd_ >= 0) ::close(listenFd_);
+  for (const Listener& listener : listeners_) {
+    if (listener.fd >= 0) ::close(listener.fd);
+  }
   for (int fd : shutdownPipe_) {
     if (fd >= 0) ::close(fd);
   }
@@ -164,17 +287,42 @@ void Server::beginShutdown() {
 }
 
 void Server::handleLine(const std::string& line,
-                        const std::shared_ptr<LineWriter>& writer) {
+                        const std::shared_ptr<LineWriter>& writer,
+                        ConnState* state) {
   std::string error;
   const std::optional<Request> request = parseRequest(line, &error);
   if (!request) {
     writer->write(errorEvent(error));
     return;
   }
+  if (request->kind == Request::Kind::Hello) {
+    // Trusted transports (stdio, unix socket) accept any hello; a TCP
+    // client with an auth token configured must present it here.
+    if (!state->requireAuth || request->token == config_.authToken) {
+      state->authenticated.store(true, std::memory_order_relaxed);
+      writer->write(helloToJson(true));
+    } else {
+      writer->write(errorEvent("hello: invalid token"));
+      state->closeRequested.store(true, std::memory_order_relaxed);
+    }
+    return;
+  }
+  if (state->requireAuth && !state->authenticated.load(std::memory_order_relaxed)) {
+    writer->write(errorEvent("authentication required: send {\"type\":\"hello\",\"token\":...} first"));
+    state->closeRequested.store(true, std::memory_order_relaxed);
+    return;
+  }
   switch (request->kind) {
+    case Request::Kind::Hello:
+      break;  // handled above
     case Request::Kind::Submit: {
       const std::shared_ptr<LineWriter> sink = writer;
       scheduler_->submit(request->spec, [sink](const JobEvent& event) {
+        // A dead client (disconnected mid-job, or timed out as a slow
+        // reader) stops costing progress serialization; the job itself is
+        // untouched and terminal events still settle the accounting
+        // through write()'s own dead-check.
+        if (event.kind == JobEvent::Kind::Progress && sink->dead()) return;
         sink->write(toJson(event));
       });
       break;
@@ -189,7 +337,8 @@ void Server::handleLine(const std::string& line,
       break;
     case Request::Kind::Stats:
       writer->write(statsToJson(scheduler_->status(), scheduler_->jobs(),
-                                sessions_.table(), obs::registry().toJson()));
+                                sessions_.table(), sessions_.lifecycle(),
+                                obs::registry().toJson()));
       break;
     case Request::Kind::Trace: {
       obs::Tracer& tracer = obs::tracer();
@@ -224,26 +373,39 @@ void Server::handleLine(const std::string& line,
   }
 }
 
-void Server::acceptLoop(int listenFd) {
+void Server::acceptLoop() {
+  std::vector<pollfd> fds(listeners_.size() + 1);
   for (;;) {
-    pollfd fds[2] = {{listenFd, POLLIN, 0}, {shutdownPipe_[0], POLLIN, 0}};
-    if (::poll(fds, 2, -1) < 0) {
+    for (std::size_t i = 0; i < listeners_.size(); ++i) {
+      fds[i] = {listeners_[i].fd, POLLIN, 0};
+    }
+    fds.back() = {shutdownPipe_[0], POLLIN, 0};
+    if (::poll(fds.data(), static_cast<nfds_t>(fds.size()), -1) < 0) {
       if (errno == EINTR) continue;
       return;
     }
-    if (fds[1].revents != 0) return;  // shutdown (the byte stays for run())
-    if (fds[0].revents == 0) continue;
-    const int fd = ::accept(listenFd, nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EINTR || errno == ECONNABORTED) continue;
-      return;
+    if (fds.back().revents != 0) return;  // shutdown (the byte stays for run())
+    for (std::size_t i = 0; i < listeners_.size(); ++i) {
+      if (fds[i].revents == 0) continue;
+      const int fd = ::accept(listeners_[i].fd, nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EINTR || errno == ECONNABORTED) continue;
+        return;
+      }
+      if (config_.writeTimeoutMs > 0) {
+        timeval tv;
+        tv.tv_sec = static_cast<time_t>(config_.writeTimeoutMs / 1000);
+        tv.tv_usec = static_cast<suseconds_t>((config_.writeTimeoutMs % 1000) * 1000);
+        ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+      }
+      const bool requireAuth = listeners_[i].tcp && !config_.authToken.empty();
+      auto connection = std::make_shared<Connection>(*this, fd, requireAuth);
+      {
+        MutexLock lock(connectionsMutex_);
+        connections_.push_back(connection);
+      }
+      connection->start();
     }
-    auto connection = std::make_shared<Connection>(*this, fd);
-    {
-      MutexLock lock(connectionsMutex_);
-      connections_.push_back(connection);
-    }
-    connection->start();
   }
 }
 
@@ -254,29 +416,28 @@ int Server::run() {
   }
   gSignalFd.store(shutdownPipe_[1], std::memory_order_relaxed);
 
+  std::string tcpResolved;
   if (!config_.socketPath.empty()) {
-    sockaddr_un addr;
-    std::memset(&addr, 0, sizeof addr);
-    addr.sun_family = AF_UNIX;
-    if (config_.socketPath.size() >= sizeof addr.sun_path) {
-      log::error("serve: socket path too long: ", config_.socketPath);
+    std::string error;
+    const int fd = openUnixListener(config_.socketPath, &error);
+    if (fd < 0) {
+      log::error("serve: ", error);
       return 1;
     }
-    std::strncpy(addr.sun_path, config_.socketPath.c_str(), sizeof addr.sun_path - 1);
-    listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (listenFd_ < 0) {
-      log::error("serve: socket() failed: ", std::strerror(errno));
+    listeners_.push_back({fd, false, config_.socketPath});
+  }
+  if (!config_.listenAddress.empty()) {
+    std::string error;
+    std::uint16_t port = 0;
+    const int fd = openTcpListener(config_.listenAddress, &port, &tcpResolved, &error);
+    if (fd < 0) {
+      log::error("serve: ", error);
+      for (const Listener& listener : listeners_) ::close(listener.fd);
+      listeners_.clear();
       return 1;
     }
-    ::unlink(config_.socketPath.c_str());  // stale path from a crashed server
-    if (::bind(listenFd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
-        ::listen(listenFd_, 8) != 0) {
-      log::error("serve: cannot listen on '", config_.socketPath,
-                 "': ", std::strerror(errno));
-      ::close(listenFd_);
-      listenFd_ = -1;
-      return 1;
-    }
+    listeners_.push_back({fd, true, tcpResolved});
+    boundTcpPort_.store(port, std::memory_order_release);
   }
 
   // A service answers stats requests for its whole lifetime, so serve mode
@@ -296,8 +457,8 @@ int Server::run() {
   scheduler_ = std::make_unique<Scheduler>(
       sessions_, config_.scheduler,
       [writer = stdioWriter_](const JobEvent& event) { writer->write(toJson(event)); });
-  if (listenFd_ >= 0) {
-    acceptThread_ = std::thread([this, fd = listenFd_] { acceptLoop(fd); });
+  if (!listeners_.empty()) {
+    acceptThread_ = std::thread([this] { acceptLoop(); });
   }
 
   {
@@ -309,11 +470,18 @@ int Server::run() {
     ready.set("queue_capacity",
               json::Value::integer(
                   static_cast<long long>(config_.scheduler.queueCapacity)));
+    if (!tcpResolved.empty()) {
+      ready.set("listen", json::Value::string(tcpResolved));
+    }
+    if (!config_.stateDir.empty()) {
+      ready.set("state_dir", json::Value::string(config_.stateDir));
+    }
     stdioWriter_->write(ready);
   }
 
   const int inFd = ::fileno(in_);
   std::string buffer;
+  bool discarding = false;  // inside an oversize stdio line, until newline
   while (!shutdownRequested_.load(std::memory_order_relaxed)) {
     pollfd fds[2] = {{inFd, POLLIN, 0}, {shutdownPipe_[0], POLLIN, 0}};
     if (::poll(fds, 2, -1) < 0) {
@@ -331,20 +499,32 @@ int Server::run() {
     while ((pos = buffer.find('\n')) != std::string::npos) {
       const std::string line = buffer.substr(0, pos);
       buffer.erase(0, pos + 1);
+      if (discarding) {
+        discarding = false;  // the oversize line's tail ends here
+        continue;
+      }
       if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
-      handleLine(line, stdioWriter_);
+      handleLine(line, stdioWriter_, &stdioState_);
       if (shutdownRequested_.load(std::memory_order_relaxed)) break;
+    }
+    if (!discarding && buffer.size() > kMaxRequestBytes) {
+      // Unlike a socket client, stdio cannot be dropped without draining
+      // the whole server, so the oversize line is answered and discarded.
+      stdioWriter_->write(errorEvent("request line exceeds 1 MiB limit"));
+      buffer.clear();
+      discarding = true;
     }
   }
   beginShutdown();
 
   // Stop intake: no new connections, no new requests from existing ones.
   if (acceptThread_.joinable()) acceptThread_.join();
-  if (listenFd_ >= 0) {
-    ::close(listenFd_);
-    ::unlink(config_.socketPath.c_str());
-    listenFd_ = -1;
+  for (Listener& listener : listeners_) {
+    ::close(listener.fd);
+    if (!listener.tcp) ::unlink(listener.describe.c_str());
+    listener.fd = -1;
   }
+  listeners_.clear();
   {
     MutexLock lock(connectionsMutex_);
     for (const auto& connection : connections_) connection->stopReading();
@@ -354,6 +534,10 @@ int Server::run() {
   // and stream their remaining events to their clients.
   const Scheduler::Status finalStatus = scheduler_->status();
   scheduler_->drain();
+
+  // Warm-start durability: with every job settled, snapshot all sessions so
+  // the next process (or a replica sharing the state dir) starts hot.
+  sessions_.persistAll();
 
   // The sampler's stop() takes a final sample, so the series always ends
   // with the post-drain state.

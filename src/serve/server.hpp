@@ -8,12 +8,28 @@
 //   * unix socket — optional (`socketPath`); each accepted connection
 //     speaks the same protocol, and a job's events go to the connection
 //     that submitted it.
+//   * TCP — optional (`listenAddress`, "host:port"; port 0 picks a free
+//     port, see boundTcpPort()). Same per-connection protocol as the unix
+//     socket, plus authentication: when `authToken` is set, a TCP client's
+//     first request must be {"type":"hello","token":...} — anything else
+//     (or a wrong token) is answered with an error event and the connection
+//     closes. stdio and unix-socket clients are local and implicitly
+//     trusted; hello is accepted but never required there.
+//
+// Robustness: request lines are capped at 1 MiB — a socket client that
+// exceeds it gets an error event and is disconnected; on stdio the oversize
+// line is discarded (closing stdin would drain the whole server). A request
+// line truncated by EOF (no trailing newline) is ignored. Slow readers are
+// bounded by `writeTimeoutMs`: a blocked event write marks that client's
+// writer dead instead of hanging a scheduler worker, and dead clients stop
+// receiving progress streams while their jobs run on unaffected.
 //
 // Shutdown paths (all equivalent): SIGINT/SIGTERM, a {"type":"shutdown"}
 // request, or stdin EOF. Each stops admission, rejects still-queued jobs
-// ("server draining"), lets running jobs finish, then emits a final
-// `shutdown` event. Signals are handled with the self-pipe idiom — the
-// handler only writes a byte, the poll loop does the work.
+// ("server draining"), lets running jobs finish, persists session state to
+// the state dir (when configured), then emits a final `shutdown` event.
+// Signals are handled with the self-pipe idiom — the handler only writes a
+// byte, the poll loop does the work.
 #pragma once
 
 #include <atomic>
@@ -33,9 +49,22 @@ namespace isop::serve {
 
 struct ServerConfig {
   SchedulerConfig scheduler{};
-  std::string socketPath;  ///< empty = stdio only
+  std::string socketPath;     ///< unix socket; empty = none
+  std::string listenAddress;  ///< TCP "host:port"; empty = none
+  /// Shared secret for TCP clients ("" = open). Checked on the connection's
+  /// `hello` request; stdio/unix-socket clients are implicitly trusted.
+  std::string authToken;
+  /// SO_SNDTIMEO for accepted sockets in ms; 0 = block forever. With a
+  /// timeout, a slow reader's blocked event write marks the client dead
+  /// instead of stalling a scheduler worker indefinitely.
+  std::uint64_t writeTimeoutMs = 0;
+
   /// Engine knobs shared by every session (memo cache size etc.).
   core::EvalEngineConfig engine{};
+  /// Session caps + warm-start persistence; see SessionManagerConfig.
+  std::size_t maxSessions = 0;
+  std::size_t sessionMemoryBudgetBytes = 0;
+  std::string stateDir;
 
   /// Background metrics time-series tick period in ms; 0 = no sampler.
   std::uint64_t metricsIntervalMs = 0;
@@ -63,6 +92,14 @@ class Server {
   /// path).
   int run();
 
+  /// The TCP listener's resolved port once run() has bound it (0 before,
+  /// and forever when no listenAddress is configured). Lets tests listen on
+  /// port 0 and discover the kernel's pick; also echoed in the ready
+  /// event's "listen" field.
+  std::uint16_t boundTcpPort() const {
+    return boundTcpPort_.load(std::memory_order_acquire);
+  }
+
 #ifdef ISOP_TSA_NEGATIVE_SEAM
   /// Deliberately racy: reads the connection registry without taking
   /// connectionsMutex_. Exists only for the tsa-negative stage of
@@ -76,8 +113,27 @@ class Server {
  private:
   class Connection;
 
-  void handleLine(const std::string& line, const std::shared_ptr<class LineWriter>& writer);
-  void acceptLoop(int listenFd);
+  /// One bound listening socket; the accept loop multiplexes all of them.
+  struct Listener {
+    int fd = -1;
+    bool tcp = false;        ///< TCP clients must authenticate (if a token is set)
+    std::string describe;    ///< unix path, or resolved "host:port"
+  };
+
+  /// Per-connection protocol state shared by the transport reader and
+  /// handleLine. stdio uses a never-requiring-auth instance.
+  struct ConnState {
+    bool requireAuth = false;
+    std::atomic<bool> authenticated{false};
+    /// Set by handleLine to ask the transport to drop the client (failed
+    /// authentication); socket readers close, stdio ignores it.
+    std::atomic<bool> closeRequested{false};
+  };
+
+  void handleLine(const std::string& line,
+                  const std::shared_ptr<class LineWriter>& writer,
+                  ConnState* state);
+  void acceptLoop();
   void beginShutdown();
 
   ServerConfig config_;
@@ -87,13 +143,15 @@ class Server {
   std::unique_ptr<Scheduler> scheduler_;
   std::unique_ptr<obs::MetricsSampler> sampler_;
   std::shared_ptr<class LineWriter> stdioWriter_;
+  ConnState stdioState_;
   bool prevMetricsEnabled_ = false;
 
   std::atomic<bool> shutdownRequested_{false};
   int shutdownPipe_[2] = {-1, -1};  ///< wakes the poll loops
 
   std::thread acceptThread_;
-  int listenFd_ = -1;
+  std::vector<Listener> listeners_;
+  std::atomic<std::uint16_t> boundTcpPort_{0};
   mutable AnnotatedMutex connectionsMutex_{"serve.connections",
                                            lock_order::rank::kServer};
   std::vector<std::shared_ptr<Connection>> connections_

@@ -1,0 +1,29 @@
+// Identity of a serve session, shared by the session manager (map key) and
+// the session store (state-file naming).
+#pragma once
+
+#include <string>
+
+namespace isop::serve {
+
+/// Which model answers queries over which space and layer physics. Jobs with
+/// equal keys share one session Context. The fields are the validated
+/// protocol enum strings, so they are safe as state-file name components.
+struct SessionKey {
+  std::string surrogate;  ///< oracle|cnn|mlp
+  std::string space;      ///< S1|S2|S1p
+  std::string layer;      ///< stripline|microstrip
+
+  bool operator<(const SessionKey& other) const {
+    if (surrogate != other.surrogate) return surrogate < other.surrogate;
+    if (space != other.space) return space < other.space;
+    return layer < other.layer;
+  }
+  bool operator==(const SessionKey& other) const {
+    return surrogate == other.surrogate && space == other.space &&
+           layer == other.layer;
+  }
+  bool operator!=(const SessionKey& other) const { return !(*this == other); }
+};
+
+}  // namespace isop::serve

@@ -1,30 +1,99 @@
 #include "serve/session_manager.hpp"
 
+#include <limits>
 #include <stdexcept>
+#include <utility>
 
 #include "core/simulator_surrogate.hpp"
 #include "data/cache.hpp"
+#include "em/stackup.hpp"
 #include "ml/neural_regressor.hpp"
 #include "obs/obs.hpp"
 
 namespace isop::serve {
 
-SessionManager::SessionManager(core::EvalEngineConfig engineConfig)
-    : engineConfig_(engineConfig) {}
+namespace {
+// Rough resident cost of one memo entry: the (design, metrics) doubles plus
+// list/map node overhead. Only feeds the eviction budget, so precision does
+// not matter — being consistently wrong by a factor keeps the LRU order.
+constexpr std::size_t kMemoEntryBytes =
+    sizeof(double) * (em::kNumParams + em::kNumMetrics) + 112;
+}  // namespace
+
+SessionManager::SessionManager(SessionManagerConfig config)
+    : config_(std::move(config)),
+      store_(config_.stateDir.empty()
+                 ? nullptr
+                 : std::make_unique<SessionStore>(config_.stateDir)) {}
 
 std::shared_ptr<SessionManager::Context> SessionManager::acquire(
     const SessionKey& key) {
-  MutexLock lock(mutex_);
-  auto it = sessions_.find(key);
-  if (it != sessions_.end()) return it->second;
-  std::shared_ptr<Context> ctx = build(key);
-  sessions_.emplace(key, ctx);
-  if (obs::metricsEnabled()) {
-    auto& reg = obs::registry();
-    reg.counter("serve.sessions.created").add();
-    reg.gauge("serve.sessions.active").set(static_cast<double>(sessions_.size()));
+  std::vector<Victim> victims;
+  std::shared_ptr<Context> ctx;
+  {
+    MutexLock lock(mutex_);
+    ++useClock_;
+    auto it = sessions_.find(key);
+    if (it != sessions_.end()) {
+      it->second->lastUse.store(useClock_, std::memory_order_relaxed);
+      return it->second;
+    }
+    ctx = build(key);
+    ctx->lastUse.store(useClock_, std::memory_order_relaxed);
+    sessions_.emplace(key, ctx);
+    ++created_;
+    evictOverBudget(key, &victims);
+    if (obs::metricsEnabled()) {
+      auto& reg = obs::registry();
+      reg.counter("serve.sessions.created").add();
+      if (!victims.empty()) {
+        reg.counter("serve.sessions.evicted").add(victims.size());
+      }
+      reg.gauge("serve.sessions.active").set(static_cast<double>(sessions_.size()));
+    }
   }
+  persistVictims(victims);
   return ctx;
+}
+
+void SessionManager::evictOverBudget(const SessionKey& justAcquired,
+                                     std::vector<Victim>* victims) {
+  const auto overBudget = [this]() ISOP_REQUIRES(mutex_) {
+    if (config_.maxSessions > 0 && sessions_.size() > config_.maxSessions) {
+      return true;
+    }
+    if (config_.memoryBudgetBytes > 0) {
+      std::size_t total = 0;
+      for (const auto& [key, ctx] : sessions_) total += estimatedBytes(*ctx);
+      if (total > config_.memoryBudgetBytes) return true;
+    }
+    return false;
+  };
+  while (overBudget()) {
+    auto victim = sessions_.end();
+    std::uint64_t oldest = std::numeric_limits<std::uint64_t>::max();
+    for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
+      if (it->first == justAcquired) continue;  // never evict what we return
+      if (it->second->activeJobs.load(std::memory_order_relaxed) > 0) continue;
+      const std::uint64_t use = it->second->lastUse.load(std::memory_order_relaxed);
+      if (use < oldest) {
+        oldest = use;
+        victim = it;
+      }
+    }
+    if (victim == sessions_.end()) return;  // everything else is running jobs
+    victims->emplace_back(victim->first, victim->second);
+    sessions_.erase(victim);
+    ++evicted_;
+  }
+}
+
+void SessionManager::persistVictims(const std::vector<Victim>& victims) {
+  if (!store_) return;
+  // Outside the manager lock: the shared_ptr keeps each evicted context
+  // alive, and nothing else can reach it any more — its memo cache is
+  // quiescent (activeJobs was 0) so the snapshot is stable.
+  for (const auto& [key, ctx] : victims) store_->saveMemo(key, *ctx->engine);
 }
 
 std::shared_ptr<SessionManager::Context> SessionManager::build(
@@ -43,32 +112,93 @@ std::shared_ptr<SessionManager::Context> SessionManager::build(
   if (key.surrogate == "oracle") {
     ctx->surrogate = std::make_shared<core::SimulatorSurrogate>(*ctx->simulator);
   } else if (key.surrogate == "cnn" || key.surrogate == "mlp") {
-    // Same dataset/training settings as isop_cli's one-shot path, so the
-    // disk cache under ISOP_CACHE_DIR is shared between serve and one-shot
-    // runs and a pre-warmed model loads instantly here.
-    data::GenerationConfig gen;
-    ml::nn::TrainConfig train;
-    train.epochs = 80;
-    train.learningRate = 3e-3;
-    train.lrDecay = 0.98;
-    ctx->surrogate =
-        key.surrogate == "cnn"
-            ? std::shared_ptr<const ml::Surrogate>(
-                  data::getOrTrainCnnSurrogate(*ctx->simulator, gen, train))
-            : std::shared_ptr<const ml::Surrogate>(
-                  data::getOrTrainMlpSurrogate(*ctx->simulator, gen, train));
+    // Warm start: persisted weights from a previous run of this server (or a
+    // replica sharing the state dir) beat retraining and even the data cache
+    // — the state file is this exact session's model.
+    if (store_) {
+      ctx->surrogate = store_->loadModel(key);
+      ctx->warmModel = ctx->surrogate != nullptr;
+    }
+    if (!ctx->surrogate) {
+      // Same dataset/training settings as isop_cli's one-shot path, so the
+      // disk cache under ISOP_CACHE_DIR is shared between serve and one-shot
+      // runs and a pre-warmed model loads instantly here.
+      data::GenerationConfig gen;
+      ml::nn::TrainConfig train;
+      train.epochs = 80;
+      train.learningRate = 3e-3;
+      train.lrDecay = 0.98;
+      ctx->surrogate =
+          key.surrogate == "cnn"
+              ? std::shared_ptr<const ml::Surrogate>(
+                    data::getOrTrainCnnSurrogate(*ctx->simulator, gen, train))
+              : std::shared_ptr<const ml::Surrogate>(
+                    data::getOrTrainMlpSurrogate(*ctx->simulator, gen, train));
+      // Model weights are immutable once trained, so one save at build time
+      // is all the persistence a model ever needs.
+      if (store_) store_->saveModel(key, *ctx->surrogate);
+    }
   } else {
     throw std::invalid_argument("unknown surrogate '" + key.surrogate + "'");
   }
 
   ctx->engine = std::make_shared<core::EvalEngine>(*ctx->surrogate,
-                                                   *ctx->simulator, engineConfig_);
+                                                   *ctx->simulator, config_.engine);
+  if (store_) ctx->warmMemo = store_->loadMemo(key, *ctx->engine);
   return ctx;
+}
+
+void SessionManager::persistAfterJob(const SessionKey& key) {
+  if (!store_) return;
+  std::shared_ptr<Context> ctx;
+  {
+    MutexLock lock(mutex_);
+    auto it = sessions_.find(key);
+    if (it == sessions_.end()) return;  // evicted since; state already saved
+    ctx = it->second;
+  }
+  store_->saveMemo(key, *ctx->engine);
+}
+
+void SessionManager::persistAll() {
+  if (!store_) return;
+  std::vector<Victim> live;
+  {
+    MutexLock lock(mutex_);
+    live.reserve(sessions_.size());
+    for (const auto& [key, ctx] : sessions_) live.emplace_back(key, ctx);
+  }
+  for (const auto& [key, ctx] : live) store_->saveMemo(key, *ctx->engine);
 }
 
 std::size_t SessionManager::size() const {
   MutexLock lock(mutex_);
   return sessions_.size();
+}
+
+std::size_t SessionManager::estimatedBytes(const Context& ctx) const {
+  std::size_t bytes = 0;
+  if (const auto* neural =
+          dynamic_cast<const ml::NeuralRegressor*>(ctx.surrogate.get())) {
+    bytes += neural->parameterCount() * sizeof(double);
+  }
+  bytes += ctx.engine->cacheSize() * kMemoEntryBytes;
+  return bytes;
+}
+
+SessionManager::Lifecycle SessionManager::lifecycle() const {
+  Lifecycle out;
+  {
+    MutexLock lock(mutex_);
+    out.created = created_;
+    out.evicted = evicted_;
+  }
+  if (store_) {
+    out.persisted = store_->persisted();
+    out.loaded = store_->loaded();
+    out.loadFailures = store_->loadFailures();
+  }
+  return out;
 }
 
 std::vector<SessionManager::SessionInfo> SessionManager::table() const {
@@ -85,6 +215,11 @@ std::vector<SessionManager::SessionInfo> SessionManager::table() const {
     info.rows = stats.rows;
     info.memoHits = stats.memoHits;
     info.hitRate = stats.hitRate();
+    info.activeJobs =
+        static_cast<std::size_t>(ctx->activeJobs.load(std::memory_order_relaxed));
+    info.warmModel = ctx->warmModel;
+    info.warmMemo = ctx->warmMemo;
+    info.estimatedBytes = estimatedBytes(*ctx);
     if (const auto* neural =
             dynamic_cast<const ml::NeuralRegressor*>(ctx->surrogate.get())) {
       info.plan = neural->planSummary();

@@ -2,14 +2,25 @@
 //
 // A session owns the expensive, reusable state behind a (surrogate, space,
 // layer) triple: the EM simulator, the performance surrogate (trained once,
-// or loaded from the data cache), and one shared EvalEngine whose memo cache
-// persists across jobs. Every job targeting the same triple is handed the
-// same Context, so concurrent and successive jobs warm-start from each
-// other's memoized evaluations — results are unchanged (memo hits return the
-// exact cached model output and are still billed as queries), only wall
-// time and EvalEngineStats::memoHits move.
+// or loaded from the data cache or the warm-start state dir), and one shared
+// EvalEngine whose memo cache persists across jobs. Every job targeting the
+// same triple is handed the same Context, so concurrent and successive jobs
+// warm-start from each other's memoized evaluations — results are unchanged
+// (memo hits return the exact cached model output and are still billed as
+// queries), only wall time and EvalEngineStats::memoHits move.
+//
+// Lifecycle: the manager is bounded. When --max-sessions or
+// --session-memory-budget caps are set, acquiring a new session evicts the
+// least-recently-used idle sessions until the caps hold again. Sessions with
+// running jobs (see SessionPin) are never evicted; if every other session is
+// busy the manager temporarily exceeds its caps rather than disturb running
+// work. Evicted state is not lost when a state dir is configured: the
+// session's model weights and memo cache are persisted on the way out and
+// reload transparently on the next acquire of the same key.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -20,51 +31,82 @@
 #include "em/simulator.hpp"
 #include "ml/surrogate.hpp"
 #include "serve/job.hpp"
+#include "serve/session_key.hpp"
+#include "serve/session_store.hpp"
 
 namespace isop::serve {
 
-/// Identity of a session: which model answers queries over which space and
-/// layer physics. Jobs with equal keys share one Context.
-struct SessionKey {
-  std::string surrogate;  ///< oracle|cnn|mlp
-  std::string space;      ///< S1|S2|S1p
-  std::string layer;      ///< stripline|microstrip
-
-  bool operator<(const SessionKey& other) const {
-    if (surrogate != other.surrogate) return surrogate < other.surrogate;
-    if (space != other.space) return space < other.space;
-    return layer < other.layer;
-  }
+struct SessionManagerConfig {
+  /// Applies to every session's shared engine (memoization on by default;
+  /// raise maxCacheEntries for long-running servers).
+  core::EvalEngineConfig engine;
+  /// Evict LRU idle sessions beyond this count. 0 = unbounded.
+  std::size_t maxSessions = 0;
+  /// Evict LRU idle sessions while the estimated resident bytes of all
+  /// sessions (model parameters + memo entries) exceed this. 0 = unbounded.
+  std::size_t memoryBudgetBytes = 0;
+  /// Directory for warm-start persistence (model weights + memo snapshots).
+  /// Empty disables persistence entirely.
+  std::string stateDir;
 };
 
 class SessionManager {
  public:
   /// One session's shared state. Immutable after construction except for the
-  /// engine's internal (thread-safe) memo cache.
+  /// engine's internal (thread-safe) memo cache and the lifecycle counters.
   struct Context {
     std::unique_ptr<em::EmSimulator> simulator;
     std::shared_ptr<const ml::Surrogate> surrogate;
     em::ParameterSpace space;
     std::shared_ptr<core::EvalEngine> engine;
+    /// Monotone use stamp (manager's useClock_); orders LRU eviction.
+    std::atomic<std::uint64_t> lastUse{0};
+    /// Jobs currently running against this session (see SessionPin). A
+    /// session with activeJobs > 0 is never evicted.
+    std::atomic<int> activeJobs{0};
+    /// True when the surrogate / memo cache were warm-started from the state
+    /// dir instead of built cold. Set at build time, immutable after.
+    bool warmModel = false;
+    bool warmMemo = false;
   };
 
-  /// `engineConfig` applies to every session's shared engine (memoization
-  /// on by default; raise maxCacheEntries for long-running servers).
-  explicit SessionManager(core::EvalEngineConfig engineConfig = {});
+  explicit SessionManager(SessionManagerConfig config = {});
 
   /// Returns the session for `key`, creating it on first use. Creation can
-  /// be expensive for cnn/mlp (trains the surrogate unless the data cache
-  /// already holds it) and runs under the manager lock, so the first job on
-  /// a new ML-surrogate session briefly stalls other acquires; pre-warm the
-  /// cache (run bench_surrogates or a one-shot isop_cli) for instant serves.
+  /// be expensive for cnn/mlp (trains the surrogate unless the data cache or
+  /// state dir already holds it) and runs under the manager lock, so the
+  /// first job on a new ML-surrogate session briefly stalls other acquires;
+  /// pre-warm the cache (run bench_surrogates or a one-shot isop_cli) for
+  /// instant serves. May evict LRU idle sessions to honour the configured
+  /// caps; evicted sessions are persisted (when a state dir is set) after
+  /// the lock is released.
   /// Throws std::invalid_argument on unknown surrogate/space/layer names.
   std::shared_ptr<Context> acquire(const SessionKey& key);
 
   /// Number of live sessions.
   std::size_t size() const;
 
+  /// Persists `key`'s memo cache to the state dir (no-op without one, or if
+  /// the session has been evicted since). Called by the scheduler after each
+  /// job completes — before the terminal event is emitted — so a client that
+  /// saw "done" can rely on the state surviving an immediate kill.
+  void persistAfterJob(const SessionKey& key);
+
+  /// Persists every live session's memo cache. Called at server drain.
+  void persistAll();
+
+  /// Lifecycle counters for the stats response and tests.
+  struct Lifecycle {
+    std::uint64_t created = 0;       ///< sessions built (cold or warm)
+    std::uint64_t evicted = 0;       ///< sessions removed by the caps
+    std::uint64_t persisted = 0;     ///< state files published
+    std::uint64_t loaded = 0;        ///< state files warm-loaded
+    std::uint64_t loadFailures = 0;  ///< invalid state files ignored
+  };
+  Lifecycle lifecycle() const;
+
   /// One row of the serve stats request's session table: the session's key
-  /// plus its shared engine's memo-cache health.
+  /// plus its shared engine's memo-cache health and lifecycle state.
   struct SessionInfo {
     SessionKey key;
     std::size_t cacheSize = 0;   ///< live memoized predict entries
@@ -72,6 +114,10 @@ class SessionManager {
     std::size_t rows = 0;        ///< design rows requested since creation
     std::size_t memoHits = 0;    ///< rows served from the cache
     double hitRate = 0.0;        ///< memoHits / rows (0 when idle)
+    std::size_t activeJobs = 0;  ///< running jobs pinning this session
+    bool warmModel = false;      ///< surrogate loaded from the state dir
+    bool warmMemo = false;       ///< memo cache preloaded from the state dir
+    std::size_t estimatedBytes = 0;  ///< resident estimate for the budget
     /// Execution-plan description of the session's surrogate: the compiled
     /// plan summary for neural surrogates (e.g. "plan(ops=7 fused=3 ...)"),
     /// "per-row" otherwise. See docs/compiled_model.md.
@@ -81,15 +127,49 @@ class SessionManager {
   /// Snapshots every live session, ordered by key (deterministic output).
   std::vector<SessionInfo> table() const;
 
- private:
-  std::shared_ptr<Context> build(const SessionKey& key) const;
+  /// The warm-start store, or nullptr when no state dir is configured.
+  const SessionStore* store() const { return store_.get(); }
 
-  const core::EvalEngineConfig engineConfig_;
+ private:
+  using Victim = std::pair<SessionKey, std::shared_ptr<Context>>;
+
+  std::shared_ptr<Context> build(const SessionKey& key) const;
+  /// Evicts LRU idle sessions (never `justAcquired`, never pinned ones)
+  /// until the caps hold or no eligible victim remains. Removed contexts are
+  /// appended to `victims` for persistence outside the lock.
+  void evictOverBudget(const SessionKey& justAcquired,
+                       std::vector<Victim>* victims) ISOP_REQUIRES(mutex_);
+  std::size_t estimatedBytes(const Context& ctx) const;
+  void persistVictims(const std::vector<Victim>& victims);
+
+  const SessionManagerConfig config_;
+  const std::unique_ptr<SessionStore> store_;  // null without a state dir
   // Held across build() — surrogate training — so every lock training can
   // touch (thread pool, plan pool, obs, logger) ranks below this one.
   mutable AnnotatedMutex mutex_{"serve.sessions",
                                 lock_order::rank::kSessionManager};
   std::map<SessionKey, std::shared_ptr<Context>> sessions_ ISOP_GUARDED_BY(mutex_);
+  std::uint64_t useClock_ ISOP_GUARDED_BY(mutex_) = 0;
+  std::uint64_t created_ ISOP_GUARDED_BY(mutex_) = 0;
+  std::uint64_t evicted_ ISOP_GUARDED_BY(mutex_) = 0;
+};
+
+/// RAII pin marking a session as having a running job for the duration of a
+/// scope. Pinned sessions are exempt from eviction.
+class SessionPin {
+ public:
+  explicit SessionPin(std::shared_ptr<SessionManager::Context> ctx)
+      : ctx_(std::move(ctx)) {
+    if (ctx_) ctx_->activeJobs.fetch_add(1, std::memory_order_relaxed);
+  }
+  ~SessionPin() {
+    if (ctx_) ctx_->activeJobs.fetch_sub(1, std::memory_order_relaxed);
+  }
+  SessionPin(const SessionPin&) = delete;
+  SessionPin& operator=(const SessionPin&) = delete;
+
+ private:
+  std::shared_ptr<SessionManager::Context> ctx_;
 };
 
 }  // namespace isop::serve

@@ -1,0 +1,241 @@
+#include "serve/session_store.hpp"
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "data/cache.hpp"
+#include "em/stackup.hpp"
+#include "ml/neural_regressor.hpp"
+
+namespace isop::serve {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// Envelope layout (little-endian, host order — state files are host-local):
+//   u32 magic, u32 version, u8 kind, u64 payloadSize, u64 fnv1a64(payload),
+//   payload bytes.
+constexpr std::uint32_t kMagic = 0x49535354;  // "ISST"
+constexpr std::uint32_t kVersion = 1;
+constexpr std::uint8_t kKindModel = 1;
+constexpr std::uint8_t kKindMemo = 2;
+// Model payload discriminator (first payload byte).
+constexpr std::uint8_t kModelMlp = 1;
+constexpr std::uint8_t kModelCnn = 2;
+
+std::uint64_t fnv1a64(const char* data, std::size_t n) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+template <typename T>
+void appendPod(std::string* out, const T& v) {
+  const char* bytes = reinterpret_cast<const char*>(&v);
+  out->append(bytes, sizeof v);
+}
+
+template <typename T>
+bool readPodAt(const std::string& in, std::size_t* off, T* out) {
+  if (*off + sizeof(T) > in.size()) return false;
+  std::memcpy(out, in.data() + *off, sizeof(T));
+  *off += sizeof(T);
+  return true;
+}
+
+std::string keyStem(const SessionKey& key) {
+  return key.surrogate + "_" + key.space + "_" + key.layer + ".state";
+}
+
+// Memo payload: u64 count + entries for the predict cache, then the same
+// for the simulate cache. Entries are the raw (design, metrics) doubles.
+std::string encodeMemo(const core::EvalEngine::MemoSnapshot& snapshot) {
+  std::string payload;
+  const auto appendEntries =
+      [&payload](const std::vector<core::MemoCache::Entry>& entries) {
+        appendPod(&payload, static_cast<std::uint64_t>(entries.size()));
+        for (const core::MemoCache::Entry& e : entries) {
+          for (double v : e.first) appendPod(&payload, v);
+          for (double v : e.second) appendPod(&payload, v);
+        }
+      };
+  appendEntries(snapshot.predict);
+  appendEntries(snapshot.sim);
+  return payload;
+}
+
+bool decodeMemo(const std::string& payload, core::EvalEngine::MemoSnapshot* out) {
+  std::size_t off = 0;
+  const auto readEntries = [&](std::vector<core::MemoCache::Entry>* entries) {
+    std::uint64_t count = 0;
+    if (!readPodAt(payload, &off, &count)) return false;
+    constexpr std::size_t kEntryBytes =
+        sizeof(double) * (em::kNumParams + em::kNumMetrics);
+    if (count > (payload.size() - off) / kEntryBytes) return false;
+    entries->reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t i = 0; i < count; ++i) {
+      core::MemoCache::Entry e;
+      for (double& v : e.first) {
+        if (!readPodAt(payload, &off, &v)) return false;
+      }
+      for (double& v : e.second) {
+        if (!readPodAt(payload, &off, &v)) return false;
+      }
+      entries->push_back(e);
+    }
+    return true;
+  };
+  if (!readEntries(&out->predict)) return false;
+  if (!readEntries(&out->sim)) return false;
+  return off == payload.size();
+}
+
+}  // namespace
+
+SessionStore::SessionStore(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);  // best effort; save errors surface later
+}
+
+std::string SessionStore::modelPath(const SessionKey& key) const {
+  return dir_ + "/model_" + keyStem(key);
+}
+
+std::string SessionStore::memoPath(const SessionKey& key) const {
+  return dir_ + "/memo_" + keyStem(key);
+}
+
+bool SessionStore::readEnvelope(const std::string& path, std::uint8_t kind,
+                                std::string* payload) const {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;  // absent: normal cold start
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string raw = buffer.str();
+
+  const auto invalid = [&](const char* why) {
+    log::warn("session store: ignoring '", path, "' (", why, ")");
+    loadFailures_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  };
+
+  std::size_t off = 0;
+  std::uint32_t magic = 0, version = 0;
+  std::uint8_t fileKind = 0;
+  std::uint64_t size = 0, checksum = 0;
+  if (!readPodAt(raw, &off, &magic) || !readPodAt(raw, &off, &version) ||
+      !readPodAt(raw, &off, &fileKind) || !readPodAt(raw, &off, &size) ||
+      !readPodAt(raw, &off, &checksum)) {
+    return invalid("truncated header");
+  }
+  if (magic != kMagic) return invalid("bad magic");
+  if (version != kVersion) return invalid("unknown version");
+  if (fileKind != kind) return invalid("wrong kind");
+  if (raw.size() - off != size) return invalid("truncated payload");
+  if (fnv1a64(raw.data() + off, size) != checksum) return invalid("checksum mismatch");
+  payload->assign(raw, off, size);
+  return true;
+}
+
+bool SessionStore::writeEnvelope(const std::string& path, std::uint8_t kind,
+                                 const std::string& payload) const {
+  std::string file;
+  file.reserve(payload.size() + 32);
+  appendPod(&file, kMagic);
+  appendPod(&file, kVersion);
+  appendPod(&file, kind);
+  appendPod(&file, static_cast<std::uint64_t>(payload.size()));
+  appendPod(&file, fnv1a64(payload.data(), payload.size()));
+  file += payload;
+  try {
+    data::atomicSave(path, [&file](const std::string& tmp) {
+      std::ofstream out(tmp, std::ios::binary);
+      if (!out) throw std::runtime_error("cannot write '" + tmp + "'");
+      out.write(file.data(), static_cast<std::streamsize>(file.size()));
+      if (!out) throw std::runtime_error("write failed for '" + tmp + "'");
+    });
+  } catch (const std::exception& e) {
+    log::warn("session store: could not persist '", path, "': ", e.what());
+    return false;
+  }
+  persisted_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+std::shared_ptr<const ml::Surrogate> SessionStore::loadModel(
+    const SessionKey& key) const {
+  const std::string path = modelPath(key);
+  std::string payload;
+  if (!readEnvelope(path, kKindModel, &payload)) return nullptr;
+  if (payload.empty()) {
+    log::warn("session store: ignoring '", path, "' (empty model payload)");
+    loadFailures_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  const std::uint8_t modelKind = static_cast<std::uint8_t>(payload[0]);
+  std::istringstream in(payload.substr(1), std::ios::binary);
+  try {
+    std::shared_ptr<const ml::Surrogate> model;
+    if (modelKind == kModelMlp && key.surrogate == "mlp") {
+      model = ml::MlpRegressor::load(in, path);
+    } else if (modelKind == kModelCnn && key.surrogate == "cnn") {
+      model = ml::Cnn1dRegressor::load(in, path);
+    } else {
+      throw std::runtime_error("model kind does not match session key");
+    }
+    loaded_.fetch_add(1, std::memory_order_relaxed);
+    return model;
+  } catch (const std::exception& e) {
+    // The checksum already rejected disk corruption; this covers a payload
+    // written by an incompatible build. Cold-start instead of crashing.
+    log::warn("session store: ignoring '", path, "' (", e.what(), ")");
+    loadFailures_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+}
+
+bool SessionStore::saveModel(const SessionKey& key, const ml::Surrogate& model) const {
+  std::ostringstream out(std::ios::binary);
+  std::uint8_t modelKind = 0;
+  if (const auto* mlp = dynamic_cast<const ml::MlpRegressor*>(&model)) {
+    modelKind = kModelMlp;
+    mlp->save(out, "state-dir payload");
+  } else if (const auto* cnn = dynamic_cast<const ml::Cnn1dRegressor*>(&model)) {
+    modelKind = kModelCnn;
+    cnn->save(out, "state-dir payload");
+  } else {
+    return false;  // oracle and friends have no weights to persist
+  }
+  std::string payload(1, static_cast<char>(modelKind));
+  payload += out.str();
+  return writeEnvelope(modelPath(key), kKindModel, payload);
+}
+
+bool SessionStore::loadMemo(const SessionKey& key, core::EvalEngine& engine) const {
+  const std::string path = memoPath(key);
+  std::string payload;
+  if (!readEnvelope(path, kKindMemo, &payload)) return false;
+  core::EvalEngine::MemoSnapshot snapshot;
+  if (!decodeMemo(payload, &snapshot)) {
+    log::warn("session store: ignoring '", path, "' (malformed memo payload)");
+    loadFailures_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  engine.restoreMemo(snapshot);
+  loaded_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool SessionStore::saveMemo(const SessionKey& key, const core::EvalEngine& engine) const {
+  return writeEnvelope(memoPath(key), kKindMemo, encodeMemo(engine.memoSnapshot()));
+}
+
+}  // namespace isop::serve

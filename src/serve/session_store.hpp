@@ -1,0 +1,86 @@
+// Warm-start persistence for serve sessions.
+//
+// A session's expensive state — the trained surrogate's weights and the
+// EvalEngine's memo caches — is serialized per (surrogate, space, layer) key
+// into two files under a state directory:
+//
+//   <dir>/model_<surrogate>_<space>_<layer>.state   (neural surrogates only)
+//   <dir>/memo_<surrogate>_<space>_<layer>.state
+//
+// so a restarted server — or a fresh replica pointed at a shared state dir —
+// resumes with hot surrogates and pre-filled memo caches. Restored memo
+// entries are the immutable model outputs, so warm starts never change
+// results; only wall time and the memo-hit accounting move.
+//
+// Durability contract:
+//   * Writes publish via data::atomicSave (unique temp file + rename), so a
+//     reader or a crash mid-write sees either the previous complete file or
+//     the new complete file — never a torn one. `.tmp.*` leftovers from a
+//     killed writer are ignored by loads and swept by the next publication.
+//   * Every payload is wrapped in a checksummed envelope (magic, version,
+//     kind, length, FNV-1a64). Loads validate the envelope before any bytes
+//     reach the model deserializer, so corrupt or truncated files — however
+//     they got that way — are logged and ignored, never crash the server,
+//     and the session falls back to a cold start.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/eval/eval_engine.hpp"
+#include "ml/surrogate.hpp"
+#include "serve/session_key.hpp"
+
+namespace isop::serve {
+
+class SessionStore {
+ public:
+  /// Creates `dir` (and parents) if missing. Failures to create surface on
+  /// the first save as warnings, not errors — persistence is best-effort.
+  explicit SessionStore(std::string dir);
+
+  const std::string& dir() const { return dir_; }
+
+  std::string modelPath(const SessionKey& key) const;
+  std::string memoPath(const SessionKey& key) const;
+
+  /// Loads persisted model weights for `key`. Returns nullptr when the file
+  /// is absent (normal cold start, silent) or fails validation (warned and
+  /// counted in loadFailures()). Only "cnn"/"mlp" keys can have model files.
+  std::shared_ptr<const ml::Surrogate> loadModel(const SessionKey& key) const;
+
+  /// Persists a neural surrogate's weights. Returns false (and warns) on
+  /// write errors; returns false silently for non-neural surrogates.
+  bool saveModel(const SessionKey& key, const ml::Surrogate& model) const;
+
+  /// Preloads `engine`'s memo caches from the persisted snapshot. Returns
+  /// false when absent (silent) or invalid (warned + counted).
+  bool loadMemo(const SessionKey& key, core::EvalEngine& engine) const;
+
+  /// Persists `engine`'s memo snapshot. Returns false (and warns) on error.
+  bool saveMemo(const SessionKey& key, const core::EvalEngine& engine) const;
+
+  std::uint64_t persisted() const { return persisted_.load(std::memory_order_relaxed); }
+  std::uint64_t loaded() const { return loaded_.load(std::memory_order_relaxed); }
+  std::uint64_t loadFailures() const {
+    return loadFailures_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Reads `path` and peels the envelope. Returns false when absent or
+  /// invalid; `payload` holds the checksum-verified bytes on success.
+  bool readEnvelope(const std::string& path, std::uint8_t kind,
+                    std::string* payload) const;
+  /// Wraps `payload` in the envelope and publishes atomically.
+  bool writeEnvelope(const std::string& path, std::uint8_t kind,
+                     const std::string& payload) const;
+
+  std::string dir_;
+  mutable std::atomic<std::uint64_t> persisted_{0};
+  mutable std::atomic<std::uint64_t> loaded_{0};
+  mutable std::atomic<std::uint64_t> loadFailures_{0};
+};
+
+}  // namespace isop::serve

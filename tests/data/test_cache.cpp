@@ -91,6 +91,48 @@ TEST_F(CacheTest, GeneratesOncePublishesAtomicallyAndReloads) {
   expectBitwiseEqual(second, first);
 }
 
+TEST_F(CacheTest, AtomicSaveSweepsStaleTempLeftovers) {
+  // A writer killed mid-publication leaves `<path>.tmp.<pid>.<n>` behind; the
+  // next atomicSave of the same path must sweep it and still publish.
+  fs::create_directories(dir_);
+  const std::string path = dir_ + "/entry.bin";
+  {
+    std::ofstream out(path + ".tmp.99999.0");
+    out << "half-written leftovers from a killed process";
+  }
+  atomicSave(path, [](const std::string& tmp) {
+    std::ofstream out(tmp, std::ios::binary);
+    out << "published";
+  });
+  EXPECT_FALSE(fs::exists(path + ".tmp.99999.0")) << "stale temp not swept";
+  std::ifstream in(path);
+  std::string contents;
+  std::getline(in, contents);
+  EXPECT_EQ(contents, "published");
+  // Exactly the published file remains.
+  ASSERT_EQ(cacheFiles().size(), 1u);
+  EXPECT_EQ(cacheFiles()[0], "entry.bin");
+}
+
+TEST_F(CacheTest, ZeroByteCacheEntryIsRegenerated) {
+  // A crash between open() and the first write can leave a zero-byte temp
+  // that an older publication path might have renamed into place; the loader
+  // must treat it like any other corrupt entry and regenerate.
+  em::EmSimulator sim;
+  const em::ParameterSpace space = em::spaceByName("S1");
+  const GenerationConfig config = smallConfig();
+
+  const ml::Dataset fresh = getOrGenerateDataset(sim, space, config);
+  const auto files = cacheFiles();
+  ASSERT_EQ(files.size(), 1u);
+  { std::ofstream out(dir_ + "/" + files[0], std::ios::trunc); }
+  ASSERT_EQ(fs::file_size(dir_ + "/" + files[0]), 0u);
+
+  const ml::Dataset regenerated = getOrGenerateDataset(sim, space, config);
+  expectBitwiseEqual(regenerated, fresh);
+  EXPECT_GT(fs::file_size(dir_ + "/" + files[0]), 0u);
+}
+
 TEST_F(CacheTest, CorruptCacheEntryIsRegenerated) {
   em::EmSimulator sim;
   const em::ParameterSpace space = em::spaceByName("S1");

@@ -1,0 +1,280 @@
+// In-process serve::Server harness for the conformance and fault suites.
+//
+// The server runs on its own thread with pipe-backed stdio, exactly as a
+// child process would see it; the optional unix-socket and TCP listeners are
+// real sockets, so a test client exercises the same read/write/accept paths
+// as production. Helpers cover the three client roles: the stdio "operator"
+// channel (send a line, read a line), raw socket clients (which can also
+// half-send frames, stop reading, or vanish), and JSONL decoding with
+// gtest-friendly failures.
+#pragma once
+
+#include <errno.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/json.hpp"
+#include "serve/server.hpp"
+
+namespace isop::serve {
+
+/// Buffered line reads from an fd. Blocking, with a generous poll deadline so
+/// a wedged server fails the test instead of hanging the whole ctest run.
+class LineReader {
+ public:
+  explicit LineReader(int fd) : fd_(fd) {}
+
+  /// Next complete line (without the newline); std::nullopt on EOF or after
+  /// `timeout` milliseconds of silence.
+  std::optional<std::string> readLine(int timeoutMs = 120000) {
+    for (;;) {
+      const std::size_t pos = buffer_.find('\n');
+      if (pos != std::string::npos) {
+        std::string line = buffer_.substr(0, pos);
+        buffer_.erase(0, pos + 1);
+        return line;
+      }
+      pollfd pfd{fd_, POLLIN, 0};
+      const int rc = ::poll(&pfd, 1, timeoutMs);
+      if (rc < 0 && errno == EINTR) continue;
+      if (rc <= 0) return std::nullopt;  // timeout
+      char chunk[4096];
+      const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return std::nullopt;  // EOF
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  /// Reads and discards until EOF; false if data keeps flowing past the
+  /// deadline.
+  bool waitEof(int timeoutMs = 120000) {
+    for (;;) {
+      pollfd pfd{fd_, POLLIN, 0};
+      const int rc = ::poll(&pfd, 1, timeoutMs);
+      if (rc < 0 && errno == EINTR) continue;
+      if (rc <= 0) return false;
+      char chunk[4096];
+      const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0) return false;
+      if (n == 0) return true;
+    }
+  }
+
+ private:
+  int fd_;
+  std::string buffer_;
+};
+
+/// A client on the unix-socket or TCP transport.
+class SocketClient {
+ public:
+  SocketClient() = default;
+  ~SocketClient() { close(); }
+  SocketClient(SocketClient&& other) noexcept { *this = std::move(other); }
+  SocketClient& operator=(SocketClient&& other) noexcept {
+    close();
+    fd_ = other.fd_;
+    reader_ = std::move(other.reader_);
+    other.fd_ = -1;
+    return *this;
+  }
+
+  static SocketClient connectUnix(const std::string& path) {
+    SocketClient client;
+    client.fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    sockaddr_un addr;
+    std::memset(&addr, 0, sizeof addr);
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+    if (::connect(client.fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+      ADD_FAILURE() << "connect('" << path << "') failed: " << std::strerror(errno);
+      client.close();
+      return client;
+    }
+    client.reader_ = std::make_unique<LineReader>(client.fd_);
+    return client;
+  }
+
+  /// `rcvbufBytes` > 0 shrinks the receive buffer before connecting — the
+  /// slow-reader fault test uses it to make the server's sends back up fast.
+  static SocketClient connectTcp(std::uint16_t port, int rcvbufBytes = 0) {
+    SocketClient client;
+    client.fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (rcvbufBytes > 0) {
+      ::setsockopt(client.fd_, SOL_SOCKET, SO_RCVBUF, &rcvbufBytes,
+                   sizeof rcvbufBytes);
+    }
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof addr);
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(client.fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+      ADD_FAILURE() << "connect(127.0.0.1:" << port
+                    << ") failed: " << std::strerror(errno);
+      client.close();
+      return client;
+    }
+    client.reader_ = std::make_unique<LineReader>(client.fd_);
+    return client;
+  }
+
+  bool connected() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  void sendRaw(const std::string& bytes) {
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t n =
+          ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return;  // server closed on us; tests assert via reads
+      off += static_cast<std::size_t>(n);
+    }
+  }
+
+  void sendLine(const std::string& line) { sendRaw(line + "\n"); }
+
+  std::optional<std::string> readLine(int timeoutMs = 120000) {
+    return reader_ ? reader_->readLine(timeoutMs) : std::nullopt;
+  }
+
+  bool waitEof(int timeoutMs = 120000) {
+    return reader_ ? reader_->waitEof(timeoutMs) : true;
+  }
+
+  void close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+    reader_.reset();
+  }
+
+ private:
+  int fd_ = -1;
+  std::unique_ptr<LineReader> reader_;
+};
+
+/// Runs a Server on pipes + its configured listeners; tears down via stdin
+/// EOF on destruction. The ready event is consumed in the constructor.
+class ServerHarness {
+ public:
+  explicit ServerHarness(ServerConfig config) {
+    std::signal(SIGPIPE, SIG_IGN);  // vanished-peer writes must not kill tests
+    if (::pipe(toServer_) != 0 || ::pipe(fromServer_) != 0) {
+      ADD_FAILURE() << "pipe() failed: " << std::strerror(errno);
+      return;
+    }
+    serverIn_ = ::fdopen(toServer_[0], "r");
+    serverOut_ = ::fdopen(fromServer_[1], "w");
+    server_ = std::make_unique<Server>(std::move(config), serverIn_, serverOut_);
+    thread_ = std::thread([this] { exitCode_ = server_->run(); });
+    stdioReader_ = std::make_unique<LineReader>(fromServer_[0]);
+    ready_ = stdioReader_->readLine();
+  }
+
+  ~ServerHarness() { shutdown(); }
+
+  /// The ready event line ("" when startup failed).
+  const std::string& readyLine() const {
+    static const std::string kEmpty;
+    return ready_ ? *ready_ : kEmpty;
+  }
+
+  Server& server() { return *server_; }
+
+  void sendStdio(const std::string& line) {
+    const std::string framed = line + "\n";
+    sendStdioRaw(framed);
+  }
+
+  void sendStdioRaw(const std::string& bytes) {
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t n =
+          ::write(toServer_[1], bytes.data() + off, bytes.size() - off);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return;
+      off += static_cast<std::size_t>(n);
+    }
+  }
+
+  std::optional<std::string> readStdio(int timeoutMs = 120000) {
+    return stdioReader_->readLine(timeoutMs);
+  }
+
+  void closeStdin() {
+    if (toServer_[1] >= 0) ::close(toServer_[1]);
+    toServer_[1] = -1;
+  }
+
+  /// Drains the server (stdin EOF), joins run(), and collects the remaining
+  /// stdout lines — the drain-time events ending in `shutdown`.
+  const std::vector<std::string>& shutdown() {
+    if (thread_.joinable()) {
+      closeStdin();
+      thread_.join();
+      std::fclose(serverOut_);  // flushes + closes the write end: reader sees EOF
+      serverOut_ = nullptr;
+      while (auto line = stdioReader_->readLine(5000)) tail_.push_back(*line);
+      std::fclose(serverIn_);
+      serverIn_ = nullptr;
+      ::close(fromServer_[0]);
+      fromServer_[0] = -1;
+    }
+    return tail_;
+  }
+
+  int exitCode() const { return exitCode_; }
+
+ private:
+  int toServer_[2] = {-1, -1};    // [1]: test writes requests, [0]: server stdin
+  int fromServer_[2] = {-1, -1};  // [1]: server stdout, [0]: test reads events
+  std::FILE* serverIn_ = nullptr;
+  std::FILE* serverOut_ = nullptr;
+  std::unique_ptr<Server> server_;
+  std::unique_ptr<LineReader> stdioReader_;
+  std::optional<std::string> ready_;
+  std::vector<std::string> tail_;
+  std::thread thread_;
+  int exitCode_ = -1;
+};
+
+/// Parses one JSONL response; ADD_FAILUREs (and returns null) on EOF,
+/// timeout, or malformed JSON — every server line must parse.
+inline json::Value parseEventLine(const std::optional<std::string>& line,
+                                  const char* what) {
+  if (!line) {
+    ADD_FAILURE() << what << ": expected a response line, got EOF/timeout";
+    return json::Value::null();
+  }
+  auto parsed = json::Value::parse(*line);
+  if (!parsed) {
+    ADD_FAILURE() << what << ": server emitted unparseable JSON: " << *line;
+    return json::Value::null();
+  }
+  return *parsed;
+}
+
+/// The "event" discriminator of a parsed line ("" when absent).
+inline std::string eventOf(const json::Value& value) {
+  if (const json::Value* event = value.find("event")) return event->asString();
+  return "";
+}
+
+}  // namespace isop::serve

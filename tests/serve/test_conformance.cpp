@@ -1,0 +1,355 @@
+// Protocol conformance over every transport: the same request matrix —
+// well-formed requests of every type, a malformed-field table, oversize
+// lines, truncated frames, and the TCP authentication handshake — is driven
+// through stdio, the unix socket, and TCP against an in-process Server, and
+// each transport must answer with the documented events (docs/serving.md).
+// The per-transport differences are themselves part of the contract: socket
+// clients are disconnected on oversize lines and failed authentication,
+// stdio is answered-and-kept (dropping stdin would drain the server), and a
+// frame truncated by EOF is silently ignored everywhere.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hpp"
+#include "server_harness.hpp"
+
+namespace isop::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+JobSpec quickSpec(std::string id) {
+  JobSpec spec;
+  spec.id = std::move(id);
+  spec.budget = 120;
+  spec.iterations = 2;
+  spec.hyperbandResource = 9;
+  spec.refineEpochs = 20;
+  spec.localSeeds = 3;
+  spec.candidates = 2;
+  spec.seed = 7;
+  return spec;
+}
+
+class ConformanceTest : public ::testing::Test {
+ protected:
+  // Keyed by test name: ctest runs each discovered test as its own process,
+  // so a shared directory (or unix-socket path) would be clobbered by
+  // parallel siblings.
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "isop_conformance_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  /// stdio + unix socket + TCP on a kernel-picked port.
+  ServerConfig allTransports() const {
+    ServerConfig config;
+    config.scheduler.workers = 2;
+    config.scheduler.queueCapacity = 8;
+    config.socketPath = socketPath();
+    config.listenAddress = "127.0.0.1:0";
+    return config;
+  }
+
+  std::string socketPath() const { return dir_ + "/serve.sock"; }
+
+  std::string dir_;
+};
+
+/// One client-side view of a transport: send a line, read a response line.
+struct Transport {
+  std::string name;
+  std::function<void(const std::string&)> send;
+  std::function<std::optional<std::string>()> recv;
+};
+
+/// The three transports against one harness. Socket clients are owned by the
+/// returned closures.
+std::vector<Transport> openTransports(ServerHarness& harness,
+                                      const std::string& socketPath) {
+  std::vector<Transport> transports;
+  transports.push_back({"stdio",
+                        [&harness](const std::string& line) { harness.sendStdio(line); },
+                        [&harness] { return harness.readStdio(); }});
+  auto unixClient = std::make_shared<SocketClient>(SocketClient::connectUnix(socketPath));
+  transports.push_back(
+      {"unix", [unixClient](const std::string& line) { unixClient->sendLine(line); },
+       [unixClient] { return unixClient->readLine(); }});
+  auto tcpClient = std::make_shared<SocketClient>(
+      SocketClient::connectTcp(harness.server().boundTcpPort()));
+  transports.push_back(
+      {"tcp", [tcpClient](const std::string& line) { tcpClient->sendLine(line); },
+       [tcpClient] { return tcpClient->readLine(); }});
+  return transports;
+}
+
+TEST_F(ConformanceTest, ReadyEventAnnouncesProtocolListenersAndStateDir) {
+  ServerConfig config = allTransports();
+  config.stateDir = dir_ + "/state";
+  ServerHarness harness(std::move(config));
+  const json::Value ready = parseEventLine(harness.readyLine(), "ready");
+  EXPECT_EQ(eventOf(ready), "ready");
+  EXPECT_EQ(ready.at("protocol").asInteger(), kProtocolVersion);
+  ASSERT_NE(ready.find("listen"), nullptr) << "TCP endpoint must be announced";
+  const std::uint16_t port = harness.server().boundTcpPort();
+  EXPECT_GT(port, 0) << "port 0 must resolve to a kernel-assigned port";
+  EXPECT_EQ(ready.at("listen").asString(),
+            "127.0.0.1:" + std::to_string(port));
+  ASSERT_NE(ready.find("state_dir"), nullptr);
+  EXPECT_EQ(ready.at("state_dir").asString(), dir_ + "/state");
+
+  const auto& tail = harness.shutdown();
+  ASSERT_FALSE(tail.empty());
+  EXPECT_EQ(eventOf(parseEventLine(tail.back(), "shutdown")), "shutdown");
+  EXPECT_EQ(harness.exitCode(), 0);
+}
+
+TEST_F(ConformanceTest, EveryRequestTypeAnswersOnEveryTransport) {
+  ServerHarness harness(allTransports());
+  for (Transport& t : openTransports(harness, socketPath())) {
+    SCOPED_TRACE(t.name);
+
+    // hello is accepted (and answered) on every transport, even without auth.
+    t.send("{\"type\":\"hello\"}");
+    json::Value hello = parseEventLine(t.recv(), "hello");
+    EXPECT_EQ(eventOf(hello), "hello");
+    EXPECT_EQ(hello.at("protocol").asInteger(), kProtocolVersion);
+    EXPECT_TRUE(hello.at("authenticated").asBool());
+
+    t.send("{\"type\":\"status\"}");
+    const json::Value status = parseEventLine(t.recv(), "status");
+    EXPECT_EQ(eventOf(status), "status");
+    ASSERT_NE(status.find("queue_depth"), nullptr);
+
+    t.send("{\"type\":\"stats\"}");
+    const json::Value stats = parseEventLine(t.recv(), "stats");
+    EXPECT_EQ(eventOf(stats), "stats");
+    const json::Value* lifecycle = stats.find("session_lifecycle");
+    ASSERT_NE(lifecycle, nullptr) << "v3 stats must expose the session lifecycle";
+    for (const char* key :
+         {"created", "evicted", "persisted", "loaded", "load_failures"}) {
+      EXPECT_NE(lifecycle->find(key), nullptr) << key;
+    }
+
+    t.send("{\"type\":\"trace\",\"action\":\"status\"}");
+    EXPECT_EQ(eventOf(parseEventLine(t.recv(), "trace")), "trace");
+
+    t.send("{\"type\":\"cancel\",\"id\":\"no-such-job\"}");
+    const json::Value cancel = parseEventLine(t.recv(), "cancel");
+    EXPECT_EQ(eventOf(cancel), "error");
+
+    // A full job lifecycle: accepted -> started -> progress* -> done, with
+    // the v3 eval block in the result.
+    const std::string jobId = "conformance-" + t.name;
+    t.send(submitToJson(quickSpec(jobId)).dump());
+    bool sawAccepted = false, sawStarted = false;
+    json::Value done = json::Value::null();
+    for (int i = 0; i < 10000 && done.isNull(); ++i) {
+      const json::Value event = parseEventLine(t.recv(), "job event");
+      ASSERT_FALSE(event.isNull());
+      ASSERT_EQ(event.at("id").asString(), jobId);
+      const std::string kind = eventOf(event);
+      if (kind == "accepted") sawAccepted = true;
+      else if (kind == "started") sawStarted = true;
+      else if (kind == "done") done = event;
+      else ASSERT_EQ(kind, "progress");
+    }
+    EXPECT_TRUE(sawAccepted);
+    EXPECT_TRUE(sawStarted);
+    ASSERT_FALSE(done.isNull()) << "job never reached done";
+    const json::Value* eval = done.at("result").find("eval");
+    ASSERT_NE(eval, nullptr) << "done result must carry the eval block";
+    EXPECT_GT(eval->at("rows").asInteger(), 0);
+    ASSERT_NE(eval->find("memo_hits"), nullptr);
+    ASSERT_NE(eval->find("em_calls"), nullptr);
+  }
+
+  const auto& tail = harness.shutdown();
+  ASSERT_FALSE(tail.empty());
+  EXPECT_EQ(eventOf(parseEventLine(tail.back(), "shutdown")), "shutdown");
+  EXPECT_EQ(harness.exitCode(), 0);
+}
+
+TEST_F(ConformanceTest, MalformedRequestsAreRejectedOnEveryTransport) {
+  const std::vector<std::pair<const char*, const char*>> cases = {
+      {"not JSON", "this is not json"},
+      {"JSON but not an object", "[1,2,3]"},
+      {"missing type", "{}"},
+      {"unknown type", "{\"type\":\"frobnicate\"}"},
+      {"mistyped type", "{\"type\":17}"},
+      {"submit with mistyped id", "{\"type\":\"submit\",\"id\":42}"},
+      {"submit with unknown key", "{\"type\":\"submit\",\"id\":\"x\",\"bogus\":1}"},
+      {"submit with mistyped knob",
+       "{\"type\":\"submit\",\"id\":\"x\",\"budget\":\"lots\"}"},
+      {"submit with mistyped flag",
+       "{\"type\":\"submit\",\"id\":\"x\",\"table_ix_constraints\":\"yes\"}"},
+      {"cancel without id", "{\"type\":\"cancel\"}"},
+      {"hello with mistyped token", "{\"type\":\"hello\",\"token\":5}"},
+      {"trace with unknown action", "{\"type\":\"trace\",\"action\":\"explode\"}"},
+      {"status with stray key", "{\"type\":\"status\",\"extra\":true}"},
+  };
+  ServerHarness harness(allTransports());
+  for (Transport& t : openTransports(harness, socketPath())) {
+    SCOPED_TRACE(t.name);
+    for (const auto& [what, line] : cases) {
+      SCOPED_TRACE(what);
+      t.send(line);
+      const json::Value reply = parseEventLine(t.recv(), what);
+      EXPECT_EQ(eventOf(reply), "error");
+      const json::Value* error = reply.find("error");
+      ASSERT_NE(error, nullptr);
+      EXPECT_FALSE(error->asString().empty()) << "rejections must carry a reason";
+    }
+    // Shape-valid but semantically invalid specs parse and are then turned
+    // away at admission with a `rejected` event, not an `error`.
+    for (const char* bad :
+         {"{\"type\":\"submit\"}",  // id missing: defaults to "", fails validation
+          "{\"type\":\"submit\",\"id\":\"x\",\"surrogate\":\"crystal-ball\"}"}) {
+      SCOPED_TRACE(bad);
+      t.send(bad);
+      const json::Value rejected = parseEventLine(t.recv(), "semantic reject");
+      EXPECT_EQ(eventOf(rejected), "rejected");
+      ASSERT_NE(rejected.find("reason"), nullptr);
+    }
+
+    // A malformed burst must not wedge the connection.
+    t.send("{\"type\":\"status\"}");
+    EXPECT_EQ(eventOf(parseEventLine(t.recv(), "status after errors")), "status");
+  }
+}
+
+TEST_F(ConformanceTest, OversizeLineDisconnectsSocketClientsOnly) {
+  ServerHarness harness(allTransports());
+  const std::string oversize(2u << 20, 'x');  // 2 MiB, no newline needed
+
+  for (const char* which : {"unix", "tcp"}) {
+    SCOPED_TRACE(which);
+    SocketClient client =
+        std::string(which) == "unix"
+            ? SocketClient::connectUnix(socketPath())
+            : SocketClient::connectTcp(harness.server().boundTcpPort());
+    ASSERT_TRUE(client.connected());
+    client.sendRaw(oversize);
+    const json::Value reply = parseEventLine(client.readLine(), "oversize");
+    EXPECT_EQ(eventOf(reply), "error");
+    EXPECT_NE(reply.at("error").asString().find("1 MiB"), std::string::npos);
+    EXPECT_TRUE(client.waitEof()) << "oversize socket client must be disconnected";
+  }
+
+  // The same flood on stdio is answered and discarded; the server stays up.
+  harness.sendStdioRaw(oversize + "tail-of-oversize-line\n");
+  const json::Value reply = parseEventLine(harness.readStdio(), "stdio oversize");
+  EXPECT_EQ(eventOf(reply), "error");
+  harness.sendStdio("{\"type\":\"status\"}");
+  EXPECT_EQ(eventOf(parseEventLine(harness.readStdio(), "status after oversize")),
+            "status");
+}
+
+TEST_F(ConformanceTest, TruncatedFrameAtEofIsIgnoredOnSockets) {
+  ServerHarness harness(allTransports());
+  for (const char* which : {"unix", "tcp"}) {
+    SCOPED_TRACE(which);
+    SocketClient client =
+        std::string(which) == "unix"
+            ? SocketClient::connectUnix(socketPath())
+            : SocketClient::connectTcp(harness.server().boundTcpPort());
+    ASSERT_TRUE(client.connected());
+    client.sendLine("{\"type\":\"status\"}");
+    EXPECT_EQ(eventOf(parseEventLine(client.readLine(), "status")), "status");
+    client.sendRaw("{\"type\":\"stat");  // half a frame, then gone
+    client.close();
+  }
+  // The half-frames must not have crashed or wedged anything.
+  SocketClient probe = SocketClient::connectUnix(socketPath());
+  probe.sendLine("{\"type\":\"status\"}");
+  EXPECT_EQ(eventOf(parseEventLine(probe.readLine(), "post-truncation status")),
+            "status");
+}
+
+TEST_F(ConformanceTest, TruncatedFrameAtStdinEofIsIgnored) {
+  ServerHarness harness(allTransports());
+  harness.sendStdio("{\"type\":\"status\"}");
+  EXPECT_EQ(eventOf(parseEventLine(harness.readStdio(), "status")), "status");
+  harness.sendStdioRaw("{\"type\":\"stat");  // truncated by the EOF below
+  const auto& tail = harness.shutdown();
+  ASSERT_FALSE(tail.empty());
+  for (const std::string& line : tail) {
+    EXPECT_EQ(eventOf(parseEventLine(line, "drain event")), "shutdown")
+        << "a truncated final frame must produce no error: " << line;
+  }
+  EXPECT_EQ(harness.exitCode(), 0);
+}
+
+TEST_F(ConformanceTest, TcpAuthenticationHandshake) {
+  ServerConfig config = allTransports();
+  config.authToken = "sekrit";
+  ServerHarness harness(std::move(config));
+  const std::uint16_t port = harness.server().boundTcpPort();
+
+  {
+    SCOPED_TRACE("wrong token");
+    SocketClient client = SocketClient::connectTcp(port);
+    client.sendLine("{\"type\":\"hello\",\"token\":\"wrong\"}");
+    const json::Value reply = parseEventLine(client.readLine(), "bad token");
+    EXPECT_EQ(eventOf(reply), "error");
+    EXPECT_NE(reply.at("error").asString().find("invalid token"),
+              std::string::npos);
+    EXPECT_TRUE(client.waitEof()) << "failed auth must close the connection";
+  }
+  {
+    SCOPED_TRACE("request before hello");
+    SocketClient client = SocketClient::connectTcp(port);
+    client.sendLine("{\"type\":\"status\"}");
+    const json::Value reply = parseEventLine(client.readLine(), "no hello");
+    EXPECT_EQ(eventOf(reply), "error");
+    EXPECT_NE(reply.at("error").asString().find("authentication required"),
+              std::string::npos);
+    EXPECT_TRUE(client.waitEof());
+  }
+  {
+    SCOPED_TRACE("correct token");
+    SocketClient client = SocketClient::connectTcp(port);
+    client.sendLine("{\"type\":\"hello\",\"token\":\"sekrit\"}");
+    const json::Value hello = parseEventLine(client.readLine(), "good token");
+    EXPECT_EQ(eventOf(hello), "hello");
+    EXPECT_TRUE(hello.at("authenticated").asBool());
+    client.sendLine("{\"type\":\"status\"}");
+    EXPECT_EQ(eventOf(parseEventLine(client.readLine(), "post-auth status")),
+              "status");
+  }
+  {
+    SCOPED_TRACE("unix socket is implicitly trusted");
+    SocketClient client = SocketClient::connectUnix(socketPath());
+    client.sendLine("{\"type\":\"status\"}");
+    EXPECT_EQ(eventOf(parseEventLine(client.readLine(), "unix status")), "status");
+  }
+  {
+    SCOPED_TRACE("stdio is implicitly trusted");
+    harness.sendStdio("{\"type\":\"status\"}");
+    EXPECT_EQ(eventOf(parseEventLine(harness.readStdio(), "stdio status")),
+              "status");
+  }
+}
+
+TEST_F(ConformanceTest, ShutdownRequestFromASocketDrainsTheServer) {
+  ServerHarness harness(allTransports());
+  SocketClient client = SocketClient::connectUnix(socketPath());
+  client.sendLine("{\"type\":\"shutdown\"}");
+  EXPECT_TRUE(client.waitEof()) << "drain must close socket clients";
+  const auto& tail = harness.shutdown();
+  ASSERT_FALSE(tail.empty());
+  EXPECT_EQ(eventOf(parseEventLine(tail.back(), "shutdown")), "shutdown");
+  EXPECT_EQ(harness.exitCode(), 0);
+}
+
+}  // namespace
+}  // namespace isop::serve

@@ -1,0 +1,518 @@
+// Fault injection for the serve tier's durability layer: corrupt, truncated,
+// half-published, or stale state files are ignored (cold start) rather than
+// crashing; persisted model weights and memo caches round-trip bitwise; an
+// evicted session reloads from the state dir and reproduces its results bit
+// for bit with memo hits; and a restarted SessionManager warm-starts from
+// what its predecessor persisted. Client-failure faults ride along: a client
+// disconnecting mid-job, or never reading its events, must not disturb the
+// job or hang the drain (tests/serve/test_conformance.cpp covers the
+// protocol-level matrix; scripts/check_serve.sh covers a real SIGKILL).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/simulator_surrogate.hpp"
+#include "em/parameter_space.hpp"
+#include "em/simulator.hpp"
+#include "ml/neural_regressor.hpp"
+#include "serve/protocol.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/session_manager.hpp"
+#include "serve/session_store.hpp"
+#include "server_harness.hpp"
+
+namespace isop::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Each test gets a throwaway state dir under the gtest temp dir, keyed by
+// the test name: ctest runs each discovered test as its own process, so a
+// shared directory would be clobbered by parallel siblings.
+class FaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "isop_fault_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);  // socket paths need the parent to exist
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  static SessionKey oracleKey() { return {"oracle", "S1", "stripline"}; }
+
+  /// Deterministic designs sampled from `space`.
+  static std::vector<em::StackupParams> sampleDesigns(
+      const em::ParameterSpace& space, std::size_t n, std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<em::StackupParams> designs;
+    designs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) designs.push_back(space.sample(rng));
+    return designs;
+  }
+
+  std::string dir_;
+};
+
+std::string readFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void writeFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// ---- SessionStore: corruption matrix ---------------------------------------
+
+TEST_F(FaultTest, MemoRoundTripServesBitwiseIdenticalValues) {
+  em::EmSimulator sim;
+  core::SimulatorSurrogate oracle(sim);
+  const em::ParameterSpace space = em::spaceByName("S1");
+  const auto designs = sampleDesigns(space, 24, 11);
+
+  core::EvalEngine warm(oracle, sim);
+  std::vector<em::PerformanceMetrics> expected;
+  warm.predictMetrics(designs, expected);
+  const auto simulated = warm.simulateBatch({designs.data(), 4});
+
+  SessionStore store(dir_);
+  ASSERT_TRUE(store.saveMemo(oracleKey(), warm));
+  EXPECT_EQ(store.persisted(), 1u);
+
+  core::EvalEngine cold(oracle, sim);
+  ASSERT_TRUE(store.loadMemo(oracleKey(), cold));
+  EXPECT_EQ(store.loaded(), 1u);
+  EXPECT_EQ(cold.cacheSize(), warm.cacheSize());
+
+  // Every row must come back from the restored cache, bit for bit.
+  std::vector<em::PerformanceMetrics> replayed;
+  cold.predictMetrics(designs, replayed);
+  ASSERT_EQ(replayed.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(replayed[i].z, expected[i].z) << "design " << i;
+    EXPECT_EQ(replayed[i].l, expected[i].l) << "design " << i;
+    EXPECT_EQ(replayed[i].next, expected[i].next) << "design " << i;
+  }
+  EXPECT_EQ(cold.stats().memoHits, designs.size());
+  const auto resimulated = cold.simulateBatch({designs.data(), 4});
+  for (std::size_t i = 0; i < simulated.size(); ++i) {
+    EXPECT_EQ(resimulated[i].z, simulated[i].z) << "design " << i;
+  }
+  EXPECT_EQ(cold.stats().simMemoHits, 4u);
+  EXPECT_EQ(store.loadFailures(), 0u);
+}
+
+TEST_F(FaultTest, ModelRoundTripPreservesPredictionsBitwise) {
+  // A tiny trained MLP stands in for a real surrogate; SessionStore only
+  // cares that the stream round-trips through the checksummed envelope.
+  Rng rng(3);
+  ml::Dataset train{Matrix(256, 4), Matrix(256, 2)};
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    for (std::size_t j = 0; j < 4; ++j) train.x(i, j) = rng.uniform(-1.0, 1.0);
+    train.y(i, 0) = 40.0 + 10.0 * train.x(i, 0);
+    train.y(i, 1) = train.x(i, 1) * train.x(i, 2);
+  }
+  ml::MlpConfig cfg;
+  cfg.hidden = {8, 8};
+  ml::MlpRegressor model(cfg);
+  ml::nn::TrainConfig trainCfg;
+  trainCfg.epochs = 3;
+  model.fit(train, trainCfg);
+
+  const SessionKey key{"mlp", "S1", "stripline"};
+  SessionStore store(dir_);
+  ASSERT_TRUE(store.saveModel(key, model));
+  const auto loaded = store.loadModel(key);
+  ASSERT_NE(loaded, nullptr);
+
+  std::vector<double> x{0.25, -0.5, 0.75, 0.1};
+  std::vector<double> expected(2), got(2);
+  model.predict(x, expected);
+  loaded->predict(x, got);
+  EXPECT_EQ(got[0], expected[0]);
+  EXPECT_EQ(got[1], expected[1]);
+}
+
+TEST_F(FaultTest, OracleSurrogateHasNoWeightsToPersist) {
+  em::EmSimulator sim;
+  core::SimulatorSurrogate oracle(sim);
+  SessionStore store(dir_);
+  EXPECT_FALSE(store.saveModel(oracleKey(), oracle));
+  EXPECT_EQ(store.persisted(), 0u);
+  EXPECT_FALSE(fs::exists(store.modelPath(oracleKey())));
+}
+
+TEST_F(FaultTest, AbsentStateFilesAreASilentColdStart) {
+  em::EmSimulator sim;
+  core::SimulatorSurrogate oracle(sim);
+  core::EvalEngine engine(oracle, sim);
+  SessionStore store(dir_);
+  EXPECT_EQ(store.loadModel({"mlp", "S1", "stripline"}), nullptr);
+  EXPECT_FALSE(store.loadMemo(oracleKey(), engine));
+  EXPECT_EQ(store.loadFailures(), 0u) << "absence is not a failure";
+}
+
+TEST_F(FaultTest, CorruptStateFilesAreIgnoredNeverFatal) {
+  em::EmSimulator sim;
+  core::SimulatorSurrogate oracle(sim);
+  const em::ParameterSpace space = em::spaceByName("S1");
+  const auto designs = sampleDesigns(space, 8, 5);
+
+  core::EvalEngine source(oracle, sim);
+  std::vector<em::PerformanceMetrics> out;
+  source.predictMetrics(designs, out);
+  SessionStore store(dir_);
+  ASSERT_TRUE(store.saveMemo(oracleKey(), source));
+  const std::string path = store.memoPath(oracleKey());
+  const std::string pristine = readFile(path);
+  ASSERT_GT(pristine.size(), 25u);  // envelope header + payload
+
+  struct Corruption {
+    const char* name;
+    std::string bytes;
+  };
+  std::string flippedPayload = pristine;
+  flippedPayload[pristine.size() / 2] ^= 0x40;  // checksum must catch this
+  std::string badMagic = pristine;
+  badMagic[0] ^= 0xff;
+  std::string badVersion = pristine;
+  badVersion[4] = 0x7f;
+  std::string shortPayload = pristine.substr(0, pristine.size() - 5);
+  const std::vector<Corruption> corruptions{
+      {"zero-length file", ""},
+      {"truncated header", pristine.substr(0, 10)},
+      {"truncated payload", shortPayload},
+      {"flipped payload byte", flippedPayload},
+      {"bad magic", badMagic},
+      {"unknown version", badVersion},
+      {"plain-text garbage", "this is not a state file\n"},
+  };
+
+  std::uint64_t failures = store.loadFailures();
+  for (const Corruption& corruption : corruptions) {
+    SCOPED_TRACE(corruption.name);
+    writeFile(path, corruption.bytes);
+    core::EvalEngine victim(oracle, sim);
+    EXPECT_FALSE(store.loadMemo(oracleKey(), victim));
+    EXPECT_EQ(victim.cacheSize(), 0u) << "no partial restore";
+    EXPECT_EQ(store.loadFailures(), failures + 1) << "failure must be counted";
+    failures = store.loadFailures();
+  }
+
+  // The pristine bytes still load after all that.
+  writeFile(path, pristine);
+  core::EvalEngine recovered(oracle, sim);
+  EXPECT_TRUE(store.loadMemo(oracleKey(), recovered));
+  EXPECT_EQ(recovered.cacheSize(), source.cacheSize());
+}
+
+TEST_F(FaultTest, WrongKindEnvelopeIsRejected) {
+  // A memo envelope parked at a model path (or vice versa) must be refused
+  // before any byte reaches the model deserializer.
+  em::EmSimulator sim;
+  core::SimulatorSurrogate oracle(sim);
+  const em::ParameterSpace space = em::spaceByName("S1");
+  const auto designs = sampleDesigns(space, 4, 9);
+  core::EvalEngine engine(oracle, sim);
+  std::vector<em::PerformanceMetrics> out;
+  engine.predictMetrics(designs, out);
+
+  SessionStore store(dir_);
+  ASSERT_TRUE(store.saveMemo(oracleKey(), engine));
+  const SessionKey mlpKey{"mlp", "S1", "stripline"};
+  writeFile(store.modelPath(mlpKey), readFile(store.memoPath(oracleKey())));
+  EXPECT_EQ(store.loadModel(mlpKey), nullptr);
+  EXPECT_EQ(store.loadFailures(), 1u);
+}
+
+TEST_F(FaultTest, HalfPublishedStateDirLoadsAndSweepsTempLeftovers) {
+  // A SIGKILL mid-write leaves `<path>.tmp.<pid>.<n>` next to the last
+  // complete publication. Loads must ignore the leftover; the next save
+  // sweeps it.
+  em::EmSimulator sim;
+  core::SimulatorSurrogate oracle(sim);
+  const em::ParameterSpace space = em::spaceByName("S1");
+  const auto designs = sampleDesigns(space, 6, 13);
+  core::EvalEngine engine(oracle, sim);
+  std::vector<em::PerformanceMetrics> out;
+  engine.predictMetrics(designs, out);
+
+  SessionStore store(dir_);
+  ASSERT_TRUE(store.saveMemo(oracleKey(), engine));
+  const std::string path = store.memoPath(oracleKey());
+  writeFile(path + ".tmp.12345.0", "half-written state from a killed process");
+
+  core::EvalEngine warm(oracle, sim);
+  EXPECT_TRUE(store.loadMemo(oracleKey(), warm));
+  EXPECT_EQ(warm.cacheSize(), engine.cacheSize());
+  EXPECT_EQ(store.loadFailures(), 0u);
+
+  ASSERT_TRUE(store.saveMemo(oracleKey(), engine));
+  EXPECT_FALSE(fs::exists(path + ".tmp.12345.0")) << "stale temp not swept";
+  core::EvalEngine again(oracle, sim);
+  EXPECT_TRUE(store.loadMemo(oracleKey(), again));
+}
+
+// ---- SessionManager: eviction + warm restart -------------------------------
+
+/// Thread-safe event log with predicate waits (the test_serve.cpp idiom).
+class EventLog {
+ public:
+  Scheduler::EventSink sink() {
+    return [this](const JobEvent& event) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      events_.push_back(event);
+      changed_.notify_all();
+    };
+  }
+
+  bool waitFor(const std::string& id, JobEvent::Kind kind,
+               std::chrono::seconds timeout = std::chrono::seconds(120)) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    return changed_.wait_for(lock, timeout, [&] {
+      for (const JobEvent& event : events_) {
+        if (event.jobId == id && event.kind == kind) return true;
+      }
+      return false;
+    });
+  }
+
+  std::shared_ptr<const core::TrialStats> resultOf(const std::string& id) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const JobEvent& event : events_) {
+      if (event.jobId == id && event.kind == JobEvent::Kind::Done) return event.result;
+    }
+    return nullptr;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable changed_;
+  std::vector<JobEvent> events_;
+};
+
+JobSpec quickSpec(std::string id) {
+  JobSpec spec;
+  spec.id = std::move(id);
+  spec.budget = 120;
+  spec.iterations = 2;
+  spec.hyperbandResource = 9;
+  spec.refineEpochs = 20;
+  spec.localSeeds = 3;
+  spec.candidates = 2;
+  spec.seed = 7;
+  return spec;
+}
+
+void expectBitwiseEqual(const core::TrialStats& a, const core::TrialStats& b) {
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  EXPECT_EQ(a.successes, b.successes);
+  for (std::size_t t = 0; t < a.outcomes.size(); ++t) {
+    const core::TrialOutcome& x = a.outcomes[t];
+    const core::TrialOutcome& y = b.outcomes[t];
+    ASSERT_EQ(x.candidates.size(), y.candidates.size()) << "trial " << t;
+    for (std::size_t c = 0; c < x.candidates.size(); ++c) {
+      for (std::size_t i = 0; i < em::kNumParams; ++i) {
+        EXPECT_EQ(x.candidates[c].params.values[i], y.candidates[c].params.values[i])
+            << "trial " << t << " candidate " << c << " param " << i;
+      }
+      EXPECT_EQ(x.candidates[c].fom, y.candidates[c].fom);
+      EXPECT_EQ(x.candidates[c].g, y.candidates[c].g);
+      EXPECT_EQ(x.candidates[c].feasible, y.candidates[c].feasible);
+    }
+    EXPECT_EQ(x.success, y.success) << "trial " << t;
+    EXPECT_EQ(x.samplesSeen, y.samplesSeen) << "trial " << t;
+    EXPECT_EQ(x.emCalls, y.emCalls) << "trial " << t;
+  }
+}
+
+TEST_F(FaultTest, EvictReloadResubmitIsBitwiseIdenticalWithMemoHits) {
+  SessionManagerConfig cfg;
+  cfg.maxSessions = 1;
+  cfg.stateDir = dir_;
+  SessionManager sessions(cfg);
+  EventLog log;
+  SchedulerConfig schedCfg;
+  schedCfg.workers = 1;  // sequential: counters are exactly reproducible
+  Scheduler scheduler(sessions, schedCfg, log.sink());
+
+  // Cold run on the stripline session.
+  ASSERT_TRUE(scheduler.submit(quickSpec("cold")));
+  ASSERT_TRUE(log.waitFor("cold", JobEvent::Kind::Done));
+  const auto cold = log.resultOf("cold");
+  ASSERT_NE(cold, nullptr);
+
+  // A job on a different key forces the 1-session cap to evict stripline.
+  JobSpec other = quickSpec("other");
+  other.layer = "microstrip";
+  ASSERT_TRUE(scheduler.submit(other));
+  ASSERT_TRUE(log.waitFor("other", JobEvent::Kind::Done));
+  EXPECT_GE(sessions.lifecycle().evicted, 1u);
+  EXPECT_GE(sessions.lifecycle().persisted, 1u);
+
+  // Resubmitting the evicted key must reload its persisted memo and replay
+  // the identical trajectory — now served from the cache.
+  JobSpec again = quickSpec("again");
+  ASSERT_TRUE(scheduler.submit(again));
+  ASSERT_TRUE(log.waitFor("again", JobEvent::Kind::Done));
+  const auto warm = log.resultOf("again");
+  ASSERT_NE(warm, nullptr);
+
+  expectBitwiseEqual(*warm, *cold);
+  ASSERT_FALSE(warm->outcomes.empty());
+  EXPECT_GT(warm->outcomes[0].evalStats.memoHits, 0u)
+      << "reloaded session must serve memo hits on the first batch";
+  EXPECT_GE(sessions.lifecycle().loaded, 1u);
+  bool sawWarm = false;
+  for (const auto& info : sessions.table()) {
+    if (info.key.layer == "stripline") sawWarm = info.warmMemo;
+  }
+  EXPECT_TRUE(sawWarm) << "stats table must show the warm-started session";
+}
+
+TEST_F(FaultTest, SessionsWithRunningJobsAreNeverEvicted) {
+  SessionManagerConfig cfg;
+  cfg.maxSessions = 1;
+  SessionManager sessions(cfg);
+  const SessionKey a{"oracle", "S1", "stripline"};
+  const SessionKey b{"oracle", "S1", "microstrip"};
+  auto ctxA = sessions.acquire(a);
+  {
+    SessionPin pin(ctxA);  // a job is running against A
+    sessions.acquire(b);   // over cap, but A is pinned and B was just acquired
+    EXPECT_EQ(sessions.size(), 2u) << "caps must yield to running jobs";
+    EXPECT_EQ(sessions.lifecycle().evicted, 0u);
+  }
+  // With the pin gone, the next new-key acquire evicts down to the cap.
+  sessions.acquire({"oracle", "S2", "stripline"});
+  EXPECT_EQ(sessions.size(), 1u);
+  EXPECT_EQ(sessions.lifecycle().evicted, 2u);
+}
+
+TEST_F(FaultTest, RestartedManagerWarmStartsFromPersistedState) {
+  SessionManagerConfig cfg;
+  cfg.stateDir = dir_;
+  const SessionKey key = oracleKey();
+  std::size_t cacheSize = 0;
+  std::vector<em::PerformanceMetrics> expected;
+  const em::ParameterSpace space = em::spaceByName("S1");
+  const auto designs = sampleDesigns(space, 16, 17);
+  {
+    SessionManager first(cfg);
+    auto ctx = first.acquire(key);
+    EXPECT_FALSE(ctx->warmMemo);
+    ctx->engine->predictMetrics(designs, expected);
+    cacheSize = ctx->engine->cacheSize();
+    first.persistAll();
+    EXPECT_GE(first.lifecycle().persisted, 1u);
+  }
+  SessionManager second(cfg);
+  auto ctx = second.acquire(key);
+  EXPECT_TRUE(ctx->warmMemo) << "restart must reload the persisted memo";
+  EXPECT_EQ(ctx->engine->cacheSize(), cacheSize);
+  std::vector<em::PerformanceMetrics> replayed;
+  ctx->engine->predictMetrics(designs, replayed);
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(replayed[i].z, expected[i].z) << "design " << i;
+    EXPECT_EQ(replayed[i].l, expected[i].l) << "design " << i;
+    EXPECT_EQ(replayed[i].next, expected[i].next) << "design " << i;
+  }
+  EXPECT_EQ(ctx->engine->stats().memoHits, designs.size());
+}
+
+// ---- Server: client-failure faults -----------------------------------------
+
+/// Polls the stdio status request until `completed` reaches `want`.
+bool waitForCompleted(ServerHarness& harness, long long want,
+                      std::chrono::seconds timeout = std::chrono::seconds(120)) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (std::chrono::steady_clock::now() < deadline) {
+    harness.sendStdio("{\"type\":\"status\"}");
+    const json::Value status = parseEventLine(harness.readStdio(), "status poll");
+    if (status.isNull()) return false;
+    if (status.at("completed").asInteger() >= want) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  return false;
+}
+
+TEST_F(FaultTest, MidJobDisconnectDoesNotDisturbTheJob) {
+  ServerConfig config;
+  config.scheduler.workers = 1;
+  config.socketPath = dir_ + "/serve.sock";
+  ServerHarness harness(std::move(config));
+
+  SocketClient client = SocketClient::connectUnix(dir_ + "/serve.sock");
+  ASSERT_TRUE(client.connected());
+  JobSpec spec = quickSpec("orphan");
+  spec.trials = 10;  // long enough that the disconnect lands mid-run
+  client.sendLine(submitToJson(spec).dump());
+  const json::Value accepted = parseEventLine(client.readLine(), "accepted");
+  ASSERT_EQ(eventOf(accepted), "accepted");
+  client.close();  // progress writes now hit EPIPE/ECONNRESET
+
+  // The job must finish on the server regardless, and the server must keep
+  // answering other clients.
+  EXPECT_TRUE(waitForCompleted(harness, 1))
+      << "orphaned job never completed after its client vanished";
+  harness.sendStdio("{\"type\":\"stats\"}");
+  const json::Value stats = parseEventLine(harness.readStdio(), "stats");
+  EXPECT_EQ(eventOf(stats), "stats");
+  const auto& tail = harness.shutdown();
+  ASSERT_FALSE(tail.empty());
+  EXPECT_EQ(harness.exitCode(), 0);
+}
+
+TEST_F(FaultTest, SlowReaderIsBoundedByTheWriteTimeoutNotHung) {
+  ServerConfig config;
+  config.scheduler.workers = 1;
+  config.listenAddress = "127.0.0.1:0";
+  config.writeTimeoutMs = 200;  // a blocked event write gives up quickly
+  ServerHarness harness(std::move(config));
+
+  // A client with a tiny receive window that never reads: once the kernel
+  // buffers fill, the server's progress writes block, hit SO_SNDTIMEO, and
+  // mark the writer dead — the job itself must still complete and the drain
+  // must not hang on the stuck connection.
+  SocketClient client =
+      SocketClient::connectTcp(harness.server().boundTcpPort(), /*rcvbufBytes=*/2048);
+  ASSERT_TRUE(client.connected());
+  JobSpec spec = quickSpec("stuck-reader");
+  spec.trials = 30;  // enough progress volume to overrun the socket buffers
+  client.sendLine(submitToJson(spec).dump());
+
+  EXPECT_TRUE(waitForCompleted(harness, 1))
+      << "job behind a stuck reader never completed";
+  const auto& tail = harness.shutdown();  // must not hang on the dead client
+  ASSERT_FALSE(tail.empty());
+  EXPECT_EQ(eventOf(parseEventLine(tail.back(), "shutdown")), "shutdown");
+  EXPECT_EQ(harness.exitCode(), 0);
+}
+
+TEST_F(FaultTest, PersistAfterJobSurvivesEvictionRace) {
+  // persistAfterJob on a key that was just evicted is a no-op (the eviction
+  // already persisted); on a live key it publishes the memo file.
+  SessionManagerConfig cfg;
+  cfg.stateDir = dir_;
+  SessionManager sessions(cfg);
+  const SessionKey key = oracleKey();
+  sessions.acquire(key);
+  sessions.persistAfterJob(key);
+  EXPECT_GE(sessions.lifecycle().persisted, 1u);
+  sessions.persistAfterJob({"oracle", "S2", "stripline"});  // never acquired
+  EXPECT_TRUE(fs::exists(sessions.store()->memoPath(key)));
+}
+
+}  // namespace
+}  // namespace isop::serve

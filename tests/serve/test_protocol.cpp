@@ -1,9 +1,11 @@
 // Wire-protocol tests: strict request parsing (shape errors, unknown keys,
-// unknown types) and the JSONL encoding of job events and results.
+// unknown types), the JSONL encoding of job events and results, and the
+// seeded submit encode -> parse -> re-encode round-trip property.
 #include <gtest/gtest.h>
 
 #include <limits>
 
+#include "common/rng.hpp"
 #include "serve/protocol.hpp"
 
 namespace isop::serve {
@@ -57,6 +59,101 @@ TEST(Protocol, SubmitDefaultsMatchJobSpecDefaults) {
   EXPECT_EQ(spec.budget, defaults.budget);
   EXPECT_EQ(spec.trials, defaults.trials);
   EXPECT_FALSE(spec.target.has_value());
+}
+
+TEST(Protocol, ParsesHelloRequest) {
+  std::string error;
+  auto request = parseRequest(R"({"type":"hello","token":"sekrit"})", &error);
+  ASSERT_TRUE(request.has_value()) << error;
+  EXPECT_EQ(request->kind, Request::Kind::Hello);
+  EXPECT_EQ(request->token, "sekrit");
+
+  request = parseRequest(R"({"type":"hello"})", &error);
+  ASSERT_TRUE(request.has_value()) << error;
+  EXPECT_EQ(request->token, "");
+
+  EXPECT_FALSE(parseRequest(R"({"type":"hello","token":7})", &error).has_value());
+  EXPECT_FALSE(parseRequest(R"({"type":"hello","extra":1})", &error).has_value());
+}
+
+TEST(Protocol, HelloReplyCarriesProtocolAndAuthState) {
+  const json::Value v = helloToJson(true);
+  EXPECT_EQ(v.at("event").asString(), "hello");
+  EXPECT_EQ(v.at("protocol").asInteger(), kProtocolVersion);
+  EXPECT_TRUE(v.at("authenticated").asBool());
+}
+
+// Property test: for seeded random specs, submitToJson is a parseRequest
+// inverse and its output is an encode -> parse -> re-encode fixed point.
+// This is the wire contract the conformance suite builds on — any field
+// whose encoding and parsing disagree (name, type, optionality) fails here
+// before it can corrupt a job spec crossing the TCP transport.
+TEST(Protocol, SubmitRoundTripIsFixedPointOverSeededSpecs) {
+  Rng rng(20260808);
+  const auto size = [&rng](std::size_t lo, std::size_t hi) {
+    return lo + static_cast<std::size_t>(rng() % (hi - lo + 1));
+  };
+  const char* tasks[] = {"T1", "T2", "T3", "T4"};
+  const char* spaces[] = {"S1", "S2", "S1p"};
+  const char* layers[] = {"stripline", "microstrip"};
+  const char* surrogates[] = {"oracle", "cnn", "mlp"};
+
+  for (int i = 0; i < 200; ++i) {
+    JobSpec spec;
+    spec.id = "job-" + std::to_string(i);
+    spec.task = tasks[rng() % 4];
+    spec.space = spaces[rng() % 3];
+    spec.layer = layers[rng() % 2];
+    spec.surrogate = surrogates[rng() % 3];
+    if (rng() % 2 == 0) spec.target = rng.uniform(20.0, 120.0);
+    if (rng() % 2 == 0) spec.tolerance = rng.uniform(0.5, 5.0);
+    spec.tableIxConstraints = rng() % 2 == 0;
+    spec.budget = size(1, 5000);
+    spec.iterations = size(1, 8);
+    spec.localSeeds = size(1, 16);
+    spec.refineEpochs = size(0, 200);
+    spec.hyperbandResource = size(1, 81);
+    spec.candidates = size(1, 10);
+    spec.trials = size(1, 20);
+    spec.seed = rng() % 100000;
+    spec.priority = static_cast<long long>(rng() % 21) - 10;
+    spec.timeoutMs = rng() % 2 == 0 ? 0 : rng() % 60000;
+    spec.deadlineMs = rng() % 2 == 0 ? 0 : rng() % 60000;
+    if (rng() % 4 == 0) spec.traceOut = "/tmp/trace-" + std::to_string(i);
+
+    const json::Value encoded = submitToJson(spec);
+    const std::string wire = encoded.dump();
+    std::string error;
+    const auto request = parseRequest(wire, &error);
+    ASSERT_TRUE(request.has_value()) << wire << "\nerror: " << error;
+    ASSERT_EQ(request->kind, Request::Kind::Submit);
+
+    // Field-for-field equality of the decoded spec.
+    const JobSpec& got = request->spec;
+    EXPECT_EQ(got.id, spec.id);
+    EXPECT_EQ(got.task, spec.task);
+    EXPECT_EQ(got.space, spec.space);
+    EXPECT_EQ(got.layer, spec.layer);
+    EXPECT_EQ(got.surrogate, spec.surrogate);
+    EXPECT_EQ(got.target, spec.target);
+    EXPECT_EQ(got.tolerance, spec.tolerance);
+    EXPECT_EQ(got.tableIxConstraints, spec.tableIxConstraints);
+    EXPECT_EQ(got.budget, spec.budget);
+    EXPECT_EQ(got.iterations, spec.iterations);
+    EXPECT_EQ(got.localSeeds, spec.localSeeds);
+    EXPECT_EQ(got.refineEpochs, spec.refineEpochs);
+    EXPECT_EQ(got.hyperbandResource, spec.hyperbandResource);
+    EXPECT_EQ(got.candidates, spec.candidates);
+    EXPECT_EQ(got.trials, spec.trials);
+    EXPECT_EQ(got.seed, spec.seed);
+    EXPECT_EQ(got.priority, spec.priority);
+    EXPECT_EQ(got.timeoutMs, spec.timeoutMs);
+    EXPECT_EQ(got.deadlineMs, spec.deadlineMs);
+    EXPECT_EQ(got.traceOut, spec.traceOut);
+
+    // Re-encoding the parsed spec reproduces the wire bytes exactly.
+    EXPECT_EQ(submitToJson(got).dump(), wire);
+  }
 }
 
 TEST(Protocol, RejectsMalformedRequests) {
@@ -259,12 +356,21 @@ TEST(Protocol, StatsSnapshotEncodesQueueJobsSessionsMetrics) {
   sessions[0].rows = 140;
   sessions[0].memoHits = 40;
   sessions[0].hitRate = 40.0 / 140.0;
+  sessions[0].activeJobs = 1;
+  sessions[0].warmMemo = true;
+
+  SessionManager::Lifecycle lifecycle;
+  lifecycle.created = 4;
+  lifecycle.evicted = 3;
+  lifecycle.persisted = 5;
+  lifecycle.loaded = 2;
+  lifecycle.loadFailures = 1;
 
   json::Value metrics = json::Value::object();
   metrics.set("counters", json::Value::object());
 
   const json::Value v =
-      statsToJson(status, jobs, sessions, std::move(metrics));
+      statsToJson(status, jobs, sessions, lifecycle, std::move(metrics));
   EXPECT_EQ(v.at("event").asString(), "stats");
   const json::Value& queue = v.at("queue");
   EXPECT_EQ(queue.at("depth").asInteger(), 1);
@@ -291,6 +397,16 @@ TEST(Protocol, StatsSnapshotEncodesQueueJobsSessionsMetrics) {
   EXPECT_EQ(encodedSessions.at(0).at("surrogate").asString(), "oracle");
   EXPECT_EQ(encodedSessions.at(0).at("cache_size").asInteger(), 100);
   EXPECT_EQ(encodedSessions.at(0).at("memo_hits").asInteger(), 40);
+  EXPECT_EQ(encodedSessions.at(0).at("active_jobs").asInteger(), 1);
+  EXPECT_FALSE(encodedSessions.at(0).at("warm_model").asBool());
+  EXPECT_TRUE(encodedSessions.at(0).at("warm_memo").asBool());
+
+  const json::Value& life = v.at("session_lifecycle");
+  EXPECT_EQ(life.at("created").asInteger(), 4);
+  EXPECT_EQ(life.at("evicted").asInteger(), 3);
+  EXPECT_EQ(life.at("persisted").asInteger(), 5);
+  EXPECT_EQ(life.at("loaded").asInteger(), 2);
+  EXPECT_EQ(life.at("load_failures").asInteger(), 1);
 
   EXPECT_NE(v.at("metrics").find("counters"), nullptr);
 
