@@ -3,6 +3,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <functional>
@@ -65,9 +66,16 @@ void atomicSave(const std::string& path,
   // rename leaves `<path>.tmp.<pid>.<n>` behind forever (loaders skip it —
   // it never matches the published name — but it eats disk). The next
   // publication of the same path is the natural owner of that cleanup.
+  // Only plausibly-dead temps are swept: a fresh temp may be a live
+  // concurrent writer mid-publication, and deleting it would fail that
+  // writer's rename — harmless for the identical-bytes data cache, but a
+  // session-store memo snapshot from another job or replica differs, and its
+  // newer state would be silently dropped.
   {
     const fs::path target(path);
     const std::string prefix = target.filename().string() + ".tmp.";
+    constexpr auto kStaleAge = std::chrono::minutes(10);
+    const auto now = fs::file_time_type::clock::now();
     std::error_code ec;
     for (fs::directory_iterator it(target.parent_path().empty()
                                        ? fs::path(".")
@@ -77,6 +85,9 @@ void atomicSave(const std::string& path,
          !ec && it != end; it.increment(ec)) {
       const std::string name = it->path().filename().string();
       if (name.size() > prefix.size() && name.compare(0, prefix.size(), prefix) == 0) {
+        std::error_code ageEc;
+        const auto mtime = fs::last_write_time(it->path(), ageEc);
+        if (ageEc || now - mtime < kStaleAge) continue;  // plausibly live
         std::error_code rmEc;
         fs::remove(it->path(), rmEc);  // best effort
       }

@@ -21,9 +21,11 @@ std::string cacheDir();
 /// `path` (same directory, so the rename never crosses a filesystem), which
 /// is then renamed into place — readers see either the complete old file,
 /// the complete new file, or no file; never a torn one. Before publishing,
-/// stale `<path>.tmp.*` leftovers from crashed writers are removed (a live
-/// concurrent writer that loses its temp file fails its own publication
-/// with a warning and nothing else — both writers produce identical bytes).
+/// stale `<path>.tmp.*` leftovers from crashed writers are removed; only
+/// temps older than a staleness threshold (minutes) qualify, so a live
+/// concurrent writer's in-progress temp — whose bytes may legitimately
+/// differ, e.g. session-store memo snapshots from two jobs or replicas — is
+/// never deleted out from under it.
 /// Used by the dataset/model caches here and by serve's session store.
 void atomicSave(const std::string& path,
                 const std::function<void(const std::string&)>& save);

@@ -357,12 +357,15 @@ void Scheduler::exportJobTrace(const std::shared_ptr<Job>& job) const {
 }
 
 void Scheduler::runJob(const std::shared_ptr<Job>& job, const EventSink& sink) {
-  const std::shared_ptr<SessionManager::Context> ctx = sessions_->acquire(
+  // acquire() hands the session out pre-pinned (the pin is taken under the
+  // manager lock), so it is eviction-exempt for the whole run with no window
+  // for a concurrent acquire to evict it first, and ctx->engine's memo cache
+  // stays reachable by concurrent jobs on the same key. An eviction after
+  // the pin drops is safe: it persists the then-quiescent memo itself, so
+  // the post-run persistAfterJob finding the key gone loses nothing.
+  const SessionPin pin = sessions_->acquire(
       SessionKey{job->spec.surrogate, job->spec.space, job->spec.layer});
-  // Pin for the duration of the run: the session manager never evicts a
-  // session with running jobs, so ctx->engine's memo cache stays reachable
-  // by concurrent jobs on the same key.
-  SessionPin pin(ctx);
+  const std::shared_ptr<SessionManager::Context>& ctx = pin.context();
   const core::Task task = makeTask(job->spec);
   const core::MethodSpec method = makeMethod(job->spec);
 

@@ -9,6 +9,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <csignal>
 #include <cstring>
@@ -28,6 +29,26 @@ std::atomic<int> gSignalFd{-1};
 // (the largest submit is well under a kilobyte), so treat it as a broken or
 // hostile client instead of buffering without bound.
 constexpr std::size_t kMaxRequestBytes = 1 << 20;  // 1 MiB
+
+// How long the accept loop sleeps in poll() between sweeps of finished
+// connections. A disconnect is reaped within roughly this bound even when no
+// new client ever connects.
+constexpr int kReapPollMs = 500;
+
+/// Constant-time string equality for the TCP auth token. operator== bails at
+/// the first differing byte, which hands a remote client a timing oracle for
+/// guessing the shared secret one prefix byte at a time; this compares every
+/// byte of both strings regardless of where (or whether) they diverge.
+bool constantTimeEquals(const std::string& a, const std::string& b) {
+  unsigned diff = static_cast<unsigned>(a.size() ^ b.size());
+  const std::size_t n = std::max(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const unsigned char ca = i < a.size() ? static_cast<unsigned char>(a[i]) : 0;
+    const unsigned char cb = i < b.size() ? static_cast<unsigned char>(b[i]) : 0;
+    diff |= static_cast<unsigned>(ca ^ cb);
+  }
+  return diff == 0;
+}
 
 void onShutdownSignal(int) {
   const int fd = gSignalFd.load(std::memory_order_relaxed);
@@ -198,12 +219,27 @@ class Server::Connection {
   }
 
   void start() {
-    thread_ = std::thread([this] { readLoop(); });
+    thread_ = std::thread([this] {
+      readLoop();
+      done_.store(true, std::memory_order_release);
+    });
   }
 
   /// Stops the reader (read() returns 0) without tearing down the write
   /// side — events of still-running jobs keep flowing during the drain.
   void stopReading() { ::shutdown(fd_, SHUT_RD); }
+
+  /// True once this connection can be torn down: the reader has exited, and
+  /// no in-flight job still holds the writer. Each submit's event sink keeps
+  /// a reference to the writer until its terminal event has been emitted, so
+  /// a half-closed client (shutdown(SHUT_WR) after submitting) still
+  /// receives its remaining job events before the accept loop reaps the
+  /// connection. Once done_ is set no new writer references can be handed
+  /// out (only readLoop creates them), so a use_count of one — our own — is
+  /// stable and destruction is safe.
+  bool reapable() const {
+    return done_.load(std::memory_order_acquire) && writer_.use_count() == 1;
+  }
 
  private:
   void readLoop() {
@@ -245,6 +281,7 @@ class Server::Connection {
   std::shared_ptr<LineWriter> writer_;
   ConnState state_;
   std::thread thread_;
+  std::atomic<bool> done_{false};  ///< reader thread has exited
 };
 
 Server::Server(ServerConfig config, std::FILE* in, std::FILE* out)
@@ -298,7 +335,7 @@ void Server::handleLine(const std::string& line,
   if (request->kind == Request::Kind::Hello) {
     // Trusted transports (stdio, unix socket) accept any hello; a TCP
     // client with an auth token configured must present it here.
-    if (!state->requireAuth || request->token == config_.authToken) {
+    if (!state->requireAuth || constantTimeEquals(request->token, config_.authToken)) {
       state->authenticated.store(true, std::memory_order_relaxed);
       writer->write(helloToJson(true));
     } else {
@@ -373,6 +410,38 @@ void Server::handleLine(const std::string& line,
   }
 }
 
+void Server::reapConnections() {
+  // A connect/disconnect must not leak its fd, exited reader thread, and
+  // Connection object until shutdown — a long-running server would hit fd
+  // exhaustion from ordinary client churn. Collect reapable connections
+  // under the lock, destroy them outside it: ~Connection joins the (already
+  // exited) reader and closes the fd, and joining under connectionsMutex_ is
+  // the lock-hold hazard lint rule L3 exists to flag.
+  std::vector<std::shared_ptr<Connection>> doomed;
+  std::size_t active = 0;
+  {
+    MutexLock lock(connectionsMutex_);
+    auto it = connections_.begin();
+    while (it != connections_.end()) {
+      if ((*it)->reapable()) {
+        doomed.push_back(std::move(*it));
+        it = connections_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    active = connections_.size();
+  }
+  if (doomed.empty()) return;
+  const std::size_t reaped = doomed.size();
+  doomed.clear();  // joins readers, closes fds
+  if (obs::metricsEnabled()) {
+    auto& reg = obs::registry();
+    reg.counter("serve.connections.reaped").add(reaped);
+    reg.gauge("serve.connections.active").set(static_cast<double>(active));
+  }
+}
+
 void Server::acceptLoop() {
   std::vector<pollfd> fds(listeners_.size() + 1);
   for (;;) {
@@ -380,12 +449,15 @@ void Server::acceptLoop() {
       fds[i] = {listeners_[i].fd, POLLIN, 0};
     }
     fds.back() = {shutdownPipe_[0], POLLIN, 0};
-    if (::poll(fds.data(), static_cast<nfds_t>(fds.size()), -1) < 0) {
+    // Bounded wait so disconnected clients are swept even when no new
+    // connection ever arrives to wake the loop.
+    const int rc = ::poll(fds.data(), static_cast<nfds_t>(fds.size()), kReapPollMs);
+    if (rc < 0) {
       if (errno == EINTR) continue;
       return;
     }
     if (fds.back().revents != 0) return;  // shutdown (the byte stays for run())
-    for (std::size_t i = 0; i < listeners_.size(); ++i) {
+    for (std::size_t i = 0; rc > 0 && i < listeners_.size(); ++i) {
       if (fds[i].revents == 0) continue;
       const int fd = ::accept(listeners_[i].fd, nullptr, nullptr);
       if (fd < 0) {
@@ -400,12 +472,20 @@ void Server::acceptLoop() {
       }
       const bool requireAuth = listeners_[i].tcp && !config_.authToken.empty();
       auto connection = std::make_shared<Connection>(*this, fd, requireAuth);
+      std::size_t active = 0;
       {
         MutexLock lock(connectionsMutex_);
         connections_.push_back(connection);
+        active = connections_.size();
       }
       connection->start();
+      if (obs::metricsEnabled()) {
+        auto& reg = obs::registry();
+        reg.counter("serve.connections.accepted").add();
+        reg.gauge("serve.connections.active").set(static_cast<double>(active));
+      }
     }
+    reapConnections();
   }
 }
 
@@ -507,7 +587,12 @@ int Server::run() {
       handleLine(line, stdioWriter_, &stdioState_);
       if (shutdownRequested_.load(std::memory_order_relaxed)) break;
     }
-    if (!discarding && buffer.size() > kMaxRequestBytes) {
+    if (discarding) {
+      // Still inside the oversize line (no newline yet): drop what arrived
+      // instead of buffering it, or an endless line would grow the buffer
+      // without bound — the exact blow-up the cap exists to prevent.
+      buffer.clear();
+    } else if (buffer.size() > kMaxRequestBytes) {
       // Unlike a socket client, stdio cannot be dropped without draining
       // the whole server, so the oversize line is answered and discarded.
       stdioWriter_->write(errorEvent("request line exceeds 1 MiB limit"));

@@ -24,6 +24,13 @@
 // writer dead instead of hanging a scheduler worker, and dead clients stop
 // receiving progress streams while their jobs run on unaffected.
 //
+// Connection lifecycle: disconnected socket clients are reaped promptly (the
+// accept loop sweeps on every wakeup and at least twice a second), releasing
+// the fd, the reader thread, and the Connection object — client churn never
+// accumulates state. A connection is only reaped once its in-flight jobs
+// have emitted their terminal events, so a client that half-closes its write
+// side after submitting still receives its results.
+//
 // Shutdown paths (all equivalent): SIGINT/SIGTERM, a {"type":"shutdown"}
 // request, or stdin EOF. Each stops admission, rejects still-queued jobs
 // ("server draining"), lets running jobs finish, persists session state to
@@ -134,6 +141,9 @@ class Server {
                   const std::shared_ptr<class LineWriter>& writer,
                   ConnState* state);
   void acceptLoop();
+  /// Destroys connections whose reader exited and whose jobs have settled
+  /// (joins the reader, closes the fd). Runs on the accept thread.
+  void reapConnections();
   void beginShutdown();
 
   ServerConfig config_;

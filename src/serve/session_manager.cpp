@@ -26,23 +26,26 @@ SessionManager::SessionManager(SessionManagerConfig config)
                  ? nullptr
                  : std::make_unique<SessionStore>(config_.stateDir)) {}
 
-std::shared_ptr<SessionManager::Context> SessionManager::acquire(
-    const SessionKey& key) {
+SessionPin SessionManager::acquire(const SessionKey& key) {
   std::vector<Victim> victims;
-  std::shared_ptr<Context> ctx;
+  SessionPin pin;
   {
     MutexLock lock(mutex_);
     ++useClock_;
     auto it = sessions_.find(key);
     if (it != sessions_.end()) {
       it->second->lastUse.store(useClock_, std::memory_order_relaxed);
-      return it->second;
+      // Pinned before the lock drops: a concurrent acquire of another key
+      // can never pick this session as an eviction victim in the window
+      // between returning it and the caller's job starting.
+      return SessionPin(it->second);
     }
-    ctx = build(key);
+    std::shared_ptr<Context> ctx = build(key);
     ctx->lastUse.store(useClock_, std::memory_order_relaxed);
     sessions_.emplace(key, ctx);
     ++created_;
-    evictOverBudget(key, &victims);
+    pin = SessionPin(std::move(ctx));  // eviction-exempt from here on
+    evictOverBudget(&victims);
     if (obs::metricsEnabled()) {
       auto& reg = obs::registry();
       reg.counter("serve.sessions.created").add();
@@ -53,11 +56,10 @@ std::shared_ptr<SessionManager::Context> SessionManager::acquire(
     }
   }
   persistVictims(victims);
-  return ctx;
+  return pin;
 }
 
-void SessionManager::evictOverBudget(const SessionKey& justAcquired,
-                                     std::vector<Victim>* victims) {
+void SessionManager::evictOverBudget(std::vector<Victim>* victims) {
   const auto overBudget = [this]() ISOP_REQUIRES(mutex_) {
     if (config_.maxSessions > 0 && sessions_.size() > config_.maxSessions) {
       return true;
@@ -73,7 +75,8 @@ void SessionManager::evictOverBudget(const SessionKey& justAcquired,
     auto victim = sessions_.end();
     std::uint64_t oldest = std::numeric_limits<std::uint64_t>::max();
     for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
-      if (it->first == justAcquired) continue;  // never evict what we return
+      // Pinned sessions — including the one acquire() is about to return —
+      // are never victims.
       if (it->second->activeJobs.load(std::memory_order_relaxed) > 0) continue;
       const std::uint64_t use = it->second->lastUse.load(std::memory_order_relaxed);
       if (use < oldest) {
@@ -92,7 +95,9 @@ void SessionManager::persistVictims(const std::vector<Victim>& victims) {
   if (!store_) return;
   // Outside the manager lock: the shared_ptr keeps each evicted context
   // alive, and nothing else can reach it any more — its memo cache is
-  // quiescent (activeJobs was 0) so the snapshot is stable.
+  // quiescent (activeJobs was 0, and every acquire() hands its session out
+  // already pinned, so no not-yet-pinned job can be touching a victim) and
+  // the snapshot is stable.
   for (const auto& [key, ctx] : victims) store_->saveMemo(key, *ctx->engine);
 }
 

@@ -36,6 +36,8 @@
 
 namespace isop::serve {
 
+class SessionPin;
+
 struct SessionManagerConfig {
   /// Applies to every session's shared engine (memoization on by default;
   /// raise maxCacheEntries for long-running servers).
@@ -80,8 +82,15 @@ class SessionManager {
   /// instant serves. May evict LRU idle sessions to honour the configured
   /// caps; evicted sessions are persisted (when a state dir is set) after
   /// the lock is released.
+  ///
+  /// The session comes back pre-pinned: the returned SessionPin increments
+  /// activeJobs while the manager lock is still held, so there is no window
+  /// in which a concurrent acquire of another key can evict a session that
+  /// has just been handed out (an eviction in that window would snapshot a
+  /// non-quiescent memo cache and orphan the caller's context from the
+  /// memory budget).
   /// Throws std::invalid_argument on unknown surrogate/space/layer names.
-  std::shared_ptr<Context> acquire(const SessionKey& key);
+  SessionPin acquire(const SessionKey& key);
 
   /// Number of live sessions.
   std::size_t size() const;
@@ -134,11 +143,11 @@ class SessionManager {
   using Victim = std::pair<SessionKey, std::shared_ptr<Context>>;
 
   std::shared_ptr<Context> build(const SessionKey& key) const;
-  /// Evicts LRU idle sessions (never `justAcquired`, never pinned ones)
-  /// until the caps hold or no eligible victim remains. Removed contexts are
-  /// appended to `victims` for persistence outside the lock.
-  void evictOverBudget(const SessionKey& justAcquired,
-                       std::vector<Victim>* victims) ISOP_REQUIRES(mutex_);
+  /// Evicts LRU idle sessions (never pinned ones — the session acquire() is
+  /// handing out is itself pinned by then) until the caps hold or no
+  /// eligible victim remains. Removed contexts are appended to `victims` for
+  /// persistence outside the lock.
+  void evictOverBudget(std::vector<Victim>* victims) ISOP_REQUIRES(mutex_);
   std::size_t estimatedBytes(const Context& ctx) const;
   void persistVictims(const std::vector<Victim>& victims);
 
@@ -154,21 +163,41 @@ class SessionManager {
   std::uint64_t evicted_ ISOP_GUARDED_BY(mutex_) = 0;
 };
 
-/// RAII pin marking a session as having a running job for the duration of a
-/// scope. Pinned sessions are exempt from eviction.
+/// RAII pin marking a session as having a running job for its lifetime.
+/// Pinned sessions are exempt from eviction. SessionManager::acquire()
+/// returns one of these — pinned under the manager lock, so the session is
+/// eviction-exempt from the instant it is handed out — and the scheduler
+/// holds it for the duration of the job's run.
 class SessionPin {
  public:
+  SessionPin() = default;
   explicit SessionPin(std::shared_ptr<SessionManager::Context> ctx)
       : ctx_(std::move(ctx)) {
     if (ctx_) ctx_->activeJobs.fetch_add(1, std::memory_order_relaxed);
   }
-  ~SessionPin() {
-    if (ctx_) ctx_->activeJobs.fetch_sub(1, std::memory_order_relaxed);
+  ~SessionPin() { unpin(); }
+  SessionPin(SessionPin&& other) noexcept : ctx_(std::move(other.ctx_)) {}
+  SessionPin& operator=(SessionPin&& other) noexcept {
+    if (this != &other) {
+      unpin();
+      ctx_ = std::move(other.ctx_);
+    }
+    return *this;
   }
   SessionPin(const SessionPin&) = delete;
   SessionPin& operator=(const SessionPin&) = delete;
 
+  SessionManager::Context* get() const { return ctx_.get(); }
+  SessionManager::Context* operator->() const { return ctx_.get(); }
+  const std::shared_ptr<SessionManager::Context>& context() const { return ctx_; }
+  explicit operator bool() const { return ctx_ != nullptr; }
+
  private:
+  void unpin() {
+    if (ctx_) ctx_->activeJobs.fetch_sub(1, std::memory_order_relaxed);
+    ctx_.reset();
+  }
+
   std::shared_ptr<SessionManager::Context> ctx_;
 };
 

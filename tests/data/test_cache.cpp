@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -96,15 +97,20 @@ TEST_F(CacheTest, AtomicSaveSweepsStaleTempLeftovers) {
   // next atomicSave of the same path must sweep it and still publish.
   fs::create_directories(dir_);
   const std::string path = dir_ + "/entry.bin";
+  const std::string stale = path + ".tmp.99999.0";
   {
-    std::ofstream out(path + ".tmp.99999.0");
+    std::ofstream out(stale);
     out << "half-written leftovers from a killed process";
   }
+  // By the time another publication happens, a crashed writer's leftover is
+  // old; age it past the staleness threshold that protects live writers.
+  fs::last_write_time(stale,
+                      fs::file_time_type::clock::now() - std::chrono::hours(1));
   atomicSave(path, [](const std::string& tmp) {
     std::ofstream out(tmp, std::ios::binary);
     out << "published";
   });
-  EXPECT_FALSE(fs::exists(path + ".tmp.99999.0")) << "stale temp not swept";
+  EXPECT_FALSE(fs::exists(stale)) << "stale temp not swept";
   std::ifstream in(path);
   std::string contents;
   std::getline(in, contents);
@@ -112,6 +118,26 @@ TEST_F(CacheTest, AtomicSaveSweepsStaleTempLeftovers) {
   // Exactly the published file remains.
   ASSERT_EQ(cacheFiles().size(), 1u);
   EXPECT_EQ(cacheFiles()[0], "entry.bin");
+}
+
+TEST_F(CacheTest, AtomicSaveLeavesFreshTempsOfLiveWritersAlone) {
+  // A fresh temp next to the target is plausibly a concurrent writer that is
+  // mid-publication right now. Sweeping it would fail that writer's rename —
+  // and for writers whose bytes differ (session-store snapshots), silently
+  // drop its state. The sweep must only take temps old enough to be dead.
+  fs::create_directories(dir_);
+  const std::string path = dir_ + "/entry.bin";
+  const std::string live = path + ".tmp.88888.0";
+  {
+    std::ofstream out(live);
+    out << "a concurrent writer's in-progress publication";
+  }
+  atomicSave(path, [](const std::string& tmp) {
+    std::ofstream out(tmp, std::ios::binary);
+    out << "published";
+  });
+  EXPECT_TRUE(fs::exists(live)) << "fresh temp of a live writer was swept";
+  EXPECT_TRUE(fs::exists(path));
 }
 
 TEST_F(CacheTest, ZeroByteCacheEntryIsRegenerated) {

@@ -151,6 +151,12 @@ class SocketClient {
 
   void sendLine(const std::string& line) { sendRaw(line + "\n"); }
 
+  /// Half-close: no more requests from this client, but the read side stays
+  /// open — the server must keep delivering this client's job events.
+  void shutdownWrite() {
+    if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+  }
+
   std::optional<std::string> readLine(int timeoutMs = 120000) {
     return reader_ ? reader_->readLine(timeoutMs) : std::nullopt;
   }

@@ -254,6 +254,32 @@ TEST_F(ConformanceTest, OversizeLineDisconnectsSocketClientsOnly) {
             "status");
 }
 
+TEST_F(ConformanceTest, StdioOversizeDiscardIsBoundedAcrossChunks) {
+  // An endless stdio line must be dropped as it streams in, not buffered: a
+  // client that never sends the newline would otherwise grow the buffer
+  // without bound after the one error answer. The error is emitted exactly
+  // once per oversize line, and the first request after the newline works.
+  ServerConfig config;
+  config.scheduler.workers = 1;
+  ServerHarness harness(std::move(config));
+
+  const std::string flood(1u << 20, 'y');
+  harness.sendStdioRaw(flood + flood);  // 2 MiB, no newline: answered once
+  EXPECT_EQ(eventOf(parseEventLine(harness.readStdio(), "oversize error")),
+            "error");
+  // Keep flooding the same line across several writes; a duplicate error
+  // here would surface as the wrong event in the status read below.
+  harness.sendStdioRaw(flood);
+  harness.sendStdioRaw(flood);
+  harness.sendStdioRaw(flood + "\n");  // the endless line finally terminates
+  harness.sendStdio("{\"type\":\"status\"}");
+  EXPECT_EQ(eventOf(parseEventLine(harness.readStdio(), "status after flood")),
+            "status");
+  const auto& tail = harness.shutdown();
+  ASSERT_FALSE(tail.empty());
+  EXPECT_EQ(harness.exitCode(), 0);
+}
+
 TEST_F(ConformanceTest, TruncatedFrameAtEofIsIgnoredOnSockets) {
   ServerHarness harness(allTransports());
   for (const char* which : {"unix", "tcp"}) {

@@ -252,6 +252,11 @@ TEST_F(FaultTest, HalfPublishedStateDirLoadsAndSweepsTempLeftovers) {
   ASSERT_TRUE(store.saveMemo(oracleKey(), engine));
   const std::string path = store.memoPath(oracleKey());
   writeFile(path + ".tmp.12345.0", "half-written state from a killed process");
+  // A crashed writer's leftover is old by the time the next publication
+  // runs; age it past atomicSave's staleness threshold (fresh temps are
+  // presumed to belong to a live concurrent writer and left alone).
+  fs::last_write_time(path + ".tmp.12345.0",
+                      fs::file_time_type::clock::now() - std::chrono::hours(1));
 
   core::EvalEngine warm(oracle, sim);
   EXPECT_TRUE(store.loadMemo(oracleKey(), warm));
@@ -387,12 +392,16 @@ TEST_F(FaultTest, SessionsWithRunningJobsAreNeverEvicted) {
   SessionManager sessions(cfg);
   const SessionKey a{"oracle", "S1", "stripline"};
   const SessionKey b{"oracle", "S1", "microstrip"};
-  auto ctxA = sessions.acquire(a);
   {
-    SessionPin pin(ctxA);  // a job is running against A
-    sessions.acquire(b);   // over cap, but A is pinned and B was just acquired
+    // acquire() hands the session out pre-pinned — it counts as having a
+    // running job from the instant it is returned, so a concurrent acquire
+    // of another key can never evict it in the window before the job starts.
+    SessionPin pinA = sessions.acquire(a);
+    EXPECT_EQ(pinA->activeJobs.load(), 1) << "acquire must return a pinned session";
+    sessions.acquire(b);  // over cap, but A is pinned (B's own pin is transient)
     EXPECT_EQ(sessions.size(), 2u) << "caps must yield to running jobs";
     EXPECT_EQ(sessions.lifecycle().evicted, 0u);
+    EXPECT_EQ(pinA->activeJobs.load(), 1) << "pin must survive other acquires";
   }
   // With the pin gone, the next new-key acquire evicts down to the cap.
   sessions.acquire({"oracle", "S2", "stripline"});
@@ -469,6 +478,79 @@ TEST_F(FaultTest, MidJobDisconnectDoesNotDisturbTheJob) {
   harness.sendStdio("{\"type\":\"stats\"}");
   const json::Value stats = parseEventLine(harness.readStdio(), "stats");
   EXPECT_EQ(eventOf(stats), "stats");
+  const auto& tail = harness.shutdown();
+  ASSERT_FALSE(tail.empty());
+  EXPECT_EQ(harness.exitCode(), 0);
+}
+
+/// Reads the serve.connections.active gauge via a stdio stats request
+/// (-1.0 when the gauge has not been published yet).
+double activeConnectionsGauge(ServerHarness& harness) {
+  harness.sendStdio("{\"type\":\"stats\"}");
+  const json::Value stats = parseEventLine(harness.readStdio(), "stats");
+  if (const json::Value* metrics = stats.find("metrics")) {
+    if (const json::Value* gauges = metrics->find("gauges")) {
+      if (const json::Value* active = gauges->find("serve.connections.active")) {
+        return active->asNumber();
+      }
+    }
+  }
+  return -1.0;
+}
+
+TEST_F(FaultTest, DisconnectedClientsAreReapedNotLeaked) {
+  // Connect/disconnect churn must not accumulate fds, exited reader threads,
+  // or Connection objects until shutdown — a long-running server would hit
+  // fd exhaustion. Each vanished client must be reaped by the accept loop's
+  // periodic sweep, visible as the connections gauge returning to zero.
+  ServerConfig config;
+  config.scheduler.workers = 1;
+  config.socketPath = dir_ + "/serve.sock";
+  ServerHarness harness(std::move(config));
+
+  for (int i = 0; i < 5; ++i) {
+    SocketClient client = SocketClient::connectUnix(dir_ + "/serve.sock");
+    ASSERT_TRUE(client.connected());
+    client.sendLine("{\"type\":\"status\"}");
+    ASSERT_EQ(eventOf(parseEventLine(client.readLine(), "status")), "status");
+    client.close();
+  }
+
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  double active = -1.0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    active = activeConnectionsGauge(harness);
+    if (active == 0.0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  EXPECT_EQ(active, 0.0) << "disconnected clients were never reaped";
+  const auto& tail = harness.shutdown();
+  ASSERT_FALSE(tail.empty());
+  EXPECT_EQ(harness.exitCode(), 0);
+}
+
+TEST_F(FaultTest, HalfClosedClientStillReceivesItsJobEvents) {
+  // A client that submits and then shuts down only its write side is not a
+  // disconnect: the reaper must wait for the client's in-flight job to emit
+  // its terminal event before tearing the connection down.
+  ServerConfig config;
+  config.scheduler.workers = 1;
+  config.socketPath = dir_ + "/serve.sock";
+  ServerHarness harness(std::move(config));
+
+  SocketClient client = SocketClient::connectUnix(dir_ + "/serve.sock");
+  ASSERT_TRUE(client.connected());
+  client.sendLine(submitToJson(quickSpec("half-close")).dump());
+  client.shutdownWrite();  // the server's reader sees EOF immediately
+
+  bool sawDone = false;
+  while (const auto line = client.readLine()) {
+    if (eventOf(parseEventLine(line, "half-close event")) == "done") {
+      sawDone = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(sawDone) << "half-closed client lost its job's done event";
   const auto& tail = harness.shutdown();
   ASSERT_FALSE(tail.empty());
   EXPECT_EQ(harness.exitCode(), 0);
