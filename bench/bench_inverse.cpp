@@ -1,0 +1,256 @@
+// bench_inverse — amortized inverse design vs the full ISOP+ pipeline,
+// emitting the versioned perf artifact BENCH_inverse.json.
+//
+// Measures the trade the inverse subsystem makes: pay once to train an
+// inverse net against the frozen forward surrogate, then answer each target
+// spec with one batched forward pass (plus snap + surrogate scoring) instead
+// of a full Harmonica/Hyperband/Adam pipeline run. Specs are sampled
+// self-consistently — random designs are pushed through the surrogate and
+// their predicted metrics become the asks — so every spec is achievable and
+// the constraint-satisfaction rate measures the net, not the sampler.
+//
+// Reported per the liric percentile discipline (median/P90 of raw per-spec
+// samples): amortized solve latency, EM-validated constraint-satisfaction
+// rate and FoM of the top-1 design, against the measured wall time, success
+// rate and FoM of full ISOP+ runs on the same spec-targeted tasks. Pipeline
+// runtimes also carry the paper's modeled-EM-solver seconds separately; the
+// speedup figure uses measured wall on both sides.
+//
+// Usage:
+//   bench_inverse [--specs N] [--pipeline-specs N] [--inverse-samples N]
+//                 [--inverse-epochs N] [--budget N] [--iterations N]
+//                 [--candidates N] [--refine-epochs N] [--seed N]
+//                 [--out BENCH_inverse.json]
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/cli.hpp"
+#include "common/json.hpp"
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "core/simulator_surrogate.hpp"
+#include "core/tasks.hpp"
+#include "core/trial_runner.hpp"
+#include "inverse/inverse_designer.hpp"
+#include "inverse/inverse_trainer.hpp"
+
+namespace {
+
+using isop::json::Value;
+
+struct InverseBenchConfig {
+  std::size_t specs = 20;          ///< amortized solves measured
+  std::size_t pipelineSpecs = 3;   ///< spec-tasks also run through ISOP+
+  std::size_t trainSamples = 2048;
+  std::size_t trainEpochs = 60;
+  std::size_t budget = 200;        ///< pipeline Harmonica samples per iter
+  std::size_t iterations = 2;      ///< pipeline Harmonica iterations
+  std::size_t candidates = 3;
+  std::size_t refineEpochs = 0;    ///< amortized-side refine hop (0 = off)
+  std::uint64_t seed = 1;
+  std::string out = "BENCH_inverse.json";
+};
+
+Value percentileBlock(const std::vector<double>& samples) {
+  Value block = Value::object();
+  block.set("median", Value::number(isop::bench::benchMedian(samples)));
+  block.set("p90", Value::number(isop::bench::benchPercentile(samples, 0.90)));
+  return block;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace isop;
+  const CliArgs args(argc, argv);
+  if (args.has("help")) {
+    std::printf(
+        "bench_inverse: amortized inverse design vs the full ISOP+ pipeline\n"
+        "  --specs N           target specs solved amortized (default 20)\n"
+        "  --pipeline-specs N  spec-tasks also run through ISOP+ (default 3)\n"
+        "  --inverse-samples N inverse-net training designs (default 2048)\n"
+        "  --inverse-epochs N  inverse-net training epochs (default 60)\n"
+        "  --budget N          pipeline Harmonica samples/iter (default 200)\n"
+        "  --iterations N      pipeline Harmonica iterations (default 2)\n"
+        "  --candidates N      designs per answer (default 3)\n"
+        "  --refine-epochs N   amortized AdamRefiner hop (default 0 = off)\n"
+        "  --seed N            RNG seed (default 1)\n"
+        "  --out PATH          artifact path (default BENCH_inverse.json)\n");
+    return 0;
+  }
+
+  InverseBenchConfig cfg;
+  cfg.specs = static_cast<std::size_t>(args.getInt("specs", 20));
+  cfg.pipelineSpecs = static_cast<std::size_t>(args.getInt("pipeline-specs", 3));
+  cfg.trainSamples = static_cast<std::size_t>(args.getInt("inverse-samples", 2048));
+  cfg.trainEpochs = static_cast<std::size_t>(args.getInt("inverse-epochs", 60));
+  cfg.budget = static_cast<std::size_t>(args.getInt("budget", 200));
+  cfg.iterations = static_cast<std::size_t>(args.getInt("iterations", 2));
+  cfg.candidates = static_cast<std::size_t>(args.getInt("candidates", 3));
+  cfg.refineEpochs = static_cast<std::size_t>(args.getInt("refine-epochs", 0));
+  cfg.seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
+  cfg.out = args.getString("out", cfg.out);
+
+  const em::EmSimulator simulator{{}};
+  const auto oracle = std::make_shared<core::SimulatorSurrogate>(simulator);
+  const em::ParameterSpace space = em::spaceByName("S1");
+  const core::Task baseTask = core::taskByName("T1");
+  const core::EvalEngine engine(*oracle, simulator, {});
+
+  // --- Train the inverse net (the amortized one-off cost). ---
+  inverse::InverseTrainConfig trainCfg;
+  trainCfg.samples = cfg.trainSamples;
+  trainCfg.epochs = cfg.trainEpochs;
+  trainCfg.seed = cfg.seed;
+  core::EvalEngineConfig trainEngineCfg;
+  trainEngineCfg.memoize = false;
+  const core::EvalEngine trainEngine(*oracle, simulator, trainEngineCfg);
+  inverse::InverseTrainReport trainReport;
+  const auto model =
+      inverse::trainInverseModel(trainEngine, space, trainCfg, &trainReport);
+
+  // --- Sample achievable target specs (design -> surrogate metrics). ---
+  Rng specRng(cfg.seed + 1000003);
+  std::vector<em::StackupParams> probes;
+  probes.reserve(cfg.specs);
+  for (std::size_t i = 0; i < cfg.specs; ++i) probes.push_back(space.sample(specRng));
+  std::vector<em::PerformanceMetrics> specMetrics;
+  engine.predictMetrics(probes, specMetrics);
+
+  // --- Amortized side: per-spec timed solve + EM validation of the top-1. ---
+  std::vector<double> solveSeconds;
+  solveSeconds.reserve(cfg.specs);
+  std::vector<double> amortizedFoms;
+  std::size_t satisfied = 0, answered = 0;
+  inverse::InverseSolveConfig solveCfg;
+  solveCfg.candidates = cfg.candidates;
+  solveCfg.refineEpochs = cfg.refineEpochs;
+  solveCfg.seed = cfg.seed;
+  for (std::size_t i = 0; i < cfg.specs; ++i) {
+    core::Task task = baseTask;
+    task.spec.outputConstraints[0].target = specMetrics[i].z;
+    inverse::TargetSpec target;
+    target.z = specMetrics[i].z;
+    target.l = specMetrics[i].l;
+    target.next = specMetrics[i].next;
+
+    const Timer timer;
+    const inverse::InverseResult result =
+        solveInverse(*model, engine, task, target, solveCfg);
+    solveSeconds.push_back(timer.seconds());
+
+    if (result.ranked.empty()) continue;
+    ++answered;
+    const em::StackupParams& top = result.ranked.front().params;
+    const em::PerformanceMetrics validated =
+        engine.simulateBatch(std::span<const em::StackupParams>(&top, 1)).front();
+    const core::Objective obj(task.spec);
+    if (obj.feasible(validated, top)) ++satisfied;
+    amortizedFoms.push_back(obj.fomValue(validated));
+  }
+
+  // --- Pipeline side: full ISOP+ on the first few spec-targeted tasks. ---
+  core::MethodSpec method;
+  method.name = "ISOP+";
+  method.kind = core::MethodSpec::Kind::Isop;
+  method.rolloutCandidates = cfg.candidates;
+  method.isop.harmonica.iterations = cfg.iterations;
+  method.isop.harmonica.samplesPerIter = cfg.budget;
+  method.isop.candNum = cfg.candidates;
+
+  std::vector<double> pipelineWall;
+  std::vector<double> pipelineModeled;
+  std::vector<double> pipelineFoms;
+  std::size_t pipelineSuccesses = 0;
+  const std::size_t pipelineRuns = std::min(cfg.pipelineSpecs, cfg.specs);
+  for (std::size_t i = 0; i < pipelineRuns; ++i) {
+    core::Task task = baseTask;
+    task.spec.outputConstraints[0].target = specMetrics[i].z;
+    core::TrialRunner runner(simulator, oracle, space, task);
+    const Timer timer;
+    const core::TrialStats stats = runner.run(method, 1, cfg.seed + i);
+    pipelineWall.push_back(timer.seconds());
+    pipelineModeled.push_back(stats.avgRuntime);
+    pipelineFoms.push_back(stats.fomMean);
+    pipelineSuccesses += stats.successes;
+  }
+
+  const double amortizedP50 = bench::benchMedian(solveSeconds);
+  const double pipelineP50 = bench::benchMedian(pipelineWall);
+  const double speedup = amortizedP50 > 0.0 ? pipelineP50 / amortizedP50 : 0.0;
+  const auto mean = [](const std::vector<double>& v) {
+    if (v.empty()) return 0.0;
+    double s = 0.0;
+    for (double x : v) s += x;
+    return s / static_cast<double>(v.size());
+  };
+
+  Value config = Value::object();
+  config.set("specs", Value::integer(static_cast<long long>(cfg.specs)));
+  config.set("pipeline_specs", Value::integer(static_cast<long long>(pipelineRuns)));
+  config.set("inverse_samples", Value::integer(static_cast<long long>(cfg.trainSamples)));
+  config.set("inverse_epochs", Value::integer(static_cast<long long>(cfg.trainEpochs)));
+  config.set("budget", Value::integer(static_cast<long long>(cfg.budget)));
+  config.set("iterations", Value::integer(static_cast<long long>(cfg.iterations)));
+  config.set("candidates", Value::integer(static_cast<long long>(cfg.candidates)));
+  config.set("refine_epochs", Value::integer(static_cast<long long>(cfg.refineEpochs)));
+  config.set("seed", Value::integer(static_cast<long long>(cfg.seed)));
+  config.set("task", Value::string("T1"));
+  config.set("space", Value::string("S1"));
+  config.set("surrogate", Value::string("oracle"));
+
+  Value amortized = Value::object();
+  amortized.set("train_seconds", Value::number(trainReport.trainSeconds));
+  amortized.set("solve_seconds", percentileBlock(solveSeconds));
+  amortized.set("constraint_satisfaction_rate",
+                Value::number(answered == 0 ? 0.0
+                                            : static_cast<double>(satisfied) /
+                                                  static_cast<double>(answered)));
+  amortized.set("fom_mean", Value::number(mean(amortizedFoms)));
+  amortized.set("plan", Value::string(model->planSummary()));
+
+  Value pipeline = Value::object();
+  pipeline.set("wall_seconds", percentileBlock(pipelineWall));
+  pipeline.set("modeled_seconds_mean", Value::number(mean(pipelineModeled)));
+  pipeline.set("success_rate",
+               Value::number(pipelineRuns == 0
+                                 ? 0.0
+                                 : static_cast<double>(pipelineSuccesses) /
+                                       static_cast<double>(pipelineRuns)));
+  pipeline.set("fom_mean", Value::number(mean(pipelineFoms)));
+
+  Value results = Value::object();
+  results.set("amortized", std::move(amortized));
+  results.set("pipeline", std::move(pipeline));
+  results.set("speedup_p50", Value::number(speedup));
+
+  Value artifact = Value::object();
+  artifact.set("bench", Value::string("inverse"));
+  artifact.set("schema", Value::integer(1));
+  artifact.set("config", std::move(config));
+  artifact.set("results", std::move(results));
+
+  const std::string text = artifact.dump(2) + "\n";
+  std::FILE* out = std::fopen(cfg.out.c_str(), "w");
+  if (!out) {
+    log::error("bench_inverse: cannot write '", cfg.out, "'");
+    return 1;
+  }
+  std::fwrite(text.data(), 1, text.size(), out);
+  std::fclose(out);
+
+  std::printf(
+      "bench_inverse: %zu specs  train %.3fs  solve p50 %.6fs  "
+      "satisfaction %.2f  |  pipeline p50 %.3fs  success %.2f  ->  %.0fx  (%s)\n",
+      cfg.specs, trainReport.trainSeconds, amortizedP50,
+      answered == 0 ? 0.0 : static_cast<double>(satisfied) / static_cast<double>(answered),
+      pipelineP50,
+      pipelineRuns == 0
+          ? 0.0
+          : static_cast<double>(pipelineSuccesses) / static_cast<double>(pipelineRuns),
+      speedup, cfg.out.c_str());
+  return 0;
+}

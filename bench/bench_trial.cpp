@@ -1,0 +1,157 @@
+// bench_trial — per-scenario ISOP+ trial latency, emitting the versioned
+// perf artifact BENCH_trial.json.
+//
+// The serve tier bills whole pipeline runs per job, so the unit that matters
+// for capacity planning is the wall time of one TrialRunner trial. This
+// bench runs each (task, space) scenario `--trials` times with distinct
+// seeds — each trial on a fresh runner, so there is no cross-trial memo
+// warm-start and every sample is a cold-cache latency — and reports the
+// median/P90 measured wall seconds per scenario, plus the EM-validated
+// success rate and FoM mean so a latency regression that "wins" by doing
+// less work is visible in the same artifact.
+//
+// scripts/bench_compare.py diffs two artifacts and fails on regressions
+// beyond a threshold; run_all.sh regenerates the checked-in copy.
+//
+// Usage:
+//   bench_trial [--trials N] [--budget N] [--iterations N] [--candidates N]
+//               [--seed N] [--out BENCH_trial.json]
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/cli.hpp"
+#include "common/json.hpp"
+#include "common/logging.hpp"
+#include "common/timer.hpp"
+#include "core/simulator_surrogate.hpp"
+#include "core/tasks.hpp"
+#include "core/trial_runner.hpp"
+
+namespace {
+
+using isop::json::Value;
+
+struct TrialBenchConfig {
+  std::size_t trials = 5;
+  std::size_t budget = 200;
+  std::size_t iterations = 2;
+  std::size_t candidates = 3;
+  std::uint64_t seed = 1;
+  std::string out = "BENCH_trial.json";
+};
+
+struct Scenario {
+  const char* label;
+  const char* task;
+  const char* space;
+};
+
+// The paper's single-metric, loss-bounded and crosstalk-bounded task shapes
+// over the base space — the three serve-job profiles with distinct costs.
+constexpr Scenario kScenarios[] = {
+    {"T1/S1", "T1", "S1"},
+    {"T3/S1", "T3", "S1"},
+    {"T4/S1", "T4", "S1"},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace isop;
+  const CliArgs args(argc, argv);
+  if (args.has("help")) {
+    std::printf(
+        "bench_trial: per-scenario ISOP+ trial wall-time percentiles\n"
+        "  --trials N      trials per scenario (default 5)\n"
+        "  --budget N      Harmonica samples/iter (default 200)\n"
+        "  --iterations N  Harmonica iterations (default 2)\n"
+        "  --candidates N  roll-out designs per trial (default 3)\n"
+        "  --seed N        base seed; trial t uses seed+t (default 1)\n"
+        "  --out PATH      artifact path (default BENCH_trial.json)\n");
+    return 0;
+  }
+
+  TrialBenchConfig cfg;
+  cfg.trials = static_cast<std::size_t>(args.getInt("trials", 5));
+  cfg.budget = static_cast<std::size_t>(args.getInt("budget", 200));
+  cfg.iterations = static_cast<std::size_t>(args.getInt("iterations", 2));
+  cfg.candidates = static_cast<std::size_t>(args.getInt("candidates", 3));
+  cfg.seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
+  cfg.out = args.getString("out", cfg.out);
+
+  const em::EmSimulator simulator{{}};
+  const auto oracle = std::make_shared<core::SimulatorSurrogate>(simulator);
+
+  core::MethodSpec method;
+  method.name = "ISOP+";
+  method.kind = core::MethodSpec::Kind::Isop;
+  method.rolloutCandidates = cfg.candidates;
+  method.isop.harmonica.iterations = cfg.iterations;
+  method.isop.harmonica.samplesPerIter = cfg.budget;
+  method.isop.candNum = cfg.candidates;
+
+  Value scenarios = Value::object();
+  for (const Scenario& scenario : kScenarios) {
+    const core::Task task = core::taskByName(scenario.task);
+    const em::ParameterSpace space = em::spaceByName(scenario.space);
+
+    std::vector<double> wall;
+    wall.reserve(cfg.trials);
+    std::size_t successes = 0;
+    double fomSum = 0.0;
+    for (std::size_t t = 0; t < cfg.trials; ++t) {
+      // A fresh runner per trial: no shared memo cache, so every sample is
+      // the cold latency a first job on a new serve session would see.
+      core::TrialRunner runner(simulator, oracle, space, task);
+      const Timer timer;
+      const core::TrialStats stats = runner.run(method, 1, cfg.seed + t);
+      wall.push_back(timer.seconds());
+      successes += stats.successes;
+      fomSum += stats.fomMean;
+    }
+
+    Value block = Value::object();
+    block.set("wall_seconds_median", Value::number(bench::benchMedian(wall)));
+    block.set("wall_seconds_p90",
+              Value::number(bench::benchPercentile(wall, 0.90)));
+    block.set("success_rate",
+              Value::number(cfg.trials == 0 ? 0.0
+                                            : static_cast<double>(successes) /
+                                                  static_cast<double>(cfg.trials)));
+    block.set("fom_mean", Value::number(cfg.trials == 0
+                                            ? 0.0
+                                            : fomSum / static_cast<double>(cfg.trials)));
+    scenarios.set(scenario.label, std::move(block));
+
+    std::printf("bench_trial: %-6s median %.4fs p90 %.4fs success %zu/%zu\n",
+                scenario.label, bench::benchMedian(wall),
+                bench::benchPercentile(wall, 0.90), successes, cfg.trials);
+  }
+
+  Value config = Value::object();
+  config.set("trials", Value::integer(static_cast<long long>(cfg.trials)));
+  config.set("budget", Value::integer(static_cast<long long>(cfg.budget)));
+  config.set("iterations", Value::integer(static_cast<long long>(cfg.iterations)));
+  config.set("candidates", Value::integer(static_cast<long long>(cfg.candidates)));
+  config.set("seed", Value::integer(static_cast<long long>(cfg.seed)));
+  config.set("surrogate", Value::string("oracle"));
+
+  Value artifact = Value::object();
+  artifact.set("bench", Value::string("trial"));
+  artifact.set("schema", Value::integer(1));
+  artifact.set("config", std::move(config));
+  artifact.set("results", std::move(scenarios));
+
+  const std::string text = artifact.dump(2) + "\n";
+  std::FILE* out = std::fopen(cfg.out.c_str(), "w");
+  if (!out) {
+    log::error("bench_trial: cannot write '", cfg.out, "'");
+    return 1;
+  }
+  std::fwrite(text.data(), 1, text.size(), out);
+  std::fclose(out);
+  std::printf("bench_trial: wrote %s\n", cfg.out.c_str());
+  return 0;
+}

@@ -9,6 +9,7 @@
 //   isop_cli --serve [--serve-workers N] [--serve-queue N] [--serve-socket PATH]
 //            [--listen HOST:PORT] [--auth-token SECRET] [--write-timeout-ms MS]
 //            [--max-sessions N] [--session-memory-budget BYTES] [--state-dir DIR]
+//            [--inverse-samples N] [--inverse-epochs N]
 //            [--metrics-interval MS] [--metrics-series S.jsonl]
 //
 // With --surrogate oracle (default) the EM model itself drives the search —
@@ -65,6 +66,8 @@ int main(int argc, char** argv) {
               "  --max-sessions N            evict LRU idle sessions beyond N\n"
               "  --session-memory-budget B   evict LRU idle sessions beyond ~B bytes\n"
               "  --state-dir DIR             persist/warm-start session state here\n"
+              "  --inverse-samples N         inverse-net training designs (default 512)\n"
+              "  --inverse-epochs N          inverse-net training epochs (default 24)\n"
               "  --metrics-interval MS       sample the metrics registry every MS ms\n"
               "  --metrics-series PATH       append sampled records as JSONL");
     return 0;
@@ -95,6 +98,10 @@ int main(int argc, char** argv) {
     serveCfg.sessionMemoryBudgetBytes =
         static_cast<std::size_t>(args.getInt("session-memory-budget", 0));
     serveCfg.stateDir = args.getString("state-dir", "");
+    serveCfg.inverseTrain.samples = static_cast<std::size_t>(args.getInt(
+        "inverse-samples", static_cast<long long>(serveCfg.inverseTrain.samples)));
+    serveCfg.inverseTrain.epochs = static_cast<std::size_t>(args.getInt(
+        "inverse-epochs", static_cast<long long>(serveCfg.inverseTrain.epochs)));
     serveCfg.metricsIntervalMs =
         static_cast<std::uint64_t>(args.getInt("metrics-interval", 0));
     serveCfg.metricsSeriesPath = args.getString("metrics-series", "");

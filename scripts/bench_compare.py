@@ -29,7 +29,8 @@ import sys
 ABS_FLOOR_DEFAULT = 1e-6
 
 LOWER_BETTER_MARKERS = ("latency", "wait", "_ms", "error")
-HIGHER_BETTER_MARKERS = ("throughput", "per_s", "hit_rate", "qps", "speedup")
+HIGHER_BETTER_MARKERS = ("throughput", "per_s", "hit_rate", "qps", "speedup",
+                         "satisfaction_rate", "success_rate")
 
 
 def flatten(value, prefix=""):
@@ -157,6 +158,22 @@ def self_check():
     assert any("speedup" in line for line in r), r
     assert any("plan_median_ms" in line for line in r), r
 
+    # BENCH_inverse.json shape: losing amortized quality (satisfaction down),
+    # answering slower (solve median up), or shrinking the headline speedup
+    # all fail; train_seconds is a one-off cost and stays lower-is-better too.
+    inverse_base = {"results": {
+        "amortized": {"solve_seconds": {"median": 1e-5},
+                      "constraint_satisfaction_rate": 0.85},
+        "pipeline": {"success_rate": 1.0},
+        "speedup_p50": 10000.0}}
+    inverse_worse = json.loads(json.dumps(inverse_base))
+    inverse_worse["results"]["amortized"]["solve_seconds"]["median"] = 5e-5
+    inverse_worse["results"]["amortized"]["constraint_satisfaction_rate"] = 0.5
+    inverse_worse["results"]["pipeline"]["success_rate"] = 0.5
+    inverse_worse["results"]["speedup_p50"] = 2000.0
+    r, _, _ = compare(inverse_base, inverse_worse, 0.10, ABS_FLOOR_DEFAULT)
+    assert len(r) == 4, r
+
     # Direction classification spot checks.
     assert classify("results.e2e_latency_seconds.p99") == "lower"
     assert classify("results.queue_wait_seconds.median") == "lower"
@@ -164,6 +181,10 @@ def self_check():
     assert classify("server_stats.sessions[0].hit_rate") == "higher"
     assert classify("kernels.cnn.forward.b256.plan_speedup_vs_perrow") == "higher"
     assert classify("kernels.cnn.forward.b256.plan_p90_ms") == "lower"
+    assert classify("results.amortized.constraint_satisfaction_rate") == "higher"
+    assert classify("results.pipeline.success_rate") == "higher"
+    assert classify("results.amortized.solve_seconds.median") == "lower"
+    assert classify("results.speedup_p50") == "higher"
     assert classify("results.completed") == "info"
     assert classify("config.jobs") == "info"
     assert classify("metrics.histograms.span.isop.run.seconds.count") == "info"

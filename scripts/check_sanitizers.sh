@@ -19,6 +19,10 @@
 # ctest -L matches by regex, so one run covers all three — the TSan gate for
 # the whole tier, with the lock-order detector live via the presets:
 #   CTEST_ARGS="-L serve" scripts/check_sanitizers.sh tsan
+# The inverse subsystem (src/inverse: deterministic training through the
+# frozen surrogate, the serve-side kind-3 persistence matrix) carries the
+# "inverse" label (tests/inverse, tests/serve/test_serve_inverse.cpp):
+#   CTEST_ARGS="-L inverse" scripts/check_sanitizers.sh tsan
 #
 # Usage:
 #   scripts/check_sanitizers.sh [asan-ubsan|tsan]...   (default: both)

@@ -32,11 +32,24 @@ build/bench/bench_kernels --reps 15 --seed 4 \
   --out BENCH_kernels.json 2>&1 | tee kernels_output.txt
 python3 scripts/bench_compare.py BENCH_kernels.json BENCH_kernels.json
 
+# Per-scenario ISOP+ trial wall-time percentiles (BENCH_trial.json) and the
+# amortized-inverse vs full-pipeline comparison (BENCH_inverse.json). Diff
+# against a previous commit's artifact with:
+#   scripts/bench_compare.py OLD_BENCH_trial.json BENCH_trial.json
+#   scripts/bench_compare.py OLD_BENCH_inverse.json BENCH_inverse.json
+build/bench/bench_trial --seed 1 --out BENCH_trial.json 2>&1 | tee trial_output.txt
+python3 scripts/bench_compare.py BENCH_trial.json BENCH_trial.json
+build/bench/bench_inverse --seed 1 \
+  --out BENCH_inverse.json 2>&1 | tee inverse_output.txt
+python3 scripts/bench_compare.py BENCH_inverse.json BENCH_inverse.json
+
 for b in build/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] || continue
   case "$(basename "$b")" in
     bench_loadgen) continue ;;  # driven above with explicit flags
     bench_kernels) continue ;;  # driven above with explicit flags
+    bench_trial) continue ;;    # driven above with explicit flags
+    bench_inverse) continue ;;  # driven above with explicit flags
   esac
   echo "=== $(basename "$b") ==="
   "$b"

@@ -56,6 +56,11 @@ inline constexpr int kJobQueue = 60;
 /// serve: SessionManager session map. Held across session build (surrogate
 /// training), so everything training touches must rank below.
 inline constexpr int kSessionManager = 50;
+/// serve: a session Context's lazily-trained inverse-model slot. Acquired
+/// under the session manager's pin (never the manager lock itself at the
+/// same time as training runs); inverse training touches memo shards, the
+/// thread pool and plan pools, all strictly below.
+inline constexpr int kInverseModel = 45;
 /// core/eval: one MemoCache shard. Never hold two shards at once — same
 /// name means the detector flags shard-vs-shard nesting as an inversion.
 inline constexpr int kMemoShard = 40;

@@ -1,0 +1,174 @@
+#include "inverse/inverse_designer.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "common/check.hpp"
+#include "common/timer.hpp"
+#include "hpo/adam_refiner.hpp"
+#include "obs/trace.hpp"
+
+namespace isop::inverse {
+
+namespace {
+
+/// The impedance tolerance of the task (the jitter half-width for spec row
+/// variants); tasks always constrain Z, but fall back to 1 ohm defensively.
+double impedanceTolerance(const core::Task& task) {
+  for (const auto& oc : task.spec.outputConstraints) {
+    if (oc.metric == em::Metric::Z) return oc.tolerance;
+  }
+  return 1.0;
+}
+
+bool sameDesign(const em::StackupParams& a, const em::StackupParams& b) {
+  return a.values == b.values;
+}
+
+/// Appends `x` unless an identical design is already present (snapping many
+/// jittered specs onto a coarse grid collapses neighbors constantly).
+void pushUnique(std::vector<em::StackupParams>& xs, const em::StackupParams& x) {
+  for (const auto& seen : xs) {
+    if (sameDesign(seen, x)) return;
+  }
+  xs.push_back(x);
+}
+
+/// Scores designs with the forward surrogate and the task objective. The
+/// engine memoizes, so re-scoring a design another spec row already produced
+/// is a cache hit, not a second model pass.
+void scoreDesigns(const core::EvalEngine& engine, const core::Objective& obj,
+                  std::span<const em::StackupParams> xs, bool refined,
+                  std::vector<InverseCandidate>& out) {
+  std::vector<em::PerformanceMetrics> metrics;
+  engine.predictMetrics(xs, metrics);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    InverseCandidate c;
+    c.params = xs[i];
+    c.predicted = metrics[i];
+    c.g = obj.gValue(metrics[i], xs[i]);
+    c.fom = obj.fomValue(metrics[i]);
+    c.feasible = obj.feasible(metrics[i], xs[i]);
+    c.refined = refined;
+    out.push_back(c);
+  }
+}
+
+/// The batched smooth-objective-with-gradient the AdamRefiner consumes —
+/// the same one-gradientBatch-per-needed-metric shape as
+/// core::SurrogateObjective::evaluateWithGradientBatch.
+hpo::AdamRefiner::BatchObjectiveWithGrad refineObjective(
+    const core::EvalEngine& engine, const core::Objective& obj) {
+  return [&engine, &obj](std::span<const em::StackupParams> xs,
+                         std::span<double> values, Matrix& grads) {
+    const std::size_t n = xs.size();
+    std::vector<em::PerformanceMetrics> metrics;
+    engine.predictMetrics(xs, metrics);
+    std::array<bool, em::kNumMetrics> needed{};
+    for (const auto& term : obj.spec().fom) {
+      needed[static_cast<std::size_t>(term.metric)] = true;
+    }
+    const auto& ocs = obj.spec().outputConstraints;
+    for (std::size_t j = 0; j < ocs.size(); ++j) {
+      const std::size_t k = static_cast<std::size_t>(ocs[j].metric);
+      if (needed[k]) continue;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (obj.ocPenaltySmoothDerivative(j, metrics[i]) != 0.0) {
+          needed[k] = true;
+          break;
+        }
+      }
+    }
+    std::array<Matrix, em::kNumMetrics> metricGrads;
+    for (std::size_t k = 0; k < em::kNumMetrics; ++k) {
+      if (needed[k]) engine.gradientBatch(xs, k, metricGrads[k]);
+    }
+    grads.resize(n, em::kNumParams);
+    for (std::size_t i = 0; i < n; ++i) {
+      values[i] = obj.gSmoothWithGradient(
+          metrics[i], xs[i],
+          [&](em::Metric metric, std::span<double> mg) {
+            const auto row = metricGrads[static_cast<std::size_t>(metric)].row(i);
+            std::copy(row.begin(), row.end(), mg.begin());
+          },
+          grads.row(i));
+    }
+  };
+}
+
+}  // namespace
+
+InverseResult solveInverse(const InverseModel& model,
+                           const core::EvalEngine& engine,
+                           const core::Task& task, const TargetSpec& target,
+                           const InverseSolveConfig& config) {
+  const Timer timer;
+  obs::Span span("inverse.solve");
+  const std::size_t rows = std::max<std::size_t>(1, config.candidates);
+
+  // Spec batch: the exact target plus jittered neighbors. Jitter stays
+  // inside the task's impedance band for Z and within a fraction of the
+  // training spec spread for L / NEXT, so every row is a plausible ask.
+  Rng rng(config.seed);
+  const double tolZ = impedanceTolerance(task);
+  Matrix specs(rows, em::kNumMetrics);
+  for (std::size_t i = 0; i < rows; ++i) {
+    double z = target.z, l = target.l, next = target.next;
+    if (i > 0) {
+      z += 0.5 * tolZ * rng.uniform(-1.0, 1.0);
+      l += 0.25 * model.specScaler().stddev(1) * rng.uniform(-1.0, 1.0);
+      next += 0.25 * model.specScaler().stddev(2) * rng.uniform(-1.0, 1.0);
+    }
+    specs(i, 0) = z;
+    specs(i, 1) = l;
+    specs(i, 2) = next;
+  }
+
+  // One batched pass through the compiled inverse plan, snap onto the grid,
+  // and collapse duplicates.
+  Matrix unit;
+  model.forwardSpecs(specs, unit);
+  std::vector<em::StackupParams> candidates;
+  candidates.reserve(rows);
+  for (std::size_t i = 0; i < rows; ++i) {
+    pushUnique(candidates, model.decodeRow(unit.row(i), /*snapToGrid=*/true));
+  }
+
+  const core::Objective obj(task.spec);
+  InverseResult result;
+  scoreDesigns(engine, obj, candidates, /*refined=*/false, result.ranked);
+
+  if (config.refineEpochs > 0) {
+    hpo::RefineConfig refineConfig;
+    refineConfig.epochs = config.refineEpochs;
+    const hpo::AdamRefiner refiner(refineConfig);
+    const hpo::RefineResult refined =
+        refiner.refine(model.space(), candidates, refineObjective(engine, obj));
+    std::vector<em::StackupParams> snapped;
+    snapped.reserve(refined.refined.size());
+    for (const auto& x : refined.refined) {
+      const em::StackupParams onGrid = model.space().snap(x);
+      bool fresh = true;
+      for (const auto& seen : candidates) {
+        if (sameDesign(seen, onGrid)) {
+          fresh = false;
+          break;
+        }
+      }
+      if (fresh) pushUnique(snapped, onGrid);
+    }
+    scoreDesigns(engine, obj, snapped, /*refined=*/true, result.ranked);
+  }
+
+  std::stable_sort(result.ranked.begin(), result.ranked.end(),
+                   [](const InverseCandidate& a, const InverseCandidate& b) {
+                     if (a.feasible != b.feasible) return a.feasible;
+                     return a.g < b.g;
+                   });
+  if (result.ranked.size() > rows) result.ranked.resize(rows);
+  result.planSummary = model.planSummary();
+  result.solveSeconds = timer.seconds();
+  return result;
+}
+
+}  // namespace isop::inverse

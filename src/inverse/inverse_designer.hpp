@@ -1,0 +1,70 @@
+// InverseDesigner: target spec → ranked candidate designs in one batched
+// forward pass of the trained inverse net.
+//
+// The solve path is the serve tier's microsecond answer: build a small batch
+// of spec rows (the exact target plus jittered neighbors so the net's local
+// spec→design map is explored, not just point-sampled), run them through the
+// compiled inverse plan, snap the decoded designs onto the grid, score every
+// distinct candidate against the forward surrogate's predictions with the
+// task's objective, and rank feasible-first / ascending g — the same order
+// TrialRunner reports its roll-out candidates in.
+//
+// An optional refine hop hands the snapped candidates to the existing
+// AdamRefiner local stage (gradients through EvalEngine::gradientBatch, the
+// idiom of core::SurrogateObjective::evaluateWithGradientBatch) — trading
+// ~refineEpochs surrogate gradient batches for better constraint residuals
+// when the amortized answer alone is not sharp enough. The full ISOP+
+// pipeline remains the slow/accurate fallback for specs outside the trained
+// region (see docs/inverse_design.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/eval/eval_engine.hpp"
+#include "core/tasks.hpp"
+#include "inverse/inverse_model.hpp"
+
+namespace isop::inverse {
+
+/// The designer's question: hit z (within the task's impedance band) while
+/// steering loss / crosstalk toward l / next.
+struct TargetSpec {
+  double z = 0.0;
+  double l = 0.0;
+  double next = 0.0;
+};
+
+struct InverseCandidate {
+  em::StackupParams params{};
+  em::PerformanceMetrics predicted{};  ///< forward-surrogate metrics
+  double g = 0.0;                      ///< hard-clip objective (Eq. 8)
+  double fom = 0.0;
+  bool feasible = false;
+  bool refined = false;  ///< went through the AdamRefiner hop
+};
+
+struct InverseSolveConfig {
+  /// Spec rows in the batched forward pass; also the ranked-list cap.
+  std::size_t candidates = 3;
+  /// 0 = amortized answer only; > 0 runs the AdamRefiner local stage.
+  std::size_t refineEpochs = 0;
+  /// Seeds the spec-jitter stream (row 0 is always the exact target).
+  std::uint64_t seed = 1;
+};
+
+struct InverseResult {
+  std::vector<InverseCandidate> ranked;  ///< feasible-first, ascending g
+  double solveSeconds = 0.0;
+  std::string planSummary;
+};
+
+/// Maps `target` to ranked candidate designs for `task`. Thread-safe for a
+/// shared immutable model (serve calls it from many scheduler workers).
+InverseResult solveInverse(const InverseModel& model,
+                           const core::EvalEngine& engine,
+                           const core::Task& task, const TargetSpec& target,
+                           const InverseSolveConfig& config);
+
+}  // namespace isop::inverse

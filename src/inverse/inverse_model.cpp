@@ -1,0 +1,177 @@
+#include "inverse/inverse_model.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "common/check.hpp"
+#include "ml/nn/activation.hpp"
+#include "ml/nn/dense.hpp"
+
+namespace isop::inverse {
+
+namespace {
+
+// Serialization header guards: magic pins the format, the limits below bound
+// untrusted header fields before any allocation.
+constexpr std::uint32_t kModelMagic = 0x49564e4du;  // "IVNM"
+constexpr std::uint64_t kMaxHiddenLayers = 64;
+constexpr std::uint64_t kMaxHiddenWidth = 1u << 16;
+
+template <typename T>
+void writePod(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+template <typename T>
+bool readPod(std::istream& in, T* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof *v);
+  return static_cast<bool>(in);
+}
+
+void buildNet(ml::nn::Sequential& net, const InverseModelConfig& config,
+              std::size_t dim, Rng& rng) {
+  std::size_t prev = em::kNumMetrics;
+  for (const std::size_t width : config.hidden) {
+    ISOP_REQUIRE(width > 0, "inverse hidden width must be positive");
+    net.add(std::make_unique<ml::nn::Dense>(prev, width, rng));
+    net.add(std::make_unique<ml::nn::LeakyRelu>(width, config.leakySlope));
+    prev = width;
+  }
+  net.add(std::make_unique<ml::nn::Dense>(prev, dim, rng));
+}
+
+}  // namespace
+
+InverseModel::InverseModel(em::ParameterSpace space,
+                           const InverseModelConfig& config, Rng& rng)
+    : space_(std::move(space)), config_(config) {
+  ISOP_REQUIRE(space_.dim() == em::kNumParams,
+               "inverse model requires the canonical 15-dim design space");
+  buildNet(net_, config_, space_.dim(), rng);
+}
+
+void InverseModel::compilePlan() {
+  if (plan_) return;
+  ISOP_REQUIRE(specScaler_.fitted(),
+               "compilePlan requires a fitted spec scaler");
+  ml::nn::PlanOptions options;
+  options.inputMean.resize(em::kNumMetrics);
+  options.inputStd.resize(em::kNumMetrics);
+  for (std::size_t k = 0; k < em::kNumMetrics; ++k) {
+    options.inputMean[k] = specScaler_.mean(k);
+    options.inputStd[k] = specScaler_.stddev(k);
+  }
+  plan_ = ml::nn::CompiledPlan::compile(net_, std::move(options));
+}
+
+std::string InverseModel::planSummary() const {
+  return plan_ ? plan_->summary() : "per-row";
+}
+
+void InverseModel::forwardSpecs(const Matrix& specs, Matrix& unit) const {
+  ISOP_REQUIRE(specs.cols() == em::kNumMetrics,
+               "spec rows must be (z, l, next)");
+  if (plan_) {
+    plan_->forwardBatch(specs, unit);
+    return;
+  }
+  Matrix scaled = specs;
+  specScaler_.transformInPlace(scaled);
+  net_.infer(scaled, unit);
+}
+
+em::StackupParams InverseModel::decodeRow(std::span<const double> unit,
+                                          bool snapToGrid) const {
+  ISOP_REQUIRE(unit.size() == space_.dim(), "unit row dimension mismatch");
+  em::StackupParams x;
+  for (std::size_t j = 0; j < space_.dim(); ++j) {
+    const double u = std::clamp(unit[j], 0.0, 1.0);
+    const em::ParameterRange& r = space_.range(j);
+    x.values[j] = r.lo + u * (r.hi - r.lo);
+    if (snapToGrid) x.values[j] = r.snap(x.values[j]);
+  }
+  return x;
+}
+
+void InverseModel::save(std::ostream& out) const {
+  writePod(out, kModelMagic);
+  writePod(out, static_cast<std::uint64_t>(config_.hidden.size()));
+  for (const std::size_t width : config_.hidden) {
+    writePod(out, static_cast<std::uint64_t>(width));
+  }
+  writePod(out, config_.leakySlope);
+  specScaler_.save(out);
+  writePod(out, static_cast<std::uint64_t>(net_.parameterCount()));
+  net_.saveParams(out);
+}
+
+std::unique_ptr<InverseModel> InverseModel::load(std::istream& in,
+                                                 const em::ParameterSpace& space,
+                                                 std::string* error) {
+  const auto fail = [&](const char* why) -> std::unique_ptr<InverseModel> {
+    if (error != nullptr) *error = why;
+    return nullptr;
+  };
+  std::uint32_t magic = 0;
+  if (!readPod(in, &magic) || magic != kModelMagic) {
+    return fail("bad inverse-model magic");
+  }
+  std::uint64_t hiddenCount = 0;
+  if (!readPod(in, &hiddenCount) || hiddenCount > kMaxHiddenLayers) {
+    return fail("implausible hidden layer count");
+  }
+  InverseModelConfig config;
+  config.hidden.clear();
+  for (std::uint64_t i = 0; i < hiddenCount; ++i) {
+    std::uint64_t width = 0;
+    if (!readPod(in, &width) || width == 0 || width > kMaxHiddenWidth) {
+      return fail("implausible hidden width");
+    }
+    config.hidden.push_back(static_cast<std::size_t>(width));
+  }
+  if (!readPod(in, &config.leakySlope)) return fail("truncated header");
+
+  // He init is immediately overwritten by loadParams; the seed is arbitrary.
+  Rng rng(0);
+  auto model = std::make_unique<InverseModel>(space, config, rng);
+  model->specScaler_.load(in);
+  if (!in || model->specScaler_.dim() != em::kNumMetrics) {
+    return fail("bad spec scaler");
+  }
+  std::uint64_t paramCount = 0;
+  if (!readPod(in, &paramCount) ||
+      paramCount != model->net_.parameterCount()) {
+    return fail("parameter count mismatch");
+  }
+  // Sequential::loadParams treats truncation as a contract violation (its
+  // callers sit behind SessionStore's checksummed envelope), so pre-verify
+  // the remaining byte count against the rebuilt topology before handing the
+  // stream over: per layer, a u64-framed params blob and a u64-framed state
+  // blob.
+  std::size_t expected = 0;
+  for (std::size_t i = 0; i < model->net_.layerCount(); ++i) {
+    const ml::nn::Layer& layer = model->net_.layer(i);
+    expected += 2 * sizeof(std::uint64_t) +
+                (layer.params().size() + layer.state().size()) * sizeof(double);
+  }
+  std::string blob(expected, '\0');
+  in.read(blob.data(), static_cast<std::streamsize>(expected));
+  if (in.gcount() != static_cast<std::streamsize>(expected)) {
+    return fail("truncated parameter stream");
+  }
+  try {
+    std::istringstream params(blob, std::ios::binary);
+    model->net_.loadParams(params);
+  } catch (const std::exception&) {
+    return fail("malformed parameter stream");
+  }
+  model->compilePlan();
+  return model;
+}
+
+}  // namespace isop::inverse

@@ -1,0 +1,105 @@
+// InverseModel: the amortized spec→design network.
+//
+// The forward surrogates answer "what does this stack-up do?"; the inverse
+// model answers the designer's actual question — "which stack-up hits this
+// (Z, L, NEXT) target?" — in one network evaluation instead of a full ISOP+
+// pipeline run (Withöft et al., amortized neural optimization).
+//
+// Architecture: a small MLP from the 3-dim spec to the 15-dim design space.
+// Specs are standardized by a StandardScaler fitted on the training specs;
+// outputs are *unit coordinates* u ∈ [0,1]^15 mapped affinely onto each
+// ParameterRange — the same normalized domain AdamRefiner optimizes in, so
+// the net never has to learn the ~10-orders-of-magnitude raw parameter
+// scales. Decoding clamps u into the box and (at inference) snaps onto the
+// discrete grid, which makes every emitted design BinaryCodec-encodable and
+// directly simulatable.
+//
+// Inference runs through a CompiledPlan with the spec scaler folded into the
+// pack stage (PlanOptions::inputMean/inputStd), so mapping a batch of raw
+// target specs to unit coordinates is one fused pass; the interpreted
+// scale-then-infer path stays available and is bitwise identical (the
+// identity suite in tests/inverse pins it).
+//
+// Serialization stores the topology header (hidden widths, leaky slope),
+// the fitted scaler and the raw parameter blobs; load() rebuilds the same
+// topology for a caller-supplied ParameterSpace. The space itself is *not*
+// serialized — serve keys inverse models by session (surrogate, space,
+// layer), so the space is always known at load time.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "em/parameter_space.hpp"
+#include "em/stackup.hpp"
+#include "ml/nn/plan.hpp"
+#include "ml/nn/sequential.hpp"
+#include "ml/scaler.hpp"
+
+namespace isop::inverse {
+
+/// Topology knobs shared by the trainer and the (de)serializer.
+struct InverseModelConfig {
+  std::vector<std::size_t> hidden = {64, 64};
+  double leakySlope = 0.01;
+};
+
+class InverseModel {
+ public:
+  /// Builds an untrained net (He init consumes `rng`) for designs in `space`.
+  InverseModel(em::ParameterSpace space, const InverseModelConfig& config,
+               Rng& rng);
+
+  const em::ParameterSpace& space() const { return space_; }
+  const InverseModelConfig& modelConfig() const { return config_; }
+
+  ml::nn::Sequential& net() { return net_; }
+  const ml::nn::Sequential& net() const { return net_; }
+  ml::StandardScaler& specScaler() { return specScaler_; }
+  const ml::StandardScaler& specScaler() const { return specScaler_; }
+
+  std::size_t parameterCount() const { return net_.parameterCount(); }
+
+  /// Compiles the fused inference plan with the fitted spec scaler folded
+  /// into the pack stage. Call once after training or load (requires a
+  /// fitted scaler); idempotent.
+  void compilePlan();
+  bool hasPlan() const { return plan_ != nullptr; }
+  /// "plan(ops=.. fused=..)" or "per-row" before compilePlan().
+  std::string planSummary() const;
+
+  /// Raw spec rows (z, l, next) → unit-coordinate rows. Uses the compiled
+  /// plan when present, else scales through the scaler and runs the
+  /// interpreted net — bitwise identical by the plan contract. Thread-safe.
+  void forwardSpecs(const Matrix& specs, Matrix& unit) const;
+
+  /// One unit row → a design: clamp u into [0,1], map onto [lo, hi] per
+  /// parameter, and optionally snap onto the discrete grid (Eq. 6). Snapped
+  /// designs satisfy space().contains() and are BinaryCodec-encodable.
+  em::StackupParams decodeRow(std::span<const double> unit,
+                              bool snapToGrid) const;
+
+  /// Topology header + scaler + raw parameter blobs.
+  void save(std::ostream& out) const;
+
+  /// Rebuilds the serialized topology over `space` and loads the weights.
+  /// Returns nullptr (with `*error` set when non-null) on a malformed or
+  /// truncated stream.
+  static std::unique_ptr<InverseModel> load(std::istream& in,
+                                            const em::ParameterSpace& space,
+                                            std::string* error = nullptr);
+
+ private:
+  em::ParameterSpace space_;
+  InverseModelConfig config_;
+  ml::nn::Sequential net_;
+  ml::StandardScaler specScaler_;
+  std::unique_ptr<const ml::nn::CompiledPlan> plan_;
+};
+
+}  // namespace isop::inverse

@@ -1,0 +1,141 @@
+#include "inverse/inverse_trainer.hpp"
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/timer.hpp"
+#include "ml/nn/adam.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
+
+namespace isop::inverse {
+
+std::unique_ptr<InverseModel> trainInverseModel(const core::EvalEngine& engine,
+                                                const em::ParameterSpace& space,
+                                                const InverseTrainConfig& config,
+                                                InverseTrainReport* report) {
+  ISOP_REQUIRE(engine.model().hasInputGradient(),
+               "inverse training needs a differentiable forward surrogate");
+  ISOP_REQUIRE(config.samples > 0, "inverse training needs samples");
+  const Timer timer;
+  obs::Span span("inverse.train");
+
+  Rng rng(config.seed);
+  auto model = std::make_unique<InverseModel>(space, config.model, rng);
+
+  // Manufacture achievable target specs: sample designs, label them with the
+  // frozen surrogate. predictMetrics dedups/memoizes inside the engine.
+  std::vector<em::StackupParams> sampled(config.samples);
+  for (auto& x : sampled) x = space.sample(rng);
+  std::vector<em::PerformanceMetrics> labels;
+  engine.predictMetrics(sampled, labels);
+  Matrix specs(config.samples, em::kNumMetrics);
+  for (std::size_t i = 0; i < config.samples; ++i) {
+    const auto row = labels[i].asArray();
+    std::copy(row.begin(), row.end(), specs.row(i).begin());
+  }
+  model->specScaler().fit(specs);
+  Matrix scaledSpecs = specs;
+  model->specScaler().transformInPlace(scaledSpecs);
+
+  ml::nn::Sequential& net = model->net();
+  ml::nn::Adam adam({.learningRate = config.learningRate,
+                     .weightDecay = config.weightDecay});
+  std::vector<std::span<double>> paramBlocks, gradBlocks;
+  net.forEachParamBlock([&](std::span<double> p, std::span<double> g) {
+    adam.registerBlock(p);
+    paramBlocks.push_back(p);
+    gradBlocks.push_back(g);
+  });
+
+  const std::size_t n = config.samples;
+  const std::size_t dim = space.dim();
+  const std::size_t batch = std::max<std::size_t>(1, std::min(config.batchSize, n));
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+
+  InverseTrainReport localReport;
+  Matrix bx, unit, gradOut, gradIn;
+  std::array<Matrix, em::kNumMetrics> metricGrads;
+  std::vector<em::StackupParams> decoded;
+  std::vector<em::PerformanceMetrics> predicted;
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.shuffle(order);
+    double epochLoss = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t begin = 0; begin < n; begin += batch) {
+      const std::size_t end = std::min(begin + batch, n);
+      const std::size_t bn = end - begin;
+      bx.resize(bn, em::kNumMetrics);
+      for (std::size_t r = 0; r < bn; ++r) {
+        const auto src = scaledSpecs.row(order[begin + r]);
+        std::copy(src.begin(), src.end(), bx.row(r).begin());
+      }
+
+      net.zeroGrads();
+      net.forwardTrain(bx, unit, rng);
+
+      // Decode the whole batch (clamped, unsnapped — snapping is an
+      // inference-time projection; training stays differentiable) and run
+      // it through the frozen surrogate: one forward batch, one backward
+      // batch per metric.
+      decoded.resize(bn);
+      for (std::size_t r = 0; r < bn; ++r) {
+        decoded[r] = model->decodeRow(unit.row(r), /*snapToGrid=*/false);
+      }
+      engine.predictMetrics(decoded, predicted);
+      for (std::size_t k = 0; k < em::kNumMetrics; ++k) {
+        engine.gradientBatch(decoded, k, metricGrads[k]);
+      }
+
+      gradOut.resize(bn, dim);
+      gradOut.fill(0.0);
+      double loss = 0.0;
+      const double invCount = 1.0 / static_cast<double>(bn);
+      for (std::size_t r = 0; r < bn; ++r) {
+        const std::size_t src = order[begin + r];
+        const auto target = specs.row(src);
+        const auto m = predicted[r].asArray();
+        // Spec-match term, chained through the surrogate and the decode.
+        for (std::size_t k = 0; k < em::kNumMetrics; ++k) {
+          const double s = model->specScaler().stddev(k);
+          const double d = (m[k] - target[k]) / s;
+          loss += d * d;
+          const double dLdm = 2.0 * d / s * invCount;
+          const auto mg = metricGrads[k].row(r);
+          for (std::size_t j = 0; j < dim; ++j) {
+            const double u = unit(r, j);
+            if (u <= 0.0 || u >= 1.0) continue;  // clamp is flat outside
+            const em::ParameterRange& range = space.range(j);
+            gradOut(r, j) += dLdm * mg[j] * (range.hi - range.lo);
+          }
+        }
+        // Bounds penalty: quadratic outside the unit box.
+        for (std::size_t j = 0; j < dim; ++j) {
+          const double u = unit(r, j);
+          const double over = u < 0.0 ? u : (u > 1.0 ? u - 1.0 : 0.0);
+          loss += config.boundsPenalty * over * over;
+          gradOut(r, j) += 2.0 * config.boundsPenalty * over * invCount;
+        }
+      }
+      loss *= invCount;
+
+      net.backward(gradOut, gradIn);
+      adam.step(paramBlocks, gradBlocks);
+      epochLoss += loss;
+      ++batches;
+      ++localReport.steps;
+    }
+    localReport.finalTrainLoss = epochLoss / static_cast<double>(batches);
+    adam.setLearningRate(adam.config().learningRate * config.lrDecay);
+  }
+
+  model->compilePlan();
+  localReport.trainSeconds = timer.seconds();
+  if (report != nullptr) *report = localReport;
+  return model;
+}
+
+}  // namespace isop::inverse

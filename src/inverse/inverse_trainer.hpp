@@ -1,0 +1,71 @@
+// InverseTrainer: trains the spec→design net against the *frozen* forward
+// surrogate (Withöft et al.).
+//
+// Self-supervised setup — no labeled (spec, design) pairs exist, so the
+// trainer manufactures them from the feasible region:
+//
+//   1. sample N designs x_i uniformly from the parameter space;
+//   2. label each with the frozen surrogate's prediction y_i = M̂(x_i) —
+//      every target spec is *achievable* by construction;
+//   3. train the inverse net F so that M̂(decode(F(y))) ≈ y, backpropagating
+//      the spec-match error through the surrogate via
+//      EvalEngine::gradientBatch (d metric / d design), the affine decode
+//      (unit → raw span), and the net.
+//
+// Composite loss per spec row i (scaled space, s_k = spec-scaler stddev):
+//
+//   L_i = Σ_k ((m_k(x̂_i) − y_ik) / s_k)²  +  λ Σ_j pen(u_ij)
+//
+// where x̂_i = decode(clamp(u_i)) and pen pushes unit coordinates back into
+// [0,1] (quadratic outside the box, zero inside) — the constraint/bounds
+// penalty that keeps decoded designs on BinaryCodec-encodable grid ranges.
+// Coordinates clamped at the box edge get zero spec-match gradient (the
+// decode is flat there); only the bounds penalty acts, exactly mirroring
+// the clamp used at inference.
+//
+// Determinism: one Rng seeded from config.seed drives He init, design
+// sampling and batch shuffling on the training thread; all parallelism is
+// inside EvalEngine, whose chunking depends only on row count — so a fixed
+// seed gives bitwise-identical weights at any thread count (pinned by
+// tests/inverse/test_inverse_model.cpp).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/eval/eval_engine.hpp"
+#include "inverse/inverse_model.hpp"
+
+namespace isop::inverse {
+
+struct InverseTrainConfig {
+  /// Designs sampled from the space to manufacture target specs.
+  std::size_t samples = 512;
+  std::size_t epochs = 24;
+  std::size_t batchSize = 128;
+  double learningRate = 3e-3;
+  double weightDecay = 0.0;
+  /// Multiplicative LR decay applied at the end of each epoch.
+  double lrDecay = 0.97;
+  /// Weight λ of the out-of-box penalty on unit coordinates.
+  double boundsPenalty = 0.1;
+  std::uint64_t seed = 1;
+  InverseModelConfig model{};
+};
+
+struct InverseTrainReport {
+  double finalTrainLoss = 0.0;
+  std::size_t steps = 0;
+  double trainSeconds = 0.0;
+};
+
+/// Trains an inverse model for `space` against the engine's frozen forward
+/// surrogate (requires engine.model().hasInputGradient()). The returned
+/// model has its compiled plan built and its spec scaler fitted. `report`
+/// may be null.
+std::unique_ptr<InverseModel> trainInverseModel(const core::EvalEngine& engine,
+                                                const em::ParameterSpace& space,
+                                                const InverseTrainConfig& config,
+                                                InverseTrainReport* report = nullptr);
+
+}  // namespace isop::inverse

@@ -19,7 +19,15 @@
 #include "common/timer.hpp"
 #include "core/trial_runner.hpp"
 
+namespace isop::inverse {
+struct InverseResult;
+}  // namespace isop::inverse
+
 namespace isop::serve {
+
+/// How a job is answered: a full ISOP+ pipeline run (`submit`) or one
+/// amortized inverse-net inference (`inverse`, protocol v4).
+enum class JobKind { Optimize, Inverse };
 
 /// A client-submitted optimization task: which task/space/physics to solve,
 /// the optimizer knobs, and the scheduling attributes (priority, deadline).
@@ -27,6 +35,8 @@ namespace isop::serve {
 /// (docs/serving.md); defaults match `isop_cli`'s one-shot flags.
 struct JobSpec {
   std::string id;  ///< client-chosen, unique among live jobs (required)
+
+  JobKind kind = JobKind::Optimize;
 
   std::string task = "T1";            ///< T1|T2|T3|T4
   std::string space = "S1";           ///< S1|S2|S1p
@@ -36,6 +46,11 @@ struct JobSpec {
   std::optional<double> target;     ///< impedance band target override
   std::optional<double> tolerance;  ///< impedance band tolerance override
   bool tableIxConstraints = false;  ///< add the Table IX expert constraints
+
+  /// Inverse-job spec targets: loss / crosstalk asks alongside the impedance
+  /// band (which reuses `target`/`tolerance`). Unset = aim for 0 magnitude.
+  std::optional<double> lTarget;
+  std::optional<double> nextTarget;
 
   std::size_t budget = 400;             ///< Harmonica samples per iteration
   std::size_t iterations = 3;           ///< Harmonica iterations
@@ -99,6 +114,9 @@ struct Job {
   /// Result of a Done job (unset otherwise). Shared so event sinks can keep
   /// it alive past the job without copying the outcome vectors.
   std::shared_ptr<const core::TrialStats> result;
+  /// Result of a Done inverse job (kind == JobKind::Inverse); exactly one of
+  /// the two result pointers is set on a Done terminal event.
+  std::shared_ptr<const inverse::InverseResult> inverseResult;
 };
 
 }  // namespace isop::serve

@@ -6,6 +6,7 @@
 #include <set>
 
 #include "core/report.hpp"
+#include "inverse/inverse_designer.hpp"
 
 namespace isop::serve {
 
@@ -140,6 +141,45 @@ std::optional<Request> parseSubmit(const json::Value& v, std::string* error) {
   return req;
 }
 
+const std::set<std::string>& inverseKeys() {
+  static const std::set<std::string> keys = {
+      "type",      "id",         "task",          "space",
+      "layer",     "surrogate",  "target",        "tolerance",
+      "l_target",  "next_target", "candidates",   "refine_epochs",
+      "seed",      "priority",   "timeout_ms",    "deadline_ms",
+      "trace_out"};
+  return keys;
+}
+
+std::optional<Request> parseInverse(const json::Value& v, std::string* error) {
+  Request req;
+  req.kind = Request::Kind::Submit;  // admission path is shared with submit
+  JobSpec& spec = req.spec;
+  spec.kind = JobKind::Inverse;
+  // Refinement is opt-in for inverse jobs — the amortized answer is the
+  // product; the submit default (60 epochs) would silently re-add a local
+  // optimization stage to every microsecond-latency query.
+  spec.refineEpochs = 0;
+  if (!checkKeys(v, inverseKeys(), error)) return std::nullopt;
+  if (!readString(v, "id", &spec.id, error)) return std::nullopt;
+  if (!readString(v, "task", &spec.task, error)) return std::nullopt;
+  if (!readString(v, "space", &spec.space, error)) return std::nullopt;
+  if (!readString(v, "layer", &spec.layer, error)) return std::nullopt;
+  if (!readString(v, "surrogate", &spec.surrogate, error)) return std::nullopt;
+  if (!readNumber(v, "target", &spec.target, error)) return std::nullopt;
+  if (!readNumber(v, "tolerance", &spec.tolerance, error)) return std::nullopt;
+  if (!readNumber(v, "l_target", &spec.lTarget, error)) return std::nullopt;
+  if (!readNumber(v, "next_target", &spec.nextTarget, error)) return std::nullopt;
+  if (!readCount(v, "candidates", &spec.candidates, error, 1)) return std::nullopt;
+  if (!readCount(v, "refine_epochs", &spec.refineEpochs, error)) return std::nullopt;
+  if (!readU64(v, "seed", &spec.seed, error)) return std::nullopt;
+  if (!readPriority(v, "priority", &spec.priority, error)) return std::nullopt;
+  if (!readU64(v, "timeout_ms", &spec.timeoutMs, error)) return std::nullopt;
+  if (!readU64(v, "deadline_ms", &spec.deadlineMs, error)) return std::nullopt;
+  if (!readString(v, "trace_out", &spec.traceOut, error)) return std::nullopt;
+  return req;
+}
+
 }  // namespace
 
 std::optional<Request> parseRequest(const std::string& line, std::string* error) {
@@ -169,6 +209,7 @@ std::optional<Request> parseRequest(const std::string& line, std::string* error)
     return req;
   }
   if (kind == "submit") return parseSubmit(*parsed, err);
+  if (kind == "inverse") return parseInverse(*parsed, err);
   if (kind == "cancel") {
     static const std::set<std::string> keys = {"type", "id"};
     if (!checkKeys(*parsed, keys, err)) return std::nullopt;
@@ -235,6 +276,35 @@ json::Value submitToJson(const JobSpec& spec) {
   out.set("hyperband_resource", count(spec.hyperbandResource));
   out.set("candidates", count(spec.candidates));
   out.set("trials", count(spec.trials));
+  out.set("seed", count(static_cast<std::size_t>(spec.seed)));
+  out.set("priority", json::Value::integer(spec.priority));
+  out.set("timeout_ms", count(static_cast<std::size_t>(spec.timeoutMs)));
+  out.set("deadline_ms", count(static_cast<std::size_t>(spec.deadlineMs)));
+  if (!spec.traceOut.empty()) {
+    out.set("trace_out", json::Value::string(spec.traceOut));
+  }
+  return out;
+}
+
+json::Value inverseToJson(const JobSpec& spec) {
+  const auto count = [](std::size_t v) {
+    return json::Value::integer(static_cast<long long>(v));
+  };
+  json::Value out = json::Value::object();
+  out.set("type", json::Value::string("inverse"));
+  out.set("id", json::Value::string(spec.id));
+  out.set("task", json::Value::string(spec.task));
+  out.set("space", json::Value::string(spec.space));
+  out.set("layer", json::Value::string(spec.layer));
+  out.set("surrogate", json::Value::string(spec.surrogate));
+  if (spec.target) out.set("target", json::Value::number(*spec.target));
+  if (spec.tolerance) out.set("tolerance", json::Value::number(*spec.tolerance));
+  if (spec.lTarget) out.set("l_target", json::Value::number(*spec.lTarget));
+  if (spec.nextTarget) {
+    out.set("next_target", json::Value::number(*spec.nextTarget));
+  }
+  out.set("candidates", count(spec.candidates));
+  out.set("refine_epochs", count(spec.refineEpochs));
   out.set("seed", count(static_cast<std::size_t>(spec.seed)));
   out.set("priority", json::Value::integer(spec.priority));
   out.set("timeout_ms", count(static_cast<std::size_t>(spec.timeoutMs)));
@@ -340,6 +410,28 @@ json::Value resultToJson(const core::TrialStats& stats) {
   return out;
 }
 
+json::Value inverseResultToJson(const inverse::InverseResult& result) {
+  json::Value out = json::Value::object();
+  out.set("mode", json::Value::string("inverse"));
+  out.set("solve_seconds", json::Value::number(result.solveSeconds));
+  out.set("plan", json::Value::string(result.planSummary));
+  json::Value ranked = json::Value::array();
+  for (std::size_t i = 0; i < result.ranked.size(); ++i) {
+    const inverse::InverseCandidate& c = result.ranked[i];
+    json::Value d = json::Value::object();
+    d.set("rank", json::Value::integer(static_cast<long long>(i + 1)));
+    d.set("feasible", json::Value::boolean(c.feasible));
+    d.set("refined", json::Value::boolean(c.refined));
+    d.set("g", json::Value::number(c.g));
+    d.set("fom", json::Value::number(c.fom));
+    d.set("metrics", core::toJson(c.predicted));
+    d.set("params", core::toJson(c.params));
+    ranked.push(std::move(d));
+  }
+  out.set("ranked", std::move(ranked));
+  return out;
+}
+
 json::Value toJson(const JobEvent& event) {
   json::Value out = json::Value::object();
   out.set("event", json::Value::string(jobEventName(event.kind)));
@@ -361,8 +453,12 @@ json::Value toJson(const JobEvent& event) {
     case JobEvent::Kind::Done:
       out.set("run_seconds", json::Value::number(event.runSeconds));
       out.set("latency_seconds", json::Value::number(event.latencySeconds));
-      out.set("result", event.result ? resultToJson(*event.result)
-                                     : json::Value::null());
+      if (event.inverseResult) {
+        out.set("result", inverseResultToJson(*event.inverseResult));
+      } else {
+        out.set("result", event.result ? resultToJson(*event.result)
+                                       : json::Value::null());
+      }
       break;
     case JobEvent::Kind::Cancelled:
       out.set("reason", json::Value::string(event.reason));
@@ -447,6 +543,8 @@ json::Value statsToJson(const Scheduler::Status& status,
           json::Value::integer(static_cast<long long>(info.activeJobs)));
     s.set("warm_model", json::Value::boolean(info.warmModel));
     s.set("warm_memo", json::Value::boolean(info.warmMemo));
+    s.set("inverse_model", json::Value::boolean(info.inverseModel));
+    s.set("warm_inverse", json::Value::boolean(info.warmInverse));
     s.set("estimated_bytes",
           json::Value::integer(static_cast<long long>(info.estimatedBytes)));
     s.set("plan", json::Value::string(info.plan));

@@ -3,6 +3,7 @@
 // Requests (client -> server), one JSON object per line:
 //   {"type":"hello"[,"token":SECRET]}                 // TCP authentication
 //   {"type":"submit","id":"j1", ...job spec fields...}
+//   {"type":"inverse","id":"j1", ...target spec fields...}   // v4
 //   {"type":"cancel","id":"j1"}
 //   {"type":"status"}
 //   {"type":"stats"}                                  // live introspection
@@ -33,8 +34,13 @@ namespace isop::serve {
 /// submit `trace_out` field (v1 requests are unchanged). v3 adds the
 /// `hello` request (TCP authentication), the `eval` block in done results,
 /// the session lifecycle in the stats response, and the `listen` field in
-/// the ready event (v2 requests are unchanged).
-inline constexpr int kProtocolVersion = 3;
+/// the ready event (v2 requests are unchanged). v4 adds the additive
+/// `inverse` request — amortized spec→design inference with a `"mode":
+/// "inverse"` done-result payload — plus the per-session inverse_model /
+/// warm_inverse stats columns; every v≤3 request still parses and answers
+/// unchanged, and a v≤3 server rejects `inverse` with its regular
+/// unknown-request-type error.
+inline constexpr int kProtocolVersion = 4;
 
 struct Request {
   enum class Kind { Hello, Submit, Cancel, Status, Stats, Trace, Shutdown };
@@ -72,6 +78,14 @@ json::Value toJson(const JobEvent& event);
 /// The final ranked-designs result of a completed job: per-design EM-validated
 /// metrics plus the run's accounting aggregates.
 json::Value resultToJson(const core::TrialStats& stats);
+
+/// The done-result payload of an `inverse` job: ranked candidate designs
+/// with surrogate-predicted metrics, tagged "mode":"inverse".
+json::Value inverseResultToJson(const inverse::InverseResult& result);
+
+/// Wire encoding of an inverse request for `spec` (kind must be Inverse).
+/// Same encode → parse → re-encode fixed point as submitToJson.
+json::Value inverseToJson(const JobSpec& spec);
 
 /// The `status` response payload.
 json::Value statusToJson(const Scheduler::Status& status, std::size_t sessions);

@@ -5,6 +5,7 @@
 
 #include "common/check.hpp"
 #include "common/logging.hpp"
+#include "inverse/inverse_designer.hpp"
 #include "obs/convergence.hpp"
 #include "obs/obs.hpp"
 
@@ -323,6 +324,7 @@ void Scheduler::workerLoop() {
       job->state.store(JobState::Done);
       terminal.kind = JobEvent::Kind::Done;
       terminal.result = job->result;
+      terminal.inverseResult = job->inverseResult;
     } catch (const OperationCancelled& e) {
       job->state.store(JobState::Cancelled);
       terminal.kind = JobEvent::Kind::Cancelled;
@@ -357,6 +359,10 @@ void Scheduler::exportJobTrace(const std::shared_ptr<Job>& job) const {
 }
 
 void Scheduler::runJob(const std::shared_ptr<Job>& job, const EventSink& sink) {
+  if (job->spec.kind == JobKind::Inverse) {
+    runInverseJob(job);
+    return;
+  }
   // acquire() hands the session out pre-pinned (the pin is taken under the
   // manager lock), so it is eviction-exempt for the whole run with no window
   // for a concurrent acquire to evict it first, and ctx->engine's memo cache
@@ -394,6 +400,47 @@ void Scheduler::runJob(const std::shared_ptr<Job>& job, const EventSink& sink) {
 
   job->result = std::make_shared<const core::TrialStats>(
       runner.run(method, job->spec.trials, job->spec.seed));
+}
+
+void Scheduler::runInverseJob(const std::shared_ptr<Job>& job) {
+  const SessionKey key{job->spec.surrogate, job->spec.space, job->spec.layer};
+  // Same pinning contract as runJob: the session is eviction-exempt for the
+  // whole resolve+solve, so the inverse model slot and the shared engine
+  // stay reachable.
+  const SessionPin pin = sessions_->acquire(key);
+  const std::shared_ptr<SessionManager::Context>& ctx = pin.context();
+
+  obs::ScopedSpanTag spanTag(job->spec.id);
+
+  // First inverse job on a session trains (or warm-loads) the inverse net;
+  // every later one reuses it and the amortized solve below is the whole
+  // cost. Training is not cancellable mid-epoch, so re-check the token after.
+  const std::shared_ptr<const inverse::InverseModel> model =
+      sessions_->inverseModelFor(key, ctx);
+  job->token.throwIfCancelled();
+
+  const core::Task task = makeTask(job->spec);
+  inverse::TargetSpec target;
+  // Post-override impedance target: `target` overrides land in constraint 0
+  // exactly as they do for optimize jobs.
+  target.z = task.spec.outputConstraints[0].target;
+  target.l = job->spec.lTarget.value_or(0.0);
+  target.next = job->spec.nextTarget.value_or(0.0);
+
+  inverse::InverseSolveConfig solveCfg;
+  solveCfg.candidates = job->spec.candidates;
+  solveCfg.refineEpochs = job->spec.refineEpochs;
+  solveCfg.seed = job->spec.seed;
+
+  obs::Span solveSpan("serve.inverse.solve");
+  inverse::InverseResult result =
+      solveInverse(*model, *ctx->engine, task, target, solveCfg);
+  if (obs::metricsEnabled()) {
+    obs::registry().counter("serve.inverse.solves").add();
+    obs::registry().histogram("serve.inverse.solve.seconds").record(result.solveSeconds);
+  }
+  job->inverseResult =
+      std::make_shared<const inverse::InverseResult>(std::move(result));
 }
 
 }  // namespace isop::serve

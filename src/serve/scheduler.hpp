@@ -42,7 +42,8 @@ struct JobEvent {
   std::string jobId;
   std::string reason;            ///< Rejected / Cancelled cause, Failed error
   json::Value payload;           ///< Progress: one obs convergence record
-  std::shared_ptr<const core::TrialStats> result;  ///< Done only
+  std::shared_ptr<const core::TrialStats> result;  ///< Done only (optimize)
+  std::shared_ptr<const inverse::InverseResult> inverseResult;  ///< Done only (inverse)
   std::size_t queueDepth = 0;        ///< Accepted: depth including this job
   double queueWaitSeconds = 0.0;     ///< Started and terminal events
   double runSeconds = 0.0;           ///< terminal events: running time
@@ -128,6 +129,9 @@ class Scheduler {
 
   void workerLoop();
   void runJob(const std::shared_ptr<Job>& job, const EventSink& sink);
+  /// The inverse fast path: resolve the session's (lazily trained or
+  /// warm-loaded) inverse model, then one amortized solve.
+  void runInverseJob(const std::shared_ptr<Job>& job);
   void emit(const EventSink& sink, const JobEvent& event) const;
   void finish(const std::shared_ptr<Job>& job, const EventSink& sink,
               JobEvent event);

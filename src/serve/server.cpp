@@ -290,7 +290,8 @@ Server::Server(ServerConfig config, std::FILE* in, std::FILE* out)
       out_(out),
       sessions_(SessionManagerConfig{config_.engine, config_.maxSessions,
                                      config_.sessionMemoryBudgetBytes,
-                                     config_.stateDir}) {}
+                                     config_.stateDir,
+                                     config_.inverseTrain}) {}
 
 Server::~Server() {
   // run() tears everything down before returning; this only covers a Server

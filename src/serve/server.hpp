@@ -72,6 +72,8 @@ struct ServerConfig {
   std::size_t maxSessions = 0;
   std::size_t sessionMemoryBudgetBytes = 0;
   std::string stateDir;
+  /// Training knobs for lazily-built inverse models (v4 `inverse` jobs).
+  inverse::InverseTrainConfig inverseTrain{};
 
   /// Background metrics time-series tick period in ms; 0 = no sampler.
   std::uint64_t metricsIntervalMs = 0;

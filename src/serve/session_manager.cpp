@@ -4,11 +4,13 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/timer.hpp"
 #include "core/simulator_surrogate.hpp"
 #include "data/cache.hpp"
 #include "em/stackup.hpp"
 #include "ml/neural_regressor.hpp"
 #include "obs/obs.hpp"
+#include "obs/trace.hpp"
 
 namespace isop::serve {
 
@@ -187,8 +189,58 @@ std::size_t SessionManager::estimatedBytes(const Context& ctx) const {
           dynamic_cast<const ml::NeuralRegressor*>(ctx.surrogate.get())) {
     bytes += neural->parameterCount() * sizeof(double);
   }
+  {
+    // kInverseModel ranks below kSessionManager, so taking it with the
+    // manager lock held (eviction math, stats) is in order.
+    MutexLock lock(ctx.inverseMutex);
+    if (ctx.inverseModel) {
+      bytes += ctx.inverseModel->parameterCount() * sizeof(double);
+    }
+  }
   bytes += ctx.engine->cacheSize() * kMemoEntryBytes;
   return bytes;
+}
+
+std::shared_ptr<const inverse::InverseModel> SessionManager::inverseModelFor(
+    const SessionKey& key, const std::shared_ptr<Context>& ctx) {
+  // The caller holds a SessionPin, not the manager lock, so a slow first
+  // training run never stalls acquires of other sessions. Double-checked
+  // under the context's own mutex: concurrent first inverse jobs on one
+  // session block here and all leave with the one model.
+  MutexLock lock(ctx->inverseMutex);
+  if (ctx->inverseModel) return ctx->inverseModel;
+
+  if (store_) {
+    if (auto warm = store_->loadInverse(key)) {
+      ctx->inverseModel = std::move(warm);
+      ctx->warmInverse = true;
+      if (obs::metricsEnabled()) {
+        obs::registry().counter("serve.inverse.warm_loads").add();
+      }
+      return ctx->inverseModel;
+    }
+  }
+
+  // Cold path: train against the session's frozen forward surrogate. A
+  // private non-memoizing engine keeps the thousands of training-time
+  // predictions from flushing the session's shared memo cache — and keeps
+  // the shared engine's stats meaningful.
+  obs::Span span("serve.inverse.train");
+  Timer timer;
+  core::EvalEngineConfig engineCfg = config_.engine;
+  engineCfg.memoize = false;
+  core::EvalEngine trainEngine(*ctx->surrogate, *ctx->simulator, engineCfg);
+  std::shared_ptr<const inverse::InverseModel> model =
+      inverse::trainInverseModel(trainEngine, ctx->space, config_.inverseTrain);
+  if (obs::metricsEnabled()) {
+    obs::registry().counter("serve.inverse.trained").add();
+    obs::registry().histogram("serve.inverse.train.seconds").record(timer.seconds());
+  }
+  // Like forward-surrogate weights: immutable once trained, so one save at
+  // training time is all the persistence an inverse model ever needs.
+  if (store_) store_->saveInverse(key, *model);
+  ctx->inverseModel = model;
+  return model;
 }
 
 SessionManager::Lifecycle SessionManager::lifecycle() const {
@@ -224,6 +276,11 @@ std::vector<SessionManager::SessionInfo> SessionManager::table() const {
         static_cast<std::size_t>(ctx->activeJobs.load(std::memory_order_relaxed));
     info.warmModel = ctx->warmModel;
     info.warmMemo = ctx->warmMemo;
+    {
+      MutexLock inverseLock(ctx->inverseMutex);
+      info.inverseModel = ctx->inverseModel != nullptr;
+      info.warmInverse = ctx->warmInverse;
+    }
     info.estimatedBytes = estimatedBytes(*ctx);
     if (const auto* neural =
             dynamic_cast<const ml::NeuralRegressor*>(ctx->surrogate.get())) {

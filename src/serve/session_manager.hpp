@@ -29,6 +29,7 @@
 #include "common/thread_annotations.hpp"
 #include "core/eval/eval_engine.hpp"
 #include "em/simulator.hpp"
+#include "inverse/inverse_trainer.hpp"
 #include "ml/surrogate.hpp"
 #include "serve/job.hpp"
 #include "serve/session_key.hpp"
@@ -50,6 +51,9 @@ struct SessionManagerConfig {
   /// Directory for warm-start persistence (model weights + memo snapshots).
   /// Empty disables persistence entirely.
   std::string stateDir;
+  /// Training knobs for lazily-built inverse models (protocol-v4 `inverse`
+  /// jobs). The defaults fit interactive serving; tests shrink them.
+  inverse::InverseTrainConfig inverseTrain{};
 };
 
 class SessionManager {
@@ -70,6 +74,20 @@ class SessionManager {
     /// dir instead of built cold. Set at build time, immutable after.
     bool warmModel = false;
     bool warmMemo = false;
+
+    /// The session's inverse model, trained (or warm-loaded) lazily on the
+    /// first `inverse` job — most sessions never pay for it. Guarded by its
+    /// own mutex because resolution happens on scheduler workers while the
+    /// manager lock is *not* held; the manager only reads the slot for
+    /// stats/persistence. Immutable once set (retraining would change
+    /// answers mid-flight).
+    mutable AnnotatedMutex inverseMutex{"serve.inverse_model",
+                                        lock_order::rank::kInverseModel};
+    std::shared_ptr<const inverse::InverseModel> inverseModel
+        ISOP_GUARDED_BY(inverseMutex);
+    /// True when the inverse model came from the state dir. Written under
+    /// inverseMutex with the slot; read for stats.
+    bool warmInverse ISOP_GUARDED_BY(inverseMutex) = false;
   };
 
   explicit SessionManager(SessionManagerConfig config = {});
@@ -126,6 +144,8 @@ class SessionManager {
     std::size_t activeJobs = 0;  ///< running jobs pinning this session
     bool warmModel = false;      ///< surrogate loaded from the state dir
     bool warmMemo = false;       ///< memo cache preloaded from the state dir
+    bool inverseModel = false;   ///< inverse net resolved for this session
+    bool warmInverse = false;    ///< inverse net loaded from the state dir
     std::size_t estimatedBytes = 0;  ///< resident estimate for the budget
     /// Execution-plan description of the session's surrogate: the compiled
     /// plan summary for neural surrogates (e.g. "plan(ops=7 fused=3 ...)"),
@@ -138,6 +158,15 @@ class SessionManager {
 
   /// The warm-start store, or nullptr when no state dir is configured.
   const SessionStore* store() const { return store_.get(); }
+
+  /// The session's inverse model, resolving it on first use: warm-load from
+  /// the state dir when possible, else train against the session's frozen
+  /// forward surrogate (config.inverseTrain knobs) and persist the result.
+  /// `ctx` must be the pinned context acquire() returned for `key`. Called
+  /// from scheduler workers; double-checked under the context's own
+  /// inverseMutex so concurrent inverse jobs on one session train once.
+  std::shared_ptr<const inverse::InverseModel> inverseModelFor(
+      const SessionKey& key, const std::shared_ptr<Context>& ctx);
 
  private:
   using Victim = std::pair<SessionKey, std::shared_ptr<Context>>;

@@ -24,6 +24,7 @@ constexpr std::uint32_t kMagic = 0x49535354;  // "ISST"
 constexpr std::uint32_t kVersion = 1;
 constexpr std::uint8_t kKindModel = 1;
 constexpr std::uint8_t kKindMemo = 2;
+constexpr std::uint8_t kKindInverse = 3;
 // Model payload discriminator (first payload byte).
 constexpr std::uint8_t kModelMlp = 1;
 constexpr std::uint8_t kModelCnn = 2;
@@ -111,6 +112,10 @@ std::string SessionStore::modelPath(const SessionKey& key) const {
 
 std::string SessionStore::memoPath(const SessionKey& key) const {
   return dir_ + "/memo_" + keyStem(key);
+}
+
+std::string SessionStore::inversePath(const SessionKey& key) const {
+  return dir_ + "/inverse_" + keyStem(key);
 }
 
 bool SessionStore::readEnvelope(const std::string& path, std::uint8_t kind,
@@ -236,6 +241,38 @@ bool SessionStore::loadMemo(const SessionKey& key, core::EvalEngine& engine) con
 
 bool SessionStore::saveMemo(const SessionKey& key, const core::EvalEngine& engine) const {
   return writeEnvelope(memoPath(key), kKindMemo, encodeMemo(engine.memoSnapshot()));
+}
+
+std::shared_ptr<const inverse::InverseModel> SessionStore::loadInverse(
+    const SessionKey& key) const {
+  const std::string path = inversePath(key);
+  std::string payload;
+  if (!readEnvelope(path, kKindInverse, &payload)) return nullptr;
+  const auto invalid = [&](const std::string& why) {
+    log::warn("session store: ignoring '", path, "' (", why, ")");
+    loadFailures_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  };
+  try {
+    std::istringstream in(payload, std::ios::binary);
+    std::string why;
+    std::shared_ptr<const inverse::InverseModel> model =
+        inverse::InverseModel::load(in, em::spaceByName(key.space), &why);
+    if (!model) return invalid(why);
+    loaded_.fetch_add(1, std::memory_order_relaxed);
+    return model;
+  } catch (const std::exception& e) {
+    // The checksum already rejected disk corruption; this covers a payload
+    // from an incompatible build (or an unknown space name). Cold-start.
+    return invalid(e.what());
+  }
+}
+
+bool SessionStore::saveInverse(const SessionKey& key,
+                               const inverse::InverseModel& model) const {
+  std::ostringstream out(std::ios::binary);
+  model.save(out);
+  return writeEnvelope(inversePath(key), kKindInverse, out.str());
 }
 
 }  // namespace isop::serve

@@ -6,6 +6,7 @@
 //
 //   <dir>/model_<surrogate>_<space>_<layer>.state   (neural surrogates only)
 //   <dir>/memo_<surrogate>_<space>_<layer>.state
+//   <dir>/inverse_<surrogate>_<space>_<layer>.state (after an inverse job)
 //
 // so a restarted server — or a fresh replica pointed at a shared state dir —
 // resumes with hot surrogates and pre-filled memo caches. Restored memo
@@ -30,6 +31,7 @@
 #include <string>
 
 #include "core/eval/eval_engine.hpp"
+#include "inverse/inverse_model.hpp"
 #include "ml/surrogate.hpp"
 #include "serve/session_key.hpp"
 
@@ -45,6 +47,7 @@ class SessionStore {
 
   std::string modelPath(const SessionKey& key) const;
   std::string memoPath(const SessionKey& key) const;
+  std::string inversePath(const SessionKey& key) const;
 
   /// Loads persisted model weights for `key`. Returns nullptr when the file
   /// is absent (normal cold start, silent) or fails validation (warned and
@@ -61,6 +64,15 @@ class SessionStore {
 
   /// Persists `engine`'s memo snapshot. Returns false (and warns) on error.
   bool saveMemo(const SessionKey& key, const core::EvalEngine& engine) const;
+
+  /// Loads the persisted inverse model for `key` (envelope kind 3; the
+  /// topology is rebuilt over the key's parameter space). Returns nullptr
+  /// when absent (silent) or invalid (warned + counted in loadFailures()).
+  std::shared_ptr<const inverse::InverseModel> loadInverse(
+      const SessionKey& key) const;
+
+  /// Persists a trained inverse model. Returns false (and warns) on error.
+  bool saveInverse(const SessionKey& key, const inverse::InverseModel& model) const;
 
   std::uint64_t persisted() const { return persisted_.load(std::memory_order_relaxed); }
   std::uint64_t loaded() const { return loaded_.load(std::memory_order_relaxed); }

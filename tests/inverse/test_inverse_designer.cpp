@@ -1,0 +1,122 @@
+// InverseDesigner contracts: ranked candidates are on-grid, deduplicated and
+// ordered feasible-first / ascending g; identical (model, spec, config)
+// solves are bitwise reproducible; and the optional AdamRefiner hop keeps
+// every ranking invariant while marking what it touched.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/eval/eval_engine.hpp"
+#include "core/simulator_surrogate.hpp"
+#include "core/tasks.hpp"
+#include "em/simulator.hpp"
+#include "inverse/inverse_designer.hpp"
+#include "inverse/inverse_trainer.hpp"
+
+namespace isop::inverse {
+namespace {
+
+class InverseDesignerTest : public ::testing::Test {
+ protected:
+  InverseDesignerTest()
+      : oracle_(simulator_),
+        space_(em::spaceByName("S1")),
+        engine_(oracle_, simulator_, {}) {
+    InverseTrainConfig trainCfg;
+    trainCfg.samples = 128;
+    trainCfg.epochs = 6;
+    trainCfg.seed = 7;
+    core::EvalEngineConfig engineCfg;
+    engineCfg.memoize = false;
+    const core::EvalEngine trainEngine(oracle_, engineCfg);
+    model_ = trainInverseModel(trainEngine, space_, trainCfg);
+
+    // Target a spec the surrogate itself emitted, so it is achievable.
+    Rng rng(41);
+    const em::StackupParams probe = space_.sample(rng);
+    std::vector<em::PerformanceMetrics> metrics;
+    engine_.predictMetrics(std::span<const em::StackupParams>(&probe, 1),
+                           metrics);
+    target_.z = metrics[0].z;
+    target_.l = metrics[0].l;
+    target_.next = metrics[0].next;
+    task_ = core::taskByName("T1");
+    task_.spec.outputConstraints[0].target = target_.z;
+  }
+
+  static void expectRankedInvariants(const InverseResult& result,
+                                     const em::ParameterSpace& space,
+                                     std::size_t cap) {
+    ASSERT_FALSE(result.ranked.empty());
+    EXPECT_LE(result.ranked.size(), cap);
+    EXPECT_FALSE(result.planSummary.empty());
+    for (std::size_t i = 0; i < result.ranked.size(); ++i) {
+      const InverseCandidate& c = result.ranked[i];
+      EXPECT_TRUE(space.contains(c.params)) << "candidate " << i << " off-grid";
+      for (std::size_t j = i + 1; j < result.ranked.size(); ++j) {
+        EXPECT_NE(c.params.values, result.ranked[j].params.values)
+            << "duplicate design at ranks " << i << " and " << j;
+      }
+      if (i + 1 < result.ranked.size()) {
+        const InverseCandidate& next = result.ranked[i + 1];
+        // Feasible designs strictly precede infeasible; ties break on g.
+        EXPECT_GE(static_cast<int>(c.feasible), static_cast<int>(next.feasible));
+        if (c.feasible == next.feasible) EXPECT_LE(c.g, next.g);
+      }
+    }
+  }
+
+  em::EmSimulator simulator_{{}};
+  core::SimulatorSurrogate oracle_;
+  em::ParameterSpace space_;
+  core::EvalEngine engine_;
+  std::unique_ptr<InverseModel> model_;
+  core::Task task_{};
+  TargetSpec target_{};
+};
+
+TEST_F(InverseDesignerTest, SolveReturnsRankedOnGridCandidates) {
+  InverseSolveConfig config;
+  config.candidates = 4;
+  const InverseResult result =
+      solveInverse(*model_, engine_, task_, target_, config);
+  expectRankedInvariants(result, space_, config.candidates);
+  for (const InverseCandidate& c : result.ranked) EXPECT_FALSE(c.refined);
+}
+
+TEST_F(InverseDesignerTest, IdenticalSolvesAreBitwiseIdentical) {
+  InverseSolveConfig config;
+  config.candidates = 3;
+  config.seed = 9;
+  const InverseResult a = solveInverse(*model_, engine_, task_, target_, config);
+  const InverseResult b = solveInverse(*model_, engine_, task_, target_, config);
+  ASSERT_EQ(a.ranked.size(), b.ranked.size());
+  for (std::size_t i = 0; i < a.ranked.size(); ++i) {
+    EXPECT_EQ(a.ranked[i].params.values, b.ranked[i].params.values) << "rank " << i;
+    EXPECT_EQ(a.ranked[i].g, b.ranked[i].g) << "rank " << i;
+    EXPECT_EQ(a.ranked[i].fom, b.ranked[i].fom) << "rank " << i;
+    EXPECT_EQ(a.ranked[i].feasible, b.ranked[i].feasible) << "rank " << i;
+  }
+}
+
+TEST_F(InverseDesignerTest, RefineHopKeepsRankingInvariants) {
+  InverseSolveConfig config;
+  config.candidates = 3;
+  config.refineEpochs = 4;
+  const InverseResult result =
+      solveInverse(*model_, engine_, task_, target_, config);
+  expectRankedInvariants(result, space_, config.candidates);
+  // The hop may or may not beat the amortized designs, but its output must
+  // at least have been considered: some candidate carries the refined flag
+  // or the amortized set won outright — either way the list stays capped
+  // and sorted (checked above). Assert the flag is well-formed.
+  for (const InverseCandidate& c : result.ranked) {
+    if (c.refined) EXPECT_TRUE(space_.contains(c.params));
+  }
+}
+
+}  // namespace
+}  // namespace isop::inverse

@@ -1,0 +1,178 @@
+// Inverse model + trainer contracts: bitwise-deterministic training under a
+// fixed seed (across repeat runs AND across engine thread counts — the
+// training loop is single-threaded by construction, and EvalEngine chunking
+// depends only on row count), save/load round-trip fidelity, batched ==
+// per-row forward identity through the compiled plan, and decode bounds.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "common/thread_pool.hpp"
+#include "core/eval/eval_engine.hpp"
+#include "core/simulator_surrogate.hpp"
+#include "em/simulator.hpp"
+#include "inverse/inverse_model.hpp"
+#include "inverse/inverse_trainer.hpp"
+
+namespace isop::inverse {
+namespace {
+
+class InverseModelTest : public ::testing::Test {
+ protected:
+  InverseModelTest()
+      : oracle_(simulator_), space_(em::spaceByName("S1")) {}
+
+  InverseTrainConfig smallConfig(std::uint64_t seed = 11) const {
+    InverseTrainConfig config;
+    config.samples = 96;
+    config.epochs = 6;
+    config.seed = seed;
+    return config;
+  }
+
+  /// Trains with the given engine config and returns the serialized model —
+  /// the strictest determinism witness (every weight byte).
+  std::string trainBytes(const InverseTrainConfig& config,
+                         core::EvalEngineConfig engineCfg = {}) const {
+    engineCfg.memoize = false;
+    const core::EvalEngine engine(oracle_, engineCfg);
+    const auto model = trainInverseModel(engine, space_, config);
+    std::ostringstream out(std::ios::binary);
+    model->save(out);
+    return out.str();
+  }
+
+  em::EmSimulator simulator_{{}};
+  core::SimulatorSurrogate oracle_;
+  em::ParameterSpace space_;
+};
+
+TEST_F(InverseModelTest, TrainingIsBitwiseDeterministicAcrossRuns) {
+  const std::string a = trainBytes(smallConfig());
+  const std::string b = trainBytes(smallConfig());
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b) << "same seed must reproduce every weight byte";
+  const std::string c = trainBytes(smallConfig(/*seed=*/12));
+  EXPECT_NE(a, c) << "a different seed must actually change the training run";
+}
+
+TEST_F(InverseModelTest, TrainingIsBitwiseDeterministicAcrossThreadCounts) {
+  ThreadPool one(1);
+  ThreadPool four(4);
+  core::EvalEngineConfig cfgOne;
+  cfgOne.pool = &one;
+  core::EvalEngineConfig cfgFour;
+  cfgFour.pool = &four;
+  const std::string serial = trainBytes(smallConfig(), cfgOne);
+  const std::string parallel = trainBytes(smallConfig(), cfgFour);
+  const std::string defaultPool = trainBytes(smallConfig());
+  EXPECT_EQ(serial, parallel)
+      << "engine thread count must not leak into the trained weights";
+  EXPECT_EQ(serial, defaultPool);
+}
+
+TEST_F(InverseModelTest, SaveLoadRoundTripIsBitwise) {
+  core::EvalEngineConfig engineCfg;
+  engineCfg.memoize = false;
+  const core::EvalEngine engine(oracle_, engineCfg);
+  const auto model = trainInverseModel(engine, space_, smallConfig());
+
+  std::ostringstream out(std::ios::binary);
+  model->save(out);
+  std::istringstream in(out.str(), std::ios::binary);
+  std::string error;
+  const auto loaded = InverseModel::load(in, space_, &error);
+  ASSERT_NE(loaded, nullptr) << error;
+  EXPECT_EQ(loaded->parameterCount(), model->parameterCount());
+  EXPECT_TRUE(loaded->hasPlan()) << "load must recompile the inference plan";
+
+  // The loaded net must answer specs bit-for-bit like the original.
+  Matrix specs(3, em::kNumMetrics);
+  specs.fill(0.0);
+  specs(0, 0) = 80.0;
+  specs(1, 0) = 85.0;
+  specs(1, 1) = -1.0;
+  specs(2, 0) = 90.0;
+  specs(2, 2) = 0.01;
+  Matrix a, b;
+  model->forwardSpecs(specs, a);
+  loaded->forwardSpecs(specs, b);
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      EXPECT_EQ(a(i, j), b(i, j)) << "row " << i << " col " << j;
+    }
+  }
+}
+
+TEST_F(InverseModelTest, LoadRejectsTruncatedAndForeignStreams) {
+  core::EvalEngineConfig engineCfg;
+  engineCfg.memoize = false;
+  const core::EvalEngine engine(oracle_, engineCfg);
+  const auto model = trainInverseModel(engine, space_, smallConfig());
+  std::ostringstream out(std::ios::binary);
+  model->save(out);
+  const std::string bytes = out.str();
+
+  {
+    std::istringstream in(bytes.substr(0, bytes.size() / 2), std::ios::binary);
+    std::string error;
+    EXPECT_EQ(InverseModel::load(in, space_, &error), nullptr);
+    EXPECT_FALSE(error.empty());
+  }
+  {
+    std::istringstream in(std::string("not an inverse model"), std::ios::binary);
+    std::string error;
+    EXPECT_EQ(InverseModel::load(in, space_, &error), nullptr);
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST_F(InverseModelTest, BatchedForwardMatchesPerRowBitwise) {
+  core::EvalEngineConfig engineCfg;
+  engineCfg.memoize = false;
+  const core::EvalEngine engine(oracle_, engineCfg);
+  const auto model = trainInverseModel(engine, space_, smallConfig());
+
+  constexpr std::size_t kRows = 13;  // straddles the plan's 8-row block
+  Matrix specs(kRows, em::kNumMetrics);
+  Rng rng(99);
+  for (std::size_t i = 0; i < kRows; ++i) {
+    specs(i, 0) = rng.uniform(75.0, 95.0);
+    specs(i, 1) = rng.uniform(-2.0, 0.0);
+    specs(i, 2) = rng.uniform(0.0, 0.05);
+  }
+  Matrix batched;
+  model->forwardSpecs(specs, batched);
+  for (std::size_t i = 0; i < kRows; ++i) {
+    Matrix single(1, em::kNumMetrics);
+    for (std::size_t j = 0; j < em::kNumMetrics; ++j) single(0, j) = specs(i, j);
+    Matrix row;
+    model->forwardSpecs(single, row);
+    for (std::size_t j = 0; j < em::kNumParams; ++j) {
+      EXPECT_EQ(batched(i, j), row(0, j)) << "row " << i << " param " << j;
+    }
+  }
+}
+
+TEST_F(InverseModelTest, DecodeRowClampsAndSnapsOntoTheGrid) {
+  Rng rng(5);
+  InverseModel model(space_, {}, rng);
+  std::vector<double> unit(em::kNumParams);
+  for (std::size_t j = 0; j < unit.size(); ++j) {
+    unit[j] = (j % 3 == 0) ? -0.7 : (j % 3 == 1 ? 0.4 : 1.9);  // out of range
+  }
+  const em::StackupParams snapped = model.decodeRow(unit, /*snapToGrid=*/true);
+  EXPECT_TRUE(space_.contains(snapped))
+      << "decoded designs must land inside (and on) the search grid";
+  const em::StackupParams raw = model.decodeRow(unit, /*snapToGrid=*/false);
+  for (std::size_t j = 0; j < em::kNumParams; ++j) {
+    EXPECT_GE(raw.values[j], space_.range(j).lo);
+    EXPECT_LE(raw.values[j], space_.range(j).hi);
+  }
+}
+
+}  // namespace
+}  // namespace isop::inverse

@@ -171,6 +171,33 @@ TEST_F(ConformanceTest, EveryRequestTypeAnswersOnEveryTransport) {
     EXPECT_GT(eval->at("rows").asInteger(), 0);
     ASSERT_NE(eval->find("memo_hits"), nullptr);
     ASSERT_NE(eval->find("em_calls"), nullptr);
+
+    // The v4 `inverse` fast path: accepted -> started -> done with a ranked
+    // designs payload. The first transport's job trains the session's
+    // inverse net; the later ones reuse it.
+    const std::string invId = "inverse-" + t.name;
+    t.send("{\"type\":\"inverse\",\"id\":\"" + invId +
+           "\",\"surrogate\":\"oracle\",\"candidates\":2,\"seed\":5}");
+    json::Value invDone = json::Value::null();
+    for (int i = 0; i < 10000 && invDone.isNull(); ++i) {
+      const json::Value event = parseEventLine(t.recv(), "inverse event");
+      ASSERT_FALSE(event.isNull());
+      ASSERT_EQ(event.at("id").asString(), invId);
+      const std::string kind = eventOf(event);
+      if (kind == "done") invDone = event;
+      else ASSERT_TRUE(kind == "accepted" || kind == "started") << kind;
+    }
+    ASSERT_FALSE(invDone.isNull()) << "inverse job never reached done";
+    const json::Value& invResult = invDone.at("result");
+    EXPECT_EQ(invResult.at("mode").asString(), "inverse");
+    ASSERT_NE(invResult.find("ranked"), nullptr);
+    ASSERT_TRUE(invResult.at("ranked").isArray());
+    ASSERT_GT(invResult.at("ranked").size(), 0u);
+    const json::Value& top = invResult.at("ranked").at(0u);
+    ASSERT_NE(top.find("params"), nullptr);
+    ASSERT_NE(top.find("metrics"), nullptr);
+    ASSERT_NE(top.find("g"), nullptr);
+    ASSERT_NE(top.find("feasible"), nullptr);
   }
 
   const auto& tail = harness.shutdown();
@@ -192,6 +219,13 @@ TEST_F(ConformanceTest, MalformedRequestsAreRejectedOnEveryTransport) {
        "{\"type\":\"submit\",\"id\":\"x\",\"budget\":\"lots\"}"},
       {"submit with mistyped flag",
        "{\"type\":\"submit\",\"id\":\"x\",\"table_ix_constraints\":\"yes\"}"},
+      {"inverse with mistyped id", "{\"type\":\"inverse\",\"id\":42}"},
+      {"inverse with unknown key",
+       "{\"type\":\"inverse\",\"id\":\"x\",\"bogus\":1}"},
+      {"inverse with mistyped knob",
+       "{\"type\":\"inverse\",\"id\":\"x\",\"candidates\":\"many\"}"},
+      {"inverse with submit-only key",
+       "{\"type\":\"inverse\",\"id\":\"x\",\"budget\":100}"},
       {"cancel without id", "{\"type\":\"cancel\"}"},
       {"hello with mistyped token", "{\"type\":\"hello\",\"token\":5}"},
       {"trace with unknown action", "{\"type\":\"trace\",\"action\":\"explode\"}"},
@@ -213,7 +247,9 @@ TEST_F(ConformanceTest, MalformedRequestsAreRejectedOnEveryTransport) {
     // away at admission with a `rejected` event, not an `error`.
     for (const char* bad :
          {"{\"type\":\"submit\"}",  // id missing: defaults to "", fails validation
-          "{\"type\":\"submit\",\"id\":\"x\",\"surrogate\":\"crystal-ball\"}"}) {
+          "{\"type\":\"submit\",\"id\":\"x\",\"surrogate\":\"crystal-ball\"}",
+          "{\"type\":\"inverse\"}",
+          "{\"type\":\"inverse\",\"id\":\"x\",\"surrogate\":\"crystal-ball\"}"}) {
       SCOPED_TRACE(bad);
       t.send(bad);
       const json::Value rejected = parseEventLine(t.recv(), "semantic reject");
@@ -224,6 +260,20 @@ TEST_F(ConformanceTest, MalformedRequestsAreRejectedOnEveryTransport) {
     // A malformed burst must not wedge the connection.
     t.send("{\"type\":\"status\"}");
     EXPECT_EQ(eventOf(parseEventLine(t.recv(), "status after errors")), "status");
+  }
+}
+
+TEST_F(ConformanceTest, UnknownTypeErrorTextIsStableForOlderClients) {
+  // The v4 `inverse` request is additive: a v<=3 server would answer it — and
+  // a v<=3 client's probe for any type this server doesn't know is answered —
+  // with the same documented error shape, on every transport.
+  ServerHarness harness(allTransports());
+  for (Transport& t : openTransports(harness, socketPath())) {
+    SCOPED_TRACE(t.name);
+    t.send("{\"type\":\"frobnicate\"}");
+    const json::Value reply = parseEventLine(t.recv(), "unknown type");
+    EXPECT_EQ(eventOf(reply), "error");
+    EXPECT_EQ(reply.at("error").asString(), "unknown request type 'frobnicate'");
   }
 }
 

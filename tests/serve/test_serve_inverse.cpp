@@ -1,0 +1,264 @@
+// Serve-tier inverse design: the v4 `inverse` job answers with ranked
+// designs; the trained inverse net persists through SessionStore's kind-3
+// envelope and warm-starts a restarted server bitwise (load_failures == 0);
+// and the corruption matrix for the new kind — corrupt, truncated, or
+// wrong-kind state files — degrades to a cold retrain, never a crash.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/rng.hpp"
+#include "core/eval/eval_engine.hpp"
+#include "core/simulator_surrogate.hpp"
+#include "em/parameter_space.hpp"
+#include "em/simulator.hpp"
+#include "inverse/inverse_trainer.hpp"
+#include "serve/server.hpp"
+#include "serve/session_store.hpp"
+#include "server_harness.hpp"
+
+namespace isop::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ServeInverseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "isop_serve_inverse_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  static SessionKey oracleKey() { return {"oracle", "S1", "stripline"}; }
+
+  /// Serve config with a quick-to-train inverse net (the tests pin behavior,
+  /// not accuracy) and a single worker for a reproducible event stream.
+  ServerConfig quickConfig() const {
+    ServerConfig config;
+    config.scheduler.workers = 1;
+    config.stateDir = dir_ + "/state";
+    config.inverseTrain.samples = 96;
+    config.inverseTrain.epochs = 4;
+    return config;
+  }
+
+  /// Submits an inverse job over stdio and returns the `done` event's result.
+  static json::Value runInverseJob(ServerHarness& harness,
+                                   const std::string& id) {
+    harness.sendStdio("{\"type\":\"inverse\",\"id\":\"" + id +
+                      "\",\"surrogate\":\"oracle\",\"candidates\":3,"
+                      "\"seed\":5}");
+    for (int i = 0; i < 10000; ++i) {
+      const json::Value event = parseEventLine(harness.readStdio(), "inverse");
+      if (event.isNull()) break;
+      if (event.at("id").asString() != id) continue;
+      const std::string kind = eventOf(event);
+      if (kind == "done") return event.at("result");
+      if (kind != "accepted" && kind != "started") {
+        ADD_FAILURE() << "unexpected event '" << kind << "' for job " << id;
+        break;
+      }
+    }
+    return json::Value::null();
+  }
+
+  static json::Value statsOf(ServerHarness& harness) {
+    harness.sendStdio("{\"type\":\"stats\"}");
+    return parseEventLine(harness.readStdio(), "stats");
+  }
+
+  /// The stripline session row of a stats reply, or null.
+  static json::Value sessionRow(const json::Value& stats) {
+    const json::Value& sessions = stats.at("sessions");
+    for (std::size_t i = 0; i < sessions.size(); ++i) {
+      if (sessions.at(i).at("layer").asString() == "stripline")
+        return sessions.at(i);
+    }
+    return json::Value::null();
+  }
+
+  std::string inverseStatePath() const {
+    return SessionStore(dir_ + "/state").inversePath(oracleKey());
+  }
+
+  std::string dir_;
+};
+
+std::string readFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void writeFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// ---- SessionStore: the kind-3 envelope --------------------------------------
+
+TEST_F(ServeInverseTest, InverseModelRoundTripsThroughTheStoreBitwise) {
+  em::EmSimulator sim;
+  core::SimulatorSurrogate oracle(sim);
+  const em::ParameterSpace space = em::spaceByName("S1");
+  core::EvalEngineConfig engineCfg;
+  engineCfg.memoize = false;
+  const core::EvalEngine engine(oracle, engineCfg);
+  inverse::InverseTrainConfig trainCfg;
+  trainCfg.samples = 96;
+  trainCfg.epochs = 4;
+  const auto model = inverse::trainInverseModel(engine, space, trainCfg);
+
+  SessionStore store(dir_);
+  ASSERT_TRUE(store.saveInverse(oracleKey(), *model));
+  EXPECT_EQ(store.persisted(), 1u);
+  const auto loaded = store.loadInverse(oracleKey());
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_EQ(store.loaded(), 1u);
+  EXPECT_EQ(store.loadFailures(), 0u);
+
+  // The reloaded net must answer spec batches bit-for-bit.
+  Matrix specs(4, em::kNumMetrics);
+  Rng rng(23);
+  for (std::size_t i = 0; i < specs.rows(); ++i) {
+    specs(i, 0) = rng.uniform(75.0, 95.0);
+    specs(i, 1) = rng.uniform(-2.0, 0.0);
+    specs(i, 2) = rng.uniform(0.0, 0.05);
+  }
+  Matrix expected, replayed;
+  model->forwardSpecs(specs, expected);
+  loaded->forwardSpecs(specs, replayed);
+  for (std::size_t i = 0; i < expected.rows(); ++i) {
+    for (std::size_t j = 0; j < expected.cols(); ++j) {
+      EXPECT_EQ(expected(i, j), replayed(i, j)) << "row " << i << " col " << j;
+    }
+  }
+}
+
+TEST_F(ServeInverseTest, CorruptTruncatedOrWrongKindInverseFilesAreIgnored) {
+  em::EmSimulator sim;
+  core::SimulatorSurrogate oracle(sim);
+  const em::ParameterSpace space = em::spaceByName("S1");
+  core::EvalEngineConfig engineCfg;
+  engineCfg.memoize = false;
+  const core::EvalEngine engine(oracle, engineCfg);
+  inverse::InverseTrainConfig trainCfg;
+  trainCfg.samples = 96;
+  trainCfg.epochs = 4;
+  const auto model = inverse::trainInverseModel(engine, space, trainCfg);
+
+  SessionStore store(dir_);
+  ASSERT_TRUE(store.saveInverse(oracleKey(), *model));
+  const std::string path = store.inversePath(oracleKey());
+  const std::string good = readFile(path);
+  ASSERT_FALSE(good.empty());
+
+  // Corrupt: one flipped payload byte must fail the checksum.
+  std::string corrupt = good;
+  corrupt[corrupt.size() / 2] ^= 0x40;
+  writeFile(path, corrupt);
+  EXPECT_EQ(store.loadInverse(oracleKey()), nullptr);
+  EXPECT_EQ(store.loadFailures(), 1u);
+
+  // Truncated: half a file must be rejected before deserialization.
+  writeFile(path, good.substr(0, good.size() / 2));
+  EXPECT_EQ(store.loadInverse(oracleKey()), nullptr);
+  EXPECT_EQ(store.loadFailures(), 2u);
+
+  // Wrong kind: a valid *memo* envelope at the inverse path must be refused
+  // by the envelope's kind byte, not fed to the model deserializer.
+  core::EvalEngine memoEngine(oracle, sim);
+  Rng rng(7);
+  std::vector<em::StackupParams> designs;
+  for (int i = 0; i < 8; ++i) designs.push_back(space.sample(rng));
+  std::vector<em::PerformanceMetrics> metrics;
+  memoEngine.predictMetrics(designs, metrics);
+  ASSERT_TRUE(store.saveMemo(oracleKey(), memoEngine));
+  writeFile(path, readFile(store.memoPath(oracleKey())));
+  EXPECT_EQ(store.loadInverse(oracleKey()), nullptr);
+  EXPECT_EQ(store.loadFailures(), 3u);
+
+  // And the pristine bytes still load after all that.
+  writeFile(path, good);
+  EXPECT_NE(store.loadInverse(oracleKey()), nullptr);
+  EXPECT_EQ(store.loadFailures(), 3u);
+}
+
+// ---- Server: inverse jobs end to end ----------------------------------------
+
+TEST_F(ServeInverseTest, InverseJobReturnsRankedDesigns) {
+  ServerHarness harness(quickConfig());
+  const json::Value result = runInverseJob(harness, "inv-1");
+  ASSERT_FALSE(result.isNull()) << "inverse job never reached done";
+  EXPECT_EQ(result.at("mode").asString(), "inverse");
+  ASSERT_TRUE(result.at("ranked").isArray());
+  ASSERT_GT(result.at("ranked").size(), 0u);
+  EXPECT_LE(result.at("ranked").size(), 3u);
+
+  const json::Value stats = statsOf(harness);
+  const json::Value row = sessionRow(stats);
+  ASSERT_FALSE(row.isNull());
+  EXPECT_TRUE(row.at("inverse_model").asBool());
+  EXPECT_FALSE(row.at("warm_inverse").asBool()) << "first train is cold";
+  // Training persists the net immediately, not just at shutdown.
+  EXPECT_TRUE(fs::exists(inverseStatePath()));
+}
+
+TEST_F(ServeInverseTest, RestartWarmStartsTheInverseNetBitwise) {
+  std::string coldRanked;
+  {
+    ServerHarness harness(quickConfig());
+    const json::Value result = runInverseJob(harness, "inv-cold");
+    ASSERT_FALSE(result.isNull());
+    coldRanked = result.at("ranked").dump();
+    harness.shutdown();
+  }
+  ASSERT_TRUE(fs::exists(inverseStatePath()));
+
+  ServerHarness harness(quickConfig());
+  const json::Value result = runInverseJob(harness, "inv-warm");
+  ASSERT_FALSE(result.isNull());
+  EXPECT_EQ(result.at("ranked").dump(), coldRanked)
+      << "a warm-started net must reproduce the cold answer bit for bit";
+
+  const json::Value stats = statsOf(harness);
+  const json::Value row = sessionRow(stats);
+  ASSERT_FALSE(row.isNull());
+  EXPECT_TRUE(row.at("warm_inverse").asBool());
+  EXPECT_EQ(stats.at("session_lifecycle").at("load_failures").asInteger(), 0);
+}
+
+TEST_F(ServeInverseTest, CorruptStateFileFallsBackToColdRetrain) {
+  {
+    ServerHarness harness(quickConfig());
+    ASSERT_FALSE(runInverseJob(harness, "inv-seed").isNull());
+    harness.shutdown();
+  }
+  const std::string path = inverseStatePath();
+  std::string bytes = readFile(path);
+  ASSERT_FALSE(bytes.empty());
+  bytes[bytes.size() / 2] ^= 0x01;
+  writeFile(path, bytes);
+
+  ServerHarness harness(quickConfig());
+  const json::Value result = runInverseJob(harness, "inv-after");
+  ASSERT_FALSE(result.isNull()) << "corruption must cost a retrain, not the job";
+  ASSERT_GT(result.at("ranked").size(), 0u);
+
+  const json::Value stats = statsOf(harness);
+  const json::Value row = sessionRow(stats);
+  ASSERT_FALSE(row.isNull());
+  EXPECT_TRUE(row.at("inverse_model").asBool());
+  EXPECT_FALSE(row.at("warm_inverse").asBool());
+  EXPECT_GE(stats.at("session_lifecycle").at("load_failures").asInteger(), 1);
+}
+
+}  // namespace
+}  // namespace isop::serve
